@@ -1,0 +1,92 @@
+// E1 -- Driver selection (paper Fig. 5 / Table 2 / section 3.1.3).
+//
+// Claim: dynamic driver location scans the registered drivers with
+// acceptsUrl(); "for performance, the GridRMDriverManager maintains a
+// cache containing details of the driver last successfully used for a
+// data source". Expected shape: cold dynamic selection costs O(N)
+// probes in the number of registered drivers; the last-good cache and
+// static preferences make repeat selection O(1) regardless of N.
+//
+// Counters: probes = acceptsUrl calls per selection.
+#include <benchmark/benchmark.h>
+
+#include "gridrm/core/driver_manager.hpp"
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace {
+
+using namespace gridrm;
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+
+struct Bench {
+  explicit Bench(int driverCount) : manager(registry) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+    // N-1 decoy drivers that reject the URL, then the real one: the
+    // worst case for a linear acceptsUrl scan.
+    for (int i = 0; i < driverCount - 1; ++i) {
+      MockBehaviour decoy;
+      decoy.name = "decoy" + std::to_string(i);
+      decoy.accepts = {decoy.name};
+      registry.registerDriver(std::make_shared<MockDriver>(ctx, decoy));
+    }
+    MockBehaviour target;
+    target.name = "target";
+    target.accepts = {"t"};
+    registry.registerDriver(std::make_shared<MockDriver>(ctx, target));
+    url = *util::Url::parse("jdbc:t://host/x");
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  core::GridRmDriverManager manager;
+  util::Url url;
+};
+
+void BM_ColdDynamicSelection(benchmark::State& state) {
+  Bench bench(static_cast<int>(state.range(0)));
+  bench.manager.setLastGoodCacheEnabled(false);  // every selection is cold
+  for (auto _ : state) {
+    auto sel = bench.manager.obtainConnection(bench.url, {});
+    benchmark::DoNotOptimize(sel.connection);
+  }
+  const auto stats = bench.manager.stats();
+  state.counters["probes_per_selection"] = benchmark::Counter(
+      static_cast<double>(stats.acceptProbes),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ColdDynamicSelection)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CachedDynamicSelection(benchmark::State& state) {
+  Bench bench(static_cast<int>(state.range(0)));
+  (void)bench.manager.obtainConnection(bench.url, {});  // warm the cache
+  const auto warmup = bench.manager.stats().acceptProbes;
+  for (auto _ : state) {
+    auto sel = bench.manager.obtainConnection(bench.url, {});
+    benchmark::DoNotOptimize(sel.connection);
+  }
+  const auto stats = bench.manager.stats();
+  state.counters["probes_per_selection"] = benchmark::Counter(
+      static_cast<double>(stats.acceptProbes - warmup),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CachedDynamicSelection)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_StaticSelection(benchmark::State& state) {
+  Bench bench(static_cast<int>(state.range(0)));
+  bench.manager.setStaticPreference(bench.url.text(), {"target"});
+  for (auto _ : state) {
+    auto sel = bench.manager.obtainConnection(bench.url, {});
+    benchmark::DoNotOptimize(sel.connection);
+  }
+  const auto stats = bench.manager.stats();
+  state.counters["probes_per_selection"] = benchmark::Counter(
+      static_cast<double>(stats.acceptProbes),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_StaticSelection)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// E8 -- Failure policies (paper sections 3.1.3 and 4).
+//
+// Claim: when the cached/preferred driver fails, configuration rules
+// decide the next step -- report the error, retry the driver, try
+// another, or dynamically select a new driver from the registered set.
+//
+// Scenario: a flaky primary driver (every Nth connect fails) plus a
+// healthy backup, both claiming the source. Sweep the failure period N
+// under each policy. Expected shape: Report's success rate degrades
+// ~1/N; Retry recovers transient faults at the cost of extra connect
+// attempts; TryNext/DynamicReselect approach 100% success by failing
+// over to the backup.
+//
+// Counters: success_rate, connect_attempts_per_query,
+// sim_us_per_query (mock connects cost 1ms of simulated time).
+#include <benchmark/benchmark.h>
+
+#include "gridrm/core/connection_manager.hpp"
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace {
+
+using namespace gridrm;
+using core::FailurePolicy;
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+
+struct Bench {
+  explicit Bench(std::size_t failEveryN)
+      : manager(registry), pool(manager, /*maxIdlePerSource=*/0) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+    MockBehaviour primary;
+    primary.name = "primary";
+    primary.accepts = {"src"};
+    primary.failConnectEveryN = failEveryN;
+    primary.connectLatencyUs = util::kMillisecond;
+    primaryDriver = std::make_shared<MockDriver>(ctx, primary);
+    registry.registerDriver(primaryDriver);
+
+    MockBehaviour backup;
+    backup.name = "backup";
+    backup.accepts = {"src"};
+    backup.connectLatencyUs = util::kMillisecond;
+    backupDriver = std::make_shared<MockDriver>(ctx, backup);
+    registry.registerDriver(backupDriver);
+
+    url = *util::Url::parse("jdbc:src://host/x");
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  core::GridRmDriverManager manager;
+  core::ConnectionManager pool;
+  std::shared_ptr<MockDriver> primaryDriver;
+  std::shared_ptr<MockDriver> backupDriver;
+  util::Url url;
+};
+
+void runPolicy(benchmark::State& state, FailurePolicy policy) {
+  Bench bench(static_cast<std::size_t>(state.range(0)));
+  bench.manager.setFailurePolicy(policy);
+
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  const util::TimePoint simStart = bench.clock.now();
+  for (auto _ : state) {
+    ++attempts;
+    try {
+      auto lease = bench.pool.acquire(bench.url, {});
+      auto stmt = lease->createStatement();
+      auto rs = stmt->executeQuery("SELECT Load1 FROM Processor");
+      benchmark::DoNotOptimize(rs);
+      ++successes;
+    } catch (const dbc::SqlError&) {
+      // Report policy surfaces the failure to the client.
+    }
+  }
+  state.counters["success_rate"] =
+      static_cast<double>(successes) / static_cast<double>(attempts);
+  state.counters["connect_attempts_per_query"] =
+      static_cast<double>(bench.primaryDriver->connectCalls() +
+                          bench.backupDriver->connectCalls()) /
+      static_cast<double>(attempts);
+  state.counters["sim_us_per_query"] =
+      static_cast<double>(bench.clock.now() - simStart) /
+      static_cast<double>(attempts);
+}
+
+void BM_PolicyReport(benchmark::State& state) {
+  runPolicy(state, {FailurePolicy::Action::Report, 0});
+}
+void BM_PolicyRetry2(benchmark::State& state) {
+  runPolicy(state, {FailurePolicy::Action::Retry, 2});
+}
+void BM_PolicyTryNext(benchmark::State& state) {
+  runPolicy(state, {FailurePolicy::Action::TryNext, 0});
+}
+void BM_PolicyDynamicReselect(benchmark::State& state) {
+  runPolicy(state, {FailurePolicy::Action::DynamicReselect, 0});
+}
+
+// Arg = primary fails every Nth connect (2 = half of all connects).
+BENCHMARK(BM_PolicyReport)->Arg(2)->Arg(4)->Arg(16);
+BENCHMARK(BM_PolicyRetry2)->Arg(2)->Arg(4)->Arg(16);
+BENCHMARK(BM_PolicyTryNext)->Arg(2)->Arg(4)->Arg(16);
+BENCHMARK(BM_PolicyDynamicReselect)->Arg(2)->Arg(4)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// E4 -- Gateway result cache vs resource intrusion (paper section 4,
+// Fig. 9).
+//
+// Claim: "By utilising the cache, a heavily used GridRM Gateway can
+// return a view of the recent status of a site while limiting resource
+// intrusion."
+//
+// Scenario per iteration: C simulated clients each poll the site's
+// SNMP agents once every 5 simulated seconds for 5 simulated minutes.
+// Swept: cache TTL in {0 (off), 1s, 5s, 30s}. Expected shape: agent
+// requests served drop roughly as TTL/poll-interval grows, while the
+// data age seen by clients stays bounded by the TTL.
+//
+// Counters: agent_requests (total intrusion), cache_hit_rate.
+#include <benchmark/benchmark.h>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+
+namespace {
+
+using namespace gridrm;
+
+void BM_ClientsPollingSite(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const util::Duration ttl = state.range(1) * util::kSecond;
+
+  double agentRequests = 0;
+  double hitRate = 0;
+  for (auto _ : state) {
+    state.PauseTiming();  // construction is not part of the scenario
+    util::SimClock clock;
+    net::Network network(clock, 5);
+    agents::SiteOptions siteOptions;
+    siteOptions.hostCount = 4;
+    agents::SiteSimulation site(network, clock, siteOptions);
+    clock.advance(60 * util::kSecond);
+
+    core::GatewayOptions gatewayOptions;
+    gatewayOptions.host = "gw.siteA";
+    gatewayOptions.cacheTtl = ttl;
+    core::Gateway gateway(network, clock, gatewayOptions);
+    std::vector<std::string> sessions;
+    for (int c = 0; c < clients; ++c) {
+      sessions.push_back(gateway.openSession(core::Principal::monitor(
+          "client" + std::to_string(c))));
+    }
+    std::vector<std::string> urls;
+    for (std::size_t i = 0; i < site.cluster().size(); ++i) {
+      urls.push_back("jdbc:snmp://" + site.cluster().host(i).name() +
+                     ":161/perfdata");
+    }
+    network.resetStats();
+    state.ResumeTiming();
+
+    // 5 simulated minutes, every client polls every 5 simulated seconds.
+    for (int step = 0; step < 60; ++step) {
+      for (const auto& session : sessions) {
+        auto result = gateway.submitQuery(
+            session, urls, "SELECT HostName, Load1 FROM Processor");
+        benchmark::DoNotOptimize(result.rows);
+      }
+      clock.advance(5 * util::kSecond);
+    }
+
+    double served = 0;
+    for (const auto& urlText : urls) {
+      auto url = util::Url::parse(urlText);
+      served += static_cast<double>(
+          network.stats({url->host(), 161}).requestsServed);
+    }
+    agentRequests = served;
+    const auto cacheStats = gateway.cache().stats();
+    const double lookups =
+        static_cast<double>(cacheStats.hits + cacheStats.misses);
+    hitRate = lookups > 0 ? static_cast<double>(cacheStats.hits) / lookups
+                          : 0.0;
+  }
+  state.counters["agent_requests"] = agentRequests;
+  state.counters["cache_hit_rate"] = hitRate;
+}
+
+// Args: {clients, ttlSeconds}.
+BENCHMARK(BM_ClientsPollingSite)
+    ->Args({1, 0})
+    ->Args({1, 5})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 5})
+    ->Args({4, 30})
+    ->Args({16, 0})
+    ->Args({16, 5})
+    ->Args({16, 30})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

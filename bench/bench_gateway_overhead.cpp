@@ -1,0 +1,127 @@
+// E11 -- Cost of the homogenisation layer (ablation).
+//
+// The paper's design argument is that normalising everything through
+// SQL + GLUE + pluggable drivers is worth its overhead. This ablation
+// quantifies that overhead: the same datum (a host's 1-minute load)
+// obtained (a) by a client speaking the native protocol directly,
+// (b) through a standalone driver, and (c) through the full gateway
+// path (session check, CGSL/FGSL, request manager, pool, driver,
+// translation, consolidation), with and without the gateway cache.
+//
+// Expected shape: the abstraction adds single-digit microseconds of CPU
+// and zero extra network round trips for fine-grained sources -- small
+// against any real link latency -- and the cached gateway path is
+// cheaper than even direct native access.
+#include <benchmark/benchmark.h>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/agents/snmp_agent.hpp"
+#include "gridrm/agents/snmp_codec.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/drivers/defaults.hpp"
+
+namespace {
+
+using namespace gridrm;
+namespace snmp = agents::snmp;
+
+struct Bench {
+  Bench() : network(clock, 37) {
+    agents::SiteOptions options;
+    options.hostCount = 2;
+    site = std::make_unique<agents::SiteSimulation>(network, clock, options);
+    clock.advance(60 * util::kSecond);
+  }
+
+  util::SimClock clock;
+  net::Network network;
+  std::unique_ptr<agents::SiteSimulation> site;
+};
+
+void reportSimTime(benchmark::State& state, util::SimClock& clock,
+                   util::TimePoint simStart) {
+  state.counters["sim_us_per_query"] =
+      static_cast<double>(clock.now() - simStart) /
+      static_cast<double>(state.iterations());
+}
+
+// (a) Bare native access: encode one SNMP GET, decode the response.
+void BM_DirectNativeSnmp(benchmark::State& state) {
+  Bench bench;
+  const net::Address agent{"siteA-node00", snmp::kSnmpPort};
+  const util::TimePoint simStart = bench.clock.now();
+  for (auto _ : state) {
+    snmp::Pdu get;
+    get.type = snmp::PduType::Get;
+    get.varbinds.push_back({snmp::Oid::parse(snmp::oids::kLaLoad1), {}});
+    const net::Payload response =
+        bench.network.request({"client", 0}, agent, snmp::encodePdu(get));
+    snmp::Pdu decoded = snmp::decodePdu(response);
+    benchmark::DoNotOptimize(decoded.varbinds[0].value);
+  }
+  reportSimTime(state, bench.clock, simStart);
+}
+BENCHMARK(BM_DirectNativeSnmp);
+
+// (b) Through a standalone driver: SQL + GLUE translation, no gateway.
+void BM_ThroughDriver(benchmark::State& state) {
+  Bench bench;
+  glue::SchemaManager schemaManager;
+  dbc::DriverRegistry registry;
+  drivers::DriverContext ctx;
+  ctx.network = &bench.network;
+  ctx.clock = &bench.clock;
+  ctx.schemaManager = &schemaManager;
+  drivers::registerDefaultDrivers(registry, ctx);
+  auto url = *util::Url::parse(bench.site->headUrl("snmp"));
+  auto conn = registry.locate(url)->connect(url, {});
+  auto stmt = conn->createStatement();
+  const util::TimePoint simStart = bench.clock.now();
+  for (auto _ : state) {
+    auto rs = stmt->executeQuery("SELECT Load1 FROM Processor");
+    benchmark::DoNotOptimize(rs);
+  }
+  reportSimTime(state, bench.clock, simStart);
+}
+BENCHMARK(BM_ThroughDriver);
+
+// (c) Full gateway path.
+void runGateway(benchmark::State& state, util::Duration cacheTtl,
+                bool useCache, bool validatePool = true) {
+  Bench bench;
+  core::GatewayOptions options;
+  options.host = "gw";
+  options.cacheTtl = cacheTtl;
+  options.validatePooledConnections = validatePool;
+  core::Gateway gateway(bench.network, bench.clock, options);
+  const std::string session =
+      gateway.openSession(core::Principal::monitor());
+  const std::string url = bench.site->headUrl("snmp");
+  core::QueryOptions queryOptions;
+  queryOptions.useCache = useCache;
+  const util::TimePoint simStart = bench.clock.now();
+  for (auto _ : state) {
+    auto result = gateway.submitQuery(session, {url},
+                                      "SELECT Load1 FROM Processor",
+                                      queryOptions);
+    benchmark::DoNotOptimize(result.rows);
+  }
+  reportSimTime(state, bench.clock, simStart);
+}
+
+void BM_ThroughGatewayUncached(benchmark::State& state) {
+  runGateway(state, 0, false);
+}
+// Lazy pool validation: the gateway trusts pooled connections and
+// poisons them on failure instead of probing before every reuse.
+void BM_ThroughGatewayLazyValidation(benchmark::State& state) {
+  runGateway(state, 0, false, /*validatePool=*/false);
+}
+void BM_ThroughGatewayCached(benchmark::State& state) {
+  runGateway(state, 3600 * util::kSecond, true);
+}
+BENCHMARK(BM_ThroughGatewayUncached);
+BENCHMARK(BM_ThroughGatewayLazyValidation);
+BENCHMARK(BM_ThroughGatewayCached);
+
+}  // namespace

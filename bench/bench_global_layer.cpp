@@ -1,0 +1,129 @@
+// E6 -- Global layer scalability (paper Fig. 1, sections 1.1 and 4).
+//
+// Claims: gateways route remote queries to the owning gateway through
+// the GMA directory, and inter-gateway caching "increase[s] scalability
+// by reducing unnecessary requests".
+//
+// Scenario: G sites behind 20ms WAN links. A client at site 0 queries
+// the head node of every site. Swept: G and inter-gateway cache on/off.
+// Expected shape: simulated latency grows linearly in the number of
+// *remote* sites without caching; with caching, repeat queries cost
+// near-zero WAN traffic within the TTL.
+//
+// Counters: sim_ms_per_sweep (simulated), wan_queries_per_sweep.
+#include <benchmark/benchmark.h>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"
+
+namespace {
+
+using namespace gridrm;
+
+struct Grid {
+  Grid(int siteCount, util::Duration cacheTtl) : network(clock, 23) {
+    directory = std::make_unique<global::GmaDirectory>(
+        network, net::Address{"gma", global::kDirectoryPort});
+    for (int i = 0; i < siteCount; ++i) {
+      const std::string name = "site" + std::to_string(i);
+      agents::SiteOptions siteOptions;
+      siteOptions.siteName = name;
+      siteOptions.hostCount = 2;
+      siteOptions.seed = 100 + i;
+      sites.push_back(std::make_unique<agents::SiteSimulation>(
+          network, clock, siteOptions));
+    }
+    clock.advance(60 * util::kSecond);
+    for (int i = 0; i < siteCount; ++i) {
+      const std::string host = "gw.site" + std::to_string(i);
+      // WAN links between gateways and from gateways to remote agents.
+      for (int j = 0; j < i; ++j) {
+        network.setLink(host, "gw.site" + std::to_string(j),
+                        net::LinkModel{20 * util::kMillisecond, 0, 0.0});
+      }
+      core::GatewayOptions o;
+      o.name = "gw-site" + std::to_string(i);
+      o.host = host;
+      o.cacheTtl = cacheTtl;
+      gateways.push_back(std::make_unique<core::Gateway>(network, clock, o));
+      admins.push_back(gateways[i]->openSession(core::Principal::admin()));
+      for (const auto& url : sites[i]->dataSourceUrls()) {
+        gateways[i]->addDataSource(admins[i], url);
+      }
+      globals.push_back(std::make_unique<global::GlobalLayer>(
+          *gateways[i], net::Address{"gma", global::kDirectoryPort}));
+      globals[i]->start();
+      urls.push_back(sites[i]->headUrl("sql"));
+    }
+  }
+
+  util::SimClock clock;
+  net::Network network;
+  std::unique_ptr<global::GmaDirectory> directory;
+  std::vector<std::unique_ptr<agents::SiteSimulation>> sites;
+  std::vector<std::unique_ptr<core::Gateway>> gateways;
+  std::vector<std::unique_ptr<global::GlobalLayer>> globals;
+  std::vector<std::string> admins;
+  std::vector<std::string> urls;
+};
+
+void runSweeps(benchmark::State& state, util::Duration cacheTtl,
+               bool useCache) {
+  Grid grid(static_cast<int>(state.range(0)), cacheTtl);
+  core::QueryOptions options;
+  options.useCache = useCache;
+
+  std::uint64_t sweeps = 0;
+  util::Duration simTotal = 0;
+  for (auto _ : state) {
+    const util::TimePoint before = grid.clock.now();
+    auto result = grid.globals[0]->globalQuery(
+        grid.admins[0], grid.urls,
+        "SELECT HostName, Load1 FROM Processor", options);
+    benchmark::DoNotOptimize(result.rows);
+    simTotal += grid.clock.now() - before;
+    ++sweeps;
+  }
+  state.counters["sim_ms_per_sweep"] =
+      static_cast<double>(simTotal) / util::kMillisecond /
+      static_cast<double>(sweeps);
+  state.counters["wan_queries_per_sweep"] =
+      static_cast<double>(grid.globals[0]->stats().remoteQueriesSent) /
+      static_cast<double>(sweeps);
+}
+
+void BM_GridSweepNoCache(benchmark::State& state) {
+  runSweeps(state, 0, false);
+}
+void BM_GridSweepCached(benchmark::State& state) {
+  runSweeps(state, 60 * util::kSecond, true);
+}
+
+BENCHMARK(BM_GridSweepNoCache)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_GridSweepCached)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Directory lookup amortisation: first remote contact pays a directory
+// round trip; later ones use the gateway's lookup cache.
+void BM_DirectoryLookupAmortised(benchmark::State& state) {
+  Grid grid(2, 0);
+  core::QueryOptions options;
+  options.useCache = false;
+  std::uint64_t sweeps = 0;
+  for (auto _ : state) {
+    auto result = grid.globals[0]->globalQuery(
+        grid.admins[0], {grid.urls[1]}, "SELECT Load1 FROM Processor",
+        options);
+    benchmark::DoNotOptimize(result.rows);
+    ++sweeps;
+  }
+  state.counters["directory_lookups"] = static_cast<double>(
+      grid.globals[0]->stats().directoryLookups);
+  state.counters["lookup_cache_hits_per_query"] =
+      static_cast<double>(grid.globals[0]->stats().lookupCacheHits) /
+      static_cast<double>(sweeps);
+}
+BENCHMARK(BM_DirectoryLookupAmortised);
+
+}  // namespace

@@ -1,0 +1,127 @@
+// E9 -- SQL front-end cost (paper section 3).
+//
+// Claim: "The approach used in GridRM is simple and standard, yet
+// powerful and expressive due to the nature of SQL" -- with "String
+// queries in, and ResultSets out", the SQL machinery must be cheap
+// relative to contacting any data source.
+//
+// Measured: lexing+parsing of a representative query corpus, AST
+// round-trip rendering, expression evaluation, and full SELECT
+// execution against the in-memory store at several table sizes.
+// Expected shape: parse cost is a few microseconds -- orders of
+// magnitude below even a LAN round trip to an agent.
+#include <benchmark/benchmark.h>
+
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+
+namespace {
+
+using namespace gridrm;
+using util::Value;
+
+const char* kCorpus[] = {
+    "SELECT * FROM Processor",
+    "SELECT HostName, Load1 FROM Processor WHERE Load1 > 0.8",
+    "SELECT HostName, Load1 / CPUCount AS perCpu FROM Processor "
+    "WHERE ClusterName = 'siteA' AND Load1 BETWEEN 0.5 AND 4.0 "
+    "ORDER BY perCpu DESC LIMIT 10",
+    "SELECT * FROM Memory WHERE RAMAvailable < 512 OR VirtualAvailable < 128",
+    "SELECT HostName FROM Host WHERE OSName LIKE 'Linux%' "
+    "AND HostName IN ('n0', 'n1', 'n2') AND UpTime IS NOT NULL",
+};
+
+void BM_Parse(benchmark::State& state) {
+  const std::string query = kCorpus[state.range(0)];
+  for (auto _ : state) {
+    auto stmt = sql::parse(query);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * query.size()));
+  state.SetLabel(query.substr(0, 40) + "...");
+}
+BENCHMARK(BM_Parse)->DenseRange(0, 4);
+
+void BM_ParseRenderRoundTrip(benchmark::State& state) {
+  const std::string query = kCorpus[2];
+  for (auto _ : state) {
+    auto text = sql::parse(query).toSql();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_ParseRenderRoundTrip);
+
+void BM_PredicateEvaluation(benchmark::State& state) {
+  auto stmt = sql::parseSelect(
+      "SELECT * FROM t WHERE load1 / cpus > 0.5 AND host LIKE 'siteA-%' "
+      "AND mem BETWEEN 100 AND 4000");
+  sql::FnRowAccessor row([](const std::string& name) -> std::optional<Value> {
+    if (name == "load1") return Value(1.4);
+    if (name == "cpus") return Value(2);
+    if (name == "host") return Value("siteA-node07");
+    if (name == "mem") return Value(1024);
+    return std::nullopt;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::evaluatePredicate(*stmt.where, row));
+  }
+}
+BENCHMARK(BM_PredicateEvaluation);
+
+store::Database* makeDb(int rows) {
+  auto* db = new store::Database();
+  db->createTable("Processor",
+                  {{"HostName", util::ValueType::String, "", "Processor"},
+                   {"ClusterName", util::ValueType::String, "", "Processor"},
+                   {"Load1", util::ValueType::Real, "", "Processor"},
+                   {"CPUCount", util::ValueType::Int, "", "Processor"}});
+  for (int i = 0; i < rows; ++i) {
+    db->insertRow("Processor",
+                  {Value("node" + std::to_string(i)), Value("siteA"),
+                   Value(0.01 * (i % 400)), Value(2 + i % 6)});
+  }
+  return db;
+}
+
+void BM_ExecuteSelect(benchmark::State& state) {
+  std::unique_ptr<store::Database> db(makeDb(static_cast<int>(state.range(0))));
+  const auto stmt = sql::parseSelect(
+      "SELECT HostName, Load1 FROM Processor WHERE Load1 > 2.0 "
+      "ORDER BY Load1 DESC LIMIT 20");
+  for (auto _ : state) {
+    auto rs = db->query(stmt);
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ExecuteSelect)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  std::unique_ptr<store::Database> db(makeDb(static_cast<int>(state.range(0))));
+  const auto stmt = sql::parseSelect(
+      "SELECT ClusterName, COUNT(*), AVG(Load1 / CPUCount) "
+      "FROM Processor GROUP BY ClusterName");
+  for (auto _ : state) {
+    auto rs = db->query(stmt);
+    benchmark::DoNotOptimize(rs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Insert(benchmark::State& state) {
+  std::unique_ptr<store::Database> db(makeDb(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    db->insertRow("Processor", {Value("n"), Value("s"),
+                                Value(0.5), Value(static_cast<int>(i++ % 8))});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Insert);
+
+}  // namespace

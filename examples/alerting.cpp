@@ -1,0 +1,111 @@
+// alerting: the event path of paper Fig. 4, end to end.
+//
+// SNMP agents watch thresholds and emit native traps; the gateway's
+// Event Manager translates them to GridRM events, records them in the
+// historical database, fans them out to subscribers, and -- when a
+// second gateway has registered interest through the GMA directory --
+// propagates them across sites.
+//
+//   $ ./alerting
+#include <cstdio>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/core/tree_view.hpp"
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"
+
+using namespace gridrm;
+
+int main() {
+  util::SimClock clock;
+  net::Network network(clock, 19);
+  global::GmaDirectory directory(network,
+                                 {"gma.directory", global::kDirectoryPort});
+
+  // Site A produces the alerts; site B's operators want to see them too.
+  agents::SiteOptions optionsA;
+  optionsA.siteName = "siteA";
+  optionsA.hostCount = 3;
+  agents::SiteSimulation siteA(network, clock, optionsA);
+
+  agents::SiteOptions optionsB;
+  optionsB.siteName = "siteB";
+  optionsB.hostCount = 1;
+  agents::SiteSimulation siteB(network, clock, optionsB);
+  clock.advance(60 * util::kSecond);
+
+  auto makeGateway = [&](const char* name, const char* host) {
+    core::GatewayOptions o;
+    o.name = name;
+    o.host = host;
+    o.eventOptions.threadedDispatch = false;  // deterministic demo output
+    return std::make_unique<core::Gateway>(network, clock, o);
+  };
+  auto gatewayA = makeGateway("gw-siteA", "gw.siteA");
+  auto gatewayB = makeGateway("gw-siteB", "gw.siteB");
+  const std::string adminA = gatewayA->openSession(core::Principal::admin());
+  const std::string adminB = gatewayB->openSession(core::Principal::admin());
+  for (const auto& url : siteA.dataSourceUrls()) {
+    gatewayA->addDataSource(adminA, url);
+  }
+  for (const auto& url : siteB.dataSourceUrls()) {
+    gatewayB->addDataSource(adminB, url);
+  }
+
+  global::GlobalOptions globalOptions;
+  globalOptions.propagateEventPattern = "snmp.trap";  // share trap alerts
+  global::GlobalLayer globalA(
+      *gatewayA, {"gma.directory", global::kDirectoryPort}, globalOptions);
+  global::GlobalLayer globalB(
+      *gatewayB, {"gma.directory", global::kDirectoryPort}, globalOptions);
+  globalA.start();
+  globalB.start();
+
+  // Agents deliver traps to their local gateway's event port.
+  siteA.setTrapSink(gatewayA->eventAddress());
+
+  // Local subscriber at A; remote subscriber at B.
+  gatewayA->subscribeEvents(adminA, "snmp.trap", [](const core::Event& e) {
+    std::printf("[siteA operator] %-22s %-9s from %s\n", e.type.c_str(),
+                core::severityName(e.severity), e.source.c_str());
+  });
+  gatewayB->subscribeEvents(adminB, "snmp.trap", [](const core::Event& e) {
+    std::printf("[siteB operator] %-22s relayed via %s (origin host %s)\n",
+                e.type.c_str(), e.field("origin").c_str(),
+                e.field("source_host").c_str());
+  });
+
+  std::printf("== tightening thresholds so the simulated load trips them ==\n");
+  for (std::size_t i = 0; i < siteA.snmpAgentCount(); ++i) {
+    siteA.snmpAgent(i).setTrapThresholds(
+        agents::snmp::TrapThresholds{/*highLoad1=*/0.25, /*lowDiskMb=*/-1});
+  }
+
+  // A monitoring period: tick the site once per simulated 30s.
+  for (int tick = 0; tick < 10; ++tick) {
+    clock.advance(30 * util::kSecond);
+    siteA.pollTraps();
+  }
+  gatewayA->eventManager().drain();
+  gatewayB->eventManager().drain();
+
+  // The historical record survives for later analysis (section 2:
+  // "real-time and historical data").
+  auto history = gatewayA->submitHistoricalQuery(
+      adminA,
+      "SELECT Timestamp, Type, Source, Severity FROM EventHistory "
+      "ORDER BY Timestamp");
+  std::printf("\n-- EventHistory at gw-siteA --\n%s\n",
+              core::renderTable(*history).c_str());
+
+  const auto statsA = gatewayA->eventManager().stats();
+  std::printf("gw-siteA events: received=%llu dispatched=%llu recorded=%llu\n",
+              static_cast<unsigned long long>(statsA.received),
+              static_cast<unsigned long long>(statsA.dispatched),
+              static_cast<unsigned long long>(statsA.recorded));
+  std::printf("events propagated A->B: %llu\n",
+              static_cast<unsigned long long>(
+                  globalA.stats().eventsPropagated));
+  return 0;
+}

@@ -1,0 +1,159 @@
+// gridrm_shell: an interactive SQL console against a simulated Grid --
+// the closest text-mode equivalent of pointing a browser at the paper's
+// JSP interface.
+//
+//   $ ./gridrm_shell
+//   gridrm> sources
+//   gridrm> use jdbc:ganglia://siteA-node00:8649/perfdata
+//   gridrm> SELECT HostName, Load1 FROM Processor ORDER BY Load1 DESC
+//   gridrm> all SELECT HostName, RAMAvailable FROM Memory
+//   gridrm> tick 60            -- advance simulated time by 60 s
+//   gridrm> help
+//
+// Also accepts a script on stdin, so it doubles as a batch query tool:
+//   echo "all SELECT * FROM Host" | ./gridrm_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "gridrm/gridrm.hpp"
+#include "gridrm/util/strings.hpp"
+
+#include <unistd.h>
+
+using namespace gridrm;
+
+namespace {
+
+void printHelp() {
+  std::printf(
+      "commands:\n"
+      "  sources                 list registered data sources\n"
+      "  drivers                 list registered drivers\n"
+      "  use <url>               set the target data source\n"
+      "  all <SELECT ...>        query every registered source (consolidated)\n"
+      "  history <SELECT ...>    query the gateway's historical database\n"
+      "  tick <seconds>          advance simulated time\n"
+      "  stats                   gateway statistics\n"
+      "  <SELECT ...>            query the current source\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  util::SimClock clock;
+  net::Network network(clock, 61);
+  agents::SiteOptions siteOptions;
+  siteOptions.siteName = "siteA";
+  siteOptions.hostCount = 4;
+  agents::SiteSimulation site(network, clock, siteOptions);
+  clock.advance(5 * 60 * util::kSecond);
+
+  core::GatewayOptions gatewayOptions;
+  gatewayOptions.name = "gw-siteA";
+  gatewayOptions.host = "gw.siteA";
+  core::Gateway gateway(network, clock, gatewayOptions);
+  const std::string session = gateway.openSession(core::Principal::admin());
+  for (const auto& url : site.dataSourceUrls()) {
+    gateway.addDataSource(session, url);
+  }
+
+  std::string current = site.headUrl("sql");
+  const bool interactive = isatty(0);
+  if (interactive) {
+    std::printf("GridRM shell -- site %s, %zu sources. 'help' for commands.\n",
+                site.name().c_str(), gateway.dataSources().size());
+  }
+
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("gridrm> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed(util::trim(line));
+    if (trimmed.empty()) continue;
+
+    std::istringstream words(trimmed);
+    std::string cmd;
+    words >> cmd;
+    const std::string lower = util::toLower(cmd);
+
+    try {
+      if (lower == "quit" || lower == "exit") break;
+      if (lower == "help") {
+        printHelp();
+      } else if (lower == "sources") {
+        for (const auto& url : gateway.dataSources()) {
+          std::printf("%s%s\n", url.c_str(),
+                      url == current ? "   <- current" : "");
+        }
+      } else if (lower == "drivers") {
+        for (const auto& name : gateway.listDrivers(session)) {
+          std::printf("%s\n", name.c_str());
+        }
+      } else if (lower == "use") {
+        std::string url;
+        words >> url;
+        if (!util::Url::parse(url)) {
+          std::printf("malformed URL\n");
+        } else {
+          current = url;
+          std::printf("current source: %s\n", current.c_str());
+        }
+      } else if (lower == "tick") {
+        long long seconds = 0;
+        words >> seconds;
+        clock.advance(seconds * util::kSecond);
+        std::printf("t = %lld s\n",
+                    static_cast<long long>(clock.now() / util::kSecond));
+      } else if (lower == "stats") {
+        const auto rm = gateway.requestManager().stats();
+        const auto cache = gateway.cache().stats();
+        const auto pool = gateway.connectionManager().stats();
+        const auto dm = gateway.driverManager().stats();
+        std::printf("queries=%llu sourceQueries=%llu errors=%llu\n",
+                    (unsigned long long)rm.queries,
+                    (unsigned long long)rm.sourceQueries,
+                    (unsigned long long)rm.sourceErrors);
+        std::printf("cache hits=%llu misses=%llu  pool hits=%llu creates=%llu\n",
+                    (unsigned long long)cache.hits,
+                    (unsigned long long)cache.misses,
+                    (unsigned long long)pool.poolHits,
+                    (unsigned long long)pool.creations);
+        std::printf("driver selections=%llu cacheHits=%llu scans=%llu\n",
+                    (unsigned long long)dm.selections,
+                    (unsigned long long)dm.cacheHits,
+                    (unsigned long long)dm.dynamicScans);
+      } else if (lower == "all") {
+        std::string sql;
+        std::getline(words, sql);
+        auto result = gateway.submitSiteQuery(session, std::string(util::trim(sql)));
+        std::printf("%s", core::renderTable(*result.rows).c_str());
+        for (const auto& failure : result.failures) {
+          std::printf("! %s: %s\n", failure.url.c_str(),
+                      failure.message.c_str());
+        }
+      } else if (lower == "history") {
+        std::string sql;
+        std::getline(words, sql);
+        auto rows = gateway.submitHistoricalQuery(
+            session, std::string(util::trim(sql)));
+        std::printf("%s", core::renderTable(*rows).c_str());
+      } else {
+        // Bare SQL against the current source.
+        auto result = gateway.submitQuery(session, {current}, trimmed);
+        if (!result.complete()) {
+          std::printf("error: %s\n", result.failures[0].message.c_str());
+        } else {
+          std::printf("%s", core::renderTable(*result.rows).c_str());
+        }
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ganglia gmond simulator.
+//
+// Real gmond answers any TCP connect with one XML document describing
+// the whole cluster -- the canonical coarse-grained data source of the
+// paper's driver taxonomy (section 3.3): "responses are typically
+// coarse grained. A greater overhead is required to parse values from
+// the response, which is typically XML".
+//
+// Any request payload (ignored, like a bare TCP connect) returns the
+// full <GANGLIA_XML><CLUSTER><HOST><METRIC .../>...</> document.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::ganglia {
+
+inline constexpr std::uint16_t kGmondPort = 8649;
+
+/// Metric names emitted per host, mirroring gmond's standard set.
+inline constexpr const char* kMetricNames[] = {
+    "load_one",   "load_five", "load_fifteen", "cpu_user", "cpu_system",
+    "cpu_idle",   "cpu_num",   "cpu_speed",    "mem_total", "mem_free",
+    "swap_total", "swap_free", "disk_total",   "disk_free", "bytes_in",
+    "bytes_out",  "proc_total", "machine_type", "os_name",  "os_release",
+    "boottime"};
+
+class GangliaAgent final : public net::RequestHandler {
+ public:
+  /// Binds <headNode>:8649 where headNode is the cluster's first host.
+  GangliaAgent(sim::ClusterModel& cluster, net::Network& network,
+               util::Clock& clock);
+  ~GangliaAgent() override;
+
+  GangliaAgent(const GangliaAgent&) = delete;
+  GangliaAgent& operator=(const GangliaAgent&) = delete;
+
+  net::Address address() const;
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+  /// Render the current cluster state as gmond XML (exposed for tests).
+  std::string renderXml();
+
+ private:
+  sim::ClusterModel& cluster_;
+  net::Network& network_;
+  util::Clock& clock_;
+};
+
+}  // namespace gridrm::agents::ganglia

@@ -1,0 +1,72 @@
+// MDS / GRIS simulator: an LDAP-flavoured information service.
+//
+// Paper section 3.1.4 lists LDAP among the in-flight GLUE
+// implementations (Globus MDS2 published GLUE through per-site GRIS
+// servers on port 2135). This agent serves a directory information
+// tree rooted at "o=grid":
+//
+//   o=grid
+//     Mds-Vo-name=<cluster>,o=grid
+//       GlueHostUniqueID=<host>,Mds-Vo-name=<cluster>,o=grid
+//
+// with GLUE-LDAP attribute names (GlueHostProcessorLoadAverage1Min,
+// GlueHostMainMemoryRAMAvailable, ...). Protocol is a line-oriented
+// LDAP-search miniature:
+//
+//   SEARCH <baseDN> <base|one|sub> [(<attr>=<value>)]
+//
+// answered with LDIF-style entries ("dn: ..." then "attr: value" lines,
+// blank-line separated). Coarse-ish: a subtree search returns every
+// matching entry in one response.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::mds {
+
+inline constexpr std::uint16_t kGrisPort = 2135;
+
+/// One directory entry.
+struct LdifEntry {
+  std::string dn;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  std::string attr(const std::string& name, std::string fallback = "") const;
+};
+
+/// Parse an LDIF-style response into entries (driver side).
+std::vector<LdifEntry> parseLdif(const std::string& text);
+
+class MdsAgent final : public net::RequestHandler {
+ public:
+  /// Binds <headNode>:2135 (one GRIS per site, like one gmond).
+  MdsAgent(sim::ClusterModel& cluster, net::Network& network,
+           util::Clock& clock);
+  ~MdsAgent() override;
+
+  MdsAgent(const MdsAgent&) = delete;
+  MdsAgent& operator=(const MdsAgent&) = delete;
+
+  net::Address address() const;
+  std::string baseDn() const { return "Mds-Vo-name=" + cluster_.name() + ",o=grid"; }
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  /// Materialise the current DIT (one entry per host plus the VO entry).
+  std::vector<LdifEntry> buildTree();
+
+  sim::ClusterModel& cluster_;
+  net::Network& network_;
+  util::Clock& clock_;
+};
+
+}  // namespace gridrm::agents::mds

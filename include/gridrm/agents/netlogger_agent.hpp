@@ -1,0 +1,68 @@
+// NetLogger simulator.
+//
+// NetLogger instruments applications with timestamped ULM (Universal
+// Logger Message) records: "DATE=... HOST=... PROG=... LVL=...
+// NL.EVNT=... <fields>". Fine-grained per the paper's taxonomy --
+// clients ask for specific recent events and parse single lines.
+//
+// Protocol:
+//   TAIL <event> <n>   -> last n ULM lines for the event
+//   EVENTS             -> known event names
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::netlogger {
+
+inline constexpr std::uint16_t kNetLoggerPort = 14830;
+
+/// Event streams the simulated instrumented program emits.
+inline constexpr const char* kEvents[] = {"cpu.load", "mem.free", "net.in",
+                                          "net.out", "disk.free"};
+
+/// Format one ULM record.
+std::string formatUlm(util::TimePoint ts, const std::string& host,
+                      const std::string& program, const std::string& event,
+                      double value);
+
+/// Parse VAL= out of a ULM record; returns false on malformed input.
+bool parseUlmValue(const std::string& line, double& value);
+/// Parse DATE= (microsecond timestamp) out of a ULM record.
+bool parseUlmDate(const std::string& line, util::TimePoint& ts);
+
+class NetLoggerAgent final : public net::RequestHandler {
+ public:
+  NetLoggerAgent(sim::HostModel& host, net::Network& network,
+                 util::Clock& clock);
+  ~NetLoggerAgent() override;
+
+  NetLoggerAgent(const NetLoggerAgent&) = delete;
+  NetLoggerAgent& operator=(const NetLoggerAgent&) = delete;
+
+  net::Address address() const { return {host_.name(), kNetLoggerPort}; }
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  void appendDue();  // generate log lines up to the current time
+
+  sim::HostModel& host_;
+  net::Network& network_;
+  util::Clock& clock_;
+  std::mutex mu_;
+  std::map<std::string, std::deque<std::string>> logs_;
+  util::TimePoint lastEmit_ = 0;
+  static constexpr util::Duration kPeriod = 5 * util::kSecond;
+  static constexpr std::size_t kCap = 256;
+};
+
+}  // namespace gridrm::agents::netlogger

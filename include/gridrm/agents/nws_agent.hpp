@@ -1,0 +1,86 @@
+// Network Weather Service (NWS) simulator.
+//
+// NWS measures network/CPU resources and *forecasts* their next values
+// with a battery of simple predictors, reporting the forecast of the
+// predictor with the lowest error so far. This agent keeps a short
+// measurement history per (resource) derived from the host model and
+// answers a line-oriented text protocol:
+//
+//   FORECAST <resource>        -> RESOURCE/MEASUREMENT/FORECAST/MSE lines
+//   SERIES <resource> <n>      -> last n measurements, one per line
+//   LIST                       -> available resource names
+//
+// Coarse-grained/plain-text per the paper's taxonomy: the driver parses
+// a multi-line text response.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/random.hpp"
+
+namespace gridrm::agents::nws {
+
+inline constexpr std::uint16_t kNwsPort = 8060;
+
+inline constexpr const char* kResources[] = {"latency", "bandwidth",
+                                             "availableCpu"};
+
+/// One predictor in the NWS-style battery.
+struct Forecaster {
+  std::string name;
+  double prediction = 0.0;
+  double mse = 0.0;     // running mean squared error
+  std::size_t n = 0;
+};
+
+class NwsAgent final : public net::RequestHandler {
+ public:
+  NwsAgent(sim::HostModel& host, net::Network& network, util::Clock& clock,
+           std::uint64_t seed = 42);
+  ~NwsAgent() override;
+
+  NwsAgent(const NwsAgent&) = delete;
+  NwsAgent& operator=(const NwsAgent&) = delete;
+
+  net::Address address() const { return {host_.name(), kNwsPort}; }
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  struct Series {
+    std::deque<double> history;
+    Forecaster lastValue{"last"};
+    Forecaster runningMean{"mean"};
+    Forecaster expSmooth{"exp_smooth(0.3)"};
+    double meanAccum = 0.0;
+    std::size_t count = 0;
+    util::TimePoint lastSample = 0;
+  };
+
+  /// Advance measurement series to the current time (one sample per
+  /// simulated measurement period).
+  void sample();
+  double measure(const std::string& resource);
+  void updateForecasters(Series& s, double observed);
+  const Forecaster& bestForecaster(const Series& s) const;
+
+  sim::HostModel& host_;
+  net::Network& network_;
+  util::Clock& clock_;
+  util::Rng rng_;
+  std::mutex mu_;
+  std::map<std::string, Series> series_;
+  static constexpr util::Duration kPeriod = 10 * util::kSecond;
+  static constexpr std::size_t kHistoryCap = 128;
+};
+
+}  // namespace gridrm::agents::nws

@@ -1,0 +1,44 @@
+// SCMS (Scalable Cluster Management System) simulator.
+//
+// SCMS's monitoring daemon answers simple text commands about cluster
+// nodes. Fine-grained per the paper's taxonomy: one "key: value" block
+// per queried host, trivially parsed.
+//
+// Protocol:
+//   NODES            -> one host name per line
+//   STAT <host>      -> "key: value" lines for that host
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::scms {
+
+inline constexpr std::uint16_t kScmsPort = 18800;
+
+class ScmsAgent final : public net::RequestHandler {
+ public:
+  /// Binds <headNode>:18800 (SCMS runs one master per cluster).
+  ScmsAgent(sim::ClusterModel& cluster, net::Network& network,
+            util::Clock& clock);
+  ~ScmsAgent() override;
+
+  ScmsAgent(const ScmsAgent&) = delete;
+  ScmsAgent& operator=(const ScmsAgent&) = delete;
+
+  net::Address address() const;
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  sim::ClusterModel& cluster_;
+  net::Network& network_;
+  util::Clock& clock_;
+};
+
+}  // namespace gridrm::agents::scms

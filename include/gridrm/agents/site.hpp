@@ -1,0 +1,87 @@
+// SiteSimulation: wires one Grid site -- a cluster of simulated hosts
+// plus the full set of native monitoring agents over them -- onto a
+// Network. This is the test/bench/example substitute for the paper's
+// instrumented campus site.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/agents/ganglia_agent.hpp"
+#include "gridrm/agents/mds_agent.hpp"
+#include "gridrm/agents/netlogger_agent.hpp"
+#include "gridrm/agents/nws_agent.hpp"
+#include "gridrm/agents/scms_agent.hpp"
+#include "gridrm/agents/snmp_agent.hpp"
+#include "gridrm/agents/sqlsrc_agent.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents {
+
+struct SiteOptions {
+  std::string siteName = "siteA";
+  std::size_t hostCount = 4;
+  std::uint64_t seed = 1;
+  bool withSnmp = true;       // one SNMP agent per host
+  bool withGanglia = true;    // one gmond on the head node
+  bool withNws = true;        // one NWS sensor on the head node
+  bool withNetLogger = true;  // one NetLogger host on the head node
+  bool withScms = true;       // one SCMS master on the head node
+  bool withSql = true;        // one GLUE-native SQL source on the head node
+  bool withMds = true;        // one MDS/GRIS LDAP-style service on the head node
+  sim::HostSpec baseSpec;
+};
+
+class SiteSimulation {
+ public:
+  SiteSimulation(net::Network& network, util::Clock& clock,
+                 SiteOptions options = {});
+
+  SiteSimulation(const SiteSimulation&) = delete;
+  SiteSimulation& operator=(const SiteSimulation&) = delete;
+
+  const std::string& name() const noexcept { return options_.siteName; }
+  sim::ClusterModel& cluster() noexcept { return *cluster_; }
+  const SiteOptions& options() const noexcept { return options_; }
+
+  std::size_t snmpAgentCount() const noexcept { return snmpAgents_.size(); }
+  snmp::SnmpAgent& snmpAgent(std::size_t i) { return *snmpAgents_.at(i); }
+  ganglia::GangliaAgent* gangliaAgent() noexcept { return ganglia_.get(); }
+  nws::NwsAgent* nwsAgent() noexcept { return nws_.get(); }
+  netlogger::NetLoggerAgent* netloggerAgent() noexcept { return netlogger_.get(); }
+  scms::ScmsAgent* scmsAgent() noexcept { return scms_.get(); }
+  sqlsrc::SqlSourceAgent* sqlAgent() noexcept { return sqlsrc_.get(); }
+  mds::MdsAgent* mdsAgent() noexcept { return mds_.get(); }
+
+  /// Data-source URLs for every agent at this site, in the form the
+  /// gateway's driver layer consumes ("jdbc:snmp://host:161/...").
+  std::vector<std::string> dataSourceUrls() const;
+
+  /// URL of the head node's agent for a given subprotocol (empty
+  /// subprotocol means "any driver may claim it").
+  std::string headUrl(const std::string& subprotocol) const;
+
+  /// Direct all SNMP agents' traps at `sink` (typically a gateway's
+  /// event listener address).
+  void setTrapSink(const net::Address& sink);
+  /// Evaluate trap thresholds on all agents (the site's periodic tick).
+  void pollTraps();
+
+ private:
+  net::Network& network_;
+  util::Clock& clock_;
+  SiteOptions options_;
+  std::unique_ptr<sim::ClusterModel> cluster_;
+  std::vector<std::unique_ptr<snmp::SnmpAgent>> snmpAgents_;
+  std::unique_ptr<ganglia::GangliaAgent> ganglia_;
+  std::unique_ptr<nws::NwsAgent> nws_;
+  std::unique_ptr<netlogger::NetLoggerAgent> netlogger_;
+  std::unique_ptr<scms::ScmsAgent> scms_;
+  std::unique_ptr<sqlsrc::SqlSourceAgent> sqlsrc_;
+  std::unique_ptr<mds::MdsAgent> mds_;
+};
+
+}  // namespace gridrm::agents

@@ -1,0 +1,110 @@
+// SNMP agent simulator: one per host, binding port 161 of its host on
+// the simulated network. Exposes a MIB (MIB-II system group,
+// Host-Resources and UCD-style load/memory/CPU subtrees, ifTable)
+// backed by the host model, answers GET/GETNEXT/GETBULK, and emits
+// traps to a configured sink when thresholds are crossed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "gridrm/agents/snmp_codec.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::snmp {
+
+/// Well-known OIDs of the simulated MIB (dotted text in `oids` namespace
+/// for driver-side mapping tables).
+namespace oids {
+inline constexpr const char* kSysDescr = "1.3.6.1.2.1.1.1.0";
+inline constexpr const char* kSysUpTime = "1.3.6.1.2.1.1.3.0";
+inline constexpr const char* kSysName = "1.3.6.1.2.1.1.5.0";
+inline constexpr const char* kHrSystemProcesses = "1.3.6.1.2.1.25.1.6.0";
+inline constexpr const char* kHrMemorySize = "1.3.6.1.2.1.25.2.2.0";
+// hrStorage row 1 = the root filesystem
+inline constexpr const char* kHrStorageSize = "1.3.6.1.2.1.25.2.3.1.5.1";
+inline constexpr const char* kHrStorageUsed = "1.3.6.1.2.1.25.2.3.1.6.1";
+// hrProcessorLoad per-CPU table: 1.3.6.1.2.1.25.3.3.1.2.<cpu>
+inline constexpr const char* kHrProcessorLoadPrefix = "1.3.6.1.2.1.25.3.3.1.2";
+// UCD laLoad.{1,2,3} (1-, 5-, 15-minute)
+inline constexpr const char* kLaLoad1 = "1.3.6.1.4.1.2021.10.1.3.1";
+inline constexpr const char* kLaLoad5 = "1.3.6.1.4.1.2021.10.1.3.2";
+inline constexpr const char* kLaLoad15 = "1.3.6.1.4.1.2021.10.1.3.3";
+inline constexpr const char* kMemTotalReal = "1.3.6.1.4.1.2021.4.5.0";
+inline constexpr const char* kMemAvailReal = "1.3.6.1.4.1.2021.4.6.0";
+inline constexpr const char* kMemTotalSwap = "1.3.6.1.4.1.2021.4.3.0";
+inline constexpr const char* kMemAvailSwap = "1.3.6.1.4.1.2021.4.4.0";
+inline constexpr const char* kSsCpuUser = "1.3.6.1.4.1.2021.11.9.0";
+inline constexpr const char* kSsCpuSystem = "1.3.6.1.4.1.2021.11.10.0";
+inline constexpr const char* kSsCpuIdle = "1.3.6.1.4.1.2021.11.11.0";
+// ifTable, interface 1
+inline constexpr const char* kIfDescr = "1.3.6.1.2.1.2.2.1.2.1";
+inline constexpr const char* kIfSpeed = "1.3.6.1.2.1.2.2.1.5.1";
+inline constexpr const char* kIfInOctets = "1.3.6.1.2.1.2.2.1.10.1";
+inline constexpr const char* kIfOutOctets = "1.3.6.1.2.1.2.2.1.16.1";
+// Trap identities
+inline constexpr const char* kTrapHighLoad = "1.3.6.1.4.1.55555.1.1";
+inline constexpr const char* kTrapLowDisk = "1.3.6.1.4.1.55555.1.2";
+}  // namespace oids
+
+inline constexpr std::uint16_t kSnmpPort = 161;
+inline constexpr std::uint16_t kTrapPort = 162;
+
+struct TrapThresholds {
+  double highLoad1 = 4.0;        // trap when load1 exceeds this
+  std::int64_t lowDiskMb = 512;  // trap when free disk falls below this
+};
+
+class SnmpAgent final : public net::RequestHandler {
+ public:
+  /// Binds <host>:161. `community` guards all requests (coarse
+  /// authentication, as SNMPv1/2c had).
+  SnmpAgent(sim::HostModel& host, net::Network& network, util::Clock& clock,
+            std::string community = "public");
+  ~SnmpAgent() override;
+
+  SnmpAgent(const SnmpAgent&) = delete;
+  SnmpAgent& operator=(const SnmpAgent&) = delete;
+
+  net::Address address() const { return {host_.name(), kSnmpPort}; }
+
+  /// Configure where traps are sent (e.g. the gateway's event listener).
+  void setTrapSink(const net::Address& sink) { trapSink_ = sink; }
+  void setTrapThresholds(const TrapThresholds& t) { thresholds_ = t; }
+
+  /// Evaluate thresholds now and emit traps on *edges* (crossing into
+  /// the bad state); called internally after each served request and
+  /// from the site simulation's periodic tick.
+  void pollTraps();
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  using Payload = net::Payload;
+  using MibGetter = std::function<util::Value()>;
+
+  void buildMib();
+  Pdu execute(const Pdu& request);
+  std::optional<util::Value> lookup(const Oid& oid);
+  void sendTrap(const char* trapOid, std::vector<Varbind> varbinds);
+
+  sim::HostModel& host_;
+  net::Network& network_;
+  util::Clock& clock_;
+  std::string community_;
+  std::map<Oid, MibGetter> mib_;
+  std::optional<net::Address> trapSink_;
+  TrapThresholds thresholds_;
+  std::mutex trapMu_;
+  bool inHighLoad_ = false;
+  bool inLowDisk_ = false;
+};
+
+}  // namespace gridrm::agents::snmp

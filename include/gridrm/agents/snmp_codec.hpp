@@ -1,0 +1,75 @@
+// Miniature SNMP: OIDs, varbinds, PDUs and a TLV wire codec.
+//
+// This is the fine-grained binary agent protocol of the paper's driver
+// taxonomy (section 3.3): per-OID requests, "little or no parsing
+// required to read the native data value". The codec is a compact
+// tag/length/value binary format in the spirit of BER without its
+// historical baggage.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::agents::snmp {
+
+class Oid {
+ public:
+  Oid() = default;
+  explicit Oid(std::vector<std::uint32_t> parts) : parts_(std::move(parts)) {}
+  /// Parse dotted notation ("1.3.6.1.2.1.1.5"); empty result on garbage.
+  static Oid parse(const std::string& text);
+
+  std::string toString() const;
+  const std::vector<std::uint32_t>& parts() const noexcept { return parts_; }
+  bool empty() const noexcept { return parts_.empty(); }
+  std::size_t size() const noexcept { return parts_.size(); }
+
+  /// This OID extended with one more arc (table index).
+  Oid child(std::uint32_t arc) const;
+  bool isPrefixOf(const Oid& other) const noexcept;
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::vector<std::uint32_t> parts_;
+};
+
+struct Varbind {
+  Oid oid;
+  util::Value value;
+};
+
+enum class PduType : std::uint8_t {
+  Get = 0xA0,
+  GetNext = 0xA1,
+  Response = 0xA2,
+  GetBulk = 0xA5,
+  Trap = 0xA7,
+};
+
+enum class SnmpError : std::uint8_t {
+  NoError = 0,
+  NoSuchName = 2,
+  GenErr = 5,
+  AuthorizationError = 16,
+};
+
+struct Pdu {
+  PduType type = PduType::Get;
+  std::string community = "public";
+  std::uint32_t requestId = 0;
+  SnmpError errorStatus = SnmpError::NoError;
+  std::uint32_t maxRepetitions = 0;  // GetBulk only
+  std::vector<Varbind> varbinds;
+};
+
+/// Encode a PDU to wire bytes.
+std::string encodePdu(const Pdu& pdu);
+/// Decode; throws std::runtime_error on malformed bytes.
+Pdu decodePdu(const std::string& bytes);
+
+}  // namespace gridrm::agents::snmp

@@ -1,0 +1,52 @@
+// GLUE-native SQL data source.
+//
+// Paper section 3.2.3: "In some cases, the drivers may connect to data
+// sources that already adhere to GLUE, in which case little or no
+// further processing would be required." This agent is that case: a
+// relational store whose tables *are* the GLUE groups, refreshed from
+// the cluster's host models on each query. The driver for it is nearly
+// a pass-through.
+//
+// Protocol: request body is SQL text; response is either a serialised
+// result set (starts "RS1") or "ERR <message>".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::agents::sqlsrc {
+
+inline constexpr std::uint16_t kSqlPort = 4000;
+
+class SqlSourceAgent final : public net::RequestHandler {
+ public:
+  SqlSourceAgent(sim::ClusterModel& cluster, net::Network& network,
+                 util::Clock& clock);
+  ~SqlSourceAgent() override;
+
+  SqlSourceAgent(const SqlSourceAgent&) = delete;
+  SqlSourceAgent& operator=(const SqlSourceAgent&) = delete;
+
+  net::Address address() const;
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+ private:
+  void defineTables();
+  void refreshTables();
+
+  sim::ClusterModel& cluster_;
+  net::Network& network_;
+  util::Clock& clock_;
+  std::mutex mu_;
+  store::Database db_;
+};
+
+}  // namespace gridrm::agents::sqlsrc

@@ -1,0 +1,93 @@
+// Resource Alerts (the "Resource Alerts" module of paper Fig. 2, and
+// the threshold behaviour of Fig. 3: "Threshold exceeded. <Event>
+// transmitted").
+//
+// An alert rule pairs a data-source query with a per-row SQL condition.
+// On each evaluation pass the rule's query runs through the Request
+// Manager (so security, pooling, driver selection and caching all
+// apply) and every violating row raises a GridRM event through the
+// Event Manager. A hold-off interval suppresses repeat alerts for the
+// same (rule, subject) while the condition persists, mirroring the
+// edge-triggered traps of the native agents.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/core/event_manager.hpp"
+#include "gridrm/core/request_manager.hpp"
+
+namespace gridrm::core {
+
+struct AlertRule {
+  std::string name;       // unique; appears in the event type
+  std::string url;        // data source to evaluate against
+  std::string sql;        // row source, e.g. "SELECT * FROM Processor"
+  std::string condition;  // per-row predicate, e.g. "Load1 > 2.0"
+  Severity severity = Severity::Warning;
+  /// Column identifying the alert subject (usually HostName); rows
+  /// lacking it alert under subject "".
+  std::string subjectColumn = "HostName";
+  /// Minimum time between repeated alerts for the same subject.
+  util::Duration holdOff = 60 * util::kSecond;
+};
+
+struct AlertManagerStats {
+  std::uint64_t evaluations = 0;   // rule evaluation passes
+  std::uint64_t rowsExamined = 0;
+  std::uint64_t alertsRaised = 0;
+  std::uint64_t suppressedByHoldOff = 0;
+  std::uint64_t queryFailures = 0;
+  std::uint64_t conditionErrors = 0;  // condition referenced bad columns
+};
+
+class AlertManager {
+ public:
+  AlertManager(RequestManager& requestManager, EventManager& eventManager,
+               util::Clock& clock)
+      : requestManager_(requestManager),
+        eventManager_(eventManager),
+        clock_(clock) {}
+
+  AlertManager(const AlertManager&) = delete;
+  AlertManager& operator=(const AlertManager&) = delete;
+
+  /// Install or replace (by name) a rule. Throws dbc::SqlError(Syntax)
+  /// when the rule's SQL or condition does not parse.
+  void addRule(AlertRule rule);
+  bool removeRule(const std::string& name);
+  std::vector<AlertRule> rules() const;
+
+  /// Evaluate every rule once as `principal`; returns alerts raised.
+  /// Events have type "gateway.alert.<rule>" and carry the subject, the
+  /// rule's condition and every column of the violating row as fields.
+  std::size_t evaluate(const Principal& principal);
+  /// Evaluate one rule by name.
+  std::size_t evaluateRule(const Principal& principal,
+                           const std::string& name);
+
+  AlertManagerStats stats() const;
+
+ private:
+  struct CompiledRule {
+    AlertRule rule;
+    sql::SelectStatement query;
+    sql::ExprPtr condition;
+  };
+
+  std::size_t evaluateCompiled(const Principal& principal,
+                               const CompiledRule& compiled);
+
+  RequestManager& requestManager_;
+  EventManager& eventManager_;
+  util::Clock& clock_;
+  mutable std::mutex mu_;
+  std::vector<CompiledRule> rules_;
+  /// (rule name, subject) -> last alert time, for hold-off.
+  std::map<std::pair<std::string, std::string>, util::TimePoint> lastFired_;
+  AlertManagerStats stats_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,76 @@
+// Cache Controller (paper Fig. 2/3 and section 4): the gateway-level
+// result cache that lets "a heavily used GridRM Gateway ... return a
+// view of the recent status of a site while limiting resource
+// intrusion". Experiment E4 sweeps its TTL against agent request
+// counts; the same mechanism backs inter-gateway caching in the Global
+// layer (E6).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::core {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+};
+
+class CacheController {
+ public:
+  /// `defaultTtl` <= 0 disables caching entirely.
+  CacheController(util::Clock& clock, util::Duration defaultTtl,
+                  std::size_t maxEntries = 4096)
+      : clock_(clock), defaultTtl_(defaultTtl), maxEntries_(maxEntries) {}
+
+  /// Cache key: the data-source URL plus the exact SQL text.
+  static std::string key(const std::string& url, const std::string& sql) {
+    return url + "\x1f" + sql;
+  }
+
+  /// A fresh cursor over the cached rows, or nullptr on miss/expiry.
+  std::unique_ptr<dbc::VectorResultSet> lookup(const std::string& key);
+  /// Insert (copying the rows once); no-op when caching is disabled.
+  void insert(const std::string& key, const dbc::VectorResultSet& rs,
+              util::Duration ttl = -1 /* -1 = defaultTtl */);
+  void invalidate(const std::string& key);
+  void clear();
+
+  /// Timestamp at which the entry was cached; nullopt on miss. The JSP
+  /// tree view (Fig. 9) uses this to label data freshness.
+  std::optional<util::TimePoint> cachedAt(const std::string& key) const;
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  util::Duration defaultTtl() const noexcept { return defaultTtl_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const dbc::VectorResultSet> rs;
+    util::TimePoint storedAt = 0;
+    util::Duration ttl = 0;
+    std::list<std::string>::iterator lruIt;
+  };
+
+  void evictIfNeeded();  // caller holds mu_
+
+  util::Clock& clock_;
+  util::Duration defaultTtl_;
+  std::size_t maxEntries_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace gridrm::core

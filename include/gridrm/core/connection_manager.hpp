@@ -1,0 +1,123 @@
+// The Connection Manager (paper section 3.1.2): executes queries
+// against resource drivers through a pool of driver connections.
+//
+// "Driver connections typically incur an overhead when a data source is
+// first connected, especially if drivers are dynamically mapped to the
+// data source. Therefore the ConnectionManager provides pooling of
+// driver connections to reduce the overhead effects. The
+// ConnectionManager calls the GridRMDriverManager to return a new
+// connection if a suitable pooled instance does not exist."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "gridrm/core/driver_manager.hpp"
+
+namespace gridrm::core {
+
+struct PoolStats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t poolHits = 0;      // served from an idle pooled connection
+  std::uint64_t creations = 0;     // driver manager had to connect
+  std::uint64_t validationFailures = 0;  // pooled connection was dead
+  std::uint64_t returns = 0;
+  std::uint64_t discards = 0;      // returned connection not pooled
+};
+
+class ConnectionManager {
+ public:
+  /// `maxIdlePerSource` = 0 disables pooling (E2 ablation).
+  ConnectionManager(GridRmDriverManager& driverManager,
+                    std::size_t maxIdlePerSource = 4,
+                    bool validateOnAcquire = true)
+      : driverManager_(driverManager),
+        maxIdlePerSource_(maxIdlePerSource),
+        validate_(validateOnAcquire) {}
+
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  /// RAII lease: returns the connection to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ConnectionManager* manager, std::string key,
+          std::shared_ptr<dbc::Driver> driver,
+          std::unique_ptr<dbc::Connection> conn)
+        : manager_(manager),
+          key_(std::move(key)),
+          driver_(std::move(driver)),
+          conn_(std::move(conn)) {}
+    ~Lease() { release(); }
+
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      release();
+      manager_ = std::exchange(other.manager_, nullptr);
+      key_ = std::move(other.key_);
+      driver_ = std::move(other.driver_);
+      conn_ = std::move(other.conn_);
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    dbc::Connection* operator->() const noexcept { return conn_.get(); }
+    dbc::Connection& operator*() const noexcept { return *conn_; }
+    dbc::Connection* get() const noexcept { return conn_.get(); }
+    const std::shared_ptr<dbc::Driver>& driver() const noexcept {
+      return driver_;
+    }
+    explicit operator bool() const noexcept { return conn_ != nullptr; }
+
+    /// Mark the connection as broken: it will be destroyed, not pooled,
+    /// and the driver manager forgets the last-good driver for the URL.
+    void poison() noexcept { poisoned_ = true; }
+
+   private:
+    void release();
+
+    ConnectionManager* manager_ = nullptr;
+    std::string key_;
+    std::shared_ptr<dbc::Driver> driver_;
+    std::unique_ptr<dbc::Connection> conn_;
+    bool poisoned_ = false;
+  };
+
+  /// Acquire a connection for the data source at `url`, pooled when
+  /// possible. Throws dbc::SqlError when no driver can connect.
+  Lease acquire(const util::Url& url, const util::Config& props);
+
+  PoolStats stats() const;
+  std::size_t idleCount(const std::string& urlText) const;
+  /// Drop every idle connection.
+  void clear();
+  /// Drop idle connections created by the named driver (called when a
+  /// driver is unregistered at runtime); returns how many were dropped.
+  std::size_t dropDriver(const std::string& driverName);
+
+ private:
+  friend class Lease;
+  struct Pooled {
+    std::shared_ptr<dbc::Driver> driver;
+    std::unique_ptr<dbc::Connection> conn;
+  };
+
+  void give(const std::string& key, std::shared_ptr<dbc::Driver> driver,
+            std::unique_ptr<dbc::Connection> conn, bool poisoned);
+
+  GridRmDriverManager& driverManager_;
+  std::size_t maxIdlePerSource_;
+  bool validate_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::deque<Pooled>> idle_;
+  PoolStats stats_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,99 @@
+// GridRmDriverManager (paper section 3.1.3): registers/unregisters
+// resource drivers and performs driver-to-resource allocation.
+//
+// Selection is either
+//   * static  -- "driver preferences registered in advance by the user",
+//                per data source, in prioritised order (Fig. 8), or
+//   * dynamic -- iterate registered drivers and take the first whose
+//                acceptsUrl() is true (Table 2).
+//
+// "For performance, the GridRMDriverManager maintains a cache containing
+// details of the driver last successfully used for a data source.
+// Configuration rules determine the actions that should occur if a
+// cached driver reference is no longer valid. For example retry the
+// driver, try another, report the error."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/driver_registry.hpp"
+
+namespace gridrm::core {
+
+struct FailurePolicy {
+  enum class Action {
+    Report,           // surface the error to the caller immediately
+    Retry,            // retry the same driver `retries` more times
+    TryNext,          // fall through to the next registered preference
+    DynamicReselect,  // rescan all registered drivers for a compatible one
+  };
+  Action action = Action::DynamicReselect;
+  int retries = 1;  // extra attempts for Action::Retry
+};
+
+struct DriverManagerStats {
+  std::uint64_t selections = 0;       // successful connections handed out
+  std::uint64_t cacheHits = 0;        // last-good cache supplied the driver
+  std::uint64_t staticSelections = 0; // static preference supplied it
+  std::uint64_t dynamicScans = 0;     // full acceptsUrl scans performed
+  std::uint64_t acceptProbes = 0;     // individual acceptsUrl calls
+  std::uint64_t connectFailures = 0;  // failed connect attempts
+  std::uint64_t failovers = 0;        // successes on a non-first candidate
+};
+
+class GridRmDriverManager {
+ public:
+  explicit GridRmDriverManager(dbc::DriverRegistry& registry)
+      : registry_(registry) {}
+
+  GridRmDriverManager(const GridRmDriverManager&) = delete;
+  GridRmDriverManager& operator=(const GridRmDriverManager&) = delete;
+
+  dbc::DriverRegistry& registry() noexcept { return registry_; }
+
+  /// Register a prioritised driver list for one data source (Fig. 8).
+  void setStaticPreference(const std::string& urlText,
+                           std::vector<std::string> driverNames);
+  void clearStaticPreference(const std::string& urlText);
+  std::vector<std::string> staticPreference(const std::string& urlText) const;
+
+  void setFailurePolicy(const FailurePolicy& policy);
+  FailurePolicy failurePolicy() const;
+
+  /// The last-good-driver cache can be disabled (experiment E1 ablation).
+  void setLastGoodCacheEnabled(bool enabled);
+  /// Name of the cached driver for a source, empty when none.
+  std::string cachedDriver(const std::string& urlText) const;
+
+  struct Selection {
+    std::shared_ptr<dbc::Driver> driver;
+    std::unique_ptr<dbc::Connection> connection;
+  };
+
+  /// Allocate a driver for `url` and open a connection, applying static
+  /// preferences, the last-good cache and the failure policy. Throws
+  /// dbc::SqlError when every candidate fails or none accepts the URL.
+  Selection obtainConnection(const util::Url& url, const util::Config& props);
+
+  /// A query through a previously-handed-out connection failed: drop
+  /// the last-good entry so the next allocation reselects.
+  void reportFailure(const std::string& urlText);
+
+  DriverManagerStats stats() const;
+
+ private:
+  dbc::DriverRegistry& registry_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<std::string>> staticPrefs_;
+  std::map<std::string, std::string> lastGood_;
+  FailurePolicy policy_;
+  bool cacheEnabled_ = true;
+  DriverManagerStats stats_;
+};
+
+}  // namespace gridrm::core

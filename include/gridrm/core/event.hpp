@@ -1,0 +1,39 @@
+// GridRM's internal event format (paper Fig. 4). Native events (SNMP
+// traps, log alerts) are translated into this shape by event formatter
+// plug-ins; outbound, the translation runs in reverse so events can be
+// propagated back out "to groups of diverse data sources".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::core {
+
+enum class Severity : std::uint8_t { Info, Warning, Critical };
+
+const char* severityName(Severity s) noexcept;
+
+struct Event {
+  std::uint64_t sequence = 0;  // assigned by the EventManager on ingest
+  std::string type;            // hierarchical: "snmp.trap.highload"
+  std::string source;          // originating host or data-source URL
+  util::TimePoint timestamp = 0;
+  Severity severity = Severity::Info;
+  std::map<std::string, util::Value> fields;
+
+  std::string field(const std::string& key, std::string fallback = "") const {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::move(fallback) : it->second.toString();
+  }
+};
+
+/// True when `type` falls under `pattern`: exact match, or pattern is a
+/// dot-delimited prefix ("snmp.trap" matches "snmp.trap.highload");
+/// "*" and "" match everything.
+bool eventTypeMatches(const std::string& pattern, const std::string& type);
+
+}  // namespace gridrm::core

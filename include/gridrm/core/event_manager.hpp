@@ -1,0 +1,156 @@
+// The Event Manager (paper Fig. 4): "a bridge between the native
+// events issued by data sources and GridRM".
+//
+//   native datagram --Formatter--> Event --> fast buffer --> dispatcher
+//     --> recorded for historical analysis (internal database)
+//     --> forwarded to all registered listeners
+//   Event --Formatter--> native payload --> transmitted to a data source
+//
+// The fast buffer is a bounded ring "ensur[ing] events are not lost in
+// a busy system"; its capacity and overflow policy are the E5 ablation.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gridrm/core/event.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/util/ring_buffer.hpp"
+
+namespace gridrm::core {
+
+/// Formatter plug-in: translates between one native event encoding and
+/// the GridRM Event (paper: "Custom Formatter plugged into each Driver").
+class EventFormatter {
+ public:
+  virtual ~EventFormatter() = default;
+  virtual std::string name() const = 0;
+  /// Claim check: can this formatter decode the payload?
+  virtual bool accepts(const net::Payload& native) const = 0;
+  /// Decode; nullopt when the payload is not an event after all.
+  virtual std::optional<Event> decode(const net::Address& from,
+                                      const net::Payload& native) const = 0;
+  /// Encode for outbound transmission; nullopt when this formatter
+  /// cannot express the event natively.
+  virtual std::optional<net::Payload> encode(const Event& event) const = 0;
+};
+
+/// Formatter for the simulated SNMP trap PDUs.
+class SnmpTrapFormatter final : public EventFormatter {
+ public:
+  std::string name() const override { return "snmp-trap"; }
+  bool accepts(const net::Payload& native) const override;
+  std::optional<Event> decode(const net::Address& from,
+                              const net::Payload& native) const override;
+  std::optional<net::Payload> encode(const Event& event) const override;
+};
+
+/// Formatter for line-oriented "EVENT <type> <severity> k=v ..." text
+/// (the native alert format of the text-protocol agents).
+class TextEventFormatter final : public EventFormatter {
+ public:
+  std::string name() const override { return "text"; }
+  bool accepts(const net::Payload& native) const override;
+  std::optional<Event> decode(const net::Address& from,
+                              const net::Payload& native) const override;
+  std::optional<net::Payload> encode(const Event& event) const override;
+};
+
+struct EventManagerOptions {
+  std::size_t fastBufferCapacity = 1024;
+  util::OverflowPolicy overflow = util::OverflowPolicy::Block;
+  /// Inline: dispatch on the ingesting thread (deterministic tests).
+  /// Threaded: a dedicated dispatcher drains the fast buffer.
+  bool threadedDispatch = true;
+  /// Record events into the historical database table "EventHistory".
+  bool recordHistory = true;
+};
+
+struct EventManagerStats {
+  std::uint64_t received = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t transmitted = 0;
+  std::uint64_t undecodable = 0;
+};
+
+class EventManager final : public net::RequestHandler {
+ public:
+  using Listener = std::function<void(const Event&)>;
+
+  /// `db` may be null (no historical recording).
+  EventManager(util::Clock& clock, store::Database* db,
+               EventManagerOptions options = {});
+  ~EventManager() override;
+
+  EventManager(const EventManager&) = delete;
+  EventManager& operator=(const EventManager&) = delete;
+
+  void addFormatter(std::unique_ptr<EventFormatter> formatter);
+
+  /// Subscribe to events whose type matches `pattern`; returns an id
+  /// for removeListener.
+  std::size_t addListener(const std::string& pattern, Listener listener);
+  void removeListener(std::size_t id);
+
+  /// Ingest a native event payload (usually via handleDatagram).
+  void ingestNative(const net::Address& from, const net::Payload& native);
+  /// Ingest an already-decoded internal event (e.g. gateway thresholds,
+  /// or events relayed from a remote gateway).
+  void ingest(Event event);
+
+  /// Translate to a native encoding and send to a data source
+  /// (paper: "the Manager can pass events back out to data sources").
+  /// Returns false when no formatter could encode the event.
+  bool transmit(const Event& event, net::Network& network,
+                const net::Address& from, const net::Address& to,
+                const std::string& formatterName);
+
+  /// Network endpoint plumbing: traps and alerts arrive as datagrams.
+  net::Payload handleRequest(const net::Address&, const net::Payload&) override {
+    return "";  // the event port is datagram-only
+  }
+  void handleDatagram(const net::Address& from,
+                      const net::Payload& body) override {
+    ingestNative(from, body);
+  }
+
+  /// Block until the fast buffer has been drained (flush for tests).
+  void drain();
+
+  EventManagerStats stats() const;
+
+ private:
+  void dispatchLoop(std::stop_token stop);
+  void dispatchOne(Event event);
+  void record(const Event& event);
+
+  util::Clock& clock_;
+  store::Database* db_;
+  EventManagerOptions options_;
+  util::RingBuffer<Event> buffer_;
+  std::atomic<std::uint64_t> sequence_{0};
+
+  mutable std::mutex mu_;  // guards formatters_, listeners_, stats_
+  std::vector<std::unique_ptr<EventFormatter>> formatters_;
+  struct Subscription {
+    std::size_t id;
+    std::string pattern;
+    Listener listener;
+  };
+  std::vector<Subscription> listeners_;
+  std::size_t nextListenerId_ = 1;
+  EventManagerStats stats_;
+  std::atomic<std::uint64_t> inFlight_{0};
+
+  std::optional<std::jthread> dispatcher_;  // last member: stops first
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,164 @@
+// The GridRM Gateway (paper Figs. 2 and 3): the per-site access point
+// that wires together the Abstract Client Interface Layer, the two
+// security layers, request handling, connection pooling, driver
+// management, schema services, eventing, caching and the internal
+// historical database.
+//
+// The public methods form the ACIL: clients open a session, then submit
+// SQL, subscribe to events or administer drivers through their token.
+// Every entry point enforces the Coarse Grained Security Layer; the
+// query path additionally passes the Fine Grained Security Layer inside
+// the RequestManager.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gridrm/core/cache_controller.hpp"
+#include "gridrm/core/connection_manager.hpp"
+#include "gridrm/core/driver_manager.hpp"
+#include "gridrm/core/event_manager.hpp"
+#include "gridrm/core/request_manager.hpp"
+#include "gridrm/core/security.hpp"
+#include "gridrm/core/session_manager.hpp"
+#include "gridrm/drivers/driver_common.hpp"
+#include "gridrm/glue/schema_manager.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/store/database.hpp"
+
+namespace gridrm::core {
+
+struct GatewayOptions {
+  std::string name = "gateway";
+  /// Network host this gateway's endpoints (event sink, global-layer
+  /// servlet) bind on.
+  std::string host = "gateway.local";
+  util::Duration cacheTtl = 5 * util::kSecond;
+  std::size_t cacheMaxEntries = 4096;
+  std::size_t poolMaxIdlePerSource = 4;
+  /// Probe pooled connections (isValid) before reuse. Safe default; for
+  /// fine-grained sources the probe costs a full round trip, doubling
+  /// per-query latency (see bench_gateway_overhead), so latency-critical
+  /// deployments may prefer lazy validation (poisoned-on-failure).
+  bool validatePooledConnections = true;
+  std::size_t queryWorkers = 4;
+  bool registerDefaultDrivers = true;
+  FailurePolicy failurePolicy;
+  EventManagerOptions eventOptions;
+  util::Duration sessionIdleTimeout = 30 * 60 * util::kSecond;
+
+  /// Build options from a parsed policy file (the "Gateway Policy and
+  /// Schemas" store of Fig. 2). Recognised keys (all optional):
+  ///   gateway.name, gateway.host,
+  ///   cache.ttl_ms, cache.max_entries,
+  ///   pool.max_idle, pool.validate,
+  ///   query.workers, drivers.register_defaults,
+  ///   events.buffer_capacity, events.drop_newest, events.record_history,
+  ///   failure.action (report|retry|trynext|dynamic), failure.retries,
+  ///   session.idle_timeout_s
+  static GatewayOptions fromConfig(const util::Config& config);
+};
+
+/// Port the gateway's event sink (trap receiver) binds on.
+inline constexpr std::uint16_t kGatewayEventPort = 162;
+
+class Gateway {
+ public:
+  Gateway(net::Network& network, util::Clock& clock, GatewayOptions options);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  const std::string& name() const noexcept { return options_.name; }
+  const GatewayOptions& options() const noexcept { return options_; }
+  net::Address eventAddress() const {
+    return {options_.host, kGatewayEventPort};
+  }
+
+  // --- ACIL: sessions -------------------------------------------------
+  std::string openSession(Principal principal);
+  void closeSession(const std::string& token);
+
+  // --- ACIL: queries --------------------------------------------------
+  /// Real-time query against explicit data sources.
+  QueryResult submitQuery(const std::string& token,
+                          const std::vector<std::string>& urls,
+                          const std::string& sql,
+                          const QueryOptions& options = {});
+  /// Real-time query against every data source registered at this
+  /// gateway (Fig. 6's site view).
+  QueryResult submitSiteQuery(const std::string& token, const std::string& sql,
+                              const QueryOptions& options = {});
+  std::unique_ptr<dbc::VectorResultSet> submitHistoricalQuery(
+      const std::string& token, const std::string& sql);
+
+  // --- ACIL: events ---------------------------------------------------
+  std::size_t subscribeEvents(const std::string& token,
+                              const std::string& pattern,
+                              EventManager::Listener listener);
+  void unsubscribeEvents(const std::string& token, std::size_t id);
+
+  // --- ACIL: driver administration (paper section 4 / Fig. 8) ---------
+  void registerDriver(const std::string& token,
+                      std::shared_ptr<dbc::Driver> driver);
+  void registerDriver(const std::string& token,
+                      std::shared_ptr<dbc::Driver> driver,
+                      glue::DriverSchemaMap schemaMap);
+  bool unregisterDriver(const std::string& token, const std::string& name);
+  std::vector<std::string> listDrivers(const std::string& token) const;
+  void setDriverPreference(const std::string& token, const std::string& url,
+                           std::vector<std::string> driverNames);
+  void setFailurePolicy(const std::string& token, const FailurePolicy& policy);
+
+  // --- ACIL: data-source management (Fig. 6: add/remove sources) ------
+  void addDataSource(const std::string& token, const std::string& url);
+  void removeDataSource(const std::string& token, const std::string& url);
+  std::vector<std::string> dataSources() const;
+
+  // --- component access (tests, benchmarks, the Global layer) ---------
+  glue::SchemaManager& schemaManager() noexcept { return schemaManager_; }
+  dbc::DriverRegistry& driverRegistry() noexcept { return registry_; }
+  GridRmDriverManager& driverManager() noexcept { return driverManager_; }
+  ConnectionManager& connectionManager() noexcept { return connections_; }
+  CacheController& cache() noexcept { return cache_; }
+  EventManager& eventManager() noexcept { return *eventManager_; }
+  RequestManager& requestManager() noexcept { return *requestManager_; }
+  SessionManager& sessionManager() noexcept { return sessions_; }
+  store::Database& database() noexcept { return db_; }
+  CoarseSecurityLayer& coarseSecurity() noexcept { return cgsl_; }
+  FineSecurityLayer& fineSecurity() noexcept { return fgsl_; }
+  net::Network& network() noexcept { return network_; }
+  util::Clock& clock() noexcept { return clock_; }
+  drivers::DriverContext driverContext() noexcept;
+
+  /// Resolve a session or throw SecurityDenied, enforcing `op` at the
+  /// coarse layer. Public so the Global layer can authenticate relayed
+  /// requests the same way local clients are.
+  Principal authorize(const std::string& token, Operation op);
+
+ private:
+  net::Network& network_;
+  util::Clock& clock_;
+  GatewayOptions options_;
+
+  glue::SchemaManager schemaManager_;
+  store::Database db_;
+  dbc::DriverRegistry registry_;
+  GridRmDriverManager driverManager_;
+  ConnectionManager connections_;
+  CacheController cache_;
+  CoarseSecurityLayer cgsl_;
+  FineSecurityLayer fgsl_;
+  SessionManager sessions_;
+  std::unique_ptr<EventManager> eventManager_;
+  std::unique_ptr<RequestManager> requestManager_;
+
+  mutable std::mutex sourcesMu_;
+  std::set<std::string> dataSources_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,117 @@
+// The Request Manager (paper section 3.1.1): receives SQL from the
+// Abstract Client Interface Layer, "coordinates queries across multiple
+// data sources and consolidates results", executes real-time queries
+// through the ConnectionManager, and serves historical queries from the
+// gateway's internal database.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/core/cache_controller.hpp"
+#include "gridrm/core/connection_manager.hpp"
+#include "gridrm/core/security.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/util/thread_pool.hpp"
+
+namespace gridrm::core {
+
+struct QueryOptions {
+  bool useCache = true;            // consult/populate the gateway cache
+  util::Duration cacheTtl = -1;    // -1 = CacheController default
+  bool recordHistory = false;      // append rows to History<Group>
+  bool parallel = true;            // fan out across sources concurrently
+};
+
+struct SourceError {
+  std::string url;
+  std::string message;
+};
+
+struct QueryResult {
+  std::unique_ptr<dbc::VectorResultSet> rows;
+  std::vector<SourceError> failures;  // sources that errored
+  std::size_t sourcesQueried = 0;
+  std::size_t servedFromCache = 0;
+
+  bool complete() const noexcept { return failures.empty(); }
+};
+
+struct RequestManagerStats {
+  std::uint64_t queries = 0;         // client-level requests
+  std::uint64_t sourceQueries = 0;   // per-source executions (incl. cached)
+  std::uint64_t sourceErrors = 0;
+  std::uint64_t historyQueries = 0;
+  std::uint64_t rowsRecorded = 0;
+};
+
+class RequestManager {
+ public:
+  /// `historyDb` may be null (no historical support); `workers` sizes
+  /// the fan-out pool for multi-source queries.
+  RequestManager(ConnectionManager& connections, CacheController& cache,
+                 const FineSecurityLayer& fgsl, store::Database* historyDb,
+                 util::Clock& clock, std::size_t workers = 4);
+
+  RequestManager(const RequestManager&) = delete;
+  RequestManager& operator=(const RequestManager&) = delete;
+
+  /// Execute `sql` against one data source.
+  QueryResult queryOne(const Principal& principal, const std::string& url,
+                       const std::string& sql, const QueryOptions& options = {});
+
+  /// Execute `sql` against several sources and consolidate: rows are
+  /// unioned under the GLUE group's columns plus a leading "Source"
+  /// column carrying the data-source URL.
+  QueryResult query(const Principal& principal,
+                    const std::vector<std::string>& urls,
+                    const std::string& sql, const QueryOptions& options = {});
+
+  /// Execute a SELECT against the gateway's internal database (tables:
+  /// History<Group>, EventHistory).
+  std::unique_ptr<dbc::VectorResultSet> queryHistorical(
+      const Principal& principal, const std::string& sql);
+
+  /// Refresh the gateway cache entry for (url, sql) with already-fetched
+  /// rows. Used by pollers that bypass cache lookup but must still leave
+  /// a fresh "recent status" view for interactive clients (section 4).
+  void refreshCache(const std::string& url, const std::string& sql,
+                    const dbc::VectorResultSet& rows);
+
+  /// Append already-fetched rows to History<Group>. Public so the Global
+  /// layer can record remote results too (Fig. 9: the gateway's cached
+  /// data covers "local resources, as well as any remote resource data,
+  /// that was queried from the local gateway").
+  void recordHistoryRows(const std::string& url, const std::string& group,
+                         const dbc::VectorResultSet& rows) {
+    recordHistory(url, group, rows);
+  }
+
+  RequestManagerStats stats() const;
+
+  /// The name of the history table backing a GLUE group.
+  static std::string historyTableName(const std::string& group) {
+    return "History" + group;
+  }
+
+ private:
+  /// One source, no consolidation column.
+  std::unique_ptr<dbc::VectorResultSet> executeSource(
+      const Principal& principal, const std::string& url,
+      const std::string& sql, const QueryOptions& options, bool& fromCache);
+  void recordHistory(const std::string& url, const std::string& group,
+                     const dbc::VectorResultSet& rs);
+
+  ConnectionManager& connections_;
+  CacheController& cache_;
+  const FineSecurityLayer& fgsl_;
+  store::Database* historyDb_;
+  util::Clock& clock_;
+  util::ThreadPool pool_;
+  mutable std::mutex mu_;
+  RequestManagerStats stats_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,91 @@
+// GridRM's two security layers (paper Fig. 2, section 2: "Multi-level
+// and granularity of security for data access").
+//
+//  * Coarse Grained Security Layer (CGSL): at the gateway's front door.
+//    Decides whether a principal may perform an operation class at all
+//    (real-time query, historical query, event subscription, driver
+//    administration).
+//  * Fine Grained Security Layer (FGSL): between the request path and
+//    the Abstract Data Layer. Rule list matched per (principal role,
+//    data-source host, GLUE group); first match wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridrm::core {
+
+struct Principal {
+  std::string id;                   // client identity
+  std::vector<std::string> roles;   // e.g. "admin", "monitor", "guest"
+
+  bool hasRole(const std::string& role) const;
+
+  static Principal admin() { return {"admin", {"admin"}}; }
+  static Principal monitor(std::string id = "monitor") {
+    return {std::move(id), {"monitor"}};
+  }
+};
+
+enum class Operation {
+  RealTimeQuery,
+  HistoricalQuery,
+  EventSubscribe,
+  DriverAdmin,
+};
+
+const char* operationName(Operation op) noexcept;
+
+class CoarseSecurityLayer {
+ public:
+  CoarseSecurityLayer();
+
+  /// Grant an operation to a role ("*" = any role).
+  void allow(const std::string& role, Operation op);
+  void revoke(const std::string& role, Operation op);
+  bool check(const Principal& principal, Operation op) const;
+  /// Throws dbc::SqlError(SecurityDenied) on failure.
+  void require(const Principal& principal, Operation op) const;
+
+  /// Default policy: admin everything; monitor queries + events;
+  /// guest real-time queries only.
+  static CoarseSecurityLayer defaults();
+
+ private:
+  struct Grant {
+    std::string role;
+    Operation op;
+  };
+  std::vector<Grant> grants_;
+};
+
+/// Glob match where '*' matches any run of characters.
+bool globMatch(const std::string& pattern, const std::string& text);
+
+class FineSecurityLayer {
+ public:
+  struct Rule {
+    std::string rolePattern;    // "*" or role name
+    std::string sourcePattern;  // glob over the source host ("siteA-*")
+    std::string groupPattern;   // glob over the GLUE group ("Processor")
+    bool allow = true;
+  };
+
+  explicit FineSecurityLayer(bool defaultAllow = true)
+      : defaultAllow_(defaultAllow) {}
+
+  void addRule(Rule rule) { rules_.push_back(std::move(rule)); }
+  void clearRules() { rules_.clear(); }
+
+  /// First matching rule decides; otherwise the default verdict.
+  bool check(const Principal& principal, const std::string& sourceHost,
+             const std::string& group) const;
+  void require(const Principal& principal, const std::string& sourceHost,
+               const std::string& group) const;
+
+ private:
+  bool defaultAllow_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,48 @@
+// Session Management (paper Fig. 2). Clients authenticate once through
+// the ACIL; subsequent requests carry a session token the gateway
+// validates, touches and expires on idleness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "gridrm/core/security.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::core {
+
+struct SessionInfo {
+  std::string token;
+  Principal principal;
+  util::TimePoint createdAt = 0;
+  util::TimePoint lastUsed = 0;
+};
+
+class SessionManager {
+ public:
+  SessionManager(util::Clock& clock,
+                 util::Duration idleTimeout = 30 * 60 * util::kSecond)
+      : clock_(clock), idleTimeout_(idleTimeout) {}
+
+  /// Open a session; returns its token.
+  std::string open(Principal principal);
+  /// Look up and touch; nullopt when unknown or idle-expired (expired
+  /// sessions are removed).
+  std::optional<SessionInfo> validate(const std::string& token);
+  void close(const std::string& token);
+  /// Remove idle-expired sessions; returns how many were dropped.
+  std::size_t expireIdle();
+  std::size_t activeCount() const;
+
+ private:
+  util::Clock& clock_;
+  util::Duration idleTimeout_;
+  mutable std::mutex mu_;
+  std::map<std::string, SessionInfo> sessions_;
+  std::uint64_t nextId_ = 1;
+};
+
+}  // namespace gridrm::core

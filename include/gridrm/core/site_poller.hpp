@@ -1,0 +1,86 @@
+// SitePoller: the periodic harvesting loop behind Fig. 1's
+// "Monitoring / Real-time / Historical" client and Fig. 9's cached
+// tree view. Each task polls one (source, query) pair on its own
+// interval through the Request Manager with history recording on, so
+// the gateway accumulates time series and keeps its result cache warm
+// for interactive clients.
+//
+// The poller is tick-driven rather than threaded: the owner calls
+// tick() as simulated (or wall) time advances, which keeps tests and
+// benchmarks deterministic. `runFor` is a convenience loop for
+// SimClock-driven scenarios. An optional alert manager is evaluated
+// after each tick that polled something.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/core/alert_manager.hpp"
+#include "gridrm/core/request_manager.hpp"
+
+namespace gridrm::core {
+
+struct PollTask {
+  std::string url;
+  std::string sql;
+  util::Duration interval = 30 * util::kSecond;
+  bool recordHistory = true;
+  bool refreshCache = true;  // populate the gateway cache for other users
+};
+
+struct SitePollerStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t polls = 0;       // task executions
+  std::uint64_t pollFailures = 0;
+  std::uint64_t alertsRaised = 0;
+};
+
+class SitePoller {
+ public:
+  /// `alerts` may be null (no alert evaluation).
+  SitePoller(RequestManager& requestManager, util::Clock& clock,
+             Principal principal, AlertManager* alerts = nullptr)
+      : requestManager_(requestManager),
+        clock_(clock),
+        principal_(std::move(principal)),
+        alerts_(alerts) {}
+
+  SitePoller(const SitePoller&) = delete;
+  SitePoller& operator=(const SitePoller&) = delete;
+
+  void addTask(PollTask task);
+  /// Remove every task for the given source URL; returns count removed.
+  std::size_t removeTasks(const std::string& url);
+  std::size_t taskCount() const;
+
+  /// Run every task whose interval has elapsed; returns polls executed.
+  std::size_t tick();
+
+  /// Drive the poller across a stretch of (simulated) time: advance the
+  /// clock by `step` and tick, until `duration` has elapsed.
+  void runFor(util::Duration duration, util::Duration step);
+
+  /// Apply a retention policy: prune history rows older than `keep`.
+  /// Returns rows dropped. `db` is the gateway's internal database.
+  std::size_t enforceRetention(store::Database& db, util::Duration keep);
+
+  SitePollerStats stats() const;
+
+ private:
+  struct Scheduled {
+    PollTask task;
+    util::TimePoint lastRun = 0;
+    bool everRun = false;
+  };
+
+  RequestManager& requestManager_;
+  util::Clock& clock_;
+  Principal principal_;
+  AlertManager* alerts_;
+  mutable std::mutex mu_;
+  std::vector<Scheduled> tasks_;
+  SitePollerStats stats_;
+};
+
+}  // namespace gridrm::core

@@ -1,0 +1,33 @@
+// Text rendering of a site's cached data sources (the behaviour behind
+// the JSP tree view of paper Fig. 9): gateway -> data source -> cached
+// rows, with freshness annotations taken from the Cache Controller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gridrm/core/cache_controller.hpp"
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::core {
+
+/// Render one result set as an aligned text table (used by the tree
+/// view and by the example applications).
+std::string renderTable(const dbc::VectorResultSet& rs,
+                        std::size_t maxRows = 50);
+
+struct TreeViewEntry {
+  std::string url;
+  std::string sql;
+};
+
+/// Render the gateway's cached view of the given (source, query) pairs.
+/// Sources with no cached data are shown as "(no cached data -- poll to
+/// refresh)", matching the Fig. 9 interaction where real-time data
+/// requires an explicit poll.
+std::string renderCachedTree(const std::string& gatewayName,
+                             CacheController& cache, util::Clock& clock,
+                             const std::vector<TreeViewEntry>& entries);
+
+}  // namespace gridrm::core

@@ -1,0 +1,88 @@
+// Driver / Connection / Statement: the C++ analogues of
+// java.sql.Driver, java.sql.Connection and java.sql.Statement -- the
+// minimal interface set the paper identifies for a working driver
+// (section 3.2.1).
+//
+// BaseConnection / BaseStatement follow the paper's incremental
+// development model: unimplemented methods throw SqlError.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gridrm/dbc/error.hpp"
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/util/config.hpp"
+#include "gridrm/util/url.hpp"
+
+namespace gridrm::dbc {
+
+class Statement {
+ public:
+  virtual ~Statement() = default;
+  /// Execute a SELECT; throws SqlError on failure.
+  virtual std::unique_ptr<ResultSet> executeQuery(const std::string& sql) = 0;
+  /// Execute an INSERT (only meaningful for writable sources such as the
+  /// gateway's historical database); returns affected row count.
+  virtual std::size_t executeUpdate(const std::string& sql) = 0;
+};
+
+class BaseStatement : public Statement {
+ public:
+  std::unique_ptr<ResultSet> executeQuery(const std::string&) override {
+    throw SqlError::notImplemented("Statement::executeQuery");
+  }
+  std::size_t executeUpdate(const std::string&) override {
+    throw SqlError::notImplemented("Statement::executeUpdate");
+  }
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  virtual std::unique_ptr<Statement> createStatement() = 0;
+  /// Cheap health probe; pooled connections are validated before reuse.
+  virtual bool isValid() = 0;
+  virtual void close() = 0;
+  virtual bool isClosed() const = 0;
+  /// The data-source URL this connection is bound to.
+  virtual const util::Url& url() const = 0;
+};
+
+class BaseConnection : public Connection {
+ public:
+  std::unique_ptr<Statement> createStatement() override {
+    throw SqlError::notImplemented("Connection::createStatement");
+  }
+  bool isValid() override {
+    throw SqlError::notImplemented("Connection::isValid");
+  }
+  void close() override {
+    throw SqlError::notImplemented("Connection::close");
+  }
+  bool isClosed() const override {
+    throw SqlError::notImplemented("Connection::isClosed");
+  }
+  const util::Url& url() const override {
+    throw SqlError::notImplemented("Connection::url");
+  }
+};
+
+class Driver {
+ public:
+  virtual ~Driver() = default;
+  /// Short unique name ("snmp", "ganglia", ...), also the subprotocol
+  /// the driver answers to.
+  virtual std::string name() const = 0;
+  virtual int majorVersion() const { return 1; }
+  virtual int minorVersion() const { return 0; }
+  /// Table 2 in the paper: "the first that returns true to acceptsURL()
+  /// is returned as the driver to use for this request". Must be cheap
+  /// and must not contact the data source.
+  virtual bool acceptsUrl(const util::Url& url) const = 0;
+  /// Open a session with the data source; throws SqlError on failure.
+  virtual std::unique_ptr<Connection> connect(const util::Url& url,
+                                              const util::Config& props) = 0;
+};
+
+}  // namespace gridrm::dbc

@@ -1,0 +1,48 @@
+// DriverRegistry: the C++ analogue of java.sql.DriverManager's driver
+// list (paper Tables 1 and 2). The GridRmDriverManager in src/core
+// layers selection policy, the last-good-driver cache and failure
+// handling on top of this.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/driver.hpp"
+
+namespace gridrm::dbc {
+
+class DriverRegistry {
+ public:
+  DriverRegistry() = default;
+
+  /// Register a driver (Table 1). Drivers are kept in registration
+  /// order; duplicates by name() replace the earlier registration, which
+  /// is how a runtime-upgraded driver is installed "without affecting
+  /// normal Gateway operation" (section 2).
+  void registerDriver(std::shared_ptr<Driver> driver);
+
+  /// Remove a driver by name; returns false when absent.
+  bool unregisterDriver(const std::string& name);
+
+  std::shared_ptr<Driver> find(const std::string& name) const;
+
+  /// Snapshot of the registered drivers in registration order.
+  std::vector<std::shared_ptr<Driver>> drivers() const;
+
+  /// Table 2: iterate registered drivers and return the first whose
+  /// acceptsUrl() is true; nullptr when none accepts. `scanned`, when
+  /// non-null, receives the number of acceptsUrl probes performed (used
+  /// by experiment E1 to show what the last-good cache saves).
+  std::shared_ptr<Driver> locate(const util::Url& url,
+                                 std::size_t* scanned = nullptr) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Driver>> drivers_;
+};
+
+}  // namespace gridrm::dbc

@@ -1,0 +1,75 @@
+// SqlError: the C++ analogue of java.sql.SQLException.
+//
+// Paper section 3.2.1: "the JDBC API interfaces were implemented to
+// return nulls or throw SQLExceptions" so drivers can be built
+// incrementally. NotImplemented is therefore a first-class error code:
+// a partially-implemented driver surfaces it exactly like a fully
+// implemented driver that failed to retrieve the data.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gridrm::dbc {
+
+enum class ErrorCode : int {
+  Generic = 0,
+  NotImplemented,   // method not yet provided by this driver
+  Syntax,           // malformed SQL
+  NoSuchTable,      // GLUE group unknown to the source
+  NoSuchColumn,
+  ConnectionFailed, // could not reach the data source
+  ConnectionClosed,
+  Timeout,
+  SecurityDenied,   // CGSL/FGSL rejected the request
+  Unsupported,      // URL not accepted / feature outside the subset
+  Translation,      // native -> GLUE translation failure
+};
+
+const char* errorCodeName(ErrorCode code) noexcept;
+
+class SqlError : public std::runtime_error {
+ public:
+  SqlError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(errorCodeName(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+  static SqlError notImplemented(const std::string& method) {
+    return {ErrorCode::NotImplemented, method + " is not implemented"};
+  }
+
+ private:
+  ErrorCode code_;
+};
+
+inline const char* errorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Generic:
+      return "GENERIC";
+    case ErrorCode::NotImplemented:
+      return "NOT_IMPLEMENTED";
+    case ErrorCode::Syntax:
+      return "SYNTAX";
+    case ErrorCode::NoSuchTable:
+      return "NO_SUCH_TABLE";
+    case ErrorCode::NoSuchColumn:
+      return "NO_SUCH_COLUMN";
+    case ErrorCode::ConnectionFailed:
+      return "CONNECTION_FAILED";
+    case ErrorCode::ConnectionClosed:
+      return "CONNECTION_CLOSED";
+    case ErrorCode::Timeout:
+      return "TIMEOUT";
+    case ErrorCode::SecurityDenied:
+      return "SECURITY_DENIED";
+    case ErrorCode::Unsupported:
+      return "UNSUPPORTED";
+    case ErrorCode::Translation:
+      return "TRANSLATION";
+  }
+  return "?";
+}
+
+}  // namespace gridrm::dbc

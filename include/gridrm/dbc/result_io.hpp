@@ -1,0 +1,19 @@
+// Text serialisation of result sets. This is the unit of transfer both
+// for the GLUE-native SQL agent and for gateway-to-gateway responses in
+// the Global layer (GMA producer -> consumer).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gridrm/dbc/result_set.hpp"
+
+namespace gridrm::dbc {
+
+/// Serialise; consumes the cursor of `rs` from its current position.
+std::string serializeResultSet(ResultSet& rs);
+
+/// Parse; throws SqlError(Generic) on malformed input.
+std::unique_ptr<VectorResultSet> deserializeResultSet(const std::string& text);
+
+}  // namespace gridrm::dbc

@@ -1,0 +1,132 @@
+// ResultSet / ResultSetMetaData: the C++ analogue of
+// javax.sql.ResultSet -- "String queries in, and ResultSets out"
+// (paper section 3).
+//
+// Three concrete layers mirror the paper's driver-development model
+// (section 3.2.1):
+//   * ResultSet        - the interface drivers must satisfy.
+//   * BaseResultSet    - every method throws SqlError(NotImplemented);
+//                        driver result sets subclass it and override
+//                        incrementally.
+//   * VectorResultSet  - a complete in-memory implementation used by the
+//                        store, by consolidation, and by most drivers.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/error.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::dbc {
+
+using util::Value;
+using util::ValueType;
+
+struct ColumnInfo {
+  std::string name;
+  ValueType type = ValueType::Null;
+  std::string unit;   // GLUE unit, e.g. "MB", "percent" (may be empty)
+  std::string table;  // owning GLUE group (may be empty)
+};
+
+class ResultSetMetaData {
+ public:
+  ResultSetMetaData() = default;
+  explicit ResultSetMetaData(std::vector<ColumnInfo> columns)
+      : columns_(std::move(columns)) {}
+
+  std::size_t columnCount() const noexcept { return columns_.size(); }
+  const ColumnInfo& column(std::size_t i) const;
+  /// Case-insensitive lookup; nullopt when absent.
+  std::optional<std::size_t> columnIndex(const std::string& name) const;
+  const std::vector<ColumnInfo>& columns() const noexcept { return columns_; }
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+class ResultSet {
+ public:
+  virtual ~ResultSet() = default;
+
+  /// Advance the cursor; false once past the last row. The cursor starts
+  /// before the first row, exactly as in JDBC.
+  virtual bool next() = 0;
+  /// Cell of the current row by 0-based column index.
+  virtual const Value& get(std::size_t column) const = 0;
+  virtual const ResultSetMetaData& metaData() const = 0;
+
+  // Convenience accessors layered on the virtual core.
+  const Value& get(const std::string& columnName) const;
+  std::string getString(const std::string& columnName) const;
+  std::int64_t getInt(const std::string& columnName) const;
+  double getReal(const std::string& columnName) const;
+  bool getBool(const std::string& columnName) const;
+  /// True when the most recent get() returned SQL NULL (JDBC wasNull()).
+  bool wasNull() const noexcept { return wasNull_; }
+
+ protected:
+  mutable bool wasNull_ = false;
+};
+
+/// Paper 3.2.1: incremental driver development. Everything throws
+/// SqlError(NotImplemented) until the driver overrides it.
+class BaseResultSet : public ResultSet {
+ public:
+  using ResultSet::get;  // keep the by-name overloads visible
+  bool next() override { throw SqlError::notImplemented("ResultSet::next"); }
+  const Value& get(std::size_t) const override {
+    throw SqlError::notImplemented("ResultSet::get");
+  }
+  const ResultSetMetaData& metaData() const override {
+    throw SqlError::notImplemented("ResultSet::metaData");
+  }
+};
+
+/// Fully materialised rows. This is also the unit of transfer between
+/// gateways (the Global layer serialises/deserialises it).
+class VectorResultSet final : public ResultSet {
+ public:
+  using ResultSet::get;  // keep the by-name overloads visible
+  VectorResultSet() = default;
+  VectorResultSet(ResultSetMetaData meta, std::vector<std::vector<Value>> rows)
+      : meta_(std::move(meta)), rows_(std::move(rows)) {}
+
+  bool next() override;
+  const Value& get(std::size_t column) const override;
+  const ResultSetMetaData& metaData() const override { return meta_; }
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+  const std::vector<std::vector<Value>>& rows() const noexcept { return rows_; }
+
+  /// Reset the cursor to before the first row.
+  void rewind() noexcept { cursor_ = 0; started_ = false; }
+
+  /// Copy the remaining rows of any ResultSet into a VectorResultSet.
+  static std::unique_ptr<VectorResultSet> materialize(ResultSet& source);
+
+ private:
+  ResultSetMetaData meta_;
+  std::vector<std::vector<Value>> rows_;
+  std::size_t cursor_ = 0;
+  bool started_ = false;
+};
+
+/// Builder used by drivers while translating native data to GLUE rows.
+class ResultSetBuilder {
+ public:
+  ResultSetBuilder& addColumn(std::string name, ValueType type,
+                              std::string unit = "", std::string table = "");
+  ResultSetBuilder& addRow(std::vector<Value> row);
+  std::unique_ptr<VectorResultSet> build();
+
+ private:
+  std::vector<ColumnInfo> columns_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace gridrm::dbc

@@ -1,0 +1,17 @@
+// Registration of the default driver set (paper section 3.2.2: "Upon
+// start-up, the GridRM Gateway registers a number of drivers that come
+// as default with the site") together with each driver's GLUE schema
+// map.
+#pragma once
+
+#include "gridrm/dbc/driver_registry.hpp"
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+/// Register snmp, ganglia, nws, netlogger, scms and sql drivers with
+/// `registry` and their schema maps with ctx.schemaManager.
+void registerDefaultDrivers(dbc::DriverRegistry& registry,
+                            const DriverContext& ctx);
+
+}  // namespace gridrm::drivers

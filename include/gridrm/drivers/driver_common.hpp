@@ -1,0 +1,168 @@
+// GridRM driver development API (paper section 3.2.1: "a class to
+// parse the SQL query strings, this is supplied as part of a GridRM
+// driver development API").
+//
+// Shared by every data-source driver:
+//  * ParsedQuery       - the SQL statement plus the attribute set the
+//                        driver must actually fetch (projection + WHERE +
+//                        ORDER BY columns), so fine-grained drivers can
+//                        issue minimal native requests;
+//  * GlueRowBuilder    - assembles GLUE-schema rows, inserting NULL for
+//                        unavailable attributes (section 3.2.3);
+//  * applyClauses()    - applies WHERE / projection / ORDER BY / LIMIT to
+//                        fully fetched GLUE rows (shared relational tail);
+//  * DriverContext     - the gateway facilities handed to drivers
+//                        (network, clock, schema manager);
+//  * ResponseCache     - per-connection TTL cache for coarse-grained
+//                        sources (section 3.3: "implementations should
+//                        address these issues by using caching policies
+//                        within the plug-in").
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/driver.hpp"
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/glue/schema_manager.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::drivers {
+
+/// Facilities the gateway provides to driver plug-ins.
+struct DriverContext {
+  net::Network* network = nullptr;
+  util::Clock* clock = nullptr;
+  glue::SchemaManager* schemaManager = nullptr;
+};
+
+class ParsedQuery {
+ public:
+  /// Parse and validate a SELECT against the GLUE schema. Throws
+  /// dbc::SqlError(Syntax) on bad SQL, (NoSuchTable) when the group is
+  /// unknown to the schema.
+  static ParsedQuery parse(const std::string& sqlText,
+                           const glue::Schema& schema);
+
+  const sql::SelectStatement& statement() const noexcept { return stmt_; }
+  const glue::GroupDef& group() const noexcept { return *group_; }
+  /// GLUE attribute names (original casing) the driver must fetch:
+  /// everything when the query selects '*', otherwise the union of
+  /// projected, filtered and ordering columns.
+  const std::vector<std::string>& neededAttributes() const noexcept {
+    return needed_;
+  }
+  bool needs(const std::string& attribute) const;
+
+ private:
+  sql::SelectStatement stmt_;
+  const glue::GroupDef* group_ = nullptr;
+  std::vector<std::string> needed_;
+};
+
+/// Collect every column name referenced by an expression tree.
+void collectColumns(const sql::Expr& expr, std::set<std::string>& out);
+
+/// Build rows shaped exactly like a GLUE group. Attributes never set
+/// stay NULL, which is the paper-prescribed behaviour for data a source
+/// cannot provide.
+class GlueRowBuilder {
+ public:
+  explicit GlueRowBuilder(const glue::GroupDef& group);
+
+  /// Start a new row (all NULLs).
+  GlueRowBuilder& beginRow();
+  /// Set an attribute in the current row; unknown names are ignored
+  /// (the translation simply has nowhere to put the value).
+  GlueRowBuilder& set(const std::string& attribute, util::Value value);
+  /// Column descriptors matching the group definition.
+  std::vector<dbc::ColumnInfo> columns() const;
+  std::vector<std::vector<util::Value>> takeRows();
+
+ private:
+  const glue::GroupDef& group_;
+  std::vector<std::vector<util::Value>> rows_;
+};
+
+/// Apply the relational tail of a query (WHERE / projection / ORDER BY /
+/// LIMIT) to fetched GLUE rows.
+std::unique_ptr<dbc::VectorResultSet> applyClauses(
+    const sql::SelectStatement& stmt,
+    const std::vector<dbc::ColumnInfo>& columns,
+    const std::vector<std::vector<util::Value>>& rows);
+
+/// TTL cache of one parsed native response (coarse-grained drivers).
+template <typename T>
+class ResponseCache {
+ public:
+  explicit ResponseCache(util::Clock& clock, util::Duration ttl)
+      : clock_(clock), ttl_(ttl) {}
+
+  /// nullptr when empty or expired.
+  const T* get() const {
+    if (!value_) return nullptr;
+    if (ttl_ <= 0) return nullptr;  // caching disabled
+    if (clock_.now() - storedAt_ > ttl_) return nullptr;
+    return &*value_;
+  }
+  void put(T value) {
+    value_ = std::move(value);
+    storedAt_ = clock_.now();
+  }
+  void invalidate() { value_.reset(); }
+  util::Duration ttl() const noexcept { return ttl_; }
+
+ private:
+  util::Clock& clock_;
+  util::Duration ttl_;
+  std::optional<T> value_;
+  util::TimePoint storedAt_ = 0;
+};
+
+/// Shared skeleton: a connection bound to a URL that creates statements
+/// via a factory lambda and tracks closed state.
+class UrlConnection : public dbc::Connection {
+ public:
+  UrlConnection(util::Url url, DriverContext ctx)
+      : url_(std::move(url)), ctx_(ctx) {}
+
+  bool isValid() override { return !closed_; }
+  void close() override { closed_ = true; }
+  bool isClosed() const override { return closed_; }
+  const util::Url& url() const override { return url_; }
+
+ protected:
+  void ensureOpen() const {
+    if (closed_) {
+      throw dbc::SqlError(dbc::ErrorCode::ConnectionClosed,
+                          "connection to " + url_.text() + " is closed");
+    }
+  }
+
+  util::Url url_;
+  DriverContext ctx_;
+  bool closed_ = false;
+};
+
+/// Resolve the driver's schema map or fail with a clear error; used at
+/// connect time (Fig. 5: "Schema is cached when the connection is
+/// created").
+std::shared_ptr<const glue::DriverSchemaMap> requireDriverMap(
+    const DriverContext& ctx, const std::string& driverName);
+
+/// Map a NetError onto the corresponding SqlError.
+[[noreturn]] void rethrowNetError(const net::NetError& e,
+                                  const util::Url& url);
+
+/// Unit/type conversion for translated values: multiply numerics by
+/// `scale`, then coerce to the GLUE attribute type. NULL stays NULL;
+/// untranslatable values become NULL (section 3.2.3).
+util::Value convertScaled(const util::Value& v, double scale,
+                          util::ValueType target);
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,29 @@
+// JDBC-Ganglia driver (paper Fig. 3): coarse-grained -- every native
+// request returns the whole cluster as XML, so the driver parses a
+// large document and caches the parsed snapshot inside the plug-in
+// (section 3.3's prescribed mitigation).
+//
+// URL forms: jdbc:ganglia://head[:8649]/...  or  jdbc:://head:8649/...
+// URL params: cachems=<ms> response-cache TTL (default 15000; 0 disables).
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class GangliaDriver final : public dbc::Driver {
+ public:
+  explicit GangliaDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "ganglia"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,30 @@
+// JDBC-MDS driver: serves GLUE groups from an LDAP-flavoured MDS/GRIS
+// information service (the GLUE-LDAP implementation path the paper's
+// section 3.1.4 cites). Coarse-ish: one subtree SEARCH returns every
+// host entry; the parsed entries are cached in the plug-in like the
+// other coarse drivers.
+//
+// URL forms: jdbc:mds://gris[:2135]/...
+// URL params: cachems=<ms> (default 15000; 0 disables).
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class MdsDriver final : public dbc::Driver {
+ public:
+  explicit MdsDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "mds"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,63 @@
+// MockDriver: a configurable in-process driver used by unit tests and
+// by the failure-policy experiment (E8). It serves canned GLUE rows
+// without touching the network and can be scripted to fail at
+// acceptsUrl / connect / query time.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+struct MockBehaviour {
+  std::string name = "mock";
+  /// Subprotocols this driver claims; empty-string entry means it also
+  /// claims URLs with no subprotocol.
+  std::vector<std::string> accepts = {"mock"};
+  bool failConnect = false;
+  /// When > 0, every Nth connect attempt fails (deterministic fault
+  /// injection for the failure-policy experiment E8).
+  std::size_t failConnectEveryN = 0;
+  /// Fail the Nth query onward (SIZE_MAX = never fail).
+  std::size_t failQueriesFrom = SIZE_MAX;
+  /// Artificial connect latency charged to the clock.
+  util::Duration connectLatencyUs = 0;
+  /// Per-query artificial latency charged to the clock.
+  util::Duration queryLatencyUs = 0;
+  /// Rows served for any query against the Processor group.
+  double load1 = 0.5;
+  std::string hostName = "mockhost";
+};
+
+class MockDriver final : public dbc::Driver {
+ public:
+  MockDriver(DriverContext ctx, MockBehaviour behaviour)
+      : ctx_(ctx), behaviour_(std::move(behaviour)) {}
+
+  std::string name() const override { return behaviour_.name; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  // Counters observable by tests.
+  std::size_t connectCalls() const noexcept { return connectCalls_; }
+  std::size_t queryCalls() const noexcept { return queryCalls_; }
+  std::size_t acceptProbes() const noexcept { return acceptProbes_; }
+
+  MockBehaviour& behaviour() noexcept { return behaviour_; }
+
+  // Internal hooks for the statement implementation.
+  std::size_t noteQuery() noexcept { return ++queryCalls_; }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  DriverContext ctx_;
+  MockBehaviour behaviour_;
+  mutable std::atomic<std::size_t> acceptProbes_{0};
+  std::atomic<std::size_t> connectCalls_{0};
+  std::atomic<std::size_t> queryCalls_{0};
+};
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,28 @@
+// JDBC-NetLogger driver: fine-grained -- each GLUE attribute maps to a
+// ULM event stream and the driver tails exactly the events it needs,
+// parsing single "NL.EVNT=... VAL=..." lines (paper section 3.3: "fine
+// grained native requests for data are possible").
+//
+// URL forms: jdbc:netlogger://host[:14830]/...
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class NetLoggerDriver final : public dbc::Driver {
+ public:
+  explicit NetLoggerDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "netlogger"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

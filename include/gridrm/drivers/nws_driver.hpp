@@ -1,0 +1,29 @@
+// JDBC-NWS driver: serves the NetworkForecast GLUE group from a Network
+// Weather Service sensor. Coarse-grained text responses (paper section
+// 3.3 groups NWS with Ganglia), so the parsed forecasts are cached in
+// the plug-in.
+//
+// URL forms: jdbc:nws://host[:8060]/...  or  jdbc:://host:8060/...
+// URL params: cachems=<ms> (default 10000; 0 disables).
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class NwsDriver final : public dbc::Driver {
+ public:
+  explicit NwsDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "nws"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

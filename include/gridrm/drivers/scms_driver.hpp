@@ -1,0 +1,27 @@
+// JDBC-SCMS driver: fine-grained "key: value" text per node; the driver
+// enumerates cluster nodes (NODES) and STATs each one, producing one
+// GLUE row per host.
+//
+// URL forms: jdbc:scms://master[:18800]/...
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class ScmsDriver final : public dbc::Driver {
+ public:
+  explicit ScmsDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "scms"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,31 @@
+// JDBC-SNMP driver (paper Fig. 3): fine-grained -- each query turns
+// into one SNMP GET PDU carrying exactly the OIDs the GLUE attributes
+// require, so "generally little or no parsing [is] required to read
+// the native data value" (section 3.3).
+//
+// URL forms: jdbc:snmp://host[:161]/...  or  jdbc:://host:161/...
+// URL params: community=<string> (default "public").
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class SnmpDriver final : public dbc::Driver {
+ public:
+  explicit SnmpDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "snmp"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  /// The GLUE mapping this driver ships with (OIDs per attribute);
+  /// registered with the SchemaManager by registerDefaultDrivers().
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,30 @@
+// JDBC-SQL driver for GLUE-native relational sources: SQL in, rows out
+// (paper section 3.2.3: sources that "already adhere to GLUE, in which
+// case little or no further processing would be required"). The
+// near-trivial size of this driver versus the others is itself a
+// datapoint the paper's design argues for.
+//
+// URL forms: jdbc:sql://host[:4000]/...
+#pragma once
+
+#include "gridrm/drivers/driver_common.hpp"
+
+namespace gridrm::drivers {
+
+class SqlSourceDriver final : public dbc::Driver {
+ public:
+  explicit SqlSourceDriver(DriverContext ctx) : ctx_(ctx) {}
+
+  std::string name() const override { return "sql"; }
+  bool acceptsUrl(const util::Url& url) const override;
+  std::unique_ptr<dbc::Connection> connect(const util::Url& url,
+                                           const util::Config& props) override;
+
+  /// GLUE-native: the "map" is the identity on every group it serves.
+  static glue::DriverSchemaMap defaultSchemaMap();
+
+ private:
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers

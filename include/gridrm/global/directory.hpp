@@ -1,0 +1,92 @@
+// GMA Directory Service (paper Fig. 1: gateways "Register" with a GMA
+// directory; consumers look producers up and then talk to them
+// directly, which is the defining GMA interaction pattern).
+//
+// Line protocol (request/response over the simulated network):
+//   REG PRODUCER <name> <host:port>\n<ownedHostPattern>\n...   -> OK
+//   UNREG PRODUCER <name>                                      -> OK
+//   LOOKUP <host>                 -> PRODUCER <name> <host:port> | NONE
+//   LIST                          -> PRODUCER lines
+//   REG CONSUMER <name> <host:port> <eventPattern>             -> OK
+//   UNREG CONSUMER <name>                                      -> OK
+//   CONSUMERS <eventType>         -> CONSUMER <name> <host:port> lines
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/net/network.hpp"
+
+namespace gridrm::global {
+
+inline constexpr std::uint16_t kDirectoryPort = 8700;
+
+struct ProducerEntry {
+  std::string name;
+  net::Address address;
+  std::vector<std::string> ownedHostPatterns;  // globs over source hosts
+};
+
+struct ConsumerEntry {
+  std::string name;
+  net::Address address;
+  std::string eventPattern;  // dot-prefix pattern (core::eventTypeMatches)
+};
+
+class GmaDirectory final : public net::RequestHandler {
+ public:
+  GmaDirectory(net::Network& network, const net::Address& address);
+  ~GmaDirectory() override;
+
+  GmaDirectory(const GmaDirectory&) = delete;
+  GmaDirectory& operator=(const GmaDirectory&) = delete;
+
+  const net::Address& address() const noexcept { return address_; }
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+  // Direct (in-process) accessors for tests.
+  std::vector<ProducerEntry> producers() const;
+  std::vector<ConsumerEntry> consumers() const;
+
+ private:
+  net::Network& network_;
+  net::Address address_;
+  mutable std::mutex mu_;
+  std::map<std::string, ProducerEntry> producers_;
+  std::map<std::string, ConsumerEntry> consumers_;
+};
+
+/// Client-side helper wrapping the wire protocol.
+class DirectoryClient {
+ public:
+  DirectoryClient(net::Network& network, net::Address self,
+                  net::Address directory)
+      : network_(network), self_(std::move(self)),
+        directory_(std::move(directory)) {}
+
+  void registerProducer(const std::string& name, const net::Address& address,
+                        const std::vector<std::string>& ownedHostPatterns);
+  void unregisterProducer(const std::string& name);
+  /// nullopt when no producer owns `host`.
+  std::optional<ProducerEntry> lookup(const std::string& host);
+  std::vector<ProducerEntry> list();
+  void registerConsumer(const std::string& name, const net::Address& address,
+                        const std::string& eventPattern);
+  void unregisterConsumer(const std::string& name);
+  std::vector<ConsumerEntry> consumersFor(const std::string& eventType);
+
+ private:
+  net::Payload request(const net::Payload& body);
+
+  net::Network& network_;
+  net::Address self_;
+  net::Address directory_;
+};
+
+}  // namespace gridrm::global

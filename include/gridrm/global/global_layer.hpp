@@ -1,0 +1,113 @@
+// The GridRM Global Layer (paper Fig. 1 and section 1.1): gateways
+// collaborate through the GMA interaction model. Each gateway runs a
+// producer endpoint (the "GridRM Gateway (Servlet)" in the figure);
+// "Clients are free to connect to any Gateway; requests for remote
+// resource data are routed through to the Global layer for processing
+// by the gateway that owns the required data."
+//
+// Remote results pass through the local Cache Controller, implementing
+// section 4's "This approach is used between gateways to increase
+// scalability by reducing unnecessary requests."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/global/directory.hpp"
+
+namespace gridrm::global {
+
+inline constexpr std::uint16_t kProducerPort = 8710;
+
+struct GlobalOptions {
+  /// Shared secret authenticating gateway-to-gateway requests (the
+  /// paper's coarse-grained inter-site trust).
+  std::string federationSecret = "gridrm-federation";
+  std::uint16_t producerPort = kProducerPort;
+  /// TTL of directory lookup results cached per host.
+  util::Duration lookupCacheTtl = 60 * util::kSecond;
+  /// Event types forwarded to remote consumers ("" = none).
+  std::string propagateEventPattern = "";
+};
+
+struct GlobalStats {
+  std::uint64_t remoteQueriesSent = 0;
+  std::uint64_t remoteQueriesServed = 0;
+  std::uint64_t remoteCacheHits = 0;
+  std::uint64_t lookupCacheHits = 0;
+  std::uint64_t directoryLookups = 0;
+  std::uint64_t eventsPropagated = 0;
+  std::uint64_t authFailures = 0;
+};
+
+class GlobalLayer final : public net::RequestHandler {
+ public:
+  GlobalLayer(core::Gateway& gateway, const net::Address& directoryAddress,
+              GlobalOptions options = {});
+  ~GlobalLayer() override;
+
+  GlobalLayer(const GlobalLayer&) = delete;
+  GlobalLayer& operator=(const GlobalLayer&) = delete;
+
+  net::Address producerAddress() const {
+    return {gateway_.options().host, options_.producerPort};
+  }
+
+  /// Register this gateway as a GMA producer for the given source-host
+  /// patterns (defaults to the hosts of its registered data sources) and
+  /// as an event consumer when propagation is enabled.
+  void start(std::vector<std::string> extraOwnedHostPatterns = {});
+  void stop();
+
+  /// Query data sources anywhere on the Grid: local URLs run through
+  /// the local Request Manager, remote ones are routed to the owning
+  /// gateway via the directory. Results consolidate like a local
+  /// multi-source query, with a leading Source column.
+  core::QueryResult globalQuery(const std::string& token,
+                                const std::vector<std::string>& urls,
+                                const std::string& sql,
+                                const core::QueryOptions& options = {});
+
+  /// Forward an event to every remote consumer whose registered pattern
+  /// matches (paper: "propagate events between Gateways").
+  void propagateEvent(const core::Event& event);
+
+  /// True when this gateway owns `host` (one of its own data sources).
+  bool ownsHost(const std::string& host) const;
+
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override;
+
+  GlobalStats stats() const;
+  DirectoryClient& directory() noexcept { return directory_; }
+
+ private:
+  std::unique_ptr<dbc::VectorResultSet> queryRemote(const std::string& url,
+                                                    const std::string& sql,
+                                                    bool useCache);
+  std::optional<net::Address> resolveOwner(const std::string& host);
+
+  core::Gateway& gateway_;
+  GlobalOptions options_;
+  DirectoryClient directory_;
+  bool started_ = false;
+
+  mutable std::mutex mu_;
+  GlobalStats stats_;
+  struct CachedLookup {
+    net::Address producer;
+    util::TimePoint at;
+  };
+  std::map<std::string, CachedLookup> lookupCache_;
+  std::size_t propagationListenerId_ = 0;
+  /// Session used to serve relayed requests locally.
+  std::string federationToken_;
+};
+
+}  // namespace gridrm::global

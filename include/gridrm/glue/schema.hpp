@@ -1,0 +1,78 @@
+// The GLUE naming schema (paper section 3.1.4).
+//
+// GLUE "logically organises data into groups. The schema prescribes the
+// data fields for each group. The essence of a group can be directly
+// compared to the tables of a relational database." Clients SELECT from
+// group names; drivers translate native data so that "meaning and value
+// correspond to the format defined by GLUE", returning NULL for
+// attributes a source cannot provide.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::glue {
+
+struct AttributeDef {
+  std::string name;
+  util::ValueType type = util::ValueType::String;
+  std::string unit;         // "", "MB", "percent", "Mbps", "bytes", "seconds"
+  std::string description;
+};
+
+class GroupDef {
+ public:
+  GroupDef(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<AttributeDef>& attributes() const noexcept {
+    return attributes_;
+  }
+  const AttributeDef* find(const std::string& attrName) const;
+  std::optional<std::size_t> indexOf(const std::string& attrName) const;
+  std::size_t size() const noexcept { return attributes_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// The schema registry. `builtin()` returns the GLUE subset GridRM
+/// ships with; gateways may extend a copy with site-local groups.
+class Schema {
+ public:
+  Schema() = default;
+
+  void addGroup(GroupDef group);
+  const GroupDef* findGroup(const std::string& name) const;  // case-insensitive
+  std::vector<std::string> groupNames() const;
+  std::size_t groupCount() const noexcept { return groups_.size(); }
+
+  /// The built-in GLUE subset: Host, Processor, Memory, OperatingSystem,
+  /// FileSystem, NetworkAdapter, Process, ComputeElement, StorageElement,
+  /// NetworkForecast (NWS-style measurements have no classic GLUE home;
+  /// the paper's schema work predates a finished network schema).
+  static const Schema& builtin();
+
+ private:
+  std::vector<GroupDef> groups_;
+};
+
+/// Validation outcome for a translated row (see SchemaManager).
+struct ValidationIssue {
+  std::string attribute;
+  std::string problem;
+};
+
+/// Check a (name, value) row against a group definition: unknown
+/// attributes and type mismatches are issues; NULLs are always allowed
+/// ("drivers can return null values" -- section 3.2.3).
+std::vector<ValidationIssue> validateRow(
+    const GroupDef& group,
+    const std::vector<std::pair<std::string, util::Value>>& row);
+
+}  // namespace gridrm::glue

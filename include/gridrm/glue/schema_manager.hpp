@@ -1,0 +1,87 @@
+// SchemaManager (paper section 3.1.4 / Fig. 3): "provides mapping and
+// translation services for data source drivers". Each driver registers
+// a DriverSchemaMap describing its GLUE implementation: for every GLUE
+// group/attribute it can serve, the native locator (an SNMP OID, a
+// Ganglia metric name, an SCMS key, ...) and a scale factor for unit
+// conversion. Drivers fetch their map once per connection ("Schema is
+// cached when the connection is created", Fig. 5).
+//
+// The class lives in the glue library (rather than core) so that driver
+// libraries need not depend on the gateway; the gateway owns an
+// instance and hands it to drivers through the DriverContext.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/glue/schema.hpp"
+
+namespace gridrm::glue {
+
+/// How one GLUE attribute is obtained from a native source.
+struct AttributeMapping {
+  std::string native;  // native locator; empty = attribute unavailable (NULL)
+  double scale = 1.0;  // native value * scale = GLUE value (unit conversion)
+};
+
+/// GLUE-group -> native mapping for one driver.
+class GroupMapping {
+ public:
+  GroupMapping() = default;
+  explicit GroupMapping(std::string group) : group_(std::move(group)) {}
+
+  const std::string& group() const noexcept { return group_; }
+  void map(const std::string& attribute, std::string native,
+           double scale = 1.0);
+  /// nullopt when the driver never declared the attribute; a mapping with
+  /// an empty `native` means "declared but unavailable" (returns NULL).
+  std::optional<AttributeMapping> find(const std::string& attribute) const;
+  const std::map<std::string, AttributeMapping>& attributes() const noexcept {
+    return attrs_;
+  }
+
+ private:
+  std::string group_;
+  std::map<std::string, AttributeMapping> attrs_;  // keys lower-cased
+};
+
+class DriverSchemaMap {
+ public:
+  DriverSchemaMap() = default;
+  explicit DriverSchemaMap(std::string driverName)
+      : driver_(std::move(driverName)) {}
+
+  const std::string& driver() const noexcept { return driver_; }
+  GroupMapping& group(const std::string& groupName);  // creates on demand
+  const GroupMapping* findGroup(const std::string& groupName) const;
+  std::vector<std::string> groupNames() const;
+
+ private:
+  std::string driver_;
+  std::map<std::string, GroupMapping> groups_;  // keys lower-cased
+};
+
+class SchemaManager {
+ public:
+  /// `schema` defaults to the built-in GLUE subset.
+  explicit SchemaManager(const Schema* schema = nullptr)
+      : schema_(schema != nullptr ? schema : &Schema::builtin()) {}
+
+  const Schema& schema() const noexcept { return *schema_; }
+
+  void registerDriverMap(DriverSchemaMap map);
+  /// Shared so connections can cache it cheaply; nullptr when unknown.
+  std::shared_ptr<const DriverSchemaMap> driverMap(
+      const std::string& driverName) const;
+
+ private:
+  const Schema* schema_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const DriverSchemaMap>> maps_;
+};
+
+}  // namespace gridrm::glue

@@ -1,0 +1,42 @@
+// Umbrella header: everything a GridRM application normally needs.
+//
+// Fine-grained includes remain available under gridrm/<module>/ for
+// code that wants tighter dependencies (e.g. a driver plug-in only
+// needs gridrm/drivers/driver_common.hpp).
+#pragma once
+
+// Foundation
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/config.hpp"
+#include "gridrm/util/log.hpp"
+#include "gridrm/util/url.hpp"
+#include "gridrm/util/value.hpp"
+
+// Data access
+#include "gridrm/dbc/driver.hpp"
+#include "gridrm/dbc/driver_registry.hpp"
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/glue/schema.hpp"
+#include "gridrm/glue/schema_manager.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+
+// Substrates
+#include "gridrm/agents/site.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/host_model.hpp"
+
+// Drivers
+#include "gridrm/drivers/defaults.hpp"
+#include "gridrm/drivers/driver_common.hpp"
+
+// The gateway (Local layer)
+#include "gridrm/core/alert_manager.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/core/site_poller.hpp"
+#include "gridrm/core/tree_view.hpp"
+
+// The Global layer
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"

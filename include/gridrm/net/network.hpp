@@ -1,0 +1,125 @@
+// Simulated network substrate.
+//
+// The paper's gateways and agents talk over campus/wide-area IP. Here
+// every endpoint (agent, gateway, directory) binds an Address on an
+// in-process Network whose links have deterministic latency, jitter and
+// loss models driven by a seeded RNG and the injected Clock. This keeps
+// the protocol code paths (request/response framing, timeouts, traps as
+// datagrams) while making every experiment reproducible.
+//
+// Per-endpoint request counters are the "resource intrusion" metric of
+// experiment E4 (paper section 4: a gateway cache "limit[s] resource
+// intrusion").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/random.hpp"
+
+namespace gridrm::net {
+
+struct Address {
+  std::string host;
+  std::uint16_t port = 0;
+
+  std::string toString() const { return host + ":" + std::to_string(port); }
+  static Address parse(const std::string& text);
+
+  auto operator<=>(const Address&) const = default;
+};
+
+using Payload = std::string;
+
+enum class NetErrorKind { Unreachable, Timeout };
+
+class NetError : public std::runtime_error {
+ public:
+  NetError(NetErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+  NetErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  NetErrorKind kind_;
+};
+
+/// An endpoint's protocol handler. Handlers are invoked synchronously on
+/// the caller's thread (the simulation collapses transport + service
+/// time into the link model) and must be thread-safe if the endpoint can
+/// be reached from multiple client threads.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual Payload handleRequest(const Address& from, const Payload& request) = 0;
+  /// One-way messages (SNMP traps, event notifications). Default: ignore.
+  virtual void handleDatagram(const Address& /*from*/, const Payload& /*body*/) {}
+};
+
+/// Symmetric link characteristics between two hosts.
+struct LinkModel {
+  util::Duration latencyUs = 200;  // one-way propagation + service
+  util::Duration jitterUs = 0;     // uniform [0, jitterUs)
+  double lossProbability = 0.0;    // per round-trip
+};
+
+struct EndpointStats {
+  std::uint64_t requestsServed = 0;
+  std::uint64_t datagramsReceived = 0;
+  std::uint64_t bytesIn = 0;
+  std::uint64_t bytesOut = 0;
+};
+
+class Network {
+ public:
+  explicit Network(util::Clock& clock, std::uint64_t seed = 1)
+      : clock_(clock), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Bind `handler` (non-owning; must outlive the binding) to `addr`.
+  void bind(const Address& addr, RequestHandler* handler);
+  void unbind(const Address& addr);
+  bool isBound(const Address& addr) const;
+
+  void setDefaultLink(const LinkModel& link);
+  /// Symmetric per-host-pair override.
+  void setLink(const std::string& hostA, const std::string& hostB,
+               const LinkModel& link);
+  /// Mark a host unreachable (failure injection); datagrams to it vanish,
+  /// requests throw NetError(Unreachable).
+  void setHostDown(const std::string& host, bool down);
+
+  /// Synchronous request/response. Charges one round trip of link
+  /// latency to the Clock. Throws NetError on loss (Timeout, after
+  /// charging `timeoutUs`) or when the destination is unbound/down.
+  Payload request(const Address& from, const Address& to, const Payload& body,
+                  util::Duration timeoutUs = 500 * util::kMillisecond);
+
+  /// Fire-and-forget datagram; silently dropped on loss or dead host.
+  void datagram(const Address& from, const Address& to, const Payload& body);
+
+  EndpointStats stats(const Address& addr) const;
+  void resetStats();
+  std::uint64_t totalRequests() const;
+
+ private:
+  LinkModel linkFor(const std::string& a, const std::string& b) const;
+  util::Duration sampleLatency(const LinkModel& link);
+
+  util::Clock& clock_;
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  std::map<Address, RequestHandler*> endpoints_;
+  std::map<Address, EndpointStats> stats_;
+  std::map<std::pair<std::string, std::string>, LinkModel> links_;
+  std::map<std::string, bool> hostDown_;
+  LinkModel defaultLink_;
+  std::uint64_t totalRequests_ = 0;
+};
+
+}  // namespace gridrm::net

@@ -1,0 +1,109 @@
+// Synthetic machine model.
+//
+// The paper's agents (SNMP, Ganglia, NWS, NetLogger, SCMS) report
+// metrics of real campus machines. Our substitute is a stochastic host
+// whose metrics evolve over the injected Clock's time: run-queue load
+// follows a mean-reverting AR(1) process around a slowly drifting
+// (diurnal) mean, CPU/memory/process figures derive from load, and
+// network counters accumulate bursty traffic. Deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/random.hpp"
+
+namespace gridrm::sim {
+
+struct HostSpec {
+  std::string name = "node00";
+  std::string clusterName = "cluster";
+  int cpuCount = 2;
+  int cpuMhz = 2400;
+  std::string cpuModel = "SimCPU 2400";
+  std::int64_t memTotalMb = 2048;
+  std::int64_t swapTotalMb = 1024;
+  std::int64_t diskTotalMb = 80 * 1024;
+  int nicSpeedMbps = 1000;
+  std::string osName = "Linux";
+  std::string osVersion = "2.4.20";
+  std::string arch = "i686";
+};
+
+class HostModel {
+ public:
+  HostModel(HostSpec spec, util::Clock& clock, std::uint64_t seed);
+
+  const HostSpec& spec() const noexcept { return spec_; }
+  const std::string& name() const noexcept { return spec_.name; }
+
+  // All getters first advance the model to clock.now().
+  double load1();
+  double load5();
+  double load15();
+  double cpuUserPct();
+  double cpuSystemPct();
+  double cpuIdlePct();
+  std::int64_t memFreeMb();
+  std::int64_t memUsedMb();
+  std::int64_t swapFreeMb();
+  std::int64_t diskFreeMb();
+  std::int64_t netInBytes();
+  std::int64_t netOutBytes();
+  int processCount();
+  std::int64_t uptimeSeconds();
+  util::TimePoint bootTime() const noexcept { return bootTime_; }
+  /// Timestamp of the most recent model step.
+  util::TimePoint lastUpdate() const noexcept { return lastStep_; }
+
+  /// Force the model forward to the clock's current time.
+  void refresh();
+
+ private:
+  void advanceTo(util::TimePoint t);
+  void step(double dtSeconds);
+
+  HostSpec spec_;
+  util::Clock& clock_;
+  util::Rng rng_;
+  util::TimePoint bootTime_;
+  util::TimePoint lastStep_;
+
+  // Evolving state.
+  double load1_ = 0.1;
+  double load5_ = 0.1;
+  double load15_ = 0.1;
+  double loadMean_ = 0.4;      // slow diurnal drift target
+  double diurnalPhase_ = 0.0;  // radians
+  double memUsedMb_ = 0.0;
+  double swapUsedMb_ = 0.0;
+  double diskUsedMb_ = 0.0;
+  double netInBytes_ = 0.0;
+  double netOutBytes_ = 0.0;
+  double burstFactor_ = 1.0;  // occasional traffic bursts
+  int procBase_ = 80;
+};
+
+/// A named set of hosts sharing a cluster name; what one Ganglia gmond
+/// or SCMS master reports on.
+class ClusterModel {
+ public:
+  ClusterModel(std::string clusterName, std::size_t hostCount,
+               util::Clock& clock, std::uint64_t seed,
+               const HostSpec& baseSpec = {});
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return hosts_.size(); }
+  HostModel& host(std::size_t i) { return *hosts_.at(i); }
+  HostModel* findHost(const std::string& hostName);
+  std::vector<std::string> hostNames() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<HostModel>> hosts_;
+};
+
+}  // namespace gridrm::sim

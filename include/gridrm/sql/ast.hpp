@@ -1,0 +1,124 @@
+// SQL abstract syntax tree.
+//
+// The supported subset is what GridRM clients need (paper section 3.2.3):
+// GLUE groups behave like relational tables, so queries look like
+//   SELECT * FROM Processor
+//   SELECT load1, load5 FROM Processor WHERE load1 > 0.8 ORDER BY load1 DESC
+// plus INSERT for the gateway's internal historical database.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::sql {
+
+enum class ExprKind : std::uint8_t {
+  Literal,  // 42, 'str', TRUE, NULL
+  Column,   // name or table.name
+  Unary,    // NOT x, -x
+  Binary,   // x OP y
+  InList,   // x [NOT] IN (a, b, ...)
+  IsNull,   // x IS [NOT] NULL
+  Between,  // x [NOT] BETWEEN lo AND hi
+  Call,     // aggregate call: COUNT(*), COUNT(x), SUM/AVG/MIN/MAX(x)
+};
+
+enum class BinOp : std::uint8_t {
+  Or,
+  And,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Like,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+};
+
+enum class UnOp : std::uint8_t { Not, Neg };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  util::Value literal;        // Literal
+  std::string table;          // Column qualifier (may be empty)
+  std::string name;           // Column name
+  BinOp bop = BinOp::Eq;      // Binary
+  UnOp uop = UnOp::Not;       // Unary
+  bool negated = false;       // NOT IN / IS NOT NULL / NOT BETWEEN / NOT LIKE
+  bool starArg = false;       // COUNT(*)
+  std::vector<ExprPtr> children;
+
+  static ExprPtr makeLiteral(util::Value v);
+  static ExprPtr makeColumn(std::string table, std::string name);
+  static ExprPtr makeUnary(UnOp op, ExprPtr operand);
+  static ExprPtr makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr makeCall(std::string name, std::vector<ExprPtr> args,
+                          bool starArg = false);
+
+  /// True when this tree contains an aggregate Call node.
+  bool containsAggregate() const;
+
+  /// Deep copy, used when a consolidated query is re-targeted per source.
+  ExprPtr clone() const;
+  /// Render back to SQL text (parenthesised; round-trips through parse).
+  std::string toSql() const;
+};
+
+const char* binOpName(BinOp op) noexcept;
+
+struct SelectItem {
+  ExprPtr expr;       // null means '*'
+  std::string alias;  // optional AS alias
+  bool isStar() const noexcept { return expr == nullptr; }
+};
+
+struct OrderKey {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;       // the GLUE group (single-table queries)
+  std::string tableAlias;  // optional
+  ExprPtr where;           // optional
+  std::vector<ExprPtr> groupBy;  // GROUP BY expressions (may be empty)
+  std::vector<OrderKey> orderBy;
+  std::optional<std::int64_t> limit;
+
+  std::string toSql() const;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;            // optional (empty = all)
+  std::vector<std::vector<util::Value>> rows;  // VALUES (...), (...)
+
+  std::string toSql() const;
+};
+
+enum class StatementKind : std::uint8_t { Select, Insert };
+
+struct Statement {
+  StatementKind kind;
+  SelectStatement select;  // valid when kind == Select
+  InsertStatement insert;  // valid when kind == Insert
+
+  std::string toSql() const {
+    return kind == StatementKind::Select ? select.toSql() : insert.toSql();
+  }
+};
+
+}  // namespace gridrm::sql

@@ -1,0 +1,58 @@
+// Expression evaluation over an abstract row. Used by the mini
+// relational store (historical DB), by drivers applying WHERE clauses
+// to agent data, and by the gateway's cross-source consolidation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::sql {
+
+/// Resolves a column reference to its value in the current row.
+/// Returning nullopt means "no such column" (an error), whereas a
+/// present-but-null Value is SQL NULL.
+class RowAccessor {
+ public:
+  virtual ~RowAccessor() = default;
+  virtual std::optional<util::Value> column(const std::string& table,
+                                            const std::string& name) const = 0;
+};
+
+/// Adapter over a name->Value lookup function.
+class FnRowAccessor final : public RowAccessor {
+ public:
+  using Fn = std::function<std::optional<util::Value>(const std::string&)>;
+  explicit FnRowAccessor(Fn fn) : fn_(std::move(fn)) {}
+  std::optional<util::Value> column(const std::string& /*table*/,
+                                    const std::string& name) const override {
+    return fn_(name);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Thrown when evaluation references an unknown column or applies an
+/// operator to incompatible types.
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Evaluate an expression against a row. Three-valued logic is
+/// simplified to two-valued with NULL propagation: any comparison or
+/// arithmetic involving NULL yields NULL, and a NULL predicate result is
+/// treated as false by callers (matching SQL WHERE semantics).
+util::Value evaluate(const Expr& expr, const RowAccessor& row);
+
+/// Evaluate `expr` as a predicate: NULL and false are both "row excluded".
+bool evaluatePredicate(const Expr& expr, const RowAccessor& row);
+
+/// SQL LIKE pattern match ('%' any run, '_' any single character).
+bool likeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace gridrm::sql

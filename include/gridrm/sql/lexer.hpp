@@ -1,0 +1,28 @@
+// SQL lexer and the ParseError type shared by the lexer and parser.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/token.hpp"
+
+namespace gridrm::sql {
+
+/// Thrown for malformed queries (lexing or parsing). Drivers translate
+/// this into a dbc::SqlError on the query path.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t pos)
+      : std::runtime_error(message + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+  std::size_t pos() const noexcept { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Tokenise a query. The terminating End token is always present.
+std::vector<Token> lex(const std::string& text);
+
+}  // namespace gridrm::sql

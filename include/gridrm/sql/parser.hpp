@@ -1,0 +1,20 @@
+// Recursive-descent parser for the GridRM SQL subset (see ast.hpp for
+// the grammar's shape: single-table SELECT with WHERE / GROUP BY +
+// aggregates / ORDER BY / LIMIT, and multi-row INSERT).
+#pragma once
+
+#include <string>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/sql/lexer.hpp"
+
+namespace gridrm::sql {
+
+/// Parse one SQL statement (SELECT or INSERT). Throws ParseError on
+/// malformed input.
+Statement parse(const std::string& text);
+
+/// Convenience: parse text that must be a SELECT.
+SelectStatement parseSelect(const std::string& text);
+
+}  // namespace gridrm::sql

@@ -1,0 +1,40 @@
+// SQL token model. GridRM's client language is a pragmatic SQL subset
+// (paper section 3: "String queries in, and ResultSets out").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gridrm::sql {
+
+enum class TokenType {
+  End,
+  Identifier,  // table / column names; keywords are identifiers the parser
+               // matches case-insensitively, as SQL requires
+  String,      // 'quoted literal'
+  Integer,
+  Real,
+  Comma,
+  Dot,
+  Star,
+  LParen,
+  RParen,
+  Eq,    // =
+  Ne,    // != or <>
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+};
+
+struct Token {
+  TokenType type = TokenType::End;
+  std::string text;     // raw text (unquoted for String)
+  std::size_t pos = 0;  // byte offset in the query, for error messages
+};
+
+}  // namespace gridrm::sql

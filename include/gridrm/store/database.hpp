@@ -1,0 +1,97 @@
+// In-memory relational store with a SQL front-end.
+//
+// Serves two roles from the paper:
+//  * the Gateway's internal historical database (section 3.1.1:
+//    "historical data is retrieved from the Gateway's internal
+//    database"), with time-series retention, and
+//  * the backing store of the GLUE-native "SQL" data source agent.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/sql/ast.hpp"
+
+namespace gridrm::store {
+
+class Table {
+ public:
+  Table(std::string name, std::vector<dbc::ColumnInfo> columns);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<dbc::ColumnInfo>& columns() const noexcept {
+    return columns_;
+  }
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+  const std::vector<std::vector<dbc::Value>>& rows() const noexcept {
+    return rows_;
+  }
+
+  /// Append a row; width must match. Values are stored as given (no
+  /// implicit coercion: the store is schemaless beyond arity, like the
+  /// Value cells that flow through drivers).
+  void insert(std::vector<dbc::Value> row);
+  /// Append with explicit column names; unnamed columns become NULL.
+  void insertNamed(const std::vector<std::string>& columns,
+                   std::vector<dbc::Value> row);
+
+  /// Drop rows where `timeColumn` < cutoff (retention policy).
+  std::size_t pruneOlderThan(const std::string& timeColumn,
+                             std::int64_t cutoff);
+
+  void clear() { rows_.clear(); }
+
+ private:
+  friend class Database;
+  std::string name_;
+  std::vector<dbc::ColumnInfo> columns_;
+  std::vector<std::vector<dbc::Value>> rows_;
+};
+
+class Database {
+ public:
+  Database() = default;
+
+  /// Create (or replace) a table.
+  void createTable(const std::string& name,
+                   std::vector<dbc::ColumnInfo> columns);
+  bool hasTable(const std::string& name) const;
+  std::vector<std::string> tableNames() const;
+
+  /// Execute a SELECT; throws dbc::SqlError for unknown tables/columns
+  /// and sql::ParseError for malformed SQL.
+  std::unique_ptr<dbc::VectorResultSet> query(const std::string& sql) const;
+  std::unique_ptr<dbc::VectorResultSet> query(
+      const sql::SelectStatement& stmt) const;
+
+  /// Execute an INSERT; returns inserted row count.
+  std::size_t execute(const std::string& sql);
+  std::size_t execute(const sql::InsertStatement& stmt);
+
+  /// Direct row append (hot path for event recording; skips SQL text).
+  void insertRow(const std::string& table, std::vector<dbc::Value> row);
+
+  std::size_t rowCount(const std::string& table) const;
+  std::size_t pruneOlderThan(const std::string& table,
+                             const std::string& timeColumn,
+                             std::int64_t cutoff);
+
+ private:
+  Table* findTable(const std::string& name);
+  const Table* findTable(const std::string& name) const;
+
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+/// Evaluate a SELECT against explicitly provided columns/rows (shared by
+/// Database and by driver-side WHERE/ORDER BY/LIMIT application).
+std::unique_ptr<dbc::VectorResultSet> executeSelect(
+    const sql::SelectStatement& stmt,
+    const std::vector<dbc::ColumnInfo>& columns,
+    const std::vector<std::vector<dbc::Value>>& rows);
+
+}  // namespace gridrm::store

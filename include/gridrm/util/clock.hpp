@@ -1,0 +1,56 @@
+// Clock abstraction: GridRM components take a Clock& so that agents,
+// caches and the network substrate run against simulated time in tests
+// and benchmarks (deterministic), or wall time in live deployments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace gridrm::util {
+
+/// Microseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000 * 1000;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const noexcept = 0;
+  /// Advance time by `us`: a real clock blocks, a simulated clock jumps.
+  virtual void sleepFor(Duration us) = 0;
+};
+
+/// Wall-clock time (monotonic).
+class SystemClock final : public Clock {
+ public:
+  TimePoint now() const noexcept override;
+  void sleepFor(Duration us) override;
+};
+
+/// Manually-driven clock. Thread-safe; `sleepFor` advances time so code
+/// written against Clock behaves identically under simulation.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimePoint start = 0) noexcept : now_(start) {}
+
+  TimePoint now() const noexcept override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void sleepFor(Duration us) override { advance(us); }
+
+  void advance(Duration us) noexcept {
+    now_.fetch_add(us, std::memory_order_relaxed);
+  }
+  void setNow(TimePoint t) noexcept {
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<TimePoint> now_;
+};
+
+}  // namespace gridrm::util

@@ -1,0 +1,40 @@
+// Key/value configuration with typed getters. Gateways load their
+// policy ("Gateway Policy and Schemas" box in Fig. 2) from this; tests
+// build it programmatically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gridrm::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Config parse(const std::string& text);
+
+  void set(const std::string& key, std::string value) {
+    values_[key] = std::move(value);
+  }
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string getString(const std::string& key, std::string fallback = "") const;
+  std::int64_t getInt(const std::string& key, std::int64_t fallback = 0) const;
+  double getReal(const std::string& key, double fallback = 0.0) const;
+  bool getBool(const std::string& key, bool fallback = false) const;
+  /// Comma-separated list value.
+  std::vector<std::string> getList(const std::string& key) const;
+
+  const std::map<std::string, std::string>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gridrm::util

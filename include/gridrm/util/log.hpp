@@ -1,0 +1,90 @@
+// Leveled, thread-safe logger. A "{}"-style mini formatter keeps call
+// sites terse without pulling in a formatting library dependency.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridrm::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+  /// When set, log lines are appended to `lines_` instead of stderr; used
+  /// by tests that assert on logging behaviour.
+  void captureToMemory(bool on);
+  std::vector<std::string> drainCaptured();
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+  bool capture_ = false;
+  std::vector<std::string> lines_;
+};
+
+namespace detail {
+inline void formatInto(std::ostringstream& os, std::string_view fmt) {
+  os << fmt;
+}
+template <typename Arg, typename... Rest>
+void formatInto(std::ostringstream& os, std::string_view fmt, Arg&& arg,
+                Rest&&... rest) {
+  std::size_t pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    os << fmt;
+    return;
+  }
+  os << fmt.substr(0, pos) << std::forward<Arg>(arg);
+  formatInto(os, fmt.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+/// Format "{}" placeholders with the remaining arguments.
+template <typename... Args>
+std::string format(std::string_view fmt, Args&&... args) {
+  std::ostringstream os;
+  detail::formatInto(os, fmt, std::forward<Args>(args)...);
+  return os.str();
+}
+
+template <typename... Args>
+void logAt(LogLevel level, std::string_view component, std::string_view fmt,
+           Args&&... args) {
+  Logger& l = Logger::instance();
+  if (!l.enabled(level)) return;
+  l.write(level, component, format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logDebug(std::string_view component, std::string_view fmt, Args&&... args) {
+  logAt(LogLevel::Debug, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logInfo(std::string_view component, std::string_view fmt, Args&&... args) {
+  logAt(LogLevel::Info, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logWarn(std::string_view component, std::string_view fmt, Args&&... args) {
+  logAt(LogLevel::Warn, component, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void logError(std::string_view component, std::string_view fmt, Args&&... args) {
+  logAt(LogLevel::Error, component, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace gridrm::util

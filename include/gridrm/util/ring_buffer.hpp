@@ -1,0 +1,102 @@
+// Bounded MPMC ring buffer: the Event Manager's "fast buffer" (paper
+// Fig. 4: "ensures events are not lost in a busy system"). Producers are
+// agent event receivers; the consumer is the event dispatch thread.
+//
+// Overflow policy is explicit because the loss experiment (E5) ablates
+// it: Block gives lossless behaviour under sustained overload, Drop
+// sheds the newest event and counts it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace gridrm::util {
+
+enum class OverflowPolicy { Block, DropNewest };
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity,
+                      OverflowPolicy policy = OverflowPolicy::Block)
+      : buf_(capacity), policy_(policy) {}
+
+  /// Returns false when the element was dropped (DropNewest under overflow)
+  /// or the buffer was closed.
+  bool push(T item) {
+    std::unique_lock lock(mu_);
+    if (policy_ == OverflowPolicy::DropNewest) {
+      if (size_ == buf_.size() || closed_) {
+        if (!closed_) ++dropped_;
+        return false;
+      }
+    } else {
+      notFull_.wait(lock, [&] { return size_ < buf_.size() || closed_; });
+      if (closed_) return false;
+    }
+    buf_[(head_ + size_) % buf_.size()] = std::move(item);
+    ++size_;
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    notEmpty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    return takeFront(lock);
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> tryPop() {
+    std::unique_lock lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    return takeFront(lock);
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return size_;
+  }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t dropped() const {
+    std::scoped_lock lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  std::optional<T> takeFront(std::unique_lock<std::mutex>& lock) {
+    T item = std::move(buf_[head_]);
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+    lock.unlock();
+    notFull_.notify_one();
+    return item;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t dropped_ = 0;
+  bool closed_ = false;
+  OverflowPolicy policy_;
+};
+
+}  // namespace gridrm::util

@@ -1,0 +1,24 @@
+// Small string helpers shared by the SQL lexer, URL parser and the
+// line-oriented agent protocols (NWS / NetLogger / SCMS).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridrm::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+/// Split on `sep`, dropping empty fields.
+std::vector<std::string> splitNonEmpty(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+std::string toLower(std::string_view s);
+std::string toUpper(std::string_view s);
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+bool iequals(std::string_view a, std::string_view b);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+/// Replace every occurrence of `from` with `to`.
+std::string replaceAll(std::string s, std::string_view from, std::string_view to);
+
+}  // namespace gridrm::util

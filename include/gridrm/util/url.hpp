@@ -1,0 +1,50 @@
+// GridRM data-source URL. The paper (section 3.2.2) addresses data
+// sources with JDBC-style URLs:
+//
+//   jdbc:<subprotocol>://<host>[:port]/<path>[?k=v&k=v]
+//   jdbc:://snowboard.workgroup/perfdata      (any compatible driver)
+//   jdbc:nws://snowboard.workgroup/perfdata   (NWS driver requested)
+//
+// We keep the same grammar with scheme "gridrm" accepted as an alias of
+// "jdbc" so native deployments don't have to carry the Java name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace gridrm::util {
+
+class Url {
+ public:
+  /// Parse a data-source URL. Returns nullopt on malformed input.
+  static std::optional<Url> parse(const std::string& text);
+
+  const std::string& text() const noexcept { return text_; }
+  const std::string& scheme() const noexcept { return scheme_; }
+  /// Subprotocol ("snmp", "ganglia", ...); empty means "any driver".
+  const std::string& subprotocol() const noexcept { return subprotocol_; }
+  const std::string& host() const noexcept { return host_; }
+  /// 0 means "use the driver's default port".
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& path() const noexcept { return path_; }
+  const std::map<std::string, std::string>& params() const noexcept {
+    return params_;
+  }
+  std::string param(const std::string& key, std::string fallback = "") const;
+
+  /// host:port with the given default substituted when port()==0.
+  std::string endpoint(std::uint16_t defaultPort) const;
+
+ private:
+  std::string text_;
+  std::string scheme_;
+  std::string subprotocol_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::string path_;
+  std::map<std::string, std::string> params_;
+};
+
+}  // namespace gridrm::util

@@ -1,0 +1,76 @@
+// Value: the dynamically-typed cell used throughout GridRM.
+//
+// Every datum that flows through the system -- a ResultSet cell, a GLUE
+// attribute, an SNMP varbind payload, an event field -- is a Value. The
+// type set mirrors what the paper's JDBC plumbing carried (SQL NULL,
+// BOOLEAN, BIGINT, DOUBLE, VARCHAR).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace gridrm::util {
+
+enum class ValueType : std::uint8_t { Null, Bool, Int, Real, String };
+
+/// Human-readable name of a ValueType ("NULL", "BOOL", ...).
+const char* valueTypeName(ValueType t) noexcept;
+
+class Value {
+ public:
+  Value() noexcept : v_(std::monostate{}) {}
+  Value(bool b) noexcept : v_(b) {}                       // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i) noexcept : v_(i) {}               // NOLINT
+  Value(int i) noexcept : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(unsigned int i) noexcept : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(double d) noexcept : v_(d) {}                     // NOLINT
+  Value(std::string s) noexcept : v_(std::move(s)) {}     // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}            // NOLINT
+
+  static Value null() noexcept { return {}; }
+
+  ValueType type() const noexcept {
+    return static_cast<ValueType>(v_.index());
+  }
+  bool isNull() const noexcept { return type() == ValueType::Null; }
+  bool isNumeric() const noexcept {
+    return type() == ValueType::Int || type() == ValueType::Real;
+  }
+
+  // Exact accessors: precondition is that type() matches; violating it
+  // throws std::bad_variant_access (programming error, not data error).
+  bool asBool() const { return std::get<bool>(v_); }
+  std::int64_t asInt() const { return std::get<std::int64_t>(v_); }
+  double asReal() const { return std::get<double>(v_); }
+  const std::string& asString() const { return std::get<std::string>(v_); }
+
+  // Coercing accessors: convert across types, falling back to `fallback`
+  // when no sensible conversion exists (e.g. non-numeric string toInt).
+  std::int64_t toInt(std::int64_t fallback = 0) const noexcept;
+  double toReal(double fallback = 0.0) const noexcept;
+  bool toBool(bool fallback = false) const noexcept;
+  /// Render as text; NULL renders as "NULL".
+  std::string toString() const;
+
+  /// Parse text into the "most specific" Value: integer, then real, then
+  /// boolean literal (true/false), otherwise string. "NULL" parses to null.
+  static Value parse(std::string_view text);
+
+  /// Three-way comparison with SQL-ish semantics: NULL sorts first,
+  /// numerics compare across Int/Real, otherwise compare by type then value.
+  std::strong_ordering compare(const Value& other) const noexcept;
+
+  bool operator==(const Value& other) const noexcept {
+    return compare(other) == std::strong_ordering::equal;
+  }
+  bool operator<(const Value& other) const noexcept {
+    return compare(other) == std::strong_ordering::less;
+  }
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace gridrm::util

@@ -1,0 +1,55 @@
+// Minimal XML reader/writer, sufficient for Ganglia gmond dumps
+// (elements + attributes + nesting; no text nodes, namespaces or CDATA).
+// The coarse-grained parse cost this code represents is itself part of
+// what experiment E3 measures.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gridrm::util {
+
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+
+  std::string attr(const std::string& key, std::string fallback = "") const {
+    auto it = attributes.find(key);
+    return it == attributes.end() ? std::move(fallback) : it->second;
+  }
+  /// First child with the given element name; nullptr when absent.
+  const XmlElement* child(const std::string& childName) const;
+  /// All children with the given element name.
+  std::vector<const XmlElement*> childrenNamed(const std::string& childName) const;
+};
+
+class XmlError : public std::runtime_error {
+ public:
+  explicit XmlError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Parse a document; returns its root element. Throws XmlError.
+std::unique_ptr<XmlElement> parseXml(const std::string& text);
+
+/// Incremental writer producing the gmond-style documents the parser reads.
+class XmlWriter {
+ public:
+  XmlWriter& open(const std::string& name);
+  XmlWriter& attr(const std::string& key, const std::string& value);
+  /// Close the current element (self-closing if nothing nested).
+  XmlWriter& close();
+  std::string take();
+
+  static std::string escape(const std::string& s);
+
+ private:
+  std::string out_;
+  std::vector<std::string> stack_;  // names of open elements
+  bool tagOpen_ = false;            // '<name ...' emitted, '>' pending
+};
+
+}  // namespace gridrm::util

@@ -1,0 +1,93 @@
+#include "gridrm/agents/ganglia_agent.hpp"
+
+#include "gridrm/util/xml.hpp"
+
+namespace gridrm::agents::ganglia {
+
+GangliaAgent::GangliaAgent(sim::ClusterModel& cluster, net::Network& network,
+                           util::Clock& clock)
+    : cluster_(cluster), network_(network), clock_(clock) {
+  network_.bind(address(), this);
+}
+
+GangliaAgent::~GangliaAgent() { network_.unbind(address()); }
+
+net::Address GangliaAgent::address() const {
+  return {cluster_.host(0).name(), kGmondPort};
+}
+
+namespace {
+
+void metric(util::XmlWriter& w, const char* name, const std::string& val,
+            const char* type, const char* units) {
+  w.open("METRIC")
+      .attr("NAME", name)
+      .attr("VAL", val)
+      .attr("TYPE", type)
+      .attr("UNITS", units)
+      .close();
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string GangliaAgent::renderXml() {
+  util::XmlWriter w;
+  w.open("GANGLIA_XML").attr("VERSION", "2.5.7").attr("SOURCE", "gmond");
+  w.open("CLUSTER")
+      .attr("NAME", cluster_.name())
+      .attr("LOCALTIME", std::to_string(clock_.now() / util::kSecond));
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    sim::HostModel& h = cluster_.host(i);
+    w.open("HOST")
+        .attr("NAME", h.name())
+        .attr("IP", "10.0.0." + std::to_string(i + 1))
+        .attr("REPORTED", std::to_string(clock_.now() / util::kSecond));
+    metric(w, "load_one", fmt(h.load1()), "float", "");
+    metric(w, "load_five", fmt(h.load5()), "float", "");
+    metric(w, "load_fifteen", fmt(h.load15()), "float", "");
+    metric(w, "cpu_user", fmt(h.cpuUserPct()), "float", "%");
+    metric(w, "cpu_system", fmt(h.cpuSystemPct()), "float", "%");
+    metric(w, "cpu_idle", fmt(h.cpuIdlePct()), "float", "%");
+    metric(w, "cpu_num", std::to_string(h.spec().cpuCount), "uint16", "CPUs");
+    metric(w, "cpu_speed", std::to_string(h.spec().cpuMhz), "uint32", "MHz");
+    metric(w, "mem_total", std::to_string(h.spec().memTotalMb * 1024),
+           "uint32", "KB");
+    metric(w, "mem_free", std::to_string(h.memFreeMb() * 1024), "uint32",
+           "KB");
+    metric(w, "swap_total", std::to_string(h.spec().swapTotalMb * 1024),
+           "uint32", "KB");
+    metric(w, "swap_free", std::to_string(h.swapFreeMb() * 1024), "uint32",
+           "KB");
+    metric(w, "disk_total", std::to_string(h.spec().diskTotalMb), "double",
+           "MB");
+    metric(w, "disk_free", std::to_string(h.diskFreeMb()), "double", "MB");
+    metric(w, "bytes_in", std::to_string(h.netInBytes()), "float",
+           "bytes/sec");
+    metric(w, "bytes_out", std::to_string(h.netOutBytes()), "float",
+           "bytes/sec");
+    metric(w, "proc_total", std::to_string(h.processCount()), "uint32", "");
+    metric(w, "machine_type", h.spec().arch, "string", "");
+    metric(w, "os_name", h.spec().osName, "string", "");
+    metric(w, "os_release", h.spec().osVersion, "string", "");
+    metric(w, "boottime", std::to_string(h.bootTime() / util::kSecond),
+           "uint32", "s");
+    w.close();  // HOST
+  }
+  w.close();  // CLUSTER
+  w.close();  // GANGLIA_XML
+  return w.take();
+}
+
+net::Payload GangliaAgent::handleRequest(const net::Address& /*from*/,
+                                         const net::Payload& /*request*/) {
+  // gmond semantics: any connection receives the full dump.
+  return renderXml();
+}
+
+}  // namespace gridrm::agents::ganglia

@@ -1,0 +1,159 @@
+#include "gridrm/agents/mds_agent.hpp"
+
+#include <cstdio>
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::agents::mds {
+
+std::string LdifEntry::attr(const std::string& name,
+                            std::string fallback) const {
+  for (const auto& [key, value] : attributes) {
+    if (util::iequals(key, name)) return value;
+  }
+  return fallback;
+}
+
+std::vector<LdifEntry> parseLdif(const std::string& text) {
+  std::vector<LdifEntry> entries;
+  LdifEntry current;
+  for (const auto& rawLine : util::split(text, '\n')) {
+    const std::string line(util::trim(rawLine));
+    if (line.empty()) {
+      if (!current.dn.empty()) entries.push_back(std::move(current));
+      current = LdifEntry{};
+      continue;
+    }
+    std::size_t sep = line.find(':');
+    if (sep == std::string::npos) continue;
+    std::string key(util::trim(line.substr(0, sep)));
+    std::string value(util::trim(line.substr(sep + 1)));
+    if (util::iequals(key, "dn")) {
+      current.dn = std::move(value);
+    } else {
+      current.attributes.emplace_back(std::move(key), std::move(value));
+    }
+  }
+  if (!current.dn.empty()) entries.push_back(std::move(current));
+  return entries;
+}
+
+MdsAgent::MdsAgent(sim::ClusterModel& cluster, net::Network& network,
+                   util::Clock& clock)
+    : cluster_(cluster), network_(network), clock_(clock) {
+  network_.bind(address(), this);
+}
+
+MdsAgent::~MdsAgent() { network_.unbind(address()); }
+
+net::Address MdsAgent::address() const {
+  return {cluster_.host(0).name(), kGrisPort};
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// DN suffix match: is `dn` equal to, or below, `base`?
+bool underBase(const std::string& dn, const std::string& base) {
+  if (util::iequals(dn, base)) return true;
+  return dn.size() > base.size() + 1 &&
+         util::iequals(dn.substr(dn.size() - base.size()), base) &&
+         dn[dn.size() - base.size() - 1] == ',';
+}
+
+int depthBelow(const std::string& dn, const std::string& base) {
+  if (util::iequals(dn, base)) return 0;
+  const std::string head = dn.substr(0, dn.size() - base.size() - 1);
+  return static_cast<int>(util::split(head, ',').size());
+}
+
+}  // namespace
+
+std::vector<LdifEntry> MdsAgent::buildTree() {
+  std::vector<LdifEntry> tree;
+
+  LdifEntry vo;
+  vo.dn = baseDn();
+  vo.attributes = {{"objectClass", "MdsVo"},
+                   {"Mds-Vo-name", cluster_.name()},
+                   {"Mds-validto",
+                    std::to_string(clock_.now() / util::kSecond + 300)}};
+  tree.push_back(std::move(vo));
+
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    sim::HostModel& h = cluster_.host(i);
+    LdifEntry e;
+    e.dn = "GlueHostUniqueID=" + h.name() + "," + baseDn();
+    e.attributes = {
+        {"objectClass", "GlueHost"},
+        {"GlueHostUniqueID", h.name()},
+        {"GlueHostName", h.name()},
+        {"GlueClusterName", cluster_.name()},
+        {"GlueHostArchitecturePlatformType", h.spec().arch},
+        {"GlueHostOperatingSystemName", h.spec().osName},
+        {"GlueHostOperatingSystemRelease", h.spec().osVersion},
+        {"GlueHostProcessorClockSpeed", std::to_string(h.spec().cpuMhz)},
+        {"GlueHostArchitectureSMPSize", std::to_string(h.spec().cpuCount)},
+        {"GlueHostProcessorLoadAverage1Min", fmt(h.load1())},
+        {"GlueHostProcessorLoadAverage5Min", fmt(h.load5())},
+        {"GlueHostProcessorLoadAverage15Min", fmt(h.load15())},
+        {"GlueHostMainMemoryRAMSize", std::to_string(h.spec().memTotalMb)},
+        {"GlueHostMainMemoryRAMAvailable", std::to_string(h.memFreeMb())},
+        {"GlueHostMainMemoryVirtualSize",
+         std::to_string(h.spec().swapTotalMb)},
+        {"GlueHostMainMemoryVirtualAvailable", std::to_string(h.swapFreeMb())},
+        {"GlueHostNetworkAdapterInboundIP", std::to_string(h.netInBytes())},
+        {"GlueHostNetworkAdapterOutboundIP", std::to_string(h.netOutBytes())},
+        {"Mds-validto", std::to_string(clock_.now() / util::kSecond + 300)},
+    };
+    tree.push_back(std::move(e));
+  }
+  return tree;
+}
+
+net::Payload MdsAgent::handleRequest(const net::Address& /*from*/,
+                                     const net::Payload& request) {
+  // SEARCH <baseDN> <base|one|sub> [(<attr>=<value>)]
+  auto words = util::splitNonEmpty(std::string(util::trim(request)), ' ');
+  if (words.size() < 3 || words[0] != "SEARCH") return "ERROR bad request\n";
+  const std::string& base = words[1];
+  const std::string& scope = words[2];
+  std::string filterAttr;
+  std::string filterValue;
+  if (words.size() >= 4) {
+    std::string f = words[3];
+    if (f.size() >= 2 && f.front() == '(' && f.back() == ')') {
+      f = f.substr(1, f.size() - 2);
+    }
+    std::size_t eq = f.find('=');
+    if (eq == std::string::npos) return "ERROR bad filter\n";
+    filterAttr = f.substr(0, eq);
+    filterValue = f.substr(eq + 1);
+  }
+
+  std::string out;
+  for (const LdifEntry& entry : buildTree()) {
+    if (!underBase(entry.dn, base)) continue;
+    const int depth = depthBelow(entry.dn, base);
+    if (scope == "base" && depth != 0) continue;
+    if (scope == "one" && depth != 1) continue;
+    // "sub": everything at or below.
+    if (!filterAttr.empty()) {
+      const std::string value = entry.attr(filterAttr);
+      if (!util::iequals(value, filterValue)) continue;
+    }
+    out += "dn: " + entry.dn + "\n";
+    for (const auto& [key, value] : entry.attributes) {
+      out += key + ": " + value + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gridrm::agents::mds

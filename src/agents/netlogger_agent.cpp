@@ -1,0 +1,114 @@
+#include "gridrm/agents/netlogger_agent.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::agents::netlogger {
+
+std::string formatUlm(util::TimePoint ts, const std::string& host,
+                      const std::string& program, const std::string& event,
+                      double value) {
+  char val[48];
+  std::snprintf(val, sizeof(val), "%.6f", value);
+  return "DATE=" + std::to_string(ts) + " HOST=" + host + " PROG=" + program +
+         " LVL=Usage NL.EVNT=" + event + " VAL=" + val;
+}
+
+namespace {
+bool parseField(const std::string& line, const std::string& key,
+                std::string& out) {
+  const std::string needle = key + "=";
+  std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  std::size_t end = line.find(' ', pos);
+  if (end == std::string::npos) end = line.size();
+  out = line.substr(pos, end - pos);
+  return true;
+}
+}  // namespace
+
+bool parseUlmValue(const std::string& line, double& value) {
+  std::string text;
+  if (!parseField(line, "VAL", text)) return false;
+  const util::Value v = util::Value::parse(text);
+  if (!v.isNumeric()) return false;
+  value = v.toReal();
+  return true;
+}
+
+bool parseUlmDate(const std::string& line, util::TimePoint& ts) {
+  std::string text;
+  if (!parseField(line, "DATE", text)) return false;
+  const util::Value v = util::Value::parse(text);
+  if (v.type() != util::ValueType::Int) return false;
+  ts = v.asInt();
+  return true;
+}
+
+NetLoggerAgent::NetLoggerAgent(sim::HostModel& host, net::Network& network,
+                               util::Clock& clock)
+    : host_(host), network_(network), clock_(clock) {
+  lastEmit_ = clock_.now();  // log streams run from agent start
+  for (const char* e : kEvents) logs_[e] = {};
+  network_.bind(address(), this);
+}
+
+NetLoggerAgent::~NetLoggerAgent() { network_.unbind(address()); }
+
+void NetLoggerAgent::appendDue() {
+  const util::TimePoint now = clock_.now();
+  std::int64_t due = (now - lastEmit_) / kPeriod;
+  if (due <= 0) return;
+  if (due > 64) {
+    lastEmit_ = now - 64 * kPeriod;
+    due = 64;
+  }
+  for (std::int64_t i = 0; i < due; ++i) {
+    const util::TimePoint ts = lastEmit_ + kPeriod;
+    auto emit = [&](const char* event, double value) {
+      auto& q = logs_[event];
+      q.push_back(formatUlm(ts, host_.name(), "simd", event, value));
+      if (q.size() > kCap) q.pop_front();
+    };
+    emit("cpu.load", host_.load1());
+    emit("mem.free", static_cast<double>(host_.memFreeMb()));
+    emit("net.in", static_cast<double>(host_.netInBytes()));
+    emit("net.out", static_cast<double>(host_.netOutBytes()));
+    emit("disk.free", static_cast<double>(host_.diskFreeMb()));
+    lastEmit_ = ts;
+  }
+}
+
+net::Payload NetLoggerAgent::handleRequest(const net::Address& /*from*/,
+                                           const net::Payload& request) {
+  std::scoped_lock lock(mu_);
+  appendDue();
+
+  auto words = util::splitNonEmpty(std::string(util::trim(request)), ' ');
+  if (words.empty()) return "ERROR empty request\n";
+  if (words[0] == "EVENTS") {
+    std::string out;
+    for (const auto& [name, q] : logs_) out += name + "\n";
+    return out;
+  }
+  if (words[0] == "TAIL" && words.size() >= 3) {
+    auto it = logs_.find(words[1]);
+    if (it == logs_.end()) return "ERROR unknown event " + words[1] + "\n";
+    const std::size_t n = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, util::Value::parse(words[2]).toInt(0)));
+    const auto& q = it->second;
+    const std::size_t take = std::min(n, q.size());
+    std::string out;
+    for (std::size_t i = q.size() - take; i < q.size(); ++i) {
+      out += q[i] + "\n";
+    }
+    return out;
+  }
+  return "ERROR bad request\n";
+}
+
+}  // namespace gridrm::agents::netlogger

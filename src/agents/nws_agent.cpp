@@ -1,0 +1,146 @@
+#include "gridrm/agents/nws_agent.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::agents::nws {
+
+NwsAgent::NwsAgent(sim::HostModel& host, net::Network& network,
+                   util::Clock& clock, std::uint64_t seed)
+    : host_(host), network_(network), clock_(clock), rng_(seed) {
+  for (const char* r : kResources) {
+    Series s;
+    s.lastSample = clock_.now();  // measurements accumulate from boot
+    series_[r] = std::move(s);
+  }
+  network_.bind(address(), this);
+}
+
+NwsAgent::~NwsAgent() { network_.unbind(address()); }
+
+double NwsAgent::measure(const std::string& resource) {
+  // Measurements derive from the host model plus sensor noise, so they
+  // correlate over time the way NWS series do.
+  if (resource == "latency") {
+    // ms; grows with host load (slow responder).
+    return 0.8 + 0.5 * host_.load1() + 0.1 * rng_.gaussian();
+  }
+  if (resource == "bandwidth") {
+    // Mbps; the busier the host, the less spare bandwidth.
+    const double busy =
+        std::min(1.0, host_.load1() / host_.spec().cpuCount);
+    return std::max(1.0, host_.spec().nicSpeedMbps * (1.0 - 0.6 * busy) *
+                             (0.9 + 0.1 * rng_.uniform()));
+  }
+  // availableCpu: fraction of one CPU obtainable by a new process.
+  const double busy = std::min(1.0, host_.load1() / host_.spec().cpuCount);
+  return std::clamp(1.0 - busy + 0.05 * rng_.gaussian(), 0.0, 1.0);
+}
+
+void NwsAgent::updateForecasters(Series& s, double observed) {
+  auto score = [&](Forecaster& f) {
+    if (f.n > 0) {
+      const double err = observed - f.prediction;
+      f.mse = (f.mse * static_cast<double>(f.n - 1) + err * err) /
+              static_cast<double>(f.n);
+    }
+    ++f.n;
+  };
+  score(s.lastValue);
+  score(s.runningMean);
+  score(s.expSmooth);
+
+  // Update predictions for the *next* observation.
+  s.lastValue.prediction = observed;
+  s.meanAccum += observed;
+  ++s.count;
+  s.runningMean.prediction = s.meanAccum / static_cast<double>(s.count);
+  constexpr double kAlpha = 0.3;
+  s.expSmooth.prediction = s.count == 1
+                               ? observed
+                               : kAlpha * observed +
+                                     (1.0 - kAlpha) * s.expSmooth.prediction;
+}
+
+const Forecaster& NwsAgent::bestForecaster(const Series& s) const {
+  const Forecaster* best = &s.lastValue;
+  if (s.runningMean.mse < best->mse) best = &s.runningMean;
+  if (s.expSmooth.mse < best->mse) best = &s.expSmooth;
+  return *best;
+}
+
+void NwsAgent::sample() {
+  const util::TimePoint now = clock_.now();
+  for (auto& [name, s] : series_) {
+    // Cap catch-up work after long idle gaps.
+    std::int64_t due = (now - s.lastSample) / kPeriod;
+    if (due > 32) {
+      s.lastSample = now - 32 * kPeriod;
+      due = 32;
+    }
+    for (std::int64_t i = 0; i < due; ++i) {
+      const double observed = measure(name);
+      updateForecasters(s, observed);
+      s.history.push_back(observed);
+      if (s.history.size() > kHistoryCap) s.history.pop_front();
+      s.lastSample += kPeriod;
+    }
+  }
+}
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+}  // namespace
+
+net::Payload NwsAgent::handleRequest(const net::Address& /*from*/,
+                                     const net::Payload& request) {
+  std::scoped_lock lock(mu_);
+  sample();
+
+  auto words = util::splitNonEmpty(std::string(util::trim(request)), ' ');
+  if (words.empty()) return "ERROR empty request\n";
+  const std::string& cmd = words[0];
+
+  if (cmd == "LIST") {
+    std::string out;
+    for (const auto& [name, s] : series_) out += name + "\n";
+    return out;
+  }
+  if (cmd == "FORECAST" && words.size() >= 2) {
+    auto it = series_.find(words[1]);
+    if (it == series_.end()) return "ERROR unknown resource " + words[1] + "\n";
+    const Series& s = it->second;
+    if (s.history.empty()) return "ERROR no measurements yet\n";
+    const Forecaster& best = bestForecaster(s);
+    std::string out;
+    out += "RESOURCE " + words[1] + "\n";
+    out += "MEASUREMENT " + fmt(s.history.back()) + "\n";
+    out += "FORECAST " + fmt(best.prediction) + "\n";
+    out += "MSE " + fmt(best.mse) + "\n";
+    out += "METHOD " + best.name + "\n";
+    return out;
+  }
+  if (cmd == "SERIES" && words.size() >= 3) {
+    auto it = series_.find(words[1]);
+    if (it == series_.end()) return "ERROR unknown resource " + words[1] + "\n";
+    const std::size_t n = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, util::Value::parse(words[2]).toInt(0)));
+    const auto& hist = it->second.history;
+    const std::size_t take = std::min(n, hist.size());
+    std::string out;
+    for (std::size_t i = hist.size() - take; i < hist.size(); ++i) {
+      out += fmt(hist[i]) + "\n";
+    }
+    return out;
+  }
+  return "ERROR bad request\n";
+}
+
+}  // namespace gridrm::agents::nws

@@ -1,0 +1,67 @@
+#include "gridrm/agents/scms_agent.hpp"
+
+#include <cstdio>
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::agents::scms {
+
+ScmsAgent::ScmsAgent(sim::ClusterModel& cluster, net::Network& network,
+                     util::Clock& clock)
+    : cluster_(cluster), network_(network), clock_(clock) {
+  network_.bind(address(), this);
+}
+
+ScmsAgent::~ScmsAgent() { network_.unbind(address()); }
+
+net::Address ScmsAgent::address() const {
+  return {cluster_.host(0).name(), kScmsPort};
+}
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+}  // namespace
+
+net::Payload ScmsAgent::handleRequest(const net::Address& /*from*/,
+                                      const net::Payload& request) {
+  auto words = util::splitNonEmpty(std::string(util::trim(request)), ' ');
+  if (words.empty()) return "ERROR empty request\n";
+
+  if (words[0] == "NODES") {
+    std::string out;
+    for (const auto& name : cluster_.hostNames()) out += name + "\n";
+    return out;
+  }
+  if (words[0] == "STAT" && words.size() >= 2) {
+    sim::HostModel* h = cluster_.findHost(words[1]);
+    if (h == nullptr) return "ERROR unknown node " + words[1] + "\n";
+    std::string out;
+    out += "node: " + h->name() + "\n";
+    out += "cluster: " + cluster_.name() + "\n";
+    out += "uptime: " + std::to_string(h->uptimeSeconds()) + "\n";
+    out += "ncpus: " + std::to_string(h->spec().cpuCount) + "\n";
+    out += "cpu_mhz: " + std::to_string(h->spec().cpuMhz) + "\n";
+    out += "load1: " + fmt(h->load1()) + "\n";
+    out += "load5: " + fmt(h->load5()) + "\n";
+    out += "load15: " + fmt(h->load15()) + "\n";
+    out += "cpu_user: " + fmt(h->cpuUserPct()) + "\n";
+    out += "cpu_sys: " + fmt(h->cpuSystemPct()) + "\n";
+    out += "cpu_idle: " + fmt(h->cpuIdlePct()) + "\n";
+    out += "mem_total_mb: " + std::to_string(h->spec().memTotalMb) + "\n";
+    out += "mem_free_mb: " + std::to_string(h->memFreeMb()) + "\n";
+    out += "swap_free_mb: " + std::to_string(h->swapFreeMb()) + "\n";
+    out += "disk_total_mb: " + std::to_string(h->spec().diskTotalMb) + "\n";
+    out += "disk_free_mb: " + std::to_string(h->diskFreeMb()) + "\n";
+    out += "nprocs: " + std::to_string(h->processCount()) + "\n";
+    out += "os: " + h->spec().osName + " " + h->spec().osVersion + "\n";
+    out += "arch: " + h->spec().arch + "\n";
+    return out;
+  }
+  return "ERROR bad request\n";
+}
+
+}  // namespace gridrm::agents::scms

@@ -1,0 +1,91 @@
+#include "gridrm/agents/site.hpp"
+
+namespace gridrm::agents {
+
+SiteSimulation::SiteSimulation(net::Network& network, util::Clock& clock,
+                               SiteOptions options)
+    : network_(network), clock_(clock), options_(std::move(options)) {
+  cluster_ = std::make_unique<sim::ClusterModel>(
+      options_.siteName, options_.hostCount, clock_, options_.seed,
+      options_.baseSpec);
+  if (options_.withSnmp) {
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      snmpAgents_.push_back(std::make_unique<snmp::SnmpAgent>(
+          cluster_->host(i), network_, clock_));
+    }
+  }
+  if (options_.withGanglia) {
+    ganglia_ =
+        std::make_unique<ganglia::GangliaAgent>(*cluster_, network_, clock_);
+  }
+  if (options_.withNws) {
+    nws_ = std::make_unique<nws::NwsAgent>(cluster_->host(0), network_, clock_,
+                                           options_.seed + 101);
+  }
+  if (options_.withNetLogger) {
+    netlogger_ = std::make_unique<netlogger::NetLoggerAgent>(
+        cluster_->host(0), network_, clock_);
+  }
+  if (options_.withScms) {
+    scms_ = std::make_unique<scms::ScmsAgent>(*cluster_, network_, clock_);
+  }
+  if (options_.withSql) {
+    sqlsrc_ =
+        std::make_unique<sqlsrc::SqlSourceAgent>(*cluster_, network_, clock_);
+  }
+  if (options_.withMds) {
+    mds_ = std::make_unique<mds::MdsAgent>(*cluster_, network_, clock_);
+  }
+}
+
+std::string SiteSimulation::headUrl(const std::string& subprotocol) const {
+  const std::string head = cluster_->host(0).name();
+  std::uint16_t port = 0;
+  if (subprotocol == "snmp") {
+    port = snmp::kSnmpPort;
+  } else if (subprotocol == "ganglia") {
+    port = ganglia::kGmondPort;
+  } else if (subprotocol == "nws") {
+    port = nws::kNwsPort;
+  } else if (subprotocol == "netlogger") {
+    port = netlogger::kNetLoggerPort;
+  } else if (subprotocol == "scms") {
+    port = scms::kScmsPort;
+  } else if (subprotocol == "sql") {
+    port = sqlsrc::kSqlPort;
+  } else if (subprotocol == "mds") {
+    port = mds::kGrisPort;
+  } else if (subprotocol.empty()) {
+    return "jdbc:://" + head + ":" + std::to_string(snmp::kSnmpPort) +
+           "/perfdata";
+  }
+  return "jdbc:" + subprotocol + "://" + head + ":" + std::to_string(port) +
+         "/perfdata";
+}
+
+std::vector<std::string> SiteSimulation::dataSourceUrls() const {
+  std::vector<std::string> urls;
+  if (options_.withSnmp) {
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      urls.push_back("jdbc:snmp://" + cluster_->host(i).name() + ":" +
+                     std::to_string(snmp::kSnmpPort) + "/perfdata");
+    }
+  }
+  if (options_.withGanglia) urls.push_back(headUrl("ganglia"));
+  if (options_.withNws) urls.push_back(headUrl("nws"));
+  if (options_.withNetLogger) urls.push_back(headUrl("netlogger"));
+  if (options_.withScms) urls.push_back(headUrl("scms"));
+  if (options_.withSql) urls.push_back(headUrl("sql"));
+  if (options_.withMds) urls.push_back(headUrl("mds"));
+  return urls;
+}
+
+void SiteSimulation::setTrapSink(const net::Address& sink) {
+  for (auto& agent : snmpAgents_) agent->setTrapSink(sink);
+}
+
+void SiteSimulation::pollTraps() {
+  for (auto& agent : snmpAgents_) agent->pollTraps();
+}
+
+}  // namespace gridrm::agents

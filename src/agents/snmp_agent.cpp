@@ -1,0 +1,180 @@
+#include "gridrm/agents/snmp_agent.hpp"
+
+namespace gridrm::agents::snmp {
+
+using util::Value;
+
+SnmpAgent::SnmpAgent(sim::HostModel& host, net::Network& network,
+                     util::Clock& clock, std::string community)
+    : host_(host),
+      network_(network),
+      clock_(clock),
+      community_(std::move(community)) {
+  buildMib();
+  network_.bind(address(), this);
+}
+
+SnmpAgent::~SnmpAgent() { network_.unbind(address()); }
+
+void SnmpAgent::buildMib() {
+  auto add = [&](const char* oidText, MibGetter getter) {
+    mib_[Oid::parse(oidText)] = std::move(getter);
+  };
+  sim::HostModel& h = host_;
+
+  add(oids::kSysDescr, [&h] {
+    return Value(h.spec().osName + " " + h.spec().osVersion + " " +
+                 h.spec().arch);
+  });
+  add(oids::kSysUpTime, [&h] { return Value(h.uptimeSeconds() * 100); });
+  add(oids::kSysName, [&h] { return Value(h.name()); });
+  add(oids::kHrSystemProcesses,
+      [&h] { return Value(static_cast<std::int64_t>(h.processCount())); });
+  add(oids::kHrMemorySize, [&h] { return Value(h.spec().memTotalMb * 1024); });
+  add(oids::kHrStorageSize, [&h] { return Value(h.spec().diskTotalMb); });
+  add(oids::kHrStorageUsed,
+      [&h] { return Value(h.spec().diskTotalMb - h.diskFreeMb()); });
+
+  const Oid procLoad = Oid::parse(oids::kHrProcessorLoadPrefix);
+  for (int cpu = 1; cpu <= host_.spec().cpuCount; ++cpu) {
+    mib_[procLoad.child(static_cast<std::uint32_t>(cpu))] = [&h] {
+      return Value(static_cast<std::int64_t>(100.0 - h.cpuIdlePct()));
+    };
+  }
+
+  add(oids::kLaLoad1, [&h] { return Value(h.load1()); });
+  add(oids::kLaLoad5, [&h] { return Value(h.load5()); });
+  add(oids::kLaLoad15, [&h] { return Value(h.load15()); });
+  add(oids::kMemTotalReal, [&h] { return Value(h.spec().memTotalMb * 1024); });
+  add(oids::kMemAvailReal, [&h] { return Value(h.memFreeMb() * 1024); });
+  add(oids::kMemTotalSwap, [&h] { return Value(h.spec().swapTotalMb * 1024); });
+  add(oids::kMemAvailSwap, [&h] { return Value(h.swapFreeMb() * 1024); });
+  add(oids::kSsCpuUser,
+      [&h] { return Value(static_cast<std::int64_t>(h.cpuUserPct())); });
+  add(oids::kSsCpuSystem,
+      [&h] { return Value(static_cast<std::int64_t>(h.cpuSystemPct())); });
+  add(oids::kSsCpuIdle,
+      [&h] { return Value(static_cast<std::int64_t>(h.cpuIdlePct())); });
+  add(oids::kIfDescr, [] { return Value("eth0"); });
+  add(oids::kIfSpeed, [&h] {
+    return Value(static_cast<std::int64_t>(h.spec().nicSpeedMbps) * 1000000);
+  });
+  add(oids::kIfInOctets, [&h] { return Value(h.netInBytes()); });
+  add(oids::kIfOutOctets, [&h] { return Value(h.netOutBytes()); });
+}
+
+std::optional<Value> SnmpAgent::lookup(const Oid& oid) {
+  auto it = mib_.find(oid);
+  if (it == mib_.end()) return std::nullopt;
+  return it->second();
+}
+
+Pdu SnmpAgent::execute(const Pdu& request) {
+  Pdu response;
+  response.type = PduType::Response;
+  response.community = request.community;
+  response.requestId = request.requestId;
+
+  if (request.community != community_) {
+    response.errorStatus = SnmpError::AuthorizationError;
+    return response;
+  }
+
+  switch (request.type) {
+    case PduType::Get: {
+      for (const auto& vb : request.varbinds) {
+        auto v = lookup(vb.oid);
+        if (!v) {
+          response.errorStatus = SnmpError::NoSuchName;
+          response.varbinds.push_back({vb.oid, Value::null()});
+        } else {
+          response.varbinds.push_back({vb.oid, std::move(*v)});
+        }
+      }
+      return response;
+    }
+    case PduType::GetNext: {
+      for (const auto& vb : request.varbinds) {
+        auto it = mib_.upper_bound(vb.oid);
+        if (it == mib_.end()) {
+          response.errorStatus = SnmpError::NoSuchName;
+          response.varbinds.push_back({vb.oid, Value::null()});
+        } else {
+          response.varbinds.push_back({it->first, it->second()});
+        }
+      }
+      return response;
+    }
+    case PduType::GetBulk: {
+      // Walk forward from each requested OID, up to maxRepetitions rows.
+      for (const auto& vb : request.varbinds) {
+        auto it = mib_.upper_bound(vb.oid);
+        for (std::uint32_t n = 0; n < request.maxRepetitions && it != mib_.end();
+             ++n, ++it) {
+          response.varbinds.push_back({it->first, it->second()});
+        }
+      }
+      return response;
+    }
+    default:
+      response.errorStatus = SnmpError::GenErr;
+      return response;
+  }
+}
+
+net::Payload SnmpAgent::handleRequest(const net::Address& /*from*/,
+                                      const Payload& request) {
+  Pdu pdu;
+  try {
+    pdu = decodePdu(request);
+  } catch (const std::exception&) {
+    Pdu bad;
+    bad.type = PduType::Response;
+    bad.errorStatus = SnmpError::GenErr;
+    return encodePdu(bad);
+  }
+  Pdu response = execute(pdu);
+  pollTraps();  // threshold state may have moved since the last probe
+  return encodePdu(response);
+}
+
+void SnmpAgent::sendTrap(const char* trapOid, std::vector<Varbind> varbinds) {
+  if (!trapSink_) return;
+  Pdu trap;
+  trap.type = PduType::Trap;
+  trap.community = community_;
+  trap.varbinds.push_back(
+      {Oid::parse("1.3.6.1.6.3.1.1.4.1.0"), Value(trapOid)});  // snmpTrapOID
+  for (auto& vb : varbinds) trap.varbinds.push_back(std::move(vb));
+  network_.datagram(address(), *trapSink_, encodePdu(trap));
+}
+
+void SnmpAgent::pollTraps() {
+  const double load = host_.load1();
+  const std::int64_t diskFree = host_.diskFreeMb();
+
+  bool fireLoad = false;
+  bool fireDisk = false;
+  {
+    std::scoped_lock lock(trapMu_);
+    const bool high = load > thresholds_.highLoad1;
+    if (high && !inHighLoad_) fireLoad = true;
+    inHighLoad_ = high;
+    const bool low = diskFree < thresholds_.lowDiskMb;
+    if (low && !inLowDisk_) fireDisk = true;
+    inLowDisk_ = low;
+  }
+  if (fireLoad) {
+    sendTrap(oids::kTrapHighLoad,
+             {{Oid::parse(oids::kLaLoad1), Value(load)},
+              {Oid::parse(oids::kSysName), Value(host_.name())}});
+  }
+  if (fireDisk) {
+    sendTrap(oids::kTrapLowDisk,
+             {{Oid::parse(oids::kHrStorageUsed),
+               Value(host_.spec().diskTotalMb - diskFree)},
+              {Oid::parse(oids::kSysName), Value(host_.name())}});
+  }
+}
+
+}  // namespace gridrm::agents::snmp

@@ -1,0 +1,241 @@
+#include "gridrm/agents/snmp_codec.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::agents::snmp {
+
+using util::Value;
+using util::ValueType;
+
+Oid Oid::parse(const std::string& text) {
+  std::vector<std::uint32_t> parts;
+  for (const auto& piece : util::splitNonEmpty(text, '.')) {
+    std::uint32_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(piece.data(), piece.data() + piece.size(), v);
+    if (ec != std::errc{} || ptr != piece.data() + piece.size()) return Oid{};
+    parts.push_back(v);
+  }
+  return Oid(std::move(parts));
+}
+
+std::string Oid::toString() const {
+  std::string out;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(parts_[i]);
+  }
+  return out;
+}
+
+Oid Oid::child(std::uint32_t arc) const {
+  std::vector<std::uint32_t> parts = parts_;
+  parts.push_back(arc);
+  return Oid(std::move(parts));
+}
+
+bool Oid::isPrefixOf(const Oid& other) const noexcept {
+  if (parts_.size() > other.parts_.size()) return false;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (parts_[i] != other.parts_[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// --- wire primitives -------------------------------------------------
+// varint (LEB128) lengths and integers; tag bytes pick the payload type.
+
+constexpr std::uint8_t kTagNull = 0x05;
+constexpr std::uint8_t kTagInt = 0x02;
+constexpr std::uint8_t kTagReal = 0x09;  // 8-byte big-endian IEEE754
+constexpr std::uint8_t kTagString = 0x04;
+constexpr std::uint8_t kTagOid = 0x06;
+constexpr std::uint8_t kTagBool = 0x01;
+
+void putVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : s_(bytes) {}
+
+  std::uint8_t byte() {
+    need(1);
+    return static_cast<std::uint8_t>(s_[i_++]);
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t b = byte();
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+      if (shift > 63) throw std::runtime_error("snmp: varint overflow");
+    }
+  }
+
+  std::string bytes(std::size_t n) {
+    need(n);
+    std::string out = s_.substr(i_, n);
+    i_ += n;
+    return out;
+  }
+
+  bool atEnd() const noexcept { return i_ == s_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (i_ + n > s_.size()) throw std::runtime_error("snmp: truncated PDU");
+  }
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+void putOid(std::string& out, const Oid& oid) {
+  putVarint(out, oid.size());
+  for (std::uint32_t part : oid.parts()) putVarint(out, part);
+}
+
+Oid readOid(Reader& r) {
+  const std::uint64_t n = r.varint();
+  if (n > 128) throw std::runtime_error("snmp: OID too long");
+  std::vector<std::uint32_t> parts;
+  parts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    parts.push_back(static_cast<std::uint32_t>(r.varint()));
+  }
+  return Oid(std::move(parts));
+}
+
+void putValue(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case ValueType::Null:
+      out.push_back(static_cast<char>(kTagNull));
+      return;
+    case ValueType::Bool:
+      out.push_back(static_cast<char>(kTagBool));
+      out.push_back(v.asBool() ? 1 : 0);
+      return;
+    case ValueType::Int: {
+      out.push_back(static_cast<char>(kTagInt));
+      // zigzag for signed values
+      const std::int64_t i = v.asInt();
+      putVarint(out, (static_cast<std::uint64_t>(i) << 1) ^
+                         static_cast<std::uint64_t>(i >> 63));
+      return;
+    }
+    case ValueType::Real: {
+      out.push_back(static_cast<char>(kTagReal));
+      std::uint64_t bits;
+      const double d = v.asReal();
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      for (int shift = 56; shift >= 0; shift -= 8) {
+        out.push_back(static_cast<char>((bits >> shift) & 0xff));
+      }
+      return;
+    }
+    case ValueType::String: {
+      out.push_back(static_cast<char>(kTagString));
+      putVarint(out, v.asString().size());
+      out += v.asString();
+      return;
+    }
+  }
+}
+
+Value readValue(Reader& r) {
+  const std::uint8_t tag = r.byte();
+  switch (tag) {
+    case kTagNull:
+      return Value::null();
+    case kTagBool:
+      return Value(r.byte() != 0);
+    case kTagInt: {
+      const std::uint64_t z = r.varint();
+      return Value(static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1)));
+    }
+    case kTagReal: {
+      std::uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) bits = (bits << 8) | r.byte();
+      double d;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kTagString: {
+      const std::uint64_t n = r.varint();
+      if (n > (1u << 24)) throw std::runtime_error("snmp: string too long");
+      return Value(r.bytes(static_cast<std::size_t>(n)));
+    }
+    case kTagOid:
+      return Value(readOid(r).toString());
+    default:
+      throw std::runtime_error("snmp: unknown value tag");
+  }
+}
+
+}  // namespace
+
+std::string encodePdu(const Pdu& pdu) {
+  std::string out;
+  out.push_back(static_cast<char>(pdu.type));
+  putVarint(out, pdu.community.size());
+  out += pdu.community;
+  putVarint(out, pdu.requestId);
+  out.push_back(static_cast<char>(pdu.errorStatus));
+  putVarint(out, pdu.maxRepetitions);
+  putVarint(out, pdu.varbinds.size());
+  for (const auto& vb : pdu.varbinds) {
+    putOid(out, vb.oid);
+    putValue(out, vb.value);
+  }
+  return out;
+}
+
+Pdu decodePdu(const std::string& bytes) {
+  Reader r(bytes);
+  Pdu pdu;
+  const std::uint8_t type = r.byte();
+  switch (type) {
+    case static_cast<std::uint8_t>(PduType::Get):
+    case static_cast<std::uint8_t>(PduType::GetNext):
+    case static_cast<std::uint8_t>(PduType::Response):
+    case static_cast<std::uint8_t>(PduType::GetBulk):
+    case static_cast<std::uint8_t>(PduType::Trap):
+      pdu.type = static_cast<PduType>(type);
+      break;
+    default:
+      throw std::runtime_error("snmp: unknown PDU type");
+  }
+  const std::uint64_t communityLen = r.varint();
+  if (communityLen > 256) throw std::runtime_error("snmp: community too long");
+  pdu.community = r.bytes(static_cast<std::size_t>(communityLen));
+  pdu.requestId = static_cast<std::uint32_t>(r.varint());
+  pdu.errorStatus = static_cast<SnmpError>(r.byte());
+  pdu.maxRepetitions = static_cast<std::uint32_t>(r.varint());
+  const std::uint64_t n = r.varint();
+  if (n > 4096) throw std::runtime_error("snmp: too many varbinds");
+  pdu.varbinds.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Varbind vb;
+    vb.oid = readOid(r);
+    vb.value = readValue(r);
+    pdu.varbinds.push_back(std::move(vb));
+  }
+  if (!r.atEnd()) throw std::runtime_error("snmp: trailing bytes");
+  return pdu;
+}
+
+}  // namespace gridrm::agents::snmp

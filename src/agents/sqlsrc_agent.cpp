@@ -1,0 +1,108 @@
+#include "gridrm/agents/sqlsrc_agent.hpp"
+
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/glue/schema.hpp"
+#include "gridrm/sql/lexer.hpp"
+
+namespace gridrm::agents::sqlsrc {
+
+using dbc::ColumnInfo;
+using util::Value;
+
+SqlSourceAgent::SqlSourceAgent(sim::ClusterModel& cluster,
+                               net::Network& network, util::Clock& clock)
+    : cluster_(cluster), network_(network), clock_(clock) {
+  defineTables();
+  network_.bind(address(), this);
+}
+
+SqlSourceAgent::~SqlSourceAgent() { network_.unbind(address()); }
+
+net::Address SqlSourceAgent::address() const {
+  return {cluster_.host(0).name(), kSqlPort};
+}
+
+void SqlSourceAgent::defineTables() {
+  // Table layouts come directly from the GLUE schema definitions.
+  const glue::Schema& schema = glue::Schema::builtin();
+  for (const auto& groupName :
+       {"Host", "Processor", "Memory", "OperatingSystem", "FileSystem",
+        "NetworkAdapter", "ComputeElement"}) {
+    const glue::GroupDef* g = schema.findGroup(groupName);
+    std::vector<ColumnInfo> columns;
+    for (const auto& attr : g->attributes()) {
+      columns.push_back(ColumnInfo{attr.name, attr.type, attr.unit, g->name()});
+    }
+    db_.createTable(g->name(), std::move(columns));
+  }
+}
+
+void SqlSourceAgent::refreshTables() {
+  const std::int64_t now = clock_.now();
+  // Rebuild the snapshot tables from the host models.
+  defineTables();  // createTable replaces, emptying previous rows
+
+  double loadSum = 0.0;
+  std::int64_t freeCpus = 0;
+  std::int64_t totalCpus = 0;
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    sim::HostModel& h = cluster_.host(i);
+    const std::string host = h.name();
+    const std::string cl = cluster_.name();
+
+    db_.insertRow("Host",
+                  {Value(host), Value(cl), Value(now),
+                   Value(h.uptimeSeconds()),
+                   Value(static_cast<std::int64_t>(h.processCount())),
+                   Value(h.spec().osName), Value(h.spec().osVersion),
+                   Value(h.spec().arch)});
+    db_.insertRow(
+        "Processor",
+        {Value(host), Value(cl), Value(now),
+         Value(static_cast<std::int64_t>(h.spec().cpuCount)),
+         Value(static_cast<std::int64_t>(h.spec().cpuMhz)),
+         Value(h.spec().cpuModel), Value(h.load1()), Value(h.load5()),
+         Value(h.load15()), Value(h.cpuUserPct()), Value(h.cpuSystemPct()),
+         Value(h.cpuIdlePct())});
+    db_.insertRow("Memory", {Value(host), Value(cl), Value(now),
+                             Value(h.spec().memTotalMb), Value(h.memFreeMb()),
+                             Value(h.spec().swapTotalMb),
+                             Value(h.swapFreeMb())});
+    db_.insertRow("OperatingSystem",
+                  {Value(host), Value(cl), Value(now), Value(h.spec().osName),
+                   Value(h.spec().osVersion), Value(h.bootTime())});
+    db_.insertRow("FileSystem",
+                  {Value(host), Value(cl), Value(now), Value("/"),
+                   Value(h.spec().diskTotalMb), Value(h.diskFreeMb()),
+                   Value(false)});
+    db_.insertRow(
+        "NetworkAdapter",
+        {Value(host), Value(cl), Value(now), Value("eth0"),
+         Value(static_cast<std::int64_t>(h.spec().nicSpeedMbps)),
+         Value(h.netInBytes()), Value(h.netOutBytes())});
+
+    loadSum += h.load1();
+    totalCpus += h.spec().cpuCount;
+    if (h.load1() < 0.5) freeCpus += h.spec().cpuCount;
+  }
+  db_.insertRow("ComputeElement",
+                {Value(cluster_.name()), Value(now),
+                 Value(cluster_.name() + "-ce"), Value(totalCpus),
+                 Value(freeCpus),
+                 Value(static_cast<std::int64_t>(cluster_.size())),
+                 Value(loadSum / static_cast<double>(cluster_.size()))});
+}
+
+net::Payload SqlSourceAgent::handleRequest(const net::Address& /*from*/,
+                                           const net::Payload& request) {
+  std::scoped_lock lock(mu_);
+  try {
+    refreshTables();
+    auto rs = db_.query(request);
+    return dbc::serializeResultSet(*rs);
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+}  // namespace gridrm::agents::sqlsrc

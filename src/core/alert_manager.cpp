@@ -1,0 +1,176 @@
+#include "gridrm/core/alert_manager.hpp"
+
+#include <algorithm>
+
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::core {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+void AlertManager::addRule(AlertRule rule) {
+  CompiledRule compiled;
+  try {
+    compiled.query = sql::parseSelect(rule.sql);
+    // The condition is an expression; parse it through a WHERE clause.
+    sql::SelectStatement shim =
+        sql::parseSelect("SELECT * FROM shim WHERE " + rule.condition);
+    compiled.condition = std::move(shim.where);
+  } catch (const sql::ParseError& e) {
+    throw SqlError(ErrorCode::Syntax,
+                   "alert rule '" + rule.name + "': " + e.what());
+  }
+  compiled.rule = std::move(rule);
+
+  std::scoped_lock lock(mu_);
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [&](const CompiledRule& r) {
+                           return r.rule.name == compiled.rule.name;
+                         });
+  if (it != rules_.end()) {
+    *it = std::move(compiled);
+  } else {
+    rules_.push_back(std::move(compiled));
+  }
+}
+
+bool AlertManager::removeRule(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  const auto before = rules_.size();
+  std::erase_if(rules_,
+                [&](const CompiledRule& r) { return r.rule.name == name; });
+  return rules_.size() != before;
+}
+
+std::vector<AlertRule> AlertManager::rules() const {
+  std::scoped_lock lock(mu_);
+  std::vector<AlertRule> out;
+  out.reserve(rules_.size());
+  for (const auto& r : rules_) out.push_back(r.rule);
+  return out;
+}
+
+std::size_t AlertManager::evaluateCompiled(const Principal& principal,
+                                           const CompiledRule& compiled) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.evaluations;
+  }
+  QueryOptions options;
+  options.useCache = false;  // alerts must see fresh data
+  QueryResult result = requestManager_.queryOne(principal, compiled.rule.url,
+                                                compiled.rule.sql, options);
+  if (!result.complete() || result.rows == nullptr) {
+    std::scoped_lock lock(mu_);
+    ++stats_.queryFailures;
+    return 0;
+  }
+
+  const auto& meta = result.rows->metaData();
+  std::size_t raised = 0;
+  for (const auto& row : result.rows->rows()) {
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.rowsExamined;
+    }
+    sql::FnRowAccessor accessor(
+        [&](const std::string& name) -> std::optional<Value> {
+          auto idx = meta.columnIndex(name);
+          if (!idx || *idx >= row.size()) return std::nullopt;
+          return row[*idx];
+        });
+    bool violated = false;
+    try {
+      violated = sql::evaluatePredicate(*compiled.condition, accessor);
+    } catch (const sql::EvalError&) {
+      std::scoped_lock lock(mu_);
+      ++stats_.conditionErrors;
+      continue;
+    }
+    if (!violated) continue;
+
+    std::string subject;
+    if (auto idx = meta.columnIndex(compiled.rule.subjectColumn)) {
+      if (*idx < row.size() && !row[*idx].isNull()) {
+        subject = row[*idx].toString();
+      }
+    }
+    {
+      std::scoped_lock lock(mu_);
+      const auto key = std::make_pair(compiled.rule.name, subject);
+      auto it = lastFired_.find(key);
+      if (it != lastFired_.end() &&
+          clock_.now() - it->second < compiled.rule.holdOff) {
+        ++stats_.suppressedByHoldOff;
+        continue;
+      }
+      lastFired_[key] = clock_.now();
+      ++stats_.alertsRaised;
+    }
+
+    Event event;
+    event.type = "gateway.alert." + util::toLower(compiled.rule.name);
+    event.source = subject.empty() ? compiled.rule.url : subject;
+    event.severity = compiled.rule.severity;
+    event.fields["rule"] = Value(compiled.rule.name);
+    event.fields["condition"] = Value(compiled.rule.condition);
+    event.fields["url"] = Value(compiled.rule.url);
+    for (std::size_t c = 0; c < meta.columnCount() && c < row.size(); ++c) {
+      if (!row[c].isNull()) event.fields[meta.column(c).name] = row[c];
+    }
+    eventManager_.ingest(std::move(event));
+    ++raised;
+  }
+  return raised;
+}
+
+std::size_t AlertManager::evaluate(const Principal& principal) {
+  // Copy compiled rules out so rule mutation during evaluation is safe;
+  // the query/condition ASTs are cloned (unique ownership).
+  std::vector<CompiledRule> snapshot;
+  {
+    std::scoped_lock lock(mu_);
+    snapshot.reserve(rules_.size());
+    for (const auto& r : rules_) {
+      CompiledRule copy;
+      copy.rule = r.rule;
+      copy.query.table = r.query.table;  // unused during evaluation
+      copy.condition = r.condition->clone();
+      snapshot.push_back(std::move(copy));
+    }
+  }
+  std::size_t raised = 0;
+  for (const auto& compiled : snapshot) {
+    raised += evaluateCompiled(principal, compiled);
+  }
+  return raised;
+}
+
+std::size_t AlertManager::evaluateRule(const Principal& principal,
+                                       const std::string& name) {
+  CompiledRule copy;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = std::find_if(rules_.begin(), rules_.end(),
+                           [&](const CompiledRule& r) {
+                             return r.rule.name == name;
+                           });
+    if (it == rules_.end()) {
+      throw SqlError(ErrorCode::Generic, "no alert rule '" + name + "'");
+    }
+    copy.rule = it->rule;
+    copy.condition = it->condition->clone();
+  }
+  return evaluateCompiled(principal, copy);
+}
+
+AlertManagerStats AlertManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

@@ -1,0 +1,90 @@
+#include "gridrm/core/cache_controller.hpp"
+
+namespace gridrm::core {
+
+std::unique_ptr<dbc::VectorResultSet> CacheController::lookup(
+    const std::string& key) {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  if (entry.ttl <= 0 || clock_.now() - entry.storedAt > entry.ttl) {
+    lru_.erase(entry.lruIt);
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, entry.lruIt);  // mark most recent
+  // Hand out an independent cursor over the shared rows.
+  return std::make_unique<dbc::VectorResultSet>(entry.rs->metaData(),
+                                                entry.rs->rows());
+}
+
+void CacheController::insert(const std::string& key,
+                             const dbc::VectorResultSet& rs,
+                             util::Duration ttl) {
+  if (ttl < 0) ttl = defaultTtl_;
+  if (ttl <= 0) return;  // caching disabled
+  auto shared =
+      std::make_shared<const dbc::VectorResultSet>(rs.metaData(), rs.rows());
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.rs = std::move(shared);
+    it->second.storedAt = clock_.now();
+    it->second.ttl = ttl;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+  } else {
+    lru_.push_front(key);
+    entries_[key] = Entry{std::move(shared), clock_.now(), ttl, lru_.begin()};
+    evictIfNeeded();
+  }
+  ++stats_.insertions;
+}
+
+void CacheController::evictIfNeeded() {
+  while (entries_.size() > maxEntries_ && !lru_.empty()) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void CacheController::invalidate(const std::string& key) {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lruIt);
+  entries_.erase(it);
+}
+
+void CacheController::clear() {
+  std::scoped_lock lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::optional<util::TimePoint> CacheController::cachedAt(
+    const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.storedAt;
+}
+
+CacheStats CacheController::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t CacheController::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gridrm::core

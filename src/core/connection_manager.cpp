@@ -1,0 +1,105 @@
+#include "gridrm/core/connection_manager.hpp"
+
+namespace gridrm::core {
+
+void ConnectionManager::Lease::release() {
+  if (manager_ == nullptr || conn_ == nullptr) return;
+  manager_->give(key_, std::move(driver_), std::move(conn_), poisoned_);
+  manager_ = nullptr;
+}
+
+ConnectionManager::Lease ConnectionManager::acquire(const util::Url& url,
+                                                    const util::Config& props) {
+  const std::string key = url.text();
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.acquisitions;
+  }
+  // Reuse idle connections, validating outside the lock.
+  while (true) {
+    Pooled pooled;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = idle_.find(key);
+      if (it == idle_.end() || it->second.empty()) break;
+      pooled = std::move(it->second.front());
+      it->second.pop_front();
+    }
+    const bool ok = !validate_ || pooled.conn->isValid();
+    if (ok) {
+      std::scoped_lock lock(mu_);
+      ++stats_.poolHits;
+      return Lease(this, key, std::move(pooled.driver),
+                   std::move(pooled.conn));
+    }
+    std::scoped_lock lock(mu_);
+    ++stats_.validationFailures;
+    // loop: try the next idle connection, if any
+  }
+
+  GridRmDriverManager::Selection sel =
+      driverManager_.obtainConnection(url, props);
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.creations;
+  }
+  return Lease(this, key, std::move(sel.driver), std::move(sel.connection));
+}
+
+void ConnectionManager::give(const std::string& key,
+                             std::shared_ptr<dbc::Driver> driver,
+                             std::unique_ptr<dbc::Connection> conn,
+                             bool poisoned) {
+  if (poisoned) {
+    driverManager_.reportFailure(key);
+    std::scoped_lock lock(mu_);
+    ++stats_.returns;
+    ++stats_.discards;
+    return;
+  }
+  if (conn->isClosed()) {
+    std::scoped_lock lock(mu_);
+    ++stats_.returns;
+    ++stats_.discards;
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  ++stats_.returns;
+  auto& queue = idle_[key];
+  if (queue.size() >= maxIdlePerSource_) {
+    ++stats_.discards;
+    return;
+  }
+  queue.push_back(Pooled{std::move(driver), std::move(conn)});
+}
+
+PoolStats ConnectionManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t ConnectionManager::idleCount(const std::string& urlText) const {
+  std::scoped_lock lock(mu_);
+  auto it = idle_.find(urlText);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+void ConnectionManager::clear() {
+  std::scoped_lock lock(mu_);
+  idle_.clear();
+}
+
+std::size_t ConnectionManager::dropDriver(const std::string& driverName) {
+  std::scoped_lock lock(mu_);
+  std::size_t dropped = 0;
+  for (auto& [key, queue] : idle_) {
+    const std::size_t before = queue.size();
+    std::erase_if(queue, [&](const Pooled& p) {
+      return p.driver->name() == driverName;
+    });
+    dropped += before - queue.size();
+  }
+  return dropped;
+}
+
+}  // namespace gridrm::core

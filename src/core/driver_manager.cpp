@@ -1,0 +1,191 @@
+#include "gridrm/core/driver_manager.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace gridrm::core {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+void GridRmDriverManager::setStaticPreference(
+    const std::string& urlText, std::vector<std::string> driverNames) {
+  std::scoped_lock lock(mu_);
+  staticPrefs_[urlText] = std::move(driverNames);
+}
+
+void GridRmDriverManager::clearStaticPreference(const std::string& urlText) {
+  std::scoped_lock lock(mu_);
+  staticPrefs_.erase(urlText);
+}
+
+std::vector<std::string> GridRmDriverManager::staticPreference(
+    const std::string& urlText) const {
+  std::scoped_lock lock(mu_);
+  auto it = staticPrefs_.find(urlText);
+  return it == staticPrefs_.end() ? std::vector<std::string>{} : it->second;
+}
+
+void GridRmDriverManager::setFailurePolicy(const FailurePolicy& policy) {
+  std::scoped_lock lock(mu_);
+  policy_ = policy;
+}
+
+FailurePolicy GridRmDriverManager::failurePolicy() const {
+  std::scoped_lock lock(mu_);
+  return policy_;
+}
+
+void GridRmDriverManager::setLastGoodCacheEnabled(bool enabled) {
+  std::scoped_lock lock(mu_);
+  cacheEnabled_ = enabled;
+  if (!enabled) lastGood_.clear();
+}
+
+std::string GridRmDriverManager::cachedDriver(const std::string& urlText) const {
+  std::scoped_lock lock(mu_);
+  auto it = lastGood_.find(urlText);
+  return it == lastGood_.end() ? std::string{} : it->second;
+}
+
+void GridRmDriverManager::reportFailure(const std::string& urlText) {
+  std::scoped_lock lock(mu_);
+  lastGood_.erase(urlText);
+}
+
+GridRmDriverManager::Selection GridRmDriverManager::obtainConnection(
+    const util::Url& url, const util::Config& props) {
+  // Phase 1 (under the lock): read configuration, build the candidate
+  // plan. Phase 2 (outside): probe acceptsUrl / connect, which is driver
+  // code and must not run under our lock (CP.22).
+  std::vector<std::string> staticNames;
+  std::string cachedName;
+  FailurePolicy policy;
+  bool cacheEnabled;
+  {
+    std::scoped_lock lock(mu_);
+    auto prefIt = staticPrefs_.find(url.text());
+    if (prefIt != staticPrefs_.end()) staticNames = prefIt->second;
+    auto cacheIt = lastGood_.find(url.text());
+    if (cacheEnabled_ && cacheIt != lastGood_.end()) cachedName = cacheIt->second;
+    policy = policy_;
+    cacheEnabled = cacheEnabled_;
+  }
+
+  enum class Origin { Cache, Static, Dynamic };
+  struct Candidate {
+    std::shared_ptr<dbc::Driver> driver;
+    Origin origin;
+  };
+
+  // Primary candidates come from static preferences or the last-good
+  // cache. The dynamic acceptsUrl scan is performed lazily: a cache hit
+  // that connects on the first try costs zero probes, which is exactly
+  // the saving the last-good cache exists to provide.
+  std::vector<Candidate> candidates;
+  std::vector<std::string> triedNames;
+  if (!staticNames.empty()) {
+    for (const auto& name : staticNames) {
+      if (auto d = registry_.find(name)) {
+        candidates.push_back({std::move(d), Origin::Static});
+      }
+    }
+  } else if (!cachedName.empty()) {
+    if (auto d = registry_.find(cachedName)) {
+      candidates.push_back({std::move(d), Origin::Cache});
+    }
+  }
+
+  const bool mayScan =
+      staticNames.empty()
+          ? (candidates.empty() ||
+             policy.action == FailurePolicy::Action::TryNext ||
+             policy.action == FailurePolicy::Action::DynamicReselect)
+          : policy.action == FailurePolicy::Action::DynamicReselect;
+
+  std::string lastError = "no candidates tried";
+  bool anyFailure = false;
+
+  auto tryCandidate = [&](const Candidate& cand,
+                          bool isFirst) -> std::optional<Selection> {
+    triedNames.push_back(cand.driver->name());
+    const int attempts =
+        policy.action == FailurePolicy::Action::Retry ? 1 + policy.retries : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      try {
+        std::unique_ptr<dbc::Connection> conn = cand.driver->connect(url, props);
+        std::scoped_lock lock(mu_);
+        ++stats_.selections;
+        if (cand.origin == Origin::Cache) ++stats_.cacheHits;
+        if (cand.origin == Origin::Static) ++stats_.staticSelections;
+        if (!isFirst || attempt > 0) ++stats_.failovers;
+        if (cacheEnabled) lastGood_[url.text()] = cand.driver->name();
+        return Selection{cand.driver, std::move(conn)};
+      } catch (const SqlError& e) {
+        lastError = e.what();
+        anyFailure = true;
+        std::scoped_lock lock(mu_);
+        ++stats_.connectFailures;
+      }
+    }
+    return std::nullopt;
+  };
+
+  bool first = true;
+  for (const auto& cand : candidates) {
+    if (auto sel = tryCandidate(cand, first)) return std::move(*sel);
+    first = false;
+    if (policy.action == FailurePolicy::Action::Report) break;
+  }
+
+  const bool reportStop =
+      policy.action == FailurePolicy::Action::Report && anyFailure;
+  bool scanned = false;
+  if (mayScan && !reportStop) {
+    // Dynamic location (Table 2): probe registered drivers in
+    // registration order, skipping those already tried.
+    std::uint64_t probes = 0;
+    std::vector<Candidate> dynamic;
+    for (auto& d : registry_.drivers()) {
+      if (std::find(triedNames.begin(), triedNames.end(), d->name()) !=
+          triedNames.end()) {
+        continue;
+      }
+      ++probes;
+      if (d->acceptsUrl(url)) dynamic.push_back({std::move(d), Origin::Dynamic});
+    }
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.dynamicScans;
+      stats_.acceptProbes += probes;
+    }
+    scanned = true;
+    for (const auto& cand : dynamic) {
+      if (auto sel = tryCandidate(cand, first)) return std::move(*sel);
+      first = false;
+      if (policy.action == FailurePolicy::Action::Report) break;
+    }
+  }
+
+  if (triedNames.empty()) {
+    throw SqlError(ErrorCode::Unsupported,
+                   scanned ? "no registered driver accepts " + url.text()
+                           : "no driver candidates for " + url.text());
+  }
+
+  // Every candidate failed: forget any stale last-good entry.
+  {
+    std::scoped_lock lock(mu_);
+    lastGood_.erase(url.text());
+  }
+  throw SqlError(ErrorCode::ConnectionFailed,
+                 "all drivers failed for " + url.text() + "; last: " +
+                     lastError);
+}
+
+DriverManagerStats GridRmDriverManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

@@ -1,0 +1,25 @@
+#include "gridrm/core/event.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::core {
+
+const char* severityName(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Critical:
+      return "critical";
+  }
+  return "?";
+}
+
+bool eventTypeMatches(const std::string& pattern, const std::string& type) {
+  if (pattern.empty() || pattern == "*") return true;
+  if (pattern == type) return true;
+  return util::startsWith(type, pattern + ".");
+}
+
+}  // namespace gridrm::core

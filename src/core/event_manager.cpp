@@ -1,0 +1,281 @@
+#include "gridrm/core/event_manager.hpp"
+
+#include "gridrm/agents/snmp_agent.hpp"
+#include "gridrm/agents/snmp_codec.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::core {
+
+namespace snmp = agents::snmp;
+using util::Value;
+
+// ---------------------------------------------------------------------
+// SnmpTrapFormatter
+
+bool SnmpTrapFormatter::accepts(const net::Payload& native) const {
+  return !native.empty() &&
+         static_cast<std::uint8_t>(native[0]) ==
+             static_cast<std::uint8_t>(snmp::PduType::Trap);
+}
+
+std::optional<Event> SnmpTrapFormatter::decode(
+    const net::Address& from, const net::Payload& native) const {
+  snmp::Pdu pdu;
+  try {
+    pdu = snmp::decodePdu(native);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (pdu.type != snmp::PduType::Trap) return std::nullopt;
+
+  Event e;
+  e.source = from.host;
+  e.severity = Severity::Warning;
+  e.type = "snmp.trap";
+  const snmp::Oid trapOidKey = snmp::Oid::parse("1.3.6.1.6.3.1.1.4.1.0");
+  for (const auto& vb : pdu.varbinds) {
+    if (vb.oid == trapOidKey) {
+      const std::string trapOid = vb.value.toString();
+      if (trapOid == snmp::oids::kTrapHighLoad) {
+        e.type = "snmp.trap.highload";
+        e.severity = Severity::Critical;
+      } else if (trapOid == snmp::oids::kTrapLowDisk) {
+        e.type = "snmp.trap.lowdisk";
+        e.severity = Severity::Critical;
+      }
+      e.fields["trapOid"] = Value(trapOid);
+    } else {
+      e.fields[vb.oid.toString()] = vb.value;
+    }
+  }
+  return e;
+}
+
+std::optional<net::Payload> SnmpTrapFormatter::encode(const Event& event) const {
+  // Only events that originated as (or can be phrased as) traps encode.
+  if (!util::startsWith(event.type, "snmp.trap")) return std::nullopt;
+  snmp::Pdu pdu;
+  pdu.type = snmp::PduType::Trap;
+  for (const auto& [key, value] : event.fields) {
+    snmp::Oid oid = snmp::Oid::parse(key);
+    if (key == "trapOid") {
+      pdu.varbinds.push_back(
+          {snmp::Oid::parse("1.3.6.1.6.3.1.1.4.1.0"), value});
+    } else if (!oid.empty()) {
+      pdu.varbinds.push_back({oid, value});
+    }
+  }
+  return snmp::encodePdu(pdu);
+}
+
+// ---------------------------------------------------------------------
+// TextEventFormatter
+//
+// Wire form: "EVENT <type> <severity> key=value key=value ..."
+
+bool TextEventFormatter::accepts(const net::Payload& native) const {
+  return util::startsWith(native, "EVENT ");
+}
+
+std::optional<Event> TextEventFormatter::decode(
+    const net::Address& from, const net::Payload& native) const {
+  auto words = util::splitNonEmpty(std::string(util::trim(native)), ' ');
+  if (words.size() < 3 || words[0] != "EVENT") return std::nullopt;
+  Event e;
+  e.source = from.host;
+  e.type = words[1];
+  if (words[2] == "critical") {
+    e.severity = Severity::Critical;
+  } else if (words[2] == "warning") {
+    e.severity = Severity::Warning;
+  } else {
+    e.severity = Severity::Info;
+  }
+  for (std::size_t i = 3; i < words.size(); ++i) {
+    std::size_t eq = words[i].find('=');
+    if (eq == std::string::npos) continue;
+    e.fields[words[i].substr(0, eq)] = Value::parse(words[i].substr(eq + 1));
+  }
+  return e;
+}
+
+std::optional<net::Payload> TextEventFormatter::encode(const Event& event) const {
+  std::string out = "EVENT " + event.type + " " + severityName(event.severity);
+  for (const auto& [key, value] : event.fields) {
+    out += " " + key + "=" + value.toString();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// EventManager
+
+EventManager::EventManager(util::Clock& clock, store::Database* db,
+                           EventManagerOptions options)
+    : clock_(clock),
+      db_(db),
+      options_(options),
+      buffer_(options.fastBufferCapacity, options.overflow) {
+  if (db_ != nullptr && options_.recordHistory &&
+      !db_->hasTable("EventHistory")) {
+    db_->createTable("EventHistory",
+                     {{"Sequence", util::ValueType::Int, "", "EventHistory"},
+                      {"Timestamp", util::ValueType::Int, "us", "EventHistory"},
+                      {"Type", util::ValueType::String, "", "EventHistory"},
+                      {"Source", util::ValueType::String, "", "EventHistory"},
+                      {"Severity", util::ValueType::String, "", "EventHistory"},
+                      {"Fields", util::ValueType::String, "", "EventHistory"}});
+  }
+  if (options_.threadedDispatch) {
+    dispatcher_.emplace([this](std::stop_token stop) { dispatchLoop(stop); });
+  }
+}
+
+EventManager::~EventManager() {
+  buffer_.close();
+  // ~jthread requests stop and joins.
+}
+
+void EventManager::addFormatter(std::unique_ptr<EventFormatter> formatter) {
+  std::scoped_lock lock(mu_);
+  formatters_.push_back(std::move(formatter));
+}
+
+std::size_t EventManager::addListener(const std::string& pattern,
+                                      Listener listener) {
+  std::scoped_lock lock(mu_);
+  const std::size_t id = nextListenerId_++;
+  listeners_.push_back(Subscription{id, pattern, std::move(listener)});
+  return id;
+}
+
+void EventManager::removeListener(std::size_t id) {
+  std::scoped_lock lock(mu_);
+  std::erase_if(listeners_,
+                [&](const Subscription& s) { return s.id == id; });
+}
+
+void EventManager::ingestNative(const net::Address& from,
+                                const net::Payload& native) {
+  // Snapshot formatter pointers, then run plug-in code outside the lock
+  // (CP.22). Formatters are add-only for the manager's lifetime.
+  std::vector<EventFormatter*> formatters;
+  {
+    std::scoped_lock lock(mu_);
+    formatters.reserve(formatters_.size());
+    for (const auto& f : formatters_) formatters.push_back(f.get());
+  }
+  std::optional<Event> decoded;
+  for (EventFormatter* f : formatters) {
+    if (!f->accepts(native)) continue;
+    decoded = f->decode(from, native);
+    if (decoded) break;
+  }
+  if (!decoded) {
+    std::scoped_lock lock(mu_);
+    ++stats_.undecodable;
+    return;
+  }
+  ingest(std::move(*decoded));
+}
+
+void EventManager::ingest(Event event) {
+  event.sequence = ++sequence_;
+  if (event.timestamp == 0) event.timestamp = clock_.now();
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.received;
+  }
+  if (options_.threadedDispatch) {
+    inFlight_.fetch_add(1, std::memory_order_acq_rel);
+    if (!buffer_.push(std::move(event))) {
+      inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+      std::scoped_lock lock(mu_);
+      ++stats_.dropped;
+    }
+  } else {
+    dispatchOne(std::move(event));
+  }
+}
+
+void EventManager::dispatchLoop(std::stop_token stop) {
+  while (!stop.stop_requested()) {
+    std::optional<Event> event = buffer_.pop();
+    if (!event) return;  // closed and drained
+    dispatchOne(std::move(*event));
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // Stop requested: drain what remains without blocking.
+  while (auto event = buffer_.tryPop()) {
+    dispatchOne(std::move(*event));
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void EventManager::dispatchOne(Event event) {
+  record(event);
+  // Copy matching listeners out, then invoke without holding the lock
+  // (CP.22: never call unknown code under a lock).
+  std::vector<Listener> matched;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& sub : listeners_) {
+      if (eventTypeMatches(sub.pattern, event.type)) {
+        matched.push_back(sub.listener);
+      }
+    }
+    ++stats_.dispatched;
+  }
+  for (const auto& listener : matched) listener(event);
+}
+
+void EventManager::record(const Event& event) {
+  if (db_ == nullptr || !options_.recordHistory) return;
+  std::string fields;
+  for (const auto& [key, value] : event.fields) {
+    if (!fields.empty()) fields += " ";
+    fields += key + "=" + value.toString();
+  }
+  db_->insertRow("EventHistory",
+                 {Value(static_cast<std::int64_t>(event.sequence)),
+                  Value(event.timestamp), Value(event.type),
+                  Value(event.source), Value(severityName(event.severity)),
+                  Value(fields)});
+  std::scoped_lock lock(mu_);
+  ++stats_.recorded;
+}
+
+bool EventManager::transmit(const Event& event, net::Network& network,
+                            const net::Address& from, const net::Address& to,
+                            const std::string& formatterName) {
+  EventFormatter* formatter = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& f : formatters_) {
+      if (f->name() == formatterName) {
+        formatter = f.get();
+        break;
+      }
+    }
+  }
+  std::optional<net::Payload> encoded;
+  if (formatter != nullptr) encoded = formatter->encode(event);
+  if (!encoded) return false;
+  network.datagram(from, to, *encoded);
+  std::scoped_lock lock(mu_);
+  ++stats_.transmitted;
+  return true;
+}
+
+void EventManager::drain() {
+  while (inFlight_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+}
+
+EventManagerStats EventManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

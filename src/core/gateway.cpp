@@ -1,0 +1,218 @@
+#include "gridrm/core/gateway.hpp"
+
+#include "gridrm/drivers/defaults.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::core {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
+  GatewayOptions o;
+  o.name = config.getString("gateway.name", o.name);
+  o.host = config.getString("gateway.host", o.host);
+  o.cacheTtl =
+      config.getInt("cache.ttl_ms", o.cacheTtl / util::kMillisecond) *
+      util::kMillisecond;
+  o.cacheMaxEntries = static_cast<std::size_t>(
+      config.getInt("cache.max_entries",
+                    static_cast<std::int64_t>(o.cacheMaxEntries)));
+  o.poolMaxIdlePerSource = static_cast<std::size_t>(
+      config.getInt("pool.max_idle",
+                    static_cast<std::int64_t>(o.poolMaxIdlePerSource)));
+  o.validatePooledConnections =
+      config.getBool("pool.validate", o.validatePooledConnections);
+  o.queryWorkers = static_cast<std::size_t>(config.getInt(
+      "query.workers", static_cast<std::int64_t>(o.queryWorkers)));
+  o.registerDefaultDrivers =
+      config.getBool("drivers.register_defaults", o.registerDefaultDrivers);
+  o.eventOptions.fastBufferCapacity = static_cast<std::size_t>(config.getInt(
+      "events.buffer_capacity",
+      static_cast<std::int64_t>(o.eventOptions.fastBufferCapacity)));
+  if (config.getBool("events.drop_newest", false)) {
+    o.eventOptions.overflow = util::OverflowPolicy::DropNewest;
+  }
+  o.eventOptions.recordHistory =
+      config.getBool("events.record_history", o.eventOptions.recordHistory);
+  const std::string action =
+      util::toLower(config.getString("failure.action", "dynamic"));
+  if (action == "report") {
+    o.failurePolicy.action = FailurePolicy::Action::Report;
+  } else if (action == "retry") {
+    o.failurePolicy.action = FailurePolicy::Action::Retry;
+  } else if (action == "trynext") {
+    o.failurePolicy.action = FailurePolicy::Action::TryNext;
+  } else {
+    o.failurePolicy.action = FailurePolicy::Action::DynamicReselect;
+  }
+  o.failurePolicy.retries =
+      static_cast<int>(config.getInt("failure.retries", o.failurePolicy.retries));
+  o.sessionIdleTimeout =
+      config.getInt("session.idle_timeout_s",
+                    o.sessionIdleTimeout / util::kSecond) *
+      util::kSecond;
+  return o;
+}
+
+Gateway::Gateway(net::Network& network, util::Clock& clock,
+                 GatewayOptions options)
+    : network_(network),
+      clock_(clock),
+      options_(std::move(options)),
+      driverManager_(registry_),
+      connections_(driverManager_, options_.poolMaxIdlePerSource,
+                   options_.validatePooledConnections),
+      cache_(clock_, options_.cacheTtl, options_.cacheMaxEntries),
+      cgsl_(CoarseSecurityLayer::defaults()),
+      fgsl_(/*defaultAllow=*/true),
+      sessions_(clock_, options_.sessionIdleTimeout) {
+  driverManager_.setFailurePolicy(options_.failurePolicy);
+  eventManager_ =
+      std::make_unique<EventManager>(clock_, &db_, options_.eventOptions);
+  eventManager_->addFormatter(std::make_unique<SnmpTrapFormatter>());
+  eventManager_->addFormatter(std::make_unique<TextEventFormatter>());
+  requestManager_ = std::make_unique<RequestManager>(
+      connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers);
+
+  if (options_.registerDefaultDrivers) {
+    drivers::registerDefaultDrivers(registry_, driverContext());
+  }
+  // The gateway's event sink: agents send traps/alerts here.
+  network_.bind(eventAddress(), eventManager_.get());
+}
+
+Gateway::~Gateway() { network_.unbind(eventAddress()); }
+
+drivers::DriverContext Gateway::driverContext() noexcept {
+  drivers::DriverContext ctx;
+  ctx.network = &network_;
+  ctx.clock = &clock_;
+  ctx.schemaManager = &schemaManager_;
+  return ctx;
+}
+
+Principal Gateway::authorize(const std::string& token, Operation op) {
+  auto session = sessions_.validate(token);
+  if (!session) {
+    throw SqlError(ErrorCode::SecurityDenied,
+                   "invalid or expired session token");
+  }
+  cgsl_.require(session->principal, op);
+  return session->principal;
+}
+
+std::string Gateway::openSession(Principal principal) {
+  return sessions_.open(std::move(principal));
+}
+
+void Gateway::closeSession(const std::string& token) {
+  sessions_.close(token);
+}
+
+QueryResult Gateway::submitQuery(const std::string& token,
+                                 const std::vector<std::string>& urls,
+                                 const std::string& sql,
+                                 const QueryOptions& options) {
+  Principal principal = authorize(token, Operation::RealTimeQuery);
+  if (urls.size() == 1) {
+    return requestManager_->queryOne(principal, urls[0], sql, options);
+  }
+  return requestManager_->query(principal, urls, sql, options);
+}
+
+QueryResult Gateway::submitSiteQuery(const std::string& token,
+                                     const std::string& sql,
+                                     const QueryOptions& options) {
+  Principal principal = authorize(token, Operation::RealTimeQuery);
+  return requestManager_->query(principal, dataSources(), sql, options);
+}
+
+std::unique_ptr<dbc::VectorResultSet> Gateway::submitHistoricalQuery(
+    const std::string& token, const std::string& sql) {
+  Principal principal = authorize(token, Operation::HistoricalQuery);
+  return requestManager_->queryHistorical(principal, sql);
+}
+
+std::size_t Gateway::subscribeEvents(const std::string& token,
+                                     const std::string& pattern,
+                                     EventManager::Listener listener) {
+  (void)authorize(token, Operation::EventSubscribe);
+  return eventManager_->addListener(pattern, std::move(listener));
+}
+
+void Gateway::unsubscribeEvents(const std::string& token, std::size_t id) {
+  (void)authorize(token, Operation::EventSubscribe);
+  eventManager_->removeListener(id);
+}
+
+void Gateway::registerDriver(const std::string& token,
+                             std::shared_ptr<dbc::Driver> driver) {
+  (void)authorize(token, Operation::DriverAdmin);
+  registry_.registerDriver(std::move(driver));
+}
+
+void Gateway::registerDriver(const std::string& token,
+                             std::shared_ptr<dbc::Driver> driver,
+                             glue::DriverSchemaMap schemaMap) {
+  (void)authorize(token, Operation::DriverAdmin);
+  schemaManager_.registerDriverMap(std::move(schemaMap));
+  registry_.registerDriver(std::move(driver));
+}
+
+bool Gateway::unregisterDriver(const std::string& token,
+                               const std::string& driverName) {
+  (void)authorize(token, Operation::DriverAdmin);
+  const bool removed = registry_.unregisterDriver(driverName);
+  if (removed) {
+    // Idle pooled connections of the removed driver must not keep
+    // serving queries as if the driver were still installed.
+    (void)connections_.dropDriver(driverName);
+  }
+  return removed;
+}
+
+std::vector<std::string> Gateway::listDrivers(const std::string& token) const {
+  auto* self = const_cast<Gateway*>(this);
+  (void)self->authorize(token, Operation::DriverAdmin);
+  std::vector<std::string> names;
+  for (const auto& d : registry_.drivers()) names.push_back(d->name());
+  return names;
+}
+
+void Gateway::setDriverPreference(const std::string& token,
+                                  const std::string& url,
+                                  std::vector<std::string> driverNames) {
+  (void)authorize(token, Operation::DriverAdmin);
+  if (driverNames.empty()) {
+    driverManager_.clearStaticPreference(url);
+  } else {
+    driverManager_.setStaticPreference(url, std::move(driverNames));
+  }
+}
+
+void Gateway::setFailurePolicy(const std::string& token,
+                               const FailurePolicy& policy) {
+  (void)authorize(token, Operation::DriverAdmin);
+  driverManager_.setFailurePolicy(policy);
+}
+
+void Gateway::addDataSource(const std::string& token, const std::string& url) {
+  (void)authorize(token, Operation::DriverAdmin);
+  std::scoped_lock lock(sourcesMu_);
+  dataSources_.insert(url);
+}
+
+void Gateway::removeDataSource(const std::string& token,
+                               const std::string& url) {
+  (void)authorize(token, Operation::DriverAdmin);
+  std::scoped_lock lock(sourcesMu_);
+  dataSources_.erase(url);
+}
+
+std::vector<std::string> Gateway::dataSources() const {
+  std::scoped_lock lock(sourcesMu_);
+  return {dataSources_.begin(), dataSources_.end()};
+}
+
+}  // namespace gridrm::core

@@ -1,0 +1,259 @@
+#include "gridrm/core/request_manager.hpp"
+
+#include <future>
+
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::core {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+RequestManager::RequestManager(ConnectionManager& connections,
+                               CacheController& cache,
+                               const FineSecurityLayer& fgsl,
+                               store::Database* historyDb, util::Clock& clock,
+                               std::size_t workers)
+    : connections_(connections),
+      cache_(cache),
+      fgsl_(fgsl),
+      historyDb_(historyDb),
+      clock_(clock),
+      pool_(workers) {}
+
+namespace {
+
+/// Group (table) name of a query, for FGSL checks and history tables.
+std::string queryGroup(const std::string& sqlText) {
+  try {
+    return sql::parseSelect(sqlText).table;
+  } catch (const sql::ParseError& e) {
+    throw SqlError(ErrorCode::Syntax, e.what());
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
+    const Principal& principal, const std::string& urlText,
+    const std::string& sqlText, const QueryOptions& options, bool& fromCache) {
+  fromCache = false;
+  auto url = util::Url::parse(urlText);
+  if (!url) {
+    throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
+  }
+  const std::string group = queryGroup(sqlText);
+  fgsl_.require(principal, url->host(), group);
+
+  const std::string cacheKey = CacheController::key(urlText, sqlText);
+  if (options.useCache) {
+    if (auto cached = cache_.lookup(cacheKey)) {
+      fromCache = true;
+      return cached;
+    }
+  }
+
+  ConnectionManager::Lease lease = connections_.acquire(*url, util::Config{});
+  std::unique_ptr<dbc::VectorResultSet> rows;
+  try {
+    std::unique_ptr<dbc::Statement> stmt = lease->createStatement();
+    std::unique_ptr<dbc::ResultSet> rs = stmt->executeQuery(sqlText);
+    // Drivers in this codebase return materialised sets; materialise
+    // defensively for any that stream.
+    if (auto* vec = dynamic_cast<dbc::VectorResultSet*>(rs.get())) {
+      rs.release();
+      rows.reset(vec);
+    } else {
+      rows = dbc::VectorResultSet::materialize(*rs);
+    }
+  } catch (const SqlError& e) {
+    // Connection-level failures poison the pooled connection and clear
+    // the last-good driver so the next attempt reselects (section 4).
+    if (e.code() == ErrorCode::ConnectionFailed ||
+        e.code() == ErrorCode::Timeout ||
+        e.code() == ErrorCode::ConnectionClosed) {
+      lease.poison();
+    }
+    throw;
+  }
+
+  if (options.useCache) {
+    cache_.insert(cacheKey, *rows, options.cacheTtl);
+  }
+  if (options.recordHistory) {
+    recordHistory(urlText, group, *rows);
+  }
+  return rows;
+}
+
+QueryResult RequestManager::queryOne(const Principal& principal,
+                                     const std::string& url,
+                                     const std::string& sqlText,
+                                     const QueryOptions& options) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.queries;
+    ++stats_.sourceQueries;
+  }
+  QueryResult result;
+  result.sourcesQueried = 1;
+  bool fromCache = false;
+  try {
+    result.rows = executeSource(principal, url, sqlText, options, fromCache);
+    if (fromCache) result.servedFromCache = 1;
+  } catch (const SqlError& e) {
+    result.failures.push_back(SourceError{url, e.what()});
+    std::scoped_lock lock(mu_);
+    ++stats_.sourceErrors;
+  }
+  return result;
+}
+
+QueryResult RequestManager::query(const Principal& principal,
+                                  const std::vector<std::string>& urls,
+                                  const std::string& sqlText,
+                                  const QueryOptions& options) {
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.queries;
+    stats_.sourceQueries += urls.size();
+  }
+
+  struct PerSource {
+    std::unique_ptr<dbc::VectorResultSet> rows;
+    std::string error;
+    bool fromCache = false;
+  };
+  std::vector<PerSource> partials(urls.size());
+
+  auto runOne = [&](std::size_t i) {
+    try {
+      partials[i].rows = executeSource(principal, urls[i], sqlText, options,
+                                       partials[i].fromCache);
+    } catch (const SqlError& e) {
+      partials[i].error = e.what();
+    } catch (const std::exception& e) {
+      partials[i].error = e.what();
+    }
+  };
+
+  if (options.parallel && urls.size() > 1) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(urls.size());
+    for (std::size_t i = 0; i < urls.size(); ++i) {
+      futures.push_back(pool_.submit([&, i] { runOne(i); }));
+    }
+    for (auto& f : futures) f.get();
+  } else {
+    for (std::size_t i = 0; i < urls.size(); ++i) runOne(i);
+  }
+
+  // Consolidate: common columns (from the first successful source)
+  // prefixed by a Source column.
+  QueryResult result;
+  result.sourcesQueried = urls.size();
+  std::vector<dbc::ColumnInfo> columns;
+  std::vector<std::vector<Value>> rows;
+  bool haveColumns = false;
+  for (std::size_t i = 0; i < urls.size(); ++i) {
+    PerSource& p = partials[i];
+    if (p.rows == nullptr) {
+      result.failures.push_back(SourceError{urls[i], p.error});
+      std::scoped_lock lock(mu_);
+      ++stats_.sourceErrors;
+      continue;
+    }
+    if (p.fromCache) ++result.servedFromCache;
+    if (!haveColumns) {
+      columns.push_back(
+          dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
+      for (const auto& c : p.rows->metaData().columns()) columns.push_back(c);
+      haveColumns = true;
+    }
+    const std::size_t expectedWidth = columns.size() - 1;
+    if (p.rows->metaData().columnCount() != expectedWidth) {
+      result.failures.push_back(SourceError{
+          urls[i], "column mismatch during consolidation"});
+      continue;
+    }
+    for (const auto& row : p.rows->rows()) {
+      std::vector<Value> outRow;
+      outRow.reserve(columns.size());
+      outRow.emplace_back(urls[i]);
+      for (const auto& v : row) outRow.push_back(v);
+      rows.push_back(std::move(outRow));
+    }
+  }
+  if (!haveColumns) {
+    // Every source failed: deliver an empty, schemaless set alongside
+    // the failure list.
+    columns.push_back(
+        dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
+  }
+  result.rows = std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(columns)), std::move(rows));
+  return result;
+}
+
+void RequestManager::recordHistory(const std::string& url,
+                                   const std::string& group,
+                                   const dbc::VectorResultSet& rs) {
+  if (historyDb_ == nullptr) return;
+  const std::string table = historyTableName(group);
+  if (!historyDb_->hasTable(table)) {
+    std::vector<dbc::ColumnInfo> columns;
+    columns.push_back(
+        dbc::ColumnInfo{"Source", util::ValueType::String, "", table});
+    columns.push_back(
+        dbc::ColumnInfo{"RecordedAt", util::ValueType::Int, "us", table});
+    for (const auto& c : rs.metaData().columns()) columns.push_back(c);
+    historyDb_->createTable(table, std::move(columns));
+  }
+  const util::TimePoint now = clock_.now();
+  std::size_t recorded = 0;
+  for (const auto& row : rs.rows()) {
+    std::vector<Value> outRow;
+    outRow.reserve(row.size() + 2);
+    outRow.emplace_back(url);
+    outRow.emplace_back(now);
+    for (const auto& v : row) outRow.push_back(v);
+    historyDb_->insertRow(table, std::move(outRow));
+    ++recorded;
+  }
+  std::scoped_lock lock(mu_);
+  stats_.rowsRecorded += recorded;
+}
+
+std::unique_ptr<dbc::VectorResultSet> RequestManager::queryHistorical(
+    const Principal& /*principal*/, const std::string& sqlText) {
+  // CGSL authorises the operation class at the gateway door; reaching
+  // here means HistoricalQuery was already granted.
+  if (historyDb_ == nullptr) {
+    throw SqlError(ErrorCode::Unsupported,
+                   "this gateway keeps no historical data");
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.historyQueries;
+  }
+  try {
+    return historyDb_->query(sqlText);
+  } catch (const sql::ParseError& e) {
+    throw SqlError(ErrorCode::Syntax, e.what());
+  }
+}
+
+void RequestManager::refreshCache(const std::string& url,
+                                  const std::string& sql,
+                                  const dbc::VectorResultSet& rows) {
+  cache_.insert(CacheController::key(url, sql), rows);
+}
+
+RequestManagerStats RequestManager::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

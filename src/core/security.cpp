@@ -1,0 +1,119 @@
+#include "gridrm/core/security.hpp"
+
+#include <algorithm>
+
+#include "gridrm/dbc/error.hpp"
+
+namespace gridrm::core {
+
+bool Principal::hasRole(const std::string& role) const {
+  return std::find(roles.begin(), roles.end(), role) != roles.end();
+}
+
+const char* operationName(Operation op) noexcept {
+  switch (op) {
+    case Operation::RealTimeQuery:
+      return "real-time query";
+    case Operation::HistoricalQuery:
+      return "historical query";
+    case Operation::EventSubscribe:
+      return "event subscription";
+    case Operation::DriverAdmin:
+      return "driver administration";
+  }
+  return "?";
+}
+
+CoarseSecurityLayer::CoarseSecurityLayer() = default;
+
+CoarseSecurityLayer CoarseSecurityLayer::defaults() {
+  CoarseSecurityLayer cgsl;
+  for (Operation op : {Operation::RealTimeQuery, Operation::HistoricalQuery,
+                       Operation::EventSubscribe, Operation::DriverAdmin}) {
+    cgsl.allow("admin", op);
+  }
+  cgsl.allow("monitor", Operation::RealTimeQuery);
+  cgsl.allow("monitor", Operation::HistoricalQuery);
+  cgsl.allow("monitor", Operation::EventSubscribe);
+  cgsl.allow("guest", Operation::RealTimeQuery);
+  return cgsl;
+}
+
+void CoarseSecurityLayer::allow(const std::string& role, Operation op) {
+  if (check(Principal{"", {role}}, op)) return;  // idempotent
+  grants_.push_back(Grant{role, op});
+}
+
+void CoarseSecurityLayer::revoke(const std::string& role, Operation op) {
+  std::erase_if(grants_, [&](const Grant& g) {
+    return g.role == role && g.op == op;
+  });
+}
+
+bool CoarseSecurityLayer::check(const Principal& principal,
+                                Operation op) const {
+  for (const Grant& g : grants_) {
+    if (g.op != op) continue;
+    if (g.role == "*" || principal.hasRole(g.role)) return true;
+  }
+  return false;
+}
+
+void CoarseSecurityLayer::require(const Principal& principal,
+                                  Operation op) const {
+  if (!check(principal, op)) {
+    throw dbc::SqlError(dbc::ErrorCode::SecurityDenied,
+                        "principal '" + principal.id + "' may not perform " +
+                            operationName(op));
+  }
+}
+
+bool globMatch(const std::string& pattern, const std::string& text) {
+  // Same backtracking approach as sql::likeMatch, with '*' wildcards.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t starP = std::string::npos;
+  std::size_t starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      starP = p++;
+      starT = t;
+    } else if (starP != std::string::npos) {
+      p = starP + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool FineSecurityLayer::check(const Principal& principal,
+                              const std::string& sourceHost,
+                              const std::string& group) const {
+  for (const Rule& rule : rules_) {
+    const bool roleOk =
+        rule.rolePattern == "*" || principal.hasRole(rule.rolePattern);
+    if (!roleOk) continue;
+    if (!globMatch(rule.sourcePattern, sourceHost)) continue;
+    if (!globMatch(rule.groupPattern, group)) continue;
+    return rule.allow;
+  }
+  return defaultAllow_;
+}
+
+void FineSecurityLayer::require(const Principal& principal,
+                                const std::string& sourceHost,
+                                const std::string& group) const {
+  if (!check(principal, sourceHost, group)) {
+    throw dbc::SqlError(dbc::ErrorCode::SecurityDenied,
+                        "principal '" + principal.id + "' denied access to " +
+                            group + " on " + sourceHost);
+  }
+}
+
+}  // namespace gridrm::core

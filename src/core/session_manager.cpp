@@ -1,0 +1,52 @@
+#include "gridrm/core/session_manager.hpp"
+
+namespace gridrm::core {
+
+std::string SessionManager::open(Principal principal) {
+  std::scoped_lock lock(mu_);
+  const std::string token =
+      "s" + std::to_string(nextId_++) + "-" + principal.id;
+  const util::TimePoint now = clock_.now();
+  sessions_[token] = SessionInfo{token, std::move(principal), now, now};
+  return token;
+}
+
+std::optional<SessionInfo> SessionManager::validate(const std::string& token) {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) return std::nullopt;
+  const util::TimePoint now = clock_.now();
+  if (now - it->second.lastUsed > idleTimeout_) {
+    sessions_.erase(it);
+    return std::nullopt;
+  }
+  it->second.lastUsed = now;
+  return it->second;
+}
+
+void SessionManager::close(const std::string& token) {
+  std::scoped_lock lock(mu_);
+  sessions_.erase(token);
+}
+
+std::size_t SessionManager::expireIdle() {
+  std::scoped_lock lock(mu_);
+  const util::TimePoint now = clock_.now();
+  std::size_t dropped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.lastUsed > idleTimeout_) {
+      it = sessions_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t SessionManager::activeCount() const {
+  std::scoped_lock lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace gridrm::core

@@ -1,0 +1,102 @@
+#include "gridrm/core/site_poller.hpp"
+
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::core {
+
+void SitePoller::addTask(PollTask task) {
+  std::scoped_lock lock(mu_);
+  tasks_.push_back(Scheduled{std::move(task), 0});
+}
+
+std::size_t SitePoller::removeTasks(const std::string& url) {
+  std::scoped_lock lock(mu_);
+  const auto before = tasks_.size();
+  std::erase_if(tasks_,
+                [&](const Scheduled& s) { return s.task.url == url; });
+  return before - tasks_.size();
+}
+
+std::size_t SitePoller::taskCount() const {
+  std::scoped_lock lock(mu_);
+  return tasks_.size();
+}
+
+std::size_t SitePoller::tick() {
+  const util::TimePoint now = clock_.now();
+  // Collect due tasks under the lock; execute them outside it.
+  std::vector<PollTask> due;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.ticks;
+    for (auto& scheduled : tasks_) {
+      if (scheduled.everRun &&
+          now - scheduled.lastRun < scheduled.task.interval) {
+        continue;
+      }
+      scheduled.lastRun = now;
+      scheduled.everRun = true;
+      due.push_back(scheduled.task);
+    }
+  }
+
+  std::size_t executed = 0;
+  for (const auto& task : due) {
+    QueryOptions options;
+    options.useCache = false;  // a poll always contacts the source
+    options.recordHistory = task.recordHistory;
+    QueryResult result =
+        requestManager_.queryOne(principal_, task.url, task.sql, options);
+    ++executed;
+    if (!result.complete()) {
+      std::scoped_lock lock(mu_);
+      ++stats_.polls;
+      ++stats_.pollFailures;
+      continue;
+    }
+    if (task.refreshCache && result.rows != nullptr) {
+      // Hand the fresh rows to the cache so interactive clients get the
+      // "recent status" view without touching the agents (section 4).
+      requestManager_.refreshCache(task.url, task.sql, *result.rows);
+    }
+    std::scoped_lock lock(mu_);
+    ++stats_.polls;
+  }
+
+  if (alerts_ != nullptr && executed > 0) {
+    const std::size_t raised = alerts_->evaluate(principal_);
+    std::scoped_lock lock(mu_);
+    stats_.alertsRaised += raised;
+  }
+  return executed;
+}
+
+void SitePoller::runFor(util::Duration duration, util::Duration step) {
+  if (step <= 0) step = util::kSecond;
+  for (util::Duration elapsed = 0; elapsed < duration; elapsed += step) {
+    (void)tick();
+    clock_.sleepFor(step);
+  }
+  (void)tick();
+}
+
+std::size_t SitePoller::enforceRetention(store::Database& db,
+                                         util::Duration keep) {
+  const std::int64_t cutoff = clock_.now() - keep;
+  std::size_t dropped = 0;
+  for (const auto& table : db.tableNames()) {
+    if (table.rfind("History", 0) == 0) {
+      dropped += db.pruneOlderThan(table, "RecordedAt", cutoff);
+    } else if (table == "EventHistory") {
+      dropped += db.pruneOlderThan(table, "Timestamp", cutoff);
+    }
+  }
+  return dropped;
+}
+
+SitePollerStats SitePoller::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

@@ -1,0 +1,100 @@
+#include "gridrm/core/tree_view.hpp"
+
+#include <algorithm>
+
+namespace gridrm::core {
+
+std::string renderTable(const dbc::VectorResultSet& rs, std::size_t maxRows) {
+  const auto& meta = rs.metaData();
+  const std::size_t ncols = meta.columnCount();
+  if (ncols == 0) return "(empty result)\n";
+
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::size_t> widths(ncols, 0);
+  {
+    std::vector<std::string> header;
+    header.reserve(ncols);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      header.push_back(meta.column(c).name);
+      widths[c] = std::max(widths[c], header.back().size());
+    }
+    cells.push_back(std::move(header));
+  }
+  std::size_t shown = 0;
+  for (const auto& row : rs.rows()) {
+    if (shown++ >= maxRows) break;
+    std::vector<std::string> line;
+    line.reserve(ncols);
+    for (std::size_t c = 0; c < ncols && c < row.size(); ++c) {
+      line.push_back(row[c].toString());
+      widths[c] = std::max(widths[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::string out;
+  for (std::size_t r = 0; r < cells.size(); ++r) {
+    for (std::size_t c = 0; c < cells[r].size(); ++c) {
+      std::string cell = cells[r][c];
+      cell.resize(widths[c], ' ');
+      out += cell;
+      if (c + 1 < cells[r].size()) out += "  ";
+    }
+    out += '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < ncols; ++c) {
+        out += std::string(widths[c], '-');
+        if (c + 1 < ncols) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  if (rs.rowCount() > maxRows) {
+    out += "... (" + std::to_string(rs.rowCount() - maxRows) +
+           " more rows)\n";
+  }
+  return out;
+}
+
+std::string renderCachedTree(const std::string& gatewayName,
+                             CacheController& cache, util::Clock& clock,
+                             const std::vector<TreeViewEntry>& entries) {
+  std::string out = "[gateway] " + gatewayName + "\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool last = i + 1 == entries.size();
+    const char* branch = last ? "`-- " : "|-- ";
+    const char* cont = last ? "    " : "|   ";
+    out += branch + entries[i].url + "\n";
+
+    const std::string key = CacheController::key(entries[i].url, entries[i].sql);
+    auto cachedAt = cache.cachedAt(key);
+    auto rows = cache.lookup(key);
+    if (rows == nullptr) {
+      out += std::string(cont) + "(no cached data -- poll to refresh)\n";
+      continue;
+    }
+    const auto age = cachedAt ? (clock.now() - *cachedAt) / util::kSecond : 0;
+    out += std::string(cont) + "cached " + std::to_string(age) +
+           "s ago: " + entries[i].sql + "\n";
+    for (const auto& line :
+         [&] {
+           std::vector<std::string> lines;
+           std::string table = renderTable(*rows, 8);
+           std::string cur;
+           for (char ch : table) {
+             if (ch == '\n') {
+               lines.push_back(cur);
+               cur.clear();
+             } else {
+               cur.push_back(ch);
+             }
+           }
+           return lines;
+         }()) {
+      out += std::string(cont) + "  " + line + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gridrm::core

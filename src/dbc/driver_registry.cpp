@@ -1,0 +1,66 @@
+#include "gridrm/dbc/driver_registry.hpp"
+
+#include <algorithm>
+
+namespace gridrm::dbc {
+
+void DriverRegistry::registerDriver(std::shared_ptr<Driver> driver) {
+  if (!driver) return;
+  std::scoped_lock lock(mu_);
+  auto it = std::find_if(drivers_.begin(), drivers_.end(),
+                         [&](const std::shared_ptr<Driver>& d) {
+                           return d->name() == driver->name();
+                         });
+  if (it != drivers_.end()) {
+    *it = std::move(driver);  // runtime upgrade keeps registration order
+  } else {
+    drivers_.push_back(std::move(driver));
+  }
+}
+
+bool DriverRegistry::unregisterDriver(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = std::find_if(
+      drivers_.begin(), drivers_.end(),
+      [&](const std::shared_ptr<Driver>& d) { return d->name() == name; });
+  if (it == drivers_.end()) return false;
+  drivers_.erase(it);
+  return true;
+}
+
+std::shared_ptr<Driver> DriverRegistry::find(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  for (const auto& d : drivers_) {
+    if (d->name() == name) return d;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Driver>> DriverRegistry::drivers() const {
+  std::scoped_lock lock(mu_);
+  return drivers_;
+}
+
+std::shared_ptr<Driver> DriverRegistry::locate(const util::Url& url,
+                                               std::size_t* scanned) const {
+  // Copy the list under the lock, probe outside it: acceptsUrl is
+  // driver code and must not run while holding the registry lock (CP.22).
+  std::vector<std::shared_ptr<Driver>> snapshot = drivers();
+  std::size_t probes = 0;
+  for (const auto& d : snapshot) {
+    ++probes;
+    if (d->acceptsUrl(url)) {
+      if (scanned) *scanned = probes;
+      return d;
+    }
+  }
+  if (scanned) *scanned = probes;
+  return nullptr;
+}
+
+std::size_t DriverRegistry::size() const {
+  std::scoped_lock lock(mu_);
+  return drivers_.size();
+}
+
+}  // namespace gridrm::dbc

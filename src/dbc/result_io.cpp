@@ -1,0 +1,209 @@
+#include "gridrm/dbc/result_io.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::dbc {
+
+namespace {
+
+// Cells and descriptors are newline/pipe-delimited, so both characters
+// (and the escape itself) are escaped inside fields.
+std::string escapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case 'p':
+        out.push_back('|');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Split on unescaped '|'.
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      cur.push_back(line[i]);
+      cur.push_back(line[i + 1]);
+      ++i;
+      continue;
+    }
+    if (line[i] == '|') {
+      out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(line[i]);
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+std::string encodeCell(const Value& v) {
+  switch (v.type()) {
+    case ValueType::Null:
+      return "N";
+    case ValueType::Bool:
+      return v.asBool() ? "B1" : "B0";
+    case ValueType::Int:
+      return "I" + std::to_string(v.asInt());
+    case ValueType::Real:
+      return "R" + v.toString();
+    case ValueType::String:
+      return "S" + escapeField(v.asString());
+  }
+  return "N";
+}
+
+Value decodeCell(const std::string& cell) {
+  if (cell.empty()) throw SqlError(ErrorCode::Generic, "empty cell");
+  const std::string body = cell.substr(1);
+  switch (cell[0]) {
+    case 'N':
+      return Value::null();
+    case 'B':
+      return Value(body == "1");
+    case 'I':
+      return Value(util::Value::parse(body).toInt());
+    case 'R':
+      return Value(util::Value::parse(body).toReal());
+    case 'S':
+      return Value(unescapeField(body));
+    default:
+      throw SqlError(ErrorCode::Generic,
+                     std::string("bad cell tag '") + cell[0] + "'");
+  }
+}
+
+ValueType typeFromName(const std::string& name) {
+  if (name == "BOOL") return ValueType::Bool;
+  if (name == "INT") return ValueType::Int;
+  if (name == "REAL") return ValueType::Real;
+  if (name == "STRING") return ValueType::String;
+  return ValueType::Null;
+}
+
+}  // namespace
+
+std::string serializeResultSet(ResultSet& rs) {
+  const ResultSetMetaData& meta = rs.metaData();
+  std::string out = "RS1\n";
+  out += std::to_string(meta.columnCount());
+  out += '\n';
+  for (std::size_t i = 0; i < meta.columnCount(); ++i) {
+    const ColumnInfo& c = meta.column(i);
+    out += escapeField(c.name);
+    out += '|';
+    out += util::valueTypeName(c.type);
+    out += '|';
+    out += escapeField(c.unit);
+    out += '|';
+    out += escapeField(c.table);
+    out += '\n';
+  }
+  std::string rowsText;
+  std::size_t rows = 0;
+  while (rs.next()) {
+    for (std::size_t i = 0; i < meta.columnCount(); ++i) {
+      if (i != 0) rowsText += '|';
+      rowsText += encodeCell(rs.get(i));
+    }
+    rowsText += '\n';
+    ++rows;
+  }
+  out += std::to_string(rows);
+  out += '\n';
+  out += rowsText;
+  return out;
+}
+
+std::unique_ptr<VectorResultSet> deserializeResultSet(const std::string& text) {
+  auto lines = util::split(text, '\n');
+  std::size_t i = 0;
+  auto nextLine = [&]() -> const std::string& {
+    if (i >= lines.size()) {
+      throw SqlError(ErrorCode::Generic, "truncated result set");
+    }
+    return lines[i++];
+  };
+
+  if (nextLine() != "RS1") {
+    throw SqlError(ErrorCode::Generic, "bad result-set header");
+  }
+  const std::size_t ncols =
+      static_cast<std::size_t>(Value::parse(nextLine()).toInt(-1));
+  if (ncols == static_cast<std::size_t>(-1)) {
+    throw SqlError(ErrorCode::Generic, "bad column count");
+  }
+  std::vector<ColumnInfo> columns;
+  columns.reserve(ncols);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    auto fields = splitFields(nextLine());
+    if (fields.size() != 4) {
+      throw SqlError(ErrorCode::Generic, "bad column descriptor");
+    }
+    columns.push_back(ColumnInfo{unescapeField(fields[0]),
+                                 typeFromName(fields[1]),
+                                 unescapeField(fields[2]),
+                                 unescapeField(fields[3])});
+  }
+  const std::size_t nrows =
+      static_cast<std::size_t>(Value::parse(nextLine()).toInt(-1));
+  if (nrows == static_cast<std::size_t>(-1)) {
+    throw SqlError(ErrorCode::Generic, "bad row count");
+  }
+  std::vector<std::vector<Value>> rows;
+  rows.reserve(nrows);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    auto cells = splitFields(nextLine());
+    if (cells.size() != ncols) {
+      throw SqlError(ErrorCode::Generic, "row width mismatch");
+    }
+    std::vector<Value> row;
+    row.reserve(ncols);
+    for (const auto& cell : cells) row.push_back(decodeCell(cell));
+    rows.push_back(std::move(row));
+  }
+  return std::make_unique<VectorResultSet>(ResultSetMetaData(std::move(columns)),
+                                           std::move(rows));
+}
+
+}  // namespace gridrm::dbc

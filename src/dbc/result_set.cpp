@@ -1,0 +1,104 @@
+#include "gridrm/dbc/result_set.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::dbc {
+
+const ColumnInfo& ResultSetMetaData::column(std::size_t i) const {
+  if (i >= columns_.size()) {
+    throw SqlError(ErrorCode::NoSuchColumn,
+                   "column index " + std::to_string(i) + " out of range");
+  }
+  return columns_[i];
+}
+
+std::optional<std::size_t> ResultSetMetaData::columnIndex(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (util::iequals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+const Value& ResultSet::get(const std::string& columnName) const {
+  auto idx = metaData().columnIndex(columnName);
+  if (!idx) {
+    throw SqlError(ErrorCode::NoSuchColumn, "no column '" + columnName + "'");
+  }
+  const Value& v = get(*idx);
+  wasNull_ = v.isNull();
+  return v;
+}
+
+std::string ResultSet::getString(const std::string& columnName) const {
+  return get(columnName).toString();
+}
+std::int64_t ResultSet::getInt(const std::string& columnName) const {
+  return get(columnName).toInt();
+}
+double ResultSet::getReal(const std::string& columnName) const {
+  return get(columnName).toReal();
+}
+bool ResultSet::getBool(const std::string& columnName) const {
+  return get(columnName).toBool();
+}
+
+bool VectorResultSet::next() {
+  if (!started_) {
+    started_ = true;
+    cursor_ = 0;
+  } else {
+    ++cursor_;
+  }
+  return cursor_ < rows_.size();
+}
+
+const Value& VectorResultSet::get(std::size_t column) const {
+  if (!started_ || cursor_ >= rows_.size()) {
+    throw SqlError(ErrorCode::Generic, "cursor is not on a row");
+  }
+  const auto& row = rows_[cursor_];
+  if (column >= row.size()) {
+    throw SqlError(ErrorCode::NoSuchColumn,
+                   "column index " + std::to_string(column) + " out of range");
+  }
+  wasNull_ = row[column].isNull();
+  return row[column];
+}
+
+std::unique_ptr<VectorResultSet> VectorResultSet::materialize(
+    ResultSet& source) {
+  std::vector<std::vector<Value>> rows;
+  const std::size_t width = source.metaData().columnCount();
+  while (source.next()) {
+    std::vector<Value> row;
+    row.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) row.push_back(source.get(i));
+    rows.push_back(std::move(row));
+  }
+  return std::make_unique<VectorResultSet>(source.metaData(), std::move(rows));
+}
+
+ResultSetBuilder& ResultSetBuilder::addColumn(std::string name, ValueType type,
+                                              std::string unit,
+                                              std::string table) {
+  columns_.push_back(ColumnInfo{std::move(name), type, std::move(unit),
+                                std::move(table)});
+  return *this;
+}
+
+ResultSetBuilder& ResultSetBuilder::addRow(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    throw SqlError(ErrorCode::Generic,
+                   "row width does not match declared columns");
+  }
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+std::unique_ptr<VectorResultSet> ResultSetBuilder::build() {
+  return std::make_unique<VectorResultSet>(
+      ResultSetMetaData(std::move(columns_)), std::move(rows_));
+}
+
+}  // namespace gridrm::dbc

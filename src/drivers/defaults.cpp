@@ -1,0 +1,32 @@
+#include "gridrm/drivers/defaults.hpp"
+
+#include "gridrm/drivers/ganglia_driver.hpp"
+#include "gridrm/drivers/mds_driver.hpp"
+#include "gridrm/drivers/netlogger_driver.hpp"
+#include "gridrm/drivers/nws_driver.hpp"
+#include "gridrm/drivers/scms_driver.hpp"
+#include "gridrm/drivers/snmp_driver.hpp"
+#include "gridrm/drivers/sqlsrc_driver.hpp"
+
+namespace gridrm::drivers {
+
+void registerDefaultDrivers(dbc::DriverRegistry& registry,
+                            const DriverContext& ctx) {
+  ctx.schemaManager->registerDriverMap(SnmpDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(GangliaDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(NwsDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(NetLoggerDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(ScmsDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(SqlSourceDriver::defaultSchemaMap());
+  ctx.schemaManager->registerDriverMap(MdsDriver::defaultSchemaMap());
+
+  registry.registerDriver(std::make_shared<SnmpDriver>(ctx));
+  registry.registerDriver(std::make_shared<GangliaDriver>(ctx));
+  registry.registerDriver(std::make_shared<NwsDriver>(ctx));
+  registry.registerDriver(std::make_shared<NetLoggerDriver>(ctx));
+  registry.registerDriver(std::make_shared<ScmsDriver>(ctx));
+  registry.registerDriver(std::make_shared<SqlSourceDriver>(ctx));
+  registry.registerDriver(std::make_shared<MdsDriver>(ctx));
+}
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,157 @@
+#include "gridrm/drivers/driver_common.hpp"
+
+
+#include <algorithm>
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+void collectColumns(const sql::Expr& expr, std::set<std::string>& out) {
+  if (expr.kind == sql::ExprKind::Column) out.insert(expr.name);
+  for (const auto& child : expr.children) collectColumns(*child, out);
+}
+
+ParsedQuery ParsedQuery::parse(const std::string& sqlText,
+                               const glue::Schema& schema) {
+  ParsedQuery q;
+  try {
+    q.stmt_ = sql::parseSelect(sqlText);
+  } catch (const sql::ParseError& e) {
+    throw SqlError(ErrorCode::Syntax, e.what());
+  }
+  q.group_ = schema.findGroup(q.stmt_.table);
+  if (q.group_ == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable,
+                   "'" + q.stmt_.table + "' is not a GLUE group");
+  }
+
+  std::set<std::string> referenced;
+  bool star = false;
+  for (const auto& item : q.stmt_.items) {
+    if (item.isStar()) {
+      star = true;
+    } else {
+      collectColumns(*item.expr, referenced);
+    }
+  }
+  if (q.stmt_.where) collectColumns(*q.stmt_.where, referenced);
+  for (const auto& key : q.stmt_.orderBy) collectColumns(*key.expr, referenced);
+
+  for (const auto& attr : q.group_->attributes()) {
+    const bool wanted =
+        star || std::any_of(referenced.begin(), referenced.end(),
+                            [&](const std::string& name) {
+                              return util::iequals(name, attr.name);
+                            });
+    if (wanted) q.needed_.push_back(attr.name);
+  }
+  // Any referenced column that is not a group attribute is an error the
+  // driver should surface before contacting the source.
+  for (const auto& name : referenced) {
+    if (q.group_->find(name) == nullptr) {
+      throw SqlError(ErrorCode::NoSuchColumn,
+                     "group " + q.group_->name() + " has no attribute '" +
+                         name + "'");
+    }
+  }
+  return q;
+}
+
+bool ParsedQuery::needs(const std::string& attribute) const {
+  for (const auto& name : needed_) {
+    if (util::iequals(name, attribute)) return true;
+  }
+  return false;
+}
+
+GlueRowBuilder::GlueRowBuilder(const glue::GroupDef& group) : group_(group) {}
+
+GlueRowBuilder& GlueRowBuilder::beginRow() {
+  rows_.emplace_back(group_.size());
+  return *this;
+}
+
+GlueRowBuilder& GlueRowBuilder::set(const std::string& attribute,
+                                    util::Value value) {
+  if (rows_.empty()) beginRow();
+  if (auto idx = group_.indexOf(attribute)) {
+    rows_.back()[*idx] = std::move(value);
+  }
+  return *this;
+}
+
+std::vector<dbc::ColumnInfo> GlueRowBuilder::columns() const {
+  std::vector<dbc::ColumnInfo> out;
+  out.reserve(group_.size());
+  for (const auto& attr : group_.attributes()) {
+    out.push_back(
+        dbc::ColumnInfo{attr.name, attr.type, attr.unit, group_.name()});
+  }
+  return out;
+}
+
+std::vector<std::vector<util::Value>> GlueRowBuilder::takeRows() {
+  return std::move(rows_);
+}
+
+std::unique_ptr<dbc::VectorResultSet> applyClauses(
+    const sql::SelectStatement& stmt,
+    const std::vector<dbc::ColumnInfo>& columns,
+    const std::vector<std::vector<util::Value>>& rows) {
+  return store::executeSelect(stmt, columns, rows);
+}
+
+std::shared_ptr<const glue::DriverSchemaMap> requireDriverMap(
+    const DriverContext& ctx, const std::string& driverName) {
+  auto map = ctx.schemaManager->driverMap(driverName);
+  if (!map) {
+    throw SqlError(ErrorCode::Translation,
+                   "no schema map registered for driver '" + driverName + "'");
+  }
+  return map;
+}
+
+util::Value convertScaled(const util::Value& v, double scale,
+                          util::ValueType target) {
+  using util::Value;
+  using util::ValueType;
+  if (v.isNull()) return Value::null();
+  switch (target) {
+    case ValueType::Int: {
+      if (!v.isNumeric() && v.type() != ValueType::String) return Value::null();
+      const double scaled = v.toReal() * scale;
+      if (v.type() == ValueType::String && !util::Value::parse(v.asString()).isNumeric()) {
+        return Value::null();
+      }
+      return Value(static_cast<std::int64_t>(scaled));
+    }
+    case ValueType::Real: {
+      if (v.type() == ValueType::String &&
+          !util::Value::parse(v.asString()).isNumeric()) {
+        return Value::null();
+      }
+      return Value(v.toReal() * scale);
+    }
+    case ValueType::Bool:
+      return Value(v.toBool());
+    case ValueType::String:
+      return Value(v.toString());
+    case ValueType::Null:
+      return Value::null();
+  }
+  return Value::null();
+}
+
+void rethrowNetError(const net::NetError& e, const util::Url& url) {
+  throw SqlError(e.kind() == net::NetErrorKind::Timeout
+                     ? ErrorCode::Timeout
+                     : ErrorCode::ConnectionFailed,
+                 url.text() + ": " + e.what());
+}
+
+}  // namespace gridrm::drivers

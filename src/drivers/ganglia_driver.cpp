@@ -1,0 +1,233 @@
+#include "gridrm/drivers/ganglia_driver.hpp"
+
+#include <map>
+
+#include "gridrm/agents/ganglia_agent.hpp"
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/xml.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+/// Parsed gmond snapshot: cluster name + per-host metric map.
+struct ClusterSnapshot {
+  std::string clusterName;
+  std::int64_t localtime = 0;
+  // host -> metric name -> raw value text
+  std::vector<std::pair<std::string, std::map<std::string, std::string>>> hosts;
+};
+
+ClusterSnapshot parseSnapshot(const std::string& xmlText) {
+  auto root = util::parseXml(xmlText);
+  if (root->name != "GANGLIA_XML") {
+    throw SqlError(ErrorCode::Translation, "not a GANGLIA_XML document");
+  }
+  const util::XmlElement* cluster = root->child("CLUSTER");
+  if (cluster == nullptr) {
+    throw SqlError(ErrorCode::Translation, "missing CLUSTER element");
+  }
+  ClusterSnapshot snap;
+  snap.clusterName = cluster->attr("NAME");
+  snap.localtime = util::Value::parse(cluster->attr("LOCALTIME", "0")).toInt();
+  for (const util::XmlElement* host : cluster->childrenNamed("HOST")) {
+    std::map<std::string, std::string> metrics;
+    for (const util::XmlElement* m : host->childrenNamed("METRIC")) {
+      metrics[m->attr("NAME")] = m->attr("VAL");
+    }
+    snap.hosts.emplace_back(host->attr("NAME"), std::move(metrics));
+  }
+  return snap;
+}
+
+class GangliaConnection final : public UrlConnection {
+ public:
+  GangliaConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(), url_.port() == 0 ? agents::ganglia::kGmondPort
+                                             : url_.port()},
+        client_{"gateway", 0},
+        schemaMap_(requireDriverMap(ctx_, "ganglia")),
+        cache_(*ctx_.clock,
+               util::Value::parse(url_.param("cachems", "15000")).toInt() *
+                   util::kMillisecond) {
+    // Validate reachability and document shape once at connect time.
+    (void)snapshot();
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      (void)fetch();
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  /// The cached snapshot, refetched when the TTL lapsed.
+  const ClusterSnapshot& snapshot() {
+    if (const ClusterSnapshot* hit = cache_.get()) return *hit;
+    current_ = parseSnapshot(fetch());
+    cache_.put(current_);
+    return current_;
+  }
+
+  const glue::DriverSchemaMap& schemaMap() const noexcept {
+    return *schemaMap_;
+  }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  std::string fetch() {
+    try {
+      return ctx_.network->request(client_, agent_, "dump");
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+  }
+
+  net::Address agent_;
+  net::Address client_;
+  std::shared_ptr<const glue::DriverSchemaMap> schemaMap_;
+  ResponseCache<ClusterSnapshot> cache_;
+  ClusterSnapshot current_;  // storage when caching is disabled (ttl=0)
+};
+
+class GangliaStatement final : public dbc::BaseStatement {
+ public:
+  explicit GangliaStatement(GangliaConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const glue::GroupMapping* mapping =
+        conn_.schemaMap().findGroup(q.group().name());
+    if (mapping == nullptr) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "Ganglia source does not serve group " + q.group().name());
+    }
+
+    const ClusterSnapshot& snap = conn_.snapshot();
+    GlueRowBuilder builder(q.group());
+    for (const auto& [hostName, metrics] : snap.hosts) {
+      builder.beginRow();
+      for (const auto& attrName : q.neededAttributes()) {
+        const glue::AttributeDef* attr = q.group().find(attrName);
+        auto m = mapping->find(attrName);
+        Value raw;
+        if (m) {
+          if (m->native == "@hostname") {
+            raw = Value(hostName);
+          } else if (m->native == "@cluster") {
+            raw = Value(snap.clusterName);
+          } else if (m->native == "@timestamp") {
+            raw = Value(conn_.context().clock->now());
+          } else if (!m->native.empty()) {
+            auto it = metrics.find(m->native);
+            if (it != metrics.end()) raw = util::Value::parse(it->second);
+          }
+          builder.set(attr->name,
+                      convertScaled(raw, m->scale, attr->type));
+        }
+      }
+    }
+
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  GangliaConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> GangliaConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<GangliaStatement>(*this);
+}
+
+}  // namespace
+
+bool GangliaDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "ganglia") return true;
+  return url.subprotocol().empty() &&
+         url.port() == agents::ganglia::kGmondPort;
+}
+
+std::unique_ptr<dbc::Connection> GangliaDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<GangliaConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap GangliaDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("ganglia");
+
+  glue::GroupMapping& host = map.group("Host");
+  host.map("HostName", "@hostname");
+  host.map("ClusterName", "@cluster");
+  host.map("Timestamp", "@timestamp");
+  host.map("UpTime", "");  // derivable from boottime only with wall time
+  host.map("ProcessCount", "proc_total");
+  host.map("OSName", "os_name");
+  host.map("OSVersion", "os_release");
+  host.map("Architecture", "machine_type");
+
+  glue::GroupMapping& cpu = map.group("Processor");
+  cpu.map("HostName", "@hostname");
+  cpu.map("ClusterName", "@cluster");
+  cpu.map("Timestamp", "@timestamp");
+  cpu.map("CPUCount", "cpu_num");
+  cpu.map("ClockSpeed", "cpu_speed");
+  cpu.map("Model", "");
+  cpu.map("Load1", "load_one");
+  cpu.map("Load5", "load_five");
+  cpu.map("Load15", "load_fifteen");
+  cpu.map("UserPct", "cpu_user");
+  cpu.map("SystemPct", "cpu_system");
+  cpu.map("IdlePct", "cpu_idle");
+
+  glue::GroupMapping& mem = map.group("Memory");
+  mem.map("HostName", "@hostname");
+  mem.map("ClusterName", "@cluster");
+  mem.map("Timestamp", "@timestamp");
+  mem.map("RAMSize", "mem_total", 1.0 / 1024);  // KB -> MB
+  mem.map("RAMAvailable", "mem_free", 1.0 / 1024);
+  mem.map("VirtualSize", "swap_total", 1.0 / 1024);
+  mem.map("VirtualAvailable", "swap_free", 1.0 / 1024);
+
+  glue::GroupMapping& os = map.group("OperatingSystem");
+  os.map("HostName", "@hostname");
+  os.map("ClusterName", "@cluster");
+  os.map("Timestamp", "@timestamp");
+  os.map("Name", "os_name");
+  os.map("Release", "os_release");
+  os.map("BootTime", "boottime", 1e6);  // seconds -> microseconds
+
+  glue::GroupMapping& fs = map.group("FileSystem");
+  fs.map("HostName", "@hostname");
+  fs.map("ClusterName", "@cluster");
+  fs.map("Timestamp", "@timestamp");
+  fs.map("Root", "");
+  fs.map("Size", "disk_total");
+  fs.map("AvailableSpace", "disk_free");
+  fs.map("ReadOnly", "");
+
+  glue::GroupMapping& nic = map.group("NetworkAdapter");
+  nic.map("HostName", "@hostname");
+  nic.map("ClusterName", "@cluster");
+  nic.map("Timestamp", "@timestamp");
+  nic.map("Name", "");
+  nic.map("Speed", "");
+  nic.map("InBytes", "bytes_in");
+  nic.map("OutBytes", "bytes_out");
+
+  return map;
+}
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,184 @@
+#include "gridrm/drivers/mds_driver.hpp"
+
+#include "gridrm/agents/mds_agent.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using agents::mds::LdifEntry;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+class MdsConnection final : public UrlConnection {
+ public:
+  MdsConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(),
+               url_.port() == 0 ? agents::mds::kGrisPort : url_.port()},
+        client_{"gateway", 0},
+        schemaMap_(requireDriverMap(ctx_, "mds")),
+        cache_(*ctx_.clock,
+               util::Value::parse(url_.param("cachems", "15000")).toInt() *
+                   util::kMillisecond) {
+    if (entries().empty()) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     url_.text() + ": GRIS returned no GlueHost entries");
+    }
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      return !fetch().empty();
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  /// The cached host entries, refetched when the TTL lapsed.
+  const std::vector<LdifEntry>& entries() {
+    if (const auto* hit = cache_.get()) return *hit;
+    current_ = fetch();
+    cache_.put(current_);
+    return current_;
+  }
+
+  const glue::DriverSchemaMap& schemaMap() const noexcept {
+    return *schemaMap_;
+  }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  std::vector<LdifEntry> fetch() {
+    net::Payload response;
+    try {
+      response = ctx_.network->request(
+          client_, agent_, "SEARCH o=grid sub (objectClass=GlueHost)");
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+    if (util::startsWith(response, "ERROR")) {
+      throw SqlError(ErrorCode::Translation, url_.text() + ": " + response);
+    }
+    return agents::mds::parseLdif(response);
+  }
+
+  net::Address agent_;
+  net::Address client_;
+  std::shared_ptr<const glue::DriverSchemaMap> schemaMap_;
+  ResponseCache<std::vector<LdifEntry>> cache_;
+  std::vector<LdifEntry> current_;
+};
+
+class MdsStatement final : public dbc::BaseStatement {
+ public:
+  explicit MdsStatement(MdsConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const glue::GroupMapping* mapping =
+        conn_.schemaMap().findGroup(q.group().name());
+    if (mapping == nullptr) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "MDS source does not serve group " + q.group().name());
+    }
+
+    GlueRowBuilder builder(q.group());
+    for (const LdifEntry& entry : conn_.entries()) {
+      builder.beginRow();
+      for (const auto& attrName : q.neededAttributes()) {
+        const glue::AttributeDef* attr = q.group().find(attrName);
+        auto m = mapping->find(attrName);
+        Value raw;
+        if (m) {
+          if (m->native == "@timestamp") {
+            raw = Value(conn_.context().clock->now());
+          } else if (!m->native.empty()) {
+            const std::string text = entry.attr(m->native);
+            if (!text.empty()) raw = util::Value::parse(text);
+          }
+          builder.set(attr->name, convertScaled(raw, m->scale, attr->type));
+        }
+      }
+    }
+
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  MdsConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> MdsConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<MdsStatement>(*this);
+}
+
+}  // namespace
+
+bool MdsDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "mds" || url.subprotocol() == "ldap") return true;
+  return url.subprotocol().empty() && url.port() == agents::mds::kGrisPort;
+}
+
+std::unique_ptr<dbc::Connection> MdsDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<MdsConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap MdsDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("mds");
+
+  glue::GroupMapping& host = map.group("Host");
+  host.map("HostName", "GlueHostName");
+  host.map("ClusterName", "GlueClusterName");
+  host.map("Timestamp", "@timestamp");
+  host.map("UpTime", "");
+  host.map("ProcessCount", "");
+  host.map("OSName", "GlueHostOperatingSystemName");
+  host.map("OSVersion", "GlueHostOperatingSystemRelease");
+  host.map("Architecture", "GlueHostArchitecturePlatformType");
+
+  glue::GroupMapping& cpu = map.group("Processor");
+  cpu.map("HostName", "GlueHostName");
+  cpu.map("ClusterName", "GlueClusterName");
+  cpu.map("Timestamp", "@timestamp");
+  cpu.map("CPUCount", "GlueHostArchitectureSMPSize");
+  cpu.map("ClockSpeed", "GlueHostProcessorClockSpeed");
+  cpu.map("Model", "");
+  cpu.map("Load1", "GlueHostProcessorLoadAverage1Min");
+  cpu.map("Load5", "GlueHostProcessorLoadAverage5Min");
+  cpu.map("Load15", "GlueHostProcessorLoadAverage15Min");
+  cpu.map("UserPct", "");
+  cpu.map("SystemPct", "");
+  cpu.map("IdlePct", "");
+
+  glue::GroupMapping& mem = map.group("Memory");
+  mem.map("HostName", "GlueHostName");
+  mem.map("ClusterName", "GlueClusterName");
+  mem.map("Timestamp", "@timestamp");
+  mem.map("RAMSize", "GlueHostMainMemoryRAMSize");
+  mem.map("RAMAvailable", "GlueHostMainMemoryRAMAvailable");
+  mem.map("VirtualSize", "GlueHostMainMemoryVirtualSize");
+  mem.map("VirtualAvailable", "GlueHostMainMemoryVirtualAvailable");
+
+  glue::GroupMapping& nic = map.group("NetworkAdapter");
+  nic.map("HostName", "GlueHostName");
+  nic.map("ClusterName", "GlueClusterName");
+  nic.map("Timestamp", "@timestamp");
+  nic.map("Name", "");
+  nic.map("Speed", "");
+  nic.map("InBytes", "GlueHostNetworkAdapterInboundIP");
+  nic.map("OutBytes", "GlueHostNetworkAdapterOutboundIP");
+
+  return map;
+}
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,91 @@
+#include "gridrm/drivers/mock_driver.hpp"
+
+#include "gridrm/glue/schema.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+class MockConnection;
+
+class MockStatement final : public dbc::BaseStatement {
+ public:
+  MockStatement(MockDriver& driver, const util::Url& url)
+      : driver_(driver), url_(url) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const std::size_t call = driver_.noteQuery();
+    const MockBehaviour& b = driver_.behaviour();
+    DriverContext& ctx = driver_.context();
+    if (b.queryLatencyUs > 0 && ctx.clock != nullptr) {
+      ctx.clock->sleepFor(b.queryLatencyUs);
+    }
+    if (call > b.failQueriesFrom) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     "mock driver scripted failure on query " +
+                         std::to_string(call));
+    }
+    const glue::Schema& schema = ctx.schemaManager != nullptr
+                                     ? ctx.schemaManager->schema()
+                                     : glue::Schema::builtin();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    GlueRowBuilder builder(q.group());
+    builder.beginRow()
+        .set("HostName", Value(b.hostName))
+        .set("Timestamp",
+             Value(ctx.clock != nullptr ? ctx.clock->now()
+                                        : static_cast<std::int64_t>(0)))
+        .set("Load1", Value(b.load1));
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  MockDriver& driver_;
+  [[maybe_unused]] const util::Url& url_;
+};
+
+class MockConnection final : public UrlConnection {
+ public:
+  MockConnection(util::Url url, DriverContext ctx, MockDriver& driver)
+      : UrlConnection(std::move(url), ctx), driver_(driver) {}
+
+  std::unique_ptr<dbc::Statement> createStatement() override {
+    ensureOpen();
+    return std::make_unique<MockStatement>(driver_, url_);
+  }
+
+ private:
+  MockDriver& driver_;
+};
+
+}  // namespace
+
+bool MockDriver::acceptsUrl(const util::Url& url) const {
+  ++acceptProbes_;
+  for (const auto& sub : behaviour_.accepts) {
+    if (url.subprotocol() == sub) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<dbc::Connection> MockDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  const std::size_t call = ++connectCalls_;
+  if (behaviour_.connectLatencyUs > 0 && ctx_.clock != nullptr) {
+    ctx_.clock->sleepFor(behaviour_.connectLatencyUs);
+  }
+  if (behaviour_.failConnect ||
+      (behaviour_.failConnectEveryN > 0 &&
+       call % behaviour_.failConnectEveryN == 0)) {
+    throw SqlError(ErrorCode::ConnectionFailed,
+                   "mock driver scripted connect failure");
+  }
+  return std::make_unique<MockConnection>(url, ctx_, *this);
+}
+
+}  // namespace gridrm::drivers

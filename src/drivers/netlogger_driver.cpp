@@ -1,0 +1,181 @@
+#include "gridrm/drivers/netlogger_driver.hpp"
+
+#include "gridrm/agents/netlogger_agent.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+class NetLoggerConnection final : public UrlConnection {
+ public:
+  NetLoggerConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(), url_.port() == 0 ? agents::netlogger::kNetLoggerPort
+                                             : url_.port()},
+        client_{"gateway", 0},
+        schemaMap_(requireDriverMap(ctx_, "netlogger")) {
+    if (roundTrip("EVENTS").empty()) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     url_.text() + ": no event streams advertised");
+    }
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      return !roundTrip("EVENTS").empty();
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  std::string roundTrip(const std::string& request) {
+    try {
+      return ctx_.network->request(client_, agent_, request);
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+  }
+
+  const glue::DriverSchemaMap& schemaMap() const noexcept {
+    return *schemaMap_;
+  }
+  const std::string& host() const noexcept { return url_.host(); }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  net::Address agent_;
+  net::Address client_;
+  std::shared_ptr<const glue::DriverSchemaMap> schemaMap_;
+};
+
+class NetLoggerStatement final : public dbc::BaseStatement {
+ public:
+  explicit NetLoggerStatement(NetLoggerConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const glue::GroupMapping* mapping =
+        conn_.schemaMap().findGroup(q.group().name());
+    if (mapping == nullptr) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "NetLogger source does not serve group " +
+                         q.group().name());
+    }
+
+    GlueRowBuilder builder(q.group());
+    builder.beginRow();
+    std::int64_t newest = 0;
+    for (const auto& attrName : q.neededAttributes()) {
+      const glue::AttributeDef* attr = q.group().find(attrName);
+      auto m = mapping->find(attrName);
+      Value raw;
+      if (m) {
+        if (m->native == "@hostname") {
+          raw = Value(conn_.host());
+        } else if (m->native == "@timestamp") {
+          raw = Value(conn_.context().clock->now());
+        } else if (!m->native.empty()) {
+          // Fine-grained: tail exactly one record of the mapped event.
+          const std::string text = conn_.roundTrip("TAIL " + m->native + " 1");
+          const auto lines = util::splitNonEmpty(text, '\n');
+          double value = 0.0;
+          if (!lines.empty() &&
+              agents::netlogger::parseUlmValue(lines.back(), value)) {
+            raw = Value(value);
+            util::TimePoint ts = 0;
+            if (agents::netlogger::parseUlmDate(lines.back(), ts)) {
+              newest = std::max(newest, ts);
+            }
+          }
+        }
+        builder.set(attr->name, convertScaled(raw, m->scale, attr->type));
+      }
+    }
+    // Prefer the record timestamp over the gateway clock when available.
+    if (newest > 0 && q.needs("Timestamp")) {
+      builder.set("Timestamp", Value(newest));
+    }
+
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  NetLoggerConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> NetLoggerConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<NetLoggerStatement>(*this);
+}
+
+}  // namespace
+
+bool NetLoggerDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "netlogger") return true;
+  return url.subprotocol().empty() &&
+         url.port() == agents::netlogger::kNetLoggerPort;
+}
+
+std::unique_ptr<dbc::Connection> NetLoggerDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<NetLoggerConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap NetLoggerDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("netlogger");
+
+  glue::GroupMapping& cpu = map.group("Processor");
+  cpu.map("HostName", "@hostname");
+  cpu.map("ClusterName", "");
+  cpu.map("Timestamp", "@timestamp");
+  cpu.map("CPUCount", "");
+  cpu.map("ClockSpeed", "");
+  cpu.map("Model", "");
+  cpu.map("Load1", "cpu.load");
+  cpu.map("Load5", "");
+  cpu.map("Load15", "");
+  cpu.map("UserPct", "");
+  cpu.map("SystemPct", "");
+  cpu.map("IdlePct", "");
+
+  glue::GroupMapping& mem = map.group("Memory");
+  mem.map("HostName", "@hostname");
+  mem.map("ClusterName", "");
+  mem.map("Timestamp", "@timestamp");
+  mem.map("RAMSize", "");
+  mem.map("RAMAvailable", "mem.free");
+  mem.map("VirtualSize", "");
+  mem.map("VirtualAvailable", "");
+
+  glue::GroupMapping& fs = map.group("FileSystem");
+  fs.map("HostName", "@hostname");
+  fs.map("ClusterName", "");
+  fs.map("Timestamp", "@timestamp");
+  fs.map("Root", "");
+  fs.map("Size", "");
+  fs.map("AvailableSpace", "disk.free");
+  fs.map("ReadOnly", "");
+
+  glue::GroupMapping& nic = map.group("NetworkAdapter");
+  nic.map("HostName", "@hostname");
+  nic.map("ClusterName", "");
+  nic.map("Timestamp", "@timestamp");
+  nic.map("Name", "");
+  nic.map("Speed", "");
+  nic.map("InBytes", "net.in");
+  nic.map("OutBytes", "net.out");
+
+  return map;
+}
+
+}  // namespace gridrm::drivers

@@ -1,0 +1,172 @@
+#include "gridrm/drivers/nws_driver.hpp"
+
+#include <map>
+
+#include "gridrm/agents/nws_agent.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+struct Forecast {
+  double measurement = 0.0;
+  double forecast = 0.0;
+  double mse = 0.0;
+};
+
+using ForecastMap = std::map<std::string, Forecast>;  // resource -> forecast
+
+Forecast parseForecast(const std::string& text, const util::Url& url) {
+  Forecast f;
+  bool sawForecast = false;
+  for (const auto& line : util::splitNonEmpty(text, '\n')) {
+    auto words = util::splitNonEmpty(line, ' ');
+    if (words.size() < 2) continue;
+    if (words[0] == "MEASUREMENT") {
+      f.measurement = util::Value::parse(words[1]).toReal();
+    } else if (words[0] == "FORECAST") {
+      f.forecast = util::Value::parse(words[1]).toReal();
+      sawForecast = true;
+    } else if (words[0] == "MSE") {
+      f.mse = util::Value::parse(words[1]).toReal();
+    } else if (words[0] == "ERROR") {
+      throw SqlError(ErrorCode::Translation,
+                     url.text() + ": NWS error: " + line);
+    }
+  }
+  if (!sawForecast) {
+    throw SqlError(ErrorCode::Translation,
+                   url.text() + ": malformed NWS forecast response");
+  }
+  return f;
+}
+
+class NwsConnection final : public UrlConnection {
+ public:
+  NwsConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(),
+               url_.port() == 0 ? agents::nws::kNwsPort : url_.port()},
+        client_{"gateway", 0},
+        cache_(*ctx_.clock,
+               util::Value::parse(url_.param("cachems", "10000")).toInt() *
+                   util::kMillisecond) {
+    // requireDriverMap validates registration even though all mapping
+    // logic for NWS is positional (one GLUE group).
+    (void)requireDriverMap(ctx_, "nws");
+    if (listResources().empty()) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     url_.text() + ": sensor lists no resources");
+    }
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      return !listResources().empty();
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  std::vector<std::string> listResources() {
+    return util::splitNonEmpty(roundTrip("LIST"), '\n');
+  }
+
+  const ForecastMap& forecasts() {
+    if (const ForecastMap* hit = cache_.get()) return *hit;
+    ForecastMap fresh;
+    for (const auto& resource : listResources()) {
+      fresh[resource] = parseForecast(roundTrip("FORECAST " + resource), url_);
+    }
+    current_ = std::move(fresh);
+    cache_.put(current_);
+    return current_;
+  }
+
+  const std::string& host() const noexcept { return url_.host(); }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  std::string roundTrip(const std::string& request) {
+    try {
+      return ctx_.network->request(client_, agent_, request);
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+  }
+
+  net::Address agent_;
+  net::Address client_;
+  ResponseCache<ForecastMap> cache_;
+  ForecastMap current_;
+};
+
+class NwsStatement final : public dbc::BaseStatement {
+ public:
+  explicit NwsStatement(NwsConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    if (!util::iequals(q.group().name(), "NetworkForecast")) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "NWS sources serve only the NetworkForecast group");
+    }
+
+    GlueRowBuilder builder(q.group());
+    const std::int64_t now = conn_.context().clock->now();
+    for (const auto& [resource, f] : conn_.forecasts()) {
+      builder.beginRow()
+          .set("HostName", Value(conn_.host()))
+          .set("Timestamp", Value(now))
+          .set("Resource", Value(resource))
+          .set("Measurement", Value(f.measurement))
+          .set("Forecast", Value(f.forecast))
+          .set("ForecastError", Value(f.mse));
+    }
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  NwsConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> NwsConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<NwsStatement>(*this);
+}
+
+}  // namespace
+
+bool NwsDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "nws") return true;
+  return url.subprotocol().empty() && url.port() == agents::nws::kNwsPort;
+}
+
+std::unique_ptr<dbc::Connection> NwsDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<NwsConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap NwsDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("nws");
+  glue::GroupMapping& g = map.group("NetworkForecast");
+  g.map("HostName", "@hostname");
+  g.map("Timestamp", "@timestamp");
+  g.map("Resource", "RESOURCE");
+  g.map("Measurement", "MEASUREMENT");
+  g.map("Forecast", "FORECAST");
+  g.map("ForecastError", "MSE");
+  return map;
+}
+
+}  // namespace gridrm::drivers

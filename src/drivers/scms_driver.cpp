@@ -1,0 +1,184 @@
+#include "gridrm/drivers/scms_driver.hpp"
+
+#include <map>
+
+#include "gridrm/agents/scms_agent.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+std::map<std::string, std::string> parseStat(const std::string& text) {
+  std::map<std::string, std::string> out;
+  for (const auto& line : util::splitNonEmpty(text, '\n')) {
+    std::size_t sep = line.find(':');
+    if (sep == std::string::npos) continue;
+    out[std::string(util::trim(line.substr(0, sep)))] =
+        std::string(util::trim(line.substr(sep + 1)));
+  }
+  return out;
+}
+
+class ScmsConnection final : public UrlConnection {
+ public:
+  ScmsConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(),
+               url_.port() == 0 ? agents::scms::kScmsPort : url_.port()},
+        client_{"gateway", 0},
+        schemaMap_(requireDriverMap(ctx_, "scms")) {
+    if (nodes().empty()) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     url_.text() + ": SCMS master lists no nodes");
+    }
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      return !nodes().empty();
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  std::vector<std::string> nodes() {
+    const std::string text = roundTrip("NODES");
+    if (util::startsWith(text, "ERROR")) return {};
+    return util::splitNonEmpty(text, '\n');
+  }
+
+  std::string roundTrip(const std::string& request) {
+    try {
+      return ctx_.network->request(client_, agent_, request);
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+  }
+
+  const glue::DriverSchemaMap& schemaMap() const noexcept {
+    return *schemaMap_;
+  }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  net::Address agent_;
+  net::Address client_;
+  std::shared_ptr<const glue::DriverSchemaMap> schemaMap_;
+};
+
+class ScmsStatement final : public dbc::BaseStatement {
+ public:
+  explicit ScmsStatement(ScmsConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const glue::GroupMapping* mapping =
+        conn_.schemaMap().findGroup(q.group().name());
+    if (mapping == nullptr) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "SCMS source does not serve group " + q.group().name());
+    }
+
+    GlueRowBuilder builder(q.group());
+    for (const auto& node : conn_.nodes()) {
+      const auto stat = parseStat(conn_.roundTrip("STAT " + node));
+      builder.beginRow();
+      for (const auto& attrName : q.neededAttributes()) {
+        const glue::AttributeDef* attr = q.group().find(attrName);
+        auto m = mapping->find(attrName);
+        Value raw;
+        if (m) {
+          if (m->native == "@timestamp") {
+            raw = Value(conn_.context().clock->now());
+          } else if (!m->native.empty()) {
+            auto it = stat.find(m->native);
+            if (it != stat.end()) raw = util::Value::parse(it->second);
+          }
+          builder.set(attr->name, convertScaled(raw, m->scale, attr->type));
+        }
+      }
+    }
+
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  ScmsConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> ScmsConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<ScmsStatement>(*this);
+}
+
+}  // namespace
+
+bool ScmsDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "scms") return true;
+  return url.subprotocol().empty() && url.port() == agents::scms::kScmsPort;
+}
+
+std::unique_ptr<dbc::Connection> ScmsDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<ScmsConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap ScmsDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("scms");
+
+  glue::GroupMapping& host = map.group("Host");
+  host.map("HostName", "node");
+  host.map("ClusterName", "cluster");
+  host.map("Timestamp", "@timestamp");
+  host.map("UpTime", "uptime");
+  host.map("ProcessCount", "nprocs");
+  host.map("OSName", "os");
+  host.map("OSVersion", "");
+  host.map("Architecture", "arch");
+
+  glue::GroupMapping& cpu = map.group("Processor");
+  cpu.map("HostName", "node");
+  cpu.map("ClusterName", "cluster");
+  cpu.map("Timestamp", "@timestamp");
+  cpu.map("CPUCount", "ncpus");
+  cpu.map("ClockSpeed", "cpu_mhz");
+  cpu.map("Model", "");
+  cpu.map("Load1", "load1");
+  cpu.map("Load5", "load5");
+  cpu.map("Load15", "load15");
+  cpu.map("UserPct", "cpu_user");
+  cpu.map("SystemPct", "cpu_sys");
+  cpu.map("IdlePct", "cpu_idle");
+
+  glue::GroupMapping& mem = map.group("Memory");
+  mem.map("HostName", "node");
+  mem.map("ClusterName", "cluster");
+  mem.map("Timestamp", "@timestamp");
+  mem.map("RAMSize", "mem_total_mb");
+  mem.map("RAMAvailable", "mem_free_mb");
+  mem.map("VirtualSize", "");
+  mem.map("VirtualAvailable", "swap_free_mb");
+
+  glue::GroupMapping& fs = map.group("FileSystem");
+  fs.map("HostName", "node");
+  fs.map("ClusterName", "cluster");
+  fs.map("Timestamp", "@timestamp");
+  fs.map("Root", "");
+  fs.map("Size", "disk_total_mb");
+  fs.map("AvailableSpace", "disk_free_mb");
+  fs.map("ReadOnly", "");
+
+  return map;
+}
+
+}  // namespace gridrm::drivers

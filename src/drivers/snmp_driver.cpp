@@ -1,0 +1,266 @@
+#include "gridrm/drivers/snmp_driver.hpp"
+
+#include "gridrm/agents/snmp_agent.hpp"
+#include "gridrm/agents/snmp_codec.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+namespace snmp = agents::snmp;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+// Mapping conventions for this driver's DriverSchemaMap `native` field:
+//   "<dotted oid>"          plain GET of that OID
+//   "@hostname"             the agent's cached sysName
+//   "@timestamp"            gateway clock at query time
+//   "@walkcount:<oid>"      number of rows under the prefix (GETBULK)
+//   ""                      unavailable -> NULL
+
+class SnmpConnection final : public UrlConnection {
+ public:
+  SnmpConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_(net::Address{url_.host(), url_.port() == 0 ? snmp::kSnmpPort
+                                                          : url_.port()}),
+        community_(url_.param("community", "public")),
+        client_{"gateway", 0},
+        schemaMap_(requireDriverMap(ctx_, "snmp")) {
+    // Probe the agent and learn its sysName (HostName attribute).
+    snmp::Pdu probe;
+    probe.type = snmp::PduType::Get;
+    probe.community = community_;
+    probe.requestId = nextRequestId();
+    probe.varbinds.push_back({snmp::Oid::parse(snmp::oids::kSysName), {}});
+    snmp::Pdu response = roundTrip(probe);
+    if (response.errorStatus == snmp::SnmpError::AuthorizationError) {
+      throw SqlError(ErrorCode::SecurityDenied,
+                     "SNMP community rejected by " + url_.text());
+    }
+    if (response.varbinds.empty() ||
+        response.varbinds[0].value.isNull()) {
+      throw SqlError(ErrorCode::ConnectionFailed,
+                     "agent at " + url_.text() + " did not report sysName");
+    }
+    sysName_ = response.varbinds[0].value.toString();
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      snmp::Pdu probe;
+      probe.type = snmp::PduType::Get;
+      probe.community = community_;
+      probe.requestId = nextRequestId();
+      probe.varbinds.push_back({snmp::Oid::parse(snmp::oids::kSysUpTime), {}});
+      return roundTrip(probe).errorStatus == snmp::SnmpError::NoError;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  snmp::Pdu roundTrip(const snmp::Pdu& pdu) {
+    try {
+      const net::Payload response =
+          ctx_.network->request(client_, agent_, snmp::encodePdu(pdu));
+      return snmp::decodePdu(response);
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+  }
+
+  std::uint32_t nextRequestId() noexcept { return ++requestId_; }
+  const std::string& sysName() const noexcept { return sysName_; }
+  const std::string& community() const noexcept { return community_; }
+  const glue::DriverSchemaMap& schemaMap() const noexcept {
+    return *schemaMap_;
+  }
+  DriverContext& context() noexcept { return ctx_; }
+
+ private:
+  net::Address agent_;
+  std::string community_;
+  net::Address client_;
+  std::shared_ptr<const glue::DriverSchemaMap> schemaMap_;
+  std::string sysName_;
+  std::uint32_t requestId_ = 0;
+};
+
+class SnmpStatement final : public dbc::BaseStatement {
+ public:
+  explicit SnmpStatement(SnmpConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    const glue::Schema& schema = conn_.context().schemaManager->schema();
+    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const glue::GroupMapping* mapping =
+        conn_.schemaMap().findGroup(q.group().name());
+    if (mapping == nullptr) {
+      throw SqlError(ErrorCode::NoSuchTable,
+                     "SNMP source does not serve group " + q.group().name());
+    }
+
+    // Plan: one GET for the plain OIDs; remember special attributes.
+    struct Fetch {
+      const glue::AttributeDef* attr;
+      glue::AttributeMapping map;
+      std::size_t varbindIndex = SIZE_MAX;  // into the GET PDU
+    };
+    std::vector<Fetch> plan;
+    snmp::Pdu get;
+    get.type = snmp::PduType::Get;
+    get.community = conn_.community();
+    get.requestId = conn_.nextRequestId();
+
+    for (const auto& attrName : q.neededAttributes()) {
+      const glue::AttributeDef* attr = q.group().find(attrName);
+      auto m = mapping->find(attrName);
+      Fetch f{attr, m ? *m : glue::AttributeMapping{}, SIZE_MAX};
+      if (!f.map.native.empty() && f.map.native[0] != '@') {
+        f.varbindIndex = get.varbinds.size();
+        get.varbinds.push_back({snmp::Oid::parse(f.map.native), {}});
+      }
+      plan.push_back(std::move(f));
+    }
+
+    snmp::Pdu response;
+    if (!get.varbinds.empty()) {
+      response = conn_.roundTrip(get);
+      if (response.errorStatus == snmp::SnmpError::AuthorizationError) {
+        throw SqlError(ErrorCode::SecurityDenied, "SNMP community rejected");
+      }
+    }
+
+    GlueRowBuilder builder(q.group());
+    builder.beginRow();
+    for (const auto& f : plan) {
+      Value raw;
+      if (f.map.native == "@hostname") {
+        raw = Value(conn_.sysName());
+      } else if (f.map.native == "@timestamp") {
+        raw = Value(conn_.context().clock->now());
+      } else if (util::startsWith(f.map.native, "@walkcount:")) {
+        raw = Value(walkCount(f.map.native.substr(11)));
+      } else if (f.varbindIndex != SIZE_MAX &&
+                 f.varbindIndex < response.varbinds.size()) {
+        raw = response.varbinds[f.varbindIndex].value;
+      }  // else: unavailable -> NULL
+      builder.set(f.attr->name,
+                  convertScaled(raw, f.map.scale, f.attr->type));
+    }
+
+    auto columns = builder.columns();
+    return applyClauses(q.statement(), columns, builder.takeRows());
+  }
+
+ private:
+  std::int64_t walkCount(const std::string& prefixText) {
+    const snmp::Oid prefix = snmp::Oid::parse(prefixText);
+    snmp::Pdu bulk;
+    bulk.type = snmp::PduType::GetBulk;
+    bulk.community = conn_.community();
+    bulk.requestId = conn_.nextRequestId();
+    bulk.maxRepetitions = 64;
+    bulk.varbinds.push_back({prefix, {}});
+    snmp::Pdu response = conn_.roundTrip(bulk);
+    std::int64_t count = 0;
+    for (const auto& vb : response.varbinds) {
+      if (prefix.isPrefixOf(vb.oid)) ++count;
+    }
+    return count;
+  }
+
+  SnmpConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> SnmpConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<SnmpStatement>(*this);
+}
+
+}  // namespace
+
+bool SnmpDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "snmp") return true;
+  // "jdbc:://host:161/..." -- claim the SNMP well-known port.
+  return url.subprotocol().empty() && url.port() == snmp::kSnmpPort;
+}
+
+std::unique_ptr<dbc::Connection> SnmpDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<SnmpConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap SnmpDriver::defaultSchemaMap() {
+  namespace oids = agents::snmp::oids;
+  glue::DriverSchemaMap map("snmp");
+
+  glue::GroupMapping& host = map.group("Host");
+  host.map("HostName", "@hostname");
+  host.map("ClusterName", "");  // SNMP agents know nothing of clusters
+  host.map("Timestamp", "@timestamp");
+  host.map("UpTime", oids::kSysUpTime, 0.01);  // centiseconds -> seconds
+  host.map("ProcessCount", oids::kHrSystemProcesses);
+  host.map("OSName", oids::kSysDescr);
+  host.map("OSVersion", "");
+  host.map("Architecture", "");
+
+  glue::GroupMapping& cpu = map.group("Processor");
+  cpu.map("HostName", "@hostname");
+  cpu.map("ClusterName", "");
+  cpu.map("Timestamp", "@timestamp");
+  cpu.map("CPUCount",
+          std::string("@walkcount:") + oids::kHrProcessorLoadPrefix);
+  cpu.map("ClockSpeed", "");
+  cpu.map("Model", "");
+  cpu.map("Load1", oids::kLaLoad1);
+  cpu.map("Load5", oids::kLaLoad5);
+  cpu.map("Load15", oids::kLaLoad15);
+  cpu.map("UserPct", oids::kSsCpuUser);
+  cpu.map("SystemPct", oids::kSsCpuSystem);
+  cpu.map("IdlePct", oids::kSsCpuIdle);
+
+  glue::GroupMapping& mem = map.group("Memory");
+  mem.map("HostName", "@hostname");
+  mem.map("ClusterName", "");
+  mem.map("Timestamp", "@timestamp");
+  mem.map("RAMSize", oids::kMemTotalReal, 1.0 / 1024);  // KB -> MB
+  mem.map("RAMAvailable", oids::kMemAvailReal, 1.0 / 1024);
+  mem.map("VirtualSize", oids::kMemTotalSwap, 1.0 / 1024);
+  mem.map("VirtualAvailable", oids::kMemAvailSwap, 1.0 / 1024);
+
+  glue::GroupMapping& os = map.group("OperatingSystem");
+  os.map("HostName", "@hostname");
+  os.map("ClusterName", "");
+  os.map("Timestamp", "@timestamp");
+  os.map("Name", oids::kSysDescr);
+  os.map("Release", "");
+  os.map("BootTime", "");
+
+  glue::GroupMapping& fs = map.group("FileSystem");
+  fs.map("HostName", "@hostname");
+  fs.map("ClusterName", "");
+  fs.map("Timestamp", "@timestamp");
+  fs.map("Root", "");
+  fs.map("Size", oids::kHrStorageSize);
+  fs.map("AvailableSpace", "");  // derived Size-Used not expressible; NULL
+  fs.map("ReadOnly", "");
+
+  glue::GroupMapping& nic = map.group("NetworkAdapter");
+  nic.map("HostName", "@hostname");
+  nic.map("ClusterName", "");
+  nic.map("Timestamp", "@timestamp");
+  nic.map("Name", oids::kIfDescr);
+  nic.map("Speed", oids::kIfSpeed, 1e-6);  // bps -> Mbps
+  nic.map("InBytes", oids::kIfInOctets);
+  nic.map("OutBytes", oids::kIfOutOctets);
+
+  return map;
+}
+
+}  // namespace gridrm::drivers

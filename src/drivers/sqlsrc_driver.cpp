@@ -1,0 +1,99 @@
+#include "gridrm/drivers/sqlsrc_driver.hpp"
+
+#include "gridrm/agents/sqlsrc_agent.hpp"
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::drivers {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+namespace {
+
+class SqlSourceConnection final : public UrlConnection {
+ public:
+  SqlSourceConnection(util::Url url, DriverContext ctx)
+      : UrlConnection(std::move(url), ctx),
+        agent_{url_.host(),
+               url_.port() == 0 ? agents::sqlsrc::kSqlPort : url_.port()},
+        client_{"gateway", 0} {
+    // Probe with a trivial query to validate reachability and dialect.
+    (void)execute("SELECT HostName FROM Host LIMIT 1");
+  }
+
+  std::unique_ptr<dbc::Statement> createStatement() override;
+
+  bool isValid() override {
+    if (closed_) return false;
+    try {
+      (void)execute("SELECT HostName FROM Host LIMIT 1");
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  std::unique_ptr<dbc::VectorResultSet> execute(const std::string& sql) {
+    std::string response;
+    try {
+      response = ctx_.network->request(client_, agent_, sql);
+    } catch (const net::NetError& e) {
+      rethrowNetError(e, url_);
+    }
+    if (util::startsWith(response, "ERR ")) {
+      throw SqlError(ErrorCode::Generic,
+                     url_.text() + ": " + response.substr(4));
+    }
+    return dbc::deserializeResultSet(response);
+  }
+
+ private:
+  net::Address agent_;
+  net::Address client_;
+};
+
+class SqlSourceStatement final : public dbc::BaseStatement {
+ public:
+  explicit SqlSourceStatement(SqlSourceConnection& conn) : conn_(conn) {}
+
+  std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
+    return conn_.execute(sql);
+  }
+
+ private:
+  SqlSourceConnection& conn_;
+};
+
+std::unique_ptr<dbc::Statement> SqlSourceConnection::createStatement() {
+  ensureOpen();
+  return std::make_unique<SqlSourceStatement>(*this);
+}
+
+}  // namespace
+
+bool SqlSourceDriver::acceptsUrl(const util::Url& url) const {
+  if (url.subprotocol() == "sql") return true;
+  return url.subprotocol().empty() && url.port() == agents::sqlsrc::kSqlPort;
+}
+
+std::unique_ptr<dbc::Connection> SqlSourceDriver::connect(
+    const util::Url& url, const util::Config& /*props*/) {
+  return std::make_unique<SqlSourceConnection>(url, ctx_);
+}
+
+glue::DriverSchemaMap SqlSourceDriver::defaultSchemaMap() {
+  glue::DriverSchemaMap map("sql");
+  for (const char* groupName :
+       {"Host", "Processor", "Memory", "OperatingSystem", "FileSystem",
+        "NetworkAdapter", "ComputeElement"}) {
+    glue::GroupMapping& g = map.group(groupName);
+    const glue::GroupDef* def = glue::Schema::builtin().findGroup(groupName);
+    for (const auto& attr : def->attributes()) {
+      g.map(attr.name, attr.name);  // identity mapping
+    }
+  }
+  return map;
+}
+
+}  // namespace gridrm::drivers

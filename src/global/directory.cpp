@@ -1,0 +1,149 @@
+#include "gridrm/global/directory.hpp"
+
+#include "gridrm/core/event.hpp"
+#include "gridrm/core/security.hpp"  // globMatch
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::global {
+
+GmaDirectory::GmaDirectory(net::Network& network, const net::Address& address)
+    : network_(network), address_(address) {
+  network_.bind(address_, this);
+}
+
+GmaDirectory::~GmaDirectory() { network_.unbind(address_); }
+
+net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
+                                         const net::Payload& request) {
+  const auto lines = util::split(request, '\n');
+  if (lines.empty()) return "ERR empty request";
+  const auto words = util::splitNonEmpty(lines[0], ' ');
+  if (words.empty()) return "ERR empty request";
+
+  std::scoped_lock lock(mu_);
+  if (words[0] == "REG" && words.size() >= 4 && words[1] == "PRODUCER") {
+    ProducerEntry entry;
+    entry.name = words[2];
+    entry.address = net::Address::parse(words[3]);
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      auto pattern = util::trim(lines[i]);
+      if (!pattern.empty()) entry.ownedHostPatterns.emplace_back(pattern);
+    }
+    producers_[entry.name] = std::move(entry);
+    return "OK";
+  }
+  if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "PRODUCER") {
+    producers_.erase(words[2]);
+    return "OK";
+  }
+  if (words[0] == "LOOKUP" && words.size() >= 2) {
+    for (const auto& [name, entry] : producers_) {
+      for (const auto& pattern : entry.ownedHostPatterns) {
+        if (core::globMatch(pattern, words[1])) {
+          return "PRODUCER " + entry.name + " " + entry.address.toString();
+        }
+      }
+    }
+    return "NONE";
+  }
+  if (words[0] == "LIST") {
+    std::string out;
+    for (const auto& [name, entry] : producers_) {
+      out += "PRODUCER " + entry.name + " " + entry.address.toString() + "\n";
+    }
+    return out;
+  }
+  if (words[0] == "REG" && words.size() >= 5 && words[1] == "CONSUMER") {
+    consumers_[words[2]] =
+        ConsumerEntry{words[2], net::Address::parse(words[3]), words[4]};
+    return "OK";
+  }
+  if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "CONSUMER") {
+    consumers_.erase(words[2]);
+    return "OK";
+  }
+  if (words[0] == "CONSUMERS" && words.size() >= 2) {
+    std::string out;
+    for (const auto& [name, entry] : consumers_) {
+      if (core::eventTypeMatches(entry.eventPattern, words[1])) {
+        out += "CONSUMER " + entry.name + " " + entry.address.toString() + "\n";
+      }
+    }
+    return out;
+  }
+  return "ERR bad request";
+}
+
+std::vector<ProducerEntry> GmaDirectory::producers() const {
+  std::scoped_lock lock(mu_);
+  std::vector<ProducerEntry> out;
+  for (const auto& [name, entry] : producers_) out.push_back(entry);
+  return out;
+}
+
+std::vector<ConsumerEntry> GmaDirectory::consumers() const {
+  std::scoped_lock lock(mu_);
+  std::vector<ConsumerEntry> out;
+  for (const auto& [name, entry] : consumers_) out.push_back(entry);
+  return out;
+}
+
+net::Payload DirectoryClient::request(const net::Payload& body) {
+  return network_.request(self_, directory_, body);
+}
+
+void DirectoryClient::registerProducer(
+    const std::string& name, const net::Address& address,
+    const std::vector<std::string>& ownedHostPatterns) {
+  std::string body = "REG PRODUCER " + name + " " + address.toString();
+  for (const auto& pattern : ownedHostPatterns) body += "\n" + pattern;
+  request(body);
+}
+
+void DirectoryClient::unregisterProducer(const std::string& name) {
+  request("UNREG PRODUCER " + name);
+}
+
+std::optional<ProducerEntry> DirectoryClient::lookup(const std::string& host) {
+  const std::string response = request("LOOKUP " + host);
+  const auto words = util::splitNonEmpty(response, ' ');
+  if (words.size() < 3 || words[0] != "PRODUCER") return std::nullopt;
+  return ProducerEntry{words[1], net::Address::parse(words[2]), {}};
+}
+
+std::vector<ProducerEntry> DirectoryClient::list() {
+  std::vector<ProducerEntry> out;
+  for (const auto& line : util::splitNonEmpty(request("LIST"), '\n')) {
+    const auto words = util::splitNonEmpty(line, ' ');
+    if (words.size() >= 3 && words[0] == "PRODUCER") {
+      out.push_back(ProducerEntry{words[1], net::Address::parse(words[2]), {}});
+    }
+  }
+  return out;
+}
+
+void DirectoryClient::registerConsumer(const std::string& name,
+                                       const net::Address& address,
+                                       const std::string& eventPattern) {
+  request("REG CONSUMER " + name + " " + address.toString() + " " +
+          eventPattern);
+}
+
+void DirectoryClient::unregisterConsumer(const std::string& name) {
+  request("UNREG CONSUMER " + name);
+}
+
+std::vector<ConsumerEntry> DirectoryClient::consumersFor(
+    const std::string& eventType) {
+  std::vector<ConsumerEntry> out;
+  for (const auto& line :
+       util::splitNonEmpty(request("CONSUMERS " + eventType), '\n')) {
+    const auto words = util::splitNonEmpty(line, ' ');
+    if (words.size() >= 3 && words[0] == "CONSUMER") {
+      out.push_back(ConsumerEntry{words[1], net::Address::parse(words[2]), ""});
+    }
+  }
+  return out;
+}
+
+}  // namespace gridrm::global

@@ -1,0 +1,277 @@
+#include "gridrm/global/global_layer.hpp"
+
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::global {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+GlobalLayer::GlobalLayer(core::Gateway& gateway,
+                         const net::Address& directoryAddress,
+                         GlobalOptions options)
+    : gateway_(gateway),
+      options_(std::move(options)),
+      directory_(gateway.network(), producerAddress(), directoryAddress) {}
+
+GlobalLayer::~GlobalLayer() { stop(); }
+
+void GlobalLayer::start(std::vector<std::string> extraOwnedHostPatterns) {
+  if (started_) return;
+  // A federation principal serves relayed requests with monitor rights.
+  federationToken_ = gateway_.openSession(
+      core::Principal{"federation:" + gateway_.name(), {"monitor"}});
+
+  gateway_.network().bind(producerAddress(), this);
+
+  std::vector<std::string> patterns = std::move(extraOwnedHostPatterns);
+  for (const auto& urlText : gateway_.dataSources()) {
+    if (auto url = util::Url::parse(urlText)) patterns.push_back(url->host());
+  }
+  directory_.registerProducer(gateway_.name(), producerAddress(), patterns);
+
+  if (!options_.propagateEventPattern.empty()) {
+    // Receive remote events on the gateway's ordinary event port...
+    directory_.registerConsumer(gateway_.name(), gateway_.eventAddress(),
+                                options_.propagateEventPattern);
+    // ...and forward matching local events outward. Events that already
+    // carry an origin field were relayed to us; never re-forward them.
+    propagationListenerId_ = gateway_.eventManager().addListener(
+        options_.propagateEventPattern, [this](const core::Event& event) {
+          if (event.fields.count("origin") != 0) return;
+          propagateEvent(event);
+        });
+  }
+  started_ = true;
+}
+
+void GlobalLayer::stop() {
+  if (!started_) return;
+  if (propagationListenerId_ != 0) {
+    gateway_.eventManager().removeListener(propagationListenerId_);
+    propagationListenerId_ = 0;
+  }
+  try {
+    directory_.unregisterProducer(gateway_.name());
+    if (!options_.propagateEventPattern.empty()) {
+      directory_.unregisterConsumer(gateway_.name());
+    }
+  } catch (const net::NetError&) {
+    // Directory may already be gone during teardown.
+  }
+  gateway_.network().unbind(producerAddress());
+  gateway_.closeSession(federationToken_);
+  started_ = false;
+}
+
+bool GlobalLayer::ownsHost(const std::string& host) const {
+  for (const auto& urlText : gateway_.dataSources()) {
+    if (auto url = util::Url::parse(urlText)) {
+      if (url->host() == host) return true;
+    }
+  }
+  return false;
+}
+
+std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
+  {
+    std::scoped_lock lock(mu_);
+    auto it = lookupCache_.find(host);
+    if (it != lookupCache_.end() &&
+        gateway_.clock().now() - it->second.at < options_.lookupCacheTtl) {
+      ++stats_.lookupCacheHits;
+      return it->second.producer;
+    }
+  }
+  std::optional<ProducerEntry> entry;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.directoryLookups;
+  }
+  entry = directory_.lookup(host);
+  if (!entry) return std::nullopt;
+  std::scoped_lock lock(mu_);
+  lookupCache_[host] = CachedLookup{entry->address, gateway_.clock().now()};
+  return entry->address;
+}
+
+std::unique_ptr<dbc::VectorResultSet> GlobalLayer::queryRemote(
+    const std::string& urlText, const std::string& sql, bool useCache) {
+  // Inter-gateway cache: identical key space as local source caching.
+  const std::string cacheKey = core::CacheController::key(urlText, sql);
+  if (useCache) {
+    if (auto cached = gateway_.cache().lookup(cacheKey)) {
+      std::scoped_lock lock(mu_);
+      ++stats_.remoteCacheHits;
+      return cached;
+    }
+  }
+
+  auto url = util::Url::parse(urlText);
+  if (!url) {
+    throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
+  }
+  auto owner = resolveOwner(url->host());
+  if (!owner) {
+    throw SqlError(ErrorCode::ConnectionFailed,
+                   "no gateway owns host " + url->host());
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.remoteQueriesSent;
+  }
+  net::Payload response;
+  try {
+    response = gateway_.network().request(
+        producerAddress(), *owner,
+        "GQUERY " + options_.federationSecret + "\n" + urlText + "\n" + sql);
+  } catch (const net::NetError& e) {
+    throw SqlError(ErrorCode::ConnectionFailed,
+                   "remote gateway unreachable: " + std::string(e.what()));
+  }
+  if (util::startsWith(response, "ERR ")) {
+    throw SqlError(ErrorCode::Generic, "remote: " + response.substr(4));
+  }
+  auto rows = dbc::deserializeResultSet(response);
+  if (useCache) gateway_.cache().insert(cacheKey, *rows);
+  return rows;
+}
+
+core::QueryResult GlobalLayer::globalQuery(const std::string& token,
+                                           const std::vector<std::string>& urls,
+                                           const std::string& sql,
+                                           const core::QueryOptions& options) {
+  core::Principal principal =
+      gateway_.authorize(token, core::Operation::RealTimeQuery);
+
+  std::vector<dbc::ColumnInfo> columns;
+  std::vector<std::vector<Value>> rows;
+  bool haveColumns = false;
+  core::QueryResult result;
+  result.sourcesQueried = urls.size();
+
+  auto appendRows = [&](const std::string& sourceUrl,
+                        const dbc::VectorResultSet& rs) {
+    if (!haveColumns) {
+      columns.push_back(
+          dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
+      for (const auto& c : rs.metaData().columns()) columns.push_back(c);
+      haveColumns = true;
+    }
+    for (const auto& row : rs.rows()) {
+      std::vector<Value> outRow;
+      outRow.reserve(row.size() + 1);
+      outRow.emplace_back(sourceUrl);
+      for (const auto& v : row) outRow.push_back(v);
+      rows.push_back(std::move(outRow));
+    }
+  };
+
+  for (const auto& urlText : urls) {
+    auto url = util::Url::parse(urlText);
+    if (!url) {
+      result.failures.push_back({urlText, "malformed URL"});
+      continue;
+    }
+    try {
+      if (ownsHost(url->host())) {
+        core::QueryResult local = gateway_.requestManager().queryOne(
+            principal, urlText, sql, options);
+        if (!local.failures.empty()) {
+          result.failures.push_back(local.failures.front());
+          continue;
+        }
+        result.servedFromCache += local.servedFromCache;
+        appendRows(urlText, *local.rows);
+      } else {
+        auto remote = queryRemote(urlText, sql, options.useCache);
+        if (options.recordHistory) {
+          try {
+            gateway_.requestManager().recordHistoryRows(
+                urlText, sql::parseSelect(sql).table, *remote);
+          } catch (const sql::ParseError&) {
+            // non-SELECT or unparseable: nothing to record
+          }
+        }
+        appendRows(urlText, *remote);
+      }
+    } catch (const SqlError& e) {
+      result.failures.push_back({urlText, e.what()});
+    }
+  }
+
+  if (!haveColumns) {
+    columns.push_back(
+        dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
+  }
+  result.rows = std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(columns)), std::move(rows));
+  return result;
+}
+
+net::Payload GlobalLayer::handleRequest(const net::Address& /*from*/,
+                                        const net::Payload& request) {
+  // GQUERY <secret>\n<url>\n<sql>
+  const auto lines = util::split(request, '\n');
+  const auto words = util::splitNonEmpty(lines[0], ' ');
+  if (words.size() < 2 || words[0] != "GQUERY" || lines.size() < 3) {
+    return "ERR bad request";
+  }
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  const std::string& urlText = lines[1];
+  std::string sql = lines[2];
+  for (std::size_t i = 3; i < lines.size(); ++i) sql += "\n" + lines[i];
+
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.remoteQueriesServed;
+  }
+  try {
+    core::Principal principal = gateway_.authorize(
+        federationToken_, core::Operation::RealTimeQuery);
+    core::QueryResult local =
+        gateway_.requestManager().queryOne(principal, urlText, sql, {});
+    if (!local.failures.empty()) {
+      return "ERR " + local.failures.front().message;
+    }
+    return dbc::serializeResultSet(*local.rows);
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+void GlobalLayer::propagateEvent(const core::Event& event) {
+  core::TextEventFormatter formatter;
+  core::Event tagged = event;
+  tagged.fields["origin"] = Value(gateway_.name());
+  tagged.fields["source_host"] = Value(event.source);
+  auto encoded = formatter.encode(tagged);
+  if (!encoded) return;
+
+  std::vector<ConsumerEntry> targets;
+  try {
+    targets = directory_.consumersFor(event.type);
+  } catch (const net::NetError&) {
+    return;  // directory unreachable; drop propagation, keep local delivery
+  }
+  for (const auto& target : targets) {
+    if (target.address == gateway_.eventAddress()) continue;  // not to self
+    gateway_.network().datagram(producerAddress(), target.address, *encoded);
+    std::scoped_lock lock(mu_);
+    ++stats_.eventsPropagated;
+  }
+}
+
+GlobalStats GlobalLayer::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::global

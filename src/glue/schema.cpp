@@ -1,0 +1,167 @@
+#include "gridrm/glue/schema.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::glue {
+
+using util::ValueType;
+
+const AttributeDef* GroupDef::find(const std::string& attrName) const {
+  for (const auto& a : attributes_) {
+    if (util::iequals(a.name, attrName)) return &a;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> GroupDef::indexOf(const std::string& attrName) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (util::iequals(attributes_[i].name, attrName)) return i;
+  }
+  return std::nullopt;
+}
+
+void Schema::addGroup(GroupDef group) {
+  for (auto& g : groups_) {
+    if (util::iequals(g.name(), group.name())) {
+      g = std::move(group);
+      return;
+    }
+  }
+  groups_.push_back(std::move(group));
+}
+
+const GroupDef* Schema::findGroup(const std::string& name) const {
+  for (const auto& g : groups_) {
+    if (util::iequals(g.name(), name)) return &g;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Schema::groupNames() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& g : groups_) names.push_back(g.name());
+  return names;
+}
+
+const Schema& Schema::builtin() {
+  static const Schema schema = [] {
+    Schema s;
+    // Every group carries HostName so multi-host results consolidate and
+    // so clients can filter (WHERE HostName = '...').
+    const AttributeDef hostName{"HostName", ValueType::String, "",
+                                "canonical host name"};
+    const AttributeDef clusterName{"ClusterName", ValueType::String, "",
+                                   "owning cluster"};
+    const AttributeDef timestamp{"Timestamp", ValueType::Int, "us",
+                                 "sample time (microseconds)"};
+
+    s.addGroup(GroupDef(
+        "Host",
+        {hostName, clusterName, timestamp,
+         {"UpTime", ValueType::Int, "seconds", "seconds since boot"},
+         {"ProcessCount", ValueType::Int, "", "number of processes"},
+         {"OSName", ValueType::String, "", "operating system"},
+         {"OSVersion", ValueType::String, "", "kernel / release"},
+         {"Architecture", ValueType::String, "", "platform architecture"}}));
+
+    s.addGroup(GroupDef(
+        "Processor",
+        {hostName, clusterName, timestamp,
+         {"CPUCount", ValueType::Int, "", "number of processors"},
+         {"ClockSpeed", ValueType::Int, "MHz", "nominal clock speed"},
+         {"Model", ValueType::String, "", "processor model"},
+         {"Load1", ValueType::Real, "", "1-minute run-queue length"},
+         {"Load5", ValueType::Real, "", "5-minute run-queue length"},
+         {"Load15", ValueType::Real, "", "15-minute run-queue length"},
+         {"UserPct", ValueType::Real, "percent", "time in user mode"},
+         {"SystemPct", ValueType::Real, "percent", "time in system mode"},
+         {"IdlePct", ValueType::Real, "percent", "idle time"}}));
+
+    s.addGroup(GroupDef(
+        "Memory",
+        {hostName, clusterName, timestamp,
+         {"RAMSize", ValueType::Int, "MB", "total physical memory"},
+         {"RAMAvailable", ValueType::Int, "MB", "free physical memory"},
+         {"VirtualSize", ValueType::Int, "MB", "total swap"},
+         {"VirtualAvailable", ValueType::Int, "MB", "free swap"}}));
+
+    s.addGroup(GroupDef(
+        "OperatingSystem",
+        {hostName, clusterName, timestamp,
+         {"Name", ValueType::String, "", "operating system name"},
+         {"Release", ValueType::String, "", "release / kernel version"},
+         {"BootTime", ValueType::Int, "us", "time of last boot"}}));
+
+    s.addGroup(GroupDef(
+        "FileSystem",
+        {hostName, clusterName, timestamp,
+         {"Root", ValueType::String, "", "mount point"},
+         {"Size", ValueType::Int, "MB", "total capacity"},
+         {"AvailableSpace", ValueType::Int, "MB", "free capacity"},
+         {"ReadOnly", ValueType::Bool, "", "mounted read-only"}}));
+
+    s.addGroup(GroupDef(
+        "NetworkAdapter",
+        {hostName, clusterName, timestamp,
+         {"Name", ValueType::String, "", "interface name"},
+         {"Speed", ValueType::Int, "Mbps", "nominal line rate"},
+         {"InBytes", ValueType::Int, "bytes", "received byte counter"},
+         {"OutBytes", ValueType::Int, "bytes", "transmitted byte counter"}}));
+
+    s.addGroup(GroupDef(
+        "ComputeElement",
+        {clusterName, timestamp,
+         {"Name", ValueType::String, "", "CE identifier"},
+         {"TotalCPUs", ValueType::Int, "", "CPUs across the element"},
+         {"FreeCPUs", ValueType::Int, "", "idle CPUs (load < 0.5)"},
+         {"HostCount", ValueType::Int, "", "number of worker hosts"},
+         {"AverageLoad", ValueType::Real, "", "mean 1-minute load"}}));
+
+    s.addGroup(GroupDef(
+        "StorageElement",
+        {clusterName, timestamp,
+         {"Name", ValueType::String, "", "SE identifier"},
+         {"TotalSize", ValueType::Int, "MB", "aggregate capacity"},
+         {"AvailableSize", ValueType::Int, "MB", "aggregate free space"}}));
+
+    // NWS-style derived observations. GLUE at the time had no finished
+    // network-measurement schema; this group fills that gap the same way
+    // the GridRM prototype had to.
+    s.addGroup(GroupDef(
+        "NetworkForecast",
+        {hostName, timestamp,
+         {"Resource", ValueType::String, "",
+          "measured resource (latency, bandwidth, availableCpu)"},
+         {"Measurement", ValueType::Real, "", "latest measurement"},
+         {"Forecast", ValueType::Real, "", "forecast next value"},
+         {"ForecastError", ValueType::Real, "", "forecaster MSE"}}));
+
+    return s;
+  }();
+  return schema;
+}
+
+std::vector<ValidationIssue> validateRow(
+    const GroupDef& group,
+    const std::vector<std::pair<std::string, util::Value>>& row) {
+  std::vector<ValidationIssue> issues;
+  for (const auto& [name, value] : row) {
+    const AttributeDef* def = group.find(name);
+    if (def == nullptr) {
+      issues.push_back({name, "not a member of group " + group.name()});
+      continue;
+    }
+    if (value.isNull()) continue;  // NULL always permitted (section 3.2.3)
+    const bool numericOk = def->type == util::ValueType::Real &&
+                           value.type() == util::ValueType::Int;
+    if (value.type() != def->type && !numericOk) {
+      issues.push_back(
+          {name, std::string("expected ") + util::valueTypeName(def->type) +
+                     ", got " + util::valueTypeName(value.type())});
+    }
+  }
+  return issues;
+}
+
+}  // namespace gridrm::glue

@@ -1,0 +1,55 @@
+#include "gridrm/glue/schema_manager.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::glue {
+
+void GroupMapping::map(const std::string& attribute, std::string native,
+                       double scale) {
+  attrs_[util::toLower(attribute)] =
+      AttributeMapping{std::move(native), scale};
+}
+
+std::optional<AttributeMapping> GroupMapping::find(
+    const std::string& attribute) const {
+  auto it = attrs_.find(util::toLower(attribute));
+  if (it == attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+GroupMapping& DriverSchemaMap::group(const std::string& groupName) {
+  const std::string key = util::toLower(groupName);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    it = groups_.emplace(key, GroupMapping(groupName)).first;
+  }
+  return it->second;
+}
+
+const GroupMapping* DriverSchemaMap::findGroup(
+    const std::string& groupName) const {
+  auto it = groups_.find(util::toLower(groupName));
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DriverSchemaMap::groupNames() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [key, g] : groups_) names.push_back(g.group());
+  return names;
+}
+
+void SchemaManager::registerDriverMap(DriverSchemaMap map) {
+  auto shared = std::make_shared<const DriverSchemaMap>(std::move(map));
+  std::scoped_lock lock(mu_);
+  maps_[shared->driver()] = std::move(shared);
+}
+
+std::shared_ptr<const DriverSchemaMap> SchemaManager::driverMap(
+    const std::string& driverName) const {
+  std::scoped_lock lock(mu_);
+  auto it = maps_.find(driverName);
+  return it == maps_.end() ? nullptr : it->second;
+}
+
+}  // namespace gridrm::glue

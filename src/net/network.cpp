@@ -1,0 +1,146 @@
+#include "gridrm/net/network.hpp"
+
+#include <charconv>
+
+namespace gridrm::net {
+
+Address Address::parse(const std::string& text) {
+  std::size_t sep = text.rfind(':');
+  if (sep == std::string::npos) return Address{text, 0};
+  unsigned port = 0;
+  const char* first = text.data() + sep + 1;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, port);
+  if (ec != std::errc{} || ptr != last || port > 0xffff) {
+    return Address{text, 0};
+  }
+  return Address{text.substr(0, sep), static_cast<std::uint16_t>(port)};
+}
+
+void Network::bind(const Address& addr, RequestHandler* handler) {
+  std::scoped_lock lock(mu_);
+  endpoints_[addr] = handler;
+}
+
+void Network::unbind(const Address& addr) {
+  std::scoped_lock lock(mu_);
+  endpoints_.erase(addr);
+}
+
+bool Network::isBound(const Address& addr) const {
+  std::scoped_lock lock(mu_);
+  return endpoints_.count(addr) != 0;
+}
+
+void Network::setDefaultLink(const LinkModel& link) {
+  std::scoped_lock lock(mu_);
+  defaultLink_ = link;
+}
+
+void Network::setLink(const std::string& hostA, const std::string& hostB,
+                      const LinkModel& link) {
+  std::scoped_lock lock(mu_);
+  auto key = hostA <= hostB ? std::make_pair(hostA, hostB)
+                            : std::make_pair(hostB, hostA);
+  links_[key] = link;
+}
+
+void Network::setHostDown(const std::string& host, bool down) {
+  std::scoped_lock lock(mu_);
+  hostDown_[host] = down;
+}
+
+LinkModel Network::linkFor(const std::string& a, const std::string& b) const {
+  auto key = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = links_.find(key);
+  return it == links_.end() ? defaultLink_ : it->second;
+}
+
+util::Duration Network::sampleLatency(const LinkModel& link) {
+  if (link.jitterUs <= 0) return link.latencyUs;
+  return link.latencyUs +
+         static_cast<util::Duration>(rng_.below(
+             static_cast<std::uint64_t>(link.jitterUs)));
+}
+
+Payload Network::request(const Address& from, const Address& to,
+                         const Payload& body, util::Duration timeoutUs) {
+  RequestHandler* handler = nullptr;
+  util::Duration rtt = 0;
+  bool lost = false;
+  {
+    std::scoped_lock lock(mu_);
+    auto downIt = hostDown_.find(to.host);
+    const bool down = downIt != hostDown_.end() && downIt->second;
+    auto it = endpoints_.find(to);
+    if (down) {
+      // A down host drops packets silently: the caller pays the timeout.
+      lost = true;
+    } else if (it == endpoints_.end()) {
+      // An unbound port fails fast (connection refused).
+      throw NetError(NetErrorKind::Unreachable,
+                     "no endpoint bound at " + to.toString());
+    } else {
+      handler = it->second;
+    }
+    const LinkModel link = linkFor(from.host, to.host);
+    lost = lost || rng_.chance(link.lossProbability);
+    rtt = sampleLatency(link) + sampleLatency(link);
+    ++totalRequests_;
+    if (!lost) {
+      EndpointStats& s = stats_[to];
+      ++s.requestsServed;
+      s.bytesIn += body.size();
+    }
+  }
+  if (lost) {
+    clock_.sleepFor(timeoutUs);
+    throw NetError(NetErrorKind::Timeout,
+                   "request to " + to.toString() + " timed out");
+  }
+  clock_.sleepFor(rtt);
+  Payload response = handler->handleRequest(from, body);  // outside the lock
+  {
+    std::scoped_lock lock(mu_);
+    stats_[to].bytesOut += response.size();
+  }
+  return response;
+}
+
+void Network::datagram(const Address& from, const Address& to,
+                       const Payload& body) {
+  RequestHandler* handler = nullptr;
+  {
+    std::scoped_lock lock(mu_);
+    auto downIt = hostDown_.find(to.host);
+    if (downIt != hostDown_.end() && downIt->second) return;
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return;
+    const LinkModel link = linkFor(from.host, to.host);
+    if (rng_.chance(link.lossProbability)) return;
+    handler = it->second;
+    EndpointStats& s = stats_[to];
+    ++s.datagramsReceived;
+    s.bytesIn += body.size();
+  }
+  handler->handleDatagram(from, body);
+}
+
+EndpointStats Network::stats(const Address& addr) const {
+  std::scoped_lock lock(mu_);
+  auto it = stats_.find(addr);
+  return it == stats_.end() ? EndpointStats{} : it->second;
+}
+
+void Network::resetStats() {
+  std::scoped_lock lock(mu_);
+  stats_.clear();
+  totalRequests_ = 0;
+}
+
+std::uint64_t Network::totalRequests() const {
+  std::scoped_lock lock(mu_);
+  return totalRequests_;
+}
+
+}  // namespace gridrm::net

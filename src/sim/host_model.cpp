@@ -1,0 +1,193 @@
+#include "gridrm/sim/host_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gridrm::sim {
+
+namespace {
+// Largest number of 1-second model steps taken per refresh. A gateway
+// that has been idle for an hour should not pay an hour of simulation:
+// beyond the cap the model jumps (the process is mean-reverting, so the
+// distribution after a long gap is the stationary one anyway).
+constexpr int kMaxStepsPerRefresh = 600;
+constexpr double kStepSeconds = 1.0;
+}  // namespace
+
+HostModel::HostModel(HostSpec spec, util::Clock& clock, std::uint64_t seed)
+    : spec_(std::move(spec)), clock_(clock), rng_(seed) {
+  bootTime_ = clock_.now();
+  lastStep_ = bootTime_;
+  diurnalPhase_ = rng_.uniform(0.0, 2.0 * util::kPi);
+  loadMean_ = rng_.uniform(0.15, 0.7) * spec_.cpuCount;
+  load1_ = load5_ = load15_ = loadMean_;
+  memUsedMb_ = 0.25 * static_cast<double>(spec_.memTotalMb);
+  diskUsedMb_ = rng_.uniform(0.2, 0.6) * static_cast<double>(spec_.diskTotalMb);
+  procBase_ = 60 + static_cast<int>(rng_.below(60));
+}
+
+void HostModel::refresh() { advanceTo(clock_.now()); }
+
+void HostModel::advanceTo(util::TimePoint t) {
+  if (t <= lastStep_) return;
+  double gapSeconds = static_cast<double>(t - lastStep_) / util::kSecond;
+  int steps = static_cast<int>(gapSeconds / kStepSeconds);
+  if (steps > kMaxStepsPerRefresh) {
+    // Jump: charge the skipped time to the counters at the mean rate,
+    // then take the capped number of fine-grained steps.
+    const double skipped = (steps - kMaxStepsPerRefresh) * kStepSeconds;
+    netInBytes_ += skipped * 40e3 * burstFactor_;
+    netOutBytes_ += skipped * 25e3 * burstFactor_;
+    steps = kMaxStepsPerRefresh;
+  }
+  for (int i = 0; i < steps; ++i) step(kStepSeconds);
+  lastStep_ = t;
+}
+
+void HostModel::step(double dt) {
+  // Diurnal drift of the load mean: period ~6 simulated hours so tests
+  // running minutes of sim time still see drift.
+  diurnalPhase_ += 2.0 * util::kPi * dt / (6.0 * 3600.0);
+  const double diurnal = 0.5 * (1.0 + std::sin(diurnalPhase_));
+  const double target =
+      loadMean_ * (0.6 + 0.8 * diurnal);  // in [0.6, 1.4] x mean
+
+  // AR(1) mean reversion with Gaussian innovation.
+  const double alpha = 0.05 * dt;
+  const double sigma = 0.06 * std::sqrt(dt);
+  load1_ += alpha * (target - load1_) + sigma * rng_.gaussian();
+  load1_ = std::clamp(load1_, 0.0, 4.0 * spec_.cpuCount);
+  // 5- and 15-minute figures are EMAs of the 1-minute load.
+  load5_ += (dt / 300.0) * (load1_ - load5_);
+  load15_ += (dt / 900.0) * (load1_ - load15_);
+
+  // Memory tracks load with noise; swap engages when memory is tight.
+  const double memTarget =
+      (0.2 + 0.5 * std::min(1.0, load1_ / spec_.cpuCount)) *
+      static_cast<double>(spec_.memTotalMb);
+  memUsedMb_ += 0.1 * dt * (memTarget - memUsedMb_) +
+                2.0 * std::sqrt(dt) * rng_.gaussian();
+  memUsedMb_ =
+      std::clamp(memUsedMb_, 0.05 * spec_.memTotalMb,
+                 0.98 * static_cast<double>(spec_.memTotalMb));
+  const double memPressure =
+      memUsedMb_ / static_cast<double>(spec_.memTotalMb);
+  const double swapTarget =
+      memPressure > 0.85 ? (memPressure - 0.85) * 4.0 * spec_.swapTotalMb : 0.0;
+  swapUsedMb_ += 0.2 * dt * (swapTarget - swapUsedMb_);
+  swapUsedMb_ = std::clamp(swapUsedMb_, 0.0,
+                           static_cast<double>(spec_.swapTotalMb));
+
+  // Disk fills slowly and is occasionally cleaned up.
+  diskUsedMb_ += dt * rng_.uniform(0.0, 0.05);
+  if (rng_.chance(0.0005 * dt)) diskUsedMb_ *= 0.9;  // log rotation
+  diskUsedMb_ = std::clamp(diskUsedMb_, 0.0,
+                           0.99 * static_cast<double>(spec_.diskTotalMb));
+
+  // Bursty traffic: burstFactor jumps occasionally, decays toward 1.
+  if (rng_.chance(0.01 * dt)) burstFactor_ = rng_.uniform(3.0, 12.0);
+  burstFactor_ += 0.05 * dt * (1.0 - burstFactor_);
+  const double inRate = 40e3 * burstFactor_ * (0.5 + rng_.uniform());
+  const double outRate = 25e3 * burstFactor_ * (0.5 + rng_.uniform());
+  netInBytes_ += inRate * dt;
+  netOutBytes_ += outRate * dt;
+}
+
+double HostModel::load1() {
+  refresh();
+  return load1_;
+}
+double HostModel::load5() {
+  refresh();
+  return load5_;
+}
+double HostModel::load15() {
+  refresh();
+  return load15_;
+}
+
+double HostModel::cpuUserPct() {
+  refresh();
+  const double busy =
+      std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
+  return std::clamp(busy * 80.0, 0.0, 100.0);
+}
+
+double HostModel::cpuSystemPct() {
+  refresh();
+  const double busy =
+      std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
+  return std::clamp(busy * 15.0, 0.0, 100.0);
+}
+
+double HostModel::cpuIdlePct() {
+  refresh();
+  return std::clamp(100.0 - cpuUserPct() - cpuSystemPct(), 0.0, 100.0);
+}
+
+std::int64_t HostModel::memFreeMb() {
+  refresh();
+  return spec_.memTotalMb - static_cast<std::int64_t>(memUsedMb_);
+}
+std::int64_t HostModel::memUsedMb() {
+  refresh();
+  return static_cast<std::int64_t>(memUsedMb_);
+}
+std::int64_t HostModel::swapFreeMb() {
+  refresh();
+  return spec_.swapTotalMb - static_cast<std::int64_t>(swapUsedMb_);
+}
+std::int64_t HostModel::diskFreeMb() {
+  refresh();
+  return spec_.diskTotalMb - static_cast<std::int64_t>(diskUsedMb_);
+}
+std::int64_t HostModel::netInBytes() {
+  refresh();
+  return static_cast<std::int64_t>(netInBytes_);
+}
+std::int64_t HostModel::netOutBytes() {
+  refresh();
+  return static_cast<std::int64_t>(netOutBytes_);
+}
+
+int HostModel::processCount() {
+  refresh();
+  return procBase_ + static_cast<int>(load1_ * 15.0);
+}
+
+std::int64_t HostModel::uptimeSeconds() {
+  return (clock_.now() - bootTime_) / util::kSecond;
+}
+
+ClusterModel::ClusterModel(std::string clusterName, std::size_t hostCount,
+                           util::Clock& clock, std::uint64_t seed,
+                           const HostSpec& baseSpec)
+    : name_(std::move(clusterName)) {
+  hosts_.reserve(hostCount);
+  for (std::size_t i = 0; i < hostCount; ++i) {
+    HostSpec spec = baseSpec;
+    char suffix[24];
+    std::snprintf(suffix, sizeof(suffix), "%02zu", i);
+    spec.name = name_ + "-node" + suffix;
+    spec.clusterName = name_;
+    hosts_.push_back(
+        std::make_unique<HostModel>(std::move(spec), clock, seed + i * 7919));
+  }
+}
+
+HostModel* ClusterModel::findHost(const std::string& hostName) {
+  for (auto& h : hosts_) {
+    if (h->name() == hostName) return h.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ClusterModel::hostNames() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const auto& h : hosts_) names.push_back(h->name());
+  return names;
+}
+
+}  // namespace gridrm::sim

@@ -1,0 +1,204 @@
+#include "gridrm/sql/ast.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::sql {
+
+ExprPtr Expr::makeLiteral(util::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Literal;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::makeColumn(std::string table, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Column;
+  e->table = std::move(table);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::makeUnary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->uop = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->bop = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::makeCall(std::string name, std::vector<ExprPtr> args,
+                       bool starArg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Call;
+  e->name = std::move(name);
+  e->starArg = starArg;
+  e->children = std::move(args);
+  return e;
+}
+
+bool Expr::containsAggregate() const {
+  if (kind == ExprKind::Call) return true;
+  for (const auto& child : children) {
+    if (child->containsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->name = name;
+  e->bop = bop;
+  e->uop = uop;
+  e->negated = negated;
+  e->starArg = starArg;
+  e->children.reserve(children.size());
+  for (const auto& child : children) e->children.push_back(child->clone());
+  return e;
+}
+
+const char* binOpName(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::Or:
+      return "OR";
+    case BinOp::And:
+      return "AND";
+    case BinOp::Eq:
+      return "=";
+    case BinOp::Ne:
+      return "!=";
+    case BinOp::Lt:
+      return "<";
+    case BinOp::Le:
+      return "<=";
+    case BinOp::Gt:
+      return ">";
+    case BinOp::Ge:
+      return ">=";
+    case BinOp::Like:
+      return "LIKE";
+    case BinOp::Add:
+      return "+";
+    case BinOp::Sub:
+      return "-";
+    case BinOp::Mul:
+      return "*";
+    case BinOp::Div:
+      return "/";
+    case BinOp::Mod:
+      return "%";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string literalToSql(const util::Value& v) {
+  if (v.type() == util::ValueType::String) {
+    return "'" + util::replaceAll(v.asString(), "'", "''") + "'";
+  }
+  return v.toString();
+}
+
+}  // namespace
+
+std::string Expr::toSql() const {
+  switch (kind) {
+    case ExprKind::Literal:
+      return literalToSql(literal);
+    case ExprKind::Column:
+      return table.empty() ? name : table + "." + name;
+    case ExprKind::Unary:
+      return uop == UnOp::Not ? "(NOT " + children[0]->toSql() + ")"
+                              : "(-" + children[0]->toSql() + ")";
+    case ExprKind::Binary:
+      return "(" + children[0]->toSql() + " " + binOpName(bop) + " " +
+             children[1]->toSql() + ")";
+    case ExprKind::InList: {
+      std::string out = "(" + children[0]->toSql();
+      out += negated ? " NOT IN (" : " IN (";
+      for (std::size_t i = 1; i < children.size(); ++i) {
+        if (i != 1) out += ", ";
+        out += children[i]->toSql();
+      }
+      return out + "))";
+    }
+    case ExprKind::IsNull:
+      return "(" + children[0]->toSql() +
+             (negated ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::Between:
+      return "(" + children[0]->toSql() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->toSql() + " AND " + children[2]->toSql() + ")";
+    case ExprKind::Call: {
+      if (starArg) return name + "(*)";
+      std::string out = name + "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += children[i]->toSql();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string SelectStatement::toSql() const {
+  std::string out = "SELECT ";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += items[i].isStar() ? "*" : items[i].expr->toSql();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  out += " FROM " + table;
+  if (!tableAlias.empty()) out += " AS " + tableAlias;
+  if (where) out += " WHERE " + where->toSql();
+  if (!groupBy.empty()) {
+    out += " GROUP BY ";
+    for (std::size_t i = 0; i < groupBy.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += groupBy[i]->toSql();
+    }
+  }
+  if (!orderBy.empty()) {
+    out += " ORDER BY ";
+    for (std::size_t i = 0; i < orderBy.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += orderBy[i].expr->toSql();
+      if (orderBy[i].descending) out += " DESC";
+    }
+  }
+  if (limit) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+std::string InsertStatement::toSql() const {
+  std::string out = "INSERT INTO " + table;
+  if (!columns.empty()) {
+    out += " (" + util::join(columns, ", ") + ")";
+  }
+  out += " VALUES ";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (r != 0) out += ", ";
+    out += "(";
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c != 0) out += ", ";
+      out += literalToSql(rows[r][c]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace gridrm::sql

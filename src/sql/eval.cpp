@@ -1,0 +1,211 @@
+#include "gridrm/sql/eval.hpp"
+
+#include <cmath>
+
+namespace gridrm::sql {
+
+namespace {
+
+using util::Value;
+using util::ValueType;
+
+Value compareOp(BinOp op, const Value& l, const Value& r) {
+  if (l.isNull() || r.isNull()) return Value::null();
+  const auto c = l.compare(r);
+  switch (op) {
+    case BinOp::Eq:
+      return Value(c == std::strong_ordering::equal);
+    case BinOp::Ne:
+      return Value(c != std::strong_ordering::equal);
+    case BinOp::Lt:
+      return Value(c == std::strong_ordering::less);
+    case BinOp::Le:
+      return Value(c != std::strong_ordering::greater);
+    case BinOp::Gt:
+      return Value(c == std::strong_ordering::greater);
+    case BinOp::Ge:
+      return Value(c != std::strong_ordering::less);
+    default:
+      throw EvalError("compareOp: not a comparison");
+  }
+}
+
+Value arithmeticOp(BinOp op, const Value& l, const Value& r) {
+  if (l.isNull() || r.isNull()) return Value::null();
+  if (op == BinOp::Add && l.type() == ValueType::String &&
+      r.type() == ValueType::String) {
+    return Value(l.asString() + r.asString());  // string concatenation
+  }
+  if (!l.isNumeric() || !r.isNumeric()) {
+    throw EvalError("arithmetic on non-numeric operands");
+  }
+  const bool bothInt =
+      l.type() == ValueType::Int && r.type() == ValueType::Int;
+  if (bothInt) {
+    const std::int64_t a = l.asInt();
+    const std::int64_t b = r.asInt();
+    switch (op) {
+      case BinOp::Add:
+        return Value(a + b);
+      case BinOp::Sub:
+        return Value(a - b);
+      case BinOp::Mul:
+        return Value(a * b);
+      case BinOp::Div:
+        if (b == 0) return Value::null();  // SQL: division by zero -> NULL here
+        return Value(a / b);
+      case BinOp::Mod:
+        if (b == 0) return Value::null();
+        return Value(a % b);
+      default:
+        break;
+    }
+  }
+  const double a = l.toReal();
+  const double b = r.toReal();
+  switch (op) {
+    case BinOp::Add:
+      return Value(a + b);
+    case BinOp::Sub:
+      return Value(a - b);
+    case BinOp::Mul:
+      return Value(a * b);
+    case BinOp::Div:
+      if (b == 0.0) return Value::null();
+      return Value(a / b);
+    case BinOp::Mod:
+      if (b == 0.0) return Value::null();
+      return Value(std::fmod(a, b));
+    default:
+      throw EvalError("arithmeticOp: not arithmetic");
+  }
+}
+
+}  // namespace
+
+bool likeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer match with backtracking on the last '%'.
+  std::size_t t = 0;
+  std::size_t p = 0;
+  std::size_t starP = std::string::npos;
+  std::size_t starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      starP = p++;
+      starT = t;
+    } else if (starP != std::string::npos) {
+      p = starP + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+util::Value evaluate(const Expr& expr, const RowAccessor& row) {
+  switch (expr.kind) {
+    case ExprKind::Literal:
+      return expr.literal;
+    case ExprKind::Column: {
+      auto v = row.column(expr.table, expr.name);
+      if (!v) throw EvalError("unknown column '" + expr.name + "'");
+      return *v;
+    }
+    case ExprKind::Unary: {
+      Value v = evaluate(*expr.children[0], row);
+      if (v.isNull()) return Value::null();
+      if (expr.uop == UnOp::Not) return Value(!v.toBool());
+      // Neg
+      if (v.type() == ValueType::Int) return Value(-v.asInt());
+      if (v.type() == ValueType::Real) return Value(-v.asReal());
+      throw EvalError("unary '-' on non-numeric operand");
+    }
+    case ExprKind::Binary: {
+      switch (expr.bop) {
+        case BinOp::And: {
+          // SQL three-valued AND: false dominates NULL.
+          Value l = evaluate(*expr.children[0], row);
+          if (!l.isNull() && !l.toBool()) return Value(false);
+          Value r = evaluate(*expr.children[1], row);
+          if (!r.isNull() && !r.toBool()) return Value(false);
+          if (l.isNull() || r.isNull()) return Value::null();
+          return Value(true);
+        }
+        case BinOp::Or: {
+          Value l = evaluate(*expr.children[0], row);
+          if (!l.isNull() && l.toBool()) return Value(true);
+          Value r = evaluate(*expr.children[1], row);
+          if (!r.isNull() && r.toBool()) return Value(true);
+          if (l.isNull() || r.isNull()) return Value::null();
+          return Value(false);
+        }
+        case BinOp::Like: {
+          Value l = evaluate(*expr.children[0], row);
+          Value r = evaluate(*expr.children[1], row);
+          if (l.isNull() || r.isNull()) return Value::null();
+          return Value(likeMatch(l.toString(), r.toString()));
+        }
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          return compareOp(expr.bop, evaluate(*expr.children[0], row),
+                           evaluate(*expr.children[1], row));
+        default:
+          return arithmeticOp(expr.bop, evaluate(*expr.children[0], row),
+                              evaluate(*expr.children[1], row));
+      }
+    }
+    case ExprKind::InList: {
+      Value needle = evaluate(*expr.children[0], row);
+      if (needle.isNull()) return Value::null();
+      bool sawNull = false;
+      for (std::size_t i = 1; i < expr.children.size(); ++i) {
+        Value candidate = evaluate(*expr.children[i], row);
+        if (candidate.isNull()) {
+          sawNull = true;
+          continue;
+        }
+        if (needle == candidate) return Value(!expr.negated);
+      }
+      if (sawNull) return Value::null();
+      return Value(expr.negated);
+    }
+    case ExprKind::IsNull: {
+      Value v = evaluate(*expr.children[0], row);
+      return Value(expr.negated ? !v.isNull() : v.isNull());
+    }
+    case ExprKind::Between: {
+      Value v = evaluate(*expr.children[0], row);
+      Value lo = evaluate(*expr.children[1], row);
+      Value hi = evaluate(*expr.children[2], row);
+      if (v.isNull() || lo.isNull() || hi.isNull()) return Value::null();
+      const bool inside = v.compare(lo) != std::strong_ordering::less &&
+                          v.compare(hi) != std::strong_ordering::greater;
+      return Value(expr.negated ? !inside : inside);
+    }
+    case ExprKind::Call:
+      // Aggregates are computed by the aggregation executor
+      // (store::executeSelect), which substitutes their results before
+      // row-level evaluation. Reaching one here means an aggregate was
+      // used where a scalar is required (e.g. in WHERE).
+      throw EvalError("aggregate function '" + expr.name +
+                      "' is not allowed in this context");
+  }
+  throw EvalError("unhandled expression kind");
+}
+
+bool evaluatePredicate(const Expr& expr, const RowAccessor& row) {
+  Value v = evaluate(expr, row);
+  return !v.isNull() && v.toBool();
+}
+
+}  // namespace gridrm::sql

@@ -1,0 +1,163 @@
+#include "gridrm/sql/lexer.hpp"
+
+#include <cctype>
+
+namespace gridrm::sql {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+
+  auto push = [&](TokenType type, std::string tok, std::size_t pos) {
+    out.push_back(Token{type, std::move(tok), pos});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (isIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && isIdentBody(text[j])) ++j;
+      push(TokenType::Identifier, text.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i;
+      bool isReal = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.') {
+        isReal = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          isReal = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+        }
+      }
+      push(isReal ? TokenType::Real : TokenType::Integer, text.substr(i, j - i),
+           start);
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      std::size_t j = i + 1;
+      while (true) {
+        if (j >= n) throw ParseError("unterminated string literal", start);
+        if (text[j] == '\'') {
+          if (j + 1 < n && text[j + 1] == '\'') {  // SQL doubled-quote escape
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(text[j]);
+        ++j;
+      }
+      push(TokenType::String, std::move(value), start);
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        push(TokenType::Comma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::Dot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::Star, "*", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenType::LParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::RParen, ")", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::Eq, "=", start);
+        ++i;
+        continue;
+      case '+':
+        push(TokenType::Plus, "+", start);
+        ++i;
+        continue;
+      case '-':
+        push(TokenType::Minus, "-", start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenType::Slash, "/", start);
+        ++i;
+        continue;
+      case '%':
+        push(TokenType::Percent, "%", start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::Ne, "!=", start);
+          i += 2;
+          continue;
+        }
+        throw ParseError("unexpected '!'", start);
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::Le, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenType::Ne, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::Lt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenType::Ge, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::Gt, ">", start);
+          ++i;
+        }
+        continue;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  push(TokenType::End, "", n);
+  return out;
+}
+
+}  // namespace gridrm::sql

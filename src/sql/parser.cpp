@@ -1,0 +1,403 @@
+#include "gridrm/sql/parser.hpp"
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::sql {
+
+namespace {
+
+using util::iequals;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(lex(text)) {}
+
+  Statement parseStatement() {
+    Statement stmt;
+    if (peekKeyword("SELECT")) {
+      stmt.kind = StatementKind::Select;
+      stmt.select = parseSelect();
+    } else if (peekKeyword("INSERT")) {
+      stmt.kind = StatementKind::Insert;
+      stmt.insert = parseInsert();
+    } else {
+      throw ParseError("expected SELECT or INSERT", cur().pos);
+    }
+    expectEnd();
+    return stmt;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[i_]; }
+  const Token& advance() { return tokens_[i_++]; }
+
+  bool peek(TokenType t) const { return cur().type == t; }
+  bool accept(TokenType t) {
+    if (!peek(t)) return false;
+    ++i_;
+    return true;
+  }
+  void expect(TokenType t, const char* what) {
+    if (!accept(t)) {
+      throw ParseError(std::string("expected ") + what, cur().pos);
+    }
+  }
+
+  bool peekKeyword(std::string_view kw) const {
+    return cur().type == TokenType::Identifier && iequals(cur().text, kw);
+  }
+  bool acceptKeyword(std::string_view kw) {
+    if (!peekKeyword(kw)) return false;
+    ++i_;
+    return true;
+  }
+  void expectKeyword(const char* kw) {
+    if (!acceptKeyword(kw)) {
+      throw ParseError(std::string("expected ") + kw, cur().pos);
+    }
+  }
+  void expectEnd() {
+    if (!peek(TokenType::End)) {
+      throw ParseError("unexpected trailing input '" + cur().text + "'",
+                       cur().pos);
+    }
+  }
+
+  static bool isReservedKeyword(const std::string& word) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM", "WHERE",   "AND",  "OR",     "NOT",   "ORDER",
+        "BY",     "ASC",  "DESC",    "LIMIT", "AS",    "LIKE",  "IN",
+        "IS",     "NULL", "BETWEEN", "INSERT", "INTO", "VALUES", "GROUP",
+        "HAVING"};
+    for (const char* kw : kReserved) {
+      if (iequals(word, kw)) return true;
+    }
+    return false;
+  }
+
+  std::string expectIdentifier(const char* what) {
+    if (!peek(TokenType::Identifier) || isReservedKeyword(cur().text)) {
+      throw ParseError(std::string("expected ") + what, cur().pos);
+    }
+    return advance().text;
+  }
+
+  SelectStatement parseSelect() {
+    expectKeyword("SELECT");
+    SelectStatement sel;
+    do {
+      SelectItem item;
+      if (accept(TokenType::Star)) {
+        // '*' select item (expr stays null).
+      } else {
+        item.expr = parseExpr();
+        if (acceptKeyword("AS")) {
+          item.alias = expectIdentifier("alias after AS");
+        }
+      }
+      sel.items.push_back(std::move(item));
+    } while (accept(TokenType::Comma));
+
+    expectKeyword("FROM");
+    sel.table = expectIdentifier("table name");
+    if (acceptKeyword("AS")) {
+      sel.tableAlias = expectIdentifier("table alias");
+    } else if (peek(TokenType::Identifier) && !isReservedKeyword(cur().text)) {
+      sel.tableAlias = advance().text;
+    }
+
+    if (acceptKeyword("WHERE")) sel.where = parseExpr();
+
+    if (acceptKeyword("GROUP")) {
+      expectKeyword("BY");
+      do {
+        sel.groupBy.push_back(parseExpr());
+      } while (accept(TokenType::Comma));
+    }
+
+    if (acceptKeyword("ORDER")) {
+      expectKeyword("BY");
+      do {
+        OrderKey key;
+        key.expr = parseExpr();
+        if (acceptKeyword("DESC")) {
+          key.descending = true;
+        } else {
+          acceptKeyword("ASC");
+        }
+        sel.orderBy.push_back(std::move(key));
+      } while (accept(TokenType::Comma));
+    }
+
+    if (acceptKeyword("LIMIT")) {
+      if (!peek(TokenType::Integer)) {
+        throw ParseError("expected integer after LIMIT", cur().pos);
+      }
+      sel.limit = util::Value::parse(advance().text).toInt();
+    }
+    return sel;
+  }
+
+  InsertStatement parseInsert() {
+    expectKeyword("INSERT");
+    expectKeyword("INTO");
+    InsertStatement ins;
+    ins.table = expectIdentifier("table name");
+    if (accept(TokenType::LParen)) {
+      do {
+        ins.columns.push_back(expectIdentifier("column name"));
+      } while (accept(TokenType::Comma));
+      expect(TokenType::RParen, "')'");
+    }
+    expectKeyword("VALUES");
+    do {
+      expect(TokenType::LParen, "'('");
+      std::vector<util::Value> row;
+      do {
+        row.push_back(parseLiteralValue());
+      } while (accept(TokenType::Comma));
+      expect(TokenType::RParen, "')'");
+      if (!ins.columns.empty() && row.size() != ins.columns.size()) {
+        throw ParseError("VALUES row arity does not match column list",
+                         cur().pos);
+      }
+      ins.rows.push_back(std::move(row));
+    } while (accept(TokenType::Comma));
+    return ins;
+  }
+
+  util::Value parseLiteralValue() {
+    bool negative = accept(TokenType::Minus);
+    const Token& t = cur();
+    util::Value v;
+    switch (t.type) {
+      case TokenType::Integer:
+      case TokenType::Real:
+        v = util::Value::parse(t.text);
+        if (negative) {
+          v = v.type() == util::ValueType::Int ? util::Value(-v.asInt())
+                                               : util::Value(-v.asReal());
+        }
+        advance();
+        return v;
+      case TokenType::String:
+        if (negative) throw ParseError("'-' before string literal", t.pos);
+        v = util::Value(t.text);
+        advance();
+        return v;
+      case TokenType::Identifier:
+        if (negative) throw ParseError("'-' before keyword literal", t.pos);
+        if (acceptKeyword("NULL")) return util::Value::null();
+        if (acceptKeyword("TRUE")) return util::Value(true);
+        if (acceptKeyword("FALSE")) return util::Value(false);
+        [[fallthrough]];
+      default:
+        throw ParseError("expected literal value", t.pos);
+    }
+  }
+
+  // Expression precedence (loosest to tightest):
+  //   OR < AND < NOT < comparison/LIKE/IN/IS/BETWEEN < +- < */% < unary
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (acceptKeyword("OR")) {
+      lhs = Expr::makeBinary(BinOp::Or, std::move(lhs), parseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseNot();
+    while (acceptKeyword("AND")) {
+      lhs = Expr::makeBinary(BinOp::And, std::move(lhs), parseNot());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseNot() {
+    if (acceptKeyword("NOT")) {
+      return Expr::makeUnary(UnOp::Not, parseNot());
+    }
+    return parseComparison();
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr lhs = parseAdditive();
+    // Postfix predicates: IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE
+    bool negated = false;
+    if (peekKeyword("NOT")) {
+      // Look ahead: NOT IN / NOT BETWEEN / NOT LIKE.
+      const Token& next = tokens_[i_ + 1];
+      if (next.type == TokenType::Identifier &&
+          (iequals(next.text, "IN") || iequals(next.text, "BETWEEN") ||
+           iequals(next.text, "LIKE"))) {
+        ++i_;
+        negated = true;
+      }
+    }
+    if (acceptKeyword("IS")) {
+      bool neg = acceptKeyword("NOT");
+      expectKeyword("NULL");
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::IsNull;
+      e->negated = neg;
+      e->children.push_back(std::move(lhs));
+      return e;
+    }
+    if (acceptKeyword("IN")) {
+      expect(TokenType::LParen, "'('");
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::InList;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      do {
+        e->children.push_back(parseAdditive());
+      } while (accept(TokenType::Comma));
+      expect(TokenType::RParen, "')'");
+      return e;
+    }
+    if (acceptKeyword("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Between;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parseAdditive());
+      expectKeyword("AND");
+      e->children.push_back(parseAdditive());
+      return e;
+    }
+    if (acceptKeyword("LIKE")) {
+      ExprPtr like =
+          Expr::makeBinary(BinOp::Like, std::move(lhs), parseAdditive());
+      if (negated) return Expr::makeUnary(UnOp::Not, std::move(like));
+      return like;
+    }
+    BinOp op;
+    if (accept(TokenType::Eq)) {
+      op = BinOp::Eq;
+    } else if (accept(TokenType::Ne)) {
+      op = BinOp::Ne;
+    } else if (accept(TokenType::Lt)) {
+      op = BinOp::Lt;
+    } else if (accept(TokenType::Le)) {
+      op = BinOp::Le;
+    } else if (accept(TokenType::Gt)) {
+      op = BinOp::Gt;
+    } else if (accept(TokenType::Ge)) {
+      op = BinOp::Ge;
+    } else {
+      return lhs;
+    }
+    return Expr::makeBinary(op, std::move(lhs), parseAdditive());
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    while (true) {
+      if (accept(TokenType::Plus)) {
+        lhs = Expr::makeBinary(BinOp::Add, std::move(lhs), parseMultiplicative());
+      } else if (accept(TokenType::Minus)) {
+        lhs = Expr::makeBinary(BinOp::Sub, std::move(lhs), parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parseUnary();
+    while (true) {
+      if (accept(TokenType::Star)) {
+        lhs = Expr::makeBinary(BinOp::Mul, std::move(lhs), parseUnary());
+      } else if (accept(TokenType::Slash)) {
+        lhs = Expr::makeBinary(BinOp::Div, std::move(lhs), parseUnary());
+      } else if (accept(TokenType::Percent)) {
+        lhs = Expr::makeBinary(BinOp::Mod, std::move(lhs), parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (accept(TokenType::Minus)) {
+      return Expr::makeUnary(UnOp::Neg, parseUnary());
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token& t = cur();
+    switch (t.type) {
+      case TokenType::Integer:
+      case TokenType::Real: {
+        util::Value v = util::Value::parse(t.text);
+        advance();
+        return Expr::makeLiteral(std::move(v));
+      }
+      case TokenType::String: {
+        util::Value v(t.text);
+        advance();
+        return Expr::makeLiteral(std::move(v));
+      }
+      case TokenType::LParen: {
+        advance();
+        ExprPtr inner = parseExpr();
+        expect(TokenType::RParen, "')'");
+        return inner;
+      }
+      case TokenType::Identifier: {
+        if (acceptKeyword("NULL")) return Expr::makeLiteral(util::Value::null());
+        if (acceptKeyword("TRUE")) return Expr::makeLiteral(util::Value(true));
+        if (acceptKeyword("FALSE")) return Expr::makeLiteral(util::Value(false));
+        if (isReservedKeyword(t.text)) {
+          throw ParseError("unexpected keyword '" + t.text + "'", t.pos);
+        }
+        std::string first = advance().text;
+        if (accept(TokenType::LParen)) {
+          // Aggregate call: COUNT(*) / COUNT(x) / SUM/AVG/MIN/MAX(x).
+          if (accept(TokenType::Star)) {
+            expect(TokenType::RParen, "')'");
+            return Expr::makeCall(util::toLower(first), {}, /*starArg=*/true);
+          }
+          std::vector<ExprPtr> args;
+          if (!peek(TokenType::RParen)) {
+            do {
+              args.push_back(parseExpr());
+            } while (accept(TokenType::Comma));
+          }
+          expect(TokenType::RParen, "')'");
+          return Expr::makeCall(util::toLower(first), std::move(args));
+        }
+        if (accept(TokenType::Dot)) {
+          std::string second = expectIdentifier("column after '.'");
+          return Expr::makeColumn(std::move(first), std::move(second));
+        }
+        return Expr::makeColumn("", std::move(first));
+      }
+      default:
+        throw ParseError("unexpected token '" + t.text + "'", t.pos);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Statement parse(const std::string& text) {
+  return Parser(text).parseStatement();
+}
+
+SelectStatement parseSelect(const std::string& text) {
+  Statement stmt = parse(text);
+  if (stmt.kind != StatementKind::Select) {
+    throw ParseError("expected a SELECT statement", 0);
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace gridrm::sql

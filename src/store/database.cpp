@@ -1,0 +1,562 @@
+#include "gridrm/store/database.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::store {
+
+using dbc::ColumnInfo;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using dbc::Value;
+
+Table::Table(std::string name, std::vector<ColumnInfo> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+void Table::insert(std::vector<Value> row) {
+  if (row.size() != columns_.size()) {
+    throw SqlError(ErrorCode::Generic,
+                   "insert arity mismatch for table " + name_);
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Table::insertNamed(const std::vector<std::string>& columns,
+                        std::vector<Value> row) {
+  if (columns.size() != row.size()) {
+    throw SqlError(ErrorCode::Generic, "column/value count mismatch");
+  }
+  std::vector<Value> full(columns_.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    bool found = false;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (util::iequals(columns_[c].name, columns[i])) {
+        full[c] = std::move(row[i]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw SqlError(ErrorCode::NoSuchColumn,
+                     "table " + name_ + " has no column '" + columns[i] + "'");
+    }
+  }
+  rows_.push_back(std::move(full));
+}
+
+std::size_t Table::pruneOlderThan(const std::string& timeColumn,
+                                  std::int64_t cutoff) {
+  std::size_t idx = columns_.size();
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (util::iequals(columns_[c].name, timeColumn)) {
+      idx = c;
+      break;
+    }
+  }
+  if (idx == columns_.size()) {
+    throw SqlError(ErrorCode::NoSuchColumn,
+                   "no time column '" + timeColumn + "'");
+  }
+  const std::size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                             [&](const std::vector<Value>& row) {
+                               return row[idx].toInt() < cutoff;
+                             }),
+              rows_.end());
+  return before - rows_.size();
+}
+
+namespace {
+
+/// Row accessor resolving names against a column list, honouring an
+/// optional table alias qualifier.
+class TableRowAccessor final : public sql::RowAccessor {
+ public:
+  TableRowAccessor(const std::vector<ColumnInfo>& columns,
+                   const std::string& tableName, const std::string& alias)
+      : columns_(columns), tableName_(tableName), alias_(alias) {}
+
+  void setRow(const std::vector<Value>* row) noexcept { row_ = row; }
+
+  std::optional<Value> column(const std::string& table,
+                              const std::string& name) const override {
+    if (!table.empty() && !util::iequals(table, tableName_) &&
+        !util::iequals(table, alias_)) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (util::iequals(columns_[i].name, name)) return (*row_)[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const std::vector<ColumnInfo>& columns_;
+  const std::string& tableName_;
+  const std::string& alias_;
+  const std::vector<Value>* row_ = nullptr;
+};
+
+/// Derive an output column descriptor for a projected expression.
+ColumnInfo projectColumn(const sql::SelectItem& item,
+                         const std::vector<ColumnInfo>& source) {
+  ColumnInfo out;
+  if (!item.alias.empty()) {
+    out.name = item.alias;
+  } else if (item.expr->kind == sql::ExprKind::Column) {
+    out.name = item.expr->name;
+  } else {
+    out.name = item.expr->toSql();
+  }
+  if (item.expr->kind == sql::ExprKind::Column) {
+    for (const auto& c : source) {
+      if (util::iequals(c.name, item.expr->name)) {
+        out.type = c.type;
+        out.unit = c.unit;
+        out.table = c.table;
+        break;
+      }
+    }
+  } else if (item.expr->kind == sql::ExprKind::Literal) {
+    out.type = item.expr->literal.type();
+  } else {
+    out.type = util::ValueType::Real;  // computed expressions
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Aggregation (COUNT / SUM / AVG / MIN / MAX with optional GROUP BY).
+
+/// Compute one aggregate call over the rows of a group.
+Value computeAggregate(const sql::Expr& call,
+                       const std::vector<const std::vector<Value>*>& rows,
+                       TableRowAccessor& accessor) {
+  const std::string& fn = call.name;  // parser lower-cases call names
+  if (fn == "count" && call.starArg) {
+    return Value(static_cast<std::int64_t>(rows.size()));
+  }
+  if (call.children.size() != 1) {
+    throw SqlError(ErrorCode::Syntax,
+                   "aggregate " + fn + " expects exactly one argument");
+  }
+  // Evaluate the argument per row, skipping SQL NULLs.
+  std::vector<Value> values;
+  values.reserve(rows.size());
+  for (const auto* row : rows) {
+    accessor.setRow(row);
+    Value v = sql::evaluate(*call.children[0], accessor);
+    if (!v.isNull()) values.push_back(std::move(v));
+  }
+  if (fn == "count") {
+    return Value(static_cast<std::int64_t>(values.size()));
+  }
+  if (values.empty()) return Value::null();
+  if (fn == "min" || fn == "max") {
+    const Value* best = &values[0];
+    for (const Value& v : values) {
+      const auto c = v.compare(*best);
+      if ((fn == "min") ? c == std::strong_ordering::less
+                        : c == std::strong_ordering::greater) {
+        best = &v;
+      }
+    }
+    return *best;
+  }
+  if (fn == "sum" || fn == "avg") {
+    bool allInt = true;
+    double total = 0;
+    std::int64_t intTotal = 0;
+    for (const Value& v : values) {
+      if (!v.isNumeric()) {
+        throw SqlError(ErrorCode::Generic,
+                       fn + "() over non-numeric values");
+      }
+      if (v.type() == util::ValueType::Int) {
+        intTotal += v.asInt();
+      } else {
+        allInt = false;
+      }
+      total += v.toReal();
+    }
+    if (fn == "sum") {
+      return allInt ? Value(intTotal) : Value(total);
+    }
+    return Value(total / static_cast<double>(values.size()));
+  }
+  throw SqlError(ErrorCode::Syntax, "unknown aggregate function '" + fn + "'");
+}
+
+/// Replace every aggregate Call node in `expr` (in place) with the
+/// Literal of its value over the group, so the remaining tree can be
+/// evaluated with the ordinary row evaluator.
+void substituteAggregates(sql::Expr& expr,
+                          const std::vector<const std::vector<Value>*>& rows,
+                          TableRowAccessor& accessor) {
+  if (expr.kind == sql::ExprKind::Call) {
+    Value v = computeAggregate(expr, rows, accessor);
+    expr.kind = sql::ExprKind::Literal;
+    expr.literal = std::move(v);
+    expr.children.clear();
+    return;
+  }
+  for (auto& child : expr.children) {
+    substituteAggregates(*child, rows, accessor);
+  }
+}
+
+/// Evaluate an expression in group context: aggregates over the whole
+/// group, plain columns against the group's first row (NULL when the
+/// group is empty, which only happens for a global aggregate over an
+/// empty input).
+Value evaluateInGroup(const sql::Expr& expr,
+                      const std::vector<const std::vector<Value>*>& rows,
+                      TableRowAccessor& accessor,
+                      const std::vector<Value>& nullRow) {
+  sql::ExprPtr copy = expr.clone();
+  substituteAggregates(*copy, rows, accessor);
+  accessor.setRow(rows.empty() ? &nullRow : rows.front());
+  try {
+    return sql::evaluate(*copy, accessor);
+  } catch (const sql::EvalError& e) {
+    throw SqlError(ErrorCode::NoSuchColumn, e.what());
+  }
+}
+
+std::unique_ptr<dbc::VectorResultSet> executeAggregateSelect(
+    const sql::SelectStatement& stmt, const std::vector<ColumnInfo>& columns,
+    const std::vector<std::vector<Value>>& rows) {
+  TableRowAccessor accessor(columns, stmt.table, stmt.tableAlias);
+  const std::vector<Value> nullRow(columns.size());
+
+  // Output columns.
+  std::vector<ColumnInfo> outColumns;
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) {
+      throw SqlError(ErrorCode::Syntax,
+                     "SELECT * cannot be combined with aggregates/GROUP BY");
+    }
+    ColumnInfo c = projectColumn(item, columns);
+    if (item.alias.empty() && item.expr->kind == sql::ExprKind::Call) {
+      c.name = item.expr->toSql();
+      c.type = item.expr->name == "count" ? util::ValueType::Int
+                                          : util::ValueType::Real;
+    }
+    outColumns.push_back(std::move(c));
+  }
+
+  // Filter (WHERE may not contain aggregates; evaluate() enforces that).
+  std::vector<const std::vector<Value>*> selected;
+  for (const auto& row : rows) {
+    accessor.setRow(&row);
+    bool keep = true;
+    if (stmt.where) {
+      try {
+        keep = sql::evaluatePredicate(*stmt.where, accessor);
+      } catch (const sql::EvalError& e) {
+        throw SqlError(ErrorCode::NoSuchColumn, e.what());
+      }
+    }
+    if (keep) selected.push_back(&row);
+  }
+
+  // Group.
+  struct ValueVectorLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+        const auto c = a[i].compare(b[i]);
+        if (c != std::strong_ordering::equal) {
+          return c == std::strong_ordering::less;
+        }
+      }
+      return a.size() < b.size();
+    }
+  };
+  std::map<std::vector<Value>, std::vector<const std::vector<Value>*>,
+           ValueVectorLess>
+      groups;
+  if (stmt.groupBy.empty()) {
+    groups[{}] = std::move(selected);  // one global group (possibly empty)
+  } else {
+    for (const auto* row : selected) {
+      accessor.setRow(row);
+      std::vector<Value> key;
+      key.reserve(stmt.groupBy.size());
+      for (const auto& expr : stmt.groupBy) {
+        try {
+          key.push_back(sql::evaluate(*expr, accessor));
+        } catch (const sql::EvalError& e) {
+          throw SqlError(ErrorCode::NoSuchColumn, e.what());
+        }
+      }
+      groups[std::move(key)].push_back(row);
+    }
+  }
+
+  // Project each group, capturing ORDER BY keys in the same pass.
+  struct OutRow {
+    std::vector<Value> cells;
+    std::vector<Value> orderKeys;
+  };
+  std::vector<OutRow> outRows;
+  outRows.reserve(groups.size());
+  for (const auto& [key, groupRows] : groups) {
+    OutRow out;
+    out.cells.reserve(stmt.items.size());
+    for (const auto& item : stmt.items) {
+      out.cells.push_back(
+          evaluateInGroup(*item.expr, groupRows, accessor, nullRow));
+    }
+    for (const auto& orderKey : stmt.orderBy) {
+      out.orderKeys.push_back(
+          evaluateInGroup(*orderKey.expr, groupRows, accessor, nullRow));
+    }
+    outRows.push_back(std::move(out));
+  }
+
+  if (!stmt.orderBy.empty()) {
+    std::stable_sort(outRows.begin(), outRows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (std::size_t i = 0; i < stmt.orderBy.size(); ++i) {
+                         const auto c = a.orderKeys[i].compare(b.orderKeys[i]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return stmt.orderBy[i].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+
+  std::size_t count = outRows.size();
+  if (stmt.limit && *stmt.limit >= 0 &&
+      static_cast<std::size_t>(*stmt.limit) < count) {
+    count = static_cast<std::size_t>(*stmt.limit);
+  }
+  std::vector<std::vector<Value>> finalRows;
+  finalRows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    finalRows.push_back(std::move(outRows[i].cells));
+  }
+  return std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(outColumns)), std::move(finalRows));
+}
+
+}  // namespace
+
+std::unique_ptr<dbc::VectorResultSet> executeSelect(
+    const sql::SelectStatement& stmt, const std::vector<ColumnInfo>& columns,
+    const std::vector<std::vector<Value>>& rows) {
+  // Aggregation path: GROUP BY, or any aggregate in projection/ordering.
+  bool aggregate = !stmt.groupBy.empty();
+  for (const auto& item : stmt.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) aggregate = true;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (key.expr->containsAggregate()) aggregate = true;
+  }
+  if (aggregate) return executeAggregateSelect(stmt, columns, rows);
+
+  // Resolve the projection once.
+  std::vector<ColumnInfo> outColumns;
+  bool star = false;
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) {
+      star = true;
+      for (const auto& c : columns) outColumns.push_back(c);
+    } else {
+      outColumns.push_back(projectColumn(item, columns));
+      // Validate the column references early for a clear error.
+      if (item.expr->kind == sql::ExprKind::Column) {
+        bool known = false;
+        for (const auto& c : columns) {
+          if (util::iequals(c.name, item.expr->name)) known = true;
+        }
+        if (!known) {
+          throw SqlError(ErrorCode::NoSuchColumn,
+                         "no column '" + item.expr->name + "'");
+        }
+      }
+    }
+  }
+
+  TableRowAccessor accessor(columns, stmt.table, stmt.tableAlias);
+
+  // Filter.
+  std::vector<const std::vector<Value>*> selected;
+  for (const auto& row : rows) {
+    accessor.setRow(&row);
+    bool keep = true;
+    if (stmt.where) {
+      try {
+        keep = sql::evaluatePredicate(*stmt.where, accessor);
+      } catch (const sql::EvalError& e) {
+        throw SqlError(ErrorCode::NoSuchColumn, e.what());
+      }
+    }
+    if (keep) selected.push_back(&row);
+  }
+
+  // Order.
+  if (!stmt.orderBy.empty()) {
+    std::stable_sort(
+        selected.begin(), selected.end(),
+        [&](const std::vector<Value>* a, const std::vector<Value>* b) {
+          for (const auto& key : stmt.orderBy) {
+            accessor.setRow(a);
+            Value va = sql::evaluate(*key.expr, accessor);
+            accessor.setRow(b);
+            Value vb = sql::evaluate(*key.expr, accessor);
+            auto c = va.compare(vb);
+            if (c == std::strong_ordering::equal) continue;
+            const bool less = c == std::strong_ordering::less;
+            return key.descending ? !less : less;
+          }
+          return false;
+        });
+  }
+
+  // Limit.
+  std::size_t count = selected.size();
+  if (stmt.limit && *stmt.limit >= 0 &&
+      static_cast<std::size_t>(*stmt.limit) < count) {
+    count = static_cast<std::size_t>(*stmt.limit);
+  }
+
+  // Project.
+  std::vector<std::vector<Value>> outRows;
+  outRows.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    accessor.setRow(selected[r]);
+    std::vector<Value> outRow;
+    outRow.reserve(outColumns.size());
+    if (star && stmt.items.size() == 1) {
+      outRow = *selected[r];
+    } else {
+      for (const auto& item : stmt.items) {
+        if (item.isStar()) {
+          for (const auto& v : *selected[r]) outRow.push_back(v);
+        } else {
+          try {
+            outRow.push_back(sql::evaluate(*item.expr, accessor));
+          } catch (const sql::EvalError& e) {
+            throw SqlError(ErrorCode::NoSuchColumn, e.what());
+          }
+        }
+      }
+    }
+    outRows.push_back(std::move(outRow));
+  }
+
+  return std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(outColumns)), std::move(outRows));
+}
+
+void Database::createTable(const std::string& name,
+                           std::vector<ColumnInfo> columns) {
+  std::unique_lock lock(mu_);
+  for (auto& t : tables_) {
+    if (util::iequals(t->name(), name)) {
+      t = std::make_unique<Table>(name, std::move(columns));
+      return;
+    }
+  }
+  tables_.push_back(std::make_unique<Table>(name, std::move(columns)));
+}
+
+bool Database::hasTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return findTable(name) != nullptr;
+}
+
+std::vector<std::string> Database::tableNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name());
+  return names;
+}
+
+Table* Database::findTable(const std::string& name) {
+  for (auto& t : tables_) {
+    if (util::iequals(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::findTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (util::iequals(t->name(), name)) return t.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<dbc::VectorResultSet> Database::query(
+    const std::string& sqlText) const {
+  return query(sql::parseSelect(sqlText));
+}
+
+std::unique_ptr<dbc::VectorResultSet> Database::query(
+    const sql::SelectStatement& stmt) const {
+  std::shared_lock lock(mu_);
+  const Table* t = findTable(stmt.table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + stmt.table + "'");
+  }
+  return executeSelect(stmt, t->columns(), t->rows());
+}
+
+std::size_t Database::execute(const std::string& sqlText) {
+  sql::Statement stmt = sql::parse(sqlText);
+  if (stmt.kind != sql::StatementKind::Insert) {
+    throw SqlError(ErrorCode::Syntax, "execute() expects INSERT");
+  }
+  return execute(stmt.insert);
+}
+
+std::size_t Database::execute(const sql::InsertStatement& stmt) {
+  std::unique_lock lock(mu_);
+  Table* t = findTable(stmt.table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + stmt.table + "'");
+  }
+  for (const auto& row : stmt.rows) {
+    if (stmt.columns.empty()) {
+      t->insert(row);
+    } else {
+      t->insertNamed(stmt.columns, row);
+    }
+  }
+  return stmt.rows.size();
+}
+
+void Database::insertRow(const std::string& table, std::vector<Value> row) {
+  std::unique_lock lock(mu_);
+  Table* t = findTable(table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + table + "'");
+  }
+  t->insert(std::move(row));
+}
+
+std::size_t Database::rowCount(const std::string& table) const {
+  std::shared_lock lock(mu_);
+  const Table* t = findTable(table);
+  return t == nullptr ? 0 : t->rowCount();
+}
+
+std::size_t Database::pruneOlderThan(const std::string& table,
+                                     const std::string& timeColumn,
+                                     std::int64_t cutoff) {
+  std::unique_lock lock(mu_);
+  Table* t = findTable(table);
+  if (t == nullptr) return 0;
+  return t->pruneOlderThan(timeColumn, cutoff);
+}
+
+}  // namespace gridrm::store

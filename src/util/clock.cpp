@@ -1,0 +1,18 @@
+#include "gridrm/util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace gridrm::util {
+
+TimePoint SystemClock::now() const noexcept {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::sleepFor(Duration us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace gridrm::util

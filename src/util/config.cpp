@@ -1,0 +1,56 @@
+#include "gridrm/util/config.hpp"
+
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::util {
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  for (const auto& rawLine : split(text, '\n')) {
+    std::string_view line = trim(rawLine);
+    if (line.empty() || line.front() == '#') continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string key(trim(line.substr(0, eq)));
+    std::string value(trim(line.substr(eq + 1)));
+    if (!key.empty()) cfg.values_[key] = std::move(value);
+  }
+  return cfg;
+}
+
+std::string Config::getString(const std::string& key, std::string fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Config::getInt(const std::string& key, std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return Value::parse(it->second).toInt(fallback);
+}
+
+double Config::getReal(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return Value::parse(it->second).toReal(fallback);
+}
+
+bool Config::getBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return Value::parse(it->second).toBool(fallback);
+}
+
+std::vector<std::string> Config::getList(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return {};
+  std::vector<std::string> out;
+  for (const auto& part : split(it->second, ',')) {
+    auto trimmed = trim(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace gridrm::util

@@ -1,0 +1,56 @@
+#include "gridrm/util/log.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace gridrm::util {
+
+namespace {
+const char* levelName(LogLevel l) noexcept {
+  switch (l) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  std::scoped_lock lock(mu_);
+  if (capture_) {
+    lines_.push_back(format("[{}] {}: {}", levelName(level), component, msg));
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void Logger::captureToMemory(bool on) {
+  std::scoped_lock lock(mu_);
+  capture_ = on;
+  if (!on) lines_.clear();
+}
+
+std::vector<std::string> Logger::drainCaptured() {
+  std::scoped_lock lock(mu_);
+  return std::exchange(lines_, {});
+}
+
+}  // namespace gridrm::util

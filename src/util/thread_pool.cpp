@@ -1,0 +1,44 @@
+#include "gridrm/util/thread_pool.hpp"
+
+namespace gridrm::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopped_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // run outside the lock (CP.22)
+  }
+}
+
+}  // namespace gridrm::util

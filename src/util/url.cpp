@@ -1,0 +1,82 @@
+#include "gridrm/util/url.hpp"
+
+#include <charconv>
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::util {
+
+std::optional<Url> Url::parse(const std::string& text) {
+  Url u;
+  u.text_ = text;
+  std::string_view rest = text;
+
+  // scheme:
+  std::size_t colon = rest.find(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  u.scheme_ = toLower(rest.substr(0, colon));
+  if (u.scheme_ != "jdbc" && u.scheme_ != "gridrm") return std::nullopt;
+  rest.remove_prefix(colon + 1);
+
+  // [subprotocol]://
+  std::size_t slashes = rest.find("://");
+  if (slashes == std::string_view::npos) return std::nullopt;
+  u.subprotocol_ = toLower(rest.substr(0, slashes));
+  rest.remove_prefix(slashes + 3);
+
+  // host[:port]
+  std::size_t pathStart = rest.find_first_of("/?");
+  std::string_view authority =
+      pathStart == std::string_view::npos ? rest : rest.substr(0, pathStart);
+  if (authority.empty()) return std::nullopt;
+  std::size_t portSep = authority.rfind(':');
+  if (portSep != std::string_view::npos) {
+    std::string_view portText = authority.substr(portSep + 1);
+    unsigned port = 0;
+    auto [ptr, ec] =
+        std::from_chars(portText.data(), portText.data() + portText.size(), port);
+    if (ec != std::errc{} || ptr != portText.data() + portText.size() ||
+        port > 0xffff) {
+      return std::nullopt;
+    }
+    u.port_ = static_cast<std::uint16_t>(port);
+    u.host_ = std::string(authority.substr(0, portSep));
+  } else {
+    u.host_ = std::string(authority);
+  }
+  if (u.host_.empty()) return std::nullopt;
+  if (pathStart == std::string_view::npos) return u;
+  rest.remove_prefix(pathStart);
+
+  // /path
+  std::size_t queryStart = rest.find('?');
+  std::string_view pathPart =
+      queryStart == std::string_view::npos ? rest : rest.substr(0, queryStart);
+  if (startsWith(pathPart, "/")) pathPart.remove_prefix(1);
+  u.path_ = std::string(pathPart);
+  if (queryStart == std::string_view::npos) return u;
+  rest.remove_prefix(queryStart + 1);
+
+  // k=v&k=v
+  for (const auto& kv : splitNonEmpty(rest, '&')) {
+    std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      u.params_[kv] = "";
+    } else {
+      u.params_[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+  }
+  return u;
+}
+
+std::string Url::param(const std::string& key, std::string fallback) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? std::move(fallback) : it->second;
+}
+
+std::string Url::endpoint(std::uint16_t defaultPort) const {
+  const std::uint16_t p = port_ == 0 ? defaultPort : port_;
+  return host_ + ":" + std::to_string(p);
+}
+
+}  // namespace gridrm::util

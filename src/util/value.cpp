@@ -1,0 +1,165 @@
+#include "gridrm/util/value.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gridrm::util {
+
+const char* valueTypeName(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::Null:
+      return "NULL";
+    case ValueType::Bool:
+      return "BOOL";
+    case ValueType::Int:
+      return "INT";
+    case ValueType::Real:
+      return "REAL";
+    case ValueType::String:
+      return "STRING";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parseInt(std::string_view s, std::int64_t& out) noexcept {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool parseReal(std::string_view s, double& out) noexcept {
+  if (s.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ >= 11.
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+std::int64_t Value::toInt(std::int64_t fallback) const noexcept {
+  switch (type()) {
+    case ValueType::Null:
+      return fallback;
+    case ValueType::Bool:
+      return asBool() ? 1 : 0;
+    case ValueType::Int:
+      return asInt();
+    case ValueType::Real:
+      return static_cast<std::int64_t>(std::llround(asReal()));
+    case ValueType::String: {
+      std::int64_t i = 0;
+      if (parseInt(asString(), i)) return i;
+      double d = 0;
+      if (parseReal(asString(), d)) return static_cast<std::int64_t>(std::llround(d));
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+double Value::toReal(double fallback) const noexcept {
+  switch (type()) {
+    case ValueType::Null:
+      return fallback;
+    case ValueType::Bool:
+      return asBool() ? 1.0 : 0.0;
+    case ValueType::Int:
+      return static_cast<double>(asInt());
+    case ValueType::Real:
+      return asReal();
+    case ValueType::String: {
+      double d = 0;
+      if (parseReal(asString(), d)) return d;
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+bool Value::toBool(bool fallback) const noexcept {
+  switch (type()) {
+    case ValueType::Null:
+      return fallback;
+    case ValueType::Bool:
+      return asBool();
+    case ValueType::Int:
+      return asInt() != 0;
+    case ValueType::Real:
+      return asReal() != 0.0;
+    case ValueType::String: {
+      const std::string& s = asString();
+      if (s == "true" || s == "TRUE" || s == "1") return true;
+      if (s == "false" || s == "FALSE" || s == "0") return false;
+      return fallback;
+    }
+  }
+  return fallback;
+}
+
+std::string Value::toString() const {
+  switch (type()) {
+    case ValueType::Null:
+      return "NULL";
+    case ValueType::Bool:
+      return asBool() ? "true" : "false";
+    case ValueType::Int:
+      return std::to_string(asInt());
+    case ValueType::Real: {
+      // %g keeps values such as 0.25 readable while avoiding the trailing
+      // zeros std::to_string(double) produces.
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.10g", asReal());
+      return buf;
+    }
+    case ValueType::String:
+      return asString();
+  }
+  return {};
+}
+
+Value Value::parse(std::string_view text) {
+  if (text == "NULL" || text == "null") return null();
+  std::int64_t i = 0;
+  if (parseInt(text, i)) return Value(i);
+  double d = 0;
+  if (parseReal(text, d)) return Value(d);
+  if (text == "true" || text == "TRUE") return Value(true);
+  if (text == "false" || text == "FALSE") return Value(false);
+  return Value(std::string(text));
+}
+
+std::strong_ordering Value::compare(const Value& other) const noexcept {
+  const bool lnum = isNumeric();
+  const bool rnum = other.isNumeric();
+  if (lnum && rnum) {
+    if (type() == ValueType::Int && other.type() == ValueType::Int) {
+      return asInt() <=> other.asInt();
+    }
+    const double l = toReal();
+    const double r = other.toReal();
+    if (l < r) return std::strong_ordering::less;
+    if (l > r) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+  if (type() != other.type()) {
+    return static_cast<int>(type()) <=> static_cast<int>(other.type());
+  }
+  switch (type()) {
+    case ValueType::Null:
+      return std::strong_ordering::equal;
+    case ValueType::Bool:
+      return static_cast<int>(asBool()) <=> static_cast<int>(other.asBool());
+    case ValueType::String:
+      return asString().compare(other.asString()) <=> 0;
+    default:
+      return std::strong_ordering::equal;  // unreachable: numerics handled above
+  }
+}
+
+}  // namespace gridrm::util

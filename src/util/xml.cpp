@@ -1,0 +1,242 @@
+#include "gridrm/util/xml.hpp"
+
+#include <cctype>
+
+namespace gridrm::util {
+
+const XmlElement* XmlElement::child(const std::string& childName) const {
+  for (const auto& c : children) {
+    if (c->name == childName) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::childrenNamed(
+    const std::string& childName) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children) {
+    if (c->name == childName) out.push_back(c.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::unique_ptr<XmlElement> parseDocument() {
+    skipSpaceAndProlog();
+    auto root = parseElement();
+    skipSpaceAndProlog();
+    if (i_ != s_.size()) throw XmlError("trailing content after root element");
+    return root;
+  }
+
+ private:
+  void skipSpaceAndProlog() {
+    while (i_ < s_.size()) {
+      if (std::isspace(static_cast<unsigned char>(s_[i_]))) {
+        ++i_;
+        continue;
+      }
+      if (s_.compare(i_, 2, "<?") == 0) {
+        std::size_t end = s_.find("?>", i_);
+        if (end == std::string::npos) throw XmlError("unterminated prolog");
+        i_ = end + 2;
+        continue;
+      }
+      if (s_.compare(i_, 4, "<!--") == 0) {
+        std::size_t end = s_.find("-->", i_);
+        if (end == std::string::npos) throw XmlError("unterminated comment");
+        i_ = end + 3;
+        continue;
+      }
+      if (s_.compare(i_, 2, "<!") == 0) {  // DOCTYPE et al.
+        std::size_t end = s_.find('>', i_);
+        if (end == std::string::npos) throw XmlError("unterminated declaration");
+        i_ = end + 1;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string parseName() {
+    std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[i_])) || s_[i_] == '_' ||
+            s_[i_] == '-' || s_[i_] == '.' || s_[i_] == ':')) {
+      ++i_;
+    }
+    if (i_ == start) throw XmlError("expected name at offset " + std::to_string(i_));
+    return s_.substr(start, i_ - start);
+  }
+
+  void skipSpace() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  std::unique_ptr<XmlElement> parseElement() {
+    if (i_ >= s_.size() || s_[i_] != '<') throw XmlError("expected '<'");
+    ++i_;
+    auto el = std::make_unique<XmlElement>();
+    el->name = parseName();
+    while (true) {
+      skipSpace();
+      if (i_ >= s_.size()) throw XmlError("unterminated tag " + el->name);
+      if (s_[i_] == '/') {
+        if (i_ + 1 >= s_.size() || s_[i_ + 1] != '>') {
+          throw XmlError("malformed self-closing tag");
+        }
+        i_ += 2;
+        return el;
+      }
+      if (s_[i_] == '>') {
+        ++i_;
+        parseChildren(*el);
+        return el;
+      }
+      // attribute
+      std::string key = parseName();
+      skipSpace();
+      if (i_ >= s_.size() || s_[i_] != '=') throw XmlError("expected '='");
+      ++i_;
+      skipSpace();
+      if (i_ >= s_.size() || (s_[i_] != '"' && s_[i_] != '\'')) {
+        throw XmlError("expected quoted attribute value");
+      }
+      const char quote = s_[i_++];
+      std::size_t end = s_.find(quote, i_);
+      if (end == std::string::npos) throw XmlError("unterminated attribute");
+      el->attributes[key] = unescape(s_.substr(i_, end - i_));
+      i_ = end + 1;
+    }
+  }
+
+  void parseChildren(XmlElement& el) {
+    while (true) {
+      // Skip (and discard) any text content.
+      while (i_ < s_.size() && s_[i_] != '<') ++i_;
+      if (i_ >= s_.size()) throw XmlError("unterminated element " + el.name);
+      if (s_.compare(i_, 4, "<!--") == 0) {
+        std::size_t end = s_.find("-->", i_);
+        if (end == std::string::npos) throw XmlError("unterminated comment");
+        i_ = end + 3;
+        continue;
+      }
+      if (s_.compare(i_, 2, "</") == 0) {
+        i_ += 2;
+        std::string name = parseName();
+        if (name != el.name) {
+          throw XmlError("mismatched close tag </" + name + "> for <" +
+                         el.name + ">");
+        }
+        skipSpace();
+        if (i_ >= s_.size() || s_[i_] != '>') throw XmlError("expected '>'");
+        ++i_;
+        return;
+      }
+      el.children.push_back(parseElement());
+    }
+  }
+
+  static std::string unescape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out.push_back(s[i]);
+        continue;
+      }
+      if (s.compare(i, 4, "&lt;") == 0) {
+        out.push_back('<');
+        i += 3;
+      } else if (s.compare(i, 4, "&gt;") == 0) {
+        out.push_back('>');
+        i += 3;
+      } else if (s.compare(i, 5, "&amp;") == 0) {
+        out.push_back('&');
+        i += 4;
+      } else if (s.compare(i, 6, "&quot;") == 0) {
+        out.push_back('"');
+        i += 5;
+      } else if (s.compare(i, 6, "&apos;") == 0) {
+        out.push_back('\'');
+        i += 5;
+      } else {
+        out.push_back('&');
+      }
+    }
+    return out;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlElement> parseXml(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+std::string XmlWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+XmlWriter& XmlWriter::open(const std::string& name) {
+  if (tagOpen_) out_ += ">";
+  out_ += "<" + name;
+  stack_.push_back(name);
+  tagOpen_ = true;
+  return *this;
+}
+
+XmlWriter& XmlWriter::attr(const std::string& key, const std::string& value) {
+  if (!tagOpen_) throw XmlError("attr() outside an open tag");
+  out_ += " " + key + "=\"" + escape(value) + "\"";
+  return *this;
+}
+
+XmlWriter& XmlWriter::close() {
+  if (stack_.empty()) throw XmlError("close() with no open element");
+  if (tagOpen_) {
+    out_ += "/>";
+    tagOpen_ = false;
+  } else {
+    out_ += "</" + stack_.back() + ">";
+  }
+  stack_.pop_back();
+  return *this;
+}
+
+std::string XmlWriter::take() {
+  if (!stack_.empty()) throw XmlError("take() with unclosed elements");
+  return std::move(out_);
+}
+
+}  // namespace gridrm::util

@@ -1,0 +1,89 @@
+#include "gridrm/agents/ganglia_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/util/value.hpp"
+#include "gridrm/util/xml.hpp"
+
+namespace gridrm::agents::ganglia {
+namespace {
+
+class GangliaAgentTest : public ::testing::Test {
+ protected:
+  GangliaAgentTest()
+      : clock_(0),
+        network_(clock_),
+        cluster_("siteA", 3, clock_, 7),
+        agent_(cluster_, network_, clock_) {
+    clock_.advance(120 * util::kSecond);
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  sim::ClusterModel cluster_;
+  GangliaAgent agent_;
+};
+
+TEST_F(GangliaAgentTest, BindsHeadNodePort8649) {
+  EXPECT_EQ(agent_.address().host, "siteA-node00");
+  EXPECT_EQ(agent_.address().port, kGmondPort);
+}
+
+TEST_F(GangliaAgentTest, AnyRequestReturnsFullClusterDump) {
+  const net::Payload xml =
+      network_.request({"c", 0}, agent_.address(), "");
+  auto root = util::parseXml(xml);
+  EXPECT_EQ(root->name, "GANGLIA_XML");
+  const util::XmlElement* cluster = root->child("CLUSTER");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->attr("NAME"), "siteA");
+  EXPECT_EQ(cluster->childrenNamed("HOST").size(), 3u);
+}
+
+TEST_F(GangliaAgentTest, EveryHostCarriesFullMetricSet) {
+  auto root = util::parseXml(agent_.renderXml());
+  for (const util::XmlElement* host :
+       root->child("CLUSTER")->childrenNamed("HOST")) {
+    std::size_t metrics = host->childrenNamed("METRIC").size();
+    EXPECT_EQ(metrics, std::size(kMetricNames)) << host->attr("NAME");
+  }
+}
+
+TEST_F(GangliaAgentTest, MetricValuesTrackHostModel) {
+  auto root = util::parseXml(agent_.renderXml());
+  const util::XmlElement* host0 =
+      root->child("CLUSTER")->childrenNamed("HOST")[0];
+  EXPECT_EQ(host0->attr("NAME"), "siteA-node00");
+  double loadOne = -1;
+  std::string cpuNum;
+  for (const util::XmlElement* m : host0->childrenNamed("METRIC")) {
+    if (m->attr("NAME") == "load_one") {
+      loadOne = util::Value::parse(m->attr("VAL")).toReal(-1);
+    }
+    if (m->attr("NAME") == "cpu_num") cpuNum = m->attr("VAL");
+  }
+  EXPECT_NEAR(loadOne, cluster_.host(0).load1(), 0.01);
+  EXPECT_EQ(cpuNum, std::to_string(cluster_.host(0).spec().cpuCount));
+}
+
+TEST_F(GangliaAgentTest, DumpGrowsWithClusterSize) {
+  util::SimClock clock2;
+  net::Network net2(clock2);
+  sim::ClusterModel big("big", 32, clock2, 9);
+  GangliaAgent bigAgent(big, net2, clock2);
+  EXPECT_GT(bigAgent.renderXml().size(), agent_.renderXml().size() * 5);
+}
+
+TEST_F(GangliaAgentTest, LocaltimeAdvancesWithClock) {
+  auto before = util::parseXml(agent_.renderXml());
+  clock_.advance(50 * util::kSecond);
+  auto after = util::parseXml(agent_.renderXml());
+  const auto t0 =
+      util::Value::parse(before->child("CLUSTER")->attr("LOCALTIME")).toInt();
+  const auto t1 =
+      util::Value::parse(after->child("CLUSTER")->attr("LOCALTIME")).toInt();
+  EXPECT_EQ(t1 - t0, 50);
+}
+
+}  // namespace
+}  // namespace gridrm::agents::ganglia

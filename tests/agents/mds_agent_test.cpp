@@ -1,0 +1,105 @@
+#include "gridrm/agents/mds_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::agents::mds {
+namespace {
+
+class MdsAgentTest : public ::testing::Test {
+ protected:
+  MdsAgentTest()
+      : clock_(0),
+        network_(clock_),
+        cluster_("siteA", 3, clock_, 7),
+        agent_(cluster_, network_, clock_) {
+    clock_.advance(60 * util::kSecond);
+  }
+
+  std::string search(const std::string& request) {
+    return network_.request({"c", 0}, agent_.address(), request);
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  sim::ClusterModel cluster_;
+  MdsAgent agent_;
+};
+
+TEST_F(MdsAgentTest, BindsGrisPort) {
+  EXPECT_EQ(agent_.address().port, kGrisPort);
+  EXPECT_EQ(agent_.baseDn(), "Mds-Vo-name=siteA,o=grid");
+}
+
+TEST_F(MdsAgentTest, SubtreeSearchReturnsVoAndHosts) {
+  auto entries = parseLdif(search("SEARCH o=grid sub"));
+  ASSERT_EQ(entries.size(), 4u);  // VO entry + 3 hosts
+  EXPECT_EQ(entries[0].dn, "Mds-Vo-name=siteA,o=grid");
+  EXPECT_EQ(entries[1].attr("objectClass"), "GlueHost");
+}
+
+TEST_F(MdsAgentTest, ObjectClassFilter) {
+  auto hosts = parseLdif(search("SEARCH o=grid sub (objectClass=GlueHost)"));
+  EXPECT_EQ(hosts.size(), 3u);
+  auto vos = parseLdif(search("SEARCH o=grid sub (objectClass=MdsVo)"));
+  EXPECT_EQ(vos.size(), 1u);
+}
+
+TEST_F(MdsAgentTest, ScopeSemantics) {
+  const std::string base = agent_.baseDn();
+  EXPECT_EQ(parseLdif(search("SEARCH " + base + " base")).size(), 1u);
+  EXPECT_EQ(parseLdif(search("SEARCH " + base + " one")).size(), 3u);
+  EXPECT_EQ(parseLdif(search("SEARCH " + base + " sub")).size(), 4u);
+}
+
+TEST_F(MdsAgentTest, BaseSearchOnHostEntry) {
+  const std::string dn =
+      "GlueHostUniqueID=siteA-node01," + agent_.baseDn();
+  auto entries = parseLdif(search("SEARCH " + dn + " base"));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].attr("GlueHostName"), "siteA-node01");
+  EXPECT_EQ(entries[0].attr("GlueClusterName"), "siteA");
+}
+
+TEST_F(MdsAgentTest, AttributeValuesTrackHostModel) {
+  auto entries = parseLdif(
+      search("SEARCH o=grid sub (GlueHostUniqueID=siteA-node00)"));
+  ASSERT_EQ(entries.size(), 1u);
+  const double load =
+      util::Value::parse(entries[0].attr("GlueHostProcessorLoadAverage1Min"))
+          .toReal(-1);
+  EXPECT_NEAR(load, cluster_.host(0).load1(), 0.01);
+  EXPECT_EQ(entries[0].attr("GlueHostArchitectureSMPSize"),
+            std::to_string(cluster_.host(0).spec().cpuCount));
+}
+
+TEST_F(MdsAgentTest, UnrelatedBaseReturnsNothing) {
+  EXPECT_TRUE(parseLdif(search("SEARCH o=other sub")).empty());
+}
+
+TEST_F(MdsAgentTest, BadRequestsAnswered) {
+  EXPECT_NE(search("JUNK").find("ERROR"), std::string::npos);
+  EXPECT_NE(search("SEARCH o=grid sub badfilter").find("ERROR"),
+            std::string::npos);
+}
+
+TEST(ParseLdifTest, RoundTripBasics) {
+  const std::string ldif =
+      "dn: a=1,o=grid\n"
+      "objectClass: X\n"
+      "attr: with: colon\n"
+      "\n"
+      "dn: b=2,o=grid\n"
+      "k: v\n"
+      "\n";
+  auto entries = parseLdif(ldif);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].attr("attr"), "with: colon");
+  EXPECT_EQ(entries[1].dn, "b=2,o=grid");
+  EXPECT_EQ(entries[1].attr("missing", "fb"), "fb");
+}
+
+}  // namespace
+}  // namespace gridrm::agents::mds

@@ -1,0 +1,163 @@
+#include "gridrm/agents/snmp_agent.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::agents::snmp {
+namespace {
+
+using util::Value;
+
+class SnmpAgentTest : public ::testing::Test {
+ protected:
+  SnmpAgentTest()
+      : clock_(0),
+        network_(clock_),
+        host_(makeSpec(), clock_, 42),
+        agent_(host_, network_, clock_) {
+    clock_.advance(60 * util::kSecond);
+  }
+
+  static sim::HostSpec makeSpec() {
+    sim::HostSpec spec;
+    spec.name = "node00";
+    spec.cpuCount = 2;
+    return spec;
+  }
+
+  Pdu ask(Pdu request) {
+    const net::Payload response = network_.request(
+        {"tester", 0}, agent_.address(), encodePdu(request));
+    return decodePdu(response);
+  }
+
+  Pdu get(const char* oid, const std::string& community = "public") {
+    Pdu pdu;
+    pdu.type = PduType::Get;
+    pdu.community = community;
+    pdu.requestId = 7;
+    pdu.varbinds.push_back({Oid::parse(oid), Value::null()});
+    return ask(pdu);
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  sim::HostModel host_;
+  SnmpAgent agent_;
+};
+
+TEST_F(SnmpAgentTest, GetSysName) {
+  Pdu response = get(oids::kSysName);
+  EXPECT_EQ(response.type, PduType::Response);
+  EXPECT_EQ(response.errorStatus, SnmpError::NoError);
+  ASSERT_EQ(response.varbinds.size(), 1u);
+  EXPECT_EQ(response.varbinds[0].value.asString(), "node00");
+  EXPECT_EQ(response.requestId, 7u);
+}
+
+TEST_F(SnmpAgentTest, GetLoadMatchesHostModel) {
+  Pdu response = get(oids::kLaLoad1);
+  const double reported = response.varbinds[0].value.asReal();
+  EXPECT_NEAR(reported, host_.load1(), 1e-9);
+}
+
+TEST_F(SnmpAgentTest, GetUnknownOidReturnsNoSuchName) {
+  Pdu response = get("1.2.3.4.5");
+  EXPECT_EQ(response.errorStatus, SnmpError::NoSuchName);
+  EXPECT_TRUE(response.varbinds[0].value.isNull());
+}
+
+TEST_F(SnmpAgentTest, WrongCommunityRejected) {
+  Pdu response = get(oids::kSysName, "secret");
+  EXPECT_EQ(response.errorStatus, SnmpError::AuthorizationError);
+  EXPECT_TRUE(response.varbinds.empty());
+}
+
+TEST_F(SnmpAgentTest, MultiVarbindGet) {
+  Pdu pdu;
+  pdu.type = PduType::Get;
+  pdu.varbinds.push_back({Oid::parse(oids::kLaLoad1), {}});
+  pdu.varbinds.push_back({Oid::parse(oids::kMemAvailReal), {}});
+  pdu.varbinds.push_back({Oid::parse(oids::kSysUpTime), {}});
+  Pdu response = ask(pdu);
+  ASSERT_EQ(response.varbinds.size(), 3u);
+  EXPECT_GE(response.varbinds[1].value.asInt(), 0);
+  EXPECT_EQ(response.varbinds[2].value.asInt(), host_.uptimeSeconds() * 100);
+}
+
+TEST_F(SnmpAgentTest, GetNextWalksInOrder) {
+  Pdu pdu;
+  pdu.type = PduType::GetNext;
+  pdu.varbinds.push_back({Oid::parse("1.3.6.1.2.1.1.1.0"), {}});  // sysDescr
+  Pdu response = ask(pdu);
+  EXPECT_EQ(response.errorStatus, SnmpError::NoError);
+  // Next in lexicographic OID order is sysUpTime.
+  EXPECT_EQ(response.varbinds[0].oid.toString(), oids::kSysUpTime);
+}
+
+TEST_F(SnmpAgentTest, GetNextPastEndIsNoSuchName) {
+  Pdu pdu;
+  pdu.type = PduType::GetNext;
+  pdu.varbinds.push_back({Oid::parse("9.9.9"), {}});
+  Pdu response = ask(pdu);
+  EXPECT_EQ(response.errorStatus, SnmpError::NoSuchName);
+}
+
+TEST_F(SnmpAgentTest, GetBulkCountsProcessorRows) {
+  Pdu pdu;
+  pdu.type = PduType::GetBulk;
+  pdu.maxRepetitions = 32;
+  pdu.varbinds.push_back({Oid::parse(oids::kHrProcessorLoadPrefix), {}});
+  Pdu response = ask(pdu);
+  const Oid prefix = Oid::parse(oids::kHrProcessorLoadPrefix);
+  int cpuRows = 0;
+  for (const auto& vb : response.varbinds) {
+    if (prefix.isPrefixOf(vb.oid)) ++cpuRows;
+  }
+  EXPECT_EQ(cpuRows, 2);  // spec.cpuCount
+}
+
+TEST_F(SnmpAgentTest, MalformedRequestAnswersGenErr) {
+  const net::Payload response =
+      network_.request({"t", 0}, agent_.address(), "not a pdu");
+  Pdu decoded = decodePdu(response);
+  EXPECT_EQ(decoded.errorStatus, SnmpError::GenErr);
+}
+
+class TrapSink final : public net::RequestHandler {
+ public:
+  net::Payload handleRequest(const net::Address&, const net::Payload&) override {
+    return "";
+  }
+  void handleDatagram(const net::Address&, const net::Payload& body) override {
+    traps.push_back(decodePdu(body));
+  }
+  std::vector<Pdu> traps;
+};
+
+TEST_F(SnmpAgentTest, TrapFiredOnThresholdEdgeOnly) {
+  TrapSink sink;
+  network_.bind({"gw", kTrapPort}, &sink);
+  agent_.setTrapSink({"gw", kTrapPort});
+  agent_.setTrapThresholds(TrapThresholds{-1.0, -1});  // load always "high"
+
+  agent_.pollTraps();
+  ASSERT_EQ(sink.traps.size(), 1u);  // edge into high state
+  EXPECT_EQ(sink.traps[0].type, PduType::Trap);
+  agent_.pollTraps();
+  EXPECT_EQ(sink.traps.size(), 1u);  // still high: no re-fire
+
+  // Recover, then cross again: a second trap.
+  agent_.setTrapThresholds(TrapThresholds{1e9, -1});
+  agent_.pollTraps();
+  agent_.setTrapThresholds(TrapThresholds{-1.0, -1});
+  agent_.pollTraps();
+  EXPECT_EQ(sink.traps.size(), 2u);
+}
+
+TEST_F(SnmpAgentTest, NoTrapWithoutSink) {
+  agent_.setTrapThresholds(TrapThresholds{-1.0, -1});
+  agent_.pollTraps();  // must not crash
+}
+
+}  // namespace
+}  // namespace gridrm::agents::snmp

@@ -1,0 +1,127 @@
+#include "gridrm/agents/snmp_codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::agents::snmp {
+namespace {
+
+using util::Value;
+
+TEST(OidTest, ParseAndPrint) {
+  Oid oid = Oid::parse("1.3.6.1.2.1.1.5.0");
+  EXPECT_EQ(oid.size(), 9u);
+  EXPECT_EQ(oid.toString(), "1.3.6.1.2.1.1.5.0");
+  EXPECT_TRUE(Oid::parse("").empty());
+  EXPECT_TRUE(Oid::parse("1.x.3").empty());  // garbage rejected
+}
+
+TEST(OidTest, Ordering) {
+  EXPECT_LT(Oid::parse("1.3.6"), Oid::parse("1.3.7"));
+  EXPECT_LT(Oid::parse("1.3"), Oid::parse("1.3.0"));  // prefix sorts first
+  EXPECT_EQ(Oid::parse("1.3"), Oid::parse("1.3"));
+}
+
+TEST(OidTest, PrefixAndChild) {
+  Oid base = Oid::parse("1.3.6.1");
+  EXPECT_TRUE(base.isPrefixOf(Oid::parse("1.3.6.1.2")));
+  EXPECT_TRUE(base.isPrefixOf(base));
+  EXPECT_FALSE(base.isPrefixOf(Oid::parse("1.3.6")));
+  EXPECT_FALSE(base.isPrefixOf(Oid::parse("1.3.7.1.2")));
+  EXPECT_EQ(base.child(9).toString(), "1.3.6.1.9");
+}
+
+Pdu roundTrip(const Pdu& pdu) { return decodePdu(encodePdu(pdu)); }
+
+TEST(SnmpCodecTest, GetRoundTrip) {
+  Pdu pdu;
+  pdu.type = PduType::Get;
+  pdu.community = "public";
+  pdu.requestId = 1234;
+  pdu.varbinds.push_back({Oid::parse("1.3.6.1.2.1.1.5.0"), Value::null()});
+  Pdu out = roundTrip(pdu);
+  EXPECT_EQ(out.type, PduType::Get);
+  EXPECT_EQ(out.community, "public");
+  EXPECT_EQ(out.requestId, 1234u);
+  ASSERT_EQ(out.varbinds.size(), 1u);
+  EXPECT_EQ(out.varbinds[0].oid.toString(), "1.3.6.1.2.1.1.5.0");
+  EXPECT_TRUE(out.varbinds[0].value.isNull());
+}
+
+TEST(SnmpCodecTest, AllValueTypesRoundTrip) {
+  Pdu pdu;
+  pdu.type = PduType::Response;
+  pdu.varbinds = {
+      {Oid::parse("1.1"), Value::null()},
+      {Oid::parse("1.2"), Value(true)},
+      {Oid::parse("1.3"), Value(std::int64_t{-123456789})},
+      {Oid::parse("1.4"), Value(3.14159)},
+      {Oid::parse("1.5"), Value("a string with \0 inside ish")},
+  };
+  Pdu out = roundTrip(pdu);
+  ASSERT_EQ(out.varbinds.size(), 5u);
+  EXPECT_TRUE(out.varbinds[0].value.isNull());
+  EXPECT_TRUE(out.varbinds[1].value.asBool());
+  EXPECT_EQ(out.varbinds[2].value.asInt(), -123456789);
+  EXPECT_DOUBLE_EQ(out.varbinds[3].value.asReal(), 3.14159);
+  EXPECT_EQ(out.varbinds[4].value.type(), util::ValueType::String);
+}
+
+TEST(SnmpCodecTest, ExtremeIntegersRoundTrip) {
+  Pdu pdu;
+  pdu.type = PduType::Response;
+  pdu.varbinds = {
+      {Oid::parse("1.1"), Value(std::int64_t{0})},
+      {Oid::parse("1.2"), Value(std::int64_t{-1})},
+      {Oid::parse("1.3"), Value(std::int64_t{9223372036854775807LL})},
+      {Oid::parse("1.4"), Value(std::int64_t{-9223372036854775807LL - 1})},
+  };
+  Pdu out = roundTrip(pdu);
+  EXPECT_EQ(out.varbinds[0].value.asInt(), 0);
+  EXPECT_EQ(out.varbinds[1].value.asInt(), -1);
+  EXPECT_EQ(out.varbinds[2].value.asInt(), 9223372036854775807LL);
+  EXPECT_EQ(out.varbinds[3].value.asInt(), -9223372036854775807LL - 1);
+}
+
+TEST(SnmpCodecTest, BulkFieldsRoundTrip) {
+  Pdu pdu;
+  pdu.type = PduType::GetBulk;
+  pdu.maxRepetitions = 64;
+  pdu.errorStatus = SnmpError::NoSuchName;
+  Pdu out = roundTrip(pdu);
+  EXPECT_EQ(out.type, PduType::GetBulk);
+  EXPECT_EQ(out.maxRepetitions, 64u);
+  EXPECT_EQ(out.errorStatus, SnmpError::NoSuchName);
+}
+
+TEST(SnmpCodecTest, TrapRoundTrip) {
+  Pdu pdu;
+  pdu.type = PduType::Trap;
+  pdu.varbinds.push_back({Oid::parse("1.3.6.1.6.3.1.1.4.1.0"),
+                          Value("1.3.6.1.4.1.55555.1.1")});
+  Pdu out = roundTrip(pdu);
+  EXPECT_EQ(out.type, PduType::Trap);
+}
+
+TEST(SnmpCodecTest, MalformedInputsThrow) {
+  EXPECT_THROW(decodePdu(""), std::runtime_error);
+  EXPECT_THROW(decodePdu("\xff"), std::runtime_error);
+  // Truncated valid prefix.
+  Pdu pdu;
+  pdu.type = PduType::Get;
+  pdu.varbinds.push_back({Oid::parse("1.2.3"), Value("hello")});
+  std::string bytes = encodePdu(pdu);
+  EXPECT_THROW(decodePdu(bytes.substr(0, bytes.size() - 3)),
+               std::runtime_error);
+  // Trailing garbage.
+  EXPECT_THROW(decodePdu(bytes + "xx"), std::runtime_error);
+}
+
+TEST(SnmpCodecTest, EmptyVarbindListOk) {
+  Pdu pdu;
+  pdu.type = PduType::Get;
+  Pdu out = roundTrip(pdu);
+  EXPECT_TRUE(out.varbinds.empty());
+}
+
+}  // namespace
+}  // namespace gridrm::agents::snmp

@@ -1,0 +1,97 @@
+#include "gridrm/agents/sqlsrc_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::agents::sqlsrc {
+namespace {
+
+class SqlSourceAgentTest : public ::testing::Test {
+ protected:
+  SqlSourceAgentTest()
+      : clock_(0),
+        network_(clock_),
+        cluster_("siteA", 3, clock_, 5),
+        agent_(cluster_, network_, clock_) {
+    clock_.advance(60 * util::kSecond);
+  }
+
+  std::unique_ptr<dbc::VectorResultSet> query(const std::string& sql) {
+    const net::Payload response =
+        network_.request({"c", 0}, agent_.address(), sql);
+    if (util::startsWith(response, "ERR ")) {
+      throw std::runtime_error(response);
+    }
+    return dbc::deserializeResultSet(response);
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  sim::ClusterModel cluster_;
+  SqlSourceAgent agent_;
+};
+
+TEST_F(SqlSourceAgentTest, ProcessorRowsPerHost) {
+  auto rs = query("SELECT * FROM Processor");
+  EXPECT_EQ(rs->rowCount(), 3u);
+  ASSERT_TRUE(rs->next());
+  EXPECT_EQ(rs->getString("HostName"), "siteA-node00");
+  EXPECT_EQ(rs->getString("ClusterName"), "siteA");
+  EXPECT_GT(rs->getInt("CPUCount"), 0);
+  EXPECT_GE(rs->getReal("Load1"), 0.0);
+}
+
+TEST_F(SqlSourceAgentTest, WhereClausePushedThrough) {
+  auto rs = query(
+      "SELECT HostName FROM Processor WHERE HostName = 'siteA-node02'");
+  EXPECT_EQ(rs->rowCount(), 1u);
+}
+
+TEST_F(SqlSourceAgentTest, AllGlueGroupsServed) {
+  for (const char* group : {"Host", "Processor", "Memory", "OperatingSystem",
+                            "FileSystem", "NetworkAdapter"}) {
+    auto rs = query(std::string("SELECT * FROM ") + group);
+    EXPECT_EQ(rs->rowCount(), 3u) << group;
+  }
+}
+
+TEST_F(SqlSourceAgentTest, ComputeElementAggregates) {
+  auto rs = query("SELECT * FROM ComputeElement");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->getInt("HostCount"), 3);
+  EXPECT_EQ(rs->getInt("TotalCPUs"),
+            3 * cluster_.host(0).spec().cpuCount);
+  EXPECT_GE(rs->getReal("AverageLoad"), 0.0);
+  EXPECT_LE(rs->getInt("FreeCPUs"), rs->getInt("TotalCPUs"));
+}
+
+TEST_F(SqlSourceAgentTest, DataIsFreshPerQuery) {
+  auto t1 = query("SELECT Timestamp FROM Host LIMIT 1");
+  clock_.advance(30 * util::kSecond);
+  auto t2 = query("SELECT Timestamp FROM Host LIMIT 1");
+  t1->next();
+  t2->next();
+  EXPECT_GT(t2->get(0).asInt(), t1->get(0).asInt());
+}
+
+TEST_F(SqlSourceAgentTest, ErrorsReportedAsErrPayload) {
+  EXPECT_THROW(query("SELECT * FROM Nope"), std::runtime_error);
+  EXPECT_THROW(query("garbage"), std::runtime_error);
+  EXPECT_THROW(query("SELECT Missing FROM Host"), std::runtime_error);
+}
+
+TEST_F(SqlSourceAgentTest, OrderByAndLimit) {
+  auto rs = query("SELECT HostName, Load1 FROM Processor "
+                  "ORDER BY Load1 DESC LIMIT 2");
+  ASSERT_EQ(rs->rowCount(), 2u);
+  rs->next();
+  const double first = rs->getReal("Load1");
+  rs->next();
+  EXPECT_GE(first, rs->getReal("Load1"));
+}
+
+}  // namespace
+}  // namespace gridrm::agents::sqlsrc

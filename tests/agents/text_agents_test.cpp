@@ -1,0 +1,192 @@
+// Tests for the three line-oriented agents: NWS, NetLogger, SCMS.
+#include <gtest/gtest.h>
+
+#include "gridrm/agents/netlogger_agent.hpp"
+#include "gridrm/agents/nws_agent.hpp"
+#include "gridrm/agents/scms_agent.hpp"
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::agents {
+namespace {
+
+using util::kSecond;
+
+class TextAgentsTest : public ::testing::Test {
+ protected:
+  TextAgentsTest()
+      : clock_(0),
+        network_(clock_),
+        cluster_("siteA", 2, clock_, 3),
+        nws_(cluster_.host(0), network_, clock_),
+        netlogger_(cluster_.host(0), network_, clock_),
+        scms_(cluster_, network_, clock_) {
+    clock_.advance(120 * kSecond);
+  }
+
+  std::string ask(const net::Address& to, const std::string& request) {
+    return network_.request({"c", 0}, to, request);
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  sim::ClusterModel cluster_;
+  nws::NwsAgent nws_;
+  netlogger::NetLoggerAgent netlogger_;
+  scms::ScmsAgent scms_;
+};
+
+// ---------------------------------------------------------------- NWS
+
+TEST_F(TextAgentsTest, NwsListsResources) {
+  const std::string out = ask(nws_.address(), "LIST");
+  EXPECT_NE(out.find("latency"), std::string::npos);
+  EXPECT_NE(out.find("bandwidth"), std::string::npos);
+  EXPECT_NE(out.find("availableCpu"), std::string::npos);
+}
+
+TEST_F(TextAgentsTest, NwsForecastShape) {
+  const std::string out = ask(nws_.address(), "FORECAST latency");
+  EXPECT_NE(out.find("RESOURCE latency"), std::string::npos);
+  EXPECT_NE(out.find("MEASUREMENT "), std::string::npos);
+  EXPECT_NE(out.find("FORECAST "), std::string::npos);
+  EXPECT_NE(out.find("MSE "), std::string::npos);
+  EXPECT_NE(out.find("METHOD "), std::string::npos);
+}
+
+TEST_F(TextAgentsTest, NwsForecastIsReasonable) {
+  // With 2 minutes of samples, the forecast should be in the ballpark
+  // of the measurement (mean-reverting series, small noise).
+  const std::string out = ask(nws_.address(), "FORECAST availableCpu");
+  double measurement = -1;
+  double forecast = -1;
+  for (const auto& line : util::splitNonEmpty(out, '\n')) {
+    auto words = util::splitNonEmpty(line, ' ');
+    if (words.size() < 2) continue;
+    if (words[0] == "MEASUREMENT") {
+      measurement = util::Value::parse(words[1]).toReal();
+    }
+    if (words[0] == "FORECAST") forecast = util::Value::parse(words[1]).toReal();
+  }
+  ASSERT_GE(measurement, 0.0);
+  EXPECT_LE(measurement, 1.0);
+  EXPECT_NEAR(forecast, measurement, 0.5);
+}
+
+TEST_F(TextAgentsTest, NwsSeriesReturnsRequestedCount) {
+  const std::string out = ask(nws_.address(), "SERIES latency 5");
+  EXPECT_EQ(util::splitNonEmpty(out, '\n').size(), 5u);
+}
+
+TEST_F(TextAgentsTest, NwsSeriesGrowsWithTime) {
+  const auto n1 =
+      util::splitNonEmpty(ask(nws_.address(), "SERIES latency 999"), '\n')
+          .size();
+  clock_.advance(100 * kSecond);
+  const auto n2 =
+      util::splitNonEmpty(ask(nws_.address(), "SERIES latency 999"), '\n')
+          .size();
+  EXPECT_GT(n2, n1);
+}
+
+TEST_F(TextAgentsTest, NwsErrors) {
+  EXPECT_NE(ask(nws_.address(), "FORECAST nope").find("ERROR"),
+            std::string::npos);
+  EXPECT_NE(ask(nws_.address(), "JUNK").find("ERROR"), std::string::npos);
+  EXPECT_NE(ask(nws_.address(), "").find("ERROR"), std::string::npos);
+}
+
+// ---------------------------------------------------------- NetLogger
+
+TEST_F(TextAgentsTest, NetLoggerAdvertisesEvents) {
+  const std::string out = ask(netlogger_.address(), "EVENTS");
+  for (const char* event : netlogger::kEvents) {
+    EXPECT_NE(out.find(event), std::string::npos) << event;
+  }
+}
+
+TEST_F(TextAgentsTest, NetLoggerTailReturnsUlmRecords) {
+  const std::string out = ask(netlogger_.address(), "TAIL cpu.load 3");
+  const auto lines = util::splitNonEmpty(out, '\n');
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("DATE="), std::string::npos);
+    EXPECT_NE(line.find("HOST=siteA-node00"), std::string::npos);
+    EXPECT_NE(line.find("NL.EVNT=cpu.load"), std::string::npos);
+    double value = -1;
+    EXPECT_TRUE(netlogger::parseUlmValue(line, value));
+    EXPECT_GE(value, 0.0);
+  }
+}
+
+TEST_F(TextAgentsTest, NetLoggerTimestampsAscend) {
+  const auto lines = util::splitNonEmpty(
+      ask(netlogger_.address(), "TAIL mem.free 5"), '\n');
+  util::TimePoint last = 0;
+  for (const auto& line : lines) {
+    util::TimePoint ts = 0;
+    ASSERT_TRUE(netlogger::parseUlmDate(line, ts));
+    EXPECT_GT(ts, last);
+    last = ts;
+  }
+}
+
+TEST_F(TextAgentsTest, NetLoggerUlmParsers) {
+  const std::string line =
+      netlogger::formatUlm(12345, "h", "prog", "ev", 0.75);
+  double v = 0;
+  util::TimePoint ts = 0;
+  EXPECT_TRUE(netlogger::parseUlmValue(line, v));
+  EXPECT_DOUBLE_EQ(v, 0.75);
+  EXPECT_TRUE(netlogger::parseUlmDate(line, ts));
+  EXPECT_EQ(ts, 12345);
+  EXPECT_FALSE(netlogger::parseUlmValue("no val here", v));
+  EXPECT_FALSE(netlogger::parseUlmDate("DATE=abc", ts));
+}
+
+TEST_F(TextAgentsTest, NetLoggerErrors) {
+  EXPECT_NE(ask(netlogger_.address(), "TAIL nope 1").find("ERROR"),
+            std::string::npos);
+  EXPECT_NE(ask(netlogger_.address(), "TAIL cpu.load").find("ERROR"),
+            std::string::npos);
+}
+
+// --------------------------------------------------------------- SCMS
+
+TEST_F(TextAgentsTest, ScmsListsNodes) {
+  const std::string out = ask(scms_.address(), "NODES");
+  const auto lines = util::splitNonEmpty(out, '\n');
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "siteA-node00");
+  EXPECT_EQ(lines[1], "siteA-node01");
+}
+
+TEST_F(TextAgentsTest, ScmsStatHasExpectedKeys) {
+  const std::string out = ask(scms_.address(), "STAT siteA-node01");
+  for (const char* key :
+       {"node:", "cluster:", "ncpus:", "load1:", "cpu_user:", "mem_free_mb:",
+        "disk_free_mb:", "os:", "uptime:"}) {
+    EXPECT_NE(out.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(out.find("node: siteA-node01"), std::string::npos);
+  EXPECT_NE(out.find("cluster: siteA"), std::string::npos);
+}
+
+TEST_F(TextAgentsTest, ScmsStatValuesTrackHostModel) {
+  const std::string out = ask(scms_.address(), "STAT siteA-node00");
+  for (const auto& line : util::splitNonEmpty(out, '\n')) {
+    if (util::startsWith(line, "ncpus:")) {
+      EXPECT_NE(line.find(std::to_string(cluster_.host(0).spec().cpuCount)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST_F(TextAgentsTest, ScmsErrors) {
+  EXPECT_NE(ask(scms_.address(), "STAT nope").find("ERROR"),
+            std::string::npos);
+  EXPECT_NE(ask(scms_.address(), "WHAT").find("ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridrm::agents

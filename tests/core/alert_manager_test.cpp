@@ -1,0 +1,173 @@
+#include "gridrm/core/alert_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+using util::kSecond;
+using util::Value;
+
+struct Fixture {
+  Fixture()
+      : driverManager(registry),
+        pool(driverManager),
+        cache(clock, 0),
+        fgsl(true),
+        rm(pool, cache, fgsl, &db, clock, 1),
+        events(clock, &db,
+               [] {
+                 EventManagerOptions o;
+                 o.threadedDispatch = false;
+                 return o;
+               }()),
+        alerts(rm, events, clock) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+    MockBehaviour b;
+    b.hostName = "node00";
+    b.load1 = 0.5;
+    driver = std::make_shared<MockDriver>(ctx, b);
+    registry.registerDriver(driver);
+    events.addListener("gateway.alert",
+                       [this](const Event& e) { seen.push_back(e); });
+  }
+
+  AlertRule loadRule(double threshold, util::Duration holdOff = 0) {
+    AlertRule rule;
+    rule.name = "HighLoad";
+    rule.url = "jdbc:mock://h/x";
+    rule.sql = "SELECT * FROM Processor";
+    rule.condition = "Load1 > " + util::Value(threshold).toString();
+    rule.severity = Severity::Critical;
+    rule.holdOff = holdOff;
+    return rule;
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager driverManager;
+  ConnectionManager pool;
+  CacheController cache;
+  FineSecurityLayer fgsl;
+  store::Database db;
+  RequestManager rm;
+  EventManager events;
+  AlertManager alerts;
+  std::shared_ptr<MockDriver> driver;
+  std::vector<Event> seen;
+  Principal monitor = Principal::monitor();
+};
+
+TEST(AlertManagerTest, ViolationRaisesEvent) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25));
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 1u);
+  ASSERT_EQ(f.seen.size(), 1u);
+  EXPECT_EQ(f.seen[0].type, "gateway.alert.highload");
+  EXPECT_EQ(f.seen[0].source, "node00");
+  EXPECT_EQ(f.seen[0].severity, Severity::Critical);
+  EXPECT_EQ(f.seen[0].field("rule"), "HighLoad");
+  EXPECT_EQ(f.seen[0].field("HostName"), "node00");
+}
+
+TEST(AlertManagerTest, NoViolationNoEvent) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(2.0));  // load is 0.5
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 0u);
+  EXPECT_TRUE(f.seen.empty());
+  EXPECT_EQ(f.alerts.stats().rowsExamined, 1u);
+}
+
+TEST(AlertManagerTest, HoldOffSuppressesRepeats) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25, /*holdOff=*/60 * kSecond));
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 1u);
+  f.clock.advance(30 * kSecond);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 0u);  // still held off
+  f.clock.advance(31 * kSecond);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 1u);  // hold-off expired
+  EXPECT_EQ(f.alerts.stats().suppressedByHoldOff, 1u);
+}
+
+TEST(AlertManagerTest, HoldOffIsPerSubject) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25, 60 * kSecond));
+  (void)f.alerts.evaluate(f.monitor);
+  // A different host violating immediately after still alerts.
+  f.driver->behaviour().hostName = "node01";
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 1u);
+}
+
+TEST(AlertManagerTest, BadRuleSqlRejectedAtInstall) {
+  Fixture f;
+  AlertRule rule = f.loadRule(1.0);
+  rule.sql = "not sql";
+  EXPECT_THROW(f.alerts.addRule(rule), dbc::SqlError);
+  rule = f.loadRule(1.0);
+  rule.condition = "&&& nope";
+  EXPECT_THROW(f.alerts.addRule(rule), dbc::SqlError);
+}
+
+TEST(AlertManagerTest, ConditionOnMissingColumnCounted) {
+  Fixture f;
+  AlertRule rule = f.loadRule(1.0);
+  rule.condition = "NoSuchColumn > 1";
+  f.alerts.addRule(rule);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 0u);
+  EXPECT_EQ(f.alerts.stats().conditionErrors, 1u);
+}
+
+TEST(AlertManagerTest, QueryFailureCounted) {
+  Fixture f;
+  AlertRule rule = f.loadRule(1.0);
+  rule.url = "jdbc:nosuch://h/x";
+  f.alerts.addRule(rule);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 0u);
+  EXPECT_EQ(f.alerts.stats().queryFailures, 1u);
+}
+
+TEST(AlertManagerTest, RuleReplaceAndRemove) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25));
+  AlertRule relaxed = f.loadRule(5.0);  // same name, new threshold
+  f.alerts.addRule(relaxed);
+  EXPECT_EQ(f.alerts.rules().size(), 1u);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 0u);
+  EXPECT_TRUE(f.alerts.removeRule("HighLoad"));
+  EXPECT_FALSE(f.alerts.removeRule("HighLoad"));
+  EXPECT_EQ(f.alerts.rules().size(), 0u);
+}
+
+TEST(AlertManagerTest, EvaluateSingleRuleByName) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25));
+  EXPECT_EQ(f.alerts.evaluateRule(f.monitor, "HighLoad"), 1u);
+  EXPECT_THROW(f.alerts.evaluateRule(f.monitor, "Nope"), dbc::SqlError);
+}
+
+TEST(AlertManagerTest, AlertsRecordedInEventHistory) {
+  Fixture f;
+  f.alerts.addRule(f.loadRule(0.25));
+  (void)f.alerts.evaluate(f.monitor);
+  auto rs = f.db.query(
+      "SELECT * FROM EventHistory WHERE Type = 'gateway.alert.highload'");
+  EXPECT_EQ(rs->rowCount(), 1u);
+}
+
+TEST(AlertManagerTest, CompositeConditions) {
+  Fixture f;
+  AlertRule rule = f.loadRule(0.0);
+  rule.condition = "Load1 > 0.25 AND HostName LIKE 'node%' AND Load1 < 10";
+  f.alerts.addRule(rule);
+  EXPECT_EQ(f.alerts.evaluate(f.monitor), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

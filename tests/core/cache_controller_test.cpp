@@ -1,0 +1,126 @@
+#include "gridrm/core/cache_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::core {
+namespace {
+
+using dbc::Value;
+using dbc::ValueType;
+using util::kSecond;
+
+std::unique_ptr<dbc::VectorResultSet> rows(int n) {
+  dbc::ResultSetBuilder b;
+  b.addColumn("x", ValueType::Int);
+  for (int i = 0; i < n; ++i) b.addRow({Value(i)});
+  return b.build();
+}
+
+TEST(CacheControllerTest, MissThenHit) {
+  util::SimClock clock;
+  CacheController cache(clock, 5 * kSecond);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  cache.insert("k", *rows(3));
+  auto hit = cache.lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rowCount(), 3u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheControllerTest, HitReturnsIndependentCursor) {
+  util::SimClock clock;
+  CacheController cache(clock, 5 * kSecond);
+  cache.insert("k", *rows(2));
+  auto a = cache.lookup("k");
+  auto b = cache.lookup("k");
+  a->next();
+  a->next();
+  // b's cursor must be unaffected by a's iteration.
+  ASSERT_TRUE(b->next());
+  EXPECT_EQ(b->get(0).asInt(), 0);
+}
+
+TEST(CacheControllerTest, TtlExpiry) {
+  util::SimClock clock;
+  CacheController cache(clock, 5 * kSecond);
+  cache.insert("k", *rows(1));
+  clock.advance(4 * kSecond);
+  EXPECT_NE(cache.lookup("k"), nullptr);
+  clock.advance(2 * kSecond);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheControllerTest, PerEntryTtlOverride) {
+  util::SimClock clock;
+  CacheController cache(clock, 5 * kSecond);
+  cache.insert("long", *rows(1), 60 * kSecond);
+  clock.advance(10 * kSecond);
+  EXPECT_NE(cache.lookup("long"), nullptr);
+}
+
+TEST(CacheControllerTest, ZeroTtlDisablesCaching) {
+  util::SimClock clock;
+  CacheController cache(clock, 0);
+  cache.insert("k", *rows(1));
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(CacheControllerTest, InsertReplacesExisting) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  cache.insert("k", *rows(1));
+  cache.insert("k", *rows(5));
+  auto hit = cache.lookup("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->rowCount(), 5u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CacheControllerTest, LruEvictionAtCapacity) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond, /*maxEntries=*/3);
+  cache.insert("a", *rows(1));
+  cache.insert("b", *rows(1));
+  cache.insert("c", *rows(1));
+  (void)cache.lookup("a");  // a is now most recent
+  cache.insert("d", *rows(1));  // evicts b (least recent)
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_EQ(cache.lookup("b"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_NE(cache.lookup("d"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheControllerTest, InvalidateAndClear) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  cache.insert("a", *rows(1));
+  cache.insert("b", *rows(1));
+  cache.invalidate("a");
+  EXPECT_EQ(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("b"), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CacheControllerTest, CachedAtReportsStoreTime) {
+  util::SimClock clock(100 * kSecond);
+  CacheController cache(clock, 60 * kSecond);
+  EXPECT_FALSE(cache.cachedAt("k").has_value());
+  cache.insert("k", *rows(1));
+  EXPECT_EQ(cache.cachedAt("k"), 100 * kSecond);
+}
+
+TEST(CacheControllerTest, KeyCombinesUrlAndSql) {
+  EXPECT_NE(CacheController::key("u1", "q"), CacheController::key("u2", "q"));
+  EXPECT_NE(CacheController::key("u", "q1"), CacheController::key("u", "q2"));
+  EXPECT_EQ(CacheController::key("u", "q"), CacheController::key("u", "q"));
+}
+
+}  // namespace
+}  // namespace gridrm::core

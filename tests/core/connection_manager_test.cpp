@@ -1,0 +1,141 @@
+#include "gridrm/core/connection_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+
+util::Url url(const std::string& text) { return *util::Url::parse(text); }
+
+struct Fixture {
+  explicit Fixture(std::size_t maxIdle = 4, bool validate = true)
+      : manager(registry), pool(manager, maxIdle, validate) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+    MockBehaviour b;
+    b.name = "mock";
+    b.accepts = {"mock"};
+    driver = std::make_shared<MockDriver>(ctx, b);
+    registry.registerDriver(driver);
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager manager;
+  ConnectionManager pool;
+  std::shared_ptr<MockDriver> driver;
+};
+
+TEST(ConnectionManagerTest, FirstAcquireCreates) {
+  Fixture f;
+  auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {});
+  EXPECT_TRUE(static_cast<bool>(lease));
+  EXPECT_EQ(f.pool.stats().creations, 1u);
+  EXPECT_EQ(f.pool.stats().poolHits, 0u);
+  EXPECT_EQ(f.driver->connectCalls(), 1u);
+}
+
+TEST(ConnectionManagerTest, ReleaseThenReuseHitsPool) {
+  Fixture f;
+  { auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {}); }
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h/x"), 1u);
+  { auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {}); }
+  EXPECT_EQ(f.pool.stats().poolHits, 1u);
+  EXPECT_EQ(f.pool.stats().creations, 1u);
+  EXPECT_EQ(f.driver->connectCalls(), 1u);  // connected exactly once
+}
+
+TEST(ConnectionManagerTest, DistinctSourcesDistinctPools) {
+  Fixture f;
+  { auto lease = f.pool.acquire(url("jdbc:mock://h1/x"), {}); }
+  { auto lease = f.pool.acquire(url("jdbc:mock://h2/x"), {}); }
+  EXPECT_EQ(f.pool.stats().creations, 2u);
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h1/x"), 1u);
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h2/x"), 1u);
+}
+
+TEST(ConnectionManagerTest, ConcurrentLeasesCreateSeparateConnections) {
+  Fixture f;
+  auto a = f.pool.acquire(url("jdbc:mock://h/x"), {});
+  auto b = f.pool.acquire(url("jdbc:mock://h/x"), {});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(f.pool.stats().creations, 2u);
+}
+
+TEST(ConnectionManagerTest, MaxIdleCapDiscardsExtras) {
+  Fixture f(/*maxIdle=*/1);
+  {
+    auto a = f.pool.acquire(url("jdbc:mock://h/x"), {});
+    auto b = f.pool.acquire(url("jdbc:mock://h/x"), {});
+  }  // both released; only one kept
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h/x"), 1u);
+  EXPECT_EQ(f.pool.stats().discards, 1u);
+}
+
+TEST(ConnectionManagerTest, ZeroIdleDisablesPooling) {
+  Fixture f(/*maxIdle=*/0);
+  { auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {}); }
+  { auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {}); }
+  EXPECT_EQ(f.pool.stats().creations, 2u);
+  EXPECT_EQ(f.pool.stats().poolHits, 0u);
+}
+
+TEST(ConnectionManagerTest, ClosedConnectionNotPooled) {
+  Fixture f;
+  {
+    auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {});
+    lease->close();
+  }
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h/x"), 0u);
+}
+
+TEST(ConnectionManagerTest, PoisonedLeaseDiscardedAndCacheCleared) {
+  Fixture f;
+  (void)f.manager.obtainConnection(url("jdbc:mock://h/x"), {});
+  {
+    auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {});
+    lease.poison();
+  }
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h/x"), 0u);
+  EXPECT_TRUE(f.manager.cachedDriver("jdbc:mock://h/x").empty());
+}
+
+TEST(ConnectionManagerTest, MoveSemanticsTransferOwnership) {
+  Fixture f;
+  auto a = f.pool.acquire(url("jdbc:mock://h/x"), {});
+  ConnectionManager::Lease b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+}
+
+TEST(ConnectionManagerTest, ClearDropsIdleConnections) {
+  Fixture f;
+  { auto lease = f.pool.acquire(url("jdbc:mock://h/x"), {}); }
+  f.pool.clear();
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h/x"), 0u);
+}
+
+TEST(ConnectionManagerTest, DropDriverRemovesItsIdleConnections) {
+  Fixture f;
+  { auto lease = f.pool.acquire(url("jdbc:mock://h1/x"), {}); }
+  { auto lease = f.pool.acquire(url("jdbc:mock://h2/x"), {}); }
+  EXPECT_EQ(f.pool.dropDriver("other"), 0u);
+  EXPECT_EQ(f.pool.dropDriver("mock"), 2u);
+  EXPECT_EQ(f.pool.idleCount("jdbc:mock://h1/x"), 0u);
+}
+
+TEST(ConnectionManagerTest, AcquireFailurePropagates) {
+  Fixture f;
+  f.driver->behaviour().failConnect = true;
+  EXPECT_THROW(f.pool.acquire(url("jdbc:mock://h/x"), {}), dbc::SqlError);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -1,0 +1,240 @@
+#include "gridrm/core/driver_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+
+util::Url url(const std::string& text) { return *util::Url::parse(text); }
+
+struct Fixture {
+  Fixture() : manager(registry) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+  }
+
+  std::shared_ptr<MockDriver> addDriver(MockBehaviour behaviour) {
+    auto driver = std::make_shared<MockDriver>(ctx, std::move(behaviour));
+    registry.registerDriver(driver);
+    return driver;
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager manager;
+};
+
+TEST(DriverManagerTest, DynamicSelectionFindsCompatibleDriver) {
+  Fixture f;
+  MockBehaviour a;
+  a.name = "a";
+  a.accepts = {"aa"};
+  f.addDriver(a);
+  MockBehaviour b;
+  b.name = "b";
+  b.accepts = {"bb"};
+  auto bDriver = f.addDriver(b);
+
+  auto sel = f.manager.obtainConnection(url("jdbc:bb://h/x"), {});
+  EXPECT_EQ(sel.driver->name(), "b");
+  EXPECT_NE(sel.connection, nullptr);
+  EXPECT_EQ(bDriver->connectCalls(), 1u);
+  EXPECT_EQ(f.manager.stats().dynamicScans, 1u);
+  EXPECT_EQ(f.manager.stats().acceptProbes, 2u);
+}
+
+TEST(DriverManagerTest, NoDriverAcceptsThrowsUnsupported) {
+  Fixture f;
+  MockBehaviour a;
+  a.accepts = {"other"};
+  f.addDriver(a);
+  try {
+    f.manager.obtainConnection(url("jdbc:zz://h/x"), {});
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::Unsupported);
+  }
+}
+
+TEST(DriverManagerTest, LastGoodCacheSkipsScan) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i) {
+    MockBehaviour b;
+    b.name = "d" + std::to_string(i);
+    b.accepts = {b.name};
+    f.addDriver(b);
+  }
+  MockBehaviour target;
+  target.name = "target";
+  target.accepts = {"t"};
+  f.addDriver(target);
+
+  (void)f.manager.obtainConnection(url("jdbc:t://h/x"), {});
+  EXPECT_EQ(f.manager.cachedDriver("jdbc:t://h/x"), "target");
+  const auto probesAfterFirst = f.manager.stats().acceptProbes;
+
+  // Second allocation: served from the last-good cache, zero probes.
+  (void)f.manager.obtainConnection(url("jdbc:t://h/x"), {});
+  EXPECT_EQ(f.manager.stats().acceptProbes, probesAfterFirst);
+  EXPECT_EQ(f.manager.stats().cacheHits, 1u);
+  EXPECT_EQ(f.manager.stats().dynamicScans, 1u);
+}
+
+TEST(DriverManagerTest, CacheDisabledAlwaysScans) {
+  Fixture f;
+  MockBehaviour b;
+  b.name = "d";
+  b.accepts = {"d"};
+  f.addDriver(b);
+  f.manager.setLastGoodCacheEnabled(false);
+  (void)f.manager.obtainConnection(url("jdbc:d://h/x"), {});
+  (void)f.manager.obtainConnection(url("jdbc:d://h/x"), {});
+  EXPECT_EQ(f.manager.stats().dynamicScans, 2u);
+  EXPECT_EQ(f.manager.stats().cacheHits, 0u);
+  EXPECT_TRUE(f.manager.cachedDriver("jdbc:d://h/x").empty());
+}
+
+TEST(DriverManagerTest, StaticPreferenceOrderRespected) {
+  Fixture f;
+  MockBehaviour first;
+  first.name = "first";
+  first.accepts = {"p"};
+  first.failConnect = true;  // preferred but broken
+  auto firstDriver = f.addDriver(first);
+  MockBehaviour second;
+  second.name = "second";
+  second.accepts = {"p"};
+  auto secondDriver = f.addDriver(second);
+
+  f.manager.setStaticPreference("jdbc:p://h/x", {"first", "second"});
+  f.manager.setFailurePolicy({FailurePolicy::Action::TryNext, 0});
+
+  auto sel = f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  EXPECT_EQ(sel.driver->name(), "second");
+  EXPECT_EQ(firstDriver->connectCalls(), 1u);
+  EXPECT_EQ(secondDriver->connectCalls(), 1u);
+  EXPECT_EQ(f.manager.stats().staticSelections, 1u);
+  EXPECT_EQ(f.manager.stats().failovers, 1u);
+  // Static selection performs no acceptsUrl scan.
+  EXPECT_EQ(f.manager.stats().dynamicScans, 0u);
+}
+
+TEST(DriverManagerTest, ReportPolicyStopsAtFirstFailure) {
+  Fixture f;
+  MockBehaviour broken;
+  broken.name = "broken";
+  broken.accepts = {"p"};
+  broken.failConnect = true;
+  f.addDriver(broken);
+  MockBehaviour backup;
+  backup.name = "backup";
+  backup.accepts = {"p"};
+  auto backupDriver = f.addDriver(backup);
+
+  f.manager.setStaticPreference("jdbc:p://h/x", {"broken", "backup"});
+  f.manager.setFailurePolicy({FailurePolicy::Action::Report, 0});
+
+  EXPECT_THROW(f.manager.obtainConnection(url("jdbc:p://h/x"), {}),
+               dbc::SqlError);
+  EXPECT_EQ(backupDriver->connectCalls(), 0u);  // never tried
+}
+
+TEST(DriverManagerTest, RetryPolicyRetriesSameDriver) {
+  Fixture f;
+  MockBehaviour flaky;
+  flaky.name = "flaky";
+  flaky.accepts = {"p"};
+  flaky.failConnect = true;
+  auto driver = f.addDriver(flaky);
+
+  f.manager.setFailurePolicy({FailurePolicy::Action::Retry, 2});
+  EXPECT_THROW(f.manager.obtainConnection(url("jdbc:p://h/x"), {}),
+               dbc::SqlError);
+  EXPECT_EQ(driver->connectCalls(), 3u);  // 1 + 2 retries
+}
+
+TEST(DriverManagerTest, DynamicReselectExtendsExhaustedStaticList) {
+  Fixture f;
+  MockBehaviour preferred;
+  preferred.name = "preferred";
+  preferred.accepts = {"p"};
+  preferred.failConnect = true;
+  f.addDriver(preferred);
+  MockBehaviour fallback;
+  fallback.name = "fallback";
+  fallback.accepts = {"p"};
+  f.addDriver(fallback);
+
+  f.manager.setStaticPreference("jdbc:p://h/x", {"preferred"});
+  f.manager.setFailurePolicy({FailurePolicy::Action::DynamicReselect, 0});
+
+  auto sel = f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  EXPECT_EQ(sel.driver->name(), "fallback");
+  EXPECT_EQ(f.manager.stats().dynamicScans, 1u);
+}
+
+TEST(DriverManagerTest, FailedCachedDriverFallsThrough) {
+  Fixture f;
+  MockBehaviour main;
+  main.name = "main";
+  main.accepts = {"p"};
+  auto mainDriver = f.addDriver(main);
+  MockBehaviour backup;
+  backup.name = "backup";
+  backup.accepts = {"p"};
+  f.addDriver(backup);
+  f.manager.setFailurePolicy({FailurePolicy::Action::DynamicReselect, 0});
+
+  (void)f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  EXPECT_EQ(f.manager.cachedDriver("jdbc:p://h/x"), "main");
+
+  // Break the cached driver; the next allocation reselects dynamically.
+  mainDriver->behaviour().failConnect = true;
+  auto sel = f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  EXPECT_EQ(sel.driver->name(), "backup");
+  EXPECT_EQ(f.manager.cachedDriver("jdbc:p://h/x"), "backup");
+}
+
+TEST(DriverManagerTest, AllCandidatesFailClearsCache) {
+  Fixture f;
+  MockBehaviour only;
+  only.name = "only";
+  only.accepts = {"p"};
+  auto driver = f.addDriver(only);
+  (void)f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  driver->behaviour().failConnect = true;
+  EXPECT_THROW(f.manager.obtainConnection(url("jdbc:p://h/x"), {}),
+               dbc::SqlError);
+  EXPECT_TRUE(f.manager.cachedDriver("jdbc:p://h/x").empty());
+}
+
+TEST(DriverManagerTest, ReportFailureDropsCacheEntry) {
+  Fixture f;
+  MockBehaviour b;
+  b.name = "d";
+  b.accepts = {"p"};
+  f.addDriver(b);
+  (void)f.manager.obtainConnection(url("jdbc:p://h/x"), {});
+  EXPECT_EQ(f.manager.cachedDriver("jdbc:p://h/x"), "d");
+  f.manager.reportFailure("jdbc:p://h/x");
+  EXPECT_TRUE(f.manager.cachedDriver("jdbc:p://h/x").empty());
+}
+
+TEST(DriverManagerTest, StaticPreferenceAccessors) {
+  Fixture f;
+  f.manager.setStaticPreference("u", {"a", "b"});
+  EXPECT_EQ(f.manager.staticPreference("u"),
+            (std::vector<std::string>{"a", "b"}));
+  f.manager.clearStaticPreference("u");
+  EXPECT_TRUE(f.manager.staticPreference("u").empty());
+}
+
+}  // namespace
+}  // namespace gridrm::core

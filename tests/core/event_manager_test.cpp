@@ -1,0 +1,220 @@
+#include "gridrm/core/event_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gridrm/agents/snmp_agent.hpp"
+#include "gridrm/agents/snmp_codec.hpp"
+
+namespace gridrm::core {
+namespace {
+
+namespace snmp = agents::snmp;
+using util::Value;
+
+EventManagerOptions inlineOptions() {
+  EventManagerOptions o;
+  o.threadedDispatch = false;  // deterministic unit tests
+  return o;
+}
+
+TEST(EventTypeMatchTest, PatternSemantics) {
+  EXPECT_TRUE(eventTypeMatches("", "anything"));
+  EXPECT_TRUE(eventTypeMatches("*", "anything"));
+  EXPECT_TRUE(eventTypeMatches("snmp.trap", "snmp.trap"));
+  EXPECT_TRUE(eventTypeMatches("snmp.trap", "snmp.trap.highload"));
+  EXPECT_FALSE(eventTypeMatches("snmp.trap", "snmp.trapx"));
+  EXPECT_FALSE(eventTypeMatches("snmp.trap.highload", "snmp.trap"));
+}
+
+TEST(EventManagerTest, ListenersReceiveMatchingEvents) {
+  util::SimClock clock;
+  EventManager mgr(clock, nullptr, inlineOptions());
+  std::vector<std::string> seen;
+  mgr.addListener("alert", [&](const Event& e) { seen.push_back(e.type); });
+
+  Event a;
+  a.type = "alert.load";
+  mgr.ingest(a);
+  Event b;
+  b.type = "other.thing";
+  mgr.ingest(b);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "alert.load");
+  EXPECT_EQ(mgr.stats().received, 2u);
+  EXPECT_EQ(mgr.stats().dispatched, 2u);
+}
+
+TEST(EventManagerTest, RemoveListenerStopsDelivery) {
+  util::SimClock clock;
+  EventManager mgr(clock, nullptr, inlineOptions());
+  int count = 0;
+  const std::size_t id = mgr.addListener("*", [&](const Event&) { ++count; });
+  Event e;
+  e.type = "x";
+  mgr.ingest(e);
+  mgr.removeListener(id);
+  mgr.ingest(e);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventManagerTest, SequenceAndTimestampAssigned) {
+  util::SimClock clock(77 * util::kSecond);
+  EventManager mgr(clock, nullptr, inlineOptions());
+  std::vector<Event> seen;
+  mgr.addListener("", [&](const Event& e) { seen.push_back(e); });
+  Event e;
+  e.type = "t";
+  mgr.ingest(e);
+  mgr.ingest(e);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].sequence + 1, seen[1].sequence);
+  EXPECT_EQ(seen[0].timestamp, 77 * util::kSecond);
+}
+
+TEST(EventManagerTest, HistoryRecorded) {
+  util::SimClock clock;
+  store::Database db;
+  EventManager mgr(clock, &db, inlineOptions());
+  Event e;
+  e.type = "alert.disk";
+  e.source = "n0";
+  e.severity = Severity::Critical;
+  e.fields["free"] = Value(12);
+  mgr.ingest(e);
+
+  auto rs = db.query("SELECT * FROM EventHistory");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->getString("Type"), "alert.disk");
+  EXPECT_EQ(rs->getString("Source"), "n0");
+  EXPECT_EQ(rs->getString("Severity"), "critical");
+  EXPECT_NE(rs->getString("Fields").find("free=12"), std::string::npos);
+}
+
+TEST(EventManagerTest, SnmpTrapFormatterDecodes) {
+  util::SimClock clock;
+  EventManager mgr(clock, nullptr, inlineOptions());
+  mgr.addFormatter(std::make_unique<SnmpTrapFormatter>());
+  std::vector<Event> seen;
+  mgr.addListener("snmp.trap", [&](const Event& e) { seen.push_back(e); });
+
+  snmp::Pdu trap;
+  trap.type = snmp::PduType::Trap;
+  trap.varbinds.push_back({snmp::Oid::parse("1.3.6.1.6.3.1.1.4.1.0"),
+                           Value(snmp::oids::kTrapHighLoad)});
+  trap.varbinds.push_back(
+      {snmp::Oid::parse(snmp::oids::kLaLoad1), Value(7.5)});
+  mgr.ingestNative({"node03", 161}, snmp::encodePdu(trap));
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].type, "snmp.trap.highload");
+  EXPECT_EQ(seen[0].source, "node03");
+  EXPECT_EQ(seen[0].severity, Severity::Critical);
+}
+
+TEST(EventManagerTest, UndecodablePayloadCounted) {
+  util::SimClock clock;
+  EventManager mgr(clock, nullptr, inlineOptions());
+  mgr.addFormatter(std::make_unique<SnmpTrapFormatter>());
+  mgr.ingestNative({"x", 1}, "complete garbage");
+  EXPECT_EQ(mgr.stats().undecodable, 1u);
+  EXPECT_EQ(mgr.stats().received, 0u);
+}
+
+TEST(EventManagerTest, TextFormatterRoundTrip) {
+  TextEventFormatter fmt;
+  Event e;
+  e.type = "alert.load";
+  e.severity = Severity::Warning;
+  e.fields["load"] = Value(3.5);
+  e.fields["host"] = Value("n1");
+  auto encoded = fmt.encode(e);
+  ASSERT_TRUE(encoded.has_value());
+  EXPECT_TRUE(fmt.accepts(*encoded));
+  auto decoded = fmt.decode({"gw", 0}, *encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, "alert.load");
+  EXPECT_EQ(decoded->severity, Severity::Warning);
+  EXPECT_DOUBLE_EQ(decoded->fields.at("load").toReal(), 3.5);
+  EXPECT_EQ(decoded->fields.at("host").toString(), "n1");
+}
+
+TEST(EventManagerTest, TransmitEncodesToNative) {
+  // Paper Fig. 4: events can be passed back out to data sources.
+  util::SimClock clock;
+  net::Network network(clock);
+  EventManager mgr(clock, nullptr, inlineOptions());
+  mgr.addFormatter(std::make_unique<TextEventFormatter>());
+
+  struct Sink final : net::RequestHandler {
+    net::Payload handleRequest(const net::Address&,
+                               const net::Payload&) override {
+      return "";
+    }
+    void handleDatagram(const net::Address&, const net::Payload& b) override {
+      received.push_back(b);
+    }
+    std::vector<net::Payload> received;
+  } sink;
+  network.bind({"src", 9}, &sink);
+
+  Event e;
+  e.type = "control.reset";
+  EXPECT_TRUE(mgr.transmit(e, network, {"gw", 0}, {"src", 9}, "text"));
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].substr(0, 6), "EVENT ");
+  EXPECT_EQ(mgr.stats().transmitted, 1u);
+  // Unknown formatter name: nothing sent.
+  EXPECT_FALSE(mgr.transmit(e, network, {"gw", 0}, {"src", 9}, "nope"));
+}
+
+TEST(EventManagerTest, ThreadedDispatchDeliversEverything) {
+  util::SimClock clock;
+  EventManagerOptions options;
+  options.threadedDispatch = true;
+  options.fastBufferCapacity = 64;
+  EventManager mgr(clock, nullptr, options);
+  std::atomic<int> count{0};
+  mgr.addListener("*", [&](const Event&) { ++count; });
+  for (int i = 0; i < 500; ++i) {
+    Event e;
+    e.type = "burst";
+    mgr.ingest(e);
+  }
+  mgr.drain();
+  EXPECT_EQ(count.load(), 500);
+  EXPECT_EQ(mgr.stats().dropped, 0u);  // Block policy is lossless
+}
+
+TEST(EventManagerTest, DropNewestPolicyCountsDrops) {
+  util::SimClock clock;
+  EventManagerOptions options;
+  options.threadedDispatch = true;
+  options.fastBufferCapacity = 4;
+  options.overflow = util::OverflowPolicy::DropNewest;
+  EventManager mgr(clock, nullptr, options);
+  // A slow listener forces the buffer to back up.
+  std::atomic<int> count{0};
+  mgr.addListener("*", [&](const Event&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++count;
+  });
+  for (int i = 0; i < 200; ++i) {
+    Event e;
+    e.type = "burst";
+    mgr.ingest(e);
+  }
+  mgr.drain();
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.received, 200u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.dispatched + stats.dropped, 200u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -1,0 +1,80 @@
+#include "gridrm/core/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::core {
+namespace {
+
+TEST(GatewayConfigTest, DefaultsWhenEmpty) {
+  GatewayOptions o = GatewayOptions::fromConfig(util::Config{});
+  GatewayOptions d;
+  EXPECT_EQ(o.name, d.name);
+  EXPECT_EQ(o.cacheTtl, d.cacheTtl);
+  EXPECT_EQ(o.poolMaxIdlePerSource, d.poolMaxIdlePerSource);
+  EXPECT_EQ(o.failurePolicy.action, FailurePolicy::Action::DynamicReselect);
+  EXPECT_EQ(o.sessionIdleTimeout, d.sessionIdleTimeout);
+}
+
+TEST(GatewayConfigTest, ParsesPolicyFile) {
+  util::Config cfg = util::Config::parse(
+      "# gateway policy (Fig. 2)\n"
+      "gateway.name = gw-prod\n"
+      "gateway.host = gw.prod.site\n"
+      "cache.ttl_ms = 2500\n"
+      "cache.max_entries = 128\n"
+      "pool.max_idle = 2\n"
+      "pool.validate = false\n"
+      "query.workers = 8\n"
+      "drivers.register_defaults = false\n"
+      "events.buffer_capacity = 64\n"
+      "events.drop_newest = true\n"
+      "events.record_history = false\n"
+      "failure.action = retry\n"
+      "failure.retries = 3\n"
+      "session.idle_timeout_s = 120\n");
+  GatewayOptions o = GatewayOptions::fromConfig(cfg);
+  EXPECT_EQ(o.name, "gw-prod");
+  EXPECT_EQ(o.host, "gw.prod.site");
+  EXPECT_EQ(o.cacheTtl, 2500 * util::kMillisecond);
+  EXPECT_EQ(o.cacheMaxEntries, 128u);
+  EXPECT_EQ(o.poolMaxIdlePerSource, 2u);
+  EXPECT_FALSE(o.validatePooledConnections);
+  EXPECT_EQ(o.queryWorkers, 8u);
+  EXPECT_FALSE(o.registerDefaultDrivers);
+  EXPECT_EQ(o.eventOptions.fastBufferCapacity, 64u);
+  EXPECT_EQ(o.eventOptions.overflow, util::OverflowPolicy::DropNewest);
+  EXPECT_FALSE(o.eventOptions.recordHistory);
+  EXPECT_EQ(o.failurePolicy.action, FailurePolicy::Action::Retry);
+  EXPECT_EQ(o.failurePolicy.retries, 3);
+  EXPECT_EQ(o.sessionIdleTimeout, 120 * util::kSecond);
+}
+
+TEST(GatewayConfigTest, FailureActionNames) {
+  for (auto [text, action] :
+       {std::pair{"report", FailurePolicy::Action::Report},
+        std::pair{"retry", FailurePolicy::Action::Retry},
+        std::pair{"trynext", FailurePolicy::Action::TryNext},
+        std::pair{"dynamic", FailurePolicy::Action::DynamicReselect},
+        std::pair{"junk", FailurePolicy::Action::DynamicReselect}}) {
+    util::Config cfg;
+    cfg.set("failure.action", text);
+    EXPECT_EQ(GatewayOptions::fromConfig(cfg).failurePolicy.action, action)
+        << text;
+  }
+}
+
+TEST(GatewayConfigTest, ConfiguredGatewayRuns) {
+  util::SimClock clock;
+  net::Network network(clock);
+  util::Config cfg;
+  cfg.set("gateway.name", "gw-cfg");
+  cfg.set("cache.ttl_ms", "1000");
+  Gateway gateway(network, clock, GatewayOptions::fromConfig(cfg));
+  EXPECT_EQ(gateway.name(), "gw-cfg");
+  EXPECT_EQ(gateway.cache().defaultTtl(), util::kSecond);
+  const std::string token = gateway.openSession(Principal::admin());
+  EXPECT_EQ(gateway.listDrivers(token).size(), 7u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -1,0 +1,217 @@
+#include "gridrm/core/request_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+using util::kSecond;
+
+struct Fixture {
+  Fixture()
+      : driverManager(registry),
+        pool(driverManager),
+        cache(clock, 5 * kSecond),
+        fgsl(true),
+        rm(pool, cache, fgsl, &db, clock, /*workers=*/2) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+  }
+
+  std::shared_ptr<MockDriver> addDriver(MockBehaviour b) {
+    auto d = std::make_shared<MockDriver>(ctx, std::move(b));
+    registry.registerDriver(d);
+    return d;
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager driverManager;
+  ConnectionManager pool;
+  CacheController cache;
+  FineSecurityLayer fgsl;
+  store::Database db;
+  RequestManager rm;
+  Principal monitor = Principal::monitor();
+};
+
+TEST(RequestManagerTest, QueryOneReturnsRows) {
+  Fixture f;
+  MockBehaviour b;
+  b.hostName = "m0";
+  f.addDriver(b);
+  QueryResult result =
+      f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "SELECT * FROM Processor");
+  EXPECT_TRUE(result.complete());
+  ASSERT_NE(result.rows, nullptr);
+  EXPECT_EQ(result.rows->rowCount(), 1u);
+  result.rows->next();
+  EXPECT_EQ(result.rows->getString("HostName"), "m0");
+}
+
+TEST(RequestManagerTest, MalformedUrlFails) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  QueryResult result =
+      f.rm.queryOne(f.monitor, "not a url", "SELECT * FROM Processor");
+  EXPECT_FALSE(result.complete());
+  ASSERT_EQ(result.failures.size(), 1u);
+}
+
+TEST(RequestManagerTest, BadSqlFails) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  QueryResult result = f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "garbage");
+  EXPECT_FALSE(result.complete());
+}
+
+TEST(RequestManagerTest, CacheServesRepeatQueries) {
+  Fixture f;
+  auto driver = f.addDriver(MockBehaviour{});
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+  (void)f.rm.queryOne(f.monitor, url, sql);
+  QueryResult second = f.rm.queryOne(f.monitor, url, sql);
+  EXPECT_EQ(second.servedFromCache, 1u);
+  EXPECT_EQ(driver->queryCalls(), 1u);  // source touched once
+
+  f.clock.advance(6 * kSecond);  // TTL lapsed
+  QueryResult third = f.rm.queryOne(f.monitor, url, sql);
+  EXPECT_EQ(third.servedFromCache, 0u);
+  EXPECT_EQ(driver->queryCalls(), 2u);
+}
+
+TEST(RequestManagerTest, CacheBypassOption) {
+  Fixture f;
+  auto driver = f.addDriver(MockBehaviour{});
+  QueryOptions options;
+  options.useCache = false;
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+  (void)f.rm.queryOne(f.monitor, url, sql, options);
+  (void)f.rm.queryOne(f.monitor, url, sql, options);
+  EXPECT_EQ(driver->queryCalls(), 2u);
+}
+
+TEST(RequestManagerTest, FgslDeniesGroup) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  f.fgsl.addRule({"monitor", "*", "Processor", false});
+  QueryResult result =
+      f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "SELECT * FROM Processor");
+  EXPECT_FALSE(result.complete());
+  EXPECT_NE(result.failures[0].message.find("SECURITY_DENIED"),
+            std::string::npos);
+}
+
+TEST(RequestManagerTest, MultiSourceConsolidation) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  std::vector<std::string> urls = {"jdbc:mock://h1/x", "jdbc:mock://h2/x",
+                                   "jdbc:mock://h3/x"};
+  QueryResult result =
+      f.rm.query(f.monitor, urls, "SELECT * FROM Processor");
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.sourcesQueried, 3u);
+  ASSERT_NE(result.rows, nullptr);
+  EXPECT_EQ(result.rows->rowCount(), 3u);
+  // Leading Source column carries provenance.
+  EXPECT_EQ(result.rows->metaData().column(0).name, "Source");
+  result.rows->next();
+  EXPECT_EQ(result.rows->getString("Source"), "jdbc:mock://h1/x");
+}
+
+TEST(RequestManagerTest, PartialFailureStillDeliversRows) {
+  Fixture f;
+  MockBehaviour good;
+  good.name = "good";
+  good.accepts = {"good"};
+  f.addDriver(good);
+  // No driver accepts "bad" URLs.
+  QueryResult result = f.rm.query(
+      f.monitor, {"jdbc:good://h1/x", "jdbc:bad://h2/x"},
+      "SELECT * FROM Processor");
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].url, "jdbc:bad://h2/x");
+  EXPECT_EQ(result.rows->rowCount(), 1u);
+}
+
+TEST(RequestManagerTest, AllSourcesFailingGivesEmptyRowsPlusFailures) {
+  Fixture f;
+  QueryResult result = f.rm.query(
+      f.monitor, {"jdbc:x://h1/x", "jdbc:x://h2/x"}, "SELECT * FROM Processor");
+  EXPECT_EQ(result.failures.size(), 2u);
+  EXPECT_EQ(result.rows->rowCount(), 0u);
+}
+
+TEST(RequestManagerTest, SerialAndParallelAgree) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  std::vector<std::string> urls;
+  for (int i = 0; i < 6; ++i) {
+    urls.push_back("jdbc:mock://h" + std::to_string(i) + "/x");
+  }
+  QueryOptions serial;
+  serial.parallel = false;
+  serial.useCache = false;
+  QueryOptions parallel;
+  parallel.useCache = false;
+  auto a = f.rm.query(f.monitor, urls, "SELECT * FROM Processor", serial);
+  auto b = f.rm.query(f.monitor, urls, "SELECT * FROM Processor", parallel);
+  EXPECT_EQ(a.rows->rowCount(), b.rows->rowCount());
+}
+
+TEST(RequestManagerTest, HistoryRecordingAndQuery) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  QueryOptions options;
+  options.recordHistory = true;
+  options.useCache = false;
+  (void)f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "SELECT * FROM Processor",
+                      options);
+  f.clock.advance(kSecond);
+  (void)f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "SELECT * FROM Processor",
+                      options);
+
+  auto rs = f.rm.queryHistorical(f.monitor,
+                                 "SELECT * FROM HistoryProcessor");
+  EXPECT_EQ(rs->rowCount(), 2u);
+  rs->next();
+  EXPECT_EQ(rs->getString("Source"), "jdbc:mock://h/x");
+  EXPECT_EQ(rs->getString("HostName"), "mockhost");
+
+  // Time filtering over history (the paper's historical query path).
+  auto recent = f.rm.queryHistorical(
+      f.monitor, "SELECT * FROM HistoryProcessor WHERE RecordedAt > 0");
+  EXPECT_EQ(recent->rowCount(), 1u);
+  EXPECT_EQ(f.rm.stats().historyQueries, 2u);
+  EXPECT_EQ(f.rm.stats().rowsRecorded, 2u);
+}
+
+TEST(RequestManagerTest, HistoricalUnknownTableErrors) {
+  Fixture f;
+  EXPECT_THROW(f.rm.queryHistorical(f.monitor, "SELECT * FROM HistoryNope"),
+               dbc::SqlError);
+  EXPECT_THROW(f.rm.queryHistorical(f.monitor, "garbage"), dbc::SqlError);
+}
+
+TEST(RequestManagerTest, StatsAccumulate) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  (void)f.rm.queryOne(f.monitor, "jdbc:mock://h/x", "SELECT * FROM Processor");
+  (void)f.rm.query(f.monitor, {"jdbc:mock://h/x", "jdbc:mock://h2/x"},
+                   "SELECT * FROM Processor");
+  const auto stats = f.rm.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.sourceQueries, 3u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -1,0 +1,119 @@
+#include "gridrm/core/security.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/dbc/error.hpp"
+
+namespace gridrm::core {
+namespace {
+
+TEST(PrincipalTest, Roles) {
+  Principal p{"alice", {"monitor", "ops"}};
+  EXPECT_TRUE(p.hasRole("monitor"));
+  EXPECT_FALSE(p.hasRole("admin"));
+  EXPECT_TRUE(Principal::admin().hasRole("admin"));
+}
+
+TEST(CoarseSecurityTest, DefaultPolicyShape) {
+  CoarseSecurityLayer cgsl = CoarseSecurityLayer::defaults();
+  const Principal admin = Principal::admin();
+  const Principal monitor = Principal::monitor();
+  const Principal guest{"g", {"guest"}};
+
+  EXPECT_TRUE(cgsl.check(admin, Operation::DriverAdmin));
+  EXPECT_TRUE(cgsl.check(admin, Operation::RealTimeQuery));
+  EXPECT_TRUE(cgsl.check(monitor, Operation::RealTimeQuery));
+  EXPECT_TRUE(cgsl.check(monitor, Operation::HistoricalQuery));
+  EXPECT_TRUE(cgsl.check(monitor, Operation::EventSubscribe));
+  EXPECT_FALSE(cgsl.check(monitor, Operation::DriverAdmin));
+  EXPECT_TRUE(cgsl.check(guest, Operation::RealTimeQuery));
+  EXPECT_FALSE(cgsl.check(guest, Operation::HistoricalQuery));
+}
+
+TEST(CoarseSecurityTest, RequireThrowsSecurityDenied) {
+  CoarseSecurityLayer cgsl = CoarseSecurityLayer::defaults();
+  const Principal guest{"g", {"guest"}};
+  try {
+    cgsl.require(guest, Operation::DriverAdmin);
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::SecurityDenied);
+  }
+}
+
+TEST(CoarseSecurityTest, GrantAndRevoke) {
+  CoarseSecurityLayer cgsl;
+  const Principal p{"x", {"role"}};
+  EXPECT_FALSE(cgsl.check(p, Operation::RealTimeQuery));
+  cgsl.allow("role", Operation::RealTimeQuery);
+  EXPECT_TRUE(cgsl.check(p, Operation::RealTimeQuery));
+  cgsl.revoke("role", Operation::RealTimeQuery);
+  EXPECT_FALSE(cgsl.check(p, Operation::RealTimeQuery));
+}
+
+TEST(CoarseSecurityTest, WildcardRole) {
+  CoarseSecurityLayer cgsl;
+  cgsl.allow("*", Operation::RealTimeQuery);
+  EXPECT_TRUE(cgsl.check(Principal{"anyone", {"whatever"}},
+                         Operation::RealTimeQuery));
+}
+
+TEST(GlobMatchTest, Patterns) {
+  EXPECT_TRUE(globMatch("*", "anything"));
+  EXPECT_TRUE(globMatch("siteA-*", "siteA-node03"));
+  EXPECT_FALSE(globMatch("siteA-*", "siteB-node03"));
+  EXPECT_TRUE(globMatch("*node*", "siteA-node03"));
+  EXPECT_TRUE(globMatch("exact", "exact"));
+  EXPECT_FALSE(globMatch("exact", "exactly"));
+  EXPECT_TRUE(globMatch("n?de", "node"));
+  EXPECT_FALSE(globMatch("n?de", "noode"));
+  EXPECT_TRUE(globMatch("", ""));
+  EXPECT_FALSE(globMatch("", "x"));
+}
+
+TEST(FineSecurityTest, FirstMatchWins) {
+  FineSecurityLayer fgsl(/*defaultAllow=*/true);
+  fgsl.addRule({"guest", "secure-*", "*", false});  // deny guests on secure
+  fgsl.addRule({"*", "secure-*", "Processor", true});  // never reached for guests
+
+  const Principal guest{"g", {"guest"}};
+  const Principal monitor{"m", {"monitor"}};
+  EXPECT_FALSE(fgsl.check(guest, "secure-node01", "Processor"));
+  EXPECT_TRUE(fgsl.check(monitor, "secure-node01", "Processor"));
+  EXPECT_TRUE(fgsl.check(guest, "open-node01", "Processor"));  // default
+}
+
+TEST(FineSecurityTest, DefaultDeny) {
+  FineSecurityLayer fgsl(/*defaultAllow=*/false);
+  fgsl.addRule({"monitor", "*", "Processor", true});
+  const Principal monitor{"m", {"monitor"}};
+  EXPECT_TRUE(fgsl.check(monitor, "h", "Processor"));
+  EXPECT_FALSE(fgsl.check(monitor, "h", "Memory"));
+  EXPECT_FALSE(fgsl.check(Principal{"g", {"guest"}}, "h", "Processor"));
+}
+
+TEST(FineSecurityTest, GroupPatternGlobs) {
+  FineSecurityLayer fgsl(true);
+  fgsl.addRule({"guest", "*", "Network*", false});
+  const Principal guest{"g", {"guest"}};
+  EXPECT_FALSE(fgsl.check(guest, "h", "NetworkAdapter"));
+  EXPECT_FALSE(fgsl.check(guest, "h", "NetworkForecast"));
+  EXPECT_TRUE(fgsl.check(guest, "h", "Processor"));
+}
+
+TEST(FineSecurityTest, RequireThrows) {
+  FineSecurityLayer fgsl(false);
+  EXPECT_THROW(fgsl.require(Principal{"x", {}}, "h", "Processor"),
+               dbc::SqlError);
+}
+
+TEST(FineSecurityTest, ClearRulesRestoresDefault) {
+  FineSecurityLayer fgsl(true);
+  fgsl.addRule({"*", "*", "*", false});
+  EXPECT_FALSE(fgsl.check(Principal{"x", {}}, "h", "G"));
+  fgsl.clearRules();
+  EXPECT_TRUE(fgsl.check(Principal{"x", {}}, "h", "G"));
+}
+
+}  // namespace
+}  // namespace gridrm::core

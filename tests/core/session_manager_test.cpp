@@ -1,0 +1,59 @@
+#include "gridrm/core/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::core {
+namespace {
+
+using util::kSecond;
+
+TEST(SessionManagerTest, OpenValidateClose) {
+  util::SimClock clock;
+  SessionManager mgr(clock);
+  const std::string token = mgr.open(Principal{"alice", {"monitor"}});
+  auto session = mgr.validate(token);
+  ASSERT_TRUE(session.has_value());
+  EXPECT_EQ(session->principal.id, "alice");
+  mgr.close(token);
+  EXPECT_FALSE(mgr.validate(token).has_value());
+}
+
+TEST(SessionManagerTest, UnknownTokenRejected) {
+  util::SimClock clock;
+  SessionManager mgr(clock);
+  EXPECT_FALSE(mgr.validate("bogus").has_value());
+}
+
+TEST(SessionManagerTest, TokensAreUnique) {
+  util::SimClock clock;
+  SessionManager mgr(clock);
+  EXPECT_NE(mgr.open(Principal{"a", {}}), mgr.open(Principal{"a", {}}));
+}
+
+TEST(SessionManagerTest, IdleExpiry) {
+  util::SimClock clock;
+  SessionManager mgr(clock, /*idleTimeout=*/60 * kSecond);
+  const std::string token = mgr.open(Principal{"a", {}});
+  clock.advance(59 * kSecond);
+  EXPECT_TRUE(mgr.validate(token).has_value());  // touch resets idle timer
+  clock.advance(59 * kSecond);
+  EXPECT_TRUE(mgr.validate(token).has_value());
+  clock.advance(61 * kSecond);
+  EXPECT_FALSE(mgr.validate(token).has_value());
+}
+
+TEST(SessionManagerTest, ExpireIdleSweep) {
+  util::SimClock clock;
+  SessionManager mgr(clock, 10 * kSecond);
+  mgr.open(Principal{"a", {}});
+  mgr.open(Principal{"b", {}});
+  const std::string live = mgr.open(Principal{"c", {}});
+  clock.advance(9 * kSecond);
+  (void)mgr.validate(live);
+  clock.advance(5 * kSecond);
+  EXPECT_EQ(mgr.expireIdle(), 2u);
+  EXPECT_EQ(mgr.activeCount(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

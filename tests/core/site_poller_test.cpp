@@ -1,0 +1,162 @@
+#include "gridrm/core/site_poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+using util::kSecond;
+
+struct Fixture {
+  Fixture()
+      : driverManager(registry),
+        pool(driverManager),
+        cache(clock, 60 * kSecond),
+        fgsl(true),
+        rm(pool, cache, fgsl, &db, clock, 1),
+        events(clock, &db,
+               [] {
+                 EventManagerOptions o;
+                 o.threadedDispatch = false;
+                 return o;
+               }()),
+        alerts(rm, events, clock),
+        poller(rm, clock, Principal::monitor(), &alerts) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+    driver = std::make_shared<MockDriver>(ctx, MockBehaviour{});
+    registry.registerDriver(driver);
+  }
+
+  PollTask task(util::Duration interval = 30 * kSecond) {
+    PollTask t;
+    t.url = "jdbc:mock://h/x";
+    t.sql = "SELECT * FROM Processor";
+    t.interval = interval;
+    return t;
+  }
+
+  util::SimClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager driverManager;
+  ConnectionManager pool;
+  CacheController cache;
+  FineSecurityLayer fgsl;
+  store::Database db;
+  RequestManager rm;
+  EventManager events;
+  AlertManager alerts;
+  SitePoller poller;
+  std::shared_ptr<MockDriver> driver;
+};
+
+TEST(SitePollerTest, FirstTickRunsEveryTask) {
+  Fixture f;
+  f.poller.addTask(f.task());
+  f.poller.addTask(f.task());
+  EXPECT_EQ(f.poller.tick(), 2u);
+  EXPECT_EQ(f.poller.stats().polls, 2u);
+}
+
+TEST(SitePollerTest, IntervalRespected) {
+  Fixture f;
+  f.poller.addTask(f.task(30 * kSecond));
+  EXPECT_EQ(f.poller.tick(), 1u);
+  f.clock.advance(10 * kSecond);
+  EXPECT_EQ(f.poller.tick(), 0u);  // not due yet
+  f.clock.advance(25 * kSecond);
+  EXPECT_EQ(f.poller.tick(), 1u);
+}
+
+TEST(SitePollerTest, RunForAccumulatesHistory) {
+  Fixture f;
+  f.poller.addTask(f.task(30 * kSecond));
+  f.poller.runFor(5 * 60 * kSecond, 10 * kSecond);
+  // One poll every 30s over 5 minutes: ~11 samples recorded.
+  const auto rows = f.db.rowCount("HistoryProcessor");
+  EXPECT_GE(rows, 10u);
+  EXPECT_LE(rows, 12u);
+}
+
+TEST(SitePollerTest, RefreshCacheLeavesFreshView) {
+  Fixture f;
+  PollTask t = f.task();
+  f.poller.addTask(t);
+  (void)f.poller.tick();
+  // An interactive client is served from the poller-refreshed cache
+  // without the driver being touched again.
+  const auto queriesAfterPoll = f.driver->queryCalls();
+  QueryResult viewed = f.rm.queryOne(Principal::monitor(), t.url, t.sql);
+  EXPECT_EQ(viewed.servedFromCache, 1u);
+  EXPECT_EQ(f.driver->queryCalls(), queriesAfterPoll);
+}
+
+TEST(SitePollerTest, CacheRefreshOptional) {
+  Fixture f;
+  PollTask t = f.task();
+  t.refreshCache = false;
+  f.poller.addTask(t);
+  (void)f.poller.tick();
+  QueryResult viewed = f.rm.queryOne(Principal::monitor(), t.url, t.sql);
+  EXPECT_EQ(viewed.servedFromCache, 0u);
+}
+
+TEST(SitePollerTest, FailuresCountedAndNonFatal) {
+  Fixture f;
+  PollTask bad = f.task();
+  bad.url = "jdbc:none://h/x";
+  f.poller.addTask(bad);
+  f.poller.addTask(f.task());
+  EXPECT_EQ(f.poller.tick(), 2u);
+  EXPECT_EQ(f.poller.stats().pollFailures, 1u);
+  EXPECT_EQ(f.poller.stats().polls, 2u);
+}
+
+TEST(SitePollerTest, AlertsEvaluatedAfterPolls) {
+  Fixture f;
+  AlertRule rule;
+  rule.name = "Load";
+  rule.url = "jdbc:mock://h/x";
+  rule.sql = "SELECT * FROM Processor";
+  rule.condition = "Load1 > 0.25";  // mock serves 0.5
+  rule.holdOff = 0;
+  f.alerts.addRule(rule);
+  f.poller.addTask(f.task());
+  (void)f.poller.tick();
+  EXPECT_EQ(f.poller.stats().alertsRaised, 1u);
+}
+
+TEST(SitePollerTest, RemoveTasksByUrl) {
+  Fixture f;
+  f.poller.addTask(f.task());
+  f.poller.addTask(f.task());
+  PollTask other = f.task();
+  other.url = "jdbc:mock://other/x";
+  f.poller.addTask(other);
+  EXPECT_EQ(f.poller.removeTasks("jdbc:mock://h/x"), 2u);
+  EXPECT_EQ(f.poller.taskCount(), 1u);
+}
+
+TEST(SitePollerTest, RetentionPrunesOldHistoryAndEvents) {
+  Fixture f;
+  f.poller.addTask(f.task(10 * kSecond));
+  f.poller.runFor(10 * 60 * kSecond, 10 * kSecond);  // 10 minutes of data
+  const auto before = f.db.rowCount("HistoryProcessor");
+  ASSERT_GT(before, 30u);
+  // Keep only the last 2 minutes.
+  const std::size_t dropped =
+      f.poller.enforceRetention(f.db, 2 * 60 * kSecond);
+  EXPECT_GT(dropped, 0u);
+  const auto after = f.db.rowCount("HistoryProcessor");
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 11u);  // ~12 samples in the kept window
+}
+
+}  // namespace
+}  // namespace gridrm::core

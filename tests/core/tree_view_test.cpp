@@ -1,0 +1,64 @@
+#include "gridrm/core/tree_view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::core {
+namespace {
+
+using dbc::Value;
+using dbc::ValueType;
+using util::kSecond;
+
+std::unique_ptr<dbc::VectorResultSet> sample() {
+  return dbc::ResultSetBuilder()
+      .addColumn("HostName", ValueType::String)
+      .addColumn("Load1", ValueType::Real)
+      .addRow({Value("n0"), Value(0.5)})
+      .addRow({Value("n1"), Value(1.25)})
+      .build();
+}
+
+TEST(RenderTableTest, AlignedColumnsWithHeader) {
+  const std::string out = renderTable(*sample());
+  EXPECT_NE(out.find("HostName"), std::string::npos);
+  EXPECT_NE(out.find("Load1"), std::string::npos);
+  EXPECT_NE(out.find("n0"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("--------"), std::string::npos);
+}
+
+TEST(RenderTableTest, MaxRowsTruncates) {
+  const std::string out = renderTable(*sample(), 1);
+  EXPECT_NE(out.find("n0"), std::string::npos);
+  EXPECT_EQ(out.find("n1"), std::string::npos);
+  EXPECT_NE(out.find("1 more rows"), std::string::npos);
+}
+
+TEST(RenderTableTest, EmptyResult) {
+  dbc::VectorResultSet empty;
+  EXPECT_EQ(renderTable(empty), "(empty result)\n");
+}
+
+TEST(TreeViewTest, CachedAndUncachedEntries) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  const std::string url = "jdbc:snmp://n0:161/x";
+  const std::string sql = "SELECT * FROM Processor";
+  cache.insert(CacheController::key(url, sql), *sample());
+  clock.advance(10 * kSecond);
+
+  const std::string out = renderCachedTree(
+      "gw-siteA", cache, clock,
+      {{url, sql}, {"jdbc:ganglia://head:8649/x", sql}});
+
+  EXPECT_NE(out.find("[gateway] gw-siteA"), std::string::npos);
+  EXPECT_NE(out.find(url), std::string::npos);
+  EXPECT_NE(out.find("cached 10s ago"), std::string::npos);
+  EXPECT_NE(out.find("n0"), std::string::npos);
+  // Second source has no cached data (Fig. 9: poll to refresh).
+  EXPECT_NE(out.find("(no cached data -- poll to refresh)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -1,0 +1,101 @@
+#include "gridrm/dbc/driver_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::dbc {
+namespace {
+
+/// Minimal stub driver claiming one subprotocol.
+class StubDriver final : public Driver {
+ public:
+  explicit StubDriver(std::string name) : name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  bool acceptsUrl(const util::Url& url) const override {
+    ++probes_;
+    return url.subprotocol() == name_;
+  }
+  std::unique_ptr<Connection> connect(const util::Url&,
+                                      const util::Config&) override {
+    throw SqlError(ErrorCode::NotImplemented, "stub");
+  }
+  mutable int probes_ = 0;
+
+ private:
+  std::string name_;
+};
+
+util::Url url(const std::string& text) { return *util::Url::parse(text); }
+
+TEST(DriverRegistryTest, RegisterAndFind) {
+  DriverRegistry reg;
+  reg.registerDriver(std::make_shared<StubDriver>("snmp"));
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_NE(reg.find("snmp"), nullptr);
+  EXPECT_EQ(reg.find("nws"), nullptr);
+}
+
+TEST(DriverRegistryTest, ReregisterReplacesInPlace) {
+  DriverRegistry reg;
+  reg.registerDriver(std::make_shared<StubDriver>("a"));
+  reg.registerDriver(std::make_shared<StubDriver>("b"));
+  auto replacement = std::make_shared<StubDriver>("a");
+  reg.registerDriver(replacement);
+  // Still two drivers, and 'a' keeps its original position.
+  ASSERT_EQ(reg.size(), 2u);
+  auto drivers = reg.drivers();
+  EXPECT_EQ(drivers[0].get(), replacement.get());
+  EXPECT_EQ(drivers[1]->name(), "b");
+}
+
+TEST(DriverRegistryTest, Unregister) {
+  DriverRegistry reg;
+  reg.registerDriver(std::make_shared<StubDriver>("a"));
+  EXPECT_TRUE(reg.unregisterDriver("a"));
+  EXPECT_FALSE(reg.unregisterDriver("a"));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(DriverRegistryTest, NullRegistrationIgnored) {
+  DriverRegistry reg;
+  reg.registerDriver(nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+// Table 2 of the paper: the first driver that returns true to
+// acceptsURL() is the one used.
+TEST(DriverRegistryTest, LocateReturnsFirstAccepting) {
+  DriverRegistry reg;
+  auto a = std::make_shared<StubDriver>("a");
+  auto b = std::make_shared<StubDriver>("b");
+  auto b2 = std::make_shared<StubDriver>("b_again");
+  reg.registerDriver(a);
+  reg.registerDriver(b);
+  reg.registerDriver(b2);
+
+  std::size_t scanned = 0;
+  auto found = reg.locate(url("jdbc:b://host/x"), &scanned);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name(), "b");
+  EXPECT_EQ(scanned, 2u);  // stopped at the first acceptor
+  EXPECT_EQ(b2->probes_, 0);
+}
+
+TEST(DriverRegistryTest, LocateNoneAccepts) {
+  DriverRegistry reg;
+  reg.registerDriver(std::make_shared<StubDriver>("a"));
+  reg.registerDriver(std::make_shared<StubDriver>("b"));
+  std::size_t scanned = 0;
+  EXPECT_EQ(reg.locate(url("jdbc:zzz://host/x"), &scanned), nullptr);
+  EXPECT_EQ(scanned, 2u);  // scanned everything
+}
+
+TEST(DriverRegistryTest, LocateEmptyRegistry) {
+  DriverRegistry reg;
+  std::size_t scanned = 99;
+  EXPECT_EQ(reg.locate(url("jdbc:a://h/x"), &scanned), nullptr);
+  EXPECT_EQ(scanned, 0u);
+}
+
+}  // namespace
+}  // namespace gridrm::dbc

@@ -1,0 +1,91 @@
+#include "gridrm/dbc/result_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::dbc {
+namespace {
+
+std::unique_ptr<VectorResultSet> sample() {
+  return ResultSetBuilder()
+      .addColumn("HostName", ValueType::String, "", "Host")
+      .addColumn("Load1", ValueType::Real, "", "Host")
+      .addColumn("CPUCount", ValueType::Int, "", "Host")
+      .addColumn("Up", ValueType::Bool, "", "Host")
+      .addColumn("Note", ValueType::String, "unit|weird", "Host")
+      .addRow({Value("n0"), Value(0.5), Value(2), Value(true), Value("plain")})
+      .addRow({Value("n1"), Value::null(), Value(4), Value(false),
+               Value("pipe| and\nnewline and \\slash")})
+      .build();
+}
+
+TEST(ResultIoTest, RoundTripPreservesEverything) {
+  auto original = sample();
+  const std::string wire = serializeResultSet(*original);
+  auto restored = deserializeResultSet(wire);
+
+  ASSERT_EQ(restored->rowCount(), 2u);
+  const auto& meta = restored->metaData();
+  ASSERT_EQ(meta.columnCount(), 5u);
+  EXPECT_EQ(meta.column(0).name, "HostName");
+  EXPECT_EQ(meta.column(1).type, ValueType::Real);
+  EXPECT_EQ(meta.column(4).unit, "unit|weird");
+  EXPECT_EQ(meta.column(0).table, "Host");
+
+  ASSERT_TRUE(restored->next());
+  EXPECT_EQ(restored->get(0).asString(), "n0");
+  EXPECT_DOUBLE_EQ(restored->get(1).asReal(), 0.5);
+  EXPECT_EQ(restored->get(2).asInt(), 2);
+  EXPECT_TRUE(restored->get(3).asBool());
+
+  ASSERT_TRUE(restored->next());
+  EXPECT_TRUE(restored->get(1).isNull());
+  EXPECT_FALSE(restored->get(3).asBool());
+  EXPECT_EQ(restored->get(4).asString(), "pipe| and\nnewline and \\slash");
+}
+
+TEST(ResultIoTest, EmptyResultSetRoundTrips) {
+  auto empty = ResultSetBuilder().addColumn("a", ValueType::Int).build();
+  auto restored = deserializeResultSet(serializeResultSet(*empty));
+  EXPECT_EQ(restored->rowCount(), 0u);
+  EXPECT_EQ(restored->metaData().columnCount(), 1u);
+}
+
+TEST(ResultIoTest, SerializeConsumesCursor) {
+  auto rs = sample();
+  rs->next();  // skip first row
+  auto restored = deserializeResultSet(serializeResultSet(*rs));
+  EXPECT_EQ(restored->rowCount(), 1u);
+}
+
+TEST(ResultIoTest, MalformedInputsThrow) {
+  EXPECT_THROW(deserializeResultSet(""), SqlError);
+  EXPECT_THROW(deserializeResultSet("GARBAGE\n"), SqlError);
+  EXPECT_THROW(deserializeResultSet("RS1\nx\n"), SqlError);
+  EXPECT_THROW(deserializeResultSet("RS1\n2\na|INT||\n"), SqlError);
+  // Row width mismatch.
+  EXPECT_THROW(deserializeResultSet("RS1\n2\na|INT||\nb|INT||\n1\nI1\n"),
+               SqlError);
+  // Bad cell tag.
+  EXPECT_THROW(deserializeResultSet("RS1\n1\na|INT||\n1\nQ9\n"), SqlError);
+  // Truncated rows.
+  EXPECT_THROW(deserializeResultSet("RS1\n1\na|INT||\n3\nI1\n"), SqlError);
+}
+
+TEST(ResultIoTest, ExtremeValues) {
+  auto rs = ResultSetBuilder()
+                .addColumn("i", ValueType::Int)
+                .addColumn("r", ValueType::Real)
+                .addRow({Value(std::int64_t{-9223372036854775807LL}),
+                         Value(1e300)})
+                .addRow({Value(std::int64_t{9223372036854775807LL}),
+                         Value(-2.5e-300)})
+                .build();
+  auto restored = deserializeResultSet(serializeResultSet(*rs));
+  restored->next();
+  EXPECT_EQ(restored->get(0).asInt(), -9223372036854775807LL);
+  restored->next();
+  EXPECT_EQ(restored->get(0).asInt(), 9223372036854775807LL);
+}
+
+}  // namespace
+}  // namespace gridrm::dbc

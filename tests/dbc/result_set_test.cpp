@@ -1,0 +1,142 @@
+#include "gridrm/dbc/result_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::dbc {
+namespace {
+
+std::unique_ptr<VectorResultSet> sample() {
+  return ResultSetBuilder()
+      .addColumn("HostName", ValueType::String, "", "Processor")
+      .addColumn("Load1", ValueType::Real, "", "Processor")
+      .addColumn("CPUCount", ValueType::Int, "", "Processor")
+      .addRow({Value("n0"), Value(0.5), Value(2)})
+      .addRow({Value("n1"), Value::null(), Value(4)})
+      .build();
+}
+
+TEST(ResultSetTest, CursorStartsBeforeFirstRow) {
+  auto rs = sample();
+  EXPECT_THROW(rs->get(0), SqlError);  // not on a row yet (JDBC semantics)
+  EXPECT_TRUE(rs->next());
+  EXPECT_EQ(rs->get(0).asString(), "n0");
+}
+
+TEST(ResultSetTest, IterationAndExhaustion) {
+  auto rs = sample();
+  int rows = 0;
+  while (rs->next()) ++rows;
+  EXPECT_EQ(rows, 2);
+  EXPECT_FALSE(rs->next());
+  EXPECT_THROW(rs->get(0), SqlError);
+}
+
+TEST(ResultSetTest, GetByNameCaseInsensitive) {
+  auto rs = sample();
+  rs->next();
+  EXPECT_EQ(rs->getString("hostname"), "n0");
+  EXPECT_DOUBLE_EQ(rs->getReal("LOAD1"), 0.5);
+  EXPECT_EQ(rs->getInt("CPUCount"), 2);
+}
+
+TEST(ResultSetTest, UnknownColumnThrows) {
+  auto rs = sample();
+  rs->next();
+  EXPECT_THROW(rs->get("nope"), SqlError);
+  try {
+    rs->get("nope");
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NoSuchColumn);
+  }
+}
+
+TEST(ResultSetTest, WasNullTracksLastGet) {
+  auto rs = sample();
+  rs->next();
+  rs->next();  // second row has NULL Load1
+  (void)rs->get("Load1");
+  EXPECT_TRUE(rs->wasNull());
+  (void)rs->get("HostName");
+  EXPECT_FALSE(rs->wasNull());
+}
+
+TEST(ResultSetTest, ColumnIndexOutOfRange) {
+  auto rs = sample();
+  rs->next();
+  EXPECT_THROW(rs->get(99), SqlError);
+}
+
+TEST(ResultSetTest, RewindResetsCursor) {
+  auto rs = sample();
+  while (rs->next()) {
+  }
+  rs->rewind();
+  EXPECT_TRUE(rs->next());
+  EXPECT_EQ(rs->get(0).asString(), "n0");
+}
+
+TEST(ResultSetTest, MetaData) {
+  auto rs = sample();
+  const ResultSetMetaData& meta = rs->metaData();
+  EXPECT_EQ(meta.columnCount(), 3u);
+  EXPECT_EQ(meta.column(1).name, "Load1");
+  EXPECT_EQ(meta.column(1).type, ValueType::Real);
+  EXPECT_EQ(meta.column(0).table, "Processor");
+  EXPECT_EQ(meta.columnIndex("cpucount"), 2u);
+  EXPECT_FALSE(meta.columnIndex("zz").has_value());
+  EXPECT_THROW(meta.column(3), SqlError);
+}
+
+TEST(ResultSetTest, MaterializeCopiesRemainingRows) {
+  auto rs = sample();
+  rs->next();  // consume one row
+  auto copy = VectorResultSet::materialize(*rs);
+  EXPECT_EQ(copy->rowCount(), 1u);  // only the unconsumed remainder
+  copy->next();
+  EXPECT_EQ(copy->get(0).asString(), "n1");
+}
+
+TEST(ResultSetTest, BuilderRowWidthMismatchThrows) {
+  ResultSetBuilder b;
+  b.addColumn("a", ValueType::Int);
+  EXPECT_THROW(b.addRow({Value(1), Value(2)}), SqlError);
+}
+
+// Paper section 3.2.1: the base classes throw SQLExceptions so drivers
+// can be developed incrementally.
+TEST(ResultSetTest, BaseResultSetThrowsNotImplemented) {
+  BaseResultSet base;
+  try {
+    base.next();
+    FAIL() << "expected SqlError";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NotImplemented);
+  }
+  EXPECT_THROW(base.get(0), SqlError);
+  EXPECT_THROW(base.metaData(), SqlError);
+}
+
+// A partially implemented subclass works where its overrides are used
+// and throws exactly like a failing full driver elsewhere.
+TEST(ResultSetTest, IncrementalDriverDevelopmentModel) {
+  class PartialResultSet final : public BaseResultSet {
+   public:
+    bool next() override { return cursor_++ < 1; }
+
+   private:
+    int cursor_ = 0;
+  };
+  PartialResultSet rs;
+  EXPECT_TRUE(rs.next());
+  EXPECT_FALSE(rs.next());
+  EXPECT_THROW(rs.get(0), SqlError);  // not overridden yet
+}
+
+TEST(ResultSetTest, EmptyResultSet) {
+  auto rs = ResultSetBuilder().addColumn("a", ValueType::Int).build();
+  EXPECT_EQ(rs->rowCount(), 0u);
+  EXPECT_FALSE(rs->next());
+}
+
+}  // namespace
+}  // namespace gridrm::dbc

@@ -1,0 +1,200 @@
+// The paper's homogeneous-view claim, tested across every driver at
+// once: the same SQL against wildly different native protocols must
+// come back as identically-shaped GLUE rows (section 3.2.3).
+#include <gtest/gtest.h>
+
+#include "driver_test_util.hpp"
+#include "gridrm/glue/schema.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using testutil::SiteFixture;
+
+/// Which drivers serve the Processor group (NWS serves only
+/// NetworkForecast; SQL serves everything).
+struct DriverCase {
+  const char* subprotocol;
+  bool perHostRows;  // cluster-wide drivers return one row per host
+};
+
+class ProcessorGroupTest : public ::testing::TestWithParam<DriverCase> {};
+
+TEST_P(ProcessorGroupTest, HomogeneousViewAcrossDrivers) {
+  SiteFixture fixture;
+  const DriverCase& c = GetParam();
+  auto rs =
+      fixture.query(fixture.site().headUrl(c.subprotocol),
+                    "SELECT * FROM Processor");
+
+  // Shape: exactly the GLUE Processor columns, in schema order.
+  const glue::GroupDef* group =
+      glue::Schema::builtin().findGroup("Processor");
+  ASSERT_EQ(rs->metaData().columnCount(), group->size()) << c.subprotocol;
+  for (std::size_t i = 0; i < group->size(); ++i) {
+    EXPECT_EQ(rs->metaData().column(i).name, group->attributes()[i].name);
+  }
+
+  const std::size_t expectedRows = c.perHostRows ? 3u : 1u;
+  ASSERT_EQ(rs->rowCount(), expectedRows) << c.subprotocol;
+
+  while (rs->next()) {
+    // HostName must always be translated (never NULL).
+    (void)rs->get("HostName");
+    EXPECT_FALSE(rs->wasNull()) << c.subprotocol;
+    // Load1 is served by every Processor-capable driver here.
+    const double load = rs->getReal("Load1");
+    EXPECT_FALSE(rs->wasNull()) << c.subprotocol;
+    EXPECT_GE(load, 0.0);
+    EXPECT_LT(load, 64.0);
+    // Timestamp populated.
+    (void)rs->get("Timestamp");
+    EXPECT_FALSE(rs->wasNull()) << c.subprotocol;
+  }
+}
+
+TEST_P(ProcessorGroupTest, WhereClauseHonoured) {
+  SiteFixture fixture;
+  const DriverCase& c = GetParam();
+  const std::string url = fixture.site().headUrl(c.subprotocol);
+  auto all = fixture.query(url, "SELECT * FROM Processor");
+  auto none =
+      fixture.query(url, "SELECT * FROM Processor WHERE Load1 < -1");
+  EXPECT_GT(all->rowCount(), 0u);
+  EXPECT_EQ(none->rowCount(), 0u);
+  auto byHost = fixture.query(
+      url, "SELECT * FROM Processor WHERE HostName = 'siteA-node00'");
+  EXPECT_EQ(byHost->rowCount(), 1u) << c.subprotocol;
+}
+
+TEST_P(ProcessorGroupTest, ProjectionNarrowsColumns) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl(GetParam().subprotocol),
+                          "SELECT HostName, Load1 FROM Processor");
+  EXPECT_EQ(rs->metaData().columnCount(), 2u);
+}
+
+TEST_P(ProcessorGroupTest, UnknownGroupRejectedBeforeContact) {
+  SiteFixture fixture;
+  auto conn = fixture.connect(fixture.site().headUrl(GetParam().subprotocol));
+  auto stmt = conn->createStatement();
+  EXPECT_THROW(stmt->executeQuery("SELECT * FROM NotAGroup"), dbc::SqlError);
+}
+
+TEST_P(ProcessorGroupTest, UnknownColumnRejected) {
+  SiteFixture fixture;
+  auto conn = fixture.connect(fixture.site().headUrl(GetParam().subprotocol));
+  auto stmt = conn->createStatement();
+  EXPECT_THROW(stmt->executeQuery("SELECT Bogus FROM Processor"),
+               dbc::SqlError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Drivers, ProcessorGroupTest,
+    ::testing::Values(DriverCase{"snmp", false}, DriverCase{"ganglia", true},
+                      DriverCase{"netlogger", false},
+                      DriverCase{"scms", true}, DriverCase{"sql", true},
+                      DriverCase{"mds", true}),
+    [](const ::testing::TestParamInfo<DriverCase>& info) {
+      return info.param.subprotocol;
+    });
+
+// Memory group across the drivers that serve it.
+class MemoryGroupTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MemoryGroupTest, RamFiguresConsistent) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl(GetParam()),
+                          "SELECT * FROM Memory");
+  ASSERT_GT(rs->rowCount(), 0u);
+  while (rs->next()) {
+    const auto avail = rs->get("RAMAvailable");
+    if (!avail.isNull()) {
+      EXPECT_GE(avail.toInt(), 0);
+      EXPECT_LE(avail.toInt(), 64 * 1024);  // sane MB range for the sim
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, MemoryGroupTest,
+                         ::testing::Values("snmp", "ganglia", "netlogger",
+                                           "scms", "sql", "mds"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return info.param;
+                         });
+
+// Cross-driver consistency: the same underlying host model seen through
+// two different agents must agree (within sim-time skew).
+TEST(CrossDriverTest, SnmpAndGangliaAgreeOnLoad) {
+  SiteFixture fixture;
+  auto viaSnmp = fixture.query(
+      fixture.site().headUrl("snmp"),
+      "SELECT Load1 FROM Processor");
+  auto viaGanglia = fixture.query(
+      fixture.site().headUrl("ganglia"),
+      "SELECT Load1 FROM Processor WHERE HostName = 'siteA-node00'");
+  viaSnmp->next();
+  viaGanglia->next();
+  EXPECT_NEAR(viaSnmp->get(0).asReal(), viaGanglia->get(0).asReal(), 0.2);
+}
+
+TEST(CrossDriverTest, ScmsAndSqlAgreeOnCpuCount) {
+  SiteFixture fixture;
+  auto a = fixture.query(fixture.site().headUrl("scms"),
+                         "SELECT CPUCount FROM Processor "
+                         "WHERE HostName = 'siteA-node01'");
+  auto b = fixture.query(fixture.site().headUrl("sql"),
+                         "SELECT CPUCount FROM Processor "
+                         "WHERE HostName = 'siteA-node01'");
+  a->next();
+  b->next();
+  EXPECT_EQ(a->get(0).asInt(), b->get(0).asInt());
+}
+
+// Aggregates run inside the driver's relational tail, so any source can
+// answer GROUP BY questions natively.
+TEST(CrossDriverTest, AggregatesThroughDrivers) {
+  SiteFixture fixture;
+  auto rs = fixture.query(
+      fixture.site().headUrl("ganglia"),
+      "SELECT ClusterName, COUNT(*) AS n, AVG(Load1) AS avgLoad "
+      "FROM Processor GROUP BY ClusterName");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->getString("ClusterName"), "siteA");
+  EXPECT_EQ(rs->getInt("n"), 3);
+  EXPECT_GT(rs->getReal("avgLoad"), 0.0);
+
+  auto viaScms = fixture.query(
+      fixture.site().headUrl("scms"),
+      "SELECT MAX(Load1), MIN(Load1) FROM Processor");
+  viaScms->next();
+  EXPECT_GE(viaScms->get(0).asReal(), viaScms->get(1).asReal());
+}
+
+// Paper section 3.2.3: attributes a source cannot supply come back NULL
+// rather than failing the query.
+TEST(NullTranslationTest, SnmpClusterNameIsNull) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("snmp"),
+                          "SELECT ClusterName, HostName FROM Processor");
+  rs->next();
+  (void)rs->get("ClusterName");
+  EXPECT_TRUE(rs->wasNull());
+  (void)rs->get("HostName");
+  EXPECT_FALSE(rs->wasNull());
+}
+
+TEST(NullTranslationTest, NetLoggerServesOnlyItsEvents) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("netlogger"),
+                          "SELECT * FROM Processor");
+  rs->next();
+  (void)rs->get("Load1");
+  EXPECT_FALSE(rs->wasNull());  // cpu.load event exists
+  (void)rs->get("UserPct");
+  EXPECT_TRUE(rs->wasNull());  // no such event stream
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

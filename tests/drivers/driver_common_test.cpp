@@ -1,0 +1,154 @@
+#include "gridrm/drivers/driver_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/glue/schema.hpp"
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using util::Value;
+using util::ValueType;
+
+const glue::Schema& schema() { return glue::Schema::builtin(); }
+
+TEST(ParsedQueryTest, StarNeedsEverything) {
+  ParsedQuery q = ParsedQuery::parse("SELECT * FROM Processor", schema());
+  EXPECT_EQ(q.group().name(), "Processor");
+  EXPECT_EQ(q.neededAttributes().size(), q.group().size());
+}
+
+TEST(ParsedQueryTest, ProjectionNeedsOnlyReferenced) {
+  ParsedQuery q =
+      ParsedQuery::parse("SELECT Load1 FROM Processor", schema());
+  EXPECT_EQ(q.neededAttributes(), std::vector<std::string>{"Load1"});
+  EXPECT_TRUE(q.needs("load1"));  // case-insensitive
+  EXPECT_FALSE(q.needs("Load5"));
+}
+
+TEST(ParsedQueryTest, WhereAndOrderColumnsIncluded) {
+  ParsedQuery q = ParsedQuery::parse(
+      "SELECT Load1 FROM Processor WHERE HostName = 'x' ORDER BY Load5",
+      schema());
+  EXPECT_TRUE(q.needs("Load1"));
+  EXPECT_TRUE(q.needs("HostName"));
+  EXPECT_TRUE(q.needs("Load5"));
+  EXPECT_FALSE(q.needs("IdlePct"));
+  // Needed attributes come back in schema order.
+  EXPECT_EQ(q.neededAttributes(),
+            (std::vector<std::string>{"HostName", "Load1", "Load5"}));
+}
+
+TEST(ParsedQueryTest, ErrorsMapToSqlErrorCodes) {
+  try {
+    ParsedQuery::parse("not sql", schema());
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::Syntax);
+  }
+  try {
+    ParsedQuery::parse("SELECT * FROM NotAGroup", schema());
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::NoSuchTable);
+  }
+  try {
+    ParsedQuery::parse("SELECT Bogus FROM Processor", schema());
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::NoSuchColumn);
+  }
+}
+
+TEST(GlueRowBuilderTest, UnsetAttributesStayNull) {
+  const glue::GroupDef* g = schema().findGroup("Processor");
+  GlueRowBuilder b(*g);
+  b.beginRow().set("HostName", Value("n0")).set("Load1", Value(0.5));
+  auto rows = b.takeRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), g->size());
+  EXPECT_EQ(rows[0][*g->indexOf("HostName")].asString(), "n0");
+  EXPECT_TRUE(rows[0][*g->indexOf("Load5")].isNull());
+}
+
+TEST(GlueRowBuilderTest, UnknownAttributeIgnored) {
+  const glue::GroupDef* g = schema().findGroup("Memory");
+  GlueRowBuilder b(*g);
+  b.beginRow().set("NotAnAttribute", Value(1));
+  auto rows = b.takeRows();
+  for (const auto& cell : rows[0]) EXPECT_TRUE(cell.isNull());
+}
+
+TEST(GlueRowBuilderTest, ColumnsMatchGroupDefinition) {
+  const glue::GroupDef* g = schema().findGroup("Memory");
+  GlueRowBuilder b(*g);
+  auto columns = b.columns();
+  ASSERT_EQ(columns.size(), g->size());
+  EXPECT_EQ(columns[0].table, "Memory");
+  EXPECT_EQ(columns[*g->indexOf("RAMSize")].unit, "MB");
+}
+
+TEST(ConvertScaledTest, NumericConversions) {
+  EXPECT_EQ(convertScaled(Value(2048), 1.0 / 1024, ValueType::Int).asInt(), 2);
+  EXPECT_DOUBLE_EQ(
+      convertScaled(Value(150), 0.01, ValueType::Real).asReal(), 1.5);
+  EXPECT_EQ(convertScaled(Value(1.9), 1.0, ValueType::Int).asInt(), 1);
+}
+
+TEST(ConvertScaledTest, StringToNumeric) {
+  EXPECT_DOUBLE_EQ(
+      convertScaled(Value("0.42"), 1.0, ValueType::Real).asReal(), 0.42);
+  EXPECT_TRUE(convertScaled(Value("junk"), 1.0, ValueType::Real).isNull());
+  EXPECT_TRUE(convertScaled(Value("junk"), 1.0, ValueType::Int).isNull());
+}
+
+TEST(ConvertScaledTest, NullStaysNull) {
+  EXPECT_TRUE(convertScaled(Value::null(), 2.0, ValueType::Real).isNull());
+}
+
+TEST(ConvertScaledTest, ToStringAndBool) {
+  EXPECT_EQ(convertScaled(Value(42), 1.0, ValueType::String).asString(), "42");
+  EXPECT_TRUE(convertScaled(Value(1), 1.0, ValueType::Bool).asBool());
+}
+
+TEST(ResponseCacheTest, TtlSemantics) {
+  util::SimClock clock;
+  ResponseCache<int> cache(clock, 10 * util::kSecond);
+  EXPECT_EQ(cache.get(), nullptr);
+  cache.put(7);
+  ASSERT_NE(cache.get(), nullptr);
+  EXPECT_EQ(*cache.get(), 7);
+  clock.advance(9 * util::kSecond);
+  EXPECT_NE(cache.get(), nullptr);
+  clock.advance(2 * util::kSecond);
+  EXPECT_EQ(cache.get(), nullptr);  // expired
+}
+
+TEST(ResponseCacheTest, ZeroTtlDisables) {
+  util::SimClock clock;
+  ResponseCache<int> cache(clock, 0);
+  cache.put(7);
+  EXPECT_EQ(cache.get(), nullptr);
+}
+
+TEST(ResponseCacheTest, InvalidateDropsValue) {
+  util::SimClock clock;
+  ResponseCache<int> cache(clock, util::kSecond);
+  cache.put(7);
+  cache.invalidate();
+  EXPECT_EQ(cache.get(), nullptr);
+}
+
+TEST(CollectColumnsTest, WalksWholeTree) {
+  auto stmt = sql::parseSelect(
+      "SELECT a FROM t WHERE b > 1 AND c IN (d, 2) ORDER BY e");
+  std::set<std::string> cols;
+  collectColumns(*stmt.items[0].expr, cols);
+  collectColumns(*stmt.where, cols);
+  collectColumns(*stmt.orderBy[0].expr, cols);
+  EXPECT_EQ(cols, (std::set<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

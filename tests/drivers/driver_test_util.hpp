@@ -1,0 +1,70 @@
+// Shared fixture for driver tests: one simulated site, a registry with
+// the default drivers, and helpers to connect/query by URL.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/dbc/driver_registry.hpp"
+#include "gridrm/drivers/defaults.hpp"
+#include "gridrm/glue/schema_manager.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::drivers::testutil {
+
+class SiteFixture {
+ public:
+  explicit SiteFixture(std::size_t hosts = 3, std::uint64_t seed = 11)
+      : clock_(0), network_(clock_, seed) {
+    agents::SiteOptions options;
+    options.siteName = "siteA";
+    options.hostCount = hosts;
+    options.seed = seed;
+    site_ = std::make_unique<agents::SiteSimulation>(network_, clock_,
+                                                     options);
+    clock_.advance(120 * util::kSecond);
+    ctx_.network = &network_;
+    ctx_.clock = &clock_;
+    ctx_.schemaManager = &schemaManager_;
+    registerDefaultDrivers(registry_, ctx_);
+  }
+
+  util::SimClock& clock() { return clock_; }
+  net::Network& network() { return network_; }
+  agents::SiteSimulation& site() { return *site_; }
+  glue::SchemaManager& schemaManager() { return schemaManager_; }
+  dbc::DriverRegistry& registry() { return registry_; }
+  DriverContext& context() { return ctx_; }
+
+  std::unique_ptr<dbc::Connection> connect(const std::string& urlText) {
+    auto url = util::Url::parse(urlText);
+    if (!url) throw std::runtime_error("bad url " + urlText);
+    auto driver = registry_.locate(*url);
+    if (!driver) throw std::runtime_error("no driver for " + urlText);
+    return driver->connect(*url, util::Config{});
+  }
+
+  std::unique_ptr<dbc::VectorResultSet> query(const std::string& urlText,
+                                              const std::string& sql) {
+    auto conn = connect(urlText);
+    auto stmt = conn->createStatement();
+    auto rs = stmt->executeQuery(sql);
+    if (auto* vec = dynamic_cast<dbc::VectorResultSet*>(rs.get())) {
+      rs.release();
+      return std::unique_ptr<dbc::VectorResultSet>(vec);
+    }
+    return dbc::VectorResultSet::materialize(*rs);
+  }
+
+ private:
+  util::SimClock clock_;
+  net::Network network_;
+  std::unique_ptr<agents::SiteSimulation> site_;
+  glue::SchemaManager schemaManager_;
+  dbc::DriverRegistry registry_;
+  DriverContext ctx_;
+};
+
+}  // namespace gridrm::drivers::testutil

@@ -1,0 +1,101 @@
+#include "gridrm/drivers/ganglia_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver_test_util.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using testutil::SiteFixture;
+
+TEST(GangliaDriverTest, AcceptsUrlForms) {
+  SiteFixture fixture;
+  GangliaDriver driver(fixture.context());
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:ganglia://h/x")));
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:8649/x")));
+  EXPECT_FALSE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:161/x")));
+}
+
+TEST(GangliaDriverTest, OneFetchServesWholeCluster) {
+  // Coarse-grained: a full-cluster query costs exactly one agent request
+  // (beyond the connect-time validation fetch).
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::ganglia::kGmondPort};
+  auto conn = fixture.connect("jdbc:ganglia://siteA-node00/x?cachems=0");
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  auto stmt = conn->createStatement();
+  auto rs = stmt->executeQuery("SELECT * FROM Processor");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 1);
+  auto* vec = dynamic_cast<dbc::VectorResultSet*>(rs.get());
+  ASSERT_NE(vec, nullptr);
+  EXPECT_EQ(vec->rowCount(), 3u);  // every host from one dump
+}
+
+TEST(GangliaDriverTest, PluginCacheSuppressesRefetch) {
+  // Section 3.3: coarse-grained drivers cache within the plug-in.
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::ganglia::kGmondPort};
+  auto conn = fixture.connect("jdbc:ganglia://siteA-node00/x?cachems=30000");
+  auto stmt = conn->createStatement();
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  (void)stmt->executeQuery("SELECT * FROM Processor");
+  (void)stmt->executeQuery("SELECT * FROM Memory");
+  (void)stmt->executeQuery("SELECT * FROM Host");
+  // All three served from the snapshot fetched at connect time.
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline);
+
+  fixture.clock().advance(31 * util::kSecond);  // TTL lapses
+  (void)stmt->executeQuery("SELECT * FROM Processor");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 1);
+}
+
+TEST(GangliaDriverTest, CacheDisabledRefetchesEveryQuery) {
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::ganglia::kGmondPort};
+  auto conn = fixture.connect("jdbc:ganglia://siteA-node00/x?cachems=0");
+  auto stmt = conn->createStatement();
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  (void)stmt->executeQuery("SELECT * FROM Processor");
+  (void)stmt->executeQuery("SELECT * FROM Processor");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 2);
+}
+
+TEST(GangliaDriverTest, ClusterNameTranslated) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:ganglia://siteA-node00/x",
+                          "SELECT ClusterName FROM Processor LIMIT 1");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "siteA");
+}
+
+TEST(GangliaDriverTest, BootTimeScaledToMicroseconds) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:ganglia://siteA-node00/x",
+                          "SELECT BootTime FROM OperatingSystem LIMIT 1");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 0);  // hosts booted at sim time 0
+}
+
+TEST(GangliaDriverTest, ConnectFailsForDeadHost) {
+  SiteFixture fixture;
+  GangliaDriver driver(fixture.context());
+  EXPECT_THROW(driver.connect(*util::Url::parse("jdbc:ganglia://dead/x"), {}),
+               dbc::SqlError);
+}
+
+TEST(GangliaDriverTest, OrderByAcrossClusterRows) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:ganglia://siteA-node00/x",
+                          "SELECT HostName, Load1 FROM Processor "
+                          "ORDER BY Load1 DESC");
+  double last = 1e9;
+  while (rs->next()) {
+    const double load = rs->getReal("Load1");
+    EXPECT_LE(load, last);
+    last = load;
+  }
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

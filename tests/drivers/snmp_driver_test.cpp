@@ -1,0 +1,109 @@
+#include "gridrm/drivers/snmp_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver_test_util.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using testutil::SiteFixture;
+
+TEST(SnmpDriverTest, AcceptsUrlForms) {
+  SiteFixture fixture;
+  SnmpDriver driver(fixture.context());
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:snmp://h/x")));
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:snmp://h:9999/x")));
+  // Paper form: no subprotocol, claimed via the well-known port.
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:161/x")));
+  EXPECT_FALSE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:8649/x")));
+  EXPECT_FALSE(driver.acceptsUrl(*util::Url::parse("jdbc:nws://h:161/x")));
+}
+
+TEST(SnmpDriverTest, ConnectFailsForDeadHost) {
+  SiteFixture fixture;
+  SnmpDriver driver(fixture.context());
+  EXPECT_THROW(
+      driver.connect(*util::Url::parse("jdbc:snmp://nosuchhost/x"), {}),
+      dbc::SqlError);
+}
+
+TEST(SnmpDriverTest, WrongCommunityIsSecurityDenied) {
+  SiteFixture fixture;
+  SnmpDriver driver(fixture.context());
+  try {
+    driver.connect(*util::Url::parse(
+                       "jdbc:snmp://siteA-node00:161/x?community=wrong"),
+                   {});
+    FAIL();
+  } catch (const dbc::SqlError& e) {
+    EXPECT_EQ(e.code(), dbc::ErrorCode::SecurityDenied);
+  }
+}
+
+TEST(SnmpDriverTest, FineGrainedFetchOnlyNeededOids) {
+  // A one-column query must cost exactly one data request beyond the
+  // connect-time probe (paper section 3.3: fine-grained requests).
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::snmp::kSnmpPort};
+  auto conn = fixture.connect("jdbc:snmp://siteA-node00:161/x");
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  auto stmt = conn->createStatement();
+  (void)stmt->executeQuery("SELECT Load1 FROM Processor");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 1);
+}
+
+TEST(SnmpDriverTest, UptimeScaledToSeconds) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:snmp://siteA-node00:161/x",
+                          "SELECT UpTime FROM Host");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 120);  // the fixture advanced 120s
+}
+
+TEST(SnmpDriverTest, MemoryScaledKbToMb) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:snmp://siteA-node00:161/x",
+                          "SELECT RAMSize FROM Memory");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 2048);  // default spec memTotalMb
+}
+
+TEST(SnmpDriverTest, CpuCountViaBulkWalk) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:snmp://siteA-node01:161/x",
+                          "SELECT CPUCount FROM Processor");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 2);
+}
+
+TEST(SnmpDriverTest, IsValidProbesAgent) {
+  SiteFixture fixture;
+  auto conn = fixture.connect("jdbc:snmp://siteA-node00:161/x");
+  EXPECT_TRUE(conn->isValid());
+  fixture.network().setHostDown("siteA-node00", true);
+  EXPECT_FALSE(conn->isValid());
+  fixture.network().setHostDown("siteA-node00", false);
+  EXPECT_TRUE(conn->isValid());
+}
+
+TEST(SnmpDriverTest, ClosedConnectionRefusesStatements) {
+  SiteFixture fixture;
+  auto conn = fixture.connect("jdbc:snmp://siteA-node00:161/x");
+  conn->close();
+  EXPECT_TRUE(conn->isClosed());
+  EXPECT_THROW(conn->createStatement(), dbc::SqlError);
+}
+
+TEST(SnmpDriverTest, NetworkAdapterCounters) {
+  SiteFixture fixture;
+  auto rs = fixture.query("jdbc:snmp://siteA-node00:161/x",
+                          "SELECT Name, Speed, InBytes FROM NetworkAdapter");
+  rs->next();
+  EXPECT_EQ(rs->getString("Name"), "eth0");
+  EXPECT_EQ(rs->getInt("Speed"), 1000);  // Mbps after scaling
+  EXPECT_GT(rs->getInt("InBytes"), 0);
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

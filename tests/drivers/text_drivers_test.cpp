@@ -1,0 +1,182 @@
+// NWS, NetLogger, SCMS and SQL-source driver specifics (the shared
+// GLUE behaviours are covered by all_drivers_test.cpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "driver_test_util.hpp"
+#include "gridrm/drivers/mock_driver.hpp"
+#include "gridrm/drivers/nws_driver.hpp"
+#include "gridrm/drivers/sqlsrc_driver.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using testutil::SiteFixture;
+
+// ----------------------------------------------------------------- NWS
+
+TEST(NwsDriverTest, ServesNetworkForecastGroup) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("nws"),
+                          "SELECT * FROM NetworkForecast");
+  EXPECT_EQ(rs->rowCount(), 3u);  // latency, bandwidth, availableCpu
+  std::set<std::string> resources;
+  while (rs->next()) {
+    resources.insert(rs->getString("Resource"));
+    EXPECT_FALSE(rs->get("Measurement").isNull());
+    EXPECT_FALSE(rs->get("Forecast").isNull());
+    EXPECT_GE(rs->getReal("ForecastError"), 0.0);
+  }
+  EXPECT_EQ(resources,
+            (std::set<std::string>{"latency", "bandwidth", "availableCpu"}));
+}
+
+TEST(NwsDriverTest, OtherGroupsRejected) {
+  SiteFixture fixture;
+  auto conn = fixture.connect(fixture.site().headUrl("nws"));
+  auto stmt = conn->createStatement();
+  EXPECT_THROW(stmt->executeQuery("SELECT * FROM Processor"), dbc::SqlError);
+}
+
+TEST(NwsDriverTest, FilterByResource) {
+  SiteFixture fixture;
+  auto rs = fixture.query(
+      fixture.site().headUrl("nws"),
+      "SELECT Forecast FROM NetworkForecast WHERE Resource = 'latency'");
+  EXPECT_EQ(rs->rowCount(), 1u);
+}
+
+TEST(NwsDriverTest, PluginCacheCutsSensorTraffic) {
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::nws::kNwsPort};
+  auto conn = fixture.connect("jdbc:nws://siteA-node00/x?cachems=60000");
+  auto stmt = conn->createStatement();
+  (void)stmt->executeQuery("SELECT * FROM NetworkForecast");
+  const auto afterFirst = fixture.network().stats(agent).requestsServed;
+  (void)stmt->executeQuery("SELECT * FROM NetworkForecast");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, afterFirst);
+}
+
+TEST(NwsDriverTest, AcceptsUrlByPort) {
+  SiteFixture fixture;
+  NwsDriver driver(fixture.context());
+  EXPECT_TRUE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:8060/x")));
+  EXPECT_FALSE(driver.acceptsUrl(*util::Url::parse("jdbc:://h:161/x")));
+}
+
+// ------------------------------------------------------------ NetLogger
+
+TEST(NetLoggerDriverTest, TimestampComesFromLogRecord) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("netlogger"),
+                          "SELECT Timestamp, Load1 FROM Processor");
+  rs->next();
+  const auto ts = rs->get("Timestamp").asInt();
+  // Log records are emitted every 5s of sim time; the newest must be at
+  // or before "now" but within one period of it.
+  EXPECT_LE(ts, fixture.clock().now());
+  EXPECT_GE(ts, fixture.clock().now() - 10 * util::kSecond);
+}
+
+TEST(NetLoggerDriverTest, PerAttributeTailRequests) {
+  // Fine-grained: N mapped attributes -> N TAIL requests.
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00",
+                           agents::netlogger::kNetLoggerPort};
+  auto conn = fixture.connect(fixture.site().headUrl("netlogger"));
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  auto stmt = conn->createStatement();
+  (void)stmt->executeQuery("SELECT InBytes, OutBytes FROM NetworkAdapter");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 2);
+}
+
+// ----------------------------------------------------------------- SCMS
+
+TEST(ScmsDriverTest, NodesEnumeratedThenStatted) {
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::scms::kScmsPort};
+  auto conn = fixture.connect(fixture.site().headUrl("scms"));
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  auto stmt = conn->createStatement();
+  (void)stmt->executeQuery("SELECT * FROM Host");
+  // 1 NODES + 3 STAT requests for the 3-host fixture.
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 4);
+}
+
+TEST(ScmsDriverTest, HostGroupComplete) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("scms"),
+                          "SELECT * FROM Host ORDER BY HostName");
+  ASSERT_EQ(rs->rowCount(), 3u);
+  rs->next();
+  EXPECT_EQ(rs->getString("HostName"), "siteA-node00");
+  EXPECT_EQ(rs->getString("ClusterName"), "siteA");
+  EXPECT_GT(rs->getInt("ProcessCount"), 0);
+  EXPECT_EQ(rs->getInt("UpTime"), 120);
+}
+
+// ------------------------------------------------------------ SQL source
+
+TEST(SqlSourceDriverTest, PassThroughDelegatesWholeQuery) {
+  // The GLUE-native driver ships the SQL verbatim: one request per
+  // query, and ORDER BY/LIMIT are executed source-side.
+  SiteFixture fixture;
+  const net::Address agent{"siteA-node00", agents::sqlsrc::kSqlPort};
+  auto conn = fixture.connect(fixture.site().headUrl("sql"));
+  const auto baseline = fixture.network().stats(agent).requestsServed;
+  auto stmt = conn->createStatement();
+  auto rs = stmt->executeQuery(
+      "SELECT HostName FROM Processor ORDER BY Load1 DESC LIMIT 1");
+  EXPECT_EQ(fixture.network().stats(agent).requestsServed, baseline + 1);
+  auto* vec = dynamic_cast<dbc::VectorResultSet*>(rs.get());
+  ASSERT_NE(vec, nullptr);
+  EXPECT_EQ(vec->rowCount(), 1u);
+}
+
+TEST(SqlSourceDriverTest, SourceErrorsSurfaceAsSqlError) {
+  SiteFixture fixture;
+  auto conn = fixture.connect(fixture.site().headUrl("sql"));
+  auto stmt = conn->createStatement();
+  EXPECT_THROW(stmt->executeQuery("SELECT * FROM Nope"), dbc::SqlError);
+}
+
+TEST(SqlSourceDriverTest, ComputeElementGroup) {
+  SiteFixture fixture;
+  auto rs = fixture.query(fixture.site().headUrl("sql"),
+                          "SELECT * FROM ComputeElement");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->getInt("HostCount"), 3);
+}
+
+// ------------------------------------------------------------ Mock driver
+
+TEST(MockDriverTest, ScriptedFailures) {
+  SiteFixture fixture;
+  MockBehaviour behaviour;
+  behaviour.failQueriesFrom = 2;  // queries 3, 4, ... fail
+  MockDriver driver(fixture.context(), behaviour);
+  auto url = *util::Url::parse("jdbc:mock://h/x");
+  ASSERT_TRUE(driver.acceptsUrl(url));
+  auto conn = driver.connect(url, {});
+  auto stmt = conn->createStatement();
+  EXPECT_NO_THROW(stmt->executeQuery("SELECT Load1 FROM Processor"));
+  EXPECT_NO_THROW(stmt->executeQuery("SELECT Load1 FROM Processor"));
+  EXPECT_THROW(stmt->executeQuery("SELECT Load1 FROM Processor"),
+               dbc::SqlError);
+  EXPECT_EQ(driver.queryCalls(), 3u);
+}
+
+TEST(MockDriverTest, ConnectFailureScripted) {
+  SiteFixture fixture;
+  MockBehaviour behaviour;
+  behaviour.failConnect = true;
+  MockDriver driver(fixture.context(), behaviour);
+  EXPECT_THROW(driver.connect(*util::Url::parse("jdbc:mock://h/x"), {}),
+               dbc::SqlError);
+  EXPECT_EQ(driver.connectCalls(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

@@ -1,0 +1,86 @@
+#include "gridrm/global/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::global {
+namespace {
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest()
+      : clock_(0),
+        network_(clock_),
+        directory_(network_, {"gma", kDirectoryPort}),
+        client_(network_, {"me", 0}, {"gma", kDirectoryPort}) {}
+
+  util::SimClock clock_;
+  net::Network network_;
+  GmaDirectory directory_;
+  DirectoryClient client_;
+};
+
+TEST_F(DirectoryTest, RegisterAndLookupProducer) {
+  client_.registerProducer("gw-a", {"gw-a.host", 8710},
+                           {"siteA-*", "special.host"});
+  auto hit = client_.lookup("siteA-node03");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "gw-a");
+  EXPECT_EQ(hit->address.toString(), "gw-a.host:8710");
+  EXPECT_TRUE(client_.lookup("special.host").has_value());
+  EXPECT_FALSE(client_.lookup("siteB-node00").has_value());
+}
+
+TEST_F(DirectoryTest, MultipleProducersDisjointOwnership) {
+  client_.registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  client_.registerProducer("gw-b", {"b", 1}, {"siteB-*"});
+  EXPECT_EQ(client_.lookup("siteA-n0")->name, "gw-a");
+  EXPECT_EQ(client_.lookup("siteB-n0")->name, "gw-b");
+  EXPECT_EQ(client_.list().size(), 2u);
+}
+
+TEST_F(DirectoryTest, ReregistrationReplacesPatterns) {
+  client_.registerProducer("gw-a", {"a", 1}, {"old-*"});
+  client_.registerProducer("gw-a", {"a", 1}, {"new-*"});
+  EXPECT_FALSE(client_.lookup("old-x").has_value());
+  EXPECT_TRUE(client_.lookup("new-x").has_value());
+  EXPECT_EQ(client_.list().size(), 1u);
+}
+
+TEST_F(DirectoryTest, UnregisterProducer) {
+  client_.registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  client_.unregisterProducer("gw-a");
+  EXPECT_FALSE(client_.lookup("siteA-x").has_value());
+  EXPECT_TRUE(client_.list().empty());
+}
+
+TEST_F(DirectoryTest, ConsumerRegistryFiltersByEventType) {
+  client_.registerConsumer("gw-a", {"a", 162}, "snmp.trap");
+  client_.registerConsumer("gw-b", {"b", 162}, "*");
+  client_.registerConsumer("gw-c", {"c", 162}, "other");
+
+  auto forTrap = client_.consumersFor("snmp.trap.highload");
+  ASSERT_EQ(forTrap.size(), 2u);  // gw-a (prefix) + gw-b (wildcard)
+
+  auto forOther = client_.consumersFor("other.kind");
+  ASSERT_EQ(forOther.size(), 2u);  // gw-b + gw-c
+  client_.unregisterConsumer("gw-b");
+  EXPECT_EQ(client_.consumersFor("snmp.trap.x").size(), 1u);
+}
+
+TEST_F(DirectoryTest, BadRequestsAnswered) {
+  EXPECT_EQ(network_.request({"me", 0}, {"gma", kDirectoryPort}, "JUNK"),
+            "ERR bad request");
+  EXPECT_EQ(network_.request({"me", 0}, {"gma", kDirectoryPort}, ""),
+            "ERR empty request");
+}
+
+TEST_F(DirectoryTest, InProcessAccessors) {
+  client_.registerProducer("gw-a", {"a", 1}, {"x-*"});
+  client_.registerConsumer("gw-a", {"a", 162}, "*");
+  EXPECT_EQ(directory_.producers().size(), 1u);
+  EXPECT_EQ(directory_.consumers().size(), 1u);
+  EXPECT_EQ(directory_.producers()[0].ownedHostPatterns.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::global

@@ -1,0 +1,79 @@
+// Two-site Grid fixture: a GMA directory plus two gateways, each owning
+// a simulated site, with Global layers started (paper Fig. 1).
+#pragma once
+
+#include <memory>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"
+
+namespace gridrm::global::testutil {
+
+struct GridFixture {
+  explicit GridFixture(util::Duration cacheTtl = 5 * util::kSecond,
+                       const std::string& eventPattern = "")
+      : clock(0), network(clock, 17) {
+    directory =
+        std::make_unique<GmaDirectory>(network, net::Address{"gma", kDirectoryPort});
+
+    agents::SiteOptions optionsA;
+    optionsA.siteName = "siteA";
+    optionsA.hostCount = 3;
+    optionsA.seed = 1;
+    siteA = std::make_unique<agents::SiteSimulation>(network, clock, optionsA);
+
+    agents::SiteOptions optionsB;
+    optionsB.siteName = "siteB";
+    optionsB.hostCount = 2;
+    optionsB.seed = 2;
+    siteB = std::make_unique<agents::SiteSimulation>(network, clock, optionsB);
+
+    clock.advance(120 * util::kSecond);
+
+    core::GatewayOptions gwA;
+    gwA.name = "gw-a";
+    gwA.host = "gw-a.host";
+    gwA.cacheTtl = cacheTtl;
+    gatewayA = std::make_unique<core::Gateway>(network, clock, gwA);
+
+    core::GatewayOptions gwB;
+    gwB.name = "gw-b";
+    gwB.host = "gw-b.host";
+    gwB.cacheTtl = cacheTtl;
+    gatewayB = std::make_unique<core::Gateway>(network, clock, gwB);
+
+    adminA = gatewayA->openSession(core::Principal::admin());
+    adminB = gatewayB->openSession(core::Principal::admin());
+    for (const auto& url : siteA->dataSourceUrls()) {
+      gatewayA->addDataSource(adminA, url);
+    }
+    for (const auto& url : siteB->dataSourceUrls()) {
+      gatewayB->addDataSource(adminB, url);
+    }
+
+    GlobalOptions globalOptions;
+    globalOptions.propagateEventPattern = eventPattern;
+    globalA = std::make_unique<GlobalLayer>(
+        *gatewayA, net::Address{"gma", kDirectoryPort}, globalOptions);
+    globalB = std::make_unique<GlobalLayer>(
+        *gatewayB, net::Address{"gma", kDirectoryPort}, globalOptions);
+    globalA->start();
+    globalB->start();
+  }
+
+  util::SimClock clock;
+  net::Network network;
+  std::unique_ptr<GmaDirectory> directory;
+  std::unique_ptr<agents::SiteSimulation> siteA;
+  std::unique_ptr<agents::SiteSimulation> siteB;
+  std::unique_ptr<core::Gateway> gatewayA;
+  std::unique_ptr<core::Gateway> gatewayB;
+  std::unique_ptr<GlobalLayer> globalA;
+  std::unique_ptr<GlobalLayer> globalB;
+  std::string adminA;
+  std::string adminB;
+};
+
+}  // namespace gridrm::global::testutil

@@ -1,0 +1,202 @@
+#include "gridrm/global/global_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "global_fixture.hpp"
+
+namespace gridrm::global {
+namespace {
+
+using testutil::GridFixture;
+
+TEST(GlobalLayerTest, ProducersRegisterWithDirectory) {
+  GridFixture f;
+  EXPECT_EQ(f.directory->producers().size(), 2u);
+  EXPECT_TRUE(f.globalA->ownsHost("siteA-node00"));
+  EXPECT_FALSE(f.globalA->ownsHost("siteB-node00"));
+}
+
+TEST(GlobalLayerTest, LocalQueryStaysLocal) {
+  GridFixture f;
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteA->headUrl("snmp")}, "SELECT * FROM Processor");
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(result.rows->rowCount(), 1u);
+  EXPECT_EQ(f.globalA->stats().remoteQueriesSent, 0u);
+}
+
+TEST(GlobalLayerTest, RemoteQueryRoutedToOwningGateway) {
+  // A client connected to gw-a asks for siteB data: gw-a must route the
+  // query to gw-b (paper section 1.1).
+  GridFixture f;
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM Processor");
+  ASSERT_TRUE(result.complete())
+      << (result.failures.empty() ? "" : result.failures[0].message);
+  EXPECT_EQ(result.rows->rowCount(), 1u);
+  result.rows->next();
+  EXPECT_EQ(result.rows->getString("HostName"), "siteB-node00");
+  EXPECT_EQ(f.globalA->stats().remoteQueriesSent, 1u);
+  EXPECT_EQ(f.globalB->stats().remoteQueriesServed, 1u);
+}
+
+TEST(GlobalLayerTest, MixedLocalAndRemoteConsolidated) {
+  GridFixture f;
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteA->headUrl("scms"), f.siteB->headUrl("scms")},
+      "SELECT * FROM Processor");
+  ASSERT_TRUE(result.complete());
+  // siteA has 3 hosts, siteB has 2: SCMS returns one row per host.
+  EXPECT_EQ(result.rows->rowCount(), 5u);
+  EXPECT_EQ(result.rows->metaData().column(0).name, "Source");
+}
+
+TEST(GlobalLayerTest, InterGatewayCacheReducesRemoteTraffic) {
+  // Paper section 4: caching between gateways "increase[s] scalability
+  // by reducing unnecessary requests".
+  GridFixture f(/*cacheTtl=*/30 * util::kSecond);
+  const std::vector<std::string> urls = {f.siteB->headUrl("snmp")};
+  const std::string sql = "SELECT * FROM Processor";
+  (void)f.globalA->globalQuery(f.adminA, urls, sql);
+  (void)f.globalA->globalQuery(f.adminA, urls, sql);
+  (void)f.globalA->globalQuery(f.adminA, urls, sql);
+  EXPECT_EQ(f.globalA->stats().remoteQueriesSent, 1u);
+  EXPECT_EQ(f.globalA->stats().remoteCacheHits, 2u);
+}
+
+TEST(GlobalLayerTest, CacheDisabledSendsEveryQuery) {
+  GridFixture f(/*cacheTtl=*/0);
+  const std::vector<std::string> urls = {f.siteB->headUrl("snmp")};
+  core::QueryOptions options;
+  options.useCache = false;
+  (void)f.globalA->globalQuery(f.adminA, urls, "SELECT * FROM Processor",
+                               options);
+  (void)f.globalA->globalQuery(f.adminA, urls, "SELECT * FROM Processor",
+                               options);
+  EXPECT_EQ(f.globalA->stats().remoteQueriesSent, 2u);
+}
+
+TEST(GlobalLayerTest, DirectoryLookupsCached) {
+  GridFixture f(/*cacheTtl=*/0);
+  core::QueryOptions options;
+  options.useCache = false;
+  for (int i = 0; i < 3; ++i) {
+    (void)f.globalA->globalQuery(f.adminA, {f.siteB->headUrl("snmp")},
+                                 "SELECT * FROM Processor", options);
+  }
+  EXPECT_EQ(f.globalA->stats().directoryLookups, 1u);
+  EXPECT_EQ(f.globalA->stats().lookupCacheHits, 2u);
+}
+
+TEST(GlobalLayerTest, UnknownHostFails) {
+  GridFixture f;
+  auto result = f.globalA->globalQuery(
+      f.adminA, {"jdbc:snmp://unknown-host:161/x"}, "SELECT * FROM Processor");
+  EXPECT_FALSE(result.complete());
+  EXPECT_NE(result.failures[0].message.find("no gateway owns"),
+            std::string::npos);
+}
+
+TEST(GlobalLayerTest, FederationSecretEnforced) {
+  GridFixture f;
+  const net::Payload response = f.network.request(
+      {"evil", 0}, f.globalB->producerAddress(),
+      "GQUERY wrong-secret\n" + f.siteB->headUrl("snmp") +
+          "\nSELECT * FROM Processor");
+  EXPECT_EQ(response, "ERR federation authentication failed");
+  EXPECT_EQ(f.globalB->stats().authFailures, 1u);
+}
+
+TEST(GlobalLayerTest, RemoteErrorsSurfaceInFailures) {
+  GridFixture f;
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM NotAGroup");
+  EXPECT_FALSE(result.complete());
+  EXPECT_NE(result.failures[0].message.find("remote"), std::string::npos);
+}
+
+TEST(GlobalLayerTest, RemoteGatewayDownReportedNotFatal) {
+  GridFixture f;
+  f.network.setHostDown("gw-b.host", true);
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp"), f.siteA->headUrl("snmp")},
+      "SELECT * FROM Processor");
+  EXPECT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.rows->rowCount(), 1u);  // local half still answered
+}
+
+TEST(GlobalLayerTest, ClientsFreeToConnectToAnyGateway) {
+  // The same remote data is reachable through either gateway.
+  GridFixture f;
+  auto viaA = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("sql")},
+      "SELECT HostName FROM Host ORDER BY HostName");
+  auto viaB = f.globalB->globalQuery(
+      f.adminB, {f.siteB->headUrl("sql")},
+      "SELECT HostName FROM Host ORDER BY HostName");
+  ASSERT_TRUE(viaA.complete());
+  ASSERT_TRUE(viaB.complete());
+  EXPECT_EQ(viaA.rows->rowCount(), viaB.rows->rowCount());
+}
+
+TEST(GlobalLayerTest, RemoteResultsRecordedInLocalHistory) {
+  // Fig. 9: the gateway's stored data covers "local resources, as well
+  // as any remote resource data, that was queried from the local
+  // gateway".
+  GridFixture f;
+  core::QueryOptions options;
+  options.useCache = false;
+  options.recordHistory = true;
+  for (int i = 0; i < 2; ++i) {
+    auto result = f.globalA->globalQuery(
+        f.adminA, {f.siteA->headUrl("sql"), f.siteB->headUrl("sql")},
+        "SELECT HostName, Load1 FROM Processor", options);
+    ASSERT_TRUE(result.complete());
+    f.clock.advance(10 * util::kSecond);
+  }
+  // Both the local (siteA) and the relayed (siteB) rows are in gw-a's
+  // HistoryProcessor, distinguishable by Source.
+  auto local = f.gatewayA->submitHistoricalQuery(
+      f.adminA, "SELECT * FROM HistoryProcessor "
+                "WHERE HostName LIKE 'siteA%'");
+  auto remote = f.gatewayA->submitHistoricalQuery(
+      f.adminA, "SELECT * FROM HistoryProcessor "
+                "WHERE HostName LIKE 'siteB%'");
+  EXPECT_EQ(local->rowCount(), 6u);   // 3 hosts x 2 polls
+  EXPECT_EQ(remote->rowCount(), 4u);  // 2 hosts x 2 polls
+  // Aggregates over the federated history work too.
+  auto counts = f.gatewayA->submitHistoricalQuery(
+      f.adminA, "SELECT HostName, COUNT(*) AS n FROM HistoryProcessor "
+                "GROUP BY HostName");
+  EXPECT_EQ(counts->rowCount(), 5u);
+}
+
+TEST(GlobalLayerTest, EventPropagationBetweenGateways) {
+  GridFixture f(/*cacheTtl=*/5 * util::kSecond, /*eventPattern=*/"alert");
+  std::vector<core::Event> seenAtB;
+  f.gatewayB->subscribeEvents(f.adminB, "alert",
+                              [&](const core::Event& e) {
+                                seenAtB.push_back(e);
+                              });
+
+  core::Event e;
+  e.type = "alert.load";
+  e.source = "siteA-node00";
+  e.fields["load"] = util::Value(9.5);
+  f.gatewayA->eventManager().ingest(e);
+  f.gatewayA->eventManager().drain();
+  f.gatewayB->eventManager().drain();
+
+  ASSERT_EQ(seenAtB.size(), 1u);
+  EXPECT_EQ(seenAtB[0].type, "alert.load");
+  EXPECT_EQ(seenAtB[0].field("origin"), "gw-a");
+  EXPECT_EQ(seenAtB[0].field("source_host"), "siteA-node00");
+  EXPECT_GE(f.globalA->stats().eventsPropagated, 1u);
+
+  // The relayed copy at B must not bounce back to A (origin tag).
+  f.gatewayA->eventManager().drain();
+  EXPECT_EQ(f.globalB->stats().eventsPropagated, 0u);
+}
+
+}  // namespace
+}  // namespace gridrm::global

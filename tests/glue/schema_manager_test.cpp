@@ -1,0 +1,83 @@
+#include "gridrm/glue/schema_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::glue {
+namespace {
+
+TEST(SchemaManagerTest, DefaultsToBuiltinSchema) {
+  SchemaManager mgr;
+  EXPECT_NE(mgr.schema().findGroup("Processor"), nullptr);
+}
+
+TEST(SchemaManagerTest, UnknownDriverMapIsNull) {
+  SchemaManager mgr;
+  EXPECT_EQ(mgr.driverMap("nope"), nullptr);
+}
+
+TEST(SchemaManagerTest, RegisterAndFetchDriverMap) {
+  SchemaManager mgr;
+  DriverSchemaMap map("snmp");
+  map.group("Processor").map("Load1", "1.3.6.1.4.1.2021.10.1.3.1");
+  mgr.registerDriverMap(std::move(map));
+
+  auto fetched = mgr.driverMap("snmp");
+  ASSERT_NE(fetched, nullptr);
+  const GroupMapping* g = fetched->findGroup("Processor");
+  ASSERT_NE(g, nullptr);
+  auto m = g->find("Load1");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->native, "1.3.6.1.4.1.2021.10.1.3.1");
+}
+
+TEST(SchemaManagerTest, ReRegistrationReplaces) {
+  SchemaManager mgr;
+  DriverSchemaMap v1("d");
+  v1.group("G").map("a", "old");
+  mgr.registerDriverMap(std::move(v1));
+  // A connection caches the map it fetched at connect time (Fig. 5).
+  auto cached = mgr.driverMap("d");
+
+  DriverSchemaMap v2("d");
+  v2.group("G").map("a", "new");
+  mgr.registerDriverMap(std::move(v2));
+
+  EXPECT_EQ(mgr.driverMap("d")->findGroup("G")->find("a")->native, "new");
+  // The old connection's cached map is unchanged (shared ownership).
+  EXPECT_EQ(cached->findGroup("G")->find("a")->native, "old");
+}
+
+TEST(GroupMappingTest, CaseInsensitiveAttributeKeys) {
+  GroupMapping g("Processor");
+  g.map("Load1", "load_one");
+  EXPECT_TRUE(g.find("load1").has_value());
+  EXPECT_TRUE(g.find("LOAD1").has_value());
+  EXPECT_FALSE(g.find("Load5").has_value());
+}
+
+TEST(GroupMappingTest, ScaleDefaultsToOne) {
+  GroupMapping g("Memory");
+  g.map("RAMSize", "mem_total", 1.0 / 1024);
+  g.map("RAMAvailable", "mem_free");
+  EXPECT_DOUBLE_EQ(g.find("RAMSize")->scale, 1.0 / 1024);
+  EXPECT_DOUBLE_EQ(g.find("RAMAvailable")->scale, 1.0);
+}
+
+TEST(GroupMappingTest, EmptyNativeMeansDeclaredButUnavailable) {
+  GroupMapping g("Host");
+  g.map("Architecture", "");
+  auto m = g.find("Architecture");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->native.empty());
+}
+
+TEST(DriverSchemaMapTest, GroupAccessCreatesOnDemand) {
+  DriverSchemaMap map("d");
+  EXPECT_EQ(map.findGroup("G"), nullptr);
+  map.group("G").map("a", "x");
+  EXPECT_NE(map.findGroup("g"), nullptr);  // case-insensitive
+  EXPECT_EQ(map.groupNames().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::glue

@@ -1,0 +1,102 @@
+#include "gridrm/glue/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::glue {
+namespace {
+
+using util::Value;
+using util::ValueType;
+
+TEST(SchemaTest, BuiltinGroupsPresent) {
+  const Schema& s = Schema::builtin();
+  for (const char* name :
+       {"Host", "Processor", "Memory", "OperatingSystem", "FileSystem",
+        "NetworkAdapter", "ComputeElement", "StorageElement",
+        "NetworkForecast"}) {
+    EXPECT_NE(s.findGroup(name), nullptr) << name;
+  }
+  EXPECT_GE(s.groupCount(), 9u);
+}
+
+TEST(SchemaTest, GroupLookupCaseInsensitive) {
+  const Schema& s = Schema::builtin();
+  EXPECT_NE(s.findGroup("processor"), nullptr);
+  EXPECT_NE(s.findGroup("PROCESSOR"), nullptr);
+  EXPECT_EQ(s.findGroup("NoSuchGroup"), nullptr);
+}
+
+TEST(SchemaTest, ProcessorGroupShape) {
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  ASSERT_NE(g, nullptr);
+  const AttributeDef* load1 = g->find("Load1");
+  ASSERT_NE(load1, nullptr);
+  EXPECT_EQ(load1->type, ValueType::Real);
+  const AttributeDef* count = g->find("CPUCount");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->type, ValueType::Int);
+  EXPECT_NE(g->find("HostName"), nullptr);
+  EXPECT_EQ(g->find("Bogus"), nullptr);
+}
+
+TEST(SchemaTest, AttributeLookupCaseInsensitive) {
+  const GroupDef* g = Schema::builtin().findGroup("Memory");
+  ASSERT_NE(g, nullptr);
+  EXPECT_NE(g->find("ramsize"), nullptr);
+  EXPECT_EQ(g->indexOf("RAMSIZE"), g->indexOf("RAMSize"));
+}
+
+TEST(SchemaTest, UnitsCarried) {
+  const GroupDef* g = Schema::builtin().findGroup("Memory");
+  EXPECT_EQ(g->find("RAMSize")->unit, "MB");
+  const GroupDef* nic = Schema::builtin().findGroup("NetworkAdapter");
+  EXPECT_EQ(nic->find("Speed")->unit, "Mbps");
+}
+
+TEST(SchemaTest, AddGroupReplacesByName) {
+  Schema s;
+  s.addGroup(GroupDef("G", {{"a", ValueType::Int, "", ""}}));
+  s.addGroup(GroupDef("g", {{"b", ValueType::Int, "", ""}}));  // replaces
+  EXPECT_EQ(s.groupCount(), 1u);
+  EXPECT_NE(s.findGroup("G")->find("b"), nullptr);
+  EXPECT_EQ(s.findGroup("G")->find("a"), nullptr);
+}
+
+TEST(SchemaValidationTest, CleanRowPasses) {
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  auto issues = validateRow(
+      *g, {{"HostName", Value("n0")}, {"Load1", Value(0.5)},
+           {"CPUCount", Value(2)}});
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(SchemaValidationTest, NullAlwaysAllowed) {
+  // Paper section 3.2.3: drivers return NULL for unavailable attributes.
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  auto issues = validateRow(*g, {{"Load1", Value::null()},
+                                 {"Model", Value::null()}});
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(SchemaValidationTest, IntAcceptedForRealAttribute) {
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  auto issues = validateRow(*g, {{"Load1", Value(1)}});
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(SchemaValidationTest, TypeMismatchFlagged) {
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  auto issues = validateRow(*g, {{"Load1", Value("high")}});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].attribute, "Load1");
+}
+
+TEST(SchemaValidationTest, UnknownAttributeFlagged) {
+  const GroupDef* g = Schema::builtin().findGroup("Processor");
+  auto issues = validateRow(*g, {{"NotAnAttr", Value(1)}});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].attribute, "NotAnAttr");
+}
+
+}  // namespace
+}  // namespace gridrm::glue

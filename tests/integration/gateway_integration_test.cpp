@@ -1,0 +1,206 @@
+// End-to-end Local-layer tests (paper Figs. 2, 3 and 5): client SQL in
+// through the ACIL, down through security, request handling, pooling,
+// driver selection and native protocols, GLUE rows out.
+#include <gtest/gtest.h>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using util::kSecond;
+
+class GatewayIntegrationTest : public ::testing::Test {
+ protected:
+  GatewayIntegrationTest() : clock_(0), network_(clock_, 23) {
+    agents::SiteOptions siteOptions;
+    siteOptions.siteName = "siteA";
+    siteOptions.hostCount = 3;
+    site_ = std::make_unique<agents::SiteSimulation>(network_, clock_,
+                                                     siteOptions);
+    clock_.advance(120 * kSecond);
+
+    GatewayOptions gatewayOptions;
+    gatewayOptions.name = "gw-a";
+    gatewayOptions.host = "gw-a.host";
+    gateway_ = std::make_unique<Gateway>(network_, clock_, gatewayOptions);
+    admin_ = gateway_->openSession(Principal::admin());
+    for (const auto& url : site_->dataSourceUrls()) {
+      gateway_->addDataSource(admin_, url);
+    }
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  std::unique_ptr<agents::SiteSimulation> site_;
+  std::unique_ptr<Gateway> gateway_;
+  std::string admin_;
+};
+
+TEST_F(GatewayIntegrationTest, QueryThroughEveryDriver) {
+  for (const char* sub :
+       {"snmp", "ganglia", "netlogger", "scms", "sql", "mds"}) {
+    QueryResult result = gateway_->submitQuery(
+        admin_, {site_->headUrl(sub)}, "SELECT * FROM Processor");
+    EXPECT_TRUE(result.complete()) << sub;
+    EXPECT_GT(result.rows->rowCount(), 0u) << sub;
+  }
+  QueryResult nws = gateway_->submitQuery(
+      admin_, {site_->headUrl("nws")}, "SELECT * FROM NetworkForecast");
+  EXPECT_TRUE(nws.complete());
+  EXPECT_EQ(nws.rows->rowCount(), 3u);
+}
+
+TEST_F(GatewayIntegrationTest, PaperUrlFormDynamicSelection) {
+  // "jdbc:://host:161/..." -- no subprotocol, located dynamically.
+  const std::string anonymous =
+      "jdbc:://siteA-node01:161/perfdata";
+  QueryResult result = gateway_->submitQuery(
+      admin_, {anonymous}, "SELECT HostName, Load1 FROM Processor");
+  ASSERT_TRUE(result.complete())
+      << (result.failures.empty() ? "" : result.failures[0].message);
+  result.rows->next();
+  EXPECT_EQ(result.rows->getString("HostName"), "siteA-node01");
+  EXPECT_EQ(gateway_->driverManager().cachedDriver(anonymous), "snmp");
+}
+
+TEST_F(GatewayIntegrationTest, SiteQueryConsolidatesAllSources) {
+  QueryResult result =
+      gateway_->submitSiteQuery(admin_, "SELECT * FROM Memory");
+  // SNMP (3 hosts, 1 row each) + ganglia (3 rows) + netlogger (1) +
+  // scms (3) + sql (3) + mds (3); NWS fails (no Memory group).
+  EXPECT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.rows->rowCount(), 16u);
+  EXPECT_EQ(result.rows->metaData().column(0).name, "Source");
+}
+
+TEST_F(GatewayIntegrationTest, SessionSecurityEnforced) {
+  EXPECT_THROW(gateway_->submitQuery("bad-token", {site_->headUrl("sql")},
+                                     "SELECT * FROM Host"),
+               dbc::SqlError);
+  const std::string guest =
+      gateway_->openSession(Principal{"eve", {"guest"}});
+  // Guests may run real-time queries but not administer drivers.
+  EXPECT_NO_THROW(gateway_->submitQuery(guest, {site_->headUrl("sql")},
+                                        "SELECT * FROM Host"));
+  EXPECT_THROW(gateway_->listDrivers(guest), dbc::SqlError);
+  EXPECT_THROW(gateway_->submitHistoricalQuery(guest, "SELECT * FROM x"),
+               dbc::SqlError);
+}
+
+TEST_F(GatewayIntegrationTest, FgslBlocksPerResourceGroups) {
+  gateway_->fineSecurity().addRule({"guest", "*", "Memory", false});
+  const std::string guest =
+      gateway_->openSession(Principal{"eve", {"guest"}});
+  QueryResult denied = gateway_->submitQuery(
+      guest, {site_->headUrl("sql")}, "SELECT * FROM Memory");
+  EXPECT_FALSE(denied.complete());
+  QueryResult allowed = gateway_->submitQuery(
+      guest, {site_->headUrl("sql")}, "SELECT * FROM Host");
+  EXPECT_TRUE(allowed.complete());
+}
+
+TEST_F(GatewayIntegrationTest, GatewayCacheLimitsResourceIntrusion) {
+  // Paper section 4: cached views limit agent load.
+  const net::Address agent{"siteA-node00", 161};
+  const std::string url = site_->headUrl("snmp");
+  const std::string sql = "SELECT Load1 FROM Processor";
+  (void)gateway_->submitQuery(admin_, {url}, sql);
+  const auto afterFirst = network_.stats(agent).requestsServed;
+  for (int i = 0; i < 10; ++i) {
+    (void)gateway_->submitQuery(admin_, {url}, sql);
+  }
+  EXPECT_EQ(network_.stats(agent).requestsServed, afterFirst);
+  EXPECT_EQ(gateway_->cache().stats().hits, 10u);
+}
+
+TEST_F(GatewayIntegrationTest, ExplicitPollRefreshesCache) {
+  const std::string url = site_->headUrl("snmp");
+  const std::string sql = "SELECT Load1 FROM Processor";
+  (void)gateway_->submitQuery(admin_, {url}, sql);
+  const auto cachedAt =
+      gateway_->cache().cachedAt(CacheController::key(url, sql));
+  ASSERT_TRUE(cachedAt.has_value());
+
+  clock_.advance(kSecond);
+  QueryOptions poll;
+  poll.useCache = false;  // the Fig. 9 "poll" action
+  (void)gateway_->submitQuery(admin_, {url}, sql, poll);
+  // Poll bypasses the cache but leaves the old entry in place; a
+  // subsequent cached read still works.
+  QueryResult cached = gateway_->submitQuery(admin_, {url}, sql);
+  EXPECT_EQ(cached.servedFromCache, 1u);
+}
+
+TEST_F(GatewayIntegrationTest, ConnectionPoolReusedAcrossQueries) {
+  const std::string url = site_->headUrl("scms");
+  QueryOptions options;
+  options.useCache = false;
+  (void)gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+  (void)gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+  (void)gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+  const auto stats = gateway_->connectionManager().stats();
+  EXPECT_EQ(stats.creations, 1u);
+  EXPECT_EQ(stats.poolHits, 2u);
+}
+
+TEST_F(GatewayIntegrationTest, RuntimeDriverAdministration) {
+  // Fig. 8: register preferences, swap policies, unregister drivers.
+  auto names = gateway_->listDrivers(admin_);
+  EXPECT_EQ(names.size(), 7u);
+
+  gateway_->setDriverPreference(admin_, site_->headUrl("snmp"), {"snmp"});
+  gateway_->setFailurePolicy(admin_,
+                             {FailurePolicy::Action::Retry, 2});
+  EXPECT_EQ(gateway_->driverManager().failurePolicy().retries, 2);
+
+  EXPECT_TRUE(gateway_->unregisterDriver(admin_, "nws"));
+  EXPECT_EQ(gateway_->listDrivers(admin_).size(), 6u);
+  QueryResult result = gateway_->submitQuery(
+      admin_, {site_->headUrl("nws")}, "SELECT * FROM NetworkForecast");
+  EXPECT_FALSE(result.complete());  // no driver accepts NWS any more
+}
+
+TEST_F(GatewayIntegrationTest, HistoricalPathRecordsAndQueries) {
+  QueryOptions options;
+  options.recordHistory = true;
+  options.useCache = false;
+  for (int i = 0; i < 3; ++i) {
+    (void)gateway_->submitQuery(admin_, {site_->headUrl("sql")},
+                                "SELECT * FROM Processor", options);
+    clock_.advance(10 * kSecond);
+  }
+  auto rs = gateway_->submitHistoricalQuery(
+      admin_, "SELECT * FROM HistoryProcessor WHERE HostName = 'siteA-node00' "
+              "ORDER BY RecordedAt");
+  EXPECT_EQ(rs->rowCount(), 3u);
+}
+
+TEST_F(GatewayIntegrationTest, FailedSourceRecoversViaReselection) {
+  const std::string url = site_->headUrl("scms");
+  QueryOptions options;
+  options.useCache = false;
+  (void)gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+
+  network_.setHostDown("siteA-node00", true);
+  QueryResult down =
+      gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+  EXPECT_FALSE(down.complete());
+
+  network_.setHostDown("siteA-node00", false);
+  QueryResult recovered =
+      gateway_->submitQuery(admin_, {url}, "SELECT * FROM Host", options);
+  EXPECT_TRUE(recovered.complete());
+}
+
+TEST_F(GatewayIntegrationTest, DataSourceManagement) {
+  const std::size_t before = gateway_->dataSources().size();
+  gateway_->addDataSource(admin_, "jdbc:snmp://extra:161/x");
+  EXPECT_EQ(gateway_->dataSources().size(), before + 1);
+  gateway_->removeDataSource(admin_, "jdbc:snmp://extra:161/x");
+  EXPECT_EQ(gateway_->dataSources().size(), before);
+}
+
+}  // namespace
+}  // namespace gridrm::core

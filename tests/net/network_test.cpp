@@ -1,0 +1,189 @@
+#include "gridrm/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::net {
+namespace {
+
+class Echo final : public RequestHandler {
+ public:
+  Payload handleRequest(const Address& from, const Payload& request) override {
+    ++requests;
+    lastFrom = from;
+    return "echo:" + request;
+  }
+  void handleDatagram(const Address&, const Payload& body) override {
+    datagrams.push_back(body);
+  }
+  int requests = 0;
+  Address lastFrom;
+  std::vector<Payload> datagrams;
+};
+
+TEST(AddressTest, ParseAndPrint) {
+  Address a = Address::parse("host01:161");
+  EXPECT_EQ(a.host, "host01");
+  EXPECT_EQ(a.port, 161);
+  EXPECT_EQ(a.toString(), "host01:161");
+  EXPECT_EQ(Address::parse("bare").port, 0);
+  EXPECT_EQ(Address::parse("h:99999").host, "h:99999");  // invalid port
+}
+
+TEST(NetworkTest, RequestResponse) {
+  util::SimClock clock;
+  Network network(clock);
+  Echo echo;
+  network.bind({"server", 80}, &echo);
+
+  Payload response =
+      network.request({"client", 0}, {"server", 80}, "hello");
+  EXPECT_EQ(response, "echo:hello");
+  EXPECT_EQ(echo.requests, 1);
+  EXPECT_EQ(echo.lastFrom.host, "client");
+}
+
+TEST(NetworkTest, UnboundEndpointIsUnreachable) {
+  util::SimClock clock;
+  Network network(clock);
+  try {
+    network.request({"c", 0}, {"nowhere", 1}, "x");
+    FAIL() << "expected NetError";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetErrorKind::Unreachable);
+  }
+}
+
+TEST(NetworkTest, LatencyChargedToClock) {
+  util::SimClock clock;
+  Network network(clock);
+  network.setDefaultLink(LinkModel{500, 0, 0.0});  // 500us one-way
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  network.request({"c", 0}, {"s", 1}, "x");
+  EXPECT_EQ(clock.now(), 1000);  // one round trip
+}
+
+TEST(NetworkTest, PerLinkOverride) {
+  util::SimClock clock;
+  Network network(clock);
+  network.setDefaultLink(LinkModel{100, 0, 0.0});
+  network.setLink("c", "far", LinkModel{10000, 0, 0.0});  // WAN link
+  Echo nearEcho;
+  Echo farEcho;
+  network.bind({"near", 1}, &nearEcho);
+  network.bind({"far", 1}, &farEcho);
+
+  network.request({"c", 0}, {"near", 1}, "x");
+  const util::TimePoint lanCost = clock.now();
+  network.request({"c", 0}, {"far", 1}, "x");
+  const util::TimePoint wanCost = clock.now() - lanCost;
+  EXPECT_EQ(lanCost, 200);
+  EXPECT_EQ(wanCost, 20000);
+}
+
+TEST(NetworkTest, LinkOverrideIsSymmetric) {
+  util::SimClock clock;
+  Network network(clock);
+  network.setLink("b", "a", LinkModel{700, 0, 0.0});
+  Echo echo;
+  network.bind({"b", 1}, &echo);
+  network.request({"a", 0}, {"b", 1}, "x");
+  EXPECT_EQ(clock.now(), 1400);
+}
+
+TEST(NetworkTest, TotalLossAlwaysTimesOut) {
+  util::SimClock clock;
+  Network network(clock);
+  network.setDefaultLink(LinkModel{100, 0, 1.0});  // 100% loss
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  try {
+    network.request({"c", 0}, {"s", 1}, "x", 5000);
+    FAIL() << "expected timeout";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetErrorKind::Timeout);
+  }
+  EXPECT_EQ(clock.now(), 5000);  // charged the timeout
+  EXPECT_EQ(echo.requests, 0);
+}
+
+TEST(NetworkTest, HostDownBehavesLikePacketLoss) {
+  util::SimClock clock;
+  Network network(clock);
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  network.setHostDown("s", true);
+  EXPECT_THROW(network.request({"c", 0}, {"s", 1}, "x", 1000), NetError);
+  EXPECT_EQ(echo.requests, 0);
+  network.setHostDown("s", false);
+  EXPECT_EQ(network.request({"c", 0}, {"s", 1}, "x"), "echo:x");
+}
+
+TEST(NetworkTest, DatagramsDelivered) {
+  util::SimClock clock;
+  Network network(clock);
+  Echo echo;
+  network.bind({"s", 162}, &echo);
+  network.datagram({"agent", 0}, {"s", 162}, "trap1");
+  network.datagram({"agent", 0}, {"s", 162}, "trap2");
+  ASSERT_EQ(echo.datagrams.size(), 2u);
+  EXPECT_EQ(echo.datagrams[0], "trap1");
+}
+
+TEST(NetworkTest, DatagramToNowhereSilentlyDropped) {
+  util::SimClock clock;
+  Network network(clock);
+  network.datagram({"a", 0}, {"gone", 1}, "x");  // must not throw
+}
+
+TEST(NetworkTest, StatsTrackIntrusion) {
+  util::SimClock clock;
+  Network network(clock);
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  network.request({"c", 0}, {"s", 1}, "abc");
+  network.request({"c", 0}, {"s", 1}, "de");
+  EndpointStats stats = network.stats({"s", 1});
+  EXPECT_EQ(stats.requestsServed, 2u);
+  EXPECT_EQ(stats.bytesIn, 5u);
+  EXPECT_GT(stats.bytesOut, 0u);
+  EXPECT_EQ(network.totalRequests(), 2u);
+  network.resetStats();
+  EXPECT_EQ(network.totalRequests(), 0u);
+  EXPECT_EQ(network.stats({"s", 1}).requestsServed, 0u);
+}
+
+TEST(NetworkTest, UnbindStopsDelivery) {
+  util::SimClock clock;
+  Network network(clock);
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  EXPECT_TRUE(network.isBound({"s", 1}));
+  network.unbind({"s", 1});
+  EXPECT_FALSE(network.isBound({"s", 1}));
+  EXPECT_THROW(network.request({"c", 0}, {"s", 1}, "x"), NetError);
+}
+
+TEST(NetworkTest, JitterVariesLatencyDeterministically) {
+  util::SimClock clock;
+  Network network(clock, /*seed=*/7);
+  network.setDefaultLink(LinkModel{100, 400, 0.0});
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  std::vector<util::TimePoint> costs;
+  for (int i = 0; i < 10; ++i) {
+    const util::TimePoint before = clock.now();
+    network.request({"c", 0}, {"s", 1}, "x");
+    costs.push_back(clock.now() - before);
+  }
+  bool varied = false;
+  for (std::size_t i = 1; i < costs.size(); ++i) {
+    EXPECT_GE(costs[i], 200);          // at least the base RTT
+    EXPECT_LT(costs[i], 200 + 2 * 400);  // jitter bound
+    if (costs[i] != costs[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace gridrm::net

@@ -1,0 +1,144 @@
+#include "gridrm/sim/host_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::sim {
+namespace {
+
+using util::kSecond;
+
+TEST(HostModelTest, DeterministicPerSeed) {
+  util::SimClock c1;
+  util::SimClock c2;
+  HostModel a(HostSpec{}, c1, 42);
+  HostModel b(HostSpec{}, c2, 42);
+  c1.advance(120 * kSecond);
+  c2.advance(120 * kSecond);
+  EXPECT_DOUBLE_EQ(a.load1(), b.load1());
+  EXPECT_EQ(a.memFreeMb(), b.memFreeMb());
+  EXPECT_EQ(a.netInBytes(), b.netInBytes());
+}
+
+TEST(HostModelTest, DifferentSeedsDiverge) {
+  util::SimClock clock;
+  HostModel a(HostSpec{}, clock, 1);
+  HostModel b(HostSpec{}, clock, 2);
+  clock.advance(300 * kSecond);
+  EXPECT_NE(a.load1(), b.load1());
+}
+
+TEST(HostModelTest, LoadStaysInPhysicalRange) {
+  util::SimClock clock;
+  HostSpec spec;
+  spec.cpuCount = 2;
+  HostModel h(spec, clock, 7);
+  for (int i = 0; i < 100; ++i) {
+    clock.advance(10 * kSecond);
+    const double l = h.load1();
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 4.0 * spec.cpuCount);
+  }
+}
+
+TEST(HostModelTest, CpuPercentagesSumToHundred) {
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 11);
+  clock.advance(60 * kSecond);
+  const double total = h.cpuUserPct() + h.cpuSystemPct() + h.cpuIdlePct();
+  EXPECT_NEAR(total, 100.0, 0.5);
+  EXPECT_GE(h.cpuIdlePct(), 0.0);
+}
+
+TEST(HostModelTest, MemoryAccountingConsistent) {
+  util::SimClock clock;
+  HostSpec spec;
+  spec.memTotalMb = 2048;
+  HostModel h(spec, clock, 13);
+  for (int i = 0; i < 20; ++i) {
+    clock.advance(30 * kSecond);
+    EXPECT_EQ(h.memFreeMb() + h.memUsedMb(), spec.memTotalMb);
+    EXPECT_GE(h.memFreeMb(), 0);
+    EXPECT_LE(h.swapFreeMb(), spec.swapTotalMb);
+    EXPECT_GE(h.swapFreeMb(), 0);
+  }
+}
+
+TEST(HostModelTest, NetworkCountersMonotone) {
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 17);
+  std::int64_t lastIn = h.netInBytes();
+  std::int64_t lastOut = h.netOutBytes();
+  for (int i = 0; i < 30; ++i) {
+    clock.advance(10 * kSecond);
+    EXPECT_GE(h.netInBytes(), lastIn);
+    EXPECT_GE(h.netOutBytes(), lastOut);
+    lastIn = h.netInBytes();
+    lastOut = h.netOutBytes();
+  }
+  EXPECT_GT(lastIn, 0);
+}
+
+TEST(HostModelTest, UptimeTracksClock) {
+  util::SimClock clock(1000 * kSecond);
+  HostModel h(HostSpec{}, clock, 19);
+  EXPECT_EQ(h.uptimeSeconds(), 0);
+  clock.advance(90 * kSecond);
+  EXPECT_EQ(h.uptimeSeconds(), 90);
+  EXPECT_EQ(h.bootTime(), 1000 * kSecond);
+}
+
+TEST(HostModelTest, LoadAveragesSmoothProgressively) {
+  // After a long settle, the 15-minute average must move less than the
+  // 1-minute value across a short window.
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 23);
+  clock.advance(600 * kSecond);
+  h.refresh();
+  const double l1a = h.load1();
+  const double l15a = h.load15();
+  clock.advance(60 * kSecond);
+  const double l1b = h.load1();
+  const double l15b = h.load15();
+  EXPECT_LE(std::abs(l15b - l15a), std::abs(l1b - l1a) + 0.15);
+}
+
+TEST(HostModelTest, LongGapCappedButCountersAdvance) {
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 29);
+  clock.advance(10 * kSecond);
+  const std::int64_t before = h.netInBytes();
+  clock.advance(24 * 3600 * kSecond);  // a simulated day while idle
+  const std::int64_t after = h.netInBytes();
+  EXPECT_GT(after, before);  // skipped time still charged to counters
+  EXPECT_EQ(h.lastUpdate(), clock.now());
+}
+
+TEST(HostModelTest, ProcessCountReasonable) {
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 31);
+  clock.advance(60 * kSecond);
+  EXPECT_GT(h.processCount(), 20);
+  EXPECT_LT(h.processCount(), 2000);
+}
+
+TEST(ClusterModelTest, NamingAndLookup) {
+  util::SimClock clock;
+  ClusterModel cluster("siteA", 4, clock, 99);
+  EXPECT_EQ(cluster.size(), 4u);
+  EXPECT_EQ(cluster.host(0).name(), "siteA-node00");
+  EXPECT_EQ(cluster.host(3).name(), "siteA-node03");
+  EXPECT_EQ(cluster.host(1).spec().clusterName, "siteA");
+  EXPECT_NE(cluster.findHost("siteA-node02"), nullptr);
+  EXPECT_EQ(cluster.findHost("nope"), nullptr);
+  EXPECT_EQ(cluster.hostNames().size(), 4u);
+}
+
+TEST(ClusterModelTest, HostsAreIndependentProcesses) {
+  util::SimClock clock;
+  ClusterModel cluster("s", 2, clock, 5);
+  clock.advance(300 * kSecond);
+  EXPECT_NE(cluster.host(0).load1(), cluster.host(1).load1());
+}
+
+}  // namespace
+}  // namespace gridrm::sim

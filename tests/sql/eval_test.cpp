@@ -1,0 +1,180 @@
+#include "gridrm/sql/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::sql {
+namespace {
+
+using util::Value;
+
+/// Evaluate the WHERE clause of "SELECT * FROM t WHERE <cond>" against
+/// a row given as name->Value.
+Value evalCond(const std::string& cond,
+               const std::map<std::string, Value>& row) {
+  SelectStatement s = parseSelect("SELECT * FROM t WHERE " + cond);
+  FnRowAccessor accessor([&](const std::string& name) -> std::optional<Value> {
+    auto it = row.find(name);
+    if (it == row.end()) return std::nullopt;
+    return it->second;
+  });
+  return evaluate(*s.where, accessor);
+}
+
+bool predCond(const std::string& cond,
+              const std::map<std::string, Value>& row) {
+  SelectStatement s = parseSelect("SELECT * FROM t WHERE " + cond);
+  FnRowAccessor accessor([&](const std::string& name) -> std::optional<Value> {
+    auto it = row.find(name);
+    if (it == row.end()) return std::nullopt;
+    return it->second;
+  });
+  return evaluatePredicate(*s.where, accessor);
+}
+
+TEST(EvalTest, Comparisons) {
+  std::map<std::string, Value> row{{"x", Value(5)}, {"y", Value(2.5)}};
+  EXPECT_TRUE(predCond("x = 5", row));
+  EXPECT_TRUE(predCond("x != 4", row));
+  EXPECT_TRUE(predCond("x > 4", row));
+  EXPECT_TRUE(predCond("x >= 5", row));
+  EXPECT_TRUE(predCond("x < 6", row));
+  EXPECT_TRUE(predCond("x <= 5", row));
+  EXPECT_FALSE(predCond("x < 5", row));
+  EXPECT_TRUE(predCond("y = 2.5", row));
+  EXPECT_TRUE(predCond("x > y", row));  // cross-type numeric
+}
+
+TEST(EvalTest, Arithmetic) {
+  std::map<std::string, Value> row{{"a", Value(7)}, {"b", Value(2)}};
+  EXPECT_EQ(evalCond("a + b", row).asInt(), 9);
+  EXPECT_EQ(evalCond("a - b", row).asInt(), 5);
+  EXPECT_EQ(evalCond("a * b", row).asInt(), 14);
+  EXPECT_EQ(evalCond("a / b", row).asInt(), 3);  // integer division
+  EXPECT_EQ(evalCond("a % b", row).asInt(), 1);
+  EXPECT_DOUBLE_EQ(evalCond("a / 2.0", row).asReal(), 3.5);
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  std::map<std::string, Value> row{{"a", Value(7)}};
+  EXPECT_TRUE(evalCond("a / 0", row).isNull());
+  EXPECT_TRUE(evalCond("a % 0", row).isNull());
+  EXPECT_TRUE(evalCond("a / 0.0", row).isNull());
+}
+
+TEST(EvalTest, StringConcatenation) {
+  std::map<std::string, Value> row{{"s", Value("ab")}};
+  EXPECT_EQ(evalCond("s + 'cd'", row).asString(), "abcd");
+}
+
+TEST(EvalTest, NullPropagation) {
+  std::map<std::string, Value> row{{"n", Value::null()}, {"x", Value(1)}};
+  EXPECT_TRUE(evalCond("n = 1", row).isNull());
+  EXPECT_TRUE(evalCond("n + 1", row).isNull());
+  EXPECT_TRUE(evalCond("n > x", row).isNull());
+  EXPECT_FALSE(predCond("n = 1", row));  // NULL predicate excludes the row
+}
+
+TEST(EvalTest, ThreeValuedAndOr) {
+  std::map<std::string, Value> row{{"n", Value::null()}, {"x", Value(1)}};
+  // false AND NULL = false; true AND NULL = NULL
+  EXPECT_FALSE(evalCond("x = 2 AND n = 1", row).toBool());
+  EXPECT_FALSE(evalCond("x = 2 AND n = 1", row).isNull());
+  EXPECT_TRUE(evalCond("x = 1 AND n = 1", row).isNull());
+  // true OR NULL = true; false OR NULL = NULL
+  EXPECT_TRUE(evalCond("x = 1 OR n = 1", row).toBool());
+  EXPECT_TRUE(evalCond("x = 2 OR n = 1", row).isNull());
+}
+
+TEST(EvalTest, NotAndNegation) {
+  std::map<std::string, Value> row{{"x", Value(5)}};
+  EXPECT_TRUE(predCond("NOT x = 4", row));
+  EXPECT_FALSE(predCond("NOT x = 5", row));
+  EXPECT_EQ(evalCond("-x", row).asInt(), -5);
+}
+
+TEST(EvalTest, InList) {
+  std::map<std::string, Value> row{{"x", Value(2)}, {"n", Value::null()}};
+  EXPECT_TRUE(predCond("x IN (1, 2, 3)", row));
+  EXPECT_FALSE(predCond("x IN (4, 5)", row));
+  EXPECT_TRUE(predCond("x NOT IN (4, 5)", row));
+  EXPECT_FALSE(predCond("x NOT IN (1, 2)", row));
+  // NULL needle -> NULL; list containing NULL and no match -> NULL.
+  EXPECT_TRUE(evalCond("n IN (1)", row).isNull());
+  EXPECT_TRUE(evalCond("x IN (4, NULL)", row).isNull());
+  EXPECT_TRUE(predCond("x IN (2, NULL)", row));  // match wins over NULL
+}
+
+TEST(EvalTest, IsNull) {
+  std::map<std::string, Value> row{{"n", Value::null()}, {"x", Value(1)}};
+  EXPECT_TRUE(predCond("n IS NULL", row));
+  EXPECT_FALSE(predCond("x IS NULL", row));
+  EXPECT_TRUE(predCond("x IS NOT NULL", row));
+  EXPECT_FALSE(predCond("n IS NOT NULL", row));
+}
+
+TEST(EvalTest, Between) {
+  std::map<std::string, Value> row{{"x", Value(5)}};
+  EXPECT_TRUE(predCond("x BETWEEN 1 AND 5", row));  // inclusive
+  EXPECT_TRUE(predCond("x BETWEEN 5 AND 9", row));
+  EXPECT_FALSE(predCond("x BETWEEN 6 AND 9", row));
+  EXPECT_TRUE(predCond("x NOT BETWEEN 6 AND 9", row));
+}
+
+TEST(EvalTest, UnknownColumnThrows) {
+  std::map<std::string, Value> row;
+  EXPECT_THROW(evalCond("missing = 1", row), EvalError);
+}
+
+TEST(EvalTest, ArithmeticOnStringsThrows) {
+  std::map<std::string, Value> row{{"s", Value("x")}};
+  EXPECT_THROW(evalCond("s * 2", row), EvalError);
+}
+
+// --- LIKE pattern matching ---------------------------------------------
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(likeMatch(c.text, c.pattern), c.expected)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"node01", "node%", true},
+        LikeCase{"node01", "%01", true},
+        LikeCase{"node01", "n%1", true},
+        LikeCase{"node01", "node0_", true},
+        LikeCase{"node01", "node0", false},
+        LikeCase{"node01", "_ode01", true},
+        LikeCase{"node01", "%", true},
+        LikeCase{"", "%", true},
+        LikeCase{"", "_", false},
+        LikeCase{"abc", "abc", true},
+        LikeCase{"abc", "ABC", false},  // LIKE is case-sensitive here
+        LikeCase{"aXbXc", "a%b%c", true},
+        LikeCase{"ac", "a%b%c", false},
+        LikeCase{"anything", "%%", true},
+        LikeCase{"ab", "a_b", false}));
+
+TEST(EvalTest, LikeInQueries) {
+  std::map<std::string, Value> row{{"name", Value("siteA-node03")}};
+  EXPECT_TRUE(predCond("name LIKE 'siteA-%'", row));
+  EXPECT_FALSE(predCond("name LIKE 'siteB-%'", row));
+  EXPECT_TRUE(predCond("name NOT LIKE 'siteB-%'", row));
+}
+
+}  // namespace
+}  // namespace gridrm::sql

@@ -1,0 +1,86 @@
+#include "gridrm/sql/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::sql {
+namespace {
+
+std::vector<TokenType> typesOf(const std::string& text) {
+  std::vector<TokenType> out;
+  for (const auto& t : lex(text)) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::End);
+}
+
+TEST(LexerTest, SimpleSelect) {
+  auto tokens = lex("SELECT * FROM Processor");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::Identifier);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::Star);
+  EXPECT_EQ(tokens[2].text, "FROM");
+  EXPECT_EQ(tokens[3].text, "Processor");
+  EXPECT_EQ(tokens[4].type, TokenType::End);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = lex("1 42 3.5 .25 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::Integer);
+  EXPECT_EQ(tokens[1].type, TokenType::Integer);
+  EXPECT_EQ(tokens[2].type, TokenType::Real);
+  EXPECT_EQ(tokens[3].type, TokenType::Real);
+  EXPECT_EQ(tokens[4].type, TokenType::Real);
+  EXPECT_EQ(tokens[5].type, TokenType::Real);
+  EXPECT_EQ(tokens[5].text, "2.5E-2");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::String);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(typesOf("= != <> < <= > >= + - / % ( ) , . *"),
+            (std::vector<TokenType>{
+                TokenType::Eq, TokenType::Ne, TokenType::Ne, TokenType::Lt,
+                TokenType::Le, TokenType::Gt, TokenType::Ge, TokenType::Plus,
+                TokenType::Minus, TokenType::Slash, TokenType::Percent,
+                TokenType::LParen, TokenType::RParen, TokenType::Comma,
+                TokenType::Dot, TokenType::Star, TokenType::End}));
+}
+
+TEST(LexerTest, DotBetweenIdentifiers) {
+  auto tokens = lex("t.col");
+  EXPECT_EQ(tokens[0].text, "t");
+  EXPECT_EQ(tokens[1].type, TokenType::Dot);
+  EXPECT_EQ(tokens[2].text, "col");
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = lex("ab  cd");
+  EXPECT_EQ(tokens[0].pos, 0u);
+  EXPECT_EQ(tokens[1].pos, 4u);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_THROW(lex("'unterminated"), ParseError);
+  EXPECT_THROW(lex("a ! b"), ParseError);
+  EXPECT_THROW(lex("a # b"), ParseError);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscores) {
+  auto tokens = lex("_x a_b c9");
+  EXPECT_EQ(tokens[0].text, "_x");
+  EXPECT_EQ(tokens[1].text, "a_b");
+  EXPECT_EQ(tokens[2].text, "c9");
+}
+
+}  // namespace
+}  // namespace gridrm::sql

@@ -1,0 +1,219 @@
+#include "gridrm/sql/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::sql {
+namespace {
+
+TEST(ParserTest, SelectStar) {
+  SelectStatement s = parseSelect("SELECT * FROM Processor");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].isStar());
+  EXPECT_EQ(s.table, "Processor");
+  EXPECT_EQ(s.where, nullptr);
+  EXPECT_TRUE(s.orderBy.empty());
+  EXPECT_FALSE(s.limit.has_value());
+}
+
+TEST(ParserTest, SelectColumnsWithAliases) {
+  SelectStatement s =
+      parseSelect("SELECT Load1 AS l1, Load5 FROM Processor p");
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].expr->name, "Load1");
+  EXPECT_EQ(s.items[0].alias, "l1");
+  EXPECT_EQ(s.items[1].expr->name, "Load5");
+  EXPECT_EQ(s.tableAlias, "p");
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  SelectStatement s = parseSelect("select load1 from processor where load1 > 1");
+  EXPECT_EQ(s.table, "processor");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(ParserTest, WherePrecedence) {
+  // a OR b AND c  parses as  a OR (b AND c)
+  SelectStatement s = parseSelect(
+      "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->bop, BinOp::Or);
+  EXPECT_EQ(s.where->children[1]->bop, BinOp::And);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // a + b * c  parses as  a + (b * c)
+  SelectStatement s = parseSelect("SELECT a + b * c FROM t");
+  const Expr& e = *s.items[0].expr;
+  EXPECT_EQ(e.bop, BinOp::Add);
+  EXPECT_EQ(e.children[1]->bop, BinOp::Mul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  SelectStatement s = parseSelect("SELECT (a + b) * c FROM t");
+  const Expr& e = *s.items[0].expr;
+  EXPECT_EQ(e.bop, BinOp::Mul);
+  EXPECT_EQ(e.children[0]->bop, BinOp::Add);
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "!=", "<>", "<", "<=", ">", ">="}) {
+    SelectStatement s =
+        parseSelect(std::string("SELECT * FROM t WHERE a ") + op + " 1");
+    ASSERT_NE(s.where, nullptr) << op;
+    EXPECT_EQ(s.where->kind, ExprKind::Binary);
+  }
+}
+
+TEST(ParserTest, LikeAndNotLike) {
+  SelectStatement s =
+      parseSelect("SELECT * FROM t WHERE name LIKE 'node%'");
+  EXPECT_EQ(s.where->bop, BinOp::Like);
+  SelectStatement n =
+      parseSelect("SELECT * FROM t WHERE name NOT LIKE 'node%'");
+  EXPECT_EQ(n.where->kind, ExprKind::Unary);
+}
+
+TEST(ParserTest, InList) {
+  SelectStatement s =
+      parseSelect("SELECT * FROM t WHERE x IN (1, 2, 3)");
+  EXPECT_EQ(s.where->kind, ExprKind::InList);
+  EXPECT_EQ(s.where->children.size(), 4u);  // needle + 3
+  EXPECT_FALSE(s.where->negated);
+  SelectStatement n = parseSelect("SELECT * FROM t WHERE x NOT IN (1)");
+  EXPECT_TRUE(n.where->negated);
+}
+
+TEST(ParserTest, IsNull) {
+  SelectStatement s = parseSelect("SELECT * FROM t WHERE x IS NULL");
+  EXPECT_EQ(s.where->kind, ExprKind::IsNull);
+  EXPECT_FALSE(s.where->negated);
+  SelectStatement n = parseSelect("SELECT * FROM t WHERE x IS NOT NULL");
+  EXPECT_TRUE(n.where->negated);
+}
+
+TEST(ParserTest, Between) {
+  SelectStatement s =
+      parseSelect("SELECT * FROM t WHERE x BETWEEN 1 AND 5");
+  EXPECT_EQ(s.where->kind, ExprKind::Between);
+  EXPECT_EQ(s.where->children.size(), 3u);
+  SelectStatement n =
+      parseSelect("SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5");
+  EXPECT_TRUE(n.where->negated);
+}
+
+TEST(ParserTest, BetweenBindsTighterThanAnd) {
+  SelectStatement s = parseSelect(
+      "SELECT * FROM t WHERE x BETWEEN 1 AND 5 AND y = 2");
+  EXPECT_EQ(s.where->bop, BinOp::And);
+  EXPECT_EQ(s.where->children[0]->kind, ExprKind::Between);
+}
+
+TEST(ParserTest, OrderByMulti) {
+  SelectStatement s = parseSelect(
+      "SELECT * FROM t ORDER BY a DESC, b ASC, c");
+  ASSERT_EQ(s.orderBy.size(), 3u);
+  EXPECT_TRUE(s.orderBy[0].descending);
+  EXPECT_FALSE(s.orderBy[1].descending);
+  EXPECT_FALSE(s.orderBy[2].descending);
+}
+
+TEST(ParserTest, Limit) {
+  SelectStatement s = parseSelect("SELECT * FROM t LIMIT 10");
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(ParserTest, QualifiedColumns) {
+  SelectStatement s = parseSelect("SELECT p.Load1 FROM Processor p");
+  EXPECT_EQ(s.items[0].expr->table, "p");
+  EXPECT_EQ(s.items[0].expr->name, "Load1");
+}
+
+TEST(ParserTest, LiteralKinds) {
+  SelectStatement s = parseSelect(
+      "SELECT * FROM t WHERE a = 'str' AND b = 1.5 AND c = TRUE AND d IS NULL");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(ParserTest, NegativeNumbersInExpressions) {
+  SelectStatement s = parseSelect("SELECT * FROM t WHERE a > -5");
+  EXPECT_EQ(s.where->children[1]->kind, ExprKind::Unary);
+}
+
+TEST(ParserTest, InsertBasic) {
+  Statement stmt = parse("INSERT INTO t VALUES (1, 'x', 2.5, NULL, TRUE)");
+  ASSERT_EQ(stmt.kind, StatementKind::Insert);
+  const InsertStatement& ins = stmt.insert;
+  EXPECT_EQ(ins.table, "t");
+  EXPECT_TRUE(ins.columns.empty());
+  ASSERT_EQ(ins.rows.size(), 1u);
+  ASSERT_EQ(ins.rows[0].size(), 5u);
+  EXPECT_EQ(ins.rows[0][0].asInt(), 1);
+  EXPECT_EQ(ins.rows[0][1].asString(), "x");
+  EXPECT_DOUBLE_EQ(ins.rows[0][2].asReal(), 2.5);
+  EXPECT_TRUE(ins.rows[0][3].isNull());
+  EXPECT_TRUE(ins.rows[0][4].asBool());
+}
+
+TEST(ParserTest, InsertWithColumnsAndMultipleRows) {
+  Statement stmt =
+      parse("INSERT INTO t (a, b) VALUES (1, 2), (3, 4), (-5, 6)");
+  const InsertStatement& ins = stmt.insert;
+  EXPECT_EQ(ins.columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(ins.rows.size(), 3u);
+  EXPECT_EQ(ins.rows[2][0].asInt(), -5);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_THROW(parseSelect(""), ParseError);
+  EXPECT_THROW(parseSelect("SELECT"), ParseError);
+  EXPECT_THROW(parseSelect("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parseSelect("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(parseSelect("SELECT * FROM t garbage extra"), ParseError);
+  EXPECT_THROW(parseSelect("UPDATE t SET x = 1"), ParseError);
+  EXPECT_THROW(parseSelect("SELECT * FROM t LIMIT x"), ParseError);
+  EXPECT_THROW(parse("INSERT INTO t (a) VALUES (1, 2)"), ParseError);
+  EXPECT_THROW(parse("INSERT INTO t VALUES (b)"), ParseError);
+  EXPECT_THROW(parseSelect("SELECT * FROM SELECT"), ParseError);
+}
+
+// --- round-trip property: parse(toSql(parse(q))) == structure ---------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ToSqlReparsesToSameText) {
+  Statement first = parse(GetParam());
+  const std::string rendered = first.toSql();
+  Statement second = parse(rendered);
+  // Fixed point: rendering the reparsed statement must be identical.
+  EXPECT_EQ(second.toSql(), rendered) << "input: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripTest,
+    ::testing::Values(
+        "SELECT * FROM Processor",
+        "SELECT Load1 FROM Processor",
+        "SELECT Load1 AS l, Load5 FROM Processor AS p",
+        "SELECT * FROM Memory WHERE RAMAvailable < 512",
+        "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3",
+        "SELECT * FROM t WHERE NOT a = 1",
+        "SELECT * FROM t WHERE name LIKE 'node%'",
+        "SELECT * FROM t WHERE x IN (1, 2, 3)",
+        "SELECT * FROM t WHERE x NOT IN ('a', 'b')",
+        "SELECT * FROM t WHERE x IS NULL",
+        "SELECT * FROM t WHERE x IS NOT NULL",
+        "SELECT * FROM t WHERE x BETWEEN 1 AND 5",
+        "SELECT * FROM t WHERE x NOT BETWEEN 1 AND 5",
+        "SELECT a + b * c FROM t",
+        "SELECT (a + b) * c FROM t",
+        "SELECT a / b - c % d FROM t",
+        "SELECT * FROM t WHERE s = 'it''s'",
+        "SELECT * FROM t ORDER BY a DESC, b LIMIT 7",
+        "SELECT t.a, t.b FROM t WHERE t.a > 0.5",
+        "INSERT INTO t VALUES (1, 'x', 2.5, NULL, TRUE)",
+        "INSERT INTO t (a, b) VALUES (1, 2), (3, 4)",
+        "SELECT * FROM t WHERE a = TRUE AND b = FALSE",
+        "SELECT * FROM t WHERE load1 / cpus > 0.5"));
+
+}  // namespace
+}  // namespace gridrm::sql

@@ -1,0 +1,178 @@
+// Aggregate functions and GROUP BY in the SQL engine. These run both
+// against the historical store and -- because drivers share
+// executeSelect -- against any data source.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+
+namespace gridrm::store {
+namespace {
+
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+std::unique_ptr<Database> makeDb() {
+  auto db = std::make_unique<Database>();
+  db->createTable("Samples",
+                  {{"Host", ValueType::String, "", "Samples"},
+                   {"Load", ValueType::Real, "", "Samples"},
+                   {"Cpus", ValueType::Int, "", "Samples"}});
+  db->insertRow("Samples", {Value("a"), Value(1.0), Value(2)});
+  db->insertRow("Samples", {Value("a"), Value(3.0), Value(2)});
+  db->insertRow("Samples", {Value("b"), Value(2.0), Value(4)});
+  db->insertRow("Samples", {Value("b"), Value::null(), Value(4)});
+  db->insertRow("Samples", {Value("c"), Value(5.0), Value(1)});
+  return db;
+}
+
+TEST(AggregateTest, GlobalCountStar) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT COUNT(*) FROM Samples");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 5);
+  EXPECT_EQ(rs->metaData().column(0).name, "count(*)");
+  EXPECT_EQ(rs->metaData().column(0).type, ValueType::Int);
+}
+
+TEST(AggregateTest, CountColumnSkipsNulls) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT COUNT(Load) FROM Samples");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 4);
+}
+
+TEST(AggregateTest, SumAvgMinMax) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT SUM(Load), AVG(Load), MIN(Load), MAX(Load) FROM Samples");
+  rs->next();
+  EXPECT_DOUBLE_EQ(rs->get(0).asReal(), 11.0);
+  EXPECT_DOUBLE_EQ(rs->get(1).asReal(), 11.0 / 4);  // NULL excluded
+  EXPECT_DOUBLE_EQ(rs->get(2).asReal(), 1.0);
+  EXPECT_DOUBLE_EQ(rs->get(3).asReal(), 5.0);
+}
+
+TEST(AggregateTest, SumOfIntsStaysInt) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT SUM(Cpus) FROM Samples");
+  rs->next();
+  EXPECT_EQ(rs->get(0).type(), ValueType::Int);
+  EXPECT_EQ(rs->get(0).asInt(), 13);
+}
+
+TEST(AggregateTest, GroupBy) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host, COUNT(*) AS n, AVG(Load) AS avgLoad FROM Samples "
+      "GROUP BY Host ORDER BY Host");
+  ASSERT_EQ(rs->rowCount(), 3u);
+  rs->next();
+  EXPECT_EQ(rs->getString("Host"), "a");
+  EXPECT_EQ(rs->getInt("n"), 2);
+  EXPECT_DOUBLE_EQ(rs->getReal("avgLoad"), 2.0);
+  rs->next();
+  EXPECT_EQ(rs->getString("Host"), "b");
+  EXPECT_EQ(rs->getInt("n"), 2);
+  EXPECT_DOUBLE_EQ(rs->getReal("avgLoad"), 2.0);  // NULL skipped
+  rs->next();
+  EXPECT_EQ(rs->getString("Host"), "c");
+  EXPECT_EQ(rs->getInt("n"), 1);
+}
+
+TEST(AggregateTest, WhereAppliesBeforeGrouping) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host, COUNT(*) AS n FROM Samples WHERE Load > 1.5 "
+      "GROUP BY Host ORDER BY Host");
+  ASSERT_EQ(rs->rowCount(), 3u);
+  rs->next();
+  EXPECT_EQ(rs->getInt("n"), 1);  // only a's 3.0 survives
+}
+
+TEST(AggregateTest, OrderByAggregate) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host FROM Samples GROUP BY Host ORDER BY MAX(Load) DESC");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "c");  // max 5.0
+}
+
+TEST(AggregateTest, LimitOnGroups) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host FROM Samples GROUP BY Host ORDER BY Host LIMIT 2");
+  EXPECT_EQ(rs->rowCount(), 2u);
+}
+
+TEST(AggregateTest, AggregateInsideExpression) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host, SUM(Load) / SUM(Cpus) AS perCpu FROM Samples "
+      "WHERE Load IS NOT NULL GROUP BY Host ORDER BY Host");
+  rs->next();
+  EXPECT_DOUBLE_EQ(rs->getReal("perCpu"), 4.0 / 4);  // a: (1+3)/(2+2)
+}
+
+TEST(AggregateTest, GlobalAggregateOverEmptyInput) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT COUNT(*), AVG(Load) FROM Samples WHERE Load > 99");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 0);
+  EXPECT_TRUE(rs->get(1).isNull());
+}
+
+TEST(AggregateTest, GroupByEmptyInputYieldsNoGroups) {
+  auto db = makeDb();
+  auto rs = db->query(
+      "SELECT Host, COUNT(*) FROM Samples WHERE Load > 99 GROUP BY Host");
+  EXPECT_EQ(rs->rowCount(), 0u);
+}
+
+TEST(AggregateTest, MinMaxOnStrings) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT MIN(Host), MAX(Host) FROM Samples");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "a");
+  EXPECT_EQ(rs->get(1).asString(), "c");
+}
+
+TEST(AggregateTest, Errors) {
+  auto db = makeDb();
+  // Aggregates are not allowed in WHERE.
+  EXPECT_THROW(db->query("SELECT Host FROM Samples WHERE COUNT(*) > 1"),
+               SqlError);
+  // Unknown function.
+  EXPECT_THROW(db->query("SELECT MEDIAN(Load) FROM Samples"), SqlError);
+  // SELECT * with GROUP BY is rejected.
+  EXPECT_THROW(db->query("SELECT * FROM Samples GROUP BY Host"), SqlError);
+  // SUM over strings.
+  EXPECT_THROW(db->query("SELECT SUM(Host) FROM Samples"), SqlError);
+  // Wrong arity.
+  EXPECT_THROW(db->query("SELECT AVG(Load, Cpus) FROM Samples"), SqlError);
+}
+
+TEST(AggregateTest, CaseInsensitiveFunctionNames) {
+  auto db = makeDb();
+  auto rs = db->query("SELECT count(*), Avg(Load) FROM Samples");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 5);
+}
+
+TEST(AggregateTest, ToSqlRoundTrip) {
+  const char* q =
+      "SELECT Host, COUNT(*) AS n FROM Samples WHERE Load > 0 "
+      "GROUP BY Host ORDER BY MAX(Load) DESC LIMIT 3";
+  auto stmt = sql::parseSelect(q);
+  auto again = sql::parseSelect(stmt.toSql());
+  EXPECT_EQ(again.toSql(), stmt.toSql());
+  EXPECT_EQ(again.groupBy.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::store

@@ -1,0 +1,212 @@
+#include "gridrm/store/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gridrm::store {
+namespace {
+
+using dbc::ColumnInfo;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+std::unique_ptr<Database> makeDb() {
+  auto dbPtr = std::make_unique<Database>();
+  Database& db = *dbPtr;
+  db.createTable("Processor",
+                 {{"HostName", ValueType::String, "", "Processor"},
+                  {"Load1", ValueType::Real, "", "Processor"},
+                  {"CPUCount", ValueType::Int, "", "Processor"},
+                  {"Timestamp", ValueType::Int, "us", "Processor"}});
+  db.insertRow("Processor", {Value("n0"), Value(0.2), Value(2), Value(100)});
+  db.insertRow("Processor", {Value("n1"), Value(1.5), Value(4), Value(200)});
+  db.insertRow("Processor", {Value("n2"), Value(0.9), Value(2), Value(300)});
+  db.insertRow("Processor",
+               {Value("n3"), Value::null(), Value(1), Value(400)});
+  return dbPtr;
+}
+
+TEST(DatabaseTest, SelectStar) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT * FROM Processor");
+  EXPECT_EQ(rs->rowCount(), 4u);
+  EXPECT_EQ(rs->metaData().columnCount(), 4u);
+}
+
+TEST(DatabaseTest, Projection) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT HostName, Load1 FROM Processor");
+  EXPECT_EQ(rs->metaData().columnCount(), 2u);
+  EXPECT_EQ(rs->metaData().column(0).name, "HostName");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "n0");
+}
+
+TEST(DatabaseTest, WhereFiltering) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT HostName FROM Processor WHERE Load1 > 0.5");
+  EXPECT_EQ(rs->rowCount(), 2u);  // n1 and n2; NULL excluded
+}
+
+TEST(DatabaseTest, WhereWithNullComparison) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  // SQL semantics: NULL Load1 matches neither > nor <=.
+  auto gt = db.query("SELECT * FROM Processor WHERE Load1 > 0");
+  auto le = db.query("SELECT * FROM Processor WHERE Load1 <= 0");
+  EXPECT_EQ(gt->rowCount() + le->rowCount(), 3u);
+  auto isNull = db.query("SELECT * FROM Processor WHERE Load1 IS NULL");
+  EXPECT_EQ(isNull->rowCount(), 1u);
+}
+
+TEST(DatabaseTest, OrderByAscendingAndDescending) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto asc = db.query(
+      "SELECT HostName FROM Processor WHERE Load1 IS NOT NULL ORDER BY Load1");
+  asc->next();
+  EXPECT_EQ(asc->get(0).asString(), "n0");
+  auto desc = db.query(
+      "SELECT HostName FROM Processor WHERE Load1 IS NOT NULL "
+      "ORDER BY Load1 DESC");
+  desc->next();
+  EXPECT_EQ(desc->get(0).asString(), "n1");
+}
+
+TEST(DatabaseTest, OrderByPutsNullsFirst) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT HostName FROM Processor ORDER BY Load1");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "n3");  // NULL sorts first
+}
+
+TEST(DatabaseTest, Limit) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT * FROM Processor LIMIT 2");
+  EXPECT_EQ(rs->rowCount(), 2u);
+  auto rs0 = db.query("SELECT * FROM Processor LIMIT 0");
+  EXPECT_EQ(rs0->rowCount(), 0u);
+  auto rsBig = db.query("SELECT * FROM Processor LIMIT 100");
+  EXPECT_EQ(rsBig->rowCount(), 4u);
+}
+
+TEST(DatabaseTest, ComputedColumnsAndAliases) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query(
+      "SELECT HostName, Load1 / CPUCount AS perCpu FROM Processor "
+      "WHERE HostName = 'n1'");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  EXPECT_EQ(rs->metaData().column(1).name, "perCpu");
+  rs->next();
+  EXPECT_DOUBLE_EQ(rs->get("perCpu").asReal(), 1.5 / 4);
+}
+
+TEST(DatabaseTest, TableAliasQualifiers) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query("SELECT p.HostName FROM Processor p WHERE p.Load1 > 1");
+  EXPECT_EQ(rs->rowCount(), 1u);
+}
+
+TEST(DatabaseTest, WrongQualifierFails) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  EXPECT_THROW(db.query("SELECT z.HostName FROM Processor p"), SqlError);
+}
+
+TEST(DatabaseTest, InsertViaSql) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  const std::size_t n =
+      db.execute("INSERT INTO Processor VALUES ('n4', 2.0, 8, 500)");
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(db.rowCount("Processor"), 5u);
+}
+
+TEST(DatabaseTest, InsertNamedColumnsFillsNulls) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  db.execute("INSERT INTO Processor (HostName, Timestamp) VALUES ('n9', 999)");
+  auto rs = db.query("SELECT * FROM Processor WHERE HostName = 'n9'");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_TRUE(rs->get("Load1").isNull());
+  EXPECT_EQ(rs->get("Timestamp").asInt(), 999);
+}
+
+TEST(DatabaseTest, InsertMultipleRows) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  const std::size_t n = db.execute(
+      "INSERT INTO Processor VALUES ('a', 1.0, 1, 1), ('b', 2.0, 2, 2)");
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(db.rowCount("Processor"), 6u);
+}
+
+TEST(DatabaseTest, Errors) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  EXPECT_THROW(db.query("SELECT * FROM Nope"), SqlError);
+  EXPECT_THROW(db.query("SELECT Missing FROM Processor"), SqlError);
+  EXPECT_THROW(db.execute("INSERT INTO Nope VALUES (1)"), SqlError);
+  EXPECT_THROW(db.execute("SELECT * FROM Processor"), SqlError);
+  EXPECT_THROW(db.insertRow("Processor", {Value(1)}), SqlError);  // arity
+  EXPECT_THROW(
+      db.execute("INSERT INTO Processor (Bogus) VALUES (1)"), SqlError);
+}
+
+TEST(DatabaseTest, TableNamesCaseInsensitive) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  EXPECT_TRUE(db.hasTable("processor"));
+  auto rs = db.query("SELECT * FROM PROCESSOR");
+  EXPECT_EQ(rs->rowCount(), 4u);
+}
+
+TEST(DatabaseTest, CreateTableReplaces) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  db.createTable("Processor", {{"x", ValueType::Int, "", ""}});
+  EXPECT_EQ(db.rowCount("Processor"), 0u);
+  EXPECT_EQ(db.tableNames().size(), 1u);
+}
+
+TEST(DatabaseTest, RetentionPrunesOldRows) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  const std::size_t pruned =
+      db.pruneOlderThan("Processor", "Timestamp", 250);
+  EXPECT_EQ(pruned, 2u);  // timestamps 100, 200
+  EXPECT_EQ(db.rowCount("Processor"), 2u);
+  EXPECT_EQ(db.pruneOlderThan("NoTable", "Timestamp", 1), 0u);
+  EXPECT_THROW(db.pruneOlderThan("Processor", "NoCol", 1), SqlError);
+}
+
+TEST(DatabaseTest, SelectInWhereWithStrings) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto rs = db.query(
+      "SELECT * FROM Processor WHERE HostName IN ('n0', 'n2', 'zz')");
+  EXPECT_EQ(rs->rowCount(), 2u);
+}
+
+TEST(DatabaseTest, BetweenAndLike) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  auto between =
+      db.query("SELECT * FROM Processor WHERE Timestamp BETWEEN 150 AND 350");
+  EXPECT_EQ(between->rowCount(), 2u);
+  auto like = db.query("SELECT * FROM Processor WHERE HostName LIKE 'n%'");
+  EXPECT_EQ(like->rowCount(), 4u);
+}
+
+}  // namespace
+}  // namespace gridrm::store

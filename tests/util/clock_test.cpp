@@ -1,0 +1,48 @@
+#include "gridrm/util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(SimClockTest, StartsAtGivenTime) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(SimClockTest, AdvanceMovesTime) {
+  SimClock clock;
+  clock.advance(5 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+  clock.advance(250 * kMillisecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond + 250 * kMillisecond);
+}
+
+TEST(SimClockTest, SleepForAdvancesInsteadOfBlocking) {
+  SimClock clock;
+  clock.sleepFor(3600 * kSecond);  // must return immediately
+  EXPECT_EQ(clock.now(), 3600 * kSecond);
+}
+
+TEST(SimClockTest, SetNowJumps) {
+  SimClock clock(50);
+  clock.setNow(7);
+  EXPECT_EQ(clock.now(), 7);
+}
+
+TEST(SystemClockTest, MonotoneNonDecreasing) {
+  SystemClock clock;
+  const TimePoint a = clock.now();
+  const TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(SystemClockTest, SleepForAdvancesWallTime) {
+  SystemClock clock;
+  const TimePoint before = clock.now();
+  clock.sleepFor(2 * kMillisecond);
+  EXPECT_GE(clock.now() - before, 2 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace gridrm::util

@@ -1,0 +1,55 @@
+#include "gridrm/util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(ConfigTest, ParseBasics) {
+  Config cfg = Config::parse(
+      "# comment\n"
+      "name = gateway-a\n"
+      "port=8710\n"
+      "  cache.ttl = 5000  \n"
+      "\n"
+      "verbose = true\n"
+      "ratio = 0.75\n"
+      "drivers = snmp, ganglia ,nws\n");
+  EXPECT_EQ(cfg.getString("name"), "gateway-a");
+  EXPECT_EQ(cfg.getInt("port"), 8710);
+  EXPECT_EQ(cfg.getInt("cache.ttl"), 5000);
+  EXPECT_TRUE(cfg.getBool("verbose"));
+  EXPECT_DOUBLE_EQ(cfg.getReal("ratio"), 0.75);
+  EXPECT_EQ(cfg.getList("drivers"),
+            (std::vector<std::string>{"snmp", "ganglia", "nws"}));
+}
+
+TEST(ConfigTest, Fallbacks) {
+  Config cfg;
+  EXPECT_EQ(cfg.getString("missing", "d"), "d");
+  EXPECT_EQ(cfg.getInt("missing", 9), 9);
+  EXPECT_TRUE(cfg.getBool("missing", true));
+  EXPECT_TRUE(cfg.getList("missing").empty());
+}
+
+TEST(ConfigTest, BadValuesFallBack) {
+  Config cfg = Config::parse("n = notanumber\n");
+  EXPECT_EQ(cfg.getInt("n", 3), 3);
+  EXPECT_DOUBLE_EQ(cfg.getReal("n", 1.5), 1.5);
+}
+
+TEST(ConfigTest, SetAndHas) {
+  Config cfg;
+  EXPECT_FALSE(cfg.has("k"));
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.has("k"));
+  EXPECT_EQ(cfg.getString("k"), "v");
+}
+
+TEST(ConfigTest, LinesWithoutEqualsIgnored) {
+  Config cfg = Config::parse("garbage line\nk = v\n");
+  EXPECT_EQ(cfg.values().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::util

@@ -1,0 +1,60 @@
+#include "gridrm/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().captureToMemory(true);
+    Logger::instance().setLevel(LogLevel::Debug);
+  }
+  void TearDown() override {
+    Logger::instance().captureToMemory(false);
+    Logger::instance().setLevel(LogLevel::Warn);
+  }
+};
+
+TEST_F(LogTest, FormatPlaceholders) {
+  EXPECT_EQ(format("a {} c {}", "b", 42), "a b c 42");
+  EXPECT_EQ(format("no placeholders"), "no placeholders");
+  EXPECT_EQ(format("{} extra args ignored tail", 1), "1 extra args ignored tail");
+  EXPECT_EQ(format("missing {} {}", 1), "missing 1 {}");
+  EXPECT_EQ(format("{}{}{}", 1, 2, 3), "123");
+  EXPECT_EQ(format("pi = {}", 3.5), "pi = 3.5");
+}
+
+TEST_F(LogTest, LevelsFilter) {
+  Logger::instance().setLevel(LogLevel::Warn);
+  logDebug("test", "should not appear");
+  logInfo("test", "nor this");
+  logWarn("test", "warning {}", 1);
+  logError("test", "error {}", 2);
+  auto lines = Logger::instance().drainCaptured();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[WARN] test: warning 1");
+  EXPECT_EQ(lines[1], "[ERROR] test: error 2");
+}
+
+TEST_F(LogTest, DebugLevelPassesEverything) {
+  logDebug("c", "d");
+  logInfo("c", "i");
+  EXPECT_EQ(Logger::instance().drainCaptured().size(), 2u);
+}
+
+TEST_F(LogTest, OffSilencesAll) {
+  Logger::instance().setLevel(LogLevel::Off);
+  logError("c", "even errors");
+  EXPECT_TRUE(Logger::instance().drainCaptured().empty());
+}
+
+TEST_F(LogTest, DrainEmpties) {
+  logWarn("c", "x");
+  EXPECT_EQ(Logger::instance().drainCaptured().size(), 1u);
+  EXPECT_TRUE(Logger::instance().drainCaptured().empty());
+}
+
+}  // namespace
+}  // namespace gridrm::util

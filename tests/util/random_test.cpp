@@ -1,0 +1,82 @@
+#include "gridrm/util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridrm::util {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(17);
+  constexpr int kN = 20000;
+  double sum = 0;
+  double sumSq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = r.gaussian();
+    sum += g;
+    sumSq += g * g;
+  }
+  const double mean = sum / kN;
+  const double var = sumSq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng r(19);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace gridrm::util

@@ -1,0 +1,128 @@
+#include "gridrm/util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace gridrm::util {
+namespace {
+
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> buf(4);
+  EXPECT_TRUE(buf.push(1));
+  EXPECT_TRUE(buf.push(2));
+  EXPECT_TRUE(buf.push(3));
+  EXPECT_EQ(buf.pop(), 1);
+  EXPECT_EQ(buf.pop(), 2);
+  EXPECT_EQ(buf.pop(), 3);
+}
+
+TEST(RingBufferTest, TryPopEmptyReturnsNullopt) {
+  RingBuffer<int> buf(2);
+  EXPECT_EQ(buf.tryPop(), std::nullopt);
+  buf.push(5);
+  EXPECT_EQ(buf.tryPop(), 5);
+  EXPECT_EQ(buf.tryPop(), std::nullopt);
+}
+
+TEST(RingBufferTest, DropNewestShedsWhenFull) {
+  RingBuffer<int> buf(2, OverflowPolicy::DropNewest);
+  EXPECT_TRUE(buf.push(1));
+  EXPECT_TRUE(buf.push(2));
+  EXPECT_FALSE(buf.push(3));  // dropped
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_EQ(buf.pop(), 1);
+  EXPECT_TRUE(buf.push(4));  // space again
+  EXPECT_EQ(buf.dropped(), 1u);
+}
+
+TEST(RingBufferTest, CloseUnblocksPop) {
+  RingBuffer<int> buf(2);
+  std::thread closer([&] { buf.close(); });
+  EXPECT_EQ(buf.pop(), std::nullopt);
+  closer.join();
+}
+
+TEST(RingBufferTest, CloseDrainsRemainingItems) {
+  RingBuffer<int> buf(4);
+  buf.push(1);
+  buf.push(2);
+  buf.close();
+  EXPECT_EQ(buf.pop(), 1);
+  EXPECT_EQ(buf.pop(), 2);
+  EXPECT_EQ(buf.pop(), std::nullopt);
+  EXPECT_FALSE(buf.push(3));  // closed
+}
+
+TEST(RingBufferTest, BlockPolicyIsLossless) {
+  // Producer pushes more than capacity while a consumer drains: with
+  // Block policy every element must arrive exactly once, in order.
+  RingBuffer<int> buf(8, OverflowPolicy::Block);
+  constexpr int kCount = 2000;
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = buf.pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < kCount; ++i) ASSERT_TRUE(buf.push(i));
+  buf.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[i], i);
+}
+
+TEST(RingBufferTest, MultipleProducersLoseNothingUnderBlock) {
+  RingBuffer<int> buf(16, OverflowPolicy::Block);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = buf.pop()) received.push_back(*v);
+  });
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&buf, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          buf.push(p * kPerProducer + i);
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+  }
+  buf.close();
+  consumer.join();
+  ASSERT_EQ(received.size(),
+            static_cast<std::size_t>(kPerProducer * kProducers));
+  const long long expected =
+      static_cast<long long>(kPerProducer * kProducers) *
+      (kPerProducer * kProducers - 1) / 2;
+  const long long actual =
+      std::accumulate(received.begin(), received.end(), 0LL);
+  EXPECT_EQ(actual, expected);  // every value exactly once
+}
+
+TEST(RingBufferTest, SizeAndCapacity) {
+  RingBuffer<int> buf(3);
+  EXPECT_EQ(buf.capacity(), 3u);
+  EXPECT_EQ(buf.size(), 0u);
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.pop();
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(RingBufferTest, WrapAroundKeepsOrder) {
+  RingBuffer<int> buf(3);
+  for (int round = 0; round < 10; ++round) {
+    buf.push(round * 2);
+    buf.push(round * 2 + 1);
+    EXPECT_EQ(buf.pop(), round * 2);
+    EXPECT_EQ(buf.pop(), round * 2 + 1);
+  }
+}
+
+}  // namespace
+}  // namespace gridrm::util

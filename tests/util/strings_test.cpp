@@ -1,0 +1,61 @@
+#include "gridrm/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitNonEmptyDropsEmptyFields) {
+  EXPECT_EQ(splitNonEmpty("a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(splitNonEmpty("", ',').empty());
+  EXPECT_TRUE(splitNonEmpty(",,,", ',').empty());
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(toLower("MiXeD"), "mixed");
+  EXPECT_EQ(toUpper("MiXeD"), "MIXED");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("jdbc:snmp://x", "jdbc:"));
+  EXPECT_FALSE(startsWith("jd", "jdbc:"));
+  EXPECT_TRUE(endsWith("file.xml", ".xml"));
+  EXPECT_FALSE(endsWith("xml", ".xml"));
+}
+
+TEST(StringsTest, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("SELECT", "select"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(replaceAll("a'b'c", "'", "''"), "a''b''c");
+  EXPECT_EQ(replaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replaceAll("x", "", "y"), "x");  // empty needle is a no-op
+}
+
+}  // namespace
+}  // namespace gridrm::util

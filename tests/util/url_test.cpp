@@ -1,0 +1,85 @@
+#include "gridrm/util/url.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(UrlTest, FullForm) {
+  auto u = Url::parse("jdbc:snmp://node01:161/perfdata?community=public&x=1");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme(), "jdbc");
+  EXPECT_EQ(u->subprotocol(), "snmp");
+  EXPECT_EQ(u->host(), "node01");
+  EXPECT_EQ(u->port(), 161);
+  EXPECT_EQ(u->path(), "perfdata");
+  EXPECT_EQ(u->param("community"), "public");
+  EXPECT_EQ(u->param("x"), "1");
+  EXPECT_EQ(u->param("missing", "dflt"), "dflt");
+}
+
+TEST(UrlTest, PaperExampleAnyDriver) {
+  // From the paper: jdbc:://snowboard.workgroup/perfdata
+  auto u = Url::parse("jdbc:://snowboard.workgroup/perfdata");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->subprotocol(), "");
+  EXPECT_EQ(u->host(), "snowboard.workgroup");
+  EXPECT_EQ(u->port(), 0);
+  EXPECT_EQ(u->path(), "perfdata");
+}
+
+TEST(UrlTest, PaperExampleNwsDriver) {
+  auto u = Url::parse("jdbc:nws://snowboard.workgroup/perfdata");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->subprotocol(), "nws");
+}
+
+TEST(UrlTest, GridRmSchemeAlias) {
+  auto u = Url::parse("gridrm:ganglia://head:8649/");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme(), "gridrm");
+  EXPECT_EQ(u->subprotocol(), "ganglia");
+}
+
+TEST(UrlTest, NoPathOrQuery) {
+  auto u = Url::parse("jdbc:scms://master:18800");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->path(), "");
+  EXPECT_TRUE(u->params().empty());
+}
+
+TEST(UrlTest, EndpointSubstitutesDefaultPort) {
+  auto u = Url::parse("jdbc:snmp://h/x");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->endpoint(161), "h:161");
+  auto v = Url::parse("jdbc:snmp://h:200/x");
+  EXPECT_EQ(v->endpoint(161), "h:200");
+}
+
+TEST(UrlTest, SubprotocolAndSchemeAreLowercased) {
+  auto u = Url::parse("JDBC:SNMP://H/x");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme(), "jdbc");
+  EXPECT_EQ(u->subprotocol(), "snmp");
+  EXPECT_EQ(u->host(), "H");  // hosts keep their case
+}
+
+TEST(UrlTest, RejectsMalformed) {
+  EXPECT_FALSE(Url::parse("").has_value());
+  EXPECT_FALSE(Url::parse("nonsense").has_value());
+  EXPECT_FALSE(Url::parse("http://host/x").has_value());  // wrong scheme
+  EXPECT_FALSE(Url::parse("jdbc:snmp:/host").has_value());
+  EXPECT_FALSE(Url::parse("jdbc:snmp://").has_value());
+  EXPECT_FALSE(Url::parse("jdbc:snmp://host:notaport/").has_value());
+  EXPECT_FALSE(Url::parse("jdbc:snmp://host:99999/").has_value());
+}
+
+TEST(UrlTest, ParamWithoutValue) {
+  auto u = Url::parse("jdbc:snmp://h/x?flag&k=v");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->param("flag", "unset"), "");
+  EXPECT_EQ(u->param("k"), "v");
+}
+
+}  // namespace
+}  // namespace gridrm::util

@@ -1,0 +1,114 @@
+#include "gridrm/util/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.isNull());
+  EXPECT_EQ(v.type(), ValueType::Null);
+  EXPECT_FALSE(v.isNumeric());
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value(true).type(), ValueType::Bool);
+  EXPECT_EQ(Value(std::int64_t{7}).type(), ValueType::Int);
+  EXPECT_EQ(Value(7).type(), ValueType::Int);
+  EXPECT_EQ(Value(3.5).type(), ValueType::Real);
+  EXPECT_EQ(Value("x").type(), ValueType::String);
+  EXPECT_EQ(Value(std::string("x")).type(), ValueType::String);
+}
+
+TEST(ValueTest, ExactAccessors) {
+  EXPECT_TRUE(Value(true).asBool());
+  EXPECT_EQ(Value(42).asInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).asReal(), 2.25);
+  EXPECT_EQ(Value("hello").asString(), "hello");
+}
+
+TEST(ValueTest, WrongAccessorThrows) {
+  EXPECT_THROW(Value(42).asString(), std::bad_variant_access);
+  EXPECT_THROW(Value("x").asInt(), std::bad_variant_access);
+}
+
+TEST(ValueTest, ToIntCoercions) {
+  EXPECT_EQ(Value().toInt(-1), -1);
+  EXPECT_EQ(Value(true).toInt(), 1);
+  EXPECT_EQ(Value(7).toInt(), 7);
+  EXPECT_EQ(Value(2.6).toInt(), 3);  // rounds
+  EXPECT_EQ(Value("123").toInt(), 123);
+  EXPECT_EQ(Value("12.7").toInt(), 13);
+  EXPECT_EQ(Value("junk").toInt(-5), -5);
+}
+
+TEST(ValueTest, ToRealCoercions) {
+  EXPECT_DOUBLE_EQ(Value().toReal(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(Value(false).toReal(), 0.0);
+  EXPECT_DOUBLE_EQ(Value(7).toReal(), 7.0);
+  EXPECT_DOUBLE_EQ(Value("0.25").toReal(), 0.25);
+  EXPECT_DOUBLE_EQ(Value("nope").toReal(9.0), 9.0);
+}
+
+TEST(ValueTest, ToBoolCoercions) {
+  EXPECT_TRUE(Value(1).toBool());
+  EXPECT_FALSE(Value(0).toBool());
+  EXPECT_TRUE(Value("true").toBool());
+  EXPECT_TRUE(Value("1").toBool());
+  EXPECT_FALSE(Value("false").toBool());
+  EXPECT_FALSE(Value("0").toBool());
+  EXPECT_TRUE(Value("maybe").toBool(true));
+  EXPECT_FALSE(Value().toBool());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().toString(), "NULL");
+  EXPECT_EQ(Value(true).toString(), "true");
+  EXPECT_EQ(Value(42).toString(), "42");
+  EXPECT_EQ(Value(0.25).toString(), "0.25");
+  EXPECT_EQ(Value("s").toString(), "s");
+}
+
+TEST(ValueTest, ParsePicksMostSpecificType) {
+  EXPECT_EQ(Value::parse("42").type(), ValueType::Int);
+  EXPECT_EQ(Value::parse("42.5").type(), ValueType::Real);
+  EXPECT_EQ(Value::parse("true").type(), ValueType::Bool);
+  EXPECT_EQ(Value::parse("NULL").type(), ValueType::Null);
+  EXPECT_EQ(Value::parse("hello").type(), ValueType::String);
+  // A partial number is a string, not a truncated parse.
+  EXPECT_EQ(Value::parse("42x").type(), ValueType::String);
+}
+
+TEST(ValueTest, ParseRoundTripsToString) {
+  for (const Value& v :
+       {Value(17), Value(-3), Value(2.5), Value(true), Value::null()}) {
+    EXPECT_EQ(Value::parse(v.toString()), v) << v.toString();
+  }
+}
+
+TEST(ValueTest, CompareNumericAcrossTypes) {
+  EXPECT_EQ(Value(2).compare(Value(2.0)), std::strong_ordering::equal);
+  EXPECT_EQ(Value(2).compare(Value(2.5)), std::strong_ordering::less);
+  EXPECT_EQ(Value(3.1).compare(Value(3)), std::strong_ordering::greater);
+}
+
+TEST(ValueTest, CompareNullSortsFirst) {
+  EXPECT_TRUE(Value::null() < Value(0));
+  EXPECT_TRUE(Value::null() < Value("a"));
+  EXPECT_EQ(Value::null().compare(Value::null()), std::strong_ordering::equal);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_TRUE(Value("abc") < Value("abd"));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_FALSE(Value("x") == Value("y"));
+}
+
+TEST(ValueTest, EqualityAcrossDifferentTypesIsFalse) {
+  EXPECT_FALSE(Value("1") == Value(1));
+  EXPECT_FALSE(Value(true) == Value(1));
+}
+
+}  // namespace
+}  // namespace gridrm::util

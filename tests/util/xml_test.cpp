@@ -1,0 +1,83 @@
+#include "gridrm/util/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::util {
+namespace {
+
+TEST(XmlTest, ParseSimpleDocument) {
+  auto root = parseXml("<ROOT A=\"1\"><CHILD B=\"x\"/></ROOT>");
+  EXPECT_EQ(root->name, "ROOT");
+  EXPECT_EQ(root->attr("A"), "1");
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0]->name, "CHILD");
+  EXPECT_EQ(root->children[0]->attr("B"), "x");
+}
+
+TEST(XmlTest, ChildLookupHelpers) {
+  auto root = parseXml("<R><A N=\"1\"/><B/><A N=\"2\"/></R>");
+  ASSERT_NE(root->child("A"), nullptr);
+  EXPECT_EQ(root->child("A")->attr("N"), "1");
+  EXPECT_EQ(root->child("Z"), nullptr);
+  EXPECT_EQ(root->childrenNamed("A").size(), 2u);
+  EXPECT_EQ(root->attr("missing", "fb"), "fb");
+}
+
+TEST(XmlTest, PrologAndCommentsSkipped) {
+  auto root = parseXml(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<R><!-- inner --><C/></R>");
+  EXPECT_EQ(root->name, "R");
+  EXPECT_EQ(root->children.size(), 1u);
+}
+
+TEST(XmlTest, AttributeEscapes) {
+  auto root = parseXml("<R V=\"a&lt;b&gt;c&amp;d&quot;e\"/>");
+  EXPECT_EQ(root->attr("V"), "a<b>c&d\"e");
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  auto root = parseXml("<R V='hello'/>");
+  EXPECT_EQ(root->attr("V"), "hello");
+}
+
+TEST(XmlTest, TextContentIsIgnoredNotFatal) {
+  auto root = parseXml("<R>some text<C/>more</R>");
+  EXPECT_EQ(root->children.size(), 1u);
+}
+
+TEST(XmlTest, Errors) {
+  EXPECT_THROW(parseXml(""), XmlError);
+  EXPECT_THROW(parseXml("<R>"), XmlError);
+  EXPECT_THROW(parseXml("<R></S>"), XmlError);
+  EXPECT_THROW(parseXml("<R A=1/>"), XmlError);
+  EXPECT_THROW(parseXml("<R/><Extra/>"), XmlError);
+}
+
+TEST(XmlTest, WriterProducesParseableOutput) {
+  XmlWriter w;
+  w.open("GANGLIA_XML").attr("VERSION", "2.5.7");
+  w.open("CLUSTER").attr("NAME", "my \"cluster\" <x>");
+  w.open("HOST").attr("NAME", "n0").close();
+  w.open("HOST").attr("NAME", "n1").close();
+  w.close();  // CLUSTER
+  w.close();  // GANGLIA_XML
+  const std::string doc = w.take();
+
+  auto root = parseXml(doc);
+  EXPECT_EQ(root->name, "GANGLIA_XML");
+  const XmlElement* cluster = root->child("CLUSTER");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->attr("NAME"), "my \"cluster\" <x>");
+  EXPECT_EQ(cluster->childrenNamed("HOST").size(), 2u);
+}
+
+TEST(XmlTest, WriterErrors) {
+  XmlWriter w;
+  EXPECT_THROW(w.attr("k", "v"), XmlError);  // no open tag
+  EXPECT_THROW(w.close(), XmlError);         // nothing to close
+  w.open("R");
+  EXPECT_THROW(w.take(), XmlError);  // unclosed element
+}
+
+}  // namespace
+}  // namespace gridrm::util
