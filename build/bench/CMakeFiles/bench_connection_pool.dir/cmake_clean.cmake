@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connection_pool.dir/bench_connection_pool.cpp.o"
+  "CMakeFiles/bench_connection_pool.dir/bench_connection_pool.cpp.o.d"
+  "bench_connection_pool"
+  "bench_connection_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connection_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_driver_granularity.cpp" "bench/CMakeFiles/bench_driver_granularity.dir/bench_driver_granularity.cpp.o" "gcc" "bench/CMakeFiles/bench_driver_granularity.dir/bench_driver_granularity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/global/CMakeFiles/gridrm_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gridrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/gridrm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridrm_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gridrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/glue/CMakeFiles/gridrm_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/CMakeFiles/gridrm_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gridrm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

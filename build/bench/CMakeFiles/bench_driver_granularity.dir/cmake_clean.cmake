@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver_granularity.dir/bench_driver_granularity.cpp.o"
+  "CMakeFiles/bench_driver_granularity.dir/bench_driver_granularity.cpp.o.d"
+  "bench_driver_granularity"
+  "bench_driver_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver_selection.dir/bench_driver_selection.cpp.o"
+  "CMakeFiles/bench_driver_selection.dir/bench_driver_selection.cpp.o.d"
+  "bench_driver_selection"
+  "bench_driver_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_manager.dir/bench_event_manager.cpp.o"
+  "CMakeFiles/bench_event_manager.dir/bench_event_manager.cpp.o.d"
+  "bench_event_manager"
+  "bench_event_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_policies.dir/bench_failure_policies.cpp.o"
+  "CMakeFiles/bench_failure_policies.dir/bench_failure_policies.cpp.o.d"
+  "bench_failure_policies"
+  "bench_failure_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gateway_cache.dir/bench_gateway_cache.cpp.o"
+  "CMakeFiles/bench_gateway_cache.dir/bench_gateway_cache.cpp.o.d"
+  "bench_gateway_cache"
+  "bench_gateway_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gateway_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_layer.dir/bench_global_layer.cpp.o"
+  "CMakeFiles/bench_global_layer.dir/bench_global_layer.cpp.o.d"
+  "bench_global_layer"
+  "bench_global_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_admin.dir/driver_admin.cpp.o"
+  "CMakeFiles/driver_admin.dir/driver_admin.cpp.o.d"
+  "driver_admin"
+  "driver_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

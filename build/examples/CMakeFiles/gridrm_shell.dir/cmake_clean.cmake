@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_shell.dir/gridrm_shell.cpp.o"
+  "CMakeFiles/gridrm_shell.dir/gridrm_shell.cpp.o.d"
+  "gridrm_shell"
+  "gridrm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

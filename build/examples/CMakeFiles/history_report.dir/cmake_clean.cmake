@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_report.dir/history_report.cpp.o"
+  "CMakeFiles/history_report.dir/history_report.cpp.o.d"
+  "history_report"
+  "history_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

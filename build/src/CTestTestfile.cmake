@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sql")
+subdirs("dbc")
+subdirs("net")
+subdirs("sim")
+subdirs("glue")
+subdirs("store")
+subdirs("agents")
+subdirs("drivers")
+subdirs("core")
+subdirs("global")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/ganglia_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/ganglia_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/ganglia_agent.cpp.o.d"
+  "/root/repo/src/agents/mds_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/mds_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/mds_agent.cpp.o.d"
+  "/root/repo/src/agents/netlogger_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/netlogger_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/netlogger_agent.cpp.o.d"
+  "/root/repo/src/agents/nws_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/nws_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/nws_agent.cpp.o.d"
+  "/root/repo/src/agents/scms_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/scms_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/scms_agent.cpp.o.d"
+  "/root/repo/src/agents/site.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/site.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/site.cpp.o.d"
+  "/root/repo/src/agents/snmp_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/snmp_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/snmp_agent.cpp.o.d"
+  "/root/repo/src/agents/snmp_codec.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/snmp_codec.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/snmp_codec.cpp.o.d"
+  "/root/repo/src/agents/sqlsrc_agent.cpp" "src/agents/CMakeFiles/gridrm_agents.dir/sqlsrc_agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridrm_agents.dir/sqlsrc_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gridrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/glue/CMakeFiles/gridrm_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/CMakeFiles/gridrm_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gridrm_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

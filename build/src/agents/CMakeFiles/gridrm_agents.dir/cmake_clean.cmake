@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_agents.dir/ganglia_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/ganglia_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/mds_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/mds_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/netlogger_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/netlogger_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/nws_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/nws_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/scms_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/scms_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/site.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/site.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/snmp_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/snmp_agent.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/snmp_codec.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/snmp_codec.cpp.o.d"
+  "CMakeFiles/gridrm_agents.dir/sqlsrc_agent.cpp.o"
+  "CMakeFiles/gridrm_agents.dir/sqlsrc_agent.cpp.o.d"
+  "libgridrm_agents.a"
+  "libgridrm_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

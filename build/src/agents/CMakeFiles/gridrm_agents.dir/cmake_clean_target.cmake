@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridrm_agents.a"
+)

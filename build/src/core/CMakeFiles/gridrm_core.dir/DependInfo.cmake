@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alert_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/alert_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/alert_manager.cpp.o.d"
+  "/root/repo/src/core/cache_controller.cpp" "src/core/CMakeFiles/gridrm_core.dir/cache_controller.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/cache_controller.cpp.o.d"
+  "/root/repo/src/core/connection_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/connection_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/connection_manager.cpp.o.d"
+  "/root/repo/src/core/driver_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/driver_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/driver_manager.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/gridrm_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/event_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/event_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/event_manager.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/core/CMakeFiles/gridrm_core.dir/gateway.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/gateway.cpp.o.d"
+  "/root/repo/src/core/request_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/request_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/request_manager.cpp.o.d"
+  "/root/repo/src/core/security.cpp" "src/core/CMakeFiles/gridrm_core.dir/security.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/security.cpp.o.d"
+  "/root/repo/src/core/session_manager.cpp" "src/core/CMakeFiles/gridrm_core.dir/session_manager.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/session_manager.cpp.o.d"
+  "/root/repo/src/core/site_poller.cpp" "src/core/CMakeFiles/gridrm_core.dir/site_poller.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/site_poller.cpp.o.d"
+  "/root/repo/src/core/tree_view.cpp" "src/core/CMakeFiles/gridrm_core.dir/tree_view.cpp.o" "gcc" "src/core/CMakeFiles/gridrm_core.dir/tree_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gridrm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/CMakeFiles/gridrm_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/glue/CMakeFiles/gridrm_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gridrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/gridrm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridrm_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_core.dir/alert_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/alert_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/cache_controller.cpp.o"
+  "CMakeFiles/gridrm_core.dir/cache_controller.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/connection_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/connection_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/driver_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/driver_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/event.cpp.o"
+  "CMakeFiles/gridrm_core.dir/event.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/event_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/event_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/gateway.cpp.o"
+  "CMakeFiles/gridrm_core.dir/gateway.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/request_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/request_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/security.cpp.o"
+  "CMakeFiles/gridrm_core.dir/security.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/session_manager.cpp.o"
+  "CMakeFiles/gridrm_core.dir/session_manager.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/site_poller.cpp.o"
+  "CMakeFiles/gridrm_core.dir/site_poller.cpp.o.d"
+  "CMakeFiles/gridrm_core.dir/tree_view.cpp.o"
+  "CMakeFiles/gridrm_core.dir/tree_view.cpp.o.d"
+  "libgridrm_core.a"
+  "libgridrm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

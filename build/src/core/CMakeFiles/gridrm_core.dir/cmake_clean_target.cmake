@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridrm_core.a"
+)

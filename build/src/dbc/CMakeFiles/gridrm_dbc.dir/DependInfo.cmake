@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbc/driver_registry.cpp" "src/dbc/CMakeFiles/gridrm_dbc.dir/driver_registry.cpp.o" "gcc" "src/dbc/CMakeFiles/gridrm_dbc.dir/driver_registry.cpp.o.d"
+  "/root/repo/src/dbc/result_io.cpp" "src/dbc/CMakeFiles/gridrm_dbc.dir/result_io.cpp.o" "gcc" "src/dbc/CMakeFiles/gridrm_dbc.dir/result_io.cpp.o.d"
+  "/root/repo/src/dbc/result_set.cpp" "src/dbc/CMakeFiles/gridrm_dbc.dir/result_set.cpp.o" "gcc" "src/dbc/CMakeFiles/gridrm_dbc.dir/result_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

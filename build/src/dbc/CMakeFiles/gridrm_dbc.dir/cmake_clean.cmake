@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_dbc.dir/driver_registry.cpp.o"
+  "CMakeFiles/gridrm_dbc.dir/driver_registry.cpp.o.d"
+  "CMakeFiles/gridrm_dbc.dir/result_io.cpp.o"
+  "CMakeFiles/gridrm_dbc.dir/result_io.cpp.o.d"
+  "CMakeFiles/gridrm_dbc.dir/result_set.cpp.o"
+  "CMakeFiles/gridrm_dbc.dir/result_set.cpp.o.d"
+  "libgridrm_dbc.a"
+  "libgridrm_dbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_dbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/defaults.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/defaults.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/defaults.cpp.o.d"
+  "/root/repo/src/drivers/driver_common.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/driver_common.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/driver_common.cpp.o.d"
+  "/root/repo/src/drivers/ganglia_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/ganglia_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/ganglia_driver.cpp.o.d"
+  "/root/repo/src/drivers/mds_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/mds_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/mds_driver.cpp.o.d"
+  "/root/repo/src/drivers/mock_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/mock_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/mock_driver.cpp.o.d"
+  "/root/repo/src/drivers/netlogger_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/netlogger_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/netlogger_driver.cpp.o.d"
+  "/root/repo/src/drivers/nws_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/nws_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/nws_driver.cpp.o.d"
+  "/root/repo/src/drivers/scms_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/scms_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/scms_driver.cpp.o.d"
+  "/root/repo/src/drivers/snmp_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/snmp_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/snmp_driver.cpp.o.d"
+  "/root/repo/src/drivers/sqlsrc_driver.cpp" "src/drivers/CMakeFiles/gridrm_drivers.dir/sqlsrc_driver.cpp.o" "gcc" "src/drivers/CMakeFiles/gridrm_drivers.dir/sqlsrc_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gridrm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/CMakeFiles/gridrm_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/glue/CMakeFiles/gridrm_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gridrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridrm_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

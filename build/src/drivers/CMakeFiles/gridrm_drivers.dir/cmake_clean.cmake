@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_drivers.dir/defaults.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/defaults.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/driver_common.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/driver_common.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/ganglia_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/ganglia_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/mds_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/mds_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/mock_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/mock_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/netlogger_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/netlogger_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/nws_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/nws_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/scms_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/scms_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/snmp_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/snmp_driver.cpp.o.d"
+  "CMakeFiles/gridrm_drivers.dir/sqlsrc_driver.cpp.o"
+  "CMakeFiles/gridrm_drivers.dir/sqlsrc_driver.cpp.o.d"
+  "libgridrm_drivers.a"
+  "libgridrm_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_global.dir/directory.cpp.o"
+  "CMakeFiles/gridrm_global.dir/directory.cpp.o.d"
+  "CMakeFiles/gridrm_global.dir/global_layer.cpp.o"
+  "CMakeFiles/gridrm_global.dir/global_layer.cpp.o.d"
+  "libgridrm_global.a"
+  "libgridrm_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_glue.dir/schema.cpp.o"
+  "CMakeFiles/gridrm_glue.dir/schema.cpp.o.d"
+  "CMakeFiles/gridrm_glue.dir/schema_manager.cpp.o"
+  "CMakeFiles/gridrm_glue.dir/schema_manager.cpp.o.d"
+  "libgridrm_glue.a"
+  "libgridrm_glue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

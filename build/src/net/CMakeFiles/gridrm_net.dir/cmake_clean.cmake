@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_net.dir/network.cpp.o"
+  "CMakeFiles/gridrm_net.dir/network.cpp.o.d"
+  "libgridrm_net.a"
+  "libgridrm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_sim.dir/host_model.cpp.o"
+  "CMakeFiles/gridrm_sim.dir/host_model.cpp.o.d"
+  "libgridrm_sim.a"
+  "libgridrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_sql.dir/ast.cpp.o"
+  "CMakeFiles/gridrm_sql.dir/ast.cpp.o.d"
+  "CMakeFiles/gridrm_sql.dir/eval.cpp.o"
+  "CMakeFiles/gridrm_sql.dir/eval.cpp.o.d"
+  "CMakeFiles/gridrm_sql.dir/lexer.cpp.o"
+  "CMakeFiles/gridrm_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/gridrm_sql.dir/parser.cpp.o"
+  "CMakeFiles/gridrm_sql.dir/parser.cpp.o.d"
+  "libgridrm_sql.a"
+  "libgridrm_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

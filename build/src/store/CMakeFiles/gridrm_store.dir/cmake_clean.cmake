@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_store.dir/database.cpp.o"
+  "CMakeFiles/gridrm_store.dir/database.cpp.o.d"
+  "libgridrm_store.a"
+  "libgridrm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

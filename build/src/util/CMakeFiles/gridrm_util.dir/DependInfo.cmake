@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cpp" "src/util/CMakeFiles/gridrm_util.dir/clock.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/clock.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/util/CMakeFiles/gridrm_util.dir/config.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/config.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/gridrm_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/gridrm_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/gridrm_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/url.cpp" "src/util/CMakeFiles/gridrm_util.dir/url.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/url.cpp.o.d"
+  "/root/repo/src/util/value.cpp" "src/util/CMakeFiles/gridrm_util.dir/value.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/value.cpp.o.d"
+  "/root/repo/src/util/xml.cpp" "src/util/CMakeFiles/gridrm_util.dir/xml.cpp.o" "gcc" "src/util/CMakeFiles/gridrm_util.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

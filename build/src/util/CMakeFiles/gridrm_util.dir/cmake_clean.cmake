@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridrm_util.dir/clock.cpp.o"
+  "CMakeFiles/gridrm_util.dir/clock.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/config.cpp.o"
+  "CMakeFiles/gridrm_util.dir/config.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/log.cpp.o"
+  "CMakeFiles/gridrm_util.dir/log.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/strings.cpp.o"
+  "CMakeFiles/gridrm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gridrm_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/url.cpp.o"
+  "CMakeFiles/gridrm_util.dir/url.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/value.cpp.o"
+  "CMakeFiles/gridrm_util.dir/value.cpp.o.d"
+  "CMakeFiles/gridrm_util.dir/xml.cpp.o"
+  "CMakeFiles/gridrm_util.dir/xml.cpp.o.d"
+  "libgridrm_util.a"
+  "libgridrm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridrm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

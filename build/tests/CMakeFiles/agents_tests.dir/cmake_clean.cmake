@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_tests.dir/agents/ganglia_agent_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/ganglia_agent_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/mds_agent_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/mds_agent_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/snmp_agent_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/snmp_agent_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/snmp_codec_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/snmp_codec_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/sqlsrc_agent_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/sqlsrc_agent_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/text_agents_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/text_agents_test.cpp.o.d"
+  "agents_tests"
+  "agents_tests.pdb"
+  "agents_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

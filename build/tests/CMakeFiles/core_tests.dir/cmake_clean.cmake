@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/alert_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/alert_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cache_controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cache_controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/connection_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/connection_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/driver_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/driver_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/event_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/event_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/gateway_config_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/gateway_config_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/request_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/request_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/security_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/security_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/session_manager_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/session_manager_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/site_poller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/site_poller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tree_view_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tree_view_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbc_tests.dir/dbc/driver_registry_test.cpp.o"
+  "CMakeFiles/dbc_tests.dir/dbc/driver_registry_test.cpp.o.d"
+  "CMakeFiles/dbc_tests.dir/dbc/result_io_test.cpp.o"
+  "CMakeFiles/dbc_tests.dir/dbc/result_io_test.cpp.o.d"
+  "CMakeFiles/dbc_tests.dir/dbc/result_set_test.cpp.o"
+  "CMakeFiles/dbc_tests.dir/dbc/result_set_test.cpp.o.d"
+  "dbc_tests"
+  "dbc_tests.pdb"
+  "dbc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drivers_tests.dir/drivers/all_drivers_test.cpp.o"
+  "CMakeFiles/drivers_tests.dir/drivers/all_drivers_test.cpp.o.d"
+  "CMakeFiles/drivers_tests.dir/drivers/driver_common_test.cpp.o"
+  "CMakeFiles/drivers_tests.dir/drivers/driver_common_test.cpp.o.d"
+  "CMakeFiles/drivers_tests.dir/drivers/ganglia_driver_test.cpp.o"
+  "CMakeFiles/drivers_tests.dir/drivers/ganglia_driver_test.cpp.o.d"
+  "CMakeFiles/drivers_tests.dir/drivers/snmp_driver_test.cpp.o"
+  "CMakeFiles/drivers_tests.dir/drivers/snmp_driver_test.cpp.o.d"
+  "CMakeFiles/drivers_tests.dir/drivers/text_drivers_test.cpp.o"
+  "CMakeFiles/drivers_tests.dir/drivers/text_drivers_test.cpp.o.d"
+  "drivers_tests"
+  "drivers_tests.pdb"
+  "drivers_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drivers_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_tests.dir/global/directory_test.cpp.o"
+  "CMakeFiles/global_tests.dir/global/directory_test.cpp.o.d"
+  "CMakeFiles/global_tests.dir/global/global_layer_test.cpp.o"
+  "CMakeFiles/global_tests.dir/global/global_layer_test.cpp.o.d"
+  "global_tests"
+  "global_tests.pdb"
+  "global_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

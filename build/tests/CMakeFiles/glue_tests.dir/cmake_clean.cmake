@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glue_tests.dir/glue/schema_manager_test.cpp.o"
+  "CMakeFiles/glue_tests.dir/glue/schema_manager_test.cpp.o.d"
+  "CMakeFiles/glue_tests.dir/glue/schema_test.cpp.o"
+  "CMakeFiles/glue_tests.dir/glue/schema_test.cpp.o.d"
+  "glue_tests"
+  "glue_tests.pdb"
+  "glue_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glue_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

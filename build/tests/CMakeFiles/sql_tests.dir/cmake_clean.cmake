@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_tests.dir/sql/eval_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/eval_test.cpp.o.d"
+  "CMakeFiles/sql_tests.dir/sql/lexer_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/lexer_test.cpp.o.d"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/parser_test.cpp.o.d"
+  "CMakeFiles/sql_tests.dir/sql/random_property_test.cpp.o"
+  "CMakeFiles/sql_tests.dir/sql/random_property_test.cpp.o.d"
+  "sql_tests"
+  "sql_tests.pdb"
+  "sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_tests.dir/store/aggregate_test.cpp.o"
+  "CMakeFiles/store_tests.dir/store/aggregate_test.cpp.o.d"
+  "CMakeFiles/store_tests.dir/store/database_test.cpp.o"
+  "CMakeFiles/store_tests.dir/store/database_test.cpp.o.d"
+  "store_tests"
+  "store_tests.pdb"
+  "store_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

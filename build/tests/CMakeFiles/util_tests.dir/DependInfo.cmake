@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/clock_test.cpp" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o.d"
+  "/root/repo/tests/util/config_test.cpp" "tests/CMakeFiles/util_tests.dir/util/config_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/config_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/util_tests.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/random_test.cpp" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o.d"
+  "/root/repo/tests/util/ring_buffer_test.cpp" "tests/CMakeFiles/util_tests.dir/util/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/ring_buffer_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/url_test.cpp" "tests/CMakeFiles/util_tests.dir/util/url_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/url_test.cpp.o.d"
+  "/root/repo/tests/util/value_test.cpp" "tests/CMakeFiles/util_tests.dir/util/value_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/value_test.cpp.o.d"
+  "/root/repo/tests/util/xml_test.cpp" "tests/CMakeFiles/util_tests.dir/util/xml_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/global/CMakeFiles/gridrm_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gridrm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/drivers/CMakeFiles/gridrm_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridrm_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/gridrm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/glue/CMakeFiles/gridrm_glue.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gridrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dbc/CMakeFiles/gridrm_dbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/gridrm_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gridrm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

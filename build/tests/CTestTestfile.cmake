@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sql_tests[1]_include.cmake")
+include("/root/repo/build/tests/dbc_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/glue_tests[1]_include.cmake")
+include("/root/repo/build/tests/store_tests[1]_include.cmake")
+include("/root/repo/build/tests/agents_tests[1]_include.cmake")
+include("/root/repo/build/tests/drivers_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/global_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
