@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and leave machine-readable results next to
+# this script as BENCH_<tag>.json (Google Benchmark's JSON format).
+#
+# Usage: bench/run_all.sh [build-dir] [output-dir]
+#   build-dir   defaults to ./build (binaries in <build-dir>/bench)
+#   output-dir  defaults to the current directory
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-.}"
+bench_dir="${build_dir}/bench"
+
+if [[ ! -d "${bench_dir}" ]]; then
+  echo "error: ${bench_dir} not found; build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+status=0
+for bin in "${bench_dir}"/bench_*; do
+  [[ -x "${bin}" && -f "${bin}" ]] || continue
+  tag="$(basename "${bin}")"
+  tag="${tag#bench_}"
+  out="${out_dir}/BENCH_${tag}.json"
+  echo "== ${tag} -> ${out}"
+  if ! "${bin}" --benchmark_out="${out}" --benchmark_out_format=json \
+      --benchmark_repetitions="${BENCH_REPS:-1}"; then
+    echo "warn: ${tag} failed" >&2
+    status=1
+  fi
+done
+exit "${status}"

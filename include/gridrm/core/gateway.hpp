@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "gridrm/glue/schema_manager.hpp"
 #include "gridrm/net/network.hpp"
 #include "gridrm/store/database.hpp"
+#include "gridrm/stream/continuous_query_engine.hpp"
 
 namespace gridrm::core {
 
@@ -48,6 +50,8 @@ struct GatewayOptions {
   bool registerDefaultDrivers = true;
   FailurePolicy failurePolicy;
   EventManagerOptions eventOptions;
+  /// Defaults for continuous-query subscriptions (the stream subsystem).
+  stream::StreamOptions streamOptions;
   util::Duration sessionIdleTimeout = 30 * 60 * util::kSecond;
 
   /// Build options from a parsed policy file (the "Gateway Policy and
@@ -57,6 +61,9 @@ struct GatewayOptions {
   ///   pool.max_idle, pool.validate,
   ///   query.workers, drivers.register_defaults,
   ///   events.buffer_capacity, events.drop_newest, events.record_history,
+  ///   stream.queue_capacity (deltas buffered per subscription),
+  ///   stream.overflow (dropoldest|block|cancel),
+  ///   stream.replay_rows (historical rows replayed on subscribe),
   ///   failure.action (report|retry|trynext|dynamic), failure.retries,
   ///   session.idle_timeout_s
   static GatewayOptions fromConfig(const util::Config& config);
@@ -102,6 +109,22 @@ class Gateway {
                               EventManager::Listener listener);
   void unsubscribeEvents(const std::string& token, std::size_t id);
 
+  // --- ACIL: continuous queries (streaming SQL) -----------------------
+  /// Register a continuous query over one data source ("" or "*" = every
+  /// source at this gateway). Rows harvested by pollers and events
+  /// translated by the Event Manager (pseudo-table "Events") that match
+  /// the query are pushed to `consumer` as StreamDelta batches; pass a
+  /// null consumer to poll the subscription's queue instead (see
+  /// streamEngine().poll).
+  std::size_t subscribeQuery(const std::string& token, const std::string& url,
+                             const std::string& sql,
+                             stream::ContinuousQueryEngine::DeltaConsumer
+                                 consumer = nullptr,
+                             std::optional<stream::StreamOptions> options =
+                                 std::nullopt);
+  void unsubscribeQuery(const std::string& token, std::size_t id);
+  stream::StreamStats streamStats() const { return streamEngine_.stats(); }
+
   // --- ACIL: driver administration (paper section 4 / Fig. 8) ---------
   void registerDriver(const std::string& token,
                       std::shared_ptr<dbc::Driver> driver);
@@ -126,6 +149,9 @@ class Gateway {
   ConnectionManager& connectionManager() noexcept { return connections_; }
   CacheController& cache() noexcept { return cache_; }
   EventManager& eventManager() noexcept { return *eventManager_; }
+  stream::ContinuousQueryEngine& streamEngine() noexcept {
+    return streamEngine_;
+  }
   RequestManager& requestManager() noexcept { return *requestManager_; }
   SessionManager& sessionManager() noexcept { return sessions_; }
   store::Database& database() noexcept { return db_; }
@@ -154,8 +180,13 @@ class Gateway {
   CoarseSecurityLayer cgsl_;
   FineSecurityLayer fgsl_;
   SessionManager sessions_;
+  /// Declared before eventManager_: the dispatcher thread feeds the
+  /// engine through a listener, so the engine must be destroyed after
+  /// the Event Manager has joined it.
+  stream::ContinuousQueryEngine streamEngine_;
   std::unique_ptr<EventManager> eventManager_;
   std::unique_ptr<RequestManager> requestManager_;
+  std::size_t streamEventListenerId_ = 0;
 
   mutable std::mutex sourcesMu_;
   std::set<std::string> dataSources_;

@@ -31,6 +31,7 @@ enum class Operation {
   RealTimeQuery,
   HistoricalQuery,
   EventSubscribe,
+  StreamSubscribe,  // continuous-query (streaming SQL) subscriptions
   DriverAdmin,
 };
 

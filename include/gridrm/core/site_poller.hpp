@@ -18,6 +18,7 @@
 
 #include "gridrm/core/alert_manager.hpp"
 #include "gridrm/core/request_manager.hpp"
+#include "gridrm/stream/continuous_query_engine.hpp"
 
 namespace gridrm::core {
 
@@ -34,6 +35,7 @@ struct SitePollerStats {
   std::uint64_t polls = 0;       // task executions
   std::uint64_t pollFailures = 0;
   std::uint64_t alertsRaised = 0;
+  std::uint64_t rowsStreamed = 0;  // rows handed to the stream engine
 };
 
 class SitePoller {
@@ -48,6 +50,11 @@ class SitePoller {
 
   SitePoller(const SitePoller&) = delete;
   SitePoller& operator=(const SitePoller&) = delete;
+
+  /// Feed every successfully polled batch to a continuous-query engine
+  /// (the gateway's streamEngine()), making poll refreshes the push
+  /// source for streaming subscriptions. Null disables the feed.
+  void setStreamSink(stream::ContinuousQueryEngine* sink);
 
   void addTask(PollTask task);
   /// Remove every task for the given source URL; returns count removed.
@@ -78,6 +85,7 @@ class SitePoller {
   util::Clock& clock_;
   Principal principal_;
   AlertManager* alerts_;
+  stream::ContinuousQueryEngine* streamSink_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Scheduled> tasks_;
   SitePollerStats stats_;

@@ -44,6 +44,11 @@ struct GlobalStats {
   std::uint64_t directoryLookups = 0;
   std::uint64_t eventsPropagated = 0;
   std::uint64_t authFailures = 0;
+  // Continuous-query relay (streaming SQL between gateways).
+  std::uint64_t streamSubscriptionsSent = 0;    // GSUB requests issued
+  std::uint64_t streamSubscriptionsServed = 0;  // GSUB requests accepted
+  std::uint64_t streamDeltasRelayed = 0;        // deltas sent to consumers
+  std::uint64_t streamDeltasReceived = 0;       // relayed deltas ingested
 };
 
 class GlobalLayer final : public net::RequestHandler {
@@ -78,11 +83,26 @@ class GlobalLayer final : public net::RequestHandler {
   /// matches (paper: "propagate events between Gateways").
   void propagateEvent(const core::Event& event);
 
+  /// Subscribe a continuous query anywhere on the Grid, making this
+  /// gateway a GMA consumer of streamed tuples. A URL owned locally goes
+  /// straight to the local stream engine; a remote one is forwarded to
+  /// the owning gateway (via the directory), which streams deltas back
+  /// over the network into `consumer`. Returns a local subscription id
+  /// usable with unsubscribeGlobal and streamEngine().poll.
+  std::size_t subscribeGlobal(
+      const std::string& token, const std::string& url, const std::string& sql,
+      stream::ContinuousQueryEngine::DeltaConsumer consumer = nullptr,
+      std::optional<stream::StreamOptions> streamOptions = std::nullopt);
+  void unsubscribeGlobal(const std::string& token, std::size_t id);
+
   /// True when this gateway owns `host` (one of its own data sources).
   bool ownsHost(const std::string& host) const;
 
   net::Payload handleRequest(const net::Address& from,
                              const net::Payload& request) override;
+  /// Relayed stream deltas arrive as datagrams on the producer port.
+  void handleDatagram(const net::Address& from,
+                      const net::Payload& body) override;
 
   GlobalStats stats() const;
   DirectoryClient& directory() noexcept { return directory_; }
@@ -92,6 +112,8 @@ class GlobalLayer final : public net::RequestHandler {
                                                     const std::string& sql,
                                                     bool useCache);
   std::optional<net::Address> resolveOwner(const std::string& host);
+  net::Payload serveSubscribe(const std::vector<std::string>& words,
+                              const std::vector<std::string>& lines);
 
   core::Gateway& gateway_;
   GlobalOptions options_;
@@ -108,6 +130,12 @@ class GlobalLayer final : public net::RequestHandler {
   std::size_t propagationListenerId_ = 0;
   /// Session used to serve relayed requests locally.
   std::string federationToken_;
+  /// Local passive subscription id -> the remote end of the relay.
+  struct RemoteSubscription {
+    net::Address owner;
+    std::size_t remoteId = 0;
+  };
+  std::map<std::size_t, RemoteSubscription> remoteSubscriptions_;
 };
 
 }  // namespace gridrm::global

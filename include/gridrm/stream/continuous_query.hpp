@@ -1,0 +1,83 @@
+// Continuous-query (streaming SQL) primitives.
+//
+// R-GMA showed that continuous SQL queries are the natural GMA
+// producer/consumer primitive: a consumer registers
+//   SELECT ... FROM <glue-table> WHERE ...
+// once, and the producer keeps pushing matching tuples as resource
+// state changes. GridRM's Gateway gains that capability here: rows
+// harvested by the SitePoller and events translated by the Event
+// Manager are evaluated incrementally against every registered query,
+// and matching rows are delivered as StreamDelta batches through
+// bounded per-subscription queues with an explicit overflow policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::stream {
+
+/// What to do when a subscription's delta queue is full:
+///  * DropOldest - shed the oldest queued delta (bounded staleness; the
+///    producer never blocks). The push-based default.
+///  * Block - the producing thread waits for the consumer to drain
+///    (lossless, but a slow consumer back-pressures the poller).
+///  * CancelSlowConsumer - terminate the subscription; the consumer is
+///    expected to re-subscribe (R-GMA's "slow consumer" semantics).
+enum class OverflowPolicy : std::uint8_t {
+  DropOldest,
+  Block,
+  CancelSlowConsumer,
+};
+
+const char* overflowPolicyName(OverflowPolicy p) noexcept;
+/// Parse "dropoldest" | "block" | "cancel"; nullopt on anything else.
+std::optional<OverflowPolicy> overflowPolicyFromName(const std::string& name);
+
+/// Per-subscription tuning. Engine-level defaults come from
+/// `stream.*` gateway configuration keys (GatewayOptions::fromConfig).
+struct StreamOptions {
+  /// Maximum queued deltas per subscription.
+  std::size_t queueCapacity = 256;
+  OverflowPolicy overflow = OverflowPolicy::DropOldest;
+  /// On subscribe, replay up to this many of the newest matching rows
+  /// from the gateway's historical database (0 = no replay).
+  std::size_t replayRows = 0;
+};
+
+/// One incremental batch of rows produced by a continuous query.
+struct StreamDelta {
+  /// Per-subscription delta number, starting at 1 (gaps reveal drops).
+  std::uint64_t sequence = 0;
+  /// Data-source URL the rows came from ("history" for replayed rows).
+  std::string sourceUrl;
+  /// The GLUE group (FROM table) the subscription targets.
+  std::string table;
+  util::TimePoint timestamp = 0;
+  dbc::ResultSetMetaData columns;
+  std::vector<std::vector<util::Value>> rows;
+};
+
+/// Counter block mirroring EventManagerStats.
+struct StreamStats {
+  std::uint64_t subscriptions = 0;    // ever registered
+  std::uint64_t active = 0;           // currently registered
+  std::uint64_t batchesIngested = 0;  // onRows calls accepted
+  std::uint64_t rowsEvaluated = 0;    // rows run through predicates
+  std::uint64_t deltasQueued = 0;
+  std::uint64_t rowsQueued = 0;
+  std::uint64_t deltasDelivered = 0;  // consumer callbacks + poll() pops
+  std::uint64_t rowsDelivered = 0;
+  std::uint64_t deltasDropped = 0;    // DropOldest evictions
+  std::uint64_t rowsDropped = 0;
+  std::uint64_t cancelledSlow = 0;    // CancelSlowConsumer terminations
+  std::uint64_t rowsReplayed = 0;     // historical rows replayed
+  std::uint64_t evalErrors = 0;       // batches a query failed against
+};
+
+}  // namespace gridrm::stream

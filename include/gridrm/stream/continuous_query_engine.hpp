@@ -1,0 +1,132 @@
+// ContinuousQueryEngine: the Gateway-owned registry of streaming SQL
+// subscriptions.
+//
+// Producers (the SitePoller's refresh loop, the Event Manager's
+// dispatcher, the Global layer's relay) push row batches in via
+// onRows()/injectDelta(); the engine evaluates each registered query's
+// WHERE clause and projection incrementally against the batch (reusing
+// store::executeSelect, i.e. the same sql::eval machinery as one-shot
+// queries) and enqueues the matching rows as a StreamDelta on that
+// subscription's bounded queue.
+//
+// Two consumption models:
+//  * push - subscribe with a DeltaConsumer: queued deltas are drained
+//    to the callback on the producing thread right after enqueue.
+//  * pull - subscribe without a consumer and call poll(id).
+// Either way the bounded queue and its overflow policy sit between
+// production and consumption, so a slow consumer can never wedge the
+// harvesting loop unless it explicitly asked to (OverflowPolicy::Block).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/stream/continuous_query.hpp"
+
+namespace gridrm::stream {
+
+class ContinuousQueryEngine {
+ public:
+  using DeltaConsumer = std::function<void(const StreamDelta&)>;
+
+  /// `history` may be null (no replay-on-subscribe support).
+  ContinuousQueryEngine(util::Clock& clock, StreamOptions defaults = {},
+                        store::Database* history = nullptr);
+  ~ContinuousQueryEngine();
+
+  ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
+  ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
+
+  /// Register a continuous query. `sourceUrl` restricts matching to one
+  /// data source (exact URL or bare host; "" or "*" = every source).
+  /// `consumer` may be null for pull-mode consumption via poll().
+  /// Throws dbc::SqlError for malformed SQL and for aggregate/GROUP BY
+  /// queries (no incremental aggregation yet).
+  std::size_t subscribe(const std::string& sourceUrl, const std::string& sql,
+                        DeltaConsumer consumer = nullptr,
+                        std::optional<StreamOptions> options = std::nullopt);
+
+  /// Register a passive subscription: never matched against onRows
+  /// batches, fed exclusively through injectDelta. The Global layer
+  /// uses this as the local endpoint of a relayed remote subscription.
+  std::size_t subscribePassive(const std::string& label,
+                               DeltaConsumer consumer = nullptr,
+                               std::optional<StreamOptions> options =
+                                   std::nullopt);
+
+  /// Returns false when the id was not an active subscription.
+  bool unsubscribe(std::size_t id);
+  bool isActive(std::size_t id) const;
+  std::size_t activeCount() const;
+
+  /// Ingest a batch of rows for (sourceUrl, glue table). Every matching
+  /// subscription's predicate/projection runs over the batch; matching
+  /// rows are queued (and pushed, for callback subscriptions).
+  void onRows(const std::string& sourceUrl, const std::string& table,
+              const dbc::VectorResultSet& rows);
+  void onRows(const std::string& sourceUrl, const std::string& table,
+              const dbc::ResultSetMetaData& columns,
+              const std::vector<std::vector<util::Value>>& rows);
+
+  /// Queue an already-evaluated delta on one subscription (bypasses
+  /// matching; used by the Global layer to deliver relayed deltas).
+  /// Returns false when the subscription is unknown.
+  bool injectDelta(std::size_t id, StreamDelta delta);
+
+  /// Pull-mode consumption: pop up to `maxDeltas` queued deltas.
+  std::vector<StreamDelta> poll(std::size_t id, std::size_t maxDeltas = 0);
+
+  /// Number of deltas currently queued on a subscription (0 if unknown).
+  std::size_t queueDepth(std::size_t id) const;
+
+  StreamStats stats() const;
+
+ private:
+  struct Subscription {
+    std::size_t id = 0;
+    std::string sourceUrl;   // "" or "*" = any source
+    std::string sourceHost;  // parsed host when sourceUrl is a URL
+    std::string sqlText;
+    sql::SelectStatement statement;  // unused for passive subscriptions
+    bool passive = false;
+    DeltaConsumer consumer;
+    StreamOptions options;
+    std::deque<StreamDelta> queue;
+    std::condition_variable notFull;  // Block-policy producers wait here
+    std::uint64_t nextSequence = 1;
+    bool draining = false;  // a thread is delivering to the consumer
+  };
+
+  bool matches(const Subscription& sub, const std::string& sourceUrl,
+               const std::string& table) const;
+  /// Queue `delta` honouring the overflow policy. Caller holds `mu_`;
+  /// the lock may be released while a Block-policy producer waits.
+  /// Returns false when the subscription vanished while blocking.
+  bool enqueueLocked(std::unique_lock<std::mutex>& lock, Subscription& sub,
+                     StreamDelta delta);
+  /// Drain the queue of a callback subscription, invoking the consumer
+  /// outside the lock.
+  void drainConsumer(std::size_t id);
+  void replayHistory(Subscription& sub);
+
+  util::Clock& clock_;
+  StreamOptions defaults_;
+  store::Database* history_;
+
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::unique_ptr<Subscription>> subscriptions_;
+  std::size_t nextId_ = 1;
+  bool shutdown_ = false;
+  StreamStats stats_;
+};
+
+}  // namespace gridrm::stream

@@ -35,6 +35,16 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
   }
   o.eventOptions.recordHistory =
       config.getBool("events.record_history", o.eventOptions.recordHistory);
+  o.streamOptions.queueCapacity = static_cast<std::size_t>(config.getInt(
+      "stream.queue_capacity",
+      static_cast<std::int64_t>(o.streamOptions.queueCapacity)));
+  if (auto policy = stream::overflowPolicyFromName(
+          config.getString("stream.overflow", ""))) {
+    o.streamOptions.overflow = *policy;
+  }
+  o.streamOptions.replayRows = static_cast<std::size_t>(config.getInt(
+      "stream.replay_rows",
+      static_cast<std::int64_t>(o.streamOptions.replayRows)));
   const std::string action =
       util::toLower(config.getString("failure.action", "dynamic"));
   if (action == "report") {
@@ -66,12 +76,37 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
       cache_(clock_, options_.cacheTtl, options_.cacheMaxEntries),
       cgsl_(CoarseSecurityLayer::defaults()),
       fgsl_(/*defaultAllow=*/true),
-      sessions_(clock_, options_.sessionIdleTimeout) {
+      sessions_(clock_, options_.sessionIdleTimeout),
+      streamEngine_(clock_, options_.streamOptions, &db_) {
   driverManager_.setFailurePolicy(options_.failurePolicy);
   eventManager_ =
       std::make_unique<EventManager>(clock_, &db_, options_.eventOptions);
   eventManager_->addFormatter(std::make_unique<SnmpTrapFormatter>());
   eventManager_->addFormatter(std::make_unique<TextEventFormatter>());
+  // Continuous queries over the pseudo-table "Events": every dispatched
+  // event becomes a one-row batch with the EventHistory column shape.
+  streamEventListenerId_ = eventManager_->addListener(
+      "", [this](const Event& event) {
+        static const dbc::ResultSetMetaData kEventColumns(
+            {{"Sequence", util::ValueType::Int, "", "Events"},
+             {"Timestamp", util::ValueType::Int, "us", "Events"},
+             {"Type", util::ValueType::String, "", "Events"},
+             {"Source", util::ValueType::String, "", "Events"},
+             {"Severity", util::ValueType::String, "", "Events"},
+             {"Fields", util::ValueType::String, "", "Events"}});
+        std::string fields;
+        for (const auto& [key, value] : event.fields) {
+          if (!fields.empty()) fields += " ";
+          fields += key + "=" + value.toString();
+        }
+        streamEngine_.onRows(
+            event.source, "Events", kEventColumns,
+            {{util::Value(static_cast<std::int64_t>(event.sequence)),
+              util::Value(event.timestamp), util::Value(event.type),
+              util::Value(event.source),
+              util::Value(severityName(event.severity)),
+              util::Value(fields)}});
+      });
   requestManager_ = std::make_unique<RequestManager>(
       connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers);
 
@@ -82,7 +117,10 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
   network_.bind(eventAddress(), eventManager_.get());
 }
 
-Gateway::~Gateway() { network_.unbind(eventAddress()); }
+Gateway::~Gateway() {
+  eventManager_->removeListener(streamEventListenerId_);
+  network_.unbind(eventAddress());
+}
 
 drivers::DriverContext Gateway::driverContext() noexcept {
   drivers::DriverContext ctx;
@@ -144,6 +182,20 @@ std::size_t Gateway::subscribeEvents(const std::string& token,
 void Gateway::unsubscribeEvents(const std::string& token, std::size_t id) {
   (void)authorize(token, Operation::EventSubscribe);
   eventManager_->removeListener(id);
+}
+
+std::size_t Gateway::subscribeQuery(
+    const std::string& token, const std::string& url, const std::string& sql,
+    stream::ContinuousQueryEngine::DeltaConsumer consumer,
+    std::optional<stream::StreamOptions> options) {
+  (void)authorize(token, Operation::StreamSubscribe);
+  return streamEngine_.subscribe(url, sql, std::move(consumer),
+                                 std::move(options));
+}
+
+void Gateway::unsubscribeQuery(const std::string& token, std::size_t id) {
+  (void)authorize(token, Operation::StreamSubscribe);
+  (void)streamEngine_.unsubscribe(id);
 }
 
 void Gateway::registerDriver(const std::string& token,

@@ -18,6 +18,8 @@ const char* operationName(Operation op) noexcept {
       return "historical query";
     case Operation::EventSubscribe:
       return "event subscription";
+    case Operation::StreamSubscribe:
+      return "continuous-query subscription";
     case Operation::DriverAdmin:
       return "driver administration";
   }
@@ -29,12 +31,14 @@ CoarseSecurityLayer::CoarseSecurityLayer() = default;
 CoarseSecurityLayer CoarseSecurityLayer::defaults() {
   CoarseSecurityLayer cgsl;
   for (Operation op : {Operation::RealTimeQuery, Operation::HistoricalQuery,
-                       Operation::EventSubscribe, Operation::DriverAdmin}) {
+                       Operation::EventSubscribe, Operation::StreamSubscribe,
+                       Operation::DriverAdmin}) {
     cgsl.allow("admin", op);
   }
   cgsl.allow("monitor", Operation::RealTimeQuery);
   cgsl.allow("monitor", Operation::HistoricalQuery);
   cgsl.allow("monitor", Operation::EventSubscribe);
+  cgsl.allow("monitor", Operation::StreamSubscribe);
   cgsl.allow("guest", Operation::RealTimeQuery);
   return cgsl;
 }

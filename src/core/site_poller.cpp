@@ -4,6 +4,11 @@
 
 namespace gridrm::core {
 
+void SitePoller::setStreamSink(stream::ContinuousQueryEngine* sink) {
+  std::scoped_lock lock(mu_);
+  streamSink_ = sink;
+}
+
 void SitePoller::addTask(PollTask task) {
   std::scoped_lock lock(mu_);
   tasks_.push_back(Scheduled{std::move(task), 0});
@@ -59,8 +64,25 @@ std::size_t SitePoller::tick() {
       // "recent status" view without touching the agents (section 4).
       requestManager_.refreshCache(task.url, task.sql, *result.rows);
     }
-    std::scoped_lock lock(mu_);
-    ++stats_.polls;
+    stream::ContinuousQueryEngine* sink;
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.polls;
+      sink = streamSink_;
+    }
+    if (sink != nullptr && result.rows != nullptr) {
+      // The same fresh batch feeds continuous-query subscribers: each
+      // poll refresh is one incremental push toward matching streams.
+      try {
+        sink->onRows(task.url, sql::parseSelect(task.sql).table,
+                     *result.rows);
+        std::scoped_lock lock(mu_);
+        stats_.rowsStreamed += result.rows->rowCount();
+      } catch (const sql::ParseError&) {
+        // Unparseable task SQL never reaches here (the poll would have
+        // failed), but stay defensive.
+      }
+    }
   }
 
   if (alerts_ != nullptr && executed > 0) {

@@ -54,6 +54,24 @@ void GlobalLayer::stop() {
     gateway_.eventManager().removeListener(propagationListenerId_);
     propagationListenerId_ = 0;
   }
+  // Tear down relayed subscriptions: tell each owning gateway to stop
+  // streaming, then drop the local passive endpoints.
+  std::map<std::size_t, RemoteSubscription> remotes;
+  {
+    std::scoped_lock lock(mu_);
+    remotes.swap(remoteSubscriptions_);
+  }
+  for (const auto& [localId, remote] : remotes) {
+    try {
+      (void)gateway_.network().request(
+          producerAddress(), remote.owner,
+          "GUNSUB " + options_.federationSecret + " " +
+              std::to_string(remote.remoteId));
+    } catch (const net::NetError&) {
+      // Owner may already be gone during teardown.
+    }
+    (void)gateway_.streamEngine().unsubscribe(localId);
+  }
   try {
     directory_.unregisterProducer(gateway_.name());
     if (!options_.propagateEventPattern.empty()) {
@@ -215,8 +233,27 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
 net::Payload GlobalLayer::handleRequest(const net::Address& /*from*/,
                                         const net::Payload& request) {
   // GQUERY <secret>\n<url>\n<sql>
+  // GSUB <secret> <consumerHost:port> <consumerId>\n<url>\n<sql>
+  // GUNSUB <secret> <id>
   const auto lines = util::split(request, '\n');
   const auto words = util::splitNonEmpty(lines[0], ' ');
+  if (!words.empty() && words[0] == "GSUB") {
+    return serveSubscribe(words, lines);
+  }
+  if (!words.empty() && words[0] == "GUNSUB") {
+    if (words.size() < 3) return "ERR bad request";
+    if (words[1] != options_.federationSecret) {
+      std::scoped_lock lock(mu_);
+      ++stats_.authFailures;
+      return "ERR federation authentication failed";
+    }
+    try {
+      (void)gateway_.streamEngine().unsubscribe(std::stoull(words[2]));
+    } catch (const std::exception&) {
+      return "ERR bad subscription id";
+    }
+    return "OK";
+  }
   if (words.size() < 2 || words[0] != "GQUERY" || lines.size() < 3) {
     return "ERR bad request";
   }
@@ -245,6 +282,166 @@ net::Payload GlobalLayer::handleRequest(const net::Address& /*from*/,
   } catch (const std::exception& e) {
     return std::string("ERR ") + e.what();
   }
+}
+
+net::Payload GlobalLayer::serveSubscribe(
+    const std::vector<std::string>& words,
+    const std::vector<std::string>& lines) {
+  if (words.size() < 4 || lines.size() < 3) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  net::Address consumer;
+  std::size_t consumerId = 0;
+  try {
+    consumer = net::Address::parse(words[2]);
+    consumerId = std::stoull(words[3]);
+  } catch (const std::exception&) {
+    return "ERR bad consumer endpoint";
+  }
+  const std::string& urlText = lines[1];
+  std::string sql = lines[2];
+  for (std::size_t i = 3; i < lines.size(); ++i) sql += "\n" + lines[i];
+
+  try {
+    (void)gateway_.authorize(federationToken_,
+                             core::Operation::StreamSubscribe);
+    // This gateway becomes a GMA producer of streamed tuples: every
+    // delta the local engine emits is serialised and pushed to the
+    // consuming gateway as a datagram on its producer port.
+    auto relay = [this, consumer,
+                  consumerId](const stream::StreamDelta& delta) {
+      dbc::VectorResultSet rows(delta.columns, delta.rows);
+      net::Payload payload = "SDELTA " + std::to_string(consumerId) + " " +
+                             std::to_string(delta.timestamp) + "\n" +
+                             delta.sourceUrl + "\n" + delta.table + "\n" +
+                             dbc::serializeResultSet(rows);
+      gateway_.network().datagram(producerAddress(), consumer,
+                                  std::move(payload));
+      std::scoped_lock lock(mu_);
+      ++stats_.streamDeltasRelayed;
+    };
+    const std::size_t id =
+        gateway_.streamEngine().subscribe(urlText, sql, std::move(relay));
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.streamSubscriptionsServed;
+    }
+    return "OK " + std::to_string(id);
+  } catch (const std::exception& e) {
+    return std::string("ERR ") + e.what();
+  }
+}
+
+void GlobalLayer::handleDatagram(const net::Address& /*from*/,
+                                 const net::Payload& body) {
+  // SDELTA <consumerId> <timestamp>\n<sourceUrl>\n<table>\n<rows>
+  if (!util::startsWith(body, "SDELTA ")) return;
+  const std::size_t nl1 = body.find('\n');
+  const std::size_t nl2 = nl1 == std::string::npos
+                              ? std::string::npos
+                              : body.find('\n', nl1 + 1);
+  const std::size_t nl3 = nl2 == std::string::npos
+                              ? std::string::npos
+                              : body.find('\n', nl2 + 1);
+  if (nl3 == std::string::npos) return;
+  try {
+    const auto header = util::splitNonEmpty(body.substr(0, nl1), ' ');
+    if (header.size() < 3) return;
+    const std::size_t consumerId = std::stoull(header[1]);
+    stream::StreamDelta delta;
+    delta.timestamp = std::stoll(header[2]);
+    delta.sourceUrl = body.substr(nl1 + 1, nl2 - nl1 - 1);
+    delta.table = body.substr(nl2 + 1, nl3 - nl2 - 1);
+    auto rows = dbc::deserializeResultSet(body.substr(nl3 + 1));
+    delta.columns = rows->metaData();
+    delta.rows = rows->rows();
+    if (gateway_.streamEngine().injectDelta(consumerId, std::move(delta))) {
+      std::scoped_lock lock(mu_);
+      ++stats_.streamDeltasReceived;
+    }
+  } catch (const std::exception&) {
+    // Malformed or stale delta: drop, exactly like a lost datagram.
+  }
+}
+
+std::size_t GlobalLayer::subscribeGlobal(
+    const std::string& token, const std::string& urlText,
+    const std::string& sql,
+    stream::ContinuousQueryEngine::DeltaConsumer consumer,
+    std::optional<stream::StreamOptions> streamOptions) {
+  (void)gateway_.authorize(token, core::Operation::StreamSubscribe);
+  auto url = util::Url::parse(urlText);
+  if (!url) {
+    throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
+  }
+  if (ownsHost(url->host())) {
+    return gateway_.streamEngine().subscribe(urlText, sql,
+                                             std::move(consumer),
+                                             std::move(streamOptions));
+  }
+  auto owner = resolveOwner(url->host());
+  if (!owner) {
+    throw SqlError(ErrorCode::ConnectionFailed,
+                   "no gateway owns host " + url->host());
+  }
+  // Local passive endpoint first, so the id travels in the GSUB request
+  // and relayed deltas can be routed the moment the remote end streams.
+  const std::size_t localId = gateway_.streamEngine().subscribePassive(
+      "relay:" + urlText, std::move(consumer), std::move(streamOptions));
+  net::Payload response;
+  try {
+    response = gateway_.network().request(
+        producerAddress(), *owner,
+        "GSUB " + options_.federationSecret + " " +
+            producerAddress().toString() + " " + std::to_string(localId) +
+            "\n" + urlText + "\n" + sql);
+  } catch (const net::NetError& e) {
+    (void)gateway_.streamEngine().unsubscribe(localId);
+    throw SqlError(ErrorCode::ConnectionFailed,
+                   "remote gateway unreachable: " + std::string(e.what()));
+  }
+  if (util::startsWith(response, "ERR ")) {
+    (void)gateway_.streamEngine().unsubscribe(localId);
+    throw SqlError(ErrorCode::Generic, "remote: " + response.substr(4));
+  }
+  std::size_t remoteId = 0;
+  try {
+    remoteId = std::stoull(response.substr(3));
+  } catch (const std::exception&) {
+    (void)gateway_.streamEngine().unsubscribe(localId);
+    throw SqlError(ErrorCode::Generic, "remote: malformed GSUB response");
+  }
+  std::scoped_lock lock(mu_);
+  ++stats_.streamSubscriptionsSent;
+  remoteSubscriptions_[localId] = RemoteSubscription{*owner, remoteId};
+  return localId;
+}
+
+void GlobalLayer::unsubscribeGlobal(const std::string& token, std::size_t id) {
+  (void)gateway_.authorize(token, core::Operation::StreamSubscribe);
+  std::optional<RemoteSubscription> remote;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = remoteSubscriptions_.find(id);
+    if (it != remoteSubscriptions_.end()) {
+      remote = it->second;
+      remoteSubscriptions_.erase(it);
+    }
+  }
+  if (remote) {
+    try {
+      (void)gateway_.network().request(
+          producerAddress(), remote->owner,
+          "GUNSUB " + options_.federationSecret + " " +
+              std::to_string(remote->remoteId));
+    } catch (const net::NetError&) {
+      // The stream simply stops refreshing; local cleanup still runs.
+    }
+  }
+  (void)gateway_.streamEngine().unsubscribe(id);
 }
 
 void GlobalLayer::propagateEvent(const core::Event& event) {

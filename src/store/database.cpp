@@ -32,10 +32,17 @@ void Table::insertNamed(const std::vector<std::string>& columns,
     throw SqlError(ErrorCode::Generic, "column/value count mismatch");
   }
   std::vector<Value> full(columns_.size());
+  std::vector<bool> assigned(columns_.size(), false);
   for (std::size_t i = 0; i < columns.size(); ++i) {
     bool found = false;
     for (std::size_t c = 0; c < columns_.size(); ++c) {
       if (util::iequals(columns_[c].name, columns[i])) {
+        if (assigned[c]) {
+          throw SqlError(ErrorCode::Syntax,
+                         "column '" + columns[i] +
+                             "' listed twice in INSERT into " + name_);
+        }
+        assigned[c] = true;
         full[c] = std::move(row[i]);
         found = true;
         break;
@@ -65,6 +72,14 @@ std::size_t Table::pruneOlderThan(const std::string& timeColumn,
   const std::size_t before = rows_.size();
   rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
                              [&](const std::vector<Value>& row) {
+                               // A cell with no sensible integer reading
+                               // (NULL, non-numeric string) never matches
+                               // the age test: retention must not silently
+                               // eat rows it cannot date. Distinct
+                               // fallbacks detect conversion failure.
+                               if (row[idx].toInt(0) != row[idx].toInt(1)) {
+                                 return false;
+                               }
                                return row[idx].toInt() < cutoff;
                              }),
               rows_.end());

@@ -1,0 +1,382 @@
+#include "gridrm/stream/continuous_query_engine.hpp"
+
+#include <algorithm>
+
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/util/strings.hpp"
+#include "gridrm/util/url.hpp"
+
+namespace gridrm::stream {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+const char* overflowPolicyName(OverflowPolicy p) noexcept {
+  switch (p) {
+    case OverflowPolicy::DropOldest:
+      return "dropoldest";
+    case OverflowPolicy::Block:
+      return "block";
+    case OverflowPolicy::CancelSlowConsumer:
+      return "cancel";
+  }
+  return "?";
+}
+
+std::optional<OverflowPolicy> overflowPolicyFromName(const std::string& name) {
+  const std::string lower = util::toLower(name);
+  if (lower == "dropoldest" || lower == "drop_oldest") {
+    return OverflowPolicy::DropOldest;
+  }
+  if (lower == "block") return OverflowPolicy::Block;
+  if (lower == "cancel" || lower == "cancelslow") {
+    return OverflowPolicy::CancelSlowConsumer;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// True when a subscription's source filter covers an incoming source
+/// tag. Either side may be a full data-source URL or a bare host.
+bool sourceMatches(const std::string& filter, const std::string& filterHost,
+                   const std::string& source, const std::string& sourceHost) {
+  if (filter.empty() || filter == "*") return true;
+  if (filter == source) return true;
+  if (!filterHost.empty() &&
+      (filterHost == source || filterHost == sourceHost)) {
+    return true;
+  }
+  return !sourceHost.empty() && filter == sourceHost;
+}
+
+}  // namespace
+
+ContinuousQueryEngine::ContinuousQueryEngine(util::Clock& clock,
+                                             StreamOptions defaults,
+                                             store::Database* history)
+    : clock_(clock), defaults_(defaults), history_(history) {}
+
+ContinuousQueryEngine::~ContinuousQueryEngine() {
+  std::scoped_lock lock(mu_);
+  shutdown_ = true;
+  for (auto& [id, sub] : subscriptions_) sub->notFull.notify_all();
+}
+
+std::size_t ContinuousQueryEngine::subscribe(
+    const std::string& sourceUrl, const std::string& sqlText,
+    DeltaConsumer consumer, std::optional<StreamOptions> options) {
+  sql::SelectStatement statement;
+  try {
+    statement = sql::parseSelect(sqlText);
+  } catch (const sql::ParseError& e) {
+    throw SqlError(ErrorCode::Syntax, e.what());
+  }
+  bool aggregate = !statement.groupBy.empty();
+  for (const auto& item : statement.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) aggregate = true;
+  }
+  for (const auto& key : statement.orderBy) {
+    if (key.expr->containsAggregate()) aggregate = true;
+  }
+  if (aggregate) {
+    throw SqlError(ErrorCode::Unsupported,
+                   "continuous queries do not support aggregates/GROUP BY");
+  }
+
+  auto sub = std::make_unique<Subscription>();
+  sub->sourceUrl = (sourceUrl == "*") ? "" : sourceUrl;
+  if (auto url = util::Url::parse(sub->sourceUrl)) {
+    sub->sourceHost = url->host();
+  }
+  sub->sqlText = sqlText;
+  sub->statement = std::move(statement);
+  sub->consumer = std::move(consumer);
+  sub->options = options.value_or(defaults_);
+
+  std::size_t id = 0;
+  {
+    std::unique_lock lock(mu_);
+    id = nextId_++;
+    sub->id = id;
+    ++stats_.subscriptions;
+    ++stats_.active;
+    Subscription& ref = *sub;
+    subscriptions_.emplace(id, std::move(sub));
+    if (ref.options.replayRows > 0 && history_ != nullptr) {
+      replayHistory(ref);
+    }
+  }
+  drainConsumer(id);
+  return id;
+}
+
+std::size_t ContinuousQueryEngine::subscribePassive(
+    const std::string& label, DeltaConsumer consumer,
+    std::optional<StreamOptions> options) {
+  auto sub = std::make_unique<Subscription>();
+  sub->sourceUrl = label;
+  sub->passive = true;
+  sub->consumer = std::move(consumer);
+  sub->options = options.value_or(defaults_);
+  std::scoped_lock lock(mu_);
+  const std::size_t id = nextId_++;
+  sub->id = id;
+  ++stats_.subscriptions;
+  ++stats_.active;
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
+bool ContinuousQueryEngine::unsubscribe(std::size_t id) {
+  std::scoped_lock lock(mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return false;
+  // Unblock any producer waiting on this queue, then remove. Waiters
+  // re-check under the lock, so the node must outlive them: hand the
+  // notification out first, erase after.
+  it->second->notFull.notify_all();
+  --stats_.active;
+  subscriptions_.erase(it);
+  return true;
+}
+
+bool ContinuousQueryEngine::isActive(std::size_t id) const {
+  std::scoped_lock lock(mu_);
+  return subscriptions_.find(id) != subscriptions_.end();
+}
+
+std::size_t ContinuousQueryEngine::activeCount() const {
+  std::scoped_lock lock(mu_);
+  return subscriptions_.size();
+}
+
+bool ContinuousQueryEngine::matches(const Subscription& sub,
+                                    const std::string& sourceUrl,
+                                    const std::string& table) const {
+  if (sub.passive) return false;
+  if (!util::iequals(sub.statement.table, table)) return false;
+  std::string sourceHost;
+  if (auto url = util::Url::parse(sourceUrl)) sourceHost = url->host();
+  return sourceMatches(sub.sourceUrl, sub.sourceHost, sourceUrl, sourceHost);
+}
+
+bool ContinuousQueryEngine::enqueueLocked(std::unique_lock<std::mutex>& lock,
+                                          Subscription& sub,
+                                          StreamDelta delta) {
+  const StreamOptions& options = sub.options;
+  if (sub.queue.size() >= options.queueCapacity) {
+    switch (options.overflow) {
+      case OverflowPolicy::DropOldest:
+        while (sub.queue.size() >= options.queueCapacity) {
+          ++stats_.deltasDropped;
+          stats_.rowsDropped += sub.queue.front().rows.size();
+          sub.queue.pop_front();
+        }
+        break;
+      case OverflowPolicy::Block: {
+        const std::size_t id = sub.id;
+        sub.notFull.wait(lock, [&] {
+          // `sub` stays valid while we wait: unsubscribe() notifies
+          // before erasing and we re-check membership below.
+          return shutdown_ ||
+                 subscriptions_.find(id) == subscriptions_.end() ||
+                 sub.queue.size() < options.queueCapacity;
+        });
+        if (shutdown_ || subscriptions_.find(id) == subscriptions_.end()) {
+          ++stats_.deltasDropped;
+          stats_.rowsDropped += delta.rows.size();
+          return false;
+        }
+        break;
+      }
+      case OverflowPolicy::CancelSlowConsumer:
+        ++stats_.cancelledSlow;
+        ++stats_.deltasDropped;
+        stats_.rowsDropped += delta.rows.size();
+        sub.notFull.notify_all();
+        --stats_.active;
+        subscriptions_.erase(sub.id);
+        return false;
+    }
+  }
+  delta.sequence = sub.nextSequence++;
+  ++stats_.deltasQueued;
+  stats_.rowsQueued += delta.rows.size();
+  sub.queue.push_back(std::move(delta));
+  return true;
+}
+
+void ContinuousQueryEngine::onRows(
+    const std::string& sourceUrl, const std::string& table,
+    const dbc::VectorResultSet& rows) {
+  onRows(sourceUrl, table, rows.metaData(), rows.rows());
+}
+
+void ContinuousQueryEngine::onRows(
+    const std::string& sourceUrl, const std::string& table,
+    const dbc::ResultSetMetaData& columns,
+    const std::vector<std::vector<util::Value>>& rows) {
+  // Snapshot matching ids first: a Block-policy enqueue releases the
+  // lock, so the subscription map may mutate between evaluations.
+  std::vector<std::size_t> matched;
+  std::vector<std::size_t> toDrain;
+  std::unique_lock lock(mu_);
+  ++stats_.batchesIngested;
+  for (const auto& [id, sub] : subscriptions_) {
+    if (matches(*sub, sourceUrl, table)) matched.push_back(id);
+  }
+  for (std::size_t id : matched) {
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) continue;  // cancelled meanwhile
+    Subscription& sub = *it->second;
+    stats_.rowsEvaluated += rows.size();
+    StreamDelta delta;
+    try {
+      auto result =
+          store::executeSelect(sub.statement, columns.columns(), rows);
+      if (result->rowCount() == 0) continue;
+      delta.columns = result->metaData();
+      delta.rows = result->rows();
+    } catch (const SqlError&) {
+      // Query incompatible with this batch's shape (e.g. a column the
+      // source does not serve). Skip; the subscription stays live.
+      ++stats_.evalErrors;
+      continue;
+    }
+    delta.sourceUrl = sourceUrl;
+    delta.table = sub.statement.table;
+    delta.timestamp = clock_.now();
+    if (enqueueLocked(lock, sub, std::move(delta)) &&
+        it->second->consumer != nullptr) {
+      toDrain.push_back(id);
+    }
+  }
+  lock.unlock();
+  for (std::size_t id : toDrain) drainConsumer(id);
+}
+
+bool ContinuousQueryEngine::injectDelta(std::size_t id, StreamDelta delta) {
+  bool queued = false;
+  {
+    std::unique_lock lock(mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) return false;
+    ++stats_.batchesIngested;
+    queued = enqueueLocked(lock, *it->second, std::move(delta));
+  }
+  if (queued) drainConsumer(id);
+  return queued;
+}
+
+void ContinuousQueryEngine::drainConsumer(std::size_t id) {
+  std::unique_lock lock(mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end() || it->second->consumer == nullptr) return;
+  if (it->second->draining) return;  // another thread is delivering
+  it->second->draining = true;
+  while (true) {
+    it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) return;  // cancelled mid-drain
+    Subscription& sub = *it->second;
+    if (sub.queue.empty()) {
+      sub.draining = false;
+      return;
+    }
+    StreamDelta delta = std::move(sub.queue.front());
+    sub.queue.pop_front();
+    sub.notFull.notify_all();
+    ++stats_.deltasDelivered;
+    stats_.rowsDelivered += delta.rows.size();
+    DeltaConsumer consumer = sub.consumer;
+    lock.unlock();
+    try {
+      consumer(delta);  // plug-in code runs outside the lock (CP.22)
+    } catch (...) {
+      // A throwing consumer must not unwind the harvesting loop.
+    }
+    lock.lock();
+  }
+}
+
+std::vector<StreamDelta> ContinuousQueryEngine::poll(std::size_t id,
+                                                     std::size_t maxDeltas) {
+  std::vector<StreamDelta> out;
+  std::scoped_lock lock(mu_);
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return out;
+  Subscription& sub = *it->second;
+  const std::size_t count =
+      maxDeltas == 0 ? sub.queue.size() : std::min(maxDeltas, sub.queue.size());
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++stats_.deltasDelivered;
+    stats_.rowsDelivered += sub.queue.front().rows.size();
+    out.push_back(std::move(sub.queue.front()));
+    sub.queue.pop_front();
+  }
+  if (count > 0) sub.notFull.notify_all();
+  return out;
+}
+
+std::size_t ContinuousQueryEngine::queueDepth(std::size_t id) const {
+  std::scoped_lock lock(mu_);
+  auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? 0 : it->second->queue.size();
+}
+
+void ContinuousQueryEngine::replayHistory(Subscription& sub) {
+  // The poller records into History<Group> with two leading columns
+  // (Source, RecordedAt); the subscription's projection and predicate
+  // still resolve because the group's own columns are all present.
+  sql::SelectStatement replay;
+  replay.items.push_back(sql::SelectItem{});  // SELECT *
+  replay.table = "History" + sub.statement.table;
+  if (sub.statement.where != nullptr) {
+    replay.where = sub.statement.where->clone();
+  }
+  std::unique_ptr<dbc::VectorResultSet> rows;
+  try {
+    rows = history_->query(replay);
+  } catch (const SqlError&) {
+    return;  // no history for this group (yet); not an error
+  }
+  // Rows are in insertion order: keep the newest `replayRows`, but
+  // filter to the subscribed source first when one is pinned.
+  std::vector<std::vector<util::Value>> kept;
+  const auto sourceIdx = rows->metaData().columnIndex("Source");
+  for (const auto& row : rows->rows()) {
+    if (!sub.sourceUrl.empty() && sourceIdx.has_value()) {
+      const std::string source = row[*sourceIdx].toString();
+      std::string sourceHost;
+      if (auto url = util::Url::parse(source)) sourceHost = url->host();
+      if (!sourceMatches(sub.sourceUrl, sub.sourceHost, source, sourceHost)) {
+        continue;
+      }
+    }
+    kept.push_back(row);
+  }
+  if (kept.size() > sub.options.replayRows) {
+    kept.erase(kept.begin(),
+               kept.end() - static_cast<std::ptrdiff_t>(sub.options.replayRows));
+  }
+  if (kept.empty()) return;
+  StreamDelta delta;
+  delta.sequence = sub.nextSequence++;
+  delta.sourceUrl = "history";
+  delta.table = sub.statement.table;
+  delta.timestamp = clock_.now();
+  delta.columns = rows->metaData();
+  delta.rows = std::move(kept);
+  ++stats_.deltasQueued;
+  stats_.rowsQueued += delta.rows.size();
+  stats_.rowsReplayed += delta.rows.size();
+  sub.queue.push_back(std::move(delta));
+}
+
+StreamStats ContinuousQueryEngine::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::stream

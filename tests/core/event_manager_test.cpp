@@ -191,6 +191,71 @@ TEST(EventManagerTest, ThreadedDispatchDeliversEverything) {
   EXPECT_EQ(mgr.stats().dropped, 0u);  // Block policy is lossless
 }
 
+TEST(EventManagerTest, BlockPolicyLosslessUnderSlowListener) {
+  // A tiny buffer plus a slow listener forces the ingesting threads to
+  // back-pressure on the fast buffer; Block must still lose nothing.
+  util::SimClock clock;
+  EventManagerOptions options;
+  options.threadedDispatch = true;
+  options.fastBufferCapacity = 2;
+  options.overflow = util::OverflowPolicy::Block;
+  EventManager mgr(clock, nullptr, options);
+  std::atomic<int> count{0};
+  mgr.addListener("*", [&](const Event&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++count;
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        Event e;
+        e.type = "burst";
+        mgr.ingest(e);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  mgr.drain();
+  const auto stats = mgr.stats();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_EQ(stats.received, 200u);
+  EXPECT_EQ(stats.dispatched, 200u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(EventManagerTest, DropNewestUnderConcurrentProducers) {
+  // The lossy policy under the same contention: every event is either
+  // dispatched or counted as dropped, never silently lost.
+  util::SimClock clock;
+  EventManagerOptions options;
+  options.threadedDispatch = true;
+  options.fastBufferCapacity = 4;
+  options.overflow = util::OverflowPolicy::DropNewest;
+  EventManager mgr(clock, nullptr, options);
+  std::atomic<int> count{0};
+  mgr.addListener("*", [&](const Event&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+    ++count;
+  });
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        Event e;
+        e.type = "burst";
+        mgr.ingest(e);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  mgr.drain();
+  const auto stats = mgr.stats();
+  EXPECT_EQ(stats.received, 200u);
+  EXPECT_EQ(stats.dispatched + stats.dropped, 200u);
+  EXPECT_EQ(static_cast<std::uint64_t>(count.load()), stats.dispatched);
+}
+
 TEST(EventManagerTest, DropNewestPolicyCountsDrops) {
   util::SimClock clock;
   EventManagerOptions options;

@@ -13,6 +13,9 @@ TEST(GatewayConfigTest, DefaultsWhenEmpty) {
   EXPECT_EQ(o.poolMaxIdlePerSource, d.poolMaxIdlePerSource);
   EXPECT_EQ(o.failurePolicy.action, FailurePolicy::Action::DynamicReselect);
   EXPECT_EQ(o.sessionIdleTimeout, d.sessionIdleTimeout);
+  EXPECT_EQ(o.streamOptions.queueCapacity, d.streamOptions.queueCapacity);
+  EXPECT_EQ(o.streamOptions.overflow, stream::OverflowPolicy::DropOldest);
+  EXPECT_EQ(o.streamOptions.replayRows, 0u);
 }
 
 TEST(GatewayConfigTest, ParsesPolicyFile) {
@@ -29,6 +32,9 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
       "events.buffer_capacity = 64\n"
       "events.drop_newest = true\n"
       "events.record_history = false\n"
+      "stream.queue_capacity = 32\n"
+      "stream.overflow = block\n"
+      "stream.replay_rows = 5\n"
       "failure.action = retry\n"
       "failure.retries = 3\n"
       "session.idle_timeout_s = 120\n");
@@ -44,6 +50,9 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
   EXPECT_EQ(o.eventOptions.fastBufferCapacity, 64u);
   EXPECT_EQ(o.eventOptions.overflow, util::OverflowPolicy::DropNewest);
   EXPECT_FALSE(o.eventOptions.recordHistory);
+  EXPECT_EQ(o.streamOptions.queueCapacity, 32u);
+  EXPECT_EQ(o.streamOptions.overflow, stream::OverflowPolicy::Block);
+  EXPECT_EQ(o.streamOptions.replayRows, 5u);
   EXPECT_EQ(o.failurePolicy.action, FailurePolicy::Action::Retry);
   EXPECT_EQ(o.failurePolicy.retries, 3);
   EXPECT_EQ(o.sessionIdleTimeout, 120 * util::kSecond);
@@ -59,6 +68,20 @@ TEST(GatewayConfigTest, FailureActionNames) {
     util::Config cfg;
     cfg.set("failure.action", text);
     EXPECT_EQ(GatewayOptions::fromConfig(cfg).failurePolicy.action, action)
+        << text;
+  }
+}
+
+TEST(GatewayConfigTest, StreamOverflowNames) {
+  for (auto [text, policy] :
+       {std::pair{"dropoldest", stream::OverflowPolicy::DropOldest},
+        std::pair{"block", stream::OverflowPolicy::Block},
+        std::pair{"cancel", stream::OverflowPolicy::CancelSlowConsumer},
+        // Unknown names keep the default rather than failing startup.
+        std::pair{"junk", stream::OverflowPolicy::DropOldest}}) {
+    util::Config cfg;
+    cfg.set("stream.overflow", text);
+    EXPECT_EQ(GatewayOptions::fromConfig(cfg).streamOptions.overflow, policy)
         << text;
   }
 }

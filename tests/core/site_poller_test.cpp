@@ -158,5 +158,40 @@ TEST(SitePollerTest, RetentionPrunesOldHistoryAndEvents) {
   EXPECT_GE(after, 11u);  // ~12 samples in the kept window
 }
 
+TEST(SitePollerTest, StreamSinkReceivesEveryRefresh) {
+  Fixture f;
+  stream::ContinuousQueryEngine engine(f.clock);
+  f.poller.setStreamSink(&engine);
+  const auto id = engine.subscribe(
+      "jdbc:mock://h/x", "SELECT * FROM Processor WHERE Load1 < 1.0");
+  f.poller.addTask(f.task(30 * kSecond));
+
+  EXPECT_EQ(f.poller.tick(), 1u);
+  f.clock.advance(30 * kSecond);
+  EXPECT_EQ(f.poller.tick(), 1u);
+
+  auto deltas = engine.poll(id);
+  ASSERT_EQ(deltas.size(), 2u);  // one delta per poll refresh
+  EXPECT_EQ(deltas[0].sourceUrl, "jdbc:mock://h/x");
+  EXPECT_EQ(deltas[0].table, "Processor");
+  EXPECT_EQ(f.poller.stats().rowsStreamed, 2u);
+}
+
+TEST(SitePollerTest, StreamSinkDetachable) {
+  Fixture f;
+  stream::ContinuousQueryEngine engine(f.clock);
+  f.poller.setStreamSink(&engine);
+  const auto id = engine.subscribe("", "SELECT * FROM Processor");
+  f.poller.addTask(f.task(30 * kSecond));
+  (void)f.poller.tick();
+  EXPECT_EQ(engine.queueDepth(id), 1u);
+
+  f.poller.setStreamSink(nullptr);
+  f.clock.advance(30 * kSecond);
+  (void)f.poller.tick();
+  EXPECT_EQ(engine.queueDepth(id), 1u);  // feed stopped
+  EXPECT_EQ(f.poller.stats().rowsStreamed, 1u);
+}
+
 }  // namespace
 }  // namespace gridrm::core

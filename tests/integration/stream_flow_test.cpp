@@ -1,0 +1,185 @@
+// End-to-end streaming-SQL scenarios: continuous queries subscribed
+// through the ACIL and the Global layer, fed by the SitePoller's
+// harvesting loop and the Event Manager, delivered across gateways
+// over the simulated network.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../global/global_fixture.hpp"
+#include "gridrm/core/site_poller.hpp"
+
+namespace gridrm::global {
+namespace {
+
+using core::SitePoller;
+using stream::OverflowPolicy;
+using stream::StreamDelta;
+using stream::StreamOptions;
+using testutil::GridFixture;
+
+/// A poller at gateway B harvesting its site's head SNMP agent into the
+/// gateway cache, history and the stream engine — the production wiring.
+std::unique_ptr<SitePoller> makePollerB(GridFixture& f) {
+  auto poller = std::make_unique<SitePoller>(
+      f.gatewayB->requestManager(), f.clock, core::Principal::monitor());
+  poller->setStreamSink(&f.gatewayB->streamEngine());
+  core::PollTask task;
+  task.url = f.siteB->headUrl("snmp");
+  task.sql = "SELECT * FROM Processor";
+  task.interval = 30 * util::kSecond;
+  poller->addTask(task);
+  return poller;
+}
+
+TEST(StreamFlowTest, RemoteSubscriptionStreamsDeltasAcrossGateways) {
+  // The acceptance scenario: a consumer at gateway A subscribes to a
+  // source owned by gateway B; B's harvesting loop picks up the metric
+  // change and the delta crosses the network into A's consumer.
+  GridFixture f;
+  std::vector<StreamDelta> received;
+  const auto id = f.globalA->subscribeGlobal(
+      f.adminA, f.siteB->headUrl("snmp"),
+      "SELECT HostName, Load1 FROM Processor WHERE Load1 >= 0.0",
+      [&](const StreamDelta& d) { received.push_back(d); });
+
+  EXPECT_EQ(f.globalA->stats().streamSubscriptionsSent, 1u);
+  EXPECT_EQ(f.globalB->stats().streamSubscriptionsServed, 1u);
+  EXPECT_TRUE(f.gatewayA->streamEngine().isActive(id));
+
+  auto poller = makePollerB(f);
+  EXPECT_EQ(poller->tick(), 1u);  // first refresh at B...
+  ASSERT_EQ(received.size(), 1u);  // ...streams to A
+  f.clock.advance(60 * util::kSecond);  // B's metrics evolve
+  EXPECT_EQ(poller->tick(), 1u);
+  ASSERT_EQ(received.size(), 2u);
+
+  const auto host = received[0].columns.columnIndex("HostName");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(received[0].rows.at(0).at(*host).toString(), "siteB-node00");
+  EXPECT_EQ(received[0].table, "Processor");
+  // Sequence numbers are assigned by A's local (passive) endpoint.
+  EXPECT_EQ(received[0].sequence, 1u);
+  EXPECT_EQ(received[1].sequence, 2u);
+
+  EXPECT_GE(f.globalB->stats().streamDeltasRelayed, 2u);
+  EXPECT_GE(f.globalA->stats().streamDeltasReceived, 2u);
+  EXPECT_GE(f.gatewayB->streamEngine().stats().deltasDelivered, 2u);
+}
+
+TEST(StreamFlowTest, LocalSubscriptionNeverLeavesTheGateway) {
+  GridFixture f;
+  std::vector<StreamDelta> received;
+  (void)f.globalB->subscribeGlobal(
+      f.adminB, f.siteB->headUrl("snmp"), "SELECT * FROM Processor",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  EXPECT_EQ(f.globalB->stats().streamSubscriptionsSent, 0u);
+
+  auto poller = makePollerB(f);
+  (void)poller->tick();
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(f.globalB->stats().streamDeltasRelayed, 0u);
+}
+
+TEST(StreamFlowTest, UnsubscribeGlobalTearsDownBothEnds) {
+  GridFixture f;
+  std::vector<StreamDelta> received;
+  const auto id = f.globalA->subscribeGlobal(
+      f.adminA, f.siteB->headUrl("snmp"), "SELECT * FROM Processor",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  EXPECT_EQ(f.gatewayB->streamEngine().activeCount(), 1u);
+
+  f.globalA->unsubscribeGlobal(f.adminA, id);
+  EXPECT_EQ(f.gatewayB->streamEngine().activeCount(), 0u);
+  EXPECT_FALSE(f.gatewayA->streamEngine().isActive(id));
+
+  auto poller = makePollerB(f);
+  (void)poller->tick();
+  EXPECT_TRUE(received.empty());
+}
+
+TEST(StreamFlowTest, DropOldestOverflowShedsWithoutBlockingPoller) {
+  // The companion acceptance scenario: a pull-mode subscriber that never
+  // polls must not wedge the harvesting loop — deltas beyond the queue
+  // capacity are shed oldest-first and the counters account for every
+  // one of them.
+  GridFixture f;
+  StreamOptions options;
+  options.queueCapacity = 2;
+  options.overflow = OverflowPolicy::DropOldest;
+  const auto id = f.gatewayB->subscribeQuery(
+      f.adminB, f.siteB->headUrl("snmp"), "SELECT * FROM Processor", nullptr,
+      options);
+
+  auto poller = makePollerB(f);
+  const int kTicks = 5;
+  for (int i = 0; i < kTicks; ++i) {
+    EXPECT_EQ(poller->tick(), 1u);  // never blocks, every poll completes
+    f.clock.advance(30 * util::kSecond);
+  }
+  EXPECT_EQ(poller->stats().polls, static_cast<std::uint64_t>(kTicks));
+  EXPECT_EQ(f.gatewayB->streamEngine().queueDepth(id), 2u);
+
+  const auto stats = f.gatewayB->streamStats();
+  EXPECT_EQ(stats.deltasQueued, static_cast<std::uint64_t>(kTicks));
+  EXPECT_EQ(stats.deltasDropped, static_cast<std::uint64_t>(kTicks - 2));
+  // Every delta carries the same refresh row count, so dropped rows are
+  // exactly the three evicted deltas' worth.
+  EXPECT_EQ(stats.rowsDropped, 3 * (stats.rowsQueued / kTicks));
+
+  // The survivors are the newest two refreshes.
+  auto deltas = f.gatewayB->streamEngine().poll(id);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_EQ(deltas[0].sequence, static_cast<std::uint64_t>(kTicks - 1));
+  EXPECT_EQ(deltas[1].sequence, static_cast<std::uint64_t>(kTicks));
+}
+
+TEST(StreamFlowTest, EventsStreamAsContinuousQueryRows) {
+  // Dispatched events surface as rows of the pseudo-table "Events", so
+  // a continuous query can filter them with SQL.
+  util::SimClock clock(0);
+  net::Network network(clock, 7);
+  core::GatewayOptions options;
+  options.name = "gw";
+  options.host = "gw.host";
+  options.eventOptions.threadedDispatch = false;  // deterministic
+  core::Gateway gateway(network, clock, options);
+  const auto admin = gateway.openSession(core::Principal::admin());
+
+  const auto id = gateway.subscribeQuery(
+      admin, "", "SELECT Type, Source FROM Events WHERE Severity = 'critical'");
+
+  core::Event info;
+  info.type = "poll.latency";
+  info.source = "node00";
+  info.severity = core::Severity::Info;
+  gateway.eventManager().ingest(info);
+
+  core::Event critical;
+  critical.type = "snmp.trap.highload";
+  critical.source = "node01";
+  critical.severity = core::Severity::Critical;
+  critical.fields["Load1"] = util::Value(7.5);
+  gateway.eventManager().ingest(critical);
+
+  auto deltas = gateway.streamEngine().poll(id);
+  ASSERT_EQ(deltas.size(), 1u);  // the info event was filtered out
+  EXPECT_EQ(deltas[0].table, "Events");
+  ASSERT_EQ(deltas[0].rows.size(), 1u);
+  EXPECT_EQ(deltas[0].rows[0][0].toString(), "snmp.trap.highload");
+  EXPECT_EQ(deltas[0].rows[0][1].toString(), "node01");
+}
+
+TEST(StreamFlowTest, SubscriptionRequiresAuthorization) {
+  GridFixture f;
+  EXPECT_THROW((void)f.gatewayA->subscribeQuery("bogus-token", "",
+                                                "SELECT * FROM Processor"),
+               dbc::SqlError);
+  EXPECT_THROW((void)f.globalA->subscribeGlobal("bogus-token",
+                                                f.siteB->headUrl("snmp"),
+                                                "SELECT * FROM Processor"),
+               dbc::SqlError);
+}
+
+}  // namespace
+}  // namespace gridrm::global

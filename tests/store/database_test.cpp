@@ -8,6 +8,7 @@ namespace gridrm::store {
 namespace {
 
 using dbc::ColumnInfo;
+using dbc::ErrorCode;
 using dbc::SqlError;
 using util::Value;
 using util::ValueType;
@@ -206,6 +207,68 @@ TEST(DatabaseTest, BetweenAndLike) {
   EXPECT_EQ(between->rowCount(), 2u);
   auto like = db.query("SELECT * FROM Processor WHERE HostName LIKE 'n%'");
   EXPECT_EQ(like->rowCount(), 4u);
+}
+
+TEST(DatabaseTest, InsertNamedRejectsDuplicateColumns) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  // A column listed twice in the insert list is a statement error, not a
+  // silent last-writer-wins overwrite.
+  EXPECT_THROW(db.execute("INSERT INTO Processor (HostName, HostName) "
+                          "VALUES ('x', 'y')"),
+               SqlError);
+  // Column matching is case-insensitive, so a case-variant duplicate is
+  // the same mistake.
+  EXPECT_THROW(db.execute("INSERT INTO Processor (HostName, hostname) "
+                          "VALUES ('x', 'y')"),
+               SqlError);
+  EXPECT_EQ(db.rowCount("Processor"), 4u);  // nothing was inserted
+}
+
+TEST(DatabaseTest, InsertNamedRejectsUnknownColumnWithClearError) {
+  auto dbPtr = makeDb();
+  Database& db = *dbPtr;
+  try {
+    db.execute("INSERT INTO Processor (HostName, Bogus) VALUES ('x', 1)");
+    FAIL() << "unknown insert column accepted";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NoSuchColumn);
+    EXPECT_NE(std::string(e.what()).find("Bogus"), std::string::npos);
+  }
+  EXPECT_EQ(db.rowCount("Processor"), 4u);
+}
+
+TEST(DatabaseTest, PruneKeepsRowsWithUndatableTimeCells) {
+  Database db;
+  db.createTable("T", {{"Timestamp", ValueType::Int, "us", "T"},
+                       {"Name", ValueType::String, "", "T"}});
+  db.insertRow("T", {Value(100), Value("old")});
+  db.insertRow("T", {Value("150"), Value("old-as-string")});
+  db.insertRow("T", {Value::null(), Value("undated")});
+  db.insertRow("T", {Value("garbage"), Value("corrupt")});
+  db.insertRow("T", {Value(900), Value("fresh")});
+
+  // Integer and numeric-string cells below the cutoff are pruned; cells
+  // with no integer reading (NULL, non-numeric string) are never pruned.
+  EXPECT_EQ(db.pruneOlderThan("T", "Timestamp", 250), 2u);
+  auto rs = db.query("SELECT Name FROM T");
+  ASSERT_EQ(rs->rowCount(), 3u);
+  std::vector<std::string> names;
+  while (rs->next()) names.push_back(rs->getString("Name"));
+  EXPECT_EQ(names, (std::vector<std::string>{"undated", "corrupt", "fresh"}));
+}
+
+TEST(DatabaseTest, PruneEmptyTableAndAllRows) {
+  Database db;
+  db.createTable("T", {{"Timestamp", ValueType::Int, "us", "T"}});
+  EXPECT_EQ(db.pruneOlderThan("T", "Timestamp", 1000), 0u);  // empty: no-op
+  db.insertRow("T", {Value(1)});
+  db.insertRow("T", {Value(2)});
+  EXPECT_EQ(db.pruneOlderThan("T", "Timestamp", 1000), 2u);  // prunes all
+  EXPECT_EQ(db.rowCount("T"), 0u);
+  // The emptied table still exists and accepts new rows.
+  db.insertRow("T", {Value(2000)});
+  EXPECT_EQ(db.rowCount("T"), 1u);
 }
 
 }  // namespace

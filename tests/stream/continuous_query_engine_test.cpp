@@ -1,0 +1,328 @@
+#include "gridrm/stream/continuous_query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::stream {
+namespace {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+dbc::ResultSetMetaData processorColumns() {
+  return dbc::ResultSetMetaData({{"HostName", ValueType::String, "", "Processor"},
+                                 {"Load1", ValueType::Real, "", "Processor"}});
+}
+
+std::vector<std::vector<Value>> processorRows() {
+  return {{Value(std::string("node00")), Value(0.9)},
+          {Value(std::string("node01")), Value(0.2)}};
+}
+
+StreamOptions pullOptions(std::size_t capacity,
+                          OverflowPolicy policy = OverflowPolicy::DropOldest) {
+  StreamOptions o;
+  o.queueCapacity = capacity;
+  o.overflow = policy;
+  return o;
+}
+
+struct Fixture {
+  util::SimClock clock{0};
+  ContinuousQueryEngine engine{clock};
+};
+
+TEST(ContinuousQueryEngineTest, MatchingRowsPushedToConsumer) {
+  Fixture f;
+  std::vector<StreamDelta> received;
+  const auto id = f.engine.subscribe(
+      "", "SELECT HostName FROM Processor WHERE Load1 > 0.5",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  f.engine.onRows("jdbc:mock://h/x", "Processor", processorColumns(),
+                  processorRows());
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].sequence, 1u);
+  EXPECT_EQ(received[0].sourceUrl, "jdbc:mock://h/x");
+  EXPECT_EQ(received[0].table, "Processor");
+  ASSERT_EQ(received[0].rows.size(), 1u);  // node01 filtered out
+  EXPECT_EQ(received[0].rows[0][0].toString(), "node00");
+  ASSERT_EQ(received[0].columns.columnCount(), 1u);  // projection applied
+  EXPECT_EQ(received[0].columns.column(0).name, "HostName");
+
+  const auto stats = f.engine.stats();
+  EXPECT_EQ(stats.subscriptions, 1u);
+  EXPECT_EQ(stats.active, 1u);
+  EXPECT_EQ(stats.batchesIngested, 1u);
+  EXPECT_EQ(stats.rowsEvaluated, 2u);
+  EXPECT_EQ(stats.deltasQueued, 1u);
+  EXPECT_EQ(stats.rowsQueued, 1u);
+  EXPECT_EQ(stats.deltasDelivered, 1u);
+  EXPECT_EQ(stats.rowsDelivered, 1u);
+  EXPECT_EQ(f.engine.isActive(id), true);
+}
+
+TEST(ContinuousQueryEngineTest, OtherTablesAndEmptyMatchesIgnored) {
+  Fixture f;
+  int calls = 0;
+  (void)f.engine.subscribe("", "SELECT * FROM Processor WHERE Load1 > 5.0",
+                           [&](const StreamDelta&) { ++calls; });
+  // Different GLUE group: not evaluated at all.
+  f.engine.onRows("jdbc:mock://h/x", "Memory", processorColumns(),
+                  processorRows());
+  // Same group but the predicate matches no row: no empty delta.
+  f.engine.onRows("jdbc:mock://h/x", "Processor", processorColumns(),
+                  processorRows());
+  EXPECT_EQ(calls, 0);
+  const auto stats = f.engine.stats();
+  EXPECT_EQ(stats.batchesIngested, 2u);
+  EXPECT_EQ(stats.rowsEvaluated, 2u);  // only the Processor batch
+  EXPECT_EQ(stats.deltasQueued, 0u);
+}
+
+TEST(ContinuousQueryEngineTest, SourceFilterMatchesUrlOrBareHost) {
+  Fixture f;
+  int fromUrl = 0;
+  int fromHost = 0;
+  (void)f.engine.subscribe("jdbc:mock://h1/x", "SELECT * FROM Processor",
+                           [&](const StreamDelta&) { ++fromUrl; });
+  (void)f.engine.subscribe("h1", "SELECT * FROM Processor",
+                           [&](const StreamDelta&) { ++fromHost; });
+  f.engine.onRows("jdbc:mock://h1/x", "Processor", processorColumns(),
+                  processorRows());
+  f.engine.onRows("jdbc:mock://h2/x", "Processor", processorColumns(),
+                  processorRows());
+  EXPECT_EQ(fromUrl, 1);   // exact URL; h2 excluded
+  EXPECT_EQ(fromHost, 1);  // bare host matches the h1 URL only
+}
+
+TEST(ContinuousQueryEngineTest, PullModePollDrainsQueue) {
+  Fixture f;
+  const auto id = f.engine.subscribe("", "SELECT * FROM Processor");
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  f.clock.advance(util::kSecond);
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_EQ(f.engine.queueDepth(id), 2u);
+
+  auto first = f.engine.poll(id, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].sequence, 1u);
+  auto rest = f.engine.poll(id);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].sequence, 2u);
+  EXPECT_EQ(f.engine.queueDepth(id), 0u);
+  EXPECT_EQ(f.engine.stats().deltasDelivered, 2u);
+}
+
+TEST(ContinuousQueryEngineTest, DropOldestShedsFromTheFront) {
+  Fixture f;
+  const auto id = f.engine.subscribe("", "SELECT * FROM Processor", nullptr,
+                                     pullOptions(2));
+  for (int i = 0; i < 3; ++i) {
+    f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  }
+  EXPECT_EQ(f.engine.queueDepth(id), 2u);
+  auto deltas = f.engine.poll(id);
+  ASSERT_EQ(deltas.size(), 2u);
+  // Delta #1 was evicted; the sequence gap reveals the drop.
+  EXPECT_EQ(deltas[0].sequence, 2u);
+  EXPECT_EQ(deltas[1].sequence, 3u);
+  const auto stats = f.engine.stats();
+  EXPECT_EQ(stats.deltasDropped, 1u);
+  EXPECT_EQ(stats.rowsDropped, 2u);
+  EXPECT_TRUE(f.engine.isActive(id));
+}
+
+TEST(ContinuousQueryEngineTest, CancelSlowConsumerTerminatesSubscription) {
+  Fixture f;
+  const auto id = f.engine.subscribe(
+      "", "SELECT * FROM Processor", nullptr,
+      pullOptions(1, OverflowPolicy::CancelSlowConsumer));
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_FALSE(f.engine.isActive(id));
+  EXPECT_EQ(f.engine.activeCount(), 0u);
+  const auto stats = f.engine.stats();
+  EXPECT_EQ(stats.cancelledSlow, 1u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_TRUE(f.engine.poll(id).empty());
+}
+
+TEST(ContinuousQueryEngineTest, BlockPolicyWaitsForPoll) {
+  Fixture f;
+  const auto id = f.engine.subscribe("", "SELECT * FROM Processor", nullptr,
+                                     pullOptions(1, OverflowPolicy::Block));
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_EQ(f.engine.queueDepth(id), 1u);
+
+  std::thread producer([&] {
+    f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  });
+  // The producer is parked on the full queue until a poll frees a slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(f.engine.queueDepth(id), 1u);
+  auto deltas = f.engine.poll(id, 1);
+  producer.join();
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].sequence, 1u);
+  EXPECT_EQ(f.engine.queueDepth(id), 1u);  // the blocked delta landed
+  EXPECT_EQ(f.engine.stats().deltasDropped, 0u);
+}
+
+TEST(ContinuousQueryEngineTest, UnsubscribeReleasesBlockedProducer) {
+  Fixture f;
+  const auto id = f.engine.subscribe("", "SELECT * FROM Processor", nullptr,
+                                     pullOptions(1, OverflowPolicy::Block));
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  std::thread producer([&] {
+    f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(f.engine.unsubscribe(id));
+  producer.join();  // must not deadlock
+  const auto stats = f.engine.stats();
+  EXPECT_EQ(stats.deltasDropped, 1u);  // the blocked delta had nowhere to go
+  EXPECT_EQ(stats.active, 0u);
+}
+
+TEST(ContinuousQueryEngineTest, UnsubscribeStopsDelivery) {
+  Fixture f;
+  int calls = 0;
+  const auto id = f.engine.subscribe("", "SELECT * FROM Processor",
+                                     [&](const StreamDelta&) { ++calls; });
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_TRUE(f.engine.unsubscribe(id));
+  EXPECT_FALSE(f.engine.unsubscribe(id));
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContinuousQueryEngineTest, AggregatesAndBadSqlRejected) {
+  Fixture f;
+  EXPECT_THROW((void)f.engine.subscribe("", "SELECT AVG(Load1) FROM Processor"),
+               SqlError);
+  EXPECT_THROW((void)f.engine.subscribe(
+                   "", "SELECT HostName FROM Processor GROUP BY HostName"),
+               SqlError);
+  try {
+    (void)f.engine.subscribe("", "SELEC nonsense");
+    FAIL() << "malformed SQL accepted";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Syntax);
+  }
+  EXPECT_EQ(f.engine.activeCount(), 0u);
+}
+
+TEST(ContinuousQueryEngineTest, EvalErrorSkipsBatchButKeepsSubscription) {
+  Fixture f;
+  int calls = 0;
+  const auto id = f.engine.subscribe("", "SELECT NoSuchColumn FROM Processor",
+                                     [&](const StreamDelta&) { ++calls; });
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(f.engine.stats().evalErrors, 1u);
+  EXPECT_TRUE(f.engine.isActive(id));
+}
+
+TEST(ContinuousQueryEngineTest, ThrowingConsumerDoesNotWedgeEngine) {
+  Fixture f;
+  int calls = 0;
+  (void)f.engine.subscribe("", "SELECT * FROM Processor",
+                           [&](const StreamDelta&) {
+                             ++calls;
+                             throw std::runtime_error("consumer bug");
+                           });
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  f.engine.onRows("u", "Processor", processorColumns(), processorRows());
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(f.engine.stats().deltasDelivered, 2u);
+}
+
+TEST(ContinuousQueryEngineTest, PassiveSubscriptionOnlyFedByInjectDelta) {
+  Fixture f;
+  std::vector<StreamDelta> received;
+  const auto id = f.engine.subscribePassive(
+      "relay:jdbc:mock://remote/x",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  // Passive subscriptions never match harvested batches...
+  f.engine.onRows("jdbc:mock://remote/x", "Processor", processorColumns(),
+                  processorRows());
+  EXPECT_TRUE(received.empty());
+  // ...only explicit injection.
+  StreamDelta delta;
+  delta.sourceUrl = "jdbc:mock://remote/x";
+  delta.table = "Processor";
+  delta.columns = processorColumns();
+  delta.rows = processorRows();
+  EXPECT_TRUE(f.engine.injectDelta(id, delta));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].sequence, 1u);  // relabelled locally
+  EXPECT_EQ(received[0].rows.size(), 2u);
+  EXPECT_FALSE(f.engine.injectDelta(9999, delta));
+}
+
+TEST(ContinuousQueryEngineTest, ReplaysNewestHistoryRowsOnSubscribe) {
+  util::SimClock clock(0);
+  store::Database db;
+  db.createTable("HistoryProcessor",
+                 {{"Source", ValueType::String, "", "HistoryProcessor"},
+                  {"RecordedAt", ValueType::Int, "us", "HistoryProcessor"},
+                  {"HostName", ValueType::String, "", "HistoryProcessor"},
+                  {"Load1", ValueType::Real, "", "HistoryProcessor"}});
+  for (int i = 0; i < 5; ++i) {
+    db.insertRow("HistoryProcessor",
+                 {Value(std::string("jdbc:mock://h/x")),
+                  Value(static_cast<std::int64_t>(i)),
+                  Value(std::string("node0" + std::to_string(i))),
+                  Value(i < 3 ? 0.9 : 0.1)});
+  }
+  ContinuousQueryEngine engine(clock, {}, &db);
+
+  StreamOptions options;
+  options.replayRows = 2;
+  std::vector<StreamDelta> received;
+  (void)engine.subscribe(
+      "jdbc:mock://h/x", "SELECT * FROM Processor WHERE Load1 > 0.5",
+      [&](const StreamDelta& d) { received.push_back(d); }, options);
+
+  // Three history rows match the predicate; only the newest two replay.
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].sourceUrl, "history");
+  ASSERT_EQ(received[0].rows.size(), 2u);
+  const auto host = received[0].columns.columnIndex("HostName");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(received[0].rows[0][*host].toString(), "node01");
+  EXPECT_EQ(received[0].rows[1][*host].toString(), "node02");
+  EXPECT_EQ(engine.stats().rowsReplayed, 2u);
+}
+
+TEST(ContinuousQueryEngineTest, ReplaySkippedWhenNoHistoryTable) {
+  util::SimClock clock(0);
+  store::Database db;
+  ContinuousQueryEngine engine(clock, {}, &db);
+  StreamOptions options;
+  options.replayRows = 10;
+  const auto id = engine.subscribe("", "SELECT * FROM Processor", nullptr,
+                                   options);
+  EXPECT_EQ(engine.queueDepth(id), 0u);
+  EXPECT_EQ(engine.stats().rowsReplayed, 0u);
+}
+
+TEST(ContinuousQueryEngineTest, OverflowPolicyNamesRoundTrip) {
+  EXPECT_EQ(overflowPolicyFromName("dropoldest"), OverflowPolicy::DropOldest);
+  EXPECT_EQ(overflowPolicyFromName("BLOCK"), OverflowPolicy::Block);
+  EXPECT_EQ(overflowPolicyFromName("cancel"),
+            OverflowPolicy::CancelSlowConsumer);
+  EXPECT_EQ(overflowPolicyFromName("bogus"), std::nullopt);
+  for (auto p : {OverflowPolicy::DropOldest, OverflowPolicy::Block,
+                 OverflowPolicy::CancelSlowConsumer}) {
+    EXPECT_EQ(overflowPolicyFromName(overflowPolicyName(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace gridrm::stream
