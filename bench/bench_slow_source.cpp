@@ -1,0 +1,154 @@
+// E13 -- Slow-source isolation (tail-tolerant fan-out).
+//
+// Claim: one hung or slow agent must not drag the latency of a
+// multi-site query down to the straggler's pace. With a per-source
+// deadline the fan-out returns whatever completed in time, and the
+// per-source circuit breaker stops the gateway from contacting a
+// degraded agent at all once it has missed its deadline repeatedly.
+//
+// Scenario: 8 sources, 7 fast (~0 latency) and 1 straggler that takes
+// 20 real ms per query. Baseline runs with no deadline and no breaker;
+// the isolated run uses a 5 ms deadline and a breaker that opens after
+// 3 consecutive misses. Expected shape: baseline p50 ~= straggler
+// latency (20 ms); isolated p99 <= deadline and p50 far below it once
+// the breaker opens, with the straggler contacted only a handful of
+// times across the whole run.
+//
+// Uses the real SystemClock (deadlines are enforced against wall
+// time), so iteration counts are capped to keep the run short.
+//
+// Counters: p50_ms, p99_ms, straggler_contacts_per_query,
+// deadline_misses, breaker_skips, rows_per_query.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "gridrm/core/request_manager.hpp"
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace {
+
+using namespace gridrm;
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+
+constexpr int kSources = 8;
+constexpr util::Duration kStragglerLatency = 20 * util::kMillisecond;
+constexpr util::Duration kDeadline = 5 * util::kMillisecond;
+
+struct Bench {
+  explicit Bench(core::RequestManagerTuning tuning)
+      : driverManager(registry),
+        pool(driverManager),
+        cache(clock, 60 * util::kSecond),
+        fgsl(true),
+        rm(pool, cache, fgsl, /*historyDb=*/nullptr, clock, /*workers=*/16,
+           tuning) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+
+    MockBehaviour fast;
+    fast.name = "fast";
+    fast.accepts = {"fast"};
+    fastDriver = std::make_shared<MockDriver>(ctx, fast);
+    registry.registerDriver(fastDriver);
+
+    MockBehaviour slow;
+    slow.name = "slow";
+    slow.accepts = {"slow"};
+    slow.queryLatencyUs = kStragglerLatency;
+    slowDriver = std::make_shared<MockDriver>(ctx, slow);
+    registry.registerDriver(slowDriver);
+
+    for (int i = 0; i < kSources - 1; ++i)
+      urls.push_back("jdbc:fast://h" + std::to_string(i) + "/x");
+    urls.push_back("jdbc:slow://h" + std::to_string(kSources - 1) + "/x");
+  }
+
+  util::SystemClock clock;
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  core::GridRmDriverManager driverManager;
+  core::ConnectionManager pool;
+  core::CacheController cache;
+  core::FineSecurityLayer fgsl;
+  core::RequestManager rm;
+  std::shared_ptr<MockDriver> fastDriver;
+  std::shared_ptr<MockDriver> slowDriver;
+  std::vector<std::string> urls;
+};
+
+void runFanOut(benchmark::State& state, core::RequestManagerTuning tuning,
+               util::Duration deadline) {
+  Bench bench(tuning);
+  core::QueryOptions options;
+  options.useCache = false;  // measure live fan-out, not the cache
+  options.deadline = deadline;
+
+  std::vector<double> latenciesMs;
+  std::uint64_t rows = 0;
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = bench.rm.query(core::Principal::monitor(), bench.urls,
+                                 "SELECT Load1 FROM Processor", options);
+    benchmark::DoNotOptimize(result);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    latenciesMs.push_back(elapsed.count());
+    rows += result.rows ? result.rows->rowCount() : 0;
+    ++queries;
+  }
+
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  auto percentile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(latenciesMs.size() - 1));
+    return latenciesMs[idx];
+  };
+  state.counters["p50_ms"] = percentile(0.50);
+  state.counters["p99_ms"] = percentile(0.99);
+  state.counters["straggler_contacts_per_query"] =
+      static_cast<double>(bench.slowDriver->queryCalls()) /
+      static_cast<double>(queries);
+  state.counters["deadline_misses"] =
+      static_cast<double>(bench.rm.stats().deadlineMisses);
+  state.counters["breaker_skips"] =
+      static_cast<double>(bench.rm.stats().breakerSkips);
+  state.counters["rows_per_query"] =
+      static_cast<double>(rows) / static_cast<double>(queries);
+}
+
+// Baseline: every query waits for the straggler.
+void BM_FanOutBaseline(benchmark::State& state) {
+  runFanOut(state, {}, /*deadline=*/0);
+}
+
+// Deadline alone: partial results within the deadline, but the
+// straggler is still contacted (and abandoned) on every query.
+void BM_FanOutDeadline(benchmark::State& state) {
+  runFanOut(state, {}, kDeadline);
+}
+
+// Deadline + breaker: after 3 consecutive misses the breaker opens and
+// the straggler is skipped without being contacted.
+void BM_FanOutDeadlineBreaker(benchmark::State& state) {
+  core::RequestManagerTuning tuning;
+  tuning.breaker.failureThreshold = 3;
+  tuning.breaker.cooldown = 3600 * util::kSecond;  // stay open all run
+  runFanOut(state, tuning, kDeadline);
+}
+
+// Real-time benchmark (the straggler sleeps 20 wall ms); fix the
+// iteration count so the run stays short and the breaker trajectory
+// (3 misses, then skips) is deterministic.
+BENCHMARK(BM_FanOutBaseline)->Iterations(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FanOutDeadline)->Iterations(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FanOutDeadlineBreaker)
+    ->Iterations(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -33,9 +33,16 @@ class CacheController {
                   std::size_t maxEntries = 4096)
       : clock_(clock), defaultTtl_(defaultTtl), maxEntries_(maxEntries) {}
 
-  /// Cache key: the data-source URL plus the exact SQL text.
+  /// Cache key: the data-source URL plus the exact SQL text. The URL is
+  /// length-prefixed so no (url, sql) pair can collide with another by
+  /// shifting bytes across the separator (e.g. a URL that itself
+  /// contains the separator byte).
   static std::string key(const std::string& url, const std::string& sql) {
-    return url + "\x1f" + sql;
+    std::string k = std::to_string(url.size());
+    k += '\x1f';
+    k += url;
+    k += sql;
+    return k;
   }
 
   /// A fresh cursor over the cached rows, or nullptr on miss/expiry.

@@ -1,0 +1,157 @@
+// Slow-source isolation: per-data-source circuit breakers and latency
+// tracking for the query path.
+//
+// The paper's failure policies (section 3.1.3: retry-n, try-next,
+// report) recover from sources that fail *fast*; nothing in the local
+// layer bounds a source that is merely *slow*. The breaker makes
+// per-source responsiveness first-class gateway state: a source that
+// keeps failing or timing out is "opened" and skipped cheaply (reported
+// as degraded) instead of being hammered, then probed again after a
+// cooldown on the injected Clock so recovery is automatic and
+// deterministic under simulation.
+//
+// State machine (per source URL):
+//
+//   Closed ──(failureThreshold consecutive failures/timeouts)──> Open
+//   Open ──(cooldown elapsed; next request becomes the probe)──> HalfOpen
+//   HalfOpen ──(probe succeeds)──> Closed
+//   HalfOpen ──(probe fails)────> Open (cooldown restarts)
+//
+// Alongside the breaker each source carries a latency EWMA plus a
+// deviation EWMA; p95 is estimated as ewma + 3*deviation and drives
+// the auto-hedging delay in the RequestManager.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::core {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures/timeouts that trip the breaker; 0 disables
+  /// breakers entirely (every request is allowed, nothing is recorded
+  /// as state transitions, but latency is still tracked).
+  std::size_t failureThreshold = 0;
+  /// How long an open breaker rejects requests before the next request
+  /// is let through as a half-open probe.
+  util::Duration cooldown = 30 * util::kSecond;
+  /// Smoothing factor for the latency/deviation EWMAs (0 < alpha <= 1).
+  double latencyAlpha = 0.2;
+};
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* breakerStateName(BreakerState state) noexcept;
+
+/// Introspection record for one source (gateway ACIL `sourceHealth`).
+struct SourceHealthSnapshot {
+  std::string url;
+  BreakerState state = BreakerState::Closed;
+  std::size_t consecutiveFailures = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;   // includes deadline misses
+  std::uint64_t opens = 0;      // times the breaker tripped
+  std::uint64_t skips = 0;      // requests rejected while open
+  util::Duration ewmaLatency = 0;  // µs; 0 = no completed request yet
+  util::Duration p95Latency = 0;   // ewma + 3*deviation estimate
+};
+
+/// One source's breaker state machine plus latency statistics.
+/// Thread-safe; time comes from the injected Clock so the cooldown is
+/// deterministic under SimClock.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(CircuitBreakerOptions options, util::Clock& clock)
+      : options_(options), clock_(clock) {}
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Gate a request. Closed: always true. Open: false until the
+  /// cooldown elapses, after which the first caller transitions the
+  /// breaker to HalfOpen and claims the probe. HalfOpen: false while a
+  /// probe is in flight (a probe older than one cooldown is presumed
+  /// lost and its slot is re-claimed).
+  bool allowRequest();
+
+  /// Pure read: would allowRequest() currently reject? Lets pollers
+  /// skip open sources without accidentally claiming the probe slot.
+  bool wouldReject() const;
+
+  /// Record a completed request. `latency` feeds the EWMAs.
+  void recordSuccess(util::Duration latency);
+  /// Record a connection-class failure or deadline miss.
+  void recordFailure();
+
+  BreakerState state() const;
+  /// Estimated hedge delay: p95 latency, floored at `floor`; 0 when no
+  /// request has completed yet (no basis for hedging).
+  util::Duration hedgeDelay(util::Duration floor) const;
+
+  SourceHealthSnapshot snapshot() const;  // url left empty
+
+ private:
+  CircuitBreakerOptions options_;
+  util::Clock& clock_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::Closed;
+  std::size_t consecutiveFailures_ = 0;
+  util::TimePoint openedAt_ = 0;
+  bool probeInFlight_ = false;
+  util::TimePoint probeStartedAt_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t skips_ = 0;
+  double ewmaLatency_ = 0.0;    // µs
+  double ewmaDeviation_ = 0.0;  // mean absolute deviation, µs
+  bool haveLatency_ = false;
+};
+
+/// The per-source-URL breaker map the RequestManager owns and the
+/// SitePoller consults. Breakers are created on first sight of a URL
+/// and live for the registry's lifetime.
+class SourceHealthRegistry {
+ public:
+  SourceHealthRegistry(util::Clock& clock, CircuitBreakerOptions options)
+      : clock_(clock), options_(options) {}
+
+  SourceHealthRegistry(const SourceHealthRegistry&) = delete;
+  SourceHealthRegistry& operator=(const SourceHealthRegistry&) = delete;
+
+  const CircuitBreakerOptions& options() const noexcept { return options_; }
+  bool enabled() const noexcept { return options_.failureThreshold > 0; }
+
+  /// Gate a request to `url` (see CircuitBreaker::allowRequest).
+  bool allowRequest(const std::string& url);
+  /// Pure read: is `url` currently rejected (open / probe in flight)?
+  bool wouldReject(const std::string& url) const;
+
+  void recordSuccess(const std::string& url, util::Duration latency);
+  void recordFailure(const std::string& url);
+
+  BreakerState state(const std::string& url) const;
+  /// EWMA-derived hedge delay for `url`; 0 = no data yet.
+  util::Duration suggestedHedgeDelay(const std::string& url,
+                                     util::Duration floor) const;
+
+  /// Snapshot every known source, sorted by URL.
+  std::vector<SourceHealthSnapshot> snapshot() const;
+
+ private:
+  CircuitBreaker& breakerFor(const std::string& url);
+  const CircuitBreaker* findBreaker(const std::string& url) const;
+
+  util::Clock& clock_;
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;  // guards the map, not the breakers
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace gridrm::core

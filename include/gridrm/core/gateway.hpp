@@ -47,6 +47,12 @@ struct GatewayOptions {
   /// deployments may prefer lazy validation (poisoned-on-failure).
   bool validatePooledConnections = true;
   std::size_t queryWorkers = 4;
+  /// Default per-source deadline for real-time queries; 0 = unbounded.
+  util::Duration queryDeadline = 0;
+  /// Default hedge delay; 0 = off, kHedgeAuto = per-source EWMA p95.
+  util::Duration queryHedgeDelay = 0;
+  /// Per-source circuit breakers (failureThreshold 0 = disabled).
+  CircuitBreakerOptions breaker;
   bool registerDefaultDrivers = true;
   FailurePolicy failurePolicy;
   EventManagerOptions eventOptions;
@@ -59,7 +65,10 @@ struct GatewayOptions {
   ///   gateway.name, gateway.host,
   ///   cache.ttl_ms, cache.max_entries,
   ///   pool.max_idle, pool.validate,
-  ///   query.workers, drivers.register_defaults,
+  ///   query.workers, query.deadline_ms, query.hedge_delay_ms ("auto"
+  ///   derives the delay from each source's latency EWMA),
+  ///   breaker.failure_threshold, breaker.cooldown_ms,
+  ///   drivers.register_defaults,
   ///   events.buffer_capacity, events.drop_newest, events.record_history,
   ///   stream.queue_capacity (deltas buffered per subscription),
   ///   stream.overflow (dropoldest|block|cancel),
@@ -102,6 +111,9 @@ class Gateway {
                               const QueryOptions& options = {});
   std::unique_ptr<dbc::VectorResultSet> submitHistoricalQuery(
       const std::string& token, const std::string& sql);
+  /// Introspect the slow-source isolation layer: per-source breaker
+  /// state, failure counters and latency EWMAs.
+  std::vector<SourceHealthSnapshot> sourceHealth(const std::string& token);
 
   // --- ACIL: events ---------------------------------------------------
   std::size_t subscribeEvents(const std::string& token,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gridrm/core/cache_controller.hpp"
+#include "gridrm/core/circuit_breaker.hpp"
 #include "gridrm/core/connection_manager.hpp"
 #include "gridrm/core/security.hpp"
 #include "gridrm/store/database.hpp"
@@ -18,11 +19,38 @@
 
 namespace gridrm::core {
 
+/// Sentinel for QueryOptions timing fields: use the gateway-configured
+/// default (RequestManagerTuning).
+inline constexpr util::Duration kInheritTiming = -1;
+/// Sentinel for QueryOptions::hedgeDelay: derive the delay per source
+/// from its latency EWMA (p95 estimate).
+inline constexpr util::Duration kHedgeAuto = -2;
+
 struct QueryOptions {
   bool useCache = true;            // consult/populate the gateway cache
   util::Duration cacheTtl = -1;    // -1 = CacheController default
   bool recordHistory = false;      // append rows to History<Group>
   bool parallel = true;            // fan out across sources concurrently
+  /// Per-source completion budget: kInheritTiming = gateway default,
+  /// 0 = unbounded, > 0 = µs after which stragglers are abandoned and
+  /// reported as SourceError{url, "deadline exceeded"}.
+  util::Duration deadline = kInheritTiming;
+  /// Hedged requests: kInheritTiming = gateway default, 0 = off, > 0 =
+  /// re-issue the query on a second pooled connection after this many
+  /// µs and take whichever result lands first, kHedgeAuto = derive the
+  /// delay from the source's latency EWMA.
+  util::Duration hedgeDelay = kInheritTiming;
+};
+
+/// Gateway-level defaults and isolation policy for the RequestManager
+/// (`query.*` and `breaker.*` config keys).
+struct RequestManagerTuning {
+  util::Duration defaultDeadline = 0;    // 0 = no deadline
+  util::Duration defaultHedgeDelay = 0;  // 0 = no hedging; kHedgeAuto ok
+  /// Floor for EWMA-derived hedge delays (kHedgeAuto), so a source
+  /// with µs-level history is not hedged pathologically early.
+  util::Duration hedgeFloor = util::kMillisecond;
+  CircuitBreakerOptions breaker;  // failureThreshold 0 = disabled
 };
 
 struct SourceError {
@@ -45,15 +73,21 @@ struct RequestManagerStats {
   std::uint64_t sourceErrors = 0;
   std::uint64_t historyQueries = 0;
   std::uint64_t rowsRecorded = 0;
+  std::uint64_t deadlineMisses = 0;  // sources abandoned past the deadline
+  std::uint64_t hedgedRequests = 0;  // second attempts issued
+  std::uint64_t hedgeWins = 0;       // hedge attempt delivered the result
+  std::uint64_t breakerSkips = 0;    // sources skipped: circuit open
 };
 
 class RequestManager {
  public:
   /// `historyDb` may be null (no historical support); `workers` sizes
-  /// the fan-out pool for multi-source queries.
+  /// the fan-out pool for multi-source queries; `tuning` carries the
+  /// gateway's slow-source isolation policy.
   RequestManager(ConnectionManager& connections, CacheController& cache,
                  const FineSecurityLayer& fgsl, store::Database* historyDb,
-                 util::Clock& clock, std::size_t workers = 4);
+                 util::Clock& clock, std::size_t workers = 4,
+                 RequestManagerTuning tuning = {});
 
   RequestManager(const RequestManager&) = delete;
   RequestManager& operator=(const RequestManager&) = delete;
@@ -91,12 +125,25 @@ class RequestManager {
 
   RequestManagerStats stats() const;
 
+  /// Per-source breaker state + latency EWMAs (slow-source isolation).
+  SourceHealthRegistry& sourceHealth() noexcept { return health_; }
+  const SourceHealthRegistry& sourceHealth() const noexcept {
+    return health_;
+  }
+  const RequestManagerTuning& tuning() const noexcept { return tuning_; }
+
   /// The name of the history table backing a GLUE group.
   static std::string historyTableName(const std::string& group) {
     return "History" + group;
   }
 
  private:
+  /// Shared result slot for one fanned-out source. Workers publish into
+  /// the slot through a shared_ptr, so an attempt abandoned past the
+  /// deadline can complete later without touching freed state.
+  struct SourceSlot;
+  struct FanOutState;
+
   /// One source, no consolidation column.
   std::unique_ptr<dbc::VectorResultSet> executeSource(
       const Principal& principal, const std::string& url,
@@ -104,11 +151,30 @@ class RequestManager {
   void recordHistory(const std::string& url, const std::string& group,
                      const dbc::VectorResultSet& rs);
 
+  util::Duration resolveDeadline(const QueryOptions& options) const;
+  util::Duration resolveHedgeDelay(const QueryOptions& options) const;
+  /// Feed one attempt's outcome to the breaker (connection-class
+  /// failures and timeouts only).
+  void recordAttemptHealth(const std::string& url, bool success,
+                           dbc::ErrorCode code, util::Duration latency);
+  void submitAttempt(const std::shared_ptr<FanOutState>& state,
+                     const std::shared_ptr<SourceSlot>& slot, int attempt,
+                     const Principal& principal, const std::string& sql,
+                     const QueryOptions& options);
+  /// Run every URL through the pooled, deadline/hedge-aware path and
+  /// wait until all complete or the deadline passes.
+  std::vector<std::shared_ptr<SourceSlot>> fanOut(
+      const Principal& principal, const std::vector<std::string>& urls,
+      const std::string& sql, const QueryOptions& options,
+      util::Duration deadline, util::Duration hedgeDelay);
+
   ConnectionManager& connections_;
   CacheController& cache_;
   const FineSecurityLayer& fgsl_;
   store::Database* historyDb_;
   util::Clock& clock_;
+  RequestManagerTuning tuning_;
+  SourceHealthRegistry health_;
   util::ThreadPool pool_;
   mutable std::mutex mu_;
   RequestManagerStats stats_;

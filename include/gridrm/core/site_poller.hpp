@@ -36,6 +36,7 @@ struct SitePollerStats {
   std::uint64_t pollFailures = 0;
   std::uint64_t alertsRaised = 0;
   std::uint64_t rowsStreamed = 0;  // rows handed to the stream engine
+  std::uint64_t pollsSkippedOpen = 0;  // tasks skipped: circuit open
 };
 
 class SitePoller {

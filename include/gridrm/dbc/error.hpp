@@ -24,6 +24,7 @@ enum class ErrorCode : int {
   SecurityDenied,   // CGSL/FGSL rejected the request
   Unsupported,      // URL not accepted / feature outside the subset
   Translation,      // native -> GLUE translation failure
+  Unavailable,      // source degraded: circuit breaker open
 };
 
 const char* errorCodeName(ErrorCode code) noexcept;
@@ -68,6 +69,8 @@ inline const char* errorCodeName(ErrorCode code) noexcept {
       return "UNSUPPORTED";
     case ErrorCode::Translation:
       return "TRANSLATION";
+    case ErrorCode::Unavailable:
+      return "UNAVAILABLE";
   }
   return "?";
 }

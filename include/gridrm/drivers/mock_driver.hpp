@@ -26,6 +26,19 @@ struct MockBehaviour {
   util::Duration connectLatencyUs = 0;
   /// Per-query artificial latency charged to the clock.
   util::Duration queryLatencyUs = 0;
+  /// Scripted per-call latency: query call K (1-based) uses entry K-1;
+  /// calls past the end of the schedule fall back to queryLatencyUs.
+  std::vector<util::Duration> queryDelaySchedule;
+  /// Scripted per-call failure: query call K (1-based) fails iff entry
+  /// K-1 is true; calls past the end fall back to failQueriesFrom.
+  std::vector<bool> failQuerySchedule;
+  /// When true, a query's latency parks the calling thread until the
+  /// injected clock actually reaches the wake-up time (or the driver's
+  /// releaseBlockedQueries() is called) instead of charging sleepFor.
+  /// Under SimClock this turns latency into a real hang that tests
+  /// resolve by advancing the clock from another thread — the basis of
+  /// the deterministic slow-source scenarios.
+  bool blockOnDelay = false;
   /// Rows served for any query against the Processor group.
   double load1 = 0.5;
   std::string hostName = "mockhost";
@@ -48,9 +61,18 @@ class MockDriver final : public dbc::Driver {
 
   MockBehaviour& behaviour() noexcept { return behaviour_; }
 
+  /// Unpark every query currently blocked in blockOnDelay (teardown
+  /// escape hatch so worker pools can join).
+  void releaseBlockedQueries() noexcept { released_.store(true); }
+  /// Re-arm blocking after releaseBlockedQueries().
+  void resetRelease() noexcept { released_.store(false); }
+
   // Internal hooks for the statement implementation.
   std::size_t noteQuery() noexcept { return ++queryCalls_; }
   DriverContext& context() noexcept { return ctx_; }
+  /// Park the calling thread until the clock reaches `wakeAt`, the
+  /// driver is released, or a hard real-time cap expires.
+  void blockUntil(util::Clock& clock, util::TimePoint wakeAt) const;
 
  private:
   DriverContext ctx_;
@@ -58,6 +80,7 @@ class MockDriver final : public dbc::Driver {
   mutable std::atomic<std::size_t> acceptProbes_{0};
   std::atomic<std::size_t> connectCalls_{0};
   std::atomic<std::size_t> queryCalls_{0};
+  std::atomic<bool> released_{false};
 };
 
 }  // namespace gridrm::drivers

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,8 @@ class HostModel {
   const HostSpec& spec() const noexcept { return spec_; }
   const std::string& name() const noexcept { return spec_.name; }
 
-  // All getters first advance the model to clock.now().
+  // All getters first advance the model to clock.now(). Thread-safe:
+  // several agents may serve the same host to concurrent clients.
   double load1();
   double load5();
   double load15();
@@ -57,15 +59,16 @@ class HostModel {
   std::int64_t uptimeSeconds();
   util::TimePoint bootTime() const noexcept { return bootTime_; }
   /// Timestamp of the most recent model step.
-  util::TimePoint lastUpdate() const noexcept { return lastStep_; }
+  util::TimePoint lastUpdate() const;
 
   /// Force the model forward to the clock's current time.
   void refresh();
 
  private:
-  void advanceTo(util::TimePoint t);
+  void advanceTo(util::TimePoint t);  // callers hold mu_
   void step(double dtSeconds);
 
+  mutable std::mutex mu_;  // guards rng_, lastStep_ and evolving state
   HostSpec spec_;
   util::Clock& clock_;
   util::Rng rng_;

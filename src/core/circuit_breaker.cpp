@@ -1,0 +1,208 @@
+#include "gridrm/core/circuit_breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gridrm::core {
+
+const char* breakerStateName(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::Closed:
+      return "closed";
+    case BreakerState::Open:
+      return "open";
+    case BreakerState::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allowRequest() {
+  if (options_.failureThreshold == 0) return true;
+  std::scoped_lock lock(mu_);
+  const util::TimePoint now = clock_.now();
+  switch (state_) {
+    case BreakerState::Closed:
+      return true;
+    case BreakerState::Open:
+      if (now - openedAt_ < options_.cooldown) {
+        ++skips_;
+        return false;
+      }
+      // Cooldown elapsed: this request becomes the half-open probe.
+      state_ = BreakerState::HalfOpen;
+      probeInFlight_ = true;
+      probeStartedAt_ = now;
+      return true;
+    case BreakerState::HalfOpen:
+      if (probeInFlight_ && now - probeStartedAt_ < options_.cooldown) {
+        ++skips_;
+        return false;
+      }
+      // Either no probe is in flight (the last probe ended with a
+      // client-class error that records no breaker outcome) or the
+      // probe is presumed lost; claim the slot again.
+      probeInFlight_ = true;
+      probeStartedAt_ = now;
+      return true;
+  }
+  return true;
+}
+
+bool CircuitBreaker::wouldReject() const {
+  if (options_.failureThreshold == 0) return false;
+  std::scoped_lock lock(mu_);
+  const util::TimePoint now = clock_.now();
+  if (state_ == BreakerState::Open) {
+    return now - openedAt_ < options_.cooldown;
+  }
+  if (state_ == BreakerState::HalfOpen) {
+    return probeInFlight_ && now - probeStartedAt_ < options_.cooldown;
+  }
+  return false;
+}
+
+void CircuitBreaker::recordSuccess(util::Duration latency) {
+  std::scoped_lock lock(mu_);
+  ++successes_;
+  consecutiveFailures_ = 0;
+  if (state_ == BreakerState::HalfOpen) {
+    state_ = BreakerState::Closed;
+    probeInFlight_ = false;
+  }
+  const double sample = static_cast<double>(std::max<util::Duration>(latency, 0));
+  if (!haveLatency_) {
+    ewmaLatency_ = sample;
+    ewmaDeviation_ = 0.0;
+    haveLatency_ = true;
+  } else {
+    const double alpha = options_.latencyAlpha;
+    ewmaDeviation_ = (1.0 - alpha) * ewmaDeviation_ +
+                     alpha * std::abs(sample - ewmaLatency_);
+    ewmaLatency_ = (1.0 - alpha) * ewmaLatency_ + alpha * sample;
+  }
+}
+
+void CircuitBreaker::recordFailure() {
+  if (options_.failureThreshold == 0) {
+    std::scoped_lock lock(mu_);
+    ++failures_;
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  ++failures_;
+  ++consecutiveFailures_;
+  if (state_ == BreakerState::HalfOpen) {
+    // Probe relapsed: back to open, cooldown restarts.
+    state_ = BreakerState::Open;
+    openedAt_ = clock_.now();
+    probeInFlight_ = false;
+    ++opens_;
+    return;
+  }
+  if (state_ == BreakerState::Closed &&
+      consecutiveFailures_ >= options_.failureThreshold) {
+    state_ = BreakerState::Open;
+    openedAt_ = clock_.now();
+    ++opens_;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::scoped_lock lock(mu_);
+  return state_;
+}
+
+util::Duration CircuitBreaker::hedgeDelay(util::Duration floor) const {
+  std::scoped_lock lock(mu_);
+  if (!haveLatency_) return 0;
+  const double p95 = ewmaLatency_ + 3.0 * ewmaDeviation_;
+  return std::max(static_cast<util::Duration>(p95), floor);
+}
+
+SourceHealthSnapshot CircuitBreaker::snapshot() const {
+  std::scoped_lock lock(mu_);
+  SourceHealthSnapshot s;
+  s.state = state_;
+  s.consecutiveFailures = consecutiveFailures_;
+  s.successes = successes_;
+  s.failures = failures_;
+  s.opens = opens_;
+  s.skips = skips_;
+  s.ewmaLatency = static_cast<util::Duration>(ewmaLatency_);
+  s.p95Latency =
+      haveLatency_
+          ? static_cast<util::Duration>(ewmaLatency_ + 3.0 * ewmaDeviation_)
+          : 0;
+  return s;
+}
+
+CircuitBreaker& SourceHealthRegistry::breakerFor(const std::string& url) {
+  std::scoped_lock lock(mu_);
+  auto it = breakers_.find(url);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(url, std::make_unique<CircuitBreaker>(options_, clock_))
+             .first;
+  }
+  return *it->second;
+}
+
+const CircuitBreaker* SourceHealthRegistry::findBreaker(
+    const std::string& url) const {
+  std::scoped_lock lock(mu_);
+  auto it = breakers_.find(url);
+  return it == breakers_.end() ? nullptr : it->second.get();
+}
+
+bool SourceHealthRegistry::allowRequest(const std::string& url) {
+  if (!enabled()) return true;
+  return breakerFor(url).allowRequest();
+}
+
+bool SourceHealthRegistry::wouldReject(const std::string& url) const {
+  if (!enabled()) return false;
+  const CircuitBreaker* b = findBreaker(url);
+  return b != nullptr && b->wouldReject();
+}
+
+void SourceHealthRegistry::recordSuccess(const std::string& url,
+                                         util::Duration latency) {
+  breakerFor(url).recordSuccess(latency);
+}
+
+void SourceHealthRegistry::recordFailure(const std::string& url) {
+  breakerFor(url).recordFailure();
+}
+
+BreakerState SourceHealthRegistry::state(const std::string& url) const {
+  const CircuitBreaker* b = findBreaker(url);
+  return b == nullptr ? BreakerState::Closed : b->state();
+}
+
+util::Duration SourceHealthRegistry::suggestedHedgeDelay(
+    const std::string& url, util::Duration floor) const {
+  const CircuitBreaker* b = findBreaker(url);
+  return b == nullptr ? 0 : b->hedgeDelay(floor);
+}
+
+std::vector<SourceHealthSnapshot> SourceHealthRegistry::snapshot() const {
+  std::vector<std::pair<std::string, const CircuitBreaker*>> items;
+  {
+    std::scoped_lock lock(mu_);
+    items.reserve(breakers_.size());
+    for (const auto& [url, breaker] : breakers_) {
+      items.emplace_back(url, breaker.get());
+    }
+  }
+  std::vector<SourceHealthSnapshot> out;
+  out.reserve(items.size());
+  for (const auto& [url, breaker] : items) {
+    SourceHealthSnapshot s = breaker->snapshot();
+    s.url = url;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace gridrm::core

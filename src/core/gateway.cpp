@@ -25,6 +25,25 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
       config.getBool("pool.validate", o.validatePooledConnections);
   o.queryWorkers = static_cast<std::size_t>(config.getInt(
       "query.workers", static_cast<std::int64_t>(o.queryWorkers)));
+  o.queryDeadline =
+      config.getInt("query.deadline_ms",
+                    o.queryDeadline / util::kMillisecond) *
+      util::kMillisecond;
+  if (util::toLower(config.getString("query.hedge_delay_ms", "")) == "auto") {
+    o.queryHedgeDelay = kHedgeAuto;
+  } else {
+    o.queryHedgeDelay =
+        config.getInt("query.hedge_delay_ms",
+                      o.queryHedgeDelay / util::kMillisecond) *
+        util::kMillisecond;
+  }
+  o.breaker.failureThreshold = static_cast<std::size_t>(
+      config.getInt("breaker.failure_threshold",
+                    static_cast<std::int64_t>(o.breaker.failureThreshold)));
+  o.breaker.cooldown =
+      config.getInt("breaker.cooldown_ms",
+                    o.breaker.cooldown / util::kMillisecond) *
+      util::kMillisecond;
   o.registerDefaultDrivers =
       config.getBool("drivers.register_defaults", o.registerDefaultDrivers);
   o.eventOptions.fastBufferCapacity = static_cast<std::size_t>(config.getInt(
@@ -107,8 +126,13 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
               util::Value(severityName(event.severity)),
               util::Value(fields)}});
       });
+  RequestManagerTuning tuning;
+  tuning.defaultDeadline = options_.queryDeadline;
+  tuning.defaultHedgeDelay = options_.queryHedgeDelay;
+  tuning.breaker = options_.breaker;
   requestManager_ = std::make_unique<RequestManager>(
-      connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers);
+      connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers,
+      tuning);
 
   if (options_.registerDefaultDrivers) {
     drivers::registerDefaultDrivers(registry_, driverContext());
@@ -170,6 +194,12 @@ std::unique_ptr<dbc::VectorResultSet> Gateway::submitHistoricalQuery(
     const std::string& token, const std::string& sql) {
   Principal principal = authorize(token, Operation::HistoricalQuery);
   return requestManager_->queryHistorical(principal, sql);
+}
+
+std::vector<SourceHealthSnapshot> Gateway::sourceHealth(
+    const std::string& token) {
+  (void)authorize(token, Operation::RealTimeQuery);
+  return requestManager_->sourceHealth().snapshot();
 }
 
 std::size_t Gateway::subscribeEvents(const std::string& token,

@@ -1,6 +1,7 @@
 #include "gridrm/core/request_manager.hpp"
 
-#include <future>
+#include <chrono>
+#include <condition_variable>
 
 #include "gridrm/sql/parser.hpp"
 #include "gridrm/util/strings.hpp"
@@ -15,12 +16,14 @@ RequestManager::RequestManager(ConnectionManager& connections,
                                CacheController& cache,
                                const FineSecurityLayer& fgsl,
                                store::Database* historyDb, util::Clock& clock,
-                               std::size_t workers)
+                               std::size_t workers, RequestManagerTuning tuning)
     : connections_(connections),
       cache_(cache),
       fgsl_(fgsl),
       historyDb_(historyDb),
       clock_(clock),
+      tuning_(tuning),
+      health_(clock, tuning.breaker),
       pool_(workers) {}
 
 namespace {
@@ -34,7 +37,35 @@ std::string queryGroup(const std::string& sqlText) {
   }
 }
 
+constexpr const char kDeadlineExceeded[] = "deadline exceeded";
+
 }  // namespace
+
+/// Completion rendezvous for one fan-out: workers decrement `remaining`
+/// when a source slot is filled and the collector waits on `cv`.
+struct RequestManager::FanOutState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+};
+
+/// Shared result slot for one source. The collector and up to two
+/// attempt workers (primary + hedge) hold it through shared_ptr, so an
+/// attempt abandoned past the deadline completes against live memory
+/// and is simply discarded.
+struct RequestManager::SourceSlot {
+  std::string url;
+  util::TimePoint startedAt = 0;
+  std::mutex mu;  // guards everything below
+  bool done = false;
+  bool abandoned = false;  // collector gave up; late results are dropped
+  bool hedged = false;     // second attempt was issued
+  int winner = -1;         // attempt index (0 primary, 1 hedge) that filled
+  std::unique_ptr<dbc::VectorResultSet> rows;
+  std::string error;
+  dbc::ErrorCode errorCode = dbc::ErrorCode::Generic;
+  bool fromCache = false;
+};
 
 std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
     const Principal& principal, const std::string& urlText,
@@ -53,6 +84,14 @@ std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
       fromCache = true;
       return cached;
     }
+  }
+
+  // The breaker gates the source *after* the cache: a degraded source
+  // can still be served from recent cached rows, but is not contacted.
+  if (!health_.allowRequest(urlText)) {
+    throw SqlError(ErrorCode::Unavailable,
+                   "circuit breaker open for " + urlText +
+                       "; source reported as degraded");
   }
 
   ConnectionManager::Lease lease = connections_.acquire(*url, util::Config{});
@@ -88,6 +127,181 @@ std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
   return rows;
 }
 
+util::Duration RequestManager::resolveDeadline(
+    const QueryOptions& options) const {
+  const util::Duration d = options.deadline == kInheritTiming
+                               ? tuning_.defaultDeadline
+                               : options.deadline;
+  return d > 0 ? d : 0;
+}
+
+util::Duration RequestManager::resolveHedgeDelay(
+    const QueryOptions& options) const {
+  const util::Duration d = options.hedgeDelay == kInheritTiming
+                               ? tuning_.defaultHedgeDelay
+                               : options.hedgeDelay;
+  if (d == kHedgeAuto) return kHedgeAuto;
+  return d > 0 ? d : 0;
+}
+
+void RequestManager::recordAttemptHealth(const std::string& url, bool success,
+                                         dbc::ErrorCode code,
+                                         util::Duration latency) {
+  if (success) {
+    health_.recordSuccess(url, latency);
+    return;
+  }
+  switch (code) {
+    case ErrorCode::ConnectionFailed:
+    case ErrorCode::Timeout:
+    case ErrorCode::ConnectionClosed:
+      health_.recordFailure(url);
+      break;
+    default:
+      // Client-class errors (syntax, security, unsupported) and breaker
+      // skips say nothing about the source's responsiveness.
+      break;
+  }
+}
+
+void RequestManager::submitAttempt(const std::shared_ptr<FanOutState>& state,
+                                   const std::shared_ptr<SourceSlot>& slot,
+                                   int attempt, const Principal& principal,
+                                   const std::string& sql,
+                                   const QueryOptions& options) {
+  // Everything is captured by value / shared_ptr: an attempt that
+  // outlives the deadline must never touch the caller's stack.
+  (void)pool_.submit([this, state, slot, attempt, principal, sql, options] {
+    const util::TimePoint start = clock_.now();
+    std::unique_ptr<dbc::VectorResultSet> rows;
+    std::string error;
+    dbc::ErrorCode code = dbc::ErrorCode::Generic;
+    bool fromCache = false;
+    try {
+      rows = executeSource(principal, slot->url, sql, options, fromCache);
+    } catch (const SqlError& e) {
+      error = e.what();
+      code = e.code();
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    const util::Duration elapsed = clock_.now() - start;
+    const bool success = rows != nullptr;
+    bool won = false;
+    bool abandoned = false;
+    {
+      std::scoped_lock lock(slot->mu);
+      abandoned = slot->abandoned;
+      if (!slot->done && !slot->abandoned) {
+        slot->done = true;
+        slot->winner = attempt;
+        slot->rows = std::move(rows);
+        slot->error = std::move(error);
+        slot->errorCode = code;
+        slot->fromCache = fromCache;
+        won = true;
+      }
+    }
+    // Abandoned attempts stay silent: the collector already charged
+    // the deadline miss to the breaker, and a late success must not
+    // mask a source that misses every deadline.
+    if (!abandoned && !fromCache) {
+      recordAttemptHealth(slot->url, success, code, elapsed);
+    }
+    if (won) {
+      std::scoped_lock lock(state->mu);
+      --state->remaining;
+      state->cv.notify_all();
+    }
+  });
+}
+
+std::vector<std::shared_ptr<RequestManager::SourceSlot>>
+RequestManager::fanOut(const Principal& principal,
+                       const std::vector<std::string>& urls,
+                       const std::string& sql, const QueryOptions& options,
+                       util::Duration deadline, util::Duration hedgeDelay) {
+  auto state = std::make_shared<FanOutState>();
+  state->remaining = urls.size();
+  const util::TimePoint t0 = clock_.now();
+  std::vector<std::shared_ptr<SourceSlot>> slots;
+  slots.reserve(urls.size());
+  for (const auto& url : urls) {
+    auto slot = std::make_shared<SourceSlot>();
+    slot->url = url;
+    slot->startedAt = t0;
+    slots.push_back(std::move(slot));
+  }
+  for (const auto& slot : slots) {
+    submitAttempt(state, slot, /*attempt=*/0, principal, sql, options);
+  }
+
+  const bool hasDeadline = deadline > 0;
+  const util::TimePoint deadlineAt = t0 + deadline;
+  const bool hedging = hedgeDelay > 0 || hedgeDelay == kHedgeAuto;
+
+  if (!hasDeadline && !hedging) {
+    std::unique_lock lock(state->mu);
+    state->cv.wait(lock, [&] { return state->remaining == 0; });
+  } else {
+    // Deadline/hedge decisions depend on the injected Clock, which may
+    // be simulated and advanced by another thread, so the collector
+    // polls it on a short real-time tick instead of blocking on it.
+    for (;;) {
+      {
+        std::unique_lock lock(state->mu);
+        if (state->remaining == 0) break;
+        state->cv.wait_for(lock, std::chrono::microseconds(200));
+        if (state->remaining == 0) break;
+      }
+      const util::TimePoint now = clock_.now();
+      if (hasDeadline && now >= deadlineAt) break;
+      if (!hedging) continue;
+      for (const auto& slot : slots) {
+        bool launch = false;
+        {
+          std::scoped_lock lock(slot->mu);
+          if (slot->done || slot->hedged) continue;
+          const util::Duration delay =
+              hedgeDelay == kHedgeAuto
+                  ? health_.suggestedHedgeDelay(slot->url, tuning_.hedgeFloor)
+                  : hedgeDelay;
+          if (delay > 0 && now - slot->startedAt >= delay) {
+            slot->hedged = true;
+            launch = true;
+          }
+        }
+        if (launch) {
+          {
+            std::scoped_lock lock(mu_);
+            ++stats_.hedgedRequests;
+          }
+          submitAttempt(state, slot, /*attempt=*/1, principal, sql, options);
+        }
+      }
+    }
+  }
+
+  // Whatever is still pending is past the deadline: seal the slots so
+  // late attempts are dropped, and charge the miss to the breaker.
+  std::vector<std::string> missed;
+  for (const auto& slot : slots) {
+    std::scoped_lock lock(slot->mu);
+    if (!slot->done) {
+      slot->abandoned = true;
+      slot->error = kDeadlineExceeded;
+      slot->errorCode = ErrorCode::Timeout;
+      missed.push_back(slot->url);
+    }
+  }
+  if (!missed.empty()) {
+    for (const auto& url : missed) health_.recordFailure(url);
+    std::scoped_lock lock(mu_);
+    stats_.deadlineMisses += missed.size();
+  }
+  return slots;
+}
+
 QueryResult RequestManager::queryOne(const Principal& principal,
                                      const std::string& url,
                                      const std::string& sqlText,
@@ -97,16 +311,48 @@ QueryResult RequestManager::queryOne(const Principal& principal,
     ++stats_.queries;
     ++stats_.sourceQueries;
   }
+  const util::Duration deadline = resolveDeadline(options);
+  const util::Duration hedgeDelay = resolveHedgeDelay(options);
   QueryResult result;
   result.sourcesQueried = 1;
-  bool fromCache = false;
-  try {
-    result.rows = executeSource(principal, url, sqlText, options, fromCache);
-    if (fromCache) result.servedFromCache = 1;
-  } catch (const SqlError& e) {
-    result.failures.push_back(SourceError{url, e.what()});
+
+  if (deadline <= 0 && hedgeDelay == 0) {
+    // Direct path: no isolation machinery, run on the caller's thread.
+    const util::TimePoint start = clock_.now();
+    bool fromCache = false;
+    try {
+      result.rows = executeSource(principal, url, sqlText, options, fromCache);
+      if (fromCache) {
+        result.servedFromCache = 1;
+      } else {
+        recordAttemptHealth(url, true, ErrorCode::Generic,
+                            clock_.now() - start);
+      }
+    } catch (const SqlError& e) {
+      recordAttemptHealth(url, false, e.code(), clock_.now() - start);
+      result.failures.push_back(SourceError{url, e.what()});
+      std::scoped_lock lock(mu_);
+      ++stats_.sourceErrors;
+      if (e.code() == ErrorCode::Unavailable) ++stats_.breakerSkips;
+    }
+    return result;
+  }
+
+  auto slots = fanOut(principal, {url}, sqlText, options, deadline, hedgeDelay);
+  SourceSlot& slot = *slots[0];
+  std::scoped_lock slotLock(slot.mu);
+  if (slot.rows != nullptr) {
+    result.rows = std::move(slot.rows);
+    if (slot.fromCache) result.servedFromCache = 1;
+    if (slot.hedged && slot.winner == 1) {
+      std::scoped_lock lock(mu_);
+      ++stats_.hedgeWins;
+    }
+  } else {
+    result.failures.push_back(SourceError{url, slot.error});
     std::scoped_lock lock(mu_);
     ++stats_.sourceErrors;
+    if (slot.errorCode == ErrorCode::Unavailable) ++stats_.breakerSkips;
   }
   return result;
 }
@@ -120,34 +366,40 @@ QueryResult RequestManager::query(const Principal& principal,
     ++stats_.queries;
     stats_.sourceQueries += urls.size();
   }
+  const util::Duration deadline = resolveDeadline(options);
+  const util::Duration hedgeDelay = resolveHedgeDelay(options);
 
-  struct PerSource {
-    std::unique_ptr<dbc::VectorResultSet> rows;
-    std::string error;
-    bool fromCache = false;
-  };
-  std::vector<PerSource> partials(urls.size());
-
-  auto runOne = [&](std::size_t i) {
-    try {
-      partials[i].rows = executeSource(principal, urls[i], sqlText, options,
-                                       partials[i].fromCache);
-    } catch (const SqlError& e) {
-      partials[i].error = e.what();
-    } catch (const std::exception& e) {
-      partials[i].error = e.what();
-    }
-  };
-
-  if (options.parallel && urls.size() > 1) {
-    std::vector<std::future<void>> futures;
-    futures.reserve(urls.size());
-    for (std::size_t i = 0; i < urls.size(); ++i) {
-      futures.push_back(pool_.submit([&, i] { runOne(i); }));
-    }
-    for (auto& f : futures) f.get();
+  std::vector<std::shared_ptr<SourceSlot>> slots;
+  if ((options.parallel && urls.size() > 1) || deadline > 0 ||
+      hedgeDelay != 0) {
+    // A deadline or hedging implies pooled execution even for serial
+    // requests: the caller's thread must stay free to keep the clock.
+    slots = fanOut(principal, urls, sqlText, options, deadline, hedgeDelay);
   } else {
-    for (std::size_t i = 0; i < urls.size(); ++i) runOne(i);
+    slots.reserve(urls.size());
+    for (const auto& url : urls) {
+      auto slot = std::make_shared<SourceSlot>();
+      slot->url = url;
+      const util::TimePoint start = clock_.now();
+      try {
+        slot->rows =
+            executeSource(principal, url, sqlText, options, slot->fromCache);
+        slot->done = true;
+        if (!slot->fromCache) {
+          recordAttemptHealth(url, true, ErrorCode::Generic,
+                              clock_.now() - start);
+        }
+      } catch (const SqlError& e) {
+        slot->error = e.what();
+        slot->errorCode = e.code();
+        slot->done = true;
+        recordAttemptHealth(url, false, e.code(), clock_.now() - start);
+      } catch (const std::exception& e) {
+        slot->error = e.what();
+        slot->done = true;
+      }
+      slots.push_back(std::move(slot));
+    }
   }
 
   // Consolidate: common columns (from the first successful source)
@@ -157,15 +409,21 @@ QueryResult RequestManager::query(const Principal& principal,
   std::vector<dbc::ColumnInfo> columns;
   std::vector<std::vector<Value>> rows;
   bool haveColumns = false;
-  for (std::size_t i = 0; i < urls.size(); ++i) {
-    PerSource& p = partials[i];
+  for (const auto& slotPtr : slots) {
+    SourceSlot& p = *slotPtr;
+    std::scoped_lock slotLock(p.mu);
     if (p.rows == nullptr) {
-      result.failures.push_back(SourceError{urls[i], p.error});
+      result.failures.push_back(SourceError{p.url, p.error});
       std::scoped_lock lock(mu_);
       ++stats_.sourceErrors;
+      if (p.errorCode == ErrorCode::Unavailable) ++stats_.breakerSkips;
       continue;
     }
     if (p.fromCache) ++result.servedFromCache;
+    if (p.hedged && p.winner == 1) {
+      std::scoped_lock lock(mu_);
+      ++stats_.hedgeWins;
+    }
     if (!haveColumns) {
       columns.push_back(
           dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
@@ -174,14 +432,14 @@ QueryResult RequestManager::query(const Principal& principal,
     }
     const std::size_t expectedWidth = columns.size() - 1;
     if (p.rows->metaData().columnCount() != expectedWidth) {
-      result.failures.push_back(SourceError{
-          urls[i], "column mismatch during consolidation"});
+      result.failures.push_back(
+          SourceError{p.url, "column mismatch during consolidation"});
       continue;
     }
     for (const auto& row : p.rows->rows()) {
       std::vector<Value> outRow;
       outRow.reserve(columns.size());
-      outRow.emplace_back(urls[i]);
+      outRow.emplace_back(p.url);
       for (const auto& v : row) outRow.push_back(v);
       rows.push_back(std::move(outRow));
     }

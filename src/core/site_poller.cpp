@@ -47,6 +47,14 @@ std::size_t SitePoller::tick() {
 
   std::size_t executed = 0;
   for (const auto& task : due) {
+    // Skip sources whose breaker is open: a poll must not hammer a
+    // degraded source, and wouldReject() is a pure read so the poller
+    // never claims the half-open probe away from interactive queries.
+    if (requestManager_.sourceHealth().wouldReject(task.url)) {
+      std::scoped_lock lock(mu_);
+      ++stats_.pollsSkippedOpen;
+      continue;
+    }
     QueryOptions options;
     options.useCache = false;  // a poll always contacts the source
     options.recordHistory = task.recordHistory;

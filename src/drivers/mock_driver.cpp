@@ -1,5 +1,8 @@
 #include "gridrm/drivers/mock_driver.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "gridrm/glue/schema.hpp"
 
 namespace gridrm::drivers {
@@ -21,10 +24,20 @@ class MockStatement final : public dbc::BaseStatement {
     const std::size_t call = driver_.noteQuery();
     const MockBehaviour& b = driver_.behaviour();
     DriverContext& ctx = driver_.context();
-    if (b.queryLatencyUs > 0 && ctx.clock != nullptr) {
-      ctx.clock->sleepFor(b.queryLatencyUs);
+    const util::Duration delay = call <= b.queryDelaySchedule.size()
+                                     ? b.queryDelaySchedule[call - 1]
+                                     : b.queryLatencyUs;
+    if (delay > 0 && ctx.clock != nullptr) {
+      if (b.blockOnDelay) {
+        driver_.blockUntil(*ctx.clock, ctx.clock->now() + delay);
+      } else {
+        ctx.clock->sleepFor(delay);
+      }
     }
-    if (call > b.failQueriesFrom) {
+    const bool fail = call <= b.failQuerySchedule.size()
+                          ? b.failQuerySchedule[call - 1]
+                          : call > b.failQueriesFrom;
+    if (fail) {
       throw SqlError(ErrorCode::ConnectionFailed,
                      "mock driver scripted failure on query " +
                          std::to_string(call));
@@ -64,6 +77,16 @@ class MockConnection final : public UrlConnection {
 };
 
 }  // namespace
+
+void MockDriver::blockUntil(util::Clock& clock, util::TimePoint wakeAt) const {
+  // Real-time cap so a forgotten release can never wedge a test binary.
+  const auto hardStop = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(60);
+  while (clock.now() < wakeAt && !released_.load() &&
+         std::chrono::steady_clock::now() < hardStop) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
 
 bool MockDriver::acceptsUrl(const util::Url& url) const {
   ++acceptProbes_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 
 namespace gridrm::sim {
 
@@ -27,7 +28,10 @@ HostModel::HostModel(HostSpec spec, util::Clock& clock, std::uint64_t seed)
   procBase_ = 60 + static_cast<int>(rng_.below(60));
 }
 
-void HostModel::refresh() { advanceTo(clock_.now()); }
+void HostModel::refresh() {
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
+}
 
 void HostModel::advanceTo(util::TimePoint t) {
   if (t <= lastStep_) return;
@@ -95,69 +99,91 @@ void HostModel::step(double dt) {
 }
 
 double HostModel::load1() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return load1_;
 }
 double HostModel::load5() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return load5_;
 }
 double HostModel::load15() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return load15_;
 }
 
 double HostModel::cpuUserPct() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   const double busy =
       std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
   return std::clamp(busy * 80.0, 0.0, 100.0);
 }
 
 double HostModel::cpuSystemPct() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   const double busy =
       std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
   return std::clamp(busy * 15.0, 0.0, 100.0);
 }
 
 double HostModel::cpuIdlePct() {
-  refresh();
-  return std::clamp(100.0 - cpuUserPct() - cpuSystemPct(), 0.0, 100.0);
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
+  const double busy =
+      std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
+  const double user = std::clamp(busy * 80.0, 0.0, 100.0);
+  const double system = std::clamp(busy * 15.0, 0.0, 100.0);
+  return std::clamp(100.0 - user - system, 0.0, 100.0);
 }
 
 std::int64_t HostModel::memFreeMb() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return spec_.memTotalMb - static_cast<std::int64_t>(memUsedMb_);
 }
 std::int64_t HostModel::memUsedMb() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return static_cast<std::int64_t>(memUsedMb_);
 }
 std::int64_t HostModel::swapFreeMb() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return spec_.swapTotalMb - static_cast<std::int64_t>(swapUsedMb_);
 }
 std::int64_t HostModel::diskFreeMb() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return spec_.diskTotalMb - static_cast<std::int64_t>(diskUsedMb_);
 }
 std::int64_t HostModel::netInBytes() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return static_cast<std::int64_t>(netInBytes_);
 }
 std::int64_t HostModel::netOutBytes() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return static_cast<std::int64_t>(netOutBytes_);
 }
 
 int HostModel::processCount() {
-  refresh();
+  std::scoped_lock lock(mu_);
+  advanceTo(clock_.now());
   return procBase_ + static_cast<int>(load1_ * 15.0);
 }
 
 std::int64_t HostModel::uptimeSeconds() {
   return (clock_.now() - bootTime_) / util::kSecond;
+}
+
+util::TimePoint HostModel::lastUpdate() const {
+  std::scoped_lock lock(mu_);
+  return lastStep_;
 }
 
 ClusterModel::ClusterModel(std::string clusterName, std::size_t hostCount,

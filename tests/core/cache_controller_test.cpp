@@ -122,5 +122,23 @@ TEST(CacheControllerTest, KeyCombinesUrlAndSql) {
   EXPECT_EQ(CacheController::key("u", "q"), CacheController::key("u", "q"));
 }
 
+TEST(CacheControllerTest, KeyIsCollisionProof) {
+  // Adversarial pairs whose naive "url + sep + sql" concatenations
+  // collide by shifting bytes across the separator.
+  const std::string sep = "\x1f";
+  EXPECT_NE(CacheController::key("u" + sep, "q"),
+            CacheController::key("u", sep + "q"));
+  EXPECT_NE(CacheController::key("u", sep + "q"),
+            CacheController::key("u" + sep + sep, "q"));
+  EXPECT_NE(CacheController::key("ab", "c"), CacheController::key("a", "bc"));
+  EXPECT_NE(CacheController::key("", "u" + sep + "q"),
+            CacheController::key("u", "q"));
+  // Length prefixes must not be absorbed by URLs that start with digits.
+  EXPECT_NE(CacheController::key("1a", "q"),
+            CacheController::key("a", "q").insert(0, "1"));
+  EXPECT_EQ(CacheController::key("u" + sep, "q"),
+            CacheController::key("u" + sep, "q"));
+}
+
 }  // namespace
 }  // namespace gridrm::core

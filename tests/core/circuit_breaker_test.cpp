@@ -1,0 +1,190 @@
+#include "gridrm/core/circuit_breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridrm::core {
+namespace {
+
+using util::kMillisecond;
+using util::kSecond;
+
+CircuitBreakerOptions opts(std::size_t threshold,
+                           util::Duration cooldown = kSecond) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = threshold;
+  o.cooldown = cooldown;
+  return o;
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerAlwaysAllows) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(0), clock);
+  for (int i = 0; i < 10; ++i) b.recordFailure();
+  EXPECT_TRUE(b.allowRequest());
+  EXPECT_FALSE(b.wouldReject());
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_EQ(b.snapshot().failures, 10u);
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(3), clock);
+  b.recordFailure();
+  b.recordFailure();
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allowRequest());
+  b.recordFailure();  // third consecutive: trip
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_FALSE(b.allowRequest());
+  EXPECT_TRUE(b.wouldReject());
+  const auto s = b.snapshot();
+  EXPECT_EQ(s.opens, 1u);
+  EXPECT_EQ(s.skips, 1u);
+  EXPECT_EQ(s.consecutiveFailures, 3u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveFailures) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(3), clock);
+  b.recordFailure();
+  b.recordFailure();
+  b.recordSuccess(kMillisecond);
+  b.recordFailure();
+  b.recordFailure();
+  EXPECT_EQ(b.state(), BreakerState::Closed);  // never 3 in a row
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeSuccessCloses) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(1, kSecond), clock);
+  b.recordFailure();
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_FALSE(b.allowRequest());
+
+  clock.advance(kSecond);
+  // Cooldown elapsed: the first caller claims the half-open probe...
+  EXPECT_TRUE(b.allowRequest());
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+  // ...and everyone else keeps being rejected while it is in flight.
+  EXPECT_FALSE(b.allowRequest());
+  EXPECT_TRUE(b.wouldReject());
+
+  b.recordSuccess(2 * kMillisecond);
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+  EXPECT_TRUE(b.allowRequest());
+  EXPECT_FALSE(b.wouldReject());
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeRelapseReopens) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(1, kSecond), clock);
+  b.recordFailure();
+  clock.advance(kSecond);
+  EXPECT_TRUE(b.allowRequest());  // probe
+  b.recordFailure();              // probe relapsed
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_EQ(b.snapshot().opens, 2u);
+  // Cooldown restarts from the relapse.
+  clock.advance(kSecond / 2);
+  EXPECT_FALSE(b.allowRequest());
+  clock.advance(kSecond / 2);
+  EXPECT_TRUE(b.allowRequest());  // second probe
+  b.recordSuccess(kMillisecond);
+  EXPECT_EQ(b.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreakerTest, LostProbeSlotIsReclaimedAfterCooldown) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(1, kSecond), clock);
+  b.recordFailure();
+  clock.advance(kSecond);
+  EXPECT_TRUE(b.allowRequest());  // probe claimed, but never reports back
+  EXPECT_FALSE(b.allowRequest());
+  clock.advance(kSecond);  // probe presumed lost
+  EXPECT_TRUE(b.allowRequest());
+  EXPECT_EQ(b.state(), BreakerState::HalfOpen);
+}
+
+TEST(CircuitBreakerTest, WouldRejectIsPureRead) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(1, kSecond), clock);
+  b.recordFailure();
+  clock.advance(kSecond);
+  // A pure read past the cooldown must not claim the probe slot or
+  // transition the state machine.
+  EXPECT_FALSE(b.wouldReject());
+  EXPECT_EQ(b.state(), BreakerState::Open);
+  EXPECT_TRUE(b.allowRequest());  // the probe is still claimable
+}
+
+TEST(CircuitBreakerTest, LatencyEwmaDrivesHedgeDelay) {
+  util::SimClock clock;
+  CircuitBreaker b(opts(0), clock);
+  EXPECT_EQ(b.hedgeDelay(kMillisecond), 0);  // no data yet
+
+  b.recordSuccess(10 * kMillisecond);
+  // First sample initialises the EWMA with zero deviation.
+  EXPECT_EQ(b.snapshot().ewmaLatency, 10 * kMillisecond);
+  EXPECT_EQ(b.hedgeDelay(kMillisecond), 10 * kMillisecond);
+  // The floor wins over a small estimate.
+  EXPECT_EQ(b.hedgeDelay(50 * kMillisecond), 50 * kMillisecond);
+
+  b.recordSuccess(20 * kMillisecond);
+  const auto s = b.snapshot();
+  // alpha = 0.2: deviation = 0.2*|20-10| = 2ms, ewma = 12ms, p95 = 18ms.
+  EXPECT_EQ(s.ewmaLatency, 12 * kMillisecond);
+  EXPECT_EQ(s.p95Latency, 18 * kMillisecond);
+  EXPECT_EQ(b.hedgeDelay(kMillisecond), 18 * kMillisecond);
+}
+
+TEST(SourceHealthRegistryTest, PerUrlIsolation) {
+  util::SimClock clock;
+  SourceHealthRegistry reg(clock, opts(2));
+  ASSERT_TRUE(reg.enabled());
+  reg.recordFailure("a");
+  reg.recordFailure("a");
+  reg.recordSuccess("b", kMillisecond);
+  EXPECT_EQ(reg.state("a"), BreakerState::Open);
+  EXPECT_EQ(reg.state("b"), BreakerState::Closed);
+  EXPECT_TRUE(reg.wouldReject("a"));
+  EXPECT_FALSE(reg.wouldReject("b"));
+  EXPECT_FALSE(reg.allowRequest("a"));
+  EXPECT_TRUE(reg.allowRequest("b"));
+  // Unknown URLs are healthy by definition.
+  EXPECT_EQ(reg.state("c"), BreakerState::Closed);
+  EXPECT_FALSE(reg.wouldReject("c"));
+}
+
+TEST(SourceHealthRegistryTest, DisabledRegistryNeverRejects) {
+  util::SimClock clock;
+  SourceHealthRegistry reg(clock, opts(0));
+  EXPECT_FALSE(reg.enabled());
+  for (int i = 0; i < 5; ++i) reg.recordFailure("a");
+  EXPECT_TRUE(reg.allowRequest("a"));
+  EXPECT_FALSE(reg.wouldReject("a"));
+  // Latency is still tracked for auto-hedging even without breakers.
+  reg.recordSuccess("a", 4 * kMillisecond);
+  EXPECT_EQ(reg.suggestedHedgeDelay("a", kMillisecond), 4 * kMillisecond);
+}
+
+TEST(SourceHealthRegistryTest, SnapshotSortedByUrl) {
+  util::SimClock clock;
+  SourceHealthRegistry reg(clock, opts(1));
+  reg.recordSuccess("jdbc:b://h/x", kMillisecond);
+  reg.recordFailure("jdbc:a://h/x");
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].url, "jdbc:a://h/x");
+  EXPECT_EQ(snap[0].state, BreakerState::Open);
+  EXPECT_EQ(snap[1].url, "jdbc:b://h/x");
+  EXPECT_EQ(snap[1].successes, 1u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(breakerStateName(BreakerState::Closed), "closed");
+  EXPECT_STREQ(breakerStateName(BreakerState::Open), "open");
+  EXPECT_STREQ(breakerStateName(BreakerState::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gridrm/drivers/mock_driver.hpp"
+
 namespace gridrm::core {
 namespace {
 
@@ -28,6 +30,10 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
       "pool.max_idle = 2\n"
       "pool.validate = false\n"
       "query.workers = 8\n"
+      "query.deadline_ms = 250\n"
+      "query.hedge_delay_ms = 40\n"
+      "breaker.failure_threshold = 4\n"
+      "breaker.cooldown_ms = 1500\n"
       "drivers.register_defaults = false\n"
       "events.buffer_capacity = 64\n"
       "events.drop_newest = true\n"
@@ -46,6 +52,10 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
   EXPECT_EQ(o.poolMaxIdlePerSource, 2u);
   EXPECT_FALSE(o.validatePooledConnections);
   EXPECT_EQ(o.queryWorkers, 8u);
+  EXPECT_EQ(o.queryDeadline, 250 * util::kMillisecond);
+  EXPECT_EQ(o.queryHedgeDelay, 40 * util::kMillisecond);
+  EXPECT_EQ(o.breaker.failureThreshold, 4u);
+  EXPECT_EQ(o.breaker.cooldown, 1500 * util::kMillisecond);
   EXPECT_FALSE(o.registerDefaultDrivers);
   EXPECT_EQ(o.eventOptions.fastBufferCapacity, 64u);
   EXPECT_EQ(o.eventOptions.overflow, util::OverflowPolicy::DropNewest);
@@ -84,6 +94,54 @@ TEST(GatewayConfigTest, StreamOverflowNames) {
     EXPECT_EQ(GatewayOptions::fromConfig(cfg).streamOptions.overflow, policy)
         << text;
   }
+}
+
+TEST(GatewayConfigTest, HedgeDelayAutoKeyword) {
+  util::Config cfg;
+  cfg.set("query.hedge_delay_ms", "auto");
+  EXPECT_EQ(GatewayOptions::fromConfig(cfg).queryHedgeDelay, kHedgeAuto);
+  // And defaults: both timing knobs off, breakers disabled.
+  GatewayOptions d;
+  EXPECT_EQ(d.queryDeadline, 0);
+  EXPECT_EQ(d.queryHedgeDelay, 0);
+  EXPECT_EQ(d.breaker.failureThreshold, 0u);
+}
+
+TEST(GatewayConfigTest, SourceHealthIntrospection) {
+  util::SimClock clock;
+  net::Network network(clock);
+  util::Config cfg;
+  cfg.set("breaker.failure_threshold", "1");
+  cfg.set("breaker.cooldown_ms", "60000");
+  cfg.set("drivers.register_defaults", "false");
+  Gateway gateway(network, clock, GatewayOptions::fromConfig(cfg));
+  drivers::MockBehaviour b;
+  b.failQueriesFrom = 0;  // the source is down
+  auto driver =
+      std::make_shared<drivers::MockDriver>(gateway.driverContext(), b);
+  const std::string token = gateway.openSession(Principal::admin());
+  gateway.registerDriver(token, driver);
+
+  QueryOptions options;
+  options.useCache = false;
+  const std::string url = "jdbc:mock://h/x";
+  EXPECT_FALSE(gateway
+                   .submitQuery(token, {url}, "SELECT * FROM Processor",
+                                options)
+                   .complete());
+  auto health = gateway.sourceHealth(token);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].url, url);
+  EXPECT_EQ(health[0].state, BreakerState::Open);
+  EXPECT_EQ(health[0].failures, 1u);
+
+  // While open, the agent is not contacted again.
+  EXPECT_FALSE(gateway
+                   .submitQuery(token, {url}, "SELECT * FROM Processor",
+                                options)
+                   .complete());
+  EXPECT_EQ(driver->queryCalls(), 1u);
+  EXPECT_EQ(gateway.requestManager().stats().breakerSkips, 1u);
 }
 
 TEST(GatewayConfigTest, ConfiguredGatewayRuns) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <future>
+#include <thread>
+
 #include "gridrm/drivers/mock_driver.hpp"
 
 namespace gridrm::core {
@@ -9,15 +14,16 @@ namespace {
 
 using drivers::MockBehaviour;
 using drivers::MockDriver;
+using util::kMillisecond;
 using util::kSecond;
 
 struct Fixture {
-  Fixture()
+  explicit Fixture(RequestManagerTuning tuning = {})
       : driverManager(registry),
         pool(driverManager),
         cache(clock, 5 * kSecond),
         fgsl(true),
-        rm(pool, cache, fgsl, &db, clock, /*workers=*/2) {
+        rm(pool, cache, fgsl, &db, clock, /*workers=*/2, tuning) {
     ctx.clock = &clock;
     ctx.schemaManager = &schemaManager;
   }
@@ -211,6 +217,219 @@ TEST(RequestManagerTest, StatsAccumulate) {
   const auto stats = f.rm.stats();
   EXPECT_EQ(stats.queries, 2u);
   EXPECT_EQ(stats.sourceQueries, 3u);
+}
+
+// Spin (in real time) until `pred` holds; the simulated clock is only
+// ever advanced by the test body itself, so this never races sim time.
+bool waitFor(const std::function<bool()>& pred) {
+  const auto stop =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < stop) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return false;
+}
+
+TEST(RequestManagerIsolationTest, DeadlineDeliversPartialRowsAndStraggler) {
+  Fixture f;
+  MockBehaviour fast;
+  fast.name = "fast";
+  fast.accepts = {"fast"};
+  f.addDriver(fast);
+  MockBehaviour slow;
+  slow.name = "slow";
+  slow.accepts = {"slow"};
+  slow.queryLatencyUs = 3600 * kSecond;
+  slow.blockOnDelay = true;
+  auto slowDriver = f.addDriver(slow);
+
+  const std::vector<std::string> urls = {
+      "jdbc:fast://h1/x", "jdbc:fast://h2/x", "jdbc:fast://h3/x",
+      "jdbc:slow://h4/x"};
+  QueryOptions options;
+  options.useCache = false;
+  options.deadline = 50 * kMillisecond;
+  auto fut = std::async(std::launch::async, [&] {
+    return f.rm.query(f.monitor, urls, "SELECT * FROM Processor", options);
+  });
+  // Wait (in real time) until the fast sources completed and the
+  // straggler is parked inside the driver, then expire the deadline.
+  ASSERT_TRUE(waitFor([&] {
+    std::size_t ok = 0;
+    for (const auto& s : f.rm.sourceHealth().snapshot()) ok += s.successes;
+    return ok >= 3 && slowDriver->queryCalls() == 1;
+  }));
+  f.clock.advance(51 * kMillisecond);
+
+  QueryResult result = fut.get();
+  ASSERT_NE(result.rows, nullptr);
+  EXPECT_EQ(result.rows->rowCount(), 3u);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].url, "jdbc:slow://h4/x");
+  EXPECT_EQ(result.failures[0].message, "deadline exceeded");
+  EXPECT_EQ(f.rm.stats().deadlineMisses, 1u);
+  slowDriver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerIsolationTest, HedgeWinsWhenPrimaryStalls) {
+  Fixture f;
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  b.queryDelaySchedule = {3600 * kSecond, 0};  // primary hangs, hedge instant
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;
+  options.hedgeDelay = 10 * kMillisecond;
+  auto fut = std::async(std::launch::async, [&] {
+    return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                         "SELECT * FROM Processor", options);
+  });
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 1; }));
+  f.clock.advance(11 * kMillisecond);  // past the hedge delay
+
+  QueryResult result = fut.get();
+  EXPECT_TRUE(result.complete());
+  ASSERT_NE(result.rows, nullptr);
+  EXPECT_EQ(result.rows->rowCount(), 1u);
+  EXPECT_EQ(driver->queryCalls(), 2u);
+  const auto stats = f.rm.stats();
+  EXPECT_EQ(stats.hedgedRequests, 1u);
+  EXPECT_EQ(stats.hedgeWins, 1u);
+  EXPECT_EQ(stats.deadlineMisses, 0u);
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerIsolationTest, HedgeLoserIsDiscarded) {
+  Fixture f;
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  // Primary completes at 20ms; the hedge (fired at 5ms) hangs forever.
+  b.queryDelaySchedule = {20 * kMillisecond, 3600 * kSecond};
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;
+  options.hedgeDelay = 5 * kMillisecond;
+  auto fut = std::async(std::launch::async, [&] {
+    return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                         "SELECT * FROM Processor", options);
+  });
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 1; }));
+  f.clock.advance(6 * kMillisecond);
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 2; }));
+  f.clock.advance(15 * kMillisecond);  // primary wakes at 20ms
+
+  QueryResult result = fut.get();
+  EXPECT_TRUE(result.complete());
+  const auto stats = f.rm.stats();
+  EXPECT_EQ(stats.hedgedRequests, 1u);
+  EXPECT_EQ(stats.hedgeWins, 0u);  // the primary won
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerIsolationTest, AutoHedgeDerivesDelayFromHistory) {
+  Fixture f;
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  // Call 1 primes the latency EWMA, call 2 stalls, call 3 is the hedge.
+  b.queryDelaySchedule = {0, 3600 * kSecond, 0};
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;
+  EXPECT_TRUE(f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                            "SELECT * FROM Processor", options)
+                  .complete());
+
+  options.hedgeDelay = kHedgeAuto;
+  auto fut = std::async(std::launch::async, [&] {
+    return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                         "SELECT * FROM Processor", options);
+  });
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 2; }));
+  // The primed EWMA is ~0, so the hedge fires at the configured floor.
+  f.clock.advance(f.rm.tuning().hedgeFloor + kMillisecond);
+
+  QueryResult result = fut.get();
+  EXPECT_TRUE(result.complete());
+  const auto stats = f.rm.stats();
+  EXPECT_EQ(stats.hedgedRequests, 1u);
+  EXPECT_EQ(stats.hedgeWins, 1u);
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerIsolationTest, BreakerOpensSkipsAndRecovers) {
+  RequestManagerTuning tuning;
+  tuning.breaker.failureThreshold = 2;
+  tuning.breaker.cooldown = 10 * kSecond;
+  Fixture f(tuning);
+  MockBehaviour b;
+  b.failQueriesFrom = 0;  // the source is down: every query fails
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+
+  EXPECT_FALSE(f.rm.queryOne(f.monitor, url, sql, options).complete());
+  EXPECT_FALSE(f.rm.queryOne(f.monitor, url, sql, options).complete());
+  EXPECT_EQ(driver->queryCalls(), 2u);
+  EXPECT_EQ(f.rm.sourceHealth().state(url), BreakerState::Open);
+
+  // Open: the source is reported degraded without contacting the agent.
+  QueryResult skipped = f.rm.queryOne(f.monitor, url, sql, options);
+  EXPECT_FALSE(skipped.complete());
+  ASSERT_EQ(skipped.failures.size(), 1u);
+  EXPECT_NE(skipped.failures[0].message.find("UNAVAILABLE"),
+            std::string::npos);
+  EXPECT_EQ(driver->queryCalls(), 2u);  // agent request counter unchanged
+  EXPECT_EQ(f.rm.stats().breakerSkips, 1u);
+
+  // Heal the source; after the cooldown the next query is the half-open
+  // probe and its success closes the breaker again.
+  driver->behaviour().failQueriesFrom = SIZE_MAX;
+  f.clock.advance(10 * kSecond);
+  EXPECT_TRUE(f.rm.queryOne(f.monitor, url, sql, options).complete());
+  EXPECT_EQ(driver->queryCalls(), 3u);
+  EXPECT_EQ(f.rm.sourceHealth().state(url), BreakerState::Closed);
+  EXPECT_TRUE(f.rm.queryOne(f.monitor, url, sql, options).complete());
+  EXPECT_EQ(driver->queryCalls(), 4u);
+}
+
+TEST(RequestManagerIsolationTest, DeadlineMissesTripBreaker) {
+  RequestManagerTuning tuning;
+  tuning.breaker.failureThreshold = 2;
+  tuning.breaker.cooldown = 3600 * kSecond;
+  Fixture f(tuning);
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  b.queryLatencyUs = 20 * kMillisecond;  // alive, but too slow
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;
+  options.deadline = 10 * kMillisecond;
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+
+  for (std::size_t i = 1; i <= 2; ++i) {
+    auto fut = std::async(std::launch::async, [&] {
+      return f.rm.queryOne(f.monitor, url, sql, options);
+    });
+    ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == i; }));
+    f.clock.advance(11 * kMillisecond);
+    QueryResult r = fut.get();
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_EQ(r.failures[0].message, "deadline exceeded");
+    f.clock.advance(20 * kMillisecond);  // let the worker wake and drain
+  }
+
+  // Two deadline misses tripped the breaker even though the source's
+  // late completions were successful: abandoned attempts stay silent.
+  EXPECT_EQ(f.rm.sourceHealth().state(url), BreakerState::Open);
+  QueryResult skipped = f.rm.queryOne(f.monitor, url, sql, options);
+  EXPECT_FALSE(skipped.complete());
+  EXPECT_EQ(driver->queryCalls(), 2u);
+  EXPECT_EQ(f.rm.stats().deadlineMisses, 2u);
+  driver->releaseBlockedQueries();
 }
 
 }  // namespace

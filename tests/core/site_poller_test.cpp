@@ -12,12 +12,12 @@ using drivers::MockDriver;
 using util::kSecond;
 
 struct Fixture {
-  Fixture()
+  explicit Fixture(RequestManagerTuning tuning = {})
       : driverManager(registry),
         pool(driverManager),
         cache(clock, 60 * kSecond),
         fgsl(true),
-        rm(pool, cache, fgsl, &db, clock, 1),
+        rm(pool, cache, fgsl, &db, clock, 1, tuning),
         events(clock, &db,
                [] {
                  EventManagerOptions o;
@@ -191,6 +191,24 @@ TEST(SitePollerTest, StreamSinkDetachable) {
   (void)f.poller.tick();
   EXPECT_EQ(engine.queueDepth(id), 1u);  // feed stopped
   EXPECT_EQ(f.poller.stats().rowsStreamed, 1u);
+}
+
+TEST(SitePollerTest, SkipsSourcesWithOpenBreaker) {
+  RequestManagerTuning tuning;
+  tuning.breaker.failureThreshold = 1;
+  tuning.breaker.cooldown = 3600 * kSecond;
+  Fixture f(tuning);
+  f.driver->behaviour().failQueriesFrom = 0;  // the source is down
+  f.poller.addTask(f.task(10 * kSecond));
+
+  EXPECT_EQ(f.poller.tick(), 1u);  // first poll fails and trips the breaker
+  EXPECT_EQ(f.poller.stats().pollFailures, 1u);
+  EXPECT_EQ(f.driver->queryCalls(), 1u);
+
+  f.clock.advance(10 * kSecond);
+  EXPECT_EQ(f.poller.tick(), 0u);  // due, but the breaker is open
+  EXPECT_EQ(f.poller.stats().pollsSkippedOpen, 1u);
+  EXPECT_EQ(f.driver->queryCalls(), 1u);  // degraded source left alone
 }
 
 }  // namespace

@@ -26,6 +26,10 @@ class ConcurrencyTest : public ::testing::Test {
     GatewayOptions gatewayOptions;
     gatewayOptions.host = "gw";
     gatewayOptions.cacheTtl = 2 * util::kSecond;
+    // Idle cap >= client threads: a released connection is never
+    // discarded just because the idle queue is full, which makes the
+    // over-creation bound below deterministic under any scheduling.
+    gatewayOptions.poolMaxIdlePerSource = 8;
     gateway_ = std::make_unique<Gateway>(network_, clock_, gatewayOptions);
   }
 
