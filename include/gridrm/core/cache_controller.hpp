@@ -3,7 +3,13 @@
 // view of the recent status of a site while limiting resource
 // intrusion". Experiment E4 sweeps its TTL against agent request
 // counts; the same mechanism backs inter-gateway caching in the Global
-// layer (E6).
+// layer (E6). E14 measures the hot hit path.
+//
+// Concurrency: the cache is split into K shards (key hash -> shard),
+// each with its own mutex, LRU list and stat counters, so concurrent
+// clients hitting different keys never contend on one global lock.
+// Hits are zero-copy: lookup hands out a SharedResultSet cursor over
+// the entry's shared row storage instead of deep-copying the rows.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "gridrm/dbc/result_set.hpp"
 #include "gridrm/util/clock.hpp"
@@ -28,10 +35,11 @@ struct CacheStats {
 
 class CacheController {
  public:
-  /// `defaultTtl` <= 0 disables caching entirely.
+  /// `defaultTtl` <= 0 disables caching entirely. `maxEntries` caps the
+  /// whole cache; each of the `shards` shards holds an equal slice of
+  /// that budget under its own lock (`shards` is clamped to >= 1).
   CacheController(util::Clock& clock, util::Duration defaultTtl,
-                  std::size_t maxEntries = 4096)
-      : clock_(clock), defaultTtl_(defaultTtl), maxEntries_(maxEntries) {}
+                  std::size_t maxEntries = 4096, std::size_t shards = 16);
 
   /// Cache key: the data-source URL plus the exact SQL text. The URL is
   /// length-prefixed so no (url, sql) pair can collide with another by
@@ -45,21 +53,38 @@ class CacheController {
     return k;
   }
 
-  /// A fresh cursor over the cached rows, or nullptr on miss/expiry.
-  std::unique_ptr<dbc::VectorResultSet> lookup(const std::string& key);
-  /// Insert (copying the rows once); no-op when caching is disabled.
-  void insert(const std::string& key, const dbc::VectorResultSet& rs,
+  /// A zero-copy cursor over the cached rows, or nullptr on miss/expiry.
+  /// Cursors stay valid (and keep serving the rows they started on)
+  /// even after the entry is replaced, invalidated or evicted.
+  std::unique_ptr<dbc::SharedResultSet> lookup(const std::string& key);
+  /// The shared row storage itself, or nullptr on miss/expiry. Used by
+  /// the RequestManager to share one storage between the cache and any
+  /// number of client cursors.
+  std::shared_ptr<const dbc::VectorResultSet> lookupShared(
+      const std::string& key);
+
+  /// Insert already-shared rows without copying; no-op when caching is
+  /// disabled. This is the hot producer path (driver results and poll
+  /// refreshes arrive as shared storage).
+  void insert(const std::string& key,
+              std::shared_ptr<const dbc::VectorResultSet> rs,
               util::Duration ttl = -1 /* -1 = defaultTtl */);
+  /// Copying convenience overload (one copy, at insert time).
+  void insert(const std::string& key, const dbc::VectorResultSet& rs,
+              util::Duration ttl = -1);
   void invalidate(const std::string& key);
   void clear();
 
-  /// Timestamp at which the entry was cached; nullopt on miss. The JSP
-  /// tree view (Fig. 9) uses this to label data freshness.
+  /// Timestamp at which the entry was cached; nullopt on miss **or
+  /// expiry** — the tree view (Fig. 9) must never label dead data as
+  /// fresh.
   std::optional<util::TimePoint> cachedAt(const std::string& key) const;
 
+  /// Aggregated over all shards.
   CacheStats stats() const;
   std::size_t size() const;
   util::Duration defaultTtl() const noexcept { return defaultTtl_; }
+  std::size_t shardCount() const noexcept { return shards_.size(); }
 
  private:
   struct Entry {
@@ -69,15 +94,25 @@ class CacheController {
     std::list<std::string>::iterator lruIt;
   };
 
-  void evictIfNeeded();  // caller holds mu_
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Entry> entries;
+    std::list<std::string> lru;  // front = most recent
+    CacheStats stats;
+  };
+
+  Shard& shardFor(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+  const Shard& shardFor(const std::string& key) const {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+  void evictIfNeeded(Shard& shard);  // caller holds shard.mu
 
   util::Clock& clock_;
   util::Duration defaultTtl_;
-  std::size_t maxEntries_;
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  // front = most recent
-  CacheStats stats_;
+  std::size_t maxEntriesPerShard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace gridrm::core

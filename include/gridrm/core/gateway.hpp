@@ -26,6 +26,7 @@
 #include "gridrm/core/security.hpp"
 #include "gridrm/core/session_manager.hpp"
 #include "gridrm/drivers/driver_common.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/glue/schema_manager.hpp"
 #include "gridrm/net/network.hpp"
 #include "gridrm/store/database.hpp"
@@ -40,6 +41,9 @@ struct GatewayOptions {
   std::string host = "gateway.local";
   util::Duration cacheTtl = 5 * util::kSecond;
   std::size_t cacheMaxEntries = 4096;
+  /// Result-cache lock shards (E14): concurrent clients on different
+  /// keys never contend on one global mutex.
+  std::size_t cacheShards = 16;
   std::size_t poolMaxIdlePerSource = 4;
   /// Probe pooled connections (isValid) before reuse. Safe default; for
   /// fine-grained sources the probe costs a full round trip, doubling
@@ -51,6 +55,10 @@ struct GatewayOptions {
   util::Duration queryDeadline = 0;
   /// Default hedge delay; 0 = off, kHedgeAuto = per-source EWMA p95.
   util::Duration queryHedgeDelay = 0;
+  /// Coalesce concurrent identical cache misses into one source request.
+  bool coalesceQueries = true;
+  /// Parsed-plan cache entries per plan kind (0 still keeps one entry).
+  std::size_t planCacheCapacity = 256;
   /// Per-source circuit breakers (failureThreshold 0 = disabled).
   CircuitBreakerOptions breaker;
   bool registerDefaultDrivers = true;
@@ -63,10 +71,12 @@ struct GatewayOptions {
   /// Build options from a parsed policy file (the "Gateway Policy and
   /// Schemas" store of Fig. 2). Recognised keys (all optional):
   ///   gateway.name, gateway.host,
-  ///   cache.ttl_ms, cache.max_entries,
+  ///   cache.ttl_ms, cache.max_entries, cache.shards,
   ///   pool.max_idle, pool.validate,
   ///   query.workers, query.deadline_ms, query.hedge_delay_ms ("auto"
   ///   derives the delay from each source's latency EWMA),
+  ///   query.coalesce (single-flight identical cache misses),
+  ///   plan_cache.capacity,
   ///   breaker.failure_threshold, breaker.cooldown_ms,
   ///   drivers.register_defaults,
   ///   events.buffer_capacity, events.drop_newest, events.record_history,
@@ -160,6 +170,7 @@ class Gateway {
   GridRmDriverManager& driverManager() noexcept { return driverManager_; }
   ConnectionManager& connectionManager() noexcept { return connections_; }
   CacheController& cache() noexcept { return cache_; }
+  drivers::PlanCache& planCache() noexcept { return planCache_; }
   EventManager& eventManager() noexcept { return *eventManager_; }
   stream::ContinuousQueryEngine& streamEngine() noexcept {
     return streamEngine_;
@@ -189,6 +200,7 @@ class Gateway {
   GridRmDriverManager driverManager_;
   ConnectionManager connections_;
   CacheController cache_;
+  drivers::PlanCache planCache_;
   CoarseSecurityLayer cgsl_;
   FineSecurityLayer fgsl_;
   SessionManager sessions_;

@@ -3,8 +3,14 @@
 // data sources and consolidates results", executes real-time queries
 // through the ConnectionManager, and serves historical queries from the
 // gateway's internal database.
+//
+// Hot read path (E14): cache hits are zero-copy SharedResultSet cursors
+// over the cache's shared row storage, and concurrent identical cache
+// misses are coalesced into one driver execution (single flight) — the
+// leader contacts the source, followers wait and share its rows.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -16,6 +22,10 @@
 #include "gridrm/core/security.hpp"
 #include "gridrm/store/database.hpp"
 #include "gridrm/util/thread_pool.hpp"
+
+namespace gridrm::drivers {
+class PlanCache;
+}
 
 namespace gridrm::core {
 
@@ -50,6 +60,10 @@ struct RequestManagerTuning {
   /// Floor for EWMA-derived hedge delays (kHedgeAuto), so a source
   /// with µs-level history is not hedged pathologically early.
   util::Duration hedgeFloor = util::kMillisecond;
+  /// Coalesce concurrent identical cache misses into one source request
+  /// (`query.coalesce`). Only applies to cache-consulting queries;
+  /// polls (useCache = false) always contact the source.
+  bool coalesce = true;
   CircuitBreakerOptions breaker;  // failureThreshold 0 = disabled
 };
 
@@ -59,7 +73,9 @@ struct SourceError {
 };
 
 struct QueryResult {
-  std::unique_ptr<dbc::VectorResultSet> rows;
+  /// A private cursor over shared row storage: cache hits and coalesced
+  /// followers read the same underlying rows without copying them.
+  std::unique_ptr<dbc::SharedResultSet> rows;
   std::vector<SourceError> failures;  // sources that errored
   std::size_t sourcesQueried = 0;
   std::size_t servedFromCache = 0;
@@ -77,6 +93,7 @@ struct RequestManagerStats {
   std::uint64_t hedgedRequests = 0;  // second attempts issued
   std::uint64_t hedgeWins = 0;       // hedge attempt delivered the result
   std::uint64_t breakerSkips = 0;    // sources skipped: circuit open
+  std::uint64_t coalescedQueries = 0;  // misses served by another in flight
 };
 
 class RequestManager {
@@ -111,6 +128,10 @@ class RequestManager {
   /// Refresh the gateway cache entry for (url, sql) with already-fetched
   /// rows. Used by pollers that bypass cache lookup but must still leave
   /// a fresh "recent status" view for interactive clients (section 4).
+  /// The shared_ptr overload is zero-copy; the reference overload copies
+  /// the rows once.
+  void refreshCache(const std::string& url, const std::string& sql,
+                    std::shared_ptr<const dbc::VectorResultSet> rows);
   void refreshCache(const std::string& url, const std::string& sql,
                     const dbc::VectorResultSet& rows);
 
@@ -132,6 +153,13 @@ class RequestManager {
   }
   const RequestManagerTuning& tuning() const noexcept { return tuning_; }
 
+  /// Optional shared parsed-plan cache; used for the per-query group
+  /// (table) lookup here, and exported to pollers. Null = parse fresh.
+  void setPlanCache(drivers::PlanCache* planCache) noexcept {
+    planCache_ = planCache;
+  }
+  drivers::PlanCache* planCache() const noexcept { return planCache_; }
+
   /// The name of the history table backing a GLUE group.
   static std::string historyTableName(const std::string& group) {
     return "History" + group;
@@ -143,11 +171,30 @@ class RequestManager {
   /// deadline can complete later without touching freed state.
   struct SourceSlot;
   struct FanOutState;
+  /// One in-flight (url, sql) execution that concurrent identical cache
+  /// misses coalesce onto.
+  struct Inflight;
 
-  /// One source, no consolidation column.
-  std::unique_ptr<dbc::VectorResultSet> executeSource(
+  /// One source, no consolidation column. `allowCoalesce` is false for
+  /// hedge attempts: a hedge is a deliberate duplicate request and must
+  /// not wait on the primary it is meant to outrun.
+  std::shared_ptr<const dbc::VectorResultSet> executeSource(
       const Principal& principal, const std::string& url,
-      const std::string& sql, const QueryOptions& options, bool& fromCache);
+      const std::string& sql, const QueryOptions& options, bool& fromCache,
+      bool& coalesced, bool allowCoalesce);
+  /// The uncoalesced tail of executeSource: breaker gate, lease,
+  /// driver execution, cache/history population.
+  std::shared_ptr<const dbc::VectorResultSet> contactSource(
+      const util::Url& url, const std::string& urlText,
+      const std::string& sqlText, const QueryOptions& options,
+      const std::string& group, const std::string& cacheKey);
+  /// Publish the leader's outcome to followers and retire the flight.
+  void settleFlight(const std::string& cacheKey,
+                    const std::shared_ptr<Inflight>& flight,
+                    std::shared_ptr<const dbc::VectorResultSet> rows,
+                    std::string error, dbc::ErrorCode code);
+  /// Group (table) name of a query, through the plan cache when bound.
+  std::string queryGroup(const std::string& sqlText) const;
   void recordHistory(const std::string& url, const std::string& group,
                      const dbc::VectorResultSet& rs);
 
@@ -174,10 +221,13 @@ class RequestManager {
   store::Database* historyDb_;
   util::Clock& clock_;
   RequestManagerTuning tuning_;
+  drivers::PlanCache* planCache_ = nullptr;
   SourceHealthRegistry health_;
   util::ThreadPool pool_;
   mutable std::mutex mu_;
   RequestManagerStats stats_;
+  std::mutex inflightMu_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
 };
 
 }  // namespace gridrm::core

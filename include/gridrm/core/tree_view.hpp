@@ -16,6 +16,10 @@ namespace gridrm::core {
 /// view and by the example applications).
 std::string renderTable(const dbc::VectorResultSet& rs,
                         std::size_t maxRows = 50);
+/// Shared-storage cursors (cache hits, QueryResult rows) render the
+/// same way without materialising a copy.
+std::string renderTable(const dbc::SharedResultSet& rs,
+                        std::size_t maxRows = 50);
 
 struct TreeViewEntry {
   std::string url;

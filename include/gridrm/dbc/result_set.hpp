@@ -116,6 +116,53 @@ class VectorResultSet final : public ResultSet {
   bool started_ = false;
 };
 
+/// A zero-copy cursor over rows owned elsewhere: holds the storage via
+/// shared_ptr<const VectorResultSet> and keeps only a private cursor.
+/// This is what the gateway cache hands out on a hit — N concurrent
+/// readers share one row vector instead of each receiving a deep copy —
+/// and what the RequestManager returns so coalesced queries can fan one
+/// driver execution out to many clients.
+///
+/// Ownership rules: the underlying rows are immutable for the lifetime
+/// of every cursor; producers must never mutate a VectorResultSet after
+/// publishing it through a shared_ptr<const ...>.
+class SharedResultSet final : public ResultSet {
+ public:
+  using ResultSet::get;  // keep the by-name overloads visible
+  explicit SharedResultSet(std::shared_ptr<const VectorResultSet> rs)
+      : rs_(std::move(rs)) {}
+
+  bool next() override;
+  const Value& get(std::size_t column) const override;
+  const ResultSetMetaData& metaData() const override {
+    return rs_->metaData();
+  }
+
+  std::size_t rowCount() const noexcept { return rs_->rowCount(); }
+  const std::vector<std::vector<Value>>& rows() const noexcept {
+    return rs_->rows();
+  }
+  /// Reset the cursor to before the first row.
+  void rewind() noexcept { cursor_ = 0; started_ = false; }
+
+  /// The shared storage itself: hand this to another SharedResultSet for
+  /// a second independent cursor, or to the cache for a zero-copy
+  /// insert. Pointer identity across cursors proves rows were shared,
+  /// not copied.
+  const std::shared_ptr<const VectorResultSet>& shared() const noexcept {
+    return rs_;
+  }
+  /// The materialised set (for serialisation and other consumers of the
+  /// concrete type). The cursor state of `underlying()` is meaningless;
+  /// use this SharedResultSet for iteration.
+  const VectorResultSet& underlying() const noexcept { return *rs_; }
+
+ private:
+  std::shared_ptr<const VectorResultSet> rs_;
+  std::size_t cursor_ = 0;
+  bool started_ = false;
+};
+
 /// Builder used by drivers while translating native data to GLUE rows.
 class ResultSetBuilder {
  public:

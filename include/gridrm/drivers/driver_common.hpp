@@ -34,11 +34,15 @@
 
 namespace gridrm::drivers {
 
+class PlanCache;
+
 /// Facilities the gateway provides to driver plug-ins.
 struct DriverContext {
   net::Network* network = nullptr;
   util::Clock* clock = nullptr;
   glue::SchemaManager* schemaManager = nullptr;
+  /// Shared parsed-plan cache (see plan_cache.hpp); null = parse fresh.
+  PlanCache* planCache = nullptr;
 };
 
 class ParsedQuery {

@@ -1,0 +1,103 @@
+// PlanCache: the gateway-wide cache of parsed query plans (E14).
+//
+// Every driver re-lexed, re-parsed and re-bound the SQL text against
+// the GLUE schema on every executeQuery — per poll, per hedge attempt,
+// per coalesced client. The plan cache makes that work once per
+// distinct SQL text:
+//
+//  * bound plans — ParsedQuery (SelectStatement + GLUE group binding +
+//    needed-attribute set), keyed by SQL text and validated against the
+//    SchemaManager's schema generation: a schema reload invalidates
+//    every bound plan at once (they hold GroupDef pointers into the old
+//    Schema);
+//  * statements — schema-independent SelectStatement parses for callers
+//    that need only the statement shape (the RequestManager's FGSL
+//    group check, the SitePoller's stream-sink table name).
+//
+// Plans are immutable once published (shared_ptr<const ...>), so any
+// number of threads can execute the same plan concurrently. Parse
+// errors are not cached: bad SQL stays cheap to reject and never
+// poisons the cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gridrm/drivers/driver_common.hpp"
+#include "gridrm/sql/ast.hpp"
+
+namespace gridrm::drivers {
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;          // bound-plan hits
+  std::uint64_t misses = 0;        // bound-plan misses (fresh parse+bind)
+  std::uint64_t statementHits = 0;
+  std::uint64_t statementMisses = 0;
+  std::uint64_t evictions = 0;     // capacity evictions (both kinds)
+  std::uint64_t invalidations = 0; // schema-generation flushes
+};
+
+class PlanCache {
+ public:
+  /// `capacity` bounds each of the two plan maps (LRU beyond it).
+  explicit PlanCache(std::size_t capacity = 256);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Parse + GLUE-bind through the cache. Throws exactly what
+  /// ParsedQuery::parse throws (Syntax / NoSuchTable / NoSuchColumn).
+  /// The plan is valid for the schema generation current at call time;
+  /// a later setSchema() on the manager evicts it.
+  std::shared_ptr<const ParsedQuery> parse(const std::string& sql,
+                                           const glue::SchemaManager& schemas);
+
+  /// Statement-only parse (no schema binding; never invalidated by
+  /// schema reloads). Throws dbc::SqlError(Syntax) on bad SQL.
+  std::shared_ptr<const sql::SelectStatement> statement(
+      const std::string& sql);
+
+  void clear();
+  PlanCacheStats stats() const;
+  std::size_t size() const;
+
+ private:
+  template <typename T>
+  struct LruMap {
+    struct Node {
+      std::shared_ptr<const T> plan;
+      std::list<std::string>::iterator lruIt;
+    };
+    std::map<std::string, Node> entries;
+    std::list<std::string> lru;  // front = most recent
+
+    std::shared_ptr<const T> get(const std::string& key);
+    void put(const std::string& key, std::shared_ptr<const T> plan,
+             std::size_t capacity, std::uint64_t& evictions);
+    void clear() {
+      entries.clear();
+      lru.clear();
+    }
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruMap<ParsedQuery> bound_;
+  LruMap<sql::SelectStatement> statements_;
+  /// Schema generation the bound plans were built against.
+  std::uint64_t boundGeneration_ = 0;
+  PlanCacheStats stats_;
+};
+
+/// Parse `sql` through the context's shared PlanCache when the gateway
+/// provided one, else fall back to a fresh ParsedQuery::parse against
+/// the context's schema (the builtin GLUE subset when the context has
+/// no SchemaManager). This is the entry point every driver uses.
+std::shared_ptr<const ParsedQuery> parseQuery(const std::string& sql,
+                                              const DriverContext& ctx);
+
+}  // namespace gridrm::drivers

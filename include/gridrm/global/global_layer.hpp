@@ -108,7 +108,7 @@ class GlobalLayer final : public net::RequestHandler {
   DirectoryClient& directory() noexcept { return directory_; }
 
  private:
-  std::unique_ptr<dbc::VectorResultSet> queryRemote(const std::string& url,
+  std::shared_ptr<const dbc::VectorResultSet> queryRemote(const std::string& url,
                                                     const std::string& sql,
                                                     bool useCache);
   std::optional<net::Address> resolveOwner(const std::string& host);

@@ -11,6 +11,8 @@
 // instance and hands it to drivers through the DriverContext.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -71,7 +73,21 @@ class SchemaManager {
   explicit SchemaManager(const Schema* schema = nullptr)
       : schema_(schema != nullptr ? schema : &Schema::builtin()) {}
 
-  const Schema& schema() const noexcept { return *schema_; }
+  const Schema& schema() const noexcept { return *schema_.load(); }
+
+  /// Reload the GLUE schema (a gateway picking up an updated policy
+  /// file). Bumps the generation so cached query plans bound against
+  /// the previous schema are invalidated. Null restores the built-in
+  /// subset. The caller keeps `schema` alive for the manager's
+  /// lifetime, exactly as with the constructor argument.
+  void setSchema(const Schema* schema);
+
+  /// Monotonic schema generation: starts at 0 and increments on every
+  /// setSchema(). Plan caches key bound plans by (sql, generation) so a
+  /// reload evicts every stale binding at once.
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   void registerDriverMap(DriverSchemaMap map);
   /// Shared so connections can cache it cheaply; nullptr when unknown.
@@ -79,7 +95,8 @@ class SchemaManager {
       const std::string& driverName) const;
 
  private:
-  const Schema* schema_;
+  std::atomic<const Schema*> schema_;
+  std::atomic<std::uint64_t> generation_{0};
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const DriverSchemaMap>> maps_;
 };

@@ -3,6 +3,7 @@
 // aggregates / ORDER BY / LIMIT, and multi-row INSERT).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "gridrm/sql/ast.hpp"
@@ -16,5 +17,10 @@ Statement parse(const std::string& text);
 
 /// Convenience: parse text that must be a SELECT.
 SelectStatement parseSelect(const std::string& text);
+
+/// Process-wide count of parseSelect() invocations. Instrumentation for
+/// tests and benchmarks that must prove a plan cache eliminated
+/// re-parsing (E14); not meant for production logic.
+std::uint64_t parseSelectCount() noexcept;
 
 }  // namespace gridrm::sql

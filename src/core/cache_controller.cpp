@@ -2,89 +2,142 @@
 
 namespace gridrm::core {
 
-std::unique_ptr<dbc::VectorResultSet> CacheController::lookup(
+CacheController::CacheController(util::Clock& clock, util::Duration defaultTtl,
+                                 std::size_t maxEntries, std::size_t shards)
+    : clock_(clock), defaultTtl_(defaultTtl) {
+  if (shards == 0) shards = 1;
+  if (maxEntries == 0) maxEntries = 1;
+  // Split the entry budget evenly; every shard holds at least one entry
+  // so a tiny cache with many shards still caches something.
+  maxEntriesPerShard_ = (maxEntries + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const dbc::VectorResultSet> CacheController::lookupShared(
     const std::string& key) {
-  std::scoped_lock lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = shardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
   Entry& entry = it->second;
   if (entry.ttl <= 0 || clock_.now() - entry.storedAt > entry.ttl) {
-    lru_.erase(entry.lruIt);
-    entries_.erase(it);
-    ++stats_.expirations;
-    ++stats_.misses;
+    shard.lru.erase(entry.lruIt);
+    shard.entries.erase(it);
+    ++shard.stats.expirations;
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, entry.lruIt);  // mark most recent
-  // Hand out an independent cursor over the shared rows.
-  return std::make_unique<dbc::VectorResultSet>(entry.rs->metaData(),
-                                                entry.rs->rows());
+  ++shard.stats.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry.lruIt);  // most recent
+  return entry.rs;
+}
+
+std::unique_ptr<dbc::SharedResultSet> CacheController::lookup(
+    const std::string& key) {
+  auto shared = lookupShared(key);
+  if (shared == nullptr) return nullptr;
+  // Zero-copy: an independent cursor over the shared rows.
+  return std::make_unique<dbc::SharedResultSet>(std::move(shared));
+}
+
+void CacheController::insert(const std::string& key,
+                             std::shared_ptr<const dbc::VectorResultSet> rs,
+                             util::Duration ttl) {
+  if (ttl < 0) ttl = defaultTtl_;
+  if (ttl <= 0 || rs == nullptr) return;  // caching disabled
+  Shard& shard = shardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.rs = std::move(rs);
+    it->second.storedAt = clock_.now();
+    it->second.ttl = ttl;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lruIt);
+  } else {
+    shard.lru.push_front(key);
+    shard.entries[key] =
+        Entry{std::move(rs), clock_.now(), ttl, shard.lru.begin()};
+    evictIfNeeded(shard);
+  }
+  ++shard.stats.insertions;
 }
 
 void CacheController::insert(const std::string& key,
                              const dbc::VectorResultSet& rs,
                              util::Duration ttl) {
   if (ttl < 0) ttl = defaultTtl_;
-  if (ttl <= 0) return;  // caching disabled
-  auto shared =
-      std::make_shared<const dbc::VectorResultSet>(rs.metaData(), rs.rows());
-  std::scoped_lock lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.rs = std::move(shared);
-    it->second.storedAt = clock_.now();
-    it->second.ttl = ttl;
-    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
-  } else {
-    lru_.push_front(key);
-    entries_[key] = Entry{std::move(shared), clock_.now(), ttl, lru_.begin()};
-    evictIfNeeded();
-  }
-  ++stats_.insertions;
+  if (ttl <= 0) return;  // skip the copy too when caching is disabled
+  insert(key,
+         std::make_shared<const dbc::VectorResultSet>(rs.metaData(), rs.rows()),
+         ttl);
 }
 
-void CacheController::evictIfNeeded() {
-  while (entries_.size() > maxEntries_ && !lru_.empty()) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
-    ++stats_.evictions;
+void CacheController::evictIfNeeded(Shard& shard) {
+  while (shard.entries.size() > maxEntriesPerShard_ && !shard.lru.empty()) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
   }
 }
 
 void CacheController::invalidate(const std::string& key) {
-  std::scoped_lock lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return;
-  lru_.erase(it->second.lruIt);
-  entries_.erase(it);
+  Shard& shard = shardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.lru.erase(it->second.lruIt);
+  shard.entries.erase(it);
 }
 
 void CacheController::clear() {
-  std::scoped_lock lock(mu_);
-  entries_.clear();
-  lru_.clear();
+  for (auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
 }
 
 std::optional<util::TimePoint> CacheController::cachedAt(
     const std::string& key) const {
-  std::scoped_lock lock(mu_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.storedAt;
+  const Shard& shard = shardFor(key);
+  std::scoped_lock lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  // An expired entry is dead data: report it as absent rather than
+  // letting the tree view label it fresh. (lookup() reaps it lazily.)
+  if (entry.ttl <= 0 || clock_.now() - entry.storedAt > entry.ttl) {
+    return std::nullopt;
+  }
+  return entry.storedAt;
 }
 
 CacheStats CacheController::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+    total.expirations += shard->stats.expirations;
+  }
+  return total;
 }
 
 std::size_t CacheController::size() const {
-  std::scoped_lock lock(mu_);
-  return entries_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 }  // namespace gridrm::core

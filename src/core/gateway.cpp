@@ -18,6 +18,8 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
   o.cacheMaxEntries = static_cast<std::size_t>(
       config.getInt("cache.max_entries",
                     static_cast<std::int64_t>(o.cacheMaxEntries)));
+  o.cacheShards = static_cast<std::size_t>(config.getInt(
+      "cache.shards", static_cast<std::int64_t>(o.cacheShards)));
   o.poolMaxIdlePerSource = static_cast<std::size_t>(
       config.getInt("pool.max_idle",
                     static_cast<std::int64_t>(o.poolMaxIdlePerSource)));
@@ -37,6 +39,9 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
                       o.queryHedgeDelay / util::kMillisecond) *
         util::kMillisecond;
   }
+  o.coalesceQueries = config.getBool("query.coalesce", o.coalesceQueries);
+  o.planCacheCapacity = static_cast<std::size_t>(config.getInt(
+      "plan_cache.capacity", static_cast<std::int64_t>(o.planCacheCapacity)));
   o.breaker.failureThreshold = static_cast<std::size_t>(
       config.getInt("breaker.failure_threshold",
                     static_cast<std::int64_t>(o.breaker.failureThreshold)));
@@ -92,7 +97,9 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
       driverManager_(registry_),
       connections_(driverManager_, options_.poolMaxIdlePerSource,
                    options_.validatePooledConnections),
-      cache_(clock_, options_.cacheTtl, options_.cacheMaxEntries),
+      cache_(clock_, options_.cacheTtl, options_.cacheMaxEntries,
+             options_.cacheShards),
+      planCache_(options_.planCacheCapacity),
       cgsl_(CoarseSecurityLayer::defaults()),
       fgsl_(/*defaultAllow=*/true),
       sessions_(clock_, options_.sessionIdleTimeout),
@@ -129,10 +136,12 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
   RequestManagerTuning tuning;
   tuning.defaultDeadline = options_.queryDeadline;
   tuning.defaultHedgeDelay = options_.queryHedgeDelay;
+  tuning.coalesce = options_.coalesceQueries;
   tuning.breaker = options_.breaker;
   requestManager_ = std::make_unique<RequestManager>(
       connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers,
       tuning);
+  requestManager_->setPlanCache(&planCache_);
 
   if (options_.registerDefaultDrivers) {
     drivers::registerDefaultDrivers(registry_, driverContext());
@@ -151,6 +160,7 @@ drivers::DriverContext Gateway::driverContext() noexcept {
   ctx.network = &network_;
   ctx.clock = &clock_;
   ctx.schemaManager = &schemaManager_;
+  ctx.planCache = &planCache_;
   return ctx;
 }
 

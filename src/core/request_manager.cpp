@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/sql/parser.hpp"
 #include "gridrm/util/strings.hpp"
 
@@ -28,18 +29,23 @@ RequestManager::RequestManager(ConnectionManager& connections,
 
 namespace {
 
-/// Group (table) name of a query, for FGSL checks and history tables.
-std::string queryGroup(const std::string& sqlText) {
+constexpr const char kDeadlineExceeded[] = "deadline exceeded";
+
+}  // namespace
+
+std::string RequestManager::queryGroup(const std::string& sqlText) const {
+  if (planCache_ != nullptr) {
+    // Statement-level (unbound) on purpose: the FGSL check below needs
+    // only the table name and must run before any schema binding, so
+    // NoSuchTable surfaces from the driver in the established order.
+    return planCache_->statement(sqlText)->table;
+  }
   try {
     return sql::parseSelect(sqlText).table;
   } catch (const sql::ParseError& e) {
     throw SqlError(ErrorCode::Syntax, e.what());
   }
 }
-
-constexpr const char kDeadlineExceeded[] = "deadline exceeded";
-
-}  // namespace
 
 /// Completion rendezvous for one fan-out: workers decrement `remaining`
 /// when a source slot is filled and the collector waits on `cv`.
@@ -61,31 +67,49 @@ struct RequestManager::SourceSlot {
   bool abandoned = false;  // collector gave up; late results are dropped
   bool hedged = false;     // second attempt was issued
   int winner = -1;         // attempt index (0 primary, 1 hedge) that filled
-  std::unique_ptr<dbc::VectorResultSet> rows;
+  std::shared_ptr<const dbc::VectorResultSet> rows;
   std::string error;
   dbc::ErrorCode errorCode = dbc::ErrorCode::Generic;
   bool fromCache = false;
+  bool coalesced = false;
 };
 
-std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
-    const Principal& principal, const std::string& urlText,
-    const std::string& sqlText, const QueryOptions& options, bool& fromCache) {
-  fromCache = false;
-  auto url = util::Url::parse(urlText);
-  if (!url) {
-    throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
-  }
-  const std::string group = queryGroup(sqlText);
-  fgsl_.require(principal, url->host(), group);
+/// Single-flight record: the leader executes the source request, every
+/// concurrent identical miss waits here and shares the outcome.
+struct RequestManager::Inflight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const dbc::VectorResultSet> rows;
+  std::string error;
+  dbc::ErrorCode errorCode = dbc::ErrorCode::Generic;
+};
 
-  const std::string cacheKey = CacheController::key(urlText, sqlText);
-  if (options.useCache) {
-    if (auto cached = cache_.lookup(cacheKey)) {
-      fromCache = true;
-      return cached;
-    }
+void RequestManager::settleFlight(
+    const std::string& cacheKey, const std::shared_ptr<Inflight>& flight,
+    std::shared_ptr<const dbc::VectorResultSet> rows, std::string error,
+    dbc::ErrorCode code) {
+  {
+    // Retire the flight before publishing: an arrival after this point
+    // starts fresh (and will usually hit the cache the leader filled).
+    std::scoped_lock lock(inflightMu_);
+    auto it = inflight_.find(cacheKey);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
   }
+  {
+    std::scoped_lock lock(flight->mu);
+    flight->done = true;
+    flight->rows = std::move(rows);
+    flight->error = std::move(error);
+    flight->errorCode = code;
+  }
+  flight->cv.notify_all();
+}
 
+std::shared_ptr<const dbc::VectorResultSet> RequestManager::contactSource(
+    const util::Url& url, const std::string& urlText,
+    const std::string& sqlText, const QueryOptions& options,
+    const std::string& group, const std::string& cacheKey) {
   // The breaker gates the source *after* the cache: a degraded source
   // can still be served from recent cached rows, but is not contacted.
   if (!health_.allowRequest(urlText)) {
@@ -94,18 +118,21 @@ std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
                        "; source reported as degraded");
   }
 
-  ConnectionManager::Lease lease = connections_.acquire(*url, util::Config{});
-  std::unique_ptr<dbc::VectorResultSet> rows;
+  ConnectionManager::Lease lease = connections_.acquire(url, util::Config{});
+  std::shared_ptr<const dbc::VectorResultSet> rows;
   try {
     std::unique_ptr<dbc::Statement> stmt = lease->createStatement();
     std::unique_ptr<dbc::ResultSet> rs = stmt->executeQuery(sqlText);
     // Drivers in this codebase return materialised sets; materialise
-    // defensively for any that stream.
+    // defensively for any that stream. Ownership moves to shared
+    // storage so the cache, followers and the client cursor all read
+    // the same rows.
     if (auto* vec = dynamic_cast<dbc::VectorResultSet*>(rs.get())) {
       rs.release();
       rows.reset(vec);
     } else {
-      rows = dbc::VectorResultSet::materialize(*rs);
+      rows = std::shared_ptr<const dbc::VectorResultSet>(
+          dbc::VectorResultSet::materialize(*rs));
     }
   } catch (const SqlError& e) {
     // Connection-level failures poison the pooled connection and clear
@@ -119,12 +146,81 @@ std::unique_ptr<dbc::VectorResultSet> RequestManager::executeSource(
   }
 
   if (options.useCache) {
-    cache_.insert(cacheKey, *rows, options.cacheTtl);
+    cache_.insert(cacheKey, rows, options.cacheTtl);
   }
   if (options.recordHistory) {
     recordHistory(urlText, group, *rows);
   }
   return rows;
+}
+
+std::shared_ptr<const dbc::VectorResultSet> RequestManager::executeSource(
+    const Principal& principal, const std::string& urlText,
+    const std::string& sqlText, const QueryOptions& options, bool& fromCache,
+    bool& coalesced, bool allowCoalesce) {
+  fromCache = false;
+  coalesced = false;
+  auto url = util::Url::parse(urlText);
+  if (!url) {
+    throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
+  }
+  const std::string group = queryGroup(sqlText);
+  fgsl_.require(principal, url->host(), group);
+
+  const std::string cacheKey = CacheController::key(urlText, sqlText);
+  if (options.useCache) {
+    if (auto cached = cache_.lookupShared(cacheKey)) {
+      fromCache = true;
+      return cached;
+    }
+  }
+
+  // Single flight: join an in-flight execution of the same (url, sql)
+  // or become its leader. Polls (useCache = false) always contact the
+  // source, and hedge attempts never coalesce (allowCoalesce).
+  std::shared_ptr<Inflight> flight;
+  if (options.useCache && tuning_.coalesce && allowCoalesce) {
+    bool leader = true;
+    {
+      std::scoped_lock lock(inflightMu_);
+      auto it = inflight_.find(cacheKey);
+      if (it != inflight_.end()) {
+        flight = it->second;
+        leader = false;
+      } else {
+        flight = std::make_shared<Inflight>();
+        inflight_.emplace(cacheKey, flight);
+      }
+    }
+    if (!leader) {
+      std::unique_lock lock(flight->mu);
+      flight->cv.wait(lock, [&] { return flight->done; });
+      coalesced = true;
+      {
+        std::scoped_lock slock(mu_);
+        ++stats_.coalescedQueries;
+      }
+      if (flight->rows != nullptr) return flight->rows;
+      throw SqlError(flight->errorCode, flight->error);
+    }
+  }
+
+  // Leader (or coalescing disabled). The flight must settle on every
+  // exit path or followers would wait forever.
+  if (flight == nullptr) {
+    return contactSource(*url, urlText, sqlText, options, group, cacheKey);
+  }
+  try {
+    auto rows = contactSource(*url, urlText, sqlText, options, group, cacheKey);
+    settleFlight(cacheKey, flight, rows, {}, ErrorCode::Generic);
+    return rows;
+  } catch (const SqlError& e) {
+    settleFlight(cacheKey, flight, nullptr, e.what(), e.code());
+    throw;
+  } catch (const std::exception& e) {
+    settleFlight(cacheKey, flight, nullptr, e.what(), ErrorCode::Generic);
+    throw;
+  }
 }
 
 util::Duration RequestManager::resolveDeadline(
@@ -173,12 +269,14 @@ void RequestManager::submitAttempt(const std::shared_ptr<FanOutState>& state,
   // outlives the deadline must never touch the caller's stack.
   (void)pool_.submit([this, state, slot, attempt, principal, sql, options] {
     const util::TimePoint start = clock_.now();
-    std::unique_ptr<dbc::VectorResultSet> rows;
+    std::shared_ptr<const dbc::VectorResultSet> rows;
     std::string error;
     dbc::ErrorCode code = dbc::ErrorCode::Generic;
     bool fromCache = false;
+    bool coalesced = false;
     try {
-      rows = executeSource(principal, slot->url, sql, options, fromCache);
+      rows = executeSource(principal, slot->url, sql, options, fromCache,
+                           coalesced, /*allowCoalesce=*/attempt == 0);
     } catch (const SqlError& e) {
       error = e.what();
       code = e.code();
@@ -199,13 +297,16 @@ void RequestManager::submitAttempt(const std::shared_ptr<FanOutState>& state,
         slot->error = std::move(error);
         slot->errorCode = code;
         slot->fromCache = fromCache;
+        slot->coalesced = coalesced;
         won = true;
       }
     }
     // Abandoned attempts stay silent: the collector already charged
     // the deadline miss to the breaker, and a late success must not
-    // mask a source that misses every deadline.
-    if (!abandoned && !fromCache) {
+    // mask a source that misses every deadline. Cache hits and
+    // coalesced followers never contacted the source, so they carry no
+    // health signal either (the flight's leader records its own).
+    if (!abandoned && !fromCache && !coalesced) {
       recordAttemptHealth(slot->url, success, code, elapsed);
     }
     if (won) {
@@ -320,16 +421,21 @@ QueryResult RequestManager::queryOne(const Principal& principal,
     // Direct path: no isolation machinery, run on the caller's thread.
     const util::TimePoint start = clock_.now();
     bool fromCache = false;
+    bool coalesced = false;
     try {
-      result.rows = executeSource(principal, url, sqlText, options, fromCache);
+      auto rows = executeSource(principal, url, sqlText, options, fromCache,
+                                coalesced, /*allowCoalesce=*/true);
+      result.rows = std::make_unique<dbc::SharedResultSet>(std::move(rows));
       if (fromCache) {
         result.servedFromCache = 1;
-      } else {
+      } else if (!coalesced) {
         recordAttemptHealth(url, true, ErrorCode::Generic,
                             clock_.now() - start);
       }
     } catch (const SqlError& e) {
-      recordAttemptHealth(url, false, e.code(), clock_.now() - start);
+      if (!coalesced) {
+        recordAttemptHealth(url, false, e.code(), clock_.now() - start);
+      }
       result.failures.push_back(SourceError{url, e.what()});
       std::scoped_lock lock(mu_);
       ++stats_.sourceErrors;
@@ -342,7 +448,7 @@ QueryResult RequestManager::queryOne(const Principal& principal,
   SourceSlot& slot = *slots[0];
   std::scoped_lock slotLock(slot.mu);
   if (slot.rows != nullptr) {
-    result.rows = std::move(slot.rows);
+    result.rows = std::make_unique<dbc::SharedResultSet>(std::move(slot.rows));
     if (slot.fromCache) result.servedFromCache = 1;
     if (slot.hedged && slot.winner == 1) {
       std::scoped_lock lock(mu_);
@@ -382,10 +488,11 @@ QueryResult RequestManager::query(const Principal& principal,
       slot->url = url;
       const util::TimePoint start = clock_.now();
       try {
-        slot->rows =
-            executeSource(principal, url, sqlText, options, slot->fromCache);
+        slot->rows = executeSource(principal, url, sqlText, options,
+                                   slot->fromCache, slot->coalesced,
+                                   /*allowCoalesce=*/true);
         slot->done = true;
-        if (!slot->fromCache) {
+        if (!slot->fromCache && !slot->coalesced) {
           recordAttemptHealth(url, true, ErrorCode::Generic,
                               clock_.now() - start);
         }
@@ -450,8 +557,9 @@ QueryResult RequestManager::query(const Principal& principal,
     columns.push_back(
         dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
   }
-  result.rows = std::make_unique<dbc::VectorResultSet>(
-      dbc::ResultSetMetaData(std::move(columns)), std::move(rows));
+  result.rows = std::make_unique<dbc::SharedResultSet>(
+      std::make_shared<const dbc::VectorResultSet>(
+          dbc::ResultSetMetaData(std::move(columns)), std::move(rows)));
   return result;
 }
 
@@ -501,6 +609,12 @@ std::unique_ptr<dbc::VectorResultSet> RequestManager::queryHistorical(
   } catch (const sql::ParseError& e) {
     throw SqlError(ErrorCode::Syntax, e.what());
   }
+}
+
+void RequestManager::refreshCache(
+    const std::string& url, const std::string& sql,
+    std::shared_ptr<const dbc::VectorResultSet> rows) {
+  cache_.insert(CacheController::key(url, sql), std::move(rows));
 }
 
 void RequestManager::refreshCache(const std::string& url,

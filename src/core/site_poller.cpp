@@ -1,5 +1,6 @@
 #include "gridrm/core/site_poller.hpp"
 
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/sql/parser.hpp"
 
 namespace gridrm::core {
@@ -70,7 +71,10 @@ std::size_t SitePoller::tick() {
     if (task.refreshCache && result.rows != nullptr) {
       // Hand the fresh rows to the cache so interactive clients get the
       // "recent status" view without touching the agents (section 4).
-      requestManager_.refreshCache(task.url, task.sql, *result.rows);
+      // The poll result already owns shared row storage, so the cache
+      // adopts it without copying a single row (E14).
+      requestManager_.refreshCache(task.url, task.sql,
+                                   result.rows->shared());
     }
     stream::ContinuousQueryEngine* sink;
     {
@@ -82,13 +86,19 @@ std::size_t SitePoller::tick() {
       // The same fresh batch feeds continuous-query subscribers: each
       // poll refresh is one incremental push toward matching streams.
       try {
-        sink->onRows(task.url, sql::parseSelect(task.sql).table,
-                     *result.rows);
+        drivers::PlanCache* plans = requestManager_.planCache();
+        const std::string table =
+            plans != nullptr ? plans->statement(task.sql)->table
+                             : sql::parseSelect(task.sql).table;
+        sink->onRows(task.url, table, result.rows->metaData(),
+                     result.rows->rows());
         std::scoped_lock lock(mu_);
         stats_.rowsStreamed += result.rows->rowCount();
       } catch (const sql::ParseError&) {
         // Unparseable task SQL never reaches here (the poll would have
         // failed), but stay defensive.
+      } catch (const dbc::SqlError&) {
+        // Same guarantee when the plan cache rejects the SQL.
       }
     }
   }

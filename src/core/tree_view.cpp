@@ -56,6 +56,10 @@ std::string renderTable(const dbc::VectorResultSet& rs, std::size_t maxRows) {
   return out;
 }
 
+std::string renderTable(const dbc::SharedResultSet& rs, std::size_t maxRows) {
+  return renderTable(rs.underlying(), maxRows);
+}
+
 std::string renderCachedTree(const std::string& gatewayName,
                              CacheController& cache, util::Clock& clock,
                              const std::vector<TreeViewEntry>& entries) {

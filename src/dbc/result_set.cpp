@@ -79,6 +79,29 @@ std::unique_ptr<VectorResultSet> VectorResultSet::materialize(
   return std::make_unique<VectorResultSet>(source.metaData(), std::move(rows));
 }
 
+bool SharedResultSet::next() {
+  if (!started_) {
+    started_ = true;
+    cursor_ = 0;
+  } else {
+    ++cursor_;
+  }
+  return cursor_ < rs_->rows().size();
+}
+
+const Value& SharedResultSet::get(std::size_t column) const {
+  if (!started_ || cursor_ >= rs_->rows().size()) {
+    throw SqlError(ErrorCode::Generic, "cursor is not on a row");
+  }
+  const auto& row = rs_->rows()[cursor_];
+  if (column >= row.size()) {
+    throw SqlError(ErrorCode::NoSuchColumn,
+                   "column index " + std::to_string(column) + " out of range");
+  }
+  wasNull_ = row[column].isNull();
+  return row[column];
+}
+
 ResultSetBuilder& ResultSetBuilder::addColumn(std::string name, ValueType type,
                                               std::string unit,
                                               std::string table) {

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "gridrm/agents/ganglia_agent.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/util/strings.hpp"
 #include "gridrm/util/xml.hpp"
 
@@ -105,8 +106,11 @@ class GangliaStatement final : public dbc::BaseStatement {
   explicit GangliaStatement(GangliaConnection& conn) : conn_(conn) {}
 
   std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
-    const glue::Schema& schema = conn_.context().schemaManager->schema();
-    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    // Parse through the gateway's shared plan cache: repeated polls of
+    // the same SQL reuse one SelectStatement + GLUE binding (E14).
+    const std::shared_ptr<const ParsedQuery> plan =
+        parseQuery(sql, conn_.context());
+    const ParsedQuery& q = *plan;
     const glue::GroupMapping* mapping =
         conn_.schemaMap().findGroup(q.group().name());
     if (mapping == nullptr) {

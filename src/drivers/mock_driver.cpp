@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/glue/schema.hpp"
 
 namespace gridrm::drivers {
@@ -42,10 +43,8 @@ class MockStatement final : public dbc::BaseStatement {
                      "mock driver scripted failure on query " +
                          std::to_string(call));
     }
-    const glue::Schema& schema = ctx.schemaManager != nullptr
-                                     ? ctx.schemaManager->schema()
-                                     : glue::Schema::builtin();
-    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    const std::shared_ptr<const ParsedQuery> plan = parseQuery(sql, ctx);
+    const ParsedQuery& q = *plan;
     GlueRowBuilder builder(q.group());
     builder.beginRow()
         .set("HostName", Value(b.hostName))

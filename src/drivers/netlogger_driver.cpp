@@ -1,6 +1,7 @@
 #include "gridrm/drivers/netlogger_driver.hpp"
 
 #include "gridrm/agents/netlogger_agent.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::drivers {
@@ -61,8 +62,11 @@ class NetLoggerStatement final : public dbc::BaseStatement {
   explicit NetLoggerStatement(NetLoggerConnection& conn) : conn_(conn) {}
 
   std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
-    const glue::Schema& schema = conn_.context().schemaManager->schema();
-    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    // Parse through the gateway's shared plan cache: repeated polls of
+    // the same SQL reuse one SelectStatement + GLUE binding (E14).
+    const std::shared_ptr<const ParsedQuery> plan =
+        parseQuery(sql, conn_.context());
+    const ParsedQuery& q = *plan;
     const glue::GroupMapping* mapping =
         conn_.schemaMap().findGroup(q.group().name());
     if (mapping == nullptr) {

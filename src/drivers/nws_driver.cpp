@@ -3,6 +3,7 @@
 #include <map>
 
 #include "gridrm/agents/nws_agent.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::drivers {
@@ -114,8 +115,11 @@ class NwsStatement final : public dbc::BaseStatement {
   explicit NwsStatement(NwsConnection& conn) : conn_(conn) {}
 
   std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
-    const glue::Schema& schema = conn_.context().schemaManager->schema();
-    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    // Parse through the gateway's shared plan cache: repeated polls of
+    // the same SQL reuse one SelectStatement + GLUE binding (E14).
+    const std::shared_ptr<const ParsedQuery> plan =
+        parseQuery(sql, conn_.context());
+    const ParsedQuery& q = *plan;
     if (!util::iequals(q.group().name(), "NetworkForecast")) {
       throw SqlError(ErrorCode::NoSuchTable,
                      "NWS sources serve only the NetworkForecast group");

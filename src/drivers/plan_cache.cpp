@@ -1,0 +1,116 @@
+#include "gridrm/drivers/plan_cache.hpp"
+
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::drivers {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+template <typename T>
+std::shared_ptr<const T> PlanCache::LruMap<T>::get(const std::string& key) {
+  auto it = entries.find(key);
+  if (it == entries.end()) return nullptr;
+  lru.splice(lru.begin(), lru, it->second.lruIt);  // mark most recent
+  return it->second.plan;
+}
+
+template <typename T>
+void PlanCache::LruMap<T>::put(const std::string& key,
+                               std::shared_ptr<const T> plan,
+                               std::size_t capacity,
+                               std::uint64_t& evictions) {
+  auto it = entries.find(key);
+  if (it != entries.end()) {  // lost a race with another parser: refresh
+    it->second.plan = std::move(plan);
+    lru.splice(lru.begin(), lru, it->second.lruIt);
+    return;
+  }
+  lru.push_front(key);
+  entries[key] = Node{std::move(plan), lru.begin()};
+  while (entries.size() > capacity && !lru.empty()) {
+    entries.erase(lru.back());
+    lru.pop_back();
+    ++evictions;
+  }
+}
+
+std::shared_ptr<const ParsedQuery> PlanCache::parse(
+    const std::string& sql, const glue::SchemaManager& schemas) {
+  const std::uint64_t generation = schemas.generation();
+  {
+    std::scoped_lock lock(mu_);
+    if (generation != boundGeneration_) {
+      // Schema reloaded: every bound plan holds GroupDef pointers into
+      // the previous Schema and must go.
+      bound_.clear();
+      boundGeneration_ = generation;
+      ++stats_.invalidations;
+    }
+    if (auto plan = bound_.get(sql)) {
+      ++stats_.hits;
+      return plan;
+    }
+    ++stats_.misses;
+  }
+  // Parse outside the lock: concurrent misses on different SQL texts
+  // must not serialise on the cache mutex. A duplicate parse on the
+  // same text is a benign race; put() keeps one winner.
+  auto plan = std::make_shared<const ParsedQuery>(
+      ParsedQuery::parse(sql, schemas.schema()));
+  std::scoped_lock lock(mu_);
+  if (generation == boundGeneration_) {
+    bound_.put(sql, plan, capacity_, stats_.evictions);
+  }
+  return plan;
+}
+
+std::shared_ptr<const sql::SelectStatement> PlanCache::statement(
+    const std::string& sql) {
+  {
+    std::scoped_lock lock(mu_);
+    if (auto plan = statements_.get(sql)) {
+      ++stats_.statementHits;
+      return plan;
+    }
+    ++stats_.statementMisses;
+  }
+  std::shared_ptr<const sql::SelectStatement> plan;
+  try {
+    plan = std::make_shared<const sql::SelectStatement>(sql::parseSelect(sql));
+  } catch (const sql::ParseError& e) {
+    throw dbc::SqlError(dbc::ErrorCode::Syntax, e.what());
+  }
+  std::scoped_lock lock(mu_);
+  statements_.put(sql, plan, capacity_, stats_.evictions);
+  return plan;
+}
+
+void PlanCache::clear() {
+  std::scoped_lock lock(mu_);
+  bound_.clear();
+  statements_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::scoped_lock lock(mu_);
+  return bound_.entries.size() + statements_.entries.size();
+}
+
+std::shared_ptr<const ParsedQuery> parseQuery(const std::string& sql,
+                                              const DriverContext& ctx) {
+  if (ctx.planCache != nullptr && ctx.schemaManager != nullptr) {
+    return ctx.planCache->parse(sql, *ctx.schemaManager);
+  }
+  const glue::Schema& schema = ctx.schemaManager != nullptr
+                                   ? ctx.schemaManager->schema()
+                                   : glue::Schema::builtin();
+  return std::make_shared<const ParsedQuery>(ParsedQuery::parse(sql, schema));
+}
+
+}  // namespace gridrm::drivers

@@ -2,6 +2,7 @@
 
 #include "gridrm/agents/snmp_agent.hpp"
 #include "gridrm/agents/snmp_codec.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::drivers {
@@ -96,8 +97,11 @@ class SnmpStatement final : public dbc::BaseStatement {
   explicit SnmpStatement(SnmpConnection& conn) : conn_(conn) {}
 
   std::unique_ptr<dbc::ResultSet> executeQuery(const std::string& sql) override {
-    const glue::Schema& schema = conn_.context().schemaManager->schema();
-    ParsedQuery q = ParsedQuery::parse(sql, schema);
+    // Parse through the gateway's shared plan cache: repeated polls of
+    // the same SQL reuse one SelectStatement + GLUE binding (E14).
+    const std::shared_ptr<const ParsedQuery> parsed =
+        parseQuery(sql, conn_.context());
+    const ParsedQuery& q = *parsed;
     const glue::GroupMapping* mapping =
         conn_.schemaMap().findGroup(q.group().name());
     if (mapping == nullptr) {

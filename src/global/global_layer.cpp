@@ -116,12 +116,13 @@ std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
   return entry->address;
 }
 
-std::unique_ptr<dbc::VectorResultSet> GlobalLayer::queryRemote(
+std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
     const std::string& urlText, const std::string& sql, bool useCache) {
   // Inter-gateway cache: identical key space as local source caching.
+  // Hits share the cached row storage directly (zero-copy, E14).
   const std::string cacheKey = core::CacheController::key(urlText, sql);
   if (useCache) {
-    if (auto cached = gateway_.cache().lookup(cacheKey)) {
+    if (auto cached = gateway_.cache().lookupShared(cacheKey)) {
       std::scoped_lock lock(mu_);
       ++stats_.remoteCacheHits;
       return cached;
@@ -153,8 +154,9 @@ std::unique_ptr<dbc::VectorResultSet> GlobalLayer::queryRemote(
   if (util::startsWith(response, "ERR ")) {
     throw SqlError(ErrorCode::Generic, "remote: " + response.substr(4));
   }
-  auto rows = dbc::deserializeResultSet(response);
-  if (useCache) gateway_.cache().insert(cacheKey, *rows);
+  std::shared_ptr<const dbc::VectorResultSet> rows =
+      dbc::deserializeResultSet(response);
+  if (useCache) gateway_.cache().insert(cacheKey, rows);
   return rows;
 }
 
@@ -203,7 +205,7 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
           continue;
         }
         result.servedFromCache += local.servedFromCache;
-        appendRows(urlText, *local.rows);
+        appendRows(urlText, local.rows->underlying());
       } else {
         auto remote = queryRemote(urlText, sql, options.useCache);
         if (options.recordHistory) {
@@ -225,8 +227,9 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
     columns.push_back(
         dbc::ColumnInfo{"Source", util::ValueType::String, "", ""});
   }
-  result.rows = std::make_unique<dbc::VectorResultSet>(
-      dbc::ResultSetMetaData(std::move(columns)), std::move(rows));
+  result.rows = std::make_unique<dbc::SharedResultSet>(
+      std::make_shared<const dbc::VectorResultSet>(
+          dbc::ResultSetMetaData(std::move(columns)), std::move(rows)));
   return result;
 }
 

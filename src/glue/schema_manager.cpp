@@ -17,6 +17,11 @@ std::optional<AttributeMapping> GroupMapping::find(
   return it->second;
 }
 
+void SchemaManager::setSchema(const Schema* schema) {
+  schema_.store(schema != nullptr ? schema : &Schema::builtin());
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
 GroupMapping& DriverSchemaMap::group(const std::string& groupName) {
   const std::string key = util::toLower(groupName);
   auto it = groups_.find(key);

@@ -1,5 +1,7 @@
 #include "gridrm/sql/parser.hpp"
 
+#include <atomic>
+
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::sql {
@@ -392,12 +394,21 @@ Statement parse(const std::string& text) {
   return Parser(text).parseStatement();
 }
 
+namespace {
+std::atomic<std::uint64_t> gParseSelectCount{0};
+}  // namespace
+
 SelectStatement parseSelect(const std::string& text) {
+  gParseSelectCount.fetch_add(1, std::memory_order_relaxed);
   Statement stmt = parse(text);
   if (stmt.kind != StatementKind::Select) {
     throw ParseError("expected a SELECT statement", 0);
   }
   return std::move(stmt.select);
+}
+
+std::uint64_t parseSelectCount() noexcept {
+  return gParseSelectCount.load(std::memory_order_relaxed);
 }
 
 }  // namespace gridrm::sql

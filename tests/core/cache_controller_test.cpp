@@ -83,7 +83,8 @@ TEST(CacheControllerTest, InsertReplacesExisting) {
 
 TEST(CacheControllerTest, LruEvictionAtCapacity) {
   util::SimClock clock;
-  CacheController cache(clock, 60 * kSecond, /*maxEntries=*/3);
+  // One shard so the LRU order is global and the eviction deterministic.
+  CacheController cache(clock, 60 * kSecond, /*maxEntries=*/3, /*shards=*/1);
   cache.insert("a", *rows(1));
   cache.insert("b", *rows(1));
   cache.insert("c", *rows(1));
@@ -94,6 +95,70 @@ TEST(CacheControllerTest, LruEvictionAtCapacity) {
   EXPECT_NE(cache.lookup("c"), nullptr);
   EXPECT_NE(cache.lookup("d"), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheControllerTest, ShardedStatsAggregateAcrossShards) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond, /*maxEntries=*/64, /*shards=*/8);
+  EXPECT_EQ(cache.shardCount(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    cache.insert("key" + std::to_string(i), *rows(1));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(cache.lookup("key" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(cache.lookup("absent"), nullptr);
+  // Counters live per shard; stats() must present the whole cache.
+  EXPECT_EQ(cache.size(), 20u);
+  EXPECT_EQ(cache.stats().insertions, 20u);
+  EXPECT_EQ(cache.stats().hits, 20u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheControllerTest, ShardCountClampedToAtLeastOne) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond, /*maxEntries=*/4, /*shards=*/0);
+  EXPECT_EQ(cache.shardCount(), 1u);
+  cache.insert("k", *rows(1));
+  EXPECT_NE(cache.lookup("k"), nullptr);
+}
+
+TEST(CacheControllerTest, HitsShareRowStorageZeroCopy) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  cache.insert("k", *rows(4));
+  auto a = cache.lookup("k");
+  auto b = cache.lookup("k");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Two hits must read the *same* underlying rows, not two deep copies:
+  // pointer identity of the shared storage and of the row vector.
+  EXPECT_EQ(a->shared().get(), b->shared().get());
+  EXPECT_EQ(&a->rows(), &b->rows());
+}
+
+TEST(CacheControllerTest, SharedInsertAdoptsStorageWithoutCopy) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  std::shared_ptr<const dbc::VectorResultSet> storage = rows(3);
+  cache.insert("k", storage);
+  auto hit = cache.lookupShared("k");
+  ASSERT_NE(hit, nullptr);
+  // The cache serves the exact object the producer published.
+  EXPECT_EQ(hit.get(), storage.get());
+}
+
+TEST(CacheControllerTest, CursorSurvivesEviction) {
+  util::SimClock clock;
+  CacheController cache(clock, 60 * kSecond);
+  cache.insert("k", *rows(2));
+  auto cursor = cache.lookup("k");
+  ASSERT_NE(cursor, nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  // The cursor keeps its shared storage alive past the eviction.
+  ASSERT_TRUE(cursor->next());
+  EXPECT_EQ(cursor->get(0).asInt(), 0);
 }
 
 TEST(CacheControllerTest, InvalidateAndClear) {
@@ -114,6 +179,19 @@ TEST(CacheControllerTest, CachedAtReportsStoreTime) {
   EXPECT_FALSE(cache.cachedAt("k").has_value());
   cache.insert("k", *rows(1));
   EXPECT_EQ(cache.cachedAt("k"), 100 * kSecond);
+}
+
+TEST(CacheControllerTest, CachedAtReturnsNulloptOnceExpired) {
+  // Regression: cachedAt used to report the store time of entries whose
+  // TTL had already lapsed, so the tree view labelled dead data as
+  // merely old. Expired entries must read as absent.
+  util::SimClock clock(100 * kSecond);
+  CacheController cache(clock, 5 * kSecond);
+  cache.insert("k", *rows(1));
+  clock.advance(4 * kSecond);
+  EXPECT_TRUE(cache.cachedAt("k").has_value());
+  clock.advance(2 * kSecond);  // past the 5s TTL
+  EXPECT_FALSE(cache.cachedAt("k").has_value());
 }
 
 TEST(CacheControllerTest, KeyCombinesUrlAndSql) {

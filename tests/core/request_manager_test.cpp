@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
 #include <thread>
 
 #include "gridrm/drivers/mock_driver.hpp"
+#include "gridrm/drivers/plan_cache.hpp"
+#include "gridrm/sql/parser.hpp"
 
 namespace gridrm::core {
 namespace {
@@ -430,6 +433,186 @@ TEST(RequestManagerIsolationTest, DeadlineMissesTripBreaker) {
   EXPECT_EQ(driver->queryCalls(), 2u);
   EXPECT_EQ(f.rm.stats().deadlineMisses, 2u);
   driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerHotPathTest, ResultSharesCachedStorageZeroCopy) {
+  Fixture f;
+  f.addDriver(MockBehaviour{});
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+  QueryResult first = f.rm.queryOne(f.monitor, url, sql);
+  QueryResult second = f.rm.queryOne(f.monitor, url, sql);
+  ASSERT_NE(first.rows, nullptr);
+  ASSERT_NE(second.rows, nullptr);
+  EXPECT_EQ(second.servedFromCache, 1u);
+  // The cache adopted the driver result's storage and the hit re-shares
+  // it: both cursors read the very same rows, no deep copy anywhere.
+  EXPECT_EQ(first.rows->shared().get(), second.rows->shared().get());
+  EXPECT_EQ(&first.rows->rows(), &second.rows->rows());
+}
+
+TEST(RequestManagerHotPathTest, StampedeOnColdKeyIssuesOneSourceRequest) {
+  Fixture f;
+  MockBehaviour b;
+  b.queryLatencyUs = 50 * kMillisecond;
+  b.blockOnDelay = true;  // the leader parks until the clock advances
+  auto driver = f.addDriver(b);
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT * FROM Processor";
+
+  constexpr int kClients = 16;
+  std::atomic<int> started{0};
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      ++started;
+      return f.rm.queryOne(f.monitor, url, sql);
+    }));
+  }
+  // Every client is running and the leader is parked inside the driver;
+  // give the followers a moment to queue on the flight, then release.
+  ASSERT_TRUE(waitFor(
+      [&] { return started.load() == kClients && driver->queryCalls() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  f.clock.advance(60 * kMillisecond);
+
+  std::vector<QueryResult> results;
+  for (auto& fut : futures) results.push_back(fut.get());
+
+  // The whole stampede reached the agent exactly once.
+  EXPECT_EQ(driver->queryCalls(), 1u);
+  std::size_t cacheHits = 0;
+  const dbc::VectorResultSet* storage = nullptr;
+  for (auto& r : results) {
+    ASSERT_TRUE(r.complete());
+    ASSERT_NE(r.rows, nullptr);
+    EXPECT_EQ(r.rows->rowCount(), 1u);
+    cacheHits += r.servedFromCache;
+    if (storage == nullptr) storage = r.rows->shared().get();
+    // One driver execution fanned out to every client without a copy:
+    // leader, followers and any cache-served straggler share storage.
+    EXPECT_EQ(r.rows->shared().get(), storage);
+  }
+  const auto stats = f.rm.stats();
+  EXPECT_EQ(stats.coalescedQueries + cacheHits,
+            static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_GE(stats.coalescedQueries, 1u);
+}
+
+TEST(RequestManagerHotPathTest, CoalescedFollowersShareLeaderFailure) {
+  Fixture f;
+  MockBehaviour b;
+  b.queryLatencyUs = 50 * kMillisecond;
+  b.blockOnDelay = true;
+  b.failQueriesFrom = 0;  // every contact fails (after the delay)
+  auto driver = f.addDriver(b);
+
+  constexpr int kClients = 4;
+  std::atomic<int> started{0};
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      ++started;
+      return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                           "SELECT * FROM Processor");
+    }));
+  }
+  ASSERT_TRUE(waitFor(
+      [&] { return started.load() == kClients && driver->queryCalls() >= 1; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  f.clock.advance(60 * kMillisecond);
+
+  for (auto& fut : futures) {
+    QueryResult r = fut.get();
+    EXPECT_FALSE(r.complete());
+    ASSERT_EQ(r.failures.size(), 1u);
+    EXPECT_NE(r.failures[0].message.find("scripted failure"),
+              std::string::npos);
+  }
+  // The leader's failure was shared; followers did not retry the source.
+  EXPECT_EQ(driver->queryCalls(), 1u);
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerHotPathTest, CoalesceDisabledContactsSourcePerClient) {
+  RequestManagerTuning tuning;
+  tuning.coalesce = false;
+  Fixture f(tuning);
+  MockBehaviour b;
+  b.queryLatencyUs = 50 * kMillisecond;
+  b.blockOnDelay = true;
+  auto driver = f.addDriver(b);
+
+  constexpr int kClients = 4;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                           "SELECT * FROM Processor");
+    }));
+  }
+  // With single flight off, every concurrent miss reaches the driver.
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == kClients; }));
+  f.clock.advance(60 * kMillisecond);
+  for (auto& fut : futures) {
+    QueryResult r = fut.get();
+    EXPECT_TRUE(r.complete());
+  }
+  EXPECT_EQ(driver->queryCalls(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(f.rm.stats().coalescedQueries, 0u);
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerHotPathTest, PollsBypassCoalescingAndAlwaysContactSource) {
+  Fixture f;
+  MockBehaviour b;
+  b.queryLatencyUs = 50 * kMillisecond;
+  b.blockOnDelay = true;
+  auto driver = f.addDriver(b);
+  QueryOptions options;
+  options.useCache = false;  // the SitePoller's contract
+
+  constexpr int kClients = 3;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < kClients; ++i) {
+    futures.push_back(std::async(std::launch::async, [&] {
+      return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                           "SELECT * FROM Processor", options);
+    }));
+  }
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == kClients; }));
+  f.clock.advance(60 * kMillisecond);
+  for (auto& fut : futures) (void)fut.get();
+  EXPECT_EQ(driver->queryCalls(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(f.rm.stats().coalescedQueries, 0u);
+  driver->releaseBlockedQueries();
+}
+
+TEST(RequestManagerHotPathTest, PlanCacheParsesSqlOnceAcrossRepeatedRuns) {
+  Fixture f;
+  drivers::PlanCache plans;
+  f.rm.setPlanCache(&plans);
+  f.ctx.planCache = &plans;  // before addDriver: the driver copies ctx
+  auto driver = f.addDriver(MockBehaviour{});
+  QueryOptions options;
+  options.useCache = false;  // force a driver execution every time
+  const std::string url = "jdbc:mock://h/x";
+  const std::string sql = "SELECT HostName, Load1 FROM Processor";
+
+  (void)f.rm.queryOne(f.monitor, url, sql, options);  // cold: parses
+  const std::uint64_t parsesAfterFirst = sql::parseSelectCount();
+  for (int i = 0; i < 9; ++i) {
+    QueryResult r = f.rm.queryOne(f.monitor, url, sql, options);
+    EXPECT_TRUE(r.complete());
+  }
+  EXPECT_EQ(driver->queryCalls(), 10u);
+  // Nine further executions — each passing the RequestManager's group
+  // check AND the driver's own parse — add zero parseSelect calls.
+  EXPECT_EQ(sql::parseSelectCount(), parsesAfterFirst);
+  const auto stats = plans.stats();
+  EXPECT_GE(stats.hits, 9u);
+  EXPECT_GE(stats.statementHits, 9u);
 }
 
 }  // namespace

@@ -1,0 +1,268 @@
+// PlanCache unit + property tests (E14 satellite): repeated parses hit
+// the cache and return the identical immutable plan, schema reloads
+// invalidate every bound plan, and a cached plan is byte-identical to a
+// fresh parse for randomly generated statements.
+#include "gridrm/drivers/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../sql/expr_generator.hpp"
+#include "gridrm/glue/schema_manager.hpp"
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::drivers {
+namespace {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+
+const char* kSql = "SELECT Load1 FROM Processor WHERE Load1 > 1";
+
+/// A schema that (re)defines Processor, distinct from the builtin one.
+glue::Schema processorOnlySchema() {
+  glue::Schema s;
+  s.addGroup(glue::GroupDef(
+      "Processor", {{"HostName", util::ValueType::String, "", ""},
+                    {"Load1", util::ValueType::Real, "", ""}}));
+  return s;
+}
+
+/// Group "t" matching the ExprGenerator's column universe.
+glue::Schema generatorSchema() {
+  glue::Schema s;
+  s.addGroup(glue::GroupDef(
+      "t", {{"host", util::ValueType::String, "", ""},
+            {"cluster", util::ValueType::String, "", ""},
+            {"load1", util::ValueType::Real, "", ""},
+            {"load5", util::ValueType::Real, "", ""},
+            {"cpus", util::ValueType::Int, "", ""},
+            {"mem", util::ValueType::Int, "", ""}}));
+  return s;
+}
+
+TEST(PlanCacheTest, RepeatedParseReturnsSameBoundPlan) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  auto a = plans.parse(kSql, schemas);
+  auto b = plans.parse(kSql, schemas);
+  ASSERT_NE(a, nullptr);
+  // Not just equivalent: the very same immutable plan object.
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(plans.stats().misses, 1u);
+  EXPECT_EQ(plans.stats().hits, 1u);
+  EXPECT_EQ(&a->group(), glue::Schema::builtin().findGroup("Processor"));
+}
+
+TEST(PlanCacheTest, RepeatedParseLexesSqlTextOnlyOnce) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  (void)plans.parse(kSql, schemas);
+  const std::uint64_t parsesAfterFirst = sql::parseSelectCount();
+  for (int i = 0; i < 10; ++i) (void)plans.parse(kSql, schemas);
+  // The whole point of the cache: no further trips through the parser.
+  EXPECT_EQ(sql::parseSelectCount(), parsesAfterFirst);
+  EXPECT_EQ(plans.stats().hits, 10u);
+}
+
+TEST(PlanCacheTest, StatementCacheReturnsSameParseTree) {
+  PlanCache plans;
+  auto a = plans.statement(kSql);
+  auto b = plans.statement(kSql);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->table, "Processor");
+  EXPECT_EQ(plans.stats().statementMisses, 1u);
+  EXPECT_EQ(plans.stats().statementHits, 1u);
+}
+
+TEST(PlanCacheTest, SchemaReloadInvalidatesBoundPlans) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  auto before = plans.parse(kSql, schemas);
+  (void)plans.statement(kSql);
+
+  const glue::Schema reloaded = processorOnlySchema();
+  schemas.setSchema(&reloaded);
+
+  auto after = plans.parse(kSql, schemas);
+  ASSERT_NE(after, nullptr);
+  // The stale plan held GroupDef pointers into the old schema; the new
+  // one must be a fresh parse bound against the reloaded schema.
+  EXPECT_NE(after.get(), before.get());
+  EXPECT_EQ(&after->group(), reloaded.findGroup("Processor"));
+  EXPECT_EQ(plans.stats().invalidations, 1u);
+  EXPECT_EQ(plans.stats().misses, 2u);
+  // Statement-only plans carry no schema binding and survive reloads.
+  EXPECT_EQ(plans.statement(kSql)->table, "Processor");
+  EXPECT_EQ(plans.stats().statementHits, 1u);
+}
+
+TEST(PlanCacheTest, SchemaReloadNeverServesStalePlanForDroppedGroup) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  ASSERT_NE(plans.parse(kSql, schemas), nullptr);
+
+  glue::Schema withoutProcessor;  // empty: Processor no longer exists
+  schemas.setSchema(&withoutProcessor);
+  try {
+    (void)plans.parse(kSql, schemas);
+    FAIL() << "expected NoSuchTable after the group was dropped";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NoSuchTable);
+  }
+  // Restoring the builtin schema (generation bump) binds afresh again.
+  schemas.setSchema(nullptr);
+  auto restored = plans.parse(kSql, schemas);
+  EXPECT_EQ(&restored->group(),
+            glue::Schema::builtin().findGroup("Processor"));
+}
+
+TEST(PlanCacheTest, CapacityEvictsLeastRecentlyUsedPlan) {
+  glue::SchemaManager schemas;
+  PlanCache plans(/*capacity=*/2);
+  auto a = plans.parse("SELECT Load1 FROM Processor", schemas);
+  (void)plans.parse("SELECT Load5 FROM Processor", schemas);
+  (void)plans.parse("SELECT CPUCount FROM Processor", schemas);  // evicts a
+  EXPECT_EQ(plans.stats().evictions, 1u);
+  EXPECT_EQ(plans.size(), 2u);
+  auto a2 = plans.parse("SELECT Load1 FROM Processor", schemas);
+  EXPECT_NE(a2.get(), a.get());  // was evicted, re-parsed
+  EXPECT_EQ(plans.stats().misses, 4u);
+}
+
+TEST(PlanCacheTest, ParseErrorsAreNotCached) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  for (int i = 0; i < 2; ++i) {
+    try {
+      (void)plans.parse("SELEC nonsense", schemas);
+      FAIL() << "expected a syntax error";
+    } catch (const SqlError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Syntax);
+    }
+    try {
+      (void)plans.statement("SELEC nonsense");
+      FAIL() << "expected a syntax error";
+    } catch (const SqlError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Syntax);
+    }
+  }
+  // Bad SQL never occupies a slot (and never turns into a false hit).
+  EXPECT_EQ(plans.size(), 0u);
+  EXPECT_EQ(plans.stats().hits, 0u);
+  EXPECT_EQ(plans.stats().statementHits, 0u);
+}
+
+TEST(PlanCacheTest, ParseQueryFallsBackToFreshParseWithoutCache) {
+  DriverContext ctx;  // no planCache, no schemaManager
+  auto a = parseQuery(kSql, ctx);
+  auto b = parseQuery(kSql, ctx);
+  ASSERT_NE(a, nullptr);
+  EXPECT_NE(a.get(), b.get());  // uncached: fresh parse per call
+  EXPECT_EQ(&a->group(), glue::Schema::builtin().findGroup("Processor"));
+
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  ctx.schemaManager = &schemas;
+  ctx.planCache = &plans;
+  auto c = parseQuery(kSql, ctx);
+  auto d = parseQuery(kSql, ctx);
+  EXPECT_EQ(c.get(), d.get());  // cached: shared plan
+  EXPECT_EQ(plans.stats().hits, 1u);
+}
+
+// Property: for random well-formed SELECTs, the plan served from the
+// cache renders byte-identically to a plan parsed fresh from the same
+// text -- before and after a schema reload -- and computes the same
+// needed-attribute set.
+class PlanCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanCacheProperty, CachedPlanIsByteIdenticalToFreshParse) {
+  const glue::Schema tschema = generatorSchema();
+  glue::SchemaManager schemas(&tschema);
+  PlanCache plans;
+  sql::ExprGenerator gen(GetParam() * 613 + 29);
+
+  for (int round = 0; round < 20; ++round) {
+    const std::string sqlText = gen.genSelect().toSql();
+    SCOPED_TRACE("sql=" + sqlText);
+
+    if (round == 10) {
+      // Mid-run reload: every cached binding must be rebuilt, and the
+      // rebuilt plans must still match fresh parses exactly.
+      schemas.setSchema(&tschema);
+    }
+
+    const auto cached = plans.parse(sqlText, schemas);
+    const ParsedQuery fresh = ParsedQuery::parse(sqlText, schemas.schema());
+    EXPECT_EQ(cached->statement().toSql(), fresh.statement().toSql());
+    EXPECT_EQ(cached->neededAttributes(), fresh.neededAttributes());
+    EXPECT_EQ(&cached->group(), &fresh.group());
+
+    // The statement cache agrees with a direct parser run, byte for
+    // byte, and a second lookup serves the identical tree.
+    const auto stmt = plans.statement(sqlText);
+    EXPECT_EQ(stmt->toSql(), sql::parseSelect(sqlText).toSql());
+    EXPECT_EQ(plans.statement(sqlText).get(), stmt.get());
+    EXPECT_EQ(plans.parse(sqlText, schemas).get(), cached.get());
+  }
+  EXPECT_GE(plans.stats().invalidations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanCacheProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// TSan-targeted stress: concurrent bound/statement parses racing with
+// schema reloads and clear(). Correctness bar: every returned plan is
+// non-null, bound to *some* live schema's Processor group, and renders
+// the SQL it was asked for.
+TEST(PlanCacheTest, ConcurrentParsesRacingSchemaReloadsAreSafe) {
+  const glue::Schema reloaded = processorOnlySchema();
+  glue::SchemaManager schemas;
+  PlanCache plans(/*capacity=*/8);
+
+  std::vector<std::string> texts;
+  for (int i = 0; i < 12; ++i) {
+    texts.push_back("SELECT Load1 FROM Processor WHERE Load1 > " +
+                    std::to_string(i));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 300;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string& sqlText = texts[(t * 7 + i) % texts.size()];
+        if (t == 0 && i % 64 == 0) {
+          schemas.setSchema(i % 128 == 0 ? &reloaded : nullptr);
+        }
+        if (t == 1 && i % 100 == 0) plans.clear();
+        if (i % 2 == 0) {
+          auto plan = plans.parse(sqlText, schemas);
+          ASSERT_NE(plan, nullptr);
+          EXPECT_EQ(plan->group().name(), "Processor");
+          EXPECT_EQ(plan->statement().table, "Processor");
+        } else {
+          auto stmt = plans.statement(sqlText);
+          ASSERT_NE(stmt, nullptr);
+          EXPECT_EQ(stmt->table, "Processor");
+        }
+        (void)plans.stats();
+        (void)plans.size();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const PlanCacheStats stats = plans.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.statementHits +
+                stats.statementMisses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace gridrm::drivers

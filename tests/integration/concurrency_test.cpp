@@ -104,6 +104,91 @@ TEST_F(ConcurrencyTest, PoolUnderContentionNeverOverCreates) {
             static_cast<std::uint64_t>(kThreads * kQueriesEach));
 }
 
+TEST_F(ConcurrencyTest, CacheStampedeSharesOneSourceContactPerKey) {
+  // All threads hammer one (url, sql) key with caching on. Every call
+  // is served exactly one way -- shared cached rows, a coalesced ride
+  // on the in-flight leader, or a leader contact of its own -- so the
+  // three counters partition the total and source contacts stay tiny.
+  constexpr int kThreads = 8;
+  constexpr int kQueriesEach = 50;
+  const std::string url = site_->headUrl("snmp");
+  std::atomic<int> ok{0};
+  {
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        const std::string session = gateway_->openSession(
+            Principal::monitor("hot" + std::to_string(t)));
+        for (int i = 0; i < kQueriesEach; ++i) {
+          auto result = gateway_->submitQuery(
+              session, {url}, "SELECT HostName, Load1 FROM Processor");
+          if (result.complete() && result.rows->rowCount() > 0) ++ok;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  constexpr int kTotal = kThreads * kQueriesEach;
+  EXPECT_EQ(ok.load(), kTotal);
+  const auto rmStats = gateway_->requestManager().stats();
+  const auto cacheStats = gateway_->cache().stats();
+  const auto poolStats = gateway_->connectionManager().stats();
+  EXPECT_EQ(cacheStats.hits + rmStats.coalescedQueries + poolStats.acquisitions,
+            static_cast<std::uint64_t>(kTotal));
+  // One lease per leader; leaders are bounded by the initial stampede.
+  EXPECT_GE(poolStats.acquisitions, 1u);
+  EXPECT_LE(poolStats.acquisitions, static_cast<std::uint64_t>(kThreads));
+  EXPECT_GE(cacheStats.hits, static_cast<std::uint64_t>(kTotal - 2 * kThreads));
+}
+
+TEST_F(ConcurrencyTest, ShardedCacheSurvivesConcurrentClearsAndLookups) {
+  // Clients spread over several keys while an admin thread clears and
+  // invalidates the sharded cache and reads its aggregated stats. The
+  // serve-path partition must stay exact through the churn.
+  constexpr int kThreads = 6;
+  constexpr int kQueriesEach = 60;
+  const std::string url = site_->headUrl("snmp");
+  std::atomic<int> ok{0};
+  std::atomic<bool> stop{false};
+  std::thread admin([&] {
+    while (!stop.load()) {
+      gateway_->cache().invalidate(
+          CacheController::key(url, "SELECT HostName, Load1 FROM Processor"));
+      gateway_->cache().clear();
+      (void)gateway_->cache().stats();
+      (void)gateway_->cache().size();
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&, t] {
+        const std::string session = gateway_->openSession(
+            Principal::monitor("churn" + std::to_string(t)));
+        for (int i = 0; i < kQueriesEach; ++i) {
+          // A few distinct keys so shards are exercised unevenly.
+          const std::string sql =
+              "SELECT HostName, Load1 FROM Processor WHERE Load1 > -" +
+              std::to_string(i % 4 + 1);
+          auto result = gateway_->submitQuery(session, {url}, sql);
+          if (result.complete() && result.rows->rowCount() > 0) ++ok;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+  }
+  stop = true;
+  admin.join();
+  constexpr int kTotal = kThreads * kQueriesEach;
+  EXPECT_EQ(ok.load(), kTotal);
+  const auto rmStats = gateway_->requestManager().stats();
+  const auto cacheStats = gateway_->cache().stats();
+  const auto poolStats = gateway_->connectionManager().stats();
+  EXPECT_EQ(cacheStats.hits + rmStats.coalescedQueries + poolStats.acquisitions,
+            static_cast<std::uint64_t>(kTotal));
+}
+
 TEST_F(ConcurrencyTest, EventsFromConcurrentProducers) {
   constexpr int kProducers = 6;
   constexpr int kEventsEach = 200;

@@ -1,0 +1,208 @@
+// Random well-formed SQL generator shared by the SQL round-trip
+// property tests and the plan-cache byte-identity tests. Everything it
+// emits references table "t" with the columns below, so callers can
+// bind the output against a matching GLUE group.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/util/random.hpp"
+
+namespace gridrm::sql {
+
+/// Columns the generator may reference, with their type class.
+inline constexpr const char* kNumericCols[] = {"load1", "load5", "cpus",
+                                               "mem"};
+inline constexpr const char* kStringCols[] = {"host", "cluster"};
+
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// A random boolean-valued expression.
+  ExprPtr genPredicate(int depth) {
+    if (depth <= 0) return genLeafPredicate();
+    switch (rng_.below(6)) {
+      case 0:
+        return Expr::makeBinary(BinOp::And, genPredicate(depth - 1),
+                                genPredicate(depth - 1));
+      case 1:
+        return Expr::makeBinary(BinOp::Or, genPredicate(depth - 1),
+                                genPredicate(depth - 1));
+      case 2:
+        return Expr::makeUnary(UnOp::Not, genPredicate(depth - 1));
+      default:
+        return genLeafPredicate();
+    }
+  }
+
+  /// A random numeric-valued expression.
+  ExprPtr genNumeric(int depth) {
+    if (depth <= 0 || rng_.chance(0.4)) {
+      if (rng_.chance(0.5)) {
+        return Expr::makeColumn(
+            "", kNumericCols[rng_.below(std::size(kNumericCols))]);
+      }
+      if (rng_.chance(0.5)) {
+        return Expr::makeLiteral(
+            util::Value(static_cast<std::int64_t>(rng_.below(20)) - 5));
+      }
+      return Expr::makeLiteral(util::Value(rng_.uniform(-2.0, 6.0)));
+    }
+    static constexpr BinOp kOps[] = {BinOp::Add, BinOp::Sub, BinOp::Mul,
+                                     BinOp::Div, BinOp::Mod};
+    return Expr::makeBinary(kOps[rng_.below(std::size(kOps))],
+                            genNumeric(depth - 1), genNumeric(depth - 1));
+  }
+
+  /// A random full SELECT with GROUP BY / ORDER BY / LIMIT clauses.
+  /// Aggregate-mode statements project only group keys and aggregate
+  /// calls (the engine rejects anything else); star/expression mode
+  /// stays aggregate-free.
+  SelectStatement genSelect() {
+    SelectStatement stmt;
+    stmt.table = "t";
+    if (rng_.chance(0.5)) {
+      // Aggregation: 0 keys = one global group.
+      const std::size_t keys = rng_.below(3);
+      for (std::size_t i = 0; i < keys; ++i) {
+        const char* col = kStringCols[rng_.below(std::size(kStringCols))];
+        stmt.groupBy.push_back(Expr::makeColumn("", col));
+        SelectItem item;
+        item.expr = Expr::makeColumn("", col);
+        stmt.items.push_back(std::move(item));
+      }
+      // Lower-case names match the parser's normalisation, so derived
+      // column labels survive the round trip byte-identically.
+      static const char* kAggs[] = {"count", "sum", "avg", "min", "max"};
+      const std::size_t aggs = 1 + rng_.below(2);
+      for (std::size_t i = 0; i < aggs; ++i) {
+        SelectItem item;
+        if (rng_.chance(0.2)) {
+          item.expr = Expr::makeCall("count", {}, /*starArg=*/true);
+        } else {
+          std::vector<ExprPtr> args;
+          args.push_back(Expr::makeColumn(
+              "", kNumericCols[rng_.below(std::size(kNumericCols))]));
+          item.expr = Expr::makeCall(kAggs[rng_.below(std::size(kAggs))],
+                                     std::move(args));
+        }
+        stmt.items.push_back(std::move(item));
+      }
+    } else if (rng_.chance(0.3)) {
+      stmt.items.push_back(SelectItem{});  // SELECT *
+    } else {
+      const std::size_t n = 1 + rng_.below(3);
+      for (std::size_t i = 0; i < n; ++i) {
+        SelectItem item;
+        item.expr = rng_.chance(0.5)
+                        ? Expr::makeColumn("", kNumericCols[rng_.below(
+                                                   std::size(kNumericCols))])
+                        : genNumeric(2);
+        stmt.items.push_back(std::move(item));
+      }
+    }
+    if (rng_.chance(0.6)) stmt.where = genPredicate(2);
+    const std::size_t orderKeys = rng_.below(3);
+    for (std::size_t i = 0; i < orderKeys; ++i) {
+      OrderKey key;
+      if (!stmt.items.empty() && !stmt.items[0].isStar() &&
+          rng_.chance(0.7)) {
+        key.expr = stmt.items[rng_.below(stmt.items.size())].expr->clone();
+      } else if (!stmt.groupBy.empty()) {
+        key.expr = stmt.groupBy[rng_.below(stmt.groupBy.size())]->clone();
+      } else {
+        key.expr = Expr::makeColumn(
+            "", kNumericCols[rng_.below(std::size(kNumericCols))]);
+      }
+      key.descending = rng_.chance(0.5);
+      stmt.orderBy.push_back(std::move(key));
+    }
+    if (rng_.chance(0.5)) {
+      stmt.limit = static_cast<std::int64_t>(rng_.below(6));
+    }
+    return stmt;
+  }
+
+  std::map<std::string, util::Value> genRow() {
+    std::map<std::string, util::Value> row;
+    for (const char* c : kNumericCols) {
+      if (rng_.chance(0.15)) {
+        row[c] = util::Value::null();
+      } else if (rng_.chance(0.5)) {
+        row[c] = util::Value(static_cast<std::int64_t>(rng_.below(10)));
+      } else {
+        row[c] = util::Value(rng_.uniform(0.0, 8.0));
+      }
+    }
+    static const char* kHosts[] = {"siteA-node00", "siteA-node01",
+                                   "siteB-node00", "weird host"};
+    for (const char* c : kStringCols) {
+      row[c] = rng_.chance(0.1)
+                   ? util::Value::null()
+                   : util::Value(kHosts[rng_.below(std::size(kHosts))]);
+    }
+    return row;
+  }
+
+ private:
+  ExprPtr genLeafPredicate() {
+    switch (rng_.below(5)) {
+      case 0: {  // numeric comparison
+        static constexpr BinOp kCmp[] = {BinOp::Eq, BinOp::Ne, BinOp::Lt,
+                                         BinOp::Le, BinOp::Gt, BinOp::Ge};
+        return Expr::makeBinary(kCmp[rng_.below(std::size(kCmp))],
+                                genNumeric(1), genNumeric(1));
+      }
+      case 1: {  // LIKE
+        static const char* kPatterns[] = {"siteA-%", "%node%", "weird_host",
+                                          "%", "nomatch"};
+        return Expr::makeBinary(
+            BinOp::Like,
+            Expr::makeColumn("", kStringCols[rng_.below(2)]),
+            Expr::makeLiteral(
+                util::Value(kPatterns[rng_.below(std::size(kPatterns))])));
+      }
+      case 2: {  // IS [NOT] NULL
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::IsNull;
+        e->negated = rng_.chance(0.5);
+        e->children.push_back(Expr::makeColumn(
+            "", kNumericCols[rng_.below(std::size(kNumericCols))]));
+        return e;
+      }
+      case 3: {  // BETWEEN
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Between;
+        e->negated = rng_.chance(0.3);
+        e->children.push_back(genNumeric(1));
+        e->children.push_back(Expr::makeLiteral(
+            util::Value(static_cast<std::int64_t>(rng_.below(4)))));
+        e->children.push_back(Expr::makeLiteral(
+            util::Value(static_cast<std::int64_t>(4 + rng_.below(6)))));
+        return e;
+      }
+      default: {  // IN list
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::InList;
+        e->negated = rng_.chance(0.3);
+        e->children.push_back(Expr::makeColumn(
+            "", kNumericCols[rng_.below(std::size(kNumericCols))]));
+        const std::size_t n = 1 + rng_.below(4);
+        for (std::size_t i = 0; i < n; ++i) {
+          e->children.push_back(Expr::makeLiteral(
+              util::Value(static_cast<std::int64_t>(rng_.below(10)))));
+        }
+        return e;
+      }
+    }
+  }
+
+  util::Rng rng_;
+};
+
+}  // namespace gridrm::sql
