@@ -1,20 +1,34 @@
 #!/usr/bin/env bash
-# Run every benchmark binary and leave machine-readable results next to
-# this script as BENCH_<tag>.json (Google Benchmark's JSON format).
+# Run every benchmark binary and leave machine-readable results as
+# BENCH_<tag>.json (Google Benchmark's JSON format).
 #
 # Usage: bench/run_all.sh [build-dir] [output-dir]
 #   build-dir   defaults to ./build (binaries in <build-dir>/bench)
-#   output-dir  defaults to the current directory
+#   output-dir  defaults to the repository root (next to EXPERIMENTS.md,
+#               which quotes these results) -- the convention CI's
+#               bench-smoke job and the E-series tables rely on
+#
+# Environment:
+#   BENCH_REPS      --benchmark_repetitions (default 1)
+#   BENCH_MIN_TIME  --benchmark_min_time, e.g. 0.01 for a smoke run
+#                   (plain seconds — portable across benchmark library
+#                   versions; unset = Google Benchmark's default)
 set -euo pipefail
 
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-build}"
-out_dir="${2:-.}"
+out_dir="${2:-${repo_root}}"
 bench_dir="${build_dir}/bench"
 
 if [[ ! -d "${bench_dir}" ]]; then
   echo "error: ${bench_dir} not found; build first:" >&2
   echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
   exit 1
+fi
+
+extra_args=()
+if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+  extra_args+=("--benchmark_min_time=${BENCH_MIN_TIME}")
 fi
 
 mkdir -p "${out_dir}"
@@ -26,7 +40,8 @@ for bin in "${bench_dir}"/bench_*; do
   out="${out_dir}/BENCH_${tag}.json"
   echo "== ${tag} -> ${out}"
   if ! "${bin}" --benchmark_out="${out}" --benchmark_out_format=json \
-      --benchmark_repetitions="${BENCH_REPS:-1}"; then
+      --benchmark_repetitions="${BENCH_REPS:-1}" \
+      ${extra_args[@]+"${extra_args[@]}"}; then
     echo "warn: ${tag} failed" >&2
     status=1
   fi

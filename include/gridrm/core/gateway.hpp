@@ -23,6 +23,7 @@
 #include "gridrm/core/driver_manager.hpp"
 #include "gridrm/core/event_manager.hpp"
 #include "gridrm/core/request_manager.hpp"
+#include "gridrm/core/scheduler.hpp"
 #include "gridrm/core/security.hpp"
 #include "gridrm/core/session_manager.hpp"
 #include "gridrm/drivers/driver_common.hpp"
@@ -51,6 +52,17 @@ struct GatewayOptions {
   /// deployments may prefer lazy validation (poisoned-on-failure).
   bool validatePooledConnections = true;
   std::size_t queryWorkers = 4;
+  /// Workers in the gateway-wide priority scheduler (fan-out attempts,
+  /// site polls, stream delta dispatch, global relay). 0 = inherit
+  /// queryWorkers.
+  std::size_t schedulerWorkers = 0;
+  /// Admission bound per scheduler lane: beyond this depth, Background
+  /// work defers to the next tick and Interactive work fails fast with
+  /// ErrorCode::Overloaded.
+  std::size_t schedulerMaxQueueDepth = 512;
+  /// Percentage of contended dispatch slots granted to Background work
+  /// (anti-starvation weight; 0 = strict priority).
+  std::size_t schedulerBackgroundShare = 25;
   /// Default per-source deadline for real-time queries; 0 = unbounded.
   util::Duration queryDeadline = 0;
   /// Default hedge delay; 0 = off, kHedgeAuto = per-source EWMA p95.
@@ -76,6 +88,8 @@ struct GatewayOptions {
   ///   query.workers, query.deadline_ms, query.hedge_delay_ms ("auto"
   ///   derives the delay from each source's latency EWMA),
   ///   query.coalesce (single-flight identical cache misses),
+  ///   scheduler.workers (defaults to query.workers),
+  ///   scheduler.max_queue_depth, scheduler.background_share,
   ///   plan_cache.capacity,
   ///   breaker.failure_threshold, breaker.cooldown_ms,
   ///   drivers.register_defaults,
@@ -124,6 +138,9 @@ class Gateway {
   /// Introspect the slow-source isolation layer: per-source breaker
   /// state, failure counters and latency EWMAs.
   std::vector<SourceHealthSnapshot> sourceHealth(const std::string& token);
+  /// Introspect the gateway-wide scheduler: per-lane queue depth, wait
+  /// times, executed/cancelled/rejected counters.
+  SchedulerStats schedulerStats(const std::string& token);
 
   // --- ACIL: events ---------------------------------------------------
   std::size_t subscribeEvents(const std::string& token,
@@ -176,6 +193,7 @@ class Gateway {
     return streamEngine_;
   }
   RequestManager& requestManager() noexcept { return *requestManager_; }
+  Scheduler& scheduler() noexcept { return *scheduler_; }
   SessionManager& sessionManager() noexcept { return sessions_; }
   store::Database& database() noexcept { return db_; }
   CoarseSecurityLayer& coarseSecurity() noexcept { return cgsl_; }
@@ -210,6 +228,10 @@ class Gateway {
   stream::ContinuousQueryEngine streamEngine_;
   std::unique_ptr<EventManager> eventManager_;
   std::unique_ptr<RequestManager> requestManager_;
+  /// Declared after every subsystem that submits to or runs on it:
+  /// destroying the gateway joins the scheduler's workers first, while
+  /// the engines and managers their queued tasks touch are still alive.
+  std::unique_ptr<Scheduler> scheduler_;
   std::size_t streamEventListenerId_ = 0;
 
   mutable std::mutex sourcesMu_;

@@ -19,9 +19,9 @@
 #include "gridrm/core/cache_controller.hpp"
 #include "gridrm/core/circuit_breaker.hpp"
 #include "gridrm/core/connection_manager.hpp"
+#include "gridrm/core/scheduler.hpp"
 #include "gridrm/core/security.hpp"
 #include "gridrm/store/database.hpp"
-#include "gridrm/util/thread_pool.hpp"
 
 namespace gridrm::drivers {
 class PlanCache;
@@ -50,6 +50,10 @@ struct QueryOptions {
   /// µs and take whichever result lands first, kHedgeAuto = derive the
   /// delay from the source's latency EWMA.
   util::Duration hedgeDelay = kInheritTiming;
+  /// Scheduler lane the fan-out attempts run on. Client queries stay on
+  /// Interactive; pollers and the Global relay set Background so their
+  /// source contacts yield to latency-critical work.
+  Lane lane = Lane::Interactive;
 };
 
 /// Gateway-level defaults and isolation policy for the RequestManager
@@ -70,6 +74,10 @@ struct RequestManagerTuning {
 struct SourceError {
   std::string url;
   std::string message;
+  /// Machine-readable class of the failure, so callers can distinguish
+  /// a shed request (Overloaded), an open breaker (Unavailable) or a
+  /// missed deadline (Timeout) without parsing the message.
+  dbc::ErrorCode code = dbc::ErrorCode::Generic;
 };
 
 struct QueryResult {
@@ -94,16 +102,26 @@ struct RequestManagerStats {
   std::uint64_t hedgeWins = 0;       // hedge attempt delivered the result
   std::uint64_t breakerSkips = 0;    // sources skipped: circuit open
   std::uint64_t coalescedQueries = 0;  // misses served by another in flight
+  std::uint64_t overloadRejections = 0;  // attempts shed: scheduler full
 };
 
 class RequestManager {
  public:
   /// `historyDb` may be null (no historical support); `workers` sizes
-  /// the fan-out pool for multi-source queries; `tuning` carries the
-  /// gateway's slow-source isolation policy.
+  /// a privately owned Scheduler for the fan-out of multi-source
+  /// queries; `tuning` carries the gateway's slow-source isolation
+  /// policy.
   RequestManager(ConnectionManager& connections, CacheController& cache,
                  const FineSecurityLayer& fgsl, store::Database* historyDb,
                  util::Clock& clock, std::size_t workers = 4,
+                 RequestManagerTuning tuning = {});
+
+  /// Share the Gateway-owned Scheduler instead of owning a pool: every
+  /// fan-out attempt competes in the gateway-wide priority lanes. The
+  /// scheduler must outlive this RequestManager.
+  RequestManager(ConnectionManager& connections, CacheController& cache,
+                 const FineSecurityLayer& fgsl, store::Database* historyDb,
+                 util::Clock& clock, Scheduler& scheduler,
                  RequestManagerTuning tuning = {});
 
   RequestManager(const RequestManager&) = delete;
@@ -152,6 +170,10 @@ class RequestManager {
     return health_;
   }
   const RequestManagerTuning& tuning() const noexcept { return tuning_; }
+
+  /// The scheduler fan-out attempts run on (gateway-shared or owned).
+  /// Pollers submit their background work here too.
+  Scheduler& scheduler() noexcept { return *scheduler_; }
 
   /// Optional shared parsed-plan cache; used for the per-query group
   /// (table) lookup here, and exported to pollers. Null = parse fresh.
@@ -223,11 +245,15 @@ class RequestManager {
   RequestManagerTuning tuning_;
   drivers::PlanCache* planCache_ = nullptr;
   SourceHealthRegistry health_;
-  util::ThreadPool pool_;
+  Scheduler* scheduler_;
   mutable std::mutex mu_;
   RequestManagerStats stats_;
   std::mutex inflightMu_;
   std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+  /// Backing store for the workers-count constructor. Declared last so
+  /// its destructor joins the workers while every member their tasks
+  /// touch (stats, inflight map, health registry) is still alive.
+  std::unique_ptr<Scheduler> ownedScheduler_;
 };
 
 }  // namespace gridrm::core

@@ -1,0 +1,178 @@
+// The Gateway-wide task scheduler: one bounded worker pool shared by
+// every execution path that used to run on its own thread or pool —
+// RequestManager fan-out attempts, SitePoller polls, continuous-query
+// delta dispatch and Global-layer relayed queries.
+//
+// Work is classed into weighted priority lanes (Interactive > Hedge >
+// Background) so a burst of background polls can never starve a
+// latency-critical client query — the query-vs-producer contention
+// R-GMA reported after deployment. Queued work is cancellable through
+// CancelTokens (a met deadline, a settled hedge race or an open breaker
+// kills attempts before they waste a pooled connection), and admission
+// is bounded: beyond `maxQueueDepth` per lane, submit() refuses and the
+// caller sheds load (Background work defers to the next tick,
+// Interactive work fails fast with ErrorCode::Overloaded).
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::core {
+
+/// Priority lanes, highest first. Interactive carries client query
+/// attempts, Hedge carries speculative duplicate attempts (they must
+/// not outrank the primaries they race), Background carries site
+/// polls, stream delta dispatch and global relay work.
+enum class Lane : int { Interactive = 0, Hedge = 1, Background = 2 };
+
+inline constexpr std::size_t kLaneCount = 3;
+
+const char* laneName(Lane lane) noexcept;
+
+/// Copyable cancellation handle shared between a task's submitter and
+/// the scheduler. Cancelling is advisory for running tasks (they are
+/// never interrupted) but definitive for queued ones: the scheduler
+/// drops them at dispatch without running them.
+class CancelToken {
+ public:
+  /// Default-constructed tokens are inert: never cancelled, cancel()
+  /// is a no-op. Use make() for a live token.
+  CancelToken() = default;
+
+  static CancelToken make() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+  bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+  bool valid() const noexcept { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct SchedulerOptions {
+  std::size_t workers = 4;
+  /// Admission bound per lane: submit() returns false once a lane holds
+  /// this many queued entries.
+  std::size_t maxQueueDepth = 512;
+  /// Percentage of contended dispatches granted to Background work when
+  /// higher lanes also have runnable entries (anti-starvation weight).
+  /// 0 = strict priority, 100 = Background wins every contended slot.
+  std::size_t backgroundShare = 25;
+};
+
+struct LaneStats {
+  std::uint64_t submitted = 0;  // accepted by submit()
+  std::uint64_t executed = 0;
+  std::uint64_t cancelled = 0;  // dropped before running
+  std::uint64_t rejected = 0;   // admission refused (queue full/stopped)
+  std::uint64_t queued = 0;     // current depth
+  std::uint64_t maxQueued = 0;
+  util::Duration totalWait = 0;  // enqueue -> dispatch, clock time
+  util::Duration maxWait = 0;
+};
+
+struct SchedulerStats {
+  std::array<LaneStats, kLaneCount> lanes;
+
+  const LaneStats& lane(Lane l) const noexcept {
+    return lanes[static_cast<std::size_t>(l)];
+  }
+};
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  Scheduler(util::Clock& clock, SchedulerOptions options = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueue `task` on `lane`. Returns false (and drops the task)
+  /// when the lane is at maxQueueDepth or the scheduler has stopped —
+  /// never throws. `blocking` marks a task that may wait for *other*
+  /// tasks of this scheduler (a poll or relayed query whose fan-out
+  /// submits attempts back here): at most workers-1 blocking tasks run
+  /// concurrently, so one worker always remains to drain the leaf work
+  /// they wait on.
+  bool submit(Lane lane, Task task, CancelToken token = {},
+              bool blocking = false);
+
+  /// Stop admission, drain queued Interactive and Hedge work, cancel
+  /// queued Background work, and join the workers. Idempotent.
+  void shutdown();
+  bool stopped() const;
+
+  /// Block until every queue is empty and no task is running.
+  void waitIdle();
+  bool idle() const;
+
+  SchedulerStats stats() const;
+  std::size_t workerCount() const noexcept { return threads_.size(); }
+  const SchedulerOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Entry {
+    Task task;
+    CancelToken token;
+    bool blocking = false;
+    util::TimePoint enqueuedAt = 0;
+  };
+
+  void workerLoop();
+  /// Pick the next runnable entry honouring lane weights, the blocking
+  /// cap and cancellation (cancelled entries are pruned and counted).
+  /// Caller holds mu_.
+  bool pickLocked(Entry& out, Lane& outLane);
+  /// Pop the first runnable entry of one lane; prunes cancelled
+  /// entries encountered on the way. Caller holds mu_.
+  bool popEligibleLocked(Lane lane, Entry& out);
+  /// True when the lane holds at least one runnable entry; prunes
+  /// cancelled entries. Caller holds mu_.
+  bool hasEligibleLocked(Lane lane);
+  bool queuesEmptyLocked() const;
+
+  std::deque<Entry>& queue(Lane lane) {
+    return queues_[static_cast<std::size_t>(lane)];
+  }
+  LaneStats& laneStats(Lane lane) {
+    return stats_.lanes[static_cast<std::size_t>(lane)];
+  }
+
+  util::Clock& clock_;
+  SchedulerOptions options_;
+  std::size_t blockingCap_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<Entry>, kLaneCount> queues_;
+  SchedulerStats stats_;
+  std::size_t running_ = 0;
+  std::size_t runningBlocking_ = 0;
+  /// Anti-starvation credit in percent: accumulates backgroundShare on
+  /// every contended dispatch; >= 100 buys Background one slot.
+  std::size_t bgCredit_ = 0;
+  bool stopped_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gridrm::core

@@ -12,6 +12,8 @@
 // after each tick that polled something.
 #pragma once
 
+#include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -37,6 +39,7 @@ struct SitePollerStats {
   std::uint64_t alertsRaised = 0;
   std::uint64_t rowsStreamed = 0;  // rows handed to the stream engine
   std::uint64_t pollsSkippedOpen = 0;  // tasks skipped: circuit open
+  std::uint64_t pollsDeferred = 0;  // scheduler full: retried next tick
 };
 
 class SitePoller {
@@ -62,7 +65,12 @@ class SitePoller {
   std::size_t removeTasks(const std::string& url);
   std::size_t taskCount() const;
 
-  /// Run every task whose interval has elapsed; returns polls executed.
+  /// Run every task whose interval has elapsed and wait for them to
+  /// finish; returns polls executed. The due polls are submitted to the
+  /// RequestManager's scheduler as Background tasks, so they run in
+  /// parallel with each other and yield to interactive queries. A poll
+  /// the saturated scheduler refuses is deferred (`pollsDeferred`) and
+  /// becomes due again on the next tick.
   std::size_t tick();
 
   /// Drive the poller across a stretch of (simulated) time: advance the
@@ -81,6 +89,19 @@ class SitePoller {
     util::TimePoint lastRun = 0;
     bool everRun = false;
   };
+  /// Completion rendezvous for one tick's submitted polls. Held through
+  /// a shared_ptr so a poll cancelled at scheduler shutdown (which
+  /// never decrements `pending`) leaves no dangling waiter state.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = 0;
+    std::size_t executed = 0;
+  };
+
+  /// One poll, run on a scheduler worker: breaker gate, source query,
+  /// cache refresh, stream feed, stats.
+  void runPoll(const PollTask& task, Batch& batch);
 
   RequestManager& requestManager_;
   util::Clock& clock_;

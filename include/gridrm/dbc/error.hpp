@@ -25,6 +25,7 @@ enum class ErrorCode : int {
   Unsupported,      // URL not accepted / feature outside the subset
   Translation,      // native -> GLUE translation failure
   Unavailable,      // source degraded: circuit breaker open
+  Overloaded,       // gateway shed the request: scheduler queue full
 };
 
 const char* errorCodeName(ErrorCode code) noexcept;
@@ -71,6 +72,8 @@ inline const char* errorCodeName(ErrorCode code) noexcept {
       return "TRANSLATION";
     case ErrorCode::Unavailable:
       return "UNAVAILABLE";
+    case ErrorCode::Overloaded:
+      return "OVERLOADED";
   }
   return "?";
 }

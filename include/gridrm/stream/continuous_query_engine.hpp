@@ -37,6 +37,11 @@ namespace gridrm::stream {
 class ContinuousQueryEngine {
  public:
   using DeltaConsumer = std::function<void(const StreamDelta&)>;
+  /// Hands a queued-delta drain off the producing thread (the Gateway
+  /// submits it to its scheduler's Background lane). Returns false when
+  /// the executor refused the work — the engine then drains inline, so
+  /// delivery degrades to the producing thread instead of stalling.
+  using Dispatcher = std::function<bool(std::function<void()>)>;
 
   /// `history` may be null (no replay-on-subscribe support).
   ContinuousQueryEngine(util::Clock& clock, StreamOptions defaults = {},
@@ -45,6 +50,12 @@ class ContinuousQueryEngine {
 
   ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
   ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
+
+  /// Route consumer drains through an external executor instead of the
+  /// producing thread (a poller or event dispatcher no longer pays for
+  /// slow consumers). Null restores inline delivery. The owner must
+  /// clear or outlive the dispatcher's executor.
+  void setDispatcher(Dispatcher dispatcher);
 
   /// Register a continuous query. `sourceUrl` restricts matching to one
   /// data source (exact URL or bare host; "" or "*" = every source).
@@ -116,11 +127,15 @@ class ContinuousQueryEngine {
   /// Drain the queue of a callback subscription, invoking the consumer
   /// outside the lock.
   void drainConsumer(std::size_t id);
+  /// Schedule a drain through the dispatcher, falling back to an inline
+  /// drain when no dispatcher is set or it refuses the task.
+  void dispatchDrain(std::size_t id);
   void replayHistory(Subscription& sub);
 
   util::Clock& clock_;
   StreamOptions defaults_;
   store::Database* history_;
+  Dispatcher dispatcher_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::map<std::size_t, std::unique_ptr<Subscription>> subscriptions_;

@@ -22,7 +22,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result. A submission
+  /// after shutdown is rejected rather than fatal: the task is dropped
+  /// and the returned future reports std::future_errc::broken_promise —
+  /// a late straggler (a hedge or poll racing gateway teardown) must
+  /// not abort the process.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -32,7 +36,7 @@ class ThreadPool {
     {
       std::scoped_lock lock(mu_);
       if (stopped_) {
-        throw std::runtime_error("ThreadPool: submit after shutdown");
+        return fut;  // `task` dies here: the future sees broken_promise
       }
       queue_.emplace_back([task] { (*task)(); });
     }

@@ -40,6 +40,14 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
         util::kMillisecond;
   }
   o.coalesceQueries = config.getBool("query.coalesce", o.coalesceQueries);
+  o.schedulerWorkers = static_cast<std::size_t>(config.getInt(
+      "scheduler.workers", static_cast<std::int64_t>(o.schedulerWorkers)));
+  o.schedulerMaxQueueDepth = static_cast<std::size_t>(
+      config.getInt("scheduler.max_queue_depth",
+                    static_cast<std::int64_t>(o.schedulerMaxQueueDepth)));
+  o.schedulerBackgroundShare = static_cast<std::size_t>(
+      config.getInt("scheduler.background_share",
+                    static_cast<std::int64_t>(o.schedulerBackgroundShare)));
   o.planCacheCapacity = static_cast<std::size_t>(config.getInt(
       "plan_cache.capacity", static_cast<std::int64_t>(o.planCacheCapacity)));
   o.breaker.failureThreshold = static_cast<std::size_t>(
@@ -133,15 +141,31 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
               util::Value(severityName(event.severity)),
               util::Value(fields)}});
       });
+  // One scheduler for every execution path: fan-out attempts, polls,
+  // stream delta dispatch and relayed global queries all compete in
+  // the same weighted priority lanes.
+  SchedulerOptions schedulerOptions;
+  schedulerOptions.workers = options_.schedulerWorkers != 0
+                                 ? options_.schedulerWorkers
+                                 : options_.queryWorkers;
+  schedulerOptions.maxQueueDepth = options_.schedulerMaxQueueDepth;
+  schedulerOptions.backgroundShare = options_.schedulerBackgroundShare;
+  scheduler_ = std::make_unique<Scheduler>(clock_, schedulerOptions);
+
   RequestManagerTuning tuning;
   tuning.defaultDeadline = options_.queryDeadline;
   tuning.defaultHedgeDelay = options_.queryHedgeDelay;
   tuning.coalesce = options_.coalesceQueries;
   tuning.breaker = options_.breaker;
   requestManager_ = std::make_unique<RequestManager>(
-      connections_, cache_, fgsl_, &db_, clock_, options_.queryWorkers,
-      tuning);
+      connections_, cache_, fgsl_, &db_, clock_, *scheduler_, tuning);
   requestManager_->setPlanCache(&planCache_);
+  // Consumer drains leave the producing thread (pollers, the event
+  // dispatcher) and run as Background work; if the scheduler sheds the
+  // drain, the engine falls back to inline delivery.
+  streamEngine_.setDispatcher([this](std::function<void()> drain) {
+    return scheduler_->submit(Lane::Background, std::move(drain));
+  });
 
   if (options_.registerDefaultDrivers) {
     drivers::registerDefaultDrivers(registry_, driverContext());
@@ -153,6 +177,11 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
 Gateway::~Gateway() {
   eventManager_->removeListener(streamEventListenerId_);
   network_.unbind(eventAddress());
+  // Quiesce the executor before members unwind: queued drains and polls
+  // must not outlive the engines they touch, and the stream engine must
+  // not hand new drains to a dying scheduler.
+  streamEngine_.setDispatcher(nullptr);
+  scheduler_->shutdown();
 }
 
 drivers::DriverContext Gateway::driverContext() noexcept {
@@ -210,6 +239,11 @@ std::vector<SourceHealthSnapshot> Gateway::sourceHealth(
     const std::string& token) {
   (void)authorize(token, Operation::RealTimeQuery);
   return requestManager_->sourceHealth().snapshot();
+}
+
+SchedulerStats Gateway::schedulerStats(const std::string& token) {
+  (void)authorize(token, Operation::RealTimeQuery);
+  return scheduler_->stats();
 }
 
 std::size_t Gateway::subscribeEvents(const std::string& token,

@@ -25,11 +25,32 @@ RequestManager::RequestManager(ConnectionManager& connections,
       clock_(clock),
       tuning_(tuning),
       health_(clock, tuning.breaker),
-      pool_(workers) {}
+      scheduler_(nullptr),
+      ownedScheduler_(std::make_unique<Scheduler>(
+          clock, SchedulerOptions{.workers = workers})) {
+  scheduler_ = ownedScheduler_.get();
+}
+
+RequestManager::RequestManager(ConnectionManager& connections,
+                               CacheController& cache,
+                               const FineSecurityLayer& fgsl,
+                               store::Database* historyDb, util::Clock& clock,
+                               Scheduler& scheduler,
+                               RequestManagerTuning tuning)
+    : connections_(connections),
+      cache_(cache),
+      fgsl_(fgsl),
+      historyDb_(historyDb),
+      clock_(clock),
+      tuning_(tuning),
+      health_(clock, tuning.breaker),
+      scheduler_(&scheduler) {}
 
 namespace {
 
 constexpr const char kDeadlineExceeded[] = "deadline exceeded";
+constexpr const char kOverloaded[] =
+    "gateway overloaded: scheduler queue full";
 
 }  // namespace
 
@@ -62,6 +83,10 @@ struct RequestManager::FanOutState {
 struct RequestManager::SourceSlot {
   std::string url;
   util::TimePoint startedAt = 0;
+  /// Shared by the slot's primary and hedge attempt: cancelled when the
+  /// slot settles (a win, an overload shed or a deadline seal), so a
+  /// still-queued sibling attempt is dropped before it runs.
+  CancelToken cancel;
   std::mutex mu;  // guards everything below
   bool done = false;
   bool abandoned = false;  // collector gave up; late results are dropped
@@ -265,9 +290,18 @@ void RequestManager::submitAttempt(const std::shared_ptr<FanOutState>& state,
                                    int attempt, const Principal& principal,
                                    const std::string& sql,
                                    const QueryOptions& options) {
+  // Hedge attempts ride their own lane: they must never outrank the
+  // primaries they race, but a Background caller's hedge stays
+  // Background (a poll's retry is not suddenly latency-critical).
+  const Lane lane =
+      attempt == 1
+          ? (options.lane == Lane::Background ? Lane::Background : Lane::Hedge)
+          : options.lane;
   // Everything is captured by value / shared_ptr: an attempt that
   // outlives the deadline must never touch the caller's stack.
-  (void)pool_.submit([this, state, slot, attempt, principal, sql, options] {
+  const bool accepted = scheduler_->submit(
+      lane,
+      [this, state, slot, attempt, principal, sql, options] {
     const util::TimePoint start = clock_.now();
     std::shared_ptr<const dbc::VectorResultSet> rows;
     std::string error;
@@ -310,11 +344,41 @@ void RequestManager::submitAttempt(const std::shared_ptr<FanOutState>& state,
       recordAttemptHealth(slot->url, success, code, elapsed);
     }
     if (won) {
+      // The race is settled: a sibling attempt still queued behind
+      // this one is dead weight — cancel it before it runs.
+      slot->cancel.cancel();
       std::scoped_lock lock(state->mu);
       --state->remaining;
       state->cv.notify_all();
     }
-  });
+      },
+      slot->cancel);
+
+  if (accepted) return;
+  // Admission refused: the scheduler queue is saturated (or shutting
+  // down). Shed this attempt instead of queueing unboundedly.
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.overloadRejections;
+  }
+  if (attempt == 1) return;  // a shed hedge leaves the primary racing alone
+  bool lost = false;
+  {
+    std::scoped_lock lock(slot->mu);
+    if (!slot->done && !slot->abandoned) {
+      slot->done = true;
+      slot->winner = attempt;
+      slot->error = kOverloaded;
+      slot->errorCode = ErrorCode::Overloaded;
+      lost = true;
+    }
+  }
+  if (lost) {
+    slot->cancel.cancel();
+    std::scoped_lock lock(state->mu);
+    --state->remaining;
+    state->cv.notify_all();
+  }
 }
 
 std::vector<std::shared_ptr<RequestManager::SourceSlot>>
@@ -331,6 +395,7 @@ RequestManager::fanOut(const Principal& principal,
     auto slot = std::make_shared<SourceSlot>();
     slot->url = url;
     slot->startedAt = t0;
+    slot->cancel = CancelToken::make();
     slots.push_back(std::move(slot));
   }
   for (const auto& slot : slots) {
@@ -340,10 +405,23 @@ RequestManager::fanOut(const Principal& principal,
   const bool hasDeadline = deadline > 0;
   const util::TimePoint deadlineAt = t0 + deadline;
   const bool hedging = hedgeDelay > 0 || hedgeDelay == kHedgeAuto;
+  bool aborted = false;  // scheduler stopped while attempts were pending
 
   if (!hasDeadline && !hedging) {
-    std::unique_lock lock(state->mu);
-    state->cv.wait(lock, [&] { return state->remaining == 0; });
+    // No deadline to poll the clock for, but the wait must still notice
+    // a stopping scheduler: shutdown cancels queued Background attempts,
+    // and a cancelled attempt never decrements `remaining`.
+    for (;;) {
+      std::unique_lock lock(state->mu);
+      if (state->remaining == 0) break;
+      state->cv.wait_for(lock, std::chrono::milliseconds(1));
+      if (state->remaining == 0) break;
+      lock.unlock();
+      if (scheduler_->stopped()) {
+        aborted = true;
+        break;
+      }
+    }
   } else {
     // Deadline/hedge decisions depend on the injected Clock, which may
     // be simulated and advanced by another thread, so the collector
@@ -357,6 +435,13 @@ RequestManager::fanOut(const Principal& principal,
       }
       const util::TimePoint now = clock_.now();
       if (hasDeadline && now >= deadlineAt) break;
+      // A stopping scheduler cancels queued Background attempts, so a
+      // Background-lane collector (a poll, a relayed query) must not
+      // wait for completions that will never come.
+      if (scheduler_->stopped()) {
+        aborted = true;
+        break;
+      }
       if (!hedging) continue;
       for (const auto& slot : slots) {
         bool launch = false;
@@ -387,13 +472,26 @@ RequestManager::fanOut(const Principal& principal,
   // late attempts are dropped, and charge the miss to the breaker.
   std::vector<std::string> missed;
   for (const auto& slot : slots) {
-    std::scoped_lock lock(slot->mu);
-    if (!slot->done) {
-      slot->abandoned = true;
-      slot->error = kDeadlineExceeded;
-      slot->errorCode = ErrorCode::Timeout;
-      missed.push_back(slot->url);
+    bool sealed = false;
+    {
+      std::scoped_lock lock(slot->mu);
+      if (!slot->done) {
+        slot->abandoned = true;
+        if (aborted) {
+          // Teardown, not slowness: no breaker/deadline accounting.
+          slot->error = "gateway scheduler stopped";
+          slot->errorCode = ErrorCode::Overloaded;
+        } else {
+          slot->error = kDeadlineExceeded;
+          slot->errorCode = ErrorCode::Timeout;
+          missed.push_back(slot->url);
+        }
+        sealed = true;
+      }
     }
+    // A sealed slot's attempts are dead: a queued one is dropped by
+    // the scheduler before it ever claims a pooled connection.
+    if (sealed) slot->cancel.cancel();
   }
   if (!missed.empty()) {
     for (const auto& url : missed) health_.recordFailure(url);
@@ -436,7 +534,7 @@ QueryResult RequestManager::queryOne(const Principal& principal,
       if (!coalesced) {
         recordAttemptHealth(url, false, e.code(), clock_.now() - start);
       }
-      result.failures.push_back(SourceError{url, e.what()});
+      result.failures.push_back(SourceError{url, e.what(), e.code()});
       std::scoped_lock lock(mu_);
       ++stats_.sourceErrors;
       if (e.code() == ErrorCode::Unavailable) ++stats_.breakerSkips;
@@ -455,7 +553,7 @@ QueryResult RequestManager::queryOne(const Principal& principal,
       ++stats_.hedgeWins;
     }
   } else {
-    result.failures.push_back(SourceError{url, slot.error});
+    result.failures.push_back(SourceError{url, slot.error, slot.errorCode});
     std::scoped_lock lock(mu_);
     ++stats_.sourceErrors;
     if (slot.errorCode == ErrorCode::Unavailable) ++stats_.breakerSkips;
@@ -520,7 +618,7 @@ QueryResult RequestManager::query(const Principal& principal,
     SourceSlot& p = *slotPtr;
     std::scoped_lock slotLock(p.mu);
     if (p.rows == nullptr) {
-      result.failures.push_back(SourceError{p.url, p.error});
+      result.failures.push_back(SourceError{p.url, p.error, p.errorCode});
       std::scoped_lock lock(mu_);
       ++stats_.sourceErrors;
       if (p.errorCode == ErrorCode::Unavailable) ++stats_.breakerSkips;

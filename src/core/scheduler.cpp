@@ -1,0 +1,202 @@
+#include "gridrm/core/scheduler.hpp"
+
+namespace gridrm::core {
+
+const char* laneName(Lane lane) noexcept {
+  switch (lane) {
+    case Lane::Interactive:
+      return "interactive";
+    case Lane::Hedge:
+      return "hedge";
+    case Lane::Background:
+      return "background";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(util::Clock& clock, SchedulerOptions options)
+    : clock_(clock), options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.maxQueueDepth == 0) options_.maxQueueDepth = 1;
+  if (options_.backgroundShare > 100) options_.backgroundShare = 100;
+  // Leave one worker free of blocking tasks: a poll that fans out and
+  // waits for its attempts can never consume the last worker those
+  // attempts need to run (nested-submission deadlock).
+  blockingCap_ = options_.workers > 1 ? options_.workers - 1 : 1;
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+bool Scheduler::submit(Lane lane, Task task, CancelToken token,
+                       bool blocking) {
+  if (task == nullptr) return false;
+  {
+    std::scoped_lock lock(mu_);
+    LaneStats& stats = laneStats(lane);
+    if (stopped_ || queue(lane).size() >= options_.maxQueueDepth) {
+      ++stats.rejected;
+      return false;
+    }
+    ++stats.submitted;
+    queue(lane).push_back(
+        Entry{std::move(task), std::move(token), blocking, clock_.now()});
+    stats.queued = queue(lane).size();
+    if (stats.queued > stats.maxQueued) stats.maxQueued = stats.queued;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Scheduler::shutdown() {
+  {
+    std::scoped_lock lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Queued Background work is cancelled rather than drained: polls
+    // and delta dispatches are periodic and a dying gateway owes them
+    // nothing. Interactive and Hedge entries stay queued — workers
+    // drain them so clients already admitted still get answers.
+    LaneStats& bg = laneStats(Lane::Background);
+    for (Entry& entry : queue(Lane::Background)) {
+      entry.token.cancel();
+      ++bg.cancelled;
+    }
+    queue(Lane::Background).clear();
+    bg.queued = 0;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool Scheduler::stopped() const {
+  std::scoped_lock lock(mu_);
+  return stopped_;
+}
+
+bool Scheduler::queuesEmptyLocked() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+void Scheduler::waitIdle() {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [&] { return queuesEmptyLocked() && running_ == 0; });
+}
+
+bool Scheduler::idle() const {
+  std::scoped_lock lock(mu_);
+  return queuesEmptyLocked() && running_ == 0;
+}
+
+bool Scheduler::hasEligibleLocked(Lane lane) {
+  auto& q = queue(lane);
+  for (auto it = q.begin(); it != q.end();) {
+    if (it->token.cancelled()) {
+      ++laneStats(lane).cancelled;
+      it = q.erase(it);
+      continue;
+    }
+    if (!it->blocking || runningBlocking_ < blockingCap_) return true;
+    ++it;
+  }
+  laneStats(lane).queued = q.size();
+  return false;
+}
+
+bool Scheduler::popEligibleLocked(Lane lane, Entry& out) {
+  auto& q = queue(lane);
+  for (auto it = q.begin(); it != q.end();) {
+    if (it->token.cancelled()) {
+      ++laneStats(lane).cancelled;
+      it = q.erase(it);
+      continue;
+    }
+    if (!it->blocking || runningBlocking_ < blockingCap_) {
+      out = std::move(*it);
+      q.erase(it);
+      LaneStats& stats = laneStats(lane);
+      stats.queued = q.size();
+      const util::Duration wait = clock_.now() - out.enqueuedAt;
+      if (wait > 0) {
+        stats.totalWait += wait;
+        if (wait > stats.maxWait) stats.maxWait = wait;
+      }
+      return true;
+    }
+    ++it;
+  }
+  laneStats(lane).queued = q.size();
+  return false;
+}
+
+bool Scheduler::pickLocked(Entry& out, Lane& outLane) {
+  // Weighted dispatch: strict priority, except that when Background
+  // and a higher lane are both runnable, Background accrues credit and
+  // periodically wins a slot so a steady interactive load can never
+  // starve the harvesting that keeps the recent-status view fresh.
+  std::array<Lane, kLaneCount> order{Lane::Interactive, Lane::Hedge,
+                                     Lane::Background};
+  const bool bgRunnable = hasEligibleLocked(Lane::Background);
+  const bool hiRunnable = hasEligibleLocked(Lane::Interactive) ||
+                          hasEligibleLocked(Lane::Hedge);
+  if (bgRunnable && hiRunnable && options_.backgroundShare > 0) {
+    bgCredit_ += options_.backgroundShare;
+    if (bgCredit_ >= 100) {
+      bgCredit_ -= 100;
+      order = {Lane::Background, Lane::Interactive, Lane::Hedge};
+    }
+  }
+  for (Lane lane : order) {
+    if (popEligibleLocked(lane, out)) {
+      outLane = lane;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::workerLoop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    Entry entry;
+    Lane lane = Lane::Interactive;
+    if (pickLocked(entry, lane)) {
+      ++running_;
+      if (entry.blocking) ++runningBlocking_;
+      lock.unlock();
+      try {
+        entry.task();
+      } catch (...) {
+        // A throwing task must not take the worker down; failures are
+        // reported through the task's own result channel.
+      }
+      entry.task = nullptr;  // release captures before re-locking
+      lock.lock();
+      --running_;
+      if (entry.blocking) --runningBlocking_;
+      ++laneStats(lane).executed;
+      // Wake cap-blocked siblings, waitIdle() and draining shutdown.
+      cv_.notify_all();
+      continue;
+    }
+    // A failed pick pruned every cancelled entry, so empty-or-capped
+    // is now literal: exit only once the drain is genuinely complete.
+    if (stopped_ && queuesEmptyLocked()) return;
+    cv_.wait(lock);
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace gridrm::core

@@ -1,5 +1,7 @@
 #include "gridrm/core/site_poller.hpp"
 
+#include <chrono>
+
 #include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/sql/parser.hpp"
 
@@ -28,10 +30,71 @@ std::size_t SitePoller::taskCount() const {
   return tasks_.size();
 }
 
+void SitePoller::runPoll(const PollTask& task, Batch& batch) {
+  // Skip sources whose breaker is open. Checked at *run* time, not at
+  // submission: a breaker that opened while the poll sat queued still
+  // spares the degraded source. wouldReject() is a pure read, so the
+  // poller never claims the half-open probe away from interactive
+  // queries.
+  if (requestManager_.sourceHealth().wouldReject(task.url)) {
+    std::scoped_lock lock(mu_);
+    ++stats_.pollsSkippedOpen;
+    return;
+  }
+  QueryOptions options;
+  options.useCache = false;  // a poll always contacts the source
+  options.recordHistory = task.recordHistory;
+  options.lane = Lane::Background;  // fan-out attempts yield too
+  QueryResult result =
+      requestManager_.queryOne(principal_, task.url, task.sql, options);
+  {
+    std::scoped_lock lock(batch.mu);
+    ++batch.executed;
+  }
+  if (!result.complete()) {
+    std::scoped_lock lock(mu_);
+    ++stats_.polls;
+    ++stats_.pollFailures;
+    return;
+  }
+  if (task.refreshCache && result.rows != nullptr) {
+    // Hand the fresh rows to the cache so interactive clients get the
+    // "recent status" view without touching the agents (section 4).
+    // The poll result already owns shared row storage, so the cache
+    // adopts it without copying a single row (E14).
+    requestManager_.refreshCache(task.url, task.sql, result.rows->shared());
+  }
+  stream::ContinuousQueryEngine* sink;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.polls;
+    sink = streamSink_;
+  }
+  if (sink != nullptr && result.rows != nullptr) {
+    // The same fresh batch feeds continuous-query subscribers: each
+    // poll refresh is one incremental push toward matching streams.
+    try {
+      drivers::PlanCache* plans = requestManager_.planCache();
+      const std::string table = plans != nullptr
+                                    ? plans->statement(task.sql)->table
+                                    : sql::parseSelect(task.sql).table;
+      sink->onRows(task.url, table, result.rows->metaData(),
+                   result.rows->rows());
+      std::scoped_lock lock(mu_);
+      stats_.rowsStreamed += result.rows->rowCount();
+    } catch (const sql::ParseError&) {
+      // Unparseable task SQL never reaches here (the poll would have
+      // failed), but stay defensive.
+    } catch (const dbc::SqlError&) {
+      // Same guarantee when the plan cache rejects the SQL.
+    }
+  }
+}
+
 std::size_t SitePoller::tick() {
   const util::TimePoint now = clock_.now();
-  // Collect due tasks under the lock; execute them outside it.
-  std::vector<PollTask> due;
+  Scheduler& scheduler = requestManager_.scheduler();
+  auto batch = std::make_shared<Batch>();
   {
     std::scoped_lock lock(mu_);
     ++stats_.ticks;
@@ -40,67 +103,49 @@ std::size_t SitePoller::tick() {
           now - scheduled.lastRun < scheduled.task.interval) {
         continue;
       }
+      {
+        std::scoped_lock blk(batch->mu);
+        ++batch->pending;
+      }
+      const bool accepted = scheduler.submit(
+          Lane::Background,
+          [this, task = scheduled.task, batch] {
+            runPoll(task, *batch);
+            std::scoped_lock blk(batch->mu);
+            --batch->pending;
+            batch->cv.notify_all();
+          },
+          CancelToken{}, /*blocking=*/true);
+      if (!accepted) {
+        // Backpressure: leave lastRun untouched so the poll is due
+        // again next tick instead of piling onto a saturated queue.
+        {
+          std::scoped_lock blk(batch->mu);
+          --batch->pending;
+        }
+        ++stats_.pollsDeferred;
+        continue;
+      }
       scheduled.lastRun = now;
       scheduled.everRun = true;
-      due.push_back(scheduled.task);
     }
   }
 
+  // tick() keeps its synchronous contract: the due polls run in
+  // parallel on the scheduler, but the caller only resumes once they
+  // are done (or the scheduler stopped and cancelled the queued ones).
+  {
+    std::unique_lock blk(batch->mu);
+    while (batch->pending > 0) {
+      batch->cv.wait_for(blk, std::chrono::milliseconds(2));
+      if (batch->pending == 0) break;
+      if (scheduler.stopped()) break;
+    }
+  }
   std::size_t executed = 0;
-  for (const auto& task : due) {
-    // Skip sources whose breaker is open: a poll must not hammer a
-    // degraded source, and wouldReject() is a pure read so the poller
-    // never claims the half-open probe away from interactive queries.
-    if (requestManager_.sourceHealth().wouldReject(task.url)) {
-      std::scoped_lock lock(mu_);
-      ++stats_.pollsSkippedOpen;
-      continue;
-    }
-    QueryOptions options;
-    options.useCache = false;  // a poll always contacts the source
-    options.recordHistory = task.recordHistory;
-    QueryResult result =
-        requestManager_.queryOne(principal_, task.url, task.sql, options);
-    ++executed;
-    if (!result.complete()) {
-      std::scoped_lock lock(mu_);
-      ++stats_.polls;
-      ++stats_.pollFailures;
-      continue;
-    }
-    if (task.refreshCache && result.rows != nullptr) {
-      // Hand the fresh rows to the cache so interactive clients get the
-      // "recent status" view without touching the agents (section 4).
-      // The poll result already owns shared row storage, so the cache
-      // adopts it without copying a single row (E14).
-      requestManager_.refreshCache(task.url, task.sql,
-                                   result.rows->shared());
-    }
-    stream::ContinuousQueryEngine* sink;
-    {
-      std::scoped_lock lock(mu_);
-      ++stats_.polls;
-      sink = streamSink_;
-    }
-    if (sink != nullptr && result.rows != nullptr) {
-      // The same fresh batch feeds continuous-query subscribers: each
-      // poll refresh is one incremental push toward matching streams.
-      try {
-        drivers::PlanCache* plans = requestManager_.planCache();
-        const std::string table =
-            plans != nullptr ? plans->statement(task.sql)->table
-                             : sql::parseSelect(task.sql).table;
-        sink->onRows(task.url, table, result.rows->metaData(),
-                     result.rows->rows());
-        std::scoped_lock lock(mu_);
-        stats_.rowsStreamed += result.rows->rowCount();
-      } catch (const sql::ParseError&) {
-        // Unparseable task SQL never reaches here (the poll would have
-        // failed), but stay defensive.
-      } catch (const dbc::SqlError&) {
-        // Same guarantee when the plan cache rejects the SQL.
-      }
-    }
+  {
+    std::scoped_lock blk(batch->mu);
+    executed = batch->executed;
   }
 
   if (alerts_ != nullptr && executed > 0) {

@@ -1,5 +1,7 @@
 #include "gridrm/global/global_layer.hpp"
 
+#include <future>
+
 #include "gridrm/dbc/result_io.hpp"
 #include "gridrm/sql/parser.hpp"
 #include "gridrm/util/strings.hpp"
@@ -273,17 +275,39 @@ net::Payload GlobalLayer::handleRequest(const net::Address& /*from*/,
     std::scoped_lock lock(mu_);
     ++stats_.remoteQueriesServed;
   }
+  // Serve the relayed query as Background work on the gateway's
+  // scheduler: remote fan-in competes with local polls, not with this
+  // gateway's own interactive clients. The servlet thread belongs to
+  // the *consuming* gateway's network stack, so it just waits here.
+  auto done = std::make_shared<std::promise<net::Payload>>();
+  std::future<net::Payload> ready = done->get_future();
+  const bool accepted = gateway_.scheduler().submit(
+      core::Lane::Background,
+      [this, done, urlText, sql] {
+        try {
+          core::Principal principal = gateway_.authorize(
+              federationToken_, core::Operation::RealTimeQuery);
+          core::QueryOptions options;
+          options.lane = core::Lane::Background;
+          core::QueryResult local = gateway_.requestManager().queryOne(
+              principal, urlText, sql, options);
+          if (!local.failures.empty()) {
+            done->set_value("ERR " + local.failures.front().message);
+            return;
+          }
+          done->set_value(dbc::serializeResultSet(*local.rows));
+        } catch (const std::exception& e) {
+          done->set_value(std::string("ERR ") + e.what());
+        }
+      },
+      core::CancelToken{}, /*blocking=*/true);
+  if (!accepted) return "ERR remote gateway overloaded";
   try {
-    core::Principal principal = gateway_.authorize(
-        federationToken_, core::Operation::RealTimeQuery);
-    core::QueryResult local =
-        gateway_.requestManager().queryOne(principal, urlText, sql, {});
-    if (!local.failures.empty()) {
-      return "ERR " + local.failures.front().message;
-    }
-    return dbc::serializeResultSet(*local.rows);
-  } catch (const std::exception& e) {
-    return std::string("ERR ") + e.what();
+    return ready.get();
+  } catch (const std::future_error&) {
+    // The queued task was dropped at scheduler shutdown: its closure
+    // (and with it the promise) died unfulfilled.
+    return "ERR remote gateway shutting down";
   }
 }
 

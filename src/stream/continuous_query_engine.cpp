@@ -63,6 +63,26 @@ ContinuousQueryEngine::~ContinuousQueryEngine() {
   for (auto& [id, sub] : subscriptions_) sub->notFull.notify_all();
 }
 
+void ContinuousQueryEngine::setDispatcher(Dispatcher dispatcher) {
+  std::scoped_lock lock(mu_);
+  dispatcher_ = std::move(dispatcher);
+}
+
+void ContinuousQueryEngine::dispatchDrain(std::size_t id) {
+  Dispatcher dispatcher;
+  {
+    std::scoped_lock lock(mu_);
+    dispatcher = dispatcher_;
+  }
+  if (dispatcher != nullptr &&
+      dispatcher([this, id] { drainConsumer(id); })) {
+    return;
+  }
+  // No executor (or it shed the task): deliver on this thread so the
+  // consumer still hears about its deltas.
+  drainConsumer(id);
+}
+
 std::size_t ContinuousQueryEngine::subscribe(
     const std::string& sourceUrl, const std::string& sqlText,
     DeltaConsumer consumer, std::optional<StreamOptions> options) {
@@ -107,7 +127,7 @@ std::size_t ContinuousQueryEngine::subscribe(
       replayHistory(ref);
     }
   }
-  drainConsumer(id);
+  dispatchDrain(id);
   return id;
 }
 
@@ -253,7 +273,7 @@ void ContinuousQueryEngine::onRows(
     }
   }
   lock.unlock();
-  for (std::size_t id : toDrain) drainConsumer(id);
+  for (std::size_t id : toDrain) dispatchDrain(id);
 }
 
 bool ContinuousQueryEngine::injectDelta(std::size_t id, StreamDelta delta) {
@@ -265,7 +285,7 @@ bool ContinuousQueryEngine::injectDelta(std::size_t id, StreamDelta delta) {
     ++stats_.batchesIngested;
     queued = enqueueLocked(lock, *it->second, std::move(delta));
   }
-  if (queued) drainConsumer(id);
+  if (queued) dispatchDrain(id);
   return queued;
 }
 

@@ -32,6 +32,9 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
       "query.workers = 8\n"
       "query.deadline_ms = 250\n"
       "query.hedge_delay_ms = 40\n"
+      "scheduler.workers = 6\n"
+      "scheduler.max_queue_depth = 64\n"
+      "scheduler.background_share = 40\n"
       "breaker.failure_threshold = 4\n"
       "breaker.cooldown_ms = 1500\n"
       "drivers.register_defaults = false\n"
@@ -54,6 +57,9 @@ TEST(GatewayConfigTest, ParsesPolicyFile) {
   EXPECT_EQ(o.queryWorkers, 8u);
   EXPECT_EQ(o.queryDeadline, 250 * util::kMillisecond);
   EXPECT_EQ(o.queryHedgeDelay, 40 * util::kMillisecond);
+  EXPECT_EQ(o.schedulerWorkers, 6u);
+  EXPECT_EQ(o.schedulerMaxQueueDepth, 64u);
+  EXPECT_EQ(o.schedulerBackgroundShare, 40u);
   EXPECT_EQ(o.breaker.failureThreshold, 4u);
   EXPECT_EQ(o.breaker.cooldown, 1500 * util::kMillisecond);
   EXPECT_FALSE(o.registerDefaultDrivers);
@@ -142,6 +148,21 @@ TEST(GatewayConfigTest, SourceHealthIntrospection) {
                    .complete());
   EXPECT_EQ(driver->queryCalls(), 1u);
   EXPECT_EQ(gateway.requestManager().stats().breakerSkips, 1u);
+}
+
+TEST(GatewayConfigTest, SchedulerWiredAndIntrospectable) {
+  util::SimClock clock;
+  net::Network network(clock);
+  util::Config cfg;
+  cfg.set("query.workers", "3");
+  Gateway gateway(network, clock, GatewayOptions::fromConfig(cfg));
+  // scheduler.workers = 0 inherits query.workers.
+  EXPECT_EQ(gateway.scheduler().workerCount(), 3u);
+
+  const std::string token = gateway.openSession(Principal::monitor());
+  const auto stats = gateway.schedulerStats(token);
+  EXPECT_EQ(stats.lane(Lane::Interactive).queued, 0u);
+  EXPECT_THROW((void)gateway.schedulerStats("bogus-token"), dbc::SqlError);
 }
 
 TEST(GatewayConfigTest, ConfiguredGatewayRuns) {

@@ -1,0 +1,295 @@
+#include "gridrm/core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gridrm::core {
+namespace {
+
+using util::kMillisecond;
+
+/// Parks the single worker so queued entries can be arranged before any
+/// of them dispatch; release() lets the worker continue.
+struct Gate {
+  std::atomic<bool> open{false};
+  void release() { open = true; }
+  void wait() const {
+    while (!open) std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+};
+
+/// Spin (real time) until `pred` holds or ~2s elapse.
+template <typename Pred>
+bool waitFor(Pred pred) {
+  for (int i = 0; i < 20000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return pred();
+}
+
+TEST(SchedulerTest, RunsSubmittedTask) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 2});
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { ran = true; }));
+  scheduler.waitIdle();
+  EXPECT_TRUE(ran.load());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Interactive).submitted, 1u);
+  EXPECT_EQ(stats.lane(Lane::Interactive).executed, 1u);
+  EXPECT_EQ(stats.lane(Lane::Interactive).queued, 0u);
+}
+
+TEST(SchedulerTest, InteractiveRunsBeforeBackground) {
+  // Strict priority (share = 0): with one gated worker, every queued
+  // interactive entry dispatches before any background entry.
+  util::SimClock clock;
+  Scheduler scheduler(clock,
+                      {.workers = 1, .maxQueueDepth = 64,
+                       .backgroundShare = 0});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::scoped_lock lock(mu);
+    order.push_back(tag);
+  };
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler.submit(Lane::Background, [&] { record(2); }));
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { record(1); }));
+  }
+  gate.release();
+  scheduler.waitIdle();
+
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(order[i], 1) << "position " << i;
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(order[i], 2) << "position " << i;
+}
+
+TEST(SchedulerTest, HedgeOutranksBackgroundButNotInteractive) {
+  util::SimClock clock;
+  Scheduler scheduler(clock,
+                      {.workers = 1, .maxQueueDepth = 64,
+                       .backgroundShare = 0});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::scoped_lock lock(mu);
+    order.push_back(tag);
+  };
+  ASSERT_TRUE(scheduler.submit(Lane::Background, [&] { record(3); }));
+  ASSERT_TRUE(scheduler.submit(Lane::Hedge, [&] { record(2); }));
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { record(1); }));
+  gate.release();
+  scheduler.waitIdle();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(SchedulerTest, BackgroundShareAvoidsStarvation) {
+  // share = 50: under contention Background earns every other dispatch,
+  // so the queued background entry runs before the interactive backlog
+  // drains instead of waiting for it.
+  util::SimClock clock;
+  Scheduler scheduler(clock,
+                      {.workers = 1, .maxQueueDepth = 64,
+                       .backgroundShare = 50});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  std::mutex mu;
+  std::vector<int> order;
+  auto record = [&](int tag) {
+    std::scoped_lock lock(mu);
+    order.push_back(tag);
+  };
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { record(1); }));
+  }
+  ASSERT_TRUE(scheduler.submit(Lane::Background, [&] { record(2); }));
+  gate.release();
+  scheduler.waitIdle();
+
+  ASSERT_EQ(order.size(), 7u);
+  // With a 50% share the background entry wins the first or second
+  // contended slot (the gate's own dispatch may already accrue credit)
+  // — long before the interactive backlog is drained.
+  std::size_t bgAt = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == 2) {
+      bgAt = i;
+      break;
+    }
+  }
+  EXPECT_LE(bgAt, 1u);
+}
+
+TEST(SchedulerTest, CancelledQueuedTaskNeverRuns) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  std::atomic<bool> ran{false};
+  auto token = CancelToken::make();
+  ASSERT_TRUE(
+      scheduler.submit(Lane::Background, [&] { ran = true; }, token));
+  token.cancel();
+  gate.release();
+  scheduler.waitIdle();
+
+  EXPECT_FALSE(ran.load());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Background).cancelled, 1u);
+  EXPECT_EQ(stats.lane(Lane::Background).executed, 0u);
+  EXPECT_EQ(stats.lane(Lane::Background).queued, 0u);
+}
+
+TEST(SchedulerTest, AdmissionRejectsBeyondMaxQueueDepth) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1, .maxQueueDepth = 2});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  // The worker is parked, so these queue up against the bound.
+  EXPECT_TRUE(scheduler.submit(Lane::Background, [] {}));
+  EXPECT_TRUE(scheduler.submit(Lane::Background, [] {}));
+  EXPECT_FALSE(scheduler.submit(Lane::Background, [] {}));
+  // Lanes are bounded independently: Interactive still has room.
+  EXPECT_TRUE(scheduler.submit(Lane::Interactive, [] {}));
+
+  gate.release();
+  scheduler.waitIdle();
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Background).rejected, 1u);
+  EXPECT_EQ(stats.lane(Lane::Background).executed, 2u);
+  EXPECT_EQ(stats.lane(Lane::Background).maxQueued, 2u);
+}
+
+TEST(SchedulerTest, SubmitAfterShutdownRejectedNotFatal) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1});
+  scheduler.shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(scheduler.submit(Lane::Interactive, [&] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(scheduler.stats().lane(Lane::Interactive).rejected, 1u);
+  scheduler.shutdown();  // idempotent
+}
+
+TEST(SchedulerTest, ShutdownDrainsInteractiveAndCancelsBackground) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1, .maxQueueDepth = 64});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+
+  std::atomic<int> interactiveRan{0};
+  std::atomic<int> backgroundRan{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        scheduler.submit(Lane::Interactive, [&] { ++interactiveRan; }));
+    ASSERT_TRUE(scheduler.submit(Lane::Background, [&] { ++backgroundRan; }));
+  }
+
+  // Release the parked worker only once shutdown() has closed admission
+  // and cleared the Background queue (both happen before the join, under
+  // the same lock that set stopped_), making the outcome deterministic.
+  std::thread releaser([&] {
+    while (!scheduler.stopped()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    gate.release();
+  });
+  scheduler.shutdown();
+  releaser.join();
+
+  EXPECT_EQ(interactiveRan.load(), 3);
+  EXPECT_EQ(backgroundRan.load(), 0);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Background).cancelled, 3u);
+  EXPECT_EQ(stats.lane(Lane::Interactive).executed, 4u);  // gate + 3
+}
+
+TEST(SchedulerTest, BlockingCapAlwaysLeavesALeafWorker) {
+  // Two "collector" tasks each submit a leaf task back into the pool
+  // and wait for it. Unmarked, two collectors on two workers would
+  // deadlock; marked blocking, at most workers-1 run concurrently so a
+  // worker always remains for the leaves.
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 2});
+  std::atomic<int> leavesDone{0};
+  std::atomic<int> collectorsDone{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(scheduler.submit(
+        Lane::Background,
+        [&] {
+          std::atomic<bool> leafDone{false};
+          ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] {
+            leafDone = true;
+            ++leavesDone;
+          }));
+          ASSERT_TRUE(waitFor([&] { return leafDone.load(); }));
+          ++collectorsDone;
+        },
+        CancelToken{}, /*blocking=*/true));
+  }
+  ASSERT_TRUE(waitFor([&] { return collectorsDone.load() == 2; }));
+  EXPECT_EQ(leavesDone.load(), 2);
+  scheduler.waitIdle();
+}
+
+TEST(SchedulerTest, WaitStatsTrackQueueDelay) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1});
+  Gate gate;
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { gate.wait(); }));
+  ASSERT_TRUE(scheduler.submit(Lane::Background, [] {}));
+  clock.advance(5 * kMillisecond);  // the entry ages while the worker
+  gate.release();                   // is parked
+  scheduler.waitIdle();
+  const auto stats = scheduler.stats();
+  EXPECT_GE(stats.lane(Lane::Background).totalWait, 5 * kMillisecond);
+  EXPECT_GE(stats.lane(Lane::Background).maxWait, 5 * kMillisecond);
+}
+
+TEST(SchedulerTest, WorkerCountClampedToAtLeastOne) {
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 0});
+  EXPECT_EQ(scheduler.workerCount(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(scheduler.submit(Lane::Background, [&] { ran = true; }));
+  scheduler.waitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(SchedulerTest, InertTokenNeverCancels) {
+  CancelToken inert;
+  EXPECT_FALSE(inert.valid());
+  inert.cancel();
+  EXPECT_FALSE(inert.cancelled());
+  auto live = CancelToken::make();
+  EXPECT_TRUE(live.valid());
+  EXPECT_FALSE(live.cancelled());
+  auto alias = live;  // copies share the flag
+  alias.cancel();
+  EXPECT_TRUE(live.cancelled());
+}
+
+}  // namespace
+}  // namespace gridrm::core

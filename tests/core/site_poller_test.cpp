@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "gridrm/drivers/mock_driver.hpp"
 
 namespace gridrm::core {
@@ -191,6 +195,58 @@ TEST(SitePollerTest, StreamSinkDetachable) {
   (void)f.poller.tick();
   EXPECT_EQ(engine.queueDepth(id), 1u);  // feed stopped
   EXPECT_EQ(f.poller.stats().rowsStreamed, 1u);
+}
+
+TEST(SitePollerTest, SaturatedSchedulerDefersPollsToNextTick) {
+  // The poller's RequestManager shares a deliberately tiny scheduler:
+  // one parked worker and a one-deep Background lane. A due poll that
+  // is refused at admission is deferred — counted, left due, and run on
+  // the next tick once the backlog clears.
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 1, .maxQueueDepth = 1});
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  ctx.clock = &clock;
+  ctx.schemaManager = &schemaManager;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager driverManager(registry);
+  ConnectionManager pool(driverManager);
+  CacheController cache(clock, 60 * kSecond);
+  FineSecurityLayer fgsl(true);
+  store::Database db;
+  RequestManager rm(pool, cache, fgsl, &db, clock, scheduler);
+  auto driver = std::make_shared<MockDriver>(ctx, MockBehaviour{});
+  registry.registerDriver(driver);
+  SitePoller poller(rm, clock, Principal::monitor());
+  PollTask t;
+  t.url = "jdbc:mock://h/x";
+  t.sql = "SELECT * FROM Processor";
+  t.interval = 30 * kSecond;
+  poller.addTask(t);
+
+  // Park the worker, then fill the Background lane to its bound.
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] {
+    while (!release) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }));
+  for (int i = 0; i < 20000; ++i) {  // until the worker holds the parker
+    if (scheduler.stats().lane(Lane::Interactive).queued == 0) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(scheduler.submit(Lane::Background, [] {}));
+
+  EXPECT_EQ(poller.tick(), 0u);  // due, but shed at admission
+  EXPECT_EQ(poller.stats().pollsDeferred, 1u);
+  EXPECT_EQ(poller.stats().polls, 0u);
+  EXPECT_EQ(driver->queryCalls(), 0u);
+
+  release = true;
+  scheduler.waitIdle();
+  EXPECT_EQ(poller.tick(), 1u);  // still due: lastRun was never stamped
+  EXPECT_EQ(poller.stats().polls, 1u);
+  EXPECT_EQ(driver->queryCalls(), 1u);
 }
 
 TEST(SitePollerTest, SkipsSourcesWithOpenBreaker) {

@@ -63,6 +63,19 @@ struct GridFixture {
     globalB->start();
   }
 
+  /// Drain both gateways' scheduler queues. Stream drains hop between
+  /// gateways — a delta drained at B is relayed into A's Background
+  /// lane — so loop until both are simultaneously idle.
+  void quiesce() {
+    for (;;) {
+      gatewayA->scheduler().waitIdle();
+      gatewayB->scheduler().waitIdle();
+      if (gatewayA->scheduler().idle() && gatewayB->scheduler().idle()) {
+        return;
+      }
+    }
+  }
+
   util::SimClock clock;
   net::Network network;
   std::unique_ptr<GmaDirectory> directory;

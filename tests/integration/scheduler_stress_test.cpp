@@ -1,0 +1,311 @@
+// Queue-saturation and teardown stress for the gateway-wide scheduler:
+// a Background flood must shed at the admission bound without touching
+// interactive work, a met deadline must cancel still-queued attempts
+// before they waste a pooled connection, and shutting down while
+// saturated must never deadlock.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gridrm/core/request_manager.hpp"
+#include "gridrm/core/scheduler.hpp"
+#include "gridrm/drivers/mock_driver.hpp"
+
+namespace gridrm::core {
+namespace {
+
+using drivers::MockBehaviour;
+using drivers::MockDriver;
+using util::kMillisecond;
+using util::kSecond;
+
+/// Spin (real time) until `pred` holds or ~2s elapse.
+template <typename Pred>
+bool waitFor(Pred pred) {
+  for (int i = 0; i < 20000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  return pred();
+}
+
+/// RequestManager on an explicitly shared Scheduler, so tests control
+/// the admission bound and read the lane counters — the Gateway wiring.
+struct SharedSchedulerFixture {
+  explicit SharedSchedulerFixture(SchedulerOptions schedulerOptions,
+                                  RequestManagerTuning tuning = {})
+      : scheduler(clock, schedulerOptions),
+        driverManager(registry),
+        pool(driverManager),
+        cache(clock, 5 * kSecond),
+        fgsl(true),
+        rm(pool, cache, fgsl, &db, clock, scheduler, tuning) {
+    ctx.clock = &clock;
+    ctx.schemaManager = &schemaManager;
+  }
+
+  std::shared_ptr<MockDriver> addDriver(MockBehaviour b) {
+    auto d = std::make_shared<MockDriver>(ctx, std::move(b));
+    registry.registerDriver(d);
+    return d;
+  }
+
+  util::SimClock clock;
+  Scheduler scheduler;  // must outlive rm
+  glue::SchemaManager schemaManager;
+  drivers::DriverContext ctx;
+  dbc::DriverRegistry registry;
+  GridRmDriverManager driverManager;
+  ConnectionManager pool;
+  CacheController cache;
+  FineSecurityLayer fgsl;
+  store::Database db;
+  RequestManager rm;
+  Principal monitor = Principal::monitor();
+};
+
+TEST(SchedulerStressTest, BackgroundFloodShedsAtBoundNeverTouchesInteractive) {
+  // Four producers burst 400 Background tasks at a 16-deep lane served
+  // by two workers: most are shed at admission. A concurrent client
+  // submitting Interactive work one-at-a-time loses nothing.
+  util::SimClock clock;
+  Scheduler scheduler(clock, {.workers = 2, .maxQueueDepth = 16,
+                              .backgroundShare = 25});
+
+  // Park both workers so the burst races a full-stop lane: exactly
+  // maxQueueDepth submissions are admitted, the rest shed.
+  std::atomic<bool> release{false};
+  std::atomic<int> parked{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] {
+      ++parked;
+      while (!release) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }));
+  }
+  ASSERT_TRUE(waitFor([&] { return parked.load() == 2; }));
+
+  std::atomic<std::uint64_t> backgroundRan{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        const bool ok =
+            scheduler.submit(Lane::Background, [&] { ++backgroundRan; });
+        ok ? ++accepted : ++shed;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), 16u);
+  EXPECT_EQ(shed.load(), 400u - 16u);
+
+  // With the flood queued, interactive work still flows one request at
+  // a time: its lane is bounded independently and outranks the backlog.
+  release = true;
+  std::uint64_t interactiveDone = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::atomic<bool> done{false};
+    ASSERT_TRUE(scheduler.submit(Lane::Interactive, [&] { done = true; }));
+    ASSERT_TRUE(waitFor([&] { return done.load(); }));
+    ++interactiveDone;
+  }
+  scheduler.waitIdle();
+
+  EXPECT_EQ(interactiveDone, 50u);
+  EXPECT_EQ(backgroundRan.load(), accepted.load());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Interactive).rejected, 0u);
+  EXPECT_EQ(stats.lane(Lane::Interactive).executed, 52u);  // parkers + 50
+  EXPECT_EQ(stats.lane(Lane::Background).rejected, shed.load());
+  EXPECT_EQ(stats.lane(Lane::Background).executed, accepted.load());
+}
+
+TEST(SchedulerStressTest, MetDeadlineCancelsQueuedAttemptsBeforeTheyRun) {
+  // Six deadline-bound clients race two workers at a source that parks
+  // forever: two attempts run (and park), four wait in the Interactive
+  // lane. The deadline seals every slot and cancels the queued four —
+  // they are dropped at dispatch, never claiming a connection.
+  SharedSchedulerFixture f({.workers = 2, .maxQueueDepth = 64});
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  b.queryLatencyUs = 3600 * kSecond;
+  auto driver = f.addDriver(b);
+
+  QueryOptions options;
+  options.useCache = false;
+  options.deadline = 10 * kMillisecond;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(std::async(std::launch::async, [&, i] {
+      return f.rm.queryOne(f.monitor, "jdbc:mock://h" + std::to_string(i) + "/x",
+                           "SELECT * FROM Processor", options);
+    }));
+  }
+  // Every fan-out has submitted its attempt (so each one's deadline is
+  // anchored before the advance below), both workers are parked inside
+  // the driver, and the other four attempts are queued behind them.
+  ASSERT_TRUE(waitFor([&] {
+    return f.scheduler.stats().lane(Lane::Interactive).submitted == 6 &&
+           driver->queryCalls() == 2;
+  }));
+  f.clock.advance(11 * kMillisecond);
+
+  for (auto& fut : futures) {
+    QueryResult result = fut.get();
+    EXPECT_FALSE(result.complete());
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].message, "deadline exceeded");
+  }
+  EXPECT_EQ(f.rm.stats().deadlineMisses, 6u);
+
+  driver->releaseBlockedQueries();
+  f.scheduler.waitIdle();
+  const auto stats = f.scheduler.stats();
+  EXPECT_EQ(stats.lane(Lane::Interactive).cancelled, 4u);
+  EXPECT_EQ(stats.lane(Lane::Interactive).executed, 2u);
+  EXPECT_EQ(driver->queryCalls(), 2u);  // the cancelled four never ran
+}
+
+TEST(SchedulerStressTest, ShutdownWhileSaturatedDrainsWithoutDeadlock) {
+  // Relayed Background queries (blocking collectors, as the Global
+  // layer submits them) saturate the scheduler against a parked source,
+  // then the scheduler shuts down mid-flight: queued relays are
+  // cancelled, the running collector aborts instead of waiting for
+  // completions that will never come, and join() returns.
+  SharedSchedulerFixture f({.workers = 2, .maxQueueDepth = 64});
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  b.queryLatencyUs = 3600 * kSecond;
+  auto driver = f.addDriver(b);
+
+  QueryOptions options;
+  options.useCache = false;
+  options.deadline = 20 * kMillisecond;
+  options.lane = Lane::Background;
+  std::atomic<int> relaysFinished{0};
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(f.scheduler.submit(
+        Lane::Background,
+        [&, i] {
+          (void)f.rm.queryOne(f.monitor,
+                              "jdbc:mock://h" + std::to_string(i) + "/x",
+                              "SELECT * FROM Processor", options);
+          ++relaysFinished;
+        },
+        CancelToken{}, /*blocking=*/true));
+  }
+  // One relay runs (blocking cap = workers - 1) and its attempt parks
+  // in the driver on the other worker.
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 1; }));
+
+  std::thread shutdownThread([&] { f.scheduler.shutdown(); });
+  // join() blocks on the worker parked inside the driver until the
+  // teardown escape hatch releases it — exactly the production order
+  // (drivers outlive the scheduler).
+  ASSERT_TRUE(waitFor([&] { return f.scheduler.stopped(); }));
+  driver->releaseBlockedQueries();
+  shutdownThread.join();  // would deadlock before this change
+
+  EXPECT_EQ(relaysFinished.load(), 1);  // the running one; queued = cancelled
+  const auto stats = f.scheduler.stats();
+  EXPECT_GE(stats.lane(Lane::Background).cancelled, 5u);
+  EXPECT_EQ(driver->queryCalls(), 1u);
+}
+
+TEST(SchedulerStressTest, OverloadedInteractiveFailsFastWithOverloaded) {
+  // With the single worker parked and the one-deep Interactive lane
+  // already holding an attempt, the next client is shed at admission:
+  // it fails immediately with ErrorCode::Overloaded instead of queueing
+  // behind work the gateway cannot absorb.
+  SharedSchedulerFixture f({.workers = 1, .maxQueueDepth = 1});
+  auto driver = f.addDriver(MockBehaviour{});
+
+  std::atomic<bool> release{false};
+  ASSERT_TRUE(f.scheduler.submit(Lane::Background, [&] {
+    while (!release) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }));
+
+  QueryOptions options;
+  options.useCache = false;
+  options.deadline = 50 * kMillisecond;
+  auto first = std::async(std::launch::async, [&] {
+    return f.rm.queryOne(f.monitor, "jdbc:mock://h1/x",
+                         "SELECT * FROM Processor", options);
+  });
+  ASSERT_TRUE(waitFor([&] {
+    return f.scheduler.stats().lane(Lane::Interactive).queued == 1;
+  }));
+
+  // The lane is full: this one is refused at submit() and the caller
+  // sees the failure without waiting out its deadline (the clock never
+  // advances in this test).
+  QueryResult shed = f.rm.queryOne(f.monitor, "jdbc:mock://h2/x",
+                                   "SELECT * FROM Processor", options);
+  EXPECT_FALSE(shed.complete());
+  ASSERT_EQ(shed.failures.size(), 1u);
+  EXPECT_EQ(shed.failures[0].message, "gateway overloaded: scheduler queue full");
+  EXPECT_EQ(shed.failures[0].code, dbc::ErrorCode::Overloaded);
+  EXPECT_EQ(f.rm.stats().overloadRejections, 1u);
+
+  release = true;
+  QueryResult result = first.get();
+  EXPECT_TRUE(result.complete());
+  EXPECT_EQ(f.rm.stats().deadlineMisses, 0u);
+}
+
+TEST(SchedulerStressTest, ShutdownWithCoalescedFollowersNeverDeadlocks) {
+  // A coalesced flight: the leader's attempt parks in the driver while
+  // two followers wait on the flight's completion. Shutting down
+  // mid-flight must unwind all three — the leader aborts its wait, the
+  // flight is sealed, and the followers wake with the shared outcome.
+  SharedSchedulerFixture f({.workers = 2, .maxQueueDepth = 64});
+  MockBehaviour b;
+  b.blockOnDelay = true;
+  b.queryLatencyUs = 3600 * kSecond;
+  auto driver = f.addDriver(b);
+
+  QueryOptions options;  // useCache=true: eligible for coalescing
+  options.deadline = 20 * kMillisecond;
+  auto runQuery = [&] {
+    return f.rm.queryOne(f.monitor, "jdbc:mock://h/x",
+                         "SELECT * FROM Processor", options);
+  };
+  auto leader = std::async(std::launch::async, runQuery);
+  ASSERT_TRUE(waitFor([&] { return driver->queryCalls() == 1; }));
+  auto follower1 = std::async(std::launch::async, runQuery);
+  auto follower2 = std::async(std::launch::async, runQuery);
+  // All three attempts submitted; give the free worker a moment to pick
+  // a follower attempt and park it on the flight's completion — the
+  // hazardous interleaving this test exists for. (The no-deadlock
+  // property holds in every interleaving, so this is best-effort.)
+  ASSERT_TRUE(waitFor([&] {
+    return f.scheduler.stats().lane(Lane::Interactive).submitted == 3;
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  std::thread shutdownThread([&] { f.scheduler.shutdown(); });
+  ASSERT_TRUE(waitFor([&] { return f.scheduler.stopped(); }));
+  driver->releaseBlockedQueries();
+  shutdownThread.join();
+
+  // All three callers return; a follower either shares the flight's
+  // outcome or (if the flight already settled and was erased) re-leads
+  // against the now-released driver — never a hang.
+  (void)leader.get();
+  (void)follower1.get();
+  (void)follower2.get();
+  EXPECT_LE(driver->queryCalls(), 3u);
+}
+
+}  // namespace
+}  // namespace gridrm::core

@@ -49,9 +49,11 @@ TEST(StreamFlowTest, RemoteSubscriptionStreamsDeltasAcrossGateways) {
 
   auto poller = makePollerB(f);
   EXPECT_EQ(poller->tick(), 1u);  // first refresh at B...
+  f.quiesce();                     // drains run on the scheduler
   ASSERT_EQ(received.size(), 1u);  // ...streams to A
   f.clock.advance(60 * util::kSecond);  // B's metrics evolve
   EXPECT_EQ(poller->tick(), 1u);
+  f.quiesce();
   ASSERT_EQ(received.size(), 2u);
 
   const auto host = received[0].columns.columnIndex("HostName");
@@ -77,6 +79,7 @@ TEST(StreamFlowTest, LocalSubscriptionNeverLeavesTheGateway) {
 
   auto poller = makePollerB(f);
   (void)poller->tick();
+  f.quiesce();
   EXPECT_EQ(received.size(), 1u);
   EXPECT_EQ(f.globalB->stats().streamDeltasRelayed, 0u);
 }
@@ -95,6 +98,7 @@ TEST(StreamFlowTest, UnsubscribeGlobalTearsDownBothEnds) {
 
   auto poller = makePollerB(f);
   (void)poller->tick();
+  f.quiesce();
   EXPECT_TRUE(received.empty());
 }
 

@@ -48,10 +48,16 @@ TEST(ThreadPoolTest, ShutdownCompletesPendingTasks) {
   EXPECT_EQ(done.load(), 20);
 }
 
-TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotFatal) {
   ThreadPool pool(1);
   pool.shutdown();
-  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  std::atomic<bool> ran{false};
+  std::future<void> f;
+  EXPECT_NO_THROW(f = pool.submit([&] { ran = true; }));
+  // The task is dropped, never run, and the future reports the broken
+  // promise instead of blocking forever.
+  EXPECT_THROW(f.get(), std::future_error);
+  EXPECT_FALSE(ran.load());
 }
 
 }  // namespace
