@@ -87,6 +87,9 @@ struct QueryResult {
   std::vector<SourceError> failures;  // sources that errored
   std::size_t sourcesQueried = 0;
   std::size_t servedFromCache = 0;
+  /// Sources whose rows are expired cached copies served in degraded
+  /// mode because the owning gateway was unreachable (Global layer).
+  std::vector<std::string> staleSources;
 
   bool complete() const noexcept { return failures.empty(); }
 };

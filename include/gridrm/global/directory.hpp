@@ -2,14 +2,22 @@
 // directory; consumers look producers up and then talk to them
 // directly, which is the defining GMA interaction pattern).
 //
+// Registrations are *leased* (PR 5): a producer/consumer entry carries
+// the registering gateway's liveness epoch and an optional TTL, and the
+// directory evicts entries whose lease expired without a renewal — a
+// crashed gateway stops being routable once its lease runs out instead
+// of lingering forever. A re-registration bearing an older epoch than
+// the stored entry is refused (STALE): it raced a restart.
+//
 // Line protocol (request/response over the simulated network):
-//   REG PRODUCER <name> <host:port>\n<ownedHostPattern>\n...   -> OK
+//   REG PRODUCER <name> <host:port> [<epoch> <ttlMs>]\n<pattern>\n...
+//       -> OK | STALE
 //   UNREG PRODUCER <name>                                      -> OK
-//   LOOKUP <host>                 -> PRODUCER <name> <host:port> | NONE
-//   LIST                          -> PRODUCER lines
-//   REG CONSUMER <name> <host:port> <eventPattern>             -> OK
+//   LOOKUP <host>          -> PRODUCER <name> <host:port> <epoch> | NONE
+//   LIST                   -> PRODUCER lines
+//   REG CONSUMER <name> <host:port> <eventPattern> [<ttlMs>]   -> OK
 //   UNREG CONSUMER <name>                                      -> OK
-//   CONSUMERS <eventType>         -> CONSUMER <name> <host:port> lines
+//   CONSUMERS <eventType>  -> CONSUMER <name> <host:port> lines
 #pragma once
 
 #include <cstdint>
@@ -29,12 +37,23 @@ struct ProducerEntry {
   std::string name;
   net::Address address;
   std::vector<std::string> ownedHostPatterns;  // globs over source hosts
+  /// Liveness epoch of the registering gateway (bumped on restart).
+  std::uint64_t epoch = 0;
+  /// Lease expiry in directory clock time; 0 = unleased (never expires).
+  util::TimePoint expiresAt = 0;
 };
 
 struct ConsumerEntry {
   std::string name;
   net::Address address;
   std::string eventPattern;  // dot-prefix pattern (core::eventTypeMatches)
+  util::TimePoint expiresAt = 0;  // 0 = unleased
+};
+
+struct DirectoryStats {
+  std::uint64_t registrations = 0;   // REG accepted (producer + consumer)
+  std::uint64_t staleRegistrations = 0;  // REG refused: older epoch
+  std::uint64_t leaseEvictions = 0;  // entries dropped on lease expiry
 };
 
 class GmaDirectory final : public net::RequestHandler {
@@ -53,16 +72,23 @@ class GmaDirectory final : public net::RequestHandler {
   // Direct (in-process) accessors for tests.
   std::vector<ProducerEntry> producers() const;
   std::vector<ConsumerEntry> consumers() const;
+  DirectoryStats stats() const;
 
  private:
+  /// Drop every entry whose lease expired. Caller holds mu_.
+  void pruneExpiredLocked(util::TimePoint now);
+
   net::Network& network_;
   net::Address address_;
   mutable std::mutex mu_;
   std::map<std::string, ProducerEntry> producers_;
   std::map<std::string, ConsumerEntry> consumers_;
+  DirectoryStats stats_;
 };
 
-/// Client-side helper wrapping the wire protocol.
+/// Client-side helper wrapping the wire protocol. Registration calls
+/// optionally retry with exponential backoff (a gateway booting before
+/// its directory still joins the federation once the directory is up).
 class DirectoryClient {
  public:
   DirectoryClient(net::Network& network, net::Address self,
@@ -70,19 +96,34 @@ class DirectoryClient {
       : network_(network), self_(std::move(self)),
         directory_(std::move(directory)) {}
 
-  void registerProducer(const std::string& name, const net::Address& address,
-                        const std::vector<std::string>& ownedHostPatterns);
+  /// Registers (or renews the lease of) a producer entry. `epoch` is
+  /// the gateway's liveness epoch, `leaseTtl` the lease duration (0 =
+  /// unleased). Failed sends retry up to `retries` extra times with
+  /// doubling backoff starting at `backoff`; throws the last NetError
+  /// when every attempt fails. Returns the number of attempts used.
+  std::size_t registerProducer(
+      const std::string& name, const net::Address& address,
+      const std::vector<std::string>& ownedHostPatterns,
+      std::uint64_t epoch = 0, util::Duration leaseTtl = 0,
+      std::size_t retries = 0,
+      util::Duration backoff = 250 * util::kMillisecond);
   void unregisterProducer(const std::string& name);
   /// nullopt when no producer owns `host`.
   std::optional<ProducerEntry> lookup(const std::string& host);
   std::vector<ProducerEntry> list();
-  void registerConsumer(const std::string& name, const net::Address& address,
-                        const std::string& eventPattern);
+  std::size_t registerConsumer(
+      const std::string& name, const net::Address& address,
+      const std::string& eventPattern, util::Duration leaseTtl = 0,
+      std::size_t retries = 0,
+      util::Duration backoff = 250 * util::kMillisecond);
   void unregisterConsumer(const std::string& name);
   std::vector<ConsumerEntry> consumersFor(const std::string& eventType);
 
  private:
   net::Payload request(const net::Payload& body);
+  /// request() with `retries` extra attempts and doubling backoff.
+  net::Payload requestWithRetry(const net::Payload& body, std::size_t retries,
+                                util::Duration backoff, std::size_t& attempts);
 
   net::Network& network_;
   net::Address self_;

@@ -8,13 +8,47 @@
 // Remote results pass through the local Cache Controller, implementing
 // section 4's "This approach is used between gateways to increase
 // scalability by reducing unnecessary requests."
+//
+// Federation resilience (PR 5): the inter-gateway fabric tolerates link
+// loss, partitions and gateway restarts.
+//  * Reliable delta delivery - every relayed SDELTA frame carries a
+//    per-relay monotonic sequence number plus the sender's liveness
+//    epoch; the consumer dedups, detects gaps, buffers out-of-order
+//    frames and NACKs missing ranges, which the owner re-sends from a
+//    bounded resend buffer (falling back to a full-frame RESYNC when
+//    the range was evicted).
+//  * Liveness and epochs - each start() bumps the gateway's epoch;
+//    directory registrations are leased and renewed from tick(), and a
+//    GONE/epoch-mismatch answer from the owner triggers automatic
+//    re-subscription with historical replay.
+//  * Remote-query resilience - retries with jittered exponential
+//    backoff bounded by the caller's deadline (retries run on the
+//    scheduler's Hedge lane), negative + stale-while-revalidate
+//    directory lookup caching, and degraded-mode serving of expired
+//    cached remote rows flagged in QueryResult::staleSources.
+//
+// Wire protocol (requests on the producer port):
+//   GQUERY <secret>\n<url>\n<sql>                   -> rows | ERR ...
+//   GSUB <secret> <host:port> <consumerId> [<replayRows>]\n<url>\n<sql>
+//                                       -> OK <relayId> <epoch> | ERR
+//   GUNSUB <secret> <relayId>                       -> OK
+//   SNACK <secret> <relayId> <from> <to>
+//       -> OK <resent> <lastSeq> | RESYNC <lastSeq>\n<frame> | GONE <epoch>
+//   SPING <secret> <relayId>        -> OK <epoch> <lastSeq> | GONE <epoch>
+//   GEVENT <secret> <origin> <epoch> <seq>\n<encodedEvent>  -> OK
+// Datagrams (unreliable, resent on NACK):
+//   SDELTA <consumerId> <relayId> <seq> <epoch> <timestamp>\n
+//       <sourceUrl>\n<table>\n<rows>
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,8 +66,51 @@ struct GlobalOptions {
   std::uint16_t producerPort = kProducerPort;
   /// TTL of directory lookup results cached per host.
   util::Duration lookupCacheTtl = 60 * util::kSecond;
+  /// TTL of cached "no gateway owns this host" answers.
+  util::Duration negativeLookupTtl = 5 * util::kSecond;
+  /// Directory lease duration (0 = unleased); tick() renews at ttl/2.
+  util::Duration leaseTtl = 120 * util::kSecond;
+  /// Extra registration attempts at start() (a gateway booting before
+  /// its directory still joins once the directory is up).
+  std::size_t registerRetries = 3;
+  util::Duration registerBackoff = 250 * util::kMillisecond;
+  /// Extra remote-query attempts; backoff doubles with +/-50% jitter
+  /// and is bounded by the caller's per-source deadline.
+  std::size_t queryRetries = 2;
+  util::Duration queryBackoff = 100 * util::kMillisecond;
+  /// Sequenced delivery with NACK/resend for relayed deltas and
+  /// request-based dedup'd event propagation. False = legacy
+  /// fire-and-forget datagrams (the bench_federation ablation).
+  bool reliableDelivery = true;
+  /// Frames kept per served relay for NACK resends; older gaps resync.
+  std::size_t resendBuffer = 128;
+  /// Out-of-order frames buffered per relayed subscription.
+  std::size_t reorderWindow = 128;
+  /// Silence on a relayed subscription after which tick() probes the
+  /// owner with SPING (0 = never probe).
+  util::Duration livenessTimeout = 10 * util::kSecond;
+  /// Historical rows replayed when a relayed subscription re-subscribes
+  /// after an owner restart or partition.
+  std::size_t resubscribeReplayRows = 32;
+  /// Serve expired cached remote rows (marked in staleSources) when the
+  /// owning gateway is unreachable.
+  bool serveStale = true;
+  std::size_t staleCacheEntries = 256;
   /// Event types forwarded to remote consumers ("" = none).
   std::string propagateEventPattern = "";
+
+  /// Build options from a parsed policy file. Recognised keys (all
+  /// optional):
+  ///   federation.secret, federation.producer_port,
+  ///   federation.lookup_ttl_ms, federation.negative_lookup_ttl_ms,
+  ///   federation.lease_ttl_ms,
+  ///   federation.register_retries, federation.register_backoff_ms,
+  ///   federation.query_retries, federation.query_backoff_ms,
+  ///   federation.reliable, federation.resend_buffer,
+  ///   federation.reorder_window, federation.liveness_timeout_ms,
+  ///   federation.replay_rows, federation.serve_stale,
+  ///   federation.stale_entries, federation.propagate_events
+  static GlobalOptions fromConfig(const util::Config& config);
 };
 
 struct GlobalStats {
@@ -49,6 +126,36 @@ struct GlobalStats {
   std::uint64_t streamSubscriptionsServed = 0;  // GSUB requests accepted
   std::uint64_t streamDeltasRelayed = 0;        // deltas sent to consumers
   std::uint64_t streamDeltasReceived = 0;       // relayed deltas ingested
+  // Federation resilience (PR 5).
+  std::uint64_t deltasResent = 0;          // frames re-sent on NACK
+  std::uint64_t deltaGapsDetected = 0;     // sequence gaps observed
+  std::uint64_t snapshotResyncs = 0;       // RESYNC fallbacks applied
+  std::uint64_t duplicateDeltasDropped = 0;  // dup/stale frames dropped
+  std::uint64_t nacksSent = 0;
+  std::uint64_t nacksServed = 0;
+  std::uint64_t resubscribes = 0;       // relayed subscriptions healed
+  std::uint64_t leaseRenewals = 0;      // successful periodic re-REGs
+  std::uint64_t registerRetries = 0;    // extra registration attempts
+  std::uint64_t remoteRetries = 0;      // extra remote-query attempts
+  std::uint64_t negativeLookupHits = 0;
+  std::uint64_t staleLookupsServed = 0;  // expired lookups served
+  std::uint64_t staleRemoteServes = 0;   // degraded-mode row serves
+  std::uint64_t livenessProbes = 0;      // SPINGs issued
+  std::uint64_t remoteEventsIngested = 0;
+  std::uint64_t duplicateEventsDropped = 0;
+  std::uint64_t eventSendFailures = 0;  // propagation retries exhausted
+};
+
+/// ACIL introspection of one relayed (remote) subscription.
+struct RemoteSubscriptionStatus {
+  std::size_t localId = 0;
+  net::Address owner;
+  std::size_t remoteId = 0;  // 0 while a (re-)subscribe is in flight
+  std::uint64_t ownerEpoch = 0;
+  std::uint64_t nextExpectedSeq = 1;
+  std::size_t reorderBuffered = 0;
+  bool needsResubscribe = false;
+  util::TimePoint lastHeardAt = 0;
 };
 
 class GlobalLayer final : public net::RequestHandler {
@@ -66,9 +173,25 @@ class GlobalLayer final : public net::RequestHandler {
 
   /// Register this gateway as a GMA producer for the given source-host
   /// patterns (defaults to the hosts of its registered data sources) and
-  /// as an event consumer when propagation is enabled.
+  /// as an event consumer when propagation is enabled. Bumps the
+  /// liveness epoch. A failed registration is not fatal: tick() keeps
+  /// retrying until the directory answers.
   void start(std::vector<std::string> extraOwnedHostPatterns = {});
   void stop();
+  /// Abrupt failure for fault injection: drop the producer binding and
+  /// all relay/subscription state without notifying peers or the
+  /// directory (leases expire, consumers heal via SPING/GONE). The
+  /// epoch is preserved so the next start() advances it.
+  void crash();
+
+  /// Liveness epoch: 0 before the first start(), bumped by every start.
+  std::uint64_t epoch() const noexcept { return epoch_.load(); }
+
+  /// Periodic maintenance (call on the poller cadence): renews the
+  /// directory lease (or registers late, after a failed start), NACKs
+  /// sequence gaps, probes silent owners and re-subscribes relayed
+  /// subscriptions whose owner restarted.
+  void tick();
 
   /// Query data sources anywhere on the Grid: local URLs run through
   /// the local Request Manager, remote ones are routed to the owning
@@ -105,37 +228,126 @@ class GlobalLayer final : public net::RequestHandler {
                       const net::Payload& body) override;
 
   GlobalStats stats() const;
+  /// ACIL introspection: per-relayed-subscription delivery state.
+  std::vector<RemoteSubscriptionStatus> remoteSubscriptionStatus(
+      const std::string& token);
   DirectoryClient& directory() noexcept { return directory_; }
 
  private:
-  std::shared_ptr<const dbc::VectorResultSet> queryRemote(const std::string& url,
-                                                    const std::string& sql,
-                                                    bool useCache);
+  /// Sender-side state of one relayed subscription this gateway serves.
+  /// Captured by the relay callback via shared_ptr so replay frames can
+  /// flow before the engine id is known.
+  struct ServedRelay {
+    std::size_t relayId = 0;
+    std::size_t engineId = 0;
+    net::Address consumer;
+    std::size_t consumerId = 0;
+    std::mutex mu;  // guards the sequencing/resend state below
+    std::uint64_t lastSeq = 0;
+    std::uint64_t minAvailable = 1;  // oldest seq still in `resend`
+    std::deque<std::pair<std::uint64_t, net::Payload>> resend;
+    net::Payload lastFrame;  // newest frame (RESYNC fallback)
+  };
+
+  /// Consumer-side state of one subscription relayed from a remote
+  /// owner. Guarded by mu_.
+  struct RemoteSubscription {
+    net::Address owner;
+    std::size_t remoteId = 0;  // relayId at the owner; 0 = in flight
+    std::uint64_t ownerEpoch = 0;
+    std::string url;
+    std::string sql;
+    std::size_t replayRows = 0;  // replay asked for on re-subscribe
+    std::uint64_t nextExpected = 1;
+    std::map<std::uint64_t, stream::StreamDelta> reorder;
+    /// Frames that arrived while the (re-)subscribe was in flight.
+    std::deque<net::Payload> pendingFrames;
+    /// In-order deltas awaiting injection; `applying` serialises the
+    /// drain so cross-thread arrivals cannot reorder injectDelta calls.
+    std::deque<stream::StreamDelta> applyQueue;
+    bool applying = false;
+    bool needsResubscribe = false;
+    bool resubscribing = false;
+    util::TimePoint lastHeardAt = 0;
+  };
+
+  struct CachedLookup {
+    std::optional<net::Address> producer;  // nullopt = negative entry
+    util::TimePoint at;
+  };
+
+  std::shared_ptr<const dbc::VectorResultSet> queryRemote(
+      const std::string& url, const std::string& sql,
+      const core::QueryOptions& options, bool& servedStale);
+  /// Run one remote request on the scheduler's Hedge lane (inline when
+  /// the lane refuses). Throws net::NetError like Network::request.
+  net::Payload requestViaHedgeLane(const net::Address& owner,
+                                   const net::Payload& body);
   std::optional<net::Address> resolveOwner(const std::string& host);
   net::Payload serveSubscribe(const std::vector<std::string>& words,
                               const std::vector<std::string>& lines);
+  net::Payload serveNack(const std::vector<std::string>& words);
+  net::Payload servePing(const std::vector<std::string>& words);
+  net::Payload serveEvent(const net::Address& from,
+                          const std::vector<std::string>& words,
+                          const net::Payload& body);
+  /// Parse and route one SDELTA frame (reliable path: dedup, gap
+  /// detection, ordered apply).
+  void processDeltaFrame(const net::Payload& body);
+  /// Drain a subscription's applyQueue into the stream engine outside
+  /// the lock. Caller holds `lock` on mu_.
+  void pumpApply(std::size_t localId,
+                 const std::shared_ptr<RemoteSubscription>& sub,
+                 std::unique_lock<std::mutex>& lock);
+  void sendNack(std::size_t localId,
+                const std::shared_ptr<RemoteSubscription>& sub,
+                std::uint64_t from, std::uint64_t to);
+  void sendPing(std::size_t localId,
+                const std::shared_ptr<RemoteSubscription>& sub);
+  void resubscribe(std::size_t localId,
+                   const std::shared_ptr<RemoteSubscription>& sub);
+  /// (Re-)register producer + event consumer with the directory.
+  void renewRegistration(std::size_t retries);
+  void rememberStale(const std::string& cacheKey,
+                     std::shared_ptr<const dbc::VectorResultSet> rows);
 
   core::Gateway& gateway_;
   GlobalOptions options_;
   DirectoryClient directory_;
-  bool started_ = false;
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> epoch_{0};
 
   mutable std::mutex mu_;
   GlobalStats stats_;
-  struct CachedLookup {
-    net::Address producer;
-    util::TimePoint at;
-  };
+  util::Rng rng_;  // retry-backoff jitter (seeded from the gateway name)
   std::map<std::string, CachedLookup> lookupCache_;
   std::size_t propagationListenerId_ = 0;
   /// Session used to serve relayed requests locally.
   std::string federationToken_;
+  /// Host patterns registered with the directory (kept for renewals).
+  std::vector<std::string> ownedPatterns_;
+  bool registered_ = false;
+  util::TimePoint lastRegisteredAt_ = 0;
   /// Local passive subscription id -> the remote end of the relay.
-  struct RemoteSubscription {
-    net::Address owner;
-    std::size_t remoteId = 0;
+  std::map<std::size_t, std::shared_ptr<RemoteSubscription>>
+      remoteSubscriptions_;
+  /// Relay id -> sender-side relay state for subscriptions served here.
+  std::map<std::size_t, std::shared_ptr<ServedRelay>> servedRelays_;
+  std::size_t nextRelayId_ = 1;
+  /// Outbound event sequence per consumer address (reliable events).
+  std::map<std::string, std::uint64_t> eventSeq_;
+  /// Inbound event dedup per origin gateway.
+  struct OriginDedup {
+    std::uint64_t epoch = 0;
+    std::uint64_t floor = 0;  // seqs <= floor are known-applied
+    std::set<std::uint64_t> seen;
   };
-  std::map<std::size_t, RemoteSubscription> remoteSubscriptions_;
+  std::map<std::string, OriginDedup> eventDedup_;
+  /// Last-known-good remote rows for degraded-mode serving, keyed like
+  /// the gateway cache; bounded FIFO.
+  std::map<std::string, std::shared_ptr<const dbc::VectorResultSet>>
+      staleCache_;
+  std::deque<std::string> staleOrder_;
 };
 
 }  // namespace gridrm::global

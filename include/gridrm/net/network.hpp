@@ -69,6 +69,9 @@ struct LinkModel {
 struct EndpointStats {
   std::uint64_t requestsServed = 0;
   std::uint64_t datagramsReceived = 0;
+  /// Datagrams addressed here that vanished (link loss, host down or
+  /// nothing bound): attempted = datagramsReceived + datagramsDropped.
+  std::uint64_t datagramsDropped = 0;
   std::uint64_t bytesIn = 0;
   std::uint64_t bytesOut = 0;
 };
@@ -106,6 +109,12 @@ class Network {
   EndpointStats stats(const Address& addr) const;
   void resetStats();
   std::uint64_t totalRequests() const;
+  /// Datagrams attempted network-wide (delivered + dropped).
+  std::uint64_t totalDatagrams() const;
+
+  /// The clock every endpoint on this network shares (lets protocol
+  /// helpers like DirectoryClient back off in simulated time).
+  util::Clock& clock() noexcept { return clock_; }
 
  private:
   LinkModel linkFor(const std::string& a, const std::string& b) const;
@@ -120,6 +129,7 @@ class Network {
   std::map<std::string, bool> hostDown_;
   LinkModel defaultLink_;
   std::uint64_t totalRequests_ = 0;
+  std::uint64_t totalDatagrams_ = 0;
 };
 
 }  // namespace gridrm::net

@@ -1,0 +1,98 @@
+// Chaos fault-injection harness (PR 5).
+//
+// Drives the simulated network's failure knobs (per-link loss via
+// Network::setLink, host failures via Network::setHostDown) and
+// arbitrary callbacks (gateway crash/restart) along a deterministic,
+// seeded timeline in injected-clock time. Integration tests and
+// bench_federation script faults once and replay them bit-identically:
+//
+//   sim::ChaosInjector chaos(network, clock, /*seed=*/7);
+//   chaos.lossBurst("gw-a", "gw-b", 1 * util::kSecond, 5 * util::kSecond,
+//                   0.25);
+//   chaos.partition({"site-a"}, {"site-b"}, 8 * util::kSecond,
+//                   12 * util::kSecond);
+//   chaos.at(15 * util::kSecond, [&] { gwB.crash(); });
+//   chaos.run(500 * util::kMillisecond,
+//             [&] { gwA.tick(); gwB.tick(); },
+//             20 * util::kSecond);
+//
+// run() alternates advancing the clock one step and firing every fault
+// whose time has come, then calls the pump so the system under test can
+// poll/heal; faults with symmetric ends (burst/partition/down windows)
+// enqueue their own repair action.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gridrm/net/network.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::sim {
+
+class ChaosInjector {
+ public:
+  ChaosInjector(net::Network& network, util::Clock& clock,
+                std::uint64_t seed = 1);
+
+  /// Schedule an arbitrary fault (or repair) at absolute clock time
+  /// `when`. Actions scheduled for the same instant fire in insertion
+  /// order.
+  void at(util::TimePoint when, std::function<void()> action);
+
+  /// Raise the loss probability on the hostA<->hostB link to
+  /// `lossProbability` during [from, until), restoring the previous
+  /// default-link characteristics afterwards. Latency/jitter keep the
+  /// network's default-link values.
+  void lossBurst(const std::string& hostA, const std::string& hostB,
+                 util::TimePoint from, util::TimePoint until,
+                 double lossProbability);
+
+  /// Total two-way partition: every cross-side (sideA x sideB) link
+  /// drops all traffic during [from, until).
+  void partition(const std::vector<std::string>& sideA,
+                 const std::vector<std::string>& sideB, util::TimePoint from,
+                 util::TimePoint until);
+
+  /// Take `host` down (requests fail, datagrams vanish) during
+  /// [from, until).
+  void hostDownWindow(const std::string& host, util::TimePoint from,
+                      util::TimePoint until);
+
+  /// Drive the timeline: until every scheduled action has fired plus
+  /// `settle` more simulated time, advance the clock by `step`, fire
+  /// the actions that are due, then invoke `pump` (gateway tick/poll
+  /// plumbing). Returns the number of actions fired.
+  std::size_t run(util::Duration step, const std::function<void()>& pump,
+                  util::Duration settle = 0);
+
+  /// Fire every action due at or before the clock's current time
+  /// without advancing it (for tests that manage time themselves).
+  std::size_t fireDue();
+
+  std::size_t pendingActions() const noexcept { return actions_.size(); }
+
+  /// Default link restored after bursts/partitions; mirrors the value
+  /// passed to Network::setDefaultLink.
+  void setRestoreLink(const net::LinkModel& link) { restoreLink_ = link; }
+
+  util::Rng& rng() noexcept { return rng_; }
+
+ private:
+  struct Action {
+    util::TimePoint when;
+    std::uint64_t order;  // insertion tiebreak for equal `when`
+    std::function<void()> fn;
+  };
+
+  net::Network& network_;
+  util::Clock& clock_;
+  util::Rng rng_;  // for randomized schedules built on top of at()
+  net::LinkModel restoreLink_;
+  std::vector<Action> actions_;  // kept sorted by (when, order)
+  std::uint64_t nextOrder_ = 0;
+};
+
+}  // namespace gridrm::sim

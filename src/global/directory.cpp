@@ -6,12 +6,43 @@
 
 namespace gridrm::global {
 
+namespace {
+
+std::uint64_t parseU64(const std::string& text, std::uint64_t fallback = 0) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
 GmaDirectory::GmaDirectory(net::Network& network, const net::Address& address)
     : network_(network), address_(address) {
   network_.bind(address_, this);
 }
 
 GmaDirectory::~GmaDirectory() { network_.unbind(address_); }
+
+void GmaDirectory::pruneExpiredLocked(util::TimePoint now) {
+  for (auto it = producers_.begin(); it != producers_.end();) {
+    if (it->second.expiresAt != 0 && it->second.expiresAt <= now) {
+      it = producers_.erase(it);
+      ++stats_.leaseEvictions;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = consumers_.begin(); it != consumers_.end();) {
+    if (it->second.expiresAt != 0 && it->second.expiresAt <= now) {
+      it = consumers_.erase(it);
+      ++stats_.leaseEvictions;
+    } else {
+      ++it;
+    }
+  }
+}
 
 net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
                                          const net::Payload& request) {
@@ -20,16 +51,32 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
   const auto words = util::splitNonEmpty(lines[0], ' ');
   if (words.empty()) return "ERR empty request";
 
+  const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
+  pruneExpiredLocked(now);
   if (words[0] == "REG" && words.size() >= 4 && words[1] == "PRODUCER") {
     ProducerEntry entry;
     entry.name = words[2];
     entry.address = net::Address::parse(words[3]);
+    if (words.size() >= 5) entry.epoch = parseU64(words[4]);
+    if (words.size() >= 6) {
+      const util::Duration ttl =
+          static_cast<util::Duration>(parseU64(words[5])) * util::kMillisecond;
+      if (ttl > 0) entry.expiresAt = now + ttl;
+    }
     for (std::size_t i = 1; i < lines.size(); ++i) {
       auto pattern = util::trim(lines[i]);
       if (!pattern.empty()) entry.ownedHostPatterns.emplace_back(pattern);
     }
+    auto existing = producers_.find(entry.name);
+    if (existing != producers_.end() &&
+        entry.epoch < existing->second.epoch) {
+      // A renewal from a dead incarnation racing the restarted gateway.
+      ++stats_.staleRegistrations;
+      return "STALE";
+    }
     producers_[entry.name] = std::move(entry);
+    ++stats_.registrations;
     return "OK";
   }
   if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "PRODUCER") {
@@ -40,7 +87,8 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
     for (const auto& [name, entry] : producers_) {
       for (const auto& pattern : entry.ownedHostPatterns) {
         if (core::globMatch(pattern, words[1])) {
-          return "PRODUCER " + entry.name + " " + entry.address.toString();
+          return "PRODUCER " + entry.name + " " + entry.address.toString() +
+                 " " + std::to_string(entry.epoch);
         }
       }
     }
@@ -49,13 +97,20 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
   if (words[0] == "LIST") {
     std::string out;
     for (const auto& [name, entry] : producers_) {
-      out += "PRODUCER " + entry.name + " " + entry.address.toString() + "\n";
+      out += "PRODUCER " + entry.name + " " + entry.address.toString() + " " +
+             std::to_string(entry.epoch) + "\n";
     }
     return out;
   }
   if (words[0] == "REG" && words.size() >= 5 && words[1] == "CONSUMER") {
-    consumers_[words[2]] =
-        ConsumerEntry{words[2], net::Address::parse(words[3]), words[4]};
+    ConsumerEntry entry{words[2], net::Address::parse(words[3]), words[4], 0};
+    if (words.size() >= 6) {
+      const util::Duration ttl =
+          static_cast<util::Duration>(parseU64(words[5])) * util::kMillisecond;
+      if (ttl > 0) entry.expiresAt = now + ttl;
+    }
+    consumers_[words[2]] = std::move(entry);
+    ++stats_.registrations;
     return "OK";
   }
   if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "CONSUMER") {
@@ -75,29 +130,62 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
 }
 
 std::vector<ProducerEntry> GmaDirectory::producers() const {
+  const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
   std::vector<ProducerEntry> out;
-  for (const auto& [name, entry] : producers_) out.push_back(entry);
+  for (const auto& [name, entry] : producers_) {
+    if (entry.expiresAt == 0 || entry.expiresAt > now) out.push_back(entry);
+  }
   return out;
 }
 
 std::vector<ConsumerEntry> GmaDirectory::consumers() const {
+  const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
   std::vector<ConsumerEntry> out;
-  for (const auto& [name, entry] : consumers_) out.push_back(entry);
+  for (const auto& [name, entry] : consumers_) {
+    if (entry.expiresAt == 0 || entry.expiresAt > now) out.push_back(entry);
+  }
   return out;
+}
+
+DirectoryStats GmaDirectory::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
 }
 
 net::Payload DirectoryClient::request(const net::Payload& body) {
   return network_.request(self_, directory_, body);
 }
 
-void DirectoryClient::registerProducer(
+net::Payload DirectoryClient::requestWithRetry(const net::Payload& body,
+                                               std::size_t retries,
+                                               util::Duration backoff,
+                                               std::size_t& attempts) {
+  attempts = 0;
+  for (;;) {
+    ++attempts;
+    try {
+      return request(body);
+    } catch (const net::NetError&) {
+      if (attempts > retries) throw;
+      network_.clock().sleepFor(backoff);
+      backoff *= 2;
+    }
+  }
+}
+
+std::size_t DirectoryClient::registerProducer(
     const std::string& name, const net::Address& address,
-    const std::vector<std::string>& ownedHostPatterns) {
-  std::string body = "REG PRODUCER " + name + " " + address.toString();
+    const std::vector<std::string>& ownedHostPatterns, std::uint64_t epoch,
+    util::Duration leaseTtl, std::size_t retries, util::Duration backoff) {
+  std::string body = "REG PRODUCER " + name + " " + address.toString() + " " +
+                     std::to_string(epoch) + " " +
+                     std::to_string(leaseTtl / util::kMillisecond);
   for (const auto& pattern : ownedHostPatterns) body += "\n" + pattern;
-  request(body);
+  std::size_t attempts = 0;
+  (void)requestWithRetry(body, retries, backoff, attempts);
+  return attempts;
 }
 
 void DirectoryClient::unregisterProducer(const std::string& name) {
@@ -108,7 +196,14 @@ std::optional<ProducerEntry> DirectoryClient::lookup(const std::string& host) {
   const std::string response = request("LOOKUP " + host);
   const auto words = util::splitNonEmpty(response, ' ');
   if (words.size() < 3 || words[0] != "PRODUCER") return std::nullopt;
-  return ProducerEntry{words[1], net::Address::parse(words[2]), {}};
+  ProducerEntry entry{words[1], net::Address::parse(words[2]), {}};
+  if (words.size() >= 4) {
+    try {
+      entry.epoch = std::stoull(words[3]);
+    } catch (const std::exception&) {
+    }
+  }
+  return entry;
 }
 
 std::vector<ProducerEntry> DirectoryClient::list() {
@@ -122,11 +217,18 @@ std::vector<ProducerEntry> DirectoryClient::list() {
   return out;
 }
 
-void DirectoryClient::registerConsumer(const std::string& name,
-                                       const net::Address& address,
-                                       const std::string& eventPattern) {
-  request("REG CONSUMER " + name + " " + address.toString() + " " +
-          eventPattern);
+std::size_t DirectoryClient::registerConsumer(const std::string& name,
+                                              const net::Address& address,
+                                              const std::string& eventPattern,
+                                              util::Duration leaseTtl,
+                                              std::size_t retries,
+                                              util::Duration backoff) {
+  std::size_t attempts = 0;
+  (void)requestWithRetry(
+      "REG CONSUMER " + name + " " + address.toString() + " " + eventPattern +
+          " " + std::to_string(leaseTtl / util::kMillisecond),
+      retries, backoff, attempts);
+  return attempts;
 }
 
 void DirectoryClient::unregisterConsumer(const std::string& name) {

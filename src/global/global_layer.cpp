@@ -4,6 +4,7 @@
 
 #include "gridrm/dbc/result_io.hpp"
 #include "gridrm/sql/parser.hpp"
+#include "gridrm/util/config.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::global {
@@ -12,17 +13,76 @@ using dbc::ErrorCode;
 using dbc::SqlError;
 using util::Value;
 
+namespace {
+
+std::uint64_t parseU64(const std::string& text, std::uint64_t fallback = 0) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::uint64_t seedFromName(const std::string& name) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (char c : name) h = h * 31 + static_cast<unsigned char>(c);
+  return h;
+}
+
+}  // namespace
+
+GlobalOptions GlobalOptions::fromConfig(const util::Config& config) {
+  GlobalOptions o;
+  auto ms = [&](const char* key, util::Duration fallback) {
+    return config.has(key) ? config.getInt(key) * util::kMillisecond
+                           : fallback;
+  };
+  o.federationSecret = config.getString("federation.secret", o.federationSecret);
+  o.producerPort = static_cast<std::uint16_t>(
+      config.getInt("federation.producer_port", o.producerPort));
+  o.lookupCacheTtl = ms("federation.lookup_ttl_ms", o.lookupCacheTtl);
+  o.negativeLookupTtl =
+      ms("federation.negative_lookup_ttl_ms", o.negativeLookupTtl);
+  o.leaseTtl = ms("federation.lease_ttl_ms", o.leaseTtl);
+  o.registerRetries = static_cast<std::size_t>(config.getInt(
+      "federation.register_retries",
+      static_cast<std::int64_t>(o.registerRetries)));
+  o.registerBackoff = ms("federation.register_backoff_ms", o.registerBackoff);
+  o.queryRetries = static_cast<std::size_t>(config.getInt(
+      "federation.query_retries", static_cast<std::int64_t>(o.queryRetries)));
+  o.queryBackoff = ms("federation.query_backoff_ms", o.queryBackoff);
+  o.reliableDelivery = config.getBool("federation.reliable", o.reliableDelivery);
+  o.resendBuffer = static_cast<std::size_t>(config.getInt(
+      "federation.resend_buffer", static_cast<std::int64_t>(o.resendBuffer)));
+  o.reorderWindow = static_cast<std::size_t>(config.getInt(
+      "federation.reorder_window",
+      static_cast<std::int64_t>(o.reorderWindow)));
+  o.livenessTimeout = ms("federation.liveness_timeout_ms", o.livenessTimeout);
+  o.resubscribeReplayRows = static_cast<std::size_t>(config.getInt(
+      "federation.replay_rows",
+      static_cast<std::int64_t>(o.resubscribeReplayRows)));
+  o.serveStale = config.getBool("federation.serve_stale", o.serveStale);
+  o.staleCacheEntries = static_cast<std::size_t>(config.getInt(
+      "federation.stale_entries",
+      static_cast<std::int64_t>(o.staleCacheEntries)));
+  o.propagateEventPattern =
+      config.getString("federation.propagate_events", o.propagateEventPattern);
+  return o;
+}
+
 GlobalLayer::GlobalLayer(core::Gateway& gateway,
                          const net::Address& directoryAddress,
                          GlobalOptions options)
     : gateway_(gateway),
       options_(std::move(options)),
-      directory_(gateway.network(), producerAddress(), directoryAddress) {}
+      directory_(gateway.network(), producerAddress(), directoryAddress),
+      rng_(seedFromName(gateway.name())) {}
 
 GlobalLayer::~GlobalLayer() { stop(); }
 
 void GlobalLayer::start(std::vector<std::string> extraOwnedHostPatterns) {
-  if (started_) return;
+  if (started_.load()) return;
+  epoch_.fetch_add(1);
   // A federation principal serves relayed requests with monitor rights.
   federationToken_ = gateway_.openSession(
       core::Principal{"federation:" + gateway_.name(), {"monitor"}});
@@ -33,46 +93,90 @@ void GlobalLayer::start(std::vector<std::string> extraOwnedHostPatterns) {
   for (const auto& urlText : gateway_.dataSources()) {
     if (auto url = util::Url::parse(urlText)) patterns.push_back(url->host());
   }
-  directory_.registerProducer(gateway_.name(), producerAddress(), patterns);
+  {
+    std::scoped_lock lock(mu_);
+    ownedPatterns_ = std::move(patterns);
+    registered_ = false;
+  }
+  started_.store(true);
+  // Registration failure is survivable: tick() retries until the
+  // directory answers, so a gateway booting first still federates.
+  renewRegistration(options_.registerRetries);
 
   if (!options_.propagateEventPattern.empty()) {
-    // Receive remote events on the gateway's ordinary event port...
-    directory_.registerConsumer(gateway_.name(), gateway_.eventAddress(),
-                                options_.propagateEventPattern);
-    // ...and forward matching local events outward. Events that already
-    // carry an origin field were relayed to us; never re-forward them.
+    // Forward matching local events outward. Events that already carry
+    // an origin field were relayed to us; never re-forward them.
     propagationListenerId_ = gateway_.eventManager().addListener(
         options_.propagateEventPattern, [this](const core::Event& event) {
           if (event.fields.count("origin") != 0) return;
           propagateEvent(event);
         });
   }
-  started_ = true;
+}
+
+void GlobalLayer::renewRegistration(std::size_t retries) {
+  std::vector<std::string> patterns;
+  bool wasRegistered = false;
+  {
+    std::scoped_lock lock(mu_);
+    patterns = ownedPatterns_;
+    wasRegistered = registered_;
+  }
+  try {
+    const std::size_t attempts = directory_.registerProducer(
+        gateway_.name(), producerAddress(), patterns, epoch_.load(),
+        options_.leaseTtl, retries, options_.registerBackoff);
+    if (!options_.propagateEventPattern.empty()) {
+      // Reliable mode receives remote events as GEVENT requests on the
+      // producer port; legacy mode keeps the event-sink datagram path.
+      (void)directory_.registerConsumer(
+          gateway_.name(),
+          options_.reliableDelivery ? producerAddress()
+                                    : gateway_.eventAddress(),
+          options_.propagateEventPattern, options_.leaseTtl);
+    }
+    std::scoped_lock lock(mu_);
+    stats_.registerRetries += attempts > 0 ? attempts - 1 : 0;
+    if (wasRegistered) ++stats_.leaseRenewals;
+    registered_ = true;
+    lastRegisteredAt_ = gateway_.clock().now();
+  } catch (const net::NetError&) {
+    std::scoped_lock lock(mu_);
+    stats_.registerRetries += retries;
+    registered_ = false;
+  }
 }
 
 void GlobalLayer::stop() {
-  if (!started_) return;
+  if (!started_.load()) return;
   if (propagationListenerId_ != 0) {
     gateway_.eventManager().removeListener(propagationListenerId_);
     propagationListenerId_ = 0;
   }
   // Tear down relayed subscriptions: tell each owning gateway to stop
   // streaming, then drop the local passive endpoints.
-  std::map<std::size_t, RemoteSubscription> remotes;
+  std::map<std::size_t, std::shared_ptr<RemoteSubscription>> remotes;
+  std::map<std::size_t, std::shared_ptr<ServedRelay>> relays;
   {
     std::scoped_lock lock(mu_);
     remotes.swap(remoteSubscriptions_);
+    relays.swap(servedRelays_);
   }
   for (const auto& [localId, remote] : remotes) {
-    try {
-      (void)gateway_.network().request(
-          producerAddress(), remote.owner,
-          "GUNSUB " + options_.federationSecret + " " +
-              std::to_string(remote.remoteId));
-    } catch (const net::NetError&) {
-      // Owner may already be gone during teardown.
+    if (remote->remoteId != 0) {
+      try {
+        (void)gateway_.network().request(
+            producerAddress(), remote->owner,
+            "GUNSUB " + options_.federationSecret + " " +
+                std::to_string(remote->remoteId));
+      } catch (const net::NetError&) {
+        // Owner may already be gone during teardown.
+      }
     }
     (void)gateway_.streamEngine().unsubscribe(localId);
+  }
+  for (const auto& [relayId, relay] : relays) {
+    (void)gateway_.streamEngine().unsubscribe(relay->engineId);
   }
   try {
     directory_.unregisterProducer(gateway_.name());
@@ -84,7 +188,39 @@ void GlobalLayer::stop() {
   }
   gateway_.network().unbind(producerAddress());
   gateway_.closeSession(federationToken_);
-  started_ = false;
+  started_.store(false);
+}
+
+void GlobalLayer::crash() {
+  if (!started_.load()) return;
+  if (propagationListenerId_ != 0) {
+    gateway_.eventManager().removeListener(propagationListenerId_);
+    propagationListenerId_ = 0;
+  }
+  gateway_.network().unbind(producerAddress());
+  std::map<std::size_t, std::shared_ptr<RemoteSubscription>> remotes;
+  std::map<std::size_t, std::shared_ptr<ServedRelay>> relays;
+  {
+    std::scoped_lock lock(mu_);
+    remotes.swap(remoteSubscriptions_);
+    relays.swap(servedRelays_);
+    lookupCache_.clear();
+    staleCache_.clear();
+    staleOrder_.clear();
+    eventSeq_.clear();
+    eventDedup_.clear();
+    registered_ = false;
+  }
+  // No GUNSUB, no directory unregistration: the process is "gone".
+  // Leases expire at the directory; consumers heal via SPING -> GONE.
+  for (const auto& [localId, remote] : remotes) {
+    (void)gateway_.streamEngine().unsubscribe(localId);
+  }
+  for (const auto& [relayId, relay] : relays) {
+    (void)gateway_.streamEngine().unsubscribe(relay->engineId);
+  }
+  gateway_.closeSession(federationToken_);
+  started_.store(false);
 }
 
 bool GlobalLayer::ownsHost(const std::string& host) const {
@@ -97,33 +233,100 @@ bool GlobalLayer::ownsHost(const std::string& host) const {
 }
 
 std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
+  const util::TimePoint now = gateway_.clock().now();
+  std::optional<net::Address> staleAddress;
   {
     std::scoped_lock lock(mu_);
     auto it = lookupCache_.find(host);
-    if (it != lookupCache_.end() &&
-        gateway_.clock().now() - it->second.at < options_.lookupCacheTtl) {
-      ++stats_.lookupCacheHits;
-      return it->second.producer;
+    if (it != lookupCache_.end()) {
+      const bool negative = !it->second.producer.has_value();
+      const util::Duration ttl =
+          negative ? options_.negativeLookupTtl : options_.lookupCacheTtl;
+      if (now - it->second.at < ttl) {
+        if (negative) {
+          ++stats_.negativeLookupHits;
+          return std::nullopt;
+        }
+        ++stats_.lookupCacheHits;
+        return it->second.producer;
+      }
+      // Expired positive entry: kept as the stale-while-revalidate
+      // fallback should the directory be unreachable.
+      staleAddress = it->second.producer;
     }
-  }
-  std::optional<ProducerEntry> entry;
-  {
-    std::scoped_lock lock(mu_);
     ++stats_.directoryLookups;
   }
-  entry = directory_.lookup(host);
-  if (!entry) return std::nullopt;
+  std::optional<ProducerEntry> entry;
+  try {
+    entry = directory_.lookup(host);
+  } catch (const net::NetError&) {
+    if (staleAddress) {
+      std::scoped_lock lock(mu_);
+      ++stats_.staleLookupsServed;
+      return staleAddress;  // entry stays expired: revalidate next time
+    }
+    return std::nullopt;
+  }
   std::scoped_lock lock(mu_);
-  lookupCache_[host] = CachedLookup{entry->address, gateway_.clock().now()};
+  if (!entry) {
+    lookupCache_[host] = CachedLookup{std::nullopt, now};
+    return std::nullopt;
+  }
+  lookupCache_[host] = CachedLookup{entry->address, now};
   return entry->address;
 }
 
+void GlobalLayer::rememberStale(
+    const std::string& cacheKey,
+    std::shared_ptr<const dbc::VectorResultSet> rows) {
+  if (!options_.serveStale || options_.staleCacheEntries == 0) return;
+  std::scoped_lock lock(mu_);
+  if (staleCache_.count(cacheKey) == 0) {
+    while (staleCache_.size() >= options_.staleCacheEntries &&
+           !staleOrder_.empty()) {
+      staleCache_.erase(staleOrder_.front());
+      staleOrder_.pop_front();
+    }
+    staleOrder_.push_back(cacheKey);
+  }
+  staleCache_[cacheKey] = std::move(rows);
+}
+
+net::Payload GlobalLayer::requestViaHedgeLane(const net::Address& owner,
+                                              const net::Payload& body) {
+  auto done = std::make_shared<std::promise<net::Payload>>();
+  std::future<net::Payload> ready = done->get_future();
+  const bool accepted = gateway_.scheduler().submit(
+      core::Lane::Hedge,
+      [this, done, owner, body] {
+        try {
+          done->set_value(
+              gateway_.network().request(producerAddress(), owner, body));
+        } catch (...) {
+          done->set_exception(std::current_exception());
+        }
+      },
+      core::CancelToken{}, /*blocking=*/true);
+  if (!accepted) {
+    // Lane full: the retry is latency-insensitive enough to run inline.
+    return gateway_.network().request(producerAddress(), owner, body);
+  }
+  try {
+    return ready.get();  // rethrows the worker's NetError
+  } catch (const std::future_error&) {
+    throw net::NetError(net::NetErrorKind::Timeout,
+                        "retry dropped at scheduler shutdown");
+  }
+}
+
 std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
-    const std::string& urlText, const std::string& sql, bool useCache) {
+    const std::string& urlText, const std::string& sql,
+    const core::QueryOptions& options, bool& servedStale) {
+  servedStale = false;
   // Inter-gateway cache: identical key space as local source caching.
   // Hits share the cached row storage directly (zero-copy, E14).
   const std::string cacheKey = core::CacheController::key(urlText, sql);
-  if (useCache) {
+  if (options.useCache) {
     if (auto cached = gateway_.cache().lookupShared(cacheKey)) {
       std::scoped_lock lock(mu_);
       ++stats_.remoteCacheHits;
@@ -131,34 +334,86 @@ std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
     }
   }
 
+  // Degraded mode: when the owner is unreachable, an expired cached
+  // copy (marked stale for the caller) beats an error.
+  auto failUnreachable =
+      [&](const std::string& message) -> std::shared_ptr<const dbc::VectorResultSet> {
+    if (options_.serveStale) {
+      std::scoped_lock lock(mu_);
+      auto it = staleCache_.find(cacheKey);
+      if (it != staleCache_.end()) {
+        ++stats_.staleRemoteServes;
+        servedStale = true;
+        return it->second;
+      }
+    }
+    throw SqlError(ErrorCode::ConnectionFailed, message);
+  };
+
   auto url = util::Url::parse(urlText);
   if (!url) {
     throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
   }
   auto owner = resolveOwner(url->host());
-  if (!owner) {
-    throw SqlError(ErrorCode::ConnectionFailed,
-                   "no gateway owns host " + url->host());
-  }
+  if (!owner) return failUnreachable("no gateway owns host " + url->host());
   {
     std::scoped_lock lock(mu_);
     ++stats_.remoteQueriesSent;
   }
+  const net::Payload request = "GQUERY " + options_.federationSecret + "\n" +
+                               urlText + "\n" + sql;
+  // Retries with jittered exponential backoff, bounded by the caller's
+  // per-source deadline (kInheritTiming resolves to the gateway
+  // default). Retries run on the Hedge lane: they are deliberate
+  // duplicates and must not crowd out first-attempt work.
+  util::Duration deadline = options.deadline;
+  if (deadline == core::kInheritTiming) {
+    deadline = gateway_.requestManager().tuning().defaultDeadline;
+  }
+  const util::TimePoint deadlineAt =
+      deadline > 0 ? gateway_.clock().now() + deadline : 0;
   net::Payload response;
-  try {
-    response = gateway_.network().request(
-        producerAddress(), *owner,
-        "GQUERY " + options_.federationSecret + "\n" + urlText + "\n" + sql);
-  } catch (const net::NetError& e) {
-    throw SqlError(ErrorCode::ConnectionFailed,
-                   "remote gateway unreachable: " + std::string(e.what()));
+  std::string lastError;
+  bool delivered = false;
+  util::Duration backoff = options_.queryBackoff;
+  for (std::size_t attempt = 0; attempt <= options_.queryRetries; ++attempt) {
+    if (attempt > 0) {
+      util::Duration wait = backoff;
+      {
+        std::scoped_lock lock(mu_);
+        if (backoff > 1) {
+          wait = backoff / 2 + static_cast<util::Duration>(rng_.below(
+                                   static_cast<std::uint64_t>(backoff)));
+        }
+      }
+      if (deadlineAt != 0 && gateway_.clock().now() + wait >= deadlineAt) {
+        break;  // a retry would land past the caller's deadline
+      }
+      gateway_.clock().sleepFor(wait);
+      backoff *= 2;
+      std::scoped_lock lock(mu_);
+      ++stats_.remoteRetries;
+    }
+    try {
+      response = attempt == 0 ? gateway_.network().request(producerAddress(),
+                                                           *owner, request)
+                              : requestViaHedgeLane(*owner, request);
+      delivered = true;
+      break;
+    } catch (const net::NetError& e) {
+      lastError = e.what();
+    }
+  }
+  if (!delivered) {
+    return failUnreachable("remote gateway unreachable: " + lastError);
   }
   if (util::startsWith(response, "ERR ")) {
     throw SqlError(ErrorCode::Generic, "remote: " + response.substr(4));
   }
   std::shared_ptr<const dbc::VectorResultSet> rows =
       dbc::deserializeResultSet(response);
-  if (useCache) gateway_.cache().insert(cacheKey, rows);
+  if (options.useCache) gateway_.cache().insert(cacheKey, rows);
+  rememberStale(cacheKey, rows);
   return rows;
 }
 
@@ -209,8 +464,10 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
         result.servedFromCache += local.servedFromCache;
         appendRows(urlText, local.rows->underlying());
       } else {
-        auto remote = queryRemote(urlText, sql, options.useCache);
-        if (options.recordHistory) {
+        bool servedStale = false;
+        auto remote = queryRemote(urlText, sql, options, servedStale);
+        if (servedStale) result.staleSources.push_back(urlText);
+        if (options.recordHistory && !servedStale) {
           try {
             gateway_.requestManager().recordHistoryRows(
                 urlText, sql::parseSelect(sql).table, *remote);
@@ -221,7 +478,7 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
         appendRows(urlText, *remote);
       }
     } catch (const SqlError& e) {
-      result.failures.push_back({urlText, e.what()});
+      result.failures.push_back({urlText, e.what(), e.code()});
     }
   }
 
@@ -235,28 +492,42 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
   return result;
 }
 
-net::Payload GlobalLayer::handleRequest(const net::Address& /*from*/,
+net::Payload GlobalLayer::handleRequest(const net::Address& from,
                                         const net::Payload& request) {
-  // GQUERY <secret>\n<url>\n<sql>
-  // GSUB <secret> <consumerHost:port> <consumerId>\n<url>\n<sql>
-  // GUNSUB <secret> <id>
   const auto lines = util::split(request, '\n');
   const auto words = util::splitNonEmpty(lines[0], ' ');
-  if (!words.empty() && words[0] == "GSUB") {
+  if (words.empty()) return "ERR bad request";
+  if (words[0] == "GSUB") {
     return serveSubscribe(words, lines);
   }
-  if (!words.empty() && words[0] == "GUNSUB") {
+  if (words[0] == "SNACK") {
+    return serveNack(words);
+  }
+  if (words[0] == "SPING") {
+    return servePing(words);
+  }
+  if (words[0] == "GEVENT") {
+    return serveEvent(from, words, request);
+  }
+  if (words[0] == "GUNSUB") {
     if (words.size() < 3) return "ERR bad request";
     if (words[1] != options_.federationSecret) {
       std::scoped_lock lock(mu_);
       ++stats_.authFailures;
       return "ERR federation authentication failed";
     }
-    try {
-      (void)gateway_.streamEngine().unsubscribe(std::stoull(words[2]));
-    } catch (const std::exception&) {
-      return "ERR bad subscription id";
+    const std::size_t relayId = parseU64(words[2]);
+    std::shared_ptr<ServedRelay> relay;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = servedRelays_.find(relayId);
+      if (it != servedRelays_.end()) {
+        relay = it->second;
+        servedRelays_.erase(it);
+      }
     }
+    if (!relay) return "ERR bad subscription id";
+    (void)gateway_.streamEngine().unsubscribe(relay->engineId);
     return "OK";
   }
   if (words.size() < 2 || words[0] != "GQUERY" || lines.size() < 3) {
@@ -328,6 +599,8 @@ net::Payload GlobalLayer::serveSubscribe(
   } catch (const std::exception&) {
     return "ERR bad consumer endpoint";
   }
+  const std::size_t replayRows =
+      words.size() >= 5 ? static_cast<std::size_t>(parseU64(words[4])) : 0;
   const std::string& urlText = lines[1];
   std::string sql = lines[2];
   for (std::size_t i = 3; i < lines.size(); ++i) sql += "\n" + lines[i];
@@ -335,37 +608,200 @@ net::Payload GlobalLayer::serveSubscribe(
   try {
     (void)gateway_.authorize(federationToken_,
                              core::Operation::StreamSubscribe);
+    // A re-subscribe (partition healing) replaces any relay already
+    // serving this consumer endpoint: two live relays would stream
+    // conflicting sequence spaces.
+    std::shared_ptr<ServedRelay> replaced;
+    auto relay = std::make_shared<ServedRelay>();
+    relay->consumer = consumer;
+    relay->consumerId = consumerId;
+    {
+      std::scoped_lock lock(mu_);
+      for (auto it = servedRelays_.begin(); it != servedRelays_.end(); ++it) {
+        if (it->second->consumer == consumer &&
+            it->second->consumerId == consumerId) {
+          replaced = it->second;
+          servedRelays_.erase(it);
+          break;
+        }
+      }
+      relay->relayId = nextRelayId_++;
+    }
+    if (replaced) {
+      (void)gateway_.streamEngine().unsubscribe(replaced->engineId);
+    }
     // This gateway becomes a GMA producer of streamed tuples: every
-    // delta the local engine emits is serialised and pushed to the
-    // consuming gateway as a datagram on its producer port.
-    auto relay = [this, consumer,
-                  consumerId](const stream::StreamDelta& delta) {
+    // delta the local engine emits is sequenced, buffered for resend
+    // and pushed to the consuming gateway as a datagram.
+    auto relayFn = [this, relay](const stream::StreamDelta& delta) {
       dbc::VectorResultSet rows(delta.columns, delta.rows);
-      net::Payload payload = "SDELTA " + std::to_string(consumerId) + " " +
-                             std::to_string(delta.timestamp) + "\n" +
-                             delta.sourceUrl + "\n" + delta.table + "\n" +
-                             dbc::serializeResultSet(rows);
-      gateway_.network().datagram(producerAddress(), consumer,
+      const std::string tail = "\n" + delta.sourceUrl + "\n" + delta.table +
+                               "\n" + dbc::serializeResultSet(rows);
+      net::Payload payload;
+      {
+        std::scoped_lock rlock(relay->mu);
+        const std::uint64_t seq = ++relay->lastSeq;
+        payload = "SDELTA " + std::to_string(relay->consumerId) + " " +
+                  std::to_string(relay->relayId) + " " + std::to_string(seq) +
+                  " " + std::to_string(epoch_.load()) + " " +
+                  std::to_string(delta.timestamp) + tail;
+        if (options_.reliableDelivery) {
+          relay->resend.emplace_back(seq, payload);
+          relay->lastFrame = payload;
+          while (relay->resend.size() > options_.resendBuffer) {
+            relay->minAvailable = relay->resend.front().first + 1;
+            relay->resend.pop_front();
+          }
+        }
+      }
+      gateway_.network().datagram(producerAddress(), relay->consumer,
                                   std::move(payload));
       std::scoped_lock lock(mu_);
       ++stats_.streamDeltasRelayed;
     };
-    const std::size_t id =
-        gateway_.streamEngine().subscribe(urlText, sql, std::move(relay));
+    stream::StreamOptions streamOptions = gateway_.options().streamOptions;
+    streamOptions.replayRows = replayRows;
+    relay->engineId = gateway_.streamEngine().subscribe(
+        urlText, sql, std::move(relayFn), streamOptions);
     {
       std::scoped_lock lock(mu_);
+      servedRelays_[relay->relayId] = relay;
       ++stats_.streamSubscriptionsServed;
     }
-    return "OK " + std::to_string(id);
+    return "OK " + std::to_string(relay->relayId) + " " +
+           std::to_string(epoch_.load());
   } catch (const std::exception& e) {
     return std::string("ERR ") + e.what();
   }
 }
 
+net::Payload GlobalLayer::serveNack(const std::vector<std::string>& words) {
+  // SNACK <secret> <relayId> <from> <to>
+  if (words.size() < 5) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  const std::size_t relayId = parseU64(words[2]);
+  const std::uint64_t from = parseU64(words[3]);
+  const std::uint64_t to = parseU64(words[4]);
+  std::shared_ptr<ServedRelay> relay;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = servedRelays_.find(relayId);
+    if (it == servedRelays_.end()) {
+      return "GONE " + std::to_string(epoch_.load());
+    }
+    relay = it->second;
+    ++stats_.nacksServed;
+  }
+  std::vector<net::Payload> frames;
+  std::uint64_t lastSeq = 0;
+  net::Payload resyncFrame;
+  bool evicted = false;
+  {
+    std::scoped_lock rlock(relay->mu);
+    lastSeq = relay->lastSeq;
+    if (from < relay->minAvailable) {
+      // The gap predates the resend buffer: fall back to the newest
+      // frame as a snapshot the consumer can resync onto.
+      evicted = true;
+      resyncFrame = relay->lastFrame;
+    } else {
+      for (const auto& [seq, payload] : relay->resend) {
+        if (seq >= from && seq <= to) frames.push_back(payload);
+      }
+    }
+  }
+  if (evicted) {
+    if (resyncFrame.empty()) return "OK 0 " + std::to_string(lastSeq);
+    return "RESYNC " + std::to_string(lastSeq) + "\n" + resyncFrame;
+  }
+  for (const auto& payload : frames) {
+    gateway_.network().datagram(producerAddress(), relay->consumer, payload);
+  }
+  {
+    std::scoped_lock lock(mu_);
+    stats_.deltasResent += frames.size();
+  }
+  return "OK " + std::to_string(frames.size()) + " " +
+         std::to_string(lastSeq);
+}
+
+net::Payload GlobalLayer::servePing(const std::vector<std::string>& words) {
+  // SPING <secret> <relayId>
+  if (words.size() < 3) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  const std::size_t relayId = parseU64(words[2]);
+  std::shared_ptr<ServedRelay> relay;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = servedRelays_.find(relayId);
+    if (it == servedRelays_.end()) {
+      return "GONE " + std::to_string(epoch_.load());
+    }
+    relay = it->second;
+  }
+  std::uint64_t lastSeq = 0;
+  {
+    std::scoped_lock rlock(relay->mu);
+    lastSeq = relay->lastSeq;
+  }
+  return "OK " + std::to_string(epoch_.load()) + " " +
+         std::to_string(lastSeq);
+}
+
+net::Payload GlobalLayer::serveEvent(const net::Address& from,
+                                     const std::vector<std::string>& words,
+                                     const net::Payload& body) {
+  // GEVENT <secret> <origin> <epoch> <seq>\n<encodedEvent>
+  if (words.size() < 5) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  const std::size_t nl = body.find('\n');
+  if (nl == std::string::npos) return "ERR bad request";
+  const std::string& origin = words[2];
+  const std::uint64_t originEpoch = parseU64(words[3]);
+  const std::uint64_t seq = parseU64(words[4]);
+  {
+    std::scoped_lock lock(mu_);
+    OriginDedup& dedup = eventDedup_[origin];
+    if (originEpoch > dedup.epoch) {
+      // The origin restarted: its sequence space starts over.
+      dedup = OriginDedup{originEpoch, 0, {}};
+    } else if (originEpoch < dedup.epoch || seq <= dedup.floor ||
+               dedup.seen.count(seq) != 0) {
+      ++stats_.duplicateEventsDropped;
+      return "OK";  // retried delivery of an already-applied event
+    }
+    dedup.seen.insert(seq);
+    while (dedup.seen.size() > 128) {
+      dedup.floor = *dedup.seen.begin();
+      dedup.seen.erase(dedup.seen.begin());
+    }
+    ++stats_.remoteEventsIngested;
+  }
+  gateway_.eventManager().ingestNative(from, body.substr(nl + 1));
+  return "OK";
+}
+
 void GlobalLayer::handleDatagram(const net::Address& /*from*/,
                                  const net::Payload& body) {
-  // SDELTA <consumerId> <timestamp>\n<sourceUrl>\n<table>\n<rows>
   if (!util::startsWith(body, "SDELTA ")) return;
+  processDeltaFrame(body);
+}
+
+void GlobalLayer::processDeltaFrame(const net::Payload& body) {
+  // SDELTA <consumerId> <relayId> <seq> <epoch> <timestamp>\n
+  //     <sourceUrl>\n<table>\n<rows>
   const std::size_t nl1 = body.find('\n');
   const std::size_t nl2 = nl1 == std::string::npos
                               ? std::string::npos
@@ -376,22 +812,100 @@ void GlobalLayer::handleDatagram(const net::Address& /*from*/,
   if (nl3 == std::string::npos) return;
   try {
     const auto header = util::splitNonEmpty(body.substr(0, nl1), ' ');
-    if (header.size() < 3) return;
+    if (header.size() < 6) return;
     const std::size_t consumerId = std::stoull(header[1]);
+    const std::size_t relayId = std::stoull(header[2]);
+    const std::uint64_t seq = std::stoull(header[3]);
+    const std::uint64_t frameEpoch = std::stoull(header[4]);
     stream::StreamDelta delta;
-    delta.timestamp = std::stoll(header[2]);
+    delta.sequence = seq;
+    delta.timestamp = std::stoll(header[5]);
     delta.sourceUrl = body.substr(nl1 + 1, nl2 - nl1 - 1);
     delta.table = body.substr(nl2 + 1, nl3 - nl2 - 1);
     auto rows = dbc::deserializeResultSet(body.substr(nl3 + 1));
     delta.columns = rows->metaData();
     delta.rows = rows->rows();
-    if (gateway_.streamEngine().injectDelta(consumerId, std::move(delta))) {
-      std::scoped_lock lock(mu_);
-      ++stats_.streamDeltasReceived;
+
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = remoteSubscriptions_.find(consumerId);
+    if (it == remoteSubscriptions_.end()) return;
+    auto sub = it->second;
+    if (!options_.reliableDelivery) {
+      // Legacy fire-and-forget: apply whatever arrives, in whatever
+      // order it arrives (the bench ablation baseline).
+      sub->lastHeardAt = gateway_.clock().now();
+      sub->applyQueue.push_back(std::move(delta));
+      pumpApply(consumerId, sub, lock);
+      return;
     }
+    if (sub->remoteId == 0) {
+      // The (re-)subscribe handshake is still in flight: buffer the
+      // raw frame and re-process once the relay id is known.
+      if (sub->pendingFrames.size() < options_.reorderWindow) {
+        sub->pendingFrames.push_back(body);
+      }
+      return;
+    }
+    if (relayId != sub->remoteId) {
+      // A frame from a replaced relay incarnation: never apply it.
+      ++stats_.duplicateDeltasDropped;
+      return;
+    }
+    if (frameEpoch != sub->ownerEpoch) {
+      if (frameEpoch > sub->ownerEpoch) sub->needsResubscribe = true;
+      ++stats_.duplicateDeltasDropped;
+      return;
+    }
+    sub->lastHeardAt = gateway_.clock().now();
+    if (seq < sub->nextExpected) {
+      ++stats_.duplicateDeltasDropped;
+      return;
+    }
+    if (seq == sub->nextExpected) {
+      sub->applyQueue.push_back(std::move(delta));
+      ++sub->nextExpected;
+      // Drain any directly-following frames parked in the reorder
+      // buffer.
+      for (auto rit = sub->reorder.find(sub->nextExpected);
+           rit != sub->reorder.end();
+           rit = sub->reorder.find(sub->nextExpected)) {
+        sub->applyQueue.push_back(std::move(rit->second));
+        sub->reorder.erase(rit);
+        ++sub->nextExpected;
+      }
+      pumpApply(consumerId, sub, lock);
+      return;
+    }
+    // Gap: park the frame; tick() NACKs the missing range.
+    if (sub->reorder.empty()) ++stats_.deltaGapsDetected;
+    if (sub->reorder.count(seq) != 0) {
+      ++stats_.duplicateDeltasDropped;
+      return;
+    }
+    if (sub->reorder.size() < options_.reorderWindow) {
+      sub->reorder.emplace(seq, std::move(delta));
+    }
+    // else: window full; drop, the NACK/resend cycle re-delivers it.
   } catch (const std::exception&) {
     // Malformed or stale delta: drop, exactly like a lost datagram.
   }
+}
+
+void GlobalLayer::pumpApply(std::size_t localId,
+                            const std::shared_ptr<RemoteSubscription>& sub,
+                            std::unique_lock<std::mutex>& lock) {
+  if (sub->applying) return;  // another thread is already draining
+  sub->applying = true;
+  while (!sub->applyQueue.empty()) {
+    stream::StreamDelta delta = std::move(sub->applyQueue.front());
+    sub->applyQueue.pop_front();
+    lock.unlock();
+    const bool ok =
+        gateway_.streamEngine().injectDelta(localId, std::move(delta));
+    lock.lock();
+    if (ok) ++stats_.streamDeltasReceived;
+  }
+  sub->applying = false;
 }
 
 std::size_t GlobalLayer::subscribeGlobal(
@@ -414,42 +928,69 @@ std::size_t GlobalLayer::subscribeGlobal(
     throw SqlError(ErrorCode::ConnectionFailed,
                    "no gateway owns host " + url->host());
   }
+  const std::size_t initialReplay =
+      streamOptions ? streamOptions->replayRows
+                    : gateway_.options().streamOptions.replayRows;
   // Local passive endpoint first, so the id travels in the GSUB request
   // and relayed deltas can be routed the moment the remote end streams.
   const std::size_t localId = gateway_.streamEngine().subscribePassive(
       "relay:" + urlText, std::move(consumer), std::move(streamOptions));
+  auto sub = std::make_shared<RemoteSubscription>();
+  sub->owner = *owner;
+  sub->url = urlText;
+  sub->sql = sql;
+  sub->replayRows = std::max(initialReplay, options_.resubscribeReplayRows);
+  sub->lastHeardAt = gateway_.clock().now();
+  {
+    // Registered before the GSUB goes out: replayed frames arrive
+    // inside the request call and must find somewhere to buffer.
+    std::scoped_lock lock(mu_);
+    remoteSubscriptions_[localId] = sub;
+  }
+  auto abandon = [&] {
+    std::scoped_lock lock(mu_);
+    remoteSubscriptions_.erase(localId);
+  };
   net::Payload response;
   try {
     response = gateway_.network().request(
         producerAddress(), *owner,
         "GSUB " + options_.federationSecret + " " +
             producerAddress().toString() + " " + std::to_string(localId) +
-            "\n" + urlText + "\n" + sql);
+            " " + std::to_string(initialReplay) + "\n" + urlText + "\n" +
+            sql);
   } catch (const net::NetError& e) {
+    abandon();
     (void)gateway_.streamEngine().unsubscribe(localId);
     throw SqlError(ErrorCode::ConnectionFailed,
                    "remote gateway unreachable: " + std::string(e.what()));
   }
   if (util::startsWith(response, "ERR ")) {
+    abandon();
     (void)gateway_.streamEngine().unsubscribe(localId);
     throw SqlError(ErrorCode::Generic, "remote: " + response.substr(4));
   }
-  std::size_t remoteId = 0;
-  try {
-    remoteId = std::stoull(response.substr(3));
-  } catch (const std::exception&) {
+  const auto ack = util::splitNonEmpty(response, ' ');
+  if (ack.size() < 2 || ack[0] != "OK") {
+    abandon();
     (void)gateway_.streamEngine().unsubscribe(localId);
     throw SqlError(ErrorCode::Generic, "remote: malformed GSUB response");
   }
-  std::scoped_lock lock(mu_);
-  ++stats_.streamSubscriptionsSent;
-  remoteSubscriptions_[localId] = RemoteSubscription{*owner, remoteId};
+  std::deque<net::Payload> pending;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.streamSubscriptionsSent;
+    sub->remoteId = static_cast<std::size_t>(parseU64(ack[1]));
+    sub->ownerEpoch = ack.size() >= 3 ? parseU64(ack[2]) : 0;
+    pending.swap(sub->pendingFrames);
+  }
+  for (const auto& frame : pending) processDeltaFrame(frame);
   return localId;
 }
 
 void GlobalLayer::unsubscribeGlobal(const std::string& token, std::size_t id) {
   (void)gateway_.authorize(token, core::Operation::StreamSubscribe);
-  std::optional<RemoteSubscription> remote;
+  std::shared_ptr<RemoteSubscription> remote;
   {
     std::scoped_lock lock(mu_);
     auto it = remoteSubscriptions_.find(id);
@@ -458,7 +999,7 @@ void GlobalLayer::unsubscribeGlobal(const std::string& token, std::size_t id) {
       remoteSubscriptions_.erase(it);
     }
   }
-  if (remote) {
+  if (remote && remote->remoteId != 0) {
     try {
       (void)gateway_.network().request(
           producerAddress(), remote->owner,
@@ -469,6 +1010,233 @@ void GlobalLayer::unsubscribeGlobal(const std::string& token, std::size_t id) {
     }
   }
   (void)gateway_.streamEngine().unsubscribe(id);
+}
+
+void GlobalLayer::tick() {
+  if (!started_.load()) return;
+  const util::TimePoint now = gateway_.clock().now();
+  bool renew = false;
+  {
+    std::scoped_lock lock(mu_);
+    if (!registered_) {
+      renew = true;
+    } else if (options_.leaseTtl > 0 &&
+               now - lastRegisteredAt_ >= options_.leaseTtl / 2) {
+      renew = true;
+    }
+  }
+  if (renew) renewRegistration(/*retries=*/0);
+  if (!options_.reliableDelivery) return;
+
+  struct Action {
+    enum Kind { Resubscribe, Nack, Ping } kind;
+    std::size_t localId;
+    std::shared_ptr<RemoteSubscription> sub;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+  };
+  std::vector<Action> actions;
+  {
+    std::scoped_lock lock(mu_);
+    for (auto& [localId, sub] : remoteSubscriptions_) {
+      if (sub->needsResubscribe) {
+        if (!sub->resubscribing) {
+          sub->resubscribing = true;
+          actions.push_back({Action::Resubscribe, localId, sub});
+        }
+        continue;
+      }
+      if (sub->remoteId == 0) continue;  // handshake in flight
+      if (!sub->reorder.empty()) {
+        const std::uint64_t hi = sub->reorder.rbegin()->first;
+        if (hi > sub->nextExpected) {
+          actions.push_back(
+              {Action::Nack, localId, sub, sub->nextExpected, hi - 1});
+        }
+        continue;
+      }
+      if (options_.livenessTimeout > 0 &&
+          now - sub->lastHeardAt >= options_.livenessTimeout) {
+        actions.push_back({Action::Ping, localId, sub});
+      }
+    }
+  }
+  for (auto& action : actions) {
+    switch (action.kind) {
+      case Action::Resubscribe:
+        resubscribe(action.localId, action.sub);
+        break;
+      case Action::Nack:
+        sendNack(action.localId, action.sub, action.from, action.to);
+        break;
+      case Action::Ping:
+        sendPing(action.localId, action.sub);
+        break;
+    }
+  }
+}
+
+void GlobalLayer::sendNack(std::size_t localId,
+                           const std::shared_ptr<RemoteSubscription>& sub,
+                           std::uint64_t from, std::uint64_t to) {
+  (void)localId;
+  net::Address owner;
+  std::size_t remoteId = 0;
+  {
+    std::scoped_lock lock(mu_);
+    owner = sub->owner;
+    remoteId = sub->remoteId;
+  }
+  if (remoteId == 0) return;
+  net::Payload response;
+  try {
+    response = gateway_.network().request(
+        producerAddress(), owner,
+        "SNACK " + options_.federationSecret + " " +
+            std::to_string(remoteId) + " " + std::to_string(from) + " " +
+            std::to_string(to));
+  } catch (const net::NetError&) {
+    return;  // unreachable; retried next tick
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.nacksSent;
+  }
+  if (util::startsWith(response, "GONE")) {
+    std::scoped_lock lock(mu_);
+    sub->needsResubscribe = true;
+    return;
+  }
+  if (util::startsWith(response, "RESYNC ")) {
+    // RESYNC <lastSeq>\n<frame>: jump the sequence window to the
+    // owner's newest frame and apply it as the current snapshot.
+    const std::size_t nl = response.find('\n');
+    if (nl == std::string::npos) return;
+    const net::Payload frame = response.substr(nl + 1);
+    const auto header =
+        util::splitNonEmpty(frame.substr(0, frame.find('\n')), ' ');
+    if (header.size() < 6 || header[0] != "SDELTA") return;
+    const std::uint64_t frameSeq = parseU64(header[3]);
+    {
+      std::scoped_lock lock(mu_);
+      ++stats_.snapshotResyncs;
+      sub->nextExpected = frameSeq;
+      while (!sub->reorder.empty() &&
+             sub->reorder.begin()->first <= frameSeq) {
+        sub->reorder.erase(sub->reorder.begin());
+      }
+    }
+    processDeltaFrame(frame);
+  }
+  // "OK <resent> <lastSeq>": the resent frames arrive as datagrams.
+}
+
+void GlobalLayer::sendPing(std::size_t localId,
+                           const std::shared_ptr<RemoteSubscription>& sub) {
+  net::Address owner;
+  std::size_t remoteId = 0;
+  {
+    std::scoped_lock lock(mu_);
+    owner = sub->owner;
+    remoteId = sub->remoteId;
+    ++stats_.livenessProbes;
+  }
+  if (remoteId == 0) return;
+  net::Payload response;
+  try {
+    response = gateway_.network().request(
+        producerAddress(), owner,
+        "SPING " + options_.federationSecret + " " +
+            std::to_string(remoteId));
+  } catch (const net::NetError&) {
+    return;  // owner down or partitioned; probe again next tick
+  }
+  if (util::startsWith(response, "GONE")) {
+    std::scoped_lock lock(mu_);
+    sub->needsResubscribe = true;
+    return;
+  }
+  const auto words = util::splitNonEmpty(response, ' ');
+  if (words.size() < 3 || words[0] != "OK") return;
+  const std::uint64_t ownerEpoch = parseU64(words[1]);
+  const std::uint64_t ownerLastSeq = parseU64(words[2]);
+  std::uint64_t nackFrom = 0;
+  std::uint64_t nackTo = 0;
+  {
+    std::scoped_lock lock(mu_);
+    sub->lastHeardAt = gateway_.clock().now();
+    if (ownerEpoch != sub->ownerEpoch) {
+      sub->needsResubscribe = true;
+      return;
+    }
+    if (ownerLastSeq >= sub->nextExpected) {
+      // Every frame since nextExpected was lost without leaving a gap
+      // witness: reclaim the range explicitly.
+      ++stats_.deltaGapsDetected;
+      nackFrom = sub->nextExpected;
+      nackTo = ownerLastSeq;
+    }
+  }
+  if (nackFrom != 0) sendNack(localId, sub, nackFrom, nackTo);
+}
+
+void GlobalLayer::resubscribe(std::size_t localId,
+                              const std::shared_ptr<RemoteSubscription>& sub) {
+  std::string urlText;
+  std::string sqlText;
+  std::size_t replay = 0;
+  {
+    std::scoped_lock lock(mu_);
+    urlText = sub->url;
+    sqlText = sub->sql;
+    replay = sub->replayRows;
+    // Frames from the defunct relay buffer or drop while the new
+    // handshake is in flight.
+    sub->remoteId = 0;
+    sub->reorder.clear();
+    sub->pendingFrames.clear();
+    sub->nextExpected = 1;
+  }
+  auto finish = [&] {
+    std::scoped_lock lock(mu_);
+    sub->resubscribing = false;
+  };
+  auto url = util::Url::parse(urlText);
+  std::optional<net::Address> owner;
+  if (url) owner = resolveOwner(url->host());
+  if (!owner) {
+    finish();
+    return;  // directory unreachable or ownership moved; retry next tick
+  }
+  net::Payload response;
+  try {
+    response = gateway_.network().request(
+        producerAddress(), *owner,
+        "GSUB " + options_.federationSecret + " " +
+            producerAddress().toString() + " " + std::to_string(localId) +
+            " " + std::to_string(replay) + "\n" + urlText + "\n" + sqlText);
+  } catch (const net::NetError&) {
+    finish();
+    return;  // owner still down; retry next tick
+  }
+  const auto ack = util::splitNonEmpty(response, ' ');
+  if (ack.size() < 2 || ack[0] != "OK") {
+    finish();
+    return;
+  }
+  std::deque<net::Payload> pending;
+  {
+    std::scoped_lock lock(mu_);
+    sub->owner = *owner;
+    sub->remoteId = static_cast<std::size_t>(parseU64(ack[1]));
+    sub->ownerEpoch = ack.size() >= 3 ? parseU64(ack[2]) : 0;
+    sub->needsResubscribe = false;
+    sub->resubscribing = false;
+    sub->lastHeardAt = gateway_.clock().now();
+    ++stats_.resubscribes;
+    pending.swap(sub->pendingFrames);
+  }
+  for (const auto& frame : pending) processDeltaFrame(frame);
 }
 
 void GlobalLayer::propagateEvent(const core::Event& event) {
@@ -486,16 +1254,75 @@ void GlobalLayer::propagateEvent(const core::Event& event) {
     return;  // directory unreachable; drop propagation, keep local delivery
   }
   for (const auto& target : targets) {
-    if (target.address == gateway_.eventAddress()) continue;  // not to self
-    gateway_.network().datagram(producerAddress(), target.address, *encoded);
+    if (target.address == gateway_.eventAddress() ||
+        target.address == producerAddress()) {
+      continue;  // not to self
+    }
+    if (!options_.reliableDelivery) {
+      gateway_.network().datagram(producerAddress(), target.address,
+                                  *encoded);
+      std::scoped_lock lock(mu_);
+      ++stats_.eventsPropagated;
+      continue;
+    }
+    std::uint64_t seq = 0;
+    {
+      std::scoped_lock lock(mu_);
+      seq = ++eventSeq_[target.address.toString()];
+    }
+    const net::Payload payload =
+        "GEVENT " + options_.federationSecret + " " + gateway_.name() + " " +
+        std::to_string(epoch_.load()) + " " + std::to_string(seq) + "\n" +
+        *encoded;
+    util::Duration backoff = options_.queryBackoff;
+    bool delivered = false;
+    for (std::size_t attempt = 0; attempt <= options_.queryRetries;
+         ++attempt) {
+      if (attempt > 0) {
+        gateway_.clock().sleepFor(backoff);
+        backoff *= 2;
+      }
+      try {
+        (void)gateway_.network().request(producerAddress(), target.address,
+                                         payload);
+        delivered = true;
+        break;
+      } catch (const net::NetError&) {
+      }
+    }
     std::scoped_lock lock(mu_);
-    ++stats_.eventsPropagated;
+    if (delivered) {
+      ++stats_.eventsPropagated;
+    } else {
+      ++stats_.eventSendFailures;
+    }
   }
 }
 
 GlobalStats GlobalLayer::stats() const {
   std::scoped_lock lock(mu_);
   return stats_;
+}
+
+std::vector<RemoteSubscriptionStatus> GlobalLayer::remoteSubscriptionStatus(
+    const std::string& token) {
+  (void)gateway_.authorize(token, core::Operation::StreamSubscribe);
+  std::vector<RemoteSubscriptionStatus> out;
+  std::scoped_lock lock(mu_);
+  out.reserve(remoteSubscriptions_.size());
+  for (const auto& [localId, sub] : remoteSubscriptions_) {
+    RemoteSubscriptionStatus status;
+    status.localId = localId;
+    status.owner = sub->owner;
+    status.remoteId = sub->remoteId;
+    status.ownerEpoch = sub->ownerEpoch;
+    status.nextExpectedSeq = sub->nextExpected;
+    status.reorderBuffered = sub->reorder.size();
+    status.needsResubscribe = sub->needsResubscribe;
+    status.lastHeardAt = sub->lastHeardAt;
+    out.push_back(std::move(status));
+  }
+  return out;
 }
 
 }  // namespace gridrm::global

@@ -112,14 +112,24 @@ void Network::datagram(const Address& from, const Address& to,
   RequestHandler* handler = nullptr;
   {
     std::scoped_lock lock(mu_);
-    auto downIt = hostDown_.find(to.host);
-    if (downIt != hostDown_.end() && downIt->second) return;
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) return;
-    const LinkModel link = linkFor(from.host, to.host);
-    if (rng_.chance(link.lossProbability)) return;
-    handler = it->second;
+    ++totalDatagrams_;
     EndpointStats& s = stats_[to];
+    auto downIt = hostDown_.find(to.host);
+    if (downIt != hostDown_.end() && downIt->second) {
+      ++s.datagramsDropped;
+      return;
+    }
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++s.datagramsDropped;
+      return;
+    }
+    const LinkModel link = linkFor(from.host, to.host);
+    if (rng_.chance(link.lossProbability)) {
+      ++s.datagramsDropped;
+      return;
+    }
+    handler = it->second;
     ++s.datagramsReceived;
     s.bytesIn += body.size();
   }
@@ -136,11 +146,17 @@ void Network::resetStats() {
   std::scoped_lock lock(mu_);
   stats_.clear();
   totalRequests_ = 0;
+  totalDatagrams_ = 0;
 }
 
 std::uint64_t Network::totalRequests() const {
   std::scoped_lock lock(mu_);
   return totalRequests_;
+}
+
+std::uint64_t Network::totalDatagrams() const {
+  std::scoped_lock lock(mu_);
+  return totalDatagrams_;
 }
 
 }  // namespace gridrm::net

@@ -1,0 +1,85 @@
+#include "gridrm/sim/chaos.hpp"
+
+#include <algorithm>
+
+namespace gridrm::sim {
+
+ChaosInjector::ChaosInjector(net::Network& network, util::Clock& clock,
+                             std::uint64_t seed)
+    : network_(network), clock_(clock), rng_(seed) {}
+
+void ChaosInjector::at(util::TimePoint when, std::function<void()> action) {
+  Action entry{when, nextOrder_++, std::move(action)};
+  auto it = std::upper_bound(
+      actions_.begin(), actions_.end(), entry,
+      [](const Action& a, const Action& b) {
+        return a.when != b.when ? a.when < b.when : a.order < b.order;
+      });
+  actions_.insert(it, std::move(entry));
+}
+
+void ChaosInjector::lossBurst(const std::string& hostA,
+                              const std::string& hostB, util::TimePoint from,
+                              util::TimePoint until, double lossProbability) {
+  net::LinkModel lossy = restoreLink_;
+  lossy.lossProbability = lossProbability;
+  at(from, [this, hostA, hostB, lossy] {
+    network_.setLink(hostA, hostB, lossy);
+  });
+  at(until, [this, hostA, hostB] {
+    network_.setLink(hostA, hostB, restoreLink_);
+  });
+}
+
+void ChaosInjector::partition(const std::vector<std::string>& sideA,
+                              const std::vector<std::string>& sideB,
+                              util::TimePoint from, util::TimePoint until) {
+  net::LinkModel cut = restoreLink_;
+  cut.lossProbability = 1.0;
+  for (const auto& a : sideA) {
+    for (const auto& b : sideB) {
+      at(from, [this, a, b, cut] { network_.setLink(a, b, cut); });
+      at(until, [this, a, b] { network_.setLink(a, b, restoreLink_); });
+    }
+  }
+}
+
+void ChaosInjector::hostDownWindow(const std::string& host,
+                                   util::TimePoint from,
+                                   util::TimePoint until) {
+  at(from, [this, host] { network_.setHostDown(host, true); });
+  at(until, [this, host] { network_.setHostDown(host, false); });
+}
+
+std::size_t ChaosInjector::fireDue() {
+  const util::TimePoint now = clock_.now();
+  std::size_t fired = 0;
+  while (!actions_.empty() && actions_.front().when <= now) {
+    // Pop before firing: an action may schedule follow-ups.
+    Action action = std::move(actions_.front());
+    actions_.erase(actions_.begin());
+    action.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t ChaosInjector::run(util::Duration step,
+                               const std::function<void()>& pump,
+                               util::Duration settle) {
+  std::size_t fired = fireDue();
+  if (pump) pump();
+  util::TimePoint settleUntil =
+      actions_.empty() ? clock_.now() + settle : 0;
+  while (!actions_.empty() || clock_.now() < settleUntil) {
+    clock_.sleepFor(step);
+    fired += fireDue();
+    if (pump) pump();
+    if (actions_.empty() && settleUntil == 0) {
+      settleUntil = clock_.now() + settle;
+    }
+  }
+  return fired;
+}
+
+}  // namespace gridrm::sim

@@ -1,0 +1,409 @@
+// Federation resilience (PR 5): leased registrations, lookup caching
+// degraded modes, reliable sequenced delta delivery and liveness-epoch
+// driven re-subscription, exercised over the seeded lossy network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "global_fixture.hpp"
+#include "gridrm/core/site_poller.hpp"
+#include "gridrm/util/config.hpp"
+
+namespace gridrm::global {
+namespace {
+
+using core::SitePoller;
+using stream::StreamDelta;
+using testutil::GridFixture;
+
+std::unique_ptr<SitePoller> makePollerB(GridFixture& f) {
+  auto poller = std::make_unique<SitePoller>(
+      f.gatewayB->requestManager(), f.clock, core::Principal::monitor());
+  poller->setStreamSink(&f.gatewayB->streamEngine());
+  core::PollTask task;
+  task.url = f.siteB->headUrl("snmp");
+  task.sql = "SELECT * FROM Processor";
+  task.interval = 30 * util::kSecond;
+  poller->addTask(task);
+  return poller;
+}
+
+TEST(FederationResilienceTest, FromConfigParsesFederationKeys) {
+  util::Config cfg = util::Config::parse(
+      "federation.secret = s3cret\n"
+      "federation.producer_port = 9001\n"
+      "federation.lookup_ttl_ms = 1000\n"
+      "federation.negative_lookup_ttl_ms = 200\n"
+      "federation.lease_ttl_ms = 3000\n"
+      "federation.register_retries = 5\n"
+      "federation.register_backoff_ms = 10\n"
+      "federation.query_retries = 4\n"
+      "federation.query_backoff_ms = 20\n"
+      "federation.reliable = false\n"
+      "federation.resend_buffer = 7\n"
+      "federation.reorder_window = 9\n"
+      "federation.liveness_timeout_ms = 1500\n"
+      "federation.replay_rows = 6\n"
+      "federation.serve_stale = false\n"
+      "federation.stale_entries = 11\n"
+      "federation.propagate_events = snmp.trap\n");
+  GlobalOptions o = GlobalOptions::fromConfig(cfg);
+  EXPECT_EQ(o.federationSecret, "s3cret");
+  EXPECT_EQ(o.producerPort, 9001);
+  EXPECT_EQ(o.lookupCacheTtl, 1 * util::kSecond);
+  EXPECT_EQ(o.negativeLookupTtl, 200 * util::kMillisecond);
+  EXPECT_EQ(o.leaseTtl, 3 * util::kSecond);
+  EXPECT_EQ(o.registerRetries, 5u);
+  EXPECT_EQ(o.registerBackoff, 10 * util::kMillisecond);
+  EXPECT_EQ(o.queryRetries, 4u);
+  EXPECT_EQ(o.queryBackoff, 20 * util::kMillisecond);
+  EXPECT_FALSE(o.reliableDelivery);
+  EXPECT_EQ(o.resendBuffer, 7u);
+  EXPECT_EQ(o.reorderWindow, 9u);
+  EXPECT_EQ(o.livenessTimeout, 1500 * util::kMillisecond);
+  EXPECT_EQ(o.resubscribeReplayRows, 6u);
+  EXPECT_FALSE(o.serveStale);
+  EXPECT_EQ(o.staleCacheEntries, 11u);
+  EXPECT_EQ(o.propagateEventPattern, "snmp.trap");
+
+  GlobalOptions defaults = GlobalOptions::fromConfig(util::Config{});
+  EXPECT_EQ(defaults.producerPort, kProducerPort);
+  EXPECT_TRUE(defaults.reliableDelivery);
+}
+
+TEST(FederationResilienceTest, LeasedRegistrationsRenewAndEvict) {
+  GlobalOptions options;
+  options.leaseTtl = 4 * util::kSecond;
+  GridFixture f(5 * util::kSecond, "", options);
+  ASSERT_EQ(f.directory->producers().size(), 2u);
+
+  // tick() before ttl/2 elapses does not renew.
+  f.globalA->tick();
+  EXPECT_EQ(f.globalA->stats().leaseRenewals, 0u);
+
+  // ...but past ttl/2 it does.
+  f.clock.advance(2100 * util::kMillisecond);
+  f.globalA->tick();
+  EXPECT_EQ(f.globalA->stats().leaseRenewals, 1u);
+
+  // Let both leases lapse: the entries stop being served.
+  f.clock.advance(10 * util::kSecond);
+  EXPECT_TRUE(f.directory->producers().empty());
+
+  // A renewal prunes the dead entries at the directory and re-adds the
+  // renewer; the silent gateway stays evicted until it renews too.
+  f.globalA->tick();
+  EXPECT_EQ(f.directory->producers().size(), 1u);
+  EXPECT_GE(f.directory->stats().leaseEvictions, 2u);
+  f.globalB->tick();
+  EXPECT_EQ(f.directory->producers().size(), 2u);
+}
+
+/// Delegates to a real directory after failing the first N requests —
+/// a directory that is slow to come up.
+class FlakyDirectory final : public net::RequestHandler {
+ public:
+  FlakyDirectory(GmaDirectory& inner, int failures)
+      : inner_(inner), failures_(failures) {}
+  net::Payload handleRequest(const net::Address& from,
+                             const net::Payload& request) override {
+    if (failures_ > 0) {
+      --failures_;
+      throw net::NetError(net::NetErrorKind::Timeout, "directory booting");
+    }
+    return inner_.handleRequest(from, request);
+  }
+
+ private:
+  GmaDirectory& inner_;
+  int failures_;
+};
+
+TEST(FederationResilienceTest, RegistrationRetriesWithBackoff) {
+  util::SimClock clock(0);
+  net::Network network(clock, 3);
+  GmaDirectory real(network, {"dir-real", kDirectoryPort});
+  FlakyDirectory flaky(real, /*failures=*/2);
+  network.bind({"gma", kDirectoryPort}, &flaky);
+
+  DirectoryClient client(network, {"gw", kProducerPort},
+                         {"gma", kDirectoryPort});
+  const util::TimePoint before = clock.now();
+  const std::size_t attempts = client.registerProducer(
+      "gw", {"gw", kProducerPort}, {"node*"}, /*epoch=*/1, /*leaseTtl=*/0,
+      /*retries=*/3, /*backoff=*/250 * util::kMillisecond);
+  EXPECT_EQ(attempts, 3u);
+  // Two backoff sleeps: 250ms then 500ms (plus link RTTs).
+  EXPECT_GE(clock.now() - before, 750 * util::kMillisecond);
+  EXPECT_EQ(real.producers().size(), 1u);
+
+  // With retries exhausted the last NetError surfaces.
+  FlakyDirectory stubborn(real, /*failures=*/100);
+  network.bind({"gma", kDirectoryPort}, &stubborn);
+  EXPECT_THROW(client.registerProducer("gw2", {"gw2", kProducerPort}, {},
+                                       1, 0, /*retries=*/1,
+                                       /*backoff=*/util::kMillisecond),
+               net::NetError);
+}
+
+TEST(FederationResilienceTest, StartSurvivesDirectoryOutageTickHeals) {
+  GlobalOptions options;
+  options.registerRetries = 0;  // fail fast during the outage
+  GridFixture f(5 * util::kSecond, "", options);
+
+  // A third gateway boots while the directory is unreachable.
+  core::GatewayOptions gwC;
+  gwC.name = "gw-c";
+  gwC.host = "gw-c.host";
+  core::Gateway gatewayC(f.network, f.clock, gwC);
+  GlobalLayer globalC(gatewayC, net::Address{"gma", kDirectoryPort}, options);
+
+  f.network.setHostDown("gma", true);
+  globalC.start({"sitec-*"});  // must not throw
+  EXPECT_TRUE(f.directory->producers().size() == 2u);
+
+  // The directory comes back; periodic maintenance completes the join.
+  f.network.setHostDown("gma", false);
+  globalC.tick();
+  EXPECT_EQ(f.directory->producers().size(), 3u);
+  globalC.stop();
+}
+
+TEST(FederationResilienceTest, NegativeLookupsAreCached) {
+  GridFixture f;
+  const std::string url = "jdbc:snmp://nowhere:161/x";
+  auto r1 = f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  ASSERT_EQ(r1.failures.size(), 1u);
+  EXPECT_NE(r1.failures[0].message.find("no gateway owns"),
+            std::string::npos);
+  EXPECT_EQ(f.globalA->stats().directoryLookups, 1u);
+
+  // Within the negative TTL the directory is not asked again.
+  auto r2 = f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  EXPECT_EQ(r2.failures.size(), 1u);
+  EXPECT_EQ(f.globalA->stats().directoryLookups, 1u);
+  EXPECT_EQ(f.globalA->stats().negativeLookupHits, 1u);
+
+  // Past the TTL the entry is revalidated.
+  f.clock.advance(6 * util::kSecond);
+  (void)f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  EXPECT_EQ(f.globalA->stats().directoryLookups, 2u);
+}
+
+TEST(FederationResilienceTest, ExpiredLookupServedStaleWhenDirectoryDown) {
+  GridFixture f;
+  const std::string url = f.siteB->headUrl("snmp");
+  auto r1 = f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  EXPECT_TRUE(r1.complete());
+
+  // Lookup cache expires; the directory is unreachable; the expired
+  // entry still routes the query to gateway B.
+  f.clock.advance(61 * util::kSecond);
+  f.network.setHostDown("gma", true);
+  auto r2 = f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  EXPECT_TRUE(r2.complete());
+  EXPECT_TRUE(r2.staleSources.empty());  // rows are fresh, only the route
+  EXPECT_EQ(f.globalA->stats().staleLookupsServed, 1u);
+}
+
+TEST(FederationResilienceTest, DegradedModeServesStaleRemoteRows) {
+  GridFixture f;
+  const std::string url = f.siteB->headUrl("snmp");
+  auto fresh =
+      f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  ASSERT_TRUE(fresh.complete());
+  const std::size_t freshRows = fresh.rows->underlying().rowCount();
+  ASSERT_GT(freshRows, 0u);
+
+  // The result cache expires, then gateway B drops off the network:
+  // the expired copy is served, flagged as stale.
+  f.clock.advance(6 * util::kSecond);
+  f.network.setHostDown("gw-b.host", true);
+  auto degraded =
+      f.globalA->globalQuery(f.adminA, {url}, "SELECT * FROM Processor");
+  EXPECT_TRUE(degraded.complete());
+  ASSERT_EQ(degraded.staleSources.size(), 1u);
+  EXPECT_EQ(degraded.staleSources[0], url);
+  EXPECT_EQ(degraded.rows->underlying().rowCount(), freshRows);
+  EXPECT_EQ(f.globalA->stats().staleRemoteServes, 1u);
+  EXPECT_GE(f.globalA->stats().remoteRetries, 2u);
+
+  // With stale serving disabled the same outage is a reported failure.
+  GlobalOptions noStale;
+  noStale.serveStale = false;
+  noStale.queryRetries = 0;
+  GridFixture g(5 * util::kSecond, "", noStale);
+  const std::string urlG = g.siteB->headUrl("snmp");
+  (void)g.globalA->globalQuery(g.adminA, {urlG}, "SELECT * FROM Processor");
+  g.clock.advance(6 * util::kSecond);
+  g.network.setHostDown("gw-b.host", true);
+  auto failed =
+      g.globalA->globalQuery(g.adminA, {urlG}, "SELECT * FROM Processor");
+  EXPECT_EQ(failed.failures.size(), 1u);
+  EXPECT_TRUE(failed.staleSources.empty());
+}
+
+TEST(FederationResilienceTest, LossySequencedDeliveryIsExactlyOnce) {
+  GlobalOptions options;
+  options.livenessTimeout = 2 * util::kSecond;
+  GridFixture f(5 * util::kSecond, "", options);
+
+  std::vector<StreamDelta> received;
+  (void)f.globalA->subscribeGlobal(
+      f.adminA, f.siteB->headUrl("snmp"),
+      "SELECT HostName, Load1 FROM Processor",
+      [&](const StreamDelta& d) { received.push_back(d); });
+
+  // A lossy WAN between the gateways: 40% of frames vanish.
+  f.network.setLink("gw-a.host", "gw-b.host",
+                    net::LinkModel{200, 0, 0.40});
+
+  auto poller = makePollerB(f);
+  const std::size_t kPolls = 10;
+  for (std::size_t i = 0; i < kPolls; ++i) {
+    f.clock.advance(30 * util::kSecond);
+    (void)poller->tick();
+    f.quiesce();
+    f.globalA->tick();  // NACK any gap the next frame revealed
+    f.quiesce();
+  }
+  // Heal: liveness probes find the final lost frames.
+  for (int i = 0; i < 40 && received.size() < kPolls; ++i) f.pump();
+
+  // Exactly-once, in-order application despite the loss.
+  ASSERT_EQ(received.size(), kPolls);
+  std::set<util::TimePoint> stamps;
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    stamps.insert(received[i].timestamp);
+    if (i > 0) EXPECT_GT(received[i].timestamp, received[i - 1].timestamp);
+  }
+  EXPECT_EQ(stamps.size(), kPolls);  // no duplicates
+
+  const GlobalStats statsA = f.globalA->stats();
+  const GlobalStats statsB = f.globalB->stats();
+  EXPECT_GE(statsA.deltaGapsDetected, 1u);
+  EXPECT_GE(statsA.nacksSent, 1u);
+  EXPECT_GE(statsB.deltasResent, 1u);
+  EXPECT_EQ(statsA.streamDeltasReceived, kPolls);
+
+  // Introspection reflects the healed state.
+  auto status = f.globalA->remoteSubscriptionStatus(f.adminA);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].nextExpectedSeq, kPolls + 1);
+  EXPECT_FALSE(status[0].needsResubscribe);
+  EXPECT_EQ(status[0].reorderBuffered, 0u);
+}
+
+TEST(FederationResilienceTest, ResendBufferOverflowFallsBackToResync) {
+  GlobalOptions options;
+  options.livenessTimeout = 2 * util::kSecond;
+  options.resendBuffer = 1;  // almost no resend history
+  GridFixture f(5 * util::kSecond, "", options);
+
+  std::vector<StreamDelta> received;
+  (void)f.globalA->subscribeGlobal(
+      f.adminA, f.siteB->headUrl("snmp"), "SELECT * FROM Processor",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  auto poller = makePollerB(f);
+  (void)poller->tick();
+  f.quiesce();
+  ASSERT_EQ(received.size(), 1u);
+
+  // Black out the inter-gateway link across three refreshes: the
+  // resend buffer (1 frame) can no longer cover the gap.
+  f.network.setLink("gw-a.host", "gw-b.host", net::LinkModel{200, 0, 1.0});
+  for (int i = 0; i < 3; ++i) {
+    f.clock.advance(30 * util::kSecond);
+    (void)poller->tick();
+    f.quiesce();
+  }
+  f.network.setLink("gw-a.host", "gw-b.host", net::LinkModel{200, 0, 0.0});
+  for (int i = 0; i < 20 && received.size() < 2; ++i) f.pump();
+
+  // The consumer jumped to the newest frame instead of replaying the
+  // evicted range.
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_GT(received[1].timestamp, received[0].timestamp);
+  EXPECT_EQ(f.globalA->stats().snapshotResyncs, 1u);
+  auto status = f.globalA->remoteSubscriptionStatus(f.adminA);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].nextExpectedSeq, 5u);  // past the newest frame
+}
+
+TEST(FederationResilienceTest, OwnerRestartTriggersResubscribeWithReplay) {
+  GlobalOptions options;
+  options.livenessTimeout = 2 * util::kSecond;
+  options.resubscribeReplayRows = 2;
+  GridFixture f(5 * util::kSecond, "", options);
+
+  std::vector<StreamDelta> received;
+  (void)f.globalA->subscribeGlobal(
+      f.adminA, f.siteB->headUrl("snmp"), "SELECT * FROM Processor",
+      [&](const StreamDelta& d) { received.push_back(d); });
+  auto poller = makePollerB(f);
+  for (int i = 0; i < 2; ++i) {
+    (void)poller->tick();
+    f.quiesce();
+    f.clock.advance(30 * util::kSecond);
+  }
+  ASSERT_EQ(received.size(), 2u);
+
+  // Gateway B dies abruptly (no unregistration, no GUNSUB) and comes
+  // back with a bumped epoch.
+  const std::uint64_t epochBefore = f.globalB->epoch();
+  f.globalB->crash();
+  EXPECT_EQ(f.globalB->epoch(), epochBefore);  // bump happens on start
+  f.globalB->start();
+  EXPECT_EQ(f.globalB->epoch(), epochBefore + 1);
+
+  // Liveness probing notices the dead relay (GONE) and re-subscribes,
+  // replaying recent history so the consumer refills its window.
+  const std::size_t beforeHeal = received.size();
+  for (int i = 0; i < 20 && f.globalA->stats().resubscribes == 0; ++i) {
+    f.pump();
+  }
+  EXPECT_EQ(f.globalA->stats().resubscribes, 1u);
+  EXPECT_GT(received.size(), beforeHeal);  // replayed rows arrived
+
+  auto status = f.globalA->remoteSubscriptionStatus(f.adminA);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_FALSE(status[0].needsResubscribe);
+  EXPECT_EQ(status[0].ownerEpoch, epochBefore + 1);
+
+  // The healed relay streams new refreshes normally.
+  const std::size_t afterHeal = received.size();
+  f.clock.advance(30 * util::kSecond);
+  (void)poller->tick();
+  f.quiesce();
+  EXPECT_EQ(received.size(), afterHeal + 1);
+}
+
+TEST(FederationResilienceTest, ReliableEventPropagationDedupsRetries) {
+  // A lossy link makes the event request path retry; the receiver must
+  // apply each event once.
+  GlobalOptions options;
+  GridFixture f(5 * util::kSecond, "snmp.trap", options);
+  f.network.setLink("gw-a.host", "gw-b.host",
+                    net::LinkModel{200, 0, 0.30});
+
+  for (int i = 0; i < 5; ++i) {
+    core::Event event;
+    event.type = "snmp.trap.highload";
+    event.source = "siteA-node0" + std::to_string(i);
+    event.severity = core::Severity::Warning;
+    f.gatewayA->eventManager().ingest(event);
+    f.gatewayA->eventManager().drain();
+    f.gatewayB->eventManager().drain();
+  }
+  const GlobalStats statsB = f.globalB->stats();
+  // Whatever was delivered arrived exactly once.
+  EXPECT_EQ(statsB.remoteEventsIngested,
+            f.globalA->stats().eventsPropagated);
+  EXPECT_LE(statsB.remoteEventsIngested, 5u);
+  EXPECT_GE(statsB.remoteEventsIngested, 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::global

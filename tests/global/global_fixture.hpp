@@ -13,7 +13,8 @@ namespace gridrm::global::testutil {
 
 struct GridFixture {
   explicit GridFixture(util::Duration cacheTtl = 5 * util::kSecond,
-                       const std::string& eventPattern = "")
+                       const std::string& eventPattern = "",
+                       GlobalOptions baseOptions = {})
       : clock(0), network(clock, 17) {
     directory =
         std::make_unique<GmaDirectory>(network, net::Address{"gma", kDirectoryPort});
@@ -53,7 +54,7 @@ struct GridFixture {
       gatewayB->addDataSource(adminB, url);
     }
 
-    GlobalOptions globalOptions;
+    GlobalOptions globalOptions = std::move(baseOptions);
     globalOptions.propagateEventPattern = eventPattern;
     globalA = std::make_unique<GlobalLayer>(
         *gatewayA, net::Address{"gma", kDirectoryPort}, globalOptions);
@@ -74,6 +75,16 @@ struct GridFixture {
         return;
       }
     }
+  }
+
+  /// One maintenance round: advance simulated time by `step`, run both
+  /// Global layers' tick() (lease renewal, NACKs, liveness probes) and
+  /// drain the schedulers.
+  void pump(util::Duration step = 500 * util::kMillisecond) {
+    clock.advance(step);
+    globalA->tick();
+    globalB->tick();
+    quiesce();
   }
 
   util::SimClock clock;

@@ -134,6 +134,34 @@ TEST(NetworkTest, DatagramToNowhereSilentlyDropped) {
   util::SimClock clock;
   Network network(clock);
   network.datagram({"a", 0}, {"gone", 1}, "x");  // must not throw
+  EXPECT_EQ(network.stats({"gone", 1}).datagramsDropped, 1u);
+  EXPECT_EQ(network.totalDatagrams(), 1u);
+}
+
+TEST(NetworkTest, DatagramDropsCounted) {
+  util::SimClock clock;
+  Network network(clock, /*seed=*/5);
+  Echo echo;
+  network.bind({"s", 162}, &echo);
+
+  network.setHostDown("s", true);
+  network.datagram({"a", 0}, {"s", 162}, "lost-host-down");
+  network.setHostDown("s", false);
+  EXPECT_EQ(network.stats({"s", 162}).datagramsDropped, 1u);
+
+  network.setDefaultLink(LinkModel{100, 0, 1.0});  // total loss
+  network.datagram({"a", 0}, {"s", 162}, "lost-on-link");
+  network.setDefaultLink(LinkModel{100, 0, 0.0});
+  network.datagram({"a", 0}, {"s", 162}, "delivered");
+
+  EndpointStats stats = network.stats({"s", 162});
+  EXPECT_EQ(stats.datagramsReceived, 1u);
+  EXPECT_EQ(stats.datagramsDropped, 2u);
+  // attempted = received + dropped, network-wide.
+  EXPECT_EQ(network.totalDatagrams(), 3u);
+  network.resetStats();
+  EXPECT_EQ(network.stats({"s", 162}).datagramsDropped, 0u);
+  EXPECT_EQ(network.totalDatagrams(), 0u);
 }
 
 TEST(NetworkTest, StatsTrackIntrusion) {

@@ -1,0 +1,128 @@
+#include "gridrm/sim/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridrm::sim {
+namespace {
+
+class Sink final : public net::RequestHandler {
+ public:
+  net::Payload handleRequest(const net::Address&,
+                             const net::Payload& request) override {
+    return "ok:" + request;
+  }
+  void handleDatagram(const net::Address&, const net::Payload& body) override {
+    datagrams.push_back(body);
+  }
+  std::vector<net::Payload> datagrams;
+};
+
+TEST(ChaosInjectorTest, ActionsFireInTimeOrder) {
+  util::SimClock clock(0);
+  net::Network network(clock);
+  ChaosInjector chaos(network, clock);
+  std::vector<int> order;
+  chaos.at(3000, [&] { order.push_back(3); });
+  chaos.at(1000, [&] { order.push_back(1); });
+  chaos.at(1000, [&] { order.push_back(2); });  // same time: insertion order
+  EXPECT_EQ(chaos.pendingActions(), 3u);
+
+  clock.advance(999);
+  EXPECT_EQ(chaos.fireDue(), 0u);
+  clock.advance(1);
+  EXPECT_EQ(chaos.fireDue(), 2u);
+  clock.advance(5000);
+  EXPECT_EQ(chaos.fireDue(), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(chaos.pendingActions(), 0u);
+}
+
+TEST(ChaosInjectorTest, RunAdvancesClockAndPumps) {
+  util::SimClock clock(0);
+  net::Network network(clock);
+  ChaosInjector chaos(network, clock);
+  int fired = 0;
+  int pumps = 0;
+  chaos.at(2500, [&] { ++fired; });
+  const std::size_t total = chaos.run(
+      1000, [&] { ++pumps; }, /*settle=*/2000);
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_GE(pumps, 4);                 // pumped every step
+  EXPECT_GE(clock.now(), 2500 + 2000);  // ran through the settle window
+}
+
+TEST(ChaosInjectorTest, LossBurstWindowDropsAndHeals) {
+  util::SimClock clock(0);
+  net::Network network(clock, /*seed=*/3);
+  Sink sink;
+  network.bind({"b", 1}, &sink);
+  ChaosInjector chaos(network, clock);
+  chaos.lossBurst("a", "b", 1000, 2000, /*lossProbability=*/1.0);
+
+  auto send = [&] { network.datagram({"a", 0}, {"b", 1}, "x"); };
+  send();  // before the burst
+  clock.advance(1000);
+  chaos.fireDue();
+  send();  // inside the burst: dropped
+  clock.advance(1000);
+  chaos.fireDue();  // link restored
+  send();
+  EXPECT_EQ(sink.datagrams.size(), 2u);
+  EXPECT_EQ(network.stats({"b", 1}).datagramsDropped, 1u);
+}
+
+TEST(ChaosInjectorTest, PartitionCutsEveryCrossLink) {
+  util::SimClock clock(0);
+  net::Network network(clock, /*seed=*/3);
+  Sink sink1;
+  Sink sink2;
+  network.bind({"b1", 1}, &sink1);
+  network.bind({"b2", 1}, &sink2);
+  ChaosInjector chaos(network, clock);
+  chaos.partition({"a1", "a2"}, {"b1", "b2"}, 0, 5000);
+  chaos.fireDue();
+
+  EXPECT_THROW(network.request({"a1", 0}, {"b1", 1}, "x", 100), net::NetError);
+  EXPECT_THROW(network.request({"a2", 0}, {"b2", 1}, "x", 100), net::NetError);
+  // Same-side traffic is unaffected.
+  network.bind({"a2", 1}, &sink2);
+  EXPECT_EQ(network.request({"a1", 0}, {"a2", 1}, "x"), "ok:x");
+
+  clock.advance(5000);
+  chaos.fireDue();
+  EXPECT_EQ(network.request({"a1", 0}, {"b1", 1}, "x"), "ok:x");
+}
+
+TEST(ChaosInjectorTest, HostDownWindowRestoresHost) {
+  util::SimClock clock(0);
+  net::Network network(clock);
+  Sink sink;
+  network.bind({"b", 1}, &sink);
+  ChaosInjector chaos(network, clock);
+  chaos.hostDownWindow("b", 1000, 3000);
+  clock.advance(1000);
+  chaos.fireDue();
+  EXPECT_THROW(network.request({"a", 0}, {"b", 1}, "x", 100), net::NetError);
+  clock.advance(2000);
+  chaos.fireDue();
+  EXPECT_EQ(network.request({"a", 0}, {"b", 1}, "x"), "ok:x");
+}
+
+TEST(ChaosInjectorTest, ActionsMayScheduleFollowUps) {
+  util::SimClock clock(0);
+  net::Network network(clock);
+  ChaosInjector chaos(network, clock);
+  int chained = 0;
+  chaos.at(1000, [&] {
+    chaos.at(clock.now(), [&] { ++chained; });  // due immediately
+  });
+  clock.advance(1000);
+  EXPECT_EQ(chaos.fireDue(), 2u);
+  EXPECT_EQ(chained, 1);
+}
+
+}  // namespace
+}  // namespace gridrm::sim
