@@ -1,0 +1,228 @@
+// E17 -- columnar historical store vs the row Table (ROADMAP: "a real
+// gateway accumulates millions of metrics over days").
+//
+// Claim: per-attribute columns with delta-of-delta timestamps, XOR
+// gauges and dictionary strings cut the stored bytes per sample by an
+// order of magnitude, and tier-aware aggregate rewrites answer coarse
+// historical GROUP BYs from rollups instead of raw samples.
+//
+// Measured: append rate into the write-ahead buffer (sealing included),
+// encoded footprint per sample vs the row-store equivalent, historical
+// GROUP-BY throughput (row store vs tsdb raw tier vs tsdb rollup tier),
+// and narrow time-range scans where segment pruning + late
+// materialisation skip most of the data. TsdbStats counters ride along
+// in the JSON output (bytes_per_sample, compression_x, tier hits, cell
+// skip ratios) so EXPERIMENTS.md quotes them directly.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/store/tsdb/tsdb.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace {
+
+using namespace gridrm;
+using store::tsdb::TimeSeriesStore;
+using store::tsdb::TsdbOptions;
+using store::tsdb::TsdbStats;
+using util::Value;
+using util::ValueType;
+
+constexpr std::int64_t kPollInterval = 30 * util::kSecond;
+constexpr int kHosts = 10;
+
+std::vector<dbc::ColumnInfo> historySchema() {
+  return {{"HostName", ValueType::String, "", "HistoryProcessor"},
+          {"ClusterName", ValueType::String, "", "HistoryProcessor"},
+          {"Load1", ValueType::Real, "", "HistoryProcessor"},
+          {"CPUCount", ValueType::Int, "", "HistoryProcessor"},
+          {"RecordedAt", ValueType::Int, "us", "HistoryProcessor"}};
+}
+
+/// One poll sweep row: host h sampled at poll p (realistic monitoring
+/// shape -- strings repeat, loads wobble over a small set, timestamps
+/// tick at the poll interval).
+std::vector<Value> sampleRow(int p, int h) {
+  return {Value("node" + std::to_string(h)),
+          Value(h < kHosts / 2 ? "clusterA" : "clusterB"),
+          Value(0.25 * ((p + h) % 40)), Value(2 + h % 6),
+          Value(static_cast<std::int64_t>(p) * kPollInterval)};
+}
+
+void ingest(TimeSeriesStore& store, int polls) {
+  store.createTable("HistoryProcessor", historySchema(), "RecordedAt");
+  for (int p = 0; p < polls; ++p) {
+    for (int h = 0; h < kHosts; ++h) {
+      store.append("HistoryProcessor", sampleRow(p, h));
+    }
+  }
+  store.sealAll();
+}
+
+void ingestRows(store::Database& db, int polls) {
+  db.createTable("HistoryProcessor", historySchema());
+  for (int p = 0; p < polls; ++p) {
+    for (int h = 0; h < kHosts; ++h) {
+      db.insertRow("HistoryProcessor", sampleRow(p, h));
+    }
+  }
+}
+
+void exportCounters(benchmark::State& state, const TsdbStats& s) {
+  state.counters["bytes_per_sample"] = s.bytesPerSample();
+  state.counters["compression_x"] = s.compressionRatio();
+  state.counters["segments"] = static_cast<double>(s.segments);
+  state.counters["rollup_rows_1m"] = static_cast<double>(s.rollupRows1m);
+  state.counters["rollup_rows_1h"] = static_cast<double>(s.rollupRows1h);
+  state.counters["tier_hits_1m"] = static_cast<double>(s.tierHits1m);
+  state.counters["tier_hits_1h"] = static_cast<double>(s.tierHits1h);
+  state.counters["raw_queries"] = static_cast<double>(s.rawQueries);
+  state.counters["segments_pruned"] =
+      static_cast<double>(s.scan.segmentsPruned);
+  state.counters["cells_skipped"] = static_cast<double>(s.scan.cellsSkipped);
+  state.counters["cells_materialized"] =
+      static_cast<double>(s.scan.cellsMaterialized);
+}
+
+// --- ingest ----------------------------------------------------------
+
+void BM_AppendTsdb(benchmark::State& state) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock);
+  store.createTable("HistoryProcessor", historySchema(), "RecordedAt");
+  int p = 0, h = 0;
+  for (auto _ : state) {
+    store.append("HistoryProcessor", sampleRow(p, h));
+    if (++h == kHosts) {
+      h = 0;
+      ++p;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  exportCounters(state, store.stats());
+}
+BENCHMARK(BM_AppendTsdb);
+
+void BM_AppendRowStore(benchmark::State& state) {
+  store::Database db;
+  db.createTable("HistoryProcessor", historySchema());
+  int p = 0, h = 0;
+  for (auto _ : state) {
+    db.insertRow("HistoryProcessor", sampleRow(p, h));
+    if (++h == kHosts) {
+      h = 0;
+      ++p;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AppendRowStore);
+
+// --- footprint -------------------------------------------------------
+
+void BM_EncodedFootprint(benchmark::State& state) {
+  // Footprint per sealed sample; the timed body is the stats() walk so
+  // the counters land in the JSON (the interesting numbers are the
+  // bytes_per_sample / compression_x counters, not the loop time).
+  util::SimClock clock;
+  TimeSeriesStore store(clock);
+  ingest(store, static_cast<int>(state.range(0)) / kHosts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.stats());
+  }
+  exportCounters(state, store.stats());
+}
+BENCHMARK(BM_EncodedFootprint)->Arg(10000)->Arg(100000);
+
+// --- historical GROUP BY ---------------------------------------------
+
+// 100k samples = 10 hosts x 10000 polls x 30s, ~3.5 simulated days.
+constexpr int kScanPolls = 10000;
+const char* kGroupBySql =
+    "SELECT ClusterName, COUNT(*), AVG(Load1), MAX(Load1) "
+    "FROM HistoryProcessor "
+    "WHERE RecordedAt >= 0 AND RecordedAt < 252000000000 "
+    "GROUP BY ClusterName";  // [0, 70000s) = whole hours: tier-aligned
+
+void BM_GroupByRowStore(benchmark::State& state) {
+  store::Database db;
+  ingestRows(db, kScanPolls);
+  const auto stmt = sql::parseSelect(kGroupBySql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.query(stmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScanPolls * kHosts);
+}
+BENCHMARK(BM_GroupByRowStore);
+
+void BM_GroupByTsdbRaw(benchmark::State& state) {
+  util::SimClock clock;
+  TsdbOptions options;
+  options.tierQueries = false;  // force the raw columnar path
+  TimeSeriesStore store(clock, options);
+  ingest(store, kScanPolls);
+  const auto stmt = sql::parseSelect(kGroupBySql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(stmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScanPolls * kHosts);
+  exportCounters(state, store.stats());
+}
+BENCHMARK(BM_GroupByTsdbRaw);
+
+void BM_GroupByTsdbTiered(benchmark::State& state) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock);
+  ingest(store, kScanPolls);
+  const auto stmt = sql::parseSelect(kGroupBySql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(stmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScanPolls * kHosts);
+  exportCounters(state, store.stats());
+}
+BENCHMARK(BM_GroupByTsdbTiered);
+
+// --- narrow time-range scan ------------------------------------------
+
+// One host's samples from a 5-minute window out of ~3.5 days: segment
+// pruning drops almost every segment before any column decodes.
+const char* kNarrowSql =
+    "SELECT HostName, Load1, RecordedAt FROM HistoryProcessor "
+    "WHERE RecordedAt >= 86400000000 AND RecordedAt < 86700000000 "
+    "AND HostName = 'node3'";
+
+void BM_NarrowScanRowStore(benchmark::State& state) {
+  store::Database db;
+  ingestRows(db, kScanPolls);
+  const auto stmt = sql::parseSelect(kNarrowSql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.query(stmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScanPolls * kHosts);
+}
+BENCHMARK(BM_NarrowScanRowStore);
+
+void BM_NarrowScanTsdb(benchmark::State& state) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock);
+  ingest(store, kScanPolls);
+  const auto stmt = sql::parseSelect(kNarrowSql);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.query(stmt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScanPolls * kHosts);
+  exportCounters(state, store.stats());
+}
+BENCHMARK(BM_NarrowScanTsdb);
+
+}  // namespace

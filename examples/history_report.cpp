@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   gatewayOptions.name = "gw-siteA";
   gatewayOptions.host = "gw.siteA";
   gatewayOptions.eventOptions.threadedDispatch = false;
+  // Retention is gateway policy now (store.retention_ms in a config
+  // file), not a constant the reporting code has to remember.
+  gatewayOptions.storeRetention = 10 * 60 * util::kSecond;
   core::Gateway gateway(network, clock, gatewayOptions);
 
   // The alert rule: any host whose 1-minute load per CPU exceeds 0.2.
@@ -96,8 +99,7 @@ int main(int argc, char** argv) {
   // --- retention -----------------------------------------------------
   const std::size_t before =
       gateway.database().rowCount("HistoryProcessor");
-  const std::size_t dropped =
-      poller.enforceRetention(gateway.database(), 10 * 60 * util::kSecond);
+  const std::size_t dropped = gateway.enforceRetention();
   std::printf("retention (keep 10 min): %zu rows -> %zu (%zu dropped)\n",
               before, gateway.database().rowCount("HistoryProcessor"),
               dropped);

@@ -31,6 +31,7 @@
 #include "gridrm/glue/schema_manager.hpp"
 #include "gridrm/net/network.hpp"
 #include "gridrm/store/database.hpp"
+#include "gridrm/store/tsdb/tsdb.hpp"
 #include "gridrm/stream/continuous_query_engine.hpp"
 
 namespace gridrm::core {
@@ -79,6 +80,13 @@ struct GatewayOptions {
   /// Defaults for continuous-query subscriptions (the stream subsystem).
   stream::StreamOptions streamOptions;
   util::Duration sessionIdleTimeout = 30 * 60 * util::kSecond;
+  /// Columnar historical store (tsdb.* keys). When enabled, history
+  /// tables recorded by polls/queries live in compressed time-partitioned
+  /// segments with tiered rollups instead of the row store.
+  store::tsdb::TsdbOptions tsdb;
+  /// Retention window for history/event tables applied by
+  /// enforceRetention(); 0 = keep everything (caller-managed).
+  util::Duration storeRetention = 0;
 
   /// Build options from a parsed policy file (the "Gateway Policy and
   /// Schemas" store of Fig. 2). Recognised keys (all optional):
@@ -98,7 +106,9 @@ struct GatewayOptions {
   ///   stream.overflow (dropoldest|block|cancel),
   ///   stream.replay_rows (historical rows replayed on subscribe),
   ///   failure.action (report|retry|trynext|dynamic), failure.retries,
-  ///   session.idle_timeout_s
+  ///   session.idle_timeout_s,
+  ///   store.retention_ms (history retention for enforceRetention),
+  ///   tsdb.* (see store::tsdb::TsdbOptions::fromConfig)
   static GatewayOptions fromConfig(const util::Config& config);
 };
 
@@ -141,6 +151,10 @@ class Gateway {
   /// Introspect the gateway-wide scheduler: per-lane queue depth, wait
   /// times, executed/cancelled/rejected counters.
   SchedulerStats schedulerStats(const std::string& token);
+  /// Introspect the columnar historical store: ingest/seal counters,
+  /// per-tier row counts, compression ratio and tier-hit counters.
+  /// Returns zeros when the tsdb is disabled.
+  store::tsdb::TsdbStats tsdbStats(const std::string& token);
 
   // --- ACIL: events ---------------------------------------------------
   std::size_t subscribeEvents(const std::string& token,
@@ -181,6 +195,11 @@ class Gateway {
   void removeDataSource(const std::string& token, const std::string& url);
   std::vector<std::string> dataSources() const;
 
+  /// Apply the configured retention policy (store.retention_ms) to the
+  /// history/event tables and run tsdb tier maintenance (rollup bucket
+  /// sealing + per-tier TTL eviction). Returns rows dropped.
+  std::size_t enforceRetention();
+
   // --- component access (tests, benchmarks, the Global layer) ---------
   glue::SchemaManager& schemaManager() noexcept { return schemaManager_; }
   dbc::DriverRegistry& driverRegistry() noexcept { return registry_; }
@@ -196,6 +215,10 @@ class Gateway {
   Scheduler& scheduler() noexcept { return *scheduler_; }
   SessionManager& sessionManager() noexcept { return sessions_; }
   store::Database& database() noexcept { return db_; }
+  /// Null when tsdb.enabled = false.
+  store::tsdb::TimeSeriesStore* timeSeriesStore() noexcept {
+    return tsdb_.get();
+  }
   CoarseSecurityLayer& coarseSecurity() noexcept { return cgsl_; }
   FineSecurityLayer& fineSecurity() noexcept { return fgsl_; }
   net::Network& network() noexcept { return network_; }
@@ -213,6 +236,9 @@ class Gateway {
   GatewayOptions options_;
 
   glue::SchemaManager schemaManager_;
+  /// Declared before db_ (so destroyed after it): the Database facade
+  /// routes history-table traffic into this store.
+  std::unique_ptr<store::tsdb::TimeSeriesStore> tsdb_;
   store::Database db_;
   dbc::DriverRegistry registry_;
   GridRmDriverManager driverManager_;

@@ -17,6 +17,10 @@
 
 namespace gridrm::store {
 
+namespace tsdb {
+class TimeSeriesStore;
+}
+
 class Table {
  public:
   Table(std::string name, std::vector<dbc::ColumnInfo> columns);
@@ -61,6 +65,22 @@ class Database {
   bool hasTable(const std::string& name) const;
   std::vector<std::string> tableNames() const;
 
+  /// Attach the columnar time-series store (not owned). Once attached,
+  /// createTimeSeries() places history tables there and every accessor
+  /// on this facade routes to it for those tables, so callers keep a
+  /// single Database handle for live row tables and historical columns.
+  void attachTimeSeries(tsdb::TimeSeriesStore* store) noexcept {
+    tsdb_ = store;
+  }
+  tsdb::TimeSeriesStore* timeSeries() const noexcept { return tsdb_; }
+
+  /// Create (or replace) a time-partitioned history table keyed on
+  /// `timeColumn`: lands in the attached time-series store when one is
+  /// present, otherwise degrades to a plain row table.
+  void createTimeSeries(const std::string& name,
+                        std::vector<dbc::ColumnInfo> columns,
+                        const std::string& timeColumn);
+
   /// Execute a SELECT; throws dbc::SqlError for unknown tables/columns
   /// and sql::ParseError for malformed SQL.
   std::unique_ptr<dbc::VectorResultSet> query(const std::string& sql) const;
@@ -82,9 +102,11 @@ class Database {
  private:
   Table* findTable(const std::string& name);
   const Table* findTable(const std::string& name) const;
+  bool isTimeSeries(const std::string& name) const;
 
   mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Table>> tables_;
+  tsdb::TimeSeriesStore* tsdb_ = nullptr;  // optional, not owned
 };
 
 /// Evaluate a SELECT against explicitly provided columns/rows (shared by

@@ -1,0 +1,176 @@
+// Column codecs for the historical time-series store (tsdb).
+//
+// A sealed segment stores each attribute as one EncodedColumn: a
+// validity bitmap, a run-length-encoded type-tag stream (cells in a
+// monitoring column almost always share one type, so a mixed column
+// costs extra bytes only where it actually mixes), and per-type value
+// streams:
+//   * Int     - zig-zag delta varints; the designated time column uses
+//               delta-of-delta, the classic timestamp trick (regular
+//               polling intervals collapse to one byte per sample).
+//   * Real    - XOR against the previous bit pattern, stored as a
+//               leading/trailing-zero-byte control byte plus the
+//               meaningful middle bytes (repeated gauges cost one byte).
+//   * String  - dictionary + run-length-encoded ids (GLUE string
+//               columns such as HostName/ClusterName repeat heavily).
+//   * Bool    - packed bitmap.
+//
+// Decoding is exact: a ColumnCursor reproduces the original Value
+// sequence byte for byte, including NULLs, NaNs, -0.0 and mixed-type
+// cells, which the tsdb-vs-row-store property test relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::store::tsdb {
+
+// --- varint / zig-zag primitives (LEB128) ----------------------------
+
+void putVarint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+inline std::uint64_t zigzagEncode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzagDecode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Sequential varint reader over a byte stream.
+class VarintReader {
+ public:
+  VarintReader(const std::uint8_t* data, std::size_t size) noexcept
+      : p_(data), end_(data + size) {}
+  explicit VarintReader(const std::vector<std::uint8_t>& bytes) noexcept
+      : VarintReader(bytes.data(), bytes.size()) {}
+
+  bool done() const noexcept { return p_ == end_; }
+  /// Read the next varint; throws dbc::SqlError on a truncated stream
+  /// (corruption guard; sealed segments never trip it).
+  std::uint64_t next();
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+// --- encoded column ---------------------------------------------------
+
+/// The immutable compressed form of one segment column.
+struct EncodedColumn {
+  dbc::ColumnInfo info;
+  std::size_t rowCount = 0;
+
+  std::vector<std::uint8_t> validity;  // bit per row; 1 = non-null
+  /// Type tags for non-null cells, RLE pairs (tag, runLength) where tag
+  /// is the ValueType enum value. Omitted (empty) when every non-null
+  /// cell shares `uniformTag`.
+  std::vector<std::uint8_t> tags;
+  std::uint8_t uniformTag = 0;  // valid when tags.empty() and any non-null
+
+  std::vector<std::uint8_t> bools;    // packed bits, one per Bool cell
+  std::vector<std::uint8_t> ints;     // zig-zag (delta|delta-of-delta) varints
+  std::vector<std::uint8_t> reals;    // XOR control byte + middle bytes
+  std::vector<std::string> dict;      // string dictionary, first-seen order
+  std::vector<std::uint8_t> ids;      // RLE (dict id, run length) varints
+  bool deltaOfDelta = false;          // int stream codec flavour
+
+  /// Encoded footprint in bytes (streams + dictionary heap).
+  std::size_t bytes() const noexcept;
+};
+
+/// Streaming encoder: feed every cell of the column in row order, then
+/// finish(). One pass, no buffering of decoded values.
+class ColumnEncoder {
+ public:
+  /// `deltaOfDelta` selects the time-column flavour for Int cells.
+  explicit ColumnEncoder(dbc::ColumnInfo info, bool deltaOfDelta = false);
+
+  void add(const util::Value& v);
+  EncodedColumn finish();
+
+ private:
+  void addTag(std::uint8_t tag);
+
+  EncodedColumn col_;
+  // Int codec state.
+  std::int64_t prevInt_ = 0;
+  std::int64_t prevDelta_ = 0;
+  bool haveInt_ = false;
+  bool haveIntDelta_ = false;
+  // Real codec state.
+  std::uint64_t prevBits_ = 0;
+  // Bool packing state.
+  std::size_t boolCount_ = 0;
+  // Tag RLE state.
+  bool haveTag_ = false;
+  std::uint8_t runTag_ = 0;
+  std::uint64_t runLen_ = 0;
+  bool mixed_ = false;
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> tagRuns_;
+  // String dictionary state.
+  std::unordered_map<std::string, std::uint32_t> dictIndex_;
+  std::vector<std::uint32_t> dictIds_;  // per String cell, RLE'd at finish
+};
+
+/// Sequential decoder. next() advances the cursor and decodes the codec
+/// state for the current row; value() materialises the util::Value
+/// (string copies happen only here, which is what late materialisation
+/// skips for rows a query does not keep).
+class ColumnCursor {
+ public:
+  explicit ColumnCursor(const EncodedColumn& col);
+
+  std::size_t rowCount() const noexcept { return col_.rowCount; }
+  /// Advance to the next row; false past the end.
+  bool next();
+  /// True when the current cell is SQL NULL.
+  bool isNull() const noexcept { return null_; }
+  /// Materialise the current cell.
+  util::Value value() const;
+  /// Current cell as int64 without constructing a Value (0 when the
+  /// cell is not an Int; callers check type via isNull/value()).
+  std::int64_t rawInt() const noexcept { return int_; }
+
+ private:
+  const EncodedColumn& col_;
+  VarintReader intsR_;
+  VarintReader idsR_;
+  VarintReader tagsR_;
+  std::size_t realPos_ = 0;
+  std::size_t boolPos_ = 0;
+  std::size_t row_ = static_cast<std::size_t>(-1);
+
+  // Current cell state.
+  bool null_ = true;
+  std::uint8_t tag_ = 0;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t realBits_ = 0;
+  std::uint32_t dictId_ = 0;
+
+  // Codec running state.
+  std::int64_t prevInt_ = 0;
+  std::int64_t prevDelta_ = 0;
+  bool haveInt_ = false;
+  bool haveIntDelta_ = false;
+  std::uint64_t prevBits_ = 0;
+  std::uint64_t tagRun_ = 0;
+  std::uint8_t runTag_ = 0;
+  std::uint32_t idRun_ = 0;
+  std::uint32_t runId_ = 0;
+};
+
+/// Approximate in-memory footprint of one row-store cell, used for the
+/// compression-ratio accounting surfaced in TsdbStats (a Value is a
+/// tagged variant; strings add their heap block).
+std::size_t logicalCellBytes(const util::Value& v) noexcept;
+
+}  // namespace gridrm::store::tsdb

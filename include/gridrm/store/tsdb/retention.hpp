@@ -1,0 +1,93 @@
+// Tiered downsampling for the historical store (tsdb).
+//
+// Raw samples fold into per-bucket rollup rows the moment a raw segment
+// seals: one fold into the 1-minute tier and one directly into the
+// 1-hour tier (COUNT/SUM/MIN/MAX are associative, so folding raw rows
+// straight into a coarse bucket equals re-folding the finer tier).
+// Each tier then ages out independently under its own TTL -- raw keeps
+// full resolution for the freshest window, the rollups keep min/max/
+// sum/count per bucket for days at a fraction of the bytes.
+//
+// A rollup row for a raw schema (Source, RecordedAt, attrs...) is
+//   [bucketStart, keyCols..., _rows, attr_count, attr_sum, attr_min,
+//    attr_max, ...]
+// where key columns are the non-numeric raw columns (Source, HostName,
+// ...) and every Int/Real raw column contributes the four aggregate
+// columns. Rows for one bucket+key may appear more than once (late
+// arrivals after the bucket sealed); all consumers merge additively, so
+// duplicates only cost bytes, never correctness.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "gridrm/store/tsdb/segment.hpp"
+
+namespace gridrm::store::tsdb {
+
+/// SQL-ordering comparator for composite Value keys (same ordering the
+/// row store's GROUP BY uses, so tier-rewritten groups come back in the
+/// identical order).
+struct ValueVectorLess {
+  bool operator()(const std::vector<util::Value>& a,
+                  const std::vector<util::Value>& b) const {
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const auto c = a[i].compare(b[i]);
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Key: bucket start followed by the key-column values.
+using RollupKey = std::vector<util::Value>;
+using RollupMap =
+    std::map<RollupKey, std::vector<util::Value>, ValueVectorLess>;
+
+struct RollupSchema {
+  std::vector<dbc::ColumnInfo> columns;  // full rollup row shape
+  std::size_t timeColumn = 0;            // bucket-start column (always 0)
+  std::size_t rowsColumn = 0;            // "_rows": COUNT(*) per bucket
+
+  /// One aggregated raw column and where its partials live.
+  struct Agg {
+    std::size_t raw;  // raw column index
+    std::size_t count, sum, min, max;  // rollup column indices
+  };
+  std::vector<std::size_t> keyRaw;  // raw index of each key column
+  std::vector<std::size_t> keyCol;  // rollup index of each key column
+  std::vector<Agg> aggs;
+
+  /// The Agg entry for a raw column index, or nullptr.
+  const Agg* aggFor(std::size_t rawIdx) const noexcept;
+  /// The rollup key-column index for a raw column index, or npos.
+  std::size_t keyFor(std::size_t rawIdx) const noexcept;
+};
+
+/// Classify raw columns (declared Int/Real aggregate; the rest key) and
+/// lay out the rollup row shape.
+RollupSchema buildRollupSchema(const std::vector<dbc::ColumnInfo>& raw,
+                               std::size_t timeColumn);
+
+/// Start of the bucket containing `t` (floor division, correct for
+/// negative time points).
+util::TimePoint bucketStart(util::TimePoint t, util::Duration bucket) noexcept;
+
+/// Fold raw rows into `acc`, merging into existing bucket rows. Rows
+/// whose time cell is not an Int cannot be bucketed and are skipped
+/// (they stay queryable in the raw tier until it evicts them).
+void foldRows(const RollupSchema& schema, std::size_t rawTimeColumn,
+              util::Duration bucket,
+              const std::vector<std::vector<util::Value>>& rows,
+              RollupMap& acc);
+
+/// Merge partial-aggregate cells: SUM stays Int while both sides are
+/// Int (so tier-rewritten SUM over integer columns matches the row
+/// store exactly), MIN/MAX use SQL Value ordering, NULL is the identity.
+util::Value mergeSum(const util::Value& a, const util::Value& b);
+util::Value mergeMin(const util::Value& a, const util::Value& b);
+util::Value mergeMax(const util::Value& a, const util::Value& b);
+
+}  // namespace gridrm::store::tsdb

@@ -1,0 +1,105 @@
+// Immutable, time-partitioned columnar segments (tsdb).
+//
+// A segment is the sealed unit of the historical store: every column of
+// a batch of rows encoded with the codecs in codec.hpp, plus a small
+// header (row count, time bounds, per-column offsets implicit in the
+// EncodedColumn structs). Segments are immutable after sealing and are
+// shared with readers through shared_ptr, so queries scan without any
+// lock.
+//
+// scanSegment() is the late-materialisation executor: it decodes the
+// time column first to bound candidate rows, decodes only the columns a
+// predicate references to pick survivors, and only then materialises
+// the projected columns at the surviving row indices. Cells of rows the
+// query drops are skipped at the codec level (no Value construction, no
+// string copies); ScanStats counts both sides for the E17 bench and the
+// tier-selection tests.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/store/tsdb/codec.hpp"
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::store::tsdb {
+
+class Segment {
+ public:
+  Segment(std::vector<EncodedColumn> columns, std::size_t timeColumn,
+          util::TimePoint minTime, util::TimePoint maxTime,
+          std::size_t logicalBytes);
+
+  std::size_t rowCount() const noexcept { return rows_; }
+  std::size_t columnCount() const noexcept { return columns_.size(); }
+  const EncodedColumn& column(std::size_t i) const { return columns_[i]; }
+  std::size_t timeColumn() const noexcept { return timeColumn_; }
+  util::TimePoint minTime() const noexcept { return minTime_; }
+  util::TimePoint maxTime() const noexcept { return maxTime_; }
+  /// Encoded footprint (column streams + dictionaries).
+  std::size_t bytes() const noexcept { return bytes_; }
+  /// What the same rows would occupy as row-store Values (for the
+  /// compression-ratio stat).
+  std::size_t logicalBytes() const noexcept { return logicalBytes_; }
+
+ private:
+  std::vector<EncodedColumn> columns_;
+  std::size_t timeColumn_;
+  std::size_t rows_;
+  util::TimePoint minTime_;
+  util::TimePoint maxTime_;
+  std::size_t bytes_;
+  std::size_t logicalBytes_;
+};
+
+using SegmentPtr = std::shared_ptr<const Segment>;
+
+/// Seal a batch of rows into an immutable segment. `timeColumn` selects
+/// the delta-of-delta stream; rows need not be time-ordered (the codec
+/// handles negative deltas, and min/max come from a scan).
+SegmentPtr encodeSegment(const std::vector<dbc::ColumnInfo>& columns,
+                         std::size_t timeColumn,
+                         const std::vector<std::vector<util::Value>>& rows);
+
+struct ScanStats {
+  std::uint64_t segmentsScanned = 0;
+  std::uint64_t segmentsPruned = 0;   // skipped entirely on time bounds
+  std::uint64_t rowsScanned = 0;      // rows visited in scanned segments
+  std::uint64_t rowsMaterialized = 0; // rows that survived into output
+  std::uint64_t cellsMaterialized = 0;
+  std::uint64_t cellsSkipped = 0;     // codec-advanced without a Value
+};
+
+/// Inclusive time bounds for a scan; defaults cover everything.
+struct TimeBounds {
+  util::TimePoint lo = std::numeric_limits<util::TimePoint>::min();
+  util::TimePoint hi = std::numeric_limits<util::TimePoint>::max();
+
+  bool contains(util::TimePoint t) const noexcept {
+    return t >= lo && t <= hi;
+  }
+};
+
+/// Scan one segment: keep rows whose time cell lies in `bounds` and
+/// that satisfy `where` (null = no predicate), materialising only the
+/// columns flagged in `needed` (size = columnCount). Survivors are
+/// appended to `out` as full-width rows (unneeded cells stay NULL).
+/// Column references in `where` resolve case-insensitively against the
+/// segment schema, honouring `tableName`/`alias` qualifiers exactly
+/// like the row store; an unknown reference throws the same
+/// SqlError(NoSuchColumn).
+void scanSegment(const Segment& segment, const TimeBounds& bounds,
+                 const sql::Expr* where, const std::string& tableName,
+                 const std::string& alias, const std::vector<bool>& needed,
+                 std::vector<std::vector<util::Value>>& out,
+                 ScanStats& stats);
+
+/// Collect the (lower-cased) names of every column referenced by an
+/// expression tree, regardless of qualifier.
+void collectColumnRefs(const sql::Expr& expr,
+                       std::vector<std::string>& names);
+
+}  // namespace gridrm::store::tsdb

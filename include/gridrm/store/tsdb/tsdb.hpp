@@ -1,0 +1,210 @@
+// TimeSeriesStore: the append-only, time-partitioned columnar engine
+// behind the gateway's historical database (the "internal database" of
+// paper section 3.1.1, rebuilt to survive the ROADMAP's "millions of
+// metrics over days").
+//
+// Write path: appends land in a per-table write-ahead buffer of plain
+// rows (immediately queryable); once the buffer reaches
+// `tsdb.segment_rows` or spans `tsdb.segment_span_ms`, it seals into an
+// immutable compressed Segment and simultaneously folds into the
+// 1-minute and 1-hour rollup tiers (retention.hpp).
+//
+// Read path: historical SELECTs execute on the compressed columns with
+// late materialisation (segment.hpp). When a query is aggregate-shaped
+// (COUNT/SUM/AVG/MIN/MAX, GROUP BY over key columns) and its time range
+// is coarse and bucket-aligned, the engine transparently rewrites it
+// against the coarsest rollup tier that covers the range -- scanning up
+// to 3600x fewer rows for the same (exact, for COUNT/SUM/MIN/MAX)
+// answer. Everything else runs on the raw tier, byte-identical to the
+// row store.
+//
+// Retention: retentionTick() seals complete rollup buckets into
+// columnar segments and evicts each tier past its TTL (raw ->
+// tsdb.raw_ttl_ms, rollups -> tsdb.rollup_1m_ttl_ms /
+// tsdb.rollup_1h_ttl_ms).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/store/tsdb/retention.hpp"
+#include "gridrm/store/tsdb/segment.hpp"
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/config.hpp"
+
+namespace gridrm::store::tsdb {
+
+struct TsdbOptions {
+  bool enabled = true;
+  /// Seal the write-ahead buffer into a segment at this many rows...
+  std::size_t segmentRows = 4096;
+  /// ...or once it spans this much time (0 = rows-only sealing).
+  util::Duration segmentSpan = 5 * 60 * util::kSecond;
+  /// TTL per tier; 0 = keep forever. Raw evicts to the rollups' safety
+  /// net, the rollups evict for good.
+  util::Duration rawTtl = 60 * 60 * util::kSecond;
+  util::Duration rollup1mTtl = 24 * 60 * 60 * util::kSecond;
+  util::Duration rollup1hTtl = 7 * 24 * 60 * 60 * util::kSecond;
+  /// Rollup bucket widths (configurable so tests can shrink them).
+  util::Duration bucket1m = 60 * util::kSecond;
+  util::Duration bucket1h = 60 * 60 * util::kSecond;
+  /// Rewrite coarse aggregate queries onto rollup tiers.
+  bool tierQueries = true;
+  /// A query's time span must cover at least this many buckets of a
+  /// tier before the rewrite picks it.
+  std::size_t tierMinSpanBuckets = 2;
+
+  /// `tsdb.*` config keys: enabled, segment_rows, segment_span_ms,
+  /// raw_ttl_ms, rollup_1m_ttl_ms, rollup_1h_ttl_ms, bucket_1m_ms,
+  /// bucket_1h_ms, tier_queries, tier_min_span_buckets.
+  static TsdbOptions fromConfig(const util::Config& config);
+};
+
+struct TsdbStats {
+  std::uint64_t tables = 0;
+  std::uint64_t appendedRows = 0;
+  std::uint64_t seals = 0;          // raw segments sealed
+  std::uint64_t segments = 0;       // live raw segments
+  std::uint64_t sealedRows = 0;     // rows in live raw segments
+  std::uint64_t activeRows = 0;     // rows in write-ahead buffers
+  std::uint64_t encodedBytes = 0;   // raw-segment footprint
+  std::uint64_t logicalBytes = 0;   // row-store equivalent of the same rows
+  std::uint64_t rollupRows1m = 0;   // live rollup rows per tier
+  std::uint64_t rollupRows1h = 0;
+  std::uint64_t rollupSegments = 0; // sealed rollup segments (both tiers)
+  std::uint64_t evictedSegments = 0;
+  std::uint64_t evictedRows = 0;    // via TTL and pruneOlderThan
+  std::uint64_t queries = 0;
+  std::uint64_t rawQueries = 0;     // served from the raw tier
+  std::uint64_t tierHits1m = 0;     // rewritten onto the 1m rollup
+  std::uint64_t tierHits1h = 0;     // rewritten onto the 1h rollup
+  ScanStats scan;                   // late-materialisation counters
+
+  /// Encoded bytes per stored raw sample (cell); 0 when empty.
+  double bytesPerSample() const noexcept {
+    const std::uint64_t samples = sealedRows;
+    return samples == 0 ? 0.0
+                        : static_cast<double>(encodedBytes) /
+                              static_cast<double>(samples);
+  }
+  /// Row-store bytes / encoded bytes for the sealed rows; 0 when empty.
+  double compressionRatio() const noexcept {
+    return encodedBytes == 0 ? 0.0
+                             : static_cast<double>(logicalBytes) /
+                                   static_cast<double>(encodedBytes);
+  }
+};
+
+/// Derive the inclusive [lo, hi] sample-time bounds implied by a WHERE
+/// tree: AND-conjuncts of simple `timeColumn OP intLiteral` comparisons
+/// (and BETWEEN) tighten the bounds; anything else contributes nothing
+/// (bounds only prune -- the full predicate still runs on survivors).
+TimeBounds extractTimeBounds(const sql::Expr* where,
+                             const std::string& timeColumn,
+                             const std::string& table,
+                             const std::string& alias);
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(util::Clock& clock, TsdbOptions options = {});
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  const TsdbOptions& options() const noexcept { return options_; }
+
+  /// Create (or replace) a time-series table; `timeColumn` names the
+  /// column carrying the sample timestamp (µs).
+  void createTable(const std::string& name,
+                   std::vector<dbc::ColumnInfo> columns,
+                   const std::string& timeColumn);
+  bool hasTable(const std::string& name) const;
+  std::vector<std::string> tableNames() const;
+
+  /// Append one sample row (width must match; throws dbc::SqlError).
+  void append(const std::string& table, std::vector<util::Value> row);
+  /// Append with explicit column names; unnamed columns become NULL
+  /// (mirror of the row store's Table::insertNamed).
+  void appendNamed(const std::string& table,
+                   const std::vector<std::string>& columns,
+                   std::vector<util::Value> row);
+
+  /// Execute a SELECT. Routing: rollup tier when the statement is
+  /// aggregate-shaped over a coarse aligned range, raw columns
+  /// otherwise. Throws like store::Database::query.
+  std::unique_ptr<dbc::VectorResultSet> query(
+      const sql::SelectStatement& stmt) const;
+
+  /// Raw rows currently held (sealed + write-ahead buffer).
+  std::size_t rowCount(const std::string& table) const;
+
+  /// Evict raw data older than `cutoff` (rollups keep their summary).
+  /// Sealed segments drop only when wholly older; buffer rows drop
+  /// individually, keeping undatable cells like the row store.
+  std::size_t pruneOlderThan(const std::string& table, std::int64_t cutoff);
+
+  /// Seal every non-empty write-ahead buffer (tests and benchmarks).
+  void sealAll();
+
+  /// Periodic maintenance: seal complete rollup buckets into columnar
+  /// segments and apply per-tier TTLs. Returns raw rows evicted.
+  std::size_t retentionTick();
+
+  TsdbStats stats() const;
+
+ private:
+  struct TierData {
+    RollupMap active;                 // complete + in-progress buckets
+    std::vector<SegmentPtr> segments; // sealed rollup segments
+  };
+  struct TableData {
+    std::string name;
+    std::vector<dbc::ColumnInfo> columns;
+    std::size_t timeIdx = 0;
+    RollupSchema rollup;
+
+    mutable std::shared_mutex mu;
+    std::vector<std::vector<util::Value>> active;  // write-ahead buffer
+    util::TimePoint activeMin = 0, activeMax = 0;
+    bool activeHasTime = false;
+    std::vector<SegmentPtr> segments;
+    /// Highest sealed sample time: rollup buckets ending at or before
+    /// this are complete, which bounds the tier-rewrite coverage.
+    util::TimePoint sealedUntil = std::numeric_limits<util::TimePoint>::min();
+    /// Per raw column: every non-null cell seen so far was numeric.
+    /// A poisoned aggregate column disables tier rewrites that touch
+    /// it (its rollup partials cannot reproduce SQL over raw values).
+    std::vector<bool> numericClean;
+    /// Every time cell seen so far was Int (or NULL). A Real-timed row
+    /// is queryable raw but absent from rollups, so it disables tier
+    /// rewrites for the whole table.
+    bool timeClean = true;
+    TierData tiers[2];  // [0] = 1m, [1] = 1h
+  };
+
+  std::shared_ptr<TableData> find(const std::string& name) const;
+  /// Seal t.active into a segment + rollup folds. Caller holds t.mu.
+  void seal(TableData& t);
+  std::unique_ptr<dbc::VectorResultSet> rawQuery(
+      const TableData& t, const sql::SelectStatement& stmt,
+      const TimeBounds& bounds) const;
+  /// Serve from a rollup tier ([0] = 1m, [1] = 1h); caller has already
+  /// verified servability, alignment, span and coverage.
+  std::unique_ptr<dbc::VectorResultSet> tierQuery(
+      const TableData& t, const sql::SelectStatement& stmt,
+      const TimeBounds& bounds, int tierIdx) const;
+
+  util::Clock& clock_;
+  TsdbOptions options_;
+  mutable std::shared_mutex mu_;  // guards tables_ map
+  std::vector<std::shared_ptr<TableData>> tables_;
+  mutable std::mutex statsMu_;
+  mutable TsdbStats stats_;
+};
+
+}  // namespace gridrm::store::tsdb

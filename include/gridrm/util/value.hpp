@@ -8,6 +8,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
 
@@ -49,6 +50,9 @@ class Value {
   // Coercing accessors: convert across types, falling back to `fallback`
   // when no sensible conversion exists (e.g. non-numeric string toInt).
   std::int64_t toInt(std::int64_t fallback = 0) const noexcept;
+  /// Like toInt, but reports conversion failure instead of a fallback:
+  /// one conversion answers both "is this datable?" and "what time?".
+  std::optional<std::int64_t> tryInt() const noexcept;
   double toReal(double fallback = 0.0) const noexcept;
   bool toBool(bool fallback = false) const noexcept;
   /// Render as text; NULL renders as "NULL".

@@ -94,6 +94,11 @@ GatewayOptions GatewayOptions::fromConfig(const util::Config& config) {
       config.getInt("session.idle_timeout_s",
                     o.sessionIdleTimeout / util::kSecond) *
       util::kSecond;
+  o.tsdb = store::tsdb::TsdbOptions::fromConfig(config);
+  o.storeRetention =
+      config.getInt("store.retention_ms",
+                    o.storeRetention / util::kMillisecond) *
+      util::kMillisecond;
   return o;
 }
 
@@ -112,6 +117,11 @@ Gateway::Gateway(net::Network& network, util::Clock& clock,
       fgsl_(/*defaultAllow=*/true),
       sessions_(clock_, options_.sessionIdleTimeout),
       streamEngine_(clock_, options_.streamOptions, &db_) {
+  if (options_.tsdb.enabled) {
+    tsdb_ = std::make_unique<store::tsdb::TimeSeriesStore>(clock_,
+                                                           options_.tsdb);
+    db_.attachTimeSeries(tsdb_.get());
+  }
   driverManager_.setFailurePolicy(options_.failurePolicy);
   eventManager_ =
       std::make_unique<EventManager>(clock_, &db_, options_.eventOptions);
@@ -244,6 +254,28 @@ std::vector<SourceHealthSnapshot> Gateway::sourceHealth(
 SchedulerStats Gateway::schedulerStats(const std::string& token) {
   (void)authorize(token, Operation::RealTimeQuery);
   return scheduler_->stats();
+}
+
+store::tsdb::TsdbStats Gateway::tsdbStats(const std::string& token) {
+  (void)authorize(token, Operation::HistoricalQuery);
+  if (tsdb_ == nullptr) return {};
+  return tsdb_->stats();
+}
+
+std::size_t Gateway::enforceRetention() {
+  std::size_t dropped = 0;
+  if (options_.storeRetention > 0) {
+    const std::int64_t cutoff = clock_.now() - options_.storeRetention;
+    for (const auto& table : db_.tableNames()) {
+      if (table.rfind("History", 0) == 0) {
+        dropped += db_.pruneOlderThan(table, "RecordedAt", cutoff);
+      } else if (table == "EventHistory") {
+        dropped += db_.pruneOlderThan(table, "Timestamp", cutoff);
+      }
+    }
+  }
+  if (tsdb_ != nullptr) dropped += tsdb_->retentionTick();
+  return dropped;
 }
 
 std::size_t Gateway::subscribeEvents(const std::string& token,

@@ -673,7 +673,9 @@ void RequestManager::recordHistory(const std::string& url,
     columns.push_back(
         dbc::ColumnInfo{"RecordedAt", util::ValueType::Int, "us", table});
     for (const auto& c : rs.metaData().columns()) columns.push_back(c);
-    historyDb_->createTable(table, std::move(columns));
+    // Time-partitioned on the recording timestamp: lands in the
+    // gateway's columnar tsdb when one is attached, else a row table.
+    historyDb_->createTimeSeries(table, std::move(columns), "RecordedAt");
   }
   const util::TimePoint now = clock_.now();
   std::size_t recorded = 0;

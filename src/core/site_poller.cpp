@@ -4,6 +4,7 @@
 
 #include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/sql/parser.hpp"
+#include "gridrm/store/tsdb/tsdb.hpp"
 
 namespace gridrm::core {
 
@@ -171,10 +172,16 @@ std::size_t SitePoller::enforceRetention(store::Database& db,
   std::size_t dropped = 0;
   for (const auto& table : db.tableNames()) {
     if (table.rfind("History", 0) == 0) {
+      // Routes to the columnar tsdb for history tables stored there.
       dropped += db.pruneOlderThan(table, "RecordedAt", cutoff);
     } else if (table == "EventHistory") {
       dropped += db.pruneOlderThan(table, "Timestamp", cutoff);
     }
+  }
+  if (auto* ts = db.timeSeries()) {
+    // Tier maintenance rides along: seal complete rollup buckets and
+    // apply per-tier TTLs so downsampled history ages out on schedule.
+    dropped += ts->retentionTick();
   }
   return dropped;
 }

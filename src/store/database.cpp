@@ -6,6 +6,7 @@
 
 #include "gridrm/sql/eval.hpp"
 #include "gridrm/sql/parser.hpp"
+#include "gridrm/store/tsdb/tsdb.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::store {
@@ -75,12 +76,9 @@ std::size_t Table::pruneOlderThan(const std::string& timeColumn,
                                // A cell with no sensible integer reading
                                // (NULL, non-numeric string) never matches
                                // the age test: retention must not silently
-                               // eat rows it cannot date. Distinct
-                               // fallbacks detect conversion failure.
-                               if (row[idx].toInt(0) != row[idx].toInt(1)) {
-                                 return false;
-                               }
-                               return row[idx].toInt() < cutoff;
+                               // eat rows it cannot date.
+                               const auto t = row[idx].tryInt();
+                               return t.has_value() && *t < cutoff;
                              }),
               rows_.end());
   return before - rows_.size();
@@ -484,16 +482,36 @@ void Database::createTable(const std::string& name,
   tables_.push_back(std::make_unique<Table>(name, std::move(columns)));
 }
 
+bool Database::isTimeSeries(const std::string& name) const {
+  return tsdb_ != nullptr && tsdb_->hasTable(name);
+}
+
+void Database::createTimeSeries(const std::string& name,
+                                std::vector<ColumnInfo> columns,
+                                const std::string& timeColumn) {
+  if (tsdb_ != nullptr) {
+    tsdb_->createTable(name, std::move(columns), timeColumn);
+    return;
+  }
+  createTable(name, std::move(columns));
+}
+
 bool Database::hasTable(const std::string& name) const {
+  if (isTimeSeries(name)) return true;
   std::shared_lock lock(mu_);
   return findTable(name) != nullptr;
 }
 
 std::vector<std::string> Database::tableNames() const {
-  std::shared_lock lock(mu_);
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& t : tables_) names.push_back(t->name());
+  {
+    std::shared_lock lock(mu_);
+    names.reserve(tables_.size());
+    for (const auto& t : tables_) names.push_back(t->name());
+  }
+  if (tsdb_ != nullptr) {
+    for (auto& name : tsdb_->tableNames()) names.push_back(std::move(name));
+  }
   return names;
 }
 
@@ -518,6 +536,7 @@ std::unique_ptr<dbc::VectorResultSet> Database::query(
 
 std::unique_ptr<dbc::VectorResultSet> Database::query(
     const sql::SelectStatement& stmt) const {
+  if (isTimeSeries(stmt.table)) return tsdb_->query(stmt);
   std::shared_lock lock(mu_);
   const Table* t = findTable(stmt.table);
   if (t == nullptr) {
@@ -535,6 +554,16 @@ std::size_t Database::execute(const std::string& sqlText) {
 }
 
 std::size_t Database::execute(const sql::InsertStatement& stmt) {
+  if (isTimeSeries(stmt.table)) {
+    for (const auto& row : stmt.rows) {
+      if (stmt.columns.empty()) {
+        tsdb_->append(stmt.table, row);
+      } else {
+        tsdb_->appendNamed(stmt.table, stmt.columns, row);
+      }
+    }
+    return stmt.rows.size();
+  }
   std::unique_lock lock(mu_);
   Table* t = findTable(stmt.table);
   if (t == nullptr) {
@@ -551,6 +580,10 @@ std::size_t Database::execute(const sql::InsertStatement& stmt) {
 }
 
 void Database::insertRow(const std::string& table, std::vector<Value> row) {
+  if (isTimeSeries(table)) {
+    tsdb_->append(table, std::move(row));
+    return;
+  }
   std::unique_lock lock(mu_);
   Table* t = findTable(table);
   if (t == nullptr) {
@@ -560,6 +593,7 @@ void Database::insertRow(const std::string& table, std::vector<Value> row) {
 }
 
 std::size_t Database::rowCount(const std::string& table) const {
+  if (isTimeSeries(table)) return tsdb_->rowCount(table);
   std::shared_lock lock(mu_);
   const Table* t = findTable(table);
   return t == nullptr ? 0 : t->rowCount();
@@ -568,6 +602,7 @@ std::size_t Database::rowCount(const std::string& table) const {
 std::size_t Database::pruneOlderThan(const std::string& table,
                                      const std::string& timeColumn,
                                      std::int64_t cutoff) {
+  if (isTimeSeries(table)) return tsdb_->pruneOlderThan(table, cutoff);
   std::unique_lock lock(mu_);
   Table* t = findTable(table);
   if (t == nullptr) return 0;

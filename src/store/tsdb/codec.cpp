@@ -1,0 +1,279 @@
+#include "gridrm/store/tsdb/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "gridrm/dbc/error.hpp"
+
+namespace gridrm::store::tsdb {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+void putVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t VarintReader::next() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (p_ != end_) {
+    const std::uint8_t b = *p_++;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  throw SqlError(ErrorCode::Generic, "tsdb: truncated varint stream");
+}
+
+namespace {
+
+void setBit(std::vector<std::uint8_t>& bits, std::size_t i) {
+  const std::size_t byte = i / 8;
+  if (byte >= bits.size()) bits.resize(byte + 1, 0);
+  bits[byte] |= static_cast<std::uint8_t>(1u << (i % 8));
+}
+
+bool getBit(const std::vector<std::uint8_t>& bits, std::size_t i) noexcept {
+  const std::size_t byte = i / 8;
+  if (byte >= bits.size()) return false;
+  return (bits[byte] >> (i % 8)) & 1u;
+}
+
+/// XOR-coded double: control byte (high nibble = leading zero bytes,
+/// low nibble = trailing zero bytes of the xor), then the middle bytes
+/// most-significant first. xor == 0 encodes as the single byte 0x80.
+void putXor(std::vector<std::uint8_t>& out, std::uint64_t x) {
+  if (x == 0) {
+    out.push_back(0x80);  // lead = 8: no middle bytes
+    return;
+  }
+  int lead = std::countl_zero(x) / 8;
+  int trail = std::countr_zero(x) / 8;
+  if (lead + trail >= 8) trail = 8 - lead - 1;  // keep >= 1 middle byte
+  out.push_back(static_cast<std::uint8_t>((lead << 4) | trail));
+  for (int i = 8 - lead; i-- > trail;) {
+    out.push_back(static_cast<std::uint8_t>(x >> (i * 8)));
+  }
+}
+
+std::uint64_t getXor(const std::vector<std::uint8_t>& bytes,
+                     std::size_t& pos) {
+  if (pos >= bytes.size()) {
+    throw SqlError(ErrorCode::Generic, "tsdb: truncated real stream");
+  }
+  const std::uint8_t control = bytes[pos++];
+  const int lead = control >> 4;
+  if (lead >= 8) return 0;
+  const int trail = control & 0x0f;
+  std::uint64_t x = 0;
+  for (int i = 8 - lead; i-- > trail;) {
+    if (pos >= bytes.size()) {
+      throw SqlError(ErrorCode::Generic, "tsdb: truncated real stream");
+    }
+    x |= static_cast<std::uint64_t>(bytes[pos++]) << (i * 8);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::size_t EncodedColumn::bytes() const noexcept {
+  std::size_t n = validity.size() + tags.size() + bools.size() + ints.size() +
+                  reals.size() + ids.size();
+  for (const auto& s : dict) n += s.size() + sizeof(std::string);
+  return n;
+}
+
+ColumnEncoder::ColumnEncoder(dbc::ColumnInfo info, bool deltaOfDelta) {
+  col_.info = std::move(info);
+  col_.deltaOfDelta = deltaOfDelta;
+}
+
+void ColumnEncoder::addTag(std::uint8_t tag) {
+  if (!haveTag_) {
+    haveTag_ = true;
+    runTag_ = tag;
+    runLen_ = 1;
+    return;
+  }
+  if (tag == runTag_) {
+    ++runLen_;
+    return;
+  }
+  mixed_ = true;
+  tagRuns_.emplace_back(runTag_, runLen_);
+  runTag_ = tag;
+  runLen_ = 1;
+}
+
+void ColumnEncoder::add(const Value& v) {
+  const std::size_t row = col_.rowCount++;
+  if (v.isNull()) return;  // validity bit stays 0
+  setBit(col_.validity, row);
+  addTag(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::Bool:
+      if (v.asBool()) setBit(col_.bools, boolCount_);
+      else if (boolCount_ / 8 >= col_.bools.size()) col_.bools.push_back(0);
+      ++boolCount_;
+      break;
+    case ValueType::Int: {
+      const std::int64_t x = v.asInt();
+      if (!haveInt_) {
+        putVarint(col_.ints, zigzagEncode(x));
+        haveInt_ = true;
+      } else if (col_.deltaOfDelta) {
+        const std::int64_t delta = x - prevInt_;
+        if (!haveIntDelta_) {
+          putVarint(col_.ints, zigzagEncode(delta));
+          haveIntDelta_ = true;
+        } else {
+          putVarint(col_.ints, zigzagEncode(delta - prevDelta_));
+        }
+        prevDelta_ = delta;
+      } else {
+        putVarint(col_.ints, zigzagEncode(x - prevInt_));
+      }
+      prevInt_ = x;
+      break;
+    }
+    case ValueType::Real: {
+      std::uint64_t bits;
+      const double d = v.asReal();
+      std::memcpy(&bits, &d, sizeof bits);
+      putXor(col_.reals, bits ^ prevBits_);
+      prevBits_ = bits;
+      break;
+    }
+    case ValueType::String: {
+      const std::string& s = v.asString();
+      const auto [it, inserted] = dictIndex_.try_emplace(
+          s, static_cast<std::uint32_t>(col_.dict.size()));
+      if (inserted) col_.dict.push_back(s);
+      dictIds_.push_back(it->second);
+      break;
+    }
+    case ValueType::Null:
+      break;  // unreachable: isNull handled above
+  }
+}
+
+EncodedColumn ColumnEncoder::finish() {
+  if (haveTag_) tagRuns_.emplace_back(runTag_, runLen_);
+  if (mixed_) {
+    for (const auto& [tag, len] : tagRuns_) {
+      col_.tags.push_back(tag);
+      putVarint(col_.tags, len);
+    }
+  } else if (haveTag_) {
+    col_.uniformTag = runTag_;
+  }
+  // RLE the dictionary ids.
+  for (std::size_t i = 0; i < dictIds_.size();) {
+    std::size_t j = i + 1;
+    while (j < dictIds_.size() && dictIds_[j] == dictIds_[i]) ++j;
+    putVarint(col_.ids, dictIds_[i]);
+    putVarint(col_.ids, j - i);
+    i = j;
+  }
+  return std::move(col_);
+}
+
+ColumnCursor::ColumnCursor(const EncodedColumn& col)
+    : col_(col), intsR_(col.ints), idsR_(col.ids), tagsR_(col.tags) {}
+
+bool ColumnCursor::next() {
+  if (row_ + 1 >= col_.rowCount) {
+    row_ = col_.rowCount;  // park past the end
+    return false;
+  }
+  ++row_;
+  null_ = !getBit(col_.validity, row_);
+  if (null_) return true;
+  if (col_.tags.empty()) {
+    tag_ = col_.uniformTag;
+  } else {
+    if (tagRun_ == 0) {
+      runTag_ = static_cast<std::uint8_t>(tagsR_.next());
+      tagRun_ = tagsR_.next();
+    }
+    tag_ = runTag_;
+    --tagRun_;
+  }
+  switch (static_cast<ValueType>(tag_)) {
+    case ValueType::Bool:
+      bool_ = getBit(col_.bools, boolPos_++);
+      break;
+    case ValueType::Int: {
+      const std::int64_t coded = zigzagDecode(intsR_.next());
+      if (!haveInt_) {
+        int_ = coded;
+        haveInt_ = true;
+      } else if (col_.deltaOfDelta) {
+        const std::int64_t delta =
+            haveIntDelta_ ? prevDelta_ + coded : coded;
+        haveIntDelta_ = true;
+        int_ = prevInt_ + delta;
+        prevDelta_ = delta;
+      } else {
+        int_ = prevInt_ + coded;
+      }
+      prevInt_ = int_;
+      break;
+    }
+    case ValueType::Real:
+      realBits_ = prevBits_ ^ getXor(col_.reals, realPos_);
+      prevBits_ = realBits_;
+      break;
+    case ValueType::String: {
+      if (idRun_ == 0) {
+        runId_ = static_cast<std::uint32_t>(idsR_.next());
+        idRun_ = static_cast<std::uint32_t>(idsR_.next());
+      }
+      dictId_ = runId_;
+      --idRun_;
+      break;
+    }
+    case ValueType::Null:
+      break;
+  }
+  return true;
+}
+
+Value ColumnCursor::value() const {
+  if (null_) return Value::null();
+  switch (static_cast<ValueType>(tag_)) {
+    case ValueType::Bool:
+      return Value(bool_);
+    case ValueType::Int:
+      return Value(int_);
+    case ValueType::Real: {
+      double d;
+      std::memcpy(&d, &realBits_, sizeof d);
+      return Value(d);
+    }
+    case ValueType::String:
+      return Value(col_.dict[dictId_]);
+    case ValueType::Null:
+      break;
+  }
+  return Value::null();
+}
+
+std::size_t logicalCellBytes(const Value& v) noexcept {
+  std::size_t n = sizeof(Value);
+  if (v.type() == ValueType::String) {
+    const std::string& s = v.asString();
+    if (s.size() >= sizeof(std::string)) n += s.size() + 1;
+  }
+  return n;
+}
+
+}  // namespace gridrm::store::tsdb

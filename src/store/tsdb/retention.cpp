@@ -1,0 +1,134 @@
+#include "gridrm/store/tsdb/retention.hpp"
+
+namespace gridrm::store::tsdb {
+
+using util::Value;
+using util::ValueType;
+
+const RollupSchema::Agg* RollupSchema::aggFor(
+    std::size_t rawIdx) const noexcept {
+  for (const auto& a : aggs) {
+    if (a.raw == rawIdx) return &a;
+  }
+  return nullptr;
+}
+
+std::size_t RollupSchema::keyFor(std::size_t rawIdx) const noexcept {
+  for (std::size_t k = 0; k < keyRaw.size(); ++k) {
+    if (keyRaw[k] == rawIdx) return keyCol[k];
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+RollupSchema buildRollupSchema(const std::vector<dbc::ColumnInfo>& raw,
+                               std::size_t timeColumn) {
+  RollupSchema schema;
+  const std::string& table =
+      raw.empty() ? std::string() : raw[timeColumn].table;
+  schema.columns.push_back(
+      {raw[timeColumn].name, ValueType::Int, raw[timeColumn].unit, table});
+  schema.timeColumn = 0;
+  for (std::size_t c = 0; c < raw.size(); ++c) {
+    if (c == timeColumn) continue;
+    if (raw[c].type == ValueType::Int || raw[c].type == ValueType::Real) {
+      continue;  // aggregated below, after the keys
+    }
+    schema.keyRaw.push_back(c);
+    schema.keyCol.push_back(schema.columns.size());
+    schema.columns.push_back(raw[c]);
+  }
+  schema.rowsColumn = schema.columns.size();
+  schema.columns.push_back({"_rows", ValueType::Int, "", table});
+  for (std::size_t c = 0; c < raw.size(); ++c) {
+    if (c == timeColumn) continue;
+    if (raw[c].type != ValueType::Int && raw[c].type != ValueType::Real) {
+      continue;
+    }
+    RollupSchema::Agg agg;
+    agg.raw = c;
+    agg.count = schema.columns.size();
+    schema.columns.push_back({raw[c].name + "_count", ValueType::Int, "",
+                              table});
+    agg.sum = schema.columns.size();
+    schema.columns.push_back({raw[c].name + "_sum", raw[c].type, raw[c].unit,
+                              table});
+    agg.min = schema.columns.size();
+    schema.columns.push_back({raw[c].name + "_min", raw[c].type, raw[c].unit,
+                              table});
+    agg.max = schema.columns.size();
+    schema.columns.push_back({raw[c].name + "_max", raw[c].type, raw[c].unit,
+                              table});
+    schema.aggs.push_back(agg);
+  }
+  return schema;
+}
+
+util::TimePoint bucketStart(util::TimePoint t,
+                            util::Duration bucket) noexcept {
+  util::TimePoint q = t / bucket;
+  if (t % bucket != 0 && t < 0) --q;  // floor toward -inf
+  return q * bucket;
+}
+
+Value mergeSum(const Value& a, const Value& b) {
+  if (a.isNull()) return b;
+  if (b.isNull()) return a;
+  if (a.type() == ValueType::Int && b.type() == ValueType::Int) {
+    return Value(a.asInt() + b.asInt());
+  }
+  return Value(a.toReal() + b.toReal());
+}
+
+Value mergeMin(const Value& a, const Value& b) {
+  if (a.isNull()) return b;
+  if (b.isNull()) return a;
+  return b.compare(a) == std::strong_ordering::less ? b : a;
+}
+
+Value mergeMax(const Value& a, const Value& b) {
+  if (a.isNull()) return b;
+  if (b.isNull()) return a;
+  return b.compare(a) == std::strong_ordering::greater ? b : a;
+}
+
+void foldRows(const RollupSchema& schema, std::size_t rawTimeColumn,
+              util::Duration bucket,
+              const std::vector<std::vector<Value>>& rows, RollupMap& acc) {
+  for (const auto& row : rows) {
+    const Value& t = row[rawTimeColumn];
+    if (t.type() != ValueType::Int) continue;  // not bucketable
+    RollupKey key;
+    key.reserve(1 + schema.keyRaw.size());
+    key.emplace_back(bucketStart(t.asInt(), bucket));
+    for (const std::size_t raw : schema.keyRaw) key.push_back(row[raw]);
+
+    auto it = acc.find(key);
+    if (it == acc.end()) {
+      std::vector<Value> fresh(schema.columns.size());
+      fresh[schema.timeColumn] = key[0];
+      for (std::size_t k = 0; k < schema.keyCol.size(); ++k) {
+        fresh[schema.keyCol[k]] = key[k + 1];
+      }
+      fresh[schema.rowsColumn] = Value(std::int64_t{0});
+      for (const auto& agg : schema.aggs) {
+        fresh[agg.count] = Value(std::int64_t{0});
+        // sum/min/max start NULL (the aggregate of zero values)
+      }
+      it = acc.emplace(std::move(key), std::move(fresh)).first;
+    }
+    std::vector<Value>& out = it->second;
+    out[schema.rowsColumn] = Value(out[schema.rowsColumn].asInt() + 1);
+    for (const auto& agg : schema.aggs) {
+      const Value& v = row[agg.raw];
+      if (v.isNull()) continue;
+      out[agg.count] = Value(out[agg.count].asInt() + 1);
+      if (v.isNumeric()) {
+        out[agg.sum] = mergeSum(out[agg.sum], v);
+      }
+      out[agg.min] = mergeMin(out[agg.min], v);
+      out[agg.max] = mergeMax(out[agg.max], v);
+    }
+  }
+}
+
+}  // namespace gridrm::store::tsdb

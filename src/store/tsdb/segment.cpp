@@ -1,0 +1,245 @@
+#include "gridrm/store/tsdb/segment.hpp"
+
+#include <algorithm>
+
+#include "gridrm/dbc/error.hpp"
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::store::tsdb {
+
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+Segment::Segment(std::vector<EncodedColumn> columns, std::size_t timeColumn,
+                 util::TimePoint minTime, util::TimePoint maxTime,
+                 std::size_t logicalBytes)
+    : columns_(std::move(columns)),
+      timeColumn_(timeColumn),
+      rows_(columns_.empty() ? 0 : columns_[0].rowCount),
+      minTime_(minTime),
+      maxTime_(maxTime),
+      bytes_(0),
+      logicalBytes_(logicalBytes) {
+  for (const auto& c : columns_) bytes_ += c.bytes();
+}
+
+SegmentPtr encodeSegment(const std::vector<dbc::ColumnInfo>& columns,
+                         std::size_t timeColumn,
+                         const std::vector<std::vector<Value>>& rows) {
+  std::vector<ColumnEncoder> encoders;
+  encoders.reserve(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    encoders.emplace_back(columns[c], /*deltaOfDelta=*/c == timeColumn);
+  }
+  util::TimePoint minTime = std::numeric_limits<util::TimePoint>::max();
+  util::TimePoint maxTime = std::numeric_limits<util::TimePoint>::min();
+  std::size_t logicalBytes = 0;
+  for (const auto& row : rows) {
+    logicalBytes += sizeof(std::vector<Value>);
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      encoders[c].add(row[c]);
+      logicalBytes += logicalCellBytes(row[c]);
+    }
+    const Value& t = row[timeColumn];
+    if (t.type() == ValueType::Int) {
+      minTime = std::min(minTime, t.asInt());
+      maxTime = std::max(maxTime, t.asInt());
+    }
+  }
+  if (minTime > maxTime) {  // no datable row: bounds that never prune
+    minTime = std::numeric_limits<util::TimePoint>::min();
+    maxTime = std::numeric_limits<util::TimePoint>::max();
+  }
+  std::vector<EncodedColumn> encoded;
+  encoded.reserve(encoders.size());
+  for (auto& e : encoders) encoded.push_back(e.finish());
+  return std::make_shared<const Segment>(std::move(encoded), timeColumn,
+                                         minTime, maxTime, logicalBytes);
+}
+
+void collectColumnRefs(const sql::Expr& expr,
+                       std::vector<std::string>& names) {
+  if (expr.kind == sql::ExprKind::Column) {
+    names.push_back(util::toLower(expr.name));
+  }
+  for (const auto& child : expr.children) {
+    collectColumnRefs(*child, names);
+  }
+}
+
+namespace {
+
+/// Accessor over the per-candidate decoded predicate columns. Columns
+/// the predicate does not reference resolve to nullopt, which makes
+/// sql::evaluate raise the same "unknown column" EvalError the row
+/// store's accessor produces for genuinely unknown names -- and by
+/// construction every name the predicate references *is* decoded.
+class ColumnarRowAccessor final : public sql::RowAccessor {
+ public:
+  ColumnarRowAccessor(const Segment& segment,
+                      const std::vector<std::vector<Value>>& cells,
+                      const std::string& tableName, const std::string& alias)
+      : segment_(segment), cells_(cells), tableName_(tableName),
+        alias_(alias) {}
+
+  void setRow(std::size_t candidate) noexcept { candidate_ = candidate; }
+
+  std::optional<Value> column(const std::string& table,
+                              const std::string& name) const override {
+    if (!table.empty() && !util::iequals(table, tableName_) &&
+        !util::iequals(table, alias_)) {
+      return std::nullopt;
+    }
+    for (std::size_t c = 0; c < segment_.columnCount(); ++c) {
+      if (util::iequals(segment_.column(c).info.name, name)) {
+        return cells_[c][candidate_];
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const Segment& segment_;
+  const std::vector<std::vector<Value>>& cells_;  // [column][candidate]
+  const std::string& tableName_;
+  const std::string& alias_;
+  std::size_t candidate_ = 0;
+};
+
+}  // namespace
+
+void scanSegment(const Segment& segment, const TimeBounds& bounds,
+                 const sql::Expr* where, const std::string& tableName,
+                 const std::string& alias, const std::vector<bool>& needed,
+                 std::vector<std::vector<Value>>& out, ScanStats& stats) {
+  if (segment.maxTime() < bounds.lo || segment.minTime() > bounds.hi) {
+    ++stats.segmentsPruned;
+    return;
+  }
+  ++stats.segmentsScanned;
+  const std::size_t n = segment.rowCount();
+  const std::size_t width = segment.columnCount();
+  stats.rowsScanned += n;
+  const bool constrained =
+      bounds.lo != std::numeric_limits<util::TimePoint>::min() ||
+      bounds.hi != std::numeric_limits<util::TimePoint>::max();
+
+  // Phase 0: walk the time column and keep candidate row indices. A
+  // non-Int time cell cannot be pruned by integer bounds (SQL type
+  // ordering could still satisfy the predicate), and a NULL one fails
+  // every comparison, so it survives only an unconstrained scan.
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(n);
+  {
+    ColumnCursor time(segment.column(segment.timeColumn()));
+    for (std::uint32_t row = 0; time.next(); ++row) {
+      bool keep;
+      if (time.isNull()) {
+        keep = !constrained;
+      } else if (!constrained) {
+        keep = true;
+      } else {
+        const Value v = time.value();
+        keep = v.type() == ValueType::Int ? bounds.contains(v.asInt()) : true;
+      }
+      if (keep) candidates.push_back(row);
+    }
+  }
+  if (candidates.empty()) return;
+
+  // Which columns does the predicate touch?
+  std::vector<bool> predCols(width, false);
+  if (where != nullptr) {
+    std::vector<std::string> names;
+    collectColumnRefs(*where, names);
+    for (const auto& name : names) {
+      for (std::size_t c = 0; c < width; ++c) {
+        if (util::iequals(segment.column(c).info.name, name)) {
+          predCols[c] = true;
+        }
+      }
+    }
+  }
+
+  // Phase A: decode predicate columns at candidate rows only, then
+  // evaluate the predicate to pick survivors.
+  std::vector<std::vector<Value>> predCells(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    if (!predCols[c]) continue;
+    auto& cells = predCells[c];
+    cells.reserve(candidates.size());
+    ColumnCursor cursor(segment.column(c));
+    std::size_t nextCandidate = 0;
+    for (std::uint32_t row = 0; cursor.next(); ++row) {
+      if (nextCandidate == candidates.size()) {
+        stats.cellsSkipped += n - row;
+        break;  // no candidate left in this segment
+      }
+      if (candidates[nextCandidate] == row) {
+        cells.push_back(cursor.value());
+        ++stats.cellsMaterialized;
+        ++nextCandidate;
+      } else {
+        ++stats.cellsSkipped;
+      }
+    }
+  }
+  std::vector<std::uint32_t> survivors;  // candidate indices
+  if (where == nullptr) {
+    survivors.resize(candidates.size());
+    for (std::uint32_t k = 0; k < survivors.size(); ++k) survivors[k] = k;
+  } else {
+    ColumnarRowAccessor accessor(segment, predCells, tableName, alias);
+    for (std::uint32_t k = 0; k < candidates.size(); ++k) {
+      accessor.setRow(k);
+      bool keep;
+      try {
+        keep = sql::evaluatePredicate(*where, accessor);
+      } catch (const sql::EvalError& e) {
+        throw SqlError(ErrorCode::NoSuchColumn, e.what());
+      }
+      if (keep) survivors.push_back(k);
+    }
+  }
+  if (survivors.empty()) return;
+
+  // Phase B: materialise the projected columns at surviving rows only.
+  // Predicate columns were already decoded per candidate; reuse them.
+  const std::size_t base = out.size();
+  out.resize(base + survivors.size());
+  for (auto it = out.begin() + static_cast<std::ptrdiff_t>(base);
+       it != out.end(); ++it) {
+    it->resize(width);
+  }
+  stats.rowsMaterialized += survivors.size();
+  for (std::size_t c = 0; c < width; ++c) {
+    if (!needed[c]) continue;
+    if (predCols[c]) {
+      for (std::size_t s = 0; s < survivors.size(); ++s) {
+        out[base + s][c] = predCells[c][survivors[s]];
+      }
+      continue;
+    }
+    // Survivor row indices in segment order.
+    ColumnCursor cursor(segment.column(c));
+    std::size_t nextSurvivor = 0;
+    for (std::uint32_t row = 0; cursor.next(); ++row) {
+      if (nextSurvivor == survivors.size()) {
+        stats.cellsSkipped += n - row;
+        break;  // no survivor left in this segment
+      }
+      if (candidates[survivors[nextSurvivor]] == row) {
+        out[base + nextSurvivor][c] = cursor.value();
+        ++stats.cellsMaterialized;
+        ++nextSurvivor;
+      } else {
+        ++stats.cellsSkipped;
+      }
+    }
+  }
+}
+
+}  // namespace gridrm::store::tsdb

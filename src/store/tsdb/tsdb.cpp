@@ -1,0 +1,1009 @@
+#include "gridrm/store/tsdb/tsdb.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "gridrm/dbc/error.hpp"
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::store::tsdb {
+
+using dbc::ColumnInfo;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+TsdbOptions TsdbOptions::fromConfig(const util::Config& config) {
+  TsdbOptions o;
+  const auto ms = [&](const char* key, util::Duration def) {
+    return config.getInt(key, def / util::kMillisecond) * util::kMillisecond;
+  };
+  o.enabled = config.getBool("tsdb.enabled", o.enabled);
+  o.segmentRows = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.getInt("tsdb.segment_rows",
+                       static_cast<std::int64_t>(o.segmentRows))));
+  o.segmentSpan = ms("tsdb.segment_span_ms", o.segmentSpan);
+  o.rawTtl = ms("tsdb.raw_ttl_ms", o.rawTtl);
+  o.rollup1mTtl = ms("tsdb.rollup_1m_ttl_ms", o.rollup1mTtl);
+  o.rollup1hTtl = ms("tsdb.rollup_1h_ttl_ms", o.rollup1hTtl);
+  o.bucket1m = ms("tsdb.bucket_1m_ms", o.bucket1m);
+  o.bucket1h = ms("tsdb.bucket_1h_ms", o.bucket1h);
+  if (o.bucket1m <= 0) o.bucket1m = 60 * util::kSecond;
+  if (o.bucket1h <= 0) o.bucket1h = 60 * 60 * util::kSecond;
+  o.tierQueries = config.getBool("tsdb.tier_queries", o.tierQueries);
+  o.tierMinSpanBuckets = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, config.getInt("tsdb.tier_min_span_buckets",
+                       static_cast<std::int64_t>(o.tierMinSpanBuckets))));
+  return o;
+}
+
+// ---------------------------------------------------------------------
+// WHERE analysis.
+
+namespace {
+
+bool qualifierOk(const sql::Expr& e, const std::string& table,
+                 const std::string& alias) {
+  return e.table.empty() || util::iequals(e.table, table) ||
+         util::iequals(e.table, alias);
+}
+
+bool isIntLiteral(const sql::Expr& e) {
+  return e.kind == sql::ExprKind::Literal &&
+         e.literal.type() == ValueType::Int;
+}
+
+bool isTimeRef(const sql::Expr& e, const std::string& timeColumn,
+               const std::string& table, const std::string& alias) {
+  return e.kind == sql::ExprKind::Column &&
+         qualifierOk(e, table, alias) &&
+         util::iequals(e.name, timeColumn);
+}
+
+/// Tighten `bounds` from one comparison `time OP literal` (either
+/// operand order). Over-inclusive on int64 edge cases, which is safe:
+/// bounds only prune, the predicate itself still runs on survivors.
+void tightenBounds(sql::BinOp op, std::int64_t lit, bool literalOnLeft,
+                   TimeBounds& bounds) {
+  if (literalOnLeft) {  // lit OP col  ==  col FLIP(OP) lit
+    switch (op) {
+      case sql::BinOp::Lt: op = sql::BinOp::Gt; break;
+      case sql::BinOp::Le: op = sql::BinOp::Ge; break;
+      case sql::BinOp::Gt: op = sql::BinOp::Lt; break;
+      case sql::BinOp::Ge: op = sql::BinOp::Le; break;
+      default: break;  // Eq is symmetric
+    }
+  }
+  switch (op) {
+    case sql::BinOp::Ge:
+      bounds.lo = std::max(bounds.lo, lit);
+      break;
+    case sql::BinOp::Gt:
+      if (lit < std::numeric_limits<std::int64_t>::max()) {
+        bounds.lo = std::max(bounds.lo, lit + 1);
+      }
+      break;
+    case sql::BinOp::Le:
+      bounds.hi = std::min(bounds.hi, lit);
+      break;
+    case sql::BinOp::Lt:
+      if (lit > std::numeric_limits<std::int64_t>::min()) {
+        bounds.hi = std::min(bounds.hi, lit - 1);
+      }
+      break;
+    case sql::BinOp::Eq:
+      bounds.lo = std::max(bounds.lo, lit);
+      bounds.hi = std::min(bounds.hi, lit);
+      break;
+    default:
+      break;
+  }
+}
+
+/// True when `term` is a plain time/literal comparison whose effect is
+/// fully captured by extractTimeBounds: `time OP intLiteral` (either
+/// side) for OP in {<, <=, >, >=, =}, or `time BETWEEN int AND int`.
+/// Only these shapes are bucket-uniform, so only these may appear as
+/// time conjuncts in a tier-served WHERE.
+bool isSimpleTimeTerm(const sql::Expr& term, const std::string& timeColumn,
+                      const std::string& table, const std::string& alias,
+                      TimeBounds* bounds) {
+  if (term.kind == sql::ExprKind::Binary) {
+    switch (term.bop) {
+      case sql::BinOp::Lt:
+      case sql::BinOp::Le:
+      case sql::BinOp::Gt:
+      case sql::BinOp::Ge:
+      case sql::BinOp::Eq: {
+        const sql::Expr& l = *term.children[0];
+        const sql::Expr& r = *term.children[1];
+        if (isTimeRef(l, timeColumn, table, alias) && isIntLiteral(r)) {
+          if (bounds) tightenBounds(term.bop, r.literal.asInt(), false, *bounds);
+          return true;
+        }
+        if (isIntLiteral(l) && isTimeRef(r, timeColumn, table, alias)) {
+          if (bounds) tightenBounds(term.bop, l.literal.asInt(), true, *bounds);
+          return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+  if (term.kind == sql::ExprKind::Between && !term.negated &&
+      isTimeRef(*term.children[0], timeColumn, table, alias) &&
+      isIntLiteral(*term.children[1]) && isIntLiteral(*term.children[2])) {
+    if (bounds) {
+      bounds->lo = std::max(bounds->lo, term.children[1]->literal.asInt());
+      bounds->hi = std::min(bounds->hi, term.children[2]->literal.asInt());
+    }
+    return true;
+  }
+  return false;
+}
+
+void extractFromConjunct(const sql::Expr& e, const std::string& timeColumn,
+                         const std::string& table, const std::string& alias,
+                         TimeBounds& bounds) {
+  if (e.kind == sql::ExprKind::Binary && e.bop == sql::BinOp::And) {
+    extractFromConjunct(*e.children[0], timeColumn, table, alias, bounds);
+    extractFromConjunct(*e.children[1], timeColumn, table, alias, bounds);
+    return;
+  }
+  isSimpleTimeTerm(e, timeColumn, table, alias, &bounds);
+}
+
+/// All Column qualifiers in the tree name this statement's table.
+bool allQualifiersOk(const sql::Expr& e, const std::string& table,
+                     const std::string& alias) {
+  if (e.kind == sql::ExprKind::Column && !qualifierOk(e, table, alias)) {
+    return false;
+  }
+  for (const auto& child : e.children) {
+    if (!allQualifiersOk(*child, table, alias)) return false;
+  }
+  return true;
+}
+
+/// Column names referenced outside aggregate Call subtrees.
+void collectNonAggRefs(const sql::Expr& e, std::vector<std::string>& names) {
+  if (e.kind == sql::ExprKind::Call) return;
+  if (e.kind == sql::ExprKind::Column) names.push_back(util::toLower(e.name));
+  for (const auto& child : e.children) collectNonAggRefs(*child, names);
+}
+
+std::size_t rawColumnIndex(const std::vector<ColumnInfo>& columns,
+                           const std::string& name) {
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (util::iequals(columns[c].name, name)) return c;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Identical to the row store's output-column derivation, so tier and
+/// raw paths produce the same metadata as store::executeSelect.
+ColumnInfo projectColumnInfo(const sql::SelectItem& item,
+                             const std::vector<ColumnInfo>& source) {
+  ColumnInfo out;
+  if (!item.alias.empty()) {
+    out.name = item.alias;
+  } else if (item.expr->kind == sql::ExprKind::Column) {
+    out.name = item.expr->name;
+  } else {
+    out.name = item.expr->toSql();
+  }
+  if (item.expr->kind == sql::ExprKind::Column) {
+    for (const auto& c : source) {
+      if (util::iequals(c.name, item.expr->name)) {
+        out.type = c.type;
+        out.unit = c.unit;
+        out.table = c.table;
+        break;
+      }
+    }
+  } else if (item.expr->kind == sql::ExprKind::Literal) {
+    out.type = item.expr->literal.type();
+  } else {
+    out.type = util::ValueType::Real;
+  }
+  if (item.alias.empty() && item.expr->kind == sql::ExprKind::Call) {
+    out.name = item.expr->toSql();
+    out.type = item.expr->name == "count" ? util::ValueType::Int
+                                          : util::ValueType::Real;
+  }
+  return out;
+}
+
+/// Accessor over full-width rows against an explicit column list
+/// (mirror of the row store's TableRowAccessor).
+class RowsAccessor final : public sql::RowAccessor {
+ public:
+  RowsAccessor(const std::vector<ColumnInfo>& columns,
+               const std::string& tableName, const std::string& alias)
+      : columns_(columns), tableName_(tableName), alias_(alias) {}
+
+  void setRow(const std::vector<Value>* row) noexcept { row_ = row; }
+
+  std::optional<Value> column(const std::string& table,
+                              const std::string& name) const override {
+    if (!table.empty() && !util::iequals(table, tableName_) &&
+        !util::iequals(table, alias_)) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (util::iequals(columns_[i].name, name)) return (*row_)[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const std::vector<ColumnInfo>& columns_;
+  const std::string& tableName_;
+  const std::string& alias_;
+  const std::vector<Value>* row_ = nullptr;
+};
+
+void mergeScan(ScanStats& into, const ScanStats& from) {
+  into.segmentsScanned += from.segmentsScanned;
+  into.segmentsPruned += from.segmentsPruned;
+  into.rowsScanned += from.rowsScanned;
+  into.rowsMaterialized += from.rowsMaterialized;
+  into.cellsMaterialized += from.cellsMaterialized;
+  into.cellsSkipped += from.cellsSkipped;
+}
+
+bool isAggregateShaped(const sql::SelectStatement& stmt) {
+  if (!stmt.groupBy.empty()) return true;
+  for (const auto& item : stmt.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) return true;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (key.expr->containsAggregate()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TimeBounds extractTimeBounds(const sql::Expr* where,
+                             const std::string& timeColumn,
+                             const std::string& table,
+                             const std::string& alias) {
+  TimeBounds bounds;
+  if (where != nullptr) {
+    extractFromConjunct(*where, timeColumn, table, alias, bounds);
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------
+// TimeSeriesStore.
+
+TimeSeriesStore::TimeSeriesStore(util::Clock& clock, TsdbOptions options)
+    : clock_(clock), options_(options) {}
+
+void TimeSeriesStore::createTable(const std::string& name,
+                                  std::vector<ColumnInfo> columns,
+                                  const std::string& timeColumn) {
+  const std::size_t timeIdx = rawColumnIndex(columns, timeColumn);
+  if (timeIdx == static_cast<std::size_t>(-1)) {
+    throw SqlError(ErrorCode::NoSuchColumn,
+                   "no time column '" + timeColumn + "' in table " + name);
+  }
+  auto t = std::make_shared<TableData>();
+  t->name = name;
+  t->columns = std::move(columns);
+  t->timeIdx = timeIdx;
+  t->rollup = buildRollupSchema(t->columns, timeIdx);
+  t->numericClean.assign(t->columns.size(), true);
+
+  std::unique_lock lock(mu_);
+  for (auto& existing : tables_) {
+    if (util::iequals(existing->name, name)) {
+      existing = std::move(t);
+      return;
+    }
+  }
+  tables_.push_back(std::move(t));
+}
+
+bool TimeSeriesStore::hasTable(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::vector<std::string> TimeSeriesStore::tableNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& t : tables_) names.push_back(t->name);
+  return names;
+}
+
+std::shared_ptr<TimeSeriesStore::TableData> TimeSeriesStore::find(
+    const std::string& name) const {
+  std::shared_lock lock(mu_);
+  for (const auto& t : tables_) {
+    if (util::iequals(t->name, name)) return t;
+  }
+  return nullptr;
+}
+
+void TimeSeriesStore::append(const std::string& table,
+                             std::vector<Value> row) {
+  auto t = find(table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + table + "'");
+  }
+  {
+    std::unique_lock lock(t->mu);
+    if (row.size() != t->columns.size()) {
+      throw SqlError(ErrorCode::Generic,
+                     "insert arity mismatch for table " + t->name);
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (!row[c].isNull() && !row[c].isNumeric()) t->numericClean[c] = false;
+    }
+    const Value& tv = row[t->timeIdx];
+    if (tv.type() == ValueType::Int) {
+      const util::TimePoint tp = tv.asInt();
+      if (!t->activeHasTime) {
+        t->activeMin = t->activeMax = tp;
+        t->activeHasTime = true;
+      } else {
+        t->activeMin = std::min(t->activeMin, tp);
+        t->activeMax = std::max(t->activeMax, tp);
+      }
+    } else if (!tv.isNull()) {
+      // A Real (or other non-Int) sample time cannot be folded into
+      // rollup buckets; disable tier rewrites rather than drop rows.
+      t->timeClean = false;
+    }
+    t->active.push_back(std::move(row));
+    const bool full = t->active.size() >= options_.segmentRows;
+    const bool spanned = options_.segmentSpan > 0 && t->activeHasTime &&
+                         t->activeMax - t->activeMin >= options_.segmentSpan;
+    if (full || spanned) seal(*t);
+  }
+  std::lock_guard statsLock(statsMu_);
+  ++stats_.appendedRows;
+}
+
+void TimeSeriesStore::appendNamed(const std::string& table,
+                                  const std::vector<std::string>& columns,
+                                  std::vector<Value> row) {
+  auto t = find(table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + table + "'");
+  }
+  if (columns.size() != row.size()) {
+    throw SqlError(ErrorCode::Generic, "column/value count mismatch");
+  }
+  std::vector<Value> full(t->columns.size());
+  std::vector<bool> assigned(t->columns.size(), false);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const std::size_t c = rawColumnIndex(t->columns, columns[i]);
+    if (c == static_cast<std::size_t>(-1)) {
+      throw SqlError(ErrorCode::NoSuchColumn,
+                     "table " + t->name + " has no column '" + columns[i] +
+                         "'");
+    }
+    if (assigned[c]) {
+      throw SqlError(ErrorCode::Syntax, "column '" + columns[i] +
+                                            "' listed twice in INSERT into " +
+                                            t->name);
+    }
+    assigned[c] = true;
+    full[c] = std::move(row[i]);
+  }
+  append(table, std::move(full));
+}
+
+void TimeSeriesStore::seal(TableData& t) {
+  if (t.active.empty()) return;
+  t.segments.push_back(encodeSegment(t.columns, t.timeIdx, t.active));
+  foldRows(t.rollup, t.timeIdx, options_.bucket1m, t.active, t.tiers[0].active);
+  foldRows(t.rollup, t.timeIdx, options_.bucket1h, t.active, t.tiers[1].active);
+  if (t.activeHasTime) t.sealedUntil = std::max(t.sealedUntil, t.activeMax);
+  t.active.clear();
+  t.activeHasTime = false;
+  t.activeMin = t.activeMax = 0;
+  std::lock_guard statsLock(statsMu_);
+  ++stats_.seals;
+}
+
+void TimeSeriesStore::sealAll() {
+  std::vector<std::shared_ptr<TableData>> snapshot;
+  {
+    std::shared_lock lock(mu_);
+    snapshot = tables_;
+  }
+  for (const auto& t : snapshot) {
+    std::unique_lock lock(t->mu);
+    seal(*t);
+  }
+}
+
+std::size_t TimeSeriesStore::rowCount(const std::string& table) const {
+  auto t = find(table);
+  if (t == nullptr) return 0;
+  std::shared_lock lock(t->mu);
+  std::size_t rows = t->active.size();
+  for (const auto& seg : t->segments) rows += seg->rowCount();
+  return rows;
+}
+
+// ---------------------------------------------------------------------
+// Query execution.
+
+namespace {
+
+/// Does this aggregate-shaped statement qualify for a rollup rewrite on
+/// this table at all (tier-independent conditions)? Alignment, span and
+/// coverage are checked per tier afterwards.
+bool tierServable(const sql::SelectStatement& stmt,
+                  const std::vector<ColumnInfo>& columns,
+                  const RollupSchema& rollup, std::size_t timeIdx,
+                  const std::vector<bool>& numericClean) {
+  const std::string& timeName = columns[timeIdx].name;
+
+  // GROUP BY: bare key columns only (grouping by the raw timestamp or
+  // a computed expression cannot be answered from bucket rows).
+  std::vector<std::string> groupNames;
+  for (const auto& expr : stmt.groupBy) {
+    if (expr->kind != sql::ExprKind::Column ||
+        !qualifierOk(*expr, stmt.table, stmt.tableAlias)) {
+      return false;
+    }
+    const std::size_t raw = rawColumnIndex(columns, expr->name);
+    if (raw == static_cast<std::size_t>(-1) ||
+        rollup.keyFor(raw) == static_cast<std::size_t>(-1)) {
+      return false;
+    }
+    groupNames.push_back(util::toLower(expr->name));
+  }
+
+  // Items and ORDER BY: every aggregate call must have stored partials
+  // and every bare column outside a call must be one of the GROUP BY
+  // key columns.
+  const auto exprOk = [&](const sql::Expr& root) {
+    if (!allQualifiersOk(root, stmt.table, stmt.tableAlias)) return false;
+    // Walk for Call nodes.
+    std::vector<const sql::Expr*> stack{&root};
+    while (!stack.empty()) {
+      const sql::Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind == sql::ExprKind::Call) {
+        const std::string& fn = e->name;
+        if (fn == "count" && e->starArg) continue;
+        if (fn != "count" && fn != "sum" && fn != "avg" && fn != "min" &&
+            fn != "max") {
+          return false;
+        }
+        if (e->children.size() != 1 ||
+            e->children[0]->kind != sql::ExprKind::Column) {
+          return false;
+        }
+        const std::size_t raw = rawColumnIndex(columns, e->children[0]->name);
+        if (raw == static_cast<std::size_t>(-1)) return false;
+        if (const auto* agg = rollup.aggFor(raw)) {
+          (void)agg;
+          // SUM/AVG partials silently skipped non-numeric cells the row
+          // store would reject; only rewrite columns that stayed clean.
+          if ((fn == "sum" || fn == "avg") && !numericClean[raw]) {
+            return false;
+          }
+        } else if (!(fn == "count" &&
+                     rollup.keyFor(raw) != static_cast<std::size_t>(-1))) {
+          return false;  // no partials for this column (e.g. time column)
+        }
+        continue;  // call arguments handled above
+      }
+      for (const auto& child : e->children) stack.push_back(child.get());
+    }
+    std::vector<std::string> bare;
+    collectNonAggRefs(root, bare);
+    for (const auto& name : bare) {
+      bool grouped = false;
+      for (const auto& g : groupNames) {
+        if (g == name) grouped = true;
+      }
+      if (!grouped) return false;
+    }
+    return true;
+  };
+  for (const auto& item : stmt.items) {
+    if (item.isStar() || !exprOk(*item.expr)) return false;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (!exprOk(*key.expr)) return false;
+  }
+
+  // WHERE: an AND-tree whose every conjunct is either a simple time
+  // comparison or an expression over key columns only (bucket-uniform).
+  if (stmt.where == nullptr) return false;  // need finite bounds anyway
+  const auto classify = [&](const sql::Expr& e, const auto& self) -> bool {
+    if (e.kind == sql::ExprKind::Binary && e.bop == sql::BinOp::And) {
+      return self(*e.children[0], self) && self(*e.children[1], self);
+    }
+    if (isSimpleTimeTerm(e, timeName, stmt.table, stmt.tableAlias, nullptr)) {
+      return true;
+    }
+    if (e.containsAggregate() ||
+        !allQualifiersOk(e, stmt.table, stmt.tableAlias)) {
+      return false;
+    }
+    std::vector<std::string> refs;
+    collectColumnRefs(e, refs);
+    for (const auto& name : refs) {
+      const std::size_t raw = rawColumnIndex(columns, name);
+      if (raw == static_cast<std::size_t>(-1) ||
+          rollup.keyFor(raw) == static_cast<std::size_t>(-1)) {
+        return false;  // references time or an aggregated column
+      }
+    }
+    return true;
+  };
+  return classify(*stmt.where, classify);
+}
+
+}  // namespace
+
+std::unique_ptr<dbc::VectorResultSet> TimeSeriesStore::query(
+    const sql::SelectStatement& stmt) const {
+  auto t = find(stmt.table);
+  if (t == nullptr) {
+    throw SqlError(ErrorCode::NoSuchTable, "no table '" + stmt.table + "'");
+  }
+  {
+    std::lock_guard statsLock(statsMu_);
+    ++stats_.queries;
+  }
+
+  std::shared_lock lock(t->mu);
+  const TimeBounds bounds =
+      extractTimeBounds(stmt.where.get(), t->columns[t->timeIdx].name,
+                        stmt.table, stmt.tableAlias);
+
+  if (options_.tierQueries && t->timeClean &&
+      bounds.lo != std::numeric_limits<util::TimePoint>::min() &&
+      bounds.hi != std::numeric_limits<util::TimePoint>::max() &&
+      isAggregateShaped(stmt) &&
+      // Coverage: no buffer row may fall inside the range (rollups only
+      // see sealed rows; buffer rows without a time cell cannot match
+      // finite bounds anyway).
+      (!t->activeHasTime || t->activeMin > bounds.hi) &&
+      tierServable(stmt, t->columns, t->rollup, t->timeIdx, t->numericClean)) {
+    // Coarsest tier first.
+    for (int tierIdx = 1; tierIdx >= 0; --tierIdx) {
+      const util::Duration bucket =
+          tierIdx == 1 ? options_.bucket1h : options_.bucket1m;
+      if (bucketStart(bounds.lo, bucket) != bounds.lo) continue;
+      if (bounds.hi >= std::numeric_limits<util::TimePoint>::max()) continue;
+      if (bucketStart(bounds.hi + 1, bucket) != bounds.hi + 1) continue;
+      if (bounds.hi < bounds.lo) continue;
+      const std::int64_t spanBuckets = (bounds.hi - bounds.lo + 1) / bucket;
+      if (spanBuckets < static_cast<std::int64_t>(options_.tierMinSpanBuckets)) {
+        continue;
+      }
+      auto result = tierQuery(*t, stmt, bounds, tierIdx);
+      if (result != nullptr) return result;
+    }
+  }
+  return rawQuery(*t, stmt, bounds);
+}
+
+std::unique_ptr<dbc::VectorResultSet> TimeSeriesStore::rawQuery(
+    const TableData& t, const sql::SelectStatement& stmt,
+    const TimeBounds& bounds) const {
+  const std::size_t width = t.columns.size();
+  std::vector<bool> needed(width, false);
+  const auto mark = [&](const sql::Expr& e) {
+    std::vector<std::string> names;
+    collectColumnRefs(e, names);
+    for (const auto& name : names) {
+      const std::size_t c = rawColumnIndex(t.columns, name);
+      if (c != static_cast<std::size_t>(-1)) needed[c] = true;
+    }
+  };
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) {
+      needed.assign(width, true);
+    } else {
+      mark(*item.expr);
+    }
+  }
+  if (stmt.where) mark(*stmt.where);
+  for (const auto& expr : stmt.groupBy) mark(*expr);
+  for (const auto& key : stmt.orderBy) mark(*key.expr);
+
+  ScanStats scan;
+  std::vector<std::vector<Value>> rows;
+  for (const auto& seg : t.segments) {
+    scanSegment(*seg, bounds, stmt.where.get(), stmt.table, stmt.tableAlias,
+                needed, rows, scan);
+  }
+  // Write-ahead buffer rows ride along uncompressed, pre-filtered by
+  // the same time-bounds rule the segment scan applies in Phase 0.
+  const bool constrained =
+      bounds.lo != std::numeric_limits<util::TimePoint>::min() ||
+      bounds.hi != std::numeric_limits<util::TimePoint>::max();
+  scan.rowsScanned += t.active.size();
+  for (const auto& row : t.active) {
+    const Value& tv = row[t.timeIdx];
+    bool keep;
+    if (tv.isNull()) {
+      keep = !constrained;
+    } else if (tv.type() != ValueType::Int) {
+      keep = true;
+    } else {
+      keep = bounds.contains(tv.asInt());
+    }
+    if (keep) {
+      rows.push_back(row);
+      ++scan.rowsMaterialized;
+      scan.cellsMaterialized += width;
+    } else {
+      scan.cellsSkipped += width;
+    }
+  }
+
+  auto result = executeSelect(stmt, t.columns, rows);
+  std::lock_guard statsLock(statsMu_);
+  ++stats_.rawQueries;
+  mergeScan(stats_.scan, scan);
+  return result;
+}
+
+std::unique_ptr<dbc::VectorResultSet> TimeSeriesStore::tierQuery(
+    const TableData& t, const sql::SelectStatement& stmt,
+    const TimeBounds& bounds, int tierIdx) const {
+  const TierData& tier = t.tiers[tierIdx];
+  const RollupSchema& rollup = t.rollup;
+  const std::size_t width = rollup.columns.size();
+
+  // Gather the bucket rows in range: sealed rollup segments first, then
+  // the live rollup map. Duplicate rows per bucket+key merge additively
+  // in the aggregate fold below.
+  ScanStats scan;
+  std::vector<std::vector<Value>> rrows;
+  const std::vector<bool> needAll(width, true);
+  for (const auto& seg : tier.segments) {
+    scanSegment(*seg, bounds, nullptr, stmt.table, stmt.tableAlias, needAll,
+                rrows, scan);
+  }
+  for (const auto& [key, row] : tier.active) {
+    if (bounds.contains(row[rollup.timeColumn].asInt())) {
+      rrows.push_back(row);
+      ++scan.rowsMaterialized;
+    }
+  }
+  scan.rowsScanned += tier.active.size();
+
+  RowsAccessor accessor(rollup.columns, stmt.table, stmt.tableAlias);
+  const std::vector<Value> nullRow(width);
+
+  // Output metadata mirrors executeAggregateSelect over the raw schema.
+  std::vector<ColumnInfo> outColumns;
+  for (const auto& item : stmt.items) {
+    outColumns.push_back(projectColumnInfo(item, t.columns));
+  }
+
+  // Filter bucket rows with the original WHERE. Servability guarantees
+  // each conjunct is bucket-uniform, so this equals the raw-row filter.
+  std::vector<const std::vector<Value>*> selected;
+  for (const auto& row : rrows) {
+    accessor.setRow(&row);
+    bool keep = true;
+    try {
+      keep = sql::evaluatePredicate(*stmt.where, accessor);
+    } catch (const sql::EvalError& e) {
+      throw SqlError(ErrorCode::NoSuchColumn, e.what());
+    }
+    if (keep) selected.push_back(&row);
+  }
+
+  // Group by the original GROUP BY expressions (key columns).
+  std::map<std::vector<Value>, std::vector<const std::vector<Value>*>,
+           ValueVectorLess>
+      groups;
+  if (stmt.groupBy.empty()) {
+    groups[{}] = std::move(selected);
+  } else {
+    for (const auto* row : selected) {
+      accessor.setRow(row);
+      std::vector<Value> key;
+      key.reserve(stmt.groupBy.size());
+      for (const auto& expr : stmt.groupBy) {
+        try {
+          key.push_back(sql::evaluate(*expr, accessor));
+        } catch (const sql::EvalError& e) {
+          throw SqlError(ErrorCode::NoSuchColumn, e.what());
+        }
+      }
+      groups[std::move(key)].push_back(row);
+    }
+  }
+
+  // Merge an aggregate call from the groups' stored partials.
+  const auto computeAggregate =
+      [&](const sql::Expr& call,
+          const std::vector<const std::vector<Value>*>& rows) -> Value {
+    const std::string& fn = call.name;
+    if (fn == "count" && call.starArg) {
+      std::int64_t n = 0;
+      for (const auto* row : rows) n += (*row)[rollup.rowsColumn].asInt();
+      return Value(n);
+    }
+    const std::size_t raw =
+        rawColumnIndex(t.columns, call.children[0]->name);
+    if (const auto* agg = rollup.aggFor(raw)) {
+      if (fn == "count") {
+        std::int64_t n = 0;
+        for (const auto* row : rows) n += (*row)[agg->count].asInt();
+        return Value(n);
+      }
+      if (fn == "min" || fn == "max") {
+        Value best;
+        for (const auto* row : rows) {
+          best = fn == "min" ? mergeMin(best, (*row)[agg->min])
+                             : mergeMax(best, (*row)[agg->max]);
+        }
+        return best;
+      }
+      Value sum;  // "sum" or "avg"
+      std::int64_t count = 0;
+      for (const auto* row : rows) {
+        sum = mergeSum(sum, (*row)[agg->sum]);
+        count += (*row)[agg->count].asInt();
+      }
+      if (fn == "sum") return sum;
+      if (count == 0) return Value::null();
+      return Value(sum.toReal() / static_cast<double>(count));
+    }
+    // count() over a key column: non-null keys count whole buckets.
+    const std::size_t keyCol = rollup.keyFor(raw);
+    std::int64_t n = 0;
+    for (const auto* row : rows) {
+      if (!(*row)[keyCol].isNull()) n += (*row)[rollup.rowsColumn].asInt();
+    }
+    return Value(n);
+  };
+  const auto substitute = [&](sql::Expr& e,
+                              const std::vector<const std::vector<Value>*>&
+                                  rows,
+                              const auto& self) -> void {
+    if (e.kind == sql::ExprKind::Call) {
+      Value v = computeAggregate(e, rows);
+      e.kind = sql::ExprKind::Literal;
+      e.literal = std::move(v);
+      e.children.clear();
+      return;
+    }
+    for (auto& child : e.children) self(*child, rows, self);
+  };
+  const auto evaluateInGroup =
+      [&](const sql::Expr& expr,
+          const std::vector<const std::vector<Value>*>& rows) -> Value {
+    sql::ExprPtr copy = expr.clone();
+    substitute(*copy, rows, substitute);
+    accessor.setRow(rows.empty() ? &nullRow : rows.front());
+    try {
+      return sql::evaluate(*copy, accessor);
+    } catch (const sql::EvalError& e) {
+      throw SqlError(ErrorCode::NoSuchColumn, e.what());
+    }
+  };
+
+  struct OutRow {
+    std::vector<Value> cells;
+    std::vector<Value> orderKeys;
+  };
+  std::vector<OutRow> outRows;
+  outRows.reserve(groups.size());
+  for (const auto& [key, groupRows] : groups) {
+    OutRow out;
+    out.cells.reserve(stmt.items.size());
+    for (const auto& item : stmt.items) {
+      out.cells.push_back(evaluateInGroup(*item.expr, groupRows));
+    }
+    for (const auto& orderKey : stmt.orderBy) {
+      out.orderKeys.push_back(evaluateInGroup(*orderKey.expr, groupRows));
+    }
+    outRows.push_back(std::move(out));
+  }
+
+  if (!stmt.orderBy.empty()) {
+    std::stable_sort(outRows.begin(), outRows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (std::size_t i = 0; i < stmt.orderBy.size(); ++i) {
+                         const auto c = a.orderKeys[i].compare(b.orderKeys[i]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return stmt.orderBy[i].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+
+  std::size_t count = outRows.size();
+  if (stmt.limit && *stmt.limit >= 0 &&
+      static_cast<std::size_t>(*stmt.limit) < count) {
+    count = static_cast<std::size_t>(*stmt.limit);
+  }
+  std::vector<std::vector<Value>> finalRows;
+  finalRows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    finalRows.push_back(std::move(outRows[i].cells));
+  }
+
+  {
+    std::lock_guard statsLock(statsMu_);
+    if (tierIdx == 1) {
+      ++stats_.tierHits1h;
+    } else {
+      ++stats_.tierHits1m;
+    }
+    mergeScan(stats_.scan, scan);
+  }
+  return std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(outColumns)), std::move(finalRows));
+}
+
+// ---------------------------------------------------------------------
+// Retention.
+
+std::size_t TimeSeriesStore::pruneOlderThan(const std::string& table,
+                                            std::int64_t cutoff) {
+  auto t = find(table);
+  if (t == nullptr) return 0;
+  std::unique_lock lock(t->mu);
+  std::size_t evictedRows = 0;
+  std::size_t evictedSegments = 0;
+  std::erase_if(t->segments, [&](const SegmentPtr& seg) {
+    if (seg->maxTime() >= cutoff) return false;
+    evictedRows += seg->rowCount();
+    ++evictedSegments;
+    return true;
+  });
+  const std::size_t before = t->active.size();
+  std::erase_if(t->active, [&](const std::vector<Value>& row) {
+    // Same rule as Table::pruneOlderThan: never evict undatable cells.
+    const auto time = row[t->timeIdx].tryInt();
+    return time.has_value() && *time < cutoff;
+  });
+  evictedRows += before - t->active.size();
+  // Recompute buffer time bounds after the partial eviction.
+  t->activeHasTime = false;
+  t->activeMin = t->activeMax = 0;
+  for (const auto& row : t->active) {
+    const Value& tv = row[t->timeIdx];
+    if (tv.type() != ValueType::Int) continue;
+    if (!t->activeHasTime) {
+      t->activeMin = t->activeMax = tv.asInt();
+      t->activeHasTime = true;
+    } else {
+      t->activeMin = std::min(t->activeMin, tv.asInt());
+      t->activeMax = std::max(t->activeMax, tv.asInt());
+    }
+  }
+  std::lock_guard statsLock(statsMu_);
+  stats_.evictedRows += evictedRows;
+  stats_.evictedSegments += evictedSegments;
+  return evictedRows;
+}
+
+std::size_t TimeSeriesStore::retentionTick() {
+  const util::TimePoint now = clock_.now();
+  std::vector<std::shared_ptr<TableData>> snapshot;
+  {
+    std::shared_lock lock(mu_);
+    snapshot = tables_;
+  }
+  std::size_t evictedRaw = 0;
+  std::uint64_t evictedRows = 0;
+  std::uint64_t evictedSegments = 0;
+  for (const auto& t : snapshot) {
+    std::unique_lock lock(t->mu);
+    // Seal an idle write-ahead buffer so rollups stay current even when
+    // a source stops reporting.
+    if (!t->active.empty() && options_.segmentSpan > 0 && t->activeHasTime &&
+        now - t->activeMin >= options_.segmentSpan) {
+      seal(*t);
+    }
+    for (int tierIdx = 0; tierIdx < 2; ++tierIdx) {
+      TierData& tier = t->tiers[tierIdx];
+      const util::Duration bucket =
+          tierIdx == 1 ? options_.bucket1h : options_.bucket1m;
+      // Seal complete buckets (no further in-order arrivals possible)
+      // into immutable columnar segments.
+      std::vector<std::vector<Value>> complete;
+      for (auto it = tier.active.begin(); it != tier.active.end();) {
+        const util::TimePoint start = it->first[0].asInt();
+        if (start + bucket - 1 <= t->sealedUntil) {
+          complete.push_back(std::move(it->second));
+          it = tier.active.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!complete.empty()) {
+        tier.segments.push_back(
+            encodeSegment(t->rollup.columns, t->rollup.timeColumn, complete));
+      }
+      // Tier TTL.
+      const util::Duration ttl =
+          tierIdx == 1 ? options_.rollup1hTtl : options_.rollup1mTtl;
+      if (ttl > 0) {
+        const util::TimePoint cutoff = now - ttl;
+        std::erase_if(tier.segments, [&](const SegmentPtr& seg) {
+          return seg->maxTime() < cutoff;
+        });
+        for (auto it = tier.active.begin(); it != tier.active.end();) {
+          if (it->first[0].asInt() + bucket - 1 < cutoff) {
+            it = tier.active.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    // Raw TTL: whole segments plus datable buffer rows.
+    if (options_.rawTtl > 0) {
+      const util::TimePoint cutoff = now - options_.rawTtl;
+      std::erase_if(t->segments, [&](const SegmentPtr& seg) {
+        if (seg->maxTime() >= cutoff) return false;
+        evictedRaw += seg->rowCount();
+        evictedRows += seg->rowCount();
+        ++evictedSegments;
+        return true;
+      });
+    }
+  }
+  std::lock_guard statsLock(statsMu_);
+  stats_.evictedRows += evictedRows;
+  stats_.evictedSegments += evictedSegments;
+  return evictedRaw;
+}
+
+TsdbStats TimeSeriesStore::stats() const {
+  std::vector<std::shared_ptr<TableData>> snapshot;
+  {
+    std::shared_lock lock(mu_);
+    snapshot = tables_;
+  }
+  TsdbStats s;
+  {
+    std::lock_guard statsLock(statsMu_);
+    s = stats_;
+  }
+  s.tables = snapshot.size();
+  s.segments = s.sealedRows = s.activeRows = 0;
+  s.encodedBytes = s.logicalBytes = 0;
+  s.rollupRows1m = s.rollupRows1h = s.rollupSegments = 0;
+  for (const auto& t : snapshot) {
+    std::shared_lock lock(t->mu);
+    s.activeRows += t->active.size();
+    for (const auto& seg : t->segments) {
+      ++s.segments;
+      s.sealedRows += seg->rowCount();
+      s.encodedBytes += seg->bytes();
+      s.logicalBytes += seg->logicalBytes();
+    }
+    for (int tierIdx = 0; tierIdx < 2; ++tierIdx) {
+      const TierData& tier = t->tiers[tierIdx];
+      std::uint64_t rows = tier.active.size();
+      for (const auto& seg : tier.segments) {
+        rows += seg->rowCount();
+        ++s.rollupSegments;
+      }
+      (tierIdx == 1 ? s.rollupRows1h : s.rollupRows1m) += rows;
+    }
+  }
+  return s;
+}
+
+}  // namespace gridrm::store::tsdb

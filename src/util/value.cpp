@@ -63,6 +63,29 @@ std::int64_t Value::toInt(std::int64_t fallback) const noexcept {
   return fallback;
 }
 
+std::optional<std::int64_t> Value::tryInt() const noexcept {
+  switch (type()) {
+    case ValueType::Null:
+      return std::nullopt;
+    case ValueType::Bool:
+      return asBool() ? 1 : 0;
+    case ValueType::Int:
+      return asInt();
+    case ValueType::Real:
+      return static_cast<std::int64_t>(std::llround(asReal()));
+    case ValueType::String: {
+      std::int64_t i = 0;
+      if (parseInt(asString(), i)) return i;
+      double d = 0;
+      if (parseReal(asString(), d)) {
+        return static_cast<std::int64_t>(std::llround(d));
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
 double Value::toReal(double fallback) const noexcept {
   switch (type()) {
     case ValueType::Null:

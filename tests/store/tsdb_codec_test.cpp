@@ -1,0 +1,236 @@
+// Codec round-trip tests for the tsdb column encoders (ISSUE PR6
+// satellite): the decoder must reproduce the original Value sequence
+// *bitwise*, including NULLs, NaN payloads, -0.0 and mixed-type cells.
+#include "gridrm/store/tsdb/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace gridrm::store::tsdb {
+namespace {
+
+using dbc::ColumnInfo;
+using util::Value;
+using util::ValueType;
+
+std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Bitwise Value equality: Value::compare treats NaN oddly and folds
+/// -0.0 == 0.0, so Real cells compare by bit pattern instead.
+bool bitEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::Null:
+      return true;
+    case ValueType::Bool:
+      return a.asBool() == b.asBool();
+    case ValueType::Int:
+      return a.asInt() == b.asInt();
+    case ValueType::Real:
+      return bits(a.asReal()) == bits(b.asReal());
+    case ValueType::String:
+      return a.asString() == b.asString();
+  }
+  return false;
+}
+
+std::vector<Value> roundTrip(const std::vector<Value>& cells,
+                             ValueType declared = ValueType::Null,
+                             bool deltaOfDelta = false) {
+  ColumnEncoder enc(ColumnInfo{"c", declared, "", "t"}, deltaOfDelta);
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  EXPECT_EQ(col.rowCount, cells.size());
+  ColumnCursor cursor(col);
+  std::vector<Value> out;
+  while (cursor.next()) out.push_back(cursor.value());
+  EXPECT_FALSE(cursor.next());  // stays exhausted
+  return out;
+}
+
+void expectRoundTrip(const std::vector<Value>& cells,
+                     ValueType declared = ValueType::Null,
+                     bool deltaOfDelta = false) {
+  const auto out = roundTrip(cells, declared, deltaOfDelta);
+  ASSERT_EQ(out.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(bitEqual(out[i], cells[i]))
+        << "cell " << i << ": " << out[i].toString() << " vs "
+        << cells[i].toString();
+  }
+}
+
+TEST(TsdbCodecTest, VarintZigzagExtremes) {
+  for (const std::int64_t v :
+       {std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::min() + 1, std::int64_t{-1},
+        std::int64_t{0}, std::int64_t{1},
+        std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    std::vector<std::uint8_t> buf;
+    putVarint(buf, zigzagEncode(v));
+    VarintReader reader(buf);
+    EXPECT_EQ(zigzagDecode(reader.next()), v);
+    EXPECT_TRUE(reader.done());
+  }
+}
+
+TEST(TsdbCodecTest, TruncatedVarintThrows) {
+  std::vector<std::uint8_t> buf;
+  putVarint(buf, 1u << 20);
+  buf.pop_back();  // cut the terminating byte
+  VarintReader reader(buf);
+  EXPECT_THROW((void)reader.next(), dbc::SqlError);
+}
+
+TEST(TsdbCodecTest, NonMonotonicTimestampsDeltaOfDelta) {
+  // Out-of-order arrivals, duplicates, and a large backwards jump: the
+  // delta-of-delta stream must absorb negative second deltas.
+  expectRoundTrip({Value(std::int64_t{1000}), Value(std::int64_t{2000}),
+                   Value(std::int64_t{3000}), Value(std::int64_t{1500}),
+                   Value(std::int64_t{1500}), Value(std::int64_t{-7}),
+                   Value(std::int64_t{900000000000})},
+                  ValueType::Int, /*deltaOfDelta=*/true);
+}
+
+TEST(TsdbCodecTest, RegularTimestampsCompressToAboutOneBytePerSample) {
+  std::vector<Value> cells;
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    cells.emplace_back(std::int64_t{1700000000000000} + i * 30000000);
+  }
+  ColumnEncoder enc(ColumnInfo{"t", ValueType::Int, "us", "t"},
+                    /*deltaOfDelta=*/true);
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  // Constant polling interval: after the first two samples every
+  // delta-of-delta is zero, one varint byte each.
+  EXPECT_LT(col.bytes(), cells.size() * 2);
+  expectRoundTrip(cells, ValueType::Int, true);
+}
+
+TEST(TsdbCodecTest, IntExtremesWithPlainDelta) {
+  expectRoundTrip({Value(std::numeric_limits<std::int64_t>::max()),
+                   Value(std::numeric_limits<std::int64_t>::min()),
+                   Value(std::int64_t{0}),
+                   Value(std::numeric_limits<std::int64_t>::max())},
+                  ValueType::Int, /*deltaOfDelta=*/false);
+}
+
+TEST(TsdbCodecTest, NanNegativeAndSignedZeroDoubles) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  expectRoundTrip(
+      {Value(0.0), Value(-0.0), Value(qnan), Value(-qnan), Value(-1.5),
+       Value(std::numeric_limits<double>::infinity()),
+       Value(-std::numeric_limits<double>::infinity()),
+       Value(std::numeric_limits<double>::denorm_min()),
+       Value(std::numeric_limits<double>::max()), Value(-2.75), Value(-2.75)},
+      ValueType::Real);
+}
+
+TEST(TsdbCodecTest, RepeatedGaugeCostsOneControlBytePerSample) {
+  std::vector<Value> cells(512, Value(0.25));
+  ColumnEncoder enc(ColumnInfo{"g", ValueType::Real, "", "t"});
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  // XOR against the previous bit pattern is zero for every repeat: one
+  // control byte each (plus the first sample's full mantissa).
+  EXPECT_LT(col.bytes(), 512 + 16 + 64 /* validity */ + 8);
+  expectRoundTrip(cells, ValueType::Real);
+}
+
+TEST(TsdbCodecTest, EmptyColumn) {
+  const auto out = roundTrip({}, ValueType::String);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TsdbCodecTest, AllNullColumn) {
+  expectRoundTrip(std::vector<Value>(64, Value::null()), ValueType::Real);
+}
+
+TEST(TsdbCodecTest, NullHeavyStringColumn) {
+  std::vector<Value> cells;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 7 == 0) {
+      cells.emplace_back(i % 14 == 0 ? "siteA-node00" : "");
+    } else {
+      cells.push_back(Value::null());
+    }
+  }
+  ColumnEncoder enc(ColumnInfo{"host", ValueType::String, "", "t"});
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  EXPECT_EQ(col.dict.size(), 2u);  // "" and "siteA-node00", first-seen order
+  expectRoundTrip(cells, ValueType::String);
+}
+
+TEST(TsdbCodecTest, StringDictionaryRunLength) {
+  std::vector<Value> cells;
+  for (int i = 0; i < 300; ++i) {
+    cells.emplace_back(i < 150 ? "clusterA" : "clusterB");
+  }
+  ColumnEncoder enc(ColumnInfo{"cluster", ValueType::String, "", "t"});
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  EXPECT_EQ(col.dict.size(), 2u);
+  // Two runs of 150: the id stream is a handful of varints, far below
+  // one byte per cell.
+  EXPECT_LT(col.ids.size(), 16u);
+  expectRoundTrip(cells, ValueType::String);
+}
+
+TEST(TsdbCodecTest, SingleCellColumns) {
+  expectRoundTrip({Value(std::int64_t{42})}, ValueType::Int, true);
+  expectRoundTrip({Value(std::int64_t{42})}, ValueType::Int, false);
+  expectRoundTrip({Value(-0.0)}, ValueType::Real);
+  expectRoundTrip({Value("only")}, ValueType::String);
+  expectRoundTrip({Value(true)}, ValueType::Bool);
+  expectRoundTrip({Value::null()}, ValueType::Null);
+}
+
+TEST(TsdbCodecTest, BoolPacking) {
+  std::vector<Value> cells;
+  for (int i = 0; i < 65; ++i) {  // crosses a byte boundary + one spare
+    if (i % 9 == 0) {
+      cells.push_back(Value::null());
+    } else {
+      cells.emplace_back(i % 2 == 0);
+    }
+  }
+  expectRoundTrip(cells, ValueType::Bool);
+}
+
+TEST(TsdbCodecTest, MixedTypeColumnUsesTagRuns) {
+  // A column whose cells change type mid-stream exercises the RLE tag
+  // stream (the uniformTag fast path must not be taken).
+  std::vector<Value> cells = {
+      Value(std::int64_t{1}), Value(std::int64_t{2}), Value(1.5),
+      Value("three"),         Value::null(),          Value(false),
+      Value(std::int64_t{-9}), Value("three")};
+  ColumnEncoder enc(ColumnInfo{"m", ValueType::Null, "", "t"});
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  EXPECT_FALSE(col.tags.empty());
+  expectRoundTrip(cells);
+}
+
+TEST(TsdbCodecTest, UniformTagFastPathOmitsTagStream) {
+  std::vector<Value> cells(100, Value(std::int64_t{7}));
+  cells[3] = Value::null();  // NULLs don't break tag uniformity
+  ColumnEncoder enc(ColumnInfo{"u", ValueType::Int, "", "t"});
+  for (const auto& v : cells) enc.add(v);
+  const EncodedColumn col = enc.finish();
+  EXPECT_TRUE(col.tags.empty());
+  EXPECT_EQ(col.uniformTag, static_cast<std::uint8_t>(ValueType::Int));
+  expectRoundTrip(cells, ValueType::Int);
+}
+
+}  // namespace
+}  // namespace gridrm::store::tsdb

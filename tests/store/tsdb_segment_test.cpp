@@ -1,0 +1,174 @@
+// Segment seal/scan tests: inclusive time-bound edges, segment pruning,
+// late materialisation accounting, and the never-prune sentinel for
+// undatable batches.
+#include "gridrm/store/tsdb/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/parser.hpp"
+
+namespace gridrm::store::tsdb {
+namespace {
+
+using dbc::ColumnInfo;
+using util::Value;
+using util::ValueType;
+
+const std::vector<ColumnInfo>& schema() {
+  static const std::vector<ColumnInfo> cols = {
+      {"Host", ValueType::String, "", "History"},
+      {"Load1", ValueType::Real, "", "History"},
+      {"RecordedAt", ValueType::Int, "us", "History"},
+  };
+  return cols;
+}
+
+SegmentPtr makeSegment(std::initializer_list<std::int64_t> times) {
+  std::vector<std::vector<Value>> rows;
+  int i = 0;
+  for (const std::int64_t t : times) {
+    rows.push_back({Value("n" + std::to_string(i++)),
+                    Value(0.1 * static_cast<double>(i)), Value(t)});
+  }
+  return encodeSegment(schema(), /*timeColumn=*/2, rows);
+}
+
+std::vector<std::vector<Value>> scan(const Segment& segment,
+                                     const TimeBounds& bounds,
+                                     const sql::Expr* where, ScanStats& stats) {
+  std::vector<std::vector<Value>> out;
+  scanSegment(segment, bounds, where, "History", "", /*needed=*/
+              std::vector<bool>(segment.columnCount(), true), out, stats);
+  return out;
+}
+
+TEST(TsdbSegmentTest, TimeBoundsFromRows) {
+  const auto seg = makeSegment({300, 100, 500, 200});
+  EXPECT_EQ(seg->rowCount(), 4u);
+  EXPECT_EQ(seg->minTime(), 100);
+  EXPECT_EQ(seg->maxTime(), 500);
+  EXPECT_GT(seg->bytes(), 0u);
+  EXPECT_GT(seg->logicalBytes(), seg->bytes());
+}
+
+TEST(TsdbSegmentTest, InclusiveBoundaryEdges) {
+  const auto seg = makeSegment({100, 200, 300, 400, 500});
+  ScanStats stats;
+  // Inclusive on both ends.
+  EXPECT_EQ(scan(*seg, {200, 400}, nullptr, stats).size(), 3u);
+  // Exactly one boundary sample.
+  EXPECT_EQ(scan(*seg, {500, 500}, nullptr, stats).size(), 1u);
+  EXPECT_EQ(scan(*seg, {100, 100}, nullptr, stats).size(), 1u);
+  // Range between samples selects nothing but still scans the segment.
+  const auto before = stats.segmentsScanned;
+  EXPECT_TRUE(scan(*seg, {201, 299}, nullptr, stats).empty());
+  EXPECT_EQ(stats.segmentsScanned, before + 1);
+}
+
+TEST(TsdbSegmentTest, DisjointBoundsPruneWholeSegment) {
+  const auto seg = makeSegment({100, 200, 300});
+  ScanStats stats;
+  EXPECT_TRUE(scan(*seg, {301, 1000}, nullptr, stats).empty());
+  EXPECT_TRUE(scan(*seg, {-50, 99}, nullptr, stats).empty());
+  EXPECT_EQ(stats.segmentsPruned, 2u);
+  EXPECT_EQ(stats.segmentsScanned, 0u);
+  EXPECT_EQ(stats.rowsScanned, 0u);
+}
+
+TEST(TsdbSegmentTest, SingleRowSegment) {
+  const auto seg = makeSegment({42});
+  EXPECT_EQ(seg->minTime(), 42);
+  EXPECT_EQ(seg->maxTime(), 42);
+  ScanStats stats;
+  const auto hit = scan(*seg, {42, 42}, nullptr, stats);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0][0].asString(), "n0");
+  EXPECT_TRUE(scan(*seg, {43, 100}, nullptr, stats).empty());
+}
+
+TEST(TsdbSegmentTest, UndatableBatchGetsNeverPruneSentinel) {
+  // All time cells NULL: min/max fall back to the full range so bounds
+  // never prune the segment away...
+  std::vector<std::vector<Value>> rows = {
+      {Value("a"), Value(1.0), Value::null()},
+      {Value("b"), Value(2.0), Value::null()}};
+  const auto seg = encodeSegment(schema(), 2, rows);
+  EXPECT_EQ(seg->minTime(), std::numeric_limits<util::TimePoint>::min());
+  EXPECT_EQ(seg->maxTime(), std::numeric_limits<util::TimePoint>::max());
+  ScanStats stats;
+  // ...but a constrained scan drops the NULL-timed rows (a NULL fails
+  // every comparison), while an unconstrained one keeps them.
+  EXPECT_TRUE(scan(*seg, {0, 1000}, nullptr, stats).empty());
+  EXPECT_EQ(scan(*seg, {}, nullptr, stats).size(), 2u);
+}
+
+TEST(TsdbSegmentTest, LateMaterialisationSkipsNonSurvivorCells) {
+  std::vector<std::vector<Value>> rows;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value("host" + std::to_string(i % 10)),
+                    Value(static_cast<double>(i)), Value(i * 10)});
+  }
+  const auto seg = encodeSegment(schema(), 2, rows);
+  const auto stmt =
+      sql::parseSelect("SELECT Host FROM History WHERE Load1 >= 95");
+  ScanStats stats;
+  std::vector<std::vector<Value>> out;
+  // Project only Host (+ the predicate's Load1 decoded on its own).
+  scanSegment(*seg, {}, stmt.where.get(), "History", "",
+              {true, false, false}, out, stats);
+  ASSERT_EQ(out.size(), 5u);  // i = 95..99
+  EXPECT_EQ(out[0][0].asString(), "host5");
+  EXPECT_TRUE(out[0][2].isNull());  // unneeded column never materialised
+  EXPECT_EQ(stats.rowsScanned, 100u);
+  EXPECT_EQ(stats.rowsMaterialized, 5u);
+  // Load1 decodes at all 100 candidates; Host only at the 5 survivors.
+  EXPECT_EQ(stats.cellsMaterialized, 105u);
+  EXPECT_EQ(stats.cellsSkipped, 95u);
+}
+
+TEST(TsdbSegmentTest, TimeBoundsNarrowCandidatesBeforePredicateDecode) {
+  std::vector<std::vector<Value>> rows;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value("h"), Value(static_cast<double>(i)), Value(i)});
+  }
+  const auto seg = encodeSegment(schema(), 2, rows);
+  const auto stmt =
+      sql::parseSelect("SELECT Load1 FROM History WHERE Load1 >= 0");
+  ScanStats stats;
+  std::vector<std::vector<Value>> out;
+  scanSegment(*seg, {10, 19}, stmt.where.get(), "History", "",
+              {false, true, false}, out, stats);
+  EXPECT_EQ(out.size(), 10u);
+  // Only the 10 in-bounds candidates ever reached the Load1 decoder.
+  EXPECT_EQ(stats.cellsMaterialized, 10u);
+}
+
+TEST(TsdbSegmentTest, UnknownPredicateColumnThrowsLikeRowStore) {
+  const auto seg = makeSegment({100, 200});
+  const auto stmt =
+      sql::parseSelect("SELECT Host FROM History WHERE NoSuch > 1");
+  ScanStats stats;
+  std::vector<std::vector<Value>> out;
+  EXPECT_THROW(scanSegment(*seg, {}, stmt.where.get(), "History", "",
+                           {true, true, true}, out, stats),
+               dbc::SqlError);
+}
+
+TEST(TsdbSegmentTest, QualifiedReferencesHonourAlias) {
+  const auto seg = makeSegment({100, 200, 300});
+  const auto stmt = sql::parseSelect(
+      "SELECT h.Host FROM History h WHERE h.RecordedAt >= 200");
+  ScanStats stats;
+  std::vector<std::vector<Value>> out;
+  scanSegment(*seg, {}, stmt.where.get(), "History", "h",
+              {true, true, true}, out, stats);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridrm::store::tsdb

@@ -1,0 +1,400 @@
+// TimeSeriesStore behaviour: write-ahead buffer + sealing, tier-aware
+// query rewrites (verified through TsdbStats counters -- the ISSUE PR6
+// acceptance criterion), retention/TTL under a SimClock, Database
+// routing, and the gateway's tsdbStats ACIL + store.retention_ms knob.
+#include "gridrm/store/tsdb/tsdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/store/database.hpp"
+
+namespace gridrm::store::tsdb {
+namespace {
+
+using dbc::ColumnInfo;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+using util::ValueType;
+
+constexpr util::Duration kSec = util::kSecond;
+
+std::vector<ColumnInfo> historySchema() {
+  return {{"Host", ValueType::String, "", "History"},
+          {"Load", ValueType::Int, "", "History"},
+          {"RecordedAt", ValueType::Int, "us", "History"}};
+}
+
+/// Two minutes of per-second samples for hosts "a" and "b";
+/// Load cycles 0..9 so aggregates have closed-form expectations.
+void ingestTwoMinutes(TimeSeriesStore& store) {
+  store.createTable("History", historySchema(), "RecordedAt");
+  for (std::int64_t s = 0; s < 120; ++s) {
+    for (const char* host : {"a", "b"}) {
+      store.append("History", {Value(host), Value(s % 10), Value(s * kSec)});
+    }
+  }
+}
+
+TsdbOptions smallSegments() {
+  TsdbOptions o;
+  o.segmentRows = 30;
+  o.segmentSpan = 0;          // rows-only sealing
+  o.bucket1m = 10 * kSec;     // shrunk buckets keep the test fast
+  o.bucket1h = 60 * kSec;
+  o.rawTtl = 0;
+  o.rollup1mTtl = 0;
+  o.rollup1hTtl = 0;
+  return o;
+}
+
+std::unique_ptr<dbc::VectorResultSet> run(const TimeSeriesStore& store,
+                                          const std::string& sql) {
+  return store.query(sql::parseSelect(sql));
+}
+
+TEST(TsdbStoreTest, AppendSealAndCounters) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock, smallSegments());
+  ingestTwoMinutes(store);
+  EXPECT_EQ(store.rowCount("History"), 240u);
+  const TsdbStats s = store.stats();
+  EXPECT_EQ(s.tables, 1u);
+  EXPECT_EQ(s.appendedRows, 240u);
+  EXPECT_EQ(s.seals, 8u);  // 240 rows / 30-row segments
+  EXPECT_EQ(s.segments, 8u);
+  EXPECT_EQ(s.sealedRows, 240u);
+  EXPECT_EQ(s.activeRows, 0u);
+  EXPECT_GT(s.encodedBytes, 0u);
+  EXPECT_GT(s.compressionRatio(), 1.0);
+  EXPECT_GT(s.bytesPerSample(), 0.0);
+}
+
+TEST(TsdbStoreTest, AppendErrorsMirrorRowStore) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock);
+  store.createTable("History", historySchema(), "RecordedAt");
+  EXPECT_THROW(store.append("History", {Value("a")}), SqlError);
+  EXPECT_THROW(store.append("NoSuch", {Value("a")}), SqlError);
+  EXPECT_THROW(store.appendNamed("History", {"Host", "NoSuch"},
+                                 {Value("a"), Value(1)}),
+               SqlError);
+  EXPECT_THROW(store.appendNamed("History", {"Host", "Host"},
+                                 {Value("a"), Value("b")}),
+               SqlError);
+  // Unnamed columns become NULL.
+  store.appendNamed("History", {"RecordedAt"}, {Value(std::int64_t{5})});
+  auto rs = run(store, "SELECT Host, Load FROM History");
+  ASSERT_EQ(rs->rowCount(), 1u);
+  rs->next();
+  EXPECT_TRUE(rs->get(0).isNull());
+}
+
+TEST(TsdbStoreTest, CoarseAlignedAggregateHitsHourTier) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock, smallSegments());
+  ingestTwoMinutes(store);
+  auto rs = run(store,
+                "SELECT Host, COUNT(*), SUM(Load), MIN(Load), MAX(Load) "
+                "FROM History WHERE RecordedAt >= 0 AND "
+                "RecordedAt < 120000000 GROUP BY Host ORDER BY Host");
+  ASSERT_EQ(rs->rowCount(), 2u);
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "a");
+  EXPECT_EQ(rs->get(1).asInt(), 120);
+  EXPECT_EQ(rs->get(2).asInt(), 540);  // 12 cycles of 0+..+9
+  EXPECT_EQ(rs->get(3).asInt(), 0);
+  EXPECT_EQ(rs->get(4).asInt(), 9);
+  const TsdbStats s = store.stats();
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_EQ(s.tierHits1h, 1u);  // [0, 120s) = two whole 60s buckets
+  EXPECT_EQ(s.tierHits1m, 0u);
+  EXPECT_EQ(s.rawQueries, 0u);
+}
+
+TEST(TsdbStoreTest, FinerAlignmentFallsToMinuteTier) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock, smallSegments());
+  ingestTwoMinutes(store);
+  auto rs = run(store,
+                "SELECT COUNT(*), SUM(Load), AVG(Load) FROM History "
+                "WHERE RecordedAt >= 0 AND RecordedAt < 30000000");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 60);   // 30s x 2 hosts
+  EXPECT_EQ(rs->get(1).asInt(), 270);
+  EXPECT_DOUBLE_EQ(rs->get(2).asReal(), 4.5);
+  const TsdbStats s = store.stats();
+  // 30s aligns to the 10s buckets but not to the 60s ones.
+  EXPECT_EQ(s.tierHits1m, 1u);
+  EXPECT_EQ(s.tierHits1h, 0u);
+}
+
+TEST(TsdbStoreTest, UnalignedOrNonAggregateQueriesStayRaw) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock, smallSegments());
+  ingestTwoMinutes(store);
+  // Unaligned lower bound.
+  auto rs = run(store,
+                "SELECT COUNT(*) FROM History "
+                "WHERE RecordedAt >= 5000000 AND RecordedAt < 15000000");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 20);
+  // Aligned but not aggregate-shaped.
+  auto raw = run(store,
+                 "SELECT Host FROM History "
+                 "WHERE RecordedAt >= 0 AND RecordedAt < 30000000");
+  EXPECT_EQ(raw->rowCount(), 60u);
+  const TsdbStats s = store.stats();
+  EXPECT_EQ(s.rawQueries, 2u);
+  EXPECT_EQ(s.tierHits1m + s.tierHits1h, 0u);
+  EXPECT_GT(s.scan.cellsSkipped, 0u);  // late materialisation at work
+}
+
+TEST(TsdbStoreTest, BufferedRowsInRangeDisableTierRewrite) {
+  util::SimClock clock;
+  TsdbOptions o = smallSegments();
+  o.segmentRows = 100000;  // nothing seals: all rows stay in the buffer
+  TimeSeriesStore store(clock, o);
+  ingestTwoMinutes(store);
+  auto rs = run(store,
+                "SELECT COUNT(*) FROM History "
+                "WHERE RecordedAt >= 0 AND RecordedAt < 120000000");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 240);
+  const TsdbStats s = store.stats();
+  EXPECT_EQ(s.rawQueries, 1u);  // rollups don't cover the buffer yet
+  EXPECT_EQ(s.tierHits1m + s.tierHits1h, 0u);
+}
+
+TEST(TsdbStoreTest, TierRewriteMatchesRawTierAnswer) {
+  util::SimClock clock;
+  TimeSeriesStore tiered(clock, smallSegments());
+  TsdbOptions rawOnly = smallSegments();
+  rawOnly.tierQueries = false;
+  TimeSeriesStore raw(clock, rawOnly);
+  ingestTwoMinutes(tiered);
+  ingestTwoMinutes(raw);
+  for (const char* sql :
+       {"SELECT Host, COUNT(*), SUM(Load), MIN(Load), MAX(Load), AVG(Load) "
+        "FROM History WHERE RecordedAt >= 0 AND RecordedAt < 120000000 "
+        "GROUP BY Host ORDER BY Host",
+        "SELECT COUNT(Load), MAX(Load) FROM History "
+        "WHERE RecordedAt >= 60000000 AND RecordedAt < 120000000",
+        "SELECT Host, COUNT(*) FROM History "
+        "WHERE RecordedAt >= 0 AND RecordedAt < 30000000 AND Host = 'a' "
+        "GROUP BY Host"}) {
+    auto a = run(tiered, sql);
+    auto b = run(raw, sql);
+    ASSERT_EQ(a->rowCount(), b->rowCount()) << sql;
+    ASSERT_EQ(a->metaData().columnCount(), b->metaData().columnCount()) << sql;
+    for (std::size_t c = 0; c < a->metaData().columnCount(); ++c) {
+      EXPECT_EQ(a->metaData().column(c).name, b->metaData().column(c).name);
+      EXPECT_EQ(a->metaData().column(c).type, b->metaData().column(c).type);
+    }
+    for (std::size_t r = 0; r < a->rows().size(); ++r) {
+      for (std::size_t c = 0; c < a->rows()[r].size(); ++c) {
+        EXPECT_EQ(a->rows()[r][c], b->rows()[r][c]) << sql;
+      }
+    }
+  }
+  const TsdbStats s = tiered.stats();
+  EXPECT_EQ(s.tierHits1m + s.tierHits1h, 3u);
+  EXPECT_EQ(raw.stats().rawQueries, 3u);
+}
+
+TEST(TsdbStoreTest, PruneDropsWholeOldSegmentsAndBufferRows) {
+  util::SimClock clock;
+  TsdbOptions o = smallSegments();
+  o.segmentRows = 10;
+  TimeSeriesStore store(clock, o);
+  store.createTable("History", historySchema(), "RecordedAt");
+  for (std::int64_t s = 0; s < 25; ++s) {  // 2 segments + 5 buffered
+    store.append("History", {Value("a"), Value(1), Value(s * kSec)});
+  }
+  // An undatable buffer row survives any cutoff, like Table::prune.
+  store.append("History", {Value("a"), Value(1), Value("not a time")});
+  EXPECT_EQ(store.rowCount("History"), 26u);
+  // Cutoff inside segment 2: only segment 1 (0..9s) is wholly older.
+  EXPECT_EQ(store.pruneOlderThan("History", 15 * kSec), 10u);
+  EXPECT_EQ(store.rowCount("History"), 16u);
+  // Cutoff above everything: second segment + datable buffer rows go.
+  EXPECT_EQ(store.pruneOlderThan("History", 1000 * kSec), 15u);
+  EXPECT_EQ(store.rowCount("History"), 1u);
+}
+
+TEST(TsdbStoreTest, RollupsSurviveRawTtlEviction) {
+  util::SimClock clock;
+  TsdbOptions o = smallSegments();
+  o.segmentRows = 10;
+  o.rawTtl = 30 * kSec;
+  o.rollup1mTtl = 500 * kSec;
+  TimeSeriesStore store(clock, o);
+  store.createTable("History", historySchema(), "RecordedAt");
+  for (std::int64_t s = 0; s < 60; ++s) {
+    store.append("History", {Value("a"), Value(1), Value(s * kSec)});
+  }
+  clock.advance(100 * kSec);
+  const std::size_t evicted = store.retentionTick();
+  EXPECT_EQ(evicted, 60u);  // every raw segment is past the 30s TTL
+  EXPECT_EQ(store.rowCount("History"), 0u);
+  TsdbStats s = store.stats();
+  EXPECT_EQ(s.segments, 0u);
+  EXPECT_EQ(s.evictedSegments, 6u);
+  EXPECT_GT(s.rollupSegments, 0u);  // complete buckets sealed columnar
+  EXPECT_GT(s.rollupRows1m, 0u);
+  // The aggregate answer outlives the raw samples.
+  auto rs = run(store,
+                "SELECT COUNT(*), SUM(Load) FROM History "
+                "WHERE RecordedAt >= 0 AND RecordedAt < 60000000");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 60);
+  EXPECT_EQ(rs->get(1).asInt(), 60);
+  EXPECT_GT(store.stats().tierHits1m, 0u);
+  // Much later the rollup tier itself ages out.
+  clock.advance(1000 * kSec);
+  (void)store.retentionTick();
+  EXPECT_EQ(store.stats().rollupRows1m, 0u);
+}
+
+TEST(TsdbStoreTest, ExtractTimeBoundsFromWhereTrees) {
+  const auto bounds = [](const char* sql) {
+    const auto stmt = sql::parseSelect(sql);
+    return extractTimeBounds(stmt.where.get(), "RecordedAt", "History", "");
+  };
+  const auto b1 = bounds(
+      "SELECT * FROM History WHERE RecordedAt >= 100 AND RecordedAt <= 200 "
+      "AND Load > 1");
+  EXPECT_EQ(b1.lo, 100);
+  EXPECT_EQ(b1.hi, 200);
+  const auto b2 = bounds("SELECT * FROM History WHERE RecordedAt > 100");
+  EXPECT_EQ(b2.lo, 101);  // strict bound tightens by one microsecond
+  const auto b3 =
+      bounds("SELECT * FROM History WHERE RecordedAt BETWEEN 5 AND 9");
+  EXPECT_EQ(b3.lo, 5);
+  EXPECT_EQ(b3.hi, 9);
+  const auto b4 = bounds("SELECT * FROM History WHERE 200 >= RecordedAt");
+  EXPECT_EQ(b4.hi, 200);
+  // OR cannot tighten: either side alone may admit any time.
+  const auto b5 = bounds(
+      "SELECT * FROM History WHERE RecordedAt >= 100 OR Load > 1");
+  EXPECT_EQ(b5.lo, std::numeric_limits<util::TimePoint>::min());
+  EXPECT_EQ(b5.hi, std::numeric_limits<util::TimePoint>::max());
+}
+
+TEST(TsdbStoreTest, DatabaseRoutesTimeSeriesTables) {
+  util::SimClock clock;
+  TimeSeriesStore store(clock, smallSegments());
+  Database db;
+  db.attachTimeSeries(&store);
+  db.createTable("Live", {{"Name", ValueType::String, "", "Live"}});
+  db.createTimeSeries("History", historySchema(), "RecordedAt");
+  EXPECT_TRUE(db.hasTable("History"));
+  EXPECT_TRUE(store.hasTable("History"));
+  const auto names = db.tableNames();
+  EXPECT_EQ(names.size(), 2u);
+  db.insertRow("History", {Value("a"), Value(1), Value(5 * kSec)});
+  db.execute("INSERT INTO History (Host, Load, RecordedAt) "
+             "VALUES ('b', 2, 6000000)");
+  EXPECT_EQ(db.rowCount("History"), 2u);
+  auto rs = db.query("SELECT Host FROM History ORDER BY RecordedAt");
+  ASSERT_EQ(rs->rowCount(), 2u);
+  rs->next();
+  EXPECT_EQ(rs->get(0).asString(), "a");
+  EXPECT_EQ(db.pruneOlderThan("History", "RecordedAt", 6 * kSec), 1u);
+  // Without an attached store the same call falls back to a row table.
+  Database plain;
+  plain.createTimeSeries("History", historySchema(), "RecordedAt");
+  EXPECT_EQ(plain.timeSeries(), nullptr);
+  plain.insertRow("History", {Value("a"), Value(1), Value(5 * kSec)});
+  EXPECT_EQ(plain.rowCount("History"), 1u);
+}
+
+TEST(TsdbStoreTest, GatewayWiresStoreStatsAclAndRetention) {
+  util::SimClock clock;
+  net::Network network(clock);
+  util::Config cfg;
+  cfg.set("store.retention_ms", "600000");  // keep 10 minutes
+  cfg.set("tsdb.segment_rows", "10");
+  cfg.set("tsdb.bucket_1m_ms", "10000");
+  core::Gateway gateway(network, clock, core::GatewayOptions::fromConfig(cfg));
+  ASSERT_NE(gateway.timeSeriesStore(), nullptr);
+
+  store::Database& db = gateway.database();
+  db.createTimeSeries("HistoryProcessor", historySchema(), "RecordedAt");
+  for (std::int64_t s = 0; s < 40; ++s) {
+    db.insertRow("HistoryProcessor",
+                 {Value("a"), Value(1), Value(s * kSec)});
+  }
+  const std::string token = gateway.openSession(core::Principal::admin());
+  auto rs = gateway.submitHistoricalQuery(
+      token, "SELECT COUNT(*) FROM HistoryProcessor");
+  rs->next();
+  EXPECT_EQ(rs->get(0).asInt(), 40);
+
+  TsdbStats s = gateway.tsdbStats(token);
+  EXPECT_EQ(s.appendedRows, 40u);
+  EXPECT_EQ(s.queries, 1u);
+  EXPECT_THROW((void)gateway.tsdbStats("bogus-token"), SqlError);
+  const std::string guest =
+      gateway.openSession(core::Principal{"g", {"guest"}});
+  EXPECT_THROW((void)gateway.tsdbStats(guest), SqlError);
+
+  // All samples are older than the 10-minute window once the clock
+  // jumps far enough; the configured retention sweeps them.
+  clock.advance(3600 * kSec);
+  EXPECT_GE(gateway.enforceRetention(), 40u);  // EventHistory may add more
+  EXPECT_EQ(db.rowCount("HistoryProcessor"), 0u);
+}
+
+TEST(TsdbStoreTest, DisabledTsdbFallsBackToRowTables) {
+  util::SimClock clock;
+  net::Network network(clock);
+  util::Config cfg;
+  cfg.set("tsdb.enabled", "false");
+  core::Gateway gateway(network, clock, core::GatewayOptions::fromConfig(cfg));
+  EXPECT_EQ(gateway.timeSeriesStore(), nullptr);
+  gateway.database().createTimeSeries("HistoryX", historySchema(),
+                                      "RecordedAt");
+  gateway.database().insertRow("HistoryX", {Value("a"), Value(1), Value(1)});
+  EXPECT_EQ(gateway.database().rowCount("HistoryX"), 1u);
+  const std::string token = gateway.openSession(core::Principal::admin());
+  const TsdbStats s = gateway.tsdbStats(token);  // empty, not a throw
+  EXPECT_EQ(s.tables + s.appendedRows + s.queries, 0u);
+}
+
+TEST(TsdbStoreTest, TsdbOptionsFromConfig) {
+  util::Config cfg = util::Config::parse(
+      "tsdb.enabled = true\n"
+      "tsdb.segment_rows = 512\n"
+      "tsdb.segment_span_ms = 60000\n"
+      "tsdb.raw_ttl_ms = 120000\n"
+      "tsdb.rollup_1m_ttl_ms = 240000\n"
+      "tsdb.rollup_1h_ttl_ms = 480000\n"
+      "tsdb.bucket_1m_ms = 30000\n"
+      "tsdb.bucket_1h_ms = 1800000\n"
+      "tsdb.tier_queries = false\n"
+      "tsdb.tier_min_span_buckets = 4\n");
+  const TsdbOptions o = TsdbOptions::fromConfig(cfg);
+  EXPECT_TRUE(o.enabled);
+  EXPECT_EQ(o.segmentRows, 512u);
+  EXPECT_EQ(o.segmentSpan, 60 * kSec);
+  EXPECT_EQ(o.rawTtl, 120 * kSec);
+  EXPECT_EQ(o.rollup1mTtl, 240 * kSec);
+  EXPECT_EQ(o.rollup1hTtl, 480 * kSec);
+  EXPECT_EQ(o.bucket1m, 30 * kSec);
+  EXPECT_EQ(o.bucket1h, 1800 * kSec);
+  EXPECT_FALSE(o.tierQueries);
+  EXPECT_EQ(o.tierMinSpanBuckets, 4u);
+  // Defaults match the declared literals.
+  const TsdbOptions d = TsdbOptions::fromConfig(util::Config{});
+  EXPECT_EQ(d.segmentRows, TsdbOptions{}.segmentRows);
+  EXPECT_EQ(d.bucket1m, TsdbOptions{}.bucket1m);
+}
+
+}  // namespace
+}  // namespace gridrm::store::tsdb
