@@ -1,0 +1,213 @@
+// E18 -- Federated query push-down (PR 7).
+//
+// Claims: decomposing a distributed GROUP BY into per-site partial
+// aggregates (AVG as SUM+COUNT) cuts the bytes a coordinator moves
+// across the federation by >= 5x versus shipping every raw row,
+// because each site answers with one partial row per group instead of
+// its whole relation.
+//
+// Scenario: a grid of simulated gateways (the paper's multi-site
+// deployment; Arg sweeps the fan-out width, headline width 8), each
+// owning a site of 8 hosts. The coordinator runs the same GROUP BY
+// ClusterName aggregate in FederatedMode::Auto (planner decomposes)
+// and FederatedMode::ShipAllRows (baseline transport), uncached, and
+// we meter the coordinator's producer endpoint byte counters around
+// each call.
+//
+// Expected shape: bytes_reduction >= 5 at width 8 (it grows with rows
+// per site, since the pushdown answer stays one row per site while the
+// baseline ships hostCount rows); rows_shipped_per_query drops from
+// sites*hosts to one per remote site.
+//
+// Counters: bytes_pushdown, bytes_shipall, bytes_reduction,
+// rows_pushdown, rows_shipall, groups_returned.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"
+
+namespace {
+
+using namespace gridrm;
+
+constexpr int kHostsPerSite = 8;
+
+struct QueryGrid {
+  explicit QueryGrid(int siteCount) : network(clock, 37) {
+    directory = std::make_unique<global::GmaDirectory>(
+        network, net::Address{"gma", global::kDirectoryPort});
+    for (int i = 0; i < siteCount; ++i) {
+      agents::SiteOptions siteOptions;
+      siteOptions.siteName = "site" + std::to_string(i);
+      siteOptions.hostCount = kHostsPerSite;
+      siteOptions.seed = 200 + i;
+      sites.push_back(std::make_unique<agents::SiteSimulation>(
+          network, clock, siteOptions));
+    }
+    clock.advance(60 * util::kSecond);
+    for (int i = 0; i < siteCount; ++i) {
+      core::GatewayOptions o;
+      o.name = "gw-site" + std::to_string(i);
+      o.host = "gw.site" + std::to_string(i);
+      gateways.push_back(std::make_unique<core::Gateway>(network, clock, o));
+      admins.push_back(gateways[i]->openSession(core::Principal::admin()));
+      for (const auto& url : sites[i]->dataSourceUrls()) {
+        gateways[i]->addDataSource(admins[i], url);
+      }
+      globals.push_back(std::make_unique<global::GlobalLayer>(
+          *gateways[i], net::Address{"gma", global::kDirectoryPort},
+          global::GlobalOptions{}));
+      globals[i]->start();
+    }
+  }
+
+  /// Coordinator-side federation traffic so far (requests out, GFRAG
+  /// replies and FFRAME frames in).
+  std::uint64_t coordinatorBytes() const {
+    const net::EndpointStats ep =
+        network.stats(globals[0]->producerAddress());
+    return ep.bytesIn + ep.bytesOut;
+  }
+
+  std::uint64_t rowsShipped() const {
+    std::uint64_t rows = 0;
+    for (const auto& g : globals) rows += g->stats().fragmentRowsShipped;
+    return rows;
+  }
+
+  util::SimClock clock;
+  net::Network network;
+  std::unique_ptr<global::GmaDirectory> directory;
+  std::vector<std::unique_ptr<agents::SiteSimulation>> sites;
+  std::vector<std::unique_ptr<core::Gateway>> gateways;
+  std::vector<std::unique_ptr<global::GlobalLayer>> globals;
+  std::vector<std::string> admins;
+};
+
+// One aggregate over every site's whole relation; AVG forces the
+// SUM+COUNT pair rewrite.
+const char* kAggSql =
+    "SELECT ClusterName, count(*) AS hosts, sum(CPUCount) AS cpus, "
+    "avg(ClockSpeed) AS mhz, max(Load1) AS peak FROM Processor "
+    "GROUP BY ClusterName ORDER BY ClusterName";
+
+void BM_FederatedGroupByReduction(benchmark::State& state) {
+  const int siteCount = static_cast<int>(state.range(0));
+  QueryGrid grid(siteCount);
+  std::vector<std::string> urls;
+  for (const auto& site : grid.sites) urls.push_back(site->headUrl("scms"));
+  core::QueryOptions fresh;
+  fresh.useCache = false;
+
+  // Warm once per mode: directory owners resolve and cache, schema
+  // plans bind. The measured loop is pure query traffic.
+  auto warm = grid.globals[0]->federatedQuery(grid.admins[0], urls, kAggSql,
+                                              fresh, global::FederatedMode::Auto);
+  (void)grid.globals[0]->federatedQuery(grid.admins[0], urls, kAggSql, fresh,
+                                        global::FederatedMode::ShipAllRows);
+
+  std::uint64_t pushdownBytes = 0;
+  std::uint64_t shipAllBytes = 0;
+  std::uint64_t pushdownRows = 0;
+  std::uint64_t shipAllRows = 0;
+  std::uint64_t queries = 0;
+  std::vector<double> pushdownUs;
+  std::vector<double> shipAllUs;
+  for (auto _ : state) {
+    std::uint64_t bytes0 = grid.coordinatorBytes();
+    std::uint64_t rows0 = grid.rowsShipped();
+    auto t0 = std::chrono::steady_clock::now();
+    auto decomposed = grid.globals[0]->federatedQuery(
+        grid.admins[0], urls, kAggSql, fresh, global::FederatedMode::Auto);
+    pushdownUs.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    benchmark::DoNotOptimize(decomposed.rows);
+    pushdownBytes += grid.coordinatorBytes() - bytes0;
+    pushdownRows += grid.rowsShipped() - rows0;
+
+    bytes0 = grid.coordinatorBytes();
+    rows0 = grid.rowsShipped();
+    t0 = std::chrono::steady_clock::now();
+    auto shipped = grid.globals[0]->federatedQuery(
+        grid.admins[0], urls, kAggSql, fresh,
+        global::FederatedMode::ShipAllRows);
+    shipAllUs.push_back(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    benchmark::DoNotOptimize(shipped.rows);
+    shipAllBytes += grid.coordinatorBytes() - bytes0;
+    shipAllRows += grid.rowsShipped() - rows0;
+    ++queries;
+  }
+  auto p99 = [](std::vector<double>& samples) {
+    if (samples.empty()) return 0.0;
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() * 99 / 100];
+  };
+
+  const double q = static_cast<double>(queries);
+  state.counters["bytes_pushdown"] = static_cast<double>(pushdownBytes) / q;
+  state.counters["bytes_shipall"] = static_cast<double>(shipAllBytes) / q;
+  state.counters["bytes_reduction"] =
+      pushdownBytes == 0 ? 0.0
+                         : static_cast<double>(shipAllBytes) /
+                               static_cast<double>(pushdownBytes);
+  state.counters["rows_pushdown"] = static_cast<double>(pushdownRows) / q;
+  state.counters["rows_shipall"] = static_cast<double>(shipAllRows) / q;
+  state.counters["groups_returned"] =
+      warm.rows ? static_cast<double>(warm.rows->rowCount()) : 0.0;
+  state.counters["p99_us_pushdown"] = p99(pushdownUs);
+  state.counters["p99_us_shipall"] = p99(shipAllUs);
+}
+
+// Arg = federation width (gateways); 8 is the E18 headline.
+BENCHMARK(BM_FederatedGroupByReduction)->Arg(2)->Arg(4)->Arg(8);
+
+// Fragment frame-size sweep at width 8: smaller frames mean more
+// FFRAME datagrams (and more per-frame header overhead) for the same
+// ship-all payload; the pushdown path is insensitive because each site
+// answers with a single partial row regardless.
+void BM_FederatedFrameSizeSweep(benchmark::State& state) {
+  QueryGrid grid(8);
+  // Rebuild the coordinator's Global layer with the swept frame size.
+  global::GlobalOptions options;
+  options.fragmentFrameRows = static_cast<std::size_t>(state.range(0));
+  grid.globals[0] = std::make_unique<global::GlobalLayer>(
+      *grid.gateways[0], net::Address{"gma", global::kDirectoryPort}, options);
+  grid.globals[0]->start();
+  std::vector<std::string> urls;
+  for (const auto& site : grid.sites) urls.push_back(site->headUrl("scms"));
+  core::QueryOptions fresh;
+  fresh.useCache = false;
+  (void)grid.globals[0]->federatedQuery(grid.admins[0], urls, kAggSql, fresh,
+                                        global::FederatedMode::ShipAllRows);
+
+  std::uint64_t queries = 0;
+  const std::uint64_t bytesBefore = grid.coordinatorBytes();
+  for (auto _ : state) {
+    auto result = grid.globals[0]->federatedQuery(
+        grid.admins[0], urls, kAggSql, fresh,
+        global::FederatedMode::ShipAllRows);
+    benchmark::DoNotOptimize(result.rows);
+    ++queries;
+  }
+  state.counters["bytes_per_query"] =
+      static_cast<double>(grid.coordinatorBytes() - bytesBefore) /
+      static_cast<double>(queries);
+  state.counters["frames_received"] = static_cast<double>(
+      grid.globals[0]->stats().fragmentFramesReceived);
+}
+BENCHMARK(BM_FederatedFrameSizeSweep)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace

@@ -29,6 +29,7 @@
 
 #include "gridrm/drivers/driver_common.hpp"
 #include "gridrm/sql/ast.hpp"
+#include "gridrm/store/federated_planner.hpp"
 
 namespace gridrm::drivers {
 
@@ -37,7 +38,9 @@ struct PlanCacheStats {
   std::uint64_t misses = 0;        // bound-plan misses (fresh parse+bind)
   std::uint64_t statementHits = 0;
   std::uint64_t statementMisses = 0;
-  std::uint64_t evictions = 0;     // capacity evictions (both kinds)
+  std::uint64_t federatedHits = 0;
+  std::uint64_t federatedMisses = 0;
+  std::uint64_t evictions = 0;     // capacity evictions (all kinds)
   std::uint64_t invalidations = 0; // schema-generation flushes
 };
 
@@ -60,6 +63,15 @@ class PlanCache {
   /// schema reloads). Throws dbc::SqlError(Syntax) on bad SQL.
   std::shared_ptr<const sql::SelectStatement> statement(
       const std::string& sql);
+
+  /// Federated decomposition through the cache: parse + GLUE-bind (so
+  /// Syntax / NoSuchTable surface exactly like parse()), then derive
+  /// the fragment/merge plan. Fragment plans are tied to the schema
+  /// generation like bound plans: a setSchema() on any participating
+  /// site flushes them, so stale fragments can never be dispatched
+  /// against a reloaded schema.
+  std::shared_ptr<const store::FederatedPlan> federated(
+      const std::string& sql, const glue::SchemaManager& schemas);
 
   void clear();
   PlanCacheStats stats() const;
@@ -88,6 +100,7 @@ class PlanCache {
   mutable std::mutex mu_;
   LruMap<ParsedQuery> bound_;
   LruMap<sql::SelectStatement> statements_;
+  LruMap<store::FederatedPlan> federated_;
   /// Schema generation the bound plans were built against.
   std::uint64_t boundGeneration_ = 0;
   PlanCacheStats stats_;

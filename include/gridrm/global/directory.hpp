@@ -14,6 +14,7 @@
 //       -> OK | STALE
 //   UNREG PRODUCER <name>                                      -> OK
 //   LOOKUP <host>          -> PRODUCER <name> <host:port> <epoch> | NONE
+//   LOOKUPN <h1> <h2> ...  -> one PRODUCER/NONE line per host, in order
 //   LIST                   -> PRODUCER lines
 //   REG CONSUMER <name> <host:port> <eventPattern> [<ttlMs>]   -> OK
 //   UNREG CONSUMER <name>                                      -> OK
@@ -110,6 +111,10 @@ class DirectoryClient {
   void unregisterProducer(const std::string& name);
   /// nullopt when no producer owns `host`.
   std::optional<ProducerEntry> lookup(const std::string& host);
+  /// Batch lookup (LOOKUPN): one round trip for N hosts; the result is
+  /// positional — out[i] answers hosts[i], nullopt when unowned.
+  std::vector<std::optional<ProducerEntry>> lookupMany(
+      const std::vector<std::string>& hosts);
   std::vector<ProducerEntry> list();
   std::size_t registerConsumer(
       const std::string& name, const net::Address& address,

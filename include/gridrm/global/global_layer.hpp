@@ -27,8 +27,23 @@
 //    directory lookup caching, and degraded-mode serving of expired
 //    cached remote rows flagged in QueryResult::staleSources.
 //
+// Federated query planning (PR 7): federatedQuery() decomposes one SQL
+// statement over many sites. Eligible statements push WHERE predicates
+// and projections to the owning gateways and rewrite GROUP BY /
+// COUNT / SUM / MIN / MAX / AVG into per-site partial aggregates (AVG
+// as a SUM+COUNT pair) merged at the coordinator; everything else
+// falls back to ship-all-rows with the original statement executed at
+// the coordinator. Per-site fragment results stream back as sequenced
+// FFRAME datagrams with NACK'd gap repair and full-resync fallback —
+// the PR 5 reliable-relay discipline applied to query results — and
+// decomposed fragments are cached in the gateway's PlanCache (flushed
+// with the schema generation).
+//
 // Wire protocol (requests on the producer port):
 //   GQUERY <secret>\n<url>\n<sql>                   -> rows | ERR ...
+//   GFRAG <secret> <consumer> <streamId> <frameRows>\n<sql>\n<url>...
+//       -> OK <frames> <epoch> [\nFAIL <url>\t<code>\t<message>]... | ERR
+//   FNACK <secret> <streamId> <from> <to>  -> OK <resent> | GONE <epoch>
 //   GSUB <secret> <host:port> <consumerId> [<replayRows>]\n<url>\n<sql>
 //                                       -> OK <relayId> <epoch> | ERR
 //   GUNSUB <secret> <relayId>                       -> OK
@@ -39,6 +54,8 @@
 // Datagrams (unreliable, resent on NACK):
 //   SDELTA <consumerId> <relayId> <seq> <epoch> <timestamp>\n
 //       <sourceUrl>\n<table>\n<rows>
+//   FFRAME <streamId> <seq> <of> <epoch>\n<result-set frame>
+//   FACK <streamId>            (consumer done: owner drops the stream)
 #pragma once
 
 #include <atomic>
@@ -54,6 +71,7 @@
 
 #include "gridrm/core/gateway.hpp"
 #include "gridrm/global/directory.hpp"
+#include "gridrm/store/federated_planner.hpp"
 
 namespace gridrm::global {
 
@@ -98,6 +116,13 @@ struct GlobalOptions {
   std::size_t staleCacheEntries = 256;
   /// Event types forwarded to remote consumers ("" = none).
   std::string propagateEventPattern = "";
+  /// Rows per FFRAME datagram when streaming fragment results.
+  std::size_t fragmentFrameRows = 64;
+  /// Served fragment streams kept for FNACK resends (bounded FIFO).
+  std::size_t fragmentStreams = 64;
+  /// NACK repair rounds per fragment fetch attempt before the
+  /// coordinator falls back to a full resync (fresh stream).
+  std::size_t fragmentNackRounds = 4;
 
   /// Build options from a parsed policy file. Recognised keys (all
   /// optional):
@@ -109,7 +134,9 @@ struct GlobalOptions {
   ///   federation.reliable, federation.resend_buffer,
   ///   federation.reorder_window, federation.liveness_timeout_ms,
   ///   federation.replay_rows, federation.serve_stale,
-  ///   federation.stale_entries, federation.propagate_events
+  ///   federation.stale_entries, federation.propagate_events,
+  ///   federation.fragment_frame_rows, federation.fragment_streams,
+  ///   federation.fragment_nack_rounds
   static GlobalOptions fromConfig(const util::Config& config);
 };
 
@@ -144,7 +171,27 @@ struct GlobalStats {
   std::uint64_t remoteEventsIngested = 0;
   std::uint64_t duplicateEventsDropped = 0;
   std::uint64_t eventSendFailures = 0;  // propagation retries exhausted
+  // Federated query planning (PR 7).
+  std::uint64_t federatedQueries = 0;
+  std::uint64_t federatedPushdownQueries = 0;  // decomposed fragment plans
+  std::uint64_t federatedShipAllQueries = 0;   // fallback / forced baseline
+  std::uint64_t fragmentsSent = 0;      // GFRAG requests issued
+  std::uint64_t fragmentsServed = 0;    // GFRAG requests executed here
+  std::uint64_t fragmentFramesSent = 0;
+  std::uint64_t fragmentFramesReceived = 0;
+  std::uint64_t fragmentFramesResent = 0;  // frames re-sent on FNACK
+  std::uint64_t fragmentNacksSent = 0;
+  std::uint64_t fragmentNacksServed = 0;
+  std::uint64_t fragmentResyncs = 0;    // fresh-stream refetches
+  std::uint64_t duplicateFragmentFramesDropped = 0;
+  std::uint64_t fragmentRowsShipped = 0;  // rows leaving this gateway
+  std::uint64_t federatedDeadlineCancels = 0;  // site fetches cancelled
 };
+
+/// How federatedQuery executes a statement: Auto decomposes when the
+/// planner proves it safe; ShipAllRows forces the baseline transport
+/// (the E18 ablation and the differential-test reference).
+enum class FederatedMode { Auto, ShipAllRows };
 
 /// ACIL introspection of one relayed (remote) subscription.
 struct RemoteSubscriptionStatus {
@@ -201,6 +248,21 @@ class GlobalLayer final : public net::RequestHandler {
                                 const std::vector<std::string>& urls,
                                 const std::string& sql,
                                 const core::QueryOptions& options = {});
+
+  /// Planned federated query (PR 7): decompose `sql` over the owning
+  /// gateways — one fragment per site, executed over the union of that
+  /// site's URLs — and merge the partial results here. Site fetches
+  /// run as per-site tasks on `options.lane` with a CancelToken each;
+  /// when `options.deadline` expires, queued fetches are pruned and
+  /// the merge covers the sites that answered (the rest land in
+  /// failures with ErrorCode::Timeout). Unreachable sites served from
+  /// the stale cache are marked in staleSources. Unlike globalQuery,
+  /// the result is the statement's own relation (no Source column).
+  core::QueryResult federatedQuery(const std::string& token,
+                                   const std::vector<std::string>& urls,
+                                   const std::string& sql,
+                                   const core::QueryOptions& options = {},
+                                   FederatedMode mode = FederatedMode::Auto);
 
   /// Forward an event to every remote consumer whose registered pattern
   /// matches (paper: "propagate events between Gateways").
@@ -276,6 +338,30 @@ class GlobalLayer final : public net::RequestHandler {
     util::TimePoint at;
   };
 
+  /// Owner-side record of one served fragment stream: the frames stay
+  /// around (bounded FIFO across streams) so FNACK can repair loss
+  /// until the consumer FACKs or the stream is evicted.
+  struct FragmentStream {
+    std::vector<net::Payload> frames;  // frames[i] carries seq i+1
+    net::Address consumer;
+  };
+
+  /// Coordinator-side reassembly of one fragment stream.
+  struct FragmentCollector {
+    std::map<std::uint64_t, net::Payload> frames;  // seq -> frame body
+    std::uint64_t expected = 0;  // frame count announced by the owner
+  };
+
+  /// Outcome of one site's fragment fetch.
+  struct SiteFetch {
+    bool ok = false;
+    bool servedStale = false;
+    store::SitePartial partial;
+    std::vector<core::SourceError> failures;
+    std::string error;  // set when !ok
+    dbc::ErrorCode errorCode = dbc::ErrorCode::ConnectionFailed;
+  };
+
   std::shared_ptr<const dbc::VectorResultSet> queryRemote(
       const std::string& url, const std::string& sql,
       const core::QueryOptions& options, bool& servedStale);
@@ -310,6 +396,28 @@ class GlobalLayer final : public net::RequestHandler {
   void renewRegistration(std::size_t retries);
   void rememberStale(const std::string& cacheKey,
                      std::shared_ptr<const dbc::VectorResultSet> rows);
+
+  // Federated query planning (PR 7).
+  /// Batch owner resolution: one LOOKUPN round trip for every host the
+  /// lookup cache cannot answer. Result is positional over `hosts`.
+  std::vector<std::optional<net::Address>> resolveOwners(
+      const std::vector<std::string>& hosts);
+  /// Execute one fragment locally over the union of `urls` rows.
+  SiteFetch executeFragment(const core::Principal& principal,
+                            const std::vector<std::string>& urls,
+                            const std::string& fragmentSql);
+  /// Fetch one remote site's fragment result via GFRAG + FFRAME
+  /// streaming with NACK repair, retries and stale fallback.
+  SiteFetch fetchRemoteFragment(const net::Address& owner,
+                                const std::vector<std::string>& urls,
+                                const std::string& fragmentSql,
+                                const core::QueryOptions& options,
+                                util::TimePoint deadlineAt,
+                                const core::CancelToken& cancel);
+  net::Payload serveFragment(const std::vector<std::string>& words,
+                             const std::vector<std::string>& lines);
+  net::Payload serveFragmentNack(const std::vector<std::string>& words);
+  void processFragmentFrame(const net::Payload& body);
 
   core::Gateway& gateway_;
   GlobalOptions options_;
@@ -348,6 +456,15 @@ class GlobalLayer final : public net::RequestHandler {
   std::map<std::string, std::shared_ptr<const dbc::VectorResultSet>>
       staleCache_;
   std::deque<std::string> staleOrder_;
+
+  /// Fragment streaming state. A dedicated mutex: frames arrive as
+  /// datagrams delivered inline on the sender's thread, so this state
+  /// must never be touched while holding mu_ across a network call.
+  mutable std::mutex fragMu_;
+  std::map<std::string, FragmentStream> fragStreams_;  // owner side
+  std::deque<std::string> fragStreamOrder_;            // FIFO eviction
+  std::map<std::string, FragmentCollector> fragCollectors_;
+  std::atomic<std::uint64_t> nextStreamId_{1};
 };
 
 }  // namespace gridrm::global

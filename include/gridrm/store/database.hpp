@@ -116,4 +116,10 @@ std::unique_ptr<dbc::VectorResultSet> executeSelect(
     const std::vector<dbc::ColumnInfo>& columns,
     const std::vector<std::vector<dbc::Value>>& rows);
 
+/// Derive the output column descriptor for one projected item (alias /
+/// column metadata propagation). Shared with the federated merge
+/// executor so coordinator-side projections carry identical metadata.
+dbc::ColumnInfo projectColumn(const sql::SelectItem& item,
+                              const std::vector<dbc::ColumnInfo>& source);
+
 }  // namespace gridrm::store

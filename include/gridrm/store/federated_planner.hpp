@@ -1,0 +1,115 @@
+// Federated query planner (R-GMA direction): decompose one SELECT over
+// many sites into per-site fragments plus a coordinator merge.
+//
+// A statement eligible for push-down is rewritten into a *fragment*
+// each owning gateway executes over the union of its sources' rows:
+//
+//  * WHERE predicates and projections travel with the fragment, so
+//    filtering happens at the owning site and only surviving data
+//    crosses the WAN;
+//  * GROUP BY / COUNT / SUM / MIN / MAX / AVG become per-site partial
+//    aggregates — one row per (site, group) instead of every raw row —
+//    with AVG shipped as a SUM+COUNT pair so the coordinator can form
+//    the exact global mean;
+//  * non-aggregate statements push ORDER BY and LIMIT to the sites
+//    (per-site top-N is a superset of the global top-N) and append
+//    hidden order-key columns so the coordinator can re-sort rows it
+//    cannot otherwise evaluate (keys may reference unprojected
+//    columns).
+//
+// The coordinator merge (`mergeFederated`) reproduces the semantics of
+// store::executeSelect over the site-grouped union of raw rows *cell
+// for cell*: NULL-skipping aggregates, SUM's Int-iff-all-Int typing,
+// AVG always Real, MIN/MAX first-occurrence tie keeping, groups in
+// key-sorted order, bare columns resolved against the group's first
+// row, and the empty-input global group. The differential property
+// battery (tests/store/federated_planner_test.cpp) asserts this
+// byte-identity over generated multi-site workloads.
+//
+// Statements the planner cannot prove decomposable (unknown aggregate
+// functions, aggregates in WHERE or GROUP BY, star projections mixed
+// with aggregates, malformed aggregate arity) fall back to
+// ship-all-rows: sites return raw rows and the coordinator executes
+// the original statement over the union, reproducing single-site
+// behaviour — including its errors — exactly.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/dbc/result_set.hpp"
+#include "gridrm/sql/ast.hpp"
+
+namespace gridrm::store {
+
+/// One aggregate call's merge recipe: which fragment column(s) carry
+/// its per-site partials and how they combine.
+struct FederatedAggSlot {
+  std::string key;  // call.toSql() — matches Call nodes at merge time
+  std::string fn;   // count / sum / avg / min / max (lower-case)
+  /// Fragment column of the partial (the SUM partial for avg).
+  std::size_t partial = 0;
+  /// Fragment column of the paired COUNT partial (avg only).
+  std::size_t countPartial = 0;
+  bool isAvg() const noexcept { return fn == "avg"; }
+};
+
+/// A bare column the merge resolves against the group's first row:
+/// `column` is the source column name, `index` its fragment position.
+struct FederatedFirstValue {
+  std::string column;
+  std::size_t index = 0;
+};
+
+struct FederatedPlan {
+  /// False = not decomposable; sites ship raw rows (shipAllSql) and
+  /// the coordinator executes `original` over the union.
+  bool pushdown = false;
+  /// True when the original statement takes the aggregate path
+  /// (GROUP BY present or any aggregate in projection/ordering).
+  bool aggregate = false;
+  /// Deep copy of the planned statement (the coordinator's merge input).
+  sql::SelectStatement original;
+  /// SQL each owning site executes over the union of its sources' rows
+  /// when the plan is pushed down (== shipAllSql when !pushdown).
+  std::string fragmentSql;
+  /// The ship-all-rows fragment ("SELECT * FROM t"): the baseline
+  /// transport used for fallbacks and A/B measurement (E18).
+  std::string shipAllSql;
+
+  // Aggregate-merge metadata (pushdown && aggregate).
+  std::size_t keyCount = 0;  // leading fragment columns = group keys
+  std::vector<FederatedFirstValue> firstValues;
+  std::vector<FederatedAggSlot> aggSlots;
+
+  // Non-aggregate merge metadata: trailing hidden order-key columns
+  // appended to the fragment projection (one per ORDER BY key).
+  std::size_t hiddenKeys = 0;
+};
+
+/// Fragment rows one site returned (frames already reassembled), in
+/// the site's union order.
+struct SitePartial {
+  std::vector<dbc::ColumnInfo> columns;
+  std::vector<std::vector<util::Value>> rows;
+};
+
+/// Decompose `stmt`. Never throws on shape: statements that cannot be
+/// pushed down come back with pushdown = false (ship-all fallback), so
+/// semantic errors surface at the coordinator exactly as they would on
+/// a single gateway.
+std::shared_ptr<const FederatedPlan> planFederated(
+    const sql::SelectStatement& stmt);
+
+/// Merge per-site fragment results at the coordinator, in site order.
+/// `decomposed` tells how `sites` was produced: true = fragment
+/// partials (plan.fragmentSql), false = raw ship-all rows, merged by
+/// executing the original statement over the union. Throws
+/// dbc::SqlError for semantic errors, exactly like executeSelect.
+std::unique_ptr<dbc::VectorResultSet> mergeFederated(
+    const FederatedPlan& plan, const std::vector<SitePartial>& sites,
+    bool decomposed);
+
+}  // namespace gridrm::store

@@ -42,8 +42,10 @@ std::shared_ptr<const ParsedQuery> PlanCache::parse(
     std::scoped_lock lock(mu_);
     if (generation != boundGeneration_) {
       // Schema reloaded: every bound plan holds GroupDef pointers into
-      // the previous Schema and must go.
+      // the previous Schema, and every federated fragment was derived
+      // from a binding against it — both must go.
       bound_.clear();
+      federated_.clear();
       boundGeneration_ = generation;
       ++stats_.invalidations;
     }
@@ -86,10 +88,36 @@ std::shared_ptr<const sql::SelectStatement> PlanCache::statement(
   return plan;
 }
 
+std::shared_ptr<const store::FederatedPlan> PlanCache::federated(
+    const std::string& sql, const glue::SchemaManager& schemas) {
+  // Bind first: validates the SQL against the current schema (and its
+  // generation) with exactly parse()'s error surface, and flushes
+  // federated_ alongside bound_ when the generation moved.
+  auto parsed = parse(sql, schemas);
+  const std::uint64_t generation = schemas.generation();
+  {
+    std::scoped_lock lock(mu_);
+    if (generation == boundGeneration_) {
+      if (auto plan = federated_.get(sql)) {
+        ++stats_.federatedHits;
+        return plan;
+      }
+    }
+    ++stats_.federatedMisses;
+  }
+  auto plan = store::planFederated(parsed->statement());
+  std::scoped_lock lock(mu_);
+  if (generation == boundGeneration_) {
+    federated_.put(sql, plan, capacity_, stats_.evictions);
+  }
+  return plan;
+}
+
 void PlanCache::clear() {
   std::scoped_lock lock(mu_);
   bound_.clear();
   statements_.clear();
+  federated_.clear();
 }
 
 PlanCacheStats PlanCache::stats() const {
@@ -99,7 +127,8 @@ PlanCacheStats PlanCache::stats() const {
 
 std::size_t PlanCache::size() const {
   std::scoped_lock lock(mu_);
-  return bound_.entries.size() + statements_.entries.size();
+  return bound_.entries.size() + statements_.entries.size() +
+         federated_.entries.size();
 }
 
 std::shared_ptr<const ParsedQuery> parseQuery(const std::string& sql,

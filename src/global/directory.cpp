@@ -94,6 +94,28 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
     }
     return "NONE";
   }
+  if (words[0] == "LOOKUPN" && words.size() >= 2) {
+    // Batch lookup for federated fan-out: one response line per host,
+    // in request order, so a coordinator resolves N sites in a single
+    // round trip instead of N.
+    std::string out;
+    for (std::size_t i = 1; i < words.size(); ++i) {
+      bool found = false;
+      for (const auto& [name, entry] : producers_) {
+        for (const auto& pattern : entry.ownedHostPatterns) {
+          if (core::globMatch(pattern, words[i])) {
+            out += "PRODUCER " + entry.name + " " + entry.address.toString() +
+                   " " + std::to_string(entry.epoch) + "\n";
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) out += "NONE\n";
+    }
+    return out;
+  }
   if (words[0] == "LIST") {
     std::string out;
     for (const auto& [name, entry] : producers_) {
@@ -204,6 +226,28 @@ std::optional<ProducerEntry> DirectoryClient::lookup(const std::string& host) {
     }
   }
   return entry;
+}
+
+std::vector<std::optional<ProducerEntry>> DirectoryClient::lookupMany(
+    const std::vector<std::string>& hosts) {
+  std::vector<std::optional<ProducerEntry>> out(hosts.size());
+  if (hosts.empty()) return out;
+  std::string body = "LOOKUPN";
+  for (const auto& host : hosts) body += " " + host;
+  const auto lines = util::splitNonEmpty(request(body), '\n');
+  for (std::size_t i = 0; i < lines.size() && i < hosts.size(); ++i) {
+    const auto words = util::splitNonEmpty(lines[i], ' ');
+    if (words.size() < 3 || words[0] != "PRODUCER") continue;
+    ProducerEntry entry{words[1], net::Address::parse(words[2]), {}};
+    if (words.size() >= 4) {
+      try {
+        entry.epoch = std::stoull(words[3]);
+      } catch (const std::exception&) {
+      }
+    }
+    out[i] = std::move(entry);
+  }
+  return out;
 }
 
 std::vector<ProducerEntry> DirectoryClient::list() {

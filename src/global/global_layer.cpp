@@ -1,8 +1,11 @@
 #include "gridrm/global/global_layer.hpp"
 
+#include <chrono>
+#include <condition_variable>
 #include <future>
 
 #include "gridrm/dbc/result_io.hpp"
+#include "gridrm/store/database.hpp"
 #include "gridrm/sql/parser.hpp"
 #include "gridrm/util/config.hpp"
 #include "gridrm/util/strings.hpp"
@@ -67,6 +70,15 @@ GlobalOptions GlobalOptions::fromConfig(const util::Config& config) {
       static_cast<std::int64_t>(o.staleCacheEntries)));
   o.propagateEventPattern =
       config.getString("federation.propagate_events", o.propagateEventPattern);
+  o.fragmentFrameRows = static_cast<std::size_t>(config.getInt(
+      "federation.fragment_frame_rows",
+      static_cast<std::int64_t>(o.fragmentFrameRows)));
+  o.fragmentStreams = static_cast<std::size_t>(config.getInt(
+      "federation.fragment_streams",
+      static_cast<std::int64_t>(o.fragmentStreams)));
+  o.fragmentNackRounds = static_cast<std::size_t>(config.getInt(
+      "federation.fragment_nack_rounds",
+      static_cast<std::int64_t>(o.fragmentNackRounds)));
   return o;
 }
 
@@ -210,6 +222,14 @@ void GlobalLayer::crash() {
     eventSeq_.clear();
     eventDedup_.clear();
     registered_ = false;
+  }
+  {
+    // Served fragment streams and half-assembled collectors die with
+    // the process: a coordinator mid-fetch sees loss and resyncs.
+    std::scoped_lock flock(fragMu_);
+    fragStreams_.clear();
+    fragStreamOrder_.clear();
+    fragCollectors_.clear();
   }
   // No GUNSUB, no directory unregistration: the process is "gone".
   // Leases expire at the directory; consumers heal via SPING -> GONE.
@@ -492,6 +512,726 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
   return result;
 }
 
+std::vector<std::optional<net::Address>> GlobalLayer::resolveOwners(
+    const std::vector<std::string>& hosts) {
+  const util::TimePoint now = gateway_.clock().now();
+  std::vector<std::optional<net::Address>> out(hosts.size());
+  std::vector<std::optional<net::Address>> stale(hosts.size());
+  std::vector<std::string> misses;
+  std::vector<std::size_t> missIndex;
+  {
+    std::scoped_lock lock(mu_);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      auto it = lookupCache_.find(hosts[i]);
+      if (it != lookupCache_.end()) {
+        const bool negative = !it->second.producer.has_value();
+        const util::Duration ttl =
+            negative ? options_.negativeLookupTtl : options_.lookupCacheTtl;
+        if (now - it->second.at < ttl) {
+          if (negative) {
+            ++stats_.negativeLookupHits;
+          } else {
+            ++stats_.lookupCacheHits;
+            out[i] = it->second.producer;
+          }
+          continue;
+        }
+        stale[i] = it->second.producer;
+      }
+      ++stats_.directoryLookups;
+      misses.push_back(hosts[i]);
+      missIndex.push_back(i);
+    }
+  }
+  if (misses.empty()) return out;
+  // One LOOKUPN round trip for every cache miss: a federated fan-out
+  // over N sites resolves its owners in O(1) directory requests.
+  std::vector<std::optional<ProducerEntry>> entries;
+  try {
+    entries = directory_.lookupMany(misses);
+  } catch (const net::NetError&) {
+    std::scoped_lock lock(mu_);
+    for (std::size_t i : missIndex) {
+      if (stale[i]) {
+        ++stats_.staleLookupsServed;
+        out[i] = stale[i];  // entry stays expired: revalidate next time
+      }
+    }
+    return out;
+  }
+  std::scoped_lock lock(mu_);
+  for (std::size_t j = 0; j < missIndex.size(); ++j) {
+    const std::size_t i = missIndex[j];
+    if (j < entries.size() && entries[j]) {
+      lookupCache_[hosts[i]] = CachedLookup{entries[j]->address, now};
+      out[i] = entries[j]->address;
+    } else {
+      lookupCache_[hosts[i]] = CachedLookup{std::nullopt, now};
+    }
+  }
+  return out;
+}
+
+GlobalLayer::SiteFetch GlobalLayer::executeFragment(
+    const core::Principal& principal, const std::vector<std::string>& urls,
+    const std::string& fragmentSql) {
+  SiteFetch fetch;
+  // Site-side binding through this gateway's own PlanCache, so a local
+  // schema reload invalidates the fragment here too.
+  auto parsed =
+      gateway_.planCache().parse(fragmentSql, gateway_.schemaManager());
+
+  // Scan each source for just the attributes the fragment needs
+  // (projection push-down at the driver); WHERE and aggregation then
+  // run over the union with the same evaluator the single-site path
+  // uses, so fragment semantics match executeSelect exactly.
+  bool star = parsed->neededAttributes().empty();
+  for (const auto& item : parsed->statement().items) {
+    if (item.isStar()) star = true;
+  }
+  std::string scanSql;
+  if (star) {
+    scanSql = "SELECT * FROM " + parsed->statement().table;
+  } else {
+    scanSql = "SELECT ";
+    bool first = true;
+    for (const auto& attr : parsed->neededAttributes()) {
+      if (!first) scanSql += ", ";
+      scanSql += attr;
+      first = false;
+    }
+    scanSql += " FROM " + parsed->statement().table;
+  }
+
+  std::vector<dbc::ColumnInfo> columns;
+  std::vector<std::vector<Value>> rows;
+  bool haveColumns = false;
+  core::QueryOptions scanOptions;
+  scanOptions.lane = core::Lane::Background;
+  for (const auto& urlText : urls) {
+    try {
+      core::QueryResult local = gateway_.requestManager().queryOne(
+          principal, urlText, scanSql, scanOptions);
+      if (!local.failures.empty()) {
+        fetch.failures.push_back(local.failures.front());
+        continue;
+      }
+      const dbc::VectorResultSet& rs = local.rows->underlying();
+      if (!haveColumns) {
+        columns = rs.metaData().columns();
+        haveColumns = true;
+      }
+      for (const auto& row : rs.rows()) rows.push_back(row);
+    } catch (const SqlError& e) {
+      fetch.failures.push_back({urlText, e.what(), e.code()});
+    }
+  }
+  auto result = store::executeSelect(parsed->statement(), columns, rows);
+  fetch.partial.columns = result->metaData().columns();
+  fetch.partial.rows = result->rows();
+  fetch.ok = true;
+  return fetch;
+}
+
+GlobalLayer::SiteFetch GlobalLayer::fetchRemoteFragment(
+    const net::Address& owner, const std::vector<std::string>& urls,
+    const std::string& fragmentSql, const core::QueryOptions& options,
+    util::TimePoint deadlineAt, const core::CancelToken& cancel) {
+  SiteFetch fetch;
+  // Fragment-level caching, keyed by owner + URL set + fragment SQL.
+  std::string siteKey = "gw://" + owner.toString();
+  for (const auto& u : urls) siteKey += "|" + u;
+  const std::string cacheKey = core::CacheController::key(siteKey, fragmentSql);
+  if (options.useCache) {
+    if (auto cached = gateway_.cache().lookupShared(cacheKey)) {
+      std::scoped_lock lock(mu_);
+      ++stats_.remoteCacheHits;
+      fetch.partial.columns = cached->metaData().columns();
+      fetch.partial.rows = cached->rows();
+      fetch.ok = true;
+      return fetch;
+    }
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.fragmentsSent;
+  }
+
+  std::string lastError = "unreachable";
+  util::Duration backoff = options_.queryBackoff;
+  for (std::size_t attempt = 0; attempt <= options_.queryRetries; ++attempt) {
+    if (cancel.cancelled()) {
+      lastError = "cancelled at coordinator deadline";
+      break;
+    }
+    if (attempt > 0) {
+      util::Duration wait = backoff;
+      {
+        std::scoped_lock lock(mu_);
+        if (backoff > 1) {
+          wait = backoff / 2 + static_cast<util::Duration>(rng_.below(
+                                   static_cast<std::uint64_t>(backoff)));
+        }
+      }
+      if (deadlineAt != 0 && gateway_.clock().now() + wait >= deadlineAt) {
+        break;  // a retry would land past the caller's deadline
+      }
+      gateway_.clock().sleepFor(wait);
+      backoff *= 2;
+      std::scoped_lock lock(mu_);
+      ++stats_.remoteRetries;
+      ++stats_.fragmentResyncs;  // every retry is a fresh-stream refetch
+    }
+
+    // A fresh stream id per attempt: frames of an abandoned attempt can
+    // never be mistaken for (or double-counted into) the new one.
+    const std::string streamId =
+        gateway_.name() + "-" + std::to_string(nextStreamId_.fetch_add(1));
+    {
+      std::scoped_lock flock(fragMu_);
+      fragCollectors_[streamId];
+    }
+    auto dropCollector = [&] {
+      std::scoped_lock flock(fragMu_);
+      fragCollectors_.erase(streamId);
+    };
+    net::Payload request = "GFRAG " + options_.federationSecret + " " +
+                           producerAddress().toString() + " " + streamId +
+                           " " + std::to_string(options_.fragmentFrameRows) +
+                           "\n" + fragmentSql;
+    for (const auto& u : urls) request += "\n" + u;
+    net::Payload response;
+    try {
+      response = gateway_.network().request(producerAddress(), owner, request);
+    } catch (const net::NetError& e) {
+      lastError = e.what();
+      dropCollector();
+      continue;
+    }
+    if (util::startsWith(response, "ERR ")) {
+      lastError = "remote: " + response.substr(4);
+      dropCollector();
+      continue;
+    }
+    const auto rlines = util::split(response, '\n');
+    const auto rwords = util::splitNonEmpty(rlines[0], ' ');
+    if (rwords.size() < 3 || rwords[0] != "OK") {
+      lastError = "bad GFRAG response";
+      dropCollector();
+      continue;
+    }
+    const std::uint64_t frameCount = parseU64(rwords[1]);
+    std::vector<core::SourceError> siteFailures;
+    for (std::size_t i = 1; i < rlines.size(); ++i) {
+      if (!util::startsWith(rlines[i], "FAIL ")) continue;
+      const auto parts = util::split(rlines[i].substr(5), '\t');
+      core::SourceError err;
+      if (!parts.empty()) err.url = parts[0];
+      if (parts.size() >= 2) {
+        err.code = static_cast<ErrorCode>(parseU64(parts[1]));
+      }
+      if (parts.size() >= 3) err.message = parts[2];
+      siteFailures.push_back(std::move(err));
+    }
+
+    // Gap repair: frames travelled as datagrams (delivered before the
+    // GFRAG reply), so anything missing now is genuine loss. NACK the
+    // missing ranges; the owner re-sends from its stream buffer.
+    bool complete = false;
+    bool gone = false;
+    for (std::size_t round = 0; round <= options_.fragmentNackRounds;
+         ++round) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps;
+      {
+        std::scoped_lock flock(fragMu_);
+        const auto& frames = fragCollectors_[streamId].frames;
+        std::uint64_t runFrom = 0;
+        for (std::uint64_t seq = 1; seq <= frameCount; ++seq) {
+          const bool have = frames.count(seq) != 0;
+          if (!have && runFrom == 0) runFrom = seq;
+          if (have && runFrom != 0) {
+            gaps.emplace_back(runFrom, seq - 1);
+            runFrom = 0;
+          }
+        }
+        if (runFrom != 0) gaps.emplace_back(runFrom, frameCount);
+      }
+      if (gaps.empty()) {
+        complete = true;
+        break;
+      }
+      if (round == options_.fragmentNackRounds || cancel.cancelled()) break;
+      for (const auto& [from, to] : gaps) {
+        {
+          std::scoped_lock lock(mu_);
+          ++stats_.fragmentNacksSent;
+        }
+        try {
+          const net::Payload answer = gateway_.network().request(
+              producerAddress(), owner,
+              "FNACK " + options_.federationSecret + " " + streamId + " " +
+                  std::to_string(from) + " " + std::to_string(to));
+          if (util::startsWith(answer, "GONE")) {
+            gone = true;
+            break;
+          }
+        } catch (const net::NetError& e) {
+          lastError = e.what();
+        }
+      }
+      if (gone) break;
+    }
+    if (!complete) {
+      if (gone) lastError = "fragment stream evicted at owner";
+      else if (lastError.empty()) lastError = "fragment frames lost";
+      dropCollector();
+      continue;  // full resync: next attempt opens a fresh stream
+    }
+
+    std::map<std::uint64_t, net::Payload> frames;
+    {
+      std::scoped_lock flock(fragMu_);
+      frames = std::move(fragCollectors_[streamId].frames);
+      fragCollectors_.erase(streamId);
+    }
+    fetch.partial = store::SitePartial{};
+    bool parsedOk = true;
+    bool first = true;
+    for (const auto& [seq, frame] : frames) {
+      try {
+        auto rs = dbc::deserializeResultSet(frame);
+        if (first) {
+          fetch.partial.columns = rs->metaData().columns();
+          first = false;
+        }
+        for (const auto& row : rs->rows()) fetch.partial.rows.push_back(row);
+      } catch (const std::exception& e) {
+        lastError = std::string("bad fragment frame: ") + e.what();
+        parsedOk = false;
+        break;
+      }
+    }
+    if (!parsedOk) continue;
+    // ACK so the owner can drop its resend buffer for this stream.
+    gateway_.network().datagram(producerAddress(), owner, "FACK " + streamId);
+    fetch.failures = std::move(siteFailures);
+    fetch.ok = true;
+    if (fetch.failures.empty()) {
+      auto shared = std::make_shared<const dbc::VectorResultSet>(
+          dbc::ResultSetMetaData(fetch.partial.columns), fetch.partial.rows);
+      if (options.useCache) gateway_.cache().insert(cacheKey, shared);
+      rememberStale(cacheKey, shared);
+    }
+    return fetch;
+  }
+
+  // Every attempt failed: degraded-mode stale serving, like queryRemote.
+  if (options_.serveStale) {
+    std::scoped_lock lock(mu_);
+    auto it = staleCache_.find(cacheKey);
+    if (it != staleCache_.end()) {
+      ++stats_.staleRemoteServes;
+      fetch.partial.columns = it->second->metaData().columns();
+      fetch.partial.rows = it->second->rows();
+      fetch.servedStale = true;
+      fetch.ok = true;
+      return fetch;
+    }
+  }
+  fetch.error = "site unreachable: " + lastError;
+  return fetch;
+}
+
+core::QueryResult GlobalLayer::federatedQuery(
+    const std::string& token, const std::vector<std::string>& urls,
+    const std::string& sql, const core::QueryOptions& options,
+    FederatedMode mode) {
+  core::Principal principal =
+      gateway_.authorize(token, core::Operation::RealTimeQuery);
+  // Plan through the PlanCache: parse/bind errors surface here exactly
+  // as a single gateway would raise them, and a schema-generation bump
+  // flushes cached fragment plans (the stale-fragment fix).
+  auto plan = gateway_.planCache().federated(sql, gateway_.schemaManager());
+  const bool decomposed = plan->pushdown && mode == FederatedMode::Auto;
+  const std::string fragmentSql =
+      decomposed ? plan->fragmentSql : plan->shipAllSql;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.federatedQueries;
+    if (decomposed) {
+      ++stats_.federatedPushdownQueries;
+    } else {
+      ++stats_.federatedShipAllQueries;
+    }
+  }
+
+  core::QueryResult result;
+  result.sourcesQueried = urls.size();
+  auto emptyRows = [] {
+    return std::make_unique<dbc::SharedResultSet>(
+        std::make_shared<const dbc::VectorResultSet>());
+  };
+
+  // Resolve every distinct remote host in one batch, then group the
+  // URLs by owning site in order of each site's first appearance.
+  std::vector<std::string> hosts;
+  std::map<std::string, std::optional<net::Address>> ownerByHost;
+  for (const auto& urlText : urls) {
+    auto url = util::Url::parse(urlText);
+    if (!url || ownsHost(url->host())) continue;
+    if (ownerByHost.try_emplace(url->host(), std::nullopt).second) {
+      hosts.push_back(url->host());
+    }
+  }
+  if (!hosts.empty()) {
+    auto owners = resolveOwners(hosts);
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      ownerByHost[hosts[i]] = owners[i];
+    }
+  }
+
+  struct SiteJob {
+    bool local = false;
+    net::Address owner;
+    std::vector<std::string> urls;
+  };
+  std::vector<SiteJob> jobs;
+  std::map<std::string, std::size_t> jobIndex;
+  for (const auto& urlText : urls) {
+    auto url = util::Url::parse(urlText);
+    if (!url) {
+      result.failures.push_back(
+          {urlText, "malformed URL", ErrorCode::Unsupported});
+      continue;
+    }
+    std::string key;
+    SiteJob job;
+    if (ownsHost(url->host())) {
+      key = "local";
+      job.local = true;
+    } else {
+      const auto& owner = ownerByHost[url->host()];
+      if (!owner) {
+        result.failures.push_back({urlText,
+                                   "no gateway owns host " + url->host(),
+                                   ErrorCode::ConnectionFailed});
+        continue;
+      }
+      key = owner->toString();
+      job.owner = *owner;
+    }
+    auto [it, inserted] = jobIndex.try_emplace(key, jobs.size());
+    if (inserted) jobs.push_back(std::move(job));
+    jobs[it->second].urls.push_back(urlText);
+  }
+
+  util::Duration deadline = options.deadline;
+  if (deadline == core::kInheritTiming) {
+    deadline = gateway_.requestManager().tuning().defaultDeadline;
+  }
+  const util::TimePoint deadlineAt =
+      deadline > 0 ? gateway_.clock().now() + deadline : 0;
+
+  // One task per site on the caller's lane, each with its own cancel
+  // token: a met coordinator deadline prunes still-queued site fetches
+  // at dispatch (LaneStats.cancelled) instead of letting them run for
+  // a caller that already gave up. State is heap-shared because a
+  // *running* fetch may outlive this frame (cancellation is advisory).
+  struct FanState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+    std::vector<SiteFetch> fetches;
+    std::vector<bool> finished;
+  };
+  auto state = std::make_shared<FanState>();
+  state->fetches.resize(jobs.size());
+  state->finished.assign(jobs.size(), false);
+  std::vector<core::CancelToken> tokens(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    tokens[i] = core::CancelToken::make();
+    const SiteJob& job = jobs[i];
+    auto finish = [state, i](SiteFetch fetch) {
+      std::scoped_lock lock(state->mu);
+      state->fetches[i] = std::move(fetch);
+      state->finished[i] = true;
+      ++state->done;
+      state->cv.notify_all();
+    };
+    auto task = [this, job, fragmentSql, options, deadlineAt, principal,
+                 token = tokens[i], finish] {
+      SiteFetch fetch;
+      try {
+        fetch = job.local
+                    ? executeFragment(principal, job.urls, fragmentSql)
+                    : fetchRemoteFragment(job.owner, job.urls, fragmentSql,
+                                          options, deadlineAt, token);
+      } catch (const SqlError& e) {
+        fetch.ok = false;
+        fetch.error = e.what();
+        fetch.errorCode = e.code();
+      } catch (const std::exception& e) {
+        fetch.ok = false;
+        fetch.error = e.what();
+      }
+      finish(std::move(fetch));
+    };
+    if (!gateway_.scheduler().submit(options.lane, std::move(task), tokens[i],
+                                     /*blocking=*/true)) {
+      SiteFetch refused;
+      refused.error = "gateway overloaded";
+      refused.errorCode = ErrorCode::Overloaded;
+      finish(std::move(refused));
+    }
+  }
+
+  // Wait for every site or the coordinator deadline, whichever first.
+  std::size_t cancelled = 0;
+  {
+    std::unique_lock lock(state->mu);
+    for (;;) {
+      if (state->done == jobs.size()) break;
+      if (deadlineAt != 0 && gateway_.clock().now() >= deadlineAt) break;
+      if (gateway_.scheduler().stopped()) break;
+      state->cv.wait_for(lock, std::chrono::microseconds(200));
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (state->finished[i]) continue;
+      tokens[i].cancel();
+      ++cancelled;
+      for (const auto& u : jobs[i].urls) {
+        result.failures.push_back(
+            {u, "coordinator deadline exceeded", ErrorCode::Timeout});
+      }
+    }
+  }
+  if (cancelled > 0) {
+    std::scoped_lock lock(mu_);
+    stats_.federatedDeadlineCancels += cancelled;
+  }
+
+  // Merge the sites that answered, in site order.
+  std::vector<store::SitePartial> partials;
+  {
+    std::scoped_lock lock(state->mu);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!state->finished[i]) continue;
+      SiteFetch& fetch = state->fetches[i];
+      for (auto& f : fetch.failures) result.failures.push_back(std::move(f));
+      if (!fetch.ok) {
+        for (const auto& u : jobs[i].urls) {
+          result.failures.push_back({u, fetch.error, fetch.errorCode});
+        }
+        continue;
+      }
+      if (fetch.servedStale) {
+        for (const auto& u : jobs[i].urls) result.staleSources.push_back(u);
+      }
+      partials.push_back(std::move(fetch.partial));
+    }
+  }
+  if (partials.empty()) {
+    result.rows = emptyRows();
+    return result;
+  }
+  try {
+    std::shared_ptr<const dbc::VectorResultSet> merged =
+        store::mergeFederated(*plan, partials, decomposed);
+    result.rows = std::make_unique<dbc::SharedResultSet>(std::move(merged));
+  } catch (const SqlError& e) {
+    // A semantic error in the merge is the statement's own error (the
+    // single-site path would raise it per source): report it against
+    // every URL rather than throwing past the partial results.
+    for (const auto& urlText : urls) {
+      result.failures.push_back({urlText, e.what(), e.code()});
+    }
+    result.rows = emptyRows();
+  }
+  return result;
+}
+
+net::Payload GlobalLayer::serveFragment(
+    const std::vector<std::string>& words,
+    const std::vector<std::string>& lines) {
+  // GFRAG <secret> <consumer> <streamId> <frameRows>\n<sql>\n<url>...
+  if (words.size() < 5 || lines.size() < 3) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  net::Address consumer;
+  try {
+    consumer = net::Address::parse(words[2]);
+  } catch (const std::exception&) {
+    return "ERR bad request";
+  }
+  const std::string streamId = words[3];
+  std::size_t frameRows = static_cast<std::size_t>(parseU64(words[4], 64));
+  if (frameRows == 0) frameRows = 1;
+  const std::string fragmentSql = lines[1];
+  std::vector<std::string> urls;
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    auto u = util::trim(lines[i]);
+    if (!u.empty()) urls.emplace_back(u);
+  }
+  if (urls.empty()) return "ERR bad request";
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.fragmentsServed;
+  }
+
+  // Execute as Background work, like GQUERY: remote fan-in competes
+  // with local polls, not with this gateway's interactive clients.
+  auto done = std::make_shared<std::promise<SiteFetch>>();
+  std::future<SiteFetch> ready = done->get_future();
+  const bool accepted = gateway_.scheduler().submit(
+      core::Lane::Background,
+      [this, done, urls, fragmentSql] {
+        SiteFetch fetch;
+        try {
+          core::Principal principal = gateway_.authorize(
+              federationToken_, core::Operation::RealTimeQuery);
+          fetch = executeFragment(principal, urls, fragmentSql);
+        } catch (const std::exception& e) {
+          fetch.ok = false;
+          fetch.error = e.what();
+        }
+        done->set_value(std::move(fetch));
+      },
+      core::CancelToken{}, /*blocking=*/true);
+  if (!accepted) return "ERR remote gateway overloaded";
+  SiteFetch fetch;
+  try {
+    fetch = ready.get();
+  } catch (const std::future_error&) {
+    return "ERR remote gateway shutting down";
+  }
+  if (!fetch.ok) return "ERR " + fetch.error;
+
+  // Frame the result: `frameRows` rows per FFRAME, and at least one
+  // frame so an empty result still delivers its column metadata.
+  const auto& rows = fetch.partial.rows;
+  const std::size_t frameCount =
+      rows.empty() ? 1 : (rows.size() + frameRows - 1) / frameRows;
+  std::vector<net::Payload> frames;
+  frames.reserve(frameCount);
+  for (std::size_t i = 0; i < frameCount; ++i) {
+    const std::size_t begin = i * frameRows;
+    const std::size_t end = std::min(rows.size(), begin + frameRows);
+    std::vector<std::vector<Value>> slice(rows.begin() + begin,
+                                          rows.begin() + end);
+    dbc::VectorResultSet frame(dbc::ResultSetMetaData(fetch.partial.columns),
+                               std::move(slice));
+    frames.push_back("FFRAME " + streamId + " " + std::to_string(i + 1) +
+                     " " + std::to_string(frameCount) + " " +
+                     std::to_string(epoch_.load()) + "\n" +
+                     dbc::serializeResultSet(frame));
+  }
+  {
+    // Keep the stream for FNACK repair until FACKed or evicted (FIFO).
+    std::scoped_lock flock(fragMu_);
+    if (fragStreams_.count(streamId) == 0) {
+      while (fragStreams_.size() >= options_.fragmentStreams &&
+             !fragStreamOrder_.empty()) {
+        fragStreams_.erase(fragStreamOrder_.front());
+        fragStreamOrder_.pop_front();
+      }
+      fragStreamOrder_.push_back(streamId);
+    }
+    fragStreams_[streamId] = FragmentStream{frames, consumer};
+  }
+  for (const auto& frame : frames) {
+    gateway_.network().datagram(producerAddress(), consumer, frame);
+  }
+  {
+    std::scoped_lock lock(mu_);
+    stats_.fragmentFramesSent += frames.size();
+    stats_.fragmentRowsShipped += rows.size();
+  }
+  net::Payload response = "OK " + std::to_string(frameCount) + " " +
+                          std::to_string(epoch_.load());
+  for (const auto& f : fetch.failures) {
+    std::string message = f.message;
+    for (char& c : message) {
+      if (c == '\n' || c == '\t') c = ' ';
+    }
+    response += "\nFAIL " + f.url + "\t" +
+                std::to_string(static_cast<int>(f.code)) + "\t" + message;
+  }
+  return response;
+}
+
+net::Payload GlobalLayer::serveFragmentNack(
+    const std::vector<std::string>& words) {
+  // FNACK <secret> <streamId> <from> <to>
+  if (words.size() < 5) return "ERR bad request";
+  if (words[1] != options_.federationSecret) {
+    std::scoped_lock lock(mu_);
+    ++stats_.authFailures;
+    return "ERR federation authentication failed";
+  }
+  const std::string& streamId = words[2];
+  const std::uint64_t from = parseU64(words[3]);
+  const std::uint64_t to = parseU64(words[4]);
+  std::vector<net::Payload> frames;
+  net::Address consumer;
+  {
+    std::scoped_lock flock(fragMu_);
+    auto it = fragStreams_.find(streamId);
+    if (it == fragStreams_.end()) {
+      return "GONE " + std::to_string(epoch_.load());
+    }
+    consumer = it->second.consumer;
+    for (std::uint64_t seq = from; seq >= 1 && seq <= to; ++seq) {
+      if (seq <= it->second.frames.size()) {
+        frames.push_back(it->second.frames[seq - 1]);
+      }
+    }
+  }
+  for (const auto& frame : frames) {
+    gateway_.network().datagram(producerAddress(), consumer, frame);
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.fragmentNacksServed;
+    stats_.fragmentFramesResent += frames.size();
+  }
+  return "OK " + std::to_string(frames.size());
+}
+
+void GlobalLayer::processFragmentFrame(const net::Payload& body) {
+  // FFRAME <streamId> <seq> <of> <epoch>\n<result-set frame>
+  const std::size_t nl = body.find('\n');
+  if (nl == std::string::npos) return;
+  const auto header = util::splitNonEmpty(body.substr(0, nl), ' ');
+  if (header.size() < 4) return;
+  const std::string& streamId = header[1];
+  const std::uint64_t seq = parseU64(header[2]);
+  const std::uint64_t of = parseU64(header[3]);
+  if (seq == 0) return;
+  bool duplicate = false;
+  bool stored = false;
+  {
+    std::scoped_lock flock(fragMu_);
+    auto it = fragCollectors_.find(streamId);
+    if (it == fragCollectors_.end()) {
+      // A frame of a finished or abandoned stream (e.g. a late NACK
+      // resend after the fetch already completed): never re-ingested.
+      duplicate = true;
+    } else if (it->second.frames.count(seq) != 0) {
+      duplicate = true;  // resend raced the original delivery
+    } else {
+      it->second.frames.emplace(seq, body.substr(nl + 1));
+      it->second.expected = of;
+      stored = true;
+    }
+  }
+  std::scoped_lock lock(mu_);
+  if (duplicate) ++stats_.duplicateFragmentFramesDropped;
+  if (stored) ++stats_.fragmentFramesReceived;
+}
+
 net::Payload GlobalLayer::handleRequest(const net::Address& from,
                                         const net::Payload& request) {
   const auto lines = util::split(request, '\n');
@@ -499,6 +1239,12 @@ net::Payload GlobalLayer::handleRequest(const net::Address& from,
   if (words.empty()) return "ERR bad request";
   if (words[0] == "GSUB") {
     return serveSubscribe(words, lines);
+  }
+  if (words[0] == "GFRAG") {
+    return serveFragment(words, lines);
+  }
+  if (words[0] == "FNACK") {
+    return serveFragmentNack(words);
   }
   if (words[0] == "SNACK") {
     return serveNack(words);
@@ -795,6 +1541,19 @@ net::Payload GlobalLayer::serveEvent(const net::Address& from,
 
 void GlobalLayer::handleDatagram(const net::Address& /*from*/,
                                  const net::Payload& body) {
+  if (util::startsWith(body, "FFRAME ")) {
+    processFragmentFrame(body);
+    return;
+  }
+  if (util::startsWith(body, "FACK ")) {
+    const auto words = util::splitNonEmpty(body, ' ');
+    if (words.size() >= 2) {
+      std::scoped_lock flock(fragMu_);
+      fragStreams_.erase(words[1]);
+      // The FIFO order entry stays; eviction skips already-erased ids.
+    }
+    return;
+  }
   if (!util::startsWith(body, "SDELTA ")) return;
   processDeltaFrame(body);
 }

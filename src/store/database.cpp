@@ -115,7 +115,11 @@ class TableRowAccessor final : public sql::RowAccessor {
   const std::vector<Value>* row_ = nullptr;
 };
 
+}  // namespace
+
 /// Derive an output column descriptor for a projected expression.
+/// Exported: the federated merge executor reproduces the same
+/// projection metadata at the coordinator (federated_planner.cpp).
 ColumnInfo projectColumn(const sql::SelectItem& item,
                          const std::vector<ColumnInfo>& source) {
   ColumnInfo out;
@@ -142,6 +146,8 @@ ColumnInfo projectColumn(const sql::SelectItem& item,
   }
   return out;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------
 // Aggregation (COUNT / SUM / AVG / MIN / MAX with optional GROUP BY).

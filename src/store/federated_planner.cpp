@@ -1,0 +1,532 @@
+#include "gridrm/store/federated_planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "gridrm/store/database.hpp"
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::store {
+
+using dbc::ColumnInfo;
+using dbc::ErrorCode;
+using dbc::SqlError;
+using util::Value;
+
+namespace {
+
+sql::SelectStatement cloneSelect(const sql::SelectStatement& stmt) {
+  sql::SelectStatement out;
+  out.table = stmt.table;
+  out.tableAlias = stmt.tableAlias;
+  for (const auto& item : stmt.items) {
+    sql::SelectItem copy;
+    if (!item.isStar()) copy.expr = item.expr->clone();
+    copy.alias = item.alias;
+    out.items.push_back(std::move(copy));
+  }
+  if (stmt.where) out.where = stmt.where->clone();
+  for (const auto& g : stmt.groupBy) out.groupBy.push_back(g->clone());
+  for (const auto& k : stmt.orderBy) {
+    out.orderBy.push_back(sql::OrderKey{k.expr->clone(), k.descending});
+  }
+  out.limit = stmt.limit;
+  return out;
+}
+
+bool isAggregatePath(const sql::SelectStatement& stmt) {
+  if (!stmt.groupBy.empty()) return true;
+  for (const auto& item : stmt.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) return true;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (key.expr->containsAggregate()) return true;
+  }
+  return false;
+}
+
+/// An aggregate call the engine can compute (and we can merge):
+/// count(*) or count/sum/avg/min/max over one aggregate-free argument.
+bool mergeableAggregate(const sql::Expr& call) {
+  const std::string& fn = call.name;  // parser lower-cases call names
+  if (call.starArg) return fn == "count" && call.children.empty();
+  if (fn != "count" && fn != "sum" && fn != "avg" && fn != "min" &&
+      fn != "max") {
+    return false;
+  }
+  return call.children.size() == 1 && !call.children[0]->containsAggregate();
+}
+
+/// Collect every bare column referenced outside aggregate arguments
+/// (aggregate args travel as partials, not first-row values).
+void collectBareColumns(const sql::Expr& expr,
+                        std::vector<std::string>& names) {
+  if (expr.kind == sql::ExprKind::Call) return;
+  if (expr.kind == sql::ExprKind::Column) {
+    for (const auto& n : names) {
+      if (util::iequals(n, expr.name)) return;
+    }
+    names.push_back(expr.name);
+    return;
+  }
+  for (const auto& child : expr.children) collectBareColumns(*child, names);
+}
+
+/// Walk for aggregate calls; false = a call we cannot push down.
+bool collectAggregates(const sql::Expr& expr,
+                       std::vector<const sql::Expr*>& calls) {
+  if (expr.kind == sql::ExprKind::Call) {
+    if (!mergeableAggregate(expr)) return false;
+    calls.push_back(&expr);
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (!collectAggregates(*child, calls)) return false;
+  }
+  return true;
+}
+
+/// Same key-vector ordering executeAggregateSelect groups with.
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const auto c = a[i].compare(b[i]);
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Resolves bare columns against a merged group's first-row values,
+/// honouring table qualifiers like the store's TableRowAccessor.
+class FirstValueAccessor final : public sql::RowAccessor {
+ public:
+  FirstValueAccessor(const std::vector<FederatedFirstValue>& names,
+                     const std::string& table, const std::string& alias)
+      : names_(names), table_(table), alias_(alias) {}
+
+  void setRow(const std::vector<Value>* row) noexcept { row_ = row; }
+
+  std::optional<Value> column(const std::string& table,
+                              const std::string& name) const override {
+    if (!table.empty() && !util::iequals(table, table_) &&
+        !util::iequals(table, alias_)) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (util::iequals(names_[i].column, name)) return (*row_)[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const std::vector<FederatedFirstValue>& names_;
+  const std::string& table_;
+  const std::string& alias_;
+  const std::vector<Value>* row_ = nullptr;
+};
+
+/// Replace every aggregate Call in `expr` with its merged value.
+void substituteMerged(sql::Expr& expr,
+                      const std::map<std::string, Value>& merged) {
+  if (expr.kind == sql::ExprKind::Call) {
+    auto it = merged.find(expr.toSql());
+    if (it == merged.end()) {
+      throw SqlError(ErrorCode::Generic,
+                     "unplanned aggregate " + expr.toSql());
+    }
+    expr.kind = sql::ExprKind::Literal;
+    expr.literal = it->second;
+    expr.children.clear();
+    return;
+  }
+  for (auto& child : expr.children) substituteMerged(*child, merged);
+}
+
+/// Per-group accumulator for one FederatedAggSlot, mirroring
+/// computeAggregate's arithmetic over per-site partials.
+struct SlotAccumulator {
+  bool any = false;     // a non-NULL partial seen (sum/min/max)
+  Value best;           // min/max
+  bool allInt = true;   // sum: Int iff every contributing value was Int
+  std::int64_t intTotal = 0;
+  double realTotal = 0;
+  std::int64_t count = 0;  // count result / avg denominator
+};
+
+std::unique_ptr<dbc::VectorResultSet> mergeAggregate(
+    const FederatedPlan& plan, const std::vector<SitePartial>& sites) {
+  const std::size_t slotCount = plan.aggSlots.size();
+  std::size_t width = plan.keyCount;
+  for (const auto& fv : plan.firstValues) width = std::max(width, fv.index + 1);
+  for (const auto& slot : plan.aggSlots) {
+    width = std::max(width, slot.partial + 1);
+    if (slot.isAvg()) width = std::max(width, slot.countPartial + 1);
+  }
+
+  struct Group {
+    std::vector<Value> firsts;
+    bool haveFirsts = false;
+    std::vector<SlotAccumulator> slots;
+  };
+  std::map<std::vector<Value>, Group, ValueVectorLess> groups;
+
+  for (const auto& site : sites) {
+    for (const auto& row : site.rows) {
+      if (row.size() < width) {
+        throw SqlError(ErrorCode::Generic, "fragment row width mismatch");
+      }
+      std::vector<Value> key(row.begin(),
+                             row.begin() + static_cast<long>(plan.keyCount));
+      Group& g = groups[std::move(key)];
+      if (g.slots.empty()) g.slots.resize(slotCount);
+      if (!g.haveFirsts) {
+        g.firsts.reserve(plan.firstValues.size());
+        for (const auto& fv : plan.firstValues) g.firsts.push_back(row[fv.index]);
+        g.haveFirsts = true;
+      }
+      for (std::size_t j = 0; j < slotCount; ++j) {
+        const FederatedAggSlot& slot = plan.aggSlots[j];
+        SlotAccumulator& acc = g.slots[j];
+        const Value& v = row[slot.partial];
+        if (slot.fn == "count") {
+          acc.count += v.toInt();
+        } else if (slot.fn == "sum") {
+          if (v.isNull()) continue;
+          acc.any = true;
+          if (v.type() == util::ValueType::Int) {
+            acc.intTotal += v.asInt();
+          } else {
+            acc.allInt = false;
+          }
+          acc.realTotal += v.toReal();
+        } else if (slot.isAvg()) {
+          const std::int64_t n = row[slot.countPartial].toInt();
+          if (n > 0 && !v.isNull()) {
+            acc.count += n;
+            acc.realTotal += v.toReal();
+          }
+        } else {  // min / max: keep the earliest winner (site order)
+          if (v.isNull()) continue;
+          if (!acc.any) {
+            acc.best = v;
+            acc.any = true;
+            continue;
+          }
+          const auto c = v.compare(acc.best);
+          if ((slot.fn == "min") ? c == std::strong_ordering::less
+                                 : c == std::strong_ordering::greater) {
+            acc.best = v;
+          }
+        }
+      }
+    }
+  }
+
+  // A global aggregate over empty input still yields one row
+  // (COUNT 0, everything else NULL), exactly like the single-site path.
+  if (plan.original.groupBy.empty() && groups.empty()) {
+    Group empty;
+    empty.firsts.assign(plan.firstValues.size(), Value::null());
+    empty.haveFirsts = true;
+    empty.slots.resize(slotCount);
+    groups.emplace(std::vector<Value>{}, std::move(empty));
+  }
+
+  // Output column descriptors, reproducing executeAggregateSelect: the
+  // site-computed first-value columns stand in for the source table.
+  std::vector<ColumnInfo> sourceCols;
+  if (!sites.empty()) {
+    for (const auto& fv : plan.firstValues) {
+      if (fv.index < sites[0].columns.size()) {
+        sourceCols.push_back(sites[0].columns[fv.index]);
+      }
+    }
+  }
+  std::vector<ColumnInfo> outColumns;
+  for (const auto& item : plan.original.items) {
+    ColumnInfo c = projectColumn(item, sourceCols);
+    if (item.alias.empty() && item.expr->kind == sql::ExprKind::Call) {
+      c.name = item.expr->toSql();
+      c.type = item.expr->name == "count" ? util::ValueType::Int
+                                          : util::ValueType::Real;
+    }
+    outColumns.push_back(std::move(c));
+  }
+
+  FirstValueAccessor accessor(plan.firstValues, plan.original.table,
+                              plan.original.tableAlias);
+  struct OutRow {
+    std::vector<Value> cells;
+    std::vector<Value> orderKeys;
+  };
+  std::vector<OutRow> outRows;
+  outRows.reserve(groups.size());
+  for (const auto& [key, g] : groups) {
+    // Final value of every aggregate slot for this group.
+    std::map<std::string, Value> merged;
+    for (std::size_t j = 0; j < slotCount; ++j) {
+      const FederatedAggSlot& slot = plan.aggSlots[j];
+      const SlotAccumulator& acc = g.slots[j];
+      Value v;
+      if (slot.fn == "count") {
+        v = Value(acc.count);
+      } else if (slot.fn == "sum") {
+        v = !acc.any ? Value::null()
+            : acc.allInt ? Value(acc.intTotal)
+                         : Value(acc.realTotal);
+      } else if (slot.isAvg()) {
+        v = acc.count == 0
+                ? Value::null()
+                : Value(acc.realTotal / static_cast<double>(acc.count));
+      } else {  // min / max
+        v = acc.any ? acc.best : Value::null();
+      }
+      merged[slot.key] = std::move(v);
+    }
+    accessor.setRow(&g.firsts);
+    auto evalMerged = [&](const sql::Expr& expr) {
+      sql::ExprPtr copy = expr.clone();
+      substituteMerged(*copy, merged);
+      try {
+        return sql::evaluate(*copy, accessor);
+      } catch (const sql::EvalError& e) {
+        throw SqlError(ErrorCode::NoSuchColumn, e.what());
+      }
+    };
+    OutRow out;
+    out.cells.reserve(plan.original.items.size());
+    for (const auto& item : plan.original.items) {
+      out.cells.push_back(evalMerged(*item.expr));
+    }
+    for (const auto& orderKey : plan.original.orderBy) {
+      out.orderKeys.push_back(evalMerged(*orderKey.expr));
+    }
+    outRows.push_back(std::move(out));
+  }
+
+  const auto& orderBy = plan.original.orderBy;
+  if (!orderBy.empty()) {
+    std::stable_sort(outRows.begin(), outRows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (std::size_t i = 0; i < orderBy.size(); ++i) {
+                         const auto c = a.orderKeys[i].compare(b.orderKeys[i]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return orderBy[i].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+  std::size_t count = outRows.size();
+  if (plan.original.limit && *plan.original.limit >= 0 &&
+      static_cast<std::size_t>(*plan.original.limit) < count) {
+    count = static_cast<std::size_t>(*plan.original.limit);
+  }
+  std::vector<std::vector<Value>> finalRows;
+  finalRows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    finalRows.push_back(std::move(outRows[i].cells));
+  }
+  return std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(outColumns)), std::move(finalRows));
+}
+
+std::unique_ptr<dbc::VectorResultSet> mergeOrdered(
+    const FederatedPlan& plan, const std::vector<SitePartial>& sites) {
+  std::vector<ColumnInfo> columns = sites[0].columns;
+  if (columns.size() < plan.hiddenKeys) {
+    throw SqlError(ErrorCode::Generic, "fragment row width mismatch");
+  }
+  const std::size_t visible = columns.size() - plan.hiddenKeys;
+
+  std::vector<std::vector<Value>> rows;
+  for (const auto& site : sites) {
+    for (const auto& row : site.rows) {
+      if (row.size() != columns.size()) {
+        throw SqlError(ErrorCode::Generic, "fragment row width mismatch");
+      }
+      rows.push_back(row);
+    }
+  }
+
+  // Per-site streams arrive pre-sorted; the stable re-sort over the
+  // hidden key columns reproduces the single-site tie order (site
+  // order, then per-site row order).
+  const auto& orderBy = plan.original.orderBy;
+  if (plan.hiddenKeys > 0) {
+    std::stable_sort(
+        rows.begin(), rows.end(),
+        [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+          for (std::size_t i = 0; i < plan.hiddenKeys; ++i) {
+            const auto c = a[visible + i].compare(b[visible + i]);
+            if (c == std::strong_ordering::equal) continue;
+            const bool less = c == std::strong_ordering::less;
+            return orderBy[i].descending ? !less : less;
+          }
+          return false;
+        });
+  }
+  if (plan.original.limit && *plan.original.limit >= 0 &&
+      static_cast<std::size_t>(*plan.original.limit) < rows.size()) {
+    rows.resize(static_cast<std::size_t>(*plan.original.limit));
+  }
+  if (plan.hiddenKeys > 0) {
+    columns.resize(visible);
+    for (auto& row : rows) row.resize(visible);
+  }
+  return std::make_unique<dbc::VectorResultSet>(
+      dbc::ResultSetMetaData(std::move(columns)), std::move(rows));
+}
+
+}  // namespace
+
+std::shared_ptr<const FederatedPlan> planFederated(
+    const sql::SelectStatement& stmt) {
+  auto plan = std::make_shared<FederatedPlan>();
+  plan->original = cloneSelect(stmt);
+  plan->shipAllSql = "SELECT * FROM " + stmt.table;
+  plan->aggregate = isAggregatePath(stmt);
+  plan->fragmentSql = plan->shipAllSql;  // fallback until proven pushable
+
+  // WHERE may not contain aggregates on any path; shipping all rows
+  // reproduces the single-site error at the coordinator.
+  if (stmt.where && stmt.where->containsAggregate()) return plan;
+
+  sql::SelectStatement frag;
+  frag.table = stmt.table;
+  frag.tableAlias = stmt.tableAlias;
+  if (stmt.where) frag.where = stmt.where->clone();
+
+  if (!plan->aggregate) {
+    // Projection + WHERE + per-site ORDER BY/LIMIT push-down. Hidden
+    // order-key columns let the coordinator re-sort the merged stream
+    // even when keys reference unprojected columns.
+    for (const auto& item : stmt.items) {
+      sql::SelectItem copy;
+      if (!item.isStar()) copy.expr = item.expr->clone();
+      copy.alias = item.alias;
+      frag.items.push_back(std::move(copy));
+    }
+    for (std::size_t i = 0; i < stmt.orderBy.size(); ++i) {
+      sql::SelectItem hidden;
+      hidden.expr = stmt.orderBy[i].expr->clone();
+      hidden.alias = "__ok" + std::to_string(i);
+      frag.items.push_back(std::move(hidden));
+      frag.orderBy.push_back(
+          sql::OrderKey{stmt.orderBy[i].expr->clone(),
+                        stmt.orderBy[i].descending});
+    }
+    frag.limit = stmt.limit;
+    plan->hiddenKeys = stmt.orderBy.size();
+    plan->pushdown = true;
+    plan->fragmentSql = frag.toSql();
+    return plan;
+  }
+
+  // Aggregate path: star projections and aggregates in GROUP BY are
+  // rejected by the engine; fall back so the error surfaces unchanged.
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) return plan;
+  }
+  for (const auto& g : stmt.groupBy) {
+    if (g->containsAggregate()) return plan;
+  }
+  std::vector<const sql::Expr*> calls;
+  for (const auto& item : stmt.items) {
+    if (!collectAggregates(*item.expr, calls)) return plan;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (!collectAggregates(*key.expr, calls)) return plan;
+  }
+
+  // Fragment projection: group keys first, then first-row columns,
+  // then partial aggregates — deduplicated by rendered SQL.
+  std::map<std::string, std::size_t> indexBySql;
+  auto fragItem = [&](sql::ExprPtr expr) -> std::size_t {
+    const std::string key = expr->toSql();
+    auto it = indexBySql.find(key);
+    if (it != indexBySql.end()) return it->second;
+    const std::size_t index = frag.items.size();
+    sql::SelectItem item;
+    item.expr = std::move(expr);
+    frag.items.push_back(std::move(item));
+    indexBySql.emplace(key, index);
+    return index;
+  };
+
+  for (const auto& g : stmt.groupBy) {
+    frag.groupBy.push_back(g->clone());
+    // Keys occupy positions 0..k-1 verbatim (no dedup: the merge key
+    // vector must match the GROUP BY arity).
+    const std::size_t index = frag.items.size();
+    sql::SelectItem item;
+    item.expr = g->clone();
+    frag.items.push_back(std::move(item));
+    indexBySql.emplace(g->toSql(), index);
+  }
+  plan->keyCount = stmt.groupBy.size();
+
+  std::vector<std::string> bare;
+  for (const auto& item : stmt.items) collectBareColumns(*item.expr, bare);
+  for (const auto& key : stmt.orderBy) collectBareColumns(*key.expr, bare);
+  for (const auto& name : bare) {
+    plan->firstValues.push_back(
+        FederatedFirstValue{name, fragItem(sql::Expr::makeColumn("", name))});
+  }
+
+  std::set<std::string> seenCalls;
+  for (const sql::Expr* call : calls) {
+    const std::string key = call->toSql();
+    if (!seenCalls.insert(key).second) continue;
+    FederatedAggSlot slot;
+    slot.key = key;
+    slot.fn = call->name;
+    if (slot.isAvg()) {
+      std::vector<sql::ExprPtr> sumArg;
+      sumArg.push_back(call->children[0]->clone());
+      slot.partial = fragItem(sql::Expr::makeCall("sum", std::move(sumArg)));
+      std::vector<sql::ExprPtr> countArg;
+      countArg.push_back(call->children[0]->clone());
+      slot.countPartial =
+          fragItem(sql::Expr::makeCall("count", std::move(countArg)));
+    } else {
+      slot.partial = fragItem(call->clone());
+    }
+    plan->aggSlots.push_back(std::move(slot));
+  }
+
+  plan->pushdown = true;
+  plan->fragmentSql = frag.toSql();
+  return plan;
+}
+
+std::unique_ptr<dbc::VectorResultSet> mergeFederated(
+    const FederatedPlan& plan, const std::vector<SitePartial>& sites,
+    bool decomposed) {
+  if (!decomposed || !plan.pushdown) {
+    // Ship-all-rows: execute the original statement over the
+    // site-grouped union, exactly like a single gateway would.
+    std::vector<ColumnInfo> columns;
+    std::vector<std::vector<Value>> rows;
+    for (const auto& site : sites) {
+      if (columns.empty()) columns = site.columns;
+      rows.insert(rows.end(), site.rows.begin(), site.rows.end());
+    }
+    return executeSelect(plan.original, columns, rows);
+  }
+  if (sites.empty()) {
+    // No partials at all: defer to the engine over an empty union so
+    // edge semantics (and errors) match the ship-all baseline.
+    return executeSelect(plan.original, {}, {});
+  }
+  return plan.aggregate ? mergeAggregate(plan, sites)
+                        : mergeOrdered(plan, sites);
+}
+
+}  // namespace gridrm::store

@@ -101,6 +101,61 @@ TEST(PlanCacheTest, SchemaReloadInvalidatesBoundPlans) {
   EXPECT_EQ(plans.stats().statementHits, 1u);
 }
 
+TEST(PlanCacheTest, FederatedPlanIsCachedAndBindsThroughParse) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  auto a = plans.federated(kSql, schemas);
+  auto b = plans.federated(kSql, schemas);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // the same immutable decomposition
+  EXPECT_EQ(plans.stats().federatedMisses, 1u);
+  EXPECT_EQ(plans.stats().federatedHits, 1u);
+  // federated() validates through parse(): the bound cache warms too,
+  // and the second call rides its hit path before the fragment lookup.
+  EXPECT_EQ(plans.stats().misses, 1u);
+  EXPECT_EQ(plans.stats().hits, 1u);
+}
+
+TEST(PlanCacheTest, SchemaReloadInvalidatesFederatedFragments) {
+  // Regression (PR 7 satellite): fragment plans were derived from a
+  // binding against the old schema; serving one across a reload would
+  // dispatch a stale fragment to remote sites.
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  auto before = plans.federated(kSql, schemas);
+
+  const glue::Schema reloaded = processorOnlySchema();
+  schemas.setSchema(&reloaded);
+
+  auto after = plans.federated(kSql, schemas);
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());  // re-derived, not served stale
+  EXPECT_EQ(plans.stats().invalidations, 1u);
+  EXPECT_EQ(plans.stats().federatedMisses, 2u);
+  EXPECT_EQ(plans.stats().federatedHits, 0u);
+  // Same statement text, so the fresh derivation agrees semantically.
+  EXPECT_EQ(after->fragmentSql, before->fragmentSql);
+}
+
+TEST(PlanCacheTest, FederatedErrorsMatchParseAndAreNotCached) {
+  glue::SchemaManager schemas;
+  PlanCache plans;
+  try {
+    (void)plans.federated("SELEC nonsense", schemas);
+    FAIL() << "expected a syntax error";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Syntax);
+  }
+  try {
+    (void)plans.federated("SELECT Load1 FROM NoSuchGroup", schemas);
+    FAIL() << "expected NoSuchTable";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NoSuchTable);
+  }
+  EXPECT_EQ(plans.stats().federatedMisses, 0u);
+  EXPECT_EQ(plans.size(), 0u);
+}
+
 TEST(PlanCacheTest, SchemaReloadNeverServesStalePlanForDroppedGroup) {
   glue::SchemaManager schemas;
   PlanCache plans;

@@ -1,0 +1,229 @@
+// End-to-end federated query planning (PR 7) over the two-site Grid
+// fixture: decomposed plans must return byte-identical results to the
+// forced ship-all-rows baseline while moving far fewer rows, fragment
+// results stream back as FFRAME datagrams (multi-frame reassembly),
+// fragment plans are cached per schema generation, and a met
+// coordinator deadline prunes still-queued site fetches.
+#include "gridrm/global/global_layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gridrm/dbc/result_io.hpp"
+#include "global_fixture.hpp"
+
+namespace gridrm::global {
+namespace {
+
+using testutil::GridFixture;
+
+/// Serialized bytes of a federated result (metadata included).
+std::string bytes(const core::QueryResult& result) {
+  return result.rows ? dbc::serializeResultSet(*result.rows) : std::string();
+}
+
+// Aggregates over static Int columns (CPUCount, ClockSpeed are host
+// configuration, not time-varying samples) so the comparison cannot be
+// perturbed by simulated load drift between the two executions.
+const char* kAggSql =
+    "SELECT ClusterName, count(*) AS hosts, sum(CPUCount) AS cpus, "
+    "min(ClockSpeed) AS lo, max(ClockSpeed) AS hi "
+    "FROM Processor GROUP BY ClusterName ORDER BY ClusterName";
+
+TEST(FederatedQueryTest, DecomposedAggregateMatchesShipAllByteIdentical) {
+  GridFixture f;
+  const std::vector<std::string> urls = {f.siteA->headUrl("scms"),
+                                         f.siteB->headUrl("scms")};
+  auto decomposed = f.globalA->federatedQuery(f.adminA, urls, kAggSql, {},
+                                              FederatedMode::Auto);
+  ASSERT_TRUE(decomposed.complete())
+      << (decomposed.failures.empty() ? "" : decomposed.failures[0].message);
+  auto shipAll = f.globalA->federatedQuery(f.adminA, urls, kAggSql, {},
+                                           FederatedMode::ShipAllRows);
+  ASSERT_TRUE(shipAll.complete())
+      << (shipAll.failures.empty() ? "" : shipAll.failures[0].message);
+
+  // One group per cluster, in key order.
+  EXPECT_EQ(decomposed.rows->rowCount(), 2u);
+  EXPECT_EQ(bytes(decomposed), bytes(shipAll));
+
+  const auto statsA = f.globalA->stats();
+  EXPECT_EQ(statsA.federatedQueries, 2u);
+  EXPECT_EQ(statsA.federatedPushdownQueries, 1u);
+  EXPECT_EQ(statsA.federatedShipAllQueries, 1u);
+  EXPECT_EQ(statsA.fragmentsSent, 2u);  // one GFRAG to gw-b per mode
+  EXPECT_EQ(f.globalB->stats().fragmentsServed, 2u);
+}
+
+TEST(FederatedQueryTest, PushdownShipsPartialRowsNotRawRows) {
+  GridFixture f;
+  const std::vector<std::string> urls = {f.siteA->headUrl("scms"),
+                                         f.siteB->headUrl("scms")};
+  (void)f.globalA->federatedQuery(f.adminA, urls, kAggSql, {},
+                                  FederatedMode::Auto);
+  const std::uint64_t pushdownRows = f.globalB->stats().fragmentRowsShipped;
+  core::QueryOptions uncached;
+  uncached.useCache = false;
+  (void)f.globalA->federatedQuery(f.adminA, urls, kAggSql, uncached,
+                                  FederatedMode::ShipAllRows);
+  const std::uint64_t shipAllRows =
+      f.globalB->stats().fragmentRowsShipped - pushdownRows;
+  // siteB: one partial row (its single cluster group) vs two raw host
+  // rows — decomposition moves strictly less data.
+  EXPECT_EQ(pushdownRows, 1u);
+  EXPECT_EQ(shipAllRows, 2u);
+}
+
+TEST(FederatedQueryTest, FragmentResultsServedFromGatewayCache) {
+  GridFixture f(/*cacheTtl=*/30 * util::kSecond);
+  const std::vector<std::string> urls = {f.siteB->headUrl("scms")};
+  (void)f.globalA->federatedQuery(f.adminA, urls, kAggSql);
+  (void)f.globalA->federatedQuery(f.adminA, urls, kAggSql);
+  const auto stats = f.globalA->stats();
+  EXPECT_EQ(stats.fragmentsSent, 1u);
+  EXPECT_GE(stats.remoteCacheHits, 1u);
+}
+
+TEST(FederatedQueryTest, MultiFrameStreamsReassembleInOrder) {
+  GlobalOptions tiny;
+  tiny.fragmentFrameRows = 1;  // every row travels in its own FFRAME
+  GridFixture f(5 * util::kSecond, "", tiny);
+  const std::vector<std::string> urls = {f.siteA->headUrl("scms"),
+                                         f.siteB->headUrl("scms")};
+  const char* sql =
+      "SELECT HostName, CPUCount FROM Processor ORDER BY HostName";
+  auto decomposed =
+      f.globalA->federatedQuery(f.adminA, urls, sql, {}, FederatedMode::Auto);
+  ASSERT_TRUE(decomposed.complete())
+      << (decomposed.failures.empty() ? "" : decomposed.failures[0].message);
+  EXPECT_EQ(decomposed.rows->rowCount(), 5u);  // 3 siteA + 2 siteB hosts
+
+  core::QueryOptions uncached;
+  uncached.useCache = false;
+  auto shipAll = f.globalA->federatedQuery(f.adminA, urls, sql, uncached,
+                                           FederatedMode::ShipAllRows);
+  ASSERT_TRUE(shipAll.complete());
+  EXPECT_EQ(bytes(decomposed), bytes(shipAll));
+
+  // siteB's 2 fragment rows crossed as 2 sequenced frames.
+  EXPECT_GE(f.globalB->stats().fragmentFramesSent, 2u);
+  EXPECT_GE(f.globalA->stats().fragmentFramesReceived, 2u);
+}
+
+TEST(FederatedQueryTest, BatchLookupResolvesSitesPositionally) {
+  GridFixture f;
+  auto out = f.globalA->directory().lookupMany(
+      {"siteA-node00", "siteB-node01", "nowhere-node00"});
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_TRUE(out[0].has_value());
+  ASSERT_TRUE(out[1].has_value());
+  EXPECT_FALSE(out[2].has_value());  // positional NONE, not dropped
+  EXPECT_EQ(out[0]->name, "gw-a");
+  EXPECT_EQ(out[1]->name, "gw-b");
+}
+
+TEST(FederatedQueryTest, FanOutResolvesOwnersInOneDirectoryRoundTrip) {
+  GridFixture f;
+  const std::vector<std::string> urls = {f.siteB->headUrl("scms"),
+                                         f.siteB->headUrl("snmp"),
+                                         f.siteB->headUrl("sql")};
+  (void)f.globalA->federatedQuery(f.adminA, urls, kAggSql);
+  // Distinct remote hosts resolve through one LOOKUPN batch.
+  EXPECT_EQ(f.globalA->stats().directoryLookups, 1u);
+}
+
+TEST(FederatedQueryTest, SchemaReloadInvalidatesFragmentPlans) {
+  // Satellite fix: cached fragment plans must die with the schema
+  // generation, like bound plans, so a reload can never dispatch a
+  // stale fragment.
+  GridFixture f;
+  auto& plans = f.gatewayA->planCache();
+  auto& schemas = f.gatewayA->schemaManager();
+  auto a = plans.federated(kAggSql, schemas);
+  auto b = plans.federated(kAggSql, schemas);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // cached: the same immutable plan
+  EXPECT_EQ(plans.stats().federatedMisses, 1u);
+  EXPECT_EQ(plans.stats().federatedHits, 1u);
+
+  schemas.setSchema(nullptr);  // generation bump (builtin schema again)
+  auto c = plans.federated(kAggSql, schemas);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(a.get(), c.get());  // re-derived, not the stale fragment
+  EXPECT_EQ(plans.stats().federatedMisses, 2u);
+
+  // And the federated path still answers correctly after the reload.
+  auto result = f.globalA->federatedQuery(
+      f.adminA, {f.siteA->headUrl("scms"), f.siteB->headUrl("scms")},
+      kAggSql);
+  ASSERT_TRUE(result.complete());
+  EXPECT_EQ(result.rows->rowCount(), 2u);
+}
+
+TEST(FederatedQueryTest, FallbackErrorsSurfaceLikeSingleGateway) {
+  GridFixture f;
+  // Unknown aggregate: not decomposable, shipped raw and executed at
+  // the coordinator, whose engine error lands in failures per URL.
+  auto result = f.globalA->federatedQuery(
+      f.adminA, {f.siteA->headUrl("scms"), f.siteB->headUrl("scms")},
+      "SELECT median(CPUCount) FROM Processor");
+  EXPECT_FALSE(result.complete());
+  EXPECT_EQ(result.failures.size(), 2u);
+  EXPECT_EQ(f.globalA->stats().federatedShipAllQueries, 1u);
+}
+
+TEST(FederatedQueryTest, CoordinatorDeadlineCancelsQueuedSiteFetches) {
+  GridFixture f;
+  auto& scheduler = f.gatewayA->scheduler();
+
+  // Saturate the blocking capacity (workers - 1 = 3) so the per-site
+  // fetch tasks stay queued. The blockers double as the sim-clock
+  // driver: they advance time past the coordinator deadline while the
+  // coordinator polls it.
+  std::atomic<bool> release{false};
+  const std::size_t blockers = scheduler.workerCount() - 1;
+  for (std::size_t i = 0; i < blockers; ++i) {
+    ASSERT_TRUE(scheduler.submit(
+        core::Lane::Interactive,
+        [&] {
+          while (!release.load()) {
+            f.clock.advance(5 * util::kMillisecond);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        },
+        {}, /*blocking=*/true));
+  }
+
+  core::QueryOptions options;
+  options.deadline = 50 * util::kMillisecond;
+  auto result = f.globalA->federatedQuery(
+      f.adminA, {f.siteA->headUrl("scms"), f.siteB->headUrl("scms")},
+      kAggSql, options);
+  release.store(true);
+
+  // Both site fetches were still queued when the deadline hit: pruned
+  // via their CancelTokens, reported as per-URL timeouts, no rows.
+  EXPECT_EQ(result.failures.size(), 2u);
+  for (const auto& failure : result.failures) {
+    EXPECT_EQ(failure.code, dbc::ErrorCode::Timeout);
+    EXPECT_NE(failure.message.find("coordinator deadline"),
+              std::string::npos);
+  }
+  EXPECT_EQ(result.rows->rowCount(), 0u);
+  EXPECT_EQ(f.globalA->stats().federatedDeadlineCancels, 2u);
+
+  // Once the blockers drain, the scheduler drops the cancelled entries
+  // at dispatch instead of running them.
+  f.quiesce();
+  const auto lane = f.gatewayA->schedulerStats(f.adminA).lane(
+      core::Lane::Interactive);
+  EXPECT_GE(lane.cancelled, 2u);
+}
+
+}  // namespace
+}  // namespace gridrm::global

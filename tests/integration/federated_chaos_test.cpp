@@ -1,0 +1,155 @@
+// Chaos acceptance for federated query planning (PR 7): a distributed
+// aggregate keeps returning byte-identical results while FFRAME
+// datagrams are being dropped (NACK'd gap repair, fresh-stream resync,
+// no double-counted partials), a crashed site degrades to stale
+// partials or a per-URL unreachable error, and a late duplicate frame
+// after the stream completed is dropped, never re-ingested.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../global/global_fixture.hpp"
+#include "gridrm/dbc/result_io.hpp"
+#include "gridrm/sim/chaos.hpp"
+
+namespace gridrm::global {
+namespace {
+
+using testutil::GridFixture;
+
+std::string bytes(const core::QueryResult& result) {
+  return result.rows ? dbc::serializeResultSet(*result.rows) : std::string();
+}
+
+// Static Int/String columns only: byte-comparable across repeated runs.
+const char* kAggSql =
+    "SELECT ClusterName, count(*) AS hosts, sum(CPUCount) AS cpus, "
+    "min(ClockSpeed) AS lo FROM Processor "
+    "GROUP BY ClusterName ORDER BY ClusterName";
+const char* kRowSql =
+    "SELECT HostName, CPUCount FROM Processor ORDER BY HostName";
+
+TEST(FederatedChaosTest, AggregateSurvivesLossBurstWithoutDoubleCounting) {
+  GlobalOptions options;
+  options.fragmentFrameRows = 1;  // one row per frame: loss hits streams
+  GridFixture f(5 * util::kSecond, "", options);
+  const std::vector<std::string> urls = {f.siteA->headUrl("scms"),
+                                         f.siteB->headUrl("scms")};
+  core::QueryOptions fresh;
+  fresh.useCache = false;
+
+  // Clean-network references (also seed the stale fallback cache).
+  const std::string aggBaseline =
+      bytes(f.globalA->federatedQuery(f.adminA, urls, kAggSql, fresh));
+  const std::string rowBaseline =
+      bytes(f.globalA->federatedQuery(f.adminA, urls, kRowSql, fresh));
+  ASSERT_FALSE(aggBaseline.empty());
+  ASSERT_FALSE(rowBaseline.empty());
+
+  // 25% loss on the inter-gateway link for the whole exercised window
+  // (retry backoff advances the sim clock, so keep it generous).
+  sim::ChaosInjector chaos(f.network, f.clock, /*seed=*/11);
+  const util::TimePoint t0 = f.clock.now();
+  chaos.lossBurst("gw-a.host", "gw-b.host", t0, t0 + 600 * util::kSecond,
+                  0.25);
+  chaos.fireDue();
+
+  for (int round = 0; round < 12; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    auto agg = f.globalA->federatedQuery(f.adminA, urls, kAggSql, fresh);
+    auto rows = f.globalA->federatedQuery(f.adminA, urls, kRowSql, fresh);
+    // Lost frames were repaired (NACK or fresh-stream resync) or the
+    // site's last good partial served stale — either way the merged
+    // relation is exactly the clean-network one: nothing lost, nothing
+    // counted twice.
+    EXPECT_TRUE(agg.failures.empty());
+    EXPECT_TRUE(rows.failures.empty());
+    EXPECT_EQ(bytes(agg), aggBaseline);
+    EXPECT_EQ(bytes(rows), rowBaseline);
+  }
+
+  const GlobalStats statsA = f.globalA->stats();
+  // The repair machinery actually fired under this seed.
+  EXPECT_GE(statsA.fragmentNacksSent + statsA.fragmentResyncs, 1u);
+  if (statsA.fragmentNacksSent > 0) {
+    EXPECT_GE(f.globalB->stats().fragmentFramesResent, 1u);
+  }
+}
+
+TEST(FederatedChaosTest, CrashedSiteDegradesToStalePartialsAndRecovers) {
+  GridFixture f;
+  const std::vector<std::string> urls = {f.siteA->headUrl("scms"),
+                                         f.siteB->headUrl("scms")};
+
+  // Warm run caches site B's partial (fresh + stale copies).
+  auto warm = f.globalA->federatedQuery(f.adminA, urls, kAggSql);
+  ASSERT_TRUE(warm.complete());
+  const std::string warmBytes = bytes(warm);
+
+  // Site B's gateway dies; let the fresh cache entry expire so the next
+  // query must actually reach (and fail to reach) the owner.
+  f.globalB->crash();
+  f.network.setHostDown("gw-b.host", true);
+  f.clock.advance(10 * util::kSecond);
+
+  auto degraded = f.globalA->federatedQuery(f.adminA, urls, kAggSql);
+  EXPECT_TRUE(degraded.complete());  // served, but flagged
+  EXPECT_FALSE(degraded.staleSources.empty());
+  // Static columns: the stale partial merges to the identical relation.
+  EXPECT_EQ(bytes(degraded), warmBytes);
+  EXPECT_GE(f.globalA->stats().staleRemoteServes, 1u);
+
+  // A statement never seen before has no stale partial to fall back on:
+  // the unreachable site surfaces as a per-URL error while site A's
+  // half of the aggregate still answers.
+  auto partial = f.globalA->federatedQuery(f.adminA, urls, kRowSql);
+  ASSERT_EQ(partial.failures.size(), 1u);
+  EXPECT_EQ(partial.failures[0].url, f.siteB->headUrl("scms"));
+  EXPECT_NE(partial.failures[0].message.find("site unreachable"),
+            std::string::npos);
+  ASSERT_NE(partial.rows, nullptr);
+  EXPECT_EQ(partial.rows->rowCount(), 3u);  // site A's 3 hosts
+
+  // Restart heals: fresh fan-out, no staleness, same relation.
+  f.network.setHostDown("gw-b.host", false);
+  f.globalB->start();
+  core::QueryOptions fresh;
+  fresh.useCache = false;
+  auto healed = f.globalA->federatedQuery(f.adminA, urls, kAggSql, fresh);
+  ASSERT_TRUE(healed.complete());
+  EXPECT_TRUE(healed.staleSources.empty());
+  EXPECT_EQ(bytes(healed), warmBytes);
+}
+
+TEST(FederatedChaosTest, LateDuplicateFrameIsDroppedNotReIngested) {
+  GlobalOptions options;
+  options.fragmentFrameRows = 1;
+  GridFixture f(5 * util::kSecond, "", options);
+  const std::vector<std::string> urls = {f.siteB->headUrl("scms")};
+  core::QueryOptions fresh;
+  fresh.useCache = false;
+
+  auto first = f.globalA->federatedQuery(f.adminA, urls, kRowSql, fresh);
+  ASSERT_TRUE(first.complete());
+  const std::string baseline = bytes(first);
+  const std::uint64_t received = f.globalA->stats().fragmentFramesReceived;
+
+  // A NACK resend arriving after the fetch completed: the collector for
+  // stream gw-a-0 is gone, so the frame must be counted as a duplicate
+  // and discarded — not ingested into any later stream.
+  f.network.datagram(f.globalB->producerAddress(), f.globalA->producerAddress(),
+                     "FFRAME gw-a-0 1 2 " + std::to_string(f.globalB->epoch()) +
+                         "\ncorrupt frame bytes");
+  const GlobalStats after = f.globalA->stats();
+  EXPECT_EQ(after.duplicateFragmentFramesDropped, 1u);
+  EXPECT_EQ(after.fragmentFramesReceived, received);
+
+  // And a subsequent fetch is untouched by the stray frame.
+  auto second = f.globalA->federatedQuery(f.adminA, urls, kRowSql, fresh);
+  ASSERT_TRUE(second.complete());
+  EXPECT_EQ(bytes(second), baseline);
+}
+
+}  // namespace
+}  // namespace gridrm::global

@@ -128,6 +128,131 @@ class ExprGenerator {
     return stmt;
   }
 
+  /// A random SELECT aimed at the federated planner (PR 7): everything
+  /// genSelect covers plus the shapes that stress plan decomposition —
+  /// aliased aggregates, AVG/COUNT(*) mixes, bare first-row columns
+  /// beside aggregates, arithmetic over aggregate calls, and aggregate
+  /// expressions in ORDER BY. Pair with genExactRow(): partial-sum
+  /// reassociation across sites is then exact, so the decomposed merge
+  /// must be *byte-identical* to the ship-all-rows baseline.
+  SelectStatement genFederatedSelect() {
+    SelectStatement stmt;
+    stmt.table = "t";
+    if (rng_.chance(0.6)) {
+      // Aggregate mode: 0 keys = one global group (the COUNT(*)-over-
+      // empty-input edge), else grouped with NULLable string keys.
+      const std::size_t keys = rng_.below(3);
+      for (std::size_t i = 0; i < keys; ++i) {
+        const char* col = kStringCols[rng_.below(std::size(kStringCols))];
+        stmt.groupBy.push_back(Expr::makeColumn("", col));
+        SelectItem item;
+        item.expr = Expr::makeColumn("", col);
+        stmt.items.push_back(std::move(item));
+      }
+      const std::size_t extras = 1 + rng_.below(3);
+      for (std::size_t i = 0; i < extras; ++i) {
+        SelectItem item;
+        switch (rng_.below(6)) {
+          case 0:
+            item.expr = Expr::makeCall("count", {}, /*starArg=*/true);
+            break;
+          case 1:  // aliased aggregate
+            item.expr = genAggCall();
+            item.alias = "a" + std::to_string(i);
+            break;
+          case 2:  // bare column resolved against the group's first row
+            item.expr = Expr::makeColumn(
+                "", kNumericCols[rng_.below(std::size(kNumericCols))]);
+            break;
+          case 3:  // arithmetic over aggregates (and a literal)
+            item.expr = Expr::makeBinary(
+                rng_.chance(0.5) ? BinOp::Add : BinOp::Mul, genAggCall(),
+                Expr::makeLiteral(
+                    util::Value(static_cast<std::int64_t>(1 + rng_.below(4)))));
+            break;
+          default:
+            item.expr = genAggCall();
+            break;
+        }
+        stmt.items.push_back(std::move(item));
+      }
+      const std::size_t orderKeys = rng_.below(3);
+      for (std::size_t i = 0; i < orderKeys; ++i) {
+        OrderKey key;
+        if (!stmt.groupBy.empty() && rng_.chance(0.4)) {
+          key.expr = stmt.groupBy[rng_.below(stmt.groupBy.size())]->clone();
+        } else if (rng_.chance(0.5)) {
+          key.expr = stmt.items[rng_.below(stmt.items.size())].expr->clone();
+        } else {
+          key.expr = genAggCall();  // an aggregate only ordered by
+        }
+        key.descending = rng_.chance(0.5);
+        stmt.orderBy.push_back(std::move(key));
+      }
+    } else {
+      // Non-aggregate mode: star or expressions, with ORDER BY keys
+      // that may reference unprojected columns (the hidden-key path).
+      if (rng_.chance(0.3)) {
+        stmt.items.push_back(SelectItem{});  // SELECT *
+      } else {
+        const std::size_t n = 1 + rng_.below(3);
+        for (std::size_t i = 0; i < n; ++i) {
+          SelectItem item;
+          item.expr =
+              rng_.chance(0.5)
+                  ? Expr::makeColumn(
+                        "", kNumericCols[rng_.below(std::size(kNumericCols))])
+                  : genNumeric(2);
+          if (rng_.chance(0.25)) item.alias = "c" + std::to_string(i);
+          stmt.items.push_back(std::move(item));
+        }
+      }
+      const std::size_t orderKeys = rng_.below(3);
+      for (std::size_t i = 0; i < orderKeys; ++i) {
+        OrderKey key;
+        key.expr = rng_.chance(0.5)
+                       ? Expr::makeColumn(
+                             "", kNumericCols[rng_.below(
+                                     std::size(kNumericCols))])
+                       : genNumeric(1);
+        key.descending = rng_.chance(0.5);
+        stmt.orderBy.push_back(std::move(key));
+      }
+    }
+    if (rng_.chance(0.6)) stmt.where = genPredicate(2);
+    if (rng_.chance(0.5)) {
+      stmt.limit = static_cast<std::int64_t>(rng_.below(6));
+    }
+    return stmt;
+  }
+
+  /// Like genRow(), but every Real is a small dyadic rational (a
+  /// multiple of 0.25): sums of hundreds of them are exact in binary
+  /// floating point under *any* association and round-trip through the
+  /// %.10g wire encoding unchanged — the property that makes the
+  /// federated differential battery a byte-identity test even for
+  /// SUM/AVG partials reassociated across sites.
+  std::map<std::string, util::Value> genExactRow() {
+    std::map<std::string, util::Value> row;
+    for (const char* c : kNumericCols) {
+      if (rng_.chance(0.15)) {
+        row[c] = util::Value::null();
+      } else if (rng_.chance(0.5)) {
+        row[c] = util::Value(static_cast<std::int64_t>(rng_.below(10)));
+      } else {
+        row[c] = util::Value(static_cast<double>(rng_.below(33)) * 0.25);
+      }
+    }
+    static const char* kHosts[] = {"siteA-node00", "siteA-node01",
+                                   "siteB-node00", "weird host"};
+    for (const char* c : kStringCols) {
+      row[c] = rng_.chance(0.1)
+                   ? util::Value::null()
+                   : util::Value(kHosts[rng_.below(std::size(kHosts))]);
+    }
+    return row;
+  }
+
   std::map<std::string, util::Value> genRow() {
     std::map<std::string, util::Value> row;
     for (const char* c : kNumericCols) {
@@ -150,6 +275,18 @@ class ExprGenerator {
   }
 
  private:
+  /// A mergeable aggregate call over a bare numeric column. Bare-column
+  /// arguments keep per-site SUM/AVG partials dyadic-exact when the
+  /// rows come from genExactRow().
+  ExprPtr genAggCall() {
+    static const char* kAggs[] = {"count", "sum", "avg", "min", "max"};
+    std::vector<ExprPtr> args;
+    args.push_back(Expr::makeColumn(
+        "", kNumericCols[rng_.below(std::size(kNumericCols))]));
+    return Expr::makeCall(kAggs[rng_.below(std::size(kAggs))],
+                          std::move(args));
+  }
+
   ExprPtr genLeafPredicate() {
     switch (rng_.below(5)) {
       case 0: {  // numeric comparison
