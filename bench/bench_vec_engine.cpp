@@ -1,0 +1,170 @@
+// E19 -- vectorized batch execution vs the row interpreter.
+//
+// Claim: executing SELECTs as batch kernels over typed columns
+// (sql/vec) beats the tree-walking row interpreter by >= 3x on
+// filter-heavy full-table scans, because per-row costs (virtual
+// dispatch through RowAccessor, Value boxing, shared_ptr string
+// copies) collapse into tight per-column loops with selection
+// vectors.
+//
+// Measured: the same statements through store::executeSelect (vec
+// engine) and store::executeSelectInterpreted (ground truth) over an
+// identical 64k-row data set -- filter-heavy scans, arithmetic
+// projection, GROUP BY aggregation -- plus tsdb historical scans with
+// tsdb.vectorized_scan on and off (the zero-transpose path: decoded
+// segment columns feed the kernels directly).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/sql/parser.hpp"
+#include "gridrm/sql/vec/engine.hpp"
+#include "gridrm/store/database.hpp"
+#include "gridrm/store/tsdb/tsdb.hpp"
+
+namespace {
+
+using namespace gridrm;
+using util::Value;
+using util::ValueType;
+
+constexpr int kRows = 1 << 16;  // 64k
+
+const std::vector<dbc::ColumnInfo>& schema() {
+  static const std::vector<dbc::ColumnInfo> kColumns = {
+      {"host", ValueType::String, "", "t"},
+      {"cluster", ValueType::String, "", "t"},
+      {"load1", ValueType::Real, "", "t"},
+      {"cpus", ValueType::Int, "", "t"},
+      {"mem", ValueType::Int, "", "t"}};
+  return kColumns;
+}
+
+const std::vector<std::vector<Value>>& rows() {
+  static const std::vector<std::vector<Value>> kRowsData = [] {
+    std::vector<std::vector<Value>> out;
+    out.reserve(kRows);
+    for (int i = 0; i < kRows; ++i) {
+      out.push_back({Value("node" + std::to_string(i % 512)),
+                     Value(i % 7 == 0 ? "siteB" : "siteA"),
+                     i % 19 == 0 ? Value::null() : Value(0.01 * (i % 400)),
+                     Value(2 + i % 6), Value(256 << (i % 5))});
+    }
+    return out;
+  }();
+  return kRowsData;
+}
+
+// Filter-heavy: arithmetic + comparison + IN + LIKE, tiny projection.
+const char* kFilterSql =
+    "SELECT host FROM t "
+    "WHERE load1 / cpus > 0.3 AND mem >= 1024 "
+    "AND cpus IN (2, 3, 4) AND cluster LIKE 'siteA%'";
+
+const char* kGroupBySql =
+    "SELECT cluster, count(*), sum(mem), avg(load1) FROM t "
+    "WHERE cpus >= 3 GROUP BY cluster ORDER BY cluster";
+
+const char* kProjectSql =
+    "SELECT load1 * 100 + cpus, mem / 2 FROM t WHERE mem > 512";
+
+void runEngine(benchmark::State& state, const char* sqlText, bool vec) {
+  const bool saved = sql::vec::engineEnabled();
+  sql::vec::setEngineEnabled(vec);
+  const auto stmt = sql::parseSelect(sqlText);
+  for (auto _ : state) {
+    auto rs = vec ? store::executeSelect(stmt, schema(), rows())
+                  : store::executeSelectInterpreted(stmt, schema(), rows());
+    benchmark::DoNotOptimize(rs);
+  }
+  sql::vec::setEngineEnabled(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRows);
+}
+
+void BM_FilterScan_Vec(benchmark::State& state) {
+  runEngine(state, kFilterSql, true);
+}
+BENCHMARK(BM_FilterScan_Vec);
+
+void BM_FilterScan_Interp(benchmark::State& state) {
+  runEngine(state, kFilterSql, false);
+}
+BENCHMARK(BM_FilterScan_Interp);
+
+void BM_Project_Vec(benchmark::State& state) {
+  runEngine(state, kProjectSql, true);
+}
+BENCHMARK(BM_Project_Vec);
+
+void BM_Project_Interp(benchmark::State& state) {
+  runEngine(state, kProjectSql, false);
+}
+BENCHMARK(BM_Project_Interp);
+
+void BM_GroupBy_Vec(benchmark::State& state) {
+  runEngine(state, kGroupBySql, true);
+}
+BENCHMARK(BM_GroupBy_Vec);
+
+void BM_GroupBy_Interp(benchmark::State& state) {
+  runEngine(state, kGroupBySql, false);
+}
+BENCHMARK(BM_GroupBy_Interp);
+
+// --- tsdb historical scan: the zero-transpose path -------------------
+
+std::unique_ptr<store::tsdb::TimeSeriesStore> makeTsdb(util::SimClock& clock,
+                                                       bool vectorized) {
+  store::tsdb::TsdbOptions options;
+  options.segmentRows = 4096;
+  options.segmentSpan = 0;
+  options.rawTtl = 0;
+  options.vectorizedScan = vectorized;
+  auto store =
+      std::make_unique<store::tsdb::TimeSeriesStore>(clock, options);
+  store->createTable("History",
+                     {{"Host", ValueType::String, "", "History"},
+                      {"Load", ValueType::Real, "", "History"},
+                      {"CPUs", ValueType::Int, "", "History"},
+                      {"RecordedAt", ValueType::Int, "us", "History"}},
+                     "RecordedAt");
+  for (int i = 0; i < kRows; ++i) {
+    store->append("History",
+                  {Value("node" + std::to_string(i % 512)),
+                   Value(0.01 * (i % 400)), Value(2 + i % 6),
+                   Value(static_cast<std::int64_t>(i) * 1000)});
+  }
+  store->sealAll();
+  return store;
+}
+
+void runTsdbScan(benchmark::State& state, bool vectorized) {
+  util::SimClock clock;
+  auto store = makeTsdb(clock, vectorized);
+  // Row-engine toggle held fixed so the comparison isolates the
+  // segment-scan predicate phase (the final assembly is shared).
+  const bool saved = sql::vec::engineEnabled();
+  sql::vec::setEngineEnabled(true);
+  const auto stmt = sql::parseSelect(
+      "SELECT Host, Load FROM History "
+      "WHERE RecordedAt >= 1000000 AND RecordedAt < 60000000 "
+      "AND Load > 3.0 AND CPUs IN (3, 4)");
+  for (auto _ : state) {
+    auto rs = store->query(stmt);
+    benchmark::DoNotOptimize(rs);
+  }
+  sql::vec::setEngineEnabled(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRows);
+}
+
+void BM_TsdbScan_Vec(benchmark::State& state) { runTsdbScan(state, true); }
+BENCHMARK(BM_TsdbScan_Vec);
+
+void BM_TsdbScan_Interp(benchmark::State& state) { runTsdbScan(state, false); }
+BENCHMARK(BM_TsdbScan_Interp);
+
+}  // namespace

@@ -33,6 +33,18 @@ fi
 
 mkdir -p "${out_dir}"
 status=0
+# The source tree is the ground truth for which benchmarks must exist:
+# a bench_*.cpp without a built binary means a stale or partial build,
+# and silently skipping it would let EXPERIMENTS.md quote missing data.
+for src in "${repo_root}"/bench/bench_*.cpp; do
+  name="$(basename "${src}" .cpp)"
+  if [[ ! -x "${bench_dir}/${name}" ]]; then
+    echo "error: ${bench_dir}/${name} is missing (source ${src} exists);" >&2
+    echo "       rebuild: cmake --build ${build_dir} -j" >&2
+    status=1
+  fi
+done
+[[ "${status}" -eq 0 ]] || exit "${status}"
 for bin in "${bench_dir}"/bench_*; do
   [[ -x "${bin}" && -f "${bin}" ]] || continue
   tag="$(basename "${bin}")"

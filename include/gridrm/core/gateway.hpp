@@ -30,6 +30,7 @@
 #include "gridrm/drivers/plan_cache.hpp"
 #include "gridrm/glue/schema_manager.hpp"
 #include "gridrm/net/network.hpp"
+#include "gridrm/sql/vec/engine.hpp"
 #include "gridrm/store/database.hpp"
 #include "gridrm/store/tsdb/tsdb.hpp"
 #include "gridrm/stream/continuous_query_engine.hpp"
@@ -155,6 +156,11 @@ class Gateway {
   /// per-tier row counts, compression ratio and tier-hit counters.
   /// Returns zeros when the tsdb is disabled.
   store::tsdb::TsdbStats tsdbStats(const std::string& token);
+  /// Introspect the vectorized SQL engine: statements executed
+  /// vectorized, interpreter fallbacks, batches and rows processed.
+  /// (Process-wide counters: every executeSelect in this process
+  /// contributes.)
+  sql::vec::VecEngineStats vecEngineStats(const std::string& token);
 
   // --- ACIL: events ---------------------------------------------------
   std::size_t subscribeEvents(const std::string& token,

@@ -43,6 +43,29 @@ class EvalError : public std::runtime_error {
   explicit EvalError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+// Shared scalar kernels. Exported so the vectorized batch engine
+// (sql/vec) applies bit-identical semantics cell-by-cell on its slow
+// paths; evaluate() uses the same functions, so the two engines cannot
+// drift.
+
+/// Comparison (Eq/Ne/Lt/Le/Gt/Ge) with NULL propagation; any other op
+/// throws EvalError.
+util::Value compareValues(BinOp op, const util::Value& l,
+                          const util::Value& r);
+
+/// Arithmetic (Add/Sub/Mul/Div/Mod) with NULL propagation, string
+/// concatenation for Add, int/double promotion, and division by zero
+/// -> NULL. Signed int64 overflow is defined: Add/Sub/Mul that
+/// overflow, INT64_MIN / -1, and unary negation of INT64_MIN promote
+/// the result to Real (computed in double, like a mixed int/real
+/// expression); x % -1 is 0. Non-numeric operands throw EvalError.
+util::Value arithmeticValues(BinOp op, const util::Value& l,
+                             const util::Value& r);
+
+/// SQL unary minus (NULL -> NULL, non-numeric throws EvalError; see
+/// arithmeticValues for the INT64_MIN case).
+util::Value negateValue(const util::Value& v);
+
 /// Evaluate an expression against a row. Three-valued logic is
 /// simplified to two-valued with NULL propagation: any comparison or
 /// arithmetic involving NULL yields NULL, and a NULL predicate result is

@@ -1,0 +1,118 @@
+// Typed column batches for the vectorized SQL engine (sql::vec).
+//
+// A VecColumn holds one source column's cells for a batch of rows
+// (~kBatchRows at a time on the row-store path, one sealed segment's
+// candidates on the tsdb path), decomposed into flat typed vectors so
+// the batch kernels in kernels.hpp run tight loops instead of
+// re-walking the AST per row:
+//
+//   * Numeric - per-cell tag (NULL / Int / Real) + int64 and double
+//               value streams. Int and Real cells share one column
+//               because SQL comparisons and arithmetic promote across
+//               them (util::Value::compare / arithmeticValues).
+//   * Str     - int32 dictionary codes (-1 = NULL). The dictionary is
+//               either built per batch (row-store transpose) or
+//               borrowed from an immutable tsdb segment, which is what
+//               makes the segment scan zero-transpose: no string is
+//               copied to evaluate a predicate.
+//   * Bool    - validity tag + packed byte per cell.
+//   * Generic - plain util::Value cells. The catch-all for columns that
+//               genuinely mix types; evaluation still proceeds cell-wise
+//               over a flat array with the shared scalar kernels.
+//
+// Batches carry no shared mutable state: columns are value types (plus
+// a borrowed pointer into an immutable segment), so concurrent queries
+// never synchronise on them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::sql::vec {
+
+/// Row-store transpose granularity. The tsdb path batches one
+/// segment's candidate set instead (segments are a few thousand rows).
+inline constexpr std::size_t kBatchRows = 1024;
+
+enum class ColKind : std::uint8_t { Numeric, Bool, Str, Generic };
+
+// Per-cell tags for ColKind::Numeric; kNullTag doubles as the Bool
+// validity tag (0 = NULL, 1 = valid).
+inline constexpr std::uint8_t kNullTag = 0;
+inline constexpr std::uint8_t kIntTag = 1;
+inline constexpr std::uint8_t kRealTag = 2;
+
+struct VecColumn {
+  ColKind kind = ColKind::Numeric;
+  std::size_t size = 0;
+
+  // Numeric: tag[i] selects ints[i] / reals[i] / NULL.
+  // Bool: tag[i] 0 = NULL, 1 = valid (value in bools[i]).
+  std::vector<std::uint8_t> tag;
+  std::vector<std::int64_t> ints;
+  std::vector<double> reals;
+  std::vector<std::uint8_t> bools;
+
+  // Str: codes[i] indexes *dict, -1 = NULL.
+  std::vector<std::int32_t> codes;
+  const std::vector<std::string>* dict = nullptr;
+  std::shared_ptr<std::vector<std::string>> ownedDict;  // when built here
+
+  // Generic.
+  std::vector<util::Value> values;
+
+  bool isNullAt(std::size_t i) const noexcept;
+  /// Materialise one cell (the only place a Str cell copies its string).
+  util::Value valueAt(std::size_t i) const;
+
+  // Appenders used by the builders and the tsdb segment scan; callers
+  // pick one family per column (matching `kind`).
+  void appendNull();
+  void appendInt(std::int64_t v);
+  void appendReal(double v);
+  void appendBool(bool v);
+  void appendCode(std::int32_t code);  // Str; -1 = NULL
+  void appendValue(util::Value v);     // Generic
+
+  /// Rewrite this column in place as ColKind::Generic (used when a
+  /// builder discovers a type the current family cannot hold).
+  void demoteToGeneric();
+};
+
+/// Reusable per-column transpose state. One builder serves one column
+/// slot for the lifetime of a query: `build` clears the typed vectors
+/// but keeps their capacity, and the string dictionary (plus its
+/// lookup index) persists across batches, so steady-state batch
+/// builds allocate nothing. The dictionary only ever grows, which
+/// keeps codes handed out in earlier batches valid; string_view keys
+/// reference the source rows, which outlive the query.
+struct ColumnBuilder {
+  VecColumn col;
+  std::unordered_map<std::string_view, std::int32_t> dictIndex;
+
+  /// Transpose cells `rows[ids[pos]][c]` (or `rows[pos][c]` when `ids`
+  /// is null) for pos in [begin, end) into `col`, picking the
+  /// narrowest ColKind that fits the cells actually present and
+  /// demoting to Generic on a mixed column.
+  void build(const std::vector<std::vector<util::Value>>& rows,
+             const std::uint32_t* ids, std::size_t begin, std::size_t end,
+             std::size_t c);
+};
+
+/// One-shot convenience over ColumnBuilder (no state reuse).
+VecColumn buildColumn(const std::vector<std::vector<util::Value>>& rows,
+                      const std::uint32_t* ids, std::size_t begin,
+                      std::size_t end, std::size_t col);
+
+/// Gather `column` at the given positions into a new dense column.
+VecColumn gatherColumn(const VecColumn& column,
+                       const std::uint32_t* positions, std::size_t n);
+
+}  // namespace gridrm::sql::vec

@@ -1,0 +1,67 @@
+// Vectorized batch SELECT engine.
+//
+// trySelect() executes a parsed SELECT over row-major input by
+// transposing it once into typed column batches (~1024 rows each) and
+// running predicate/projection/aggregation kernels per batch. It
+// either returns a result proven byte-identical to the row
+// interpreter's, or nullopt -- in which case the caller re-runs the
+// row interpreter (store::executeSelectInterpreted), which also
+// reproduces any error the statement would raise, bit for bit.
+//
+// tryFilterBatch() is the zero-transpose entry used by the tsdb scan:
+// decoded segment columns are fed in directly as VecColumns and only
+// the WHERE phase runs vectorized.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/sql/vec/column_batch.hpp"
+#include "gridrm/util/value.hpp"
+
+namespace gridrm::sql::vec {
+
+/// Process-wide engine counters (monotonic, relaxed atomics inside).
+/// Exported through Gateway::vecEngineStats for operator visibility.
+struct VecEngineStats {
+  std::uint64_t vecStatements = 0;    // statements fully executed vectorized
+  std::uint64_t vecFallbacks = 0;     // bailed to the row interpreter
+  std::uint64_t vecBatches = 0;       // column batches processed
+  std::uint64_t vecRowsScanned = 0;   // rows entering the filter kernels
+  std::uint64_t vecRowsFiltered = 0;  // rows the filter kernels dropped
+};
+
+VecEngineStats engineStats() noexcept;
+void resetEngineStats() noexcept;
+
+/// Kill switch (used by benchmarks and tests to force the row
+/// interpreter). Defaults to enabled.
+bool engineEnabled() noexcept;
+void setEngineEnabled(bool enabled) noexcept;
+
+struct SelectResult {
+  std::vector<std::vector<util::Value>> rows;
+};
+
+/// Execute `stmt` vectorized over `rows` (cells addressed by
+/// `columnNames` order). Returns nullopt when any construct or data
+/// shape cannot be proven identical to the row interpreter; the caller
+/// must then fall back. Never throws SqlError/EvalError itself.
+std::optional<SelectResult> trySelect(
+    const SelectStatement& stmt,
+    const std::vector<std::string_view>& columnNames,
+    const std::vector<std::vector<util::Value>>& rows);
+
+/// Run only the WHERE phase over one pre-built batch of `rowCount`
+/// rows; `cols` is indexed like `columnNames` and entries for columns
+/// the predicate does not touch may be null. Returns the selected row
+/// indices (ascending) or nullopt on fallback.
+std::optional<std::vector<std::uint32_t>> tryFilterBatch(
+    const Expr& where, const std::vector<std::string_view>& columnNames,
+    std::string_view table, std::string_view alias,
+    const std::vector<const VecColumn*>& cols, std::size_t rowCount);
+
+}  // namespace gridrm::sql::vec

@@ -1,0 +1,76 @@
+// Batch predicate / expression kernels for the vectorized SQL engine.
+//
+// Compilation model: the existing AST is interpreted *per batch*
+// instead of per row. evalPredicateBatch() walks the tree once for a
+// whole selection, producing a tri-state mask; AND/OR recurse with a
+// narrowed selection vector so the right-hand side only runs where the
+// row interpreter would have evaluated it (identical short-circuit
+// reachability -- which also governs which error sites "exist").
+//
+// Parity rule: a kernel either produces exactly what the row
+// interpreter produces for every selected row, or throws Fallback and
+// the caller re-runs the statement on the row interpreter, which then
+// raises the exact row-path error (same gate pattern as
+// store::planFederated's pushdown=false path). Data-dependent error
+// sites -- unknown columns actually reached, non-numeric arithmetic,
+// aggregate calls in scalar context -- therefore never need error
+// message replication here.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gridrm/sql/ast.hpp"
+#include "gridrm/sql/vec/column_batch.hpp"
+
+namespace gridrm::sql::vec {
+
+/// Internal abort signal: the statement/data shape cannot be proven
+/// byte-identical to the row interpreter. Never escapes the engine
+/// entry points in engine.hpp.
+struct Fallback {};
+
+/// Column resolution context, mirroring store's TableRowAccessor: a
+/// non-empty qualifier must case-insensitively match the table name or
+/// alias, then the first case-insensitive name match wins.
+struct BatchSchema {
+  std::vector<std::string_view> names;
+  std::string_view table;
+  std::string_view alias;
+
+  /// Index of the referenced column, or -1 when unknown (an error only
+  /// if a row actually evaluates it -- see the Column kernel).
+  std::ptrdiff_t resolve(std::string_view qualifier,
+                         std::string_view name) const noexcept;
+};
+
+/// One batch of rows: per-schema-column typed vectors. Columns the
+/// current expression never references are left null (not built).
+struct Batch {
+  std::size_t rows = 0;
+  std::vector<const VecColumn*> cols;  // size == schema.names.size()
+};
+
+// Tri-state predicate cells, aligned to a selection vector.
+inline constexpr std::uint8_t kMFalse = 0;
+inline constexpr std::uint8_t kMTrue = 1;
+inline constexpr std::uint8_t kMNull = 2;
+using Mask = std::vector<std::uint8_t>;
+
+/// Batch-local row indices (ascending). A selection whose size equals
+/// batch.rows is by construction the identity and lets Column kernels
+/// borrow the batch column without a gather.
+using Sel = std::vector<std::uint32_t>;
+
+/// Evaluate `expr` as a predicate over the selected rows; result mask
+/// is aligned to `sel`. Throws Fallback on any parity doubt.
+Mask evalPredicateBatch(const Expr& expr, const BatchSchema& schema,
+                        const Batch& batch, const Sel& sel);
+
+/// Evaluate `expr` as a value producer over the selected rows; the
+/// result column is aligned to `sel`.
+VecColumn evalValueBatch(const Expr& expr, const BatchSchema& schema,
+                         const Batch& batch, const Sel& sel);
+
+}  // namespace gridrm::sql::vec

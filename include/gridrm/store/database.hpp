@@ -111,7 +111,18 @@ class Database {
 
 /// Evaluate a SELECT against explicitly provided columns/rows (shared by
 /// Database and by driver-side WHERE/ORDER BY/LIMIT application).
+/// Prefers the vectorized batch engine (sql/vec) and falls back to the
+/// row interpreter whenever the engine cannot prove byte-identical
+/// semantics, so results and errors are indistinguishable between the
+/// two paths.
 std::unique_ptr<dbc::VectorResultSet> executeSelect(
+    const sql::SelectStatement& stmt,
+    const std::vector<dbc::ColumnInfo>& columns,
+    const std::vector<std::vector<dbc::Value>>& rows);
+
+/// The row-interpreter executor (the vec engine's fallback and ground
+/// truth; exported for differential testing and benchmarks).
+std::unique_ptr<dbc::VectorResultSet> executeSelectInterpreted(
     const sql::SelectStatement& stmt,
     const std::vector<dbc::ColumnInfo>& columns,
     const std::vector<std::vector<dbc::Value>>& rows);

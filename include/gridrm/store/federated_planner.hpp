@@ -83,6 +83,14 @@ struct FederatedPlan {
   std::size_t keyCount = 0;  // leading fragment columns = group keys
   std::vector<FederatedFirstValue> firstValues;
   std::vector<FederatedAggSlot> aggSlots;
+  /// Global aggregates (keyCount == 0) emit one partial row per site
+  /// even when the site matched zero rows; with bare first-row columns
+  /// in play the merge must not capture firsts from such a row (an
+  /// empty first site would mask a later site's real first row). The
+  /// fragment then carries a count(*) at `rowCountPartial` so the
+  /// merge can tell the two apart.
+  bool trackRowCount = false;
+  std::size_t rowCountPartial = 0;
 
   // Non-aggregate merge metadata: trailing hidden order-key columns
   // appended to the fragment projection (one per ORDER BY key).

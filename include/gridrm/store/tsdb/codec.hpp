@@ -139,6 +139,14 @@ class ColumnCursor {
   /// cell is not an Int; callers check type via isNull/value()).
   std::int64_t rawInt() const noexcept { return int_; }
 
+  // Raw codec state of the current cell, for the vectorized segment
+  // scan (which rebuilds typed batch columns without Value boxing).
+  // Valid only when !isNull(); rawTag is the ValueType enum byte.
+  std::uint8_t rawTag() const noexcept { return tag_; }
+  bool rawBool() const noexcept { return bool_; }
+  std::uint64_t rawRealBits() const noexcept { return realBits_; }
+  std::uint32_t rawDictId() const noexcept { return dictId_; }
+
  private:
   const EncodedColumn& col_;
   VarintReader intsR_;

@@ -90,12 +90,17 @@ struct TimeBounds {
 /// Column references in `where` resolve case-insensitively against the
 /// segment schema, honouring `tableName`/`alias` qualifiers exactly
 /// like the row store; an unknown reference throws the same
-/// SqlError(NoSuchColumn).
+/// SqlError(NoSuchColumn). With `vectorized` (the default), the
+/// predicate phase feeds the decoded columns straight into the batch
+/// filter kernels (sql::vec::tryFilterBatch) -- no per-row Value
+/// boxing, no string copies -- and falls back to the row interpreter
+/// over the same decoded columns whenever the kernels cannot prove
+/// identical semantics.
 void scanSegment(const Segment& segment, const TimeBounds& bounds,
                  const sql::Expr* where, const std::string& tableName,
                  const std::string& alias, const std::vector<bool>& needed,
-                 std::vector<std::vector<util::Value>>& out,
-                 ScanStats& stats);
+                 std::vector<std::vector<util::Value>>& out, ScanStats& stats,
+                 bool vectorized = true);
 
 /// Collect the (lower-cased) names of every column referenced by an
 /// expression tree, regardless of qualifier.

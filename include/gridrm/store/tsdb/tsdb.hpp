@@ -58,10 +58,14 @@ struct TsdbOptions {
   /// A query's time span must cover at least this many buckets of a
   /// tier before the rewrite picks it.
   std::size_t tierMinSpanBuckets = 2;
+  /// Feed decoded segment columns straight into the vectorized filter
+  /// kernels during scans (sql::vec). Off forces the row interpreter.
+  bool vectorizedScan = true;
 
   /// `tsdb.*` config keys: enabled, segment_rows, segment_span_ms,
   /// raw_ttl_ms, rollup_1m_ttl_ms, rollup_1h_ttl_ms, bucket_1m_ms,
-  /// bucket_1h_ms, tier_queries, tier_min_span_buckets.
+  /// bucket_1h_ms, tier_queries, tier_min_span_buckets,
+  /// vectorized_scan.
   static TsdbOptions fromConfig(const util::Config& config);
 };
 

@@ -262,6 +262,11 @@ store::tsdb::TsdbStats Gateway::tsdbStats(const std::string& token) {
   return tsdb_->stats();
 }
 
+sql::vec::VecEngineStats Gateway::vecEngineStats(const std::string& token) {
+  (void)authorize(token, Operation::RealTimeQuery);
+  return sql::vec::engineStats();
+}
+
 std::size_t Gateway::enforceRetention() {
   std::size_t dropped = 0;
   if (options_.storeRetention > 0) {

@@ -1,15 +1,14 @@
 #include "gridrm/sql/eval.hpp"
 
 #include <cmath>
+#include <limits>
 
 namespace gridrm::sql {
-
-namespace {
 
 using util::Value;
 using util::ValueType;
 
-Value compareOp(BinOp op, const Value& l, const Value& r) {
+Value compareValues(BinOp op, const Value& l, const Value& r) {
   if (l.isNull() || r.isNull()) return Value::null();
   const auto c = l.compare(r);
   switch (op) {
@@ -26,11 +25,11 @@ Value compareOp(BinOp op, const Value& l, const Value& r) {
     case BinOp::Ge:
       return Value(c != std::strong_ordering::less);
     default:
-      throw EvalError("compareOp: not a comparison");
+      throw EvalError("compareValues: not a comparison");
   }
 }
 
-Value arithmeticOp(BinOp op, const Value& l, const Value& r) {
+Value arithmeticValues(BinOp op, const Value& l, const Value& r) {
   if (l.isNull() || r.isNull()) return Value::null();
   if (op == BinOp::Add && l.type() == ValueType::String &&
       r.type() == ValueType::String) {
@@ -42,20 +41,32 @@ Value arithmeticOp(BinOp op, const Value& l, const Value& r) {
   const bool bothInt =
       l.type() == ValueType::Int && r.type() == ValueType::Int;
   if (bothInt) {
+    // Results that fit int64 stay Int; an overflowing Add/Sub/Mul (and
+    // INT64_MIN / -1) promotes to Real, computed in double below --
+    // the same widening a mixed Int/Real expression gets. The previous
+    // code computed `a + b` etc. directly, which is UB on overflow.
     const std::int64_t a = l.asInt();
     const std::int64_t b = r.asInt();
+    std::int64_t out = 0;
     switch (op) {
       case BinOp::Add:
-        return Value(a + b);
+        if (!__builtin_add_overflow(a, b, &out)) return Value(out);
+        break;
       case BinOp::Sub:
-        return Value(a - b);
+        if (!__builtin_sub_overflow(a, b, &out)) return Value(out);
+        break;
       case BinOp::Mul:
-        return Value(a * b);
+        if (!__builtin_mul_overflow(a, b, &out)) return Value(out);
+        break;
       case BinOp::Div:
         if (b == 0) return Value::null();  // SQL: division by zero -> NULL here
+        if (a == std::numeric_limits<std::int64_t>::min() && b == -1) break;
         return Value(a / b);
       case BinOp::Mod:
         if (b == 0) return Value::null();
+        // x % -1 is 0, but INT64_MIN % -1 traps on hardware; answer
+        // directly instead of promoting (the result is exact).
+        if (b == -1) return Value(std::int64_t{0});
         return Value(a % b);
       default:
         break;
@@ -77,11 +88,22 @@ Value arithmeticOp(BinOp op, const Value& l, const Value& r) {
       if (b == 0.0) return Value::null();
       return Value(std::fmod(a, b));
     default:
-      throw EvalError("arithmeticOp: not arithmetic");
+      throw EvalError("arithmeticValues: not arithmetic");
   }
 }
 
-}  // namespace
+Value negateValue(const Value& v) {
+  if (v.isNull()) return Value::null();
+  if (v.type() == ValueType::Int) {
+    const std::int64_t i = v.asInt();
+    if (i == std::numeric_limits<std::int64_t>::min()) {
+      return Value(-static_cast<double>(i));  // -INT64_MIN overflows Int
+    }
+    return Value(-i);
+  }
+  if (v.type() == ValueType::Real) return Value(-v.asReal());
+  throw EvalError("unary '-' on non-numeric operand");
+}
 
 bool likeMatch(const std::string& text, const std::string& pattern) {
   // Iterative two-pointer match with backtracking on the last '%'.
@@ -121,10 +143,7 @@ util::Value evaluate(const Expr& expr, const RowAccessor& row) {
       Value v = evaluate(*expr.children[0], row);
       if (v.isNull()) return Value::null();
       if (expr.uop == UnOp::Not) return Value(!v.toBool());
-      // Neg
-      if (v.type() == ValueType::Int) return Value(-v.asInt());
-      if (v.type() == ValueType::Real) return Value(-v.asReal());
-      throw EvalError("unary '-' on non-numeric operand");
+      return negateValue(v);
     }
     case ExprKind::Binary: {
       switch (expr.bop) {
@@ -157,11 +176,11 @@ util::Value evaluate(const Expr& expr, const RowAccessor& row) {
         case BinOp::Le:
         case BinOp::Gt:
         case BinOp::Ge:
-          return compareOp(expr.bop, evaluate(*expr.children[0], row),
-                           evaluate(*expr.children[1], row));
+          return compareValues(expr.bop, evaluate(*expr.children[0], row),
+                               evaluate(*expr.children[1], row));
         default:
-          return arithmeticOp(expr.bop, evaluate(*expr.children[0], row),
-                              evaluate(*expr.children[1], row));
+          return arithmeticValues(expr.bop, evaluate(*expr.children[0], row),
+                                  evaluate(*expr.children[1], row));
       }
     }
     case ExprKind::InList: {

@@ -1,0 +1,350 @@
+#include "gridrm/sql/vec/column_batch.hpp"
+
+#include <string_view>
+#include <unordered_map>
+
+namespace gridrm::sql::vec {
+
+using util::Value;
+using util::ValueType;
+
+bool VecColumn::isNullAt(std::size_t i) const noexcept {
+  switch (kind) {
+    case ColKind::Numeric:
+    case ColKind::Bool:
+      return tag[i] == kNullTag;
+    case ColKind::Str:
+      return codes[i] < 0;
+    case ColKind::Generic:
+      return values[i].isNull();
+  }
+  return true;
+}
+
+Value VecColumn::valueAt(std::size_t i) const {
+  switch (kind) {
+    case ColKind::Numeric:
+      if (tag[i] == kIntTag) return Value(ints[i]);
+      if (tag[i] == kRealTag) return Value(reals[i]);
+      return Value::null();
+    case ColKind::Bool:
+      return tag[i] == kNullTag ? Value::null() : Value(bools[i] != 0);
+    case ColKind::Str:
+      return codes[i] < 0 ? Value::null()
+                          : Value((*dict)[static_cast<std::size_t>(codes[i])]);
+    case ColKind::Generic:
+      return values[i];
+  }
+  return Value::null();
+}
+
+void VecColumn::appendNull() {
+  switch (kind) {
+    case ColKind::Numeric:
+      tag.push_back(kNullTag);
+      ints.push_back(0);
+      reals.push_back(0.0);
+      break;
+    case ColKind::Bool:
+      tag.push_back(kNullTag);
+      bools.push_back(0);
+      break;
+    case ColKind::Str:
+      codes.push_back(-1);
+      break;
+    case ColKind::Generic:
+      values.emplace_back();
+      break;
+  }
+  ++size;
+}
+
+void VecColumn::appendInt(std::int64_t v) {
+  tag.push_back(kIntTag);
+  ints.push_back(v);
+  reals.push_back(0.0);
+  ++size;
+}
+
+void VecColumn::appendReal(double v) {
+  tag.push_back(kRealTag);
+  ints.push_back(0);
+  reals.push_back(v);
+  ++size;
+}
+
+void VecColumn::appendBool(bool v) {
+  tag.push_back(1);
+  bools.push_back(v ? 1 : 0);
+  ++size;
+}
+
+void VecColumn::appendCode(std::int32_t code) {
+  codes.push_back(code);
+  ++size;
+}
+
+void VecColumn::appendValue(Value v) {
+  values.push_back(std::move(v));
+  ++size;
+}
+
+void VecColumn::demoteToGeneric() {
+  std::vector<Value> cells;
+  cells.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) cells.push_back(valueAt(i));
+  *this = VecColumn{};
+  kind = ColKind::Generic;
+  values = std::move(cells);
+  size = values.size();
+}
+
+namespace {
+
+void appendCell(VecColumn& out, const Value& v,
+                std::unordered_map<std::string_view, std::int32_t>* dictIndex) {
+  if (v.isNull()) {
+    out.appendNull();
+    return;
+  }
+  switch (out.kind) {
+    case ColKind::Numeric:
+      if (v.type() == ValueType::Int) {
+        out.appendInt(v.asInt());
+        return;
+      }
+      if (v.type() == ValueType::Real) {
+        out.appendReal(v.asReal());
+        return;
+      }
+      break;
+    case ColKind::Bool:
+      if (v.type() == ValueType::Bool) {
+        out.appendBool(v.asBool());
+        return;
+      }
+      break;
+    case ColKind::Str:
+      if (v.type() == ValueType::String) {
+        const std::string& s = v.asString();
+        auto [it, fresh] = dictIndex->try_emplace(
+            std::string_view(s),
+            static_cast<std::int32_t>(out.ownedDict->size()));
+        if (fresh) out.ownedDict->push_back(s);
+        out.appendCode(it->second);
+        return;
+      }
+      break;
+    case ColKind::Generic:
+      out.appendValue(v);
+      return;
+  }
+  // The cell does not fit the column's current family: mixed column.
+  out.demoteToGeneric();
+  out.appendValue(v);
+}
+
+ColKind kindFor(const Value& v) noexcept {
+  switch (v.type()) {
+    case ValueType::Int:
+    case ValueType::Real:
+      return ColKind::Numeric;
+    case ValueType::Bool:
+      return ColKind::Bool;
+    case ValueType::String:
+      return ColKind::Str;
+    case ValueType::Null:
+      break;
+  }
+  return ColKind::Numeric;  // all-NULL prefix: any family holds NULLs
+}
+
+}  // namespace
+
+void ColumnBuilder::build(const std::vector<std::vector<Value>>& rows,
+                          const std::uint32_t* ids, std::size_t begin,
+                          std::size_t end, std::size_t c) {
+  VecColumn& out = col;
+  const std::size_t n = end - begin;
+  out.tag.clear();
+  out.ints.clear();
+  out.reals.clear();
+  out.bools.clear();
+  out.codes.clear();
+  out.values.clear();
+  out.dict = nullptr;
+  out.size = 0;
+  // Decide the family from the first non-NULL cell, then reserve the
+  // whole slice before appending (a NULL-only slice stays Numeric:
+  // any family holds NULLs).
+  out.kind = ColKind::Numeric;
+  for (std::size_t pos = begin; pos < end; ++pos) {
+    const Value& v = rows[ids != nullptr ? ids[pos] : pos][c];
+    if (!v.isNull()) {
+      out.kind = kindFor(v);
+      break;
+    }
+  }
+  // Family-specialised fill loops: write by index into resized
+  // vectors (one size-field update per batch instead of three per
+  // cell) and test only the types the family can hold. A cell outside
+  // the family drops to the slow appendCell/demotion tail below.
+  std::size_t pos = begin;
+  switch (out.kind) {
+    case ColKind::Numeric: {
+      out.tag.resize(n);
+      out.ints.resize(n);
+      out.reals.resize(n);
+      for (; pos < end; ++pos) {
+        const Value& v = rows[ids != nullptr ? ids[pos] : pos][c];
+        const std::size_t i = pos - begin;
+        if (v.type() == ValueType::Int) {
+          out.tag[i] = kIntTag;
+          out.ints[i] = v.asInt();
+        } else if (v.type() == ValueType::Real) {
+          out.tag[i] = kRealTag;
+          out.reals[i] = v.asReal();
+        } else if (v.isNull()) {
+          out.tag[i] = kNullTag;
+        } else {
+          break;  // mixed column
+        }
+      }
+      out.size = pos - begin;
+      if (pos < end) {
+        out.tag.resize(out.size);
+        out.ints.resize(out.size);
+        out.reals.resize(out.size);
+      }
+      break;
+    }
+    case ColKind::Bool: {
+      out.tag.resize(n);
+      out.bools.resize(n);
+      for (; pos < end; ++pos) {
+        const Value& v = rows[ids != nullptr ? ids[pos] : pos][c];
+        const std::size_t i = pos - begin;
+        if (v.type() == ValueType::Bool) {
+          out.tag[i] = 1;
+          out.bools[i] = v.asBool() ? 1 : 0;
+        } else if (v.isNull()) {
+          out.tag[i] = kNullTag;
+          out.bools[i] = 0;
+        } else {
+          break;  // mixed column
+        }
+      }
+      out.size = pos - begin;
+      if (pos < end) {
+        out.tag.resize(out.size);
+        out.bools.resize(out.size);
+      }
+      break;
+    }
+    case ColKind::Str: {
+      out.codes.resize(n);
+      if (!out.ownedDict) {
+        out.ownedDict = std::make_shared<std::vector<std::string>>();
+      }
+      out.dict = out.ownedDict.get();
+      // Low-cardinality columns repeat the same string in runs (or
+      // near-runs): one short equality test beats a hash probe.
+      std::string_view lastSeen;
+      std::int32_t lastCode = -1;
+      for (; pos < end; ++pos) {
+        const Value& v = rows[ids != nullptr ? ids[pos] : pos][c];
+        const std::size_t i = pos - begin;
+        if (v.type() == ValueType::String) {
+          const std::string_view s = v.asString();
+          if (lastCode >= 0 && s == lastSeen) {
+            out.codes[i] = lastCode;
+          } else {
+            auto [it, fresh] = dictIndex.try_emplace(
+                s, static_cast<std::int32_t>(out.ownedDict->size()));
+            if (fresh) out.ownedDict->push_back(std::string(s));
+            out.codes[i] = it->second;
+            lastSeen = it->first;  // key outlives the value it came from
+            lastCode = it->second;
+          }
+        } else if (v.isNull()) {
+          out.codes[i] = -1;
+        } else {
+          break;  // mixed column
+        }
+      }
+      out.size = pos - begin;
+      if (pos < end) out.codes.resize(out.size);
+      break;
+    }
+    case ColKind::Generic:
+      break;  // kindFor never picks Generic; demotion handles it below
+  }
+  for (; pos < end; ++pos) {
+    const std::size_t row = ids != nullptr ? ids[pos] : pos;
+    appendCell(out, rows[row][c],
+               out.kind == ColKind::Str ? &dictIndex : nullptr);
+    if (out.kind == ColKind::Generic) {
+      // Demoted mid-batch (mixed column): finish on the generic path.
+      dictIndex.clear();  // demotion dropped ownedDict; codes died with it
+      for (std::size_t p = pos + 1; p < end; ++p) {
+        const std::size_t r = ids != nullptr ? ids[p] : p;
+        out.appendValue(rows[r][c]);
+      }
+      break;
+    }
+  }
+}
+
+VecColumn buildColumn(const std::vector<std::vector<Value>>& rows,
+                      const std::uint32_t* ids, std::size_t begin,
+                      std::size_t end, std::size_t col) {
+  ColumnBuilder builder;
+  builder.build(rows, ids, begin, end, col);
+  return std::move(builder.col);
+}
+
+VecColumn gatherColumn(const VecColumn& column, const std::uint32_t* positions,
+                       std::size_t n) {
+  VecColumn out;
+  out.kind = column.kind;
+  switch (column.kind) {
+    case ColKind::Numeric:
+      out.tag.reserve(n);
+      out.ints.reserve(n);
+      out.reals.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = positions[k];
+        out.tag.push_back(column.tag[i]);
+        out.ints.push_back(column.ints[i]);
+        out.reals.push_back(column.reals[i]);
+      }
+      break;
+    case ColKind::Bool:
+      out.tag.reserve(n);
+      out.bools.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = positions[k];
+        out.tag.push_back(column.tag[i]);
+        out.bools.push_back(column.bools[i]);
+      }
+      break;
+    case ColKind::Str:
+      out.codes.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        out.codes.push_back(column.codes[positions[k]]);
+      }
+      out.dict = column.dict;
+      out.ownedDict = column.ownedDict;
+      break;
+    case ColKind::Generic:
+      out.values.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        out.values.push_back(column.values[positions[k]]);
+      }
+      break;
+  }
+  out.size = n;
+  return out;
+}
+
+}  // namespace gridrm::sql::vec

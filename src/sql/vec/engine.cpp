@@ -1,0 +1,685 @@
+#include "gridrm/sql/vec/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/sql/vec/kernels.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::sql::vec {
+
+using util::Value;
+using util::ValueType;
+
+namespace {
+
+// --- counters ---------------------------------------------------------
+
+std::atomic<std::uint64_t> gStatements{0};
+std::atomic<std::uint64_t> gFallbacks{0};
+std::atomic<std::uint64_t> gBatches{0};
+std::atomic<std::uint64_t> gRowsScanned{0};
+std::atomic<std::uint64_t> gRowsFiltered{0};
+std::atomic<bool> gEnabled{true};
+
+void countBatch(std::size_t scanned, std::size_t kept) noexcept {
+  gBatches.fetch_add(1, std::memory_order_relaxed);
+  gRowsScanned.fetch_add(scanned, std::memory_order_relaxed);
+  gRowsFiltered.fetch_add(scanned - kept, std::memory_order_relaxed);
+}
+
+// --- shared plumbing --------------------------------------------------
+
+/// RowAccessor over string_view column names, with TableRowAccessor's
+/// qualifier rule. Used for the per-group residual evaluation in the
+/// aggregate path (one row per group -- not worth a kernel).
+class NamesRowAccessor final : public RowAccessor {
+ public:
+  NamesRowAccessor(const std::vector<std::string_view>& names,
+                   std::string_view table, std::string_view alias)
+      : names_(names), table_(table), alias_(alias) {}
+
+  void setRow(const std::vector<Value>* row) noexcept { row_ = row; }
+
+  std::optional<Value> column(const std::string& table,
+                              const std::string& name) const override {
+    if (!table.empty() && !util::iequals(table, table_) &&
+        !util::iequals(table, alias_)) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (util::iequals(names_[i], name)) return (*row_)[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const std::vector<std::string_view>& names_;
+  std::string_view table_;
+  std::string_view alias_;
+  const std::vector<Value>* row_ = nullptr;
+};
+
+/// Mark schema columns an expression can touch (unresolvable refs are
+/// left to the Column kernel, which falls back only when reached).
+void markNeeded(const Expr& expr, const BatchSchema& schema,
+                std::vector<char>& needed) {
+  if (expr.kind == ExprKind::Column) {
+    const std::ptrdiff_t idx = schema.resolve(expr.table, expr.name);
+    if (idx >= 0) needed[static_cast<std::size_t>(idx)] = 1;
+  }
+  for (const auto& child : expr.children) {
+    markNeeded(*child, schema, needed);
+  }
+}
+
+/// Transpose one slice of the row-major input (dense when ids ==
+/// nullptr, gathered otherwise) into batch columns for `needed`.
+/// Builders persist across batches, so steady-state builds reuse the
+/// typed vectors' capacity and the string dictionaries.
+struct BatchStorage {
+  std::vector<ColumnBuilder> builders;
+  Batch batch;
+
+  void build(const std::vector<std::vector<Value>>& rows,
+             const std::uint32_t* ids, std::size_t begin, std::size_t end,
+             const std::vector<char>& needed) {
+    const std::size_t width = needed.size();
+    if (builders.size() != width) builders.resize(width);
+    batch.rows = end - begin;
+    batch.cols.assign(width, nullptr);
+    for (std::size_t c = 0; c < width; ++c) {
+      if (needed[c] == 0) continue;
+      builders[c].build(rows, ids, begin, end, c);
+      batch.cols[c] = &builders[c].col;
+    }
+  }
+};
+
+Sel identitySel(std::size_t n) {
+  Sel sel(n);
+  std::iota(sel.begin(), sel.end(), 0U);
+  return sel;
+}
+
+/// WHERE phase: batch the input and collect surviving global row ids.
+std::vector<std::uint32_t> filterRows(
+    const SelectStatement& stmt, const BatchSchema& schema,
+    const std::vector<std::vector<Value>>& rows) {
+  std::vector<std::uint32_t> selected;
+  if (stmt.where == nullptr) {
+    selected.resize(rows.size());
+    std::iota(selected.begin(), selected.end(), 0U);
+    return selected;
+  }
+  std::vector<char> needed(schema.names.size(), 0);
+  markNeeded(*stmt.where, schema, needed);
+  selected.reserve(rows.size());
+  BatchStorage storage;
+  // The identity prefix stays valid as the final batch shrinks it.
+  Sel sel = identitySel(std::min(kBatchRows, rows.size()));
+  for (std::size_t begin = 0; begin < rows.size(); begin += kBatchRows) {
+    const std::size_t end = std::min(begin + kBatchRows, rows.size());
+    storage.build(rows, nullptr, begin, end, needed);
+    sel.resize(end - begin);
+    const Mask mask =
+        evalPredicateBatch(*stmt.where, schema, storage.batch, sel);
+    const std::size_t before = selected.size();
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] == kMTrue) {
+        selected.push_back(static_cast<std::uint32_t>(begin + i));
+      }
+    }
+    countBatch(end - begin, selected.size() - before);
+  }
+  return selected;
+}
+
+// --- non-aggregate pipeline -------------------------------------------
+
+std::optional<SelectResult> runPlainSelect(
+    const SelectStatement& stmt, const BatchSchema& schema,
+    const std::vector<std::vector<Value>>& rows) {
+  // Mirror of executeSelect's early validation: a bare column item
+  // whose name is unknown errors before any row work.
+  bool star = false;
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) {
+      star = true;
+      continue;
+    }
+    if (item.expr->kind == ExprKind::Column) {
+      bool known = false;
+      for (const auto& name : schema.names) {
+        if (util::iequals(name, item.expr->name)) known = true;
+      }
+      if (!known) throw Fallback{};
+    }
+  }
+
+  std::vector<std::uint32_t> selected = filterRows(stmt, schema, rows);
+
+  // ORDER BY: evaluate every key eagerly (batched), then sort indices
+  // with the interpreter's exact comparator. Same comparator outcomes
+  // on the same initial sequence make stable_sort's permutation
+  // identical. With <= 1 survivor the interpreter never evaluates keys
+  // (the comparator is never called), so neither do we.
+  if (!stmt.orderBy.empty() && selected.size() > 1) {
+    std::vector<char> needed(schema.names.size(), 0);
+    for (const auto& key : stmt.orderBy) {
+      markNeeded(*key.expr, schema, needed);
+    }
+    std::vector<std::vector<Value>> keys(
+        stmt.orderBy.size(), std::vector<Value>(selected.size()));
+    BatchStorage storage;
+    Sel sel = identitySel(std::min(kBatchRows, selected.size()));
+    for (std::size_t begin = 0; begin < selected.size();
+         begin += kBatchRows) {
+      const std::size_t end = std::min(begin + kBatchRows, selected.size());
+      storage.build(rows, selected.data(), begin, end, needed);
+      sel.resize(end - begin);
+      for (std::size_t k = 0; k < stmt.orderBy.size(); ++k) {
+        const VecColumn col =
+            evalValueBatch(*stmt.orderBy[k].expr, schema, storage.batch, sel);
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+          keys[k][begin + i] = col.valueAt(i);
+        }
+      }
+    }
+    std::vector<std::uint32_t> perm(selected.size());
+    std::iota(perm.begin(), perm.end(), 0U);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       for (std::size_t k = 0; k < stmt.orderBy.size(); ++k) {
+                         const auto c = keys[k][a].compare(keys[k][b]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return stmt.orderBy[k].descending ? !less : less;
+                       }
+                       return false;
+                     });
+    std::vector<std::uint32_t> sorted(selected.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      sorted[i] = selected[perm[i]];
+    }
+    selected = std::move(sorted);
+  }
+
+  std::size_t count = selected.size();
+  if (stmt.limit && *stmt.limit >= 0 &&
+      static_cast<std::size_t>(*stmt.limit) < count) {
+    count = static_cast<std::size_t>(*stmt.limit);
+  }
+
+  SelectResult result;
+  result.rows.reserve(count);
+  if (star && stmt.items.size() == 1) {
+    for (std::size_t r = 0; r < count; ++r) {
+      result.rows.push_back(rows[selected[r]]);
+    }
+    return result;
+  }
+
+  std::vector<char> needed(schema.names.size(), 0);
+  for (const auto& item : stmt.items) {
+    if (!item.isStar()) markNeeded(*item.expr, schema, needed);
+  }
+  BatchStorage storage;
+  Sel sel = identitySel(std::min(kBatchRows, count));
+  for (std::size_t begin = 0; begin < count; begin += kBatchRows) {
+    const std::size_t end = std::min(begin + kBatchRows, count);
+    storage.build(rows, selected.data(), begin, end, needed);
+    sel.resize(end - begin);
+    std::vector<VecColumn> itemCols(stmt.items.size());
+    for (std::size_t k = 0; k < stmt.items.size(); ++k) {
+      if (stmt.items[k].isStar()) continue;
+      itemCols[k] =
+          evalValueBatch(*stmt.items[k].expr, schema, storage.batch, sel);
+    }
+    for (std::size_t i = 0; i < sel.size(); ++i) {
+      const std::vector<Value>& source = rows[selected[begin + i]];
+      std::vector<Value> outRow;
+      outRow.reserve(stmt.items.size());
+      for (std::size_t k = 0; k < stmt.items.size(); ++k) {
+        if (stmt.items[k].isStar()) {
+          for (const auto& v : source) outRow.push_back(v);
+        } else {
+          outRow.push_back(itemCols[k].valueAt(i));
+        }
+      }
+      result.rows.push_back(std::move(outRow));
+    }
+  }
+  return result;
+}
+
+// --- aggregate pipeline -----------------------------------------------
+
+/// Same group-key ordering the interpreter gets from its std::map.
+struct ValueVectorLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      const auto c = a[i].compare(b[i]);
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Hash consistent with Value::compare equivalence classes: Int 2 and
+/// Real 2.0 compare equal, so numerics hash by (normalised) double bit
+/// pattern. NaN keys never reach here (the caller falls back: the
+/// interpreter's tree probe with a NaN is path-dependent and cannot be
+/// reproduced by hashing).
+std::size_t hashValue(const Value& v) noexcept {
+  switch (v.type()) {
+    case ValueType::Null:
+      return 0x9b1a6179u;
+    case ValueType::Bool:
+      return v.asBool() ? 0x2d5fca31u : 0x713c0a85u;
+    case ValueType::Int:
+    case ValueType::Real: {
+      double d = v.toReal();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0 (compare equal)
+      return std::hash<std::uint64_t>{}(std::bit_cast<std::uint64_t>(d));
+    }
+    case ValueType::String:
+      return std::hash<std::string>{}(v.asString()) ^ 0x5bd1e995u;
+  }
+  return 0;
+}
+
+std::size_t hashKey(const std::vector<Value>& key) noexcept {
+  std::size_t h = 0x811c9dc5u;
+  for (const Value& v : key) {
+    h ^= hashValue(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+struct Group {
+  std::vector<Value> key;
+  std::vector<std::uint32_t> pos;  // positions into `selected`, ascending
+};
+
+struct AggCall {
+  const Expr* call = nullptr;
+  std::string sql;  // toSql(), the substitution identity
+  bool starCount = false;
+};
+
+struct AggState {
+  std::uint64_t cnt = 0;  // non-NULL argument values
+  bool allInt = true;
+  std::int64_t intTotal = 0;  // wrapping (see wrappingAdd)
+  double total = 0.0;
+  bool haveBest = false;
+  Value best;
+};
+
+/// Two's-complement wrapping add, mirroring the interpreter's SUM
+/// accumulator (see computeAggregate in store/database.cpp).
+std::int64_t wrappingAdd(std::int64_t a, std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+/// Collect aggregate Call nodes (deduplicated by rendered SQL, the
+/// same identity substitution uses). Throws Fallback for any call
+/// shape computeAggregate would reject -- the rerun raises the exact
+/// error in the exact order.
+void collectCalls(const Expr& expr, std::vector<AggCall>& calls,
+                  std::unordered_set<std::string>& seen) {
+  if (expr.kind == ExprKind::Call) {
+    AggCall c;
+    c.call = &expr;
+    c.sql = expr.toSql();
+    if (!seen.insert(c.sql).second) return;
+    if (expr.name == "count" && expr.starArg) {
+      c.starCount = true;
+    } else if (expr.children.size() != 1 ||
+               expr.children[0]->containsAggregate() ||
+               (expr.name != "count" && expr.name != "sum" &&
+                expr.name != "avg" && expr.name != "min" &&
+                expr.name != "max")) {
+      throw Fallback{};
+    }
+    calls.push_back(std::move(c));
+    return;
+  }
+  for (const auto& child : expr.children) {
+    collectCalls(*child, calls, seen);
+  }
+}
+
+void substituteCalls(Expr& expr,
+                     const std::unordered_map<std::string, Value>& vals) {
+  if (expr.kind == ExprKind::Call) {
+    expr.literal = vals.at(expr.toSql());
+    expr.kind = ExprKind::Literal;
+    expr.children.clear();
+    return;
+  }
+  for (auto& child : expr.children) {
+    substituteCalls(*child, vals);
+  }
+}
+
+Value finalizeAgg(const AggCall& call, const AggState& st,
+                  std::size_t groupSize) {
+  if (call.starCount) return Value(static_cast<std::int64_t>(groupSize));
+  const std::string& fn = call.call->name;
+  if (fn == "count") return Value(static_cast<std::int64_t>(st.cnt));
+  if (st.cnt == 0) return Value::null();
+  if (fn == "min" || fn == "max") return st.best;
+  if (fn == "sum") return st.allInt ? Value(st.intTotal) : Value(st.total);
+  return Value(st.total / static_cast<double>(st.cnt));  // avg
+}
+
+std::optional<SelectResult> runAggregateSelect(
+    const SelectStatement& stmt, const BatchSchema& schema,
+    const std::vector<std::vector<Value>>& rows) {
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) throw Fallback{};  // always an error; rerun raises it
+  }
+  std::vector<AggCall> calls;
+  {
+    std::unordered_set<std::string> seen;
+    for (const auto& item : stmt.items) {
+      collectCalls(*item.expr, calls, seen);
+    }
+    for (const auto& key : stmt.orderBy) {
+      collectCalls(*key.expr, calls, seen);
+    }
+  }
+
+  const std::vector<std::uint32_t> selected = filterRows(stmt, schema, rows);
+
+  // Group. Bucket-chained hashing that preserves the interpreter's
+  // std::map semantics: equality is Value::compare, the first
+  // encountered key is the representative, and groups are ordered by
+  // ValueVectorLess at the end.
+  std::vector<Group> groups;
+  std::vector<std::uint32_t> rowGroup(selected.size(), 0);
+  if (stmt.groupBy.empty()) {
+    Group g;
+    g.pos.resize(selected.size());
+    std::iota(g.pos.begin(), g.pos.end(), 0U);
+    groups.push_back(std::move(g));  // one global group (possibly empty)
+  } else if (!selected.empty()) {
+    std::vector<char> needed(schema.names.size(), 0);
+    for (const auto& expr : stmt.groupBy) {
+      markNeeded(*expr, schema, needed);
+    }
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> buckets;
+    BatchStorage storage;
+    Sel sel = identitySel(std::min(kBatchRows, selected.size()));
+    for (std::size_t begin = 0; begin < selected.size();
+         begin += kBatchRows) {
+      const std::size_t end = std::min(begin + kBatchRows, selected.size());
+      storage.build(rows, selected.data(), begin, end, needed);
+      sel.resize(end - begin);
+      std::vector<VecColumn> keyCols(stmt.groupBy.size());
+      for (std::size_t k = 0; k < stmt.groupBy.size(); ++k) {
+        keyCols[k] =
+            evalValueBatch(*stmt.groupBy[k], schema, storage.batch, sel);
+      }
+      for (std::size_t i = 0; i < sel.size(); ++i) {
+        std::vector<Value> key;
+        key.reserve(stmt.groupBy.size());
+        for (std::size_t k = 0; k < stmt.groupBy.size(); ++k) {
+          Value v = keyCols[k].valueAt(i);
+          if (v.type() == ValueType::Real && std::isnan(v.asReal())) {
+            throw Fallback{};
+          }
+          key.push_back(std::move(v));
+        }
+        const std::size_t h = hashKey(key);
+        std::uint32_t gidx = std::numeric_limits<std::uint32_t>::max();
+        auto& chain = buckets[h];
+        for (const std::uint32_t cand : chain) {
+          if (std::equal(key.begin(), key.end(), groups[cand].key.begin(),
+                         groups[cand].key.end(),
+                         [](const Value& a, const Value& b) {
+                           return a.compare(b) ==
+                                  std::strong_ordering::equal;
+                         })) {
+            gidx = cand;
+            break;
+          }
+        }
+        if (gidx == std::numeric_limits<std::uint32_t>::max()) {
+          gidx = static_cast<std::uint32_t>(groups.size());
+          chain.push_back(gidx);
+          groups.push_back(Group{std::move(key), {}});
+        }
+        const std::size_t pos = begin + i;
+        groups[gidx].pos.push_back(static_cast<std::uint32_t>(pos));
+        rowGroup[pos] = gidx;
+      }
+    }
+  }
+
+  // Accumulate every distinct aggregate in one batched pass over the
+  // selected rows (global row order == per-group row order, which SUM's
+  // double accumulation depends on).
+  std::vector<std::vector<AggState>> states(
+      calls.size(), std::vector<AggState>(groups.size()));
+  bool anyArg = false;
+  std::vector<char> needed(schema.names.size(), 0);
+  for (const auto& call : calls) {
+    if (call.starCount) continue;
+    anyArg = true;
+    markNeeded(*call.call->children[0], schema, needed);
+  }
+  if (anyArg && !selected.empty()) {
+    BatchStorage storage;
+    Sel sel = identitySel(std::min(kBatchRows, selected.size()));
+    for (std::size_t begin = 0; begin < selected.size();
+         begin += kBatchRows) {
+      const std::size_t end = std::min(begin + kBatchRows, selected.size());
+      storage.build(rows, selected.data(), begin, end, needed);
+      sel.resize(end - begin);
+      for (std::size_t c = 0; c < calls.size(); ++c) {
+        if (calls[c].starCount) continue;
+        const VecColumn col = evalValueBatch(*calls[c].call->children[0],
+                                             schema, storage.batch, sel);
+        const std::string& fn = calls[c].call->name;
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+          if (col.isNullAt(i)) continue;  // NULLs never aggregate
+          Value v = col.valueAt(i);
+          AggState& st = states[c][rowGroup[begin + i]];
+          ++st.cnt;
+          if (fn == "min" || fn == "max") {
+            if (!st.haveBest) {
+              st.best = std::move(v);
+              st.haveBest = true;
+            } else {
+              const auto cmp = v.compare(st.best);
+              if ((fn == "min") ? cmp == std::strong_ordering::less
+                                : cmp == std::strong_ordering::greater) {
+                st.best = std::move(v);
+              }
+            }
+          } else if (fn == "sum" || fn == "avg") {
+            if (!v.isNumeric()) throw Fallback{};  // SqlError on rerun
+            if (v.type() == ValueType::Int) {
+              st.intTotal = wrappingAdd(st.intTotal, v.asInt());
+            } else {
+              st.allInt = false;
+            }
+            st.total += v.toReal();
+          }
+          // count: cnt++ above is the whole job
+        }
+      }
+    }
+  }
+
+  // Emit groups in the interpreter's (ValueVectorLess) order.
+  std::vector<std::uint32_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0U);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return ValueVectorLess{}(groups[a].key, groups[b].key);
+                   });
+
+  NamesRowAccessor accessor(schema.names, schema.table, schema.alias);
+  const std::vector<Value> nullRow(schema.names.size());
+  struct OutRow {
+    std::vector<Value> cells;
+    std::vector<Value> orderKeys;
+  };
+  std::vector<OutRow> outRows;
+  outRows.reserve(groups.size());
+  for (const std::uint32_t g : order) {
+    const Group& group = groups[g];
+    std::unordered_map<std::string, Value> vals;
+    for (std::size_t c = 0; c < calls.size(); ++c) {
+      vals.emplace(calls[c].sql,
+                   finalizeAgg(calls[c], states[c][g], group.pos.size()));
+    }
+    accessor.setRow(group.pos.empty() ? &nullRow
+                                      : &rows[selected[group.pos.front()]]);
+    const auto evalResidual = [&](const Expr& expr) {
+      ExprPtr copy = expr.clone();
+      substituteCalls(*copy, vals);
+      try {
+        return evaluate(*copy, accessor);
+      } catch (const EvalError&) {
+        throw Fallback{};  // interpreter wraps this as NoSuchColumn
+      }
+    };
+    OutRow out;
+    out.cells.reserve(stmt.items.size());
+    for (const auto& item : stmt.items) {
+      out.cells.push_back(evalResidual(*item.expr));
+    }
+    out.orderKeys.reserve(stmt.orderBy.size());
+    for (const auto& key : stmt.orderBy) {
+      out.orderKeys.push_back(evalResidual(*key.expr));
+    }
+    outRows.push_back(std::move(out));
+  }
+
+  if (!stmt.orderBy.empty()) {
+    std::stable_sort(outRows.begin(), outRows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (std::size_t i = 0; i < stmt.orderBy.size(); ++i) {
+                         const auto c = a.orderKeys[i].compare(b.orderKeys[i]);
+                         if (c == std::strong_ordering::equal) continue;
+                         const bool less = c == std::strong_ordering::less;
+                         return stmt.orderBy[i].descending ? !less : less;
+                       }
+                       return false;
+                     });
+  }
+
+  std::size_t count = outRows.size();
+  if (stmt.limit && *stmt.limit >= 0 &&
+      static_cast<std::size_t>(*stmt.limit) < count) {
+    count = static_cast<std::size_t>(*stmt.limit);
+  }
+  SelectResult result;
+  result.rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    result.rows.push_back(std::move(outRows[i].cells));
+  }
+  return result;
+}
+
+}  // namespace
+
+// --- public entry points ----------------------------------------------
+
+VecEngineStats engineStats() noexcept {
+  VecEngineStats s;
+  s.vecStatements = gStatements.load(std::memory_order_relaxed);
+  s.vecFallbacks = gFallbacks.load(std::memory_order_relaxed);
+  s.vecBatches = gBatches.load(std::memory_order_relaxed);
+  s.vecRowsScanned = gRowsScanned.load(std::memory_order_relaxed);
+  s.vecRowsFiltered = gRowsFiltered.load(std::memory_order_relaxed);
+  return s;
+}
+
+void resetEngineStats() noexcept {
+  gStatements.store(0, std::memory_order_relaxed);
+  gFallbacks.store(0, std::memory_order_relaxed);
+  gBatches.store(0, std::memory_order_relaxed);
+  gRowsScanned.store(0, std::memory_order_relaxed);
+  gRowsFiltered.store(0, std::memory_order_relaxed);
+}
+
+bool engineEnabled() noexcept {
+  return gEnabled.load(std::memory_order_relaxed);
+}
+
+void setEngineEnabled(bool enabled) noexcept {
+  gEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::optional<SelectResult> trySelect(
+    const SelectStatement& stmt,
+    const std::vector<std::string_view>& columnNames,
+    const std::vector<std::vector<Value>>& rows) {
+  if (!engineEnabled()) return std::nullopt;
+  if (rows.size() > std::numeric_limits<std::uint32_t>::max()) {
+    return std::nullopt;
+  }
+  const BatchSchema schema{columnNames, stmt.table, stmt.tableAlias};
+  bool aggregate = !stmt.groupBy.empty();
+  for (const auto& item : stmt.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) aggregate = true;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (key.expr->containsAggregate()) aggregate = true;
+  }
+  try {
+    auto result = aggregate ? runAggregateSelect(stmt, schema, rows)
+                            : runPlainSelect(stmt, schema, rows);
+    if (result) gStatements.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  } catch (const Fallback&) {
+    gFallbacks.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+std::optional<std::vector<std::uint32_t>> tryFilterBatch(
+    const Expr& where, const std::vector<std::string_view>& columnNames,
+    std::string_view table, std::string_view alias,
+    const std::vector<const VecColumn*>& cols, std::size_t rowCount) {
+  if (!engineEnabled()) return std::nullopt;
+  const BatchSchema schema{columnNames, table, alias};
+  Batch batch;
+  batch.rows = rowCount;
+  batch.cols = cols;
+  try {
+    const Sel sel = identitySel(rowCount);
+    const Mask mask = evalPredicateBatch(where, schema, batch, sel);
+    std::vector<std::uint32_t> selected;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i] == kMTrue) {
+        selected.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    countBatch(rowCount, selected.size());
+    return selected;
+  } catch (const Fallback&) {
+    gFallbacks.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+}  // namespace gridrm::sql::vec

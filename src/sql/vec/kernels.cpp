@@ -1,0 +1,803 @@
+#include "gridrm/sql/vec/kernels.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "gridrm/sql/eval.hpp"
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::sql::vec {
+
+using util::Value;
+using util::ValueType;
+
+std::ptrdiff_t BatchSchema::resolve(std::string_view qualifier,
+                                    std::string_view name) const noexcept {
+  if (!qualifier.empty() && !util::iequals(qualifier, table) &&
+      !util::iequals(qualifier, alias)) {
+    return -1;
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (util::iequals(names[i], name)) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Result of value evaluation over a selection: either one constant
+/// (literals, folded sub-expressions) or a column aligned to the
+/// selection, possibly borrowed straight from the batch.
+struct EvalCol {
+  bool isConst = false;
+  Value constVal;
+  const VecColumn* borrowed = nullptr;
+  VecColumn owned;
+  std::size_t n = 0;
+
+  const VecColumn& col() const noexcept {
+    return borrowed != nullptr ? *borrowed : owned;
+  }
+  bool cellNull(std::size_t i) const {
+    return isConst ? constVal.isNull() : col().isNullAt(i);
+  }
+  Value cellValue(std::size_t i) const {
+    return isConst ? constVal : col().valueAt(i);
+  }
+};
+
+EvalCol evalV(const Expr& expr, const BatchSchema& schema, const Batch& batch,
+              const Sel& sel);
+Mask evalP(const Expr& expr, const BatchSchema& schema, const Batch& batch,
+           const Sel& sel);
+
+// --- small helpers ----------------------------------------------------
+
+/// -1 / 0 / +1 orderings matching util::Value::compare's numeric rule
+/// (NaN compares equal to everything, like the double branch there).
+inline int cmp3(double l, double r) noexcept {
+  if (l < r) return -1;
+  if (l > r) return 1;
+  return 0;
+}
+inline int cmp3i(std::int64_t l, std::int64_t r) noexcept {
+  if (l < r) return -1;
+  if (l > r) return 1;
+  return 0;
+}
+
+/// Does ordering `c` satisfy comparison `op` (mirror of compareValues)?
+inline bool cmpHolds(BinOp op, int c) {
+  switch (op) {
+    case BinOp::Eq:
+      return c == 0;
+    case BinOp::Ne:
+      return c != 0;
+    case BinOp::Lt:
+      return c < 0;
+    case BinOp::Le:
+      return c <= 0;
+    case BinOp::Gt:
+      return c > 0;
+    case BinOp::Ge:
+      return c >= 0;
+    default:
+      throw Fallback{};
+  }
+}
+
+inline int orderOf(std::strong_ordering c) noexcept {
+  if (c == std::strong_ordering::less) return -1;
+  if (c == std::strong_ordering::greater) return 1;
+  return 0;
+}
+
+/// Per-cell access to the Numeric fast path (column or numeric const).
+struct NumAcc {
+  bool isConst = false;
+  std::uint8_t ctag = kNullTag;
+  std::int64_t ci = 0;
+  double cr = 0.0;
+  const VecColumn* c = nullptr;
+
+  explicit NumAcc(const EvalCol& e) {
+    isConst = e.isConst;
+    if (isConst) {
+      const Value& v = e.constVal;
+      if (v.type() == ValueType::Int) {
+        ctag = kIntTag;
+        ci = v.asInt();
+      } else if (v.type() == ValueType::Real) {
+        ctag = kRealTag;
+        cr = v.asReal();
+      }
+    } else {
+      c = &e.col();
+    }
+  }
+  std::uint8_t tag(std::size_t i) const { return isConst ? ctag : c->tag[i]; }
+  std::int64_t iv(std::size_t i) const { return isConst ? ci : c->ints[i]; }
+  double rv(std::size_t i) const { return isConst ? cr : c->reals[i]; }
+  double real(std::size_t i) const {
+    return tag(i) == kIntTag ? static_cast<double>(iv(i)) : rv(i);
+  }
+};
+
+/// Cells are all NULL/Int/Real: eligible for the numeric fast paths.
+bool numericish(const EvalCol& e) {
+  if (e.isConst) return e.constVal.isNull() || e.constVal.isNumeric();
+  return e.col().kind == ColKind::Numeric;
+}
+
+bool isStrCol(const EvalCol& e) {
+  return !e.isConst && e.col().kind == ColKind::Str;
+}
+bool isConstNonNull(const EvalCol& e) {
+  return e.isConst && !e.constVal.isNull();
+}
+
+/// util::Value::toBool(false) without building a Value for a string.
+bool strToBool(const std::string& s) noexcept {
+  if (s == "true" || s == "TRUE" || s == "1") return true;
+  return false;  // "false"/"FALSE"/"0" and unparseable both land here
+}
+
+/// Predicate view of a value column: NULL -> kMNull, else toBool(false).
+Mask boolish(const EvalCol& e, std::size_t n) {
+  Mask m(n, kMFalse);
+  if (e.isConst) {
+    const std::uint8_t v = e.constVal.isNull()
+                               ? kMNull
+                               : (e.constVal.toBool(false) ? kMTrue : kMFalse);
+    std::fill(m.begin(), m.end(), v);
+    return m;
+  }
+  const VecColumn& c = e.col();
+  switch (c.kind) {
+    case ColKind::Numeric:
+      for (std::size_t i = 0; i < n; ++i) {
+        if (c.tag[i] == kNullTag) {
+          m[i] = kMNull;
+        } else if (c.tag[i] == kIntTag) {
+          m[i] = c.ints[i] != 0 ? kMTrue : kMFalse;
+        } else {
+          m[i] = c.reals[i] != 0.0 ? kMTrue : kMFalse;
+        }
+      }
+      break;
+    case ColKind::Bool:
+      for (std::size_t i = 0; i < n; ++i) {
+        m[i] = c.tag[i] == kNullTag ? kMNull
+                                    : (c.bools[i] != 0 ? kMTrue : kMFalse);
+      }
+      break;
+    case ColKind::Str: {
+      std::vector<std::uint8_t> perCode(c.dict->size());
+      for (std::size_t k = 0; k < perCode.size(); ++k) {
+        perCode[k] = strToBool((*c.dict)[k]) ? kMTrue : kMFalse;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        m[i] = c.codes[i] < 0 ? kMNull
+                              : perCode[static_cast<std::size_t>(c.codes[i])];
+      }
+      break;
+    }
+    case ColKind::Generic:
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& v = c.values[i];
+        m[i] = v.isNull() ? kMNull : (v.toBool(false) ? kMTrue : kMFalse);
+      }
+      break;
+  }
+  return m;
+}
+
+/// Predicate result materialised as a value column (Bool with NULLs),
+/// matching what evaluate() returns for a boolean sub-expression.
+VecColumn maskToBool(const Mask& m) {
+  VecColumn out;
+  out.kind = ColKind::Bool;
+  out.tag.reserve(m.size());
+  out.bools.reserve(m.size());
+  for (const std::uint8_t v : m) {
+    if (v == kMNull) {
+      out.appendNull();
+    } else {
+      out.appendBool(v == kMTrue);
+    }
+  }
+  return out;
+}
+
+// --- comparison / LIKE / BETWEEN masks --------------------------------
+
+void compareMask(BinOp op, const EvalCol& a, const EvalCol& b, Mask& m) {
+  const std::size_t n = m.size();
+  if ((a.isConst && a.constVal.isNull()) ||
+      (b.isConst && b.constVal.isNull())) {
+    std::fill(m.begin(), m.end(), kMNull);  // NULL operand: NULL everywhere
+    return;
+  }
+  if (numericish(a) && numericish(b)) {
+    const NumAcc av(a);
+    const NumAcc bv(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t at = av.tag(i);
+      const std::uint8_t bt = bv.tag(i);
+      if (at == kNullTag || bt == kNullTag) {
+        m[i] = kMNull;
+        continue;
+      }
+      const int c = (at == kIntTag && bt == kIntTag)
+                        ? cmp3i(av.iv(i), bv.iv(i))
+                        : cmp3(av.real(i), bv.real(i));
+      m[i] = cmpHolds(op, c) ? kMTrue : kMFalse;
+    }
+    return;
+  }
+  // Dictionary column vs string literal: decide once per dict entry.
+  const bool aStrConst = isStrCol(a) && isConstNonNull(b) &&
+                         b.constVal.type() == ValueType::String;
+  const bool bStrConst = isStrCol(b) && isConstNonNull(a) &&
+                         a.constVal.type() == ValueType::String;
+  if (aStrConst || bStrConst) {
+    const VecColumn& c = aStrConst ? a.col() : b.col();
+    const std::string& lit =
+        (aStrConst ? b.constVal : a.constVal).asString();
+    std::vector<std::uint8_t> perCode(c.dict->size());
+    for (std::size_t k = 0; k < perCode.size(); ++k) {
+      int ord = cmp3i((*c.dict)[k].compare(lit), 0);
+      if (!aStrConst) ord = -ord;  // literal on the left
+      perCode[k] = cmpHolds(op, ord) ? kMTrue : kMFalse;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = c.codes[i] < 0 ? kMNull
+                            : perCode[static_cast<std::size_t>(c.codes[i])];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value r = compareValues(op, a.cellValue(i), b.cellValue(i));
+    m[i] = r.isNull() ? kMNull : (r.asBool() ? kMTrue : kMFalse);
+  }
+}
+
+void likeMask(const EvalCol& a, const EvalCol& b, Mask& m) {
+  const std::size_t n = m.size();
+  if ((a.isConst && a.constVal.isNull()) ||
+      (b.isConst && b.constVal.isNull())) {
+    std::fill(m.begin(), m.end(), kMNull);
+    return;
+  }
+  if (isStrCol(a) && isConstNonNull(b)) {
+    const VecColumn& c = a.col();
+    const std::string pattern = b.constVal.toString();
+    std::vector<std::uint8_t> perCode(c.dict->size());
+    for (std::size_t k = 0; k < perCode.size(); ++k) {
+      perCode[k] = likeMatch((*c.dict)[k], pattern) ? kMTrue : kMFalse;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      m[i] = c.codes[i] < 0 ? kMNull
+                            : perCode[static_cast<std::size_t>(c.codes[i])];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.cellNull(i) || b.cellNull(i)) {
+      m[i] = kMNull;
+      continue;
+    }
+    m[i] = likeMatch(a.cellValue(i).toString(), b.cellValue(i).toString())
+               ? kMTrue
+               : kMFalse;
+  }
+}
+
+void betweenMask(const EvalCol& v, const EvalCol& lo, const EvalCol& hi,
+                 bool negated, Mask& m) {
+  const std::size_t n = m.size();
+  if (numericish(v) && numericish(lo) && numericish(hi)) {
+    const NumAcc vv(v);
+    const NumAcc lv(lo);
+    const NumAcc hv(hi);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t vt = vv.tag(i);
+      const std::uint8_t lt = lv.tag(i);
+      const std::uint8_t ht = hv.tag(i);
+      if (vt == kNullTag || lt == kNullTag || ht == kNullTag) {
+        m[i] = kMNull;
+        continue;
+      }
+      const int cl = (vt == kIntTag && lt == kIntTag)
+                         ? cmp3i(vv.iv(i), lv.iv(i))
+                         : cmp3(vv.real(i), lv.real(i));
+      const int ch = (vt == kIntTag && ht == kIntTag)
+                         ? cmp3i(vv.iv(i), hv.iv(i))
+                         : cmp3(vv.real(i), hv.real(i));
+      const bool inside = cl >= 0 && ch <= 0;
+      m[i] = (negated ? !inside : inside) ? kMTrue : kMFalse;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v.cellNull(i) || lo.cellNull(i) || hi.cellNull(i)) {
+      m[i] = kMNull;
+      continue;
+    }
+    const Value a = v.cellValue(i);
+    const bool inside = orderOf(a.compare(lo.cellValue(i))) >= 0 &&
+                        orderOf(a.compare(hi.cellValue(i))) <= 0;
+    m[i] = (negated ? !inside : inside) ? kMTrue : kMFalse;
+  }
+}
+
+// --- arithmetic -------------------------------------------------------
+
+EvalCol arithmeticBatch(BinOp op, const EvalCol& a, const EvalCol& b,
+                        std::size_t n) {
+  EvalCol e;
+  e.n = n;
+  if (a.isConst && b.isConst) {
+    try {
+      e.isConst = true;
+      e.constVal = arithmeticValues(op, a.constVal, b.constVal);
+    } catch (const EvalError&) {
+      throw Fallback{};  // the interpreter raises this for every row
+    }
+    return e;
+  }
+  if ((a.isConst && a.constVal.isNull()) ||
+      (b.isConst && b.constVal.isNull())) {
+    e.isConst = true;  // NULL operand: NULL everywhere
+    return e;
+  }
+  if (numericish(a) && numericish(b)) {
+    const NumAcc av(a);
+    const NumAcc bv(b);
+    VecColumn& out = e.owned;
+    // Index writes into zero-filled vectors: an untouched cell keeps
+    // tag kNullTag, so NULL results cost nothing.
+    out.tag.resize(n);
+    out.ints.resize(n);
+    out.reals.resize(n);
+    out.size = n;
+    const auto setInt = [&](std::size_t i, std::int64_t v) {
+      out.tag[i] = kIntTag;
+      out.ints[i] = v;
+    };
+    const auto setReal = [&](std::size_t i, double v) {
+      out.tag[i] = kRealTag;
+      out.reals[i] = v;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t at = av.tag(i);
+      const std::uint8_t bt = bv.tag(i);
+      if (at == kNullTag || bt == kNullTag) {
+        continue;  // NULL operand: NULL result
+      }
+      if (at == kIntTag && bt == kIntTag) {
+        // Mirror of arithmeticValues' both-Int branch (incl. overflow
+        // promotion to Real).
+        const std::int64_t x = av.iv(i);
+        const std::int64_t y = bv.iv(i);
+        std::int64_t o = 0;
+        bool promoted = false;
+        switch (op) {
+          case BinOp::Add:
+            if (!__builtin_add_overflow(x, y, &o)) {
+              setInt(i, o);
+            } else {
+              promoted = true;
+            }
+            break;
+          case BinOp::Sub:
+            if (!__builtin_sub_overflow(x, y, &o)) {
+              setInt(i, o);
+            } else {
+              promoted = true;
+            }
+            break;
+          case BinOp::Mul:
+            if (!__builtin_mul_overflow(x, y, &o)) {
+              setInt(i, o);
+            } else {
+              promoted = true;
+            }
+            break;
+          case BinOp::Div:
+            if (y == 0) {
+              // NULL result: tag already kNullTag
+            } else if (x == std::numeric_limits<std::int64_t>::min() &&
+                       y == -1) {
+              promoted = true;
+            } else {
+              setInt(i, x / y);
+            }
+            break;
+          case BinOp::Mod:
+            if (y == 0) {
+              // NULL result
+            } else if (y == -1) {
+              setInt(i, 0);
+            } else {
+              setInt(i, x % y);
+            }
+            break;
+          default:
+            throw Fallback{};
+        }
+        if (!promoted) continue;
+        // fall through to the double path for this cell
+      }
+      const double x = av.real(i);
+      const double y = bv.real(i);
+      switch (op) {
+        case BinOp::Add:
+          setReal(i, x + y);
+          break;
+        case BinOp::Sub:
+          setReal(i, x - y);
+          break;
+        case BinOp::Mul:
+          setReal(i, x * y);
+          break;
+        case BinOp::Div:
+          if (y != 0.0) setReal(i, x / y);  // else NULL
+          break;
+        case BinOp::Mod:
+          if (y != 0.0) setReal(i, std::fmod(x, y));  // else NULL
+          break;
+        default:
+          throw Fallback{};
+      }
+    }
+    return e;
+  }
+  // Mixed / string / generic operands: shared scalar kernel per cell.
+  VecColumn& out = e.owned;
+  out.kind = ColKind::Generic;
+  out.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      out.appendValue(arithmeticValues(op, a.cellValue(i), b.cellValue(i)));
+    } catch (const EvalError&) {
+      throw Fallback{};
+    }
+  }
+  return e;
+}
+
+// --- tree walkers -----------------------------------------------------
+
+Mask evalP(const Expr& expr, const BatchSchema& schema, const Batch& batch,
+           const Sel& sel) {
+  Mask m(sel.size(), kMFalse);
+  if (sel.empty()) return m;
+  switch (expr.kind) {
+    case ExprKind::Binary:
+      switch (expr.bop) {
+        case BinOp::And: {
+          const Mask lm = evalP(*expr.children[0], schema, batch, sel);
+          Sel sub;
+          std::vector<std::uint32_t> subPos;
+          sub.reserve(sel.size());
+          subPos.reserve(sel.size());
+          for (std::size_t pos = 0; pos < sel.size(); ++pos) {
+            if (lm[pos] != kMFalse) {  // false dominates: rhs not reached
+              sub.push_back(sel[pos]);
+              subPos.push_back(static_cast<std::uint32_t>(pos));
+            }
+          }
+          const Mask rm = evalP(*expr.children[1], schema, batch, sub);
+          for (std::size_t j = 0; j < sub.size(); ++j) {
+            const std::size_t pos = subPos[j];
+            if (rm[j] == kMFalse) {
+              m[pos] = kMFalse;
+            } else if (lm[pos] == kMNull || rm[j] == kMNull) {
+              m[pos] = kMNull;
+            } else {
+              m[pos] = kMTrue;
+            }
+          }
+          return m;  // lm == false positions stay kMFalse
+        }
+        case BinOp::Or: {
+          const Mask lm = evalP(*expr.children[0], schema, batch, sel);
+          Sel sub;
+          std::vector<std::uint32_t> subPos;
+          sub.reserve(sel.size());
+          subPos.reserve(sel.size());
+          for (std::size_t pos = 0; pos < sel.size(); ++pos) {
+            if (lm[pos] == kMTrue) {
+              m[pos] = kMTrue;  // true dominates: rhs not reached
+            } else {
+              sub.push_back(sel[pos]);
+              subPos.push_back(static_cast<std::uint32_t>(pos));
+            }
+          }
+          const Mask rm = evalP(*expr.children[1], schema, batch, sub);
+          for (std::size_t j = 0; j < sub.size(); ++j) {
+            const std::size_t pos = subPos[j];
+            if (rm[j] == kMTrue) {
+              m[pos] = kMTrue;
+            } else if (lm[pos] == kMNull || rm[j] == kMNull) {
+              m[pos] = kMNull;
+            } else {
+              m[pos] = kMFalse;
+            }
+          }
+          return m;
+        }
+        case BinOp::Like: {
+          const EvalCol a = evalV(*expr.children[0], schema, batch, sel);
+          const EvalCol b = evalV(*expr.children[1], schema, batch, sel);
+          likeMask(a, b, m);
+          return m;
+        }
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge: {
+          const EvalCol a = evalV(*expr.children[0], schema, batch, sel);
+          const EvalCol b = evalV(*expr.children[1], schema, batch, sel);
+          compareMask(expr.bop, a, b, m);
+          return m;
+        }
+        default:  // arithmetic used as a predicate
+          return boolish(evalV(expr, schema, batch, sel), sel.size());
+      }
+    case ExprKind::Unary:
+      if (expr.uop == UnOp::Not) {
+        m = evalP(*expr.children[0], schema, batch, sel);
+        for (auto& v : m) {
+          if (v != kMNull) v = v == kMTrue ? kMFalse : kMTrue;
+        }
+        return m;
+      }
+      return boolish(evalV(expr, schema, batch, sel), sel.size());
+    case ExprKind::IsNull: {
+      const EvalCol v = evalV(*expr.children[0], schema, batch, sel);
+      for (std::size_t i = 0; i < sel.size(); ++i) {
+        const bool isnull = v.cellNull(i);
+        m[i] = (expr.negated ? !isnull : isnull) ? kMTrue : kMFalse;
+      }
+      return m;
+    }
+    case ExprKind::Between: {
+      const EvalCol v = evalV(*expr.children[0], schema, batch, sel);
+      const EvalCol lo = evalV(*expr.children[1], schema, batch, sel);
+      const EvalCol hi = evalV(*expr.children[2], schema, batch, sel);
+      betweenMask(v, lo, hi, expr.negated, m);
+      return m;
+    }
+    case ExprKind::InList: {
+      const EvalCol needle = evalV(*expr.children[0], schema, batch, sel);
+      std::vector<EvalCol> cands;
+      cands.reserve(expr.children.size() - 1);
+      for (std::size_t k = 1; k < expr.children.size(); ++k) {
+        cands.push_back(evalV(*expr.children[k], schema, batch, sel));
+      }
+      // Numeric needle against non-NULL numeric constants (the common
+      // `x IN (1, 2, 3)` shape): compare unboxed numerics instead of
+      // building a Value per cell per candidate. Mirrors
+      // Value::compare: Int-vs-Int is exact, anything else promotes
+      // to double.
+      bool constNums = numericish(needle);
+      for (const EvalCol& cand : cands) {
+        constNums = constNums && isConstNonNull(cand) &&
+                    cand.constVal.isNumeric();
+      }
+      if (constNums) {
+        struct NumCand {
+          bool isInt;
+          std::int64_t i;
+          double r;
+        };
+        std::vector<NumCand> vals;
+        vals.reserve(cands.size());
+        for (const EvalCol& cand : cands) {
+          const Value& v = cand.constVal;
+          vals.push_back(NumCand{v.type() == ValueType::Int,
+                                 v.type() == ValueType::Int ? v.asInt() : 0,
+                                 v.toReal()});
+        }
+        const NumAcc nv(needle);
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+          const std::uint8_t t = nv.tag(i);
+          if (t == kNullTag) {
+            m[i] = kMNull;
+            continue;
+          }
+          bool matched = false;
+          for (const NumCand& cand : vals) {
+            if (t == kIntTag && cand.isInt ? nv.iv(i) == cand.i
+                                           : nv.real(i) == cand.r) {
+              matched = true;
+              break;
+            }
+          }
+          m[i] = (matched != expr.negated) ? kMTrue : kMFalse;
+        }
+        return m;
+      }
+      for (std::size_t i = 0; i < sel.size(); ++i) {
+        if (needle.cellNull(i)) {
+          m[i] = kMNull;
+          continue;
+        }
+        const Value nv = needle.cellValue(i);
+        bool sawNull = false;
+        bool matched = false;
+        for (const EvalCol& cand : cands) {
+          if (cand.cellNull(i)) {
+            sawNull = true;
+            continue;
+          }
+          if (nv == cand.cellValue(i)) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) {
+          m[i] = expr.negated ? kMFalse : kMTrue;
+        } else if (sawNull) {
+          m[i] = kMNull;
+        } else {
+          m[i] = expr.negated ? kMTrue : kMFalse;
+        }
+      }
+      return m;
+    }
+    case ExprKind::Call:
+      throw Fallback{};  // aggregate in scalar context, reached by a row
+    default:  // Literal / Column
+      return boolish(evalV(expr, schema, batch, sel), sel.size());
+  }
+}
+
+EvalCol evalV(const Expr& expr, const BatchSchema& schema, const Batch& batch,
+              const Sel& sel) {
+  EvalCol e;
+  e.n = sel.size();
+  if (sel.empty()) {
+    e.isConst = true;  // nothing is evaluated; value is never read
+    return e;
+  }
+  switch (expr.kind) {
+    case ExprKind::Literal:
+      e.isConst = true;
+      e.constVal = expr.literal;
+      return e;
+    case ExprKind::Column: {
+      const std::ptrdiff_t idx = schema.resolve(expr.table, expr.name);
+      if (idx < 0 || batch.cols[static_cast<std::size_t>(idx)] == nullptr) {
+        // Unknown column evaluated by at least one row: the interpreter
+        // raises EvalError here.
+        throw Fallback{};
+      }
+      const VecColumn* c = batch.cols[static_cast<std::size_t>(idx)];
+      if (sel.size() == batch.rows) {
+        e.borrowed = c;  // identity selection: zero-copy
+      } else {
+        e.owned = gatherColumn(*c, sel.data(), sel.size());
+      }
+      return e;
+    }
+    case ExprKind::Unary: {
+      if (expr.uop == UnOp::Not) {
+        e.owned = maskToBool(evalP(expr, schema, batch, sel));
+        return e;
+      }
+      // Neg
+      const EvalCol v = evalV(*expr.children[0], schema, batch, sel);
+      if (v.isConst) {
+        try {
+          e.isConst = true;
+          e.constVal = negateValue(v.constVal);
+        } catch (const EvalError&) {
+          throw Fallback{};
+        }
+        return e;
+      }
+      const VecColumn& c = v.col();
+      switch (c.kind) {
+        case ColKind::Numeric:
+          e.owned.tag.reserve(sel.size());
+          e.owned.ints.reserve(sel.size());
+          e.owned.reals.reserve(sel.size());
+          for (std::size_t i = 0; i < sel.size(); ++i) {
+            if (c.tag[i] == kNullTag) {
+              e.owned.appendNull();
+            } else if (c.tag[i] == kIntTag) {
+              const std::int64_t x = c.ints[i];
+              if (x == std::numeric_limits<std::int64_t>::min()) {
+                e.owned.appendReal(-static_cast<double>(x));
+              } else {
+                e.owned.appendInt(-x);
+              }
+            } else {
+              e.owned.appendReal(-c.reals[i]);
+            }
+          }
+          return e;
+        case ColKind::Bool:
+        case ColKind::Str:
+          // Any non-NULL cell makes the interpreter throw "unary '-' on
+          // non-numeric operand".
+          for (std::size_t i = 0; i < sel.size(); ++i) {
+            if (!c.isNullAt(i)) throw Fallback{};
+            e.owned.appendNull();
+          }
+          return e;
+        case ColKind::Generic:
+          e.owned.kind = ColKind::Generic;
+          e.owned.values.reserve(sel.size());
+          for (std::size_t i = 0; i < sel.size(); ++i) {
+            try {
+              e.owned.appendValue(negateValue(c.values[i]));
+            } catch (const EvalError&) {
+              throw Fallback{};
+            }
+          }
+          return e;
+      }
+      throw Fallback{};
+    }
+    case ExprKind::Binary:
+      switch (expr.bop) {
+        case BinOp::And:
+        case BinOp::Or:
+        case BinOp::Like:
+        case BinOp::Eq:
+        case BinOp::Ne:
+        case BinOp::Lt:
+        case BinOp::Le:
+        case BinOp::Gt:
+        case BinOp::Ge:
+          e.owned = maskToBool(evalP(expr, schema, batch, sel));
+          return e;
+        default: {
+          const EvalCol a = evalV(*expr.children[0], schema, batch, sel);
+          const EvalCol b = evalV(*expr.children[1], schema, batch, sel);
+          return arithmeticBatch(expr.bop, a, b, sel.size());
+        }
+      }
+    case ExprKind::InList:
+    case ExprKind::IsNull:
+    case ExprKind::Between:
+      e.owned = maskToBool(evalP(expr, schema, batch, sel));
+      return e;
+    case ExprKind::Call:
+      throw Fallback{};
+  }
+  throw Fallback{};
+}
+
+}  // namespace
+
+Mask evalPredicateBatch(const Expr& expr, const BatchSchema& schema,
+                        const Batch& batch, const Sel& sel) {
+  return evalP(expr, schema, batch, sel);
+}
+
+VecColumn evalValueBatch(const Expr& expr, const BatchSchema& schema,
+                         const Batch& batch, const Sel& sel) {
+  EvalCol e = evalV(expr, schema, batch, sel);
+  if (!e.isConst) {
+    if (e.borrowed != nullptr) return *e.borrowed;  // caller owns a copy
+    return std::move(e.owned);
+  }
+  VecColumn out;
+  if (e.constVal.isNull()) {
+    for (std::size_t i = 0; i < sel.size(); ++i) out.appendNull();
+    return out;
+  }
+  out.kind = ColKind::Generic;
+  out.values.assign(sel.size(), e.constVal);
+  out.size = sel.size();
+  return out;
+}
+
+}  // namespace gridrm::sql::vec

@@ -6,6 +6,7 @@
 
 #include "gridrm/sql/eval.hpp"
 #include "gridrm/sql/parser.hpp"
+#include "gridrm/sql/vec/engine.hpp"
 #include "gridrm/store/tsdb/tsdb.hpp"
 #include "gridrm/util/strings.hpp"
 
@@ -197,7 +198,12 @@ Value computeAggregate(const sql::Expr& call,
                        fn + "() over non-numeric values");
       }
       if (v.type() == util::ValueType::Int) {
-        intTotal += v.asInt();
+        // Wrapping add (UB-free): SUM over int64 cells wraps rather
+        // than trapping, and stays re-associable across federated
+        // partial aggregates (see tsdb mergeSum).
+        intTotal = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(intTotal) +
+            static_cast<std::uint64_t>(v.asInt()));
       } else {
         allInt = false;
       }
@@ -368,7 +374,68 @@ std::unique_ptr<dbc::VectorResultSet> executeAggregateSelect(
 
 }  // namespace
 
+namespace {
+
+/// GROUP BY, or any aggregate in projection/ordering (the dispatch
+/// test executeSelect and the vec engine must agree on).
+bool isAggregateSelect(const sql::SelectStatement& stmt) {
+  if (!stmt.groupBy.empty()) return true;
+  for (const auto& item : stmt.items) {
+    if (!item.isStar() && item.expr->containsAggregate()) return true;
+  }
+  for (const auto& key : stmt.orderBy) {
+    if (key.expr->containsAggregate()) return true;
+  }
+  return false;
+}
+
+/// Output metadata for a statement the vec engine executed. Mirrors
+/// the projection loops of the interpreter paths below; the
+/// differential battery compares metadata as well as cells, so the
+/// mirrors cannot drift silently.
+std::vector<ColumnInfo> selectOutColumns(const sql::SelectStatement& stmt,
+                                         const std::vector<ColumnInfo>& columns,
+                                         bool aggregate) {
+  std::vector<ColumnInfo> out;
+  for (const auto& item : stmt.items) {
+    if (item.isStar()) {
+      // Unreachable for aggregate results: the vec engine falls back
+      // on star + aggregate (always an error).
+      for (const auto& c : columns) out.push_back(c);
+      continue;
+    }
+    ColumnInfo c = projectColumn(item, columns);
+    if (aggregate && item.alias.empty() &&
+        item.expr->kind == sql::ExprKind::Call) {
+      c.name = item.expr->toSql();
+      c.type = item.expr->name == "count" ? util::ValueType::Int
+                                          : util::ValueType::Real;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
 std::unique_ptr<dbc::VectorResultSet> executeSelect(
+    const sql::SelectStatement& stmt, const std::vector<ColumnInfo>& columns,
+    const std::vector<std::vector<Value>>& rows) {
+  if (sql::vec::engineEnabled()) {
+    std::vector<std::string_view> names;
+    names.reserve(columns.size());
+    for (const auto& c : columns) names.emplace_back(c.name);
+    if (auto result = sql::vec::trySelect(stmt, names, rows)) {
+      return std::make_unique<dbc::VectorResultSet>(
+          dbc::ResultSetMetaData(
+              selectOutColumns(stmt, columns, isAggregateSelect(stmt))),
+          std::move(result->rows));
+    }
+  }
+  return executeSelectInterpreted(stmt, columns, rows);
+}
+
+std::unique_ptr<dbc::VectorResultSet> executeSelectInterpreted(
     const sql::SelectStatement& stmt, const std::vector<ColumnInfo>& columns,
     const std::vector<std::vector<Value>>& rows) {
   // Aggregation path: GROUP BY, or any aggregate in projection/ordering.

@@ -168,6 +168,7 @@ std::unique_ptr<dbc::VectorResultSet> mergeAggregate(
     width = std::max(width, slot.partial + 1);
     if (slot.isAvg()) width = std::max(width, slot.countPartial + 1);
   }
+  if (plan.trackRowCount) width = std::max(width, plan.rowCountPartial + 1);
 
   struct Group {
     std::vector<Value> firsts;
@@ -185,7 +186,11 @@ std::unique_ptr<dbc::VectorResultSet> mergeAggregate(
                              row.begin() + static_cast<long>(plan.keyCount));
       Group& g = groups[std::move(key)];
       if (g.slots.empty()) g.slots.resize(slotCount);
-      if (!g.haveFirsts) {
+      // A zero-row site still emits one global-group partial (NULL
+      // cells); capturing firsts from it would mask a later site's
+      // real first row, so skip it via the fragment's row count.
+      if (!g.haveFirsts &&
+          (!plan.trackRowCount || row[plan.rowCountPartial].toInt() > 0)) {
         g.firsts.reserve(plan.firstValues.size());
         for (const auto& fv : plan.firstValues) g.firsts.push_back(row[fv.index]);
         g.haveFirsts = true;
@@ -225,6 +230,16 @@ std::unique_ptr<dbc::VectorResultSet> mergeAggregate(
           }
         }
       }
+    }
+  }
+
+  // Every site empty: the global group exists (each site shipped a
+  // partial row) but no real first row was ever seen — bare columns
+  // resolve to NULL, matching the single-site empty-input row.
+  for (auto& [key, g] : groups) {
+    if (!g.haveFirsts) {
+      g.firsts.assign(plan.firstValues.size(), Value::null());
+      g.haveFirsts = true;
     }
   }
 
@@ -478,6 +493,16 @@ std::shared_ptr<const FederatedPlan> planFederated(
   for (const auto& name : bare) {
     plan->firstValues.push_back(
         FederatedFirstValue{name, fragItem(sql::Expr::makeColumn("", name))});
+  }
+
+  // Global group + bare columns: ship a count(*) so the merge can
+  // tell a zero-row site's synthesized partial from a real first row
+  // (see FederatedPlan::trackRowCount). fragItem dedups it against an
+  // explicit count(*) in the statement.
+  if (plan->keyCount == 0 && !plan->firstValues.empty()) {
+    plan->trackRowCount = true;
+    plan->rowCountPartial =
+        fragItem(sql::Expr::makeCall("count", {}, /*starArg=*/true));
   }
 
   std::set<std::string> seenCalls;

@@ -74,7 +74,13 @@ Value mergeSum(const Value& a, const Value& b) {
   if (a.isNull()) return b;
   if (b.isNull()) return a;
   if (a.type() == ValueType::Int && b.type() == ValueType::Int) {
-    return Value(a.asInt() + b.asInt());
+    // Wrapping add: partial sums are re-associated when rollup tiers
+    // and federated fragments merge, so saturating or promoting here
+    // would make the merged total depend on merge order. Two's
+    // complement wrap keeps x+y+z identical however it is bracketed.
+    return Value(static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(a.asInt()) +
+        static_cast<std::uint64_t>(b.asInt())));
   }
   return Value(a.toReal() + b.toReal());
 }

@@ -1,9 +1,11 @@
 #include "gridrm/store/tsdb/segment.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "gridrm/dbc/error.hpp"
 #include "gridrm/sql/eval.hpp"
+#include "gridrm/sql/vec/engine.hpp"
 #include "gridrm/util/strings.hpp"
 
 namespace gridrm::store::tsdb {
@@ -72,18 +74,21 @@ void collectColumnRefs(const sql::Expr& expr,
 
 namespace {
 
-/// Accessor over the per-candidate decoded predicate columns. Columns
-/// the predicate does not reference resolve to nullopt, which makes
-/// sql::evaluate raise the same "unknown column" EvalError the row
-/// store's accessor produces for genuinely unknown names -- and by
-/// construction every name the predicate references *is* decoded.
+/// Accessor over the per-candidate decoded predicate columns (the row
+/// interpreter's view of the batch columns, used when the vectorized
+/// filter falls back). Columns the predicate does not reference
+/// resolve to nullopt, which makes sql::evaluate raise the same
+/// "unknown column" EvalError the row store's accessor produces for
+/// genuinely unknown names -- and by construction every name the
+/// predicate references *is* decoded.
 class ColumnarRowAccessor final : public sql::RowAccessor {
  public:
   ColumnarRowAccessor(const Segment& segment,
-                      const std::vector<std::vector<Value>>& cells,
+                      const std::vector<sql::vec::VecColumn>& cols,
+                      const std::vector<bool>& predCols,
                       const std::string& tableName, const std::string& alias)
-      : segment_(segment), cells_(cells), tableName_(tableName),
-        alias_(alias) {}
+      : segment_(segment), cols_(cols), predCols_(predCols),
+        tableName_(tableName), alias_(alias) {}
 
   void setRow(std::size_t candidate) noexcept { candidate_ = candidate; }
 
@@ -95,7 +100,8 @@ class ColumnarRowAccessor final : public sql::RowAccessor {
     }
     for (std::size_t c = 0; c < segment_.columnCount(); ++c) {
       if (util::iequals(segment_.column(c).info.name, name)) {
-        return cells_[c][candidate_];
+        if (!predCols_[c]) return std::nullopt;  // unreachable by construction
+        return cols_[c].valueAt(candidate_);
       }
     }
     return std::nullopt;
@@ -103,18 +109,87 @@ class ColumnarRowAccessor final : public sql::RowAccessor {
 
  private:
   const Segment& segment_;
-  const std::vector<std::vector<Value>>& cells_;  // [column][candidate]
+  const std::vector<sql::vec::VecColumn>& cols_;  // aligned to candidates
+  const std::vector<bool>& predCols_;
   const std::string& tableName_;
   const std::string& alias_;
   std::size_t candidate_ = 0;
 };
+
+/// Decode one column at the candidate rows straight into a typed batch
+/// column. This is the zero-transpose feed for the vectorized filter:
+/// the column family comes from the segment's tag metadata, and Str
+/// cells stay dictionary codes referencing the segment's own dict --
+/// no string is copied to evaluate a predicate.
+sql::vec::VecColumn decodeColumnVec(const EncodedColumn& col,
+                                    const std::vector<std::uint32_t>& candidates,
+                                    std::size_t segmentRows,
+                                    ScanStats& stats) {
+  using sql::vec::ColKind;
+  sql::vec::VecColumn out;
+  if (col.tags.empty()) {
+    // Uniform (or all-NULL) column: one typed family fits every cell.
+    switch (static_cast<ValueType>(col.uniformTag)) {
+      case ValueType::Bool:
+        out.kind = ColKind::Bool;
+        break;
+      case ValueType::String:
+        out.kind = ColKind::Str;
+        out.dict = &col.dict;  // borrowed from the immutable segment
+        break;
+      default:
+        out.kind = ColKind::Numeric;  // Int/Real, or all-NULL
+        break;
+    }
+  } else {
+    out.kind = ColKind::Generic;  // genuinely mixed cells
+  }
+  ColumnCursor cursor(col);
+  std::size_t nextCandidate = 0;
+  for (std::uint32_t row = 0; cursor.next(); ++row) {
+    if (nextCandidate == candidates.size()) {
+      stats.cellsSkipped += segmentRows - row;
+      break;
+    }
+    if (candidates[nextCandidate] != row) {
+      ++stats.cellsSkipped;
+      continue;
+    }
+    ++nextCandidate;
+    ++stats.cellsMaterialized;
+    if (cursor.isNull()) {
+      out.appendNull();
+      continue;
+    }
+    switch (out.kind) {
+      case ColKind::Numeric:
+        if (static_cast<ValueType>(cursor.rawTag()) == ValueType::Int) {
+          out.appendInt(cursor.rawInt());
+        } else {
+          out.appendReal(std::bit_cast<double>(cursor.rawRealBits()));
+        }
+        break;
+      case ColKind::Bool:
+        out.appendBool(cursor.rawBool());
+        break;
+      case ColKind::Str:
+        out.appendCode(static_cast<std::int32_t>(cursor.rawDictId()));
+        break;
+      case ColKind::Generic:
+        out.appendValue(cursor.value());
+        break;
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
 void scanSegment(const Segment& segment, const TimeBounds& bounds,
                  const sql::Expr* where, const std::string& tableName,
                  const std::string& alias, const std::vector<bool>& needed,
-                 std::vector<std::vector<Value>>& out, ScanStats& stats) {
+                 std::vector<std::vector<Value>>& out, ScanStats& stats,
+                 bool vectorized) {
   if (segment.maxTime() < bounds.lo || segment.minTime() > bounds.hi) {
     ++stats.segmentsPruned;
     return;
@@ -164,44 +239,47 @@ void scanSegment(const Segment& segment, const TimeBounds& bounds,
     }
   }
 
-  // Phase A: decode predicate columns at candidate rows only, then
-  // evaluate the predicate to pick survivors.
-  std::vector<std::vector<Value>> predCells(width);
+  // Phase A: decode predicate columns at candidate rows only -- into
+  // typed batch columns -- then evaluate the predicate to pick
+  // survivors, vectorized when allowed (falling back to the row
+  // interpreter over the same decoded columns on any parity doubt).
+  std::vector<sql::vec::VecColumn> predVec(width);
   for (std::size_t c = 0; c < width; ++c) {
     if (!predCols[c]) continue;
-    auto& cells = predCells[c];
-    cells.reserve(candidates.size());
-    ColumnCursor cursor(segment.column(c));
-    std::size_t nextCandidate = 0;
-    for (std::uint32_t row = 0; cursor.next(); ++row) {
-      if (nextCandidate == candidates.size()) {
-        stats.cellsSkipped += n - row;
-        break;  // no candidate left in this segment
-      }
-      if (candidates[nextCandidate] == row) {
-        cells.push_back(cursor.value());
-        ++stats.cellsMaterialized;
-        ++nextCandidate;
-      } else {
-        ++stats.cellsSkipped;
-      }
-    }
+    predVec[c] = decodeColumnVec(segment.column(c), candidates, n, stats);
   }
   std::vector<std::uint32_t> survivors;  // candidate indices
   if (where == nullptr) {
     survivors.resize(candidates.size());
     for (std::uint32_t k = 0; k < survivors.size(); ++k) survivors[k] = k;
   } else {
-    ColumnarRowAccessor accessor(segment, predCells, tableName, alias);
-    for (std::uint32_t k = 0; k < candidates.size(); ++k) {
-      accessor.setRow(k);
-      bool keep;
-      try {
-        keep = sql::evaluatePredicate(*where, accessor);
-      } catch (const sql::EvalError& e) {
-        throw SqlError(ErrorCode::NoSuchColumn, e.what());
+    std::optional<std::vector<std::uint32_t>> vecSurvivors;
+    if (vectorized) {
+      std::vector<std::string_view> names;
+      names.reserve(width);
+      std::vector<const sql::vec::VecColumn*> cols(width, nullptr);
+      for (std::size_t c = 0; c < width; ++c) {
+        names.emplace_back(segment.column(c).info.name);
+        if (predCols[c]) cols[c] = &predVec[c];
       }
-      if (keep) survivors.push_back(k);
+      vecSurvivors = sql::vec::tryFilterBatch(*where, names, tableName, alias,
+                                              cols, candidates.size());
+    }
+    if (vecSurvivors) {
+      survivors = std::move(*vecSurvivors);
+    } else {
+      ColumnarRowAccessor accessor(segment, predVec, predCols, tableName,
+                                   alias);
+      for (std::uint32_t k = 0; k < candidates.size(); ++k) {
+        accessor.setRow(k);
+        bool keep;
+        try {
+          keep = sql::evaluatePredicate(*where, accessor);
+        } catch (const sql::EvalError& e) {
+          throw SqlError(ErrorCode::NoSuchColumn, e.what());
+        }
+        if (keep) survivors.push_back(k);
+      }
     }
   }
   if (survivors.empty()) return;
@@ -219,7 +297,7 @@ void scanSegment(const Segment& segment, const TimeBounds& bounds,
     if (!needed[c]) continue;
     if (predCols[c]) {
       for (std::size_t s = 0; s < survivors.size(); ++s) {
-        out[base + s][c] = predCells[c][survivors[s]];
+        out[base + s][c] = predVec[c].valueAt(survivors[s]);
       }
       continue;
     }

@@ -37,6 +37,7 @@ TsdbOptions TsdbOptions::fromConfig(const util::Config& config) {
   o.tierMinSpanBuckets = static_cast<std::size_t>(std::max<std::int64_t>(
       1, config.getInt("tsdb.tier_min_span_buckets",
                        static_cast<std::int64_t>(o.tierMinSpanBuckets))));
+  o.vectorizedScan = config.getBool("tsdb.vectorized_scan", o.vectorizedScan);
   return o;
 }
 
@@ -624,7 +625,7 @@ std::unique_ptr<dbc::VectorResultSet> TimeSeriesStore::rawQuery(
   std::vector<std::vector<Value>> rows;
   for (const auto& seg : t.segments) {
     scanSegment(*seg, bounds, stmt.where.get(), stmt.table, stmt.tableAlias,
-                needed, rows, scan);
+                needed, rows, scan, options_.vectorizedScan);
   }
   // Write-ahead buffer rows ride along uncompressed, pre-filtered by
   // the same time-bounds rule the segment scan applies in Phase 0.

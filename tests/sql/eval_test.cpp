@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <map>
 
 #include "gridrm/sql/parser.hpp"
@@ -63,6 +65,49 @@ TEST(EvalTest, DivisionByZeroIsNull) {
   EXPECT_TRUE(evalCond("a / 0", row).isNull());
   EXPECT_TRUE(evalCond("a % 0", row).isNull());
   EXPECT_TRUE(evalCond("a / 0.0", row).isNull());
+}
+
+// Int64 arithmetic at the representability edge promotes to Real
+// instead of wrapping (or worse, tripping signed-overflow UB -- the
+// UBSan CI job pins that). The promoted doubles are the mathematically
+// nearest representables, so exact EXPECT_EQ comparisons hold.
+TEST(EvalTest, OverflowPromotesToReal) {
+  std::map<std::string, Value> row{
+      {"big", Value(std::numeric_limits<std::int64_t>::max())},
+      {"small", Value(std::numeric_limits<std::int64_t>::min())}};
+  const Value addOver = evalCond("big + 1", row);
+  ASSERT_EQ(addOver.type(), util::ValueType::Real);
+  EXPECT_EQ(addOver.asReal(), 9223372036854775808.0);
+  // The promoted value is computed in double, where -2^63 - 1 rounds
+  // back to -2^63: the point is the *type* flips without UB, not that
+  // doubles gain precision int64 lacks.
+  const Value subOver = evalCond("small - 1", row);
+  ASSERT_EQ(subOver.type(), util::ValueType::Real);
+  EXPECT_EQ(subOver.asReal(), -9223372036854775808.0);
+  const Value mulOver = evalCond("big * 2", row);
+  ASSERT_EQ(mulOver.type(), util::ValueType::Real);
+  EXPECT_EQ(mulOver.asReal(), 18446744073709551616.0);
+  // In-range results stay exact Ints right up to the edge.
+  const Value edge = evalCond("big + 0", row);
+  ASSERT_EQ(edge.type(), util::ValueType::Int);
+  EXPECT_EQ(edge.asInt(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(EvalTest, Int64MinEdgeCases) {
+  std::map<std::string, Value> row{
+      {"small", Value(std::numeric_limits<std::int64_t>::min())}};
+  // INT64_MIN / -1 is the one division that overflows: promote.
+  const Value div = evalCond("small / -1", row);
+  ASSERT_EQ(div.type(), util::ValueType::Real);
+  EXPECT_EQ(div.asReal(), 9223372036854775808.0);
+  // INT64_MIN % -1 is mathematically 0; the hardware would trap.
+  const Value mod = evalCond("small % -1", row);
+  ASSERT_EQ(mod.type(), util::ValueType::Int);
+  EXPECT_EQ(mod.asInt(), 0);
+  // Unary negation of INT64_MIN promotes too.
+  const Value neg = evalCond("-small", row);
+  ASSERT_EQ(neg.type(), util::ValueType::Real);
+  EXPECT_EQ(neg.asReal(), 9223372036854775808.0);
 }
 
 TEST(EvalTest, StringConcatenation) {

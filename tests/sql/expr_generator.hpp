@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -46,6 +47,22 @@ class ExprGenerator {
       if (rng_.chance(0.5)) {
         return Expr::makeColumn(
             "", kNumericCols[rng_.below(std::size(kNumericCols))]);
+      }
+      if (rng_.chance(0.12)) {
+        // Overflow-adjacent magnitudes: Add/Sub/Mul over these trip
+        // the int64 overflow check in eval.hpp (promote-to-Real), so
+        // generated batteries cover the promotion boundary on both
+        // sides. Exact INT64_MIN stays out: its absolute value does
+        // not lex as a positive int64, so it cannot round-trip.
+        static constexpr std::int64_t kEdges[] = {
+            std::numeric_limits<std::int64_t>::max(),
+            std::numeric_limits<std::int64_t>::max() - 1,
+            std::numeric_limits<std::int64_t>::min() + 1,
+            std::numeric_limits<std::int64_t>::min() + 2,
+            std::numeric_limits<std::int64_t>::max() / 2 + 1,
+        };
+        return Expr::makeLiteral(
+            util::Value(kEdges[rng_.below(std::size(kEdges))]));
       }
       if (rng_.chance(0.5)) {
         return Expr::makeLiteral(
@@ -106,7 +123,10 @@ class ExprGenerator {
         stmt.items.push_back(std::move(item));
       }
     }
-    if (rng_.chance(0.6)) stmt.where = genPredicate(2);
+    // Mostly shallow WHEREs, with an occasional depth-4 tree: deep
+    // AND/OR/NOT nesting is where three-valued short-circuit bugs
+    // hide, and shallow trees never reach them.
+    if (rng_.chance(0.6)) stmt.where = genPredicate(rng_.chance(0.3) ? 4 : 2);
     const std::size_t orderKeys = rng_.below(3);
     for (std::size_t i = 0; i < orderKeys; ++i) {
       OrderKey key;
@@ -219,7 +239,7 @@ class ExprGenerator {
         stmt.orderBy.push_back(std::move(key));
       }
     }
-    if (rng_.chance(0.6)) stmt.where = genPredicate(2);
+    if (rng_.chance(0.6)) stmt.where = genPredicate(rng_.chance(0.3) ? 4 : 2);
     if (rng_.chance(0.5)) {
       stmt.limit = static_cast<std::int64_t>(rng_.below(6));
     }

@@ -351,6 +351,30 @@ TEST(TsdbStoreTest, GatewayWiresStoreStatsAclAndRetention) {
   EXPECT_EQ(db.rowCount("HistoryProcessor"), 0u);
 }
 
+TEST(TsdbStoreTest, GatewayExportsVecEngineStats) {
+  util::SimClock clock;
+  net::Network network(clock);
+  core::Gateway gateway(network, clock, {});
+  store::Database& db = gateway.database();
+  db.createTable("Samples", {{"Host", ValueType::String, "", "Samples"},
+                             {"Load", ValueType::Int, "", "Samples"}});
+  for (std::int64_t i = 0; i < 100; ++i) {
+    db.insertRow("Samples", {Value("a"), Value(i)});
+  }
+  sql::vec::setEngineEnabled(true);
+  sql::vec::resetEngineStats();
+  (void)db.query("SELECT Host FROM Samples WHERE Load >= 50");
+
+  const std::string token = gateway.openSession(core::Principal::admin());
+  const sql::vec::VecEngineStats s = gateway.vecEngineStats(token);
+  EXPECT_EQ(s.vecStatements, 1u);
+  EXPECT_EQ(s.vecRowsScanned, 100u);
+  EXPECT_EQ(s.vecRowsFiltered, 50u);
+  EXPECT_GE(s.vecBatches, 1u);
+  // Same ACL as the other stats surfaces: a session is required.
+  EXPECT_THROW((void)gateway.vecEngineStats("bogus-token"), SqlError);
+}
+
 TEST(TsdbStoreTest, DisabledTsdbFallsBackToRowTables) {
   util::SimClock clock;
   net::Network network(clock);
