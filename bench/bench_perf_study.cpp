@@ -1,0 +1,245 @@
+// E20 -- Discrete-event performance study at 10k-host scale (PR 9).
+//
+// Claims: the event-loop simulation core makes the Zhang/Schopf-style
+// performance study a reproducible in-process experiment. Closed-loop
+// simulated clients execute the REAL gateway/directory/federation code
+// (ACIL sessions, drivers, SQL engine); only time is simulated: the
+// network runs in charge mode (round trips are accounted, not slept)
+// and a deterministic multi-server queueing model (ServiceStation)
+// converts per-op cost + concurrency into sojourn times. Same seed =>
+// identical throughput/latency counters on every run.
+//
+// Scenarios:
+//  * gateway_query / directory_lookup / federated_query sweeps over
+//    concurrent clients (1..64): throughput saturates at the station's
+//    service capacity while latency grows linearly past the knee --
+//    the classic closed-loop curve pair.
+//  * scale_out: one process hosting PERF_STUDY_GATEWAYS x
+//    PERF_STUDY_HOSTS_PER_GW (default 100 x 100 = 10,000 hosts across
+//    100 gateways, all federated through one directory); counters
+//    report build time and a cross-grid query mix. CI's bench-smoke
+//    sets the env knobs to a 10 x 10 grid.
+//
+// Counters: ops, ops_per_sec (simulated), latency_mean_ms,
+// latency_p95_ms, sim_seconds; scale_out adds hosts, gateways,
+// build_ms, loop_events.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/sim/topology.hpp"
+
+namespace {
+
+using namespace gridrm;
+
+std::size_t envSize(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+struct SweepResult {
+  std::uint64_t ops = 0;
+  double meanUs = 0;
+  double p95Us = 0;
+};
+
+/// Drive `users` closed-loop clients on the topology's loop for
+/// `simTime`: each client runs `op` (real code, synchronous), charges
+/// the drained network latency plus queueing at `station`, records the
+/// sojourn, and re-enters at its completion time.
+SweepResult runClosedLoop(sim::Topology& topo, std::size_t users,
+                          util::Duration simTime,
+                          sim::ServiceStation& station,
+                          const std::function<void()>& op) {
+  sim::EventLoop& loop = topo.loop();
+  const util::TimePoint end = loop.now() + simTime;
+  std::vector<util::Duration> sojourns;
+  std::uint64_t ops = 0;
+
+  auto client = std::make_shared<std::function<void()>>();
+  *client = [&, client] {
+    const util::TimePoint start = loop.now();
+    (void)net::Network::drainChargedLatency();
+    op();
+    const util::Duration charge = net::Network::drainChargedLatency();
+    // The station models server CPU; drained network time rides the
+    // wire, not a worker, so it stretches the sojourn without holding a
+    // server slot. Throughput then saturates at CPU capacity while
+    // per-client latency grows with population -- the study's knee.
+    const util::TimePoint done = station.admit(start) + charge;
+    sojourns.push_back(done - start);
+    ++ops;
+    if (done < end) loop.schedule(done, *client);
+  };
+  // Stagger arrivals by 1us so same-instant ties never depend on
+  // container order.
+  for (std::size_t u = 0; u < users; ++u) {
+    loop.schedule(loop.now() + static_cast<util::Duration>(u), *client);
+  }
+  loop.runUntil(end);
+  topo.quiesce();
+
+  SweepResult r;
+  r.ops = ops;
+  if (!sojourns.empty()) {
+    double sum = 0;
+    for (util::Duration s : sojourns) sum += static_cast<double>(s);
+    r.meanUs = sum / static_cast<double>(sojourns.size());
+    std::sort(sojourns.begin(), sojourns.end());
+    r.p95Us = static_cast<double>(
+        sojourns[(sojourns.size() - 1) * 95 / 100]);
+  }
+  return r;
+}
+
+void report(benchmark::State& state, const SweepResult& r,
+            util::Duration simTime) {
+  const double simSeconds =
+      static_cast<double>(simTime) / static_cast<double>(util::kSecond);
+  state.counters["ops"] = static_cast<double>(r.ops);
+  state.counters["ops_per_sec"] = static_cast<double>(r.ops) / simSeconds;
+  state.counters["latency_mean_ms"] = r.meanUs / 1000.0;
+  state.counters["latency_p95_ms"] = r.p95Us / 1000.0;
+  state.counters["sim_seconds"] = simSeconds;
+}
+
+constexpr util::Duration kSweepSimTime = 5 * util::kSecond;
+
+void BM_GatewayQuery(benchmark::State& state) {
+  sim::TopologyOptions opts;
+  opts.gateways = 2;
+  opts.hostsPerGateway = 4;
+  opts.seed = 42;
+  sim::Topology topo(opts);
+  const std::vector<std::string> urls{topo.site(0).headUrl("snmp")};
+  // Two gateway workers, ~300us CPU per query (parse, driver, merge).
+  sim::ServiceStation station(2, 300);
+  SweepResult last;
+  for (auto _ : state) {
+    last = runClosedLoop(
+        topo, static_cast<std::size_t>(state.range(0)), kSweepSimTime,
+        station, [&] {
+          auto result = topo.gateway(0).submitQuery(
+              topo.adminToken(0), urls,
+              "SELECT HostName, Load1 FROM Processor");
+          benchmark::DoNotOptimize(result);
+        });
+  }
+  report(state, last, kSweepSimTime);
+}
+
+void BM_DirectoryLookup(benchmark::State& state) {
+  sim::TopologyOptions opts;
+  opts.gateways = 4;
+  opts.hostsPerGateway = 4;
+  opts.seed = 42;
+  sim::Topology topo(opts);
+  const std::string target = topo.site(3).cluster().host(0).name();
+  // The directory serves one request at a time; ~50us service each.
+  sim::ServiceStation station(1, 50);
+  SweepResult last;
+  std::uint64_t misses = 0;
+  for (auto _ : state) {
+    last = runClosedLoop(
+        topo, static_cast<std::size_t>(state.range(0)), kSweepSimTime,
+        station, [&] {
+          auto entry = topo.globalLayer(0)->directory().lookup(target);
+          if (!entry) ++misses;
+        });
+  }
+  report(state, last, kSweepSimTime);
+  state.counters["lookup_misses"] = static_cast<double>(misses);
+}
+
+void BM_FederatedQuery(benchmark::State& state) {
+  sim::TopologyOptions opts;
+  opts.gateways = 3;
+  opts.hostsPerGateway = 4;
+  opts.seed = 42;
+  sim::Topology topo(opts);
+  const std::vector<std::string> urls{topo.site(1).headUrl("snmp"),
+                                      topo.site(2).headUrl("snmp")};
+  // Federation fans out per site; ~800us coordinator CPU per statement.
+  sim::ServiceStation station(2, 800);
+  SweepResult last;
+  for (auto _ : state) {
+    last = runClosedLoop(
+        topo, static_cast<std::size_t>(state.range(0)), kSweepSimTime,
+        station, [&] {
+          auto result = topo.globalLayer(0)->federatedQuery(
+              topo.adminToken(0), urls,
+              "SELECT COUNT(*), AVG(Load1) FROM Processor");
+          benchmark::DoNotOptimize(result);
+        });
+  }
+  report(state, last, kSweepSimTime);
+}
+
+// One process, the full grid: PERF_STUDY_GATEWAYS gateways x
+// PERF_STUDY_HOSTS_PER_GW hosts (10k hosts by default), built once and
+// then exercised with a cross-grid query mix per iteration.
+void BM_ScaleOut(benchmark::State& state) {
+  static std::unique_ptr<sim::Topology> topo;
+  static double buildMs = 0;
+  if (!topo) {
+    sim::TopologyOptions opts;
+    opts.gateways = envSize("PERF_STUDY_GATEWAYS", 100);
+    opts.hostsPerGateway = envSize("PERF_STUDY_HOSTS_PER_GW", 100);
+    opts.seed = 7;
+    // Stagger 100 site refresh ticks rather than firing them all on
+    // one instant.
+    opts.refreshInterval = 60 * util::kSecond;
+    const auto t0 = std::chrono::steady_clock::now();
+    topo = std::make_unique<sim::Topology>(opts);
+    buildMs = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  }
+  util::Rng rng(11);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    // A burst of gateway queries spread across the grid, then a slice
+    // of simulated time so maintenance events interleave.
+    for (int i = 0; i < 8; ++i) {
+      const std::size_t g = rng.below(topo->gatewayCount());
+      auto result = topo->gateway(g).submitQuery(
+          topo->adminToken(g), {topo->site(g).headUrl("snmp")},
+          "SELECT HostName, Load1 FROM Processor");
+      benchmark::DoNotOptimize(result);
+      ++ops;
+    }
+    topo->loop().runFor(util::kSecond);
+  }
+  topo->quiesce();
+  state.counters["hosts"] = static_cast<double>(topo->hostCount());
+  state.counters["gateways"] = static_cast<double>(topo->gatewayCount());
+  state.counters["build_ms"] = buildMs;
+  state.counters["loop_events"] =
+      static_cast<double>(topo->loop().eventsFired());
+  state.counters["ops"] = static_cast<double>(ops);
+}
+
+}  // namespace
+
+BENCHMARK(BM_GatewayQuery)
+    ->ArgName("users")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DirectoryLookup)
+    ->ArgName("users")
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FederatedQuery)
+    ->ArgName("users")
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScaleOut)->Unit(benchmark::kMillisecond);

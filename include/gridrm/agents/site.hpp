@@ -18,6 +18,7 @@
 #include "gridrm/net/network.hpp"
 #include "gridrm/sim/host_model.hpp"
 #include "gridrm/util/clock.hpp"
+#include "gridrm/util/event_scheduler.hpp"
 
 namespace gridrm::agents {
 
@@ -39,6 +40,7 @@ class SiteSimulation {
  public:
   SiteSimulation(net::Network& network, util::Clock& clock,
                  SiteOptions options = {});
+  ~SiteSimulation();
 
   SiteSimulation(const SiteSimulation&) = delete;
   SiteSimulation& operator=(const SiteSimulation&) = delete;
@@ -70,6 +72,20 @@ class SiteSimulation {
   /// Evaluate trap thresholds on all agents (the site's periodic tick).
   void pollTraps();
 
+  /// Register the site's periodic maintenance on an event scheduler:
+  /// trap-threshold evaluation every `trapInterval` and a whole-cluster
+  /// model refresh every `refreshInterval`. Replaces hand-rolled
+  /// step/pump loops — with a sim::EventLoop the ticks interleave
+  /// deterministically with everything else on the loop. The events
+  /// are cancelled on destruction (the scheduler must outlive the
+  /// site or be destroyed without firing further).
+  void scheduleMaintenance(util::EventScheduler& scheduler,
+                           util::Duration trapInterval = 5 * util::kSecond,
+                           util::Duration refreshInterval =
+                               30 * util::kSecond);
+  /// Cancel events registered by scheduleMaintenance (idempotent).
+  void cancelMaintenance();
+
  private:
   net::Network& network_;
   util::Clock& clock_;
@@ -82,6 +98,8 @@ class SiteSimulation {
   std::unique_ptr<scms::ScmsAgent> scms_;
   std::unique_ptr<sqlsrc::SqlSourceAgent> sqlsrc_;
   std::unique_ptr<mds::MdsAgent> mds_;
+  util::EventScheduler* maintenanceScheduler_ = nullptr;
+  std::vector<util::EventId> maintenanceEvents_;
 };
 
 }  // namespace gridrm::agents

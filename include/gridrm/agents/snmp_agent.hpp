@@ -88,11 +88,14 @@ class SnmpAgent final : public net::RequestHandler {
 
  private:
   using Payload = net::Payload;
-  using MibGetter = std::function<util::Value()>;
+  /// Getters render from one HostSnapshot taken per PDU: a GETBULK walk
+  /// over the whole MIB costs one host-model lock, not one per OID.
+  using MibGetter = std::function<util::Value(const sim::HostSnapshot&)>;
 
   void buildMib();
   Pdu execute(const Pdu& request);
-  std::optional<util::Value> lookup(const Oid& oid);
+  std::optional<util::Value> lookup(const Oid& oid,
+                                    const sim::HostSnapshot& snap);
   void sendTrap(const char* trapOid, std::vector<Varbind> varbinds);
 
   sim::HostModel& host_;

@@ -21,6 +21,7 @@
 #include "gridrm/core/alert_manager.hpp"
 #include "gridrm/core/request_manager.hpp"
 #include "gridrm/stream/continuous_query_engine.hpp"
+#include "gridrm/util/event_scheduler.hpp"
 
 namespace gridrm::core {
 
@@ -52,6 +53,8 @@ class SitePoller {
         principal_(std::move(principal)),
         alerts_(alerts) {}
 
+  ~SitePoller() { stopTicking(); }
+
   SitePoller(const SitePoller&) = delete;
   SitePoller& operator=(const SitePoller&) = delete;
 
@@ -76,6 +79,15 @@ class SitePoller {
   /// Drive the poller across a stretch of (simulated) time: advance the
   /// clock by `step` and tick, until `duration` has elapsed.
   void runFor(util::Duration duration, util::Duration step);
+
+  /// Register the poller's tick as a periodic event: tick() fires every
+  /// `interval` on the scheduler (a sim::EventLoop in simulations)
+  /// until stopTicking() or destruction. Replaces owner-driven
+  /// tick()/runFor() loops.
+  void startTicking(util::EventScheduler& scheduler,
+                    util::Duration interval = util::kSecond);
+  /// Cancel the periodic tick registered by startTicking (idempotent).
+  void stopTicking();
 
   /// Apply a retention policy: prune history rows older than `keep`.
   /// Returns rows dropped. `db` is the gateway's internal database.
@@ -111,6 +123,8 @@ class SitePoller {
   mutable std::mutex mu_;
   std::vector<Scheduled> tasks_;
   SitePollerStats stats_;
+  util::EventScheduler* tickScheduler_ = nullptr;
+  util::EventId tickEvent_ = 0;
 };
 
 }  // namespace gridrm::core

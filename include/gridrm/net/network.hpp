@@ -12,13 +12,18 @@
 // intrusion").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "gridrm/util/clock.hpp"
+#include "gridrm/util/event_scheduler.hpp"
 #include "gridrm/util/random.hpp"
 
 namespace gridrm::net {
@@ -76,6 +81,19 @@ struct EndpointStats {
   std::uint64_t bytesOut = 0;
 };
 
+/// Completion of an asynchronous request: either a response payload or
+/// a NetError-shaped failure, delivered at the simulated instant the
+/// answer (or timeout) would have arrived.
+struct AsyncOutcome {
+  Payload response;
+  std::optional<NetErrorKind> error;
+  std::string message;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+using ResponseCallback = std::function<void(const AsyncOutcome&)>;
+
 class Network {
  public:
   explicit Network(util::Clock& clock, std::uint64_t seed = 1)
@@ -97,14 +115,59 @@ class Network {
   /// requests throw NetError(Unreachable).
   void setHostDown(const std::string& host, bool down);
 
+  /// Attach a discrete-event scheduler (the sim EventLoop): latency,
+  /// jitter and loss stop being charged synchronously and become
+  /// scheduled delivery events instead — requestAsync completes at the
+  /// simulated arrival instant, datagrams deliver one one-way latency
+  /// after the send, and the synchronous request() wrapper accumulates
+  /// its round trip into a drainable per-process charge instead of
+  /// advancing the clock (the loop is the only time writer). Pass
+  /// nullptr to detach and restore the legacy synchronous behavior.
+  void attachScheduler(util::EventScheduler* scheduler) noexcept {
+    scheduler_.store(scheduler, std::memory_order_release);
+  }
+  bool eventDriven() const noexcept {
+    return scheduler_.load(std::memory_order_acquire) != nullptr;
+  }
+
   /// Synchronous request/response. Charges one round trip of link
-  /// latency to the Clock. Throws NetError on loss (Timeout, after
+  /// latency to the Clock (or to the async-mode latency charge, see
+  /// attachScheduler). Throws NetError on loss (Timeout, after
   /// charging `timeoutUs`) or when the destination is unbound/down.
+  /// With a scheduler attached this is a thin wrapper over the same
+  /// link model as requestAsync, kept so threaded/live call sites
+  /// (drivers, gateways) keep working unchanged.
   Payload request(const Address& from, const Address& to, const Payload& body,
                   util::Duration timeoutUs = 500 * util::kMillisecond);
 
+  /// Asynchronous request/response on the attached scheduler: the
+  /// request arrives at the destination after one one-way latency
+  /// (where the handler runs, re-checking reachability so faults
+  /// injected mid-flight count), the response arrives one more one-way
+  /// later, and `onComplete` fires at that instant — or at
+  /// now+timeoutUs with a Timeout outcome when the round trip is lost
+  /// or the destination host is down. An unbound port completes with
+  /// Unreachable after the first one-way trip (connection refused).
+  /// Without a scheduler attached this degrades to the synchronous
+  /// path and invokes `onComplete` before returning.
+  void requestAsync(const Address& from, const Address& to,
+                    const Payload& body, ResponseCallback onComplete,
+                    util::Duration timeoutUs = 500 * util::kMillisecond);
+
   /// Fire-and-forget datagram; silently dropped on loss or dead host.
+  /// With a scheduler attached, delivery happens one one-way latency
+  /// later as a scheduled event.
   void datagram(const Address& from, const Address& to, const Payload& body);
+
+  /// Total simulated latency charged by synchronous request() calls in
+  /// async mode since the last drain, process-wide across every thread
+  /// (a gateway answering one simulated client may fan out across its
+  /// worker pool). Returns the accumulated charge and resets it to
+  /// zero; the perf-study harness drains it around each simulated
+  /// operation to price that operation's network time.
+  static util::Duration drainChargedLatency() noexcept {
+    return chargedLatency_.exchange(0, std::memory_order_acq_rel);
+  }
 
   EndpointStats stats(const Address& addr) const;
   void resetStats();
@@ -117,10 +180,23 @@ class Network {
   util::Clock& clock() noexcept { return clock_; }
 
  private:
+  /// In-flight async request state (guards the completion/timeout race;
+  /// touched only from the scheduler's single driving thread).
+  struct PendingRequest {
+    ResponseCallback onComplete;
+    util::EventId timeoutId = 0;
+    bool done = false;
+  };
+
   LinkModel linkFor(const std::string& a, const std::string& b) const;
   util::Duration sampleLatency(const LinkModel& link);
+  /// Charge `us` of simulated time: sleep the clock (sync mode) or
+  /// accumulate into the drainable charge (async mode).
+  void chargeOrSleep(util::Duration us);
 
   util::Clock& clock_;
+  std::atomic<util::EventScheduler*> scheduler_{nullptr};
+  static std::atomic<util::Duration> chargedLatency_;
   mutable std::mutex mu_;
   util::Rng rng_;
   std::map<Address, RequestHandler*> endpoints_;

@@ -20,6 +20,13 @@
 // whose time has come, then calls the pump so the system under test can
 // poll/heal; faults with symmetric ends (burst/partition/down windows)
 // enqueue their own repair action.
+//
+// Since PR 9 the injector can instead ride a sim::EventLoop
+// (bindLoop): fault actions become loop events, interleaving
+// deterministically with agent maintenance ticks and network delivery
+// events. The manual step/pump loop above keeps working — run() and
+// fireDue() become thin wrappers that drive the bound loop — but new
+// code should bind a loop and let it own time.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +38,8 @@
 #include "gridrm/util/clock.hpp"
 
 namespace gridrm::sim {
+
+class EventLoop;
 
 class ChaosInjector {
  public:
@@ -61,10 +70,23 @@ class ChaosInjector {
   void hostDownWindow(const std::string& host, util::TimePoint from,
                       util::TimePoint until);
 
+  /// Attach the injector to an event loop: every action already queued
+  /// (and every action scheduled afterwards) becomes a loop event, so
+  /// faults interleave deterministically with maintenance ticks and
+  /// network deliveries. The loop's clock must be the clock this
+  /// injector was constructed with. run()/fireDue() then drive the
+  /// bound loop instead of sleeping the clock directly.
+  void bindLoop(EventLoop& loop);
+
   /// Drive the timeline: until every scheduled action has fired plus
   /// `settle` more simulated time, advance the clock by `step`, fire
   /// the actions that are due, then invoke `pump` (gateway tick/poll
   /// plumbing). Returns the number of actions fired.
+  ///
+  /// Deprecated in favour of bindLoop() + EventLoop::runUntil — kept
+  /// as a compatibility wrapper so PR 5/7-era chaos scripts replay
+  /// unchanged (when a loop is bound this drives it with the same
+  /// step/pump cadence).
   std::size_t run(util::Duration step, const std::function<void()>& pump,
                   util::Duration settle = 0);
 
@@ -72,7 +94,9 @@ class ChaosInjector {
   /// without advancing it (for tests that manage time themselves).
   std::size_t fireDue();
 
-  std::size_t pendingActions() const noexcept { return actions_.size(); }
+  std::size_t pendingActions() const noexcept {
+    return actions_.size() + pendingOnLoop_;
+  }
 
   /// Default link restored after bursts/partitions; mirrors the value
   /// passed to Network::setDefaultLink.
@@ -87,12 +111,17 @@ class ChaosInjector {
     std::function<void()> fn;
   };
 
+  void scheduleOnLoop(util::TimePoint when, std::function<void()> fn);
+
   net::Network& network_;
   util::Clock& clock_;
   util::Rng rng_;  // for randomized schedules built on top of at()
   net::LinkModel restoreLink_;
   std::vector<Action> actions_;  // kept sorted by (when, order)
   std::uint64_t nextOrder_ = 0;
+  EventLoop* loop_ = nullptr;        // set by bindLoop
+  std::size_t pendingOnLoop_ = 0;    // chaos actions queued on the loop
+  std::uint64_t firedOnLoop_ = 0;    // chaos actions the loop has fired
 };
 
 }  // namespace gridrm::sim

@@ -1,0 +1,119 @@
+// Deterministic discrete-event scheduling core (the SimGrid model:
+// fast, scalable simulation as a library).
+//
+// One single-threaded loop owns a SimClock and a priority queue of
+// (due time, insertion seq, callback) events. run* drivers pop events
+// in (when, seq) order, jump the clock straight to each event's due
+// time — no real sleeping, no polling — and fire the callback, which
+// may schedule or cancel further events. Ties break by insertion seq,
+// so two runs that schedule the same events in the same order replay
+// byte-identically per seed: the whole 10k-host performance study
+// (bench_perf_study, E20) rides on this property.
+//
+// The loop is NOT thread-safe: schedule/cancel/run must happen on the
+// driving thread (callbacks run on it too). Code that executes *under*
+// an event may spin up worker threads internally (a gateway answering
+// a query), but those workers must not touch the loop — and, because
+// the loop's clock is marked single-writer, a debug build catches any
+// worker that tries to advance simulated time behind the loop's back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gridrm/util/clock.hpp"
+#include "gridrm/util/event_scheduler.hpp"
+
+namespace gridrm::sim {
+
+using util::EventId;
+
+class EventLoop final : public util::EventScheduler {
+ public:
+  explicit EventLoop(util::TimePoint start = 0);
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The clock this loop owns and advances. Safe to hand to every
+  /// simulated component (Network, agents, gateways); they read it,
+  /// the loop writes it.
+  util::SimClock& clock() noexcept { return clock_; }
+  util::TimePoint now() const noexcept { return clock_.now(); }
+
+  // --- scheduling -----------------------------------------------------
+  EventId schedule(util::TimePoint when, std::function<void()> fn) override;
+  EventId scheduleAfter(util::Duration delay, std::function<void()> fn);
+  /// Periodic event, first due one period from now.
+  EventId scheduleEvery(util::Duration period,
+                        std::function<void()> fn) override;
+  /// Periodic event with an explicit first delay (0 = due immediately
+  /// on the next run). Staggering first delays keeps 10k periodic
+  /// ticks from all landing on the same instant.
+  EventId scheduleEvery(util::Duration period, util::Duration firstDelay,
+                        std::function<void()> fn);
+  /// Cancel a one-shot or periodic event; safe from within a callback
+  /// (including the event's own). Returns false when already fired or
+  /// unknown.
+  bool cancel(EventId id) override;
+
+  // --- drivers --------------------------------------------------------
+  /// Fire every event due at or before `t` (inclusive), advancing the
+  /// clock to each event's due time, then leave the clock at exactly
+  /// `t`. Returns events fired.
+  std::size_t runUntil(util::TimePoint t);
+  std::size_t runFor(util::Duration d) { return runUntil(now() + d); }
+  /// Fire the single earliest pending event regardless of its due time
+  /// (test hook); returns false when nothing is pending.
+  bool runOne();
+
+  // --- introspection --------------------------------------------------
+  std::size_t pendingEvents() const noexcept { return handlers_.size(); }
+  std::uint64_t eventsFired() const noexcept { return eventsFired_; }
+  std::optional<util::TimePoint> nextEventTime() const;
+
+  /// Append one "t=<due> id=<id>\n" line per fired event to `sink`
+  /// (null disables). Two runs of the same scenario must produce
+  /// byte-identical traces — the determinism acceptance check.
+  void setTraceSink(std::string* sink) noexcept { trace_ = sink; }
+
+ private:
+  struct Handler {
+    std::function<void()> fn;
+    util::Duration period = 0;  // 0 = one-shot
+  };
+  struct HeapEntry {
+    util::TimePoint when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      // priority_queue is a max-heap; invert for earliest-first, with
+      // insertion seq as the stable tie-break.
+      return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+  };
+
+  EventId enqueue(util::TimePoint when, util::Duration period,
+                  std::function<void()> fn);
+  void fire(const HeapEntry& entry,
+            const std::shared_ptr<Handler>& handler);
+
+  util::SimClock clock_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCmp> heap_;
+  std::unordered_map<EventId, std::shared_ptr<Handler>> handlers_;
+  EventId nextId_ = 1;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t eventsFired_ = 0;
+  std::string* trace_ = nullptr;
+};
+
+}  // namespace gridrm::sim

@@ -1,0 +1,146 @@
+// Whole-grid topology builder for the performance study (E20).
+//
+// Wires N simulated hosts across G sites, one gateway per site, a GMA
+// directory and (optionally) the federation layer onto ONE EventLoop
+// and one Network in charge mode: latency is accounted, never slept,
+// so a 10k-host grid constructs and runs in seconds of wall time.
+// Everything is deterministic per seed — two Topologies built with the
+// same options produce byte-identical event traces and counters.
+//
+// The builder exists above gridrm_sim proper (it pulls in agents, core
+// and global), so it lives in the separate gridrm_topology target.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridrm/agents/site.hpp"
+#include "gridrm/core/gateway.hpp"
+#include "gridrm/global/directory.hpp"
+#include "gridrm/global/global_layer.hpp"
+#include "gridrm/net/network.hpp"
+#include "gridrm/sim/event_loop.hpp"
+
+namespace gridrm::sim {
+
+/// Deterministic multi-server queueing model used by the perf-study
+/// harness to turn "K clients share a gateway with S workers" into
+/// simulated sojourn times. admit() assigns the job to the server that
+/// frees first: start = max(arrival, freeAt), done = start + service +
+/// extra (the job's own measured cost, e.g. drained network charge).
+/// Pure arithmetic — no randomness — so sweeps replay identically.
+class ServiceStation {
+ public:
+  ServiceStation(std::size_t servers, util::Duration serviceTime)
+      : freeAt_(servers > 0 ? servers : 1, 0), serviceTime_(serviceTime) {}
+
+  /// Returns the completion time of a job arriving at `now`.
+  util::TimePoint admit(util::TimePoint now, util::Duration extra = 0) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < freeAt_.size(); ++i) {
+      if (freeAt_[i] < freeAt_[best]) best = i;
+    }
+    const util::TimePoint start = now > freeAt_[best] ? now : freeAt_[best];
+    const util::TimePoint done = start + serviceTime_ + extra;
+    freeAt_[best] = done;
+    return done;
+  }
+
+  std::size_t servers() const noexcept { return freeAt_.size(); }
+
+ private:
+  std::vector<util::TimePoint> freeAt_;
+  util::Duration serviceTime_;
+};
+
+struct TopologyOptions {
+  std::size_t gateways = 4;
+  std::size_t hostsPerGateway = 8;
+  std::uint64_t seed = 1;
+  /// Start a GlobalLayer per gateway and register it with the
+  /// directory (required for directory lookups and federated queries).
+  bool federation = true;
+  /// Head-node agents beyond per-host SNMP (Ganglia, NWS, NetLogger,
+  /// SCMS, SQL, MDS). Off by default: at 10k hosts the lean set keeps
+  /// construction and per-gateway source counts manageable.
+  bool fullAgentSet = false;
+  /// Per-site periodic maintenance on the loop; 0 disables.
+  util::Duration refreshInterval = 60 * util::kSecond;
+  util::Duration trapInterval = 0;
+  /// GlobalLayer::tick() cadence on the loop (lease renewal, fragment
+  /// NACKs); 0 disables. Must stay under half the directory lease TTL
+  /// (120s default) or registrations expire as simulated time runs.
+  util::Duration globalTickInterval = 30 * util::kSecond;
+  /// Simulated time advanced after the host models boot, so metrics
+  /// have evolved away from their initial state before measurement.
+  util::Duration warmup = 60 * util::kSecond;
+  /// Loss/jitter default to zero: the perf study wants identical
+  /// counters across same-seed runs, and every sampled draw stays on a
+  /// deterministic path only if no request ever retries.
+  net::LinkModel defaultLink{2 * util::kMillisecond, 0, 0.0};
+  core::GatewayOptions gatewayBase;  // name/host overwritten per gateway
+  global::GlobalOptions globalOptions;
+
+  TopologyOptions() {
+    // Scale-friendly gateway defaults: 2 worker threads and inline
+    // event dispatch keep a 100-gateway grid at ~200 threads; pooled
+    // connections skip the isValid probe round-trip.
+    gatewayBase.queryWorkers = 2;
+    gatewayBase.eventOptions.threadedDispatch = false;
+    gatewayBase.validatePooledConnections = false;
+  }
+};
+
+/// One in-process grid: loop + network + directory + G (site, gateway
+/// [, global layer]) triples. Gateways are named "gw<i>" on network
+/// host "gw<i>"; sites are "site<i>" with hosts "site<i>-nodeNN".
+class Topology {
+ public:
+  explicit Topology(TopologyOptions options = {});
+  ~Topology();
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  EventLoop& loop() noexcept { return loop_; }
+  net::Network& network() noexcept { return *network_; }
+  global::GmaDirectory& directory() noexcept { return *directory_; }
+  net::Address directoryAddress() const {
+    return {"gma", global::kDirectoryPort};
+  }
+
+  const TopologyOptions& options() const noexcept { return options_; }
+  std::size_t gatewayCount() const noexcept { return gateways_.size(); }
+  std::size_t hostCount() const noexcept {
+    return options_.gateways * options_.hostsPerGateway;
+  }
+
+  agents::SiteSimulation& site(std::size_t i) { return *sites_.at(i); }
+  core::Gateway& gateway(std::size_t i) { return *gateways_.at(i); }
+  /// Null when options.federation is false.
+  global::GlobalLayer* globalLayer(std::size_t i) {
+    return globals_.empty() ? nullptr : globals_.at(i).get();
+  }
+  /// Admin session token on gateway i (opened at construction).
+  const std::string& adminToken(std::size_t i) const {
+    return admins_.at(i);
+  }
+
+  /// Block until every gateway's background scheduler has drained.
+  void quiesce();
+
+ private:
+  TopologyOptions options_;
+  EventLoop loop_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<global::GmaDirectory> directory_;
+  std::vector<std::unique_ptr<agents::SiteSimulation>> sites_;
+  std::vector<std::unique_ptr<core::Gateway>> gateways_;
+  std::vector<std::unique_ptr<global::GlobalLayer>> globals_;
+  std::vector<std::string> admins_;
+};
+
+}  // namespace gridrm::sim

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 
 namespace gridrm::util {
@@ -31,26 +32,85 @@ class SystemClock final : public Clock {
   void sleepFor(Duration us) override;
 };
 
-/// Manually-driven clock. Thread-safe; `sleepFor` advances time so code
-/// written against Clock behaves identically under simulation.
+/// Manually-driven clock. Thread-safe for readers; writers use
+/// release stores so a reader that observes a new time also observes
+/// everything the writer did before advancing — cross-thread readers
+/// can never see time go backwards relative to work they synchronised
+/// on.
+///
+/// Single-writer mode: when a sim::EventLoop owns this clock it is the
+/// sole time authority (events fire in due order precisely because
+/// nothing else moves time). setSingleWriter(true) turns concurrent
+/// advance/setNow calls into a debug-build assertion so a stray
+/// sleepFor from a worker thread is caught instead of silently
+/// corrupting the event timeline.
 class SimClock final : public Clock {
  public:
   explicit SimClock(TimePoint start = 0) noexcept : now_(start) {}
 
   TimePoint now() const noexcept override {
-    return now_.load(std::memory_order_relaxed);
+    return now_.load(std::memory_order_acquire);
   }
   void sleepFor(Duration us) override { advance(us); }
 
   void advance(Duration us) noexcept {
-    now_.fetch_add(us, std::memory_order_relaxed);
+    WriterGuard guard(*this);
+    now_.fetch_add(us, std::memory_order_acq_rel);
   }
   void setNow(TimePoint t) noexcept {
-    now_.store(t, std::memory_order_relaxed);
+    WriterGuard guard(*this);
+    now_.store(t, std::memory_order_release);
+  }
+  /// Monotonic jump: move time forward to `t`, no-op when `t` is not
+  /// ahead of now. The EventLoop fire path uses this so an event due in
+  /// the past can never wind the clock backwards.
+  void advanceTo(TimePoint t) noexcept {
+    WriterGuard guard(*this);
+    TimePoint current = now_.load(std::memory_order_relaxed);
+    while (current < t && !now_.compare_exchange_weak(
+                              current, t, std::memory_order_acq_rel,
+                              std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Declare this clock owned by a single time authority (an
+  /// EventLoop). Debug builds then assert that no two threads advance
+  /// concurrently; release builds are unaffected.
+  void setSingleWriter(bool on) noexcept {
+    singleWriter_.store(on, std::memory_order_relaxed);
   }
 
  private:
+#ifndef NDEBUG
+  struct WriterGuard {
+    explicit WriterGuard(SimClock& clock) noexcept : clock_(clock) {
+      if (!clock_.singleWriter_.load(std::memory_order_relaxed)) return;
+      armed_ = true;
+      bool expected = false;
+      const bool won = clock_.writing_.compare_exchange_strong(
+          expected, true, std::memory_order_acquire);
+      assert(won &&
+             "SimClock: concurrent advance on a single-writer (EventLoop-"
+             "owned) clock");
+      (void)won;
+    }
+    ~WriterGuard() {
+      if (armed_) clock_.writing_.store(false, std::memory_order_release);
+    }
+    SimClock& clock_;
+    bool armed_ = false;
+  };
+#else
+  struct WriterGuard {
+    explicit WriterGuard(SimClock&) noexcept {}
+  };
+#endif
+
   std::atomic<TimePoint> now_;
+  std::atomic<bool> singleWriter_{false};
+  // Present in release builds too (only the guard logic is debug-only)
+  // so SimClock's layout never depends on NDEBUG.
+  std::atomic<bool> writing_{false};
 };
 
 }  // namespace gridrm::util

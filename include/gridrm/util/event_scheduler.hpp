@@ -1,0 +1,38 @@
+// Minimal discrete-event scheduling interface.
+//
+// Lower layers (net::Network, core::SitePoller) that want their work
+// driven by the simulation's event loop depend on this interface only;
+// the concrete single-threaded loop lives one layer up in
+// sim::EventLoop. This keeps the dependency graph acyclic: util defines
+// the contract, net consumes it, sim implements it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gridrm/util/clock.hpp"
+
+namespace gridrm::util {
+
+/// Opaque handle to a scheduled event; 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class EventScheduler {
+ public:
+  virtual ~EventScheduler() = default;
+
+  /// Schedule `fn` to run at absolute time `when` (clamped to "now" if
+  /// already past). Events due at the same instant fire in scheduling
+  /// order.
+  virtual EventId schedule(TimePoint when, std::function<void()> fn) = 0;
+
+  /// Schedule `fn` every `period`, first firing one period from now.
+  /// The returned id cancels every future occurrence.
+  virtual EventId scheduleEvery(Duration period, std::function<void()> fn) = 0;
+
+  /// Cancel a pending (or periodic) event. Returns false when the id is
+  /// unknown or the event already fired.
+  virtual bool cancel(EventId id) = 0;
+};
+
+}  // namespace gridrm::util

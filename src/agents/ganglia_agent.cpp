@@ -44,34 +44,36 @@ std::string GangliaAgent::renderXml() {
       .attr("LOCALTIME", std::to_string(clock_.now() / util::kSecond));
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     sim::HostModel& h = cluster_.host(i);
+    // One lock + one model advance per host, not one per metric.
+    const sim::HostSnapshot s = h.snapshot();
     w.open("HOST")
         .attr("NAME", h.name())
         .attr("IP", "10.0.0." + std::to_string(i + 1))
         .attr("REPORTED", std::to_string(clock_.now() / util::kSecond));
-    metric(w, "load_one", fmt(h.load1()), "float", "");
-    metric(w, "load_five", fmt(h.load5()), "float", "");
-    metric(w, "load_fifteen", fmt(h.load15()), "float", "");
-    metric(w, "cpu_user", fmt(h.cpuUserPct()), "float", "%");
-    metric(w, "cpu_system", fmt(h.cpuSystemPct()), "float", "%");
-    metric(w, "cpu_idle", fmt(h.cpuIdlePct()), "float", "%");
+    metric(w, "load_one", fmt(s.load1), "float", "");
+    metric(w, "load_five", fmt(s.load5), "float", "");
+    metric(w, "load_fifteen", fmt(s.load15), "float", "");
+    metric(w, "cpu_user", fmt(s.cpuUserPct), "float", "%");
+    metric(w, "cpu_system", fmt(s.cpuSystemPct), "float", "%");
+    metric(w, "cpu_idle", fmt(s.cpuIdlePct), "float", "%");
     metric(w, "cpu_num", std::to_string(h.spec().cpuCount), "uint16", "CPUs");
     metric(w, "cpu_speed", std::to_string(h.spec().cpuMhz), "uint32", "MHz");
     metric(w, "mem_total", std::to_string(h.spec().memTotalMb * 1024),
            "uint32", "KB");
-    metric(w, "mem_free", std::to_string(h.memFreeMb() * 1024), "uint32",
+    metric(w, "mem_free", std::to_string(s.memFreeMb * 1024), "uint32",
            "KB");
     metric(w, "swap_total", std::to_string(h.spec().swapTotalMb * 1024),
            "uint32", "KB");
-    metric(w, "swap_free", std::to_string(h.swapFreeMb() * 1024), "uint32",
+    metric(w, "swap_free", std::to_string(s.swapFreeMb * 1024), "uint32",
            "KB");
     metric(w, "disk_total", std::to_string(h.spec().diskTotalMb), "double",
            "MB");
-    metric(w, "disk_free", std::to_string(h.diskFreeMb()), "double", "MB");
-    metric(w, "bytes_in", std::to_string(h.netInBytes()), "float",
+    metric(w, "disk_free", std::to_string(s.diskFreeMb), "double", "MB");
+    metric(w, "bytes_in", std::to_string(s.netInBytes), "float",
            "bytes/sec");
-    metric(w, "bytes_out", std::to_string(h.netOutBytes()), "float",
+    metric(w, "bytes_out", std::to_string(s.netOutBytes), "float",
            "bytes/sec");
-    metric(w, "proc_total", std::to_string(h.processCount()), "uint32", "");
+    metric(w, "proc_total", std::to_string(s.processCount), "uint32", "");
     metric(w, "machine_type", h.spec().arch, "string", "");
     metric(w, "os_name", h.spec().osName, "string", "");
     metric(w, "os_release", h.spec().osVersion, "string", "");

@@ -87,6 +87,7 @@ std::vector<LdifEntry> MdsAgent::buildTree() {
 
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     sim::HostModel& h = cluster_.host(i);
+    const sim::HostSnapshot s = h.snapshot();
     LdifEntry e;
     e.dn = "GlueHostUniqueID=" + h.name() + "," + baseDn();
     e.attributes = {
@@ -99,16 +100,16 @@ std::vector<LdifEntry> MdsAgent::buildTree() {
         {"GlueHostOperatingSystemRelease", h.spec().osVersion},
         {"GlueHostProcessorClockSpeed", std::to_string(h.spec().cpuMhz)},
         {"GlueHostArchitectureSMPSize", std::to_string(h.spec().cpuCount)},
-        {"GlueHostProcessorLoadAverage1Min", fmt(h.load1())},
-        {"GlueHostProcessorLoadAverage5Min", fmt(h.load5())},
-        {"GlueHostProcessorLoadAverage15Min", fmt(h.load15())},
+        {"GlueHostProcessorLoadAverage1Min", fmt(s.load1)},
+        {"GlueHostProcessorLoadAverage5Min", fmt(s.load5)},
+        {"GlueHostProcessorLoadAverage15Min", fmt(s.load15)},
         {"GlueHostMainMemoryRAMSize", std::to_string(h.spec().memTotalMb)},
-        {"GlueHostMainMemoryRAMAvailable", std::to_string(h.memFreeMb())},
+        {"GlueHostMainMemoryRAMAvailable", std::to_string(s.memFreeMb)},
         {"GlueHostMainMemoryVirtualSize",
          std::to_string(h.spec().swapTotalMb)},
-        {"GlueHostMainMemoryVirtualAvailable", std::to_string(h.swapFreeMb())},
-        {"GlueHostNetworkAdapterInboundIP", std::to_string(h.netInBytes())},
-        {"GlueHostNetworkAdapterOutboundIP", std::to_string(h.netOutBytes())},
+        {"GlueHostMainMemoryVirtualAvailable", std::to_string(s.swapFreeMb)},
+        {"GlueHostNetworkAdapterInboundIP", std::to_string(s.netInBytes)},
+        {"GlueHostNetworkAdapterOutboundIP", std::to_string(s.netOutBytes)},
         {"Mds-validto", std::to_string(clock_.now() / util::kSecond + 300)},
     };
     tree.push_back(std::move(e));

@@ -69,16 +69,17 @@ void NetLoggerAgent::appendDue() {
   }
   for (std::int64_t i = 0; i < due; ++i) {
     const util::TimePoint ts = lastEmit_ + kPeriod;
+    const sim::HostSnapshot s = host_.snapshot();
     auto emit = [&](const char* event, double value) {
       auto& q = logs_[event];
       q.push_back(formatUlm(ts, host_.name(), "simd", event, value));
       if (q.size() > kCap) q.pop_front();
     };
-    emit("cpu.load", host_.load1());
-    emit("mem.free", static_cast<double>(host_.memFreeMb()));
-    emit("net.in", static_cast<double>(host_.netInBytes()));
-    emit("net.out", static_cast<double>(host_.netOutBytes()));
-    emit("disk.free", static_cast<double>(host_.diskFreeMb()));
+    emit("cpu.load", s.load1);
+    emit("mem.free", static_cast<double>(s.memFreeMb));
+    emit("net.in", static_cast<double>(s.netInBytes));
+    emit("net.out", static_cast<double>(s.netOutBytes));
+    emit("disk.free", static_cast<double>(s.diskFreeMb));
     lastEmit_ = ts;
   }
 }

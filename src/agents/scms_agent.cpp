@@ -39,24 +39,26 @@ net::Payload ScmsAgent::handleRequest(const net::Address& /*from*/,
   if (words[0] == "STAT" && words.size() >= 2) {
     sim::HostModel* h = cluster_.findHost(words[1]);
     if (h == nullptr) return "ERROR unknown node " + words[1] + "\n";
+    // One coherent snapshot renders the whole status page.
+    const sim::HostSnapshot s = h->snapshot();
     std::string out;
     out += "node: " + h->name() + "\n";
     out += "cluster: " + cluster_.name() + "\n";
-    out += "uptime: " + std::to_string(h->uptimeSeconds()) + "\n";
+    out += "uptime: " + std::to_string(s.uptimeSeconds) + "\n";
     out += "ncpus: " + std::to_string(h->spec().cpuCount) + "\n";
     out += "cpu_mhz: " + std::to_string(h->spec().cpuMhz) + "\n";
-    out += "load1: " + fmt(h->load1()) + "\n";
-    out += "load5: " + fmt(h->load5()) + "\n";
-    out += "load15: " + fmt(h->load15()) + "\n";
-    out += "cpu_user: " + fmt(h->cpuUserPct()) + "\n";
-    out += "cpu_sys: " + fmt(h->cpuSystemPct()) + "\n";
-    out += "cpu_idle: " + fmt(h->cpuIdlePct()) + "\n";
+    out += "load1: " + fmt(s.load1) + "\n";
+    out += "load5: " + fmt(s.load5) + "\n";
+    out += "load15: " + fmt(s.load15) + "\n";
+    out += "cpu_user: " + fmt(s.cpuUserPct) + "\n";
+    out += "cpu_sys: " + fmt(s.cpuSystemPct) + "\n";
+    out += "cpu_idle: " + fmt(s.cpuIdlePct) + "\n";
     out += "mem_total_mb: " + std::to_string(h->spec().memTotalMb) + "\n";
-    out += "mem_free_mb: " + std::to_string(h->memFreeMb()) + "\n";
-    out += "swap_free_mb: " + std::to_string(h->swapFreeMb()) + "\n";
+    out += "mem_free_mb: " + std::to_string(s.memFreeMb) + "\n";
+    out += "swap_free_mb: " + std::to_string(s.swapFreeMb) + "\n";
     out += "disk_total_mb: " + std::to_string(h->spec().diskTotalMb) + "\n";
-    out += "disk_free_mb: " + std::to_string(h->diskFreeMb()) + "\n";
-    out += "nprocs: " + std::to_string(h->processCount()) + "\n";
+    out += "disk_free_mb: " + std::to_string(s.diskFreeMb) + "\n";
+    out += "nprocs: " + std::to_string(s.processCount) + "\n";
     out += "os: " + h->spec().osName + " " + h->spec().osVersion + "\n";
     out += "arch: " + h->spec().arch + "\n";
     return out;

@@ -88,4 +88,31 @@ void SiteSimulation::pollTraps() {
   for (auto& agent : snmpAgents_) agent->pollTraps();
 }
 
+SiteSimulation::~SiteSimulation() { cancelMaintenance(); }
+
+void SiteSimulation::scheduleMaintenance(util::EventScheduler& scheduler,
+                                         util::Duration trapInterval,
+                                         util::Duration refreshInterval) {
+  cancelMaintenance();
+  maintenanceScheduler_ = &scheduler;
+  if (trapInterval > 0) {
+    maintenanceEvents_.push_back(
+        scheduler.scheduleEvery(trapInterval, [this] { pollTraps(); }));
+  }
+  if (refreshInterval > 0) {
+    maintenanceEvents_.push_back(scheduler.scheduleEvery(
+        refreshInterval, [this] { cluster_->refreshAll(); }));
+  }
+}
+
+void SiteSimulation::cancelMaintenance() {
+  if (maintenanceScheduler_ != nullptr) {
+    for (util::EventId id : maintenanceEvents_) {
+      maintenanceScheduler_->cancel(id);
+    }
+  }
+  maintenanceEvents_.clear();
+  maintenanceScheduler_ = nullptr;
+}
+
 }  // namespace gridrm::agents

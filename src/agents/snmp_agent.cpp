@@ -17,56 +17,70 @@ SnmpAgent::SnmpAgent(sim::HostModel& host, net::Network& network,
 SnmpAgent::~SnmpAgent() { network_.unbind(address()); }
 
 void SnmpAgent::buildMib() {
+  using Snap = sim::HostSnapshot;
   auto add = [&](const char* oidText, MibGetter getter) {
     mib_[Oid::parse(oidText)] = std::move(getter);
   };
   sim::HostModel& h = host_;
 
-  add(oids::kSysDescr, [&h] {
+  add(oids::kSysDescr, [&h](const Snap&) {
     return Value(h.spec().osName + " " + h.spec().osVersion + " " +
                  h.spec().arch);
   });
-  add(oids::kSysUpTime, [&h] { return Value(h.uptimeSeconds() * 100); });
-  add(oids::kSysName, [&h] { return Value(h.name()); });
-  add(oids::kHrSystemProcesses,
-      [&h] { return Value(static_cast<std::int64_t>(h.processCount())); });
-  add(oids::kHrMemorySize, [&h] { return Value(h.spec().memTotalMb * 1024); });
-  add(oids::kHrStorageSize, [&h] { return Value(h.spec().diskTotalMb); });
-  add(oids::kHrStorageUsed,
-      [&h] { return Value(h.spec().diskTotalMb - h.diskFreeMb()); });
+  add(oids::kSysUpTime,
+      [](const Snap& s) { return Value(s.uptimeSeconds * 100); });
+  add(oids::kSysName, [&h](const Snap&) { return Value(h.name()); });
+  add(oids::kHrSystemProcesses, [](const Snap& s) {
+    return Value(static_cast<std::int64_t>(s.processCount));
+  });
+  add(oids::kHrMemorySize,
+      [&h](const Snap&) { return Value(h.spec().memTotalMb * 1024); });
+  add(oids::kHrStorageSize,
+      [&h](const Snap&) { return Value(h.spec().diskTotalMb); });
+  add(oids::kHrStorageUsed, [&h](const Snap& s) {
+    return Value(h.spec().diskTotalMb - s.diskFreeMb);
+  });
 
   const Oid procLoad = Oid::parse(oids::kHrProcessorLoadPrefix);
   for (int cpu = 1; cpu <= host_.spec().cpuCount; ++cpu) {
-    mib_[procLoad.child(static_cast<std::uint32_t>(cpu))] = [&h] {
-      return Value(static_cast<std::int64_t>(100.0 - h.cpuIdlePct()));
+    mib_[procLoad.child(static_cast<std::uint32_t>(cpu))] = [](const Snap& s) {
+      return Value(static_cast<std::int64_t>(100.0 - s.cpuIdlePct));
     };
   }
 
-  add(oids::kLaLoad1, [&h] { return Value(h.load1()); });
-  add(oids::kLaLoad5, [&h] { return Value(h.load5()); });
-  add(oids::kLaLoad15, [&h] { return Value(h.load15()); });
-  add(oids::kMemTotalReal, [&h] { return Value(h.spec().memTotalMb * 1024); });
-  add(oids::kMemAvailReal, [&h] { return Value(h.memFreeMb() * 1024); });
-  add(oids::kMemTotalSwap, [&h] { return Value(h.spec().swapTotalMb * 1024); });
-  add(oids::kMemAvailSwap, [&h] { return Value(h.swapFreeMb() * 1024); });
-  add(oids::kSsCpuUser,
-      [&h] { return Value(static_cast<std::int64_t>(h.cpuUserPct())); });
-  add(oids::kSsCpuSystem,
-      [&h] { return Value(static_cast<std::int64_t>(h.cpuSystemPct())); });
-  add(oids::kSsCpuIdle,
-      [&h] { return Value(static_cast<std::int64_t>(h.cpuIdlePct())); });
-  add(oids::kIfDescr, [] { return Value("eth0"); });
-  add(oids::kIfSpeed, [&h] {
+  add(oids::kLaLoad1, [](const Snap& s) { return Value(s.load1); });
+  add(oids::kLaLoad5, [](const Snap& s) { return Value(s.load5); });
+  add(oids::kLaLoad15, [](const Snap& s) { return Value(s.load15); });
+  add(oids::kMemTotalReal,
+      [&h](const Snap&) { return Value(h.spec().memTotalMb * 1024); });
+  add(oids::kMemAvailReal,
+      [](const Snap& s) { return Value(s.memFreeMb * 1024); });
+  add(oids::kMemTotalSwap,
+      [&h](const Snap&) { return Value(h.spec().swapTotalMb * 1024); });
+  add(oids::kMemAvailSwap,
+      [](const Snap& s) { return Value(s.swapFreeMb * 1024); });
+  add(oids::kSsCpuUser, [](const Snap& s) {
+    return Value(static_cast<std::int64_t>(s.cpuUserPct));
+  });
+  add(oids::kSsCpuSystem, [](const Snap& s) {
+    return Value(static_cast<std::int64_t>(s.cpuSystemPct));
+  });
+  add(oids::kSsCpuIdle, [](const Snap& s) {
+    return Value(static_cast<std::int64_t>(s.cpuIdlePct));
+  });
+  add(oids::kIfDescr, [](const Snap&) { return Value("eth0"); });
+  add(oids::kIfSpeed, [&h](const Snap&) {
     return Value(static_cast<std::int64_t>(h.spec().nicSpeedMbps) * 1000000);
   });
-  add(oids::kIfInOctets, [&h] { return Value(h.netInBytes()); });
-  add(oids::kIfOutOctets, [&h] { return Value(h.netOutBytes()); });
+  add(oids::kIfInOctets, [](const Snap& s) { return Value(s.netInBytes); });
+  add(oids::kIfOutOctets, [](const Snap& s) { return Value(s.netOutBytes); });
 }
 
-std::optional<Value> SnmpAgent::lookup(const Oid& oid) {
+std::optional<Value> SnmpAgent::lookup(const Oid& oid,
+                                       const sim::HostSnapshot& snap) {
   auto it = mib_.find(oid);
   if (it == mib_.end()) return std::nullopt;
-  return it->second();
+  return it->second(snap);
 }
 
 Pdu SnmpAgent::execute(const Pdu& request) {
@@ -80,10 +94,14 @@ Pdu SnmpAgent::execute(const Pdu& request) {
     return response;
   }
 
+  // One coherent snapshot per PDU: every varbind of this request reads
+  // the same model instant through a single lock round-trip.
+  const sim::HostSnapshot snap = host_.snapshot();
+
   switch (request.type) {
     case PduType::Get: {
       for (const auto& vb : request.varbinds) {
-        auto v = lookup(vb.oid);
+        auto v = lookup(vb.oid, snap);
         if (!v) {
           response.errorStatus = SnmpError::NoSuchName;
           response.varbinds.push_back({vb.oid, Value::null()});
@@ -100,7 +118,7 @@ Pdu SnmpAgent::execute(const Pdu& request) {
           response.errorStatus = SnmpError::NoSuchName;
           response.varbinds.push_back({vb.oid, Value::null()});
         } else {
-          response.varbinds.push_back({it->first, it->second()});
+          response.varbinds.push_back({it->first, it->second(snap)});
         }
       }
       return response;
@@ -111,7 +129,7 @@ Pdu SnmpAgent::execute(const Pdu& request) {
         auto it = mib_.upper_bound(vb.oid);
         for (std::uint32_t n = 0; n < request.maxRepetitions && it != mib_.end();
              ++n, ++it) {
-          response.varbinds.push_back({it->first, it->second()});
+          response.varbinds.push_back({it->first, it->second(snap)});
         }
       }
       return response;
@@ -150,8 +168,9 @@ void SnmpAgent::sendTrap(const char* trapOid, std::vector<Varbind> varbinds) {
 }
 
 void SnmpAgent::pollTraps() {
-  const double load = host_.load1();
-  const std::int64_t diskFree = host_.diskFreeMb();
+  const sim::HostSnapshot snap = host_.snapshot();
+  const double load = snap.load1;
+  const std::int64_t diskFree = snap.diskFreeMb;
 
   bool fireLoad = false;
   bool fireDisk = false;

@@ -47,13 +47,15 @@ void SqlSourceAgent::refreshTables() {
   std::int64_t totalCpus = 0;
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     sim::HostModel& h = cluster_.host(i);
+    // One snapshot feeds every table row for this host.
+    const sim::HostSnapshot s = h.snapshot();
     const std::string host = h.name();
     const std::string cl = cluster_.name();
 
     db_.insertRow("Host",
                   {Value(host), Value(cl), Value(now),
-                   Value(h.uptimeSeconds()),
-                   Value(static_cast<std::int64_t>(h.processCount())),
+                   Value(s.uptimeSeconds),
+                   Value(static_cast<std::int64_t>(s.processCount)),
                    Value(h.spec().osName), Value(h.spec().osVersion),
                    Value(h.spec().arch)});
     db_.insertRow(
@@ -61,29 +63,29 @@ void SqlSourceAgent::refreshTables() {
         {Value(host), Value(cl), Value(now),
          Value(static_cast<std::int64_t>(h.spec().cpuCount)),
          Value(static_cast<std::int64_t>(h.spec().cpuMhz)),
-         Value(h.spec().cpuModel), Value(h.load1()), Value(h.load5()),
-         Value(h.load15()), Value(h.cpuUserPct()), Value(h.cpuSystemPct()),
-         Value(h.cpuIdlePct())});
+         Value(h.spec().cpuModel), Value(s.load1), Value(s.load5),
+         Value(s.load15), Value(s.cpuUserPct), Value(s.cpuSystemPct),
+         Value(s.cpuIdlePct)});
     db_.insertRow("Memory", {Value(host), Value(cl), Value(now),
-                             Value(h.spec().memTotalMb), Value(h.memFreeMb()),
+                             Value(h.spec().memTotalMb), Value(s.memFreeMb),
                              Value(h.spec().swapTotalMb),
-                             Value(h.swapFreeMb())});
+                             Value(s.swapFreeMb)});
     db_.insertRow("OperatingSystem",
                   {Value(host), Value(cl), Value(now), Value(h.spec().osName),
                    Value(h.spec().osVersion), Value(h.bootTime())});
     db_.insertRow("FileSystem",
                   {Value(host), Value(cl), Value(now), Value("/"),
-                   Value(h.spec().diskTotalMb), Value(h.diskFreeMb()),
+                   Value(h.spec().diskTotalMb), Value(s.diskFreeMb),
                    Value(false)});
     db_.insertRow(
         "NetworkAdapter",
         {Value(host), Value(cl), Value(now), Value("eth0"),
          Value(static_cast<std::int64_t>(h.spec().nicSpeedMbps)),
-         Value(h.netInBytes()), Value(h.netOutBytes())});
+         Value(s.netInBytes), Value(s.netOutBytes)});
 
-    loadSum += h.load1();
+    loadSum += s.load1;
     totalCpus += h.spec().cpuCount;
-    if (h.load1() < 0.5) freeCpus += h.spec().cpuCount;
+    if (s.load1 < 0.5) freeCpus += h.spec().cpuCount;
   }
   db_.insertRow("ComputeElement",
                 {Value(cluster_.name()), Value(now),

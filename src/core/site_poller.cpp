@@ -166,6 +166,21 @@ void SitePoller::runFor(util::Duration duration, util::Duration step) {
   (void)tick();
 }
 
+void SitePoller::startTicking(util::EventScheduler& scheduler,
+                              util::Duration interval) {
+  stopTicking();
+  tickScheduler_ = &scheduler;
+  tickEvent_ = scheduler.scheduleEvery(interval, [this] { (void)tick(); });
+}
+
+void SitePoller::stopTicking() {
+  if (tickScheduler_ != nullptr) {
+    tickScheduler_->cancel(tickEvent_);
+  }
+  tickScheduler_ = nullptr;
+  tickEvent_ = 0;
+}
+
 std::size_t SitePoller::enforceRetention(store::Database& db,
                                          util::Duration keep) {
   const std::int64_t cutoff = clock_.now() - keep;

@@ -63,6 +63,16 @@ util::Duration Network::sampleLatency(const LinkModel& link) {
              static_cast<std::uint64_t>(link.jitterUs)));
 }
 
+std::atomic<util::Duration> Network::chargedLatency_{0};
+
+void Network::chargeOrSleep(util::Duration us) {
+  if (eventDriven()) {
+    chargedLatency_.fetch_add(us, std::memory_order_acq_rel);
+  } else {
+    clock_.sleepFor(us);
+  }
+}
+
 Payload Network::request(const Address& from, const Address& to,
                          const Payload& body, util::Duration timeoutUs) {
   RequestHandler* handler = nullptr;
@@ -94,11 +104,11 @@ Payload Network::request(const Address& from, const Address& to,
     }
   }
   if (lost) {
-    clock_.sleepFor(timeoutUs);
+    chargeOrSleep(timeoutUs);
     throw NetError(NetErrorKind::Timeout,
                    "request to " + to.toString() + " timed out");
   }
-  clock_.sleepFor(rtt);
+  chargeOrSleep(rtt);
   Payload response = handler->handleRequest(from, body);  // outside the lock
   {
     std::scoped_lock lock(mu_);
@@ -107,13 +117,118 @@ Payload Network::request(const Address& from, const Address& to,
   return response;
 }
 
+void Network::requestAsync(const Address& from, const Address& to,
+                           const Payload& body, ResponseCallback onComplete,
+                           util::Duration timeoutUs) {
+  util::EventScheduler* sched = scheduler_.load(std::memory_order_acquire);
+  if (sched == nullptr) {
+    // Degraded (threaded/live) mode: run the synchronous path inline.
+    AsyncOutcome outcome;
+    try {
+      outcome.response = request(from, to, body, timeoutUs);
+    } catch (const NetError& e) {
+      outcome.error = e.kind();
+      outcome.message = e.what();
+    }
+    onComplete(outcome);
+    return;
+  }
+
+  bool lost = false;
+  util::Duration onewayOut = 0;
+  util::Duration onewayBack = 0;
+  {
+    std::scoped_lock lock(mu_);
+    auto downIt = hostDown_.find(to.host);
+    lost = downIt != hostDown_.end() && downIt->second;
+    const LinkModel link = linkFor(from.host, to.host);
+    lost = lost || rng_.chance(link.lossProbability);
+    onewayOut = sampleLatency(link);
+    onewayBack = sampleLatency(link);
+    ++totalRequests_;
+  }
+  const util::TimePoint now = clock_.now();
+  if (lost) {
+    const std::string where = to.toString();
+    sched->schedule(now + timeoutUs, [onComplete, where] {
+      onComplete(AsyncOutcome{{}, NetErrorKind::Timeout,
+                              "request to " + where + " timed out"});
+    });
+    return;
+  }
+
+  auto state = std::make_shared<PendingRequest>();
+  state->onComplete = std::move(onComplete);
+  state->timeoutId =
+      sched->schedule(now + timeoutUs, [state, to] {
+        if (state->done) return;
+        state->done = true;
+        state->onComplete(AsyncOutcome{{}, NetErrorKind::Timeout,
+                                       "request to " + to.toString() +
+                                           " timed out"});
+      });
+  sched->schedule(now + onewayOut, [this, sched, state, from, to, body,
+                                    onewayBack] {
+    if (state->done) return;
+    RequestHandler* handler = nullptr;
+    bool downNow = false;
+    {
+      std::scoped_lock lock(mu_);
+      auto downIt = hostDown_.find(to.host);
+      downNow = downIt != hostDown_.end() && downIt->second;
+      if (!downNow) {
+        auto it = endpoints_.find(to);
+        if (it != endpoints_.end()) handler = it->second;
+      }
+    }
+    if (downNow) return;  // swallowed mid-flight: the timeout event pays
+    if (handler == nullptr) {
+      // Connection refused surfaces as soon as the packet arrives.
+      state->done = true;
+      sched->cancel(state->timeoutId);
+      state->onComplete(AsyncOutcome{{}, NetErrorKind::Unreachable,
+                                     "no endpoint bound at " +
+                                         to.toString()});
+      return;
+    }
+    {
+      std::scoped_lock lock(mu_);
+      EndpointStats& s = stats_[to];
+      ++s.requestsServed;
+      s.bytesIn += body.size();
+    }
+    Payload response = handler->handleRequest(from, body);
+    {
+      std::scoped_lock lock(mu_);
+      stats_[to].bytesOut += response.size();
+    }
+    sched->schedule(clock_.now() + onewayBack,
+                    [sched, state, response = std::move(response)] {
+                      if (state->done) return;
+                      state->done = true;
+                      sched->cancel(state->timeoutId);
+                      state->onComplete(
+                          AsyncOutcome{std::move(response), std::nullopt, {}});
+                    });
+  });
+}
+
 void Network::datagram(const Address& from, const Address& to,
                        const Payload& body) {
+  // Datagrams deliver inline in every mode. Protocols built on the
+  // synchronous request API (fragment streaming, trap fan-out) rely on
+  // "frames arrive before the reply" ordering, which a scheduled
+  // delivery cannot honour while a sync exchange holds the clock still.
+  // Event-driven mode charges the one-way hop instead of sleeping, the
+  // same accounting the sync request wrapper uses.
   RequestHandler* handler = nullptr;
+  util::Duration oneway = 0;
   {
     std::scoped_lock lock(mu_);
     ++totalDatagrams_;
     EndpointStats& s = stats_[to];
+    const LinkModel link = linkFor(from.host, to.host);
+    oneway = sampleLatency(link);
     auto downIt = hostDown_.find(to.host);
     if (downIt != hostDown_.end() && downIt->second) {
       ++s.datagramsDropped;
@@ -124,7 +239,6 @@ void Network::datagram(const Address& from, const Address& to,
       ++s.datagramsDropped;
       return;
     }
-    const LinkModel link = linkFor(from.host, to.host);
     if (rng_.chance(link.lossProbability)) {
       ++s.datagramsDropped;
       return;
@@ -132,6 +246,9 @@ void Network::datagram(const Address& from, const Address& to,
     handler = it->second;
     ++s.datagramsReceived;
     s.bytesIn += body.size();
+  }
+  if (eventDriven()) {
+    chargedLatency_.fetch_add(oneway, std::memory_order_acq_rel);
   }
   handler->handleDatagram(from, body);
 }

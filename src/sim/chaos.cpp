@@ -2,13 +2,38 @@
 
 #include <algorithm>
 
+#include "gridrm/sim/event_loop.hpp"
+
 namespace gridrm::sim {
 
 ChaosInjector::ChaosInjector(net::Network& network, util::Clock& clock,
                              std::uint64_t seed)
     : network_(network), clock_(clock), rng_(seed) {}
 
+void ChaosInjector::bindLoop(EventLoop& loop) {
+  loop_ = &loop;
+  // Migrate anything queued through the legacy path onto the loop;
+  // actions_ is sorted by (when, order), so insertion order — and
+  // therefore same-instant tie-breaking — is preserved.
+  for (auto& a : actions_) scheduleOnLoop(a.when, std::move(a.fn));
+  actions_.clear();
+}
+
+void ChaosInjector::scheduleOnLoop(util::TimePoint when,
+                                   std::function<void()> fn) {
+  ++pendingOnLoop_;
+  loop_->schedule(when, [this, fn = std::move(fn)] {
+    --pendingOnLoop_;
+    ++firedOnLoop_;
+    fn();
+  });
+}
+
 void ChaosInjector::at(util::TimePoint when, std::function<void()> action) {
+  if (loop_ != nullptr) {
+    scheduleOnLoop(when, std::move(action));
+    return;
+  }
   Action entry{when, nextOrder_++, std::move(action)};
   auto it = std::upper_bound(
       actions_.begin(), actions_.end(), entry,
@@ -52,6 +77,11 @@ void ChaosInjector::hostDownWindow(const std::string& host,
 }
 
 std::size_t ChaosInjector::fireDue() {
+  if (loop_ != nullptr) {
+    const std::uint64_t before = firedOnLoop_;
+    loop_->runUntil(loop_->now());
+    return static_cast<std::size_t>(firedOnLoop_ - before);
+  }
   const util::TimePoint now = clock_.now();
   std::size_t fired = 0;
   while (!actions_.empty() && actions_.front().when <= now) {
@@ -67,6 +97,24 @@ std::size_t ChaosInjector::fireDue() {
 std::size_t ChaosInjector::run(util::Duration step,
                                const std::function<void()>& pump,
                                util::Duration settle) {
+  if (loop_ != nullptr) {
+    // Compatibility wrapper: same step/pump cadence as the legacy
+    // path, but time advances through the loop so any other scheduled
+    // events (maintenance ticks, async deliveries) fire in order.
+    const std::uint64_t before = firedOnLoop_;
+    loop_->runUntil(loop_->now());
+    if (pump) pump();
+    util::TimePoint settleUntil =
+        pendingOnLoop_ == 0 ? loop_->now() + settle : 0;
+    while (pendingOnLoop_ > 0 || loop_->now() < settleUntil) {
+      loop_->runFor(step);
+      if (pump) pump();
+      if (pendingOnLoop_ == 0 && settleUntil == 0) {
+        settleUntil = loop_->now() + settle;
+      }
+    }
+    return static_cast<std::size_t>(firedOnLoop_ - before);
+  }
   std::size_t fired = fireDue();
   if (pump) pump();
   util::TimePoint settleUntil =

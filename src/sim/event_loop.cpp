@@ -1,0 +1,116 @@
+#include "gridrm/sim/event_loop.hpp"
+
+#include <algorithm>
+
+namespace gridrm::sim {
+
+EventLoop::EventLoop(util::TimePoint start) : clock_(start) {
+  clock_.setSingleWriter(true);
+}
+
+EventLoop::~EventLoop() { clock_.setSingleWriter(false); }
+
+EventId EventLoop::enqueue(util::TimePoint when, util::Duration period,
+                           std::function<void()> fn) {
+  const EventId id = nextId_++;
+  // Clamp to now: an event scheduled in the past is due immediately,
+  // after everything already due (its seq is newest).
+  when = std::max(when, clock_.now());
+  handlers_.emplace(id, std::make_shared<Handler>(Handler{std::move(fn),
+                                                          period}));
+  heap_.push(HeapEntry{when, nextSeq_++, id});
+  return id;
+}
+
+EventId EventLoop::schedule(util::TimePoint when, std::function<void()> fn) {
+  return enqueue(when, 0, std::move(fn));
+}
+
+EventId EventLoop::scheduleAfter(util::Duration delay,
+                                 std::function<void()> fn) {
+  return enqueue(clock_.now() + delay, 0, std::move(fn));
+}
+
+EventId EventLoop::scheduleEvery(util::Duration period,
+                                 std::function<void()> fn) {
+  return scheduleEvery(period, period, std::move(fn));
+}
+
+EventId EventLoop::scheduleEvery(util::Duration period,
+                                 util::Duration firstDelay,
+                                 std::function<void()> fn) {
+  return enqueue(clock_.now() + firstDelay, period, std::move(fn));
+}
+
+bool EventLoop::cancel(EventId id) {
+  // The heap entry (if any) goes stale and is skipped on pop.
+  return handlers_.erase(id) != 0;
+}
+
+void EventLoop::fire(const HeapEntry& entry,
+                     const std::shared_ptr<Handler>& handler) {
+  clock_.advanceTo(entry.when);
+  ++eventsFired_;
+  if (trace_ != nullptr) {
+    trace_->append("t=");
+    trace_->append(std::to_string(entry.when));
+    trace_->append(" id=");
+    trace_->append(std::to_string(entry.id));
+    trace_->push_back('\n');
+  }
+  handler->fn();
+}
+
+std::size_t EventLoop::runUntil(util::TimePoint t) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().when <= t) {
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;  // cancelled: stale heap entry
+    std::shared_ptr<Handler> handler = it->second;
+    if (handler->period > 0) {
+      // Re-arm before firing so the callback can cancel its own id.
+      heap_.push(HeapEntry{entry.when + handler->period, nextSeq_++,
+                           entry.id});
+    } else {
+      handlers_.erase(it);
+    }
+    fire(entry, handler);
+    ++fired;
+  }
+  clock_.advanceTo(t);
+  return fired;
+}
+
+bool EventLoop::runOne() {
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) continue;
+    std::shared_ptr<Handler> handler = it->second;
+    if (handler->period > 0) {
+      heap_.push(HeapEntry{entry.when + handler->period, nextSeq_++,
+                           entry.id});
+    } else {
+      handlers_.erase(it);
+    }
+    fire(entry, handler);
+    return true;
+  }
+  return false;
+}
+
+std::optional<util::TimePoint> EventLoop::nextEventTime() const {
+  // Skip stale (cancelled) entries without mutating the heap.
+  auto heapCopy = heap_;
+  while (!heapCopy.empty()) {
+    const HeapEntry& top = heapCopy.top();
+    if (handlers_.count(top.id) != 0) return top.when;
+    heapCopy.pop();
+  }
+  return std::nullopt;
+}
+
+}  // namespace gridrm::sim

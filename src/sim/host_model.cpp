@@ -98,83 +98,29 @@ void HostModel::step(double dt) {
   netOutBytes_ += outRate * dt;
 }
 
-double HostModel::load1() {
+HostSnapshot HostModel::snapshot() {
+  const util::TimePoint now = clock_.now();
   std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return load1_;
-}
-double HostModel::load5() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return load5_;
-}
-double HostModel::load15() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return load15_;
-}
-
-double HostModel::cpuUserPct() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
+  advanceTo(now);
+  HostSnapshot snap;
+  snap.load1 = load1_;
+  snap.load5 = load5_;
+  snap.load15 = load15_;
   const double busy =
       std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
-  return std::clamp(busy * 80.0, 0.0, 100.0);
-}
-
-double HostModel::cpuSystemPct() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  const double busy =
-      std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
-  return std::clamp(busy * 15.0, 0.0, 100.0);
-}
-
-double HostModel::cpuIdlePct() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  const double busy =
-      std::min(1.0, load1_ / static_cast<double>(spec_.cpuCount));
-  const double user = std::clamp(busy * 80.0, 0.0, 100.0);
-  const double system = std::clamp(busy * 15.0, 0.0, 100.0);
-  return std::clamp(100.0 - user - system, 0.0, 100.0);
-}
-
-std::int64_t HostModel::memFreeMb() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return spec_.memTotalMb - static_cast<std::int64_t>(memUsedMb_);
-}
-std::int64_t HostModel::memUsedMb() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return static_cast<std::int64_t>(memUsedMb_);
-}
-std::int64_t HostModel::swapFreeMb() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return spec_.swapTotalMb - static_cast<std::int64_t>(swapUsedMb_);
-}
-std::int64_t HostModel::diskFreeMb() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return spec_.diskTotalMb - static_cast<std::int64_t>(diskUsedMb_);
-}
-std::int64_t HostModel::netInBytes() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return static_cast<std::int64_t>(netInBytes_);
-}
-std::int64_t HostModel::netOutBytes() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return static_cast<std::int64_t>(netOutBytes_);
-}
-
-int HostModel::processCount() {
-  std::scoped_lock lock(mu_);
-  advanceTo(clock_.now());
-  return procBase_ + static_cast<int>(load1_ * 15.0);
+  snap.cpuUserPct = std::clamp(busy * 80.0, 0.0, 100.0);
+  snap.cpuSystemPct = std::clamp(busy * 15.0, 0.0, 100.0);
+  snap.cpuIdlePct =
+      std::clamp(100.0 - snap.cpuUserPct - snap.cpuSystemPct, 0.0, 100.0);
+  snap.memUsedMb = static_cast<std::int64_t>(memUsedMb_);
+  snap.memFreeMb = spec_.memTotalMb - snap.memUsedMb;
+  snap.swapFreeMb = spec_.swapTotalMb - static_cast<std::int64_t>(swapUsedMb_);
+  snap.diskFreeMb = spec_.diskTotalMb - static_cast<std::int64_t>(diskUsedMb_);
+  snap.netInBytes = static_cast<std::int64_t>(netInBytes_);
+  snap.netOutBytes = static_cast<std::int64_t>(netOutBytes_);
+  snap.processCount = procBase_ + static_cast<int>(load1_ * 15.0);
+  snap.uptimeSeconds = (now - bootTime_) / util::kSecond;
+  return snap;
 }
 
 std::int64_t HostModel::uptimeSeconds() {
@@ -207,6 +153,10 @@ HostModel* ClusterModel::findHost(const std::string& hostName) {
     if (h->name() == hostName) return h.get();
   }
   return nullptr;
+}
+
+void ClusterModel::refreshAll() {
+  for (auto& h : hosts_) h->refresh();
 }
 
 std::vector<std::string> ClusterModel::hostNames() const {

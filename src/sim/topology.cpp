@@ -1,0 +1,94 @@
+#include "gridrm/sim/topology.hpp"
+
+namespace gridrm::sim {
+
+Topology::Topology(TopologyOptions options) : options_(std::move(options)) {
+  network_ = std::make_unique<net::Network>(loop_.clock(), options_.seed);
+  network_->setDefaultLink(options_.defaultLink);
+  // Charge mode: synchronous requests account their round-trip against
+  // the drainable latency counter instead of sleeping the loop's clock
+  // (which only the loop may advance).
+  network_->attachScheduler(&loop_);
+
+  directory_ =
+      std::make_unique<global::GmaDirectory>(*network_, directoryAddress());
+
+  sites_.reserve(options_.gateways);
+  for (std::size_t g = 0; g < options_.gateways; ++g) {
+    agents::SiteOptions so;
+    so.siteName = "site" + std::to_string(g);
+    so.hostCount = options_.hostsPerGateway;
+    so.seed = options_.seed + g * 10007;
+    so.withGanglia = options_.fullAgentSet;
+    so.withNws = options_.fullAgentSet;
+    so.withNetLogger = options_.fullAgentSet;
+    so.withScms = options_.fullAgentSet;
+    so.withSql = options_.fullAgentSet;
+    so.withMds = options_.fullAgentSet;
+    sites_.push_back(
+        std::make_unique<agents::SiteSimulation>(*network_, loop_.clock(), so));
+  }
+
+  // Let the host models evolve away from boot state before anything
+  // measures them.
+  if (options_.warmup > 0) loop_.runFor(options_.warmup);
+
+  gateways_.reserve(options_.gateways);
+  admins_.reserve(options_.gateways);
+  for (std::size_t g = 0; g < options_.gateways; ++g) {
+    core::GatewayOptions o = options_.gatewayBase;
+    o.name = "gw" + std::to_string(g);
+    o.host = "gw" + std::to_string(g);
+    gateways_.push_back(
+        std::make_unique<core::Gateway>(*network_, loop_.clock(), o));
+    admins_.push_back(gateways_[g]->openSession(core::Principal::admin()));
+    for (const auto& url : sites_[g]->dataSourceUrls()) {
+      gateways_[g]->addDataSource(admins_[g], url);
+    }
+    if (options_.trapInterval > 0) {
+      sites_[g]->setTrapSink(gateways_[g]->eventAddress());
+    }
+    sites_[g]->scheduleMaintenance(loop_, options_.trapInterval,
+                                   options_.refreshInterval);
+  }
+
+  if (options_.federation) {
+    globals_.reserve(options_.gateways);
+    for (std::size_t g = 0; g < options_.gateways; ++g) {
+      globals_.push_back(std::make_unique<global::GlobalLayer>(
+          *gateways_[g], directoryAddress(), options_.globalOptions));
+      globals_[g]->start();
+      // Lease renewal must ride the loop: simulated time outruns the
+      // 120s directory lease within one long sweep otherwise.
+      if (options_.globalTickInterval > 0) {
+        loop_.scheduleEvery(options_.globalTickInterval,
+                            [layer = globals_[g].get()] { layer->tick(); });
+      }
+    }
+  }
+
+  // Setup traffic (registration, source probing) charged latency; a
+  // measurement epoch starts clean.
+  (void)net::Network::drainChargedLatency();
+}
+
+Topology::~Topology() {
+  // Sites cancel their maintenance events in their own destructors;
+  // global layers stop before their gateways by member order.
+}
+
+void Topology::quiesce() {
+  for (;;) {
+    for (auto& gw : gateways_) gw->scheduler().waitIdle();
+    bool allIdle = true;
+    for (auto& gw : gateways_) {
+      if (!gw->scheduler().idle()) {
+        allIdle = false;
+        break;
+      }
+    }
+    if (allIdle) return;
+  }
+}
+
+}  // namespace gridrm::sim

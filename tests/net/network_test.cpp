@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "gridrm/sim/event_loop.hpp"
+
 namespace gridrm::net {
 namespace {
 
@@ -211,6 +215,162 @@ TEST(NetworkTest, JitterVariesLatencyDeterministically) {
     if (costs[i] != costs[0]) varied = true;
   }
   EXPECT_TRUE(varied);
+}
+
+// --- event-driven (scheduler-attached) mode ---------------------------
+
+TEST(AsyncNetworkTest, RequestCompletesAtSimulatedArrival) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{500, 0, 0.0});  // 500us one-way
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+
+  std::optional<AsyncOutcome> outcome;
+  util::TimePoint completedAt = -1;
+  network.requestAsync({"c", 0}, {"s", 1}, "ping", [&](const AsyncOutcome& o) {
+    outcome = o;
+    completedAt = loop.now();
+  });
+  EXPECT_FALSE(outcome.has_value());  // nothing until the loop runs
+  EXPECT_EQ(echo.requests, 0);
+
+  loop.runUntil(400);
+  EXPECT_FALSE(outcome.has_value());  // still in flight
+  loop.runUntil(2000);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok());
+  EXPECT_EQ(outcome->response, "echo:ping");
+  EXPECT_EQ(completedAt, 1000);  // one full round trip
+  EXPECT_EQ(echo.requests, 1);
+  EXPECT_EQ(network.stats({"s", 1}).requestsServed, 1u);
+}
+
+TEST(AsyncNetworkTest, LostRequestTimesOutAtDeadline) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{500, 0, 1.0});  // all loss
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+
+  std::optional<AsyncOutcome> outcome;
+  util::TimePoint completedAt = -1;
+  network.requestAsync(
+      {"c", 0}, {"s", 1}, "x",
+      [&](const AsyncOutcome& o) {
+        outcome = o;
+        completedAt = loop.now();
+      },
+      /*timeoutUs=*/10 * util::kMillisecond);
+  loop.runFor(util::kSecond);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->ok());
+  EXPECT_EQ(outcome->error, NetErrorKind::Timeout);
+  EXPECT_EQ(completedAt, 10 * util::kMillisecond);
+  EXPECT_EQ(echo.requests, 0);
+}
+
+TEST(AsyncNetworkTest, UnboundPortRefusesAfterOneWayTrip) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{500, 0, 0.0});
+
+  std::optional<AsyncOutcome> outcome;
+  util::TimePoint completedAt = -1;
+  network.requestAsync({"c", 0}, {"nowhere", 1}, "x",
+                       [&](const AsyncOutcome& o) {
+                         outcome = o;
+                         completedAt = loop.now();
+                       });
+  loop.runFor(util::kSecond);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->error, NetErrorKind::Unreachable);
+  EXPECT_EQ(completedAt, 500);  // connection refused after one-way
+}
+
+TEST(AsyncNetworkTest, MidFlightHostFailureCountsAsTimeout) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{500, 0, 0.0});
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+
+  std::optional<AsyncOutcome> outcome;
+  network.requestAsync(
+      {"c", 0}, {"s", 1}, "x",
+      [&](const AsyncOutcome& o) { outcome = o; },
+      /*timeoutUs=*/20 * util::kMillisecond);
+  // The host dies while the request is on the wire: reachability is
+  // re-checked at arrival, so the requester pays the full timeout.
+  loop.schedule(200, [&] { network.setHostDown("s", true); });
+  loop.runFor(util::kSecond);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->error, NetErrorKind::Timeout);
+  EXPECT_EQ(echo.requests, 0);
+}
+
+TEST(AsyncNetworkTest, SyncRequestChargesLatencyInsteadOfSleeping) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{500, 0, 0.0});
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+
+  (void)Network::drainChargedLatency();
+  Payload response = network.request({"c", 0}, {"s", 1}, "hello");
+  EXPECT_EQ(response, "echo:hello");
+  EXPECT_EQ(loop.now(), 0);  // the loop's clock never moved
+  EXPECT_EQ(Network::drainChargedLatency(), 1000);  // but the RTT is priced
+  EXPECT_EQ(Network::drainChargedLatency(), 0);     // drain resets
+}
+
+TEST(AsyncNetworkTest, DatagramDeliversInlineAndChargesHop) {
+  // Datagrams keep send-before-reply ordering even in event-driven
+  // mode: sync protocols (fragment streaming, traps) depend on frames
+  // landing before the RPC that announced them returns. The one-way
+  // hop is charged, not slept and not deferred.
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.setDefaultLink(LinkModel{300, 0, 0.0});
+  Echo echo;
+  network.bind({"s", 1}, &echo);
+  (void)Network::drainChargedLatency();
+
+  network.datagram({"c", 0}, {"s", 1}, "beat");
+  ASSERT_EQ(echo.datagrams.size(), 1u);  // delivered before the call returns
+  EXPECT_EQ(echo.datagrams[0], "beat");
+  EXPECT_EQ(loop.now(), 0);  // clock untouched
+  EXPECT_EQ(Network::drainChargedLatency(), 300);
+  EXPECT_EQ(network.stats({"s", 1}).datagramsReceived, 1u);
+}
+
+TEST(AsyncNetworkTest, DetachRestoresSynchronousBehavior) {
+  sim::EventLoop loop;
+  Network network(loop.clock());
+  network.attachScheduler(&loop);
+  network.attachScheduler(nullptr);
+  EXPECT_FALSE(network.eventDriven());
+
+  util::SimClock clock;
+  Network syncNetwork(clock);
+  syncNetwork.setDefaultLink(LinkModel{500, 0, 0.0});
+  Echo echo;
+  syncNetwork.bind({"s", 1}, &echo);
+  // Without a scheduler, requestAsync degrades to the sync path and
+  // completes before returning.
+  std::optional<AsyncOutcome> outcome;
+  syncNetwork.requestAsync({"c", 0}, {"s", 1}, "x",
+                           [&](const AsyncOutcome& o) { outcome = o; });
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok());
+  EXPECT_EQ(outcome->response, "echo:x");
+  EXPECT_EQ(clock.now(), 1000);  // slept the round trip, legacy style
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "gridrm/sim/event_loop.hpp"
+
 namespace gridrm::sim {
 namespace {
 
@@ -109,6 +111,97 @@ TEST(ChaosInjectorTest, HostDownWindowRestoresHost) {
   clock.advance(2000);
   chaos.fireDue();
   EXPECT_EQ(network.request({"a", 0}, {"b", 1}, "x"), "ok:x");
+}
+
+// A PR5-style chaos script (loss burst + partition + host-down window
+// over live traffic) must produce identical outcomes whether the
+// injector drives time itself (legacy step/pump run) or rides a bound
+// EventLoop.
+struct ScriptOutcome {
+  std::size_t fired = 0;
+  std::size_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::size_t pumps = 0;
+  util::TimePoint endedAt = 0;
+  bool operator==(const ScriptOutcome& o) const {
+    return fired == o.fired && delivered == o.delivered &&
+           dropped == o.dropped && pumps == o.pumps && endedAt == o.endedAt;
+  }
+};
+
+ScriptOutcome runChaosScript(bool onLoop) {
+  EventLoop loop;
+  util::SimClock legacyClock(0);
+  util::Clock& clock = onLoop ? static_cast<util::Clock&>(loop.clock())
+                              : static_cast<util::Clock&>(legacyClock);
+  net::Network network(clock, /*seed=*/17);
+  Sink sink;
+  network.bind({"b", 1}, &sink);
+
+  ChaosInjector chaos(network, clock, /*seed=*/17);
+  chaos.lossBurst("a", "b", 1 * util::kSecond, 3 * util::kSecond, 1.0);
+  chaos.hostDownWindow("b", 5 * util::kSecond, 7 * util::kSecond);
+  int bespoke = 0;
+  chaos.at(8 * util::kSecond, [&] { ++bespoke; });
+  if (onLoop) chaos.bindLoop(loop);
+
+  ScriptOutcome out;
+  out.fired = chaos.run(
+      500 * util::kMillisecond,
+      [&] {
+        ++out.pumps;
+        network.datagram({"a", 0}, {"b", 1}, "x");
+      },
+      /*settle=*/util::kSecond);
+  out.delivered = sink.datagrams.size();
+  out.dropped = network.stats({"b", 1}).datagramsDropped;
+  out.endedAt = clock.now();
+  EXPECT_EQ(bespoke, 1);
+  return out;
+}
+
+TEST(ChaosInjectorTest, LoopBoundRunMatchesLegacyRun) {
+  const ScriptOutcome legacy = runChaosScript(/*onLoop=*/false);
+  const ScriptOutcome looped = runChaosScript(/*onLoop=*/true);
+  EXPECT_GT(legacy.delivered, 0u);
+  EXPECT_GT(legacy.dropped, 0u);
+  EXPECT_TRUE(legacy == looped)
+      << "legacy: fired=" << legacy.fired << " delivered=" << legacy.delivered
+      << " dropped=" << legacy.dropped << " pumps=" << legacy.pumps
+      << " endedAt=" << legacy.endedAt << " / looped: fired=" << looped.fired
+      << " delivered=" << looped.delivered << " dropped=" << looped.dropped
+      << " pumps=" << looped.pumps << " endedAt=" << looped.endedAt;
+}
+
+TEST(ChaosInjectorTest, BindLoopMigratesQueuedActions) {
+  EventLoop loop;
+  net::Network network(loop.clock());
+  ChaosInjector chaos(network, loop.clock());
+  std::vector<int> order;
+  chaos.at(1000, [&] { order.push_back(1); });
+  chaos.at(1000, [&] { order.push_back(2); });  // same-instant tie
+  chaos.at(500, [&] { order.push_back(0); });
+  chaos.bindLoop(loop);
+  EXPECT_EQ(chaos.pendingActions(), 3u);
+
+  // Interleaves with unrelated loop events in due order.
+  loop.schedule(700, [&] { order.push_back(7); });
+  loop.runUntil(2000);
+  EXPECT_EQ(order, (std::vector<int>{0, 7, 1, 2}));
+  EXPECT_EQ(chaos.pendingActions(), 0u);
+}
+
+TEST(ChaosInjectorTest, LoopBoundFollowUpsFireSameRun) {
+  EventLoop loop;
+  net::Network network(loop.clock());
+  ChaosInjector chaos(network, loop.clock());
+  chaos.bindLoop(loop);
+  int chained = 0;
+  chaos.at(1000, [&] {
+    chaos.at(loop.now(), [&] { ++chained; });  // due immediately
+  });
+  EXPECT_EQ(chaos.run(500, nullptr), 2u);
+  EXPECT_EQ(chained, 1);
 }
 
 TEST(ChaosInjectorTest, ActionsMayScheduleFollowUps) {

@@ -1,0 +1,176 @@
+#include "gridrm/sim/event_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gridrm::sim {
+namespace {
+
+TEST(EventLoopTest, FiresInDueOrderAndAdvancesClock) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<util::TimePoint> firedAt;
+  loop.schedule(30, [&] {
+    order.push_back(3);
+    firedAt.push_back(loop.now());
+  });
+  loop.schedule(10, [&] {
+    order.push_back(1);
+    firedAt.push_back(loop.now());
+  });
+  loop.schedule(20, [&] {
+    order.push_back(2);
+    firedAt.push_back(loop.now());
+  });
+
+  EXPECT_EQ(loop.runUntil(100), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // The clock jumps to each event's due time, then lands on the bound.
+  EXPECT_EQ(firedAt, (std::vector<util::TimePoint>{10, 20, 30}));
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, SameInstantTiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    loop.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  loop.runUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventLoopTest, RunUntilBoundaryIsInclusive) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(100, [&] { ++fired; });
+  loop.schedule(101, [&] { ++fired; });
+  EXPECT_EQ(loop.runUntil(100), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 100);
+  EXPECT_EQ(loop.runUntil(101), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, PastDueEventsClampToNowNotBackwards) {
+  EventLoop loop;
+  loop.runUntil(500);
+  util::TimePoint firedAt = -1;
+  loop.schedule(100, [&] { firedAt = loop.now(); });  // already past
+  loop.runUntil(500);
+  EXPECT_EQ(firedAt, 500);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoopTest, CancelPendingEventNeverFires) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // already gone
+  EXPECT_EQ(loop.runUntil(100), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.pendingEvents(), 0u);
+}
+
+TEST(EventLoopTest, PeriodicFiresEveryPeriodUntilCancelled) {
+  EventLoop loop;
+  int ticks = 0;
+  const EventId id = loop.scheduleEvery(10, [&] { ++ticks; });
+  loop.runUntil(55);
+  EXPECT_EQ(ticks, 5);  // t = 10, 20, 30, 40, 50
+  EXPECT_TRUE(loop.cancel(id));
+  loop.runFor(100);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(EventLoopTest, PeriodicCanCancelItselfFromItsOwnCallback) {
+  EventLoop loop;
+  int ticks = 0;
+  EventId id = 0;
+  id = loop.scheduleEvery(10, [&] {
+    if (++ticks == 3) EXPECT_TRUE(loop.cancel(id));
+  });
+  loop.runUntil(1000);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(loop.pendingEvents(), 0u);
+}
+
+TEST(EventLoopTest, ScheduleFromWithinCallbackFiresInSameRun) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(10, [&] {
+    order.push_back(1);
+    loop.schedule(20, [&] { order.push_back(2); });
+    loop.scheduleAfter(5, [&] { order.push_back(3); });  // due 15
+  });
+  loop.runUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(EventLoopTest, StaggeredPeriodicFirstDelay) {
+  EventLoop loop;
+  std::vector<util::TimePoint> at;
+  loop.scheduleEvery(100, 7, [&] { at.push_back(loop.now()); });
+  loop.runUntil(250);
+  EXPECT_EQ(at, (std::vector<util::TimePoint>{7, 107, 207}));
+}
+
+TEST(EventLoopTest, RunOneFiresEarliestRegardlessOfDueTime) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(1000, [&] { ++fired; });
+  EXPECT_TRUE(loop.runOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 1000);
+  EXPECT_FALSE(loop.runOne());
+}
+
+TEST(EventLoopTest, NextEventTimeSkipsCancelledEntries) {
+  EventLoop loop;
+  const EventId early = loop.schedule(10, [] {});
+  loop.schedule(20, [] {});
+  EXPECT_EQ(loop.nextEventTime(), std::optional<util::TimePoint>(10));
+  loop.cancel(early);
+  EXPECT_EQ(loop.nextEventTime(), std::optional<util::TimePoint>(20));
+}
+
+TEST(EventLoopTest, TraceIsByteIdenticalAcrossRuns) {
+  auto scenario = [](std::string& trace) {
+    EventLoop loop;
+    loop.setTraceSink(&trace);
+    loop.scheduleEvery(7, [] {});
+    loop.scheduleEvery(11, [] {});
+    loop.schedule(30, [&loop] { loop.scheduleAfter(2, [] {}); });
+    loop.runUntil(100);
+    return loop.eventsFired();
+  };
+  std::string a, b;
+  const auto firedA = scenario(a);
+  const auto firedB = scenario(b);
+  EXPECT_EQ(firedA, firedB);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EventLoopTest, SingleWriterClockAllowsLoopAdvance) {
+  // The loop marks its clock single-writer; its own advances must not
+  // trip the debug assertion.
+  EventLoop loop;
+  loop.schedule(10, [] {});
+  loop.runUntil(20);
+  EXPECT_EQ(loop.now(), 20);
+}
+
+TEST(SimClockTest, AdvanceToIsMonotonic) {
+  util::SimClock clock(100);
+  clock.advanceTo(50);  // behind now: no-op
+  EXPECT_EQ(clock.now(), 100);
+  clock.advanceTo(250);
+  EXPECT_EQ(clock.now(), 250);
+}
+
+}  // namespace
+}  // namespace gridrm::sim

@@ -19,6 +19,60 @@ TEST(HostModelTest, DeterministicPerSeed) {
   EXPECT_EQ(a.netInBytes(), b.netInBytes());
 }
 
+TEST(HostModelTest, SnapshotMatchesPerMetricGetters) {
+  util::SimClock c1;
+  util::SimClock c2;
+  HostModel a(HostSpec{}, c1, 42);
+  HostModel b(HostSpec{}, c2, 42);  // same seed: identical twin
+  c1.advance(90 * kSecond);
+  c2.advance(90 * kSecond);
+
+  // One bulk snapshot of `a` equals `b`'s per-metric reads: the
+  // getters are thin delegates over the same single-advance path.
+  const HostSnapshot s = a.snapshot();
+  EXPECT_DOUBLE_EQ(s.load1, b.load1());
+  EXPECT_DOUBLE_EQ(s.load5, b.load5());
+  EXPECT_DOUBLE_EQ(s.load15, b.load15());
+  EXPECT_DOUBLE_EQ(s.cpuUserPct, b.cpuUserPct());
+  EXPECT_DOUBLE_EQ(s.cpuSystemPct, b.cpuSystemPct());
+  EXPECT_DOUBLE_EQ(s.cpuIdlePct, b.cpuIdlePct());
+  EXPECT_EQ(s.memFreeMb, b.memFreeMb());
+  EXPECT_EQ(s.memUsedMb, b.memUsedMb());
+  EXPECT_EQ(s.swapFreeMb, b.swapFreeMb());
+  EXPECT_EQ(s.diskFreeMb, b.diskFreeMb());
+  EXPECT_EQ(s.netInBytes, b.netInBytes());
+  EXPECT_EQ(s.netOutBytes, b.netOutBytes());
+  EXPECT_EQ(s.processCount, b.processCount());
+  EXPECT_EQ(s.uptimeSeconds, b.uptimeSeconds());
+}
+
+TEST(HostModelTest, SnapshotIsInternallyCoherent) {
+  util::SimClock clock;
+  HostModel h(HostSpec{}, clock, 7);
+  clock.advance(120 * kSecond);
+  const HostSnapshot s = h.snapshot();
+  // All fields derive from one model instant, so the invariants that
+  // hold inside the model hold across the snapshot.
+  EXPECT_DOUBLE_EQ(s.cpuUserPct + s.cpuSystemPct + s.cpuIdlePct, 100.0);
+  EXPECT_EQ(s.memFreeMb + s.memUsedMb, HostSpec{}.memTotalMb);
+  EXPECT_EQ(s.uptimeSeconds, 120);
+  // Repeated snapshots without time passing are identical (no hidden
+  // model stepping per read).
+  const HostSnapshot again = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.load1, again.load1);
+  EXPECT_EQ(s.netInBytes, again.netInBytes);
+}
+
+TEST(ClusterModelTest, RefreshAllAdvancesEveryHost) {
+  util::SimClock clock;
+  ClusterModel cluster("c", 3, clock, 1);
+  clock.advance(60 * kSecond);
+  cluster.refreshAll();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_EQ(cluster.host(i).lastUpdate(), clock.now());
+  }
+}
+
 TEST(HostModelTest, DifferentSeedsDiverge) {
   util::SimClock clock;
   HostModel a(HostSpec{}, clock, 1);

@@ -1,0 +1,156 @@
+#include "gridrm/sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gridrm::sim {
+namespace {
+
+// Everything one scenario run observes, squashed into comparable
+// state: the loop's event trace plus query outputs and counters.
+struct Outcome {
+  std::string trace;
+  std::string queryDump;
+  std::uint64_t eventsFired = 0;
+  std::size_t loopPending = 0;
+  bool operator==(const Outcome& o) const {
+    return trace == o.trace && queryDump == o.queryDump &&
+           eventsFired == o.eventsFired && loopPending == o.loopPending;
+  }
+};
+
+std::string dumpRows(const core::QueryResult& result) {
+  std::string out;
+  if (!result.rows) return out;
+  for (const auto& row : result.rows->rows()) {
+    for (const auto& v : row) {
+      out += v.toString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  out += "failures=" + std::to_string(result.failures.size()) + "\n";
+  return out;
+}
+
+Outcome runScenario() {
+  TopologyOptions opts;
+  opts.gateways = 2;
+  opts.hostsPerGateway = 3;
+  opts.seed = 5;
+  opts.refreshInterval = 30 * util::kSecond;
+  opts.trapInterval = 10 * util::kSecond;
+  Topology topo(opts);
+
+  Outcome out;
+  topo.loop().setTraceSink(&out.trace);
+  for (int round = 0; round < 3; ++round) {
+    topo.loop().runFor(20 * util::kSecond);
+    auto local = topo.gateway(0).submitQuery(
+        topo.adminToken(0), {topo.site(0).headUrl("snmp")},
+        "SELECT HostName, Load1 FROM Processor");
+    out.queryDump += dumpRows(local);
+    auto federated = topo.globalLayer(0)->federatedQuery(
+        topo.adminToken(0),
+        {topo.site(0).headUrl("snmp"), topo.site(1).headUrl("snmp")},
+        "SELECT COUNT(*) FROM Processor");
+    out.queryDump += dumpRows(federated);
+    topo.quiesce();
+  }
+  out.eventsFired = topo.loop().eventsFired();
+  out.loopPending = topo.loop().pendingEvents();
+  return out;
+}
+
+TEST(TopologyTest, SameSeedRunsAreByteIdentical) {
+  const Outcome a = runScenario();
+  const Outcome b = runScenario();
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_FALSE(a.queryDump.empty());
+  EXPECT_GT(a.eventsFired, 0u);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.queryDump, b.queryDump);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(TopologyTest, DifferentSeedDivergesInModelOutput) {
+  TopologyOptions opts;
+  opts.gateways = 1;
+  opts.hostsPerGateway = 2;
+  auto query = [](Topology& topo) {
+    auto r = topo.gateway(0).submitQuery(
+        topo.adminToken(0), {topo.site(0).headUrl("snmp")},
+        "SELECT HostName, Load1 FROM Processor");
+    return dumpRows(r);
+  };
+  opts.seed = 1;
+  Topology a(opts);
+  opts.seed = 2;
+  Topology b(opts);
+  EXPECT_NE(query(a), query(b));
+}
+
+TEST(TopologyTest, BuildsTheRequestedShape) {
+  TopologyOptions opts;
+  opts.gateways = 3;
+  opts.hostsPerGateway = 4;
+  Topology topo(opts);
+  EXPECT_EQ(topo.gatewayCount(), 3u);
+  EXPECT_EQ(topo.hostCount(), 12u);
+  EXPECT_EQ(topo.site(2).cluster().size(), 4u);
+  // The directory knows every gateway's producer.
+  EXPECT_EQ(topo.globalLayer(0)->directory().list().size(), 3u);
+}
+
+TEST(TopologyTest, GatewayQueryReturnsLiveMetrics) {
+  TopologyOptions opts;
+  opts.gateways = 1;
+  opts.hostsPerGateway = 2;
+  Topology topo(opts);
+  auto result = topo.gateway(0).submitSiteQuery(
+      topo.adminToken(0), "SELECT HostName, Load1 FROM Processor");
+  ASSERT_TRUE(result.rows);
+  EXPECT_TRUE(result.complete());
+  EXPECT_GE(result.rows->rowCount(), 2u);
+}
+
+TEST(TopologyTest, FederatedQuerySpansSites) {
+  TopologyOptions opts;
+  opts.gateways = 2;
+  opts.hostsPerGateway = 2;
+  Topology topo(opts);
+  auto result = topo.globalLayer(0)->federatedQuery(
+      topo.adminToken(0),
+      {topo.site(0).headUrl("snmp"), topo.site(1).headUrl("snmp")},
+      "SELECT COUNT(*) FROM Processor");
+  ASSERT_TRUE(result.rows);
+  EXPECT_TRUE(result.complete());
+  ASSERT_TRUE(result.rows->next());
+  EXPECT_GE(result.rows->get(0).asInt(), 2);
+}
+
+TEST(TopologyTest, DirectoryResolvesRemoteHosts) {
+  TopologyOptions opts;
+  opts.gateways = 2;
+  opts.hostsPerGateway = 2;
+  Topology topo(opts);
+  auto entry = topo.globalLayer(0)->directory().lookup(
+      topo.site(1).cluster().host(0).name());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->name, "gw1");
+}
+
+TEST(ServiceStationTest, QueuesDeterministically) {
+  ServiceStation station(2, 100);
+  // Three simultaneous arrivals on two servers: third queues behind
+  // the first completion.
+  EXPECT_EQ(station.admit(0), 100);
+  EXPECT_EQ(station.admit(0), 100);
+  EXPECT_EQ(station.admit(0), 200);
+  // Idle gap: next job starts at its arrival.
+  EXPECT_EQ(station.admit(1000, 50), 1150);
+}
+
+}  // namespace
+}  // namespace gridrm::sim

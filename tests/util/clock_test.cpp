@@ -30,6 +30,30 @@ TEST(SimClockTest, SetNowJumps) {
   EXPECT_EQ(clock.now(), 7);
 }
 
+TEST(SimClockTest, AdvanceToNeverMovesBackwards) {
+  SimClock clock(100);
+  clock.advanceTo(40);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advanceTo(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advanceTo(101);
+  EXPECT_EQ(clock.now(), 101);
+}
+
+TEST(SimClockTest, SingleWriterModeAllowsSequentialWrites) {
+  // The assertion only targets *concurrent* writers; one thread
+  // advancing repeatedly (the event loop) must stay silent.
+  SimClock clock;
+  clock.setSingleWriter(true);
+  clock.advance(10);
+  clock.advanceTo(25);
+  clock.setNow(30);
+  EXPECT_EQ(clock.now(), 30);
+  clock.setSingleWriter(false);
+  clock.advance(5);
+  EXPECT_EQ(clock.now(), 35);
+}
+
 TEST(SystemClockTest, MonotoneNonDecreasing) {
   SystemClock clock;
   const TimePoint a = clock.now();
