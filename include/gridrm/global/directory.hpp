@@ -7,27 +7,58 @@
 // directory evicts entries whose lease expired without a renewal — a
 // crashed gateway stops being routable once its lease runs out instead
 // of lingering forever. A re-registration bearing an older epoch than
-// the stored entry is refused (STALE): it raced a restart.
+// the stored entry is refused (STALE): it raced a restart. Renewals
+// carry the previously granted expiry, and the TTL sweep grants every
+// leased entry a grace window of ttl/graceDivisor past its expiry, so
+// a renewal in flight while the sweep runs extends the lease in place
+// instead of observing a drop-then-re-add (PR 10).
 //
-// Line protocol (request/response over the simulated network):
-//   REG PRODUCER <name> <host:port> [<epoch> <ttlMs>]\n<pattern>\n...
-//       -> OK | STALE
-//   UNREG PRODUCER <name>                                      -> OK
-//   LOOKUP <host>          -> PRODUCER <name> <host:port> <epoch> | NONE
-//   LOOKUPN <h1> <h2> ...  -> one PRODUCER/NONE line per host, in order
-//   LIST                   -> PRODUCER lines
-//   REG CONSUMER <name> <host:port> <eventPattern> [<ttlMs>]   -> OK
-//   UNREG CONSUMER <name>                                      -> OK
-//   CONSUMERS <eventType>  -> CONSUMER <name> <host:port> lines
+// Replicated service mode (PR 10): N GmaDirectory replicas share a
+// versioned ShardMap. Producer keys ("p:<name>") and consumer keys
+// ("c:<name>") are consistent-hashed onto shards; each shard is held
+// by a primary plus read replicas. Writes route to the owning shard
+// (any holder accepts them — entries are versioned, so replicas merge
+// concurrent writes deterministically), lookups fan out one request
+// per shard, and replicas anti-entropy-sync each held shard with its
+// peers: digest exchange, then summary + delta repair. Merge winner is
+// the entry with the greater (epoch, version, expiresAt, live,
+// payload-hash) tuple — the "epoch + lease" tiebreak — and deletions
+// are tombstones (swept leases tombstone at their deterministic
+// expiry, so independently sweeping replicas converge byte-identically
+// without talking). Every service-mode response carries the shard map
+// so clients learn routing from their first answer.
+//
+// Line protocol (request/response over the simulated network; [@<s>]
+// is an optional shard selector, ignored by standalone directories;
+// service-mode responses append a final "MAP ..." line):
+//   REG PRODUCER <name> <host:port> [<epoch> <ttlMs> [<prevExpiryUs>]]
+//       \n<pattern>\n...          -> OK <expiryUs> | STALE | NOTMINE
+//   UNREG PRODUCER <name>                            -> OK | NOTMINE
+//   LOOKUP <host> [@<s>]   -> PRODUCER <name> <host:port> <epoch> | NONE
+//   LOOKUPN [@<s>] <h1> <h2> ...  -> one PRODUCER/NONE line per host
+//   LIST [@<s>]                   -> PRODUCER lines
+//   REG CONSUMER <name> <host:port> <eventPattern> [<ttlMs>
+//       [<prevExpiryUs>]]         -> OK <expiryUs> | NOTMINE
+//   UNREG CONSUMER <name>                            -> OK | NOTMINE
+//   CONSUMERS <eventType> [@<s>]  -> CONSUMER <name> <host:port> lines
+//   SHARDMAP                      -> MAP <ver> <shards> <repl> <node>...
+//   DSTATS                        -> STAT <key> <value> lines
+// Anti-entropy (replica to replica, no MAP suffix):
+//   AEDIG <shard> <digest>        -> MATCH | DIFF <digest>
+//   AESYNC <shard>\nS <P|C> <name> <epoch> <ver> <exp> <del> <hash>...
+//       -> E <entry> lines (peer newer) + WANT <P|C> <name> lines
+//   AEPUSH <shard>\nE <entry>...  -> OK <applied>
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "gridrm/global/shard_map.hpp"
 #include "gridrm/net/network.hpp"
 
 namespace gridrm::global {
@@ -42,6 +73,15 @@ struct ProducerEntry {
   std::uint64_t epoch = 0;
   /// Lease expiry in directory clock time; 0 = unleased (never expires).
   util::TimePoint expiresAt = 0;
+  /// Lease duration as granted (sizes the sweep's renewal grace).
+  util::Duration leaseTtl = 0;
+  /// Write version, bumped on every accepted mutation. With `epoch`,
+  /// `expiresAt` and the payload hash it totally orders replica merges.
+  std::uint64_t version = 0;
+  /// Tombstone: unregistered or lease-swept, kept (and replicated) so
+  /// anti-entropy cannot resurrect the entry, GC'd after tombstoneTtl.
+  bool deleted = false;
+  util::TimePoint deletedAt = 0;
 };
 
 struct ConsumerEntry {
@@ -49,57 +89,171 @@ struct ConsumerEntry {
   net::Address address;
   std::string eventPattern;  // dot-prefix pattern (core::eventTypeMatches)
   util::TimePoint expiresAt = 0;  // 0 = unleased
+  util::Duration leaseTtl = 0;
+  std::uint64_t version = 0;
+  bool deleted = false;
+  util::TimePoint deletedAt = 0;
 };
 
 struct DirectoryStats {
   std::uint64_t registrations = 0;   // REG accepted (producer + consumer)
   std::uint64_t staleRegistrations = 0;  // REG refused: older epoch
   std::uint64_t leaseEvictions = 0;  // entries dropped on lease expiry
+  // PR 10: replicated service mode.
+  std::uint64_t renewals = 0;         // REGs extending a live lease
+  std::uint64_t lookups = 0;          // LOOKUP + LOOKUPN hosts answered
+  std::uint64_t notMineRedirects = 0; // requests for shards not held here
+  std::uint64_t syncRounds = 0;           // per-peer digest exchanges
+  std::uint64_t syncDigestMismatches = 0; // exchanges that found a diff
+  std::uint64_t syncEntriesApplied = 0;   // entries repaired from peers
+  std::uint64_t syncEntriesPushed = 0;    // entries pushed to peers
+  std::uint64_t syncPeersUnreachable = 0; // sync attempts that failed
+  std::uint64_t tombstonesCollected = 0;  // tombstones GC'd
+};
+
+/// Configuration of one directory replica. The default is the
+/// standalone single-node directory (shard map = just this node).
+struct DirectoryOptions {
+  /// Shard map of the service this replica belongs to. A default map
+  /// (empty) means standalone: one shard, this node, no sync partner.
+  ShardMap map;
+  /// Renewal grace: an expired leased entry keeps being served for
+  /// leaseTtl/graceDivisor past expiresAt before the sweep tombstones
+  /// it, so an in-flight renewal never observes a drop-then-re-add.
+  /// 0 disables the grace window (pre-PR-10 sweep behavior).
+  std::uint32_t leaseGraceDivisor = 4;
+  /// Tombstones older than this are garbage-collected.
+  util::Duration tombstoneTtl = 600 * util::kSecond;
+  /// Per-request timeout of anti-entropy RPCs.
+  util::Duration syncTimeout = 250 * util::kMillisecond;
 };
 
 class GmaDirectory final : public net::RequestHandler {
  public:
+  /// Standalone single-node directory (the pre-PR-10 constructor).
   GmaDirectory(net::Network& network, const net::Address& address);
+  /// One replica of a sharded directory service. `address` must be one
+  /// of options.map.nodes(); this replica serves the shards the map
+  /// assigns it and anti-entropy-syncs them with the co-holders.
+  GmaDirectory(net::Network& network, const net::Address& address,
+               DirectoryOptions options);
   ~GmaDirectory() override;
 
   GmaDirectory(const GmaDirectory&) = delete;
   GmaDirectory& operator=(const GmaDirectory&) = delete;
 
   const net::Address& address() const noexcept { return address_; }
+  const ShardMap& shardMap() const noexcept { return map_; }
+  /// Shards this replica holds (primary or read replica), ascending.
+  const std::vector<std::size_t>& heldShards() const noexcept {
+    return heldShards_;
+  }
 
   net::Payload handleRequest(const net::Address& from,
                              const net::Payload& request) override;
+
+  /// One anti-entropy round: for every held shard, exchange digests
+  /// with each co-holding peer and repair differences (pull the peer's
+  /// newer entries, push ours). Returns entries applied locally.
+  /// Schedule it periodically; unreachable peers are skipped (counted
+  /// in syncPeersUnreachable) and retried next round.
+  std::size_t syncTick();
+
+  /// Lease sweep + tombstone GC, callable from a loop independently of
+  /// request traffic (every request also sweeps inline).
+  void sweepTick();
 
   // Direct (in-process) accessors for tests.
   std::vector<ProducerEntry> producers() const;
   std::vector<ConsumerEntry> consumers() const;
   DirectoryStats stats() const;
+  /// Canonical serialization of one shard's full state (live entries
+  /// AND tombstones, name order, every replicated field). Two replicas
+  /// are converged exactly when their exports are byte-identical; its
+  /// hash is the anti-entropy digest.
+  std::string exportShard(std::size_t shard) const;
+  /// Drop all state (restart with an empty, stale store — fault
+  /// injection; anti-entropy repopulates a service replica).
+  void wipe();
 
  private:
-  /// Drop every entry whose lease expired. Caller holds mu_.
+  /// Tombstone every leased entry whose expiry + grace passed and GC
+  /// old tombstones. Caller holds mu_.
   void pruneExpiredLocked(util::TimePoint now);
+  std::string exportShardLocked(std::size_t shard) const;
+  net::Payload withMap(net::Payload response) const;
+  bool holdsShard(std::size_t shard) const;
+  net::Payload handleSync(const std::vector<std::string>& words,
+                          const std::vector<std::string>& lines);
+  std::size_t syncShardWithPeer(std::size_t shard, const net::Address& peer);
+  /// Merge a replicated entry line into the local store. Returns true
+  /// when the incoming entry won (was applied). Caller holds mu_.
+  bool applyEntryLineLocked(std::size_t shard, const std::string& line);
 
   net::Network& network_;
   net::Address address_;
+  DirectoryOptions options_;
+  ShardMap map_;
+  std::vector<std::size_t> heldShards_;
   mutable std::mutex mu_;
-  std::map<std::string, ProducerEntry> producers_;
-  std::map<std::string, ConsumerEntry> consumers_;
+  /// Per held shard: name -> entry (live or tombstone).
+  std::map<std::size_t, std::map<std::string, ProducerEntry>> producers_;
+  std::map<std::size_t, std::map<std::string, ConsumerEntry>> consumers_;
   DirectoryStats stats_;
+};
+
+/// Answer of one batched lookup position: Found carries the entry;
+/// Unavailable means the owning shard had no reachable replica, so the
+/// negative MUST NOT be read as "no such producer".
+enum class LookupStatus : std::uint8_t { Found, NotFound, Unavailable };
+
+struct LookupAnswer {
+  LookupStatus status = LookupStatus::NotFound;
+  std::optional<ProducerEntry> entry;
+};
+
+/// Client-side counters of the replica-set routing machinery.
+struct DirectoryClientStats {
+  std::uint64_t failovers = 0;     // attempts beyond a shard's first replica
+  std::uint64_t mapRefreshes = 0;  // newer shard maps adopted
+  std::uint64_t redirects = 0;     // NOTMINE answers re-routed
+  std::uint64_t unavailableShards = 0;  // ops that found a shard all-down
 };
 
 /// Client-side helper wrapping the wire protocol. Registration calls
 /// optionally retry with exponential backoff (a gateway booting before
 /// its directory still joins the federation once the directory is up).
+///
+/// Replica-set awareness (PR 10): constructed from one or more seed
+/// replicas, the client bootstraps the shard map from its first
+/// response (every service-mode answer carries it), routes each key to
+/// the owning shard's primary and fails over to the read replicas on
+/// RPC errors. An RPC failure is never folded into a negative answer:
+/// when every replica of a needed shard is unreachable, lookup/list
+/// throw net::NetError and lookupMany marks the position Unavailable.
 class DirectoryClient {
  public:
+  /// Pluggable request transport: (to, body, retry) -> response.
+  /// `retry` marks failover attempts beyond a shard's first, letting
+  /// the owner route them through a deprioritized lane (the
+  /// GlobalLayer installs its Hedge-lane transport here).
+  using Transport = std::function<net::Payload(
+      const net::Address& to, const net::Payload& body, bool retry)>;
+
   DirectoryClient(net::Network& network, net::Address self,
                   net::Address directory)
-      : network_(network), self_(std::move(self)),
-        directory_(std::move(directory)) {}
+      : DirectoryClient(network, std::move(self),
+                        std::vector<net::Address>{std::move(directory)}) {}
+  DirectoryClient(net::Network& network, net::Address self,
+                  std::vector<net::Address> seeds);
+
+  /// Install a custom transport. Not thread-safe: call before use.
+  void setTransport(Transport transport) { transport_ = std::move(transport); }
 
   /// Registers (or renews the lease of) a producer entry. `epoch` is
   /// the gateway's liveness epoch, `leaseTtl` the lease duration (0 =
-  /// unleased). Failed sends retry up to `retries` extra times with
+  /// unleased). Renewals automatically carry the previously granted
+  /// expiry. Failed sends retry up to `retries` extra times with
   /// doubling backoff starting at `backoff`; throws the last NetError
   /// when every attempt fails. Returns the number of attempts used.
   std::size_t registerProducer(
@@ -109,12 +263,15 @@ class DirectoryClient {
       std::size_t retries = 0,
       util::Duration backoff = 250 * util::kMillisecond);
   void unregisterProducer(const std::string& name);
-  /// nullopt when no producer owns `host`.
+  /// nullopt when no producer owns `host` — a proven negative: every
+  /// shard answered. Throws net::NetError when a shard could not be
+  /// reached (the answer is unknowable, NOT a negative).
   std::optional<ProducerEntry> lookup(const std::string& host);
-  /// Batch lookup (LOOKUPN): one round trip for N hosts; the result is
-  /// positional — out[i] answers hosts[i], nullopt when unowned.
-  std::vector<std::optional<ProducerEntry>> lookupMany(
-      const std::vector<std::string>& hosts);
+  /// Batch lookup (LOOKUPN): one round trip per shard for N hosts; the
+  /// result is positional — out[i] answers hosts[i], with Unavailable
+  /// (not NotFound) for hosts whose owning answer needed an
+  /// unreachable shard.
+  std::vector<LookupAnswer> lookupMany(const std::vector<std::string>& hosts);
   std::vector<ProducerEntry> list();
   std::size_t registerConsumer(
       const std::string& name, const net::Address& address,
@@ -122,17 +279,48 @@ class DirectoryClient {
       std::size_t retries = 0,
       util::Duration backoff = 250 * util::kMillisecond);
   void unregisterConsumer(const std::string& name);
+  /// Best-effort across shards: unreachable shards are skipped unless
+  /// every shard is unreachable (then the last NetError propagates).
   std::vector<ConsumerEntry> consumersFor(const std::string& eventType);
 
+  /// Per-replica DSTATS probe (nullopt for unreachable replicas).
+  std::vector<std::pair<net::Address, std::optional<DirectoryStats>>>
+  replicaStats();
+
+  /// The currently cached shard map (bootstrapped lazily).
+  ShardMap shardMap() const;
+  DirectoryClientStats clientStats() const;
+
  private:
-  net::Payload request(const net::Payload& body);
-  /// request() with `retries` extra attempts and doubling backoff.
-  net::Payload requestWithRetry(const net::Payload& body, std::size_t retries,
-                                util::Duration backoff, std::size_t& attempts);
+  net::Payload send(const net::Address& to, const net::Payload& body,
+                    bool retry);
+  /// Strip a trailing MAP line from `response` and adopt it when newer.
+  net::Payload ingestMap(net::Payload response);
+  /// Route one request to a replica of `shard`: primary first, then
+  /// read replicas (marked as retries for the transport), chasing
+  /// NOTMINE redirects. Throws the last NetError when every replica
+  /// failed.
+  net::Payload requestShard(std::size_t shard, const net::Payload& body);
+  /// Current map, bootstrapping from the seeds on first use.
+  ShardMap currentMap();
+  /// Route a write for `key` to its owning shard, with `retries` extra
+  /// whole-sweep attempts and doubling backoff (each sweep already
+  /// fails over across the shard's replicas).
+  net::Payload shardedWrite(const std::string& key, const net::Payload& body,
+                            std::size_t retries, util::Duration backoff,
+                            std::size_t& attempts);
+  static std::optional<ProducerEntry> parseProducerLine(
+      const std::string& line);
 
   net::Network& network_;
   net::Address self_;
-  net::Address directory_;
+  std::vector<net::Address> seeds_;
+  Transport transport_;  // empty = plain network_.request
+  mutable std::mutex mu_;  // guards map_, grantedExpiry_, cstats_
+  ShardMap map_;
+  /// Last granted lease expiry per entry name: renewals carry it.
+  std::map<std::string, util::TimePoint> grantedExpiry_;
+  DirectoryClientStats cstats_;
 };
 
 }  // namespace gridrm::global

@@ -166,6 +166,10 @@ struct GlobalStats {
   std::uint64_t remoteRetries = 0;      // extra remote-query attempts
   std::uint64_t negativeLookupHits = 0;
   std::uint64_t staleLookupsServed = 0;  // expired lookups served
+  /// Lookups that found the directory unreachable with no stale
+  /// fallback (PR 10): surfaced as ErrorCode::Unavailable, never as a
+  /// "no gateway owns host" negative.
+  std::uint64_t directoryUnavailable = 0;
   std::uint64_t staleRemoteServes = 0;   // degraded-mode row serves
   std::uint64_t livenessProbes = 0;      // SPINGs issued
   std::uint64_t remoteEventsIngested = 0;
@@ -208,6 +212,11 @@ struct RemoteSubscriptionStatus {
 class GlobalLayer final : public net::RequestHandler {
  public:
   GlobalLayer(core::Gateway& gateway, const net::Address& directoryAddress,
+              GlobalOptions options = {});
+  /// Against a replicated directory service (PR 10): any subset of the
+  /// replicas works as seeds; the client bootstraps the shard map from
+  /// the first one that answers and routes per shard from then on.
+  GlobalLayer(core::Gateway& gateway, std::vector<net::Address> directorySeeds,
               GlobalOptions options = {});
   ~GlobalLayer() override;
 
@@ -293,6 +302,11 @@ class GlobalLayer final : public net::RequestHandler {
   /// ACIL introspection: per-relayed-subscription delivery state.
   std::vector<RemoteSubscriptionStatus> remoteSubscriptionStatus(
       const std::string& token);
+  /// ACIL introspection: per-directory-replica DSTATS (nullopt marks a
+  /// replica that did not answer), so an operator sees which replicas
+  /// are alive and how far anti-entropy has progressed.
+  std::vector<std::pair<net::Address, std::optional<DirectoryStats>>>
+  directoryHealth(const std::string& token);
   DirectoryClient& directory() noexcept { return directory_; }
 
  private:
@@ -362,6 +376,17 @@ class GlobalLayer final : public net::RequestHandler {
     dbc::ErrorCode errorCode = dbc::ErrorCode::ConnectionFailed;
   };
 
+  /// Tri-state owner resolution (S1, PR 10): `address` empty with
+  /// `unavailable` false is a PROVEN negative (every directory shard
+  /// answered "no such producer"); `unavailable` true means the
+  /// directory could not be reached and no stale cache entry could
+  /// stand in — the caller must surface ErrorCode::Unavailable, never
+  /// "no gateway owns host".
+  struct OwnerResolution {
+    std::optional<net::Address> address;
+    bool unavailable = false;
+  };
+
   std::shared_ptr<const dbc::VectorResultSet> queryRemote(
       const std::string& url, const std::string& sql,
       const core::QueryOptions& options, bool& servedStale);
@@ -369,7 +394,7 @@ class GlobalLayer final : public net::RequestHandler {
   /// the lane refuses). Throws net::NetError like Network::request.
   net::Payload requestViaHedgeLane(const net::Address& owner,
                                    const net::Payload& body);
-  std::optional<net::Address> resolveOwner(const std::string& host);
+  OwnerResolution resolveOwner(const std::string& host);
   net::Payload serveSubscribe(const std::vector<std::string>& words,
                               const std::vector<std::string>& lines);
   net::Payload serveNack(const std::vector<std::string>& words);
@@ -398,9 +423,11 @@ class GlobalLayer final : public net::RequestHandler {
                      std::shared_ptr<const dbc::VectorResultSet> rows);
 
   // Federated query planning (PR 7).
-  /// Batch owner resolution: one LOOKUPN round trip for every host the
-  /// lookup cache cannot answer. Result is positional over `hosts`.
-  std::vector<std::optional<net::Address>> resolveOwners(
+  /// Batch owner resolution: one LOOKUPN round trip per directory
+  /// shard for every host the lookup cache cannot answer. Result is
+  /// positional over `hosts`, with the same tri-state semantics as
+  /// resolveOwner.
+  std::vector<OwnerResolution> resolveOwners(
       const std::vector<std::string>& hosts);
   /// Execute one fragment locally over the union of `urls` rows.
   SiteFetch executeFragment(const core::Principal& principal,

@@ -1,0 +1,78 @@
+// Shard map of the replicated GMA directory service.
+//
+// Producer/consumer keys are placed on shards by consistent hashing
+// (a fixed ring of virtual points per shard), and each shard is held
+// by `replication` directory nodes: the primary plus read replicas,
+// assigned round-robin over the node list. The map is tiny and
+// versioned; directory replicas piggyback it onto lookup responses so
+// a DirectoryClient learns routing from its first answer and then
+// talks to the owning shard directly.
+//
+// Wire form (one line): MAP <version> <shards> <replication> <node>...
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridrm/net/network.hpp"
+
+namespace gridrm::global {
+
+class ShardMap {
+ public:
+  /// Virtual ring points per shard. Fixed: every client and replica
+  /// must derive the identical ring from (shardCount) alone.
+  static constexpr std::size_t kVirtualPoints = 16;
+
+  ShardMap() = default;
+
+  /// The degenerate standalone map: one shard, one node, version 0.
+  /// Version 0 marks "not a service": replicas never piggyback it.
+  static ShardMap single(const net::Address& node);
+
+  /// A service map: `shards` shards over `nodes`, each held by
+  /// min(replication, nodes) nodes starting at (shard % nodes).
+  static ShardMap build(std::vector<net::Address> nodes, std::size_t shards,
+                        std::size_t replication, std::uint64_t version = 1);
+
+  std::uint64_t version() const noexcept { return version_; }
+  std::size_t shardCount() const noexcept { return shardCount_; }
+  std::size_t replication() const noexcept { return replication_; }
+  const std::vector<net::Address>& nodes() const noexcept { return nodes_; }
+  bool empty() const noexcept { return nodes_.empty(); }
+  /// True for a map built by build(): more than one node or version>0.
+  bool service() const noexcept { return version_ > 0; }
+
+  /// Owning shard of a key (consistent hash over the virtual ring).
+  std::size_t shardOf(std::string_view key) const;
+  /// Replica addresses holding `shard`, primary first.
+  std::vector<net::Address> replicasOf(std::size_t shard) const;
+  net::Address primaryOf(std::size_t shard) const;
+  /// True when `node` holds `shard` (primary or read replica).
+  bool holds(std::size_t shard, const net::Address& node) const;
+  /// Shards held by `node`, ascending.
+  std::vector<std::size_t> shardsHeldBy(const net::Address& node) const;
+
+  std::string encode() const;
+  static std::optional<ShardMap> decode(const std::string& line);
+
+  bool operator==(const ShardMap& other) const noexcept {
+    return version_ == other.version_ && shardCount_ == other.shardCount_ &&
+           replication_ == other.replication_ && nodes_ == other.nodes_;
+  }
+
+ private:
+  void rebuildRing();
+
+  std::uint64_t version_ = 0;
+  std::size_t shardCount_ = 1;
+  std::size_t replication_ = 1;
+  std::vector<net::Address> nodes_;
+  /// Sorted (ringHash, shard) points; shardOf binary-searches it.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+};
+
+}  // namespace gridrm::global

@@ -73,6 +73,10 @@ struct LinkModel {
 
 struct EndpointStats {
   std::uint64_t requestsServed = 0;
+  /// Requests addressed here that failed to complete (lost round trip,
+  /// host down, or nothing bound): the endpoint-side view a replicated
+  /// client's failover counters are checked against.
+  std::uint64_t requestsFailed = 0;
   std::uint64_t datagramsReceived = 0;
   /// Datagrams addressed here that vanished (link loss, host down or
   /// nothing bound): attempted = datagramsReceived + datagramsDropped.

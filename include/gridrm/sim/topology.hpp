@@ -77,6 +77,17 @@ struct TopologyOptions {
   /// Simulated time advanced after the host models boot, so metrics
   /// have evolved away from their initial state before measurement.
   util::Duration warmup = 60 * util::kSecond;
+  /// Replicated directory service (PR 10). 1 = the legacy standalone
+  /// directory on host "gma"; N>1 builds N replicas on hosts
+  /// "gma0".."gmaN-1" sharing one shard map, and every GlobalLayer
+  /// gets the full replica set as seeds.
+  std::size_t directoryReplicas = 1;
+  /// Shards of the replicated service; 0 = one shard per replica.
+  std::size_t directoryShards = 0;
+  /// Holders per shard (primary + read replicas), clamped to replicas.
+  std::size_t directoryReplication = 2;
+  /// Anti-entropy cadence on the loop (replicated mode); 0 disables.
+  util::Duration directorySyncInterval = 10 * util::kSecond;
   /// Loss/jitter default to zero: the perf study wants identical
   /// counters across same-seed runs, and every sampled draw stays on a
   /// deterministic path only if no request ever retries.
@@ -107,10 +118,26 @@ class Topology {
 
   EventLoop& loop() noexcept { return loop_; }
   net::Network& network() noexcept { return *network_; }
-  global::GmaDirectory& directory() noexcept { return *directory_; }
+  global::GmaDirectory& directory() noexcept { return *directories_.front(); }
   net::Address directoryAddress() const {
     return {"gma", global::kDirectoryPort};
   }
+
+  // Replicated directory service (PR 10; directoryReplicas > 1).
+  std::size_t directoryReplicaCount() const noexcept {
+    return directories_.size();
+  }
+  global::GmaDirectory& directoryReplica(std::size_t i) {
+    return *directories_.at(i);
+  }
+  net::Address directoryReplicaAddress(std::size_t i) const;
+  /// The addresses a DirectoryClient bootstraps from (all replicas, or
+  /// the standalone address).
+  std::vector<net::Address> directorySeeds() const;
+  /// Destroy and rebuild replica i with an empty store — a restart
+  /// that lost its state. Anti-entropy repopulates it from the
+  /// co-holding peers on the following sync rounds.
+  void restartDirectoryReplica(std::size_t i);
 
   const TopologyOptions& options() const noexcept { return options_; }
   std::size_t gatewayCount() const noexcept { return gateways_.size(); }
@@ -136,7 +163,8 @@ class Topology {
   TopologyOptions options_;
   EventLoop loop_;
   std::unique_ptr<net::Network> network_;
-  std::unique_ptr<global::GmaDirectory> directory_;
+  global::ShardMap directoryMap_;  // empty in standalone mode
+  std::vector<std::unique_ptr<global::GmaDirectory>> directories_;
   std::vector<std::unique_ptr<agents::SiteSimulation>> sites_;
   std::vector<std::unique_ptr<core::Gateway>> gateways_;
   std::vector<std::unique_ptr<global::GlobalLayer>> globals_;

@@ -2,11 +2,24 @@
 // line-oriented agent protocols (NWS / NetLogger / SCMS).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace gridrm::util {
+
+/// FNV-1a 64-bit: the stable hash used wherever a value must hash the
+/// same on every node and every run (consistent-hash shard placement,
+/// anti-entropy digests). std::hash gives no such guarantee.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 std::vector<std::string> split(std::string_view s, char sep);
 /// Split on `sep`, dropping empty fields.

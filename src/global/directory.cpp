@@ -1,5 +1,8 @@
 #include "gridrm/global/directory.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "gridrm/core/event.hpp"
 #include "gridrm/core/security.hpp"  // globMatch
 #include "gridrm/util/strings.hpp"
@@ -7,6 +10,11 @@
 namespace gridrm::global {
 
 namespace {
+
+/// Bounded re-sweeps of a client read when a response upgraded the
+/// shard map mid-call (version strictly increases, so this only loops
+/// while the topology is actually changing under the client).
+constexpr std::size_t kMapUpgradeAttempts = 3;
 
 std::uint64_t parseU64(const std::string& text, std::uint64_t fallback = 0) {
   try {
@@ -16,32 +24,361 @@ std::uint64_t parseU64(const std::string& text, std::uint64_t fallback = 0) {
   }
 }
 
+/// Canonical one-line serialization of a replicated entry. Byte
+/// stability matters: it feeds the anti-entropy digest and the
+/// convergence assertions, so every replicated field is included in a
+/// fixed order.
+std::string encodeEntry(const ProducerEntry& e) {
+  std::string out = "P " + e.name + " " + e.address.toString() + " " +
+                    std::to_string(e.epoch) + " " + std::to_string(e.version) +
+                    " " + std::to_string(e.expiresAt) + " " +
+                    std::to_string(e.leaseTtl) + " " +
+                    std::to_string(e.deleted ? 1 : 0) + " " +
+                    std::to_string(e.deletedAt);
+  for (const auto& pattern : e.ownedHostPatterns) out += " " + pattern;
+  return out;
+}
+
+std::string encodeEntry(const ConsumerEntry& e) {
+  return "C " + e.name + " " + e.address.toString() + " " +
+         std::to_string(e.version) + " " + std::to_string(e.expiresAt) + " " +
+         std::to_string(e.leaseTtl) + " " + std::to_string(e.deleted ? 1 : 0) +
+         " " + std::to_string(e.deletedAt) + " " + e.eventPattern;
+}
+
+std::optional<ProducerEntry> decodeProducerEntry(
+    const std::vector<std::string>& words) {
+  // words: P <name> <addr> <epoch> <ver> <exp> <ttl> <del> <delAt> <pat>...
+  if (words.size() < 9 || words[0] != "P") return std::nullopt;
+  ProducerEntry e;
+  e.name = words[1];
+  e.address = net::Address::parse(words[2]);
+  e.epoch = parseU64(words[3]);
+  e.version = parseU64(words[4]);
+  e.expiresAt = static_cast<util::TimePoint>(parseU64(words[5]));
+  e.leaseTtl = static_cast<util::Duration>(parseU64(words[6]));
+  e.deleted = parseU64(words[7]) != 0;
+  e.deletedAt = static_cast<util::TimePoint>(parseU64(words[8]));
+  for (std::size_t i = 9; i < words.size(); ++i) {
+    e.ownedHostPatterns.push_back(words[i]);
+  }
+  return e;
+}
+
+std::optional<ConsumerEntry> decodeConsumerEntry(
+    const std::vector<std::string>& words) {
+  // words: C <name> <addr> <ver> <exp> <ttl> <del> <delAt> <pattern>
+  if (words.size() < 9 || words[0] != "C") return std::nullopt;
+  ConsumerEntry e;
+  e.name = words[1];
+  e.address = net::Address::parse(words[2]);
+  e.version = parseU64(words[3]);
+  e.expiresAt = static_cast<util::TimePoint>(parseU64(words[4]));
+  e.leaseTtl = static_cast<util::Duration>(parseU64(words[5]));
+  e.deleted = parseU64(words[6]) != 0;
+  e.deletedAt = static_cast<util::TimePoint>(parseU64(words[7]));
+  e.eventPattern = words[8];
+  return e;
+}
+
+/// Total merge order between replicas of one entry: epoch first (a
+/// restarted gateway supersedes its dead incarnation), then write
+/// version, then lease expiry (a renewal beats the concurrent sweep
+/// tombstone of the same version — the epoch+lease tiebreak), then
+/// live-beats-tombstone, then the payload hash as an arbitrary but
+/// deterministic last resort for concurrent same-version writes.
+using MergeKey =
+    std::tuple<std::uint64_t, std::uint64_t, util::TimePoint, int,
+               std::uint64_t>;
+
+MergeKey mergeKey(const ProducerEntry& e) {
+  return {e.epoch, e.version, e.expiresAt, e.deleted ? 0 : 1,
+          util::fnv1a64(encodeEntry(e))};
+}
+
+MergeKey mergeKey(const ConsumerEntry& e) {
+  return {0, e.version, e.expiresAt, e.deleted ? 0 : 1,
+          util::fnv1a64(encodeEntry(e))};
+}
+
+MergeKey summaryKey(std::uint64_t epoch, std::uint64_t version,
+                    util::TimePoint expiresAt, bool deleted,
+                    std::uint64_t hash) {
+  return {epoch, version, expiresAt, deleted ? 0 : 1, hash};
+}
+
+util::Duration graceOf(util::Duration leaseTtl, std::uint32_t divisor) {
+  return divisor > 0 ? leaseTtl / divisor : 0;
+}
+
+template <typename Entry>
+bool visible(const Entry& e, util::TimePoint now, std::uint32_t divisor) {
+  if (e.deleted) return false;
+  if (e.expiresAt == 0) return true;
+  return e.expiresAt + graceOf(e.leaseTtl, divisor) > now;
+}
+
+std::string producerLine(const ProducerEntry& e) {
+  return "PRODUCER " + e.name + " " + e.address.toString() + " " +
+         std::to_string(e.epoch);
+}
+
+std::string encodeStats(const DirectoryStats& s) {
+  std::string out;
+  auto put = [&](const char* key, std::uint64_t value) {
+    out += "STAT " + std::string(key) + " " + std::to_string(value) + "\n";
+  };
+  put("registrations", s.registrations);
+  put("staleRegistrations", s.staleRegistrations);
+  put("leaseEvictions", s.leaseEvictions);
+  put("renewals", s.renewals);
+  put("lookups", s.lookups);
+  put("notMineRedirects", s.notMineRedirects);
+  put("syncRounds", s.syncRounds);
+  put("syncDigestMismatches", s.syncDigestMismatches);
+  put("syncEntriesApplied", s.syncEntriesApplied);
+  put("syncEntriesPushed", s.syncEntriesPushed);
+  put("syncPeersUnreachable", s.syncPeersUnreachable);
+  put("tombstonesCollected", s.tombstonesCollected);
+  return out;
+}
+
+DirectoryStats decodeStats(const std::string& text) {
+  DirectoryStats s;
+  for (const auto& line : util::splitNonEmpty(text, '\n')) {
+    const auto words = util::splitNonEmpty(line, ' ');
+    if (words.size() < 3 || words[0] != "STAT") continue;
+    const std::uint64_t value = parseU64(words[2]);
+    if (words[1] == "registrations") s.registrations = value;
+    else if (words[1] == "staleRegistrations") s.staleRegistrations = value;
+    else if (words[1] == "leaseEvictions") s.leaseEvictions = value;
+    else if (words[1] == "renewals") s.renewals = value;
+    else if (words[1] == "lookups") s.lookups = value;
+    else if (words[1] == "notMineRedirects") s.notMineRedirects = value;
+    else if (words[1] == "syncRounds") s.syncRounds = value;
+    else if (words[1] == "syncDigestMismatches") s.syncDigestMismatches = value;
+    else if (words[1] == "syncEntriesApplied") s.syncEntriesApplied = value;
+    else if (words[1] == "syncEntriesPushed") s.syncEntriesPushed = value;
+    else if (words[1] == "syncPeersUnreachable") s.syncPeersUnreachable = value;
+    else if (words[1] == "tombstonesCollected") s.tombstonesCollected = value;
+  }
+  return s;
+}
+
+/// Extract an optional "@<shard>" selector from request words,
+/// returning the remaining words untouched otherwise.
+std::optional<std::size_t> shardSelector(
+    const std::vector<std::string>& words) {
+  for (const auto& word : words) {
+    if (word.size() >= 2 && word[0] == '@') {
+      return static_cast<std::size_t>(parseU64(word.substr(1)));
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 GmaDirectory::GmaDirectory(net::Network& network, const net::Address& address)
-    : network_(network), address_(address) {
+    : GmaDirectory(network, address, DirectoryOptions{}) {}
+
+GmaDirectory::GmaDirectory(net::Network& network, const net::Address& address,
+                           DirectoryOptions options)
+    : network_(network), address_(address), options_(std::move(options)) {
+  map_ = options_.map.empty() ? ShardMap::single(address_) : options_.map;
+  heldShards_ = map_.shardsHeldBy(address_);
   network_.bind(address_, this);
+  // Cold-start recovery: a replica booting into an existing service
+  // (e.g. a restart that lost its in-memory store) must not serve
+  // authoritative negatives for shards its peers have entries for.
+  // One best-effort anti-entropy round warms every held shard before
+  // the first request lands; peers not up yet are skipped (initial
+  // cluster bring-up) and healed by the scheduled rounds instead.
+  if (map_.service()) (void)syncTick();
 }
 
 GmaDirectory::~GmaDirectory() { network_.unbind(address_); }
 
+bool GmaDirectory::holdsShard(std::size_t shard) const {
+  return std::binary_search(heldShards_.begin(), heldShards_.end(), shard);
+}
+
+net::Payload GmaDirectory::withMap(net::Payload response) const {
+  if (!map_.service()) return response;
+  if (!response.empty() && response.back() != '\n') response += "\n";
+  return response + map_.encode();
+}
+
 void GmaDirectory::pruneExpiredLocked(util::TimePoint now) {
-  for (auto it = producers_.begin(); it != producers_.end();) {
-    if (it->second.expiresAt != 0 && it->second.expiresAt <= now) {
-      it = producers_.erase(it);
-      ++stats_.leaseEvictions;
+  auto sweep = [&](auto& byShard) {
+    for (auto& [shard, store] : byShard) {
+      for (auto it = store.begin(); it != store.end();) {
+        auto& e = it->second;
+        if (!e.deleted && e.expiresAt != 0 &&
+            e.expiresAt + graceOf(e.leaseTtl, options_.leaseGraceDivisor) <=
+                now) {
+          // Tombstone at the deterministic expiry instant, so replicas
+          // sweeping independently produce byte-identical tombstones.
+          e.deleted = true;
+          e.deletedAt = e.expiresAt;
+          ++e.version;
+          ++stats_.leaseEvictions;
+        }
+        if (e.deleted && e.deletedAt + options_.tombstoneTtl <= now) {
+          it = store.erase(it);
+          ++stats_.tombstonesCollected;
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+  sweep(producers_);
+  sweep(consumers_);
+}
+
+void GmaDirectory::sweepTick() {
+  std::scoped_lock lock(mu_);
+  pruneExpiredLocked(network_.clock().now());
+}
+
+std::string GmaDirectory::exportShardLocked(std::size_t shard) const {
+  std::string out;
+  auto pit = producers_.find(shard);
+  if (pit != producers_.end()) {
+    for (const auto& [name, e] : pit->second) out += encodeEntry(e) + "\n";
+  }
+  auto cit = consumers_.find(shard);
+  if (cit != consumers_.end()) {
+    for (const auto& [name, e] : cit->second) out += encodeEntry(e) + "\n";
+  }
+  return out;
+}
+
+std::string GmaDirectory::exportShard(std::size_t shard) const {
+  std::scoped_lock lock(mu_);
+  return exportShardLocked(shard);
+}
+
+void GmaDirectory::wipe() {
+  std::scoped_lock lock(mu_);
+  producers_.clear();
+  consumers_.clear();
+}
+
+bool GmaDirectory::applyEntryLineLocked(std::size_t shard,
+                                        const std::string& line) {
+  const auto words = util::splitNonEmpty(line, ' ');
+  const util::TimePoint now = network_.clock().now();
+  if (auto p = decodeProducerEntry(words)) {
+    auto& store = producers_[shard];
+    auto it = store.find(p->name);
+    if (it == store.end()) {
+      // Never resurrect a tombstone a peer is about to GC.
+      if (p->deleted && p->deletedAt + options_.tombstoneTtl <= now) {
+        return false;
+      }
+      store.emplace(p->name, std::move(*p));
+      return true;
+    }
+    if (mergeKey(*p) > mergeKey(it->second)) {
+      it->second = std::move(*p);
+      return true;
+    }
+    return false;
+  }
+  if (auto c = decodeConsumerEntry(words)) {
+    auto& store = consumers_[shard];
+    auto it = store.find(c->name);
+    if (it == store.end()) {
+      if (c->deleted && c->deletedAt + options_.tombstoneTtl <= now) {
+        return false;
+      }
+      store.emplace(c->name, std::move(*c));
+      return true;
+    }
+    if (mergeKey(*c) > mergeKey(it->second)) {
+      it->second = std::move(*c);
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+net::Payload GmaDirectory::handleSync(const std::vector<std::string>& words,
+                                      const std::vector<std::string>& lines) {
+  const util::TimePoint now = network_.clock().now();
+  const std::size_t shard =
+      words.size() >= 2 ? static_cast<std::size_t>(parseU64(words[1])) : 0;
+  std::scoped_lock lock(mu_);
+  pruneExpiredLocked(now);
+  if (!holdsShard(shard)) {
+    ++stats_.notMineRedirects;
+    return "NOTMINE";
+  }
+  if (words[0] == "AEDIG") {
+    const std::uint64_t theirs = words.size() >= 3 ? parseU64(words[2]) : 0;
+    const std::uint64_t mine = util::fnv1a64(exportShardLocked(shard));
+    ++stats_.syncRounds;
+    if (mine == theirs) return "MATCH";
+    ++stats_.syncDigestMismatches;
+    return "DIFF " + std::to_string(mine);
+  }
+  if (words[0] == "AEPUSH") {
+    std::size_t applied = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      if (!util::startsWith(lines[i], "E ")) continue;
+      if (applyEntryLineLocked(shard, lines[i].substr(2))) {
+        ++applied;
+        ++stats_.syncEntriesApplied;
+      }
+    }
+    return "OK " + std::to_string(applied);
+  }
+  // AESYNC: the peer sent its per-entry summary; answer with full
+  // entries where we are newer (or the peer lacks them) and WANT lines
+  // where the peer is newer (or we lack them).
+  std::string out;
+  std::map<std::string, bool> seenProducers;  // name -> mentioned by peer
+  std::map<std::string, bool> seenConsumers;
+  auto& pstore = producers_[shard];
+  auto& cstore = consumers_[shard];
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto sw = util::splitNonEmpty(lines[i], ' ');
+    // S <P|C> <name> <epoch> <version> <expiresAt> <deleted> <hash>
+    if (sw.size() < 8 || sw[0] != "S") continue;
+    const bool producer = sw[1] == "P";
+    const std::string& name = sw[2];
+    const MergeKey theirs =
+        summaryKey(parseU64(sw[3]), parseU64(sw[4]),
+                   static_cast<util::TimePoint>(parseU64(sw[5])),
+                   parseU64(sw[6]) != 0, parseU64(sw[7]));
+    if (producer) {
+      seenProducers[name] = true;
+      auto it = pstore.find(name);
+      if (it == pstore.end() || theirs > mergeKey(it->second)) {
+        out += "WANT P " + name + "\n";
+      } else if (mergeKey(it->second) > theirs) {
+        out += "E " + encodeEntry(it->second) + "\n";
+      }
     } else {
-      ++it;
+      seenConsumers[name] = true;
+      auto it = cstore.find(name);
+      if (it == cstore.end() || theirs > mergeKey(it->second)) {
+        out += "WANT C " + name + "\n";
+      } else if (mergeKey(it->second) > theirs) {
+        out += "E " + encodeEntry(it->second) + "\n";
+      }
     }
   }
-  for (auto it = consumers_.begin(); it != consumers_.end();) {
-    if (it->second.expiresAt != 0 && it->second.expiresAt <= now) {
-      it = consumers_.erase(it);
-      ++stats_.leaseEvictions;
-    } else {
-      ++it;
-    }
+  for (const auto& [name, e] : pstore) {
+    if (!seenProducers.count(name)) out += "E " + encodeEntry(e) + "\n";
   }
+  for (const auto& [name, e] : cstore) {
+    if (!seenConsumers.count(name)) out += "E " + encodeEntry(e) + "\n";
+  }
+  return out;
 }
 
 net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
@@ -50,6 +387,12 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
   if (lines.empty()) return "ERR empty request";
   const auto words = util::splitNonEmpty(lines[0], ' ');
   if (words.empty()) return "ERR empty request";
+
+  if (words[0] == "AEDIG" || words[0] == "AESYNC" || words[0] == "AEPUSH") {
+    return handleSync(words, lines);
+  }
+  if (words[0] == "SHARDMAP") return map_.encode();
+  if (words[0] == "DSTATS") return withMap(encodeStats(stats()));
 
   const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
@@ -62,112 +405,378 @@ net::Payload GmaDirectory::handleRequest(const net::Address& /*from*/,
     if (words.size() >= 6) {
       const util::Duration ttl =
           static_cast<util::Duration>(parseU64(words[5])) * util::kMillisecond;
-      if (ttl > 0) entry.expiresAt = now + ttl;
+      if (ttl > 0) {
+        entry.expiresAt = now + ttl;
+        entry.leaseTtl = ttl;
+      }
     }
+    const util::TimePoint prev =
+        words.size() >= 7 ? static_cast<util::TimePoint>(parseU64(words[6]))
+                          : 0;
     for (std::size_t i = 1; i < lines.size(); ++i) {
       auto pattern = util::trim(lines[i]);
       if (!pattern.empty()) entry.ownedHostPatterns.emplace_back(pattern);
     }
-    auto existing = producers_.find(entry.name);
-    if (existing != producers_.end() &&
-        entry.epoch < existing->second.epoch) {
+    const std::size_t shard = map_.shardOf("p:" + entry.name);
+    if (!holdsShard(shard)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    auto& store = producers_[shard];
+    auto existing = store.find(entry.name);
+    if (existing != store.end() && entry.epoch < existing->second.epoch) {
       // A renewal from a dead incarnation racing the restarted gateway.
       ++stats_.staleRegistrations;
-      return "STALE";
+      return withMap("STALE");
     }
-    producers_[entry.name] = std::move(entry);
+    // A renewal carrying the expiry we granted extends the lease of
+    // the entry it refers to in place — never observed as an eviction
+    // plus re-registration, even when it raced the sweep (the sweep's
+    // grace window keeps the entry alive while the renewal is in
+    // flight).
+    const bool renewal = existing != store.end() &&
+                         !existing->second.deleted &&
+                         existing->second.epoch == entry.epoch &&
+                         prev != 0 && existing->second.expiresAt == prev;
+    entry.version =
+        existing != store.end() ? existing->second.version + 1 : 1;
+    const util::TimePoint granted = entry.expiresAt;
+    store[entry.name] = std::move(entry);
     ++stats_.registrations;
-    return "OK";
+    if (renewal) ++stats_.renewals;
+    return withMap("OK " + std::to_string(granted));
   }
   if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "PRODUCER") {
-    producers_.erase(words[2]);
-    return "OK";
+    const std::size_t shard = map_.shardOf("p:" + words[2]);
+    if (!holdsShard(shard)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    auto& store = producers_[shard];
+    auto it = store.find(words[2]);
+    if (it != store.end() && !it->second.deleted) {
+      it->second.deleted = true;
+      it->second.deletedAt = now;
+      ++it->second.version;
+    }
+    return withMap("OK");
   }
   if (words[0] == "LOOKUP" && words.size() >= 2) {
-    for (const auto& [name, entry] : producers_) {
-      for (const auto& pattern : entry.ownedHostPatterns) {
-        if (core::globMatch(pattern, words[1])) {
-          return "PRODUCER " + entry.name + " " + entry.address.toString() +
-                 " " + std::to_string(entry.epoch);
+    const auto selector = shardSelector(words);
+    if (selector && !holdsShard(*selector)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    ++stats_.lookups;
+    const ProducerEntry* best = nullptr;
+    auto consider = [&](std::size_t shard) {
+      auto sit = producers_.find(shard);
+      if (sit == producers_.end()) return;
+      for (const auto& [name, entry] : sit->second) {
+        if (!visible(entry, now, options_.leaseGraceDivisor)) continue;
+        if (best && best->name <= name) continue;
+        for (const auto& pattern : entry.ownedHostPatterns) {
+          if (core::globMatch(pattern, words[1])) {
+            best = &entry;
+            break;
+          }
         }
       }
+    };
+    if (selector) {
+      consider(*selector);
+    } else {
+      for (std::size_t shard : heldShards_) consider(shard);
     }
-    return "NONE";
+    if (best) return withMap(producerLine(*best));
+    return withMap("NONE");
   }
   if (words[0] == "LOOKUPN" && words.size() >= 2) {
     // Batch lookup for federated fan-out: one response line per host,
     // in request order, so a coordinator resolves N sites in a single
-    // round trip instead of N.
+    // round trip (per shard) instead of N.
+    const auto selector = shardSelector(words);
+    if (selector && !holdsShard(*selector)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
     std::string out;
     for (std::size_t i = 1; i < words.size(); ++i) {
-      bool found = false;
-      for (const auto& [name, entry] : producers_) {
-        for (const auto& pattern : entry.ownedHostPatterns) {
-          if (core::globMatch(pattern, words[i])) {
-            out += "PRODUCER " + entry.name + " " + entry.address.toString() +
-                   " " + std::to_string(entry.epoch) + "\n";
-            found = true;
-            break;
+      if (!words[i].empty() && words[i][0] == '@') continue;  // selector
+      ++stats_.lookups;
+      const ProducerEntry* best = nullptr;
+      auto consider = [&](std::size_t shard) {
+        auto sit = producers_.find(shard);
+        if (sit == producers_.end()) return;
+        for (const auto& [name, entry] : sit->second) {
+          if (!visible(entry, now, options_.leaseGraceDivisor)) continue;
+          if (best && best->name <= name) continue;
+          for (const auto& pattern : entry.ownedHostPatterns) {
+            if (core::globMatch(pattern, words[i])) {
+              best = &entry;
+              break;
+            }
           }
         }
-        if (found) break;
+      };
+      if (selector) {
+        consider(*selector);
+      } else {
+        for (std::size_t shard : heldShards_) consider(shard);
       }
-      if (!found) out += "NONE\n";
+      out += best ? producerLine(*best) + "\n" : "NONE\n";
     }
-    return out;
+    return withMap(out);
   }
   if (words[0] == "LIST") {
-    std::string out;
-    for (const auto& [name, entry] : producers_) {
-      out += "PRODUCER " + entry.name + " " + entry.address.toString() + " " +
-             std::to_string(entry.epoch) + "\n";
+    const auto selector = shardSelector(words);
+    if (selector && !holdsShard(*selector)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
     }
-    return out;
+    std::string out;
+    auto emit = [&](std::size_t shard) {
+      auto sit = producers_.find(shard);
+      if (sit == producers_.end()) return;
+      for (const auto& [name, entry] : sit->second) {
+        if (!visible(entry, now, options_.leaseGraceDivisor)) continue;
+        out += producerLine(entry) + "\n";
+      }
+    };
+    if (selector) {
+      emit(*selector);
+    } else {
+      for (std::size_t shard : heldShards_) emit(shard);
+    }
+    return withMap(out);
   }
   if (words[0] == "REG" && words.size() >= 5 && words[1] == "CONSUMER") {
-    ConsumerEntry entry{words[2], net::Address::parse(words[3]), words[4], 0};
+    ConsumerEntry entry{words[2], net::Address::parse(words[3]), words[4]};
     if (words.size() >= 6) {
       const util::Duration ttl =
           static_cast<util::Duration>(parseU64(words[5])) * util::kMillisecond;
-      if (ttl > 0) entry.expiresAt = now + ttl;
-    }
-    consumers_[words[2]] = std::move(entry);
-    ++stats_.registrations;
-    return "OK";
-  }
-  if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "CONSUMER") {
-    consumers_.erase(words[2]);
-    return "OK";
-  }
-  if (words[0] == "CONSUMERS" && words.size() >= 2) {
-    std::string out;
-    for (const auto& [name, entry] : consumers_) {
-      if (core::eventTypeMatches(entry.eventPattern, words[1])) {
-        out += "CONSUMER " + entry.name + " " + entry.address.toString() + "\n";
+      if (ttl > 0) {
+        entry.expiresAt = now + ttl;
+        entry.leaseTtl = ttl;
       }
     }
-    return out;
+    const std::size_t shard = map_.shardOf("c:" + entry.name);
+    if (!holdsShard(shard)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    const util::TimePoint prev =
+        words.size() >= 7 ? static_cast<util::TimePoint>(parseU64(words[6]))
+                          : 0;
+    auto& store = consumers_[shard];
+    auto existing = store.find(entry.name);
+    const bool renewal = existing != store.end() &&
+                         !existing->second.deleted && prev != 0 &&
+                         existing->second.expiresAt == prev;
+    entry.version =
+        existing != store.end() ? existing->second.version + 1 : 1;
+    const util::TimePoint granted = entry.expiresAt;
+    store[entry.name] = std::move(entry);
+    ++stats_.registrations;
+    if (renewal) ++stats_.renewals;
+    return withMap("OK " + std::to_string(granted));
+  }
+  if (words[0] == "UNREG" && words.size() >= 3 && words[1] == "CONSUMER") {
+    const std::size_t shard = map_.shardOf("c:" + words[2]);
+    if (!holdsShard(shard)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    auto& store = consumers_[shard];
+    auto it = store.find(words[2]);
+    if (it != store.end() && !it->second.deleted) {
+      it->second.deleted = true;
+      it->second.deletedAt = now;
+      ++it->second.version;
+    }
+    return withMap("OK");
+  }
+  if (words[0] == "CONSUMERS" && words.size() >= 2) {
+    const auto selector = shardSelector(words);
+    if (selector && !holdsShard(*selector)) {
+      ++stats_.notMineRedirects;
+      return withMap("NOTMINE");
+    }
+    std::string out;
+    auto emit = [&](std::size_t shard) {
+      auto sit = consumers_.find(shard);
+      if (sit == consumers_.end()) return;
+      for (const auto& [name, entry] : sit->second) {
+        if (!visible(entry, now, options_.leaseGraceDivisor)) continue;
+        if (core::eventTypeMatches(entry.eventPattern, words[1])) {
+          out += "CONSUMER " + entry.name + " " + entry.address.toString() +
+                 "\n";
+        }
+      }
+    };
+    if (selector) {
+      emit(*selector);
+    } else {
+      for (std::size_t shard : heldShards_) emit(shard);
+    }
+    return withMap(out);
   }
   return "ERR bad request";
+}
+
+std::size_t GmaDirectory::syncShardWithPeer(std::size_t shard,
+                                            const net::Address& peer) {
+  std::uint64_t digest = 0;
+  {
+    std::scoped_lock lock(mu_);
+    pruneExpiredLocked(network_.clock().now());
+    digest = util::fnv1a64(exportShardLocked(shard));
+  }
+  // Never hold mu_ across a network call: the peer's handler takes its
+  // own lock, and two replicas syncing each other concurrently would
+  // deadlock otherwise.
+  net::Payload response;
+  try {
+    response = network_.request(
+        address_, peer,
+        "AEDIG " + std::to_string(shard) + " " + std::to_string(digest),
+        options_.syncTimeout);
+  } catch (const net::NetError&) {
+    std::scoped_lock lock(mu_);
+    ++stats_.syncPeersUnreachable;
+    return 0;
+  }
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.syncRounds;
+    if (response == "MATCH") return 0;
+    ++stats_.syncDigestMismatches;
+  }
+
+  std::string body = "AESYNC " + std::to_string(shard);
+  {
+    std::scoped_lock lock(mu_);
+    auto pit = producers_.find(shard);
+    if (pit != producers_.end()) {
+      for (const auto& [name, e] : pit->second) {
+        body += "\nS P " + name + " " + std::to_string(e.epoch) + " " +
+                std::to_string(e.version) + " " + std::to_string(e.expiresAt) +
+                " " + std::to_string(e.deleted ? 1 : 0) + " " +
+                std::to_string(util::fnv1a64(encodeEntry(e)));
+      }
+    }
+    auto cit = consumers_.find(shard);
+    if (cit != consumers_.end()) {
+      for (const auto& [name, e] : cit->second) {
+        body += "\nS C " + name + " 0 " + std::to_string(e.version) + " " +
+                std::to_string(e.expiresAt) + " " +
+                std::to_string(e.deleted ? 1 : 0) + " " +
+                std::to_string(util::fnv1a64(encodeEntry(e)));
+      }
+    }
+  }
+  try {
+    response = network_.request(address_, peer, body, options_.syncTimeout);
+  } catch (const net::NetError&) {
+    std::scoped_lock lock(mu_);
+    ++stats_.syncPeersUnreachable;
+    return 0;
+  }
+
+  std::size_t applied = 0;
+  std::vector<std::pair<bool, std::string>> wants;  // (producer?, name)
+  {
+    std::scoped_lock lock(mu_);
+    for (const auto& line : util::splitNonEmpty(response, '\n')) {
+      if (util::startsWith(line, "E ")) {
+        if (applyEntryLineLocked(shard, line.substr(2))) {
+          ++applied;
+          ++stats_.syncEntriesApplied;
+        }
+      } else if (util::startsWith(line, "WANT ")) {
+        const auto ww = util::splitNonEmpty(line, ' ');
+        if (ww.size() >= 3) wants.emplace_back(ww[1] == "P", ww[2]);
+      }
+    }
+  }
+  if (!wants.empty()) {
+    std::string push = "AEPUSH " + std::to_string(shard);
+    std::size_t pushed = 0;
+    {
+      std::scoped_lock lock(mu_);
+      for (const auto& [producer, name] : wants) {
+        if (producer) {
+          auto pit = producers_.find(shard);
+          if (pit == producers_.end()) continue;
+          auto it = pit->second.find(name);
+          if (it == pit->second.end()) continue;
+          push += "\nE " + encodeEntry(it->second);
+        } else {
+          auto cit = consumers_.find(shard);
+          if (cit == consumers_.end()) continue;
+          auto it = cit->second.find(name);
+          if (it == cit->second.end()) continue;
+          push += "\nE " + encodeEntry(it->second);
+        }
+        ++pushed;
+      }
+      stats_.syncEntriesPushed += pushed;
+    }
+    if (pushed > 0) {
+      try {
+        (void)network_.request(address_, peer, push, options_.syncTimeout);
+      } catch (const net::NetError&) {
+        std::scoped_lock lock(mu_);
+        ++stats_.syncPeersUnreachable;
+      }
+    }
+  }
+  return applied;
+}
+
+std::size_t GmaDirectory::syncTick() {
+  if (!map_.service()) return 0;
+  std::size_t applied = 0;
+  for (std::size_t shard : heldShards_) {
+    for (const auto& peer : map_.replicasOf(shard)) {
+      if (peer == address_) continue;
+      applied += syncShardWithPeer(shard, peer);
+    }
+  }
+  return applied;
 }
 
 std::vector<ProducerEntry> GmaDirectory::producers() const {
   const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
-  std::vector<ProducerEntry> out;
-  for (const auto& [name, entry] : producers_) {
-    if (entry.expiresAt == 0 || entry.expiresAt > now) out.push_back(entry);
+  std::map<std::string, ProducerEntry> merged;  // name order across shards
+  for (const auto& [shard, store] : producers_) {
+    for (const auto& [name, entry] : store) {
+      if (visible(entry, now, options_.leaseGraceDivisor)) {
+        merged.emplace(name, entry);
+      }
+    }
   }
+  std::vector<ProducerEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) out.push_back(std::move(entry));
   return out;
 }
 
 std::vector<ConsumerEntry> GmaDirectory::consumers() const {
   const util::TimePoint now = network_.clock().now();
   std::scoped_lock lock(mu_);
-  std::vector<ConsumerEntry> out;
-  for (const auto& [name, entry] : consumers_) {
-    if (entry.expiresAt == 0 || entry.expiresAt > now) out.push_back(entry);
+  std::map<std::string, ConsumerEntry> merged;
+  for (const auto& [shard, store] : consumers_) {
+    for (const auto& [name, entry] : store) {
+      if (visible(entry, now, options_.leaseGraceDivisor)) {
+        merged.emplace(name, entry);
+      }
+    }
   }
+  std::vector<ConsumerEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) out.push_back(std::move(entry));
   return out;
 }
 
@@ -176,19 +785,127 @@ DirectoryStats GmaDirectory::stats() const {
   return stats_;
 }
 
-net::Payload DirectoryClient::request(const net::Payload& body) {
-  return network_.request(self_, directory_, body);
+// ---------------------------------------------------------------------------
+// DirectoryClient
+
+DirectoryClient::DirectoryClient(net::Network& network, net::Address self,
+                                 std::vector<net::Address> seeds)
+    : network_(network), self_(std::move(self)), seeds_(std::move(seeds)) {
+  if (seeds_.size() == 1) {
+    // Single seed: assume standalone until a response proves otherwise
+    // (service-mode answers carry the real map and upgrade us).
+    map_ = ShardMap::single(seeds_[0]);
+  }
 }
 
-net::Payload DirectoryClient::requestWithRetry(const net::Payload& body,
-                                               std::size_t retries,
-                                               util::Duration backoff,
-                                               std::size_t& attempts) {
+net::Payload DirectoryClient::send(const net::Address& to,
+                                   const net::Payload& body, bool retry) {
+  if (transport_) return transport_(to, body, retry);
+  return network_.request(self_, to, body);
+}
+
+net::Payload DirectoryClient::ingestMap(net::Payload response) {
+  const std::size_t pos = response.rfind('\n');
+  const std::string lastLine =
+      pos == std::string::npos ? response : response.substr(pos + 1);
+  if (!util::startsWith(lastLine, "MAP ")) return response;
+  if (auto decoded = ShardMap::decode(lastLine)) {
+    std::scoped_lock lock(mu_);
+    if (decoded->version() > map_.version()) {
+      map_ = *decoded;
+      ++cstats_.mapRefreshes;
+    }
+  }
+  return pos == std::string::npos ? net::Payload{} : response.substr(0, pos);
+}
+
+ShardMap DirectoryClient::currentMap() {
+  {
+    std::scoped_lock lock(mu_);
+    if (!map_.empty()) return map_;
+  }
+  // Multi-seed bootstrap: ask any reachable seed for the map.
+  std::optional<net::NetError> last;
+  for (const auto& seed : seeds_) {
+    try {
+      const net::Payload response = send(seed, "SHARDMAP", false);
+      if (auto decoded = ShardMap::decode(
+              util::splitNonEmpty(response, '\n').empty()
+                  ? response
+                  : util::splitNonEmpty(response, '\n').front())) {
+        std::scoped_lock lock(mu_);
+        if (map_.empty() || decoded->version() > map_.version()) {
+          map_ = *decoded;
+          ++cstats_.mapRefreshes;
+        }
+        return map_;
+      }
+    } catch (const net::NetError& e) {
+      last = e;
+    }
+  }
+  throw last.value_or(net::NetError(net::NetErrorKind::Unreachable,
+                                    "no directory seed reachable"));
+}
+
+net::Payload DirectoryClient::requestShard(std::size_t shard,
+                                           const net::Payload& body) {
+  std::optional<net::NetError> last;
+  // A NOTMINE answer means our map lagged a topology change; the
+  // answer carried the fresh map, so chase the redirect a bounded
+  // number of times before giving up.
+  for (std::size_t round = 0; round < 3; ++round) {
+    const auto candidates = currentMap().replicasOf(shard);
+    if (candidates.empty()) break;
+    bool redirected = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i > 0) {
+        std::scoped_lock lock(mu_);
+        ++cstats_.failovers;
+      }
+      net::Payload response;
+      try {
+        response = ingestMap(send(candidates[i], body, i > 0));
+      } catch (const net::NetError& e) {
+        last = e;
+        continue;
+      }
+      if (response == "NOTMINE") {
+        std::scoped_lock lock(mu_);
+        ++cstats_.redirects;
+        redirected = true;
+        break;
+      }
+      return response;
+    }
+    if (!redirected) break;
+  }
+  throw last.value_or(net::NetError(
+      net::NetErrorKind::Unreachable,
+      "no replica of directory shard " + std::to_string(shard) +
+          " reachable"));
+}
+
+std::optional<ProducerEntry> DirectoryClient::parseProducerLine(
+    const std::string& line) {
+  const auto words = util::splitNonEmpty(line, ' ');
+  if (words.size() < 3 || words[0] != "PRODUCER") return std::nullopt;
+  ProducerEntry entry{words[1], net::Address::parse(words[2]), {}};
+  if (words.size() >= 4) entry.epoch = parseU64(words[3]);
+  return entry;
+}
+
+net::Payload DirectoryClient::shardedWrite(const std::string& key,
+                                           const net::Payload& body,
+                                           std::size_t retries,
+                                           util::Duration backoff,
+                                           std::size_t& attempts) {
   attempts = 0;
   for (;;) {
     ++attempts;
     try {
-      return request(body);
+      const std::size_t shard = currentMap().shardOf(key);
+      return requestShard(shard, body);
     } catch (const net::NetError&) {
       if (attempts > retries) throw;
       network_.clock().sleepFor(backoff);
@@ -201,63 +918,171 @@ std::size_t DirectoryClient::registerProducer(
     const std::string& name, const net::Address& address,
     const std::vector<std::string>& ownedHostPatterns, std::uint64_t epoch,
     util::Duration leaseTtl, std::size_t retries, util::Duration backoff) {
+  util::TimePoint prev = 0;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = grantedExpiry_.find("p:" + name);
+    if (it != grantedExpiry_.end()) prev = it->second;
+  }
   std::string body = "REG PRODUCER " + name + " " + address.toString() + " " +
                      std::to_string(epoch) + " " +
-                     std::to_string(leaseTtl / util::kMillisecond);
+                     std::to_string(leaseTtl / util::kMillisecond) + " " +
+                     std::to_string(prev);
   for (const auto& pattern : ownedHostPatterns) body += "\n" + pattern;
   std::size_t attempts = 0;
-  (void)requestWithRetry(body, retries, backoff, attempts);
+  const net::Payload response =
+      shardedWrite("p:" + name, body, retries, backoff, attempts);
+  const auto words = util::splitNonEmpty(response, ' ');
+  std::scoped_lock lock(mu_);
+  if (words.size() >= 2 && words[0] == "OK") {
+    grantedExpiry_["p:" + name] =
+        static_cast<util::TimePoint>(parseU64(words[1]));
+  } else {
+    grantedExpiry_.erase("p:" + name);  // refused (STALE): no lease held
+  }
   return attempts;
 }
 
 void DirectoryClient::unregisterProducer(const std::string& name) {
-  request("UNREG PRODUCER " + name);
+  std::size_t attempts = 0;
+  (void)shardedWrite("p:" + name, "UNREG PRODUCER " + name, 0,
+                     250 * util::kMillisecond, attempts);
+  std::scoped_lock lock(mu_);
+  grantedExpiry_.erase("p:" + name);
 }
 
 std::optional<ProducerEntry> DirectoryClient::lookup(const std::string& host) {
-  const std::string response = request("LOOKUP " + host);
-  const auto words = util::splitNonEmpty(response, ' ');
-  if (words.size() < 3 || words[0] != "PRODUCER") return std::nullopt;
-  ProducerEntry entry{words[1], net::Address::parse(words[2]), {}};
-  if (words.size() >= 4) {
-    try {
-      entry.epoch = std::stoull(words[3]);
-    } catch (const std::exception&) {
-    }
-  }
-  return entry;
-}
-
-std::vector<std::optional<ProducerEntry>> DirectoryClient::lookupMany(
-    const std::vector<std::string>& hosts) {
-  std::vector<std::optional<ProducerEntry>> out(hosts.size());
-  if (hosts.empty()) return out;
-  std::string body = "LOOKUPN";
-  for (const auto& host : hosts) body += " " + host;
-  const auto lines = util::splitNonEmpty(request(body), '\n');
-  for (std::size_t i = 0; i < lines.size() && i < hosts.size(); ++i) {
-    const auto words = util::splitNonEmpty(lines[i], ' ');
-    if (words.size() < 3 || words[0] != "PRODUCER") continue;
-    ProducerEntry entry{words[1], net::Address::parse(words[2]), {}};
-    if (words.size() >= 4) {
+  // A response during the sweep may upgrade our map (a fresh client's
+  // first call sees only the standalone seed view, and a service
+  // replica answers for *its* shards alone): a miss under the old map
+  // is not a proven negative, so redo the sweep under the new one.
+  for (std::size_t attempt = 0;; ++attempt) {
+    const ShardMap map = currentMap();
+    std::optional<ProducerEntry> best;
+    std::size_t unavailable = 0;
+    std::string detail;
+    for (std::size_t shard = 0; shard < map.shardCount(); ++shard) {
+      net::Payload response;
       try {
-        entry.epoch = std::stoull(words[3]);
-      } catch (const std::exception&) {
+        response = requestShard(shard,
+                                "LOOKUP " + host + " @" + std::to_string(shard));
+      } catch (const net::NetError& e) {
+        ++unavailable;
+        detail = e.what();
+        continue;
+      }
+      const auto lines = util::splitNonEmpty(response, '\n');
+      const std::string& first = lines.empty() ? response : lines.front();
+      if (auto entry = parseProducerLine(first)) {
+        if (!best || entry->name < best->name) best = std::move(entry);
+      } else if (!util::startsWith(first, "NONE")) {
+        // A malformed answer is NOT a negative: treat it like an
+        // unreachable shard so the caller never reads it as "not found".
+        ++unavailable;
+        detail = "malformed directory response";
       }
     }
-    out[i] = std::move(entry);
+    if (best) return best;
+    if (attempt + 1 < kMapUpgradeAttempts &&
+        currentMap().version() > map.version()) {
+      continue;
+    }
+    if (unavailable > 0) {
+      {
+        std::scoped_lock lock(mu_);
+        ++cstats_.unavailableShards;
+      }
+      throw net::NetError(net::NetErrorKind::Unreachable,
+                          "directory unavailable: " +
+                              std::to_string(unavailable) +
+                              " shard(s) unreachable (" + detail + ")");
+    }
+    return std::nullopt;
+  }
+}
+
+std::vector<LookupAnswer> DirectoryClient::lookupMany(
+    const std::vector<std::string>& hosts) {
+  std::vector<LookupAnswer> out(hosts.size());
+  if (hosts.empty()) return out;
+  bool anyUnavailable = false;
+  for (std::size_t attempt = 0; attempt < kMapUpgradeAttempts; ++attempt) {
+    const ShardMap map = currentMap();
+    out.assign(hosts.size(), LookupAnswer{});
+    anyUnavailable = false;
+    for (std::size_t shard = 0; shard < map.shardCount(); ++shard) {
+      std::string body = "LOOKUPN @" + std::to_string(shard);
+      for (const auto& host : hosts) body += " " + host;
+      net::Payload response;
+      try {
+        response = requestShard(shard, body);
+      } catch (const net::NetError&) {
+        anyUnavailable = true;
+        continue;
+      }
+      const auto lines = util::splitNonEmpty(response, '\n');
+      for (std::size_t i = 0; i < lines.size() && i < hosts.size(); ++i) {
+        auto entry = parseProducerLine(lines[i]);
+        if (!entry) continue;
+        if (out[i].status != LookupStatus::Found ||
+            entry->name < out[i].entry->name) {
+          out[i] = {LookupStatus::Found, std::move(entry)};
+        }
+      }
+    }
+    // Same map-upgrade rule as lookup(): a sweep under a stale map
+    // proves nothing about the hosts it missed.
+    const bool anyMiss = std::any_of(
+        out.begin(), out.end(),
+        [](const LookupAnswer& a) { return a.status != LookupStatus::Found; });
+    if ((anyMiss || anyUnavailable) &&
+        currentMap().version() > map.version()) {
+      continue;
+    }
+    break;
+  }
+  if (anyUnavailable) {
+    std::scoped_lock lock(mu_);
+    ++cstats_.unavailableShards;
+    // A host no reachable shard matched might be owned by the shard we
+    // could not reach: the negative is unprovable.
+    for (auto& answer : out) {
+      if (answer.status == LookupStatus::NotFound) {
+        answer.status = LookupStatus::Unavailable;
+      }
+    }
   }
   return out;
 }
 
 std::vector<ProducerEntry> DirectoryClient::list() {
-  std::vector<ProducerEntry> out;
-  for (const auto& line : util::splitNonEmpty(request("LIST"), '\n')) {
-    const auto words = util::splitNonEmpty(line, ' ');
-    if (words.size() >= 3 && words[0] == "PRODUCER") {
-      out.push_back(ProducerEntry{words[1], net::Address::parse(words[2]), {}});
+  std::map<std::string, ProducerEntry> merged;
+  std::optional<net::NetError> last;
+  for (std::size_t attempt = 0; attempt < kMapUpgradeAttempts; ++attempt) {
+    const ShardMap map = currentMap();
+    merged.clear();
+    last.reset();
+    for (std::size_t shard = 0; shard < map.shardCount(); ++shard) {
+      net::Payload response;
+      try {
+        response = requestShard(shard, "LIST @" + std::to_string(shard));
+      } catch (const net::NetError& e) {
+        last = e;
+        continue;
+      }
+      for (const auto& line : util::splitNonEmpty(response, '\n')) {
+        if (auto entry = parseProducerLine(line)) {
+          merged.emplace(entry->name, std::move(*entry));
+        }
+      }
     }
+    // A sweep under a stale map listed the wrong shard set entirely.
+    if (currentMap().version() == map.version()) break;
   }
+  if (last) throw *last;  // a full listing needs every shard
+  std::vector<ProducerEntry> out;
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) out.push_back(std::move(entry));
   return out;
 }
 
@@ -267,29 +1092,101 @@ std::size_t DirectoryClient::registerConsumer(const std::string& name,
                                               util::Duration leaseTtl,
                                               std::size_t retries,
                                               util::Duration backoff) {
+  util::TimePoint prev = 0;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = grantedExpiry_.find("c:" + name);
+    if (it != grantedExpiry_.end()) prev = it->second;
+  }
   std::size_t attempts = 0;
-  (void)requestWithRetry(
+  const net::Payload response = shardedWrite(
+      "c:" + name,
       "REG CONSUMER " + name + " " + address.toString() + " " + eventPattern +
-          " " + std::to_string(leaseTtl / util::kMillisecond),
+          " " + std::to_string(leaseTtl / util::kMillisecond) + " " +
+          std::to_string(prev),
       retries, backoff, attempts);
+  const auto words = util::splitNonEmpty(response, ' ');
+  if (words.size() >= 2 && words[0] == "OK") {
+    std::scoped_lock lock(mu_);
+    grantedExpiry_["c:" + name] =
+        static_cast<util::TimePoint>(parseU64(words[1]));
+  }
   return attempts;
 }
 
 void DirectoryClient::unregisterConsumer(const std::string& name) {
-  request("UNREG CONSUMER " + name);
+  std::size_t attempts = 0;
+  (void)shardedWrite("c:" + name, "UNREG CONSUMER " + name, 0,
+                     250 * util::kMillisecond, attempts);
+  std::scoped_lock lock(mu_);
+  grantedExpiry_.erase("c:" + name);
 }
 
 std::vector<ConsumerEntry> DirectoryClient::consumersFor(
     const std::string& eventType) {
+  std::map<std::string, ConsumerEntry> merged;
+  std::size_t unavailable = 0;
+  std::size_t shardCount = 1;
+  std::optional<net::NetError> last;
+  for (std::size_t attempt = 0; attempt < kMapUpgradeAttempts; ++attempt) {
+    const ShardMap map = currentMap();
+    shardCount = map.shardCount();
+    merged.clear();
+    unavailable = 0;
+    last.reset();
+    for (std::size_t shard = 0; shard < map.shardCount(); ++shard) {
+      net::Payload response;
+      try {
+        response = requestShard(
+            shard, "CONSUMERS " + eventType + " @" + std::to_string(shard));
+      } catch (const net::NetError& e) {
+        ++unavailable;
+        last = e;
+        continue;
+      }
+      for (const auto& line : util::splitNonEmpty(response, '\n')) {
+        const auto words = util::splitNonEmpty(line, ' ');
+        if (words.size() >= 3 && words[0] == "CONSUMER") {
+          merged.emplace(words[1], ConsumerEntry{words[1],
+                                                 net::Address::parse(words[2]),
+                                                 ""});
+        }
+      }
+    }
+    if (currentMap().version() == map.version()) break;
+  }
+  // Event propagation is best-effort: partial coverage beats none, but
+  // a completely unreachable directory still surfaces as before.
+  if (unavailable == shardCount && last) throw *last;
   std::vector<ConsumerEntry> out;
-  for (const auto& line :
-       util::splitNonEmpty(request("CONSUMERS " + eventType), '\n')) {
-    const auto words = util::splitNonEmpty(line, ' ');
-    if (words.size() >= 3 && words[0] == "CONSUMER") {
-      out.push_back(ConsumerEntry{words[1], net::Address::parse(words[2]), ""});
+  out.reserve(merged.size());
+  for (auto& [name, entry] : merged) out.push_back(std::move(entry));
+  return out;
+}
+
+std::vector<std::pair<net::Address, std::optional<DirectoryStats>>>
+DirectoryClient::replicaStats() {
+  const ShardMap map = currentMap();
+  std::vector<std::pair<net::Address, std::optional<DirectoryStats>>> out;
+  for (const auto& node : map.nodes()) {
+    try {
+      const net::Payload response = ingestMap(send(node, "DSTATS", false));
+      out.emplace_back(node, decodeStats(response));
+    } catch (const net::NetError&) {
+      out.emplace_back(node, std::nullopt);
     }
   }
   return out;
+}
+
+ShardMap DirectoryClient::shardMap() const {
+  std::scoped_lock lock(mu_);
+  return map_;
+}
+
+DirectoryClientStats DirectoryClient::clientStats() const {
+  std::scoped_lock lock(mu_);
+  return cstats_;
 }
 
 }  // namespace gridrm::global

@@ -85,10 +85,26 @@ GlobalOptions GlobalOptions::fromConfig(const util::Config& config) {
 GlobalLayer::GlobalLayer(core::Gateway& gateway,
                          const net::Address& directoryAddress,
                          GlobalOptions options)
+    : GlobalLayer(gateway, std::vector<net::Address>{directoryAddress},
+                  std::move(options)) {}
+
+GlobalLayer::GlobalLayer(core::Gateway& gateway,
+                         std::vector<net::Address> directorySeeds,
+                         GlobalOptions options)
     : gateway_(gateway),
       options_(std::move(options)),
-      directory_(gateway.network(), producerAddress(), directoryAddress),
-      rng_(seedFromName(gateway.name())) {}
+      directory_(gateway.network(), producerAddress(),
+                 std::move(directorySeeds)),
+      rng_(seedFromName(gateway.name())) {
+  // Directory failover attempts (beyond a shard's first replica) are
+  // deliberate duplicates: route them through the Hedge lane like
+  // remote-query retries so they cannot crowd out first-attempt work.
+  directory_.setTransport([this](const net::Address& to,
+                                 const net::Payload& body, bool retry) {
+    if (retry && started_.load()) return requestViaHedgeLane(to, body);
+    return gateway_.network().request(producerAddress(), to, body);
+  });
+}
 
 GlobalLayer::~GlobalLayer() { stop(); }
 
@@ -252,7 +268,8 @@ bool GlobalLayer::ownsHost(const std::string& host) const {
   return false;
 }
 
-std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
+GlobalLayer::OwnerResolution GlobalLayer::resolveOwner(
+    const std::string& host) {
   const util::TimePoint now = gateway_.clock().now();
   std::optional<net::Address> staleAddress;
   {
@@ -265,10 +282,10 @@ std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
       if (now - it->second.at < ttl) {
         if (negative) {
           ++stats_.negativeLookupHits;
-          return std::nullopt;
+          return {std::nullopt, false};
         }
         ++stats_.lookupCacheHits;
-        return it->second.producer;
+        return {it->second.producer, false};
       }
       // Expired positive entry: kept as the stale-while-revalidate
       // fallback should the directory be unreachable.
@@ -280,20 +297,24 @@ std::optional<net::Address> GlobalLayer::resolveOwner(const std::string& host) {
   try {
     entry = directory_.lookup(host);
   } catch (const net::NetError&) {
+    // An unreachable directory is NOT "no such producer" (S1): serve
+    // the expired cache entry if we have one, otherwise surface the
+    // outage to the caller.
+    std::scoped_lock lock(mu_);
     if (staleAddress) {
-      std::scoped_lock lock(mu_);
       ++stats_.staleLookupsServed;
-      return staleAddress;  // entry stays expired: revalidate next time
+      return {staleAddress, false};  // stays expired: revalidate next time
     }
-    return std::nullopt;
+    ++stats_.directoryUnavailable;
+    return {std::nullopt, true};
   }
   std::scoped_lock lock(mu_);
   if (!entry) {
     lookupCache_[host] = CachedLookup{std::nullopt, now};
-    return std::nullopt;
+    return {std::nullopt, false};
   }
   lookupCache_[host] = CachedLookup{entry->address, now};
-  return entry->address;
+  return {entry->address, false};
 }
 
 void GlobalLayer::rememberStale(
@@ -357,7 +378,9 @@ std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
   // Degraded mode: when the owner is unreachable, an expired cached
   // copy (marked stale for the caller) beats an error.
   auto failUnreachable =
-      [&](const std::string& message) -> std::shared_ptr<const dbc::VectorResultSet> {
+      [&](const std::string& message, ErrorCode code =
+              ErrorCode::ConnectionFailed)
+      -> std::shared_ptr<const dbc::VectorResultSet> {
     if (options_.serveStale) {
       std::scoped_lock lock(mu_);
       auto it = staleCache_.find(cacheKey);
@@ -367,7 +390,7 @@ std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
         return it->second;
       }
     }
-    throw SqlError(ErrorCode::ConnectionFailed, message);
+    throw SqlError(code, message);
   };
 
   auto url = util::Url::parse(urlText);
@@ -375,7 +398,15 @@ std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
     throw SqlError(ErrorCode::Unsupported, "malformed URL: " + urlText);
   }
   auto owner = resolveOwner(url->host());
-  if (!owner) return failUnreachable("no gateway owns host " + url->host());
+  if (!owner.address) {
+    // S1: an unreachable directory must never read as a missing
+    // producer — Unavailable tells the caller the answer is unknowable.
+    if (owner.unavailable) {
+      return failUnreachable("directory unavailable for host " + url->host(),
+                             ErrorCode::Unavailable);
+    }
+    return failUnreachable("no gateway owns host " + url->host());
+  }
   {
     std::scoped_lock lock(mu_);
     ++stats_.remoteQueriesSent;
@@ -415,9 +446,10 @@ std::shared_ptr<const dbc::VectorResultSet> GlobalLayer::queryRemote(
       ++stats_.remoteRetries;
     }
     try {
-      response = attempt == 0 ? gateway_.network().request(producerAddress(),
-                                                           *owner, request)
-                              : requestViaHedgeLane(*owner, request);
+      response = attempt == 0
+                     ? gateway_.network().request(producerAddress(),
+                                                  *owner.address, request)
+                     : requestViaHedgeLane(*owner.address, request);
       delivered = true;
       break;
     } catch (const net::NetError& e) {
@@ -512,10 +544,10 @@ core::QueryResult GlobalLayer::globalQuery(const std::string& token,
   return result;
 }
 
-std::vector<std::optional<net::Address>> GlobalLayer::resolveOwners(
+std::vector<GlobalLayer::OwnerResolution> GlobalLayer::resolveOwners(
     const std::vector<std::string>& hosts) {
   const util::TimePoint now = gateway_.clock().now();
-  std::vector<std::optional<net::Address>> out(hosts.size());
+  std::vector<OwnerResolution> out(hosts.size());
   std::vector<std::optional<net::Address>> stale(hosts.size());
   std::vector<std::string> misses;
   std::vector<std::size_t> missIndex;
@@ -532,7 +564,7 @@ std::vector<std::optional<net::Address>> GlobalLayer::resolveOwners(
             ++stats_.negativeLookupHits;
           } else {
             ++stats_.lookupCacheHits;
-            out[i] = it->second.producer;
+            out[i].address = it->second.producer;
           }
           continue;
         }
@@ -544,17 +576,23 @@ std::vector<std::optional<net::Address>> GlobalLayer::resolveOwners(
     }
   }
   if (misses.empty()) return out;
-  // One LOOKUPN round trip for every cache miss: a federated fan-out
-  // over N sites resolves its owners in O(1) directory requests.
-  std::vector<std::optional<ProducerEntry>> entries;
+  // One LOOKUPN round trip per directory shard for every cache miss: a
+  // federated fan-out over N sites resolves its owners in O(shards)
+  // directory requests.
+  std::vector<LookupAnswer> answers;
   try {
-    entries = directory_.lookupMany(misses);
+    answers = directory_.lookupMany(misses);
   } catch (const net::NetError&) {
+    // Shard map bootstrap failed: every miss is either stale-served or
+    // unavailable (S1 — never a negative).
     std::scoped_lock lock(mu_);
     for (std::size_t i : missIndex) {
       if (stale[i]) {
         ++stats_.staleLookupsServed;
-        out[i] = stale[i];  // entry stays expired: revalidate next time
+        out[i].address = stale[i];  // stays expired: revalidate next time
+      } else {
+        ++stats_.directoryUnavailable;
+        out[i].unavailable = true;
       }
     }
     return out;
@@ -562,11 +600,30 @@ std::vector<std::optional<net::Address>> GlobalLayer::resolveOwners(
   std::scoped_lock lock(mu_);
   for (std::size_t j = 0; j < missIndex.size(); ++j) {
     const std::size_t i = missIndex[j];
-    if (j < entries.size() && entries[j]) {
-      lookupCache_[hosts[i]] = CachedLookup{entries[j]->address, now};
-      out[i] = entries[j]->address;
-    } else {
-      lookupCache_[hosts[i]] = CachedLookup{std::nullopt, now};
+    if (j >= answers.size()) {
+      out[i].unavailable = true;
+      continue;
+    }
+    switch (answers[j].status) {
+      case LookupStatus::Found:
+        lookupCache_[hosts[i]] = CachedLookup{answers[j].entry->address, now};
+        out[i].address = answers[j].entry->address;
+        break;
+      case LookupStatus::NotFound:
+        // A proven negative: every shard answered.
+        lookupCache_[hosts[i]] = CachedLookup{std::nullopt, now};
+        break;
+      case LookupStatus::Unavailable:
+        // The owning answer may live on an unreachable shard: never
+        // cache it as a negative; fall back to stale if we can.
+        if (stale[i]) {
+          ++stats_.staleLookupsServed;
+          out[i].address = stale[i];
+        } else {
+          ++stats_.directoryUnavailable;
+          out[i].unavailable = true;
+        }
+        break;
     }
   }
   return out;
@@ -875,11 +932,11 @@ core::QueryResult GlobalLayer::federatedQuery(
   // Resolve every distinct remote host in one batch, then group the
   // URLs by owning site in order of each site's first appearance.
   std::vector<std::string> hosts;
-  std::map<std::string, std::optional<net::Address>> ownerByHost;
+  std::map<std::string, OwnerResolution> ownerByHost;
   for (const auto& urlText : urls) {
     auto url = util::Url::parse(urlText);
     if (!url || ownsHost(url->host())) continue;
-    if (ownerByHost.try_emplace(url->host(), std::nullopt).second) {
+    if (ownerByHost.try_emplace(url->host(), OwnerResolution{}).second) {
       hosts.push_back(url->host());
     }
   }
@@ -911,14 +968,23 @@ core::QueryResult GlobalLayer::federatedQuery(
       job.local = true;
     } else {
       const auto& owner = ownerByHost[url->host()];
-      if (!owner) {
-        result.failures.push_back({urlText,
-                                   "no gateway owns host " + url->host(),
-                                   ErrorCode::ConnectionFailed});
+      if (!owner.address) {
+        // S1: a directory outage is Unavailable, a proven negative is
+        // ConnectionFailed — a federated caller can tell a dead shard
+        // from a host nobody monitors.
+        if (owner.unavailable) {
+          result.failures.push_back(
+              {urlText, "directory unavailable for host " + url->host(),
+               ErrorCode::Unavailable});
+        } else {
+          result.failures.push_back({urlText,
+                                     "no gateway owns host " + url->host(),
+                                     ErrorCode::ConnectionFailed});
+        }
         continue;
       }
-      key = owner->toString();
-      job.owner = *owner;
+      key = owner.address->toString();
+      job.owner = *owner.address;
     }
     auto [it, inserted] = jobIndex.try_emplace(key, jobs.size());
     if (inserted) jobs.push_back(std::move(job));
@@ -1683,7 +1749,11 @@ std::size_t GlobalLayer::subscribeGlobal(
                                              std::move(streamOptions));
   }
   auto owner = resolveOwner(url->host());
-  if (!owner) {
+  if (!owner.address) {
+    if (owner.unavailable) {
+      throw SqlError(ErrorCode::Unavailable,
+                     "directory unavailable for host " + url->host());
+    }
     throw SqlError(ErrorCode::ConnectionFailed,
                    "no gateway owns host " + url->host());
   }
@@ -1695,7 +1765,7 @@ std::size_t GlobalLayer::subscribeGlobal(
   const std::size_t localId = gateway_.streamEngine().subscribePassive(
       "relay:" + urlText, std::move(consumer), std::move(streamOptions));
   auto sub = std::make_shared<RemoteSubscription>();
-  sub->owner = *owner;
+  sub->owner = *owner.address;
   sub->url = urlText;
   sub->sql = sql;
   sub->replayRows = std::max(initialReplay, options_.resubscribeReplayRows);
@@ -1713,7 +1783,7 @@ std::size_t GlobalLayer::subscribeGlobal(
   net::Payload response;
   try {
     response = gateway_.network().request(
-        producerAddress(), *owner,
+        producerAddress(), *owner.address,
         "GSUB " + options_.federationSecret + " " +
             producerAddress().toString() + " " + std::to_string(localId) +
             " " + std::to_string(initialReplay) + "\n" + urlText + "\n" +
@@ -1961,16 +2031,16 @@ void GlobalLayer::resubscribe(std::size_t localId,
     sub->resubscribing = false;
   };
   auto url = util::Url::parse(urlText);
-  std::optional<net::Address> owner;
+  OwnerResolution owner;
   if (url) owner = resolveOwner(url->host());
-  if (!owner) {
+  if (!owner.address) {
     finish();
     return;  // directory unreachable or ownership moved; retry next tick
   }
   net::Payload response;
   try {
     response = gateway_.network().request(
-        producerAddress(), *owner,
+        producerAddress(), *owner.address,
         "GSUB " + options_.federationSecret + " " +
             producerAddress().toString() + " " + std::to_string(localId) +
             " " + std::to_string(replay) + "\n" + urlText + "\n" + sqlText);
@@ -1986,7 +2056,7 @@ void GlobalLayer::resubscribe(std::size_t localId,
   std::deque<net::Payload> pending;
   {
     std::scoped_lock lock(mu_);
-    sub->owner = *owner;
+    sub->owner = *owner.address;
     sub->remoteId = static_cast<std::size_t>(parseU64(ack[1]));
     sub->ownerEpoch = ack.size() >= 3 ? parseU64(ack[2]) : 0;
     sub->needsResubscribe = false;
@@ -2061,6 +2131,12 @@ void GlobalLayer::propagateEvent(const core::Event& event) {
 GlobalStats GlobalLayer::stats() const {
   std::scoped_lock lock(mu_);
   return stats_;
+}
+
+std::vector<std::pair<net::Address, std::optional<DirectoryStats>>>
+GlobalLayer::directoryHealth(const std::string& token) {
+  (void)gateway_.authorize(token, core::Operation::RealTimeQuery);
+  return directory_.replicaStats();
 }
 
 std::vector<RemoteSubscriptionStatus> GlobalLayer::remoteSubscriptionStatus(

@@ -1,0 +1,127 @@
+#include "gridrm/global/shard_map.hpp"
+
+#include <algorithm>
+
+#include "gridrm/util/strings.hpp"
+
+namespace gridrm::global {
+namespace {
+
+/// Avalanche finalizer (splitmix64/murmur3 fmix). Raw FNV-1a barely
+/// propagates the final bytes into the high bits, and ring placement
+/// orders by the FULL 64-bit value — without this, keys differing only
+/// in a trailing character land in the same arc and one shard absorbs
+/// most of the keyspace.
+std::uint64_t mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+ShardMap ShardMap::single(const net::Address& node) {
+  ShardMap map;
+  map.version_ = 0;
+  map.shardCount_ = 1;
+  map.replication_ = 1;
+  map.nodes_ = {node};
+  map.rebuildRing();
+  return map;
+}
+
+ShardMap ShardMap::build(std::vector<net::Address> nodes, std::size_t shards,
+                         std::size_t replication, std::uint64_t version) {
+  ShardMap map;
+  map.version_ = version > 0 ? version : 1;
+  map.shardCount_ = shards > 0 ? shards : 1;
+  map.replication_ = std::max<std::size_t>(1, replication);
+  map.nodes_ = std::move(nodes);
+  if (map.replication_ > map.nodes_.size()) {
+    map.replication_ = std::max<std::size_t>(1, map.nodes_.size());
+  }
+  map.rebuildRing();
+  return map;
+}
+
+void ShardMap::rebuildRing() {
+  ring_.clear();
+  ring_.reserve(shardCount_ * kVirtualPoints);
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    for (std::size_t v = 0; v < kVirtualPoints; ++v) {
+      const std::string point =
+          "shard:" + std::to_string(s) + ":" + std::to_string(v);
+      ring_.emplace_back(mix64(util::fnv1a64(point)), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ShardMap::shardOf(std::string_view key) const {
+  if (ring_.empty()) return 0;
+  const std::uint64_t h = mix64(util::fnv1a64(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, std::size_t{0}));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+std::vector<net::Address> ShardMap::replicasOf(std::size_t shard) const {
+  std::vector<net::Address> out;
+  if (nodes_.empty()) return out;
+  out.reserve(replication_);
+  for (std::size_t r = 0; r < replication_ && r < nodes_.size(); ++r) {
+    out.push_back(nodes_[(shard + r) % nodes_.size()]);
+  }
+  return out;
+}
+
+net::Address ShardMap::primaryOf(std::size_t shard) const {
+  if (nodes_.empty()) return {};
+  return nodes_[shard % nodes_.size()];
+}
+
+bool ShardMap::holds(std::size_t shard, const net::Address& node) const {
+  for (std::size_t r = 0; r < replication_ && r < nodes_.size(); ++r) {
+    if (nodes_[(shard + r) % nodes_.size()] == node) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> ShardMap::shardsHeldBy(const net::Address& node) const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    if (holds(s, node)) out.push_back(s);
+  }
+  return out;
+}
+
+std::string ShardMap::encode() const {
+  std::string out = "MAP " + std::to_string(version_) + " " +
+                    std::to_string(shardCount_) + " " +
+                    std::to_string(replication_);
+  for (const auto& node : nodes_) out += " " + node.toString();
+  return out;
+}
+
+std::optional<ShardMap> ShardMap::decode(const std::string& line) {
+  const auto words = util::splitNonEmpty(line, ' ');
+  if (words.size() < 5 || words[0] != "MAP") return std::nullopt;
+  try {
+    const auto version = std::stoull(words[1]);
+    const auto shards = static_cast<std::size_t>(std::stoull(words[2]));
+    const auto replication = static_cast<std::size_t>(std::stoull(words[3]));
+    std::vector<net::Address> nodes;
+    for (std::size_t i = 4; i < words.size(); ++i) {
+      nodes.push_back(net::Address::parse(words[i]));
+    }
+    return build(std::move(nodes), shards, replication, version);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace gridrm::global

@@ -88,6 +88,8 @@ Payload Network::request(const Address& from, const Address& to,
       lost = true;
     } else if (it == endpoints_.end()) {
       // An unbound port fails fast (connection refused).
+      ++totalRequests_;
+      ++stats_[to].requestsFailed;
       throw NetError(NetErrorKind::Unreachable,
                      "no endpoint bound at " + to.toString());
     } else {
@@ -97,8 +99,10 @@ Payload Network::request(const Address& from, const Address& to,
     lost = lost || rng_.chance(link.lossProbability);
     rtt = sampleLatency(link) + sampleLatency(link);
     ++totalRequests_;
-    if (!lost) {
-      EndpointStats& s = stats_[to];
+    EndpointStats& s = stats_[to];
+    if (lost) {
+      ++s.requestsFailed;
+    } else {
       ++s.requestsServed;
       s.bytesIn += body.size();
     }
@@ -146,6 +150,7 @@ void Network::requestAsync(const Address& from, const Address& to,
     onewayOut = sampleLatency(link);
     onewayBack = sampleLatency(link);
     ++totalRequests_;
+    if (lost) ++stats_[to].requestsFailed;
   }
   const util::TimePoint now = clock_.now();
   if (lost) {
@@ -181,9 +186,18 @@ void Network::requestAsync(const Address& from, const Address& to,
         if (it != endpoints_.end()) handler = it->second;
       }
     }
-    if (downNow) return;  // swallowed mid-flight: the timeout event pays
+    if (downNow) {
+      // Swallowed mid-flight: the timeout event pays.
+      std::scoped_lock lock(mu_);
+      ++stats_[to].requestsFailed;
+      return;
+    }
     if (handler == nullptr) {
       // Connection refused surfaces as soon as the packet arrives.
+      {
+        std::scoped_lock lock(mu_);
+        ++stats_[to].requestsFailed;
+      }
       state->done = true;
       sched->cancel(state->timeoutId);
       state->onComplete(AsyncOutcome{{}, NetErrorKind::Unreachable,

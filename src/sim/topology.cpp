@@ -10,8 +10,34 @@ Topology::Topology(TopologyOptions options) : options_(std::move(options)) {
   // (which only the loop may advance).
   network_->attachScheduler(&loop_);
 
-  directory_ =
-      std::make_unique<global::GmaDirectory>(*network_, directoryAddress());
+  if (options_.directoryReplicas <= 1) {
+    directories_.push_back(
+        std::make_unique<global::GmaDirectory>(*network_, directoryAddress()));
+  } else {
+    std::vector<net::Address> nodes;
+    nodes.reserve(options_.directoryReplicas);
+    for (std::size_t i = 0; i < options_.directoryReplicas; ++i) {
+      nodes.push_back(directoryReplicaAddress(i));
+    }
+    const std::size_t shards = options_.directoryShards > 0
+                                   ? options_.directoryShards
+                                   : options_.directoryReplicas;
+    directoryMap_ =
+        global::ShardMap::build(nodes, shards, options_.directoryReplication);
+    for (std::size_t i = 0; i < options_.directoryReplicas; ++i) {
+      global::DirectoryOptions dopt;
+      dopt.map = directoryMap_;
+      directories_.push_back(std::make_unique<global::GmaDirectory>(
+          *network_, nodes[i], std::move(dopt)));
+    }
+    if (options_.directorySyncInterval > 0) {
+      loop_.scheduleEvery(options_.directorySyncInterval, [this] {
+        for (auto& replica : directories_) {
+          if (replica) (void)replica->syncTick();
+        }
+      });
+    }
+  }
 
   sites_.reserve(options_.gateways);
   for (std::size_t g = 0; g < options_.gateways; ++g) {
@@ -56,7 +82,7 @@ Topology::Topology(TopologyOptions options) : options_(std::move(options)) {
     globals_.reserve(options_.gateways);
     for (std::size_t g = 0; g < options_.gateways; ++g) {
       globals_.push_back(std::make_unique<global::GlobalLayer>(
-          *gateways_[g], directoryAddress(), options_.globalOptions));
+          *gateways_[g], directorySeeds(), options_.globalOptions));
       globals_[g]->start();
       // Lease renewal must ride the loop: simulated time outruns the
       // 120s directory lease within one long sweep otherwise.
@@ -70,6 +96,35 @@ Topology::Topology(TopologyOptions options) : options_(std::move(options)) {
   // Setup traffic (registration, source probing) charged latency; a
   // measurement epoch starts clean.
   (void)net::Network::drainChargedLatency();
+}
+
+net::Address Topology::directoryReplicaAddress(std::size_t i) const {
+  if (options_.directoryReplicas <= 1) return directoryAddress();
+  return {"gma" + std::to_string(i), global::kDirectoryPort};
+}
+
+std::vector<net::Address> Topology::directorySeeds() const {
+  std::vector<net::Address> seeds;
+  seeds.reserve(directories_.empty() ? 1 : options_.directoryReplicas);
+  if (options_.directoryReplicas <= 1) {
+    seeds.push_back(directoryAddress());
+  } else {
+    for (std::size_t i = 0; i < options_.directoryReplicas; ++i) {
+      seeds.push_back(directoryReplicaAddress(i));
+    }
+  }
+  return seeds;
+}
+
+void Topology::restartDirectoryReplica(std::size_t i) {
+  global::DirectoryOptions dopt;
+  dopt.map = directoryMap_;
+  // Destroy first (unbinds the address), then rebuild empty: the new
+  // incarnation knows the shard map but none of the entries, exactly a
+  // process restart that lost its in-memory store.
+  directories_.at(i).reset();
+  directories_.at(i) = std::make_unique<global::GmaDirectory>(
+      *network_, directoryReplicaAddress(i), std::move(dopt));
 }
 
 Topology::~Topology() {

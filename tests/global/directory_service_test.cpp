@@ -1,0 +1,372 @@
+// Replicated, sharded directory service (PR 10): routing through the
+// shard map, replica failover, NOTMINE redirects, anti-entropy repair
+// (digest -> summary -> delta), tombstone replication, deterministic
+// lease sweeps, and the RPC-failure-vs-negative distinction.
+#include "gridrm/global/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gridrm::global {
+namespace {
+
+class DirectoryServiceTest : public ::testing::Test {
+ protected:
+  static std::vector<net::Address> nodes() {
+    return {{"gma0", kDirectoryPort}, {"gma1", kDirectoryPort},
+            {"gma2", kDirectoryPort}};
+  }
+
+  DirectoryServiceTest()
+      : clock_(0),
+        network_(clock_, 17),
+        map_(ShardMap::build(nodes(), /*shards=*/3, /*replication=*/2)) {
+    for (const auto& node : nodes()) {
+      DirectoryOptions options;
+      options.map = map_;
+      replicas_.push_back(
+          std::make_unique<GmaDirectory>(network_, node, options));
+    }
+    client_ = std::make_unique<DirectoryClient>(network_, net::Address{"me", 0},
+                                                nodes());
+  }
+
+  GmaDirectory& replicaAt(const net::Address& address) {
+    for (auto& replica : replicas_) {
+      if (replica && replica->address() == address) return *replica;
+    }
+    ADD_FAILURE() << "no replica at " << address.toString();
+    return *replicas_.front();
+  }
+
+  /// Run anti-entropy on every live replica, `rounds` times. Returns
+  /// total entries applied.
+  std::size_t syncAll(int rounds = 1) {
+    std::size_t applied = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (auto& replica : replicas_) {
+        if (replica) applied += replica->syncTick();
+      }
+    }
+    return applied;
+  }
+
+  /// Every shard's holders export byte-identical state.
+  void expectConverged() {
+    for (std::size_t shard = 0; shard < map_.shardCount(); ++shard) {
+      const auto holders = map_.replicasOf(shard);
+      ASSERT_GE(holders.size(), 2u);
+      const std::string reference = replicaAt(holders[0]).exportShard(shard);
+      for (std::size_t i = 1; i < holders.size(); ++i) {
+        EXPECT_EQ(replicaAt(holders[i]).exportShard(shard), reference)
+            << "shard " << shard << " diverged between "
+            << holders[0].toString() << " and " << holders[i].toString();
+      }
+    }
+  }
+
+  util::SimClock clock_;
+  net::Network network_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<GmaDirectory>> replicas_;
+  std::unique_ptr<DirectoryClient> client_;
+};
+
+TEST_F(DirectoryServiceTest, ShardedRegisterAndLookupAdoptsMap) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  client_->registerProducer("gw-b", {"b", 1}, {"siteB-*"});
+  client_->registerProducer("gw-c", {"c", 1}, {"siteC-*"});
+
+  // The first service-mode answer carried the map.
+  EXPECT_TRUE(client_->shardMap().service());
+  EXPECT_EQ(client_->shardMap().version(), map_.version());
+  EXPECT_GE(client_->clientStats().mapRefreshes, 1u);
+
+  EXPECT_EQ(client_->lookup("siteA-n0")->name, "gw-a");
+  EXPECT_EQ(client_->lookup("siteB-n0")->name, "gw-b");
+  EXPECT_EQ(client_->lookup("siteC-n0")->name, "gw-c");
+  EXPECT_FALSE(client_->lookup("elsewhere").has_value());  // proven negative
+  EXPECT_EQ(client_->list().size(), 3u);
+
+  // Writes landed on owning shards, not everywhere: the three names
+  // are spread across replicas by the consistent hash.
+  std::size_t total = 0;
+  for (auto& replica : replicas_) total += replica->producers().size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(DirectoryServiceTest, LookupFailsOverToReadReplica) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  syncAll();  // the read replica needs the entry before the primary dies
+
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  const auto holders = map_.replicasOf(shard);
+  network_.setHostDown(holders[0].host, true);
+
+  auto hit = client_->lookup("siteA-n7");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->name, "gw-a");
+  EXPECT_GE(client_->clientStats().failovers, 1u);
+
+  network_.setHostDown(holders[0].host, false);
+}
+
+TEST_F(DirectoryServiceTest, AllHoldersDownIsUnavailableNeverNegative) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  for (const auto& holder : map_.replicasOf(shard)) {
+    network_.setHostDown(holder.host, true);
+  }
+
+  // Single lookup: the answer is unknowable, so it throws instead of
+  // returning nullopt.
+  EXPECT_THROW((void)client_->lookup("siteA-n0"), net::NetError);
+
+  // Batch lookup: the position is Unavailable, never NotFound.
+  auto answers = client_->lookupMany({"siteA-n0"});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].status, LookupStatus::Unavailable);
+  EXPECT_GE(client_->clientStats().unavailableShards, 2u);
+
+  for (const auto& holder : map_.replicasOf(shard)) {
+    network_.setHostDown(holder.host, false);
+  }
+  // Healed: the same queries answer definitively again.
+  EXPECT_EQ(client_->lookup("siteA-n0")->name, "gw-a");
+  EXPECT_EQ(client_->lookupMany({"siteA-n0"})[0].status, LookupStatus::Found);
+}
+
+TEST_F(DirectoryServiceTest, HitOnReachableShardSurvivesOtherShardOutage) {
+  // Find two producer names hashing onto DIFFERENT shards. With 3
+  // shards over 3 nodes at replication 2, downing one shard's two
+  // holders always leaves any other shard a live holder.
+  std::string nameA = "gw-a";
+  std::string nameB;
+  for (char c = 'b'; c <= 'z' && nameB.empty(); ++c) {
+    const std::string candidate = std::string("gw-") + c;
+    if (map_.shardOf("p:" + candidate) != map_.shardOf("p:" + nameA)) {
+      nameB = candidate;
+    }
+  }
+  ASSERT_FALSE(nameB.empty()) << "all candidate names on one shard";
+  client_->registerProducer(nameA, {"a", 1}, {"siteA-*"});
+  client_->registerProducer(nameB, {"b", 1}, {"siteB-*"});
+  syncAll();
+
+  const std::size_t shardB = map_.shardOf("p:" + nameB);
+  for (const auto& holder : map_.replicasOf(shardB)) {
+    network_.setHostDown(holder.host, true);
+  }
+  std::set<std::string> down;
+  for (const auto& holder : map_.replicasOf(shardB)) down.insert(holder.host);
+  bool shardAReachable = false;
+  for (const auto& holder : map_.replicasOf(map_.shardOf("p:" + nameA))) {
+    if (!down.count(holder.host)) shardAReachable = true;
+  }
+  ASSERT_TRUE(shardAReachable);
+
+  // A definitive hit on the reachable shard answers even though another
+  // shard is dark; the batch marks only unprovable positions.
+  EXPECT_EQ(client_->lookup("siteA-n0")->name, nameA);
+  auto answers = client_->lookupMany({"siteA-n0", "siteB-n0"});
+  EXPECT_EQ(answers[0].status, LookupStatus::Found);
+  EXPECT_EQ(answers[1].status, LookupStatus::Unavailable);
+}
+
+TEST_F(DirectoryServiceTest, NonHolderAnswersNotMine) {
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  net::Address outsider;
+  bool found = false;
+  for (const auto& node : nodes()) {
+    if (!map_.holds(shard, node)) {
+      outsider = node;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "replication covers all nodes";
+  const auto response = network_.request(
+      {"me", 0}, outsider, "REG PRODUCER gw-a a:1 0 0 0\nsiteA-*");
+  EXPECT_EQ(response.rfind("NOTMINE", 0), 0u) << response;
+  EXPECT_GE(replicaAt(outsider).stats().notMineRedirects, 1u);
+  // The client, armed with the map, never hits that path.
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  EXPECT_EQ(client_->clientStats().redirects, 0u);
+}
+
+TEST_F(DirectoryServiceTest, AntiEntropyConvergesAllShards) {
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "gw-" + std::to_string(i);
+    client_->registerProducer(name, {"h" + std::to_string(i), 1},
+                              {"site" + std::to_string(i) + "-*"}, /*epoch=*/1,
+                              /*leaseTtl=*/300 * util::kSecond);
+  }
+  client_->registerConsumer("sink-a", {"sink", 162}, "snmp.trap");
+  client_->registerConsumer("sink-b", {"sink", 163}, "*");
+
+  // Writes land only on the contacted holder; one full round of
+  // anti-entropy replicates every entry to its co-holder.
+  const std::size_t applied = syncAll(1);
+  EXPECT_GT(applied, 0u);
+  expectConverged();
+
+  // Converged replicas exchange digests and stop shipping entries.
+  EXPECT_EQ(syncAll(1), 0u);
+  std::uint64_t rounds = 0;
+  for (auto& replica : replicas_) rounds += replica->stats().syncRounds;
+  EXPECT_GT(rounds, 0u);
+}
+
+TEST_F(DirectoryServiceTest, WipedReplicaHealsFromPeers) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  client_->registerProducer("gw-b", {"b", 1}, {"siteB-*"});
+  client_->registerConsumer("sink", {"s", 162}, "*");
+  syncAll(1);
+  expectConverged();
+
+  // Replica 1 restarts with an empty store.
+  replicas_[1]->wipe();
+  // Bounded repair: one round where every replica syncs (the wiped one
+  // pulls what its peers have AND peers push back what it is missing).
+  syncAll(1);
+  expectConverged();
+
+  // The healed replica serves its shards again.
+  EXPECT_EQ(client_->lookup("siteA-n0")->name, "gw-a");
+  EXPECT_EQ(client_->lookup("siteB-n0")->name, "gw-b");
+  EXPECT_EQ(client_->consumersFor("snmp.trap.x").size(), 1u);
+}
+
+TEST_F(DirectoryServiceTest, TombstonesReplicateAndBlockResurrection) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  syncAll(1);
+  client_->unregisterProducer("gw-a");
+
+  // The contacted holder tombstoned the entry; its peer still has the
+  // live version until anti-entropy ships the tombstone.
+  syncAll(1);
+  expectConverged();
+  for (auto& replica : replicas_) {
+    EXPECT_TRUE(replica->producers().empty());
+  }
+  EXPECT_FALSE(client_->lookup("siteA-n0").has_value());
+
+  // Further rounds must not resurrect the entry from any stale copy.
+  EXPECT_EQ(syncAll(2), 0u);
+  EXPECT_FALSE(client_->lookup("siteA-n0").has_value());
+}
+
+TEST_F(DirectoryServiceTest, IndependentLeaseSweepsConvergeByteIdentically) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"}, /*epoch=*/1,
+                            /*leaseTtl=*/4 * util::kSecond);
+  syncAll(1);
+  expectConverged();
+
+  // Both holders sweep the expired lease independently — no sync in
+  // between — and still converge byte-identically, because the
+  // tombstone timestamp is the deterministic lease expiry, not the
+  // sweep time.
+  clock_.advance(10 * util::kSecond);
+  for (auto& replica : replicas_) replica->sweepTick();
+  expectConverged();
+  for (auto& replica : replicas_) {
+    EXPECT_TRUE(replica->producers().empty());
+  }
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  EXPECT_NE(replicaAt(map_.replicasOf(shard)[0]).exportShard(shard), "");
+  EXPECT_EQ(syncAll(1), 0u);  // nothing left to repair
+}
+
+TEST_F(DirectoryServiceTest, StaleEpochRefusedByOwningShard) {
+  client_->registerProducer("gw-a", {"a", 1}, {"new-*"}, /*epoch=*/5);
+  client_->registerProducer("gw-a", {"a", 1}, {"old-*"}, /*epoch=*/3);
+  // The epoch-3 restart lost the race: patterns unchanged.
+  EXPECT_TRUE(client_->lookup("new-x").has_value());
+  EXPECT_FALSE(client_->lookup("old-x").has_value());
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  EXPECT_EQ(replicaAt(map_.replicasOf(shard)[0]).stats().staleRegistrations,
+            1u);
+}
+
+TEST_F(DirectoryServiceTest, ReplicaStatsProbesEveryNode) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  auto health = client_->replicaStats();
+  ASSERT_EQ(health.size(), 3u);
+  std::uint64_t registrations = 0;
+  for (const auto& [address, stats] : health) {
+    ASSERT_TRUE(stats.has_value()) << address.toString();
+    registrations += stats->registrations;
+  }
+  EXPECT_EQ(registrations, 1u);
+
+  network_.setHostDown("gma2", true);
+  health = client_->replicaStats();
+  ASSERT_EQ(health.size(), 3u);
+  EXPECT_TRUE(health[0].second.has_value());
+  EXPECT_TRUE(health[1].second.has_value());
+  EXPECT_FALSE(health[2].second.has_value());  // down, not an exception
+}
+
+TEST_F(DirectoryServiceTest, SmallestNameWinsAcrossShards) {
+  // Two producers in (likely) different shards both match the host:
+  // the merged answer must be the name-order first match, exactly the
+  // standalone directory's semantics.
+  client_->registerProducer("gw-b", {"b", 1}, {"dup-*"});
+  client_->registerProducer("gw-a", {"a", 1}, {"dup-*"});
+  EXPECT_EQ(client_->lookup("dup-x")->name, "gw-a");
+  auto answers = client_->lookupMany({"dup-x"});
+  ASSERT_EQ(answers[0].status, LookupStatus::Found);
+  EXPECT_EQ(answers[0].entry->name, "gw-a");
+}
+
+TEST_F(DirectoryServiceTest, FreshClientFirstLookupSweepsTheAdoptedMap) {
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  client_->registerConsumer("mon", {"m", 9}, "alert");
+  syncAll(1);
+
+  // A brand-new client knows only one seed and a standalone-shaped
+  // map; the seed's answer covers the seed's own shards and carries
+  // the real map. The very FIRST read must re-sweep under the adopted
+  // map instead of returning the partial view as a proven negative —
+  // from every seed, including ones not holding the entry's shard.
+  for (const auto& seed : nodes()) {
+    DirectoryClient fresh(network_, {"fresh", 2}, {seed});
+    auto hit = fresh.lookup("siteA-n0");
+    ASSERT_TRUE(hit.has_value()) << "false negative bootstrapping from "
+                                 << seed.toString();
+    EXPECT_EQ(hit->name, "gw-a");
+    EXPECT_TRUE(fresh.shardMap().service());
+  }
+  DirectoryClient batch(network_, {"fresh", 3}, {nodes()[0]});
+  auto answers = batch.lookupMany({"siteA-n0", "nowhere-n0"});
+  EXPECT_EQ(answers[0].status, LookupStatus::Found);
+  EXPECT_EQ(answers[1].status, LookupStatus::NotFound);
+  DirectoryClient lister(network_, {"fresh", 4}, {nodes()[1]});
+  EXPECT_EQ(lister.list().size(), 1u);
+  DirectoryClient evented(network_, {"fresh", 5}, {nodes()[2]});
+  EXPECT_EQ(evented.consumersFor("alert.cpu").size(), 1u);
+}
+
+TEST_F(DirectoryServiceTest, WriteSurvivesPrimaryOutageViaReadReplica) {
+  const std::size_t shard = map_.shardOf("p:gw-a");
+  const auto holders = map_.replicasOf(shard);
+  network_.setHostDown(holders[0].host, true);
+
+  // The write fails over to the read replica (any holder accepts
+  // writes; versioned merge reconciles), and is not lost when the
+  // primary returns.
+  client_->registerProducer("gw-a", {"a", 1}, {"siteA-*"});
+  EXPECT_GE(client_->clientStats().failovers, 1u);
+  EXPECT_EQ(client_->lookup("siteA-n0")->name, "gw-a");
+
+  network_.setHostDown(holders[0].host, false);
+  syncAll(1);
+  expectConverged();
+  EXPECT_EQ(replicaAt(holders[0]).producers().size(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::global

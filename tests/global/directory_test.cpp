@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "gridrm/sim/event_loop.hpp"
+#include "gridrm/util/strings.hpp"
+
 namespace gridrm::global {
 namespace {
 
@@ -80,6 +85,101 @@ TEST_F(DirectoryTest, InProcessAccessors) {
   EXPECT_EQ(directory_.producers().size(), 1u);
   EXPECT_EQ(directory_.consumers().size(), 1u);
   EXPECT_EQ(directory_.producers()[0].ownedHostPatterns.size(), 1u);
+}
+
+// S2 regression: a lease renewal in flight while the TTL sweep runs
+// must extend the lease in place, never be observed as an eviction
+// followed by a fresh registration. The EventLoop pins the exact
+// interleaving: lease expires, renewal is SENT, sweep runs, renewal
+// ARRIVES — deterministic down to the microsecond.
+TEST(DirectoryLeaseRaceTest, RenewalInFlightDuringSweepExtendsInPlace) {
+  sim::EventLoop loop;
+  net::Network network(loop.clock(), 7);
+  network.attachScheduler(&loop);
+  network.setDefaultLink({50 * util::kMillisecond, 0, 0.0});
+  GmaDirectory directory(network, {"gma", kDirectoryPort});
+
+  const net::Address me{"gw-a.host", 8710};
+  const util::Duration ttl = 4 * util::kSecond;  // grace = ttl/4 = 1s
+  const std::string regHead =
+      "REG PRODUCER gw-a gw-a.host:8710 1 " +
+      std::to_string(ttl / util::kMillisecond);
+
+  // t=0: initial leased registration; arrives t=50ms, so the directory
+  // grants expiry 4.05s and answers "OK 4050000" at t=100ms.
+  util::TimePoint granted = 0;
+  network.requestAsync(me, {"gma", kDirectoryPort},
+                       regHead + " 0\nsiteA-*", [&](const net::AsyncOutcome& o) {
+                         ASSERT_TRUE(o.ok()) << o.message;
+                         const auto words = util::splitNonEmpty(o.response, ' ');
+                         ASSERT_GE(words.size(), 2u);
+                         EXPECT_EQ(words[0], "OK");
+                         granted = static_cast<util::TimePoint>(
+                             std::stoll(words[1]));
+                       });
+  loop.runUntil(200 * util::kMillisecond);
+  ASSERT_EQ(granted, 50 * util::kMillisecond + ttl);
+
+  // t=4.20s (lease already expired at 4.05s): the gateway sends its
+  // renewal, carrying the previously granted expiry. It will arrive at
+  // t=4.25s — AFTER the sweep below.
+  bool renewed = false;
+  loop.schedule(4200 * util::kMillisecond, [&] {
+    network.requestAsync(me, {"gma", kDirectoryPort},
+                         regHead + " " + std::to_string(granted) + "\nsiteA-*",
+                         [&](const net::AsyncOutcome& o) {
+                           ASSERT_TRUE(o.ok()) << o.message;
+                           EXPECT_EQ(o.response.rfind("OK ", 0), 0u);
+                           renewed = true;
+                         });
+  });
+  // t=4.21s: the sweep runs between renewal send and renewal arrival.
+  // The grace window (expiry 4.05s + 1s > 4.21s) keeps the entry
+  // alive; pre-PR-10 this evicted it and the renewal re-added a fresh
+  // entry — the drop-then-re-add race.
+  loop.schedule(4210 * util::kMillisecond, [&] { directory.sweepTick(); });
+  loop.runUntil(4400 * util::kMillisecond);
+
+  ASSERT_TRUE(renewed);
+  const auto stats = directory.stats();
+  EXPECT_EQ(stats.leaseEvictions, 0u);
+  EXPECT_EQ(stats.renewals, 1u) << "renewal observed as a fresh add";
+  const auto producers = directory.producers();
+  ASSERT_EQ(producers.size(), 1u);
+  EXPECT_EQ(producers[0].version, 2u);  // mutated in place, not re-added
+  EXPECT_EQ(producers[0].expiresAt, 4250 * util::kMillisecond + ttl);
+
+  // Counterfactual: with no further renewal, the sweep evicts once the
+  // grace window past the renewed expiry passes.
+  loop.runUntil(producers[0].expiresAt + ttl / 4 + util::kSecond);
+  directory.sweepTick();
+  EXPECT_EQ(directory.stats().leaseEvictions, 1u);
+  EXPECT_TRUE(directory.producers().empty());
+}
+
+// Without the grace window (divisor 0) the old sweep behavior remains
+// available: expiry is immediately fatal.
+TEST(DirectoryLeaseRaceTest, ZeroGraceDivisorEvictsAtExpiry) {
+  sim::EventLoop loop;
+  net::Network network(loop.clock(), 7);
+  network.attachScheduler(&loop);
+  network.setDefaultLink({50 * util::kMillisecond, 0, 0.0});
+  DirectoryOptions options;
+  options.leaseGraceDivisor = 0;
+  GmaDirectory directory(network, {"gma", kDirectoryPort}, options);
+
+  network.requestAsync({"gw", 1}, {"gma", kDirectoryPort},
+                       "REG PRODUCER gw-a a:1 1 4000 0\nsiteA-*",
+                       [](const net::AsyncOutcome& o) {
+                         ASSERT_TRUE(o.ok()) << o.message;
+                       });
+  loop.runUntil(200 * util::kMillisecond);
+  ASSERT_EQ(directory.producers().size(), 1u);
+
+  loop.runUntil(4100 * util::kMillisecond);  // expiry was 4050ms
+  directory.sweepTick();
+  EXPECT_EQ(directory.stats().leaseEvictions, 1u);
+  EXPECT_TRUE(directory.producers().empty());
 }
 
 }  // namespace

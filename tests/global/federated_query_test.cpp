@@ -120,11 +120,13 @@ TEST(FederatedQueryTest, BatchLookupResolvesSitesPositionally) {
   auto out = f.globalA->directory().lookupMany(
       {"siteA-node00", "siteB-node01", "nowhere-node00"});
   ASSERT_EQ(out.size(), 3u);
-  ASSERT_TRUE(out[0].has_value());
-  ASSERT_TRUE(out[1].has_value());
-  EXPECT_FALSE(out[2].has_value());  // positional NONE, not dropped
-  EXPECT_EQ(out[0]->name, "gw-a");
-  EXPECT_EQ(out[1]->name, "gw-b");
+  ASSERT_EQ(out[0].status, LookupStatus::Found);
+  ASSERT_EQ(out[1].status, LookupStatus::Found);
+  // Positional proven negative, not dropped and not Unavailable: every
+  // shard answered.
+  EXPECT_EQ(out[2].status, LookupStatus::NotFound);
+  EXPECT_EQ(out[0].entry->name, "gw-a");
+  EXPECT_EQ(out[1].entry->name, "gw-b");
 }
 
 TEST(FederatedQueryTest, FanOutResolvesOwnersInOneDirectoryRoundTrip) {

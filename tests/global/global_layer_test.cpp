@@ -171,6 +171,68 @@ TEST(GlobalLayerTest, RemoteResultsRecordedInLocalHistory) {
   EXPECT_EQ(counts->rowCount(), 5u);
 }
 
+// S1 regression (PR 10): an unreachable directory is NOT "no gateway
+// owns this host". The failure must carry ErrorCode::Unavailable and
+// the directory-unavailable message, never the proven-negative one.
+TEST(GlobalLayerTest, DirectoryDownIsUnavailableNotMissing) {
+  GridFixture f;
+  f.network.setHostDown("gma", true);
+  // Cold cache: nothing stale to serve, so the query must surface the
+  // outage — not claim the producer does not exist.
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM Processor");
+  EXPECT_FALSE(result.complete());
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].code, dbc::ErrorCode::Unavailable);
+  EXPECT_NE(result.failures[0].message.find("directory unavailable"),
+            std::string::npos)
+      << result.failures[0].message;
+  EXPECT_EQ(result.failures[0].message.find("no gateway owns"),
+            std::string::npos)
+      << "RPC failure misread as a negative lookup";
+  EXPECT_GE(f.globalA->stats().directoryUnavailable, 1u);
+
+  // The federated planner distinguishes too.
+  auto federated = f.globalA->federatedQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM Processor");
+  ASSERT_EQ(federated.failures.size(), 1u);
+  EXPECT_EQ(federated.failures[0].code, dbc::ErrorCode::Unavailable);
+}
+
+// S1 companion: with a warm (even expired) cache entry, the outage is
+// bridged by serving the stale owner instead of failing.
+TEST(GlobalLayerTest, StaleOwnerServedWhileDirectoryUnreachable) {
+  GlobalOptions options;
+  options.lookupCacheTtl = 2 * util::kSecond;
+  GridFixture f(/*cacheTtl=*/2 * util::kSecond, "", options);
+  auto warm = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM Processor");
+  ASSERT_TRUE(warm.complete());
+
+  f.clock.advance(10 * util::kSecond);  // cache entry now expired
+  f.network.setHostDown("gma", true);
+  auto result = f.globalA->globalQuery(
+      f.adminA, {f.siteB->headUrl("snmp")}, "SELECT * FROM Processor");
+  EXPECT_TRUE(result.complete())
+      << (result.failures.empty() ? "" : result.failures[0].message);
+  EXPECT_GE(f.globalA->stats().staleLookupsServed, 1u);
+  EXPECT_EQ(f.globalA->stats().directoryUnavailable, 0u);
+}
+
+// Directory replica health is queryable through the layer (ACIL).
+TEST(GlobalLayerTest, DirectoryHealthExposesReplicaStats) {
+  GridFixture f;
+  auto health = f.globalA->directoryHealth(f.adminA);
+  ASSERT_EQ(health.size(), 1u);  // standalone fixture: one "replica"
+  ASSERT_TRUE(health[0].second.has_value());
+  EXPECT_GE(health[0].second->registrations, 2u);  // both gateways
+
+  f.network.setHostDown("gma", true);
+  health = f.globalA->directoryHealth(f.adminA);
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_FALSE(health[0].second.has_value());
+}
+
 TEST(GlobalLayerTest, EventPropagationBetweenGateways) {
   GridFixture f(/*cacheTtl=*/5 * util::kSecond, /*eventPattern=*/"alert");
   std::vector<core::Event> seenAtB;

@@ -1,0 +1,117 @@
+#include "gridrm/global/shard_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridrm/global/directory.hpp"  // kDirectoryPort
+
+#include <map>
+#include <string>
+
+namespace gridrm::global {
+namespace {
+
+std::vector<net::Address> nodes3() {
+  return {{"gma0", kDirectoryPort}, {"gma1", kDirectoryPort},
+          {"gma2", kDirectoryPort}};
+}
+
+TEST(ShardMapTest, SingleIsStandalone) {
+  auto map = ShardMap::single({"gma", kDirectoryPort});
+  EXPECT_FALSE(map.service());  // version 0 marks "not a service"
+  EXPECT_EQ(map.version(), 0u);
+  EXPECT_EQ(map.shardCount(), 1u);
+  EXPECT_EQ(map.replication(), 1u);
+  EXPECT_EQ(map.shardOf("p:anything"), 0u);
+  EXPECT_EQ(map.primaryOf(0).host, "gma");
+  EXPECT_EQ(map.shardsHeldBy({"gma", kDirectoryPort}).size(), 1u);
+}
+
+TEST(ShardMapTest, OneShardRoutesEverythingToShardZero) {
+  auto map = ShardMap::build(nodes3(), /*shards=*/1, /*replication=*/2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(map.shardOf("p:gw" + std::to_string(i)), 0u);
+  }
+  auto replicas = map.replicasOf(0);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].host, "gma0");  // primary first
+  EXPECT_EQ(replicas[1].host, "gma1");
+}
+
+TEST(ShardMapTest, ReplicationClampedToNodeCount) {
+  auto map = ShardMap::build(nodes3(), 4, /*replication=*/7);
+  EXPECT_EQ(map.replication(), 3u);
+  for (std::size_t s = 0; s < map.shardCount(); ++s) {
+    EXPECT_EQ(map.replicasOf(s).size(), 3u);
+    for (const auto& node : nodes3()) EXPECT_TRUE(map.holds(s, node));
+  }
+}
+
+TEST(ShardMapTest, ConsistentPlacementIsDeterministic) {
+  auto a = ShardMap::build(nodes3(), 8, 2);
+  auto b = ShardMap::build(nodes3(), 8, 2);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "p:gateway-" + std::to_string(i);
+    EXPECT_EQ(a.shardOf(key), b.shardOf(key));
+    EXPECT_LT(a.shardOf(key), 8u);
+  }
+}
+
+TEST(ShardMapTest, KeysSpreadAcrossShards) {
+  auto map = ShardMap::build(nodes3(), 4, 2);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 400; ++i) {
+    ++counts[map.shardOf("p:gw" + std::to_string(i))];
+  }
+  // Consistent hashing with 16 virtual points per shard will not be
+  // perfectly uniform, but it must not collapse onto one shard.
+  EXPECT_GE(counts.size(), 3u);
+}
+
+TEST(ShardMapTest, ReplicasRoundRobinFromPrimary) {
+  auto map = ShardMap::build(nodes3(), 3, 2);
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto replicas = map.replicasOf(s);
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_EQ(replicas[0], map.primaryOf(s));
+    EXPECT_EQ(replicas[0].host, "gma" + std::to_string(s % 3));
+    EXPECT_EQ(replicas[1].host, "gma" + std::to_string((s + 1) % 3));
+    EXPECT_TRUE(map.holds(s, replicas[0]));
+    EXPECT_TRUE(map.holds(s, replicas[1]));
+    EXPECT_FALSE(map.holds(s, {"gma" + std::to_string((s + 2) % 3),
+                               kDirectoryPort}));
+  }
+  // Every node holds its primary shard plus the one it backs up.
+  EXPECT_EQ(map.shardsHeldBy(nodes3()[0]).size(), 2u);
+}
+
+TEST(ShardMapTest, EncodeDecodeRoundTrip) {
+  auto map = ShardMap::build(nodes3(), 8, 2, /*version=*/42);
+  const std::string line = map.encode();
+  EXPECT_EQ(line.rfind("MAP 42 8 2 ", 0), 0u);
+  auto decoded = ShardMap::decode(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(*decoded == map);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "c:consumer-" + std::to_string(i);
+    EXPECT_EQ(decoded->shardOf(key), map.shardOf(key));
+  }
+}
+
+TEST(ShardMapTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ShardMap::decode("").has_value());
+  EXPECT_FALSE(ShardMap::decode("MAP").has_value());
+  EXPECT_FALSE(ShardMap::decode("MAP 1 2").has_value());
+  EXPECT_FALSE(ShardMap::decode("PRODUCER gw-a a:1 0").has_value());
+  EXPECT_FALSE(ShardMap::decode("MAP x y z gma0:8700").has_value());
+}
+
+TEST(ShardMapTest, BuildForcesServiceVersion) {
+  // A service map can never masquerade as standalone: version 0 is
+  // promoted to 1 so clients always adopt a piggybacked map.
+  auto map = ShardMap::build(nodes3(), 2, 2, /*version=*/0);
+  EXPECT_TRUE(map.service());
+  EXPECT_EQ(map.version(), 1u);
+}
+
+}  // namespace
+}  // namespace gridrm::global
